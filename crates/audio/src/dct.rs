@@ -1,0 +1,112 @@
+//! Orthonormal DCT-II — the final decorrelating transform of the MFCC
+//! chain.
+
+/// Builds the `n_out x n_in` orthonormal DCT-II matrix.
+///
+/// Row `k` holds `c_k * cos(pi / n_in * (j + 0.5) * k)` with
+/// `c_0 = sqrt(1/n_in)` and `c_k = sqrt(2/n_in)` otherwise, so the full
+/// square matrix is orthonormal; taking the first `n_out` rows performs the
+/// standard cepstral truncation (40 mel bands → 16 coefficients for
+/// KWT-Tiny).
+///
+/// # Panics
+///
+/// Panics if `n_in == 0` or `n_out > n_in`.
+///
+/// # Example
+/// ```
+/// let d = kwt_audio::dct_ii_matrix(16, 40);
+/// assert_eq!(d.len(), 16);
+/// assert_eq!(d[0].len(), 40);
+/// ```
+pub fn dct_ii_matrix(n_out: usize, n_in: usize) -> Vec<Vec<f64>> {
+    assert!(n_in > 0, "dct input size must be positive");
+    assert!(
+        n_out <= n_in,
+        "cannot take {n_out} DCT coefficients from {n_in} inputs"
+    );
+    let mut rows = Vec::with_capacity(n_out);
+    for k in 0..n_out {
+        let scale = if k == 0 {
+            (1.0 / n_in as f64).sqrt()
+        } else {
+            (2.0 / n_in as f64).sqrt()
+        };
+        rows.push(
+            (0..n_in)
+                .map(|j| {
+                    scale
+                        * (std::f64::consts::PI / n_in as f64 * (j as f64 + 0.5) * k as f64).cos()
+                })
+                .collect(),
+        );
+    }
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn square_dct_is_orthonormal() {
+        let n = 16;
+        let d = dct_ii_matrix(n, n);
+        for a in 0..n {
+            for b in 0..n {
+                let dot: f64 = (0..n).map(|j| d[a][j] * d[b][j]).sum();
+                let want = if a == b { 1.0 } else { 0.0 };
+                assert!((dot - want).abs() < 1e-12, "rows {a},{b}: {dot}");
+            }
+        }
+    }
+
+    #[test]
+    fn dc_row_is_constant() {
+        let d = dct_ii_matrix(4, 8);
+        let c = d[0][0];
+        assert!(d[0].iter().all(|&x| (x - c).abs() < 1e-12));
+    }
+
+    #[test]
+    fn truncation_takes_prefix_rows() {
+        let full = dct_ii_matrix(8, 8);
+        let trunc = dct_ii_matrix(3, 8);
+        for k in 0..3 {
+            for j in 0..8 {
+                assert_eq!(full[k][j], trunc[k][j]);
+            }
+        }
+    }
+
+    #[test]
+    fn dct_of_cosine_is_sparse() {
+        let n = 32;
+        let d = dct_ii_matrix(n, n);
+        // signal equal to DCT basis row 5 should project onto coefficient 5 only
+        let sig: Vec<f64> = (0..n)
+            .map(|j| (std::f64::consts::PI / n as f64 * (j as f64 + 0.5) * 5.0).cos())
+            .collect();
+        let coeffs: Vec<f64> = (0..n)
+            .map(|k| (0..n).map(|j| d[k][j] * sig[j]).sum())
+            .collect();
+        let peak = coeffs
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.abs().partial_cmp(&b.1.abs()).unwrap())
+            .unwrap()
+            .0;
+        assert_eq!(peak, 5);
+        for (k, c) in coeffs.iter().enumerate() {
+            if k != 5 {
+                assert!(c.abs() < 1e-10, "leakage at {k}: {c}");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot take")]
+    fn too_many_outputs_panics() {
+        let _ = dct_ii_matrix(9, 8);
+    }
+}

@@ -1,0 +1,76 @@
+use std::fmt;
+
+/// Error type for the audio front end.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AudioError {
+    /// FFT length must be a power of two.
+    FftLengthNotPowerOfTwo {
+        /// The offending length.
+        len: usize,
+    },
+    /// Real/imaginary buffers passed to the FFT differ in length.
+    FftBufferMismatch {
+        /// Real buffer length.
+        re: usize,
+        /// Imaginary buffer length.
+        im: usize,
+    },
+    /// A configuration field is out of its valid domain.
+    InvalidConfig {
+        /// Which field.
+        field: &'static str,
+        /// Why it is invalid.
+        why: String,
+    },
+    /// The input signal is too short to produce a single frame.
+    SignalTooShort {
+        /// Samples provided.
+        got: usize,
+        /// Samples required.
+        need: usize,
+    },
+}
+
+impl fmt::Display for AudioError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AudioError::FftLengthNotPowerOfTwo { len } => {
+                write!(f, "fft length {len} is not a power of two")
+            }
+            AudioError::FftBufferMismatch { re, im } => {
+                write!(f, "fft buffer lengths differ: re {re} vs im {im}")
+            }
+            AudioError::InvalidConfig { field, why } => {
+                write!(f, "invalid mfcc config field `{field}`: {why}")
+            }
+            AudioError::SignalTooShort { got, need } => {
+                write!(f, "signal too short: got {got} samples, need at least {need}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for AudioError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert_eq!(
+            AudioError::FftLengthNotPowerOfTwo { len: 12 }.to_string(),
+            "fft length 12 is not a power of two"
+        );
+        assert_eq!(
+            AudioError::SignalTooShort { got: 3, need: 400 }.to_string(),
+            "signal too short: got 3 samples, need at least 400"
+        );
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<AudioError>();
+    }
+}

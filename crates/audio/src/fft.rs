@@ -1,0 +1,235 @@
+//! Radix-2 iterative FFT over split real/imaginary `f64` buffers.
+//!
+//! A hand-rolled FFT keeps the front end dependency-free and is plenty for
+//! the ≤1024-point transforms the KWT geometries need.
+
+use crate::{AudioError, Result};
+
+fn check(re: &[f64], im: &[f64]) -> Result<usize> {
+    if re.len() != im.len() {
+        return Err(AudioError::FftBufferMismatch {
+            re: re.len(),
+            im: im.len(),
+        });
+    }
+    let n = re.len();
+    if n == 0 || !n.is_power_of_two() {
+        return Err(AudioError::FftLengthNotPowerOfTwo { len: n });
+    }
+    Ok(n)
+}
+
+/// In-place decimation-in-time radix-2 FFT.
+///
+/// # Errors
+///
+/// Returns [`AudioError::FftLengthNotPowerOfTwo`] unless the length is a
+/// power of two, and [`AudioError::FftBufferMismatch`] if the buffers
+/// differ in length.
+///
+/// # Example
+/// ```
+/// # fn main() -> Result<(), kwt_audio::AudioError> {
+/// // FFT of an impulse is flat.
+/// let mut re = vec![1.0, 0.0, 0.0, 0.0];
+/// let mut im = vec![0.0; 4];
+/// kwt_audio::fft_in_place(&mut re, &mut im)?;
+/// assert!(re.iter().all(|&x| (x - 1.0).abs() < 1e-12));
+/// # Ok(())
+/// # }
+/// ```
+pub fn fft_in_place(re: &mut [f64], im: &mut [f64]) -> Result<()> {
+    let n = check(re, im)?;
+    // Bit-reversal permutation.
+    let mut j = 0usize;
+    for i in 0..n {
+        if i < j {
+            re.swap(i, j);
+            im.swap(i, j);
+        }
+        let mut bit = n >> 1;
+        while bit > 0 && j & bit != 0 {
+            j ^= bit;
+            bit >>= 1;
+        }
+        j |= bit;
+    }
+    // Butterflies.
+    let mut len = 2;
+    while len <= n {
+        let ang = -2.0 * std::f64::consts::PI / len as f64;
+        let (wr, wi) = (ang.cos(), ang.sin());
+        let mut i = 0;
+        while i < n {
+            let (mut cur_r, mut cur_i) = (1.0f64, 0.0f64);
+            for k in 0..len / 2 {
+                let (ur, ui) = (re[i + k], im[i + k]);
+                let (vr0, vi0) = (re[i + k + len / 2], im[i + k + len / 2]);
+                let vr = vr0 * cur_r - vi0 * cur_i;
+                let vi = vr0 * cur_i + vi0 * cur_r;
+                re[i + k] = ur + vr;
+                im[i + k] = ui + vi;
+                re[i + k + len / 2] = ur - vr;
+                im[i + k + len / 2] = ui - vi;
+                let next_r = cur_r * wr - cur_i * wi;
+                cur_i = cur_r * wi + cur_i * wr;
+                cur_r = next_r;
+            }
+            i += len;
+        }
+        len <<= 1;
+    }
+    Ok(())
+}
+
+/// In-place inverse FFT (conjugate / forward / conjugate / scale).
+///
+/// # Errors
+///
+/// Same contract as [`fft_in_place`].
+pub fn ifft_in_place(re: &mut [f64], im: &mut [f64]) -> Result<()> {
+    let n = check(re, im)?;
+    for v in im.iter_mut() {
+        *v = -*v;
+    }
+    fft_in_place(re, im)?;
+    let inv = 1.0 / n as f64;
+    for i in 0..n {
+        re[i] *= inv;
+        im[i] *= -inv;
+    }
+    Ok(())
+}
+
+/// One-sided power spectrum of a real frame, zero-padded to `n_fft`.
+///
+/// Returns `n_fft / 2 + 1` bins of `|X_k|^2`.
+///
+/// # Errors
+///
+/// Returns [`AudioError::FftLengthNotPowerOfTwo`] unless `n_fft` is a power
+/// of two, and [`AudioError::SignalTooShort`]... never: frames shorter than
+/// `n_fft` are zero-padded; frames longer are truncated.
+pub fn power_spectrum(frame: &[f32], n_fft: usize) -> Result<Vec<f64>> {
+    if n_fft == 0 || !n_fft.is_power_of_two() {
+        return Err(AudioError::FftLengthNotPowerOfTwo { len: n_fft });
+    }
+    let mut re = vec![0.0f64; n_fft];
+    let mut im = vec![0.0f64; n_fft];
+    for (i, &s) in frame.iter().take(n_fft).enumerate() {
+        re[i] = s as f64;
+    }
+    fft_in_place(&mut re, &mut im)?;
+    Ok((0..=n_fft / 2)
+        .map(|k| re[k] * re[k] + im[k] * im[k])
+        .collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// O(n^2) reference DFT.
+    fn naive_dft(re: &[f64], im: &[f64]) -> (Vec<f64>, Vec<f64>) {
+        let n = re.len();
+        let mut or = vec![0.0; n];
+        let mut oi = vec![0.0; n];
+        for k in 0..n {
+            for t in 0..n {
+                let ang = -2.0 * std::f64::consts::PI * (k * t) as f64 / n as f64;
+                or[k] += re[t] * ang.cos() - im[t] * ang.sin();
+                oi[k] += re[t] * ang.sin() + im[t] * ang.cos();
+            }
+        }
+        (or, oi)
+    }
+
+    #[test]
+    fn fft_matches_naive_dft() {
+        let n = 64;
+        let mut re: Vec<f64> = (0..n).map(|i| ((i * 7 + 3) % 13) as f64 * 0.1 - 0.6).collect();
+        let mut im: Vec<f64> = (0..n).map(|i| ((i * 5 + 1) % 11) as f64 * 0.05).collect();
+        let (wr, wi) = naive_dft(&re, &im);
+        fft_in_place(&mut re, &mut im).unwrap();
+        for k in 0..n {
+            assert!((re[k] - wr[k]).abs() < 1e-9, "re[{k}]");
+            assert!((im[k] - wi[k]).abs() < 1e-9, "im[{k}]");
+        }
+    }
+
+    #[test]
+    fn fft_of_sine_concentrates_energy() {
+        let n = 256;
+        let bin = 17;
+        let mut re: Vec<f64> = (0..n)
+            .map(|i| (2.0 * std::f64::consts::PI * bin as f64 * i as f64 / n as f64).sin())
+            .collect();
+        let mut im = vec![0.0; n];
+        fft_in_place(&mut re, &mut im).unwrap();
+        let mag: Vec<f64> = (0..n).map(|k| (re[k] * re[k] + im[k] * im[k]).sqrt()).collect();
+        let peak = mag
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .unwrap()
+            .0;
+        assert!(peak == bin || peak == n - bin);
+        assert!((mag[bin] - n as f64 / 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn ifft_inverts_fft() {
+        let n = 128;
+        let orig_re: Vec<f64> = (0..n).map(|i| (i as f64 * 0.37).sin()).collect();
+        let orig_im: Vec<f64> = (0..n).map(|i| (i as f64 * 0.11).cos() * 0.3).collect();
+        let mut re = orig_re.clone();
+        let mut im = orig_im.clone();
+        fft_in_place(&mut re, &mut im).unwrap();
+        ifft_in_place(&mut re, &mut im).unwrap();
+        for i in 0..n {
+            assert!((re[i] - orig_re[i]).abs() < 1e-10);
+            assert!((im[i] - orig_im[i]).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn parseval_theorem_holds() {
+        let n = 512;
+        let sig: Vec<f64> = (0..n).map(|i| ((i * 31 + 7) % 97) as f64 / 97.0 - 0.5).collect();
+        let mut re = sig.clone();
+        let mut im = vec![0.0; n];
+        fft_in_place(&mut re, &mut im).unwrap();
+        let time_energy: f64 = sig.iter().map(|x| x * x).sum();
+        let freq_energy: f64 =
+            (0..n).map(|k| re[k] * re[k] + im[k] * im[k]).sum::<f64>() / n as f64;
+        assert!((time_energy - freq_energy).abs() < 1e-8 * time_energy.max(1.0));
+    }
+
+    #[test]
+    fn rejects_bad_lengths() {
+        let mut a = vec![0.0; 12];
+        let mut b = vec![0.0; 12];
+        assert!(matches!(
+            fft_in_place(&mut a, &mut b),
+            Err(AudioError::FftLengthNotPowerOfTwo { len: 12 })
+        ));
+        let mut c = vec![0.0; 8];
+        assert!(matches!(
+            fft_in_place(&mut a, &mut c),
+            Err(AudioError::FftBufferMismatch { .. })
+        ));
+        let mut e: Vec<f64> = vec![];
+        let mut e2: Vec<f64> = vec![];
+        assert!(fft_in_place(&mut e, &mut e2).is_err());
+    }
+
+    #[test]
+    fn power_spectrum_dc_and_length() {
+        let frame = vec![1.0f32; 16];
+        let ps = power_spectrum(&frame, 32).unwrap();
+        assert_eq!(ps.len(), 17);
+        // 16 ones zero-padded to 32: DC bin = 16^2
+        assert!((ps[0] - 256.0).abs() < 1e-9);
+        assert!(power_spectrum(&frame, 30).is_err());
+    }
+}

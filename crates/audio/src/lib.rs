@@ -1,0 +1,49 @@
+//! # kwt-audio
+//!
+//! The audio front end of the KWT pipeline: raw waveform → Mel-frequency
+//! cepstral coefficients (MFCC), the `X ∈ R^{T x F}` spectrogram the paper
+//! feeds to the transformer (Fig. 1).
+//!
+//! The chain is the classic one: framing → window → FFT → power spectrum →
+//! mel filter bank → log → DCT-II. Two presets reproduce the paper's input
+//! geometries:
+//!
+//! * [`kwt1_frontend`] — `[40, 98]`: 40 coefficients, 98 frames (25 ms
+//!   window / 10 ms hop over 1 s at 16 kHz)
+//! * [`kwt_tiny_frontend`] — `[16, 26]`: the down-sampled input of §III
+//!   (62.5 ms window / 37.5 ms hop), the paper's "reasonable balance
+//!   between memory constraints and accuracy constraints"
+//!
+//! # Example
+//!
+//! ```
+//! use kwt_audio::kwt_tiny_frontend;
+//!
+//! # fn main() -> Result<(), kwt_audio::AudioError> {
+//! let frontend = kwt_tiny_frontend()?;
+//! let one_second = vec![0.0f32; 16_000];
+//! let mfcc = frontend.extract_padded(&one_second)?;
+//! assert_eq!(mfcc.shape(), (26, 16)); // T x F
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod dct;
+mod error;
+mod fft;
+mod mel;
+mod mfcc;
+mod window;
+
+pub use dct::dct_ii_matrix;
+pub use error::AudioError;
+pub use fft::{fft_in_place, ifft_in_place, power_spectrum};
+pub use mel::{hz_to_mel, mel_to_hz, MelFilterbank};
+pub use mfcc::{kwt1_frontend, kwt_tiny_frontend, MfccConfig, MfccExtractor};
+pub use window::WindowKind;
+
+/// Convenience alias for results returned by this crate.
+pub type Result<T> = std::result::Result<T, AudioError>;

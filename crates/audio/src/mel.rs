@@ -1,0 +1,221 @@
+//! Mel scale conversion and triangular mel filter banks.
+
+use crate::{AudioError, Result};
+
+/// Converts a frequency in Hz to mels (HTK formula).
+///
+/// # Example
+/// ```
+/// assert_eq!(kwt_audio::hz_to_mel(0.0), 0.0);
+/// assert!((kwt_audio::hz_to_mel(1000.0) - 999.99).abs() < 0.1);
+/// ```
+pub fn hz_to_mel(hz: f64) -> f64 {
+    2595.0 * (1.0 + hz / 700.0).log10()
+}
+
+/// Converts mels back to Hz (inverse of [`hz_to_mel`]).
+pub fn mel_to_hz(mel: f64) -> f64 {
+    700.0 * (10f64.powf(mel / 2595.0) - 1.0)
+}
+
+/// A bank of `n_mels` triangular filters over FFT power-spectrum bins.
+#[derive(Debug, Clone)]
+pub struct MelFilterbank {
+    n_mels: usize,
+    n_bins: usize,
+    /// `n_mels x n_bins` weights, row-major.
+    weights: Vec<f64>,
+}
+
+impl MelFilterbank {
+    /// Builds the filter bank for `n_fft`-point spectra at `sample_rate`,
+    /// spanning `[fmin, fmax]` Hz.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AudioError::InvalidConfig`] if `n_mels == 0`,
+    /// `fmin >= fmax`, `fmax > sample_rate / 2`, or `n_fft` is not a power
+    /// of two.
+    pub fn new(
+        n_mels: usize,
+        n_fft: usize,
+        sample_rate: f64,
+        fmin: f64,
+        fmax: f64,
+    ) -> Result<Self> {
+        if n_mels == 0 {
+            return Err(AudioError::InvalidConfig {
+                field: "n_mels",
+                why: "must be positive".into(),
+            });
+        }
+        if !(n_fft.is_power_of_two() && n_fft >= 2) {
+            return Err(AudioError::FftLengthNotPowerOfTwo { len: n_fft });
+        }
+        if fmin < 0.0 || fmin >= fmax {
+            return Err(AudioError::InvalidConfig {
+                field: "fmin/fmax",
+                why: format!("need 0 <= fmin < fmax, got {fmin}..{fmax}"),
+            });
+        }
+        if fmax > sample_rate / 2.0 + 1e-9 {
+            return Err(AudioError::InvalidConfig {
+                field: "fmax",
+                why: format!("{fmax} exceeds Nyquist ({})", sample_rate / 2.0),
+            });
+        }
+        let n_bins = n_fft / 2 + 1;
+        // n_mels + 2 equally spaced points on the mel axis.
+        let mel_lo = hz_to_mel(fmin);
+        let mel_hi = hz_to_mel(fmax);
+        let centers_hz: Vec<f64> = (0..n_mels + 2)
+            .map(|i| mel_to_hz(mel_lo + (mel_hi - mel_lo) * i as f64 / (n_mels + 1) as f64))
+            .collect();
+        let bin_hz = |k: usize| k as f64 * sample_rate / n_fft as f64;
+        let mut weights = vec![0.0f64; n_mels * n_bins];
+        for m in 0..n_mels {
+            let (lo, mid, hi) = (centers_hz[m], centers_hz[m + 1], centers_hz[m + 2]);
+            for k in 0..n_bins {
+                let f = bin_hz(k);
+                let w = if f <= lo || f >= hi {
+                    0.0
+                } else if f <= mid {
+                    (f - lo) / (mid - lo)
+                } else {
+                    (hi - f) / (hi - mid)
+                };
+                weights[m * n_bins + k] = w;
+            }
+        }
+        Ok(MelFilterbank {
+            n_mels,
+            n_bins,
+            weights,
+        })
+    }
+
+    /// Number of mel channels.
+    pub fn n_mels(&self) -> usize {
+        self.n_mels
+    }
+
+    /// Number of spectrum bins each filter spans.
+    pub fn n_bins(&self) -> usize {
+        self.n_bins
+    }
+
+    /// Filter weights for channel `m` (length [`Self::n_bins`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m >= n_mels`.
+    pub fn filter(&self, m: usize) -> &[f64] {
+        assert!(m < self.n_mels, "mel channel {m} out of range");
+        &self.weights[m * self.n_bins..(m + 1) * self.n_bins]
+    }
+
+    /// Applies the bank to a one-sided power spectrum, returning `n_mels`
+    /// band energies.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AudioError::InvalidConfig`] if `spectrum.len() != n_bins`.
+    pub fn apply(&self, spectrum: &[f64]) -> Result<Vec<f64>> {
+        if spectrum.len() != self.n_bins {
+            return Err(AudioError::InvalidConfig {
+                field: "spectrum",
+                why: format!("expected {} bins, got {}", self.n_bins, spectrum.len()),
+            });
+        }
+        Ok((0..self.n_mels)
+            .map(|m| {
+                self.filter(m)
+                    .iter()
+                    .zip(spectrum)
+                    .map(|(w, s)| w * s)
+                    .sum()
+            })
+            .collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mel_conversions_invert() {
+        for hz in [0.0, 100.0, 440.0, 1000.0, 4000.0, 8000.0] {
+            let back = mel_to_hz(hz_to_mel(hz));
+            assert!((back - hz).abs() < 1e-6, "{hz} -> {back}");
+        }
+    }
+
+    #[test]
+    fn mel_is_monotone() {
+        let mut prev = -1.0;
+        for i in 0..100 {
+            let m = hz_to_mel(i as f64 * 80.0);
+            assert!(m > prev);
+            prev = m;
+        }
+    }
+
+    #[test]
+    fn filterbank_shapes_and_normalisation() {
+        let fb = MelFilterbank::new(40, 512, 16_000.0, 20.0, 8_000.0).unwrap();
+        assert_eq!(fb.n_mels(), 40);
+        assert_eq!(fb.n_bins(), 257);
+        // every filter has nonnegative weights peaking at <= 1
+        for m in 0..40 {
+            let f = fb.filter(m);
+            assert!(f.iter().all(|&w| (0.0..=1.0 + 1e-12).contains(&w)));
+            assert!(f.iter().cloned().fold(0.0, f64::max) > 0.0, "filter {m} empty");
+        }
+    }
+
+    #[test]
+    fn filters_cover_midband_without_gaps() {
+        let fb = MelFilterbank::new(20, 512, 16_000.0, 20.0, 8_000.0).unwrap();
+        // In the interior of [fmin, fmax], adjacent triangles overlap so the
+        // per-bin total weight stays positive.
+        let bin_hz = |k: usize| k as f64 * 16_000.0 / 512.0;
+        for k in 0..257 {
+            let f = bin_hz(k);
+            if f > 200.0 && f < 7000.0 {
+                let total: f64 = (0..20).map(|m| fb.filter(m)[k]).sum();
+                assert!(total > 0.0, "gap at bin {k} ({f} Hz)");
+            }
+        }
+    }
+
+    #[test]
+    fn apply_extracts_band_energy() {
+        let fb = MelFilterbank::new(10, 256, 16_000.0, 20.0, 8_000.0).unwrap();
+        // put all energy in one spectral bin; exactly the filters covering it fire
+        let mut spec = vec![0.0f64; 129];
+        spec[40] = 1.0; // 2500 Hz
+        let bands = fb.apply(&spec).unwrap();
+        let active: Vec<usize> = bands
+            .iter()
+            .enumerate()
+            .filter(|(_, &e)| e > 0.0)
+            .map(|(i, _)| i)
+            .collect();
+        assert!(!active.is_empty() && active.len() <= 2, "active: {active:?}");
+    }
+
+    #[test]
+    fn apply_checks_length() {
+        let fb = MelFilterbank::new(10, 256, 16_000.0, 20.0, 8_000.0).unwrap();
+        assert!(fb.apply(&[0.0; 100]).is_err());
+    }
+
+    #[test]
+    fn constructor_validation() {
+        assert!(MelFilterbank::new(0, 256, 16_000.0, 20.0, 8_000.0).is_err());
+        assert!(MelFilterbank::new(10, 255, 16_000.0, 20.0, 8_000.0).is_err());
+        assert!(MelFilterbank::new(10, 256, 16_000.0, 500.0, 400.0).is_err());
+        assert!(MelFilterbank::new(10, 256, 16_000.0, 20.0, 9_000.0).is_err());
+    }
+}

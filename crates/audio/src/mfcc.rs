@@ -1,0 +1,392 @@
+//! The complete MFCC extractor and the paper's two input geometries.
+
+use crate::dct::dct_ii_matrix;
+use crate::fft::power_spectrum;
+use crate::mel::MelFilterbank;
+use crate::window::WindowKind;
+use crate::{AudioError, Result};
+use kwt_tensor::Mat;
+use serde::{Deserialize, Serialize};
+
+/// Configuration of the MFCC front end.
+///
+/// Use [`MfccConfig::default`] and adjust, or start from the paper presets
+/// [`kwt1_frontend`] / [`kwt_tiny_frontend`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MfccConfig {
+    /// Input sample rate in Hz.
+    pub sample_rate: u32,
+    /// FFT size (power of two, >= win_length is typical).
+    pub n_fft: usize,
+    /// Analysis window length in samples.
+    pub win_length: usize,
+    /// Hop between successive frames in samples.
+    pub hop_length: usize,
+    /// Number of mel filter bank channels.
+    pub n_mels: usize,
+    /// Number of cepstral coefficients kept (the `F` of `[F, T]`).
+    pub n_mfcc: usize,
+    /// Window function.
+    pub window: WindowKind,
+    /// Lowest filter bank frequency (Hz).
+    pub fmin: f64,
+    /// Highest filter bank frequency (Hz).
+    pub fmax: f64,
+    /// Floor added before the log to avoid `log(0)`.
+    pub log_floor: f64,
+    /// Nominal clip length in samples; [`MfccExtractor::extract_padded`]
+    /// zero-pads or truncates to this length so the frame count is fixed.
+    pub clip_samples: usize,
+}
+
+impl Default for MfccConfig {
+    fn default() -> Self {
+        MfccConfig {
+            sample_rate: 16_000,
+            n_fft: 512,
+            win_length: 400,
+            hop_length: 160,
+            n_mels: 40,
+            n_mfcc: 40,
+            window: WindowKind::Hann,
+            fmin: 20.0,
+            fmax: 8_000.0,
+            log_floor: 1e-10,
+            clip_samples: 16_000,
+        }
+    }
+}
+
+impl MfccConfig {
+    /// Number of frames produced from a clip of exactly
+    /// [`MfccConfig::clip_samples`] samples.
+    pub fn frames_per_clip(&self) -> usize {
+        if self.clip_samples < self.win_length {
+            0
+        } else {
+            1 + (self.clip_samples - self.win_length) / self.hop_length
+        }
+    }
+}
+
+/// Precomputed MFCC pipeline (window, filter bank, DCT).
+///
+/// # Example
+///
+/// ```
+/// use kwt_audio::{MfccConfig, MfccExtractor};
+///
+/// # fn main() -> Result<(), kwt_audio::AudioError> {
+/// let ex = MfccExtractor::new(MfccConfig::default())?;
+/// let audio: Vec<f32> = (0..16_000)
+///     .map(|i| (2.0 * std::f32::consts::PI * 440.0 * i as f32 / 16_000.0).sin())
+///     .collect();
+/// let m = ex.extract_padded(&audio)?;
+/// assert_eq!(m.shape(), (98, 40)); // 98 frames x 40 coefficients
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct MfccExtractor {
+    config: MfccConfig,
+    window: Vec<f32>,
+    filterbank: MelFilterbank,
+    dct: Vec<Vec<f64>>,
+}
+
+impl MfccExtractor {
+    /// Validates the configuration and precomputes the transforms.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AudioError::InvalidConfig`] for inconsistent parameters
+    /// (zero hop, window longer than FFT, more coefficients than mel
+    /// channels, ...).
+    pub fn new(config: MfccConfig) -> Result<Self> {
+        if config.hop_length == 0 {
+            return Err(AudioError::InvalidConfig {
+                field: "hop_length",
+                why: "must be positive".into(),
+            });
+        }
+        if config.win_length == 0 {
+            return Err(AudioError::InvalidConfig {
+                field: "win_length",
+                why: "must be positive".into(),
+            });
+        }
+        if config.win_length > config.n_fft {
+            return Err(AudioError::InvalidConfig {
+                field: "win_length",
+                why: format!(
+                    "window ({}) longer than FFT ({})",
+                    config.win_length, config.n_fft
+                ),
+            });
+        }
+        if config.n_mfcc > config.n_mels {
+            return Err(AudioError::InvalidConfig {
+                field: "n_mfcc",
+                why: format!(
+                    "cannot keep {} coefficients from {} mel bands",
+                    config.n_mfcc, config.n_mels
+                ),
+            });
+        }
+        if config.clip_samples < config.win_length {
+            return Err(AudioError::InvalidConfig {
+                field: "clip_samples",
+                why: "clip shorter than one analysis window".into(),
+            });
+        }
+        let filterbank = MelFilterbank::new(
+            config.n_mels,
+            config.n_fft,
+            config.sample_rate as f64,
+            config.fmin,
+            config.fmax,
+        )?;
+        let window = config.window.coefficients(config.win_length);
+        let dct = dct_ii_matrix(config.n_mfcc, config.n_mels);
+        Ok(MfccExtractor {
+            config,
+            window,
+            filterbank,
+            dct,
+        })
+    }
+
+    /// The validated configuration.
+    pub fn config(&self) -> &MfccConfig {
+        &self.config
+    }
+
+    /// Frames produced for a nominal clip — the `T` of the model input.
+    pub fn frames_per_clip(&self) -> usize {
+        self.config.frames_per_clip()
+    }
+
+    /// Extracts MFCCs from a signal of arbitrary length (>= one window).
+    ///
+    /// Returns a `T x F` matrix: one row per frame, one column per
+    /// coefficient — the orientation the transformer tokenises (each time
+    /// frame becomes one patch, paper Table III `PATCH DIM = [F, 1]`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AudioError::SignalTooShort`] if fewer samples than one
+    /// window are supplied.
+    pub fn extract(&self, samples: &[f32]) -> Result<Mat<f32>> {
+        let c = &self.config;
+        if samples.len() < c.win_length {
+            return Err(AudioError::SignalTooShort {
+                got: samples.len(),
+                need: c.win_length,
+            });
+        }
+        let n_frames = 1 + (samples.len() - c.win_length) / c.hop_length;
+        let mut out = Mat::zeros(n_frames, c.n_mfcc);
+        let mut frame = vec![0.0f32; c.win_length];
+        for t in 0..n_frames {
+            let start = t * c.hop_length;
+            for i in 0..c.win_length {
+                frame[i] = samples[start + i] * self.window[i];
+            }
+            let spec = power_spectrum(&frame, c.n_fft)?;
+            let bands = self.filterbank.apply(&spec)?;
+            let logs: Vec<f64> = bands.iter().map(|&e| (e + c.log_floor).ln()).collect();
+            let row = out.row_mut(t);
+            for (k, drow) in self.dct.iter().enumerate() {
+                row[k] = drow.iter().zip(&logs).map(|(d, l)| d * l).sum::<f64>() as f32;
+            }
+        }
+        Ok(out)
+    }
+
+    /// Like [`extract`](Self::extract) but first zero-pads or truncates the
+    /// signal to [`MfccConfig::clip_samples`], guaranteeing exactly
+    /// [`frames_per_clip`](Self::frames_per_clip) rows.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`MfccExtractor::extract`] errors (cannot occur for a
+    /// valid config since padding enforces the length).
+    pub fn extract_padded(&self, samples: &[f32]) -> Result<Mat<f32>> {
+        let n = self.config.clip_samples;
+        let mut buf = vec![0.0f32; n];
+        let take = samples.len().min(n);
+        buf[..take].copy_from_slice(&samples[..take]);
+        self.extract(&buf)
+    }
+}
+
+/// The KWT-1 front end: `[F, T] = [40, 98]` (25 ms window, 10 ms hop,
+/// 40 mel channels, 40 cepstral coefficients over a 1 s clip at 16 kHz).
+///
+/// # Errors
+///
+/// Never fails in practice; returns the constructor's validation error type
+/// for API uniformity.
+pub fn kwt1_frontend() -> Result<MfccExtractor> {
+    MfccExtractor::new(MfccConfig::default())
+}
+
+/// The KWT-Tiny front end of §III: `[F, T] = [16, 26]` — the paper's
+/// down-sampling of the input MFCC "from the original [40, 98] to
+/// [16, 26]". 62.5 ms windows with 37.5 ms hop over the same 1 s clip give
+/// 26 frames; 16 DCT coefficients are kept from 40 mel bands.
+///
+/// # Errors
+///
+/// Never fails in practice; returns the constructor's validation error type
+/// for API uniformity.
+pub fn kwt_tiny_frontend() -> Result<MfccExtractor> {
+    MfccExtractor::new(MfccConfig {
+        n_fft: 1024,
+        win_length: 1000,
+        hop_length: 600,
+        n_mfcc: 16,
+        ..MfccConfig::default()
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tone(freq: f64, n: usize) -> Vec<f32> {
+        (0..n)
+            .map(|i| {
+                let cycles = (i as f64 * freq / 16_000.0).fract();
+                (2.0 * std::f64::consts::PI * cycles).sin() as f32
+            })
+            .collect()
+    }
+
+    #[test]
+    fn kwt1_geometry() {
+        let fe = kwt1_frontend().unwrap();
+        assert_eq!(fe.frames_per_clip(), 98);
+        assert_eq!(fe.config().n_mfcc, 40);
+        let m = fe.extract_padded(&tone(440.0, 16_000)).unwrap();
+        assert_eq!(m.shape(), (98, 40));
+    }
+
+    #[test]
+    fn kwt_tiny_geometry() {
+        let fe = kwt_tiny_frontend().unwrap();
+        assert_eq!(fe.frames_per_clip(), 26);
+        assert_eq!(fe.config().n_mfcc, 16);
+        let m = fe.extract_padded(&tone(440.0, 16_000)).unwrap();
+        assert_eq!(m.shape(), (26, 16));
+    }
+
+    #[test]
+    fn extract_padded_handles_short_and_long() {
+        let fe = kwt_tiny_frontend().unwrap();
+        let short = fe.extract_padded(&tone(300.0, 4_000)).unwrap();
+        let long = fe.extract_padded(&tone(300.0, 40_000)).unwrap();
+        assert_eq!(short.shape(), (26, 16));
+        assert_eq!(long.shape(), (26, 16));
+    }
+
+    #[test]
+    fn extract_rejects_too_short() {
+        let fe = kwt1_frontend().unwrap();
+        assert!(matches!(
+            fe.extract(&[0.0; 10]),
+            Err(AudioError::SignalTooShort { .. })
+        ));
+    }
+
+    #[test]
+    fn different_tones_produce_different_mfcc() {
+        let fe = kwt_tiny_frontend().unwrap();
+        let a = fe.extract_padded(&tone(300.0, 16_000)).unwrap();
+        let b = fe.extract_padded(&tone(2_000.0, 16_000)).unwrap();
+        let dist: f32 = a
+            .as_slice()
+            .iter()
+            .zip(b.as_slice())
+            .map(|(x, y)| (x - y) * (x - y))
+            .sum();
+        assert!(dist > 1.0, "tones should be separable, dist {dist}");
+    }
+
+    #[test]
+    fn silence_is_uniformly_floored() {
+        let fe = kwt_tiny_frontend().unwrap();
+        let m = fe.extract_padded(&vec![0.0; 16_000]).unwrap();
+        // all frames identical for silence
+        let first = m.row(0).to_vec();
+        for t in 1..m.rows() {
+            assert_eq!(m.row(t), &first[..]);
+        }
+    }
+
+    #[test]
+    fn mfcc_is_time_shift_stable_for_stationary_signal() {
+        // 800 Hz has a 20-sample period; the 600-sample hop spans exactly 30
+        // periods, so every interior frame sees an identical waveform and
+        // the MFCC rows must match closely.
+        let fe = kwt_tiny_frontend().unwrap();
+        let m = fe.extract_padded(&tone(800.0, 16_000)).unwrap();
+        let mid = m.row(10).to_vec();
+        for t in 5..20 {
+            for k in 0..16 {
+                assert!(
+                    (m[(t, k)] - mid[k]).abs() < 1e-3,
+                    "frame {t} coeff {k} deviates"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn config_validation() {
+        let bad_hop = MfccConfig {
+            hop_length: 0,
+            ..MfccConfig::default()
+        };
+        assert!(MfccExtractor::new(bad_hop).is_err());
+        let bad_win = MfccConfig {
+            win_length: 600,
+            n_fft: 512,
+            ..MfccConfig::default()
+        };
+        assert!(MfccExtractor::new(bad_win).is_err());
+        let bad_mfcc = MfccConfig {
+            n_mfcc: 50,
+            n_mels: 40,
+            ..MfccConfig::default()
+        };
+        assert!(MfccExtractor::new(bad_mfcc).is_err());
+        let bad_clip = MfccConfig {
+            clip_samples: 100,
+            ..MfccConfig::default()
+        };
+        assert!(MfccExtractor::new(bad_clip).is_err());
+        let zero_win = MfccConfig {
+            win_length: 0,
+            ..MfccConfig::default()
+        };
+        assert!(MfccExtractor::new(zero_win).is_err());
+    }
+
+    #[test]
+    fn frames_formula_matches_extract() {
+        for (win, hop, clip) in [(400, 160, 16_000), (1_000, 600, 16_000), (256, 128, 8_000)] {
+            let cfg = MfccConfig {
+                n_fft: 1024,
+                win_length: win,
+                hop_length: hop,
+                clip_samples: clip,
+                n_mfcc: 13,
+                ..MfccConfig::default()
+            };
+            let fe = MfccExtractor::new(cfg).unwrap();
+            let m = fe.extract_padded(&vec![0.1; clip]).unwrap();
+            assert_eq!(m.rows(), fe.frames_per_clip());
+        }
+    }
+}

@@ -1,0 +1,88 @@
+//! Analysis window functions.
+
+use serde::{Deserialize, Serialize};
+
+/// The window applied to each frame before the FFT.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum WindowKind {
+    /// No tapering (all ones).
+    Rectangular,
+    /// Hann window — the default for speech front ends, zero at the edges.
+    #[default]
+    Hann,
+    /// Hamming window — non-zero edge taper.
+    Hamming,
+}
+
+impl WindowKind {
+    /// Returns the `n` window coefficients (periodic form, as used by
+    /// STFT implementations).
+    ///
+    /// # Example
+    /// ```
+    /// let w = kwt_audio::WindowKind::Hann.coefficients(4);
+    /// assert_eq!(w.len(), 4);
+    /// assert!(w[0].abs() < 1e-7); // Hann starts at zero
+    /// ```
+    pub fn coefficients(self, n: usize) -> Vec<f32> {
+        if n == 0 {
+            return Vec::new();
+        }
+        if n == 1 {
+            return vec![1.0];
+        }
+        let nn = n as f64;
+        (0..n)
+            .map(|i| {
+                let phase = 2.0 * std::f64::consts::PI * i as f64 / nn;
+                (match self {
+                    WindowKind::Rectangular => 1.0,
+                    WindowKind::Hann => 0.5 - 0.5 * phase.cos(),
+                    WindowKind::Hamming => 0.54 - 0.46 * phase.cos(),
+                }) as f32
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rectangular_is_ones() {
+        assert!(WindowKind::Rectangular
+            .coefficients(16)
+            .iter()
+            .all(|&w| w == 1.0));
+    }
+
+    #[test]
+    fn hann_peak_and_edges() {
+        let w = WindowKind::Hann.coefficients(64);
+        assert!(w[0].abs() < 1e-7);
+        assert!((w[32] - 1.0).abs() < 1e-6); // periodic Hann peaks at n/2
+        // symmetric around the peak for the periodic form: w[k] == w[n-k]
+        for k in 1..32 {
+            assert!((w[k] - w[64 - k]).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn hamming_edges_nonzero() {
+        let w = WindowKind::Hamming.coefficients(32);
+        assert!((w[0] - 0.08).abs() < 1e-6);
+        assert!(w.iter().all(|&x| x > 0.0));
+    }
+
+    #[test]
+    fn degenerate_lengths() {
+        assert!(WindowKind::Hann.coefficients(0).is_empty());
+        assert_eq!(WindowKind::Hann.coefficients(1), vec![1.0]);
+    }
+
+    #[test]
+    fn default_is_hann() {
+        assert_eq!(WindowKind::default(), WindowKind::Hann);
+    }
+}

@@ -1,0 +1,115 @@
+//! The paper's two static memory banks (§V).
+//!
+//! Bare-metal KWT has no `malloc`; intermediate activations live in two
+//! fixed arrays sized at build time — `SEQLEN x MLP_DIM` and
+//! `SEQLEN x DIM_HEAD x 3` elements. This module provides the build-time
+//! allocator that hands out addresses inside those banks and proves they
+//! never overflow.
+
+use crate::{BuildError, Result};
+
+/// A build-time bump allocator over one static bank.
+#[derive(Debug, Clone)]
+pub struct Bank {
+    name: &'static str,
+    base: u32,
+    size: usize,
+    cursor: usize,
+    high_water: usize,
+}
+
+impl Bank {
+    /// Creates a bank at `base` with `size` bytes.
+    pub fn new(name: &'static str, base: u32, size: usize) -> Self {
+        Bank {
+            name,
+            base,
+            size,
+            cursor: 0,
+            high_water: 0,
+        }
+    }
+
+    /// The bank's base address.
+    pub fn base(&self) -> u32 {
+        self.base
+    }
+
+    /// Total capacity in bytes.
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    /// Peak bytes ever allocated (reported next to the paper's sizing).
+    pub fn high_water(&self) -> usize {
+        self.high_water
+    }
+
+    /// Allocates `len` bytes aligned to `align`, returning the address.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BuildError::BankOverflow`] when the bank is exhausted —
+    /// the build-time equivalent of the paper's "ensure the maximal
+    /// intermediate result fits within one of the banks".
+    pub fn alloc(&mut self, len: usize, align: usize) -> Result<u32> {
+        let aligned = self.cursor.div_ceil(align) * align;
+        if aligned + len > self.size {
+            return Err(BuildError::BankOverflow {
+                bank: self.name,
+                requested: len,
+                available: self.size.saturating_sub(aligned),
+            });
+        }
+        self.cursor = aligned + len;
+        self.high_water = self.high_water.max(self.cursor);
+        Ok(self.base + aligned as u32)
+    }
+
+    /// Frees everything (a new pipeline stage reuses the bank, exactly
+    /// like the paper's ping-pong between residual buffers).
+    pub fn reset(&mut self) {
+        self.cursor = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_and_reset() {
+        let mut b = Bank::new("bank1", 0x8000, 64);
+        let a = b.alloc(16, 4).unwrap();
+        assert_eq!(a, 0x8000);
+        let c = b.alloc(8, 4).unwrap();
+        assert_eq!(c, 0x8010);
+        b.reset();
+        let d = b.alloc(4, 4).unwrap();
+        assert_eq!(d, 0x8000);
+        assert_eq!(b.high_water(), 24);
+    }
+
+    #[test]
+    fn alignment_respected() {
+        let mut b = Bank::new("bank1", 0x100, 32);
+        b.alloc(3, 1).unwrap();
+        let a = b.alloc(4, 4).unwrap();
+        assert_eq!(a % 4, 0);
+    }
+
+    #[test]
+    fn overflow_detected() {
+        let mut b = Bank::new("bank2", 0, 16);
+        b.alloc(12, 4).unwrap();
+        let err = b.alloc(8, 4).unwrap_err();
+        assert!(matches!(
+            err,
+            BuildError::BankOverflow {
+                bank: "bank2",
+                requested: 8,
+                ..
+            }
+        ));
+    }
+}

@@ -1,0 +1,92 @@
+use std::fmt;
+
+/// Errors raised while building or running a bare-metal image.
+#[derive(Debug)]
+pub enum BuildError {
+    /// The assembler rejected the generated program (a bug in the
+    /// generator, not in user input).
+    Asm(kwt_rvasm::AsmError),
+    /// A static memory bank overflowed (§V sizing violated).
+    BankOverflow {
+        /// Bank name.
+        bank: &'static str,
+        /// Bytes requested.
+        requested: usize,
+        /// Bytes remaining.
+        available: usize,
+    },
+    /// The image (text + data + stack) exceeds the 64 kB platform RAM.
+    RamBudget {
+        /// Bytes needed.
+        needed: usize,
+        /// Bytes available.
+        available: usize,
+    },
+    /// The simulator trapped while running the image.
+    Trap(kwt_rv32::Trap),
+    /// Host-side model error (shape mismatch etc.).
+    Model(String),
+}
+
+impl fmt::Display for BuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BuildError::Asm(e) => write!(f, "assembler error in generated code: {e}"),
+            BuildError::BankOverflow {
+                bank,
+                requested,
+                available,
+            } => write!(
+                f,
+                "memory bank `{bank}` overflow: requested {requested} bytes, {available} left"
+            ),
+            BuildError::RamBudget { needed, available } => {
+                write!(f, "image needs {needed} bytes but RAM holds {available}")
+            }
+            BuildError::Trap(t) => write!(f, "simulator trap: {t}"),
+            BuildError::Model(m) => write!(f, "model error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for BuildError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            BuildError::Asm(e) => Some(e),
+            BuildError::Trap(t) => Some(t),
+            _ => None,
+        }
+    }
+}
+
+impl From<kwt_rvasm::AsmError> for BuildError {
+    fn from(e: kwt_rvasm::AsmError) -> Self {
+        BuildError::Asm(e)
+    }
+}
+
+impl From<kwt_rv32::Trap> for BuildError {
+    fn from(t: kwt_rv32::Trap) -> Self {
+        BuildError::Trap(t)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        let e = BuildError::BankOverflow {
+            bank: "bank1",
+            requested: 100,
+            available: 50,
+        };
+        assert!(e.to_string().contains("bank1"));
+        let e = BuildError::RamBudget {
+            needed: 70000,
+            available: 65536,
+        };
+        assert!(e.to_string().contains("70000"));
+    }
+}

@@ -1,0 +1,865 @@
+//! Complete bare-metal inference images and the host harness that runs
+//! them on the simulator.
+//!
+//! An [`InferenceImage`] is a fully linked program (code + weights +
+//! buffers) for one of three flavours:
+//!
+//! | Flavour                 | Paper model             | Table IX row |
+//! |-------------------------|-------------------------|--------------|
+//! | [`Flavor::Float`]       | KWT-Tiny (soft-float)   | 26 M cycles  |
+//! | [`Flavor::Quantized`]   | KWT-Tiny-Q              | 13 M cycles  |
+//! | [`Flavor::Accelerated`] | KWT-Tiny-Q (+Hardware)  | 5.5 M cycles |
+//!
+//! Activations live in the paper's two static banks (§V), sized
+//! `SEQLEN x MLP_DIM` and `SEQLEN x DIM_HEAD x 3` elements; the builder's
+//! bump allocators prove at build time that no stage overflows them.
+
+use crate::banks::Bank;
+use crate::kernels::{attn_params, gelu_params, ln_params, Kernels};
+use crate::mathlib::MathLib;
+use crate::regions;
+use crate::softfloat::SoftFloat;
+use crate::{BuildError, Result};
+use kwt_model::{KwtConfig, KwtParams};
+use kwt_quant::{Nonlinearity, QuantConfig, QuantizedKwt};
+use kwt_rv32::{Machine, Platform, ProfileReport, RunResult};
+use kwt_rvasm::{Asm, Inst, Program, Reg, CSR_PROFILE_POP, CSR_PROFILE_PUSH};
+use kwt_tensor::{qops, Mat};
+
+/// Which inference pipeline the image implements.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Flavor {
+    /// Float weights, soft-float everything.
+    Float,
+    /// INT8 weights / INT16 residuals, float non-linearities.
+    Quantized,
+    /// Quantised pipeline + custom-instruction SoftMax/GELU.
+    Accelerated,
+}
+
+/// A built inference program plus everything needed to run it.
+#[derive(Debug, Clone)]
+pub struct InferenceImage {
+    /// The pipeline flavour.
+    pub flavor: Flavor,
+    /// The linked program (text + data).
+    pub program: Program,
+    /// Model architecture.
+    pub config: KwtConfig,
+    /// Quantisation scales (quantised flavours only).
+    pub qconfig: Option<QuantConfig>,
+    input_addr: u32,
+    logits_addr: u32,
+    /// `(high_water, capacity)` for bank 1 and bank 2.
+    pub bank_usage: [(usize, usize); 2],
+}
+
+const TEXT_BASE: u32 = 0x0;
+const DATA_BASE: u32 = 0x8000;
+
+fn push_region(asm: &mut Asm, region: u32) {
+    asm.li(Reg::T0, region as i32);
+    asm.emit(Inst::Csrrw { rd: Reg::Zero, rs1: Reg::T0, csr: CSR_PROFILE_PUSH });
+}
+
+fn pop_region(asm: &mut Asm) {
+    asm.emit(Inst::Csrrw { rd: Reg::Zero, rs1: Reg::Zero, csr: CSR_PROFILE_POP });
+}
+
+/// Loads up to 8 integer arguments into `a0..a7`.
+fn set_args(asm: &mut Asm, args: &[i32]) {
+    const ARGS: [Reg; 8] = [
+        Reg::A0,
+        Reg::A1,
+        Reg::A2,
+        Reg::A3,
+        Reg::A4,
+        Reg::A5,
+        Reg::A6,
+        Reg::A7,
+    ];
+    assert!(args.len() <= 8, "at most 8 register arguments");
+    for (reg, &v) in ARGS.iter().zip(args) {
+        asm.li(*reg, v);
+    }
+}
+
+impl InferenceImage {
+    /// Builds the float-flavour image from trained float parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BuildError::Model`] for unsupported configurations
+    /// (`heads != 1`), [`BuildError::BankOverflow`] if an activation does
+    /// not fit the paper's banks, or [`BuildError::RamBudget`] if the
+    /// image exceeds the 64 kB platform.
+    pub fn build_float(params: &KwtParams) -> Result<Self> {
+        let c = params.config;
+        if c.heads != 1 {
+            return Err(BuildError::Model(format!(
+                "bare-metal images support heads = 1 (both paper configs), got {}",
+                c.heads
+            )));
+        }
+        let (s, dim, mlp, dh, f, t, classes) = (
+            c.seqlen(),
+            c.dim,
+            c.mlp_dim,
+            c.dim_head,
+            c.input_freq,
+            c.input_time,
+            c.num_classes,
+        );
+        let mut asm = Asm::new(TEXT_BASE, DATA_BASE);
+
+        // ---- data: weights ----
+        let w_proj = asm.data_words_f32(params.w_proj.as_slice());
+        let b_proj = asm.data_words_f32(&params.b_proj);
+        let pos = asm.data_words_f32(params.pos_emb.as_slice());
+        let cls = asm.data_words_f32(&params.class_token);
+        let layer = &params.layers[0];
+        let mut layers_data = Vec::new();
+        for l in &params.layers {
+            layers_data.push((
+                asm.data_words_f32(l.w_qkv.as_slice()),
+                asm.data_words_f32(&l.b_qkv),
+                asm.data_words_f32(l.w_out.as_slice()),
+                asm.data_words_f32(&l.b_out),
+                asm.data_words_f32(&l.ln1_gamma),
+                asm.data_words_f32(&l.ln1_beta),
+                asm.data_words_f32(l.w_mlp1.as_slice()),
+                asm.data_words_f32(&l.b_mlp1),
+                asm.data_words_f32(l.w_mlp2.as_slice()),
+                asm.data_words_f32(&l.b_mlp2),
+                asm.data_words_f32(&l.ln2_gamma),
+                asm.data_words_f32(&l.ln2_beta),
+            ));
+        }
+        let _ = layer;
+        let w_head = asm.data_words_f32(params.w_head.as_slice());
+        let b_head = asm.data_words_f32(&params.b_head);
+
+        // ---- data: buffers ----
+        let input = asm.data_reserve(t * f * 4, 4);
+        let x = asm.data_reserve(s * dim * 4, 4);
+        let logits = asm.data_reserve(classes * 4, 4);
+        // the paper's two banks (float element size)
+        let bank1_base = asm.data_reserve(s * mlp * 4, 4);
+        let bank2_base = asm.data_reserve(s * dh * 3 * 4, 4);
+        let mut bank1 = Bank::new("bank1", bank1_base, s * mlp * 4);
+        let mut bank2 = Bank::new("bank2", bank2_base, s * dh * 3 * 4);
+
+        // ---- code ----
+        let over = asm.new_label();
+        asm.jump_to(over);
+        let sf = SoftFloat::emit(&mut asm);
+        let math = MathLib::emit(&mut asm, &sf);
+        let k = Kernels::emit(&mut asm, &sf, &math);
+        asm.bind(over)?;
+        asm.here("entry");
+
+        // tokens = input @ Wp + bp, written into x rows 1..
+        push_region(&mut asm, regions::BLOCK_TOP | regions::OP_MATMUL);
+        set_args(&mut asm, &[
+            input as i32,
+            w_proj as i32,
+            b_proj as i32,
+            (x + dim as u32 * 4) as i32,
+            t as i32,
+            f as i32,
+            dim as i32,
+        ]);
+        asm.call(k.matmul_f32);
+        pop_region(&mut asm);
+        // class token + positional embeddings
+        push_region(&mut asm, regions::BLOCK_TOP | regions::OP_OTHER);
+        set_args(&mut asm, &[x as i32, cls as i32, (dim * 4) as i32]);
+        asm.call(k.copy_bytes);
+        set_args(&mut asm, &[x as i32, pos as i32, (s * dim) as i32]);
+        asm.call(k.add_f32);
+        pop_region(&mut asm);
+
+        let inv_sqrt_dh = (1.0 / (dh as f32).sqrt()).to_bits() as i32;
+        let inv_dim = (1.0 / dim as f32).to_bits() as i32;
+        let eps = c.ln_eps.to_bits() as i32;
+
+        for ld in &layers_data {
+            let (w_qkv, b_qkv, w_out, b_out, g1, be1, w1, b1, w2, b2, g2, be2) = *ld;
+            bank1.reset();
+            bank2.reset();
+            // qkv projection: S x 3dh into bank1
+            let qkv = bank1.alloc(s * 3 * dh * 4, 4)?;
+            push_region(&mut asm, regions::BLOCK_ATTENTION | regions::OP_MATMUL);
+            set_args(&mut asm, &[
+                x as i32,
+                w_qkv as i32,
+                b_qkv as i32,
+                qkv as i32,
+                s as i32,
+                dim as i32,
+                (3 * dh) as i32,
+            ]);
+            asm.call(k.matmul_f32);
+            pop_region(&mut asm);
+            // split into contiguous Q, K, V (bank2 = S x dh x 3 exactly)
+            let q = bank2.alloc(s * dh * 4, 4)?;
+            let kk = bank2.alloc(s * dh * 4, 4)?;
+            let v = bank2.alloc(s * dh * 4, 4)?;
+            push_region(&mut asm, regions::BLOCK_ATTENTION | regions::OP_OTHER);
+            for (dst, off) in [(q, 0u32), (kk, dh as u32 * 4), (v, 2 * dh as u32 * 4)] {
+                set_args(&mut asm, &[
+                    dst as i32,
+                    (qkv + off) as i32,
+                    s as i32,
+                    (3 * dh * 4) as i32,
+                    (dh * 4) as i32,
+                ]);
+                asm.call(k.copy_strided);
+            }
+            pop_region(&mut asm);
+            // qkv buffer is dead: reuse bank1 for attention scratch
+            bank1.reset();
+            let sa = bank1.alloc(s * dh * 4, 4)?;
+            let row = bank1.alloc(s * 4, 4)?;
+            let attn_out = bank1.alloc(s * dim * 4, 4)?;
+            set_args(&mut asm, &[
+                q as i32,
+                kk as i32,
+                v as i32,
+                sa as i32,
+                s as i32,
+                dh as i32,
+                row as i32,
+                inv_sqrt_dh,
+            ]);
+            asm.call(k.attention_f32);
+            // output projection + residual + LN1
+            push_region(&mut asm, regions::BLOCK_ATTENTION | regions::OP_MATMUL);
+            set_args(&mut asm, &[
+                sa as i32,
+                w_out as i32,
+                b_out as i32,
+                attn_out as i32,
+                s as i32,
+                dh as i32,
+                dim as i32,
+            ]);
+            asm.call(k.matmul_f32);
+            pop_region(&mut asm);
+            push_region(&mut asm, regions::BLOCK_TOP | regions::OP_OTHER);
+            set_args(&mut asm, &[x as i32, attn_out as i32, (s * dim) as i32]);
+            asm.call(k.add_f32);
+            pop_region(&mut asm);
+            push_region(&mut asm, regions::BLOCK_TOP | regions::OP_LAYERNORM);
+            set_args(&mut asm, &[
+                x as i32,
+                g1 as i32,
+                be1 as i32,
+                s as i32,
+                dim as i32,
+                inv_dim,
+                eps,
+            ]);
+            asm.call(k.layer_norm_f32);
+            pop_region(&mut asm);
+            // MLP
+            bank1.reset();
+            bank2.reset();
+            let hidden = bank1.alloc(s * mlp * 4, 4)?;
+            let mlp_out = bank2.alloc(s * dim * 4, 4)?;
+            push_region(&mut asm, regions::BLOCK_MLP | regions::OP_MATMUL);
+            set_args(&mut asm, &[
+                x as i32,
+                w1 as i32,
+                b1 as i32,
+                hidden as i32,
+                s as i32,
+                dim as i32,
+                mlp as i32,
+            ]);
+            asm.call(k.matmul_f32);
+            pop_region(&mut asm);
+            push_region(&mut asm, regions::BLOCK_MLP | regions::OP_GELU);
+            set_args(&mut asm, &[hidden as i32, (s * mlp) as i32]);
+            asm.call(k.gelu_f32);
+            pop_region(&mut asm);
+            push_region(&mut asm, regions::BLOCK_MLP | regions::OP_MATMUL);
+            set_args(&mut asm, &[
+                hidden as i32,
+                w2 as i32,
+                b2 as i32,
+                mlp_out as i32,
+                s as i32,
+                mlp as i32,
+                dim as i32,
+            ]);
+            asm.call(k.matmul_f32);
+            pop_region(&mut asm);
+            push_region(&mut asm, regions::BLOCK_TOP | regions::OP_OTHER);
+            set_args(&mut asm, &[x as i32, mlp_out as i32, (s * dim) as i32]);
+            asm.call(k.add_f32);
+            pop_region(&mut asm);
+            push_region(&mut asm, regions::BLOCK_TOP | regions::OP_LAYERNORM);
+            set_args(&mut asm, &[
+                x as i32,
+                g2 as i32,
+                be2 as i32,
+                s as i32,
+                dim as i32,
+                inv_dim,
+                eps,
+            ]);
+            asm.call(k.layer_norm_f32);
+            pop_region(&mut asm);
+        }
+
+        // classification head on the class-token row
+        push_region(&mut asm, regions::BLOCK_TOP | regions::OP_MATMUL);
+        set_args(&mut asm, &[
+            x as i32,
+            w_head as i32,
+            b_head as i32,
+            logits as i32,
+            1,
+            dim as i32,
+            classes as i32,
+        ]);
+        asm.call(k.matmul_f32);
+        pop_region(&mut asm);
+        asm.li(Reg::A0, logits as i32);
+        asm.emit(Inst::Ebreak);
+
+        let program = asm.finish()?;
+        check_ram(&program)?;
+        Ok(InferenceImage {
+            flavor: Flavor::Float,
+            program,
+            config: c,
+            qconfig: None,
+            input_addr: input,
+            logits_addr: logits,
+            bank_usage: [
+                (bank1.high_water(), bank1.size()),
+                (bank2.high_water(), bank2.size()),
+            ],
+        })
+    }
+
+    /// Builds a quantised image (`Flavor::Quantized` or
+    /// `Flavor::Accelerated` according to the model's
+    /// [`Nonlinearity`]).
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`InferenceImage::build_float`].
+    pub fn build_quant(qm: &QuantizedKwt) -> Result<Self> {
+        let c = qm.config;
+        if c.heads != 1 {
+            return Err(BuildError::Model(format!(
+                "bare-metal images support heads = 1 (both paper configs), got {}",
+                c.heads
+            )));
+        }
+        let (s, dim, mlp, dh, f, t, classes) = (
+            c.seqlen(),
+            c.dim,
+            c.mlp_dim,
+            c.dim_head,
+            c.input_freq,
+            c.input_time,
+            c.num_classes,
+        );
+        let ya = qm.qconfig.input_bits;
+        let yw = qm.qconfig.weight_bits;
+        let accel = qm.nonlinearity == Nonlinearity::FixedLut;
+        let mut asm = Asm::new(TEXT_BASE, DATA_BASE);
+
+        // ---- data: weights ----
+        let (wp, bp, pe, ct, wh, bh) = qm.tensors();
+        let w_proj = asm.data_bytes_i8(wp.as_slice());
+        let b_proj = asm.data_words_i32(bp);
+        let pos = asm.data_halves_i16(pe.as_slice());
+        let cls = asm.data_halves_i16(ct);
+        let mut layers_data = Vec::new();
+        for idx in 0..c.depth {
+            let (w_qkv, b_qkv, w_out, b_out, g1, be1, w1, b1, w2, b2, g2, be2) =
+                qm.layer_tensors(idx);
+            layers_data.push((
+                asm.data_bytes_i8(w_qkv.as_slice()),
+                asm.data_words_i32(b_qkv),
+                asm.data_bytes_i8(w_out.as_slice()),
+                asm.data_words_i32(b_out),
+                asm.data_words_f32(g1),
+                asm.data_words_f32(be1),
+                asm.data_bytes_i8(w1.as_slice()),
+                asm.data_words_i32(b1),
+                asm.data_bytes_i8(w2.as_slice()),
+                asm.data_words_i32(b2),
+                asm.data_words_f32(g2),
+                asm.data_words_f32(be2),
+            ));
+        }
+        let w_head = asm.data_bytes_i8(wh.as_slice());
+        let b_head = asm.data_words_i32(bh);
+
+        // parameter blocks
+        let deq = (1.0f32 / (1u32 << ya) as f32).to_bits() as i32;
+        let req = ((1u32 << ya) as f32).to_bits() as i32;
+        let inv_sqrt_dh = (1.0 / (dh as f32).sqrt()).to_bits() as i32;
+        let inv_dim = (1.0 / dim as f32).to_bits() as i32;
+        let eps = c.ln_eps.to_bits() as i32;
+        let nl = if accel { 1i32 } else { 0 };
+
+        // ---- data: buffers ----
+        let input = asm.data_reserve(t * f * 2, 4);
+        let x = asm.data_reserve(s * dim * 2, 4);
+        let logits = asm.data_reserve(classes * 2, 4);
+        // shared float scratch row: max(S, mlp, dim) floats
+        let scratch_len = s.max(mlp).max(dim);
+        let scratch = asm.data_reserve(scratch_len * 4, 4);
+        // parameter blocks (values known now; emitted as data words)
+        let attn_p = asm.data_words_i32(&[
+            ya as i32,
+            inv_sqrt_dh,
+            deq,
+            req,
+            0, // ROWF patched below via a second block — instead store scratch addr now
+            nl,
+        ]);
+        // fix ROWF in place: rebuild with the known scratch address
+        // (data_words_i32 already wrote zeros; overwrite through a second
+        // reservation is not possible, so write the real block here)
+        let _ = attn_p;
+        let attn_params_addr = asm.data_words_i32(&[
+            ya as i32,
+            inv_sqrt_dh,
+            deq,
+            req,
+            scratch as i32,
+            nl,
+        ]);
+        debug_assert_eq!(attn_params::SIZE, 24);
+        let ln_params_addr = asm.data_words_i32(&[deq, req, inv_dim, eps, scratch as i32]);
+        debug_assert_eq!(ln_params::SIZE, 20);
+        let gelu_params_addr = asm.data_words_i32(&[deq, req, scratch as i32, nl]);
+        debug_assert_eq!(gelu_params::SIZE, 16);
+
+        // the paper's two banks (i16 element size)
+        let bank1_base = asm.data_reserve(s * mlp * 2, 4);
+        let bank2_base = asm.data_reserve(s * dh * 3 * 2, 4);
+        let mut bank1 = Bank::new("bank1", bank1_base, s * mlp * 2);
+        let mut bank2 = Bank::new("bank2", bank2_base, s * dh * 3 * 2);
+
+        // ---- code ----
+        let over = asm.new_label();
+        asm.jump_to(over);
+        let sf = SoftFloat::emit(&mut asm);
+        let math = MathLib::emit(&mut asm, &sf);
+        let k = Kernels::emit(&mut asm, &sf, &math);
+        asm.bind(over)?;
+        asm.here("entry");
+
+        // projection into x rows 1..
+        push_region(&mut asm, regions::BLOCK_TOP | regions::OP_MATMUL);
+        set_args(&mut asm, &[
+            input as i32,
+            w_proj as i32,
+            b_proj as i32,
+            (x + dim as u32 * 2) as i32,
+            t as i32,
+            f as i32,
+            dim as i32,
+            yw as i32,
+        ]);
+        asm.call(k.matmul_q);
+        pop_region(&mut asm);
+        push_region(&mut asm, regions::BLOCK_TOP | regions::OP_OTHER);
+        set_args(&mut asm, &[x as i32, cls as i32, (dim * 2) as i32]);
+        asm.call(k.copy_bytes);
+        set_args(&mut asm, &[x as i32, pos as i32, (s * dim) as i32]);
+        asm.call(k.add_sat_i16);
+        pop_region(&mut asm);
+
+        for ld in &layers_data {
+            let (w_qkv, b_qkv, w_out, b_out, g1, be1, w1, b1, w2, b2, g2, be2) = *ld;
+            bank1.reset();
+            bank2.reset();
+            let qkv = bank1.alloc(s * 3 * dh * 2, 4)?;
+            push_region(&mut asm, regions::BLOCK_ATTENTION | regions::OP_MATMUL);
+            set_args(&mut asm, &[
+                x as i32,
+                w_qkv as i32,
+                b_qkv as i32,
+                qkv as i32,
+                s as i32,
+                dim as i32,
+                (3 * dh) as i32,
+                yw as i32,
+            ]);
+            asm.call(k.matmul_q);
+            pop_region(&mut asm);
+            let q = bank2.alloc(s * dh * 2, 4)?;
+            let kk = bank2.alloc(s * dh * 2, 4)?;
+            let v = bank2.alloc(s * dh * 2, 4)?;
+            push_region(&mut asm, regions::BLOCK_ATTENTION | regions::OP_OTHER);
+            for (dst, off) in [(q, 0u32), (kk, dh as u32 * 2), (v, 2 * dh as u32 * 2)] {
+                set_args(&mut asm, &[
+                    dst as i32,
+                    (qkv + off) as i32,
+                    s as i32,
+                    (3 * dh * 2) as i32,
+                    (dh * 2) as i32,
+                ]);
+                asm.call(k.copy_strided);
+            }
+            pop_region(&mut asm);
+            bank1.reset();
+            let sa = bank1.alloc(s * dh * 2, 4)?;
+            let row16 = bank1.alloc(s * 2, 4)?;
+            let attn_out = bank1.alloc(s * dim * 2, 4)?;
+            set_args(&mut asm, &[
+                q as i32,
+                kk as i32,
+                v as i32,
+                sa as i32,
+                s as i32,
+                dh as i32,
+                row16 as i32,
+                attn_params_addr as i32,
+            ]);
+            asm.call(k.attention_q);
+            push_region(&mut asm, regions::BLOCK_ATTENTION | regions::OP_MATMUL);
+            set_args(&mut asm, &[
+                sa as i32,
+                w_out as i32,
+                b_out as i32,
+                attn_out as i32,
+                s as i32,
+                dh as i32,
+                dim as i32,
+                yw as i32,
+            ]);
+            asm.call(k.matmul_q);
+            pop_region(&mut asm);
+            push_region(&mut asm, regions::BLOCK_TOP | regions::OP_OTHER);
+            set_args(&mut asm, &[x as i32, attn_out as i32, (s * dim) as i32]);
+            asm.call(k.add_sat_i16);
+            pop_region(&mut asm);
+            push_region(&mut asm, regions::BLOCK_TOP | regions::OP_LAYERNORM);
+            set_args(&mut asm, &[
+                x as i32,
+                g1 as i32,
+                be1 as i32,
+                s as i32,
+                dim as i32,
+                ln_params_addr as i32,
+            ]);
+            asm.call(k.ln_q);
+            pop_region(&mut asm);
+            // MLP
+            bank1.reset();
+            bank2.reset();
+            let hidden = bank1.alloc(s * mlp * 2, 4)?;
+            let mlp_out = bank2.alloc(s * dim * 2, 4)?;
+            push_region(&mut asm, regions::BLOCK_MLP | regions::OP_MATMUL);
+            set_args(&mut asm, &[
+                x as i32,
+                w1 as i32,
+                b1 as i32,
+                hidden as i32,
+                s as i32,
+                dim as i32,
+                mlp as i32,
+                yw as i32,
+            ]);
+            asm.call(k.matmul_q);
+            pop_region(&mut asm);
+            push_region(&mut asm, regions::BLOCK_MLP | regions::OP_GELU);
+            set_args(&mut asm, &[
+                hidden as i32,
+                s as i32,
+                mlp as i32,
+                gelu_params_addr as i32,
+            ]);
+            asm.call(k.gelu_q);
+            pop_region(&mut asm);
+            push_region(&mut asm, regions::BLOCK_MLP | regions::OP_MATMUL);
+            set_args(&mut asm, &[
+                hidden as i32,
+                w2 as i32,
+                b2 as i32,
+                mlp_out as i32,
+                s as i32,
+                mlp as i32,
+                dim as i32,
+                yw as i32,
+            ]);
+            asm.call(k.matmul_q);
+            pop_region(&mut asm);
+            push_region(&mut asm, regions::BLOCK_TOP | regions::OP_OTHER);
+            set_args(&mut asm, &[x as i32, mlp_out as i32, (s * dim) as i32]);
+            asm.call(k.add_sat_i16);
+            pop_region(&mut asm);
+            push_region(&mut asm, regions::BLOCK_TOP | regions::OP_LAYERNORM);
+            set_args(&mut asm, &[
+                x as i32,
+                g2 as i32,
+                be2 as i32,
+                s as i32,
+                dim as i32,
+                ln_params_addr as i32,
+            ]);
+            asm.call(k.ln_q);
+            pop_region(&mut asm);
+        }
+
+        push_region(&mut asm, regions::BLOCK_TOP | regions::OP_MATMUL);
+        set_args(&mut asm, &[
+            x as i32,
+            w_head as i32,
+            b_head as i32,
+            logits as i32,
+            1,
+            dim as i32,
+            classes as i32,
+            yw as i32,
+        ]);
+        asm.call(k.matmul_q);
+        pop_region(&mut asm);
+        asm.li(Reg::A0, logits as i32);
+        asm.emit(Inst::Ebreak);
+
+        let program = asm.finish()?;
+        check_ram(&program)?;
+        Ok(InferenceImage {
+            flavor: if accel {
+                Flavor::Accelerated
+            } else {
+                Flavor::Quantized
+            },
+            program,
+            config: c,
+            qconfig: Some(qm.qconfig),
+            input_addr: input,
+            logits_addr: logits,
+            bank_usage: [
+                (bank1.high_water(), bank1.size()),
+                (bank2.high_water(), bank2.size()),
+            ],
+        })
+    }
+
+    /// Total image footprint in bytes (the paper's "Program Size").
+    pub fn program_bytes(&self) -> usize {
+        self.program.total_bytes()
+    }
+
+    /// Address of the input buffer (for custom harnesses).
+    pub fn input_addr(&self) -> u32 {
+        self.input_addr
+    }
+
+    /// Address of the logits buffer.
+    pub fn logits_addr(&self) -> u32 {
+        self.logits_addr
+    }
+
+    /// Runs one inference on the simulator.
+    ///
+    /// Writes the MFCC input (quantising it for the integer flavours with
+    /// the same floor rule as the host models), runs to completion, and
+    /// returns float logits, the run statistics and the profiler report.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BuildError::Model`] for a wrong input shape or
+    /// [`BuildError::Trap`] if the program faults.
+    pub fn run(&self, mfcc: &Mat<f32>) -> Result<(Vec<f32>, RunResult, ProfileReport)> {
+        let c = &self.config;
+        if mfcc.shape() != (c.input_time, c.input_freq) {
+            return Err(BuildError::Model(format!(
+                "input shape {:?}, expected ({}, {})",
+                mfcc.shape(),
+                c.input_time,
+                c.input_freq
+            )));
+        }
+        let mut machine = Machine::load(&self.program, Platform::ibex())?;
+        for (id, name) in regions::region_names() {
+            machine.name_region(id, &name);
+        }
+        match self.flavor {
+            Flavor::Float => machine.write_f32s(self.input_addr, mfcc.as_slice()),
+            Flavor::Quantized | Flavor::Accelerated => {
+                let ya = self.qconfig.expect("quant flavours carry qconfig").input_bits;
+                let (q, _) = qops::quantize_i16(mfcc, ya);
+                machine.write_i16s(self.input_addr, q.as_slice());
+            }
+        }
+        let result = machine.run(2_000_000_000)?;
+        let logits = match self.flavor {
+            Flavor::Float => machine.read_f32s(self.logits_addr, c.num_classes),
+            Flavor::Quantized | Flavor::Accelerated => {
+                let ya = self.qconfig.expect("quant flavours carry qconfig").input_bits;
+                machine
+                    .read_i16s(self.logits_addr, c.num_classes)
+                    .into_iter()
+                    .map(|v| v as f32 / (1u32 << ya) as f32)
+                    .collect()
+            }
+        };
+        let report = machine.profile_report();
+        Ok((logits, result, report))
+    }
+}
+
+fn check_ram(program: &Program) -> Result<()> {
+    let platform = Platform::ibex();
+    let needed = (program.data_base + program.data.len() as u32) as usize
+        + platform.stack_bytes as usize;
+    let available = platform.ram_size as usize;
+    if needed > available {
+        return Err(BuildError::RamBudget { needed, available });
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kwt_quant::QuantConfig;
+
+    fn trained_ish() -> KwtParams {
+        let mut p = KwtParams::init(KwtConfig::kwt_tiny(), 77).unwrap();
+        p.visit_mut(|s| {
+            for v in s {
+                *v *= 0.6;
+            }
+        });
+        p
+    }
+
+    fn test_input(seed: u64) -> Mat<f32> {
+        Mat::from_fn(26, 16, |r, c| {
+            let h = seed
+                .wrapping_add((r * 16 + c) as u64)
+                .wrapping_mul(0x9E37_79B9_7F4A_7C15);
+            ((h >> 40) as f32 / (1u64 << 24) as f32 - 0.5) * 10.0
+        })
+    }
+
+    #[test]
+    fn float_image_matches_host_forward() {
+        let params = trained_ish();
+        let image = InferenceImage::build_float(&params).unwrap();
+        for seed in [1u64, 2, 3] {
+            let x = test_input(seed);
+            let (logits, run, _) = image.run(&x).unwrap();
+            let want = kwt_model::forward(&params, &x).unwrap();
+            for (g, w) in logits.iter().zip(&want) {
+                assert!(
+                    (g - w).abs() < 2e-3 * w.abs().max(1.0),
+                    "seed {seed}: device {g} vs host {w}"
+                );
+            }
+            assert!(run.cycles > 100_000, "suspiciously fast: {}", run.cycles);
+        }
+    }
+
+    #[test]
+    fn quant_image_matches_host_qmodel() {
+        let params = trained_ish();
+        let qm = QuantizedKwt::quantize(&params, QuantConfig::paper_best());
+        let image = InferenceImage::build_quant(&qm).unwrap();
+        assert_eq!(image.flavor, Flavor::Quantized);
+        let mut agree = 0;
+        for seed in [10u64, 11, 12, 13, 14] {
+            let x = test_input(seed);
+            let (logits, _, _) = image.run(&x).unwrap();
+            let host = qm.forward(&x).unwrap();
+            let dev_arg = (logits[1] > logits[0]) as u32;
+            let host_arg = (host[1] > host[0]) as u32;
+            if dev_arg == host_arg {
+                agree += 1;
+            }
+            // logits at the activation scale: allow a few quant steps
+            for (g, w) in logits.iter().zip(&host) {
+                assert!(
+                    (g - w).abs() < 0.25,
+                    "seed {seed}: device {g} vs host {w}"
+                );
+            }
+        }
+        assert!(agree >= 4, "argmax agreement {agree}/5");
+    }
+
+    #[test]
+    fn accelerated_image_runs_and_is_fastest() {
+        let params = trained_ish();
+        let x = test_input(42);
+        let float_img = InferenceImage::build_float(&params).unwrap();
+        let qm = QuantizedKwt::quantize(&params, QuantConfig::paper_best());
+        let quant_img = InferenceImage::build_quant(&qm).unwrap();
+        let accel_qm = qm.clone().with_nonlinearity(Nonlinearity::FixedLut);
+        let accel_img = InferenceImage::build_quant(&accel_qm).unwrap();
+        assert_eq!(accel_img.flavor, Flavor::Accelerated);
+
+        let (_, rf, _) = float_img.run(&x).unwrap();
+        let (_, rq, _) = quant_img.run(&x).unwrap();
+        let (_, ra, _) = accel_img.run(&x).unwrap();
+        // Table IX ordering: float > quant > accelerated
+        assert!(
+            rf.cycles > rq.cycles && rq.cycles > ra.cycles,
+            "cycle ordering violated: float {} quant {} accel {}",
+            rf.cycles,
+            rq.cycles,
+            ra.cycles
+        );
+        // the headline: a large end-to-end speedup
+        assert!(
+            rf.cycles as f64 / ra.cycles as f64 > 3.0,
+            "speedup too small: {} / {}",
+            rf.cycles,
+            ra.cycles
+        );
+    }
+
+    #[test]
+    fn profiler_reports_expected_hotspots() {
+        let params = trained_ish();
+        let image = InferenceImage::build_float(&params).unwrap();
+        let (_, run, report) = image.run(&test_input(5)).unwrap();
+        // most cycles must be attributed
+        assert!(report.attributed_cycles > run.cycles * 9 / 10);
+        let agg = crate::regions::aggregate_by_op(&report.regions);
+        assert!(!agg.is_empty());
+        // in the float model, matmul/gelu/softmax should dominate
+        let top: Vec<&str> = agg.iter().take(3).map(|(n, _)| n.as_str()).collect();
+        assert!(
+            top.contains(&"matmul"),
+            "matmul missing from top-3: {agg:?}"
+        );
+    }
+
+    #[test]
+    fn bank_discipline_reported_and_respected() {
+        let params = trained_ish();
+        let image = InferenceImage::build_float(&params).unwrap();
+        for (hw, size) in image.bank_usage {
+            assert!(hw <= size, "bank overflow escaped the builder");
+            assert!(hw > 0, "banks unused?");
+        }
+        // image fits the 64 kB platform with the 4 kB stack
+        assert!(image.program_bytes() < 60 * 1024);
+    }
+
+    #[test]
+    fn wrong_input_shape_rejected() {
+        let params = trained_ish();
+        let image = InferenceImage::build_float(&params).unwrap();
+        assert!(matches!(
+            image.run(&Mat::zeros(16, 26)),
+            Err(BuildError::Model(_))
+        ));
+    }
+}

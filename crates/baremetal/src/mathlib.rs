@@ -1,0 +1,367 @@
+//! Transcendental float routines on top of [`crate::softfloat`] — the
+//! bare-metal equivalents of the C library's `expf`, `erf` and the
+//! `1/sqrt` that layer normalisation needs.
+//!
+//! Costs on the Ibex timing model (approximate): `expf` ≈ 1 000 cycles,
+//! `erff` ≈ 2 500 cycles (it calls `expf` *and* pays a ~200-cycle
+//! soft-float division), scalar GELU ≈ 3 000 cycles. These are the
+//! numbers that make GELU and SoftMax dominate Figs. 3–5 and motivate the
+//! paper's LUT instructions.
+
+use crate::softfloat::SoftFloat;
+use kwt_rvasm::{Asm, Inst, Label, Reg};
+
+use Reg::{A0, A1, Ra, Sp, T0, T1, T2, Zero};
+
+/// Entry labels of the math library.
+#[derive(Debug, Clone, Copy)]
+pub struct MathLib {
+    /// `f32 expf(f32)` — range reduction + degree-6 Taylor Horner.
+    pub expf: Label,
+    /// `f32 erff(f32)` — Abramowitz & Stegun 7.1.26.
+    pub erff: Label,
+    /// `f32 rsqrtf(f32)` — magic-constant seed + 3 Newton iterations.
+    pub rsqrtf: Label,
+    /// `f32 gelu(f32)` — exact GELU via `erff` (paper eq. 7).
+    pub gelu: Label,
+}
+
+/// Emits `addi sp, -frame; sw ra/s-regs` and returns the frame size.
+pub(crate) fn prologue(asm: &mut Asm, saves: &[Reg]) -> i32 {
+    let frame = ((saves.len() * 4 + 15) / 16 * 16) as i32;
+    asm.emit(Inst::Addi { rd: Sp, rs1: Sp, imm: -frame });
+    for (i, &r) in saves.iter().enumerate() {
+        asm.emit(Inst::Sw { rs2: r, rs1: Sp, imm: (i * 4) as i32 });
+    }
+    frame
+}
+
+/// Emits the matching restore + `ret`.
+pub(crate) fn epilogue(asm: &mut Asm, saves: &[Reg], frame: i32) {
+    for (i, &r) in saves.iter().enumerate() {
+        asm.emit(Inst::Lw { rd: r, rs1: Sp, imm: (i * 4) as i32 });
+    }
+    asm.emit(Inst::Addi { rd: Sp, rs1: Sp, imm: frame });
+    asm.ret();
+}
+
+/// `li` of raw f32 bits.
+pub(crate) fn li_f32(asm: &mut Asm, rd: Reg, value: f32) {
+    asm.li(rd, value.to_bits() as i32);
+}
+
+/// Negates the float in `r` in place (`xor` with the sign bit).
+pub(crate) fn negate_f32(asm: &mut Asm, r: Reg, scratch: Reg) {
+    asm.emit(Inst::Lui { rd: scratch, imm: 0x8000_0000u32 as i32 });
+    asm.emit(Inst::Xor { rd: r, rs1: r, rs2: scratch });
+}
+
+impl MathLib {
+    /// Emits the library, returning the entry labels.
+    pub fn emit(asm: &mut Asm, sf: &SoftFloat) -> MathLib {
+        let expf = emit_expf(asm, sf);
+        let erff = emit_erff(asm, sf, expf);
+        let rsqrtf = emit_rsqrtf(asm, sf);
+        let gelu = emit_gelu(asm, sf, erff);
+        MathLib {
+            expf,
+            erff,
+            rsqrtf,
+            gelu,
+        }
+    }
+}
+
+fn emit_expf(asm: &mut Asm, sf: &SoftFloat) -> Label {
+    use Reg::{S0, S1, S2, S3};
+    let entry = asm.here("m_expf");
+    let saves = [Ra, S0, S1, S2, S3];
+    let frame = prologue(asm, &saves);
+    let ret_zero = asm.new_label();
+    let ret_inf = asm.new_label();
+    let done = asm.new_label();
+
+    asm.mv(S0, A0);
+    // clamp low: x < -87 -> 0
+    li_f32(asm, A1, -87.0);
+    asm.call(sf.lt);
+    asm.branch_to(Inst::Bne { rs1: A0, rs2: Zero, offset: 0 }, ret_zero);
+    // clamp high: 88.7 < x -> +inf
+    li_f32(asm, A0, 88.7);
+    asm.mv(A1, S0);
+    asm.call(sf.lt);
+    asm.branch_to(Inst::Bne { rs1: A0, rs2: Zero, offset: 0 }, ret_inf);
+    // k = floor(x * log2(e) + 0.5)
+    asm.mv(A0, S0);
+    li_f32(asm, A1, std::f32::consts::LOG2_E);
+    asm.call(sf.mul);
+    li_f32(asm, A1, 0.5);
+    asm.call(sf.add);
+    asm.call(sf.f2i_floor);
+    asm.mv(S1, A0); // k
+    // r = (x - k*ln2_hi) - k*ln2_lo  (split constant for accuracy)
+    asm.call(sf.i2f); // a0 = k already
+    asm.mv(S2, A0); // kf
+    li_f32(asm, A1, 0.693_359_4); // ln2_hi
+    asm.call(sf.mul);
+    asm.mv(A1, A0);
+    negate_f32(asm, A1, T0);
+    asm.mv(A0, S0);
+    asm.call(sf.add);
+    asm.mv(S3, A0); // x - k*ln2_hi
+    asm.mv(A0, S2);
+    li_f32(asm, A1, -2.121_944_4e-4); // ln2_lo (ln2 - ln2_hi)
+    asm.call(sf.mul);
+    asm.mv(A1, A0);
+    negate_f32(asm, A1, T0);
+    asm.mv(A0, S3);
+    asm.call(sf.add);
+    asm.mv(S2, A0); // r
+    // Horner: acc = 1/720; acc = acc*r + c
+    li_f32(asm, S3, 1.0 / 720.0);
+    for c in [1.0 / 120.0, 1.0 / 24.0, 1.0 / 6.0, 0.5, 1.0, 1.0] {
+        asm.mv(A0, S3);
+        asm.mv(A1, S2);
+        asm.call(sf.mul);
+        li_f32(asm, A1, c);
+        asm.call(sf.add);
+        asm.mv(S3, A0);
+    }
+    // scale by 2^k via the exponent field
+    asm.mv(A0, S3);
+    asm.branch_to(Inst::Beq { rs1: A0, rs2: Zero, offset: 0 }, done);
+    asm.emit(Inst::Slli { rd: T0, rs1: A0, shamt: 1 });
+    asm.emit(Inst::Srli { rd: T0, rs1: T0, shamt: 24 });
+    asm.emit(Inst::Add { rd: T0, rs1: T0, rs2: S1 });
+    asm.branch_to(Inst::Bge { rs1: Zero, rs2: T0, offset: 0 }, ret_zero);
+    asm.li(T1, 255);
+    asm.branch_to(Inst::Bge { rs1: T0, rs2: T1, offset: 0 }, ret_inf);
+    asm.emit(Inst::Slli { rd: T2, rs1: A0, shamt: 9 });
+    asm.emit(Inst::Srli { rd: T2, rs1: T2, shamt: 9 });
+    asm.emit(Inst::Slli { rd: T0, rs1: T0, shamt: 23 });
+    asm.emit(Inst::Or { rd: A0, rs1: T2, rs2: T0 });
+    asm.jump_to(done);
+    asm.bind(ret_zero).expect("fresh label");
+    asm.li(A0, 0);
+    asm.jump_to(done);
+    asm.bind(ret_inf).expect("fresh label");
+    asm.li(A0, 0x7F80_0000u32 as i32);
+    asm.bind(done).expect("fresh label");
+    epilogue(asm, &saves, frame);
+    entry
+}
+
+fn emit_erff(asm: &mut Asm, sf: &SoftFloat, expf: Label) -> Label {
+    use Reg::{S0, S1, S2, S3};
+    let entry = asm.here("m_erff");
+    let saves = [Ra, S0, S1, S2, S3];
+    let frame = prologue(asm, &saves);
+    let ret_one = asm.new_label();
+    let done = asm.new_label();
+
+    // split sign, keep |x|
+    asm.emit(Inst::Srli { rd: S1, rs1: A0, shamt: 31 });
+    asm.emit(Inst::Slli { rd: S1, rs1: S1, shamt: 31 });
+    asm.emit(Inst::Slli { rd: S0, rs1: A0, shamt: 1 });
+    asm.emit(Inst::Srli { rd: S0, rs1: S0, shamt: 1 }); // |x|
+    // |x| > 3.9 -> erf = ±1
+    li_f32(asm, A0, 3.9);
+    asm.mv(A1, S0);
+    asm.call(sf.lt);
+    asm.branch_to(Inst::Bne { rs1: A0, rs2: Zero, offset: 0 }, ret_one);
+    // t = 1 / (1 + p|x|)
+    asm.mv(A0, S0);
+    li_f32(asm, A1, 0.327_591_1);
+    asm.call(sf.mul);
+    li_f32(asm, A1, 1.0);
+    asm.call(sf.add);
+    asm.mv(A1, A0);
+    li_f32(asm, A0, 1.0);
+    asm.call(sf.div);
+    asm.mv(S2, A0); // t
+    // Horner on the A&S coefficients, then * t
+    li_f32(asm, S3, 1.061_405_429);
+    for c in [-1.453_152_027f32, 1.421_413_741, -0.284_496_736, 0.254_829_592] {
+        asm.mv(A0, S3);
+        asm.mv(A1, S2);
+        asm.call(sf.mul);
+        li_f32(asm, A1, c);
+        asm.call(sf.add);
+        asm.mv(S3, A0);
+    }
+    asm.mv(A0, S3);
+    asm.mv(A1, S2);
+    asm.call(sf.mul);
+    asm.mv(S3, A0); // y = poly(t) * t
+    // e = expf(-x^2)
+    asm.mv(A0, S0);
+    asm.mv(A1, S0);
+    asm.call(sf.mul);
+    negate_f32(asm, A0, T0);
+    asm.call(expf);
+    // result = 1 - y*e, with the original sign
+    asm.mv(A1, S3);
+    asm.call(sf.mul);
+    asm.mv(A1, A0);
+    negate_f32(asm, A1, T0);
+    li_f32(asm, A0, 1.0);
+    asm.call(sf.add);
+    asm.emit(Inst::Or { rd: A0, rs1: A0, rs2: S1 });
+    asm.jump_to(done);
+    asm.bind(ret_one).expect("fresh label");
+    li_f32(asm, A0, 1.0);
+    asm.emit(Inst::Or { rd: A0, rs1: A0, rs2: S1 });
+    asm.bind(done).expect("fresh label");
+    epilogue(asm, &saves, frame);
+    entry
+}
+
+fn emit_rsqrtf(asm: &mut Asm, sf: &SoftFloat) -> Label {
+    use Reg::{S0, S1};
+    let entry = asm.here("m_rsqrtf");
+    let saves = [Ra, S0, S1];
+    let frame = prologue(asm, &saves);
+
+    asm.mv(S1, A0); // x bits
+    li_f32(asm, A1, 0.5);
+    asm.call(sf.mul);
+    asm.mv(S0, A0); // xhalf
+    // magic seed
+    asm.emit(Inst::Srli { rd: T0, rs1: S1, shamt: 1 });
+    asm.li(T1, 0x5F37_59DFu32 as i32);
+    asm.emit(Inst::Sub { rd: S1, rs1: T1, rs2: T0 }); // y
+    // three Newton iterations: y = y * (1.5 - xhalf*y*y)
+    for _ in 0..3 {
+        asm.mv(A0, S1);
+        asm.mv(A1, S1);
+        asm.call(sf.mul); // y^2
+        asm.mv(A1, S0);
+        asm.call(sf.mul); // xhalf*y^2
+        asm.mv(A1, A0);
+        negate_f32(asm, A1, T0);
+        li_f32(asm, A0, 1.5);
+        asm.call(sf.add); // 1.5 - xhalf*y^2
+        asm.mv(A1, S1);
+        asm.call(sf.mul);
+        asm.mv(S1, A0);
+    }
+    asm.mv(A0, S1);
+    epilogue(asm, &saves, frame);
+    entry
+}
+
+fn emit_gelu(asm: &mut Asm, sf: &SoftFloat, erff: Label) -> Label {
+    use Reg::S0;
+    let entry = asm.here("m_gelu");
+    let saves = [Ra, S0];
+    let frame = prologue(asm, &saves);
+    asm.mv(S0, A0);
+    li_f32(asm, A1, std::f32::consts::FRAC_1_SQRT_2);
+    asm.call(sf.mul);
+    asm.call(erff);
+    li_f32(asm, A1, 1.0);
+    asm.call(sf.add);
+    asm.mv(A1, S0);
+    asm.call(sf.mul);
+    li_f32(asm, A1, 0.5);
+    asm.call(sf.mul);
+    epilogue(asm, &saves, frame);
+    entry
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kwt_rv32::{Machine, Platform};
+
+    fn run_unary(which: &str, x: f32) -> (f32, u64) {
+        let mut asm = Asm::new(0, 0xC000);
+        let over = asm.new_label();
+        asm.jump_to(over);
+        let sf = SoftFloat::emit(&mut asm);
+        let math = MathLib::emit(&mut asm, &sf);
+        asm.bind(over).expect("fresh");
+        asm.here("entry");
+        asm.li(Reg::A0, x.to_bits() as i32);
+        let target = match which {
+            "expf" => math.expf,
+            "erff" => math.erff,
+            "rsqrtf" => math.rsqrtf,
+            "gelu" => math.gelu,
+            other => panic!("unknown {other}"),
+        };
+        asm.call(target);
+        asm.emit(Inst::Ebreak);
+        let p = asm.finish().expect("assembles");
+        let mut m = Machine::load(&p, Platform::ibex()).expect("fits");
+        let r = m.run(10_000_000).expect("halts");
+        (f32::from_bits(r.exit_code), r.cycles)
+    }
+
+    #[test]
+    fn expf_accuracy() {
+        for i in -40..=16 {
+            let x = i as f32 * 0.5;
+            let (got, _) = run_unary("expf", x);
+            let want = x.exp();
+            let rel = ((got - want) / want).abs();
+            assert!(rel < 3e-6, "expf({x}) = {got}, want {want} (rel {rel})");
+        }
+    }
+
+    #[test]
+    fn expf_clamps() {
+        assert_eq!(run_unary("expf", -200.0).0, 0.0);
+        assert!(run_unary("expf", 200.0).0.is_infinite());
+        let (one, _) = run_unary("expf", 0.0);
+        assert!((one - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn erff_accuracy() {
+        for i in -35..=35 {
+            let x = i as f32 * 0.11;
+            let (got, _) = run_unary("erff", x);
+            let want = kwt_tensor::math::erf(x);
+            assert!(
+                (got - want).abs() < 5e-6,
+                "erff({x}) = {got}, want {want}"
+            );
+        }
+        assert_eq!(run_unary("erff", 5.0).0, 1.0);
+        assert_eq!(run_unary("erff", -5.0).0, -1.0);
+    }
+
+    #[test]
+    fn rsqrtf_accuracy() {
+        for &x in &[1e-4f32, 0.01, 0.5, 1.0, 2.0, 9.0, 100.0, 12345.0] {
+            let (got, _) = run_unary("rsqrtf", x);
+            let want = 1.0 / x.sqrt();
+            let rel = ((got - want) / want).abs();
+            assert!(rel < 1e-5, "rsqrtf({x}) = {got}, want {want} (rel {rel})");
+        }
+    }
+
+    #[test]
+    fn gelu_accuracy() {
+        for i in -40..=40 {
+            let x = i as f32 * 0.1;
+            let (got, _) = run_unary("gelu", x);
+            let want = kwt_tensor::math::gelu_exact(x);
+            assert!(
+                (got - want).abs() < 2e-5,
+                "gelu({x}) = {got}, want {want}"
+            );
+        }
+    }
+
+    #[test]
+    fn transcendentals_are_expensive() {
+        // The motivation for ALU_GELU: hundreds-to-thousands of cycles per
+        // scalar on the soft-float core.
+        let (_, exp_cycles) = run_unary("expf", 1.0);
+        let (_, gelu_cycles) = run_unary("gelu", 1.0);
+        assert!(exp_cycles > 400, "expf too cheap: {exp_cycles}");
+        assert!(gelu_cycles > 1_500, "gelu too cheap: {gelu_cycles}");
+    }
+}

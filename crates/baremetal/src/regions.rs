@@ -1,0 +1,119 @@
+//! Profiler region ids used by the generated inference programs.
+//!
+//! Region ids combine a *block* (which part of the network) with an *op*
+//! (which kernel class): `id = block | op`. Fig. 3 aggregates over ops,
+//! Fig. 4 filters the attention block, Fig. 5 the MLP block.
+
+use std::collections::BTreeMap;
+
+/// Op class: dense matrix multiply.
+pub const OP_MATMUL: u32 = 1;
+/// Op class: SoftMax.
+pub const OP_SOFTMAX: u32 = 2;
+/// Op class: GELU.
+pub const OP_GELU: u32 = 3;
+/// Op class: layer normalisation (mean/variance + scale/shift).
+pub const OP_LAYERNORM: u32 = 4;
+/// Op class: quantise/dequantise conversions.
+pub const OP_QUANT: u32 = 5;
+/// Op class: residual adds, copies, embedding adds.
+pub const OP_OTHER: u32 = 6;
+
+/// Block tag: outside attention/MLP (projection, embeddings, head).
+pub const BLOCK_TOP: u32 = 0x00;
+/// Block tag: inside the self-attention computation (Fig. 4).
+pub const BLOCK_ATTENTION: u32 = 0x10;
+/// Block tag: inside the MLP computation (Fig. 5).
+pub const BLOCK_MLP: u32 = 0x20;
+
+/// All `(id, name)` pairs used by the images.
+pub fn region_names() -> BTreeMap<u32, String> {
+    let mut m = BTreeMap::new();
+    for (block, bname) in [
+        (BLOCK_TOP, "top"),
+        (BLOCK_ATTENTION, "attn"),
+        (BLOCK_MLP, "mlp"),
+    ] {
+        for (op, oname) in [
+            (OP_MATMUL, "matmul"),
+            (OP_SOFTMAX, "softmax"),
+            (OP_GELU, "gelu"),
+            (OP_LAYERNORM, "layernorm"),
+            (OP_QUANT, "quant"),
+            (OP_OTHER, "other"),
+        ] {
+            m.insert(block | op, format!("{bname}/{oname}"));
+        }
+    }
+    m
+}
+
+/// Sums a profile report's regions by op class, returning
+/// `(op name, cycles)` in descending order — the Fig. 3 view.
+pub fn aggregate_by_op(regions: &[(String, u64, u64)]) -> Vec<(String, u64)> {
+    let mut by_op: BTreeMap<&str, u64> = BTreeMap::new();
+    for (name, cycles, _) in regions {
+        let op = name.split('/').nth(1).unwrap_or(name.as_str());
+        *by_op.entry(op).or_insert(0) += cycles;
+    }
+    let mut v: Vec<(String, u64)> = by_op.into_iter().map(|(k, c)| (k.to_string(), c)).collect();
+    v.sort_by(|a, b| b.1.cmp(&a.1));
+    v
+}
+
+/// Filters a profile report to one block prefix (`"attn"` for Fig. 4,
+/// `"mlp"` for Fig. 5), returning `(op name, cycles)` descending.
+pub fn filter_block(regions: &[(String, u64, u64)], block: &str) -> Vec<(String, u64)> {
+    let mut v: Vec<(String, u64)> = regions
+        .iter()
+        .filter(|(name, _, _)| name.starts_with(block))
+        .map(|(name, cycles, _)| {
+            (
+                name.split('/').nth(1).unwrap_or(name).to_string(),
+                *cycles,
+            )
+        })
+        .collect();
+    v.sort_by(|a, b| b.1.cmp(&a.1));
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_cover_all_blocks_and_ops() {
+        let names = region_names();
+        assert_eq!(names.len(), 18);
+        assert_eq!(names[&(BLOCK_ATTENTION | OP_SOFTMAX)], "attn/softmax");
+        assert_eq!(names[&(BLOCK_MLP | OP_GELU)], "mlp/gelu");
+        assert_eq!(names[&(BLOCK_TOP | OP_MATMUL)], "top/matmul");
+    }
+
+    #[test]
+    fn aggregation_sums_across_blocks() {
+        let regions = vec![
+            ("attn/matmul".to_string(), 100u64, 1u64),
+            ("mlp/matmul".to_string(), 50, 1),
+            ("mlp/gelu".to_string(), 30, 1),
+        ];
+        let agg = aggregate_by_op(&regions);
+        assert_eq!(agg[0], ("matmul".to_string(), 150));
+        assert_eq!(agg[1], ("gelu".to_string(), 30));
+    }
+
+    #[test]
+    fn block_filter_selects_prefix() {
+        let regions = vec![
+            ("attn/matmul".to_string(), 100u64, 1u64),
+            ("attn/softmax".to_string(), 70, 1),
+            ("mlp/gelu".to_string(), 30, 1),
+        ];
+        let attn = filter_block(&regions, "attn");
+        assert_eq!(attn.len(), 2);
+        assert_eq!(attn[0].0, "matmul");
+        let mlp = filter_block(&regions, "mlp");
+        assert_eq!(mlp.len(), 1);
+    }
+}

@@ -1,0 +1,46 @@
+//! Exact vs LUT-approximated SoftMax and GELU (host golden models) — the
+//! accuracy/speed trade the custom instructions exploit (Fig. 7, §VI).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use kwt_quant::{fixed_gelu, fixed_softmax, LutSet, Q8_24};
+use kwt_tensor::math::gelu_exact;
+use kwt_tensor::ops;
+use std::hint::black_box;
+
+fn bench_softmax(c: &mut Criterion) {
+    let xs: Vec<f32> = (0..27).map(|i| (i as f32 * 0.37).sin() * 3.0).collect();
+    let luts = LutSet::new();
+    let mut g = c.benchmark_group("softmax_27");
+    g.bench_function("float_exact", |bench| {
+        bench.iter_batched(
+            || xs.clone(),
+            |mut v| ops::softmax_normalized(&mut v).unwrap(),
+            criterion::BatchSize::SmallInput,
+        )
+    });
+    g.bench_function("q824_lut", |bench| {
+        bench.iter(|| fixed_softmax(black_box(&xs), &luts))
+    });
+    g.finish();
+}
+
+fn bench_gelu(c: &mut Criterion) {
+    let luts = LutSet::new();
+    let mut g = c.benchmark_group("gelu_scalar");
+    g.bench_function("exact_erf", |bench| bench.iter(|| gelu_exact(black_box(0.73))));
+    g.bench_function("q824_lut", |bench| {
+        bench.iter(|| fixed_gelu(black_box(0.73), &luts))
+    });
+    g.finish();
+}
+
+fn bench_q824(c: &mut Criterion) {
+    c.bench_function("q824_mul", |bench| {
+        let a = Q8_24::from_f32(1.371);
+        let b = Q8_24::from_f32(-0.442);
+        bench.iter(|| black_box(a) * black_box(b))
+    });
+}
+
+criterion_group!(benches, bench_softmax, bench_gelu, bench_q824);
+criterion_main!(benches);

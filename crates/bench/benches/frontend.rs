@@ -1,0 +1,24 @@
+//! MFCC front-end throughput for both paper input geometries.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use kwt_audio::{kwt1_frontend, kwt_tiny_frontend};
+use std::hint::black_box;
+
+fn bench_mfcc(c: &mut Criterion) {
+    let audio: Vec<f32> = (0..16_000)
+        .map(|i| (2.0 * std::f32::consts::PI * 440.0 * i as f32 / 16_000.0).sin())
+        .collect();
+    let fe1 = kwt1_frontend().unwrap();
+    let fet = kwt_tiny_frontend().unwrap();
+    let mut g = c.benchmark_group("mfcc");
+    g.bench_function("kwt1_40x98", |b| {
+        b.iter(|| fe1.extract_padded(black_box(&audio)).unwrap())
+    });
+    g.bench_function("kwt_tiny_16x26", |b| {
+        b.iter(|| fet.extract_padded(black_box(&audio)).unwrap())
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_mfcc);
+criterion_main!(benches);

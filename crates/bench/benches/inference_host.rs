@@ -1,0 +1,29 @@
+//! Host-side end-to-end inference: float vs quantised vs LUT-accelerated
+//! KWT-Tiny (the host mirror of Table IX).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use kwt_model::{KwtConfig, KwtParams};
+use kwt_quant::{Nonlinearity, QuantConfig, QuantizedKwt};
+use kwt_tensor::Mat;
+use std::hint::black_box;
+
+fn bench_inference(c: &mut Criterion) {
+    let params = KwtParams::init(KwtConfig::kwt_tiny(), 7).unwrap();
+    let qm = QuantizedKwt::quantize(&params, QuantConfig::paper_best());
+    let qa = qm.clone().with_nonlinearity(Nonlinearity::FixedLut);
+    let x = Mat::from_fn(26, 16, |r, cc| ((r * 16 + cc) as f32 * 0.13).sin() * 4.0);
+    let mut g = c.benchmark_group("kwt_tiny_inference_host");
+    g.bench_function("float", |b| {
+        b.iter(|| kwt_model::forward(black_box(&params), black_box(&x)).unwrap())
+    });
+    g.bench_function("quantised", |b| {
+        b.iter(|| qm.forward(black_box(&x)).unwrap())
+    });
+    g.bench_function("quantised_lut", |b| {
+        b.iter(|| qa.forward(black_box(&x)).unwrap())
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_inference);
+criterion_main!(benches);

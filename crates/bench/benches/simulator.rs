@@ -1,0 +1,41 @@
+//! Simulator throughput: how many simulated instructions per host second
+//! the RV32 core sustains (contextualises the Table IX runtimes).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use kwt_rv32::{Machine, Platform};
+use kwt_rvasm::{Asm, Inst, Reg};
+
+fn bench_simulator(c: &mut Criterion) {
+    // ~1000-instruction arithmetic loop program
+    let mut asm = Asm::new(0, 0x8000);
+    asm.here("entry");
+    asm.li(Reg::T0, 100); // loop counter
+    asm.li(Reg::A0, 0);
+    let top = asm.new_label();
+    asm.bind(top).unwrap();
+    for _ in 0..4 {
+        asm.emit(Inst::Addi { rd: Reg::A0, rs1: Reg::A0, imm: 3 });
+        asm.emit(Inst::Xor { rd: Reg::A1, rs1: Reg::A0, rs2: Reg::T0 });
+        asm.emit(Inst::Mul { rd: Reg::A2, rs1: Reg::A1, rs2: Reg::A0 });
+    }
+    asm.emit(Inst::Addi { rd: Reg::T0, rs1: Reg::T0, imm: -1 });
+    asm.branch_to(Inst::Bne { rs1: Reg::T0, rs2: Reg::Zero, offset: 0 }, top);
+    asm.emit(Inst::Ebreak);
+    let program = asm.finish().unwrap();
+
+    let mut g = c.benchmark_group("rv32_simulator");
+    // count instructions once
+    let mut m = Machine::load(&program, Platform::ibex()).unwrap();
+    let instructions = m.run(1_000_000).unwrap().instructions;
+    g.throughput(Throughput::Elements(instructions));
+    g.bench_function("arith_loop", |b| {
+        b.iter(|| {
+            let mut m = Machine::load(&program, Platform::ibex()).unwrap();
+            m.run(1_000_000).unwrap()
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_simulator);
+criterion_main!(benches);

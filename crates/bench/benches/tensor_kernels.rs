@@ -1,0 +1,49 @@
+//! Criterion benches for the host tensor kernels (float vs quantised) at
+//! the KWT-Tiny shapes — the per-kernel backdrop of Table IX.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use kwt_tensor::{ops, qops, Mat};
+use std::hint::black_box;
+
+fn bench_matmul(c: &mut Criterion) {
+    // KWT-Tiny MLP shape: (27 x 12) x (12 x 24)
+    let a = Mat::from_fn(27, 12, |r, q| ((r * 12 + q) as f32 * 0.1).sin());
+    let b = Mat::from_fn(12, 24, |r, q| ((r * 24 + q) as f32 * 0.07).cos() * 0.5);
+    let (aq, _) = qops::quantize_i16(&a, 5);
+    let (bq, _) = qops::quantize_i8(&b, 6);
+    let mut g = c.benchmark_group("matmul_27x12x24");
+    g.bench_function("f32", |bench| {
+        bench.iter(|| ops::matrix_multiply(black_box(&a), black_box(&b)).unwrap())
+    });
+    g.bench_function("i16xi8", |bench| {
+        bench.iter(|| qops::matmul_i16_i8(black_box(&aq), black_box(&bq), None, 6).unwrap())
+    });
+    g.finish();
+}
+
+fn bench_layer_norm(c: &mut Criterion) {
+    let gamma = vec![1.0f32; 12];
+    let beta = vec![0.0f32; 12];
+    c.bench_function("layer_norm_27x12", |bench| {
+        bench.iter_batched(
+            || Mat::from_fn(27, 12, |r, q| (r + q) as f32 * 0.3),
+            |mut m| ops::layer_norm_rows(&mut m, &gamma, &beta, 1e-5).unwrap(),
+            criterion::BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_attention(c: &mut Criterion) {
+    let q = Mat::from_fn(27, 8, |r, cc| ((r + cc) as f32 * 0.2).sin());
+    let k = Mat::from_fn(27, 8, |r, cc| ((r * cc) as f32 * 0.1).cos());
+    let v = Mat::from_fn(27, 8, |r, cc| (r as f32 - cc as f32) * 0.05);
+    c.bench_function("sdpa_27x8", |bench| {
+        bench.iter(|| {
+            ops::scaled_dot_product_attention(black_box(&q), black_box(&k), black_box(&v))
+                .unwrap()
+        })
+    });
+}
+
+criterion_group!(benches, bench_matmul, bench_layer_norm, bench_attention);
+criterion_main!(benches);

@@ -1,0 +1,57 @@
+//! Regenerates the paper's tables and figures.
+//!
+//! ```text
+//! paper all            # everything (quick mode)
+//! paper table9         # one artefact
+//! paper table4 --full  # include the expensive KWT-1 training
+//! ```
+
+use kwt_bench::experiments as exp;
+use kwt_bench::ExpContext;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let full = args.iter().any(|a| a == "--full");
+    let targets: Vec<&str> = args
+        .iter()
+        .filter(|a| !a.starts_with("--"))
+        .map(|s| s.as_str())
+        .collect();
+    let ctx = ExpContext {
+        full,
+        ..ExpContext::default()
+    };
+    let all = [
+        "table1", "table2", "table3", "table4", "table5", "table6", "table7", "table8",
+        "table9", "fig3", "fig4", "fig5", "fig7", "ablation-timing", "ablation-nonlinearity",
+    ];
+    let selected: Vec<&str> = if targets.is_empty() || targets.contains(&"all") {
+        all.to_vec()
+    } else {
+        targets
+    };
+    for t in selected {
+        let out = match t {
+            "table1" => exp::table1(&ctx),
+            "table2" => exp::table2(&ctx),
+            "table3" => exp::table3(&ctx),
+            "table4" => exp::table4(&ctx),
+            "table5" => exp::table5(&ctx),
+            "table6" => exp::table6(&ctx),
+            "table7" => exp::table7(&ctx),
+            "table8" => exp::table8(&ctx),
+            "table9" => exp::table9(&ctx),
+            "fig3" => exp::fig3(&ctx),
+            "fig4" => exp::fig4(&ctx),
+            "fig5" => exp::fig5(&ctx),
+            "fig7" => exp::fig7(&ctx),
+            "ablation-timing" => exp::ablation_timing(&ctx),
+            "ablation-nonlinearity" => exp::ablation_nonlinearity(&ctx),
+            other => {
+                eprintln!("unknown target `{other}`; available: all {all:?}");
+                std::process::exit(2);
+            }
+        };
+        println!("{out}");
+    }
+}

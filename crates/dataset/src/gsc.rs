@@ -1,0 +1,402 @@
+//! Dataset assembly: tasks, splits, deterministic sampling, and MFCC
+//! materialisation.
+
+use crate::synth::{KeywordVoice, SynthParams};
+use crate::vocab::{keyword_index, GSC_KEYWORDS};
+use kwt_audio::MfccExtractor;
+use kwt_tensor::Mat;
+
+/// Which classification task to materialise.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Task {
+    /// All 35 GSC keywords (KWT-1's task).
+    AllKeywords,
+    /// Binary "target" vs "not-target" — the paper trains "dog" vs
+    /// "notdog" (§III). Label 1 = target, label 0 = everything else
+    /// (other keywords and background noise).
+    Binary {
+        /// The wake word.
+        target: &'static str,
+    },
+}
+
+/// Dataset split.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Split {
+    /// Training split.
+    Train,
+    /// Validation split (scale-factor calibration, early stopping).
+    Val,
+    /// Held-out test split (all reported accuracies).
+    Test,
+}
+
+impl Split {
+    fn index(self) -> usize {
+        match self {
+            Split::Train => 0,
+            Split::Val => 1,
+            Split::Test => 2,
+        }
+    }
+}
+
+/// Synthetic GSC configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GscConfig {
+    /// The task (35-way or binary).
+    pub task: Task,
+    /// Samples per class for `[train, val, test]`.
+    pub samples_per_class: [usize; 3],
+    /// Master seed; every utterance is derived from
+    /// `(seed, split, class, index)` so splits never overlap.
+    pub seed: u64,
+    /// Waveform synthesis parameters (difficulty).
+    pub synth: SynthParams,
+}
+
+impl Default for GscConfig {
+    fn default() -> Self {
+        GscConfig {
+            task: Task::Binary { target: "dog" },
+            samples_per_class: [200, 50, 100],
+            seed: 0x6B77_7421, // "kwt!"
+            synth: SynthParams::default(),
+        }
+    }
+}
+
+impl GscConfig {
+    /// The paper's KWT-Tiny setting: binary "dog"/"notdog" at
+    /// [`SynthParams::paper_difficulty`], with a training set large enough
+    /// for the 1.6 k-parameter model to generalise.
+    pub fn paper_binary() -> Self {
+        GscConfig {
+            task: Task::Binary { target: "dog" },
+            samples_per_class: [1200, 200, 300],
+            synth: SynthParams::paper_difficulty(),
+            ..GscConfig::default()
+        }
+    }
+
+    /// The paper's KWT-1 setting: all 35 keywords at the same difficulty.
+    /// `samples_per_class` is kept moderate because the 611 k-parameter
+    /// model is ~400x more expensive per sample to train.
+    pub fn paper_all_keywords() -> Self {
+        GscConfig {
+            task: Task::AllKeywords,
+            samples_per_class: [120, 25, 40],
+            synth: SynthParams::paper_difficulty(),
+            ..GscConfig::default()
+        }
+    }
+}
+
+/// The synthetic dataset: an indexable, deterministic utterance generator.
+///
+/// Utterances are generated on demand — nothing is stored — so arbitrarily
+/// large epochs cost only CPU.
+#[derive(Debug, Clone)]
+pub struct SyntheticGsc {
+    config: GscConfig,
+    voices: Vec<KeywordVoice>,
+}
+
+impl SyntheticGsc {
+    /// Builds the generator for a configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a binary task names a keyword outside the GSC vocabulary.
+    pub fn new(config: GscConfig) -> Self {
+        if let Task::Binary { target } = config.task {
+            assert!(
+                keyword_index(target).is_some(),
+                "unknown target keyword `{target}`"
+            );
+        }
+        let voices = (0..GSC_KEYWORDS.len()).map(KeywordVoice::new).collect();
+        SyntheticGsc { config, voices }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &GscConfig {
+        &self.config
+    }
+
+    /// Number of output classes (35 or 2).
+    pub fn num_classes(&self) -> usize {
+        match self.config.task {
+            Task::AllKeywords => GSC_KEYWORDS.len(),
+            Task::Binary { .. } => 2,
+        }
+    }
+
+    /// Human-readable class names.
+    pub fn class_names(&self) -> Vec<String> {
+        match self.config.task {
+            Task::AllKeywords => GSC_KEYWORDS.iter().map(|s| s.to_string()).collect(),
+            Task::Binary { target } => vec![format!("not{target}"), target.to_string()],
+        }
+    }
+
+    /// Number of utterances in a split.
+    pub fn len(&self, split: Split) -> usize {
+        self.config.samples_per_class[split.index()] * self.num_classes()
+    }
+
+    /// `true` if the split holds no utterances.
+    pub fn is_empty(&self, split: Split) -> bool {
+        self.len(split) == 0
+    }
+
+    /// Generates utterance `idx` of `split`: `(waveform, label)`.
+    ///
+    /// Classes are interleaved (`idx % num_classes` is the label) so any
+    /// prefix of a split is class-balanced. For the binary task the
+    /// "notdog" class draws uniformly from the other 34 keywords plus a
+    /// background-noise-only variant.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx >= self.len(split)`.
+    pub fn utterance(&self, split: Split, idx: usize) -> (Vec<f32>, usize) {
+        assert!(
+            idx < self.len(split),
+            "index {idx} out of bounds for split with {} utterances",
+            self.len(split)
+        );
+        let ncls = self.num_classes();
+        let label = idx % ncls;
+        // Unique per (seed, split, idx) stream.
+        let useed = self
+            .config
+            .seed
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add((split.index() as u64) << 56 | idx as u64);
+        let wave = match self.config.task {
+            Task::AllKeywords => self.voices[label].render(&self.config.synth, useed),
+            Task::Binary { target } => {
+                let target_idx = keyword_index(target).expect("validated in constructor");
+                if label == 1 {
+                    self.voices[target_idx].render(&self.config.synth, useed)
+                } else {
+                    // Draw the notdog source from a *hashed* stream so every
+                    // split mixes all 34 other keywords plus noise clips
+                    // (~15 % of notdog samples are background noise).
+                    let mut h = useed ^ 0xA5A5_5A5A_0F0F_F0F0;
+                    h = (h ^ (h >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                    h = (h ^ (h >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                    h ^= h >> 31;
+                    let pick = h as usize % 40;
+                    if pick >= 34 {
+                        KeywordVoice::render_noise(&self.config.synth, useed)
+                    } else {
+                        let other = (0..GSC_KEYWORDS.len())
+                            .filter(|&i| i != target_idx)
+                            .nth(pick % 34)
+                            .expect("34 non-target keywords");
+                        self.voices[other].render(&self.config.synth, useed)
+                    }
+                }
+            }
+        };
+        (wave, label)
+    }
+
+    /// Materialises a whole split through an MFCC front end.
+    ///
+    /// # Errors
+    ///
+    /// Propagates MFCC extraction errors (cannot occur for the presets,
+    /// which pad to a fixed clip length).
+    pub fn materialize(
+        &self,
+        split: Split,
+        frontend: &MfccExtractor,
+    ) -> Result<MfccDataset, kwt_audio::AudioError> {
+        let n = self.len(split);
+        let mut x = Vec::with_capacity(n);
+        let mut y = Vec::with_capacity(n);
+        for i in 0..n {
+            let (wave, label) = self.utterance(split, i);
+            x.push(frontend.extract_padded(&wave)?);
+            y.push(label);
+        }
+        Ok(MfccDataset {
+            x,
+            y,
+            num_classes: self.num_classes(),
+        })
+    }
+}
+
+/// A split materialised as MFCC matrices — the trainer's working format.
+#[derive(Debug, Clone)]
+pub struct MfccDataset {
+    /// Feature matrices, one `T x F` matrix per utterance.
+    pub x: Vec<Mat<f32>>,
+    /// Labels, parallel to `x`.
+    pub y: Vec<usize>,
+    /// Number of classes in the task.
+    pub num_classes: usize,
+}
+
+impl MfccDataset {
+    /// Number of examples.
+    pub fn len(&self) -> usize {
+        self.x.len()
+    }
+
+    /// `true` when the dataset holds no examples.
+    pub fn is_empty(&self) -> bool {
+        self.x.is_empty()
+    }
+
+    /// Per-feature mean/std over the whole split — used to normalise
+    /// inputs before the transformer (and to pick quantisation ranges).
+    pub fn feature_stats(&self) -> (f32, f32) {
+        let mut n = 0usize;
+        let mut sum = 0.0f64;
+        let mut sq = 0.0f64;
+        for m in &self.x {
+            for &v in m.as_slice() {
+                sum += v as f64;
+                sq += (v as f64) * (v as f64);
+                n += 1;
+            }
+        }
+        if n == 0 {
+            return (0.0, 1.0);
+        }
+        let mean = sum / n as f64;
+        let var = (sq / n as f64 - mean * mean).max(1e-12);
+        (mean as f32, var.sqrt() as f32)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kwt_audio::kwt_tiny_frontend;
+
+    fn tiny_config() -> GscConfig {
+        GscConfig {
+            samples_per_class: [4, 2, 2],
+            ..GscConfig::default()
+        }
+    }
+
+    #[test]
+    fn binary_task_has_two_classes() {
+        let ds = SyntheticGsc::new(tiny_config());
+        assert_eq!(ds.num_classes(), 2);
+        assert_eq!(ds.class_names(), vec!["notdog".to_string(), "dog".to_string()]);
+        assert_eq!(ds.len(Split::Train), 8);
+        assert_eq!(ds.len(Split::Val), 4);
+        assert!(!ds.is_empty(Split::Test));
+    }
+
+    #[test]
+    fn all_keywords_task_has_35() {
+        let ds = SyntheticGsc::new(GscConfig {
+            task: Task::AllKeywords,
+            samples_per_class: [1, 1, 1],
+            ..GscConfig::default()
+        });
+        assert_eq!(ds.num_classes(), 35);
+        assert_eq!(ds.len(Split::Train), 35);
+        assert_eq!(ds.class_names()[4], "dog");
+    }
+
+    #[test]
+    fn labels_are_interleaved_and_balanced() {
+        let ds = SyntheticGsc::new(tiny_config());
+        let labels: Vec<usize> = (0..ds.len(Split::Train))
+            .map(|i| ds.utterance(Split::Train, i).1)
+            .collect();
+        assert_eq!(labels, vec![0, 1, 0, 1, 0, 1, 0, 1]);
+    }
+
+    #[test]
+    fn utterances_are_deterministic_and_split_disjoint() {
+        let ds = SyntheticGsc::new(tiny_config());
+        let (a1, _) = ds.utterance(Split::Train, 1);
+        let (a2, _) = ds.utterance(Split::Train, 1);
+        assert_eq!(a1, a2);
+        let (b, _) = ds.utterance(Split::Val, 1);
+        assert_ne!(a1, b, "train and val must differ");
+        let (c, _) = ds.utterance(Split::Test, 1);
+        assert_ne!(a1, c);
+        assert_ne!(b, c);
+    }
+
+    #[test]
+    fn seeds_change_the_data() {
+        let d1 = SyntheticGsc::new(tiny_config());
+        let d2 = SyntheticGsc::new(GscConfig {
+            seed: 999,
+            ..tiny_config()
+        });
+        assert_ne!(
+            d1.utterance(Split::Train, 0).0,
+            d2.utterance(Split::Train, 0).0
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn out_of_range_index_panics() {
+        let ds = SyntheticGsc::new(tiny_config());
+        let _ = ds.utterance(Split::Val, 100);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown target keyword")]
+    fn unknown_target_panics() {
+        let _ = SyntheticGsc::new(GscConfig {
+            task: Task::Binary { target: "klaxon" },
+            ..GscConfig::default()
+        });
+    }
+
+    #[test]
+    fn materialize_produces_mfcc_matrices() {
+        let ds = SyntheticGsc::new(tiny_config());
+        let fe = kwt_tiny_frontend().unwrap();
+        let split = ds.materialize(Split::Val, &fe).unwrap();
+        assert_eq!(split.len(), 4);
+        assert!(!split.is_empty());
+        assert_eq!(split.num_classes, 2);
+        for m in &split.x {
+            assert_eq!(m.shape(), (26, 16));
+        }
+        let (_, std) = split.feature_stats();
+        assert!(std > 0.0);
+    }
+
+    #[test]
+    fn binary_notdog_uses_varied_sources() {
+        // Among a handful of notdog samples there should be at least two
+        // distinct spectral signatures (different source keywords).
+        let ds = SyntheticGsc::new(GscConfig {
+            samples_per_class: [16, 2, 2],
+            ..GscConfig::default()
+        });
+        let fe = kwt_tiny_frontend().unwrap();
+        let mut sigs = Vec::new();
+        for i in 0..ds.len(Split::Train) {
+            let (wave, label) = ds.utterance(Split::Train, i);
+            if label == 0 {
+                let m = fe.extract_padded(&wave).unwrap();
+                // coarse signature: mean of first MFCC column
+                let sig: f32 =
+                    (0..m.rows()).map(|t| m[(t, 1)]).sum::<f32>() / m.rows() as f32;
+                sigs.push(sig);
+            }
+        }
+        sigs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let spread = sigs.last().unwrap() - sigs.first().unwrap();
+        assert!(spread > 0.1, "notdog class suspiciously uniform: {spread}");
+    }
+}

@@ -1,0 +1,45 @@
+//! The 35-word Google Speech Commands v2 vocabulary.
+
+/// The 35 keywords of Google Speech Commands v2, in canonical order.
+///
+/// KWT-1 classifies all 35; KWT-Tiny collapses them to
+/// `{"dog", "notdog"}` (paper §III).
+pub const GSC_KEYWORDS: [&str; 35] = [
+    "backward", "bed", "bird", "cat", "dog", "down", "eight", "five", "follow", "forward",
+    "four", "go", "happy", "house", "learn", "left", "marvin", "nine", "no", "off", "on",
+    "one", "right", "seven", "sheila", "six", "stop", "three", "tree", "two", "up", "visual",
+    "wow", "yes", "zero",
+];
+
+/// Looks up the canonical index of a keyword.
+///
+/// # Example
+/// ```
+/// assert_eq!(kwt_dataset::keyword_index("dog"), Some(4));
+/// assert_eq!(kwt_dataset::keyword_index("klaxon"), None);
+/// ```
+pub fn keyword_index(word: &str) -> Option<usize> {
+    GSC_KEYWORDS.iter().position(|&w| w == word)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn thirty_five_unique_keywords() {
+        assert_eq!(GSC_KEYWORDS.len(), 35);
+        let mut sorted = GSC_KEYWORDS.to_vec();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 35);
+    }
+
+    #[test]
+    fn index_round_trips() {
+        for (i, w) in GSC_KEYWORDS.iter().enumerate() {
+            assert_eq!(keyword_index(w), Some(i));
+        }
+        assert_eq!(keyword_index(""), None);
+    }
+}

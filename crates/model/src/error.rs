@@ -1,0 +1,99 @@
+use std::fmt;
+
+/// Error type for model construction, loading and inference.
+#[derive(Debug)]
+pub enum ModelError {
+    /// A configuration field is inconsistent or out of range.
+    InvalidConfig {
+        /// Which field.
+        field: &'static str,
+        /// Why it is invalid.
+        why: String,
+    },
+    /// The input spectrogram does not match the configured `[F, T]`.
+    InputShape {
+        /// Expected `(T, F)`.
+        expected: (usize, usize),
+        /// Received `(rows, cols)`.
+        got: (usize, usize),
+    },
+    /// A tensor kernel reported a shape error (indicates corrupted
+    /// parameters).
+    Tensor(kwt_tensor::TensorError),
+    /// Checkpoint (de)serialisation failure.
+    Serde(String),
+    /// Filesystem failure while reading or writing a checkpoint.
+    Io(std::io::Error),
+}
+
+impl fmt::Display for ModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelError::InvalidConfig { field, why } => {
+                write!(f, "invalid model config field `{field}`: {why}")
+            }
+            ModelError::InputShape { expected, got } => write!(
+                f,
+                "input spectrogram shape {}x{} does not match configured {}x{} (T x F)",
+                got.0, got.1, expected.0, expected.1
+            ),
+            ModelError::Tensor(e) => write!(f, "tensor kernel error: {e}"),
+            ModelError::Serde(e) => write!(f, "checkpoint serialisation error: {e}"),
+            ModelError::Io(e) => write!(f, "checkpoint io error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ModelError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ModelError::Tensor(e) => Some(e),
+            ModelError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<kwt_tensor::TensorError> for ModelError {
+    fn from(e: kwt_tensor::TensorError) -> Self {
+        ModelError::Tensor(e)
+    }
+}
+
+impl From<std::io::Error> for ModelError {
+    fn from(e: std::io::Error) -> Self {
+        ModelError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        let e = ModelError::InputShape {
+            expected: (26, 16),
+            got: (98, 40),
+        };
+        assert!(e.to_string().contains("98x40"));
+        let e = ModelError::InvalidConfig {
+            field: "dim",
+            why: "zero".into(),
+        };
+        assert!(e.to_string().contains("dim"));
+    }
+
+    #[test]
+    fn tensor_error_converts() {
+        let te = kwt_tensor::TensorError::Empty { op: "softmax" };
+        let me: ModelError = te.into();
+        assert!(matches!(me, ModelError::Tensor(_)));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<ModelError>();
+    }
+}

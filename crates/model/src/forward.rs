@@ -1,0 +1,192 @@
+//! The float inference pass (paper Fig. 1).
+
+use crate::{KwtParams, ModelError, Result};
+use kwt_tensor::{ops, Mat};
+
+/// Runs one inference pass, returning the raw class logits.
+///
+/// Pipeline (paper Fig. 1, post-norm):
+///
+/// 1. project each time-frame patch: `tokens = X W0 + b0`
+/// 2. prepend the class token, add positional embeddings
+/// 3. per block: `x = LN1(x + W_out · SA(QKV(x)))`, then
+///    `x = LN2(x + MLP(x))` with a GELU inside the MLP (eq. 6)
+/// 4. logits = class-token row × head matrix (eq. 8)
+///
+/// # Errors
+///
+/// Returns [`ModelError::InputShape`] if `mfcc` is not
+/// `input_time x input_freq`, or a propagated kernel error if the
+/// parameter tensors are inconsistent.
+pub fn forward(params: &KwtParams, mfcc: &Mat<f32>) -> Result<Vec<f32>> {
+    let c = &params.config;
+    if mfcc.shape() != (c.input_time, c.input_freq) {
+        return Err(ModelError::InputShape {
+            expected: (c.input_time, c.input_freq),
+            got: mfcc.shape(),
+        });
+    }
+
+    // 1. Patch projection: T x F -> T x dim.
+    let tokens = ops::linear(mfcc, &params.w_proj, &params.b_proj)?;
+
+    // 2. Class token + positional embeddings: S x dim, S = T + 1.
+    let cls_row = Mat::from_vec(1, c.dim, params.class_token.clone())
+        .expect("class token length enforced by construction");
+    let mut x = cls_row.vstack(&tokens)?;
+    ops::add_assign(&mut x, &params.pos_emb)?;
+
+    // 3. Transformer blocks (post-norm).
+    for layer in &params.layers {
+        // Self-attention branch.
+        let qkv = ops::linear(&x, &layer.w_qkv, &layer.b_qkv)?;
+        let sa = ops::multi_head_attention(&qkv, c.heads, c.dim_head)?;
+        let attn_out = ops::linear(&sa, &layer.w_out, &layer.b_out)?;
+        ops::add_assign(&mut x, &attn_out)?;
+        ops::layer_norm_rows(&mut x, &layer.ln1_gamma, &layer.ln1_beta, c.ln_eps)?;
+
+        // MLP branch (eq. 6): GELU(x W1 + b1) W2 + b2.
+        let mut hidden = ops::linear(&x, &layer.w_mlp1, &layer.b_mlp1)?;
+        ops::gelu(hidden.as_mut_slice());
+        let mlp_out = ops::linear(&hidden, &layer.w_mlp2, &layer.b_mlp2)?;
+        ops::add_assign(&mut x, &mlp_out)?;
+        ops::layer_norm_rows(&mut x, &layer.ln2_gamma, &layer.ln2_beta, c.ln_eps)?;
+    }
+
+    // 4. Classification head on the class token.
+    let cls = Mat::from_vec(1, c.dim, x.row(0).to_vec()).expect("row has dim elements");
+    let logits = ops::linear(&cls, &params.w_head, &params.b_head)?;
+    Ok(logits.into_vec())
+}
+
+/// Softmax over logits — the class probability vector.
+///
+/// # Errors
+///
+/// Returns a kernel error only for an empty logit vector.
+pub fn softmax_probs(logits: &[f32]) -> Result<Vec<f32>> {
+    let mut p = logits.to_vec();
+    ops::softmax_normalized(&mut p)?;
+    Ok(p)
+}
+
+/// Runs [`forward`] and returns the arg-max class index.
+///
+/// # Errors
+///
+/// Propagates [`forward`] errors.
+pub fn predict(params: &KwtParams, mfcc: &Mat<f32>) -> Result<usize> {
+    let logits = forward(params, mfcc)?;
+    Ok(logits
+        .iter()
+        .enumerate()
+        .max_by(|a, b| a.1.partial_cmp(b.1).expect("logits are finite"))
+        .map(|(i, _)| i)
+        .expect("num_classes > 0 enforced by config validation"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::KwtConfig;
+
+    fn tiny() -> KwtParams {
+        KwtParams::init(KwtConfig::kwt_tiny(), 42).unwrap()
+    }
+
+    fn tiny_input(seed: u64) -> Mat<f32> {
+        Mat::from_fn(26, 16, |r, c| {
+            let h = seed
+                .wrapping_mul(31)
+                .wrapping_add((r * 16 + c) as u64)
+                .wrapping_mul(0x9E37_79B9_7F4A_7C15);
+            ((h >> 40) as f32 / (1u64 << 24) as f32) - 0.5
+        })
+    }
+
+    #[test]
+    fn forward_produces_finite_logits() {
+        let p = tiny();
+        let logits = forward(&p, &tiny_input(0)).unwrap();
+        assert_eq!(logits.len(), 2);
+        assert!(logits.iter().all(|l| l.is_finite()));
+    }
+
+    #[test]
+    fn forward_is_deterministic() {
+        let p = tiny();
+        assert_eq!(
+            forward(&p, &tiny_input(1)).unwrap(),
+            forward(&p, &tiny_input(1)).unwrap()
+        );
+    }
+
+    #[test]
+    fn forward_depends_on_input() {
+        let p = tiny();
+        assert_ne!(
+            forward(&p, &tiny_input(1)).unwrap(),
+            forward(&p, &tiny_input(2)).unwrap()
+        );
+    }
+
+    #[test]
+    fn forward_rejects_wrong_shape() {
+        let p = tiny();
+        let bad = Mat::zeros(16, 26); // transposed
+        assert!(matches!(
+            forward(&p, &bad),
+            Err(ModelError::InputShape { .. })
+        ));
+    }
+
+    #[test]
+    fn kwt1_forward_shapes_work() {
+        let p = KwtParams::init(KwtConfig::kwt1(), 0).unwrap();
+        let x = Mat::zeros(98, 40);
+        let logits = forward(&p, &x).unwrap();
+        assert_eq!(logits.len(), 35);
+        assert!(logits.iter().all(|l| l.is_finite()));
+    }
+
+    #[test]
+    fn softmax_probs_is_distribution() {
+        let probs = softmax_probs(&[1.0, -2.0, 0.5]).unwrap();
+        assert!((probs.iter().sum::<f32>() - 1.0).abs() < 1e-6);
+        assert_eq!(probs.len(), 3);
+    }
+
+    #[test]
+    fn predict_returns_argmax() {
+        let p = tiny();
+        let x = tiny_input(3);
+        let logits = forward(&p, &x).unwrap();
+        let want = if logits[0] >= logits[1] { 0 } else { 1 };
+        assert_eq!(predict(&p, &x).unwrap(), want);
+    }
+
+    #[test]
+    fn positional_embeddings_matter() {
+        // Zeroing the positional embeddings must change the logits of a
+        // non-trivial input (sanity check that they are applied).
+        let p = tiny();
+        let mut q = p.clone();
+        q.pos_emb = Mat::zeros(27, 12);
+        assert_ne!(
+            forward(&p, &tiny_input(5)).unwrap(),
+            forward(&q, &tiny_input(5)).unwrap()
+        );
+    }
+
+    #[test]
+    fn class_token_row_is_used_for_logits() {
+        // Change only the head bias: logits shift by exactly that amount.
+        let p = tiny();
+        let mut q = p.clone();
+        q.b_head = vec![1.0, -1.0];
+        let a = forward(&p, &tiny_input(6)).unwrap();
+        let b = forward(&q, &tiny_input(6)).unwrap();
+        assert!((b[0] - a[0] - 1.0).abs() < 1e-6);
+        assert!((b[1] - a[1] + 1.0).abs() < 1e-6);
+    }
+}

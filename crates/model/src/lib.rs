@@ -1,0 +1,51 @@
+//! # kwt-model
+//!
+//! The Keyword Transformer (KWT) architecture — the paper's core model —
+//! parameterised by every attribute of Table III, with float inference
+//! built on the [`kwt_tensor`] kernels.
+//!
+//! KWT is a post-norm, encoder-only Vision-Transformer variant: the MFCC
+//! spectrogram `X ∈ R^{T x F}` is tokenised one time-frame per patch
+//! (`PATCH_DIM = [F, 1]`), linearly projected to `dim`, prepended with a
+//! class token, offset by learned positional embeddings, passed through
+//! `depth` transformer blocks, and classified from the class token.
+//!
+//! Two presets reproduce the paper's models:
+//!
+//! * [`KwtConfig::kwt1`] — 35 classes, ~607 k parameters (Table I)
+//! * [`KwtConfig::kwt_tiny`] — 2 classes, **exactly 1 646 parameters**
+//!   (Table IV) — the 369x shrink that is the paper's headline
+//!
+//! # Example
+//!
+//! ```
+//! use kwt_model::{KwtConfig, KwtParams};
+//! use kwt_tensor::Mat;
+//!
+//! # fn main() -> Result<(), kwt_model::ModelError> {
+//! let config = KwtConfig::kwt_tiny();
+//! assert_eq!(config.param_count(), 1646);
+//!
+//! let params = KwtParams::init(config, 42)?;
+//! let mfcc = Mat::zeros(26, 16); // T x F
+//! let logits = kwt_model::forward(&params, &mfcc)?;
+//! assert_eq!(logits.len(), 2);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod config;
+mod error;
+mod forward;
+mod params;
+
+pub use config::KwtConfig;
+pub use error::ModelError;
+pub use forward::{forward, predict, softmax_probs};
+pub use params::{KwtParams, LayerParams};
+
+/// Convenience alias for results returned by this crate.
+pub type Result<T> = std::result::Result<T, ModelError>;

@@ -1,0 +1,351 @@
+//! Model parameters: layout, initialisation, flattening and checkpoints.
+
+use crate::{KwtConfig, ModelError, Result};
+use kwt_tensor::Mat;
+use rand::Rng;
+use rand_chacha::rand_core::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+use std::path::Path;
+
+/// Parameters of one transformer block.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LayerParams {
+    /// Fused QKV projection, `dim x (3 * heads * dim_head)`.
+    pub w_qkv: Mat<f32>,
+    /// QKV bias, length `3 * heads * dim_head`.
+    pub b_qkv: Vec<f32>,
+    /// Attention output projection, `(heads * dim_head) x dim`.
+    pub w_out: Mat<f32>,
+    /// Output projection bias, length `dim`.
+    pub b_out: Vec<f32>,
+    /// Post-attention layer-norm scale, length `dim`.
+    pub ln1_gamma: Vec<f32>,
+    /// Post-attention layer-norm shift, length `dim`.
+    pub ln1_beta: Vec<f32>,
+    /// First MLP weight, `dim x mlp_dim`.
+    pub w_mlp1: Mat<f32>,
+    /// First MLP bias, length `mlp_dim`.
+    pub b_mlp1: Vec<f32>,
+    /// Second MLP weight, `mlp_dim x dim`.
+    pub w_mlp2: Mat<f32>,
+    /// Second MLP bias, length `dim`.
+    pub b_mlp2: Vec<f32>,
+    /// Post-MLP layer-norm scale, length `dim`.
+    pub ln2_gamma: Vec<f32>,
+    /// Post-MLP layer-norm shift, length `dim`.
+    pub ln2_beta: Vec<f32>,
+}
+
+/// All parameters of a KWT model, together with its configuration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct KwtParams {
+    /// The hyper-parameters these tensors were shaped for.
+    pub config: KwtConfig,
+    /// Patch projection, `input_freq x dim`.
+    pub w_proj: Mat<f32>,
+    /// Patch projection bias, length `dim`.
+    pub b_proj: Vec<f32>,
+    /// Learned positional embeddings, `seqlen x dim`.
+    pub pos_emb: Mat<f32>,
+    /// Learned class token, length `dim`.
+    pub class_token: Vec<f32>,
+    /// Transformer blocks, length `depth`.
+    pub layers: Vec<LayerParams>,
+    /// Classification head weight, `dim x num_classes`.
+    pub w_head: Mat<f32>,
+    /// Classification head bias, length `num_classes`.
+    pub b_head: Vec<f32>,
+}
+
+fn xavier(rng: &mut ChaCha8Rng, rows: usize, cols: usize) -> Mat<f32> {
+    let limit = (6.0 / (rows + cols) as f64).sqrt() as f32;
+    Mat::from_fn(rows, cols, |_, _| rng.gen_range(-limit..=limit))
+}
+
+impl KwtParams {
+    /// Creates a model with Xavier-uniform weights, zero biases, unit
+    /// layer-norm scales and small random positional embeddings / class
+    /// token, from a deterministic seed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::InvalidConfig`] if the configuration fails
+    /// [`KwtConfig::validate`].
+    pub fn init(config: KwtConfig, seed: u64) -> Result<Self> {
+        config.validate()?;
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let inner = config.heads * config.dim_head;
+        let layers = (0..config.depth)
+            .map(|_| LayerParams {
+                w_qkv: xavier(&mut rng, config.dim, 3 * inner),
+                b_qkv: vec![0.0; 3 * inner],
+                w_out: xavier(&mut rng, inner, config.dim),
+                b_out: vec![0.0; config.dim],
+                ln1_gamma: vec![1.0; config.dim],
+                ln1_beta: vec![0.0; config.dim],
+                w_mlp1: xavier(&mut rng, config.dim, config.mlp_dim),
+                b_mlp1: vec![0.0; config.mlp_dim],
+                w_mlp2: xavier(&mut rng, config.mlp_dim, config.dim),
+                b_mlp2: vec![0.0; config.dim],
+                ln2_gamma: vec![1.0; config.dim],
+                ln2_beta: vec![0.0; config.dim],
+            })
+            .collect();
+        Ok(KwtParams {
+            w_proj: xavier(&mut rng, config.input_freq, config.dim),
+            b_proj: vec![0.0; config.dim],
+            pos_emb: Mat::from_fn(config.seqlen(), config.dim, |_, _| {
+                rng.gen_range(-0.02..=0.02)
+            }),
+            class_token: (0..config.dim).map(|_| rng.gen_range(-0.02..=0.02)).collect(),
+            layers,
+            w_head: xavier(&mut rng, config.dim, config.num_classes),
+            b_head: vec![0.0; config.num_classes],
+            config,
+        })
+    }
+
+    /// Creates an all-zero parameter set of the same shapes — the gradient
+    /// accumulator used by the trainer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::InvalidConfig`] for invalid configurations.
+    pub fn zeros(config: KwtConfig) -> Result<Self> {
+        config.validate()?;
+        let inner = config.heads * config.dim_head;
+        let layers = (0..config.depth)
+            .map(|_| LayerParams {
+                w_qkv: Mat::zeros(config.dim, 3 * inner),
+                b_qkv: vec![0.0; 3 * inner],
+                w_out: Mat::zeros(inner, config.dim),
+                b_out: vec![0.0; config.dim],
+                ln1_gamma: vec![0.0; config.dim],
+                ln1_beta: vec![0.0; config.dim],
+                w_mlp1: Mat::zeros(config.dim, config.mlp_dim),
+                b_mlp1: vec![0.0; config.mlp_dim],
+                w_mlp2: Mat::zeros(config.mlp_dim, config.dim),
+                b_mlp2: vec![0.0; config.dim],
+                ln2_gamma: vec![0.0; config.dim],
+                ln2_beta: vec![0.0; config.dim],
+            })
+            .collect();
+        Ok(KwtParams {
+            w_proj: Mat::zeros(config.input_freq, config.dim),
+            b_proj: vec![0.0; config.dim],
+            pos_emb: Mat::zeros(config.seqlen(), config.dim),
+            class_token: vec![0.0; config.dim],
+            layers,
+            w_head: Mat::zeros(config.dim, config.num_classes),
+            b_head: vec![0.0; config.num_classes],
+            config,
+        })
+    }
+
+    /// Visits every parameter slice in a fixed canonical order.
+    ///
+    /// The order is the contract for [`KwtParams::flatten`] /
+    /// [`KwtParams::assign_from_flat`]: projection, positional embeddings,
+    /// class token, then per layer (qkv, out, ln1, mlp, ln2), then head.
+    pub fn visit(&self, mut f: impl FnMut(&[f32])) {
+        f(self.w_proj.as_slice());
+        f(&self.b_proj);
+        f(self.pos_emb.as_slice());
+        f(&self.class_token);
+        for l in &self.layers {
+            f(l.w_qkv.as_slice());
+            f(&l.b_qkv);
+            f(l.w_out.as_slice());
+            f(&l.b_out);
+            f(&l.ln1_gamma);
+            f(&l.ln1_beta);
+            f(l.w_mlp1.as_slice());
+            f(&l.b_mlp1);
+            f(l.w_mlp2.as_slice());
+            f(&l.b_mlp2);
+            f(&l.ln2_gamma);
+            f(&l.ln2_beta);
+        }
+        f(self.w_head.as_slice());
+        f(&self.b_head);
+    }
+
+    /// Mutable counterpart of [`KwtParams::visit`], same canonical order.
+    pub fn visit_mut(&mut self, mut f: impl FnMut(&mut [f32])) {
+        f(self.w_proj.as_mut_slice());
+        f(&mut self.b_proj);
+        f(self.pos_emb.as_mut_slice());
+        f(&mut self.class_token);
+        for l in &mut self.layers {
+            f(l.w_qkv.as_mut_slice());
+            f(&mut l.b_qkv);
+            f(l.w_out.as_mut_slice());
+            f(&mut l.b_out);
+            f(&mut l.ln1_gamma);
+            f(&mut l.ln1_beta);
+            f(l.w_mlp1.as_mut_slice());
+            f(&mut l.b_mlp1);
+            f(l.w_mlp2.as_mut_slice());
+            f(&mut l.b_mlp2);
+            f(&mut l.ln2_gamma);
+            f(&mut l.ln2_beta);
+        }
+        f(self.w_head.as_mut_slice());
+        f(&mut self.b_head);
+    }
+
+    /// Counts parameters by walking the tensors (must equal
+    /// [`KwtConfig::param_count`]).
+    pub fn param_count(&self) -> usize {
+        let mut n = 0;
+        self.visit(|s| n += s.len());
+        n
+    }
+
+    /// Flattens all parameters into one vector (canonical order).
+    pub fn flatten(&self) -> Vec<f32> {
+        let mut out = Vec::with_capacity(self.param_count());
+        self.visit(|s| out.extend_from_slice(s));
+        out
+    }
+
+    /// Overwrites all parameters from a flat vector (canonical order).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `flat.len() != self.param_count()`.
+    pub fn assign_from_flat(&mut self, flat: &[f32]) {
+        assert_eq!(
+            flat.len(),
+            self.param_count(),
+            "flat parameter vector length mismatch"
+        );
+        let mut off = 0;
+        self.visit_mut(|s| {
+            s.copy_from_slice(&flat[off..off + s.len()]);
+            off += s.len();
+        });
+    }
+
+    /// Largest absolute weight value — used to sanity-check quantisation
+    /// scale choices.
+    pub fn max_abs_weight(&self) -> f32 {
+        let mut m = 0.0f32;
+        self.visit(|s| {
+            for &v in s {
+                m = m.max(v.abs());
+            }
+        });
+        m
+    }
+
+    /// Saves the parameters as JSON.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::Io`] / [`ModelError::Serde`] on failure.
+    pub fn save_json(&self, path: impl AsRef<Path>) -> Result<()> {
+        let json = serde_json::to_string(self).map_err(|e| ModelError::Serde(e.to_string()))?;
+        std::fs::write(path, json)?;
+        Ok(())
+    }
+
+    /// Loads parameters saved by [`KwtParams::save_json`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::Io`] / [`ModelError::Serde`] on failure.
+    pub fn load_json(path: impl AsRef<Path>) -> Result<Self> {
+        let json = std::fs::read_to_string(path)?;
+        serde_json::from_str(&json).map_err(|e| ModelError::Serde(e.to_string()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn init_matches_config_param_count() {
+        for config in [KwtConfig::kwt_tiny(), KwtConfig::kwt1()] {
+            let p = KwtParams::init(config, 1).unwrap();
+            assert_eq!(p.param_count(), config.param_count());
+        }
+    }
+
+    #[test]
+    fn init_is_deterministic() {
+        let a = KwtParams::init(KwtConfig::kwt_tiny(), 7).unwrap();
+        let b = KwtParams::init(KwtConfig::kwt_tiny(), 7).unwrap();
+        assert_eq!(a, b);
+        let c = KwtParams::init(KwtConfig::kwt_tiny(), 8).unwrap();
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn init_rejects_invalid_config() {
+        let mut c = KwtConfig::kwt_tiny();
+        c.depth = 0;
+        assert!(KwtParams::init(c, 0).is_err());
+        assert!(KwtParams::zeros(c).is_err());
+    }
+
+    #[test]
+    fn layer_norm_scales_start_at_one() {
+        let p = KwtParams::init(KwtConfig::kwt_tiny(), 0).unwrap();
+        assert!(p.layers[0].ln1_gamma.iter().all(|&g| g == 1.0));
+        assert!(p.layers[0].ln2_gamma.iter().all(|&g| g == 1.0));
+        assert!(p.layers[0].ln1_beta.iter().all(|&b| b == 0.0));
+    }
+
+    #[test]
+    fn flatten_round_trip() {
+        let p = KwtParams::init(KwtConfig::kwt_tiny(), 3).unwrap();
+        let flat = p.flatten();
+        assert_eq!(flat.len(), 1646);
+        let mut q = KwtParams::zeros(KwtConfig::kwt_tiny()).unwrap();
+        q.assign_from_flat(&flat);
+        assert_eq!(q, p);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn assign_wrong_length_panics() {
+        let mut p = KwtParams::zeros(KwtConfig::kwt_tiny()).unwrap();
+        p.assign_from_flat(&[0.0; 10]);
+    }
+
+    #[test]
+    fn visit_and_visit_mut_agree_on_order() {
+        let mut p = KwtParams::init(KwtConfig::kwt_tiny(), 5).unwrap();
+        let mut lens_a = Vec::new();
+        p.visit(|s| lens_a.push(s.len()));
+        let mut lens_b = Vec::new();
+        p.visit_mut(|s| lens_b.push(s.len()));
+        assert_eq!(lens_a, lens_b);
+    }
+
+    #[test]
+    fn max_abs_weight_positive_after_init() {
+        let p = KwtParams::init(KwtConfig::kwt_tiny(), 0).unwrap();
+        let m = p.max_abs_weight();
+        assert!(m > 0.0 && m <= 1.1, "xavier weights in range, got {m}");
+    }
+
+    #[test]
+    fn json_checkpoint_round_trip() {
+        let p = KwtParams::init(KwtConfig::kwt_tiny(), 11).unwrap();
+        let dir = std::env::temp_dir().join("kwt_model_test_ckpt.json");
+        p.save_json(&dir).unwrap();
+        let q = KwtParams::load_json(&dir).unwrap();
+        assert_eq!(p, q);
+        let _ = std::fs::remove_file(dir);
+    }
+
+    #[test]
+    fn zeros_is_all_zero() {
+        let z = KwtParams::zeros(KwtConfig::kwt_tiny()).unwrap();
+        z.visit(|s| assert!(s.iter().all(|&v| v == 0.0)));
+    }
+}

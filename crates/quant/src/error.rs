@@ -1,0 +1,62 @@
+use std::fmt;
+
+/// Error type for quantisation and fixed-point operations.
+#[derive(Debug, Clone, PartialEq)]
+pub enum QuantError {
+    /// A scale factor is not a power of two or is out of the supported
+    /// range.
+    BadScaleFactor {
+        /// The offending factor.
+        factor: u32,
+    },
+    /// The quantised model and the input disagree on shapes.
+    Shape(kwt_tensor::TensorError),
+    /// Model-level error (input geometry).
+    Model(String),
+}
+
+impl fmt::Display for QuantError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QuantError::BadScaleFactor { factor } => write!(
+                f,
+                "scale factor {factor} is not a power of two in [2, 32768]"
+            ),
+            QuantError::Shape(e) => write!(f, "shape error in quantised kernel: {e}"),
+            QuantError::Model(m) => write!(f, "quantised model error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for QuantError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            QuantError::Shape(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<kwt_tensor::TensorError> for QuantError {
+    fn from(e: kwt_tensor::TensorError) -> Self {
+        QuantError::Shape(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_bad_scale() {
+        assert!(QuantError::BadScaleFactor { factor: 7 }
+            .to_string()
+            .contains("not a power of two"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<QuantError>();
+    }
+}

@@ -1,0 +1,204 @@
+//! Q8.24 signed fixed point — the number format of the custom ALU blocks
+//! (Table VII: "where X is a Q8.24 integer").
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A signed fixed-point number with 8 integer bits and 24 fractional bits,
+/// stored in an `i32` (range ±128, resolution 2⁻²⁴ ≈ 6e-8).
+///
+/// All arithmetic saturates rather than wraps, matching a safe hardware
+/// implementation.
+///
+/// # Example
+/// ```
+/// use kwt_quant::Q8_24;
+/// let a = Q8_24::from_f32(1.5);
+/// let b = Q8_24::from_f32(2.0);
+/// assert_eq!((a * b).to_f32(), 3.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+pub struct Q8_24(i32);
+
+impl Q8_24 {
+    /// Number of fractional bits.
+    pub const FRAC_BITS: u32 = 24;
+    /// The value 1.0.
+    pub const ONE: Q8_24 = Q8_24(1 << 24);
+    /// The value 0.0.
+    pub const ZERO: Q8_24 = Q8_24(0);
+    /// Largest representable value (≈ 127.99999994).
+    pub const MAX: Q8_24 = Q8_24(i32::MAX);
+    /// Smallest representable value (−128).
+    pub const MIN: Q8_24 = Q8_24(i32::MIN);
+
+    /// Converts from `f32`, rounding to nearest and saturating.
+    ///
+    /// This is the semantics of the paper's `ALU_TO_FIXED` custom
+    /// instruction.
+    pub fn from_f32(x: f32) -> Self {
+        if x.is_nan() {
+            return Q8_24::ZERO;
+        }
+        let scaled = (x as f64 * (1i64 << Self::FRAC_BITS) as f64).round();
+        if scaled >= i32::MAX as f64 {
+            Q8_24::MAX
+        } else if scaled <= i32::MIN as f64 {
+            Q8_24::MIN
+        } else {
+            Q8_24(scaled as i32)
+        }
+    }
+
+    /// Converts to `f32` (the paper's `ALU_TO_FLOAT`).
+    pub fn to_f32(self) -> f32 {
+        self.0 as f32 / (1i64 << Self::FRAC_BITS) as f32
+    }
+
+    /// Wraps a raw `i32` bit pattern.
+    pub fn from_bits(bits: i32) -> Self {
+        Q8_24(bits)
+    }
+
+    /// The raw `i32` bit pattern.
+    pub fn to_bits(self) -> i32 {
+        self.0
+    }
+
+    /// Saturating multiplication (exact in `i64`, then narrowed).
+    pub fn saturating_mul(self, rhs: Q8_24) -> Q8_24 {
+        let wide = (self.0 as i64 * rhs.0 as i64) >> Self::FRAC_BITS;
+        if wide > i32::MAX as i64 {
+            Q8_24::MAX
+        } else if wide < i32::MIN as i64 {
+            Q8_24::MIN
+        } else {
+            Q8_24(wide as i32)
+        }
+    }
+
+    /// Saturating addition.
+    pub fn saturating_add(self, rhs: Q8_24) -> Q8_24 {
+        Q8_24(self.0.saturating_add(rhs.0))
+    }
+
+    /// Saturating subtraction.
+    pub fn saturating_sub(self, rhs: Q8_24) -> Q8_24 {
+        Q8_24(self.0.saturating_sub(rhs.0))
+    }
+
+    /// Absolute value (saturating at `MAX` for `MIN`).
+    pub fn abs(self) -> Q8_24 {
+        if self.0 == i32::MIN {
+            Q8_24::MAX
+        } else {
+            Q8_24(self.0.abs())
+        }
+    }
+}
+
+impl std::ops::Add for Q8_24 {
+    type Output = Q8_24;
+    fn add(self, rhs: Q8_24) -> Q8_24 {
+        self.saturating_add(rhs)
+    }
+}
+
+impl std::ops::Sub for Q8_24 {
+    type Output = Q8_24;
+    fn sub(self, rhs: Q8_24) -> Q8_24 {
+        self.saturating_sub(rhs)
+    }
+}
+
+impl std::ops::Mul for Q8_24 {
+    type Output = Q8_24;
+    fn mul(self, rhs: Q8_24) -> Q8_24 {
+        self.saturating_mul(rhs)
+    }
+}
+
+impl fmt::Display for Q8_24 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.to_f32())
+    }
+}
+
+impl From<Q8_24> for f32 {
+    fn from(q: Q8_24) -> f32 {
+        q.to_f32()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_error_below_resolution() {
+        for i in -1000..1000 {
+            let x = i as f32 * 0.017;
+            let q = Q8_24::from_f32(x);
+            assert!((q.to_f32() - x).abs() < 1.0 / (1 << 23) as f32, "{x}");
+        }
+    }
+
+    #[test]
+    fn one_is_one() {
+        assert_eq!(Q8_24::ONE.to_f32(), 1.0);
+        assert_eq!(Q8_24::from_f32(1.0), Q8_24::ONE);
+        assert_eq!(Q8_24::ZERO.to_f32(), 0.0);
+    }
+
+    #[test]
+    fn multiplication_matches_f64() {
+        let cases = [(1.5, 2.0), (0.125, 8.0), (-3.25, 1.5), (11.0, 11.0), (0.0001, 0.0001)];
+        for (a, b) in cases {
+            let q = Q8_24::from_f32(a) * Q8_24::from_f32(b);
+            assert!(
+                (q.to_f32() as f64 - a as f64 * b as f64).abs() < 1e-5,
+                "{a} * {b} = {q}"
+            );
+        }
+    }
+
+    #[test]
+    fn saturation_at_bounds() {
+        assert_eq!(Q8_24::from_f32(1e6), Q8_24::MAX);
+        assert_eq!(Q8_24::from_f32(-1e6), Q8_24::MIN);
+        assert_eq!(Q8_24::MAX + Q8_24::ONE, Q8_24::MAX);
+        assert_eq!(Q8_24::MIN - Q8_24::ONE, Q8_24::MIN);
+        let big = Q8_24::from_f32(100.0);
+        assert_eq!(big * big, Q8_24::MAX);
+    }
+
+    #[test]
+    fn nan_maps_to_zero() {
+        assert_eq!(Q8_24::from_f32(f32::NAN), Q8_24::ZERO);
+    }
+
+    #[test]
+    fn bits_round_trip() {
+        let q = Q8_24::from_f32(-2.75);
+        assert_eq!(Q8_24::from_bits(q.to_bits()), q);
+    }
+
+    #[test]
+    fn abs_handles_min() {
+        assert_eq!(Q8_24::MIN.abs(), Q8_24::MAX);
+        assert_eq!(Q8_24::from_f32(-1.0).abs(), Q8_24::ONE);
+    }
+
+    #[test]
+    fn ordering_matches_float_ordering() {
+        let a = Q8_24::from_f32(-1.5);
+        let b = Q8_24::from_f32(0.25);
+        let c = Q8_24::from_f32(3.75);
+        assert!(a < b && b < c);
+    }
+
+    #[test]
+    fn display_shows_float_value() {
+        assert_eq!(Q8_24::from_f32(2.5).to_string(), "2.5");
+    }
+}

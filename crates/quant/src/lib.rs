@@ -1,0 +1,58 @@
+//! # kwt-quant
+//!
+//! Everything the paper does *after* training:
+//!
+//! * **Post-training static quantisation** with power-of-two scale factors
+//!   (§IV, eq. 9): INT8 weights, INT16 residuals, float SoftMax/LayerNorm
+//!   with dequantise/requantise boundaries — [`QuantizedKwt`].
+//! * **The Table V sweep** over weight/input scale-factor pairs —
+//!   [`sweep::scale_sweep`].
+//! * **Q8.24 fixed point** ([`Q8_24`]) — the number format of the custom
+//!   RISC-V instructions (Table VII).
+//! * **The three lookup tables** (§VI, eqs. 11–13): 320-entry `exp`,
+//!   320-entry reciprocal, 32-entry GELU — [`LutSet`] — plus the
+//!   gradient-descent optimiser for the GELU clip thresholds
+//!   ([`gelu_opt::optimize_thresholds`]), which the paper reports as
+//!   −1.857 / 1.595.
+//! * **Bit-exact host golden models** of the accelerated SoftMax and GELU
+//!   ([`fixed_softmax`], [`fixed_gelu`]) — the RV32 simulator's custom
+//!   instructions are implemented in terms of the same functions, so
+//!   host-side accuracy sweeps predict on-target behaviour exactly.
+//!
+//! # Example
+//!
+//! ```
+//! use kwt_model::{KwtConfig, KwtParams};
+//! use kwt_quant::{QuantConfig, QuantizedKwt};
+//! use kwt_tensor::Mat;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let params = KwtParams::init(KwtConfig::kwt_tiny(), 1)?;
+//! // Table V's best row: weight scale 64, input scale 32.
+//! let qconfig = QuantConfig::from_factors(64, 32)?;
+//! let qmodel = QuantizedKwt::quantize(&params, qconfig);
+//! let logits = qmodel.forward(&Mat::zeros(26, 16))?;
+//! assert_eq!(logits.len(), 2);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod error;
+mod fixed;
+pub mod gelu_opt;
+mod luts;
+mod qmodel;
+mod qscheme;
+pub mod sweep;
+
+pub use error::QuantError;
+pub use fixed::Q8_24;
+pub use luts::{fixed_gelu, fixed_softmax, GeluLut, LutSet, EXP_LUT_LEN, GELU_LUT_LEN, INV_LUT_LEN};
+pub use qmodel::{Nonlinearity, QuantizedKwt};
+pub use qscheme::QuantConfig;
+
+/// Convenience alias for results returned by this crate.
+pub type Result<T> = std::result::Result<T, QuantError>;

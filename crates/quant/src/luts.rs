@@ -1,0 +1,349 @@
+//! The three ROM lookup tables of §VI and bit-exact golden models of the
+//! custom-instruction kernels built on them.
+//!
+//! | Table | Entries | Domain        | Contents (Q8.24)            |
+//! |-------|---------|---------------|------------------------------|
+//! | LUT1  | 320     | `z ∈ [0,10)`  | `e^{-z}` at 32 steps/unit   |
+//! | LUT2  | 320     | `z ∈ (0,10]`  | `1/z` at 32 steps/unit      |
+//! | LUT3  | 32      | `[lo, hi]`    | `GELU(x)` midpoint samples  |
+//!
+//! Total ROM: `(320 + 320 + 32) * 4 = 2688` bytes — the paper's 2.69 kB.
+//!
+//! The index arithmetic matches a hardware implementation exactly:
+//! `z * 32` in Q8.24 is simply `bits >> 19`, clamped into the table.
+
+use crate::fixed::Q8_24;
+use kwt_tensor::math::gelu_exact;
+use serde::{Deserialize, Serialize};
+
+/// Entries in the exponential table (`10 units x 32 divisions`).
+pub const EXP_LUT_LEN: usize = 320;
+/// Entries in the reciprocal table.
+pub const INV_LUT_LEN: usize = 320;
+/// Entries in the GELU table.
+pub const GELU_LUT_LEN: usize = 32;
+
+/// The paper's lower GELU clip threshold (`GELU(x) ≈ 0` below it).
+pub const PAPER_GELU_LO: f32 = -1.857;
+/// The paper's upper GELU clip threshold (`GELU(x) = x` above it).
+pub const PAPER_GELU_HI: f32 = 1.595;
+
+/// The 32-entry GELU table with its clip thresholds (eq. 13 / Fig. 7).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GeluLut {
+    /// Lower clip threshold: below it the approximation returns 0.
+    pub lo: f32,
+    /// Upper clip threshold: above it the approximation returns `x`.
+    pub hi: f32,
+    /// Midpoint samples of `GELU` over `[lo, hi]`, Q8.24.
+    table: Vec<Q8_24>,
+}
+
+impl GeluLut {
+    /// Builds the table for thresholds `[lo, hi]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `lo < hi`.
+    pub fn new(lo: f32, hi: f32) -> Self {
+        assert!(lo < hi, "GELU thresholds must satisfy lo < hi");
+        let step = (hi - lo) / GELU_LUT_LEN as f32;
+        let table = (0..GELU_LUT_LEN)
+            .map(|i| Q8_24::from_f32(gelu_exact(lo + (i as f32 + 0.5) * step)))
+            .collect();
+        GeluLut { lo, hi, table }
+    }
+
+    /// The approximation: piecewise clip + table lookup.
+    pub fn eval(&self, x: Q8_24) -> Q8_24 {
+        let xf = x.to_f32();
+        if xf > self.hi {
+            return x;
+        }
+        if xf < self.lo {
+            return Q8_24::ZERO;
+        }
+        let step = (self.hi - self.lo) / GELU_LUT_LEN as f32;
+        let idx = (((xf - self.lo) / step) as usize).min(GELU_LUT_LEN - 1);
+        self.table[idx]
+    }
+
+    /// Raw Q8.24 table words (for ROM embedding).
+    pub fn words(&self) -> Vec<i32> {
+        self.table.iter().map(|q| q.to_bits()).collect()
+    }
+}
+
+/// The full LUT ROM: exp, reciprocal and GELU tables.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LutSet {
+    exp: Vec<Q8_24>,
+    inv: Vec<Q8_24>,
+    /// The GELU table (public: threshold experiments re-build it).
+    pub gelu: GeluLut,
+}
+
+impl Default for LutSet {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LutSet {
+    /// Builds the ROMs with the paper's GELU thresholds.
+    pub fn new() -> Self {
+        Self::with_gelu_thresholds(PAPER_GELU_LO, PAPER_GELU_HI)
+    }
+
+    /// Builds the ROMs with custom GELU clip thresholds (the threshold
+    /// optimiser uses this).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `lo < hi`.
+    pub fn with_gelu_thresholds(lo: f32, hi: f32) -> Self {
+        // LUT1[i] = e^{-(i/32)}  (eq. 11: LUT1[z*32] ≈ 1/e^z)
+        let exp = (0..EXP_LUT_LEN)
+            .map(|i| Q8_24::from_f32((-(i as f64) / 32.0).exp() as f32))
+            .collect();
+        // LUT2[i] = 1/((i+1)/32) = 32/(i+1)  (eq. 12: LUT2[z*32 - 1] ≈ 1/z)
+        let inv = (0..INV_LUT_LEN)
+            .map(|i| Q8_24::from_f32(32.0 / (i as f32 + 1.0)))
+            .collect();
+        LutSet {
+            exp,
+            inv,
+            gelu: GeluLut::new(lo, hi),
+        }
+    }
+
+    /// `ALU_EXP` (funct3 = 000): `e^{-z}` for `z ≥ 0` via LUT1.
+    ///
+    /// Negative inputs clamp to index 0 (`e^0 = 1`); inputs ≥ 10 clamp to
+    /// the last entry (`e^{-9.97} ≈ 4.7e-5`) — exactly what a hardware
+    /// index clamp does.
+    pub fn alu_exp(&self, z: Q8_24) -> Q8_24 {
+        // z * 32 in Q8.24 == bits >> 19.
+        let idx = (z.to_bits() >> 19).clamp(0, EXP_LUT_LEN as i32 - 1);
+        self.exp[idx as usize]
+    }
+
+    /// `ALU_INVERT` (funct3 = 001): `1/z` for `z ∈ (0, 10]` via LUT2.
+    ///
+    /// Inputs above 10 clamp to the last entry (`1/10`), undersized inputs
+    /// clamp to the first (`32`) — the saturation artefacts the paper's
+    /// ≈80 % accelerated accuracy inherits.
+    pub fn alu_invert(&self, z: Q8_24) -> Q8_24 {
+        let idx = ((z.to_bits() >> 19) - 1).clamp(0, INV_LUT_LEN as i32 - 1);
+        self.inv[idx as usize]
+    }
+
+    /// `ALU_GELU` (funct3 = 011): the piecewise-clipped LUT approximation.
+    pub fn alu_gelu(&self, x: Q8_24) -> Q8_24 {
+        self.gelu.eval(x)
+    }
+
+    /// Total ROM footprint in bytes (paper: 2.69 kB).
+    pub fn rom_bytes(&self) -> usize {
+        (self.exp.len() + self.inv.len() + GELU_LUT_LEN) * 4
+    }
+
+    /// Raw LUT1 words for ROM embedding.
+    pub fn exp_words(&self) -> Vec<i32> {
+        self.exp.iter().map(|q| q.to_bits()).collect()
+    }
+
+    /// Raw LUT2 words for ROM embedding.
+    pub fn inv_words(&self) -> Vec<i32> {
+        self.inv.iter().map(|q| q.to_bits()).collect()
+    }
+}
+
+/// Golden model of the accelerated SoftMax kernel (§VI):
+///
+/// 1. `ALU_TO_FIXED` each score
+/// 2. fixed-point max; `z_i = max − x_i ∈ [0, ∞)`
+/// 3. `e_i = ALU_EXP(z_i)` (= `e^{x_i − max}`)
+/// 4. fixed-point sum
+/// 5. `inv = ALU_INVERT(sum)`
+/// 6. `p_i = e_i · inv`, `ALU_TO_FLOAT`
+///
+/// # Panics
+///
+/// Panics on an empty slice.
+pub fn fixed_softmax(xs: &[f32], luts: &LutSet) -> Vec<f32> {
+    assert!(!xs.is_empty(), "empty softmax input");
+    let fixed: Vec<Q8_24> = xs.iter().map(|&x| Q8_24::from_f32(x)).collect();
+    let max = fixed.iter().copied().max().expect("non-empty");
+    let exps: Vec<Q8_24> = fixed.iter().map(|&x| luts.alu_exp(max - x)).collect();
+    let mut sum = Q8_24::ZERO;
+    for &e in &exps {
+        sum = sum + e;
+    }
+    let inv = luts.alu_invert(sum);
+    exps.iter().map(|&e| (e * inv).to_f32()).collect()
+}
+
+/// Golden model of the accelerated GELU kernel:
+/// `ALU_TO_FIXED` → `ALU_GELU` → `ALU_TO_FLOAT`.
+pub fn fixed_gelu(x: f32, luts: &LutSet) -> f32 {
+    luts.alu_gelu(Q8_24::from_f32(x)).to_f32()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kwt_tensor::ops;
+
+    #[test]
+    fn rom_size_matches_paper() {
+        let luts = LutSet::new();
+        assert_eq!(luts.rom_bytes(), 2688); // 2.69 kB
+        assert_eq!(luts.exp_words().len(), 320);
+        assert_eq!(luts.inv_words().len(), 320);
+        assert_eq!(luts.gelu.words().len(), 32);
+    }
+
+    #[test]
+    fn exp_lut_tracks_exponential() {
+        let luts = LutSet::new();
+        for i in 0..200 {
+            let z = i as f32 * 0.05; // [0, 10)
+            let got = luts.alu_exp(Q8_24::from_f32(z)).to_f32();
+            let want = (-z).exp();
+            // Step size 1/32 -> relative error bounded by the derivative.
+            assert!(
+                (got - want).abs() < 0.04,
+                "exp(-{z}) = {want}, lut {got}"
+            );
+        }
+    }
+
+    #[test]
+    fn exp_lut_clamps() {
+        let luts = LutSet::new();
+        // negative input -> e^0 = 1
+        assert_eq!(luts.alu_exp(Q8_24::from_f32(-3.0)).to_f32(), 1.0);
+        // beyond 10 -> last entry (tiny)
+        assert!(luts.alu_exp(Q8_24::from_f32(50.0)).to_f32() < 1e-4);
+    }
+
+    #[test]
+    fn inv_lut_tracks_reciprocal() {
+        let luts = LutSet::new();
+        for i in 1..100 {
+            let z = i as f32 * 0.1 + 0.05; // (0, 10)
+            let got = luts.alu_invert(Q8_24::from_f32(z)).to_f32();
+            let want = 1.0 / z;
+            // Table step is 1/32 in z: near zero the reciprocal is steep,
+            // so compare with the quantised-z reference instead of a fixed
+            // tolerance.
+            let z_quant = ((z * 32.0) as i32) as f32 / 32.0;
+            let ref_val = 1.0 / z_quant.max(1.0 / 32.0);
+            assert!(
+                (got - want).abs() <= (ref_val - want).abs() + 0.08,
+                "1/{z}: want {want} got {got}"
+            );
+        }
+    }
+
+    #[test]
+    fn inv_lut_clamps() {
+        let luts = LutSet::new();
+        // above 10 -> 1/10
+        assert!((luts.alu_invert(Q8_24::from_f32(64.0)).to_f32() - 0.1).abs() < 0.01);
+        // near zero -> 32 (largest entry)
+        assert!((luts.alu_invert(Q8_24::from_f32(0.001)).to_f32() - 32.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn fixed_softmax_close_to_float_softmax() {
+        let luts = LutSet::new();
+        let cases: Vec<Vec<f32>> = vec![
+            vec![0.0, 0.0, 0.0],
+            vec![1.0, 2.0, 3.0],
+            vec![-2.0, 0.5, 0.1, 4.0],
+            vec![3.0, 3.1, 2.9, 3.05],
+        ];
+        for xs in cases {
+            let approx = fixed_softmax(&xs, &luts);
+            let mut exact = xs.clone();
+            ops::softmax_normalized(&mut exact).unwrap();
+            for (a, e) in approx.iter().zip(&exact) {
+                assert!(
+                    (a - e).abs() < 0.06,
+                    "softmax({xs:?}): approx {a} vs exact {e}"
+                );
+            }
+            let sum: f32 = approx.iter().sum();
+            assert!((sum - 1.0).abs() < 0.15, "sum {sum}");
+        }
+    }
+
+    #[test]
+    fn fixed_softmax_long_uniform_row_saturates_gracefully() {
+        // 27 equal scores: sum of exps = 27 > LUT2 domain (10) -> clamp to
+        // 1/10 -> probabilities overestimated. This is the documented
+        // hardware artefact; verify it is bounded, not catastrophic.
+        let luts = LutSet::new();
+        let xs = vec![1.0f32; 27];
+        let probs = fixed_softmax(&xs, &luts);
+        for &p in &probs {
+            assert!((0.0..=0.2).contains(&p), "p = {p}");
+        }
+    }
+
+    #[test]
+    fn fixed_softmax_preserves_argmax() {
+        let luts = LutSet::new();
+        let xs = vec![0.5, 2.5, -1.0, 2.0, 0.0];
+        let probs = fixed_softmax(&xs, &luts);
+        let arg = probs
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .unwrap()
+            .0;
+        assert_eq!(arg, 1);
+    }
+
+    #[test]
+    fn gelu_lut_accuracy_inside_window() {
+        let luts = LutSet::new();
+        let mut max_err = 0.0f32;
+        for i in -400..=400 {
+            let x = i as f32 * 0.01;
+            let err = (fixed_gelu(x, &luts) - gelu_exact(x)).abs();
+            max_err = max_err.max(err);
+        }
+        // The worst case sits exactly at the upper clip threshold, where
+        // the identity branch takes over: |GELU(1.595) - 1.595| ≈ 0.087.
+        // The paper's thresholds minimise *mean* error, not max error.
+        assert!(max_err < 0.10, "max GELU approx error {max_err}");
+    }
+
+    #[test]
+    fn gelu_lut_clip_behaviour() {
+        let luts = LutSet::new();
+        assert_eq!(fixed_gelu(3.0, &luts), 3.0); // identity above hi
+        assert_eq!(fixed_gelu(-3.0, &luts), 0.0); // zero below lo
+    }
+
+    #[test]
+    fn gelu_lut_threshold_validation() {
+        let l = GeluLut::new(-1.0, 1.0);
+        assert_eq!(l.words().len(), 32);
+    }
+
+    #[test]
+    #[should_panic(expected = "lo < hi")]
+    fn gelu_lut_bad_thresholds_panic() {
+        let _ = GeluLut::new(1.0, -1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn fixed_softmax_empty_panics() {
+        let _ = fixed_softmax(&[], &LutSet::new());
+    }
+}

@@ -1,0 +1,488 @@
+//! The quantised KWT-Tiny-Q model (paper §IV): INT8 weights, INT16
+//! residuals, float (or LUT-accelerated) SoftMax / LayerNorm / GELU with
+//! dequantise→compute→requantise boundaries.
+
+use crate::luts::{fixed_gelu, fixed_softmax, LutSet};
+use crate::{QuantConfig, QuantError, Result};
+use kwt_model::{KwtConfig, KwtParams};
+use kwt_tensor::math::gelu_exact;
+use kwt_tensor::qops::{self, QuantStats};
+use kwt_tensor::{ops, Mat};
+
+/// How the non-matmul operations are computed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Nonlinearity {
+    /// Float `expf`/`erf`-based SoftMax and GELU — the KWT-Tiny-Q model
+    /// (soft-float on the real target).
+    #[default]
+    FloatExact,
+    /// Q8.24 LUT SoftMax and GELU — the golden model of the custom-
+    /// instruction hardware (KWT-Tiny-Q +Hardware in Table IX).
+    FixedLut,
+}
+
+/// One quantised transformer block.
+#[derive(Debug, Clone)]
+struct QuantizedLayer {
+    w_qkv: Mat<i8>,
+    b_qkv: Vec<i32>,
+    w_out: Mat<i8>,
+    b_out: Vec<i32>,
+    ln1_gamma: Vec<f32>,
+    ln1_beta: Vec<f32>,
+    w_mlp1: Mat<i8>,
+    b_mlp1: Vec<i32>,
+    w_mlp2: Mat<i8>,
+    b_mlp2: Vec<i32>,
+    ln2_gamma: Vec<f32>,
+    ln2_beta: Vec<f32>,
+}
+
+/// The quantised model: everything needed for integer inference.
+#[derive(Debug, Clone)]
+pub struct QuantizedKwt {
+    /// Architecture hyper-parameters.
+    pub config: KwtConfig,
+    /// Quantisation scales.
+    pub qconfig: QuantConfig,
+    /// Non-linearity implementation (float vs LUT hardware model).
+    pub nonlinearity: Nonlinearity,
+    w_proj: Mat<i8>,
+    b_proj: Vec<i32>,
+    pos_emb: Mat<i16>,
+    class_token: Vec<i16>,
+    layers: Vec<QuantizedLayer>,
+    w_head: Mat<i8>,
+    b_head: Vec<i32>,
+    luts: LutSet,
+}
+
+fn quant_bias(b: &[f32], combined_bits: u32) -> Vec<i32> {
+    let scale = (1i64 << combined_bits) as f32;
+    b.iter()
+        .map(|&v| {
+            let q = (v * scale).floor();
+            q.clamp(i32::MIN as f32, i32::MAX as f32) as i32
+        })
+        .collect()
+}
+
+impl QuantizedKwt {
+    /// Post-training static quantisation of a trained float model
+    /// (paper eq. 9: `floor(x * 2^y)` with saturation).
+    ///
+    /// Weights go to `i8` at `2^y_w`; biases to `i32` at the combined
+    /// scale `2^(y_a + y_w)`; the class token and positional embeddings
+    /// live at the activation scale as `i16`; LayerNorm parameters stay
+    /// float, exactly as in the paper.
+    pub fn quantize(params: &KwtParams, qconfig: QuantConfig) -> Self {
+        let yw = qconfig.weight_bits;
+        let ya = qconfig.input_bits;
+        let comb = ya + yw;
+        let layers = params
+            .layers
+            .iter()
+            .map(|l| QuantizedLayer {
+                w_qkv: qops::quantize_i8(&l.w_qkv, yw).0,
+                b_qkv: quant_bias(&l.b_qkv, comb),
+                w_out: qops::quantize_i8(&l.w_out, yw).0,
+                b_out: quant_bias(&l.b_out, comb),
+                ln1_gamma: l.ln1_gamma.clone(),
+                ln1_beta: l.ln1_beta.clone(),
+                w_mlp1: qops::quantize_i8(&l.w_mlp1, yw).0,
+                b_mlp1: quant_bias(&l.b_mlp1, comb),
+                w_mlp2: qops::quantize_i8(&l.w_mlp2, yw).0,
+                b_mlp2: quant_bias(&l.b_mlp2, comb),
+                ln2_gamma: l.ln2_gamma.clone(),
+                ln2_beta: l.ln2_beta.clone(),
+            })
+            .collect();
+        QuantizedKwt {
+            config: params.config,
+            qconfig,
+            nonlinearity: Nonlinearity::default(),
+            w_proj: qops::quantize_i8(&params.w_proj, yw).0,
+            b_proj: quant_bias(&params.b_proj, comb),
+            pos_emb: qops::quantize_i16(&params.pos_emb, ya).0,
+            class_token: qops::quantize_slice_i16(&params.class_token, ya).0,
+            layers,
+            w_head: qops::quantize_i8(&params.w_head, yw).0,
+            b_head: quant_bias(&params.b_head, comb),
+            luts: LutSet::new(),
+        }
+    }
+
+    /// Switches the non-linearity implementation (builder style).
+    pub fn with_nonlinearity(mut self, nl: Nonlinearity) -> Self {
+        self.nonlinearity = nl;
+        self
+    }
+
+    /// Replaces the LUT set (threshold experiments).
+    pub fn with_luts(mut self, luts: LutSet) -> Self {
+        self.luts = luts;
+        self
+    }
+
+    /// The LUT ROM used by the `FixedLut` mode.
+    pub fn luts(&self) -> &LutSet {
+        &self.luts
+    }
+
+    /// Actual storage footprint of the quantised tensors in bytes:
+    /// `i8` weights + `i32` biases + `i16` token/positional tables +
+    /// float LayerNorm parameters.
+    ///
+    /// The paper's Table IX quotes `param_count x 1` byte (1.646 kB); this
+    /// method reports the exact layout for comparison.
+    pub fn stored_bytes(&self) -> usize {
+        let mut n = self.w_proj.len() + self.w_head.len();
+        n += 4 * (self.b_proj.len() + self.b_head.len());
+        n += 2 * (self.pos_emb.len() + self.class_token.len());
+        for l in &self.layers {
+            n += l.w_qkv.len() + l.w_out.len() + l.w_mlp1.len() + l.w_mlp2.len();
+            n += 4 * (l.b_qkv.len() + l.b_out.len() + l.b_mlp1.len() + l.b_mlp2.len());
+            n += 4 * (l.ln1_gamma.len() + l.ln1_beta.len() + l.ln2_gamma.len() + l.ln2_beta.len());
+        }
+        n
+    }
+
+    fn dequant_rows(&self, x: &Mat<i16>) -> Mat<f32> {
+        qops::dequantize_i16(x, self.qconfig.input_bits)
+    }
+
+    fn requant_rows(&self, x: &Mat<f32>, stats: &mut QuantStats) -> Mat<i16> {
+        let (q, s) = qops::quantize_i16(x, self.qconfig.input_bits);
+        stats.merge(s);
+        q
+    }
+
+    /// Integer inference returning float logits and overflow statistics.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QuantError::Model`] for a wrong input shape, or a
+    /// propagated kernel error if the quantised tensors are inconsistent.
+    pub fn forward_detailed(&self, mfcc: &Mat<f32>) -> Result<(Vec<f32>, QuantStats)> {
+        let c = &self.config;
+        if mfcc.shape() != (c.input_time, c.input_freq) {
+            return Err(QuantError::Model(format!(
+                "input shape {:?} does not match configured ({}, {})",
+                mfcc.shape(),
+                c.input_time,
+                c.input_freq
+            )));
+        }
+        let ya = self.qconfig.input_bits;
+        let yw = self.qconfig.weight_bits;
+        let mut stats = QuantStats::default();
+
+        // 1. Quantise the MFCC input (the paper quantises the raw input).
+        let (x_q, s) = qops::quantize_i16(mfcc, ya);
+        stats.merge(s);
+
+        // 2. Patch projection (integer), then class token + pos embedding.
+        let (tokens, s) = qops::matmul_i16_i8(&x_q, &self.w_proj, Some(&self.b_proj), yw)?;
+        stats.merge(s);
+        let cls = Mat::from_vec(1, c.dim, self.class_token.clone())
+            .expect("class token length enforced at quantisation");
+        let mut x = cls.vstack(&tokens)?;
+        stats.merge(qops::add_assign_sat(&mut x, &self.pos_emb)?);
+
+        let inv_sqrt_dh = 1.0 / (c.dim_head as f32).sqrt();
+
+        // 3. Transformer blocks.
+        for layer in &self.layers {
+            // Fused QKV (integer matmul).
+            let (qkv, s) = qops::matmul_i16_i8(&x, &layer.w_qkv, Some(&layer.b_qkv), yw)?;
+            stats.merge(s);
+            let (qs, ks, vs) = qops::split_into_qkv_i16(&qkv, c.heads, c.dim_head)?;
+
+            // Per-head attention.
+            let mut sa: Option<Mat<i16>> = None;
+            for h in 0..c.heads {
+                // Scores: integer Q K^T back at the activation scale.
+                let (scores_q, s) = qops::matmul_i16_i16(&qs[h], &ks[h].transpose(), ya)?;
+                stats.merge(s);
+                // Dequantise -> scale by 1/sqrt(dh) -> softmax -> requantise.
+                let mut scores_f = self.dequant_rows(&scores_q);
+                for v in scores_f.as_mut_slice() {
+                    *v *= inv_sqrt_dh;
+                }
+                for r in 0..scores_f.rows() {
+                    match self.nonlinearity {
+                        Nonlinearity::FloatExact => {
+                            ops::softmax_normalized(scores_f.row_mut(r))?;
+                        }
+                        Nonlinearity::FixedLut => {
+                            let probs = fixed_softmax(scores_f.row(r), &self.luts);
+                            scores_f.row_mut(r).copy_from_slice(&probs);
+                        }
+                    }
+                }
+                let probs_q = self.requant_rows(&scores_f, &mut stats);
+                let (head_out, s) = qops::matmul_i16_i16(&probs_q, &vs[h], ya)?;
+                stats.merge(s);
+                sa = Some(match sa {
+                    None => head_out,
+                    Some(acc) => acc.hstack(&head_out)?,
+                });
+            }
+            let sa = sa.expect("heads >= 1");
+
+            // Output projection + residual.
+            let (attn, s) = qops::matmul_i16_i8(&sa, &layer.w_out, Some(&layer.b_out), yw)?;
+            stats.merge(s);
+            stats.merge(qops::add_assign_sat(&mut x, &attn)?);
+
+            // LayerNorm 1 in float (paper: LN stays floating point).
+            let mut xf = self.dequant_rows(&x);
+            ops::layer_norm_rows(&mut xf, &layer.ln1_gamma, &layer.ln1_beta, c.ln_eps)?;
+            x = self.requant_rows(&xf, &mut stats);
+
+            // MLP: integer matmul -> GELU boundary -> integer matmul.
+            let (hidden_q, s) = qops::matmul_i16_i8(&x, &layer.w_mlp1, Some(&layer.b_mlp1), yw)?;
+            stats.merge(s);
+            let mut hidden_f = self.dequant_rows(&hidden_q);
+            match self.nonlinearity {
+                Nonlinearity::FloatExact => {
+                    for v in hidden_f.as_mut_slice() {
+                        *v = gelu_exact(*v);
+                    }
+                }
+                Nonlinearity::FixedLut => {
+                    for v in hidden_f.as_mut_slice() {
+                        *v = fixed_gelu(*v, &self.luts);
+                    }
+                }
+            }
+            let hidden_q = self.requant_rows(&hidden_f, &mut stats);
+            let (mlp_out, s) =
+                qops::matmul_i16_i8(&hidden_q, &layer.w_mlp2, Some(&layer.b_mlp2), yw)?;
+            stats.merge(s);
+            stats.merge(qops::add_assign_sat(&mut x, &mlp_out)?);
+
+            // LayerNorm 2 in float.
+            let mut xf = self.dequant_rows(&x);
+            ops::layer_norm_rows(&mut xf, &layer.ln2_gamma, &layer.ln2_beta, c.ln_eps)?;
+            x = self.requant_rows(&xf, &mut stats);
+        }
+
+        // 4. Head on the class token (integer), dequantised logits.
+        let cls_row = Mat::from_vec(1, c.dim, x.row(0).to_vec()).expect("dim row");
+        let (logits_q, s) = qops::matmul_i16_i8(&cls_row, &self.w_head, Some(&self.b_head), yw)?;
+        stats.merge(s);
+        let logits = self.dequant_rows(&logits_q);
+        Ok((logits.into_vec(), stats))
+    }
+
+    /// Integer inference returning float logits.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`QuantizedKwt::forward_detailed`].
+    pub fn forward(&self, mfcc: &Mat<f32>) -> Result<Vec<f32>> {
+        Ok(self.forward_detailed(mfcc)?.0)
+    }
+
+    /// Arg-max class prediction.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`QuantizedKwt::forward_detailed`].
+    pub fn predict(&self, mfcc: &Mat<f32>) -> Result<usize> {
+        let (logits, _) = self.forward_detailed(mfcc)?;
+        Ok(logits
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite logits"))
+            .map(|(i, _)| i)
+            .expect("num_classes > 0"))
+    }
+
+    /// Borrowed views of the quantised tensors, for the bare-metal image
+    /// builder: `(w_proj, b_proj, pos_emb, class_token, w_head, b_head)`.
+    #[allow(clippy::type_complexity)]
+    pub fn tensors(
+        &self,
+    ) -> (
+        &Mat<i8>,
+        &[i32],
+        &Mat<i16>,
+        &[i16],
+        &Mat<i8>,
+        &[i32],
+    ) {
+        (
+            &self.w_proj,
+            &self.b_proj,
+            &self.pos_emb,
+            &self.class_token,
+            &self.w_head,
+            &self.b_head,
+        )
+    }
+
+    /// Borrowed views of one layer's quantised tensors:
+    /// `(w_qkv, b_qkv, w_out, b_out, ln1_g, ln1_b, w_mlp1, b_mlp1,
+    ///   w_mlp2, b_mlp2, ln2_g, ln2_b)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx >= depth`.
+    #[allow(clippy::type_complexity)]
+    pub fn layer_tensors(
+        &self,
+        idx: usize,
+    ) -> (
+        &Mat<i8>,
+        &[i32],
+        &Mat<i8>,
+        &[i32],
+        &[f32],
+        &[f32],
+        &Mat<i8>,
+        &[i32],
+        &Mat<i8>,
+        &[i32],
+        &[f32],
+        &[f32],
+    ) {
+        let l = &self.layers[idx];
+        (
+            &l.w_qkv,
+            &l.b_qkv,
+            &l.w_out,
+            &l.b_out,
+            &l.ln1_gamma,
+            &l.ln1_beta,
+            &l.w_mlp1,
+            &l.b_mlp1,
+            &l.w_mlp2,
+            &l.b_mlp2,
+            &l.ln2_gamma,
+            &l.ln2_beta,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn trained_ish_params() -> KwtParams {
+        // Init weights then shrink them into a realistic post-training
+        // range so quantisation error stays small.
+        let mut p = KwtParams::init(KwtConfig::kwt_tiny(), 21).unwrap();
+        p.visit_mut(|s| {
+            for v in s {
+                *v *= 0.7;
+            }
+        });
+        p
+    }
+
+    fn input(seed: u64) -> Mat<f32> {
+        Mat::from_fn(26, 16, |r, c| {
+            let h = seed
+                .wrapping_add((r * 16 + c) as u64)
+                .wrapping_mul(0x9E37_79B9_7F4A_7C15);
+            ((h >> 40) as f32 / (1u64 << 24) as f32 - 0.5) * 8.0
+        })
+    }
+
+    #[test]
+    fn quantized_forward_tracks_float_forward() {
+        let params = trained_ish_params();
+        let qm = QuantizedKwt::quantize(&params, QuantConfig::paper_best());
+        let mut agree = 0;
+        for s in 0..20 {
+            let x = input(s);
+            let fl = kwt_model::forward(&params, &x).unwrap();
+            let ql = qm.forward(&x).unwrap();
+            let fa = fl[0] < fl[1];
+            let qa = ql[0] < ql[1];
+            if fa == qa {
+                agree += 1;
+            }
+        }
+        assert!(agree >= 16, "only {agree}/20 argmax agreement");
+    }
+
+    #[test]
+    fn forward_detailed_reports_stats() {
+        let params = trained_ish_params();
+        let qm = QuantizedKwt::quantize(&params, QuantConfig::paper_best());
+        let (_, stats) = qm.forward_detailed(&input(1)).unwrap();
+        assert!(stats.max_abs_acc > 0);
+    }
+
+    #[test]
+    fn tiny_scales_destroy_information() {
+        // Scale factor 2 (1 bit of weight precision) must be much worse
+        // than 64 in logit fidelity.
+        let params = trained_ish_params();
+        let x = input(2);
+        let fl = kwt_model::forward(&params, &x).unwrap();
+        let err = |qm: &QuantizedKwt| -> f32 {
+            let ql = qm.forward(&x).unwrap();
+            (ql[0] - fl[0]).abs() + (ql[1] - fl[1]).abs()
+        };
+        let coarse = QuantizedKwt::quantize(&params, QuantConfig::from_factors(2, 2).unwrap());
+        let fine = QuantizedKwt::quantize(&params, QuantConfig::paper_best());
+        assert!(err(&coarse) > err(&fine));
+    }
+
+    #[test]
+    fn fixedlut_mode_close_to_float_mode() {
+        let params = trained_ish_params();
+        let qf = QuantizedKwt::quantize(&params, QuantConfig::paper_best());
+        let ql = qf.clone().with_nonlinearity(Nonlinearity::FixedLut);
+        let mut agree = 0;
+        for s in 0..20 {
+            let x = input(s + 100);
+            if qf.predict(&x).unwrap() == ql.predict(&x).unwrap() {
+                agree += 1;
+            }
+        }
+        assert!(agree >= 15, "only {agree}/20 agreement between modes");
+    }
+
+    #[test]
+    fn wrong_shape_rejected() {
+        let params = trained_ish_params();
+        let qm = QuantizedKwt::quantize(&params, QuantConfig::paper_best());
+        assert!(matches!(
+            qm.forward(&Mat::zeros(16, 26)),
+            Err(QuantError::Model(_))
+        ));
+    }
+
+    #[test]
+    fn stored_bytes_accounting() {
+        let params = trained_ish_params();
+        let qm = QuantizedKwt::quantize(&params, QuantConfig::paper_best());
+        let n = qm.stored_bytes();
+        // Weight bytes alone: all i8 weight matrices.
+        let weight_bytes = 16 * 12 + 12 * 24 + 8 * 12 + 12 * 24 + 24 * 12 + 12 * 2;
+        assert!(n > weight_bytes);
+        // Must be within a small factor of the paper's param-count bytes.
+        assert!(n < 4 * 1646, "stored {n} bytes");
+    }
+
+    #[test]
+    fn accessors_expose_tensors() {
+        let params = trained_ish_params();
+        let qm = QuantizedKwt::quantize(&params, QuantConfig::paper_best());
+        let (wp, bp, pos, cls, wh, bh) = qm.tensors();
+        assert_eq!(wp.shape(), (16, 12));
+        assert_eq!(bp.len(), 12);
+        assert_eq!(pos.shape(), (27, 12));
+        assert_eq!(cls.len(), 12);
+        assert_eq!(wh.shape(), (12, 2));
+        assert_eq!(bh.len(), 2);
+        let lt = qm.layer_tensors(0);
+        assert_eq!(lt.0.shape(), (12, 24));
+        assert_eq!(lt.6.shape(), (12, 24));
+    }
+}

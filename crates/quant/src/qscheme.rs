@@ -1,0 +1,105 @@
+//! Power-of-two quantisation configuration (paper §IV, eq. 9).
+
+use crate::{QuantError, Result};
+use serde::{Deserialize, Serialize};
+
+/// Scale-factor pair for static quantisation.
+///
+/// The paper stores a float value `x` as `floor(x * 2^y)`; weights and
+/// inputs/activations use different exponents (Table V: weights range in
+/// `[-1, 1]` while MFCC inputs reach magnitudes of tens to hundreds, so
+/// the weight scale can be larger without overflow).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct QuantConfig {
+    /// Weight scale exponent (`y_w`): weights stored as `i8` at `2^y_w`.
+    pub weight_bits: u32,
+    /// Input/activation scale exponent (`y_a`): residuals stored as `i16`
+    /// at `2^y_a`.
+    pub input_bits: u32,
+}
+
+impl QuantConfig {
+    /// Builds from literal scale *factors* as Table V quotes them
+    /// (8, 16, 32, 64 — i.e. `2^y`, not `y`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QuantError::BadScaleFactor`] if either factor is not a
+    /// power of two in `[2, 32768]`.
+    ///
+    /// # Example
+    /// ```
+    /// let q = kwt_quant::QuantConfig::from_factors(64, 32)?;
+    /// assert_eq!(q.weight_bits, 6);
+    /// assert_eq!(q.input_bits, 5);
+    /// # Ok::<(), kwt_quant::QuantError>(())
+    /// ```
+    pub fn from_factors(weight_factor: u32, input_factor: u32) -> Result<Self> {
+        let check = |factor: u32| -> Result<u32> {
+            if factor.is_power_of_two() && (2..=32_768).contains(&factor) {
+                Ok(factor.trailing_zeros())
+            } else {
+                Err(QuantError::BadScaleFactor { factor })
+            }
+        };
+        Ok(QuantConfig {
+            weight_bits: check(weight_factor)?,
+            input_bits: check(input_factor)?,
+        })
+    }
+
+    /// The paper's best configuration (Table V): weights at 64, inputs
+    /// at 32 — 82.5 % accuracy.
+    pub fn paper_best() -> Self {
+        QuantConfig {
+            weight_bits: 6,
+            input_bits: 5,
+        }
+    }
+
+    /// Weight scale as a factor (`2^weight_bits`).
+    pub fn weight_factor(&self) -> u32 {
+        1 << self.weight_bits
+    }
+
+    /// Input scale as a factor (`2^input_bits`).
+    pub fn input_factor(&self) -> u32 {
+        1 << self.input_bits
+    }
+}
+
+impl Default for QuantConfig {
+    fn default() -> Self {
+        Self::paper_best()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn factors_round_trip() {
+        let q = QuantConfig::from_factors(8, 16).unwrap();
+        assert_eq!(q.weight_factor(), 8);
+        assert_eq!(q.input_factor(), 16);
+        assert_eq!(q.weight_bits, 3);
+        assert_eq!(q.input_bits, 4);
+    }
+
+    #[test]
+    fn rejects_non_powers_of_two() {
+        assert!(QuantConfig::from_factors(12, 8).is_err());
+        assert!(QuantConfig::from_factors(8, 0).is_err());
+        assert!(QuantConfig::from_factors(8, 1).is_err());
+        assert!(QuantConfig::from_factors(65_536, 8).is_err());
+    }
+
+    #[test]
+    fn paper_best_is_64_32() {
+        let q = QuantConfig::paper_best();
+        assert_eq!(q.weight_factor(), 64);
+        assert_eq!(q.input_factor(), 32);
+        assert_eq!(QuantConfig::default(), q);
+    }
+}

@@ -1,0 +1,156 @@
+//! The Table V experiment: accuracy of the quantised model across
+//! weight/input scale-factor pairs.
+
+use crate::{Nonlinearity, QuantConfig, QuantizedKwt, Result};
+use kwt_dataset::MfccDataset;
+use kwt_model::KwtParams;
+
+/// The exact scale-factor pairs of the paper's Table V.
+pub const PAPER_TABLE5_PAIRS: [(u32, u32); 5] = [(8, 8), (16, 16), (32, 32), (64, 32), (64, 64)];
+
+/// One row of the sweep result.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SweepRow {
+    /// Weight scale factor (`2^y_w`).
+    pub weight_factor: u32,
+    /// Input scale factor (`2^y_a`).
+    pub input_factor: u32,
+    /// Test accuracy of the quantised model.
+    pub accuracy: f64,
+    /// Total saturation events across the evaluation (the overflow
+    /// mechanism behind Table V's 64/64 collapse).
+    pub saturations: u64,
+    /// Largest accumulator magnitude observed.
+    pub max_abs_acc: i64,
+}
+
+/// Quantises `params` at each scale pair and evaluates on `data`.
+///
+/// # Errors
+///
+/// Returns [`crate::QuantError::BadScaleFactor`] for non-power-of-two
+/// factors, or propagated inference errors.
+pub fn scale_sweep(
+    params: &KwtParams,
+    data: &MfccDataset,
+    pairs: &[(u32, u32)],
+    nonlinearity: Nonlinearity,
+) -> Result<Vec<SweepRow>> {
+    let mut rows = Vec::with_capacity(pairs.len());
+    for &(wf, inf) in pairs {
+        let qc = QuantConfig::from_factors(wf, inf)?;
+        let qm = QuantizedKwt::quantize(params, qc).with_nonlinearity(nonlinearity);
+        let mut hits = 0usize;
+        let mut saturations = 0u64;
+        let mut max_acc = 0i64;
+        for (x, &y) in data.x.iter().zip(&data.y) {
+            let (logits, stats) = qm.forward_detailed(x)?;
+            saturations += stats.saturations as u64;
+            max_acc = max_acc.max(stats.max_abs_acc);
+            let pred = logits
+                .iter()
+                .enumerate()
+                .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite logits"))
+                .map(|(i, _)| i)
+                .expect("non-empty logits");
+            if pred == y {
+                hits += 1;
+            }
+        }
+        rows.push(SweepRow {
+            weight_factor: wf,
+            input_factor: inf,
+            accuracy: hits as f64 / data.len().max(1) as f64,
+            saturations,
+            max_abs_acc: max_acc,
+        });
+    }
+    Ok(rows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kwt_model::KwtConfig;
+    use kwt_tensor::Mat;
+
+    fn toy_data(n: usize) -> MfccDataset {
+        let mut x = Vec::new();
+        let mut y = Vec::new();
+        for i in 0..n {
+            let label = i % 2;
+            x.push(Mat::from_fn(26, 16, |r, c| {
+                let h = (i * 1000 + r * 16 + c) as u64;
+                let noise =
+                    ((h.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 40) as f32 / (1u64 << 24) as f32
+                        - 0.5)
+                        * 2.0;
+                if label == 0 && c < 8 {
+                    4.0 + noise
+                } else if label == 1 && c >= 8 {
+                    4.0 + noise
+                } else {
+                    noise
+                }
+            }));
+            y.push(label);
+        }
+        MfccDataset {
+            x,
+            y,
+            num_classes: 2,
+        }
+    }
+
+    #[test]
+    fn sweep_produces_one_row_per_pair() {
+        let params = KwtParams::init(KwtConfig::kwt_tiny(), 5).unwrap();
+        let data = toy_data(6);
+        let rows = scale_sweep(
+            &params,
+            &data,
+            &PAPER_TABLE5_PAIRS,
+            Nonlinearity::FloatExact,
+        )
+        .unwrap();
+        assert_eq!(rows.len(), 5);
+        for r in &rows {
+            assert!((0.0..=1.0).contains(&r.accuracy));
+        }
+        assert_eq!(rows[3].weight_factor, 64);
+        assert_eq!(rows[3].input_factor, 32);
+    }
+
+    #[test]
+    fn sweep_rejects_bad_factors() {
+        let params = KwtParams::init(KwtConfig::kwt_tiny(), 5).unwrap();
+        let data = toy_data(2);
+        assert!(scale_sweep(&params, &data, &[(7, 8)], Nonlinearity::FloatExact).is_err());
+    }
+
+    #[test]
+    fn saturations_increase_with_input_scale() {
+        // Large inputs at a large input scale must saturate more than at a
+        // small scale.
+        let params = KwtParams::init(KwtConfig::kwt_tiny(), 5).unwrap();
+        let mut data = toy_data(4);
+        for m in &mut data.x {
+            for v in m.as_mut_slice() {
+                *v *= 40.0; // push inputs into the hundreds
+            }
+        }
+        let rows = scale_sweep(
+            &params,
+            &data,
+            &[(64, 8), (64, 1024)],
+            Nonlinearity::FloatExact,
+        )
+        .unwrap();
+        assert!(
+            rows[1].saturations > rows[0].saturations,
+            "{} vs {}",
+            rows[1].saturations,
+            rows[0].saturations
+        );
+    }
+}

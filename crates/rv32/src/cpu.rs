@@ -1,0 +1,678 @@
+//! Fetch/decode/execute core with cycle accounting.
+
+use crate::mem::Memory;
+use crate::profile::Profiler;
+use crate::trap::Trap;
+use crate::TimingModel;
+use kwt_quant::{LutSet, Q8_24};
+use kwt_rvasm::{expand_compressed, CustomOp, Inst, Reg};
+use std::collections::BTreeMap;
+
+/// Result of executing one instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StepOutcome {
+    /// Continue executing.
+    Continue,
+    /// `ebreak` retired — the program is done.
+    Halted,
+}
+
+/// The simulated RV32IMC hart.
+#[derive(Debug, Clone)]
+pub struct Cpu {
+    /// Integer register file (`x0` is hardwired to zero on write).
+    pub regs: [u32; 32],
+    /// Program counter.
+    pub pc: u32,
+    /// RAM.
+    pub mem: Memory,
+    /// Cycle counter (driven by the [`TimingModel`]).
+    pub cycles: u64,
+    /// Retired instruction counter.
+    pub instret: u64,
+    /// Region profiler fed by CSR 0x7C0/0x7C1 writes.
+    pub profiler: Profiler,
+    timing: TimingModel,
+    luts: LutSet,
+    csrs: BTreeMap<u32, u32>,
+}
+
+impl Cpu {
+    /// Creates a hart over `mem` with the given timing and LUT ROMs.
+    pub fn new(mem: Memory, timing: TimingModel, luts: LutSet) -> Self {
+        Cpu {
+            regs: [0; 32],
+            pc: 0,
+            mem,
+            cycles: 0,
+            instret: 0,
+            profiler: Profiler::new(),
+            timing,
+            luts,
+            csrs: BTreeMap::new(),
+        }
+    }
+
+    /// Reads a register.
+    pub fn reg(&self, r: Reg) -> u32 {
+        self.regs[r.num() as usize]
+    }
+
+    /// Writes a register (`x0` writes are discarded).
+    pub fn set_reg(&mut self, r: Reg, value: u32) {
+        if r != Reg::Zero {
+            self.regs[r.num() as usize] = value;
+        }
+    }
+
+    /// The LUT ROMs backing the custom instructions.
+    pub fn luts(&self) -> &LutSet {
+        &self.luts
+    }
+
+    /// Replaces the LUT ROMs (threshold experiments).
+    pub fn set_luts(&mut self, luts: LutSet) {
+        self.luts = luts;
+    }
+
+    fn csr_read(&self, csr: u32) -> u32 {
+        match csr {
+            0xB00 => self.cycles as u32,        // mcycle
+            0xB80 => (self.cycles >> 32) as u32, // mcycleh
+            0xB02 => self.instret as u32,       // minstret
+            0xB82 => (self.instret >> 32) as u32,
+            _ => self.csrs.get(&csr).copied().unwrap_or(0),
+        }
+    }
+
+    fn csr_write(&mut self, csr: u32, value: u32) {
+        match csr {
+            kwt_rvasm::CSR_PROFILE_PUSH => self.profiler.push(value, self.cycles),
+            kwt_rvasm::CSR_PROFILE_POP => self.profiler.pop(self.cycles),
+            _ => {
+                self.csrs.insert(csr, value);
+            }
+        }
+    }
+
+    /// Executes one instruction.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`Trap`] on any fault; the hart state is left at the
+    /// faulting instruction for post-mortem inspection.
+    pub fn step(&mut self) -> Result<StepOutcome, Trap> {
+        let pc = self.pc;
+        let lo = self.mem.fetch16(pc)?;
+        let (inst, len) = if lo & 0b11 == 0b11 {
+            let hi = self.mem.fetch16(pc.wrapping_add(2))?;
+            let word = lo as u32 | ((hi as u32) << 16);
+            (
+                Inst::decode(word).ok_or(Trap::IllegalInstruction { pc, word })?,
+                4,
+            )
+        } else {
+            (
+                expand_compressed(lo).ok_or(Trap::IllegalInstruction {
+                    pc,
+                    word: lo as u32,
+                })?,
+                2,
+            )
+        };
+
+        let mut next_pc = pc.wrapping_add(len);
+        let t = self.timing;
+        use Inst::*;
+        let cost = match inst {
+            Lui { .. } | Auipc { .. } | Addi { .. } | Slti { .. } | Sltiu { .. }
+            | Xori { .. } | Ori { .. } | Andi { .. } | Slli { .. } | Srli { .. }
+            | Srai { .. } | Add { .. } | Sub { .. } | Sll { .. } | Slt { .. }
+            | Sltu { .. } | Xor { .. } | Srl { .. } | Sra { .. } | Or { .. } | And { .. }
+            | Csrrw { .. } | Csrrs { .. } | Csrrc { .. } | Ecall | Ebreak => t.alu,
+            Mul { .. } | Mulh { .. } | Mulhsu { .. } | Mulhu { .. } => t.mul,
+            Div { .. } | Divu { .. } | Rem { .. } | Remu { .. } => t.div,
+            Lb { .. } | Lh { .. } | Lw { .. } | Lbu { .. } | Lhu { .. } => t.load,
+            Sb { .. } | Sh { .. } | Sw { .. } => t.store,
+            Jal { .. } | Jalr { .. } => t.jump,
+            Beq { .. } | Bne { .. } | Blt { .. } | Bge { .. } | Bltu { .. }
+            | Bgeu { .. } => t.branch_not_taken, // upgraded below if taken
+            Custom { .. } => t.custom,
+        };
+        self.cycles += cost;
+
+        macro_rules! taken {
+            () => {{
+                self.cycles += t.branch_taken - t.branch_not_taken;
+            }};
+        }
+
+        match inst {
+            Lui { rd, imm } => self.set_reg(rd, imm as u32),
+            Auipc { rd, imm } => self.set_reg(rd, pc.wrapping_add(imm as u32)),
+            Jal { rd, offset } => {
+                self.set_reg(rd, pc.wrapping_add(len));
+                next_pc = pc.wrapping_add(offset as u32);
+            }
+            Jalr { rd, rs1, imm } => {
+                let target = self.reg(rs1).wrapping_add(imm as u32) & !1;
+                self.set_reg(rd, pc.wrapping_add(len));
+                next_pc = target;
+            }
+            Beq { rs1, rs2, offset } => {
+                if self.reg(rs1) == self.reg(rs2) {
+                    taken!();
+                    next_pc = pc.wrapping_add(offset as u32);
+                }
+            }
+            Bne { rs1, rs2, offset } => {
+                if self.reg(rs1) != self.reg(rs2) {
+                    taken!();
+                    next_pc = pc.wrapping_add(offset as u32);
+                }
+            }
+            Blt { rs1, rs2, offset } => {
+                if (self.reg(rs1) as i32) < (self.reg(rs2) as i32) {
+                    taken!();
+                    next_pc = pc.wrapping_add(offset as u32);
+                }
+            }
+            Bge { rs1, rs2, offset } => {
+                if (self.reg(rs1) as i32) >= (self.reg(rs2) as i32) {
+                    taken!();
+                    next_pc = pc.wrapping_add(offset as u32);
+                }
+            }
+            Bltu { rs1, rs2, offset } => {
+                if self.reg(rs1) < self.reg(rs2) {
+                    taken!();
+                    next_pc = pc.wrapping_add(offset as u32);
+                }
+            }
+            Bgeu { rs1, rs2, offset } => {
+                if self.reg(rs1) >= self.reg(rs2) {
+                    taken!();
+                    next_pc = pc.wrapping_add(offset as u32);
+                }
+            }
+            Lb { rd, rs1, imm } => {
+                let v = self.mem.load8(self.reg(rs1).wrapping_add(imm as u32), pc)?;
+                self.set_reg(rd, v as i8 as i32 as u32);
+            }
+            Lh { rd, rs1, imm } => {
+                let v = self.mem.load16(self.reg(rs1).wrapping_add(imm as u32), pc)?;
+                self.set_reg(rd, v as i16 as i32 as u32);
+            }
+            Lw { rd, rs1, imm } => {
+                let v = self.mem.load32(self.reg(rs1).wrapping_add(imm as u32), pc)?;
+                self.set_reg(rd, v);
+            }
+            Lbu { rd, rs1, imm } => {
+                let v = self.mem.load8(self.reg(rs1).wrapping_add(imm as u32), pc)?;
+                self.set_reg(rd, v as u32);
+            }
+            Lhu { rd, rs1, imm } => {
+                let v = self.mem.load16(self.reg(rs1).wrapping_add(imm as u32), pc)?;
+                self.set_reg(rd, v as u32);
+            }
+            Sb { rs2, rs1, imm } => {
+                self.mem
+                    .store8(self.reg(rs1).wrapping_add(imm as u32), self.reg(rs2) as u8, pc)?;
+            }
+            Sh { rs2, rs1, imm } => {
+                self.mem.store16(
+                    self.reg(rs1).wrapping_add(imm as u32),
+                    self.reg(rs2) as u16,
+                    pc,
+                )?;
+            }
+            Sw { rs2, rs1, imm } => {
+                self.mem
+                    .store32(self.reg(rs1).wrapping_add(imm as u32), self.reg(rs2), pc)?;
+            }
+            Addi { rd, rs1, imm } => self.set_reg(rd, self.reg(rs1).wrapping_add(imm as u32)),
+            Slti { rd, rs1, imm } => {
+                self.set_reg(rd, ((self.reg(rs1) as i32) < imm) as u32)
+            }
+            Sltiu { rd, rs1, imm } => self.set_reg(rd, (self.reg(rs1) < imm as u32) as u32),
+            Xori { rd, rs1, imm } => self.set_reg(rd, self.reg(rs1) ^ imm as u32),
+            Ori { rd, rs1, imm } => self.set_reg(rd, self.reg(rs1) | imm as u32),
+            Andi { rd, rs1, imm } => self.set_reg(rd, self.reg(rs1) & imm as u32),
+            Slli { rd, rs1, shamt } => self.set_reg(rd, self.reg(rs1) << (shamt & 31)),
+            Srli { rd, rs1, shamt } => self.set_reg(rd, self.reg(rs1) >> (shamt & 31)),
+            Srai { rd, rs1, shamt } => {
+                self.set_reg(rd, ((self.reg(rs1) as i32) >> (shamt & 31)) as u32)
+            }
+            Add { rd, rs1, rs2 } => self.set_reg(rd, self.reg(rs1).wrapping_add(self.reg(rs2))),
+            Sub { rd, rs1, rs2 } => self.set_reg(rd, self.reg(rs1).wrapping_sub(self.reg(rs2))),
+            Sll { rd, rs1, rs2 } => self.set_reg(rd, self.reg(rs1) << (self.reg(rs2) & 31)),
+            Slt { rd, rs1, rs2 } => {
+                self.set_reg(rd, ((self.reg(rs1) as i32) < (self.reg(rs2) as i32)) as u32)
+            }
+            Sltu { rd, rs1, rs2 } => self.set_reg(rd, (self.reg(rs1) < self.reg(rs2)) as u32),
+            Xor { rd, rs1, rs2 } => self.set_reg(rd, self.reg(rs1) ^ self.reg(rs2)),
+            Srl { rd, rs1, rs2 } => self.set_reg(rd, self.reg(rs1) >> (self.reg(rs2) & 31)),
+            Sra { rd, rs1, rs2 } => {
+                self.set_reg(rd, ((self.reg(rs1) as i32) >> (self.reg(rs2) & 31)) as u32)
+            }
+            Or { rd, rs1, rs2 } => self.set_reg(rd, self.reg(rs1) | self.reg(rs2)),
+            And { rd, rs1, rs2 } => self.set_reg(rd, self.reg(rs1) & self.reg(rs2)),
+            Mul { rd, rs1, rs2 } => self.set_reg(
+                rd,
+                (self.reg(rs1) as i32).wrapping_mul(self.reg(rs2) as i32) as u32,
+            ),
+            Mulh { rd, rs1, rs2 } => {
+                let p = (self.reg(rs1) as i32 as i64) * (self.reg(rs2) as i32 as i64);
+                self.set_reg(rd, (p >> 32) as u32);
+            }
+            Mulhsu { rd, rs1, rs2 } => {
+                let p = (self.reg(rs1) as i32 as i64) * (self.reg(rs2) as u64 as i64);
+                self.set_reg(rd, (p >> 32) as u32);
+            }
+            Mulhu { rd, rs1, rs2 } => {
+                let p = (self.reg(rs1) as u64) * (self.reg(rs2) as u64);
+                self.set_reg(rd, (p >> 32) as u32);
+            }
+            Div { rd, rs1, rs2 } => {
+                let a = self.reg(rs1) as i32;
+                let b = self.reg(rs2) as i32;
+                let q = if b == 0 {
+                    -1
+                } else if a == i32::MIN && b == -1 {
+                    i32::MIN
+                } else {
+                    a.wrapping_div(b)
+                };
+                self.set_reg(rd, q as u32);
+            }
+            Divu { rd, rs1, rs2 } => {
+                let b = self.reg(rs2);
+                let q = if b == 0 { u32::MAX } else { self.reg(rs1) / b };
+                self.set_reg(rd, q);
+            }
+            Rem { rd, rs1, rs2 } => {
+                let a = self.reg(rs1) as i32;
+                let b = self.reg(rs2) as i32;
+                let r = if b == 0 {
+                    a
+                } else if a == i32::MIN && b == -1 {
+                    0
+                } else {
+                    a.wrapping_rem(b)
+                };
+                self.set_reg(rd, r as u32);
+            }
+            Remu { rd, rs1, rs2 } => {
+                let b = self.reg(rs2);
+                let r = if b == 0 { self.reg(rs1) } else { self.reg(rs1) % b };
+                self.set_reg(rd, r);
+            }
+            Ecall => return Err(Trap::EnvironmentCall { pc }),
+            Ebreak => {
+                self.instret += 1;
+                return Ok(StepOutcome::Halted);
+            }
+            Csrrw { rd, rs1, csr } => {
+                let old = self.csr_read(csr);
+                self.csr_write(csr, self.reg(rs1));
+                self.set_reg(rd, old);
+            }
+            Csrrs { rd, rs1, csr } => {
+                let old = self.csr_read(csr);
+                if rs1 != Reg::Zero {
+                    self.csr_write(csr, old | self.reg(rs1));
+                }
+                self.set_reg(rd, old);
+            }
+            Csrrc { rd, rs1, csr } => {
+                let old = self.csr_read(csr);
+                if rs1 != Reg::Zero {
+                    self.csr_write(csr, old & !self.reg(rs1));
+                }
+                self.set_reg(rd, old);
+            }
+            Custom { op, rd, rs1, rs2: _ } => {
+                let x = self.reg(rs1);
+                let y = match op {
+                    CustomOp::Exp => self.luts.alu_exp(Q8_24::from_bits(x as i32)).to_bits() as u32,
+                    CustomOp::Invert => {
+                        self.luts.alu_invert(Q8_24::from_bits(x as i32)).to_bits() as u32
+                    }
+                    CustomOp::Gelu => {
+                        self.luts.alu_gelu(Q8_24::from_bits(x as i32)).to_bits() as u32
+                    }
+                    CustomOp::ToFixed => Q8_24::from_f32(f32::from_bits(x)).to_bits() as u32,
+                    CustomOp::ToFloat => Q8_24::from_bits(x as i32).to_f32().to_bits(),
+                };
+                self.set_reg(rd, y);
+            }
+        }
+
+        self.pc = next_pc;
+        self.instret += 1;
+        Ok(StepOutcome::Continue)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Platform;
+    use kwt_rvasm::Asm;
+
+    /// Assembles, runs to `ebreak`, returns the CPU for inspection.
+    fn run(build: impl FnOnce(&mut Asm)) -> Cpu {
+        let mut asm = Asm::new(0, 0x8000);
+        build(&mut asm);
+        asm.emit(Inst::Ebreak);
+        let p = asm.finish().unwrap();
+        let platform = Platform::ibex();
+        let mut mem = Memory::new(platform.ram_base, platform.ram_size);
+        let text: Vec<u8> = p.text.iter().flat_map(|w| w.to_le_bytes()).collect();
+        mem.write_bytes(p.text_base, &text);
+        mem.write_bytes(p.data_base, &p.data);
+        let mut cpu = Cpu::new(mem, TimingModel::ibex(), LutSet::new());
+        cpu.pc = p.text_base;
+        cpu.set_reg(Reg::Sp, platform.initial_sp());
+        for _ in 0..100_000 {
+            match cpu.step().unwrap() {
+                StepOutcome::Continue => {}
+                StepOutcome::Halted => return cpu,
+            }
+        }
+        panic!("program did not halt");
+    }
+
+    #[test]
+    fn arithmetic_basics() {
+        let cpu = run(|a| {
+            a.li(Reg::T0, 100);
+            a.li(Reg::T1, -30);
+            a.emit(Inst::Add { rd: Reg::A0, rs1: Reg::T0, rs2: Reg::T1 });
+            a.emit(Inst::Sub { rd: Reg::A1, rs1: Reg::T0, rs2: Reg::T1 });
+            a.emit(Inst::Xor { rd: Reg::A2, rs1: Reg::T0, rs2: Reg::T1 });
+        });
+        assert_eq!(cpu.reg(Reg::A0), 70);
+        assert_eq!(cpu.reg(Reg::A1), 130);
+        assert_eq!(cpu.reg(Reg::A2), (100i32 ^ -30) as u32);
+    }
+
+    #[test]
+    fn x0_is_hardwired() {
+        let cpu = run(|a| {
+            a.li(Reg::T0, 5);
+            a.emit(Inst::Add { rd: Reg::Zero, rs1: Reg::T0, rs2: Reg::T0 });
+            a.emit(Inst::Add { rd: Reg::A0, rs1: Reg::Zero, rs2: Reg::Zero });
+        });
+        assert_eq!(cpu.reg(Reg::A0), 0);
+    }
+
+    #[test]
+    fn shifts_and_compares() {
+        let cpu = run(|a| {
+            a.li(Reg::T0, -8);
+            a.emit(Inst::Srai { rd: Reg::A0, rs1: Reg::T0, shamt: 1 }); // -4
+            a.emit(Inst::Srli { rd: Reg::A1, rs1: Reg::T0, shamt: 28 }); // 0xF
+            a.emit(Inst::Slti { rd: Reg::A2, rs1: Reg::T0, imm: 0 }); // 1
+            a.emit(Inst::Sltiu { rd: Reg::A3, rs1: Reg::T0, imm: 0 }); // 0 (big unsigned)
+        });
+        assert_eq!(cpu.reg(Reg::A0) as i32, -4);
+        assert_eq!(cpu.reg(Reg::A1), 0xF);
+        assert_eq!(cpu.reg(Reg::A2), 1);
+        assert_eq!(cpu.reg(Reg::A3), 0);
+    }
+
+    #[test]
+    fn memory_sign_extension() {
+        let cpu = run(|a| {
+            a.li(Reg::T0, 0x8000);
+            a.li(Reg::T1, -1);
+            a.emit(Inst::Sb { rs2: Reg::T1, rs1: Reg::T0, imm: 0 });
+            a.emit(Inst::Lb { rd: Reg::A0, rs1: Reg::T0, imm: 0 });
+            a.emit(Inst::Lbu { rd: Reg::A1, rs1: Reg::T0, imm: 0 });
+            a.li(Reg::T2, -2);
+            a.emit(Inst::Sh { rs2: Reg::T2, rs1: Reg::T0, imm: 2 });
+            a.emit(Inst::Lh { rd: Reg::A2, rs1: Reg::T0, imm: 2 });
+            a.emit(Inst::Lhu { rd: Reg::A3, rs1: Reg::T0, imm: 2 });
+        });
+        assert_eq!(cpu.reg(Reg::A0) as i32, -1);
+        assert_eq!(cpu.reg(Reg::A1), 0xFF);
+        assert_eq!(cpu.reg(Reg::A2) as i32, -2);
+        assert_eq!(cpu.reg(Reg::A3), 0xFFFE);
+    }
+
+    #[test]
+    fn branch_loop_sums() {
+        // sum 1..=10 with a bne loop
+        let cpu = run(|a| {
+            a.li(Reg::T0, 10);
+            a.li(Reg::A0, 0);
+            let top = a.new_label();
+            a.bind(top).unwrap();
+            a.emit(Inst::Add { rd: Reg::A0, rs1: Reg::A0, rs2: Reg::T0 });
+            a.emit(Inst::Addi { rd: Reg::T0, rs1: Reg::T0, imm: -1 });
+            a.branch_to(
+                Inst::Bne { rs1: Reg::T0, rs2: Reg::Zero, offset: 0 },
+                top,
+            );
+        });
+        assert_eq!(cpu.reg(Reg::A0), 55);
+    }
+
+    #[test]
+    fn jal_links_and_jalr_returns() {
+        let cpu = run(|a| {
+            let f = a.new_label();
+            let after = a.new_label();
+            a.jal_to(Reg::Ra, f);
+            a.bind(after).unwrap();
+            a.emit(Inst::Addi { rd: Reg::A1, rs1: Reg::A0, imm: 1 });
+            let skip = a.new_label();
+            a.jump_to(skip);
+            a.bind(f).unwrap();
+            a.li(Reg::A0, 9);
+            a.ret();
+            a.bind(skip).unwrap();
+        });
+        assert_eq!(cpu.reg(Reg::A0), 9);
+        assert_eq!(cpu.reg(Reg::A1), 10);
+    }
+
+    #[test]
+    fn m_extension_division_edge_cases() {
+        let cpu = run(|a| {
+            a.li(Reg::T0, 7);
+            a.li(Reg::T1, 0);
+            a.emit(Inst::Div { rd: Reg::A0, rs1: Reg::T0, rs2: Reg::T1 }); // -1
+            a.emit(Inst::Rem { rd: Reg::A1, rs1: Reg::T0, rs2: Reg::T1 }); // 7
+            a.li(Reg::T2, i32::MIN);
+            a.li(Reg::T3, -1);
+            a.emit(Inst::Div { rd: Reg::A2, rs1: Reg::T2, rs2: Reg::T3 }); // MIN
+            a.emit(Inst::Rem { rd: Reg::A3, rs1: Reg::T2, rs2: Reg::T3 }); // 0
+            a.emit(Inst::Divu { rd: Reg::A4, rs1: Reg::T0, rs2: Reg::T1 }); // MAX
+            a.emit(Inst::Remu { rd: Reg::A5, rs1: Reg::T0, rs2: Reg::T1 }); // 7
+        });
+        assert_eq!(cpu.reg(Reg::A0) as i32, -1);
+        assert_eq!(cpu.reg(Reg::A1), 7);
+        assert_eq!(cpu.reg(Reg::A2), i32::MIN as u32);
+        assert_eq!(cpu.reg(Reg::A3), 0);
+        assert_eq!(cpu.reg(Reg::A4), u32::MAX);
+        assert_eq!(cpu.reg(Reg::A5), 7);
+    }
+
+    #[test]
+    fn mul_high_variants() {
+        let cpu = run(|a| {
+            a.li(Reg::T0, -2);
+            a.li(Reg::T1, 3);
+            a.emit(Inst::Mul { rd: Reg::A0, rs1: Reg::T0, rs2: Reg::T1 }); // -6
+            a.emit(Inst::Mulh { rd: Reg::A1, rs1: Reg::T0, rs2: Reg::T1 }); // -1 (sign)
+            a.emit(Inst::Mulhu { rd: Reg::A2, rs1: Reg::T0, rs2: Reg::T1 }); // (2^32-2)*3 >> 32 = 2
+            a.emit(Inst::Mulhsu { rd: Reg::A3, rs1: Reg::T0, rs2: Reg::T1 }); // -2*3 >> 32 = -1
+        });
+        assert_eq!(cpu.reg(Reg::A0) as i32, -6);
+        assert_eq!(cpu.reg(Reg::A1) as i32, -1);
+        assert_eq!(cpu.reg(Reg::A2), 2);
+        assert_eq!(cpu.reg(Reg::A3) as i32, -1);
+    }
+
+    #[test]
+    fn custom_ops_match_quant_golden_models() {
+        let luts = LutSet::new();
+        for x in [-1.5f32, 0.0, 0.3, 1.0, 2.5, 7.9] {
+            let cpu = run(|a| {
+                a.li(Reg::T0, x.to_bits() as i32);
+                a.emit(Inst::Custom {
+                    op: CustomOp::ToFixed,
+                    rd: Reg::A0,
+                    rs1: Reg::T0,
+                    rs2: Reg::Zero,
+                });
+                a.emit(Inst::Custom {
+                    op: CustomOp::Exp,
+                    rd: Reg::A1,
+                    rs1: Reg::A0,
+                    rs2: Reg::Zero,
+                });
+                a.emit(Inst::Custom {
+                    op: CustomOp::Invert,
+                    rd: Reg::A2,
+                    rs1: Reg::A0,
+                    rs2: Reg::Zero,
+                });
+                a.emit(Inst::Custom {
+                    op: CustomOp::Gelu,
+                    rd: Reg::A3,
+                    rs1: Reg::A0,
+                    rs2: Reg::Zero,
+                });
+                a.emit(Inst::Custom {
+                    op: CustomOp::ToFloat,
+                    rd: Reg::A4,
+                    rs1: Reg::A0,
+                    rs2: Reg::Zero,
+                });
+            });
+            let q = Q8_24::from_f32(x);
+            assert_eq!(cpu.reg(Reg::A0) as i32, q.to_bits(), "tofixed {x}");
+            assert_eq!(cpu.reg(Reg::A1) as i32, luts.alu_exp(q).to_bits(), "exp {x}");
+            assert_eq!(
+                cpu.reg(Reg::A2) as i32,
+                luts.alu_invert(q).to_bits(),
+                "invert {x}"
+            );
+            assert_eq!(cpu.reg(Reg::A3) as i32, luts.alu_gelu(q).to_bits(), "gelu {x}");
+            assert_eq!(
+                f32::from_bits(cpu.reg(Reg::A4)),
+                q.to_f32(),
+                "tofloat {x}"
+            );
+        }
+    }
+
+    #[test]
+    fn cycle_accounting_follows_model() {
+        // addi (1) + addi (1) + mul (3) + lw (2) + sw (2) + ebreak (1)
+        let cpu = run(|a| {
+            a.li(Reg::T0, 3); // addi
+            a.li(Reg::T1, 4); // addi
+            a.emit(Inst::Mul { rd: Reg::T2, rs1: Reg::T0, rs2: Reg::T1 });
+            a.li(Reg::T3, 0x8000); // addi
+            a.emit(Inst::Sw { rs2: Reg::T2, rs1: Reg::T3, imm: 0 });
+            a.emit(Inst::Lw { rd: Reg::A0, rs1: Reg::T3, imm: 0 });
+        });
+        assert_eq!(cpu.reg(Reg::A0), 12);
+        // 3 addi + mul + sw + lw + ebreak = 3*1 + 3 + 2 + 2 + 1 = 11
+        assert_eq!(cpu.cycles, 11);
+        assert_eq!(cpu.instret, 7);
+    }
+
+    #[test]
+    fn taken_branches_cost_more() {
+        let not_taken = run(|a| {
+            a.li(Reg::T0, 1);
+            let l = a.new_label();
+            a.branch_to(
+                Inst::Beq { rs1: Reg::T0, rs2: Reg::Zero, offset: 0 },
+                l,
+            );
+            a.bind(l).unwrap();
+        })
+        .cycles;
+        let taken = run(|a| {
+            a.li(Reg::T0, 0);
+            let l = a.new_label();
+            a.branch_to(
+                Inst::Beq { rs1: Reg::T0, rs2: Reg::Zero, offset: 0 },
+                l,
+            );
+            a.bind(l).unwrap();
+        })
+        .cycles;
+        assert_eq!(taken - not_taken, 2); // 3 vs 1
+    }
+
+    #[test]
+    fn mcycle_csr_is_readable() {
+        let cpu = run(|a| {
+            a.emit(Inst::Csrrs { rd: Reg::A0, rs1: Reg::Zero, csr: 0xB00 });
+            a.nop();
+            a.nop();
+            a.emit(Inst::Csrrs { rd: Reg::A1, rs1: Reg::Zero, csr: 0xB00 });
+        });
+        let before = cpu.reg(Reg::A0);
+        let after = cpu.reg(Reg::A1);
+        assert_eq!(after - before, 3); // 2 nops + second csrrs itself
+    }
+
+    #[test]
+    fn profiler_csr_integration() {
+        let mut cpu = run(|a| {
+            a.li(Reg::T0, 1);
+            a.emit(Inst::Csrrw { rd: Reg::Zero, rs1: Reg::T0, csr: 0x7C0 });
+            a.nop();
+            a.nop();
+            a.emit(Inst::Csrrw { rd: Reg::Zero, rs1: Reg::Zero, csr: 0x7C1 });
+        });
+        cpu.profiler.finish(cpu.cycles);
+        let names = [(1u32, "work".to_string())].into_iter().collect();
+        let report = cpu.profiler.report(cpu.cycles, &names);
+        assert_eq!(report.regions.len(), 1);
+        assert_eq!(report.regions[0].0, "work");
+        // two nops + the pop csr write = 3 cycles inside the region
+        assert_eq!(report.regions[0].1, 3);
+    }
+
+    #[test]
+    fn ecall_traps() {
+        let mut asm = Asm::new(0, 0x8000);
+        asm.emit(Inst::Ecall);
+        let p = asm.finish().unwrap();
+        let mut mem = Memory::new(0, 0x1000);
+        let text: Vec<u8> = p.text.iter().flat_map(|w| w.to_le_bytes()).collect();
+        mem.write_bytes(0, &text);
+        let mut cpu = Cpu::new(mem, TimingModel::ibex(), LutSet::new());
+        assert!(matches!(cpu.step(), Err(Trap::EnvironmentCall { pc: 0 })));
+    }
+
+    #[test]
+    fn illegal_instruction_traps() {
+        let mut mem = Memory::new(0, 0x1000);
+        mem.write_bytes(0, &0xFFFF_FFFFu32.to_le_bytes());
+        let mut cpu = Cpu::new(mem, TimingModel::ibex(), LutSet::new());
+        assert!(matches!(cpu.step(), Err(Trap::IllegalInstruction { .. })));
+    }
+
+    #[test]
+    fn compressed_instructions_execute() {
+        // c.li a0, 3 (0x450d); c.addi a0, 1 (0x0505); c.ebreak (0x9002)
+        let mut mem = Memory::new(0, 0x1000);
+        mem.write_bytes(0, &[0x0D, 0x45, 0x05, 0x05, 0x02, 0x90]);
+        let mut cpu = Cpu::new(mem, TimingModel::ibex(), LutSet::new());
+        assert_eq!(cpu.step().unwrap(), StepOutcome::Continue);
+        assert_eq!(cpu.pc, 2); // compressed: +2
+        assert_eq!(cpu.step().unwrap(), StepOutcome::Continue);
+        assert_eq!(cpu.reg(Reg::A0), 4);
+        assert_eq!(cpu.step().unwrap(), StepOutcome::Halted);
+    }
+}

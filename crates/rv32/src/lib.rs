@@ -1,0 +1,206 @@
+//! # kwt-rv32
+//!
+//! An RV32IMC instruction-set simulator modelling the paper's platform: a
+//! lowRISC-Ibex-class core (Table II: 64 kB RAM, 50 MHz, **no FPU**) with
+//! a per-instruction-class cycle model and the paper's `custom-1`
+//! extension (Table VII) wired to the Q8.24 lookup tables of
+//! [`kwt_quant`].
+//!
+//! The simulator is the measurement instrument for the paper's headline
+//! result — inference clock cycles dropping from 26 M (float) through
+//! 13 M (quantised) to 5.5 M (quantised + custom instructions) — so its
+//! cycle accounting is explicit and configurable ([`TimingModel`]), and a
+//! region [`Profiler`] (driven by CSR writes from generated code)
+//! reproduces the per-operation breakdowns of Figs. 3–5.
+//!
+//! # Example
+//!
+//! ```
+//! use kwt_rv32::{Machine, Platform};
+//! use kwt_rvasm::{Asm, Inst, Reg};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut asm = Asm::new(0x0, 0x8000);
+//! asm.li(Reg::A0, 21);
+//! asm.emit(Inst::Add { rd: Reg::A0, rs1: Reg::A0, rs2: Reg::A0 });
+//! asm.emit(Inst::Ebreak);
+//! let program = asm.finish()?;
+//!
+//! let mut machine = Machine::load(&program, Platform::ibex())?;
+//! let result = machine.run(1_000)?;
+//! assert_eq!(result.exit_code, 42);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod cpu;
+mod machine;
+mod mem;
+mod profile;
+mod trap;
+
+pub use cpu::{Cpu, StepOutcome};
+pub use machine::{Machine, RunResult, TraceEntry};
+pub use mem::Memory;
+pub use profile::{ProfileReport, Profiler};
+pub use trap::Trap;
+
+use serde::{Deserialize, Serialize};
+
+/// Static platform description (paper Table II).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Platform {
+    /// RAM base address.
+    pub ram_base: u32,
+    /// RAM size in bytes.
+    pub ram_size: u32,
+    /// Core clock in Hz (used to convert cycles to wall time / power).
+    pub clock_hz: u64,
+    /// Reserved stack bytes at the top of RAM (§V: 4 kB for KWT-Tiny).
+    pub stack_bytes: u32,
+}
+
+impl Platform {
+    /// The paper's Ibex instance: 64 kB RAM at 0x0, 50 MHz, 4 kB stack.
+    pub fn ibex() -> Self {
+        Platform {
+            ram_base: 0x0000_0000,
+            ram_size: 64 * 1024,
+            clock_hz: 50_000_000,
+            stack_bytes: 4 * 1024,
+        }
+    }
+
+    /// A roomier variant for host-side experiments that exceed 64 kB
+    /// (e.g. profiling KWT-1-scale workloads). Same timing model.
+    pub fn ibex_with_ram(ram_size: u32) -> Self {
+        Platform {
+            ram_size,
+            ..Platform::ibex()
+        }
+    }
+
+    /// First address past RAM.
+    pub fn ram_end(&self) -> u32 {
+        self.ram_base + self.ram_size
+    }
+
+    /// Initial stack pointer (16-byte aligned top of RAM).
+    pub fn initial_sp(&self) -> u32 {
+        self.ram_end() & !0xF
+    }
+
+    /// Converts a cycle count to seconds at the platform clock.
+    pub fn cycles_to_seconds(&self, cycles: u64) -> f64 {
+        cycles as f64 / self.clock_hz as f64
+    }
+}
+
+impl Default for Platform {
+    fn default() -> Self {
+        Platform::ibex()
+    }
+}
+
+/// Per-instruction-class cycle costs.
+///
+/// Defaults follow the lowRISC Ibex documentation for the 2-stage,
+/// "fast multiplier" configuration: single-cycle ALU ops, 3-cycle
+/// multiplies, 37-cycle divides, 2-cycle loads/stores (1 + memory), 3
+/// cycles for taken branches and jumps (pipeline flush), 1 cycle for
+/// not-taken branches. The custom LUT instructions are modelled at 2
+/// cycles (register read, ROM lookup, writeback).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TimingModel {
+    /// Simple ALU / CSR instructions.
+    pub alu: u64,
+    /// `mul`, `mulh`, `mulhsu`, `mulhu`.
+    pub mul: u64,
+    /// `div`, `divu`, `rem`, `remu`.
+    pub div: u64,
+    /// Loads.
+    pub load: u64,
+    /// Stores.
+    pub store: u64,
+    /// Taken conditional branches.
+    pub branch_taken: u64,
+    /// Not-taken conditional branches.
+    pub branch_not_taken: u64,
+    /// `jal` / `jalr`.
+    pub jump: u64,
+    /// The five `custom-1` operations.
+    pub custom: u64,
+}
+
+impl TimingModel {
+    /// The Ibex-class default described above.
+    pub fn ibex() -> Self {
+        TimingModel {
+            alu: 1,
+            mul: 3,
+            div: 37,
+            load: 2,
+            store: 2,
+            branch_taken: 3,
+            branch_not_taken: 1,
+            jump: 3,
+            custom: 2,
+        }
+    }
+
+    /// An idealised single-cycle machine — useful to separate
+    /// instruction-count effects from stall effects in ablations.
+    pub fn single_cycle() -> Self {
+        TimingModel {
+            alu: 1,
+            mul: 1,
+            div: 1,
+            load: 1,
+            store: 1,
+            branch_taken: 1,
+            branch_not_taken: 1,
+            jump: 1,
+            custom: 1,
+        }
+    }
+}
+
+impl Default for TimingModel {
+    fn default() -> Self {
+        TimingModel::ibex()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn platform_matches_table2() {
+        let p = Platform::ibex();
+        assert_eq!(p.ram_size, 65_536);
+        assert_eq!(p.clock_hz, 50_000_000);
+        assert_eq!(p.ram_end(), 0x1_0000);
+        assert_eq!(p.initial_sp() % 16, 0);
+    }
+
+    #[test]
+    fn cycle_conversion() {
+        let p = Platform::ibex();
+        assert!((p.cycles_to_seconds(50_000_000) - 1.0).abs() < 1e-12);
+        // 5.5M cycles at 50 MHz = 110 ms per inference (paper's fastest).
+        assert!((p.cycles_to_seconds(5_500_000) - 0.11).abs() < 1e-12);
+    }
+
+    #[test]
+    fn timing_models() {
+        let t = TimingModel::ibex();
+        assert_eq!(t.div, 37);
+        assert!(t.mul > t.alu);
+        let s = TimingModel::single_cycle();
+        assert_eq!(s.div, 1);
+    }
+}

@@ -1,0 +1,439 @@
+//! Program loading and run-to-completion harness.
+
+use crate::cpu::{Cpu, StepOutcome};
+use crate::mem::Memory;
+use crate::profile::ProfileReport;
+use crate::trap::Trap;
+use crate::{Platform, TimingModel};
+use kwt_quant::LutSet;
+use kwt_rvasm::{Program, Reg};
+use std::collections::BTreeMap;
+
+/// One executed instruction in a [`Machine::run_traced`] ring buffer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceEntry {
+    /// Program counter.
+    pub pc: u32,
+    /// Raw instruction word (16-bit parcel for compressed).
+    pub word: u32,
+    /// Disassembly (best effort).
+    pub text: String,
+}
+
+impl std::fmt::Display for TraceEntry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:#010x}: {:<10x} {}", self.pc, self.word, self.text)
+    }
+}
+
+/// Outcome of a completed (halted) run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RunResult {
+    /// Total cycles consumed (the paper's "Inference Clock Cycles").
+    pub cycles: u64,
+    /// Instructions retired.
+    pub instructions: u64,
+    /// Value of `a0` at the `ebreak` — the program's exit/result code.
+    pub exit_code: u32,
+}
+
+/// A loaded program on a platform: the top-level simulation object.
+#[derive(Debug, Clone)]
+pub struct Machine {
+    /// The hart (exposed for register/memory inspection in tests).
+    pub cpu: Cpu,
+    platform: Platform,
+    region_names: BTreeMap<u32, String>,
+}
+
+impl Machine {
+    /// Loads a program image into fresh RAM and points the hart at its
+    /// entry (`entry` symbol if present, else the text base). The stack
+    /// pointer starts at the top of RAM.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Trap::AccessOutOfBounds`] if the text or data section
+    /// (plus reserved stack) does not fit the platform RAM — the 64 kB
+    /// budget of Table II is enforced here.
+    pub fn load(program: &Program, platform: Platform) -> Result<Self, Trap> {
+        let text_end = program.text_base as u64 + program.text_bytes() as u64;
+        let data_end = program.data_base as u64 + program.data.len() as u64;
+        let limit = (platform.ram_end() - platform.stack_bytes) as u64;
+        if program.text_base < platform.ram_base || text_end > limit {
+            return Err(Trap::AccessOutOfBounds {
+                addr: text_end as u32,
+                pc: 0,
+            });
+        }
+        if program.data_base < platform.ram_base || data_end > limit {
+            return Err(Trap::AccessOutOfBounds {
+                addr: data_end as u32,
+                pc: 0,
+            });
+        }
+        let mut mem = Memory::new(platform.ram_base, platform.ram_size);
+        let text: Vec<u8> = program.text.iter().flat_map(|w| w.to_le_bytes()).collect();
+        mem.write_bytes(program.text_base, &text);
+        mem.write_bytes(program.data_base, &program.data);
+        let mut cpu = Cpu::new(mem, TimingModel::ibex(), LutSet::new());
+        cpu.pc = program.symbol("entry").unwrap_or(program.text_base);
+        cpu.set_reg(Reg::Sp, platform.initial_sp());
+        Ok(Machine {
+            cpu,
+            platform,
+            region_names: BTreeMap::new(),
+        })
+    }
+
+    /// Replaces the timing model (builder style).
+    pub fn with_timing(mut self, timing: TimingModel) -> Self {
+        self.cpu = Cpu::new_with_state(self.cpu, timing);
+        self
+    }
+
+    /// Replaces the LUT ROMs (builder style).
+    pub fn with_luts(mut self, luts: LutSet) -> Self {
+        self.cpu.set_luts(luts);
+        self
+    }
+
+    /// Registers a human-readable name for a profiler region id.
+    pub fn name_region(&mut self, id: u32, name: &str) {
+        self.region_names.insert(id, name.to_string());
+    }
+
+    /// The platform description.
+    pub fn platform(&self) -> &Platform {
+        &self.platform
+    }
+
+    /// Runs until `ebreak`, a trap, or `max_steps` retired instructions.
+    ///
+    /// # Errors
+    ///
+    /// Returns the [`Trap`] that stopped execution, including
+    /// [`Trap::OutOfFuel`] when the step budget is exhausted.
+    pub fn run(&mut self, max_steps: u64) -> Result<RunResult, Trap> {
+        for _ in 0..max_steps {
+            match self.cpu.step()? {
+                StepOutcome::Continue => {}
+                StepOutcome::Halted => {
+                    self.cpu.profiler.finish(self.cpu.cycles);
+                    return Ok(RunResult {
+                        cycles: self.cpu.cycles,
+                        instructions: self.cpu.instret,
+                        exit_code: self.cpu.reg(Reg::A0),
+                    });
+                }
+            }
+        }
+        Err(Trap::OutOfFuel {
+            executed: self.cpu.instret,
+        })
+    }
+
+    /// The profiler report for the run so far, using registered region
+    /// names.
+    pub fn profile_report(&self) -> ProfileReport {
+        self.cpu
+            .profiler
+            .report(self.cpu.cycles, &self.region_names)
+    }
+
+    /// Like [`Machine::run`], but keeps a ring buffer of the last
+    /// `capacity` executed instructions (pc, raw word, disassembly) — the
+    /// post-mortem a bare-metal target cannot give you. On a trap the
+    /// trace ends at the faulting instruction.
+    pub fn run_traced(
+        &mut self,
+        max_steps: u64,
+        capacity: usize,
+    ) -> (Result<RunResult, Trap>, Vec<TraceEntry>) {
+        let mut trace: std::collections::VecDeque<TraceEntry> =
+            std::collections::VecDeque::with_capacity(capacity.max(1));
+        for _ in 0..max_steps {
+            let pc = self.cpu.pc;
+            let entry = self.describe(pc);
+            if trace.len() == capacity.max(1) {
+                trace.pop_front();
+            }
+            trace.push_back(entry);
+            match self.cpu.step() {
+                Ok(StepOutcome::Continue) => {}
+                Ok(StepOutcome::Halted) => {
+                    self.cpu.profiler.finish(self.cpu.cycles);
+                    return (
+                        Ok(RunResult {
+                            cycles: self.cpu.cycles,
+                            instructions: self.cpu.instret,
+                            exit_code: self.cpu.reg(Reg::A0),
+                        }),
+                        trace.into(),
+                    );
+                }
+                Err(t) => return (Err(t), trace.into()),
+            }
+        }
+        (
+            Err(Trap::OutOfFuel {
+                executed: self.cpu.instret,
+            }),
+            trace.into(),
+        )
+    }
+
+    /// Disassembles the instruction at `pc` (best effort).
+    fn describe(&self, pc: u32) -> TraceEntry {
+        let lo = self.cpu.mem.fetch16(pc).unwrap_or(0);
+        let (word, text) = if lo & 0b11 == 0b11 {
+            let hi = self.cpu.mem.fetch16(pc.wrapping_add(2)).unwrap_or(0);
+            let w = lo as u32 | ((hi as u32) << 16);
+            (
+                w,
+                kwt_rvasm::Inst::decode(w)
+                    .map(|i| i.to_string())
+                    .unwrap_or_else(|| "<illegal>".into()),
+            )
+        } else {
+            (
+                lo as u32,
+                kwt_rvasm::expand_compressed(lo)
+                    .map(|i| format!("c.{i}"))
+                    .unwrap_or_else(|| "<illegal>".into()),
+            )
+        };
+        TraceEntry { pc, word, text }
+    }
+
+    // ---- host-side typed memory access ----
+
+    /// Writes `f32` values (IEEE-754 bits) starting at `addr`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is outside RAM.
+    pub fn write_f32s(&mut self, addr: u32, values: &[f32]) {
+        let bytes: Vec<u8> = values.iter().flat_map(|v| v.to_bits().to_le_bytes()).collect();
+        self.cpu.mem.write_bytes(addr, &bytes);
+    }
+
+    /// Reads `len` `f32` values starting at `addr`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is outside RAM.
+    pub fn read_f32s(&self, addr: u32, len: usize) -> Vec<f32> {
+        self.cpu
+            .mem
+            .read_bytes(addr, len * 4)
+            .chunks_exact(4)
+            .map(|c| f32::from_bits(u32::from_le_bytes(c.try_into().expect("chunk of 4"))))
+            .collect()
+    }
+
+    /// Writes `i16` values starting at `addr`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is outside RAM.
+    pub fn write_i16s(&mut self, addr: u32, values: &[i16]) {
+        let bytes: Vec<u8> = values.iter().flat_map(|v| v.to_le_bytes()).collect();
+        self.cpu.mem.write_bytes(addr, &bytes);
+    }
+
+    /// Reads `len` `i16` values starting at `addr`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is outside RAM.
+    pub fn read_i16s(&self, addr: u32, len: usize) -> Vec<i16> {
+        self.cpu
+            .mem
+            .read_bytes(addr, len * 2)
+            .chunks_exact(2)
+            .map(|c| i16::from_le_bytes(c.try_into().expect("chunk of 2")))
+            .collect()
+    }
+
+    /// Reads `len` `i32` values starting at `addr`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is outside RAM.
+    pub fn read_i32s(&self, addr: u32, len: usize) -> Vec<i32> {
+        self.cpu
+            .mem
+            .read_bytes(addr, len * 4)
+            .chunks_exact(4)
+            .map(|c| i32::from_le_bytes(c.try_into().expect("chunk of 4")))
+            .collect()
+    }
+}
+
+impl Cpu {
+    /// Rebuilds a CPU with a new timing model, preserving all other state
+    /// (used by [`Machine::with_timing`]).
+    fn new_with_state(old: Cpu, timing: TimingModel) -> Cpu {
+        let luts = old.luts().clone();
+        let mut cpu = Cpu::new(old.mem.clone(), timing, luts);
+        cpu.regs = old.regs;
+        cpu.pc = old.pc;
+        cpu.cycles = old.cycles;
+        cpu.instret = old.instret;
+        cpu
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kwt_rvasm::{Asm, Inst};
+
+    fn program(build: impl FnOnce(&mut Asm)) -> Program {
+        let mut asm = Asm::new(0, 0x8000);
+        build(&mut asm);
+        asm.emit(Inst::Ebreak);
+        asm.finish().unwrap()
+    }
+
+    #[test]
+    fn load_and_run_returns_exit_code() {
+        let p = program(|a| a.li(Reg::A0, 7));
+        let mut m = Machine::load(&p, Platform::ibex()).unwrap();
+        let r = m.run(100).unwrap();
+        assert_eq!(r.exit_code, 7);
+        assert!(r.cycles > 0);
+        assert!(r.instructions >= 2);
+    }
+
+    #[test]
+    fn ram_budget_enforced() {
+        // A data section reaching into the reserved stack must be refused.
+        let mut asm = Asm::new(0, 0x8000);
+        asm.emit(Inst::Ebreak);
+        asm.data_reserve(60 * 1024, 4); // 0x8000 + 60k > 64k - 4k stack
+        let p = asm.finish().unwrap();
+        assert!(matches!(
+            Machine::load(&p, Platform::ibex()),
+            Err(Trap::AccessOutOfBounds { .. })
+        ));
+    }
+
+    #[test]
+    fn out_of_fuel_reported() {
+        // Infinite loop.
+        let mut asm = Asm::new(0, 0x8000);
+        let top = asm.new_label();
+        asm.bind(top).unwrap();
+        asm.jump_to(top);
+        let p = asm.finish().unwrap();
+        let mut m = Machine::load(&p, Platform::ibex()).unwrap();
+        assert!(matches!(m.run(50), Err(Trap::OutOfFuel { executed: 50 })));
+    }
+
+    #[test]
+    fn typed_memory_io_round_trips() {
+        let p = program(|a| a.nop());
+        let mut m = Machine::load(&p, Platform::ibex()).unwrap();
+        m.write_f32s(0x9000, &[1.5, -2.25]);
+        assert_eq!(m.read_f32s(0x9000, 2), vec![1.5, -2.25]);
+        m.write_i16s(0xA000, &[-3, 700]);
+        assert_eq!(m.read_i16s(0xA000, 2), vec![-3, 700]);
+        assert_eq!(m.read_i32s(0xA000, 1), vec![(700 << 16) | 0xFFFD]);
+    }
+
+    #[test]
+    fn entry_symbol_respected() {
+        let mut asm = Asm::new(0, 0x8000);
+        // dead code first
+        asm.li(Reg::A0, 1);
+        asm.emit(Inst::Ebreak);
+        asm.here("entry");
+        asm.li(Reg::A0, 2);
+        asm.emit(Inst::Ebreak);
+        let p = asm.finish().unwrap();
+        let mut m = Machine::load(&p, Platform::ibex()).unwrap();
+        assert_eq!(m.run(100).unwrap().exit_code, 2);
+    }
+
+    #[test]
+    fn with_timing_changes_cycle_counts() {
+        let p = program(|a| {
+            a.li(Reg::T0, 5);
+            a.li(Reg::T1, 3);
+            a.emit(Inst::Div { rd: Reg::A0, rs1: Reg::T0, rs2: Reg::T1 });
+        });
+        let mut ibex = Machine::load(&p, Platform::ibex()).unwrap();
+        let mut ideal = Machine::load(&p, Platform::ibex())
+            .unwrap()
+            .with_timing(TimingModel::single_cycle());
+        let c1 = ibex.run(100).unwrap().cycles;
+        let c2 = ideal.run(100).unwrap().cycles;
+        assert!(c1 > c2, "{c1} vs {c2}");
+    }
+
+    #[test]
+    fn run_traced_captures_instruction_history() {
+        let p = program(|a| {
+            a.li(Reg::A0, 5);
+            a.emit(Inst::Addi { rd: Reg::A0, rs1: Reg::A0, imm: 2 });
+        });
+        let mut m = Machine::load(&p, Platform::ibex()).unwrap();
+        let (result, trace) = m.run_traced(100, 8);
+        assert_eq!(result.unwrap().exit_code, 7);
+        assert!(trace.len() >= 3);
+        assert!(trace.iter().any(|e| e.text.contains("addi a0, a0, 2")));
+        assert!(trace.last().unwrap().text.contains("ebreak"));
+        assert!(!trace[0].to_string().is_empty());
+    }
+
+    #[test]
+    fn run_traced_ends_at_faulting_instruction() {
+        // load from far outside RAM
+        let mut asm = Asm::new(0, 0x8000);
+        asm.here("entry");
+        asm.li(Reg::T0, 0x0100_0000);
+        asm.emit(Inst::Lw { rd: Reg::A0, rs1: Reg::T0, imm: 0 });
+        asm.emit(Inst::Ebreak);
+        let p = asm.finish().unwrap();
+        let mut m = Machine::load(&p, Platform::ibex()).unwrap();
+        let (result, trace) = m.run_traced(100, 4);
+        assert!(matches!(result, Err(Trap::AccessOutOfBounds { .. })));
+        assert!(trace.last().unwrap().text.starts_with("lw"));
+    }
+
+    #[test]
+    fn run_traced_ring_buffer_bounded() {
+        // long loop; only the last `capacity` entries survive
+        let mut asm = Asm::new(0, 0x8000);
+        asm.here("entry");
+        asm.li(Reg::T0, 50);
+        let top = asm.new_label();
+        asm.bind(top).unwrap();
+        asm.emit(Inst::Addi { rd: Reg::T0, rs1: Reg::T0, imm: -1 });
+        asm.branch_to(Inst::Bne { rs1: Reg::T0, rs2: Reg::Zero, offset: 0 }, top);
+        asm.emit(Inst::Ebreak);
+        let p = asm.finish().unwrap();
+        let mut m = Machine::load(&p, Platform::ibex()).unwrap();
+        let (result, trace) = m.run_traced(1_000, 5);
+        assert!(result.is_ok());
+        assert_eq!(trace.len(), 5);
+    }
+
+    #[test]
+    fn profiler_region_names_flow_through() {
+        let p = program(|a| {
+            a.li(Reg::T0, 3);
+            a.emit(Inst::Csrrw { rd: Reg::Zero, rs1: Reg::T0, csr: 0x7C0 });
+            a.nop();
+            a.emit(Inst::Csrrw { rd: Reg::Zero, rs1: Reg::Zero, csr: 0x7C1 });
+        });
+        let mut m = Machine::load(&p, Platform::ibex()).unwrap();
+        m.name_region(3, "gelu");
+        m.run(100).unwrap();
+        let report = m.profile_report();
+        assert_eq!(report.regions[0].0, "gelu");
+        assert!(report.regions[0].1 > 0);
+    }
+}

@@ -1,0 +1,202 @@
+//! Cycle-attribution profiler driven by CSR writes from generated code.
+//!
+//! Generated kernels bracket themselves with
+//! `csrrw x0, 0x7C0, <region-id>` (push) and `csrrw x0, 0x7C1, x0`
+//! (pop). The profiler attributes *self* cycles: while a child region is
+//! open, the parent's clock is paused — so totals over all regions plus
+//! unattributed time equal the whole run, which is what the paper's
+//! pie-chart figures (Figs. 3–5) show.
+
+use std::collections::BTreeMap;
+
+/// Accumulates per-region self-cycles.
+#[derive(Debug, Clone, Default)]
+pub struct Profiler {
+    /// Stack of `(region, cycles_at_entry_or_resume, accumulated)`.
+    stack: Vec<(u32, u64, u64)>,
+    totals: BTreeMap<u32, u64>,
+    /// Number of push events per region (call counts).
+    calls: BTreeMap<u32, u64>,
+}
+
+impl Profiler {
+    /// Fresh, empty profiler.
+    pub fn new() -> Self {
+        Profiler::default()
+    }
+
+    /// Region push (CSR 0x7C0 write) at absolute cycle `now`.
+    pub fn push(&mut self, region: u32, now: u64) {
+        // Pause the parent.
+        if let Some(top) = self.stack.last_mut() {
+            top.2 += now - top.1;
+        }
+        self.stack.push((region, now, 0));
+        *self.calls.entry(region).or_insert(0) += 1;
+    }
+
+    /// Region pop (CSR 0x7C1 write) at absolute cycle `now`.
+    ///
+    /// Unbalanced pops are ignored (defensive: generated code is tested to
+    /// balance them).
+    pub fn pop(&mut self, now: u64) {
+        if let Some((region, since, acc)) = self.stack.pop() {
+            let self_cycles = acc + (now - since);
+            *self.totals.entry(region).or_insert(0) += self_cycles;
+            // Resume the parent clock.
+            if let Some(top) = self.stack.last_mut() {
+                top.1 = now;
+            }
+        }
+    }
+
+    /// Finalises at end-of-run cycle `now`, closing any open regions.
+    pub fn finish(&mut self, now: u64) {
+        while !self.stack.is_empty() {
+            self.pop(now);
+        }
+    }
+
+    /// Produces the report, mapping region ids to names via `names`
+    /// (unknown ids are labelled `region-N`).
+    pub fn report(&self, total_cycles: u64, names: &BTreeMap<u32, String>) -> ProfileReport {
+        let mut regions: Vec<(String, u64, u64)> = self
+            .totals
+            .iter()
+            .map(|(&id, &cycles)| {
+                let name = names
+                    .get(&id)
+                    .cloned()
+                    .unwrap_or_else(|| format!("region-{id}"));
+                (name, cycles, self.calls.get(&id).copied().unwrap_or(0))
+            })
+            .collect();
+        regions.sort_by(|a, b| b.1.cmp(&a.1));
+        let attributed: u64 = self.totals.values().sum();
+        ProfileReport {
+            regions,
+            attributed_cycles: attributed,
+            total_cycles,
+        }
+    }
+}
+
+/// A finished profile: per-region self-cycles, sorted descending.
+#[derive(Debug, Clone)]
+pub struct ProfileReport {
+    /// `(name, self_cycles, calls)` per region, largest first.
+    pub regions: Vec<(String, u64, u64)>,
+    /// Sum of all attributed cycles.
+    pub attributed_cycles: u64,
+    /// Total cycles of the run (attributed + untracked).
+    pub total_cycles: u64,
+}
+
+impl ProfileReport {
+    /// Percentage of total cycles for a region by name.
+    pub fn percent(&self, name: &str) -> Option<f64> {
+        self.regions
+            .iter()
+            .find(|(n, _, _)| n == name)
+            .map(|(_, c, _)| 100.0 * *c as f64 / self.total_cycles.max(1) as f64)
+    }
+
+    /// Formats the report as an aligned text table.
+    pub fn to_table(&self) -> String {
+        let mut out = String::from("region                     cycles      calls   share\n");
+        for (name, cycles, calls) in &self.regions {
+            out.push_str(&format!(
+                "{name:<22} {cycles:>12} {calls:>10}   {:5.1}%\n",
+                100.0 * *cycles as f64 / self.total_cycles.max(1) as f64
+            ));
+        }
+        let other = self.total_cycles.saturating_sub(self.attributed_cycles);
+        out.push_str(&format!(
+            "{:<22} {other:>12} {:>10}   {:5.1}%\n",
+            "(untracked)",
+            "-",
+            100.0 * other as f64 / self.total_cycles.max(1) as f64
+        ));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn names() -> BTreeMap<u32, String> {
+        [(1, "matmul".to_string()), (2, "softmax".to_string())]
+            .into_iter()
+            .collect()
+    }
+
+    #[test]
+    fn flat_regions_accumulate() {
+        let mut p = Profiler::new();
+        p.push(1, 0);
+        p.pop(100);
+        p.push(2, 100);
+        p.pop(150);
+        p.push(1, 150);
+        p.pop(250);
+        let r = p.report(250, &names());
+        assert_eq!(r.regions[0], ("matmul".to_string(), 200, 2));
+        assert_eq!(r.regions[1], ("softmax".to_string(), 50, 1));
+        assert_eq!(r.attributed_cycles, 250);
+        assert!((r.percent("matmul").unwrap() - 80.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn nesting_attributes_self_time() {
+        let mut p = Profiler::new();
+        p.push(1, 0); // matmul
+        p.push(2, 30); // softmax inside matmul
+        p.pop(70); // softmax self = 40
+        p.pop(100); // matmul self = 30 + 30 = 60
+        let r = p.report(100, &names());
+        let matmul = r.regions.iter().find(|(n, _, _)| n == "matmul").unwrap();
+        let softmax = r.regions.iter().find(|(n, _, _)| n == "softmax").unwrap();
+        assert_eq!(matmul.1, 60);
+        assert_eq!(softmax.1, 40);
+        assert_eq!(r.attributed_cycles, 100);
+    }
+
+    #[test]
+    fn finish_closes_open_regions() {
+        let mut p = Profiler::new();
+        p.push(1, 0);
+        p.push(2, 10);
+        p.finish(50);
+        let r = p.report(50, &names());
+        assert_eq!(r.attributed_cycles, 50);
+    }
+
+    #[test]
+    fn unbalanced_pop_is_ignored() {
+        let mut p = Profiler::new();
+        p.pop(10); // no-op
+        let r = p.report(10, &names());
+        assert!(r.regions.is_empty());
+    }
+
+    #[test]
+    fn unknown_region_named_generically() {
+        let mut p = Profiler::new();
+        p.push(99, 0);
+        p.pop(5);
+        let r = p.report(5, &names());
+        assert_eq!(r.regions[0].0, "region-99");
+    }
+
+    #[test]
+    fn table_formatting_mentions_untracked() {
+        let mut p = Profiler::new();
+        p.push(1, 0);
+        p.pop(40);
+        let r = p.report(100, &names());
+        let t = r.to_table();
+        assert!(t.contains("matmul"));
+        assert!(t.contains("untracked"));
+    }
+}

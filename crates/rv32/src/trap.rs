@@ -1,0 +1,84 @@
+//! Trap conditions raised by the simulated core.
+
+use std::fmt;
+
+/// A fault that stops simulation (the bare-metal target has no trap
+/// handlers; any trap is a bug in the generated program or its inputs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Trap {
+    /// The word at `pc` did not decode to a supported instruction.
+    IllegalInstruction {
+        /// Faulting pc.
+        pc: u32,
+        /// The fetched word.
+        word: u32,
+    },
+    /// Instruction fetch outside RAM.
+    FetchOutOfBounds {
+        /// Faulting pc.
+        pc: u32,
+    },
+    /// Data access outside RAM.
+    AccessOutOfBounds {
+        /// Faulting data address.
+        addr: u32,
+        /// pc of the access instruction.
+        pc: u32,
+    },
+    /// Misaligned halfword/word data access.
+    MisalignedAccess {
+        /// Faulting data address.
+        addr: u32,
+        /// Access size in bytes.
+        size: u32,
+        /// pc of the access instruction.
+        pc: u32,
+    },
+    /// `ecall` executed (no syscall layer on this bare-metal platform).
+    EnvironmentCall {
+        /// pc of the `ecall`.
+        pc: u32,
+    },
+    /// The step budget given to [`crate::Machine::run`] was exhausted.
+    OutOfFuel {
+        /// Instructions retired before stopping.
+        executed: u64,
+    },
+}
+
+impl fmt::Display for Trap {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Trap::IllegalInstruction { pc, word } => {
+                write!(f, "illegal instruction {word:#010x} at pc {pc:#010x}")
+            }
+            Trap::FetchOutOfBounds { pc } => write!(f, "instruction fetch out of bounds at {pc:#010x}"),
+            Trap::AccessOutOfBounds { addr, pc } => {
+                write!(f, "data access out of bounds at {addr:#010x} (pc {pc:#010x})")
+            }
+            Trap::MisalignedAccess { addr, size, pc } => write!(
+                f,
+                "misaligned {size}-byte access at {addr:#010x} (pc {pc:#010x})"
+            ),
+            Trap::EnvironmentCall { pc } => write!(f, "ecall at pc {pc:#010x}"),
+            Trap::OutOfFuel { executed } => {
+                write!(f, "step budget exhausted after {executed} instructions")
+            }
+        }
+    }
+}
+
+impl std::error::Error for Trap {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_forms() {
+        let t = Trap::IllegalInstruction { pc: 4, word: 0 };
+        assert!(t.to_string().contains("0x00000004"));
+        let t = Trap::MisalignedAccess { addr: 3, size: 4, pc: 0 };
+        assert!(t.to_string().contains("4-byte"));
+    }
+}

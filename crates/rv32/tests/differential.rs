@@ -1,0 +1,125 @@
+//! Differential property tests: every RV32IM arithmetic instruction
+//! executed on the simulator must match the host's reference semantics
+//! on random operands.
+
+use kwt_rv32::{Machine, Platform};
+use kwt_rvasm::{Asm, Inst, Reg};
+use proptest::prelude::*;
+
+/// Runs `op(t0, t1)` on the simulator and returns `a0`.
+fn run_rr(build: impl Fn(Reg, Reg, Reg) -> Inst, a: u32, b: u32) -> u32 {
+    let mut asm = Asm::new(0, 0x8000);
+    asm.here("entry");
+    asm.li(Reg::T0, a as i32);
+    asm.li(Reg::T1, b as i32);
+    asm.emit(build(Reg::A0, Reg::T0, Reg::T1));
+    asm.emit(Inst::Ebreak);
+    let p = asm.finish().expect("assembles");
+    let mut m = Machine::load(&p, Platform::ibex()).expect("fits");
+    m.run(100).expect("halts").exit_code
+}
+
+macro_rules! rr {
+    ($name:ident) => {
+        |rd, rs1, rs2| Inst::$name { rd, rs1, rs2 }
+    };
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn add_sub_match_wrapping(a in any::<u32>(), b in any::<u32>()) {
+        prop_assert_eq!(run_rr(rr!(Add), a, b), a.wrapping_add(b));
+        prop_assert_eq!(run_rr(rr!(Sub), a, b), a.wrapping_sub(b));
+    }
+
+    #[test]
+    fn logic_ops_match(a in any::<u32>(), b in any::<u32>()) {
+        prop_assert_eq!(run_rr(rr!(Xor), a, b), a ^ b);
+        prop_assert_eq!(run_rr(rr!(Or), a, b), a | b);
+        prop_assert_eq!(run_rr(rr!(And), a, b), a & b);
+    }
+
+    #[test]
+    fn shifts_use_low_five_bits(a in any::<u32>(), b in any::<u32>()) {
+        let sh = b & 31;
+        prop_assert_eq!(run_rr(rr!(Sll), a, b), a << sh);
+        prop_assert_eq!(run_rr(rr!(Srl), a, b), a >> sh);
+        prop_assert_eq!(run_rr(rr!(Sra), a, b), ((a as i32) >> sh) as u32);
+    }
+
+    #[test]
+    fn compares_match(a in any::<u32>(), b in any::<u32>()) {
+        prop_assert_eq!(run_rr(rr!(Slt), a, b), ((a as i32) < (b as i32)) as u32);
+        prop_assert_eq!(run_rr(rr!(Sltu), a, b), (a < b) as u32);
+    }
+
+    #[test]
+    fn multiplies_match(a in any::<u32>(), b in any::<u32>()) {
+        prop_assert_eq!(run_rr(rr!(Mul), a, b), a.wrapping_mul(b));
+        let mulh = ((a as i32 as i64).wrapping_mul(b as i32 as i64) >> 32) as u32;
+        prop_assert_eq!(run_rr(rr!(Mulh), a, b), mulh);
+        let mulhu = ((a as u64 * b as u64) >> 32) as u32;
+        prop_assert_eq!(run_rr(rr!(Mulhu), a, b), mulhu);
+        let mulhsu = (((a as i32 as i64) * (b as u64 as i64)) >> 32) as u32;
+        prop_assert_eq!(run_rr(rr!(Mulhsu), a, b), mulhsu);
+    }
+
+    #[test]
+    fn divisions_match_riscv_spec(a in any::<u32>(), b in any::<u32>()) {
+        let (ai, bi) = (a as i32, b as i32);
+        let div = if bi == 0 { -1 } else if ai == i32::MIN && bi == -1 { i32::MIN } else { ai.wrapping_div(bi) };
+        let rem = if bi == 0 { ai } else if ai == i32::MIN && bi == -1 { 0 } else { ai.wrapping_rem(bi) };
+        prop_assert_eq!(run_rr(rr!(Div), a, b), div as u32);
+        prop_assert_eq!(run_rr(rr!(Rem), a, b), rem as u32);
+        let divu = if b == 0 { u32::MAX } else { a / b };
+        let remu = if b == 0 { a } else { a % b };
+        prop_assert_eq!(run_rr(rr!(Divu), a, b), divu);
+        prop_assert_eq!(run_rr(rr!(Remu), a, b), remu);
+    }
+
+    #[test]
+    fn load_store_round_trip_any_value(v in any::<u32>(), off in 0u32..64) {
+        let addr = 0x9000 + off * 4;
+        let mut asm = Asm::new(0, 0x8000);
+        asm.here("entry");
+        asm.li(Reg::T0, addr as i32);
+        asm.li(Reg::T1, v as i32);
+        asm.emit(Inst::Sw { rs2: Reg::T1, rs1: Reg::T0, imm: 0 });
+        asm.emit(Inst::Lw { rd: Reg::A0, rs1: Reg::T0, imm: 0 });
+        asm.emit(Inst::Ebreak);
+        let p = asm.finish().expect("assembles");
+        let mut m = Machine::load(&p, Platform::ibex()).expect("fits");
+        prop_assert_eq!(m.run(100).expect("halts").exit_code, v);
+    }
+
+    #[test]
+    fn immediates_match(a in any::<u32>(), imm in -2048i32..=2047) {
+        let run_imm = |build: &dyn Fn(Reg, Reg, i32) -> Inst| -> u32 {
+            let mut asm = Asm::new(0, 0x8000);
+            asm.here("entry");
+            asm.li(Reg::T0, a as i32);
+            asm.emit(build(Reg::A0, Reg::T0, imm));
+            asm.emit(Inst::Ebreak);
+            let p = asm.finish().expect("assembles");
+            Machine::load(&p, Platform::ibex())
+                .expect("fits")
+                .run(100)
+                .expect("halts")
+                .exit_code
+        };
+        prop_assert_eq!(
+            run_imm(&|rd, rs1, imm| Inst::Addi { rd, rs1, imm }),
+            a.wrapping_add(imm as u32)
+        );
+        prop_assert_eq!(
+            run_imm(&|rd, rs1, imm| Inst::Xori { rd, rs1, imm }),
+            a ^ (imm as u32)
+        );
+        prop_assert_eq!(
+            run_imm(&|rd, rs1, imm| Inst::Andi { rd, rs1, imm }),
+            a & (imm as u32)
+        );
+    }
+}

@@ -1,0 +1,574 @@
+//! The program builder: label management, pseudo-instructions, data
+//! section, and final fix-up resolution.
+
+use crate::error::AsmError;
+use crate::inst::Inst;
+use crate::reg::Reg;
+use crate::Result;
+use std::collections::BTreeMap;
+
+/// An opaque label handle produced by [`Asm::new_label`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Label(usize);
+
+/// What a pending fix-up patches once label addresses are known.
+#[derive(Debug, Clone, Copy)]
+enum Fixup {
+    /// B-type branch at text index; patch offset to label.
+    Branch { index: usize, label: Label },
+    /// J-type jump at text index.
+    Jump { index: usize, label: Label },
+    /// `auipc`+`addi` pair at text index (the `la` pseudo-instruction).
+    LoadAddr { index: usize, label: Label },
+}
+
+/// A fully resolved program image.
+#[derive(Debug, Clone)]
+pub struct Program {
+    /// Base address of the text section.
+    pub text_base: u32,
+    /// Base address of the data section.
+    pub data_base: u32,
+    /// Encoded instructions.
+    pub text: Vec<u32>,
+    /// Raw data bytes.
+    pub data: Vec<u8>,
+    /// Named symbols (functions, data objects) → absolute address.
+    pub symbols: BTreeMap<String, u32>,
+}
+
+impl Program {
+    /// Size of the text section in bytes.
+    pub fn text_bytes(&self) -> usize {
+        self.text.len() * 4
+    }
+
+    /// Total image footprint (text + data) in bytes — the paper's
+    /// "Program Size" metric (Table IX).
+    pub fn total_bytes(&self) -> usize {
+        self.text_bytes() + self.data.len()
+    }
+
+    /// Address of a named symbol.
+    pub fn symbol(&self, name: &str) -> Option<u32> {
+        self.symbols.get(name).copied()
+    }
+
+    /// Disassembles the text section (address, word, mnemonic) — for
+    /// debugging and golden tests.
+    pub fn disassemble(&self) -> Vec<(u32, u32, String)> {
+        self.text
+            .iter()
+            .enumerate()
+            .map(|(i, &w)| {
+                let addr = self.text_base + 4 * i as u32;
+                let text = Inst::decode(w)
+                    .map(|inst| inst.to_string())
+                    .unwrap_or_else(|| format!(".word {w:#010x}"));
+                (addr, w, text)
+            })
+            .collect()
+    }
+}
+
+/// The assembler/builder.
+///
+/// Emit instructions with [`Asm::emit`], reference code positions through
+/// labels, place data with the `data_*` methods, then call [`Asm::finish`]
+/// to resolve all fix-ups.
+#[derive(Debug, Default)]
+pub struct Asm {
+    text_base: u32,
+    data_base: u32,
+    text: Vec<u32>,
+    data: Vec<u8>,
+    labels: Vec<Option<u32>>,
+    fixups: Vec<Fixup>,
+    symbols: BTreeMap<String, u32>,
+}
+
+impl Asm {
+    /// Creates a builder with the given section base addresses.
+    pub fn new(text_base: u32, data_base: u32) -> Self {
+        Asm {
+            text_base,
+            data_base,
+            ..Asm::default()
+        }
+    }
+
+    /// Current address of the next emitted instruction.
+    pub fn pc(&self) -> u32 {
+        self.text_base + 4 * self.text.len() as u32
+    }
+
+    /// Number of instructions emitted so far.
+    pub fn len(&self) -> usize {
+        self.text.len()
+    }
+
+    /// `true` if no instructions have been emitted.
+    pub fn is_empty(&self) -> bool {
+        self.text.is_empty()
+    }
+
+    /// Emits one instruction.
+    pub fn emit(&mut self, inst: Inst) {
+        self.text.push(inst.encode());
+    }
+
+    /// Creates a fresh, unbound label.
+    pub fn new_label(&mut self) -> Label {
+        self.labels.push(None);
+        Label(self.labels.len() - 1)
+    }
+
+    /// Binds `label` to the current pc.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AsmError::DuplicateLabel`] if already bound.
+    pub fn bind(&mut self, label: Label) -> Result<()> {
+        if self.labels[label.0].is_some() {
+            return Err(AsmError::DuplicateLabel { label: label.0 });
+        }
+        self.labels[label.0] = Some(self.pc());
+        Ok(())
+    }
+
+    /// Convenience: creates a label bound at the current pc and registers
+    /// it as a named symbol.
+    pub fn here(&mut self, name: &str) -> Label {
+        let l = self.new_label();
+        self.labels[l.0] = Some(self.pc());
+        self.symbols.insert(name.to_string(), self.pc());
+        l
+    }
+
+    /// Registers a named symbol at an arbitrary address.
+    pub fn symbol_at(&mut self, name: &str, addr: u32) {
+        self.symbols.insert(name.to_string(), addr);
+    }
+
+    // ---- label-relative instructions (patched in `finish`) ----
+
+    /// Emits a conditional branch to `label` (fix-up applied later).
+    ///
+    /// `template` must be a B-type instruction; its offset is replaced.
+    pub fn branch_to(&mut self, template: Inst, label: Label) {
+        self.fixups.push(Fixup::Branch {
+            index: self.text.len(),
+            label,
+        });
+        self.emit(template);
+    }
+
+    /// Emits `jal rd, label`.
+    pub fn jal_to(&mut self, rd: Reg, label: Label) {
+        self.fixups.push(Fixup::Jump {
+            index: self.text.len(),
+            label,
+        });
+        self.emit(Inst::Jal { rd, offset: 0 });
+    }
+
+    /// Emits `j label` (`jal x0`).
+    pub fn jump_to(&mut self, label: Label) {
+        self.jal_to(Reg::Zero, label);
+    }
+
+    /// Emits `call label` (`jal ra`).
+    pub fn call(&mut self, label: Label) {
+        self.jal_to(Reg::Ra, label);
+    }
+
+    /// Emits `ret` (`jalr x0, 0(ra)`).
+    pub fn ret(&mut self) {
+        self.emit(Inst::Jalr {
+            rd: Reg::Zero,
+            rs1: Reg::Ra,
+            imm: 0,
+        });
+    }
+
+    /// Emits `la rd, label` as an `auipc`+`addi` pair.
+    pub fn la(&mut self, rd: Reg, label: Label) {
+        self.fixups.push(Fixup::LoadAddr {
+            index: self.text.len(),
+            label,
+        });
+        self.emit(Inst::Auipc { rd, imm: 0 });
+        self.emit(Inst::Addi { rd, rs1: rd, imm: 0 });
+    }
+
+    /// Emits `li rd, value` (one or two instructions depending on range).
+    pub fn li(&mut self, rd: Reg, value: i32) {
+        if (-2048..=2047).contains(&value) {
+            self.emit(Inst::Addi {
+                rd,
+                rs1: Reg::Zero,
+                imm: value,
+            });
+        } else {
+            // lui + addi with sign-carry correction.
+            let lo = (value << 20) >> 20; // low 12, sign extended
+            let hi = value.wrapping_sub(lo);
+            self.emit(Inst::Lui { rd, imm: hi });
+            if lo != 0 {
+                self.emit(Inst::Addi { rd, rs1: rd, imm: lo });
+            }
+        }
+    }
+
+    /// Emits `mv rd, rs` (`addi rd, rs, 0`).
+    pub fn mv(&mut self, rd: Reg, rs: Reg) {
+        self.emit(Inst::Addi {
+            rd,
+            rs1: rs,
+            imm: 0,
+        });
+    }
+
+    /// Emits `nop`.
+    pub fn nop(&mut self) {
+        self.emit(Inst::Addi {
+            rd: Reg::Zero,
+            rs1: Reg::Zero,
+            imm: 0,
+        });
+    }
+
+    // ---- data section ----
+
+    /// Appends raw bytes to the data section, returning their absolute
+    /// address.
+    pub fn data_bytes(&mut self, bytes: &[u8]) -> u32 {
+        let addr = self.data_base + self.data.len() as u32;
+        self.data.extend_from_slice(bytes);
+        addr
+    }
+
+    /// Aligns the data cursor to a multiple of `align` bytes.
+    pub fn data_align(&mut self, align: usize) {
+        while self.data.len() % align != 0 {
+            self.data.push(0);
+        }
+    }
+
+    /// Appends little-endian `i32` words, 4-byte aligned.
+    pub fn data_words_i32(&mut self, words: &[i32]) -> u32 {
+        self.data_align(4);
+        let addr = self.data_base + self.data.len() as u32;
+        for w in words {
+            self.data.extend_from_slice(&w.to_le_bytes());
+        }
+        addr
+    }
+
+    /// Appends `f32` values (IEEE-754 bits, little endian), 4-byte
+    /// aligned.
+    pub fn data_words_f32(&mut self, words: &[f32]) -> u32 {
+        self.data_align(4);
+        let addr = self.data_base + self.data.len() as u32;
+        for w in words {
+            self.data.extend_from_slice(&w.to_bits().to_le_bytes());
+        }
+        addr
+    }
+
+    /// Appends `i16` values, 2-byte aligned.
+    pub fn data_halves_i16(&mut self, halves: &[i16]) -> u32 {
+        self.data_align(2);
+        let addr = self.data_base + self.data.len() as u32;
+        for h in halves {
+            self.data.extend_from_slice(&h.to_le_bytes());
+        }
+        addr
+    }
+
+    /// Appends `i8` values.
+    pub fn data_bytes_i8(&mut self, bytes: &[i8]) -> u32 {
+        let addr = self.data_base + self.data.len() as u32;
+        self.data.extend(bytes.iter().map(|&b| b as u8));
+        addr
+    }
+
+    /// Reserves `len` zeroed bytes (a `.bss`-style scratch buffer),
+    /// returning the address.
+    pub fn data_reserve(&mut self, len: usize, align: usize) -> u32 {
+        self.data_align(align);
+        let addr = self.data_base + self.data.len() as u32;
+        self.data.resize(self.data.len() + len, 0);
+        addr
+    }
+
+    /// Current size of the data section in bytes.
+    pub fn data_len(&self) -> usize {
+        self.data.len()
+    }
+
+    // ---- finalisation ----
+
+    /// Resolves all fix-ups and produces the program image.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AsmError::UnboundLabel`], [`AsmError::BranchOutOfRange`]
+    /// or [`AsmError::JumpOutOfRange`] when labels are missing or targets
+    /// unreachable.
+    pub fn finish(self) -> Result<Program> {
+        let Asm {
+            text_base,
+            data_base,
+            mut text,
+            data,
+            labels,
+            fixups,
+            symbols,
+        } = self;
+        let resolve = |label: Label| -> Result<u32> {
+            labels[label.0].ok_or(AsmError::UnboundLabel { label: label.0 })
+        };
+        for fixup in fixups {
+            match fixup {
+                Fixup::Branch { index, label } => {
+                    let target = resolve(label)? as i64;
+                    let pc = (text_base + 4 * index as u32) as i64;
+                    let offset = target - pc;
+                    if !(-4096..=4094).contains(&offset) {
+                        return Err(AsmError::BranchOutOfRange { offset });
+                    }
+                    let mut inst =
+                        Inst::decode(text[index]).expect("encoded by this assembler");
+                    match &mut inst {
+                        Inst::Beq { offset: o, .. }
+                        | Inst::Bne { offset: o, .. }
+                        | Inst::Blt { offset: o, .. }
+                        | Inst::Bge { offset: o, .. }
+                        | Inst::Bltu { offset: o, .. }
+                        | Inst::Bgeu { offset: o, .. } => *o = offset as i32,
+                        other => panic!("branch fixup on non-branch {other:?}"),
+                    }
+                    text[index] = inst.encode();
+                }
+                Fixup::Jump { index, label } => {
+                    let target = resolve(label)? as i64;
+                    let pc = (text_base + 4 * index as u32) as i64;
+                    let offset = target - pc;
+                    if !(-(1 << 20)..(1 << 20)).contains(&offset) {
+                        return Err(AsmError::JumpOutOfRange { offset });
+                    }
+                    let mut inst =
+                        Inst::decode(text[index]).expect("encoded by this assembler");
+                    match &mut inst {
+                        Inst::Jal { offset: o, .. } => *o = offset as i32,
+                        other => panic!("jump fixup on non-jal {other:?}"),
+                    }
+                    text[index] = inst.encode();
+                }
+                Fixup::LoadAddr { index, label } => {
+                    let target = resolve(label)? as i64;
+                    let pc = (text_base + 4 * index as u32) as i64;
+                    let offset = target - pc;
+                    let lo = ((offset as i32) << 20) >> 20;
+                    let hi = (offset as i32).wrapping_sub(lo);
+                    let (auipc_rd, addi_rd);
+                    match Inst::decode(text[index]).expect("encoded by this assembler") {
+                        Inst::Auipc { rd, .. } => auipc_rd = rd,
+                        other => panic!("la fixup on non-auipc {other:?}"),
+                    }
+                    match Inst::decode(text[index + 1]).expect("encoded by this assembler") {
+                        Inst::Addi { rd, .. } => addi_rd = rd,
+                        other => panic!("la fixup on non-addi {other:?}"),
+                    }
+                    text[index] = Inst::Auipc {
+                        rd: auipc_rd,
+                        imm: hi,
+                    }
+                    .encode();
+                    text[index + 1] = Inst::Addi {
+                        rd: addi_rd,
+                        rs1: auipc_rd,
+                        imm: lo,
+                    }
+                    .encode();
+                }
+            }
+        }
+        Ok(Program {
+            text_base,
+            data_base,
+            text,
+            data,
+            symbols,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forward_and_backward_branches_resolve() {
+        let mut asm = Asm::new(0, 0x8000);
+        let loop_top = asm.new_label();
+        let done = asm.new_label();
+        asm.li(Reg::T0, 3);
+        asm.bind(loop_top).unwrap();
+        asm.branch_to(
+            Inst::Beq {
+                rs1: Reg::T0,
+                rs2: Reg::Zero,
+                offset: 0,
+            },
+            done,
+        );
+        asm.emit(Inst::Addi {
+            rd: Reg::T0,
+            rs1: Reg::T0,
+            imm: -1,
+        });
+        asm.jump_to(loop_top);
+        asm.bind(done).unwrap();
+        asm.emit(Inst::Ebreak);
+        let p = asm.finish().unwrap();
+
+        // Instruction 1 is the branch (li fits in one addi here).
+        match Inst::decode(p.text[1]).unwrap() {
+            Inst::Beq { offset, .. } => assert_eq!(offset, 12), // to ebreak
+            other => panic!("{other:?}"),
+        }
+        match Inst::decode(p.text[3]).unwrap() {
+            Inst::Jal { offset, .. } => assert_eq!(offset, -8), // back to branch
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn unbound_label_errors() {
+        let mut asm = Asm::new(0, 0);
+        let l = asm.new_label();
+        asm.jump_to(l);
+        assert!(matches!(
+            asm.finish(),
+            Err(AsmError::UnboundLabel { .. })
+        ));
+    }
+
+    #[test]
+    fn duplicate_bind_errors() {
+        let mut asm = Asm::new(0, 0);
+        let l = asm.new_label();
+        asm.bind(l).unwrap();
+        assert!(matches!(asm.bind(l), Err(AsmError::DuplicateLabel { .. })));
+    }
+
+    #[test]
+    fn li_covers_full_range() {
+        for value in [0, 1, -1, 2047, -2048, 2048, -2049, 0x1234_5678, i32::MIN, i32::MAX] {
+            let mut asm = Asm::new(0, 0);
+            asm.li(Reg::A0, value);
+            asm.emit(Inst::Ebreak);
+            let p = asm.finish().unwrap();
+            // Emulate the li sequence.
+            let mut a0: i32 = 0;
+            for &w in &p.text {
+                match Inst::decode(w).unwrap() {
+                    Inst::Addi { rd: Reg::A0, rs1, imm } => {
+                        let base = if rs1 == Reg::Zero { 0 } else { a0 };
+                        a0 = base.wrapping_add(imm);
+                    }
+                    Inst::Lui { rd: Reg::A0, imm } => a0 = imm,
+                    Inst::Ebreak => break,
+                    other => panic!("unexpected {other:?}"),
+                }
+            }
+            assert_eq!(a0, value, "li {value}");
+        }
+    }
+
+    #[test]
+    fn la_resolves_to_data_symbol() {
+        let mut asm = Asm::new(0x0000, 0x9000);
+        let table = asm.new_label();
+        let addr = asm.data_words_i32(&[1, 2, 3]);
+        asm.labels[table.0] = Some(addr); // bind label to data address
+        asm.la(Reg::A0, table);
+        asm.emit(Inst::Ebreak);
+        let p = asm.finish().unwrap();
+        // Emulate auipc+addi.
+        match (Inst::decode(p.text[0]).unwrap(), Inst::decode(p.text[1]).unwrap()) {
+            (Inst::Auipc { imm: hi, .. }, Inst::Addi { imm: lo, .. }) => {
+                let got = (0i64 + hi as i64 + lo as i64) as u32;
+                assert_eq!(got, addr);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn data_section_layout_and_alignment() {
+        let mut asm = Asm::new(0, 0x8000);
+        let a = asm.data_bytes(&[1, 2, 3]);
+        let b = asm.data_words_i32(&[0x0403_0201]);
+        let c = asm.data_halves_i16(&[-1]);
+        let d = asm.data_reserve(8, 4);
+        assert_eq!(a, 0x8000);
+        assert_eq!(b % 4, 0);
+        assert_eq!(b, 0x8004); // 3 bytes + 1 pad
+        assert_eq!(c, 0x8008);
+        assert_eq!(d % 4, 0);
+        let p = asm.finish().unwrap();
+        assert_eq!(p.data[0..3], [1, 2, 3]);
+        assert_eq!(p.data[4..8], [0x01, 0x02, 0x03, 0x04]); // little endian
+        assert_eq!(p.data[8..10], [0xFF, 0xFF]);
+        assert!(p.total_bytes() >= p.data.len());
+    }
+
+    #[test]
+    fn f32_data_round_trips() {
+        let mut asm = Asm::new(0, 0);
+        let addr = asm.data_words_f32(&[1.5, -0.25]);
+        let p = asm.finish().unwrap();
+        let off = (addr - p.data_base) as usize;
+        let bits = u32::from_le_bytes(p.data[off..off + 4].try_into().unwrap());
+        assert_eq!(f32::from_bits(bits), 1.5);
+    }
+
+    #[test]
+    fn symbols_and_disassembly() {
+        let mut asm = Asm::new(0x100, 0x8000);
+        asm.here("entry");
+        asm.li(Reg::A0, 7);
+        asm.ret();
+        let p = asm.finish().unwrap();
+        assert_eq!(p.symbol("entry"), Some(0x100));
+        assert_eq!(p.symbol("missing"), None);
+        let dis = p.disassemble();
+        assert_eq!(dis[0].2, "addi a0, zero, 7");
+        assert_eq!(dis[1].2, "jalr zero, 0(ra)");
+    }
+
+    #[test]
+    fn branch_out_of_range_detected() {
+        let mut asm = Asm::new(0, 0);
+        let far = asm.new_label();
+        asm.branch_to(
+            Inst::Beq {
+                rs1: Reg::Zero,
+                rs2: Reg::Zero,
+                offset: 0,
+            },
+            far,
+        );
+        for _ in 0..2000 {
+            asm.nop();
+        }
+        asm.bind(far).unwrap();
+        assert!(matches!(
+            asm.finish(),
+            Err(AsmError::BranchOutOfRange { .. })
+        ));
+    }
+}

@@ -1,0 +1,364 @@
+//! RV32C (compressed) instruction expansion.
+//!
+//! The Ibex core is RV32IMC; the simulator supports the C extension by
+//! expanding each 16-bit instruction to its 32-bit equivalent through this
+//! table. The assembler itself always emits 32-bit encodings (like
+//! `gcc -mno-compressed` would); the expander exists so the simulated core
+//! is faithful to the paper's platform and is exercised by hand-encoded
+//! tests.
+
+use crate::inst::Inst;
+use crate::reg::Reg;
+
+fn rc(bits: u16) -> Reg {
+    // A "prime" 3-bit register field: x8..x15.
+    Reg::from_num(8 + (bits as u32 & 0x7))
+}
+
+fn bit(word: u16, i: u32) -> u32 {
+    (word as u32 >> i) & 1
+}
+
+fn bits(word: u16, hi: u32, lo: u32) -> u32 {
+    (word as u32 >> lo) & ((1 << (hi - lo + 1)) - 1)
+}
+
+/// Expands a 16-bit compressed instruction to its 32-bit equivalent.
+///
+/// Returns `None` for illegal encodings (including the all-zero word,
+/// which the spec defines as illegal) and for RV32C instructions that
+/// touch the FP register file (not present on Ibex).
+pub fn expand_compressed(word: u16) -> Option<Inst> {
+    if word == 0 {
+        return None;
+    }
+    let op = word & 0b11;
+    let funct3 = bits(word, 15, 13);
+    match (op, funct3) {
+        // --- Quadrant 0 ---
+        (0b00, 0b000) => {
+            // C.ADDI4SPN: addi rd', sp, nzuimm
+            let imm = (bits(word, 12, 11) << 4)
+                | (bits(word, 10, 7) << 6)
+                | (bit(word, 6) << 2)
+                | (bit(word, 5) << 3);
+            if imm == 0 {
+                return None;
+            }
+            Some(Inst::Addi {
+                rd: rc(word >> 2),
+                rs1: Reg::Sp,
+                imm: imm as i32,
+            })
+        }
+        (0b00, 0b010) => {
+            // C.LW: lw rd', uimm(rs1')
+            let imm = (bits(word, 12, 10) << 3) | (bit(word, 6) << 2) | (bit(word, 5) << 6);
+            Some(Inst::Lw {
+                rd: rc(word >> 2),
+                rs1: rc(word >> 7),
+                imm: imm as i32,
+            })
+        }
+        (0b00, 0b110) => {
+            // C.SW: sw rs2', uimm(rs1')
+            let imm = (bits(word, 12, 10) << 3) | (bit(word, 6) << 2) | (bit(word, 5) << 6);
+            Some(Inst::Sw {
+                rs2: rc(word >> 2),
+                rs1: rc(word >> 7),
+                imm: imm as i32,
+            })
+        }
+        // --- Quadrant 1 ---
+        (0b01, 0b000) => {
+            // C.ADDI (rd = 0 -> NOP, canonical as addi x0, x0, 0)
+            let rd = Reg::from_num(bits(word, 11, 7));
+            let imm = ((bit(word, 12) << 5 | bits(word, 6, 2)) as i32) << 26 >> 26;
+            Some(Inst::Addi { rd, rs1: rd, imm })
+        }
+        (0b01, 0b001) | (0b01, 0b101) => {
+            // C.JAL (rd = ra) / C.J (rd = x0)
+            let imm = (bit(word, 12) << 11)
+                | (bit(word, 11) << 4)
+                | (bits(word, 10, 9) << 8)
+                | (bit(word, 8) << 10)
+                | (bit(word, 7) << 6)
+                | (bit(word, 6) << 7)
+                | (bits(word, 5, 3) << 1)
+                | (bit(word, 2) << 5);
+            let offset = ((imm as i32) << 20) >> 20;
+            Some(Inst::Jal {
+                rd: if funct3 == 0b001 { Reg::Ra } else { Reg::Zero },
+                offset,
+            })
+        }
+        (0b01, 0b010) => {
+            // C.LI: addi rd, x0, imm
+            let rd = Reg::from_num(bits(word, 11, 7));
+            let imm = ((bit(word, 12) << 5 | bits(word, 6, 2)) as i32) << 26 >> 26;
+            Some(Inst::Addi {
+                rd,
+                rs1: Reg::Zero,
+                imm,
+            })
+        }
+        (0b01, 0b011) => {
+            let rd = Reg::from_num(bits(word, 11, 7));
+            if rd == Reg::Sp {
+                // C.ADDI16SP
+                let imm = (bit(word, 12) << 9)
+                    | (bit(word, 6) << 4)
+                    | (bit(word, 5) << 6)
+                    | (bits(word, 4, 3) << 7)
+                    | (bit(word, 2) << 5);
+                let imm = ((imm as i32) << 22) >> 22;
+                if imm == 0 {
+                    return None;
+                }
+                Some(Inst::Addi {
+                    rd: Reg::Sp,
+                    rs1: Reg::Sp,
+                    imm,
+                })
+            } else {
+                // C.LUI
+                let imm = (bit(word, 12) << 17) | (bits(word, 6, 2) << 12);
+                let imm = ((imm as i32) << 14) >> 14;
+                if imm == 0 {
+                    return None;
+                }
+                Some(Inst::Lui { rd, imm })
+            }
+        }
+        (0b01, 0b100) => {
+            let rd = rc(word >> 7);
+            match bits(word, 11, 10) {
+                0b00 | 0b01 => {
+                    // C.SRLI / C.SRAI (RV32: shamt[5] must be 0)
+                    if bit(word, 12) != 0 {
+                        return None;
+                    }
+                    let shamt = bits(word, 6, 2);
+                    Some(if bits(word, 11, 10) == 0 {
+                        Inst::Srli { rd, rs1: rd, shamt }
+                    } else {
+                        Inst::Srai { rd, rs1: rd, shamt }
+                    })
+                }
+                0b10 => {
+                    // C.ANDI
+                    let imm = ((bit(word, 12) << 5 | bits(word, 6, 2)) as i32) << 26 >> 26;
+                    Some(Inst::Andi { rd, rs1: rd, imm })
+                }
+                _ => {
+                    if bit(word, 12) != 0 {
+                        return None; // RV64-only C.SUBW/C.ADDW
+                    }
+                    let rs2 = rc(word >> 2);
+                    Some(match bits(word, 6, 5) {
+                        0b00 => Inst::Sub { rd, rs1: rd, rs2 },
+                        0b01 => Inst::Xor { rd, rs1: rd, rs2 },
+                        0b10 => Inst::Or { rd, rs1: rd, rs2 },
+                        _ => Inst::And { rd, rs1: rd, rs2 },
+                    })
+                }
+            }
+        }
+        (0b01, 0b110) | (0b01, 0b111) => {
+            // C.BEQZ / C.BNEZ
+            let imm = (bit(word, 12) << 8)
+                | (bits(word, 11, 10) << 3)
+                | (bits(word, 6, 5) << 6)
+                | (bits(word, 4, 3) << 1)
+                | (bit(word, 2) << 5);
+            let offset = ((imm as i32) << 23) >> 23;
+            let rs1 = rc(word >> 7);
+            Some(if funct3 == 0b110 {
+                Inst::Beq {
+                    rs1,
+                    rs2: Reg::Zero,
+                    offset,
+                }
+            } else {
+                Inst::Bne {
+                    rs1,
+                    rs2: Reg::Zero,
+                    offset,
+                }
+            })
+        }
+        // --- Quadrant 2 ---
+        (0b10, 0b000) => {
+            // C.SLLI
+            if bit(word, 12) != 0 {
+                return None;
+            }
+            let rd = Reg::from_num(bits(word, 11, 7));
+            Some(Inst::Slli {
+                rd,
+                rs1: rd,
+                shamt: bits(word, 6, 2),
+            })
+        }
+        (0b10, 0b010) => {
+            // C.LWSP
+            let rd = Reg::from_num(bits(word, 11, 7));
+            if rd == Reg::Zero {
+                return None;
+            }
+            let imm =
+                (bit(word, 12) << 5) | (bits(word, 6, 4) << 2) | (bits(word, 3, 2) << 6);
+            Some(Inst::Lw {
+                rd,
+                rs1: Reg::Sp,
+                imm: imm as i32,
+            })
+        }
+        (0b10, 0b100) => {
+            let rs1 = Reg::from_num(bits(word, 11, 7));
+            let rs2 = Reg::from_num(bits(word, 6, 2));
+            match (bit(word, 12), rs1, rs2) {
+                (0, Reg::Zero, _) => None,
+                (0, _, Reg::Zero) => Some(Inst::Jalr {
+                    rd: Reg::Zero,
+                    rs1,
+                    imm: 0,
+                }),
+                (0, rd, rs2) => Some(Inst::Add {
+                    rd,
+                    rs1: Reg::Zero,
+                    rs2,
+                }),
+                (1, Reg::Zero, Reg::Zero) => Some(Inst::Ebreak),
+                (1, _, Reg::Zero) => Some(Inst::Jalr {
+                    rd: Reg::Ra,
+                    rs1,
+                    imm: 0,
+                }),
+                (1, rd, rs2) => Some(Inst::Add { rd, rs1: rd, rs2 }),
+                _ => None,
+            }
+        }
+        (0b10, 0b110) => {
+            // C.SWSP
+            let imm = (bits(word, 12, 9) << 2) | (bits(word, 8, 7) << 6);
+            Some(Inst::Sw {
+                rs2: Reg::from_num(bits(word, 6, 2)),
+                rs1: Reg::Sp,
+                imm: imm as i32,
+            })
+        }
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn canonical_encodings_expand_correctly() {
+        // c.addi a0, 1 => 0x0505
+        assert_eq!(
+            expand_compressed(0x0505),
+            Some(Inst::Addi { rd: Reg::A0, rs1: Reg::A0, imm: 1 })
+        );
+        // c.li a0, 3 => 0x450d
+        assert_eq!(
+            expand_compressed(0x450D),
+            Some(Inst::Addi { rd: Reg::A0, rs1: Reg::Zero, imm: 3 })
+        );
+        // c.mv a0, a1 => 0x852e
+        assert_eq!(
+            expand_compressed(0x852E),
+            Some(Inst::Add { rd: Reg::A0, rs1: Reg::Zero, rs2: Reg::A1 })
+        );
+        // c.jr ra (ret) => 0x8082
+        assert_eq!(
+            expand_compressed(0x8082),
+            Some(Inst::Jalr { rd: Reg::Zero, rs1: Reg::Ra, imm: 0 })
+        );
+        // c.add a0, a1 => 0x952e
+        assert_eq!(
+            expand_compressed(0x952E),
+            Some(Inst::Add { rd: Reg::A0, rs1: Reg::A0, rs2: Reg::A1 })
+        );
+        // c.sub s0, s1 => 0x8c05
+        assert_eq!(
+            expand_compressed(0x8C05),
+            Some(Inst::Sub { rd: Reg::S0, rs1: Reg::S0, rs2: Reg::S1 })
+        );
+        // c.ebreak => 0x9002
+        assert_eq!(expand_compressed(0x9002), Some(Inst::Ebreak));
+        // c.lwsp a0, 0(sp) => 0x4502
+        assert_eq!(
+            expand_compressed(0x4502),
+            Some(Inst::Lw { rd: Reg::A0, rs1: Reg::Sp, imm: 0 })
+        );
+        // c.nop => 0x0001
+        assert_eq!(
+            expand_compressed(0x0001),
+            Some(Inst::Addi { rd: Reg::Zero, rs1: Reg::Zero, imm: 0 })
+        );
+    }
+
+    #[test]
+    fn zero_word_is_illegal() {
+        assert_eq!(expand_compressed(0x0000), None);
+    }
+
+    #[test]
+    fn addi4spn_zero_imm_is_illegal() {
+        // funct3=000 op=00 with all imm bits zero
+        assert_eq!(expand_compressed(0x0001 & 0x0000), None);
+    }
+
+    #[test]
+    fn c_lw_sw_offsets() {
+        // c.lw a2, 0(a0): funct3=010 op=00 rs1'=a0(2) rd'=a2(4)
+        let w = 0b010_000_010_00_100_00u16;
+        assert_eq!(
+            expand_compressed(w),
+            Some(Inst::Lw { rd: Reg::A2, rs1: Reg::A0, imm: 0 })
+        );
+        // c.sw a2, 4(a0): uimm[2]=1 -> bit6
+        let w = 0b110_000_010_10_100_00u16;
+        assert_eq!(
+            expand_compressed(w),
+            Some(Inst::Sw { rs2: Reg::A2, rs1: Reg::A0, imm: 4 })
+        );
+    }
+
+    #[test]
+    fn c_beqz_negative_offset() {
+        // c.beqz s0, -4: offset -4 => imm[8|4:3|7:6|2:1|5] pattern
+        // offset -4 = 0b111111100 (9-bit signed)
+        // imm[8]=1 imm[7:6]=11 imm[5]=1 imm[4:3]=11 imm[2:1]=10
+        let w: u16 = 0b110_1_11_000_11_10_1_01;
+        match expand_compressed(w) {
+            Some(Inst::Beq { rs1, rs2, offset }) => {
+                assert_eq!(rs1, Reg::S0);
+                assert_eq!(rs2, Reg::Zero);
+                assert_eq!(offset, -4);
+            }
+            other => panic!("got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn c_j_round_trip_via_sign_extension() {
+        // c.j 0 (infinite loop): offset 0
+        let w: u16 = 0b101_00000000000_01;
+        assert_eq!(
+            expand_compressed(w),
+            Some(Inst::Jal { rd: Reg::Zero, offset: 0 })
+        );
+    }
+
+    #[test]
+    fn rv64_only_forms_rejected() {
+        // C.SRLI with shamt[5]=1 is RV64-only
+        let w: u16 = 0b100_1_00_000_00001_01;
+        assert_eq!(expand_compressed(w), None);
+    }
+}

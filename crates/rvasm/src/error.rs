@@ -1,0 +1,66 @@
+use std::fmt;
+
+/// Errors produced while assembling a program.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AsmError {
+    /// A label was referenced but never bound to an address.
+    UnboundLabel {
+        /// Internal label id.
+        label: usize,
+    },
+    /// A branch target is beyond the ±4 KiB B-type range.
+    BranchOutOfRange {
+        /// Offset that did not fit.
+        offset: i64,
+    },
+    /// A jump target is beyond the ±1 MiB J-type range.
+    JumpOutOfRange {
+        /// Offset that did not fit.
+        offset: i64,
+    },
+    /// An immediate does not fit its field.
+    ImmOutOfRange {
+        /// The operation affected.
+        what: &'static str,
+        /// The offending value.
+        value: i64,
+    },
+    /// A label was bound twice.
+    DuplicateLabel {
+        /// Internal label id.
+        label: usize,
+    },
+}
+
+impl fmt::Display for AsmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AsmError::UnboundLabel { label } => write!(f, "label {label} was never bound"),
+            AsmError::BranchOutOfRange { offset } => {
+                write!(f, "branch offset {offset} outside +-4KiB")
+            }
+            AsmError::JumpOutOfRange { offset } => {
+                write!(f, "jump offset {offset} outside +-1MiB")
+            }
+            AsmError::ImmOutOfRange { what, value } => {
+                write!(f, "immediate {value} out of range for {what}")
+            }
+            AsmError::DuplicateLabel { label } => write!(f, "label {label} bound twice"),
+        }
+    }
+}
+
+impl std::error::Error for AsmError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert!(AsmError::UnboundLabel { label: 3 }.to_string().contains("3"));
+        assert!(AsmError::BranchOutOfRange { offset: 5000 }
+            .to_string()
+            .contains("4KiB"));
+    }
+}

@@ -1,0 +1,52 @@
+//! # kwt-rvasm
+//!
+//! An RV32 assembler-as-a-library: typed instruction constructors, a
+//! program builder with labels and a data section, an encoder, a decoder
+//! (shared with the `kwt-rv32` simulator) and a disassembler.
+//!
+//! Coverage: RV32I, the M extension, `Zicsr`, `ecall`/`ebreak`, the
+//! paper's `custom-1` instruction (opcode `0b0101011`, Table VII), and an
+//! RV32C expander used by the simulator to execute compressed code.
+//!
+//! # Example
+//!
+//! ```
+//! use kwt_rvasm::{Asm, Inst, Reg};
+//!
+//! # fn main() -> Result<(), kwt_rvasm::AsmError> {
+//! let mut asm = Asm::new(0x0000_0000, 0x0000_8000);
+//! // a0 = a0 + a1; return
+//! asm.emit(Inst::Add { rd: Reg::A0, rs1: Reg::A0, rs2: Reg::A1 });
+//! asm.emit(Inst::Ebreak);
+//! let program = asm.finish()?;
+//! assert_eq!(program.text.len(), 2);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod asm;
+mod compressed;
+mod error;
+mod inst;
+mod reg;
+
+pub use asm::{Asm, Label, Program};
+pub use compressed::expand_compressed;
+pub use error::AsmError;
+pub use inst::{CustomOp, Inst};
+pub use reg::Reg;
+
+/// Convenience alias for results returned by this crate.
+pub type Result<T> = std::result::Result<T, AsmError>;
+
+/// Standard machine-mode CSR: cycle counter.
+pub const CSR_MCYCLE: u32 = 0xB00;
+/// Standard machine-mode CSR: retired-instruction counter.
+pub const CSR_MINSTRET: u32 = 0xB02;
+/// Custom CSR used by the profiler: write = push region id.
+pub const CSR_PROFILE_PUSH: u32 = 0x7C0;
+/// Custom CSR used by the profiler: write = pop region.
+pub const CSR_PROFILE_POP: u32 = 0x7C1;

@@ -1,0 +1,102 @@
+//! Property tests: every constructible instruction must survive
+//! encode → decode unchanged, and the disassembler must never panic.
+
+use kwt_rvasm::{CustomOp, Inst, Reg};
+use proptest::prelude::*;
+
+fn reg_strategy() -> impl Strategy<Value = Reg> {
+    (0u32..32).prop_map(Reg::from_num)
+}
+
+fn imm12() -> impl Strategy<Value = i32> {
+    -2048i32..=2047
+}
+
+/// Branch offsets: even, 13-bit signed.
+fn boffset() -> impl Strategy<Value = i32> {
+    (-2048i32..=2047).prop_map(|x| x * 2)
+}
+
+/// Jump offsets: even, 21-bit signed.
+fn joffset() -> impl Strategy<Value = i32> {
+    (-(1i32 << 19)..(1 << 19)).prop_map(|x| x * 2)
+}
+
+fn inst_strategy() -> impl Strategy<Value = Inst> {
+    let r = reg_strategy;
+    prop_oneof![
+        (r(), (-(1i32 << 19)..(1 << 19)))
+            .prop_map(|(rd, v)| Inst::Lui { rd, imm: v << 12 }),
+        (r(), (-(1i32 << 19)..(1 << 19)))
+            .prop_map(|(rd, v)| Inst::Auipc { rd, imm: v << 12 }),
+        (r(), joffset()).prop_map(|(rd, offset)| Inst::Jal { rd, offset }),
+        (r(), r(), imm12()).prop_map(|(rd, rs1, imm)| Inst::Jalr { rd, rs1, imm }),
+        (r(), r(), imm12()).prop_map(|(rd, rs1, imm)| Inst::Lw { rd, rs1, imm }),
+        (r(), r(), imm12()).prop_map(|(rd, rs1, imm)| Inst::Lb { rd, rs1, imm }),
+        (r(), r(), imm12()).prop_map(|(rd, rs1, imm)| Inst::Lhu { rd, rs1, imm }),
+        (r(), r(), imm12()).prop_map(|(rs2, rs1, imm)| Inst::Sw { rs2, rs1, imm }),
+        (r(), r(), imm12()).prop_map(|(rs2, rs1, imm)| Inst::Sh { rs2, rs1, imm }),
+        (r(), r(), boffset()).prop_map(|(rs1, rs2, offset)| Inst::Beq { rs1, rs2, offset }),
+        (r(), r(), boffset()).prop_map(|(rs1, rs2, offset)| Inst::Bltu { rs1, rs2, offset }),
+        (r(), r(), imm12()).prop_map(|(rd, rs1, imm)| Inst::Addi { rd, rs1, imm }),
+        (r(), r(), imm12()).prop_map(|(rd, rs1, imm)| Inst::Andi { rd, rs1, imm }),
+        (r(), r(), 0u32..32).prop_map(|(rd, rs1, shamt)| Inst::Slli { rd, rs1, shamt }),
+        (r(), r(), 0u32..32).prop_map(|(rd, rs1, shamt)| Inst::Srai { rd, rs1, shamt }),
+        (r(), r(), r()).prop_map(|(rd, rs1, rs2)| Inst::Add { rd, rs1, rs2 }),
+        (r(), r(), r()).prop_map(|(rd, rs1, rs2)| Inst::Sub { rd, rs1, rs2 }),
+        (r(), r(), r()).prop_map(|(rd, rs1, rs2)| Inst::Mul { rd, rs1, rs2 }),
+        (r(), r(), r()).prop_map(|(rd, rs1, rs2)| Inst::Mulhu { rd, rs1, rs2 }),
+        (r(), r(), r()).prop_map(|(rd, rs1, rs2)| Inst::Div { rd, rs1, rs2 }),
+        (r(), r(), r()).prop_map(|(rd, rs1, rs2)| Inst::Remu { rd, rs1, rs2 }),
+        (r(), r(), 0u32..4096).prop_map(|(rd, rs1, csr)| Inst::Csrrw { rd, rs1, csr }),
+        (
+            prop_oneof![
+                Just(CustomOp::Exp),
+                Just(CustomOp::Invert),
+                Just(CustomOp::Gelu),
+                Just(CustomOp::ToFixed),
+                Just(CustomOp::ToFloat)
+            ],
+            r(),
+            r(),
+            r()
+        )
+            .prop_map(|(op, rd, rs1, rs2)| Inst::Custom { op, rd, rs1, rs2 }),
+        Just(Inst::Ecall),
+        Just(Inst::Ebreak),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn encode_decode_round_trip(inst in inst_strategy()) {
+        let encoded = inst.encode();
+        let decoded = Inst::decode(encoded);
+        prop_assert_eq!(decoded, Some(inst));
+    }
+
+    #[test]
+    fn disassembly_never_empty(inst in inst_strategy()) {
+        prop_assert!(!inst.to_string().is_empty());
+    }
+
+    #[test]
+    fn decode_never_panics(word in any::<u32>()) {
+        let _ = Inst::decode(word);
+    }
+
+    #[test]
+    fn compressed_expansion_never_panics(word in any::<u16>()) {
+        let _ = kwt_rvasm::expand_compressed(word);
+    }
+
+    #[test]
+    fn compressed_expansion_produces_valid_instructions(word in any::<u16>()) {
+        if let Some(inst) = kwt_rvasm::expand_compressed(word) {
+            // Whatever the expander produces must itself round-trip.
+            prop_assert_eq!(Inst::decode(inst.encode()), Some(inst));
+        }
+    }
+}

@@ -1,0 +1,102 @@
+use std::fmt;
+
+/// Error type returned by every fallible operation in this crate.
+///
+/// Errors are raised eagerly: the kernels validate operand shapes before
+/// touching any data, so a returned matrix is always fully computed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TensorError {
+    /// Two operands had incompatible shapes for the requested operation.
+    ShapeMismatch {
+        /// Name of the operation that failed.
+        op: &'static str,
+        /// Shape (rows, cols) of the left-hand operand.
+        lhs: (usize, usize),
+        /// Shape (rows, cols) of the right-hand operand.
+        rhs: (usize, usize),
+    },
+    /// An operand that must be non-empty was empty.
+    Empty {
+        /// Name of the operation that failed.
+        op: &'static str,
+    },
+    /// A constructor was given a buffer whose length does not match
+    /// `rows * cols`.
+    BadBufferLength {
+        /// Requested number of rows.
+        rows: usize,
+        /// Requested number of columns.
+        cols: usize,
+        /// Length of the provided buffer.
+        len: usize,
+    },
+    /// A parameter value is outside its valid domain.
+    InvalidParameter {
+        /// Name of the operation that failed.
+        op: &'static str,
+        /// Human-readable description of the violated constraint.
+        what: String,
+    },
+}
+
+impl fmt::Display for TensorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TensorError::ShapeMismatch { op, lhs, rhs } => write!(
+                f,
+                "shape mismatch in {op}: lhs {}x{} vs rhs {}x{}",
+                lhs.0, lhs.1, rhs.0, rhs.1
+            ),
+            TensorError::Empty { op } => write!(f, "empty input to {op}"),
+            TensorError::BadBufferLength { rows, cols, len } => write!(
+                f,
+                "buffer of length {len} cannot back a {rows}x{cols} matrix"
+            ),
+            TensorError::InvalidParameter { op, what } => {
+                write!(f, "invalid parameter in {op}: {what}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TensorError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_shape_mismatch() {
+        let e = TensorError::ShapeMismatch {
+            op: "matrix_multiply",
+            lhs: (2, 3),
+            rhs: (4, 5),
+        };
+        assert_eq!(
+            e.to_string(),
+            "shape mismatch in matrix_multiply: lhs 2x3 vs rhs 4x5"
+        );
+    }
+
+    #[test]
+    fn display_empty() {
+        let e = TensorError::Empty { op: "softmax" };
+        assert_eq!(e.to_string(), "empty input to softmax");
+    }
+
+    #[test]
+    fn display_bad_buffer() {
+        let e = TensorError::BadBufferLength {
+            rows: 2,
+            cols: 2,
+            len: 3,
+        };
+        assert_eq!(e.to_string(), "buffer of length 3 cannot back a 2x2 matrix");
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<TensorError>();
+    }
+}

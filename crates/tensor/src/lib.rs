@@ -1,0 +1,55 @@
+//! # kwt-tensor
+//!
+//! Shape-checked tensor kernels mirroring the bare-metal C tensor library of
+//! *KWT-Tiny: RISC-V Accelerated, Embedded Keyword Spotting Transformer*
+//! (SOCC 2024), Table VI.
+//!
+//! The paper proposes a minimal library of eight operations from which the
+//! whole Keyword Transformer inference pipeline is assembled:
+//!
+//! | Paper method                  | Rust equivalent                                  |
+//! |-------------------------------|--------------------------------------------------|
+//! | `computeMeanAndVariance()`    | [`ops::compute_mean_and_variance`]               |
+//! | `layerNorm()`                 | [`ops::layer_norm`]                              |
+//! | `matrixMultiply()`            | [`ops::matrix_multiply`]                         |
+//! | `Softmax()`                   | [`ops::softmax`] / [`ops::softmax_normalized`]   |
+//! | `gelu()`                      | [`ops::gelu`]                                    |
+//! | `linear()`                    | [`ops::linear`]                                  |
+//! | `splitIntoQKV()`              | [`ops::split_into_qkv`]                          |
+//! | `scaledDotProductAttention()` | [`ops::scaled_dot_product_attention`]            |
+//!
+//! Every operation exists in a 32-bit float flavour ([`ops`]) used by the
+//! non-quantised model, and — where the paper quantises — in an
+//! INT8-weight / INT16-residual flavour ([`qops`]) with i32 accumulators and
+//! power-of-two rescaling, exactly the arithmetic the paper runs on the
+//! FPU-less Ibex core.
+//!
+//! # Example
+//!
+//! ```
+//! use kwt_tensor::{Mat, ops};
+//!
+//! # fn main() -> Result<(), kwt_tensor::TensorError> {
+//! let a = Mat::from_vec(2, 3, vec![1.0f32, 2.0, 3.0, 4.0, 5.0, 6.0])?;
+//! let b = Mat::from_vec(3, 2, vec![1.0f32, 0.0, 0.0, 1.0, 1.0, 1.0])?;
+//! let c = ops::matrix_multiply(&a, &b)?;
+//! assert_eq!(c.shape(), (2, 2));
+//! assert_eq!(c[(0, 0)], 4.0);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod error;
+mod mat;
+pub mod math;
+pub mod ops;
+pub mod qops;
+
+pub use error::TensorError;
+pub use mat::Mat;
+
+/// Convenience alias for results returned by fallible tensor operations.
+pub type Result<T> = std::result::Result<T, TensorError>;

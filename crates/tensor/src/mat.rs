@@ -1,0 +1,430 @@
+use crate::{Result, TensorError};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::{Index, IndexMut};
+
+/// A dense, row-major 2-D matrix.
+///
+/// `Mat` is the only container type in the library — the paper's pipeline is
+/// built entirely from rank-2 operands (spectrograms, token embeddings,
+/// weight matrices, attention score matrices). Vectors are represented as
+/// `1 x n` or `n x 1` matrices, or as plain slices for the in-place kernels.
+///
+/// # Example
+///
+/// ```
+/// use kwt_tensor::Mat;
+///
+/// # fn main() -> Result<(), kwt_tensor::TensorError> {
+/// let m = Mat::from_fn(2, 3, |r, c| (r * 3 + c) as f32);
+/// assert_eq!(m[(1, 2)], 5.0);
+/// assert_eq!(m.row(1), &[3.0, 4.0, 5.0]);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, PartialEq, Serialize, Deserialize)]
+pub struct Mat<T> {
+    rows: usize,
+    cols: usize,
+    data: Vec<T>,
+}
+
+impl<T: Copy + Default> Mat<T> {
+    /// Creates a `rows x cols` matrix filled with `T::default()` (zero for
+    /// all numeric types used in this crate).
+    ///
+    /// # Example
+    /// ```
+    /// let z = kwt_tensor::Mat::<f32>::zeros(2, 2);
+    /// assert_eq!(z[(0, 1)], 0.0);
+    /// ```
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Mat {
+            rows,
+            cols,
+            data: vec![T::default(); rows * cols],
+        }
+    }
+
+    /// Creates a matrix filled with a single value.
+    pub fn filled(rows: usize, cols: usize, value: T) -> Self {
+        Mat {
+            rows,
+            cols,
+            data: vec![value; rows * cols],
+        }
+    }
+
+    /// Creates a matrix by evaluating `f(row, col)` at every position.
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> T) -> Self {
+        let mut data = Vec::with_capacity(rows * cols);
+        for r in 0..rows {
+            for c in 0..cols {
+                data.push(f(r, c));
+            }
+        }
+        Mat { rows, cols, data }
+    }
+
+    /// Wraps an existing row-major buffer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::BadBufferLength`] if `data.len() != rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<T>) -> Result<Self> {
+        if data.len() != rows * cols {
+            return Err(TensorError::BadBufferLength {
+                rows,
+                cols,
+                len: data.len(),
+            });
+        }
+        Ok(Mat { rows, cols, data })
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// `(rows, cols)` pair.
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Total number of elements.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// `true` if the matrix holds no elements.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Borrows the backing row-major buffer.
+    pub fn as_slice(&self) -> &[T] {
+        &self.data
+    }
+
+    /// Mutably borrows the backing row-major buffer.
+    pub fn as_mut_slice(&mut self) -> &mut [T] {
+        &mut self.data
+    }
+
+    /// Consumes the matrix, returning the backing buffer.
+    pub fn into_vec(self) -> Vec<T> {
+        self.data
+    }
+
+    /// Borrows row `r` as a slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r >= self.rows()`.
+    pub fn row(&self, r: usize) -> &[T] {
+        assert!(r < self.rows, "row {} out of bounds ({} rows)", r, self.rows);
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Mutably borrows row `r` as a slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r >= self.rows()`.
+    pub fn row_mut(&mut self, r: usize) -> &mut [T] {
+        assert!(r < self.rows, "row {} out of bounds ({} rows)", r, self.rows);
+        &mut self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Checked element access.
+    pub fn get(&self, r: usize, c: usize) -> Option<&T> {
+        if r < self.rows && c < self.cols {
+            Some(&self.data[r * self.cols + c])
+        } else {
+            None
+        }
+    }
+
+    /// Checked mutable element access.
+    pub fn get_mut(&mut self, r: usize, c: usize) -> Option<&mut T> {
+        if r < self.rows && c < self.cols {
+            Some(&mut self.data[r * self.cols + c])
+        } else {
+            None
+        }
+    }
+
+    /// Returns the transpose as a new matrix.
+    pub fn transpose(&self) -> Mat<T> {
+        let mut out = Mat::zeros(self.cols, self.rows);
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                out.data[c * self.rows + r] = self.data[r * self.cols + c];
+            }
+        }
+        out
+    }
+
+    /// Applies `f` element-wise, producing a new matrix (possibly of a
+    /// different element type).
+    pub fn map<U: Copy + Default>(&self, mut f: impl FnMut(T) -> U) -> Mat<U> {
+        Mat {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().map(|&x| f(x)).collect(),
+        }
+    }
+
+    /// Extracts the sub-matrix of columns `[start, start + width)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `start + width > self.cols()`.
+    pub fn columns(&self, start: usize, width: usize) -> Mat<T> {
+        assert!(
+            start + width <= self.cols,
+            "column range {}..{} out of bounds ({} cols)",
+            start,
+            start + width,
+            self.cols
+        );
+        Mat::from_fn(self.rows, width, |r, c| self.data[r * self.cols + start + c])
+    }
+
+    /// Stacks `self` on top of `other` (row-wise concatenation).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] if column counts differ.
+    pub fn vstack(&self, other: &Mat<T>) -> Result<Mat<T>> {
+        if self.cols != other.cols {
+            return Err(TensorError::ShapeMismatch {
+                op: "vstack",
+                lhs: self.shape(),
+                rhs: other.shape(),
+            });
+        }
+        let mut data = Vec::with_capacity(self.data.len() + other.data.len());
+        data.extend_from_slice(&self.data);
+        data.extend_from_slice(&other.data);
+        Ok(Mat {
+            rows: self.rows + other.rows,
+            cols: self.cols,
+            data,
+        })
+    }
+
+    /// Concatenates `self` and `other` side by side (column-wise).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] if row counts differ.
+    pub fn hstack(&self, other: &Mat<T>) -> Result<Mat<T>> {
+        if self.rows != other.rows {
+            return Err(TensorError::ShapeMismatch {
+                op: "hstack",
+                lhs: self.shape(),
+                rhs: other.shape(),
+            });
+        }
+        let mut out = Mat::zeros(self.rows, self.cols + other.cols);
+        for r in 0..self.rows {
+            out.row_mut(r)[..self.cols].copy_from_slice(self.row(r));
+            out.row_mut(r)[self.cols..].copy_from_slice(other.row(r));
+        }
+        Ok(out)
+    }
+
+    /// Iterates over rows as slices.
+    pub fn iter_rows(&self) -> impl Iterator<Item = &[T]> {
+        self.data.chunks_exact(self.cols.max(1))
+    }
+}
+
+impl<T> Index<(usize, usize)> for Mat<T> {
+    type Output = T;
+
+    fn index(&self, (r, c): (usize, usize)) -> &T {
+        assert!(
+            r < self.rows && c < self.cols,
+            "index ({}, {}) out of bounds for {}x{}",
+            r,
+            c,
+            self.rows,
+            self.cols
+        );
+        &self.data[r * self.cols + c]
+    }
+}
+
+impl<T> IndexMut<(usize, usize)> for Mat<T> {
+    fn index_mut(&mut self, (r, c): (usize, usize)) -> &mut T {
+        assert!(
+            r < self.rows && c < self.cols,
+            "index ({}, {}) out of bounds for {}x{}",
+            r,
+            c,
+            self.rows,
+            self.cols
+        );
+        &mut self.data[r * self.cols + c]
+    }
+}
+
+impl<T: fmt::Debug> fmt::Debug for Mat<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Mat {}x{} [", self.rows, self.cols)?;
+        for r in 0..self.rows.min(8) {
+            write!(f, "  [")?;
+            for c in 0..self.cols.min(12) {
+                if c > 0 {
+                    write!(f, ", ")?;
+                }
+                write!(f, "{:?}", self.data[r * self.cols + c])?;
+            }
+            if self.cols > 12 {
+                write!(f, ", ...")?;
+            }
+            writeln!(f, "]")?;
+        }
+        if self.rows > 8 {
+            writeln!(f, "  ...")?;
+        }
+        write!(f, "]")
+    }
+}
+
+impl<T: Copy + Default> Default for Mat<T> {
+    fn default() -> Self {
+        Mat::zeros(0, 0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeros_and_shape() {
+        let m = Mat::<f32>::zeros(3, 4);
+        assert_eq!(m.shape(), (3, 4));
+        assert_eq!(m.len(), 12);
+        assert!(!m.is_empty());
+        assert!(m.as_slice().iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn from_vec_checks_length() {
+        assert!(Mat::from_vec(2, 2, vec![1.0f32; 4]).is_ok());
+        let err = Mat::from_vec(2, 2, vec![1.0f32; 3]).unwrap_err();
+        assert!(matches!(err, TensorError::BadBufferLength { len: 3, .. }));
+    }
+
+    #[test]
+    fn from_fn_row_major() {
+        let m = Mat::from_fn(2, 3, |r, c| (10 * r + c) as i32);
+        assert_eq!(m.as_slice(), &[0, 1, 2, 10, 11, 12]);
+    }
+
+    #[test]
+    fn indexing_and_rows() {
+        let mut m = Mat::from_fn(2, 2, |r, c| (r + c) as i16);
+        assert_eq!(m[(1, 1)], 2);
+        m[(0, 1)] = 9;
+        assert_eq!(m.row(0), &[0, 9]);
+        m.row_mut(1)[0] = 7;
+        assert_eq!(m[(1, 0)], 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn index_out_of_bounds_panics() {
+        let m = Mat::<f32>::zeros(2, 2);
+        let _ = m[(2, 0)];
+    }
+
+    #[test]
+    fn get_is_checked() {
+        let m = Mat::from_fn(2, 2, |r, c| r + c);
+        assert_eq!(m.get(1, 1), Some(&2));
+        assert_eq!(m.get(2, 0), None);
+        assert_eq!(m.get(0, 2), None);
+    }
+
+    #[test]
+    fn transpose_round_trip() {
+        let m = Mat::from_fn(3, 5, |r, c| (r * 5 + c) as i32);
+        let t = m.transpose();
+        assert_eq!(t.shape(), (5, 3));
+        assert_eq!(t[(4, 2)], m[(2, 4)]);
+        assert_eq!(t.transpose(), m);
+    }
+
+    #[test]
+    fn map_changes_type() {
+        let m = Mat::from_fn(2, 2, |r, c| (r * 2 + c) as f32);
+        let q = m.map(|x| x as i8);
+        assert_eq!(q.as_slice(), &[0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn columns_slice() {
+        let m = Mat::from_fn(2, 6, |r, c| (r * 6 + c) as i32);
+        let mid = m.columns(2, 2);
+        assert_eq!(mid.as_slice(), &[2, 3, 8, 9]);
+    }
+
+    #[test]
+    #[should_panic(expected = "column range")]
+    fn columns_out_of_range_panics() {
+        let m = Mat::<i32>::zeros(2, 3);
+        let _ = m.columns(2, 2);
+    }
+
+    #[test]
+    fn vstack_and_hstack() {
+        let a = Mat::from_fn(1, 2, |_, c| c as i32);
+        let b = Mat::from_fn(2, 2, |r, c| (10 + r * 2 + c) as i32);
+        let v = a.vstack(&b).unwrap();
+        assert_eq!(v.shape(), (3, 2));
+        assert_eq!(v.row(0), &[0, 1]);
+        assert_eq!(v.row(2), &[12, 13]);
+
+        let h = b.hstack(&b).unwrap();
+        assert_eq!(h.shape(), (2, 4));
+        assert_eq!(h.row(0), &[10, 11, 10, 11]);
+
+        assert!(a.hstack(&b).is_err());
+        let wide = Mat::<i32>::zeros(1, 3);
+        assert!(a.vstack(&wide).is_err());
+    }
+
+    #[test]
+    fn iter_rows_matches_row() {
+        let m = Mat::from_fn(3, 2, |r, c| r * 2 + c);
+        for (i, row) in m.iter_rows().enumerate() {
+            assert_eq!(row, m.row(i));
+        }
+        assert_eq!(m.iter_rows().count(), 3);
+    }
+
+    #[test]
+    fn debug_is_nonempty() {
+        let m = Mat::<f32>::zeros(0, 0);
+        assert!(!format!("{m:?}").is_empty());
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let m = Mat::from_fn(2, 3, |r, c| (r * 3 + c) as f32);
+        let json = serde_json::to_string(&m).unwrap();
+        let back: Mat<f32> = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, m);
+    }
+}

@@ -1,0 +1,166 @@
+//! Scalar special functions used by the transformer kernels.
+//!
+//! The standard library has no `erf`, so the Gauss error function is
+//! implemented here with the Abramowitz & Stegun 7.1.26 rational
+//! approximation evaluated in `f64` (absolute error < 1.5e-7, far below
+//! `f32` resolution). GELU follows eq. (7) of the paper exactly:
+//!
+//! ```text
+//! GELU(x) = x * 0.5 * (1 + erf(x / sqrt(2)))
+//! ```
+
+/// Gauss error function, evaluated in `f64` for accuracy, returned as `f32`.
+///
+/// Uses Abramowitz & Stegun formula 7.1.26 with `|error| < 1.5e-7`,
+/// which is exact to within half a ULP for all `f32` inputs of interest.
+///
+/// # Example
+/// ```
+/// let e = kwt_tensor::math::erf(1.0);
+/// assert!((e - 0.8427007).abs() < 1e-6);
+/// ```
+pub fn erf(x: f32) -> f32 {
+    erf64(x as f64) as f32
+}
+
+/// `f64` Gauss error function (Abramowitz & Stegun 7.1.26).
+pub fn erf64(x: f64) -> f64 {
+    const A1: f64 = 0.254829592;
+    const A2: f64 = -0.284496736;
+    const A3: f64 = 1.421413741;
+    const A4: f64 = -1.453152027;
+    const A5: f64 = 1.061405429;
+    const P: f64 = 0.3275911;
+
+    let sign = if x < 0.0 { -1.0 } else { 1.0 };
+    let x = x.abs();
+    let t = 1.0 / (1.0 + P * x);
+    let y = 1.0 - (((((A5 * t + A4) * t) + A3) * t + A2) * t + A1) * t * (-x * x).exp();
+    sign * y
+}
+
+/// Exact GELU per eq. (7) of the paper: `x * Phi(x)` with the Gaussian CDF
+/// expressed through [`erf`].
+///
+/// # Example
+/// ```
+/// use kwt_tensor::math::gelu_exact;
+/// assert_eq!(gelu_exact(0.0), 0.0);
+/// assert!((gelu_exact(1.0) - 0.8413447).abs() < 1e-5);
+/// ```
+pub fn gelu_exact(x: f32) -> f32 {
+    let xf = x as f64;
+    (xf * 0.5 * (1.0 + erf64(xf / std::f64::consts::SQRT_2))) as f32
+}
+
+/// The `tanh` GELU approximation popularised by BERT/GPT
+/// (`0.5 x (1 + tanh(sqrt(2/pi) (x + 0.044715 x^3)))`).
+///
+/// Kept as an ablation reference point next to the paper's LUT
+/// approximation; not used by the inference pipeline.
+pub fn gelu_tanh(x: f32) -> f32 {
+    let xf = x as f64;
+    let c = (2.0 / std::f64::consts::PI).sqrt();
+    (0.5 * xf * (1.0 + (c * (xf + 0.044715 * xf * xf * xf)).tanh())) as f32
+}
+
+/// Derivative of exact GELU: `Phi(x) + x * phi(x)` where `phi` is the
+/// standard normal PDF. Used by the training crate's backward pass.
+pub fn gelu_exact_derivative(x: f32) -> f32 {
+    let xf = x as f64;
+    let phi = (-(xf * xf) / 2.0).exp() / (2.0 * std::f64::consts::PI).sqrt();
+    let cdf = 0.5 * (1.0 + erf64(xf / std::f64::consts::SQRT_2));
+    (cdf + xf * phi) as f32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Reference erf values from standard tables.
+    const ERF_TABLE: &[(f64, f64)] = &[
+        (0.0, 0.0),
+        (0.5, 0.5204998778),
+        (1.0, 0.8427007929),
+        (1.5, 0.9661051465),
+        (2.0, 0.9953222650),
+        (3.0, 0.9999779095),
+    ];
+
+    #[test]
+    fn erf_matches_tables() {
+        for &(x, want) in ERF_TABLE {
+            assert!(
+                (erf64(x) - want).abs() < 2e-7,
+                "erf({x}) = {} want {want}",
+                erf64(x)
+            );
+            assert!(
+                (erf64(-x) + want).abs() < 2e-7,
+                "erf is odd: erf(-{x}) = {}",
+                erf64(-x)
+            );
+        }
+    }
+
+    #[test]
+    fn erf_saturates() {
+        assert!((erf(6.0) - 1.0).abs() < 1e-7);
+        assert!((erf(-6.0) + 1.0).abs() < 1e-7);
+    }
+
+    #[test]
+    fn gelu_known_values() {
+        assert_eq!(gelu_exact(0.0), 0.0);
+        // GELU(1) = 1 * Phi(1) = 0.841344746...
+        assert!((gelu_exact(1.0) - 0.8413447).abs() < 1e-5);
+        // GELU(-1) = -1 * Phi(-1) = -0.158655...
+        assert!((gelu_exact(-1.0) + 0.1586553).abs() < 1e-5);
+    }
+
+    #[test]
+    fn gelu_asymptotes() {
+        // For large |x| GELU approaches x (right) and 0 (left) — the fact the
+        // paper's piecewise clip exploits (thresholds 1.595 / -1.857).
+        assert!((gelu_exact(5.0) - 5.0).abs() < 1e-4);
+        assert!(gelu_exact(-5.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn gelu_tanh_close_to_exact() {
+        for i in -40..=40 {
+            let x = i as f32 * 0.1;
+            assert!(
+                (gelu_tanh(x) - gelu_exact(x)).abs() < 4e-3,
+                "tanh approx far from exact at {x}"
+            );
+        }
+    }
+
+    #[test]
+    fn gelu_derivative_matches_finite_difference() {
+        let h = 1e-3f64;
+        for i in -30..=30 {
+            let x = i as f64 * 0.13;
+            let num = (gelu_exact((x + h) as f32) as f64 - gelu_exact((x - h) as f32) as f64)
+                / (2.0 * h);
+            let ana = gelu_exact_derivative(x as f32) as f64;
+            assert!(
+                (num - ana).abs() < 1e-3,
+                "dGELU mismatch at {x}: numeric {num} analytic {ana}"
+            );
+        }
+    }
+
+    #[test]
+    fn gelu_is_monotone_above_minimum() {
+        // GELU has a single minimum near x = -0.7518; monotone either side.
+        let mut prev = gelu_exact(-0.75);
+        for i in 1..100 {
+            let x = -0.75 + i as f32 * 0.05;
+            let y = gelu_exact(x);
+            assert!(y >= prev - 1e-6, "not increasing at {x}");
+            prev = y;
+        }
+    }
+}

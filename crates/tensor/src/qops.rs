@@ -1,0 +1,403 @@
+//! Quantised integer kernels — the INT8-weight / INT16-residual flavour of
+//! the paper's library (§IV).
+//!
+//! The scheme is *post-training static quantisation with power-of-two
+//! scales* (eq. 9): a float value `x` is stored as `floor(x * 2^y)` where
+//! the exponent `y` differs between weights and activations (Table V shows
+//! why: weights live in `[-1, 1]`, MFCC inputs reach hundreds). Because
+//! every scale is a power of two, every rescaling in the integer pipeline
+//! is a bit shift — the whole point of the scheme on a core with a
+//! 37-cycle divider.
+//!
+//! Conventions used throughout this crate and the downstream model /
+//! bare-metal crates:
+//!
+//! * **weights**: `i8`, scale `2^yw`
+//! * **activations / residuals**: `i16`, scale `2^ya`
+//! * **accumulators**: `i32` (weights path) or `i64` (activation-activation
+//!   path), with saturation on narrowing
+//! * an activation × weight product sits at scale `2^(ya+yw)`; shifting
+//!   right by `yw` returns it to the activation scale.
+//!
+//! All kernels report [`QuantStats`] so experiments can attribute accuracy
+//! collapse (Table V, row 64/64) to saturation/overflow rather than
+//! rounding.
+
+use crate::{Mat, Result, TensorError};
+
+/// Saturation / range diagnostics accumulated by the integer kernels.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct QuantStats {
+    /// Number of values clamped while narrowing to the output type.
+    pub saturations: usize,
+    /// Largest absolute accumulator value observed (pre-shift).
+    pub max_abs_acc: i64,
+}
+
+impl QuantStats {
+    /// Merges another stats record into this one.
+    pub fn merge(&mut self, other: QuantStats) {
+        self.saturations += other.saturations;
+        self.max_abs_acc = self.max_abs_acc.max(other.max_abs_acc);
+    }
+}
+
+#[inline]
+fn sat_i16(v: i64, stats: &mut QuantStats) -> i16 {
+    if v > i16::MAX as i64 {
+        stats.saturations += 1;
+        i16::MAX
+    } else if v < i16::MIN as i64 {
+        stats.saturations += 1;
+        i16::MIN
+    } else {
+        v as i16
+    }
+}
+
+#[inline]
+fn sat_i8(v: i64, stats: &mut QuantStats) -> i8 {
+    if v > i8::MAX as i64 {
+        stats.saturations += 1;
+        i8::MAX
+    } else if v < i8::MIN as i64 {
+        stats.saturations += 1;
+        i8::MIN
+    } else {
+        v as i8
+    }
+}
+
+/// Quantises floats to `i8` at scale `2^y` using the paper's
+/// floor rule (eq. 9): `W_int = floor(W_float * 2^y)`, saturated.
+///
+/// Returns the quantised matrix and saturation statistics.
+pub fn quantize_i8(x: &Mat<f32>, y: u32) -> (Mat<i8>, QuantStats) {
+    let scale = (1i64 << y) as f32;
+    let mut stats = QuantStats::default();
+    let out = x.map(|v| sat_i8((v * scale).floor() as i64, &mut stats));
+    (out, stats)
+}
+
+/// Quantises floats to `i16` at scale `2^y` (floor rule, saturated).
+pub fn quantize_i16(x: &Mat<f32>, y: u32) -> (Mat<i16>, QuantStats) {
+    let scale = (1i64 << y) as f32;
+    let mut stats = QuantStats::default();
+    let out = x.map(|v| sat_i16((v * scale).floor() as i64, &mut stats));
+    (out, stats)
+}
+
+/// Quantises a float slice to `i16` in place-free form (floor, saturated).
+pub fn quantize_slice_i16(x: &[f32], y: u32) -> (Vec<i16>, QuantStats) {
+    let scale = (1i64 << y) as f32;
+    let mut stats = QuantStats::default();
+    let out = x
+        .iter()
+        .map(|&v| sat_i16((v * scale).floor() as i64, &mut stats))
+        .collect();
+    (out, stats)
+}
+
+/// Dequantises an `i16` matrix back to floats: `x / 2^y`.
+pub fn dequantize_i16(x: &Mat<i16>, y: u32) -> Mat<f32> {
+    let inv = 1.0 / (1i64 << y) as f32;
+    x.map(|v| v as f32 * inv)
+}
+
+/// Dequantises an `i8` matrix back to floats: `x / 2^y`.
+pub fn dequantize_i8(x: &Mat<i8>, y: u32) -> Mat<f32> {
+    let inv = 1.0 / (1i64 << y) as f32;
+    x.map(|v| v as f32 * inv)
+}
+
+/// Quantised affine map: `Y = (A * W + bias) >> shift`, saturated to `i16`.
+///
+/// * `a` — activations, `i16` at scale `2^ya`, shape `S x K`
+/// * `w` — weights, `i8` at scale `2^yw`, shape `K x N`
+/// * `bias` — optional, `i32` at the **combined** scale `2^(ya+yw)`
+/// * `shift` — normally `yw`, returning the result to the activation scale
+///
+/// Accumulation is exact in `i64`; only the final narrowing saturates, and
+/// the shift is an arithmetic (floor) shift exactly as on the RV32 target.
+///
+/// # Errors
+///
+/// Returns [`TensorError::ShapeMismatch`] on inner-dimension or bias-length
+/// mismatch.
+pub fn matmul_i16_i8(
+    a: &Mat<i16>,
+    w: &Mat<i8>,
+    bias: Option<&[i32]>,
+    shift: u32,
+) -> Result<(Mat<i16>, QuantStats)> {
+    if a.cols() != w.rows() {
+        return Err(TensorError::ShapeMismatch {
+            op: "matmul_i16_i8",
+            lhs: a.shape(),
+            rhs: w.shape(),
+        });
+    }
+    if let Some(b) = bias {
+        if b.len() != w.cols() {
+            return Err(TensorError::ShapeMismatch {
+                op: "matmul_i16_i8 (bias)",
+                lhs: (1, b.len()),
+                rhs: w.shape(),
+            });
+        }
+    }
+    let (m, k, n) = (a.rows(), a.cols(), w.cols());
+    let mut stats = QuantStats::default();
+    let mut out = Mat::zeros(m, n);
+    for i in 0..m {
+        let arow = a.row(i);
+        for j in 0..n {
+            let mut acc: i64 = bias.map_or(0, |b| b[j] as i64);
+            for kk in 0..k {
+                acc += arow[kk] as i64 * w[(kk, j)] as i64;
+            }
+            stats.max_abs_acc = stats.max_abs_acc.max(acc.abs());
+            out[(i, j)] = sat_i16(acc >> shift, &mut stats);
+        }
+    }
+    Ok((out, stats))
+}
+
+/// Quantised activation-activation product (used for `Q K^T` and
+/// `scores x V`): `Y = (A * B) >> shift`, saturated to `i16`.
+///
+/// Both operands are `i16`; accumulation is in `i64` so the kernel itself
+/// never overflows — saturation happens only at the output, mirroring a
+/// careful hardware implementation.
+///
+/// # Errors
+///
+/// Returns [`TensorError::ShapeMismatch`] unless `a.cols() == b.rows()`.
+pub fn matmul_i16_i16(a: &Mat<i16>, b: &Mat<i16>, shift: u32) -> Result<(Mat<i16>, QuantStats)> {
+    if a.cols() != b.rows() {
+        return Err(TensorError::ShapeMismatch {
+            op: "matmul_i16_i16",
+            lhs: a.shape(),
+            rhs: b.shape(),
+        });
+    }
+    let (m, k, n) = (a.rows(), a.cols(), b.cols());
+    let mut stats = QuantStats::default();
+    let mut out = Mat::zeros(m, n);
+    for i in 0..m {
+        let arow = a.row(i);
+        for j in 0..n {
+            let mut acc: i64 = 0;
+            for kk in 0..k {
+                acc += arow[kk] as i64 * b[(kk, j)] as i64;
+            }
+            stats.max_abs_acc = stats.max_abs_acc.max(acc.abs());
+            out[(i, j)] = sat_i16(acc >> shift, &mut stats);
+        }
+    }
+    Ok((out, stats))
+}
+
+/// Saturating element-wise residual add `a += b` on `i16` matrices.
+///
+/// # Errors
+///
+/// Returns [`TensorError::ShapeMismatch`] if shapes differ.
+pub fn add_assign_sat(a: &mut Mat<i16>, b: &Mat<i16>) -> Result<QuantStats> {
+    if a.shape() != b.shape() {
+        return Err(TensorError::ShapeMismatch {
+            op: "add_assign_sat",
+            lhs: a.shape(),
+            rhs: b.shape(),
+        });
+    }
+    let mut stats = QuantStats::default();
+    for (x, y) in a.as_mut_slice().iter_mut().zip(b.as_slice()) {
+        *x = sat_i16(*x as i64 + *y as i64, &mut stats);
+    }
+    Ok(stats)
+}
+
+/// Splits a fused quantised QKV activation into per-head `(q, k, v)`
+/// matrices, mirroring [`crate::ops::split_into_qkv`].
+///
+/// # Errors
+///
+/// Same contract as the float version.
+#[allow(clippy::type_complexity)]
+pub fn split_into_qkv_i16(
+    x: &Mat<i16>,
+    heads: usize,
+    dim_head: usize,
+) -> Result<(Vec<Mat<i16>>, Vec<Mat<i16>>, Vec<Mat<i16>>)> {
+    if heads == 0 || dim_head == 0 {
+        return Err(TensorError::InvalidParameter {
+            op: "split_into_qkv_i16",
+            what: format!("heads ({heads}) and dim_head ({dim_head}) must be positive"),
+        });
+    }
+    if x.cols() != 3 * heads * dim_head {
+        return Err(TensorError::ShapeMismatch {
+            op: "split_into_qkv_i16",
+            lhs: x.shape(),
+            rhs: (3 * heads, dim_head),
+        });
+    }
+    let section = heads * dim_head;
+    let mut q = Vec::with_capacity(heads);
+    let mut k = Vec::with_capacity(heads);
+    let mut v = Vec::with_capacity(heads);
+    for h in 0..heads {
+        q.push(x.columns(h * dim_head, dim_head));
+        k.push(x.columns(section + h * dim_head, dim_head));
+        v.push(x.columns(2 * section + h * dim_head, dim_head));
+    }
+    Ok((q, k, v))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops;
+
+    #[test]
+    fn quantize_floor_rule() {
+        let m = Mat::from_vec(1, 4, vec![0.49, -0.49, 0.51, -0.51]).unwrap();
+        let (q, stats) = quantize_i8(&m, 3); // scale 8
+        // floor(0.49*8)=3, floor(-0.49*8)=floor(-3.92)=-4
+        assert_eq!(q.as_slice(), &[3, -4, 4, -5]);
+        assert_eq!(stats.saturations, 0);
+    }
+
+    #[test]
+    fn quantize_saturates_and_counts() {
+        let m = Mat::from_vec(1, 3, vec![100.0, -100.0, 0.5]).unwrap();
+        let (q, stats) = quantize_i8(&m, 3);
+        assert_eq!(q.as_slice(), &[127, -128, 4]);
+        assert_eq!(stats.saturations, 2);
+
+        let (q16, s16) = quantize_i16(&m, 12); // 100*4096 overflows i16
+        assert_eq!(q16.as_slice()[0], i16::MAX);
+        assert_eq!(q16.as_slice()[1], i16::MIN);
+        assert_eq!(s16.saturations, 2);
+    }
+
+    #[test]
+    fn dequantize_round_trip_error_bounded() {
+        let m = Mat::from_fn(4, 4, |r, c| (r as f32 - 1.5) * 0.13 + c as f32 * 0.01);
+        let y = 6;
+        let (q, _) = quantize_i16(&m, y);
+        let back = dequantize_i16(&q, y);
+        // floor quantisation: error in [0, 2^-y)
+        for (a, b) in m.as_slice().iter().zip(back.as_slice()) {
+            let err = a - b;
+            assert!((0.0..1.0 / 64.0 + 1e-6).contains(&err), "err {err}");
+        }
+    }
+
+    #[test]
+    fn matmul_q_matches_float_within_quant_error() {
+        let a_f = Mat::from_fn(3, 4, |r, c| ((r * 4 + c) as f32 * 0.37).sin());
+        let w_f = Mat::from_fn(4, 2, |r, c| ((r * 2 + c) as f32 * 0.21).cos() * 0.5);
+        let ya = 8;
+        let yw = 6;
+        let (a_q, _) = quantize_i16(&a_f, ya);
+        let (w_q, _) = quantize_i8(&w_f, yw);
+        let (c_q, stats) = matmul_i16_i8(&a_q, &w_q, None, yw).unwrap();
+        let c_f = ops::matrix_multiply(&a_f, &w_f).unwrap();
+        let c_deq = dequantize_i16(&c_q, ya);
+        for (x, y) in c_f.as_slice().iter().zip(c_deq.as_slice()) {
+            assert!((x - y).abs() < 0.05, "{x} vs {y}");
+        }
+        assert_eq!(stats.saturations, 0);
+    }
+
+    #[test]
+    fn matmul_q_bias_at_combined_scale() {
+        // 1x1 case: a=2 (scale 1), w=3 (scale 1), bias=5 at combined scale,
+        // shift 0 -> 2*3+5 = 11
+        let a = Mat::from_vec(1, 1, vec![2i16]).unwrap();
+        let w = Mat::from_vec(1, 1, vec![3i8]).unwrap();
+        let (c, _) = matmul_i16_i8(&a, &w, Some(&[5]), 0).unwrap();
+        assert_eq!(c[(0, 0)], 11);
+    }
+
+    #[test]
+    fn matmul_q_shift_is_arithmetic_floor() {
+        let a = Mat::from_vec(1, 1, vec![-3i16]).unwrap();
+        let w = Mat::from_vec(1, 1, vec![1i8]).unwrap();
+        let (c, _) = matmul_i16_i8(&a, &w, None, 1).unwrap();
+        // -3 >> 1 = -2 (floor), not -1 (truncate)
+        assert_eq!(c[(0, 0)], -2);
+    }
+
+    #[test]
+    fn matmul_q_saturation_detected() {
+        let a = Mat::filled(1, 8, i16::MAX);
+        let w = Mat::filled(8, 1, i8::MAX);
+        let (c, stats) = matmul_i16_i8(&a, &w, None, 0).unwrap();
+        assert_eq!(c[(0, 0)], i16::MAX);
+        assert_eq!(stats.saturations, 1);
+        assert!(stats.max_abs_acc > i16::MAX as i64);
+    }
+
+    #[test]
+    fn matmul_q_shape_errors() {
+        let a = Mat::<i16>::zeros(2, 3);
+        let w = Mat::<i8>::zeros(2, 3);
+        assert!(matmul_i16_i8(&a, &w, None, 0).is_err());
+        let w_ok = Mat::<i8>::zeros(3, 2);
+        assert!(matmul_i16_i8(&a, &w_ok, Some(&[0]), 0).is_err());
+    }
+
+    #[test]
+    fn matmul_i16_i16_matches_exact() {
+        let a = Mat::from_vec(2, 2, vec![100i16, -200, 300, 400]).unwrap();
+        let b = Mat::from_vec(2, 2, vec![5i16, 6, 7, 8]).unwrap();
+        let (c, stats) = matmul_i16_i16(&a, &b, 0).unwrap();
+        assert_eq!(c.as_slice(), &[100 * 5 - 200 * 7, 100 * 6 - 200 * 8, 300 * 5 + 400 * 7, 300 * 6 + 400 * 8]);
+        assert_eq!(stats.saturations, 0);
+    }
+
+    #[test]
+    fn matmul_i16_i16_shifts() {
+        let a = Mat::from_vec(1, 1, vec![1000i16]).unwrap();
+        let b = Mat::from_vec(1, 1, vec![1000i16]).unwrap();
+        let (c, _) = matmul_i16_i16(&a, &b, 5).unwrap();
+        assert_eq!(c[(0, 0)], (1_000_000i64 >> 5) as i16);
+    }
+
+    #[test]
+    fn add_assign_saturates() {
+        let mut a = Mat::from_vec(1, 2, vec![i16::MAX, 5]).unwrap();
+        let b = Mat::from_vec(1, 2, vec![10i16, 7]).unwrap();
+        let stats = add_assign_sat(&mut a, &b).unwrap();
+        assert_eq!(a.as_slice(), &[i16::MAX, 12]);
+        assert_eq!(stats.saturations, 1);
+    }
+
+    #[test]
+    fn split_qkv_i16_matches_float_layout() {
+        let x = Mat::from_fn(2, 6, |r, c| (r * 6 + c) as i16);
+        let (q, k, v) = split_into_qkv_i16(&x, 1, 2).unwrap();
+        assert_eq!(q[0].as_slice(), &[0, 1, 6, 7]);
+        assert_eq!(k[0].as_slice(), &[2, 3, 8, 9]);
+        assert_eq!(v[0].as_slice(), &[4, 5, 10, 11]);
+        assert!(split_into_qkv_i16(&x, 2, 2).is_err());
+        assert!(split_into_qkv_i16(&x, 0, 2).is_err());
+    }
+
+    #[test]
+    fn stats_merge() {
+        let mut a = QuantStats {
+            saturations: 2,
+            max_abs_acc: 100,
+        };
+        a.merge(QuantStats {
+            saturations: 3,
+            max_abs_acc: 50,
+        });
+        assert_eq!(a.saturations, 5);
+        assert_eq!(a.max_abs_acc, 100);
+    }
+}

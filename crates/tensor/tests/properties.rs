@@ -1,0 +1,197 @@
+//! Property-based tests for the tensor kernels: algebraic identities the
+//! float ops must satisfy and quantisation invariants the integer ops must
+//! preserve.
+
+use kwt_tensor::{math, ops, qops, Mat};
+use proptest::prelude::*;
+
+fn small_f32() -> impl Strategy<Value = f32> {
+    // Bounded, finite floats keep identity tolerances meaningful.
+    (-8.0f32..8.0).prop_map(|x| (x * 64.0).round() / 64.0)
+}
+
+fn mat_strategy(rows: usize, cols: usize) -> impl Strategy<Value = Mat<f32>> {
+    proptest::collection::vec(small_f32(), rows * cols)
+        .prop_map(move |v| Mat::from_vec(rows, cols, v).expect("length matches"))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn matmul_distributes_over_addition(
+        a in mat_strategy(3, 4),
+        b in mat_strategy(4, 2),
+        c in mat_strategy(4, 2),
+    ) {
+        // A(B + C) == AB + AC
+        let mut bc = b.clone();
+        ops::add_assign(&mut bc, &c).unwrap();
+        let lhs = ops::matrix_multiply(&a, &bc).unwrap();
+        let mut rhs = ops::matrix_multiply(&a, &b).unwrap();
+        ops::add_assign(&mut rhs, &ops::matrix_multiply(&a, &c).unwrap()).unwrap();
+        for (x, y) in lhs.as_slice().iter().zip(rhs.as_slice()) {
+            prop_assert!((x - y).abs() < 1e-3, "{x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn matmul_transpose_identity(
+        a in mat_strategy(3, 4),
+        b in mat_strategy(4, 3),
+    ) {
+        // (AB)^T == B^T A^T
+        let lhs = ops::matrix_multiply(&a, &b).unwrap().transpose();
+        let rhs = ops::matrix_multiply(&b.transpose(), &a.transpose()).unwrap();
+        for (x, y) in lhs.as_slice().iter().zip(rhs.as_slice()) {
+            prop_assert!((x - y).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn softmax_is_shift_invariant(
+        v in proptest::collection::vec(small_f32(), 1..24),
+        shift in -4.0f32..4.0,
+    ) {
+        let mut a = v.clone();
+        let mut b: Vec<f32> = v.iter().map(|x| x + shift).collect();
+        ops::softmax_normalized(&mut a).unwrap();
+        ops::softmax_normalized(&mut b).unwrap();
+        for (x, y) in a.iter().zip(&b) {
+            prop_assert!((x - y).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn softmax_output_is_distribution(
+        v in proptest::collection::vec(small_f32(), 1..32),
+    ) {
+        let mut a = v;
+        ops::softmax_normalized(&mut a).unwrap();
+        let sum: f32 = a.iter().sum();
+        prop_assert!((sum - 1.0).abs() < 1e-5);
+        prop_assert!(a.iter().all(|&x| (0.0..=1.0 + 1e-6).contains(&x)));
+    }
+
+    #[test]
+    fn softmax_preserves_order(
+        v in proptest::collection::vec(small_f32(), 2..16),
+    ) {
+        let mut s = v.clone();
+        ops::softmax_normalized(&mut s).unwrap();
+        for i in 0..v.len() {
+            for j in 0..v.len() {
+                if v[i] > v[j] {
+                    prop_assert!(s[i] >= s[j] - 1e-7);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn layer_norm_output_standardised(
+        v in proptest::collection::vec(small_f32(), 2..32),
+    ) {
+        // Skip near-constant vectors where eps dominates.
+        let (_, var) = ops::compute_mean_and_variance(&v).unwrap();
+        prop_assume!(var > 1e-3);
+        let mut x = v;
+        let n = x.len();
+        ops::layer_norm(&mut x, &vec![1.0; n], &vec![0.0; n], 1e-9).unwrap();
+        let (m, s2) = ops::compute_mean_and_variance(&x).unwrap();
+        prop_assert!(m.abs() < 1e-4, "mean {m}");
+        prop_assert!((s2 - 1.0).abs() < 1e-2, "var {s2}");
+    }
+
+    #[test]
+    fn gelu_bounded_by_relu(
+        v in proptest::collection::vec(small_f32(), 1..32),
+    ) {
+        // 0 >= GELU(x) - ReLU(x) >= -0.17 everywhere
+        let mut g = v.clone();
+        ops::gelu(&mut g);
+        for (x, y) in v.iter().zip(&g) {
+            let relu = x.max(0.0);
+            prop_assert!(*y <= relu + 1e-6);
+            prop_assert!(*y >= relu - 0.17);
+        }
+    }
+
+    #[test]
+    fn erf_is_odd_and_bounded(x in -10.0f32..10.0) {
+        let e = math::erf(x);
+        prop_assert!((-1.0..=1.0).contains(&e));
+        prop_assert!((math::erf(-x) + e).abs() < 1e-6);
+    }
+
+    #[test]
+    fn quantize_dequantize_error_bound(
+        v in proptest::collection::vec(-4.0f32..4.0, 1..64),
+        y in 3u32..8,
+    ) {
+        let n = v.len();
+        let m = Mat::from_vec(1, n, v).unwrap();
+        let (q, stats) = qops::quantize_i16(&m, y);
+        prop_assume!(stats.saturations == 0);
+        let back = qops::dequantize_i16(&q, y);
+        let step = 1.0 / (1 << y) as f32;
+        for (a, b) in m.as_slice().iter().zip(back.as_slice()) {
+            // floor quantisation error lies in [0, step)
+            let err = a - b;
+            prop_assert!(err >= -1e-6 && err < step + 1e-6, "err {err} step {step}");
+        }
+    }
+
+    #[test]
+    fn quantized_matmul_tracks_float(
+        a in mat_strategy(2, 3),
+        w in proptest::collection::vec(-0.9f32..0.9, 6),
+    ) {
+        let w_f = Mat::from_vec(3, 2, w).unwrap();
+        let ya = 8u32;
+        let yw = 6u32;
+        let (a_q, sa) = qops::quantize_i16(&a, ya);
+        let (w_q, sw) = qops::quantize_i8(&w_f, yw);
+        prop_assume!(sa.saturations == 0 && sw.saturations == 0);
+        let (c_q, _) = qops::matmul_i16_i8(&a_q, &w_q, None, yw).unwrap();
+        let c_f = ops::matrix_multiply(&a, &w_f).unwrap();
+        let c_d = qops::dequantize_i16(&c_q, ya);
+        // Floor-quantisation error per term: |a| * 2^-yw + |w| * 2^-ya, summed
+        // over K = 3 inner terms, plus the output floor shift.
+        let bound = 3.0 * (8.0 / (1 << yw) as f32 + 0.9 / (1 << ya) as f32) + 1.0 / (1 << ya) as f32;
+        for (x, y) in c_f.as_slice().iter().zip(c_d.as_slice()) {
+            prop_assert!((x - y).abs() < bound, "{x} vs {y} (bound {bound})");
+        }
+    }
+
+    #[test]
+    fn attention_rows_are_convex_combinations(
+        q in mat_strategy(3, 2),
+        k in mat_strategy(3, 2),
+        v in mat_strategy(3, 2),
+    ) {
+        // Every output row of SDPA lies inside the [min, max] envelope of
+        // V's columns because softmax weights are a convex combination.
+        let sa = ops::scaled_dot_product_attention(&q, &k, &v).unwrap();
+        for c in 0..2 {
+            let lo = (0..3).map(|r| v[(r, c)]).fold(f32::INFINITY, f32::min);
+            let hi = (0..3).map(|r| v[(r, c)]).fold(f32::NEG_INFINITY, f32::max);
+            for r in 0..3 {
+                prop_assert!(sa[(r, c)] >= lo - 1e-4);
+                prop_assert!(sa[(r, c)] <= hi + 1e-4);
+            }
+        }
+    }
+
+    #[test]
+    fn transpose_involution(m in mat_strategy(4, 5)) {
+        prop_assert_eq!(m.transpose().transpose(), m);
+    }
+
+    #[test]
+    fn hstack_then_columns_recovers(a in mat_strategy(3, 2), b in mat_strategy(3, 4)) {
+        let h = a.hstack(&b).unwrap();
+        prop_assert_eq!(h.columns(0, 2), a);
+        prop_assert_eq!(h.columns(2, 4), b);
+    }
+}

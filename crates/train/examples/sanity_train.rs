@@ -1,0 +1,56 @@
+//! Quick sanity run: train KWT-Tiny on the synthetic binary task and print
+//! accuracies plus activation magnitudes (used to calibrate the
+//! quantisation experiments).
+
+use kwt_dataset::{GscConfig, Split, SyntheticGsc};
+use kwt_model::{KwtConfig, KwtParams};
+use kwt_train::{evaluate, TrainConfig, Trainer};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let t0 = std::time::Instant::now();
+    let ds = SyntheticGsc::new(GscConfig {
+        samples_per_class: [1200, 200, 300],
+        synth: kwt_dataset::SynthParams {
+            formant_jitter: 0.30,
+            pitch_jitter: 0.35,
+            snr_db: (-22.0, -6.0),
+            ..kwt_dataset::SynthParams::default()
+        },
+        ..GscConfig::default()
+    });
+    let fe = kwt_audio::kwt_tiny_frontend()?;
+    let train = ds.materialize(Split::Train, &fe)?;
+    let val = ds.materialize(Split::Val, &fe)?;
+    let test = ds.materialize(Split::Test, &fe)?;
+    let (mean, std) = train.feature_stats();
+    eprintln!(
+        "data ready in {:.1}s  feature mean {mean:.2} std {std:.2}",
+        t0.elapsed().as_secs_f32()
+    );
+    let max_abs = train
+        .x
+        .iter()
+        .flat_map(|m| m.as_slice())
+        .fold(0.0f32, |a, &v| a.max(v.abs()));
+    eprintln!("max |mfcc| = {max_abs:.1}");
+
+    let params = KwtParams::init(KwtConfig::kwt_tiny(), 42)?;
+    let mut trainer = Trainer::new(
+        params,
+        TrainConfig {
+            epochs: 30,
+            batch_size: 32,
+            verbose: true,
+            ..TrainConfig::default()
+        },
+    );
+    let report = trainer.fit(&train, &val)?;
+    let (test_acc, _) = evaluate(trainer.params(), &test)?;
+    eprintln!(
+        "best val {:.1}%  test {:.1}%  total {:.1}s",
+        report.best_val_accuracy * 100.0,
+        test_acc * 100.0,
+        t0.elapsed().as_secs_f32()
+    );
+    Ok(())
+}

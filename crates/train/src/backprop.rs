@@ -1,0 +1,532 @@
+//! Forward pass with activation caching, and the hand-derived backward
+//! pass for the full KWT architecture.
+//!
+//! The layer set mirrors `kwt_model::forward` exactly (post-norm blocks,
+//! fused QKV, class-token readout). Each cached tensor is the minimum
+//! needed by the corresponding backward rule:
+//!
+//! * linear `Y = X W + b`: cache `X`; `dX = dY Wᵀ`, `dW = Xᵀ dY`,
+//!   `db = colsum(dY)`
+//! * layer norm: cache the normalised `x̂`, `1/σ`; the standard three-term
+//!   row rule
+//! * softmax rows: cache probabilities `p`; `ds = p ⊙ (dp − ⟨dp, p⟩)`
+//! * GELU: cache pre-activation; `dL/dx = dL/dy · (Φ(x) + x φ(x))`
+
+use kwt_model::{KwtParams, ModelError, Result};
+use kwt_tensor::math::{gelu_exact, gelu_exact_derivative};
+use kwt_tensor::{ops, Mat};
+
+/// Per-row layer-norm cache: normalised values and inverse std-dev.
+#[derive(Debug, Clone)]
+struct LnCache {
+    /// Normalised activations `x̂` (before gamma/beta), `S x dim`.
+    xhat: Mat<f32>,
+    /// `1 / sqrt(var + eps)` per row.
+    inv_std: Vec<f32>,
+}
+
+/// Cache for one transformer block.
+#[derive(Debug, Clone)]
+struct LayerCache {
+    /// Block input (`S x dim`).
+    x_in: Mat<f32>,
+    /// Per-head attention probabilities (`S x S` each).
+    probs: Vec<Mat<f32>>,
+    /// Per-head V matrices (`S x dh`).
+    v: Vec<Mat<f32>>,
+    /// Per-head Q matrices (`S x dh`).
+    q: Vec<Mat<f32>>,
+    /// Per-head K matrices (`S x dh`).
+    k: Vec<Mat<f32>>,
+    /// Concatenated head outputs (`S x h·dh`).
+    sa: Mat<f32>,
+    /// LN1 cache.
+    ln1: LnCache,
+    /// LN1 output == MLP input (`S x dim`).
+    x_mid: Mat<f32>,
+    /// MLP pre-GELU hidden (`S x mlp`).
+    hidden_pre: Mat<f32>,
+    /// MLP post-GELU hidden (`S x mlp`).
+    hidden_post: Mat<f32>,
+    /// LN2 cache.
+    ln2: LnCache,
+}
+
+/// Everything the backward pass needs from one forward evaluation.
+#[derive(Debug, Clone)]
+pub struct ForwardCache {
+    /// The MFCC input (`T x F`).
+    input: Mat<f32>,
+    /// Per-block caches.
+    layers: Vec<LayerCache>,
+    /// Final class-token row (`1 x dim`), input of the head.
+    cls_out: Mat<f32>,
+    /// Logits.
+    logits: Vec<f32>,
+}
+
+impl ForwardCache {
+    /// The logits this cache was produced with.
+    pub fn logits(&self) -> &[f32] {
+        &self.logits
+    }
+}
+
+/// Layer-norm forward on each row, returning the cache needed backward.
+fn layer_norm_rows_cached(
+    x: &Mat<f32>,
+    gamma: &[f32],
+    beta: &[f32],
+    eps: f32,
+) -> Result<(Mat<f32>, LnCache)> {
+    let mut out = Mat::zeros(x.rows(), x.cols());
+    let mut xhat = Mat::zeros(x.rows(), x.cols());
+    let mut inv_std = Vec::with_capacity(x.rows());
+    for r in 0..x.rows() {
+        let row = x.row(r);
+        let (mean, var) = ops::compute_mean_and_variance(row)?;
+        let is = 1.0 / (var + eps).sqrt();
+        inv_std.push(is);
+        for c in 0..x.cols() {
+            let xh = (row[c] - mean) * is;
+            xhat[(r, c)] = xh;
+            out[(r, c)] = gamma[c] * xh + beta[c];
+        }
+    }
+    Ok((out, LnCache { xhat, inv_std }))
+}
+
+/// Backward through a per-row layer norm.
+///
+/// Returns `dx` and accumulates into `dgamma`, `dbeta`.
+fn layer_norm_rows_backward(
+    dy: &Mat<f32>,
+    cache: &LnCache,
+    gamma: &[f32],
+    dgamma: &mut [f32],
+    dbeta: &mut [f32],
+) -> Mat<f32> {
+    let (rows, cols) = dy.shape();
+    let mut dx = Mat::zeros(rows, cols);
+    let n = cols as f32;
+    for r in 0..rows {
+        let mut mean_g = 0.0f32;
+        let mut mean_gx = 0.0f32;
+        for c in 0..cols {
+            let g = dy[(r, c)] * gamma[c];
+            mean_g += g;
+            mean_gx += g * cache.xhat[(r, c)];
+            dgamma[c] += dy[(r, c)] * cache.xhat[(r, c)];
+            dbeta[c] += dy[(r, c)];
+        }
+        mean_g /= n;
+        mean_gx /= n;
+        let is = cache.inv_std[r];
+        for c in 0..cols {
+            let g = dy[(r, c)] * gamma[c];
+            dx[(r, c)] = is * (g - mean_g - cache.xhat[(r, c)] * mean_gx);
+        }
+    }
+    dx
+}
+
+/// Backward through `Y = X W + b`.
+///
+/// Returns `dX`, accumulating into `dw` and `db`.
+fn linear_backward(
+    x: &Mat<f32>,
+    w: &Mat<f32>,
+    dy: &Mat<f32>,
+    dw: &mut Mat<f32>,
+    db: &mut [f32],
+) -> Result<Mat<f32>> {
+    let dw_add = ops::matrix_multiply(&x.transpose(), dy)?;
+    ops::add_assign(dw, &dw_add)?;
+    for r in 0..dy.rows() {
+        for c in 0..dy.cols() {
+            db[c] += dy[(r, c)];
+        }
+    }
+    Ok(ops::matrix_multiply(dy, &w.transpose())?)
+}
+
+/// Softmax row backward: `ds = p ⊙ (dp − ⟨dp,p⟩)`, row by row.
+fn softmax_rows_backward(probs: &Mat<f32>, dprobs: &Mat<f32>) -> Mat<f32> {
+    let (rows, cols) = probs.shape();
+    let mut ds = Mat::zeros(rows, cols);
+    for r in 0..rows {
+        let mut dot = 0.0f32;
+        for c in 0..cols {
+            dot += dprobs[(r, c)] * probs[(r, c)];
+        }
+        for c in 0..cols {
+            ds[(r, c)] = probs[(r, c)] * (dprobs[(r, c)] - dot);
+        }
+    }
+    ds
+}
+
+/// Forward pass identical in semantics to [`kwt_model::forward`], but
+/// returning a [`ForwardCache`] for [`backward`].
+///
+/// # Errors
+///
+/// Same contract as [`kwt_model::forward`].
+pub fn forward_cached(params: &KwtParams, mfcc: &Mat<f32>) -> Result<ForwardCache> {
+    let c = &params.config;
+    if mfcc.shape() != (c.input_time, c.input_freq) {
+        return Err(ModelError::InputShape {
+            expected: (c.input_time, c.input_freq),
+            got: mfcc.shape(),
+        });
+    }
+
+    let tokens = ops::linear(mfcc, &params.w_proj, &params.b_proj)?;
+    let cls_row = Mat::from_vec(1, c.dim, params.class_token.clone())
+        .expect("class token length enforced by construction");
+    let mut x = cls_row.vstack(&tokens)?;
+    ops::add_assign(&mut x, &params.pos_emb)?;
+
+    let scale = 1.0 / (c.dim_head as f32).sqrt();
+    let mut layer_caches = Vec::with_capacity(c.depth);
+    for layer in &params.layers {
+        let x_in = x.clone();
+        let qkv = ops::linear(&x, &layer.w_qkv, &layer.b_qkv)?;
+        let (qs, ks, vs) = ops::split_into_qkv(&qkv, c.heads, c.dim_head)?;
+        let mut probs_all = Vec::with_capacity(c.heads);
+        let mut sa: Option<Mat<f32>> = None;
+        for h in 0..c.heads {
+            let mut scores = ops::matrix_multiply(&qs[h], &ks[h].transpose())?;
+            for val in scores.as_mut_slice() {
+                *val *= scale;
+            }
+            for r in 0..scores.rows() {
+                ops::softmax_normalized(scores.row_mut(r))?;
+            }
+            let head_out = ops::matrix_multiply(&scores, &vs[h])?;
+            probs_all.push(scores);
+            sa = Some(match sa {
+                None => head_out,
+                Some(acc) => acc.hstack(&head_out)?,
+            });
+        }
+        let sa = sa.expect("heads >= 1");
+        let attn_out = ops::linear(&sa, &layer.w_out, &layer.b_out)?;
+        let mut r1 = x_in.clone();
+        ops::add_assign(&mut r1, &attn_out)?;
+        let (x_mid, ln1) =
+            layer_norm_rows_cached(&r1, &layer.ln1_gamma, &layer.ln1_beta, c.ln_eps)?;
+
+        let hidden_pre = ops::linear(&x_mid, &layer.w_mlp1, &layer.b_mlp1)?;
+        let hidden_post = hidden_pre.map(gelu_exact);
+        let mlp_out = ops::linear(&hidden_post, &layer.w_mlp2, &layer.b_mlp2)?;
+        let mut r2 = x_mid.clone();
+        ops::add_assign(&mut r2, &mlp_out)?;
+        let (x_next, ln2) =
+            layer_norm_rows_cached(&r2, &layer.ln2_gamma, &layer.ln2_beta, c.ln_eps)?;
+
+        layer_caches.push(LayerCache {
+            x_in,
+            probs: probs_all,
+            v: vs,
+            q: qs,
+            k: ks,
+            sa,
+            ln1,
+            x_mid,
+            hidden_pre,
+            hidden_post,
+            ln2,
+        });
+        x = x_next;
+    }
+
+    let cls_out = Mat::from_vec(1, c.dim, x.row(0).to_vec()).expect("row has dim elements");
+    let logits = ops::linear(&cls_out, &params.w_head, &params.b_head)?;
+    Ok(ForwardCache {
+        input: mfcc.clone(),
+        layers: layer_caches,
+        cls_out,
+        logits: logits.into_vec(),
+    })
+}
+
+/// Backward pass: given `dlogits` (from [`crate::softmax_cross_entropy`]),
+/// accumulates parameter gradients into `grads`, a
+/// [`KwtParams::zeros`]-shaped accumulator for the same config.
+///
+/// # Errors
+///
+/// Propagates kernel shape errors (impossible for caches produced by
+/// [`forward_cached`] against the same `params`).
+pub fn backward(
+    params: &KwtParams,
+    cache: &ForwardCache,
+    dlogits: &[f32],
+    grads: &mut KwtParams,
+) -> Result<()> {
+    let c = &params.config;
+    let seqlen = c.seqlen();
+    let scale = 1.0 / (c.dim_head as f32).sqrt();
+
+    // Head: logits = cls_out W_head + b_head.
+    let dlogits_m = Mat::from_vec(1, c.num_classes, dlogits.to_vec()).map_err(ModelError::from)?;
+    let dcls = linear_backward(
+        &cache.cls_out,
+        &params.w_head,
+        &dlogits_m,
+        &mut grads.w_head,
+        &mut grads.b_head,
+    )?;
+
+    // Only the class-token row receives gradient from the head.
+    let mut dx = Mat::zeros(seqlen, c.dim);
+    for col in 0..c.dim {
+        dx[(0, col)] = dcls[(0, col)];
+    }
+
+    // Blocks in reverse.
+    for idx in (0..c.depth).rev() {
+        let layer = &params.layers[idx];
+        let lc = &cache.layers[idx];
+        let gl = &mut grads.layers[idx];
+
+        // LN2 backward: dx -> dr2.
+        let dr2 = layer_norm_rows_backward(
+            &dx,
+            &lc.ln2,
+            &layer.ln2_gamma,
+            &mut gl.ln2_gamma,
+            &mut gl.ln2_beta,
+        );
+
+        // r2 = x_mid + mlp_out.
+        let dmlp_out = &dr2;
+        let mut dx_mid = dr2.clone();
+
+        // mlp_out = hidden_post W2 + b2.
+        let dhidden_post =
+            linear_backward(&lc.hidden_post, &layer.w_mlp2, dmlp_out, &mut gl.w_mlp2, &mut gl.b_mlp2)?;
+
+        // GELU backward.
+        let mut dhidden_pre = Mat::zeros(dhidden_post.rows(), dhidden_post.cols());
+        for r in 0..dhidden_post.rows() {
+            for cc in 0..dhidden_post.cols() {
+                dhidden_pre[(r, cc)] =
+                    dhidden_post[(r, cc)] * gelu_exact_derivative(lc.hidden_pre[(r, cc)]);
+            }
+        }
+
+        // hidden_pre = x_mid W1 + b1.
+        let dx_mid_mlp =
+            linear_backward(&lc.x_mid, &layer.w_mlp1, &dhidden_pre, &mut gl.w_mlp1, &mut gl.b_mlp1)?;
+        ops::add_assign(&mut dx_mid, &dx_mid_mlp)?;
+
+        // LN1 backward: dx_mid -> dr1.
+        let dr1 = layer_norm_rows_backward(
+            &dx_mid,
+            &lc.ln1,
+            &layer.ln1_gamma,
+            &mut gl.ln1_gamma,
+            &mut gl.ln1_beta,
+        );
+
+        // r1 = x_in + attn_out.
+        let dattn_out = &dr1;
+        let mut dx_in = dr1.clone();
+
+        // attn_out = sa W_out + b_out.
+        let dsa = linear_backward(&lc.sa, &layer.w_out, dattn_out, &mut gl.w_out, &mut gl.b_out)?;
+
+        // Attention backward per head; assemble dqkv.
+        let inner = c.heads * c.dim_head;
+        let mut dqkv = Mat::zeros(seqlen, 3 * inner);
+        for h in 0..c.heads {
+            let dsa_h = dsa.columns(h * c.dim_head, c.dim_head);
+            // sa_h = probs @ v
+            let dprobs = ops::matrix_multiply(&dsa_h, &lc.v[h].transpose())?;
+            let dv = ops::matrix_multiply(&lc.probs[h].transpose(), &dsa_h)?;
+            let dscores = softmax_rows_backward(&lc.probs[h], &dprobs);
+            // scores = scale * q k^T
+            let mut dq = ops::matrix_multiply(&dscores, &lc.k[h])?;
+            for v in dq.as_mut_slice() {
+                *v *= scale;
+            }
+            let mut dk = ops::matrix_multiply(&dscores.transpose(), &lc.q[h])?;
+            for v in dk.as_mut_slice() {
+                *v *= scale;
+            }
+            for r in 0..seqlen {
+                for cc in 0..c.dim_head {
+                    dqkv[(r, h * c.dim_head + cc)] = dq[(r, cc)];
+                    dqkv[(r, inner + h * c.dim_head + cc)] = dk[(r, cc)];
+                    dqkv[(r, 2 * inner + h * c.dim_head + cc)] = dv[(r, cc)];
+                }
+            }
+        }
+
+        // qkv = x_in W_qkv + b_qkv.
+        let dx_in_attn =
+            linear_backward(&lc.x_in, &layer.w_qkv, &dqkv, &mut gl.w_qkv, &mut gl.b_qkv)?;
+        ops::add_assign(&mut dx_in, &dx_in_attn)?;
+
+        dx = dx_in;
+    }
+
+    // x0 = [cls; tokens] + pos_emb.
+    ops::add_assign(&mut grads.pos_emb, &dx)?;
+    for col in 0..c.dim {
+        grads.class_token[col] += dx[(0, col)];
+    }
+    // tokens = input W_proj + b_proj; rows 1.. of dx are dtokens.
+    let dtokens = Mat::from_fn(c.input_time, c.dim, |r, col| dx[(r + 1, col)]);
+    let _ = linear_backward(
+        &cache.input,
+        &params.w_proj,
+        &dtokens,
+        &mut grads.w_proj,
+        &mut grads.b_proj,
+    )?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::softmax_cross_entropy;
+    use kwt_model::KwtConfig;
+
+    /// A deliberately odd-shaped small config exercising heads > 1 and
+    /// dim_head != dim / heads.
+    fn small_config() -> KwtConfig {
+        KwtConfig {
+            input_freq: 5,
+            input_time: 4,
+            dim: 6,
+            depth: 2,
+            heads: 2,
+            mlp_dim: 7,
+            dim_head: 3,
+            num_classes: 3,
+            ln_eps: 1e-5,
+        }
+    }
+
+    fn pseudo_input(cfg: &KwtConfig, seed: u64) -> Mat<f32> {
+        Mat::from_fn(cfg.input_time, cfg.input_freq, |r, c| {
+            let h = seed
+                .wrapping_add((r * 31 + c * 7 + 1) as u64)
+                .wrapping_mul(0x9E37_79B9_7F4A_7C15);
+            ((h >> 40) as f32 / (1u64 << 24) as f32) - 0.5
+        })
+    }
+
+    #[test]
+    fn forward_cached_matches_inference_forward() {
+        for cfg in [small_config(), KwtConfig::kwt_tiny()] {
+            let params = KwtParams::init(cfg, 9).unwrap();
+            let x = pseudo_input(&cfg, 3);
+            let cache = forward_cached(&params, &x).unwrap();
+            let reference = kwt_model::forward(&params, &x).unwrap();
+            for (a, b) in cache.logits().iter().zip(&reference) {
+                assert!((a - b).abs() < 1e-5, "{a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn forward_cached_rejects_bad_shape() {
+        let params = KwtParams::init(small_config(), 0).unwrap();
+        let bad = Mat::zeros(3, 3);
+        assert!(forward_cached(&params, &bad).is_err());
+    }
+
+    /// Full-model gradient check against central finite differences.
+    #[test]
+    fn gradients_match_finite_differences() {
+        let cfg = small_config();
+        let params = KwtParams::init(cfg, 17).unwrap();
+        let x = pseudo_input(&cfg, 11);
+        let label = 1usize;
+
+        // Analytic gradient.
+        let cache = forward_cached(&params, &x).unwrap();
+        let (_, dlogits) = softmax_cross_entropy(cache.logits(), label);
+        let mut grads = KwtParams::zeros(cfg).unwrap();
+        backward(&params, &cache, &dlogits, &mut grads).unwrap();
+        let analytic = grads.flatten();
+
+        // Numeric gradient over a deterministic subset of parameters
+        // (checking all ~800 is slow; stride hits every tensor).
+        let flat = params.flatten();
+        let n = flat.len();
+        let h = 2e-3f32;
+        let loss_at = |theta: &[f32]| -> f32 {
+            let mut p = KwtParams::zeros(cfg).unwrap();
+            p.assign_from_flat(theta);
+            let c = forward_cached(&p, &x).unwrap();
+            softmax_cross_entropy(c.logits(), label).0
+        };
+        let stride = 13usize;
+        let mut checked = 0;
+        let mut max_rel = 0.0f32;
+        for i in (0..n).step_by(stride) {
+            let mut plus = flat.clone();
+            plus[i] += h;
+            let mut minus = flat.clone();
+            minus[i] -= h;
+            let numeric = (loss_at(&plus) - loss_at(&minus)) / (2.0 * h);
+            let a = analytic[i];
+            let denom = numeric.abs().max(a.abs()).max(1e-2);
+            let rel = (numeric - a).abs() / denom;
+            max_rel = max_rel.max(rel);
+            assert!(
+                rel < 0.08,
+                "param {i}: numeric {numeric} vs analytic {a} (rel {rel})"
+            );
+            checked += 1;
+        }
+        assert!(checked > 50, "checked too few parameters: {checked}");
+        // The vast majority should agree much more tightly.
+        assert!(max_rel < 0.08, "worst relative error {max_rel}");
+    }
+
+    #[test]
+    fn gradient_is_zero_for_perfectly_confident_correct_logits() {
+        // If dlogits is exactly zero, all parameter grads stay zero.
+        let cfg = small_config();
+        let params = KwtParams::init(cfg, 3).unwrap();
+        let x = pseudo_input(&cfg, 5);
+        let cache = forward_cached(&params, &x).unwrap();
+        let mut grads = KwtParams::zeros(cfg).unwrap();
+        backward(&params, &cache, &vec![0.0; 3], &mut grads).unwrap();
+        assert!(grads.flatten().iter().all(|&g| g == 0.0));
+    }
+
+    #[test]
+    fn backward_accumulates_across_samples() {
+        let cfg = small_config();
+        let params = KwtParams::init(cfg, 3).unwrap();
+        let x1 = pseudo_input(&cfg, 1);
+        let x2 = pseudo_input(&cfg, 2);
+
+        let run = |inputs: &[&Mat<f32>]| -> Vec<f32> {
+            let mut grads = KwtParams::zeros(cfg).unwrap();
+            for x in inputs {
+                let cache = forward_cached(&params, x).unwrap();
+                let (_, dl) = softmax_cross_entropy(cache.logits(), 0);
+                backward(&params, &cache, &dl, &mut grads).unwrap();
+            }
+            grads.flatten()
+        };
+        let g1 = run(&[&x1]);
+        let g2 = run(&[&x2]);
+        let g12 = run(&[&x1, &x2]);
+        for i in 0..g1.len() {
+            assert!(
+                (g12[i] - g1[i] - g2[i]).abs() < 1e-4,
+                "accumulation mismatch at {i}"
+            );
+        }
+    }
+}

@@ -1,0 +1,93 @@
+//! Softmax cross-entropy loss with its gradient.
+
+/// Computes softmax cross-entropy loss for one example and the gradient of
+/// the loss with respect to the logits.
+///
+/// Uses the max-normalised softmax (paper eq. 10) for stability. The
+/// gradient has the classic closed form `p - onehot(label)`.
+///
+/// # Panics
+///
+/// Panics if `logits` is empty or `label` is out of range.
+pub fn softmax_cross_entropy(logits: &[f32], label: usize) -> (f32, Vec<f32>) {
+    assert!(!logits.is_empty(), "empty logits");
+    assert!(
+        label < logits.len(),
+        "label {label} out of range for {} classes",
+        logits.len()
+    );
+    let max = logits.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+    let exps: Vec<f32> = logits.iter().map(|&l| (l - max).exp()).collect();
+    let sum: f32 = exps.iter().sum();
+    let log_sum = sum.ln();
+    let loss = log_sum - (logits[label] - max);
+    let grad = exps
+        .iter()
+        .enumerate()
+        .map(|(i, &e)| e / sum - if i == label { 1.0 } else { 0.0 })
+        .collect();
+    (loss, grad)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_logits_give_log_n() {
+        let (loss, grad) = softmax_cross_entropy(&[0.0, 0.0, 0.0, 0.0], 2);
+        assert!((loss - (4.0f32).ln()).abs() < 1e-6);
+        assert!((grad[2] - (0.25 - 1.0)).abs() < 1e-6);
+        assert!((grad[0] - 0.25).abs() < 1e-6);
+    }
+
+    #[test]
+    fn confident_correct_prediction_has_small_loss() {
+        let (loss, _) = softmax_cross_entropy(&[10.0, -10.0], 0);
+        assert!(loss < 1e-6);
+        let (loss_wrong, _) = softmax_cross_entropy(&[10.0, -10.0], 1);
+        assert!(loss_wrong > 10.0);
+    }
+
+    #[test]
+    fn gradient_sums_to_zero() {
+        let (_, grad) = softmax_cross_entropy(&[0.3, -1.2, 2.0], 1);
+        let s: f32 = grad.iter().sum();
+        assert!(s.abs() < 1e-6);
+    }
+
+    #[test]
+    fn gradient_matches_finite_difference() {
+        let logits = [0.5f32, -0.3, 1.7, 0.0];
+        let label = 3;
+        let (_, grad) = softmax_cross_entropy(&logits, label);
+        let h = 1e-3;
+        for i in 0..4 {
+            let mut plus = logits;
+            plus[i] += h;
+            let mut minus = logits;
+            minus[i] -= h;
+            let (lp, _) = softmax_cross_entropy(&plus, label);
+            let (lm, _) = softmax_cross_entropy(&minus, label);
+            let num = (lp - lm) / (2.0 * h);
+            assert!(
+                (num - grad[i]).abs() < 1e-3,
+                "logit {i}: numeric {num} vs analytic {}",
+                grad[i]
+            );
+        }
+    }
+
+    #[test]
+    fn large_logits_are_stable() {
+        let (loss, grad) = softmax_cross_entropy(&[1000.0, 999.0], 0);
+        assert!(loss.is_finite());
+        assert!(grad.iter().all(|g| g.is_finite()));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bad_label_panics() {
+        let _ = softmax_cross_entropy(&[0.0, 1.0], 2);
+    }
+}

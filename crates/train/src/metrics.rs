@@ -1,0 +1,71 @@
+//! Classification metrics.
+
+/// Fraction of predictions equal to their labels.
+///
+/// # Panics
+///
+/// Panics if the slices differ in length or are empty.
+pub fn accuracy(predictions: &[usize], labels: &[usize]) -> f64 {
+    assert_eq!(predictions.len(), labels.len(), "length mismatch");
+    assert!(!predictions.is_empty(), "empty prediction set");
+    let hits = predictions
+        .iter()
+        .zip(labels)
+        .filter(|(p, l)| p == l)
+        .count();
+    hits as f64 / predictions.len() as f64
+}
+
+/// `num_classes x num_classes` confusion matrix;
+/// `matrix[true][predicted]` counts occurrences.
+///
+/// # Panics
+///
+/// Panics if the slices differ in length or any index is out of range.
+pub fn confusion_matrix(
+    predictions: &[usize],
+    labels: &[usize],
+    num_classes: usize,
+) -> Vec<Vec<usize>> {
+    assert_eq!(predictions.len(), labels.len(), "length mismatch");
+    let mut m = vec![vec![0usize; num_classes]; num_classes];
+    for (&p, &l) in predictions.iter().zip(labels) {
+        assert!(p < num_classes && l < num_classes, "class index out of range");
+        m[l][p] += 1;
+    }
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accuracy_basics() {
+        assert_eq!(accuracy(&[0, 1, 1], &[0, 1, 0]), 2.0 / 3.0);
+        assert_eq!(accuracy(&[1], &[1]), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn accuracy_empty_panics() {
+        let _ = accuracy(&[], &[]);
+    }
+
+    #[test]
+    fn confusion_matrix_counts() {
+        let m = confusion_matrix(&[0, 1, 1, 0], &[0, 1, 0, 1], 2);
+        assert_eq!(m[0][0], 1); // true 0 predicted 0
+        assert_eq!(m[0][1], 1); // true 0 predicted 1
+        assert_eq!(m[1][0], 1);
+        assert_eq!(m[1][1], 1);
+        let total: usize = m.iter().flatten().sum();
+        assert_eq!(total, 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn confusion_matrix_range_checked() {
+        let _ = confusion_matrix(&[2], &[0], 2);
+    }
+}

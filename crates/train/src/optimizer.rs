@@ -1,0 +1,186 @@
+//! Adam optimiser over flat parameter vectors.
+
+/// Adam hyper-parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AdamConfig {
+    /// Peak learning rate.
+    pub lr: f32,
+    /// First-moment decay.
+    pub beta1: f32,
+    /// Second-moment decay.
+    pub beta2: f32,
+    /// Denominator fuzz.
+    pub eps: f32,
+    /// Decoupled weight decay (AdamW style); 0 disables.
+    pub weight_decay: f32,
+}
+
+impl Default for AdamConfig {
+    fn default() -> Self {
+        AdamConfig {
+            lr: 1e-3,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            weight_decay: 0.0,
+        }
+    }
+}
+
+/// Adam state: first/second moment estimates and the step counter.
+///
+/// Operates on flat `Vec<f32>` views of the model
+/// ([`kwt_model::KwtParams::flatten`]) so it is architecture-agnostic.
+#[derive(Debug, Clone)]
+pub struct Adam {
+    config: AdamConfig,
+    m: Vec<f32>,
+    v: Vec<f32>,
+    t: u64,
+}
+
+impl Adam {
+    /// Creates the optimiser for `n` parameters.
+    pub fn new(n: usize, config: AdamConfig) -> Self {
+        Adam {
+            config,
+            m: vec![0.0; n],
+            v: vec![0.0; n],
+            t: 0,
+        }
+    }
+
+    /// Number of update steps taken so far.
+    pub fn steps(&self) -> u64 {
+        self.t
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &AdamConfig {
+        &self.config
+    }
+
+    /// Applies one update with learning rate `lr` (callers pass the
+    /// scheduled rate; `config.lr` is the nominal peak).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `params` and `grads` lengths differ from the optimiser's.
+    pub fn step(&mut self, params: &mut [f32], grads: &[f32], lr: f32) {
+        assert_eq!(params.len(), self.m.len(), "param length mismatch");
+        assert_eq!(grads.len(), self.m.len(), "grad length mismatch");
+        self.t += 1;
+        let c = &self.config;
+        let bc1 = 1.0 - c.beta1.powi(self.t as i32);
+        let bc2 = 1.0 - c.beta2.powi(self.t as i32);
+        for i in 0..params.len() {
+            let g = grads[i];
+            self.m[i] = c.beta1 * self.m[i] + (1.0 - c.beta1) * g;
+            self.v[i] = c.beta2 * self.v[i] + (1.0 - c.beta2) * g * g;
+            let mhat = self.m[i] / bc1;
+            let vhat = self.v[i] / bc2;
+            let mut update = lr * mhat / (vhat.sqrt() + c.eps);
+            if c.weight_decay > 0.0 {
+                update += lr * c.weight_decay * params[i];
+            }
+            params[i] -= update;
+        }
+    }
+}
+
+/// Cosine learning-rate schedule with linear warmup.
+///
+/// Returns the learning rate for `step` out of `total_steps`, peaking at
+/// `peak_lr` after `warmup` steps and decaying to `peak_lr * floor_frac`.
+pub fn cosine_lr(step: u64, total_steps: u64, warmup: u64, peak_lr: f32, floor_frac: f32) -> f32 {
+    if total_steps == 0 {
+        return peak_lr;
+    }
+    if step < warmup && warmup > 0 {
+        return peak_lr * (step + 1) as f32 / warmup as f32;
+    }
+    let span = (total_steps.saturating_sub(warmup)).max(1) as f32;
+    let progress = (step.saturating_sub(warmup)) as f32 / span;
+    let cos = 0.5 * (1.0 + (std::f32::consts::PI * progress.min(1.0)).cos());
+    peak_lr * (floor_frac + (1.0 - floor_frac) * cos)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn adam_minimises_a_quadratic() {
+        // f(x) = sum (x_i - target_i)^2
+        let target = [3.0f32, -2.0, 0.5];
+        let mut x = vec![0.0f32; 3];
+        let mut opt = Adam::new(3, AdamConfig::default());
+        for _ in 0..4000 {
+            let grads: Vec<f32> = x.iter().zip(&target).map(|(xi, t)| 2.0 * (xi - t)).collect();
+            opt.step(&mut x, &grads, 0.01);
+        }
+        for (xi, t) in x.iter().zip(&target) {
+            assert!((xi - t).abs() < 1e-2, "{xi} vs {t}");
+        }
+        assert_eq!(opt.steps(), 4000);
+    }
+
+    #[test]
+    fn adam_is_scale_adaptive() {
+        // Gradients differing by 1e6 in scale still make progress on both
+        // coordinates (this is why raw-scale MFCC inputs are trainable).
+        let mut x = vec![1.0f32, 1.0];
+        let mut opt = Adam::new(2, AdamConfig::default());
+        for _ in 0..200 {
+            let grads = vec![2e6 * x[0], 2e-3 * x[1]];
+            opt.step(&mut x, &grads, 0.01);
+        }
+        assert!(x[0].abs() < 0.5);
+        assert!(x[1] < 1.0);
+    }
+
+    #[test]
+    fn weight_decay_shrinks_params() {
+        let mut with = vec![1.0f32];
+        let mut without = vec![1.0f32];
+        let mut o1 = Adam::new(
+            1,
+            AdamConfig {
+                weight_decay: 0.1,
+                ..AdamConfig::default()
+            },
+        );
+        let mut o2 = Adam::new(1, AdamConfig::default());
+        for _ in 0..50 {
+            o1.step(&mut with, &[0.0], 0.01);
+            o2.step(&mut without, &[0.0], 0.01);
+        }
+        assert!(with[0] < without[0]);
+        assert_eq!(without[0], 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mismatched_lengths_panic() {
+        let mut opt = Adam::new(2, AdamConfig::default());
+        let mut p = vec![0.0f32; 3];
+        opt.step(&mut p, &[0.0; 3], 0.1);
+    }
+
+    #[test]
+    fn cosine_schedule_shape() {
+        let peak = 1.0;
+        // warmup ramps
+        assert!(cosine_lr(0, 100, 10, peak, 0.0) < cosine_lr(5, 100, 10, peak, 0.0));
+        // peak reached right after warmup
+        let at_peak = cosine_lr(10, 100, 10, peak, 0.0);
+        assert!((at_peak - peak).abs() < 1e-3);
+        // decays monotonically afterwards
+        assert!(cosine_lr(50, 100, 10, peak, 0.0) > cosine_lr(90, 100, 10, peak, 0.0));
+        // floor respected
+        let end = cosine_lr(100, 100, 10, peak, 0.1);
+        assert!(end >= 0.1 * peak - 1e-6);
+        // degenerate cases
+        assert_eq!(cosine_lr(0, 0, 0, peak, 0.0), peak);
+    }
+}

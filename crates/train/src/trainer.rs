@@ -1,0 +1,457 @@
+//! The mini-batch trainer: shuffling, data-parallel gradient computation,
+//! cosine-scheduled Adam updates, validation tracking.
+
+use crate::backprop::{backward, forward_cached};
+use crate::loss::softmax_cross_entropy;
+use crate::metrics::accuracy;
+use crate::optimizer::{cosine_lr, Adam, AdamConfig};
+use kwt_dataset::MfccDataset;
+use kwt_model::{KwtParams, Result};
+use rand::seq::SliceRandom;
+use rand_chacha::rand_core::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// Trainer hyper-parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TrainConfig {
+    /// Number of passes over the training split.
+    pub epochs: usize,
+    /// Mini-batch size.
+    pub batch_size: usize,
+    /// Adam settings (`lr` is the peak rate of the cosine schedule).
+    pub adam: AdamConfig,
+    /// Linear warmup steps before the cosine decay.
+    pub warmup_steps: u64,
+    /// Final learning rate as a fraction of the peak.
+    pub lr_floor_frac: f32,
+    /// Global-norm gradient clipping threshold; `None` disables.
+    pub grad_clip: Option<f32>,
+    /// Worker threads for gradient computation; 0 = hardware parallelism.
+    pub threads: usize,
+    /// Shuffling seed.
+    pub seed: u64,
+    /// Print one line per epoch to stderr.
+    pub verbose: bool,
+}
+
+impl Default for TrainConfig {
+    fn default() -> Self {
+        TrainConfig {
+            epochs: 30,
+            batch_size: 32,
+            adam: AdamConfig {
+                lr: 2e-3,
+                ..AdamConfig::default()
+            },
+            warmup_steps: 20,
+            lr_floor_frac: 0.05,
+            grad_clip: Some(5.0),
+            threads: 0,
+            seed: 0xC0DE,
+            verbose: false,
+        }
+    }
+}
+
+/// Per-epoch training statistics.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EpochStats {
+    /// Epoch index (0-based).
+    pub epoch: usize,
+    /// Mean training loss.
+    pub train_loss: f64,
+    /// Training accuracy over the epoch.
+    pub train_accuracy: f64,
+    /// Validation accuracy after the epoch.
+    pub val_accuracy: f64,
+    /// Last learning rate used in the epoch.
+    pub lr: f32,
+}
+
+/// Result of a training run.
+#[derive(Debug, Clone)]
+pub struct TrainReport {
+    /// Per-epoch statistics.
+    pub history: Vec<EpochStats>,
+    /// Best validation accuracy seen.
+    pub best_val_accuracy: f64,
+    /// Epoch at which the best validation accuracy occurred.
+    pub best_epoch: usize,
+}
+
+/// Owns the model parameters and optimiser state during training.
+#[derive(Debug, Clone)]
+pub struct Trainer {
+    params: KwtParams,
+    config: TrainConfig,
+    optimizer: Adam,
+    best: Option<(f64, KwtParams)>,
+}
+
+impl Trainer {
+    /// Creates a trainer around an initialised model.
+    pub fn new(params: KwtParams, config: TrainConfig) -> Self {
+        let n = params.param_count();
+        let optimizer = Adam::new(n, config.adam);
+        Trainer {
+            params,
+            config,
+            optimizer,
+            best: None,
+        }
+    }
+
+    /// The current parameters (after `fit`: the best-validation snapshot).
+    pub fn params(&self) -> &KwtParams {
+        &self.params
+    }
+
+    /// Consumes the trainer, returning the parameters.
+    pub fn into_params(self) -> KwtParams {
+        self.params
+    }
+
+    /// Computes summed gradients, loss and hit count for a set of sample
+    /// indices, splitting work across threads.
+    fn batch_gradients(
+        &self,
+        data: &MfccDataset,
+        batch: &[usize],
+        threads: usize,
+    ) -> Result<(Vec<f32>, f64, usize)> {
+        let cfg = self.params.config;
+        let chunk = batch.len().div_ceil(threads).max(1);
+        let chunks: Vec<&[usize]> = batch.chunks(chunk).collect();
+        let params = &self.params;
+
+        let results: Vec<Result<(Vec<f32>, f64, usize)>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = chunks
+                .into_iter()
+                .map(|idxs| {
+                    scope.spawn(move || {
+                        let mut grads = KwtParams::zeros(cfg)?;
+                        let mut loss_sum = 0.0f64;
+                        let mut hits = 0usize;
+                        for &i in idxs {
+                            let cache = forward_cached(params, &data.x[i])?;
+                            let (loss, dlogits) = softmax_cross_entropy(cache.logits(), data.y[i]);
+                            loss_sum += loss as f64;
+                            let pred = argmax(cache.logits());
+                            if pred == data.y[i] {
+                                hits += 1;
+                            }
+                            backward(params, &cache, &dlogits, &mut grads)?;
+                        }
+                        Ok((grads.flatten(), loss_sum, hits))
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("gradient worker panicked"))
+                .collect()
+        });
+
+        let mut total = vec![0.0f32; self.params.param_count()];
+        let mut loss_sum = 0.0f64;
+        let mut hits = 0usize;
+        for r in results {
+            let (g, l, h) = r?;
+            for (t, v) in total.iter_mut().zip(&g) {
+                *t += v;
+            }
+            loss_sum += l;
+            hits += h;
+        }
+        Ok((total, loss_sum, hits))
+    }
+
+    /// Runs the full training loop. The trainer's parameters end at the
+    /// best-validation snapshot.
+    ///
+    /// # Errors
+    ///
+    /// Propagates model-shape errors (inconsistent dataset vs config).
+    pub fn fit(&mut self, train: &MfccDataset, val: &MfccDataset) -> Result<TrainReport> {
+        let threads = if self.config.threads == 0 {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        } else {
+            self.config.threads
+        };
+        let n = train.len();
+        let steps_per_epoch = n.div_ceil(self.config.batch_size).max(1) as u64;
+        let total_steps = steps_per_epoch * self.config.epochs as u64;
+        let mut rng = ChaCha8Rng::seed_from_u64(self.config.seed);
+        let mut history = Vec::with_capacity(self.config.epochs);
+        let mut indices: Vec<usize> = (0..n).collect();
+        let mut step: u64 = 0;
+
+        for epoch in 0..self.config.epochs {
+            indices.shuffle(&mut rng);
+            let mut epoch_loss = 0.0f64;
+            let mut epoch_hits = 0usize;
+            let mut last_lr = 0.0f32;
+
+            for batch in indices.chunks(self.config.batch_size) {
+                let (mut grads, loss_sum, hits) = self.batch_gradients(train, batch, threads)?;
+                epoch_loss += loss_sum;
+                epoch_hits += hits;
+                let scale = 1.0 / batch.len() as f32;
+                for g in &mut grads {
+                    *g *= scale;
+                }
+                if let Some(clip) = self.config.grad_clip {
+                    clip_global_norm(&mut grads, clip);
+                }
+                let lr = cosine_lr(
+                    step,
+                    total_steps,
+                    self.config.warmup_steps,
+                    self.config.adam.lr,
+                    self.config.lr_floor_frac,
+                );
+                last_lr = lr;
+                let mut flat = self.params.flatten();
+                self.optimizer.step(&mut flat, &grads, lr);
+                self.params.assign_from_flat(&flat);
+                step += 1;
+            }
+
+            let (val_acc, _) = evaluate(&self.params, val)?;
+            if self.best.as_ref().map_or(true, |(b, _)| val_acc > *b) {
+                self.best = Some((val_acc, self.params.clone()));
+            }
+            let stats = EpochStats {
+                epoch,
+                train_loss: epoch_loss / n as f64,
+                train_accuracy: epoch_hits as f64 / n as f64,
+                val_accuracy: val_acc,
+                lr: last_lr,
+            };
+            if self.config.verbose {
+                eprintln!(
+                    "epoch {:3}  loss {:.4}  train {:.1}%  val {:.1}%  lr {:.2e}",
+                    epoch,
+                    stats.train_loss,
+                    stats.train_accuracy * 100.0,
+                    stats.val_accuracy * 100.0,
+                    stats.lr
+                );
+            }
+            history.push(stats);
+        }
+
+        // Restore the best-validation snapshot.
+        let (best_val_accuracy, best_epoch) = if let Some((acc, params)) = self.best.take() {
+            self.params = params;
+            let ep = history
+                .iter()
+                .position(|s| s.val_accuracy >= acc)
+                .unwrap_or(0);
+            self.best = Some((acc, self.params.clone()));
+            (acc, ep)
+        } else {
+            (0.0, 0)
+        };
+
+        Ok(TrainReport {
+            history,
+            best_val_accuracy,
+            best_epoch,
+        })
+    }
+}
+
+fn argmax(v: &[f32]) -> usize {
+    v.iter()
+        .enumerate()
+        .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite logits"))
+        .map(|(i, _)| i)
+        .expect("non-empty logits")
+}
+
+fn clip_global_norm(grads: &mut [f32], max_norm: f32) {
+    let norm = grads.iter().map(|g| (*g as f64) * (*g as f64)).sum::<f64>().sqrt() as f32;
+    if norm > max_norm && norm > 0.0 {
+        let scale = max_norm / norm;
+        for g in grads {
+            *g *= scale;
+        }
+    }
+}
+
+/// Evaluates a model on a dataset: `(accuracy, predictions)`.
+///
+/// Uses the inference-path forward of [`kwt_model`], so evaluation sees
+/// exactly what deployment sees.
+///
+/// # Errors
+///
+/// Propagates forward-pass errors.
+pub fn evaluate(params: &KwtParams, data: &MfccDataset) -> Result<(f64, Vec<usize>)> {
+    let mut preds = Vec::with_capacity(data.len());
+    for x in &data.x {
+        preds.push(kwt_model::predict(params, x)?);
+    }
+    let acc = if preds.is_empty() {
+        0.0
+    } else {
+        accuracy(&preds, &data.y)
+    };
+    Ok((acc, preds))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kwt_model::KwtConfig;
+    use kwt_tensor::Mat;
+
+    /// A linearly separable toy dataset in MFCC shape: class 0 has energy
+    /// in the first feature column, class 1 in the last.
+    fn toy_dataset(cfg: &KwtConfig, n_per_class: usize, seed: u64) -> MfccDataset {
+        let mut x = Vec::new();
+        let mut y = Vec::new();
+        for i in 0..2 * n_per_class {
+            let label = i % 2;
+            let jitter = |r: usize, c: usize| {
+                let h = seed
+                    .wrapping_add((i * 1000 + r * 31 + c) as u64)
+                    .wrapping_mul(0x9E37_79B9_7F4A_7C15);
+                ((h >> 40) as f32 / (1u64 << 24) as f32 - 0.5) * 0.4
+            };
+            let m = Mat::from_fn(cfg.input_time, cfg.input_freq, |r, c| {
+                let signal = if label == 0 && c == 0 {
+                    2.0
+                } else if label == 1 && c == cfg.input_freq - 1 {
+                    2.0
+                } else {
+                    0.0
+                };
+                signal + jitter(r, c)
+            });
+            x.push(m);
+            y.push(label);
+        }
+        MfccDataset {
+            x,
+            y,
+            num_classes: 2,
+        }
+    }
+
+    fn small_config() -> KwtConfig {
+        KwtConfig {
+            input_freq: 6,
+            input_time: 5,
+            dim: 8,
+            depth: 1,
+            heads: 1,
+            mlp_dim: 8,
+            dim_head: 4,
+            num_classes: 2,
+            ln_eps: 1e-5,
+        }
+    }
+
+    #[test]
+    fn trainer_learns_separable_task() {
+        let cfg = small_config();
+        let train = toy_dataset(&cfg, 24, 1);
+        let val = toy_dataset(&cfg, 8, 2);
+        let params = KwtParams::init(cfg, 7).unwrap();
+        let mut trainer = Trainer::new(
+            params,
+            TrainConfig {
+                epochs: 12,
+                batch_size: 8,
+                threads: 2,
+                ..TrainConfig::default()
+            },
+        );
+        let report = trainer.fit(&train, &val).unwrap();
+        assert!(
+            report.best_val_accuracy > 0.9,
+            "failed to learn separable task: {:.2}",
+            report.best_val_accuracy
+        );
+        assert_eq!(report.history.len(), 12);
+        // loss should broadly decrease
+        let first = report.history.first().unwrap().train_loss;
+        let last = report.history.last().unwrap().train_loss;
+        assert!(last < first, "loss did not decrease: {first} -> {last}");
+    }
+
+    #[test]
+    fn threading_does_not_change_gradients() {
+        let cfg = small_config();
+        let data = toy_dataset(&cfg, 8, 3);
+        let params = KwtParams::init(cfg, 9).unwrap();
+        let t1 = Trainer::new(params.clone(), TrainConfig { threads: 1, ..TrainConfig::default() });
+        let t4 = Trainer::new(params, TrainConfig { threads: 4, ..TrainConfig::default() });
+        let batch: Vec<usize> = (0..data.len()).collect();
+        let (g1, l1, h1) = t1.batch_gradients(&data, &batch, 1).unwrap();
+        let (g4, l4, h4) = t4.batch_gradients(&data, &batch, 4).unwrap();
+        assert_eq!(h1, h4);
+        assert!((l1 - l4).abs() < 1e-6);
+        for (a, b) in g1.iter().zip(&g4) {
+            assert!((a - b).abs() < 1e-4, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn evaluate_matches_manual_argmax() {
+        let cfg = small_config();
+        let data = toy_dataset(&cfg, 4, 5);
+        let params = KwtParams::init(cfg, 1).unwrap();
+        let (acc, preds) = evaluate(&params, &data).unwrap();
+        assert_eq!(preds.len(), data.len());
+        let manual: Vec<usize> = data
+            .x
+            .iter()
+            .map(|x| {
+                let l = kwt_model::forward(&params, x).unwrap();
+                argmax(&l)
+            })
+            .collect();
+        assert_eq!(preds, manual);
+        assert!((0.0..=1.0).contains(&acc));
+    }
+
+    #[test]
+    fn clip_global_norm_bounds() {
+        let mut g = vec![3.0f32, 4.0]; // norm 5
+        clip_global_norm(&mut g, 1.0);
+        let norm = (g[0] * g[0] + g[1] * g[1]).sqrt();
+        assert!((norm - 1.0).abs() < 1e-6);
+        // below threshold: unchanged
+        let mut h = vec![0.3f32, 0.4];
+        clip_global_norm(&mut h, 1.0);
+        assert_eq!(h, vec![0.3, 0.4]);
+    }
+
+    #[test]
+    fn fit_restores_best_snapshot() {
+        let cfg = small_config();
+        let train = toy_dataset(&cfg, 12, 1);
+        let val = toy_dataset(&cfg, 6, 2);
+        let mut trainer = Trainer::new(
+            KwtParams::init(cfg, 3).unwrap(),
+            TrainConfig {
+                epochs: 4,
+                batch_size: 6,
+                threads: 1,
+                ..TrainConfig::default()
+            },
+        );
+        let report = trainer.fit(&train, &val).unwrap();
+        let (acc_now, _) = evaluate(trainer.params(), &val).unwrap();
+        assert!(
+            (acc_now - report.best_val_accuracy).abs() < 1e-9,
+            "params are not the best snapshot: {acc_now} vs {}",
+            report.best_val_accuracy
+        );
+    }
+}

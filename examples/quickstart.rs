@@ -1,0 +1,43 @@
+//! Quickstart: synthesise a keyword, extract MFCCs, run KWT-Tiny.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use kwt_tiny::dataset::{GscConfig, Split, SyntheticGsc};
+use kwt_tiny::model::{KwtConfig, KwtParams};
+use kwt_tiny::train::{evaluate, TrainConfig, Trainer};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. A small synthetic "dog / notdog" dataset (GSC substitute).
+    let ds = SyntheticGsc::new(GscConfig {
+        samples_per_class: [300, 60, 100],
+        ..GscConfig::default()
+    });
+    let frontend = kwt_tiny::audio::kwt_tiny_frontend()?;
+    let train = ds.materialize(Split::Train, &frontend)?;
+    let val = ds.materialize(Split::Val, &frontend)?;
+    let test = ds.materialize(Split::Test, &frontend)?;
+
+    // 2. The paper's KWT-Tiny: exactly 1646 parameters.
+    let config = KwtConfig::kwt_tiny();
+    println!("KWT-Tiny: {} parameters ({} bytes as f32)", config.param_count(), config.memory_bytes_f32());
+
+    // 3. Train briefly.
+    let mut trainer = Trainer::new(
+        KwtParams::init(config, 42)?,
+        TrainConfig { epochs: 10, verbose: true, ..TrainConfig::default() },
+    );
+    let report = trainer.fit(&train, &val)?;
+    println!("best val accuracy: {:.1}%", report.best_val_accuracy * 100.0);
+
+    // 4. Evaluate and classify one clip.
+    let (test_acc, _) = evaluate(trainer.params(), &test)?;
+    println!("test accuracy: {:.1}%", test_acc * 100.0);
+    let (wave, label) = ds.utterance(Split::Test, 1);
+    let mfcc = frontend.extract_padded(&wave)?;
+    let pred = kwt_tiny::model::predict(trainer.params(), &mfcc)?;
+    let names = ds.class_names();
+    println!("clip with true class `{}` classified as `{}`", names[label], names[pred]);
+    Ok(())
+}

@@ -1,0 +1,44 @@
+//! Builds the three bare-metal images (float / quantised / accelerated),
+//! runs them on the RV32IMC simulator and prints the Table IX metrics.
+//!
+//! ```text
+//! cargo run --release --example riscv_inference
+//! ```
+
+use kwt_tiny::baremetal::InferenceImage;
+use kwt_tiny::quant::{Nonlinearity, QuantConfig, QuantizedKwt};
+use kwt_tiny::rv32::Platform;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let ctx = kwt_bench::ExpContext::default();
+    let (params, test) = ctx.trained_tiny();
+    let x = test.x[0].clone();
+
+    let float_img = InferenceImage::build_float(&params)?;
+    let qm = QuantizedKwt::quantize(&params, QuantConfig::paper_best());
+    let quant_img = InferenceImage::build_quant(&qm)?;
+    let accel_img = InferenceImage::build_quant(&qm.with_nonlinearity(Nonlinearity::FixedLut))?;
+
+    let platform = Platform::ibex();
+    println!("{:<22} {:>12} {:>12} {:>10} {:>10}", "model", "cycles", "instrs", "prog (kB)", "ms @50MHz");
+    let mut cycles = Vec::new();
+    for (name, img) in [
+        ("KWT-Tiny (float)", &float_img),
+        ("KWT-Tiny-Q", &quant_img),
+        ("KWT-Tiny-Q (+HW)", &accel_img),
+    ] {
+        let (logits, run, _) = img.run(&x)?;
+        cycles.push(run.cycles);
+        println!(
+            "{name:<22} {:>12} {:>12} {:>10.1} {:>10.1}   logits {:?}",
+            run.cycles,
+            run.instructions,
+            img.program_bytes() as f64 / 1e3,
+            platform.cycles_to_seconds(run.cycles) * 1e3,
+            logits
+        );
+    }
+    println!("\nspeedup float -> accelerated: {:.1}x (paper: ~4.7x, 26M -> 5.5M cycles)", cycles[0] as f64 / cycles[2] as f64);
+    println!("bank usage (float image): {:?} of the paper's SEQLENxMLP_DIM / SEQLENxDIM_HEADx3 banks", float_img.bank_usage);
+    Ok(())
+}

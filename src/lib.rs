@@ -1,0 +1,28 @@
+//! # kwt-tiny
+//!
+//! Umbrella crate for the KWT-Tiny reproduction
+//! (*KWT-Tiny: RISC-V Accelerated, Embedded Keyword Spotting Transformer*,
+//! SOCC 2024). Re-exports every subsystem so examples and integration tests
+//! can reach the whole pipeline through one dependency:
+//!
+//! * [`tensor`] — float + quantised kernels (the paper's Table VI library)
+//! * [`audio`] — MFCC front end
+//! * [`dataset`] — synthetic Google-Speech-Commands substitute
+//! * [`model`] — the KWT architecture (KWT-1 and KWT-Tiny presets)
+//! * [`train`] — from-scratch training (manual backprop, Adam)
+//! * [`quant`] — power-of-two post-training quantisation, Q8.24, LUTs
+//! * [`rvasm`] — RV32 assembler-as-a-library
+//! * [`rv32`] — RV32IMC simulator with the custom-1 extension
+//! * [`baremetal`] — generated bare-metal inference images
+//! * [`hw`] — FPGA area model (Table VIII substitute)
+
+pub use kwt_audio as audio;
+pub use kwt_baremetal as baremetal;
+pub use kwt_dataset as dataset;
+pub use kwt_hw as hw;
+pub use kwt_model as model;
+pub use kwt_quant as quant;
+pub use kwt_rv32 as rv32;
+pub use kwt_rvasm as rvasm;
+pub use kwt_tensor as tensor;
+pub use kwt_train as train;

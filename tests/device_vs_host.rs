@@ -1,0 +1,86 @@
+//! Differential tests: generated bare-metal programs vs the host models,
+//! plus the Table IX cycle ordering.
+
+use kwt_tiny::baremetal::{Flavor, InferenceImage};
+use kwt_tiny::model::{KwtConfig, KwtParams};
+use kwt_tiny::quant::{Nonlinearity, QuantConfig, QuantizedKwt};
+use kwt_tiny::tensor::Mat;
+
+fn model() -> KwtParams {
+    let mut p = KwtParams::init(KwtConfig::kwt_tiny(), 2024).unwrap();
+    p.visit_mut(|s| {
+        for v in s {
+            *v *= 0.6;
+        }
+    });
+    p
+}
+
+fn input(seed: u64) -> Mat<f32> {
+    Mat::from_fn(26, 16, |r, c| {
+        let h = seed
+            .wrapping_add((r * 16 + c) as u64)
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        ((h >> 40) as f32 / (1u64 << 24) as f32 - 0.5) * 12.0
+    })
+}
+
+#[test]
+fn all_three_flavours_agree_with_host_and_order_cycles() {
+    let params = model();
+    let float_img = InferenceImage::build_float(&params).unwrap();
+    let qm = QuantizedKwt::quantize(&params, QuantConfig::paper_best());
+    let quant_img = InferenceImage::build_quant(&qm).unwrap();
+    let accel_img = InferenceImage::build_quant(
+        &qm.clone().with_nonlinearity(Nonlinearity::FixedLut),
+    )
+    .unwrap();
+    assert_eq!(float_img.flavor, Flavor::Float);
+    assert_eq!(quant_img.flavor, Flavor::Quantized);
+    assert_eq!(accel_img.flavor, Flavor::Accelerated);
+
+    let x = input(7);
+    let (fl, rf, _) = float_img.run(&x).unwrap();
+    let (ql, rq, _) = quant_img.run(&x).unwrap();
+    let (al, ra, _) = accel_img.run(&x).unwrap();
+
+    // float image vs host float forward
+    let host = kwt_tiny::model::forward(&params, &x).unwrap();
+    for (d, h) in fl.iter().zip(&host) {
+        assert!((d - h).abs() < 2e-3 * h.abs().max(1.0), "float: {d} vs {h}");
+    }
+    // quant images vs host quant model (logits at the activation scale)
+    let hq = qm.forward(&x).unwrap();
+    for (d, h) in ql.iter().zip(&hq) {
+        assert!((d - h).abs() < 0.25, "quant: {d} vs {h}");
+    }
+    let ha = qm
+        .with_nonlinearity(Nonlinearity::FixedLut)
+        .forward(&x)
+        .unwrap();
+    for (d, h) in al.iter().zip(&ha) {
+        assert!((d - h).abs() < 0.25, "accel: {d} vs {h}");
+    }
+    // Table IX ordering and magnitude
+    assert!(rf.cycles > rq.cycles && rq.cycles > ra.cycles);
+    assert!(rf.cycles as f64 / ra.cycles as f64 > 3.0);
+    assert!(rf.cycles > 1_000_000, "float inference suspiciously cheap");
+}
+
+#[test]
+fn argmax_agreement_across_inputs() {
+    let params = model();
+    let qm = QuantizedKwt::quantize(&params, QuantConfig::paper_best());
+    let quant_img = InferenceImage::build_quant(&qm).unwrap();
+    let mut agree = 0;
+    let n = 6;
+    for seed in 0..n {
+        let x = input(100 + seed);
+        let (dev, _, _) = quant_img.run(&x).unwrap();
+        let host = qm.forward(&x).unwrap();
+        if (dev[1] > dev[0]) == (host[1] > host[0]) {
+            agree += 1;
+        }
+    }
+    assert!(agree >= n - 1, "agreement {agree}/{n}");
+}

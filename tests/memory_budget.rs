@@ -1,0 +1,47 @@
+//! The 64 kB constraint (Table II) and the two-bank memory discipline
+//! (paper section V).
+
+use kwt_tiny::baremetal::InferenceImage;
+use kwt_tiny::model::{KwtConfig, KwtParams};
+use kwt_tiny::quant::{QuantConfig, QuantizedKwt};
+use kwt_tiny::rv32::Platform;
+
+#[test]
+fn images_fit_the_64kb_platform() {
+    let params = KwtParams::init(KwtConfig::kwt_tiny(), 3).unwrap();
+    let float_img = InferenceImage::build_float(&params).unwrap();
+    let qm = QuantizedKwt::quantize(&params, QuantConfig::paper_best());
+    let quant_img = InferenceImage::build_quant(&qm).unwrap();
+    let ram = Platform::ibex().ram_size as usize;
+    for img in [&float_img, &quant_img] {
+        assert!(
+            img.program_bytes() + 4096 < ram,
+            "image ({} B) + stack exceeds {ram} B",
+            img.program_bytes()
+        );
+    }
+    // quantisation shrinks the image (paper: 58.8 kB -> 44.4 kB)
+    assert!(quant_img.program_bytes() < float_img.program_bytes());
+}
+
+#[test]
+fn banks_match_paper_sizing() {
+    // bank1 = SEQLEN x MLP_DIM elements, bank2 = SEQLEN x DIM_HEAD x 3.
+    let c = KwtConfig::kwt_tiny();
+    let params = KwtParams::init(c, 3).unwrap();
+    let img = InferenceImage::build_float(&params).unwrap();
+    let [b1, b2] = img.bank_usage;
+    assert_eq!(b1.1, c.seqlen() * c.mlp_dim * 4);
+    assert_eq!(b2.1, c.seqlen() * c.dim_head * 3 * 4);
+    // high water fits, and bank2 is used to capacity by the Q/K/V split
+    assert!(b1.0 <= b1.1 && b2.0 <= b2.1);
+    assert_eq!(b2.0, b2.1, "Q/K/V split should exactly fill bank2");
+}
+
+#[test]
+fn kwt1_float_image_exceeds_64kb_as_expected() {
+    // KWT-1 (2.42 MB of weights) cannot fit the platform — the very
+    // motivation for KWT-Tiny. The builder must refuse.
+    let params = KwtParams::init(KwtConfig::kwt1(), 3).unwrap();
+    assert!(InferenceImage::build_float(&params).is_err());
+}
