@@ -1135,6 +1135,7 @@ mod tests {
         let mut m = Machine::load(&p, Platform::ibex()).expect("fits");
         for (addr, bytes) in inputs {
             m.cpu.mem.write_bytes(*addr, bytes);
+            m.cpu.invalidate_decode_cache(*addr, bytes.len() as u32);
         }
         m.run(500_000_000).expect("halts");
         m

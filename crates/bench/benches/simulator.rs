@@ -1,40 +1,49 @@
 //! Simulator throughput: how many simulated instructions per host second
-//! the RV32 core sustains (contextualises the Table IX runtimes).
+//! the RV32 core sustains (contextualises the Table IX runtimes), with a
+//! decode-cache-on/off comparison group for the pre-decode execution
+//! cache.
+//!
+//! Set `KWT_BENCH_SMOKE=1` to run every benchmark exactly once (CI smoke
+//! mode).
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use kwt_bench::microbench::loop_program;
 use kwt_rv32::{Machine, Platform};
-use kwt_rvasm::{Asm, Inst, Reg};
 
-fn bench_simulator(c: &mut Criterion) {
-    // ~1000-instruction arithmetic loop program
-    let mut asm = Asm::new(0, 0x8000);
-    asm.here("entry");
-    asm.li(Reg::T0, 100); // loop counter
-    asm.li(Reg::A0, 0);
-    let top = asm.new_label();
-    asm.bind(top).unwrap();
-    for _ in 0..4 {
-        asm.emit(Inst::Addi { rd: Reg::A0, rs1: Reg::A0, imm: 3 });
-        asm.emit(Inst::Xor { rd: Reg::A1, rs1: Reg::A0, rs2: Reg::T0 });
-        asm.emit(Inst::Mul { rd: Reg::A2, rs1: Reg::A1, rs2: Reg::A0 });
-    }
-    asm.emit(Inst::Addi { rd: Reg::T0, rs1: Reg::T0, imm: -1 });
-    asm.branch_to(Inst::Bne { rs1: Reg::T0, rs2: Reg::Zero, offset: 0 }, top);
-    asm.emit(Inst::Ebreak);
-    let program = asm.finish().unwrap();
-
-    let mut g = c.benchmark_group("rv32_simulator");
+fn bench_program(c: &mut Criterion, name: &str, program: &kwt_rvasm::Program) {
+    let mut g = c.benchmark_group(format!("rv32_simulator_{name}"));
     // count instructions once
-    let mut m = Machine::load(&program, Platform::ibex()).unwrap();
+    let mut m = Machine::load(program, Platform::ibex()).unwrap();
     let instructions = m.run(1_000_000).unwrap().instructions;
     g.throughput(Throughput::Elements(instructions));
-    g.bench_function("arith_loop", |b| {
+    g.bench_function("decode_cache_on", |b| {
         b.iter(|| {
-            let mut m = Machine::load(&program, Platform::ibex()).unwrap();
+            let mut m = Machine::load(program, Platform::ibex()).unwrap();
             m.run(1_000_000).unwrap()
         })
     });
+    g.bench_function("decode_cache_off", |b| {
+        b.iter(|| {
+            let mut m = Machine::load(program, Platform::ibex()).unwrap();
+            m.cpu.set_decode_cache_enabled(false);
+            m.run(1_000_000).unwrap()
+        })
+    });
+    // Steady-state stepping (machine reused, cache warm) — the regime an
+    // inference-length run actually spends its time in.
+    let mut warm = Machine::load(program, Platform::ibex()).unwrap();
+    g.bench_function("decode_cache_warm_rerun", |b| {
+        b.iter(|| {
+            warm.reset_cpu();
+            warm.run(1_000_000).unwrap()
+        })
+    });
     g.finish();
+}
+
+fn bench_simulator(c: &mut Criterion) {
+    bench_program(c, "arith", &loop_program(false, 2_000));
+    bench_program(c, "memory", &loop_program(true, 2_000));
 }
 
 criterion_group!(benches, bench_simulator);

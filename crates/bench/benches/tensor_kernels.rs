@@ -1,24 +1,53 @@
 //! Criterion benches for the host tensor kernels (float vs quantised) at
-//! the KWT-Tiny shapes — the per-kernel backdrop of Table IX.
+//! the KWT-Tiny shapes — the per-kernel backdrop of Table IX — plus
+//! naive-vs-packed comparison groups for the blocked GEMM fast paths.
+//!
+//! Set `KWT_BENCH_SMOKE=1` to run every benchmark exactly once (CI smoke
+//! mode); `KWT_BENCH_MEAS_MS` tunes the per-benchmark time budget.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use kwt_tensor::{ops, qops, Mat};
+use kwt_bench::microbench::{matmul_operands, MATMUL_SHAPES};
+use kwt_tensor::{ops, packed, qops, Mat, PackedMat};
 use std::hint::black_box;
 
-fn bench_matmul(c: &mut Criterion) {
-    // KWT-Tiny MLP shape: (27 x 12) x (12 x 24)
-    let a = Mat::from_fn(27, 12, |r, q| ((r * 12 + q) as f32 * 0.1).sin());
-    let b = Mat::from_fn(12, 24, |r, q| ((r * 24 + q) as f32 * 0.07).cos() * 0.5);
-    let (aq, _) = qops::quantize_i16(&a, 5);
-    let (bq, _) = qops::quantize_i8(&b, 6);
-    let mut g = c.benchmark_group("matmul_27x12x24");
-    g.bench_function("f32", |bench| {
-        bench.iter(|| ops::matrix_multiply(black_box(&a), black_box(&b)).unwrap())
+/// One naive-vs-packed comparison group per shape: `*_naive` entries run
+/// the reference oracles, `*_packed` the blocked kernels over pre-packed
+/// weights (the model's amortised configuration), `*_packfly` the drop-in
+/// entry points that pack per call.
+fn bench_matmul_comparison(c: &mut Criterion, m: usize, k: usize, n: usize) {
+    let (a, b, aq, bq8, bq16) = matmul_operands(m, k, n);
+    let pb8 = PackedMat::pack(&bq8);
+    let pb16 = PackedMat::pack(&bq16);
+    let pbf = PackedMat::pack(&b);
+    let mut g = c.benchmark_group(format!("matmul_{m}x{k}x{n}"));
+    g.bench_function("i16xi8_naive", |bench| {
+        bench.iter(|| qops::reference::matmul_i16_i8(black_box(&aq), black_box(&bq8), None, 6).unwrap())
     });
-    g.bench_function("i16xi8", |bench| {
-        bench.iter(|| qops::matmul_i16_i8(black_box(&aq), black_box(&bq), None, 6).unwrap())
+    g.bench_function("i16xi8_packed", |bench| {
+        bench.iter(|| packed::matmul_i16_i8_packed(black_box(&aq), black_box(&pb8), None, 6).unwrap())
+    });
+    g.bench_function("i16xi8_packfly", |bench| {
+        bench.iter(|| qops::matmul_i16_i8(black_box(&aq), black_box(&bq8), None, 6).unwrap())
+    });
+    g.bench_function("i16xi16_naive", |bench| {
+        bench.iter(|| qops::reference::matmul_i16_i16(black_box(&aq), black_box(&bq16), 6).unwrap())
+    });
+    g.bench_function("i16xi16_packed", |bench| {
+        bench.iter(|| packed::matmul_i16_i16_packed(black_box(&aq), black_box(&pb16), 6).unwrap())
+    });
+    g.bench_function("f32_naive", |bench| {
+        bench.iter(|| ops::reference::matrix_multiply(black_box(&a), black_box(&b)).unwrap())
+    });
+    g.bench_function("f32_packed", |bench| {
+        bench.iter(|| packed::matrix_multiply_packed(black_box(&a), black_box(&pbf)).unwrap())
     });
     g.finish();
+}
+
+fn bench_matmul(c: &mut Criterion) {
+    for (m, k, n) in MATMUL_SHAPES {
+        bench_matmul_comparison(c, m, k, n);
+    }
 }
 
 fn bench_layer_norm(c: &mut Criterion) {

@@ -18,5 +18,6 @@
 #![warn(missing_docs)]
 
 pub mod experiments;
+pub mod microbench;
 
 pub use experiments::ExpContext;

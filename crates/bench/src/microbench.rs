@@ -1,0 +1,291 @@
+//! Self-contained wall-clock micro-benchmarks with a machine-readable
+//! summary (`BENCH_tensor.json`), driven by the `paper bench-tensor`
+//! target.
+//!
+//! Measures exactly the two hot paths this repository optimises:
+//!
+//! 1. the quantised/float GEMM kernels, naive reference vs packed blocked
+//!    fast path (`kwt_tensor::packed`), and
+//! 2. RV32 simulator stepping with the pre-decode execution cache on and
+//!    off (`kwt_rv32`).
+//!
+//! Honors `KWT_BENCH_SMOKE=1` (single iteration per measurement — CI
+//! smoke mode) and `KWT_BENCH_MEAS_MS` (per-measurement budget,
+//! default 200 ms).
+
+use kwt_rv32::{Machine, Platform};
+use kwt_rvasm::{Asm, Inst, Reg};
+use kwt_tensor::{ops, packed, qops, Mat, PackedMat};
+use serde::Serialize;
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// One naive-vs-packed GEMM comparison.
+#[derive(Debug, Clone, Serialize)]
+pub struct MatmulRow {
+    /// `MxKxN` of the product.
+    pub shape: String,
+    /// Kernel family: `i16xi8`, `i16xi16` or `f32`.
+    pub kernel: String,
+    /// ns/iter of the naive reference oracle.
+    pub naive_ns: f64,
+    /// ns/iter of the blocked kernel over pre-packed weights.
+    pub packed_ns: f64,
+    /// `naive_ns / packed_ns`.
+    pub speedup: f64,
+}
+
+/// One decode-cache-on/off simulator comparison.
+#[derive(Debug, Clone, Serialize)]
+pub struct SimulatorRow {
+    /// Program name.
+    pub program: String,
+    /// Instructions retired per run.
+    pub instructions: u64,
+    /// ns/run with the decode cache disabled.
+    pub cache_off_ns: f64,
+    /// ns/run with the decode cache enabled (cold cache each run).
+    pub cache_on_ns: f64,
+    /// ns/run re-running a warm machine, decode cache enabled.
+    pub warm_on_ns: f64,
+    /// ns/run re-running a warm machine, decode cache disabled.
+    pub warm_off_ns: f64,
+    /// Cold `cache_off_ns / cache_on_ns` (includes `Machine::load`).
+    pub speedup_cold: f64,
+    /// Steady-state `warm_off_ns / warm_on_ns` — the stepping speedup an
+    /// inference-length run sees.
+    pub speedup_warm: f64,
+    /// Steady-state simulated-instruction throughput, million steps/s.
+    pub warm_msteps_per_s: f64,
+}
+
+/// The full `BENCH_tensor.json` document.
+#[derive(Debug, Clone, Serialize)]
+pub struct BenchSummary {
+    /// Producing command.
+    pub generated_by: String,
+    /// True when produced under `KWT_BENCH_SMOKE=1` (timings meaningless).
+    pub smoke: bool,
+    /// GEMM comparisons.
+    pub matmul: Vec<MatmulRow>,
+    /// Simulator comparisons.
+    pub simulator: Vec<SimulatorRow>,
+}
+
+fn smoke() -> bool {
+    std::env::var("KWT_BENCH_SMOKE").map(|v| v != "0").unwrap_or(false)
+}
+
+fn budget() -> Duration {
+    let ms = std::env::var("KWT_BENCH_MEAS_MS")
+        .ok()
+        .and_then(|v| v.parse::<u64>().ok())
+        .unwrap_or(200);
+    Duration::from_millis(ms)
+}
+
+/// Best-of-batches ns/iter of `f` under the global budget; a single call
+/// in smoke mode.
+fn time_ns<O>(mut f: impl FnMut() -> O) -> f64 {
+    if smoke() {
+        let t0 = Instant::now();
+        black_box(f());
+        return t0.elapsed().as_nanos() as f64;
+    }
+    let target = budget();
+    let calib = target.min(Duration::from_millis(40));
+    let mut n: u64 = 1;
+    loop {
+        let t0 = Instant::now();
+        for _ in 0..n {
+            black_box(f());
+        }
+        let dt = t0.elapsed();
+        if dt >= calib || n >= 1 << 40 {
+            break;
+        }
+        n = if dt.as_nanos() == 0 {
+            n * 16
+        } else {
+            ((n as u128 * calib.as_nanos() * 2 / dt.as_nanos().max(1)) as u64).max(n + 1)
+        };
+    }
+    let mut best = f64::INFINITY;
+    let mut spent = Duration::ZERO;
+    while spent < target {
+        let t0 = Instant::now();
+        for _ in 0..n {
+            black_box(f());
+        }
+        let dt = t0.elapsed();
+        spent += dt;
+        best = best.min(dt.as_nanos() as f64 / n as f64);
+    }
+    best
+}
+
+/// Benchmark GEMM shapes: the KWT-Tiny MLP shape, the attention-scores
+/// shape, and two larger shapes showing how the gap widens with the
+/// working set. Shared with `benches/tensor_kernels.rs`.
+pub const MATMUL_SHAPES: [(usize, usize, usize); 4] =
+    [(27, 12, 24), (27, 8, 27), (64, 64, 64), (128, 128, 128)];
+
+/// Deterministic GEMM operands at `MxKxN`, shared by the criterion
+/// benches and the `BENCH_tensor.json` collector:
+/// `(a_f32, b_f32, a_i16, b_i8, b_i16)`.
+#[allow(clippy::type_complexity)]
+pub fn matmul_operands(
+    m: usize,
+    k: usize,
+    n: usize,
+) -> (Mat<f32>, Mat<f32>, Mat<i16>, Mat<i8>, Mat<i16>) {
+    let a = Mat::from_fn(m, k, |r, q| ((r * k + q) as f32 * 0.1).sin());
+    let b = Mat::from_fn(k, n, |r, q| ((r * n + q) as f32 * 0.07).cos() * 0.5);
+    let (aq, _) = qops::quantize_i16(&a, 5);
+    let (bq8, _) = qops::quantize_i8(&b, 6);
+    let (bq16, _) = qops::quantize_i16(&b, 6);
+    (a, b, aq, bq8, bq16)
+}
+
+fn matmul_rows(m: usize, k: usize, n: usize) -> Vec<MatmulRow> {
+    let shape = format!("{m}x{k}x{n}");
+    let (a, b, aq, bq8, bq16) = matmul_operands(m, k, n);
+    let pb8 = PackedMat::pack(&bq8);
+    let pb16 = PackedMat::pack(&bq16);
+    let pbf = PackedMat::pack(&b);
+    let row = |kernel: &str, naive_ns: f64, packed_ns: f64| MatmulRow {
+        shape: shape.clone(),
+        kernel: kernel.to_string(),
+        naive_ns,
+        packed_ns,
+        speedup: naive_ns / packed_ns,
+    };
+    vec![
+        row(
+            "i16xi8",
+            time_ns(|| qops::reference::matmul_i16_i8(black_box(&aq), black_box(&bq8), None, 6).unwrap()),
+            time_ns(|| packed::matmul_i16_i8_packed(black_box(&aq), black_box(&pb8), None, 6).unwrap()),
+        ),
+        row(
+            "i16xi16",
+            time_ns(|| qops::reference::matmul_i16_i16(black_box(&aq), black_box(&bq16), 6).unwrap()),
+            time_ns(|| packed::matmul_i16_i16_packed(black_box(&aq), black_box(&pb16), 6).unwrap()),
+        ),
+        row(
+            "f32",
+            time_ns(|| ops::reference::matrix_multiply(black_box(&a), black_box(&b)).unwrap()),
+            time_ns(|| packed::matrix_multiply_packed(black_box(&a), black_box(&pbf)).unwrap()),
+        ),
+    ]
+}
+
+/// The simulator benchmark workload shared by the criterion benches and
+/// the `BENCH_tensor.json` collector: a counted loop of either arithmetic
+/// or store/load bodies.
+pub fn loop_program(store_heavy: bool, iterations: i32) -> kwt_rvasm::Program {
+    let mut asm = Asm::new(0, 0x8000);
+    asm.here("entry");
+    asm.li(Reg::T0, iterations);
+    asm.li(Reg::A0, 0);
+    let top = asm.new_label();
+    asm.bind(top).unwrap();
+    for _ in 0..4 {
+        if store_heavy {
+            asm.emit(Inst::Sw { rs2: Reg::T0, rs1: Reg::Sp, imm: -16 });
+            asm.emit(Inst::Lw { rd: Reg::A1, rs1: Reg::Sp, imm: -16 });
+            asm.emit(Inst::Add { rd: Reg::A0, rs1: Reg::A0, rs2: Reg::A1 });
+        } else {
+            asm.emit(Inst::Addi { rd: Reg::A0, rs1: Reg::A0, imm: 3 });
+            asm.emit(Inst::Xor { rd: Reg::A1, rs1: Reg::A0, rs2: Reg::T0 });
+            asm.emit(Inst::Mul { rd: Reg::A2, rs1: Reg::A1, rs2: Reg::A0 });
+        }
+    }
+    asm.emit(Inst::Addi { rd: Reg::T0, rs1: Reg::T0, imm: -1 });
+    asm.branch_to(Inst::Bne { rs1: Reg::T0, rs2: Reg::Zero, offset: 0 }, top);
+    asm.emit(Inst::Ebreak);
+    asm.finish().expect("loop program assembles")
+}
+
+fn simulator_row(name: &str, program: &kwt_rvasm::Program) -> SimulatorRow {
+    let mut m = Machine::load(program, Platform::ibex()).expect("fits");
+    let instructions = m.run(10_000_000).expect("halts").instructions;
+    let cache_off_ns = time_ns(|| {
+        let mut m = Machine::load(program, Platform::ibex()).unwrap();
+        m.cpu.set_decode_cache_enabled(false);
+        m.run(10_000_000).unwrap()
+    });
+    let cache_on_ns = time_ns(|| {
+        let mut m = Machine::load(program, Platform::ibex()).unwrap();
+        m.run(10_000_000).unwrap()
+    });
+    let rerun = |enabled: bool| {
+        let mut warm = Machine::load(program, Platform::ibex()).expect("fits");
+        warm.cpu.set_decode_cache_enabled(enabled);
+        warm.run(10_000_000).expect("halts");
+        time_ns(|| {
+            warm.reset_cpu();
+            warm.run(10_000_000).unwrap()
+        })
+    };
+    let warm_on_ns = rerun(true);
+    let warm_off_ns = rerun(false);
+    SimulatorRow {
+        program: name.to_string(),
+        instructions,
+        cache_off_ns,
+        cache_on_ns,
+        warm_on_ns,
+        warm_off_ns,
+        speedup_cold: cache_off_ns / cache_on_ns,
+        speedup_warm: warm_off_ns / warm_on_ns,
+        warm_msteps_per_s: instructions as f64 / warm_on_ns * 1e3,
+    }
+}
+
+/// Runs every comparison and returns the summary document.
+pub fn collect() -> BenchSummary {
+    let mut matmul = Vec::new();
+    for (m, k, n) in MATMUL_SHAPES {
+        matmul.extend(matmul_rows(m, k, n));
+    }
+    let simulator = vec![
+        simulator_row("arith_loop", &loop_program(false, 2_000)),
+        simulator_row("memory_loop", &loop_program(true, 2_000)),
+    ];
+    BenchSummary {
+        generated_by: "paper bench-tensor".to_string(),
+        smoke: smoke(),
+        matmul,
+        simulator,
+    }
+}
+
+/// Runs [`collect`], writes `BENCH_tensor.json` under `out_dir`, and
+/// returns a human-readable table.
+pub fn run_and_write(out_dir: &std::path::Path) -> String {
+    let summary = collect();
+    let json = serde_json::to_string_pretty(&summary).expect("summary serializes");
+    let path = out_dir.join("BENCH_tensor.json");
+    std::fs::write(&path, &json)
+        .unwrap_or_else(|e| panic!("cannot write {}: {e}", path.display()));
+    let mut out = format!("# bench-tensor (written to {})\n", path.display());
+    out.push_str("matmul kernels (naive -> packed):\n");
+    for r in &summary.matmul {
+        out.push_str(&format!(
+            "  {:<12} {:<8} {:>10.0} ns -> {:>10.0} ns   {:.2}x\n",
+            r.shape, r.kernel, r.naive_ns, r.packed_ns, r.speedup
+        ));
+    }
+    out.push_str("rv32 stepping (decode cache off -> on):\n");
+    for r in &summary.simulator {
+        out.push_str(&format!(
+            "  {:<12} {:>9} instr  cold {:.2}x  steady-state {:.2}x ({:.0} -> {:.0} ns, {:.1} Msteps/s)\n",
+            r.program, r.instructions, r.speedup_cold, r.speedup_warm,
+            r.warm_off_ns, r.warm_on_ns, r.warm_msteps_per_s
+        ));
+    }
+    if summary.smoke {
+        out.push_str("(smoke mode: single-iteration timings, not meaningful)\n");
+    }
+    out
+}

@@ -1,6 +1,15 @@
 //! The float inference pass (paper Fig. 1).
+//!
+//! Two entry points share one implementation:
+//!
+//! * [`forward`] — convenience path: packs the weight matrices on the fly
+//!   (cheap relative to the matmuls) and runs the blocked kernels.
+//! * [`forward_with`] — amortised hot path: takes
+//!   [`PackedKwtWeights`](crate::PackedKwtWeights) produced once by
+//!   [`KwtParams::pack_weights`] at model-load time, so repeated inference
+//!   never re-packs.
 
-use crate::{KwtParams, ModelError, Result};
+use crate::{KwtParams, ModelError, PackedKwtWeights, Result};
 use kwt_tensor::{ops, Mat};
 
 /// Runs one inference pass, returning the raw class logits.
@@ -13,12 +22,31 @@ use kwt_tensor::{ops, Mat};
 ///    `x = LN2(x + MLP(x))` with a GELU inside the MLP (eq. 6)
 /// 4. logits = class-token row × head matrix (eq. 8)
 ///
+/// Packs the weights on the fly; use [`forward_with`] to amortise packing
+/// across calls.
+///
 /// # Errors
 ///
 /// Returns [`ModelError::InputShape`] if `mfcc` is not
 /// `input_time x input_freq`, or a propagated kernel error if the
 /// parameter tensors are inconsistent.
 pub fn forward(params: &KwtParams, mfcc: &Mat<f32>) -> Result<Vec<f32>> {
+    let packed = params.pack_weights();
+    forward_with(params, &packed, mfcc)
+}
+
+/// [`forward`] over weights packed once by [`KwtParams::pack_weights`] —
+/// the amortised fast path for repeated inference.
+///
+/// # Errors
+///
+/// Same contract as [`forward`]; additionally propagates a shape error if
+/// `packed` was produced from differently-shaped parameters.
+pub fn forward_with(
+    params: &KwtParams,
+    packed: &PackedKwtWeights,
+    mfcc: &Mat<f32>,
+) -> Result<Vec<f32>> {
     let c = &params.config;
     if mfcc.shape() != (c.input_time, c.input_freq) {
         return Err(ModelError::InputShape {
@@ -26,9 +54,20 @@ pub fn forward(params: &KwtParams, mfcc: &Mat<f32>) -> Result<Vec<f32>> {
             got: mfcc.shape(),
         });
     }
+    if packed.layers.len() != params.layers.len() {
+        return Err(ModelError::InvalidConfig {
+            field: "packed_weights",
+            why: format!(
+                "packed weights hold {} layers but the parameters have {} — \
+                 re-pack with KwtParams::pack_weights after changing the model",
+                packed.layers.len(),
+                params.layers.len()
+            ),
+        });
+    }
 
     // 1. Patch projection: T x F -> T x dim.
-    let tokens = ops::linear(mfcc, &params.w_proj, &params.b_proj)?;
+    let tokens = ops::linear_packed(mfcc, &packed.w_proj, &params.b_proj)?;
 
     // 2. Class token + positional embeddings: S x dim, S = T + 1.
     let cls_row = Mat::from_vec(1, c.dim, params.class_token.clone())
@@ -37,25 +76,25 @@ pub fn forward(params: &KwtParams, mfcc: &Mat<f32>) -> Result<Vec<f32>> {
     ops::add_assign(&mut x, &params.pos_emb)?;
 
     // 3. Transformer blocks (post-norm).
-    for layer in &params.layers {
+    for (layer, pl) in params.layers.iter().zip(&packed.layers) {
         // Self-attention branch.
-        let qkv = ops::linear(&x, &layer.w_qkv, &layer.b_qkv)?;
+        let qkv = ops::linear_packed(&x, &pl.w_qkv, &layer.b_qkv)?;
         let sa = ops::multi_head_attention(&qkv, c.heads, c.dim_head)?;
-        let attn_out = ops::linear(&sa, &layer.w_out, &layer.b_out)?;
+        let attn_out = ops::linear_packed(&sa, &pl.w_out, &layer.b_out)?;
         ops::add_assign(&mut x, &attn_out)?;
         ops::layer_norm_rows(&mut x, &layer.ln1_gamma, &layer.ln1_beta, c.ln_eps)?;
 
         // MLP branch (eq. 6): GELU(x W1 + b1) W2 + b2.
-        let mut hidden = ops::linear(&x, &layer.w_mlp1, &layer.b_mlp1)?;
+        let mut hidden = ops::linear_packed(&x, &pl.w_mlp1, &layer.b_mlp1)?;
         ops::gelu(hidden.as_mut_slice());
-        let mlp_out = ops::linear(&hidden, &layer.w_mlp2, &layer.b_mlp2)?;
+        let mlp_out = ops::linear_packed(&hidden, &pl.w_mlp2, &layer.b_mlp2)?;
         ops::add_assign(&mut x, &mlp_out)?;
         ops::layer_norm_rows(&mut x, &layer.ln2_gamma, &layer.ln2_beta, c.ln_eps)?;
     }
 
     // 4. Classification head on the class token.
     let cls = Mat::from_vec(1, c.dim, x.row(0).to_vec()).expect("row has dim elements");
-    let logits = ops::linear(&cls, &params.w_head, &params.b_head)?;
+    let logits = ops::linear_packed(&cls, &packed.w_head, &params.b_head)?;
     Ok(logits.into_vec())
 }
 
@@ -77,12 +116,31 @@ pub fn softmax_probs(logits: &[f32]) -> Result<Vec<f32>> {
 /// Propagates [`forward`] errors.
 pub fn predict(params: &KwtParams, mfcc: &Mat<f32>) -> Result<usize> {
     let logits = forward(params, mfcc)?;
-    Ok(logits
+    Ok(argmax(&logits))
+}
+
+/// [`predict`] over pre-packed weights — the amortised counterpart, used
+/// by batch evaluation.
+///
+/// # Errors
+///
+/// Propagates [`forward_with`] errors.
+pub fn predict_with(
+    params: &KwtParams,
+    packed: &PackedKwtWeights,
+    mfcc: &Mat<f32>,
+) -> Result<usize> {
+    let logits = forward_with(params, packed, mfcc)?;
+    Ok(argmax(&logits))
+}
+
+fn argmax(logits: &[f32]) -> usize {
+    logits
         .iter()
         .enumerate()
         .max_by(|a, b| a.1.partial_cmp(b.1).expect("logits are finite"))
         .map(|(i, _)| i)
-        .expect("num_classes > 0 enforced by config validation"))
+        .expect("num_classes > 0 enforced by config validation")
 }
 
 #[cfg(test)]
@@ -110,6 +168,27 @@ mod tests {
         let logits = forward(&p, &tiny_input(0)).unwrap();
         assert_eq!(logits.len(), 2);
         assert!(logits.iter().all(|l| l.is_finite()));
+    }
+
+    #[test]
+    fn forward_with_prepacked_weights_matches_forward() {
+        let p = tiny();
+        let packed = p.pack_weights();
+        for s in 0..4 {
+            let x = tiny_input(s);
+            assert_eq!(
+                forward(&p, &x).unwrap(),
+                forward_with(&p, &packed, &x).unwrap()
+            );
+        }
+    }
+
+    #[test]
+    fn forward_with_rejects_mismatched_depth() {
+        let p = tiny();
+        let mut packed = p.pack_weights();
+        packed.layers.pop();
+        assert!(forward_with(&p, &packed, &tiny_input(0)).is_err());
     }
 
     #[test]

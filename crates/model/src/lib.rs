@@ -44,8 +44,8 @@ mod params;
 
 pub use config::KwtConfig;
 pub use error::ModelError;
-pub use forward::{forward, predict, softmax_probs};
-pub use params::{KwtParams, LayerParams};
+pub use forward::{forward, forward_with, predict, predict_with, softmax_probs};
+pub use params::{KwtParams, LayerParams, PackedKwtWeights, PackedLayerWeights};
 
 /// Convenience alias for results returned by this crate.
 pub type Result<T> = std::result::Result<T, ModelError>;

@@ -1,7 +1,7 @@
 //! Model parameters: layout, initialisation, flattening and checkpoints.
 
 use crate::{KwtConfig, ModelError, Result};
-use kwt_tensor::Mat;
+use kwt_tensor::{Mat, PackedMat};
 use rand::Rng;
 use rand_chacha::rand_core::SeedableRng;
 use rand_chacha::ChaCha8Rng;
@@ -56,6 +56,33 @@ pub struct KwtParams {
     pub w_head: Mat<f32>,
     /// Classification head bias, length `num_classes`.
     pub b_head: Vec<f32>,
+}
+
+/// Panel-packed weights of one transformer block (see
+/// [`KwtParams::pack_weights`]).
+#[derive(Debug, Clone)]
+pub struct PackedLayerWeights {
+    /// Packed fused QKV projection.
+    pub w_qkv: PackedMat<f32>,
+    /// Packed attention output projection.
+    pub w_out: PackedMat<f32>,
+    /// Packed first MLP weight.
+    pub w_mlp1: PackedMat<f32>,
+    /// Packed second MLP weight.
+    pub w_mlp2: PackedMat<f32>,
+}
+
+/// All weight matrices of a model, panel-packed once at load time for the
+/// blocked GEMM microkernels (biases, layer-norm parameters and embeddings
+/// stay in [`KwtParams`]).
+#[derive(Debug, Clone)]
+pub struct PackedKwtWeights {
+    /// Packed patch projection.
+    pub w_proj: PackedMat<f32>,
+    /// Per-block packed weights, length `depth`.
+    pub layers: Vec<PackedLayerWeights>,
+    /// Packed classification head.
+    pub w_head: PackedMat<f32>,
 }
 
 fn xavier(rng: &mut ChaCha8Rng, rows: usize, cols: usize) -> Mat<f32> {
@@ -238,6 +265,30 @@ impl KwtParams {
             }
         });
         m
+    }
+
+    /// Packs every weight matrix into the panel-packed layout of
+    /// [`kwt_tensor::packed`] for the blocked GEMM microkernels.
+    ///
+    /// Packing is done **once per loaded model** (amortised over every
+    /// subsequent [`crate::forward_with`] call); the float tensors in
+    /// `self` remain the source of truth for training, checkpointing and
+    /// quantisation.
+    pub fn pack_weights(&self) -> PackedKwtWeights {
+        PackedKwtWeights {
+            w_proj: PackedMat::pack(&self.w_proj),
+            layers: self
+                .layers
+                .iter()
+                .map(|l| PackedLayerWeights {
+                    w_qkv: PackedMat::pack(&l.w_qkv),
+                    w_out: PackedMat::pack(&l.w_out),
+                    w_mlp1: PackedMat::pack(&l.w_mlp1),
+                    w_mlp2: PackedMat::pack(&l.w_mlp2),
+                })
+                .collect(),
+            w_head: PackedMat::pack(&self.w_head),
+        }
     }
 
     /// Saves the parameters as JSON.

@@ -6,8 +6,9 @@ use crate::luts::{fixed_gelu, fixed_softmax, LutSet};
 use crate::{QuantConfig, QuantError, Result};
 use kwt_model::{KwtConfig, KwtParams};
 use kwt_tensor::math::gelu_exact;
+use kwt_tensor::packed::{matmul_i16_i8_packed, matmul_i16_i16_packed};
 use kwt_tensor::qops::{self, QuantStats};
-use kwt_tensor::{ops, Mat};
+use kwt_tensor::{ops, Mat, PackedMat};
 
 /// How the non-matmul operations are computed.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -22,17 +23,28 @@ pub enum Nonlinearity {
 }
 
 /// One quantised transformer block.
+///
+/// Each weight matrix is stored twice: the row-major `Mat<i8>` (the
+/// serialisable source of truth exposed through
+/// [`QuantizedKwt::layer_tensors`] and consumed by the bare-metal image
+/// builder) and its panel-packed form (`*_p`), built once at quantisation
+/// time and used by every forward pass. At KWT-Tiny scale the duplication
+/// costs well under 2 kB per layer.
 #[derive(Debug, Clone)]
 struct QuantizedLayer {
     w_qkv: Mat<i8>,
+    w_qkv_p: PackedMat<i8>,
     b_qkv: Vec<i32>,
     w_out: Mat<i8>,
+    w_out_p: PackedMat<i8>,
     b_out: Vec<i32>,
     ln1_gamma: Vec<f32>,
     ln1_beta: Vec<f32>,
     w_mlp1: Mat<i8>,
+    w_mlp1_p: PackedMat<i8>,
     b_mlp1: Vec<i32>,
     w_mlp2: Mat<i8>,
+    w_mlp2_p: PackedMat<i8>,
     b_mlp2: Vec<i32>,
     ln2_gamma: Vec<f32>,
     ln2_beta: Vec<f32>,
@@ -48,11 +60,13 @@ pub struct QuantizedKwt {
     /// Non-linearity implementation (float vs LUT hardware model).
     pub nonlinearity: Nonlinearity,
     w_proj: Mat<i8>,
+    w_proj_p: PackedMat<i8>,
     b_proj: Vec<i32>,
     pos_emb: Mat<i16>,
     class_token: Vec<i16>,
     layers: Vec<QuantizedLayer>,
     w_head: Mat<i8>,
+    w_head_p: PackedMat<i8>,
     b_head: Vec<i32>,
     luts: LutSet,
 }
@@ -82,31 +96,45 @@ impl QuantizedKwt {
         let layers = params
             .layers
             .iter()
-            .map(|l| QuantizedLayer {
-                w_qkv: qops::quantize_i8(&l.w_qkv, yw).0,
-                b_qkv: quant_bias(&l.b_qkv, comb),
-                w_out: qops::quantize_i8(&l.w_out, yw).0,
-                b_out: quant_bias(&l.b_out, comb),
-                ln1_gamma: l.ln1_gamma.clone(),
-                ln1_beta: l.ln1_beta.clone(),
-                w_mlp1: qops::quantize_i8(&l.w_mlp1, yw).0,
-                b_mlp1: quant_bias(&l.b_mlp1, comb),
-                w_mlp2: qops::quantize_i8(&l.w_mlp2, yw).0,
-                b_mlp2: quant_bias(&l.b_mlp2, comb),
-                ln2_gamma: l.ln2_gamma.clone(),
-                ln2_beta: l.ln2_beta.clone(),
+            .map(|l| {
+                let w_qkv = qops::quantize_i8(&l.w_qkv, yw).0;
+                let w_out = qops::quantize_i8(&l.w_out, yw).0;
+                let w_mlp1 = qops::quantize_i8(&l.w_mlp1, yw).0;
+                let w_mlp2 = qops::quantize_i8(&l.w_mlp2, yw).0;
+                QuantizedLayer {
+                    w_qkv_p: PackedMat::pack(&w_qkv),
+                    w_qkv,
+                    b_qkv: quant_bias(&l.b_qkv, comb),
+                    w_out_p: PackedMat::pack(&w_out),
+                    w_out,
+                    b_out: quant_bias(&l.b_out, comb),
+                    ln1_gamma: l.ln1_gamma.clone(),
+                    ln1_beta: l.ln1_beta.clone(),
+                    w_mlp1_p: PackedMat::pack(&w_mlp1),
+                    w_mlp1,
+                    b_mlp1: quant_bias(&l.b_mlp1, comb),
+                    w_mlp2_p: PackedMat::pack(&w_mlp2),
+                    w_mlp2,
+                    b_mlp2: quant_bias(&l.b_mlp2, comb),
+                    ln2_gamma: l.ln2_gamma.clone(),
+                    ln2_beta: l.ln2_beta.clone(),
+                }
             })
             .collect();
+        let w_proj = qops::quantize_i8(&params.w_proj, yw).0;
+        let w_head = qops::quantize_i8(&params.w_head, yw).0;
         QuantizedKwt {
             config: params.config,
             qconfig,
             nonlinearity: Nonlinearity::default(),
-            w_proj: qops::quantize_i8(&params.w_proj, yw).0,
+            w_proj_p: PackedMat::pack(&w_proj),
+            w_proj,
             b_proj: quant_bias(&params.b_proj, comb),
             pos_emb: qops::quantize_i16(&params.pos_emb, ya).0,
             class_token: qops::quantize_slice_i16(&params.class_token, ya).0,
             layers,
-            w_head: qops::quantize_i8(&params.w_head, yw).0,
+            w_head_p: PackedMat::pack(&w_head),
+            w_head,
             b_head: quant_bias(&params.b_head, comb),
             luts: LutSet::new(),
         }
@@ -134,7 +162,9 @@ impl QuantizedKwt {
     /// float LayerNorm parameters.
     ///
     /// The paper's Table IX quotes `param_count x 1` byte (1.646 kB); this
-    /// method reports the exact layout for comparison.
+    /// method reports the exact layout for comparison. The host-side
+    /// panel-packed weight copies used by the fast forward path are
+    /// deliberately excluded — they model nothing on the embedded target.
     pub fn stored_bytes(&self) -> usize {
         let mut n = self.w_proj.len() + self.w_head.len();
         n += 4 * (self.b_proj.len() + self.b_head.len());
@@ -182,7 +212,7 @@ impl QuantizedKwt {
         stats.merge(s);
 
         // 2. Patch projection (integer), then class token + pos embedding.
-        let (tokens, s) = qops::matmul_i16_i8(&x_q, &self.w_proj, Some(&self.b_proj), yw)?;
+        let (tokens, s) = matmul_i16_i8_packed(&x_q, &self.w_proj_p, Some(&self.b_proj), yw)?;
         stats.merge(s);
         let cls = Mat::from_vec(1, c.dim, self.class_token.clone())
             .expect("class token length enforced at quantisation");
@@ -193,8 +223,8 @@ impl QuantizedKwt {
 
         // 3. Transformer blocks.
         for layer in &self.layers {
-            // Fused QKV (integer matmul).
-            let (qkv, s) = qops::matmul_i16_i8(&x, &layer.w_qkv, Some(&layer.b_qkv), yw)?;
+            // Fused QKV (integer matmul over pre-packed weights).
+            let (qkv, s) = matmul_i16_i8_packed(&x, &layer.w_qkv_p, Some(&layer.b_qkv), yw)?;
             stats.merge(s);
             let (qs, ks, vs) = qops::split_into_qkv_i16(&qkv, c.heads, c.dim_head)?;
 
@@ -202,7 +232,10 @@ impl QuantizedKwt {
             let mut sa: Option<Mat<i16>> = None;
             for h in 0..c.heads {
                 // Scores: integer Q K^T back at the activation scale.
-                let (scores_q, s) = qops::matmul_i16_i16(&qs[h], &ks[h].transpose(), ya)?;
+                // `pack_transposed` builds the packed K^T straight from K's
+                // rows, replacing the old materialised transpose.
+                let kt = PackedMat::pack_transposed(&ks[h]);
+                let (scores_q, s) = matmul_i16_i16_packed(&qs[h], &kt, ya)?;
                 stats.merge(s);
                 // Dequantise -> scale by 1/sqrt(dh) -> softmax -> requantise.
                 let mut scores_f = self.dequant_rows(&scores_q);
@@ -221,7 +254,8 @@ impl QuantizedKwt {
                     }
                 }
                 let probs_q = self.requant_rows(&scores_f, &mut stats);
-                let (head_out, s) = qops::matmul_i16_i16(&probs_q, &vs[h], ya)?;
+                let vp = PackedMat::pack(&vs[h]);
+                let (head_out, s) = matmul_i16_i16_packed(&probs_q, &vp, ya)?;
                 stats.merge(s);
                 sa = Some(match sa {
                     None => head_out,
@@ -231,7 +265,7 @@ impl QuantizedKwt {
             let sa = sa.expect("heads >= 1");
 
             // Output projection + residual.
-            let (attn, s) = qops::matmul_i16_i8(&sa, &layer.w_out, Some(&layer.b_out), yw)?;
+            let (attn, s) = matmul_i16_i8_packed(&sa, &layer.w_out_p, Some(&layer.b_out), yw)?;
             stats.merge(s);
             stats.merge(qops::add_assign_sat(&mut x, &attn)?);
 
@@ -241,7 +275,8 @@ impl QuantizedKwt {
             x = self.requant_rows(&xf, &mut stats);
 
             // MLP: integer matmul -> GELU boundary -> integer matmul.
-            let (hidden_q, s) = qops::matmul_i16_i8(&x, &layer.w_mlp1, Some(&layer.b_mlp1), yw)?;
+            let (hidden_q, s) =
+                matmul_i16_i8_packed(&x, &layer.w_mlp1_p, Some(&layer.b_mlp1), yw)?;
             stats.merge(s);
             let mut hidden_f = self.dequant_rows(&hidden_q);
             match self.nonlinearity {
@@ -258,7 +293,7 @@ impl QuantizedKwt {
             }
             let hidden_q = self.requant_rows(&hidden_f, &mut stats);
             let (mlp_out, s) =
-                qops::matmul_i16_i8(&hidden_q, &layer.w_mlp2, Some(&layer.b_mlp2), yw)?;
+                matmul_i16_i8_packed(&hidden_q, &layer.w_mlp2_p, Some(&layer.b_mlp2), yw)?;
             stats.merge(s);
             stats.merge(qops::add_assign_sat(&mut x, &mlp_out)?);
 
@@ -270,7 +305,8 @@ impl QuantizedKwt {
 
         // 4. Head on the class token (integer), dequantised logits.
         let cls_row = Mat::from_vec(1, c.dim, x.row(0).to_vec()).expect("dim row");
-        let (logits_q, s) = qops::matmul_i16_i8(&cls_row, &self.w_head, Some(&self.b_head), yw)?;
+        let (logits_q, s) =
+            matmul_i16_i8_packed(&cls_row, &self.w_head_p, Some(&self.b_head), yw)?;
         stats.merge(s);
         let logits = self.dequant_rows(&logits_q);
         Ok((logits.into_vec(), stats))

@@ -1,0 +1,49 @@
+//! Quick wall-clock comparison of stepping with the decode cache on/off.
+use kwt_rv32::{Machine, Platform};
+use kwt_rvasm::{Asm, Inst, Reg};
+use std::time::Instant;
+
+fn program() -> kwt_rvasm::Program {
+    let mut asm = Asm::new(0, 0x8000);
+    asm.here("entry");
+    asm.li(Reg::T0, 20_000);
+    asm.li(Reg::A0, 0);
+    let top = asm.new_label();
+    asm.bind(top).unwrap();
+    for _ in 0..4 {
+        asm.emit(Inst::Addi { rd: Reg::A0, rs1: Reg::A0, imm: 3 });
+        asm.emit(Inst::Xor { rd: Reg::A1, rs1: Reg::A0, rs2: Reg::T0 });
+        asm.emit(Inst::Mul { rd: Reg::A2, rs1: Reg::A1, rs2: Reg::A0 });
+        asm.emit(Inst::Sw { rs2: Reg::A2, rs1: Reg::Sp, imm: -16 });
+        asm.emit(Inst::Lw { rd: Reg::A3, rs1: Reg::Sp, imm: -16 });
+    }
+    asm.emit(Inst::Addi { rd: Reg::T0, rs1: Reg::T0, imm: -1 });
+    asm.branch_to(Inst::Bne { rs1: Reg::T0, rs2: Reg::Zero, offset: 0 }, top);
+    asm.emit(Inst::Ebreak);
+    asm.finish().unwrap()
+}
+
+fn main() {
+    let p = program();
+    let mut results = Vec::new();
+    for enabled in [false, true] {
+        let mut best = f64::INFINITY;
+        let mut instructions = 0;
+        for _ in 0..5 {
+            let mut m = Machine::load(&p, Platform::ibex()).unwrap();
+            m.cpu.set_decode_cache_enabled(enabled);
+            let t0 = Instant::now();
+            let r = m.run(100_000_000).unwrap();
+            let dt = t0.elapsed().as_secs_f64();
+            instructions = r.instructions;
+            if dt < best { best = dt; }
+        }
+        let mut m = Machine::load(&p, Platform::ibex()).unwrap();
+        m.cpu.set_decode_cache_enabled(enabled);
+        m.run(100_000_000).unwrap();
+        println!("cache={enabled}: {:.2} Msteps/s ({instructions} instr, stats {:?})",
+            instructions as f64 / best / 1e6, m.cpu.decode_cache_stats());
+        results.push(instructions as f64 / best);
+    }
+    println!("speedup: {:.2}x", results[1] / results[0]);
+}

@@ -1,5 +1,13 @@
 //! Fetch/decode/execute core with cycle accounting.
+//!
+//! Instruction dispatch runs through the pre-decode cache of
+//! [`crate::icache`]: each parcel is fetched and decoded at most once,
+//! subsequent steps at the same pc dispatch directly on the cached
+//! [`Inst`]. Architectural stores invalidate overlapping cache slots, so
+//! self-modifying code behaves exactly as on the uncached interpreter
+//! (covered by `tests/differential.rs`).
 
+use crate::icache::{DecodeCache, DecodeCacheStats};
 use crate::mem::Memory;
 use crate::profile::Profiler;
 use crate::trap::Trap;
@@ -35,11 +43,13 @@ pub struct Cpu {
     timing: TimingModel,
     luts: LutSet,
     csrs: BTreeMap<u32, u32>,
+    icache: DecodeCache,
 }
 
 impl Cpu {
     /// Creates a hart over `mem` with the given timing and LUT ROMs.
     pub fn new(mem: Memory, timing: TimingModel, luts: LutSet) -> Self {
+        let icache = DecodeCache::new(mem.base(), mem.size());
         Cpu {
             regs: [0; 32],
             pc: 0,
@@ -50,6 +60,61 @@ impl Cpu {
             timing,
             luts,
             csrs: BTreeMap::new(),
+            icache,
+        }
+    }
+
+    /// Enables or disables the pre-decode cache (default: enabled).
+    /// Disabling flushes it, so re-enabling starts cold. Used by the
+    /// benchmark suite for cache-on/off comparisons.
+    pub fn set_decode_cache_enabled(&mut self, enabled: bool) {
+        self.icache.set_enabled(enabled);
+    }
+
+    /// Whether the pre-decode cache is serving lookups.
+    pub fn decode_cache_enabled(&self) -> bool {
+        self.icache.enabled()
+    }
+
+    /// Drops every cached decoded instruction. Call after mutating
+    /// executed code regions directly through [`Cpu::mem`] (host writes
+    /// through [`crate::Machine`]'s typed writers invalidate
+    /// automatically).
+    pub fn flush_decode_cache(&mut self) {
+        self.icache.flush();
+    }
+
+    /// Invalidates cached decoded instructions overlapping
+    /// `[addr, addr + len)` — the host-side counterpart of the
+    /// invalidation architectural stores perform automatically.
+    pub fn invalidate_decode_cache(&mut self, addr: u32, len: u32) {
+        self.icache.invalidate(addr, len);
+    }
+
+    /// Hit/miss/invalidation counters of the pre-decode cache.
+    pub fn decode_cache_stats(&self) -> DecodeCacheStats {
+        self.icache.stats()
+    }
+
+    /// Base cycle cost of `inst` under timing model `t` (branches are
+    /// charged not-taken here; the taken upgrade happens at execution).
+    /// Computed once per cached instruction.
+    fn inst_cost(t: &TimingModel, inst: &Inst) -> u64 {
+        use Inst::*;
+        match inst {
+            Lui { .. } | Auipc { .. } | Addi { .. } | Slti { .. } | Sltiu { .. }
+            | Xori { .. } | Ori { .. } | Andi { .. } | Slli { .. } | Srli { .. }
+            | Srai { .. } | Add { .. } | Sub { .. } | Sll { .. } | Slt { .. }
+            | Sltu { .. } | Xor { .. } | Srl { .. } | Sra { .. } | Or { .. } | And { .. }
+            | Csrrw { .. } | Csrrs { .. } | Csrrc { .. } | Ecall | Ebreak => t.alu,
+            Mul { .. } | Mulh { .. } | Mulhsu { .. } | Mulhu { .. } => t.mul,
+            Div { .. } | Divu { .. } | Rem { .. } | Remu { .. } => t.div,
+            Lb { .. } | Lh { .. } | Lw { .. } | Lbu { .. } | Lhu { .. } => t.load,
+            Sb { .. } | Sh { .. } | Sw { .. } => t.store,
+            Jal { .. } | Jalr { .. } => t.jump,
+            Beq { .. } | Bne { .. } | Blt { .. } | Bge { .. } | Bltu { .. }
+            | Bgeu { .. } => t.branch_not_taken, // upgraded at execution if taken
+            Custom { .. } => t.custom,
         }
     }
 
@@ -103,42 +168,35 @@ impl Cpu {
     /// faulting instruction for post-mortem inspection.
     pub fn step(&mut self) -> Result<StepOutcome, Trap> {
         let pc = self.pc;
-        let lo = self.mem.fetch16(pc)?;
-        let (inst, len) = if lo & 0b11 == 0b11 {
-            let hi = self.mem.fetch16(pc.wrapping_add(2))?;
-            let word = lo as u32 | ((hi as u32) << 16);
-            (
-                Inst::decode(word).ok_or(Trap::IllegalInstruction { pc, word })?,
-                4,
-            )
-        } else {
-            (
-                expand_compressed(lo).ok_or(Trap::IllegalInstruction {
-                    pc,
-                    word: lo as u32,
-                })?,
-                2,
-            )
+        let (inst, len, cost) = match self.icache.lookup(pc) {
+            Some(hit) => hit,
+            None => {
+                let lo = self.mem.fetch16(pc)?;
+                let (inst, len) = if lo & 0b11 == 0b11 {
+                    let hi = self.mem.fetch16(pc.wrapping_add(2))?;
+                    let word = lo as u32 | ((hi as u32) << 16);
+                    (
+                        Inst::decode(word).ok_or(Trap::IllegalInstruction { pc, word })?,
+                        4,
+                    )
+                } else {
+                    (
+                        expand_compressed(lo).ok_or(Trap::IllegalInstruction {
+                            pc,
+                            word: lo as u32,
+                        })?,
+                        2,
+                    )
+                };
+                let cost = Self::inst_cost(&self.timing, &inst);
+                self.icache.fill(pc, inst, len, cost);
+                (inst, len, cost)
+            }
         };
 
         let mut next_pc = pc.wrapping_add(len);
         let t = self.timing;
         use Inst::*;
-        let cost = match inst {
-            Lui { .. } | Auipc { .. } | Addi { .. } | Slti { .. } | Sltiu { .. }
-            | Xori { .. } | Ori { .. } | Andi { .. } | Slli { .. } | Srli { .. }
-            | Srai { .. } | Add { .. } | Sub { .. } | Sll { .. } | Slt { .. }
-            | Sltu { .. } | Xor { .. } | Srl { .. } | Sra { .. } | Or { .. } | And { .. }
-            | Csrrw { .. } | Csrrs { .. } | Csrrc { .. } | Ecall | Ebreak => t.alu,
-            Mul { .. } | Mulh { .. } | Mulhsu { .. } | Mulhu { .. } => t.mul,
-            Div { .. } | Divu { .. } | Rem { .. } | Remu { .. } => t.div,
-            Lb { .. } | Lh { .. } | Lw { .. } | Lbu { .. } | Lhu { .. } => t.load,
-            Sb { .. } | Sh { .. } | Sw { .. } => t.store,
-            Jal { .. } | Jalr { .. } => t.jump,
-            Beq { .. } | Bne { .. } | Blt { .. } | Bge { .. } | Bltu { .. }
-            | Bgeu { .. } => t.branch_not_taken, // upgraded below if taken
-            Custom { .. } => t.custom,
-        };
         self.cycles += cost;
 
         macro_rules! taken {
@@ -216,19 +274,19 @@ impl Cpu {
                 self.set_reg(rd, v as u32);
             }
             Sb { rs2, rs1, imm } => {
-                self.mem
-                    .store8(self.reg(rs1).wrapping_add(imm as u32), self.reg(rs2) as u8, pc)?;
+                let addr = self.reg(rs1).wrapping_add(imm as u32);
+                self.mem.store8(addr, self.reg(rs2) as u8, pc)?;
+                self.icache.invalidate(addr, 1);
             }
             Sh { rs2, rs1, imm } => {
-                self.mem.store16(
-                    self.reg(rs1).wrapping_add(imm as u32),
-                    self.reg(rs2) as u16,
-                    pc,
-                )?;
+                let addr = self.reg(rs1).wrapping_add(imm as u32);
+                self.mem.store16(addr, self.reg(rs2) as u16, pc)?;
+                self.icache.invalidate(addr, 2);
             }
             Sw { rs2, rs1, imm } => {
-                self.mem
-                    .store32(self.reg(rs1).wrapping_add(imm as u32), self.reg(rs2), pc)?;
+                let addr = self.reg(rs1).wrapping_add(imm as u32);
+                self.mem.store32(addr, self.reg(rs2), pc)?;
+                self.icache.invalidate(addr, 4);
             }
             Addi { rd, rs1, imm } => self.set_reg(rd, self.reg(rs1).wrapping_add(imm as u32)),
             Slti { rd, rs1, imm } => {

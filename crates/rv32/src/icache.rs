@@ -1,0 +1,229 @@
+//! Pre-decode execution cache: decode each instruction parcel once,
+//! dispatch on the cached decoded form ever after.
+//!
+//! # Design
+//!
+//! The interpreter previously re-decoded every instruction word on every
+//! [`crate::Cpu::step`] — a 16-bit fetch (with bounds and alignment
+//! checks), a compressed-vs-full discrimination, and a full bit-field
+//! decode, all per retired instruction. For loop-heavy inference kernels
+//! the same few hundred words are decoded millions of times.
+//!
+//! [`DecodeCache`] is a dense side-table with one slot per RAM
+//! **halfword** (the C extension allows 2-byte-aligned pcs), keyed by
+//! `(pc - ram_base) / 2`. A slot holds the decoded [`Inst`] plus its
+//! encoded length. `Cpu::step` consults the table first; on a miss it
+//! performs the old fetch/decode and fills the slot. Traps (illegal
+//! instructions, fetch faults) are never cached — the slow path re-raises
+//! them with identical semantics.
+//!
+//! # Invalidation
+//!
+//! The cache must observe self-modifying code. Every architectural store
+//! (`sb`/`sh`/`sw`) and every host-side write routed through
+//! [`crate::Machine`]'s typed writers invalidates the slots whose
+//! instruction could overlap the written bytes: an instruction starting at
+//! byte `b` spans at most `[b, b + 4)`, so a write to `[addr, addr+size)`
+//! clears slots for start bytes in `[addr - 2, addr + size)`. That is at
+//! most `size / 2 + 2` slots — a handful of stores per store instruction,
+//! cheap next to the store itself. Stores outside RAM trap before
+//! reaching the cache, and slots outside the table are ignored.
+//!
+//! Direct writes to `cpu.mem` (the public field) bypass this bookkeeping;
+//! host code that mutates memory that way must pair the write with
+//! [`crate::Cpu::invalidate_decode_cache`] (or
+//! [`crate::Cpu::flush_decode_cache`]) if the region could ever be
+//! executed. The `Machine` typed writers do this automatically.
+
+use kwt_rvasm::Inst;
+
+/// Running hit/miss/invalidation counters for the decode cache.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DecodeCacheStats {
+    /// Steps served from the cache.
+    pub hits: u64,
+    /// Steps that decoded from memory (and filled the cache).
+    pub misses: u64,
+    /// Slots cleared by store-driven invalidation.
+    pub invalidated: u64,
+}
+
+/// Dense pc-indexed table of pre-decoded instructions (see module docs).
+#[derive(Debug, Clone)]
+pub(crate) struct DecodeCache {
+    base: u32,
+    enabled: bool,
+    /// Grown lazily (powers of two up to `max_slots`) toward the highest
+    /// executed pc, so a `Cpu` over a large RAM whose code sits near the
+    /// base only pays for the table it uses — `Machine::load` stays cheap.
+    entries: Vec<Option<(Inst, u8, u32)>>,
+    max_slots: usize,
+    stats: DecodeCacheStats,
+}
+
+impl DecodeCache {
+    /// Creates an empty cache covering `size` bytes of RAM at `base`.
+    pub(crate) fn new(base: u32, size: u32) -> Self {
+        DecodeCache {
+            base,
+            enabled: true,
+            entries: Vec::new(),
+            max_slots: (size / 2) as usize,
+            stats: DecodeCacheStats::default(),
+        }
+    }
+
+    /// Looks up the decoded instruction starting at `pc`, returning the
+    /// instruction, its encoded length and its pre-computed base cycle
+    /// cost (the not-taken cost for branches; the taken upgrade is applied
+    /// by the executing arm exactly as on the slow path).
+    #[inline]
+    pub(crate) fn lookup(&mut self, pc: u32) -> Option<(Inst, u32, u64)> {
+        if !self.enabled || pc & 1 != 0 {
+            return None;
+        }
+        let idx = (pc.wrapping_sub(self.base) >> 1) as usize;
+        match self.entries.get(idx) {
+            Some(&Some((inst, len, cost))) => {
+                self.stats.hits += 1;
+                Some((inst, len as u32, cost as u64))
+            }
+            _ => {
+                self.stats.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Records the decoded instruction starting at `pc` with its base
+    /// cycle cost (valid for the lifetime of the cache — a `Cpu` never
+    /// changes timing model in place). Instructions whose cost exceeds
+    /// the `u32` slot (only possible with an absurd custom
+    /// [`crate::TimingModel`]) are simply never cached, so cycle
+    /// accounting stays exact either way.
+    #[inline]
+    pub(crate) fn fill(&mut self, pc: u32, inst: Inst, len: u32, cost: u64) {
+        if !self.enabled || pc & 1 != 0 || cost > u32::MAX as u64 {
+            return;
+        }
+        let idx = (pc.wrapping_sub(self.base) >> 1) as usize;
+        if idx >= self.entries.len() && idx < self.max_slots {
+            let new_len = (idx + 1).next_power_of_two().min(self.max_slots);
+            self.entries.resize(new_len, None);
+        }
+        if let Some(slot) = self.entries.get_mut(idx) {
+            *slot = Some((inst, len as u8, cost as u32));
+        }
+    }
+
+    /// Clears every slot whose instruction could overlap the byte range
+    /// `[addr, addr + size)`.
+    #[inline]
+    pub(crate) fn invalidate(&mut self, addr: u32, size: u32) {
+        if self.entries.is_empty() {
+            return;
+        }
+        let base = self.base as i64;
+        // Instructions are at most 4 bytes, so start bytes down to
+        // `addr - 2` (the previous halfword) can cover the written range.
+        let lo = ((addr as i64 - 2 - base).max(0) >> 1) as usize;
+        let hi_byte = addr as i64 + size as i64 - 1 - base;
+        if hi_byte < 0 || lo >= self.entries.len() {
+            return;
+        }
+        let hi = ((hi_byte >> 1) as usize).min(self.entries.len() - 1);
+        for slot in &mut self.entries[lo..=hi] {
+            if slot.take().is_some() {
+                self.stats.invalidated += 1;
+            }
+        }
+    }
+
+    /// Drops every cached entry.
+    pub(crate) fn flush(&mut self) {
+        for slot in &mut self.entries {
+            *slot = None;
+        }
+    }
+
+    /// Enables or disables the cache (disabling flushes it, so re-enabling
+    /// starts cold).
+    pub(crate) fn set_enabled(&mut self, enabled: bool) {
+        if !enabled {
+            self.flush();
+        }
+        self.enabled = enabled;
+    }
+
+    /// Whether lookups are served.
+    pub(crate) fn enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Counter snapshot.
+    pub(crate) fn stats(&self) -> DecodeCacheStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kwt_rvasm::Reg;
+
+    fn nop() -> Inst {
+        Inst::Addi { rd: Reg::Zero, rs1: Reg::Zero, imm: 0 }
+    }
+
+    #[test]
+    fn fill_then_lookup_hits() {
+        let mut c = DecodeCache::new(0x1000, 0x100);
+        assert_eq!(c.lookup(0x1000), None);
+        c.fill(0x1000, nop(), 4, 1);
+        assert_eq!(c.lookup(0x1000), Some((nop(), 4, 1)));
+        assert_eq!(c.stats().hits, 1);
+        assert_eq!(c.stats().misses, 1);
+    }
+
+    #[test]
+    fn odd_and_out_of_range_pcs_miss() {
+        let mut c = DecodeCache::new(0x1000, 0x100);
+        c.fill(0x1001, nop(), 2, 1); // ignored
+        assert_eq!(c.lookup(0x1001), None);
+        assert_eq!(c.lookup(0x0FFE), None); // below base
+        assert_eq!(c.lookup(0x2000), None); // beyond
+    }
+
+    #[test]
+    fn invalidate_covers_prior_halfword() {
+        let mut c = DecodeCache::new(0, 0x100);
+        // 4-byte instruction at 0x10 covers bytes 0x10..0x14.
+        c.fill(0x10, nop(), 4, 1);
+        // A byte store at 0x12 lands inside it.
+        c.invalidate(0x12, 1);
+        assert_eq!(c.lookup(0x10), None);
+        assert_eq!(c.stats().invalidated, 1);
+    }
+
+    #[test]
+    fn invalidate_is_range_clamped() {
+        let mut c = DecodeCache::new(0x1000, 0x10);
+        c.fill(0x1000, nop(), 4, 1);
+        c.invalidate(0x0000, 4); // far below: no panic, no effect
+        c.invalidate(0xFFFF_FFF0, 4); // far above: no panic
+        assert_eq!(c.lookup(0x1000), Some((nop(), 4, 1)));
+        c.invalidate(0x0FFE, 4); // straddles the base: clears slot 0
+        assert_eq!(c.lookup(0x1000), None);
+    }
+
+    #[test]
+    fn disabling_flushes() {
+        let mut c = DecodeCache::new(0, 0x100);
+        c.fill(0, nop(), 4, 1);
+        c.set_enabled(false);
+        assert!(!c.enabled());
+        assert_eq!(c.lookup(0), None);
+        c.set_enabled(true);
+        assert_eq!(c.lookup(0), None); // cold again
+    }
+}

@@ -13,6 +13,14 @@
 //! region [`Profiler`] (driven by CSR writes from generated code)
 //! reproduces the per-operation breakdowns of Figs. 3–5.
 //!
+//! Host-side throughput comes from the pre-decode execution cache
+//! (`icache` module): every instruction parcel is decoded once and
+//! [`Cpu::step`] dispatches on the cached decoded form, with store-driven
+//! invalidation keeping self-modifying code correct. The cache changes
+//! wall-clock simulation speed only — cycle counts, traps and
+//! architectural state are identical with it on or off
+//! ([`Cpu::set_decode_cache_enabled`]).
+//!
 //! # Example
 //!
 //! ```
@@ -37,12 +45,14 @@
 #![warn(missing_docs)]
 
 mod cpu;
+mod icache;
 mod machine;
 mod mem;
 mod profile;
 mod trap;
 
 pub use cpu::{Cpu, StepOutcome};
+pub use icache::DecodeCacheStats;
 pub use machine::{Machine, RunResult, TraceEntry};
 pub use mem::Memory;
 pub use profile::{ProfileReport, Profiler};

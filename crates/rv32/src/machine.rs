@@ -43,6 +43,7 @@ pub struct Machine {
     /// The hart (exposed for register/memory inspection in tests).
     pub cpu: Cpu,
     platform: Platform,
+    entry: u32,
     region_names: BTreeMap<u32, String>,
 }
 
@@ -77,13 +78,28 @@ impl Machine {
         mem.write_bytes(program.text_base, &text);
         mem.write_bytes(program.data_base, &program.data);
         let mut cpu = Cpu::new(mem, TimingModel::ibex(), LutSet::new());
-        cpu.pc = program.symbol("entry").unwrap_or(program.text_base);
+        let entry = program.symbol("entry").unwrap_or(program.text_base);
+        cpu.pc = entry;
         cpu.set_reg(Reg::Sp, platform.initial_sp());
         Ok(Machine {
             cpu,
             platform,
+            entry,
             region_names: BTreeMap::new(),
         })
+    }
+
+    /// Resets the architectural registers — pc back at the entry symbol,
+    /// integer registers cleared, stack pointer at the top of RAM — the
+    /// cheap way to re-run a loaded program (the warm-rerun benchmarks
+    /// use it). Everything else survives: memory contents, cycle/instret
+    /// counters, CSR state, the profiler and the decode cache. Programs
+    /// that depend on pristine CSRs, profiler state or data memory need a
+    /// fresh [`Machine::load`] instead.
+    pub fn reset_cpu(&mut self) {
+        self.cpu.regs = [0; 32];
+        self.cpu.pc = self.entry;
+        self.cpu.set_reg(Reg::Sp, self.platform.initial_sp());
     }
 
     /// Replaces the timing model (builder style).
@@ -216,6 +232,7 @@ impl Machine {
     pub fn write_f32s(&mut self, addr: u32, values: &[f32]) {
         let bytes: Vec<u8> = values.iter().flat_map(|v| v.to_bits().to_le_bytes()).collect();
         self.cpu.mem.write_bytes(addr, &bytes);
+        self.cpu.invalidate_decode_cache(addr, bytes.len() as u32);
     }
 
     /// Reads `len` `f32` values starting at `addr`.
@@ -240,6 +257,7 @@ impl Machine {
     pub fn write_i16s(&mut self, addr: u32, values: &[i16]) {
         let bytes: Vec<u8> = values.iter().flat_map(|v| v.to_le_bytes()).collect();
         self.cpu.mem.write_bytes(addr, &bytes);
+        self.cpu.invalidate_decode_cache(addr, bytes.len() as u32);
     }
 
     /// Reads `len` `i16` values starting at `addr`.

@@ -1,10 +1,154 @@
 //! Differential property tests: every RV32IM arithmetic instruction
 //! executed on the simulator must match the host's reference semantics
-//! on random operands.
+//! on random operands, and the pre-decode execution cache must be
+//! architecturally invisible — including under self-modifying code.
 
 use kwt_rv32::{Machine, Platform};
 use kwt_rvasm::{Asm, Inst, Reg};
 use proptest::prelude::*;
+
+/// Builds a program whose first instruction (`site`, at text base 0) is
+/// executed, then overwritten through `patch`, then executed again:
+///
+/// ```text
+/// site:  addi a0, a0, 1        # patched between the two calls
+///        ret
+/// entry: li   a0, 0
+///        jal  ra, site         # first call: caches `site`
+///        <patch stores>        # overwrite site's instruction word
+///        jal  ra, site         # second call: must see the new code
+///        ebreak
+/// ```
+fn self_modifying_program(patch: impl FnOnce(&mut Asm)) -> kwt_rvasm::Program {
+    let mut asm = Asm::new(0, 0x8000);
+    let site = asm.new_label();
+    asm.bind(site).unwrap();
+    asm.emit(Inst::Addi { rd: Reg::A0, rs1: Reg::A0, imm: 1 });
+    asm.ret();
+    asm.here("entry");
+    asm.li(Reg::A0, 0);
+    asm.jal_to(Reg::Ra, site);
+    patch(&mut asm);
+    asm.jal_to(Reg::Ra, site);
+    asm.emit(Inst::Ebreak);
+    asm.finish().expect("assembles")
+}
+
+/// Runs a program twice — decode cache enabled and disabled — and checks
+/// the architectural outcomes are identical before returning them.
+fn run_both_ways(p: &kwt_rvasm::Program) -> kwt_rv32::RunResult {
+    let mut cached = Machine::load(p, Platform::ibex()).expect("fits");
+    let r_cached = cached.run(10_000).expect("halts");
+    let mut uncached = Machine::load(p, Platform::ibex()).expect("fits");
+    uncached.cpu.set_decode_cache_enabled(false);
+    let r_uncached = uncached.run(10_000).expect("halts");
+    assert_eq!(r_cached, r_uncached, "decode cache changed architecture");
+    assert!(cached.cpu.decode_cache_stats().hits > 0, "cache never hit");
+    assert_eq!(uncached.cpu.decode_cache_stats().hits, 0);
+    r_cached
+}
+
+#[test]
+fn smc_full_word_store_invalidates_cached_instruction() {
+    // Overwrite `addi a0, a0, 1` (at address 0) with `addi a0, a0, 5`.
+    let new_word = Inst::Addi { rd: Reg::A0, rs1: Reg::A0, imm: 5 }.encode();
+    let p = self_modifying_program(|asm| {
+        asm.li(Reg::T0, 0); // site address
+        asm.li(Reg::T1, new_word as i32);
+        asm.emit(Inst::Sw { rs2: Reg::T1, rs1: Reg::T0, imm: 0 });
+    });
+    let r = run_both_ways(&p);
+    // First call adds 1, patched second call adds 5.
+    assert_eq!(r.exit_code, 6, "stale decode cache after sw into code");
+}
+
+#[test]
+fn smc_halfword_store_into_instruction_tail_invalidates() {
+    // The imm[11:0] field of `addi` lives in the instruction's upper
+    // halfword: storing at site+2 must invalidate the entry cached for the
+    // instruction *starting* at site (the addr-2 overlap case).
+    let new_word = Inst::Addi { rd: Reg::A0, rs1: Reg::A0, imm: 9 }.encode();
+    let p = self_modifying_program(|asm| {
+        asm.li(Reg::T0, 2); // upper halfword of the site instruction
+        asm.li(Reg::T1, (new_word >> 16) as i32);
+        asm.emit(Inst::Sh { rs2: Reg::T1, rs1: Reg::T0, imm: 0 });
+    });
+    let r = run_both_ways(&p);
+    assert_eq!(r.exit_code, 10, "stale decode cache after sh into code");
+}
+
+#[test]
+fn smc_byte_store_invalidates() {
+    // Flip only the top imm byte: imm 1 -> imm 0x101 (byte 3 = 0x10).
+    let new_word = Inst::Addi { rd: Reg::A0, rs1: Reg::A0, imm: 0x101 }.encode();
+    let p = self_modifying_program(|asm| {
+        asm.li(Reg::T0, 3);
+        asm.li(Reg::T1, (new_word >> 24) as i32);
+        asm.emit(Inst::Sb { rs2: Reg::T1, rs1: Reg::T0, imm: 0 });
+    });
+    let r = run_both_ways(&p);
+    assert_eq!(r.exit_code, 1 + 0x101, "stale decode cache after sb into code");
+}
+
+#[test]
+fn smc_store_next_to_code_leaves_cache_valid() {
+    // Stores that do not overlap the 8-byte site block (addi at 0, ret at
+    // 4) must leave its cached entries intact and not disturb execution:
+    // one store immediately after the block (byte 8 — the adjacent
+    // boundary), one far away. Overwriting byte 8 is safe: the `li`
+    // there has already retired and is never re-executed.
+    for addr in [8i32, 0x4000] {
+        let nop = Inst::Addi { rd: Reg::Zero, rs1: Reg::Zero, imm: 0 }.encode();
+        let p = self_modifying_program(|asm| {
+            asm.li(Reg::T0, addr);
+            asm.li(Reg::T1, nop as i32);
+            asm.emit(Inst::Sw { rs2: Reg::T1, rs1: Reg::T0, imm: 0 });
+        });
+        let r = run_both_ways(&p);
+        assert_eq!(r.exit_code, 2, "store at {addr:#x} disturbed the site");
+    }
+}
+
+#[test]
+fn host_typed_writes_invalidate_code() {
+    // Patch the site through the Machine's typed writer between runs of
+    // the same loaded Machine: the second run must see the new code.
+    let mut asm = Asm::new(0, 0x8000);
+    asm.here("entry");
+    asm.emit(Inst::Addi { rd: Reg::A0, rs1: Reg::Zero, imm: 7 });
+    asm.emit(Inst::Ebreak);
+    let p = asm.finish().expect("assembles");
+    let mut m = Machine::load(&p, Platform::ibex()).expect("fits");
+    assert_eq!(m.run(100).expect("halts").exit_code, 7);
+    // Overwrite with `addi a0, zero, 42` via write_i16s (host side).
+    let w = Inst::Addi { rd: Reg::A0, rs1: Reg::Zero, imm: 42 }.encode();
+    m.write_i16s(0, &[(w & 0xFFFF) as i16, (w >> 16) as i16]);
+    m.cpu.pc = 0;
+    assert_eq!(m.run(100).expect("halts").exit_code, 42, "stale cache after host write");
+}
+
+#[test]
+fn decode_cache_does_not_change_cycle_accounting() {
+    // Mixed-class loop (alu, mul, div, load, store, branches): cycles and
+    // instret must be bit-identical with the cache on and off.
+    let mut asm = Asm::new(0, 0x8000);
+    asm.here("entry");
+    asm.li(Reg::T0, 50);
+    asm.li(Reg::A0, 0);
+    let top = asm.new_label();
+    asm.bind(top).unwrap();
+    asm.emit(Inst::Mul { rd: Reg::A1, rs1: Reg::T0, rs2: Reg::T0 });
+    asm.emit(Inst::Div { rd: Reg::A2, rs1: Reg::A1, rs2: Reg::T0 });
+    asm.emit(Inst::Sw { rs2: Reg::A2, rs1: Reg::Sp, imm: -8 });
+    asm.emit(Inst::Lw { rd: Reg::A3, rs1: Reg::Sp, imm: -8 });
+    asm.emit(Inst::Add { rd: Reg::A0, rs1: Reg::A0, rs2: Reg::A3 });
+    asm.emit(Inst::Addi { rd: Reg::T0, rs1: Reg::T0, imm: -1 });
+    asm.branch_to(Inst::Bne { rs1: Reg::T0, rs2: Reg::Zero, offset: 0 }, top);
+    asm.emit(Inst::Ebreak);
+    let p = asm.finish().expect("assembles");
+    let r = run_both_ways(&p);
+    assert_eq!(r.exit_code, (1..=50u32).sum::<u32>());
+}
 
 /// Runs `op(t0, t1)` on the simulator and returns `a0`.
 fn run_rr(build: impl Fn(Reg, Reg, Reg) -> Inst, a: u32, b: u32) -> u32 {

@@ -24,6 +24,18 @@
 //! power-of-two rescaling, exactly the arithmetic the paper runs on the
 //! FPU-less Ibex core.
 //!
+//! # Fast paths
+//!
+//! The matrix products run through the panel-packed, cache-blocked
+//! microkernels of [`packed`]: weight operands are transposed and packed
+//! into [`PackedMat`] (once per model load in the downstream crates, or on
+//! the fly by the drop-in entry points), giving contiguous inner loops and
+//! register-resident accumulators. Results — including the
+//! [`qops::QuantStats`] overflow diagnostics — are **bit-identical** to
+//! the original textbook kernels, which survive as
+//! [`ops::reference`] / [`qops::reference`] and serve as the oracles for
+//! the equivalence tests in `tests/properties.rs`.
+//!
 //! # Example
 //!
 //! ```
@@ -46,10 +58,12 @@ mod error;
 mod mat;
 pub mod math;
 pub mod ops;
+pub mod packed;
 pub mod qops;
 
 pub use error::TensorError;
 pub use mat::Mat;
+pub use packed::PackedMat;
 
 /// Convenience alias for results returned by fallible tensor operations.
 pub type Result<T> = std::result::Result<T, TensorError>;

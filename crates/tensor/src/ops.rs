@@ -73,9 +73,15 @@ pub fn layer_norm_rows(x: &mut Mat<f32>, gamma: &[f32], beta: &[f32], eps: f32) 
     Ok(())
 }
 
-/// Dense matrix product `C = A * B` using the basic O(n^3) algorithm the
-/// paper's `matrixMultiply()` uses (no tiling — the embedded target has no
-/// cache hierarchy worth blocking for).
+/// Dense matrix product `C = A * B` (paper: `matrixMultiply()`).
+///
+/// Packs `b` on the fly and runs the register-blocked microkernel of
+/// [`crate::packed`]; outputs are bit-identical to the original streaming
+/// kernel (kept as [`reference::matrix_multiply`]) because each output
+/// element accumulates its products in the same ascending-`k` order.
+/// Callers that reuse `b` across calls (weight matrices) should pack once
+/// with [`crate::PackedMat::pack`] and use
+/// [`crate::packed::matrix_multiply_packed`].
 ///
 /// # Errors
 ///
@@ -88,19 +94,42 @@ pub fn matrix_multiply(a: &Mat<f32>, b: &Mat<f32>) -> Result<Mat<f32>> {
             rhs: b.shape(),
         });
     }
-    let (m, k, n) = (a.rows(), a.cols(), b.cols());
-    let mut c = Mat::zeros(m, n);
-    for i in 0..m {
-        let arow = a.row(i);
-        let crow = c.row_mut(i);
-        for (kk, &av) in arow.iter().enumerate().take(k) {
-            let brow = b.row(kk);
-            for j in 0..n {
-                crow[j] += av * brow[j];
+    let packed = crate::PackedMat::pack(b);
+    crate::packed::matrix_multiply_packed(a, &packed)
+}
+
+/// The original float kernels, kept as oracles for the packed fast paths.
+pub mod reference {
+    use crate::{Mat, Result, TensorError};
+
+    /// The seed repository's streaming i-k-j product — the oracle for
+    /// [`crate::packed::matrix_multiply_packed`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] unless `a.cols() == b.rows()`.
+    pub fn matrix_multiply(a: &Mat<f32>, b: &Mat<f32>) -> Result<Mat<f32>> {
+        if a.cols() != b.rows() {
+            return Err(TensorError::ShapeMismatch {
+                op: "matrix_multiply",
+                lhs: a.shape(),
+                rhs: b.shape(),
+            });
+        }
+        let (m, k, n) = (a.rows(), a.cols(), b.cols());
+        let mut c = Mat::zeros(m, n);
+        for i in 0..m {
+            let arow = a.row(i);
+            let crow = c.row_mut(i);
+            for (kk, &av) in arow.iter().enumerate().take(k) {
+                let brow = b.row(kk);
+                for j in 0..n {
+                    crow[j] += av * brow[j];
+                }
             }
         }
+        Ok(c)
     }
-    Ok(c)
 }
 
 /// In-place SoftMax over a vector, direct form of eq. (2):
@@ -181,6 +210,31 @@ pub fn linear(x: &Mat<f32>, w: &Mat<f32>, b: &[f32]) -> Result<Mat<f32>> {
         });
     }
     let mut y = matrix_multiply(x, w)?;
+    for r in 0..y.rows() {
+        let row = y.row_mut(r);
+        for (j, bv) in b.iter().enumerate() {
+            row[j] += bv;
+        }
+    }
+    Ok(y)
+}
+
+/// [`linear`] over a pre-packed weight matrix — the amortised fast path
+/// used by the model crates, which pack every weight once at load time.
+///
+/// # Errors
+///
+/// Returns [`TensorError::ShapeMismatch`] if `x.cols()` does not match the
+/// packed inner dimension or `b.len() != w.cols()`.
+pub fn linear_packed(x: &Mat<f32>, w: &crate::PackedMat<f32>, b: &[f32]) -> Result<Mat<f32>> {
+    if b.len() != w.cols() {
+        return Err(TensorError::ShapeMismatch {
+            op: "linear",
+            lhs: (1, b.len()),
+            rhs: w.shape(),
+        });
+    }
+    let mut y = crate::packed::matrix_multiply_packed(x, w)?;
     for r in 0..y.rows() {
         let row = y.row_mut(r);
         for (j, bv) in b.iter().enumerate() {

@@ -43,7 +43,7 @@ impl QuantStats {
 }
 
 #[inline]
-fn sat_i16(v: i64, stats: &mut QuantStats) -> i16 {
+pub(crate) fn sat_i16(v: i64, stats: &mut QuantStats) -> i16 {
     if v > i16::MAX as i64 {
         stats.saturations += 1;
         i16::MAX
@@ -117,8 +117,16 @@ pub fn dequantize_i8(x: &Mat<i8>, y: u32) -> Mat<f32> {
 /// * `bias` — optional, `i32` at the **combined** scale `2^(ya+yw)`
 /// * `shift` — normally `yw`, returning the result to the activation scale
 ///
-/// Accumulation is exact in `i64`; only the final narrowing saturates, and
-/// the shift is an arithmetic (floor) shift exactly as on the RV32 target.
+/// Accumulation is exact (equivalent to full `i64`); only the final
+/// narrowing saturates, and the shift is an arithmetic (floor) shift
+/// exactly as on the RV32 target.
+///
+/// This entry point packs the weight operand on the fly and runs the
+/// cache-blocked microkernel of [`crate::packed`]; callers that reuse a
+/// weight matrix should pack once with [`crate::PackedMat::pack`] and call
+/// [`crate::packed::matmul_i16_i8_packed`] directly. The original naive
+/// kernel survives as [`reference::matmul_i16_i8`], the oracle the packed
+/// path is equivalence-tested against.
 ///
 /// # Errors
 ///
@@ -137,38 +145,19 @@ pub fn matmul_i16_i8(
             rhs: w.shape(),
         });
     }
-    if let Some(b) = bias {
-        if b.len() != w.cols() {
-            return Err(TensorError::ShapeMismatch {
-                op: "matmul_i16_i8 (bias)",
-                lhs: (1, b.len()),
-                rhs: w.shape(),
-            });
-        }
-    }
-    let (m, k, n) = (a.rows(), a.cols(), w.cols());
-    let mut stats = QuantStats::default();
-    let mut out = Mat::zeros(m, n);
-    for i in 0..m {
-        let arow = a.row(i);
-        for j in 0..n {
-            let mut acc: i64 = bias.map_or(0, |b| b[j] as i64);
-            for kk in 0..k {
-                acc += arow[kk] as i64 * w[(kk, j)] as i64;
-            }
-            stats.max_abs_acc = stats.max_abs_acc.max(acc.abs());
-            out[(i, j)] = sat_i16(acc >> shift, &mut stats);
-        }
-    }
-    Ok((out, stats))
+    let packed = crate::PackedMat::pack(w);
+    crate::packed::matmul_i16_i8_packed(a, &packed, bias, shift)
 }
 
 /// Quantised activation-activation product (used for `Q K^T` and
 /// `scores x V`): `Y = (A * B) >> shift`, saturated to `i16`.
 ///
-/// Both operands are `i16`; accumulation is in `i64` so the kernel itself
-/// never overflows — saturation happens only at the output, mirroring a
-/// careful hardware implementation.
+/// Both operands are `i16`; accumulation is exact (equivalent to full
+/// `i64`) — saturation happens only at the output, mirroring a careful
+/// hardware implementation.
+///
+/// Packs `b` on the fly into the blocked layout of [`crate::packed`]; the
+/// naive kernel survives as [`reference::matmul_i16_i16`].
 ///
 /// # Errors
 ///
@@ -181,21 +170,98 @@ pub fn matmul_i16_i16(a: &Mat<i16>, b: &Mat<i16>, shift: u32) -> Result<(Mat<i16
             rhs: b.shape(),
         });
     }
-    let (m, k, n) = (a.rows(), a.cols(), b.cols());
-    let mut stats = QuantStats::default();
-    let mut out = Mat::zeros(m, n);
-    for i in 0..m {
-        let arow = a.row(i);
-        for j in 0..n {
-            let mut acc: i64 = 0;
-            for kk in 0..k {
-                acc += arow[kk] as i64 * b[(kk, j)] as i64;
-            }
-            stats.max_abs_acc = stats.max_abs_acc.max(acc.abs());
-            out[(i, j)] = sat_i16(acc >> shift, &mut stats);
+    let packed = crate::PackedMat::pack(b);
+    crate::packed::matmul_i16_i16_packed(a, &packed, shift)
+}
+
+/// The original textbook i-j-k kernels, kept verbatim as the oracles the
+/// packed/blocked fast paths (in [`crate::packed`]) are equivalence-tested
+/// against. Not used on any hot path.
+pub mod reference {
+    use super::{sat_i16, QuantStats};
+    use crate::{Mat, Result, TensorError};
+
+    /// Naive `Y = (A * W + bias) >> shift` with unconditional `i64`
+    /// accumulation — the oracle for
+    /// [`crate::packed::matmul_i16_i8_packed`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] on inner-dimension or
+    /// bias-length mismatch.
+    pub fn matmul_i16_i8(
+        a: &Mat<i16>,
+        w: &Mat<i8>,
+        bias: Option<&[i32]>,
+        shift: u32,
+    ) -> Result<(Mat<i16>, QuantStats)> {
+        if a.cols() != w.rows() {
+            return Err(TensorError::ShapeMismatch {
+                op: "matmul_i16_i8",
+                lhs: a.shape(),
+                rhs: w.shape(),
+            });
         }
+        if let Some(b) = bias {
+            if b.len() != w.cols() {
+                return Err(TensorError::ShapeMismatch {
+                    op: "matmul_i16_i8 (bias)",
+                    lhs: (1, b.len()),
+                    rhs: w.shape(),
+                });
+            }
+        }
+        let (m, k, n) = (a.rows(), a.cols(), w.cols());
+        let mut stats = QuantStats::default();
+        let mut out = Mat::zeros(m, n);
+        for i in 0..m {
+            let arow = a.row(i);
+            for j in 0..n {
+                let mut acc: i64 = bias.map_or(0, |b| b[j] as i64);
+                for kk in 0..k {
+                    acc += arow[kk] as i64 * w[(kk, j)] as i64;
+                }
+                stats.max_abs_acc = stats.max_abs_acc.max(acc.abs());
+                out[(i, j)] = sat_i16(acc >> shift, &mut stats);
+            }
+        }
+        Ok((out, stats))
     }
-    Ok((out, stats))
+
+    /// Naive `Y = (A * B) >> shift` with unconditional `i64` accumulation
+    /// — the oracle for [`crate::packed::matmul_i16_i16_packed`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] unless `a.cols() == b.rows()`.
+    pub fn matmul_i16_i16(
+        a: &Mat<i16>,
+        b: &Mat<i16>,
+        shift: u32,
+    ) -> Result<(Mat<i16>, QuantStats)> {
+        if a.cols() != b.rows() {
+            return Err(TensorError::ShapeMismatch {
+                op: "matmul_i16_i16",
+                lhs: a.shape(),
+                rhs: b.shape(),
+            });
+        }
+        let (m, k, n) = (a.rows(), a.cols(), b.cols());
+        let mut stats = QuantStats::default();
+        let mut out = Mat::zeros(m, n);
+        for i in 0..m {
+            let arow = a.row(i);
+            for j in 0..n {
+                let mut acc: i64 = 0;
+                for kk in 0..k {
+                    acc += arow[kk] as i64 * b[(kk, j)] as i64;
+                }
+                stats.max_abs_acc = stats.max_abs_acc.max(acc.abs());
+                out[(i, j)] = sat_i16(acc >> shift, &mut stats);
+            }
+        }
+        Ok((out, stats))
+    }
 }
 
 /// Saturating element-wise residual add `a += b` on `i16` matrices.

@@ -2,7 +2,7 @@
 //! float ops must satisfy and quantisation invariants the integer ops must
 //! preserve.
 
-use kwt_tensor::{math, ops, qops, Mat};
+use kwt_tensor::{math, ops, packed, qops, Mat, PackedMat};
 use proptest::prelude::*;
 
 fn small_f32() -> impl Strategy<Value = f32> {
@@ -181,6 +181,126 @@ proptest! {
                 prop_assert!(sa[(r, c)] <= hi + 1e-4);
             }
         }
+    }
+
+    // ---- packed/blocked kernels vs naive reference oracles ----
+    //
+    // The packed fast paths must be *bit-identical* to the reference
+    // kernels — same outputs AND same QuantStats — across arbitrary
+    // shapes, explicitly including dimensions that are not multiples of
+    // the panel width (NR = 8), the row blocking (MR = 4) or the k
+    // blocking (KC = 256).
+
+    #[test]
+    fn packed_i16_i8_bit_identical_to_reference(
+        m in 1usize..10,
+        k in 1usize..40,
+        n in 1usize..20,
+        seed in 0i32..1000,
+        shift in 0u32..8,
+        with_bias in proptest::any::<bool>(),
+    ) {
+        let a = Mat::from_fn(m, k, |r, c| {
+            ((r as i32 * 131 + c as i32 * 37 + seed) % 8001 - 4000) as i16
+        });
+        let w = Mat::from_fn(k, n, |r, c| {
+            ((r as i32 * 31 + c as i32 * 17 + seed) % 255 - 127) as i8
+        });
+        let bias: Vec<i32> = (0..n as i32).map(|j| (j * 7919 + seed) % 100_000 - 50_000).collect();
+        let b = if with_bias { Some(bias.as_slice()) } else { None };
+        let (c_ref, s_ref) = qops::reference::matmul_i16_i8(&a, &w, b, shift).unwrap();
+        // Drop-in entry point (packs on the fly).
+        let (c_new, s_new) = qops::matmul_i16_i8(&a, &w, b, shift).unwrap();
+        prop_assert_eq!(&c_new, &c_ref);
+        prop_assert_eq!(s_new, s_ref);
+        // Pre-packed entry point.
+        let p = PackedMat::pack(&w);
+        let (c_pre, s_pre) = packed::matmul_i16_i8_packed(&a, &p, b, shift).unwrap();
+        prop_assert_eq!(c_pre, c_ref);
+        prop_assert_eq!(s_pre, s_ref);
+    }
+
+    #[test]
+    fn packed_i16_i8_saturating_inputs_match(
+        m in 1usize..4,
+        k in 1usize..600,   // crosses the KC = 256 block boundary
+        sign in proptest::any::<bool>(),
+    ) {
+        // Extremal operands drive the accumulator to its bounds and force
+        // output saturation; stats must still match exactly.
+        let a = Mat::filled(m, k, if sign { i16::MAX } else { i16::MIN });
+        let w = Mat::filled(k, 3, i8::MIN);
+        let (c_ref, s_ref) = qops::reference::matmul_i16_i8(&a, &w, None, 2).unwrap();
+        let (c_new, s_new) = qops::matmul_i16_i8(&a, &w, None, 2).unwrap();
+        prop_assert_eq!(c_new, c_ref);
+        prop_assert_eq!(s_new, s_ref);
+    }
+
+    #[test]
+    fn packed_i16_i16_bit_identical_to_reference(
+        m in 1usize..10,
+        k in 1usize..40,
+        n in 1usize..20,
+        seed in 0i32..1000,
+        shift in 0u32..8,
+    ) {
+        let a = Mat::from_fn(m, k, |r, c| {
+            ((r as i32 * 57 + c as i32 * 23 + seed) % 60001 - 30000) as i16
+        });
+        let b = Mat::from_fn(k, n, |r, c| {
+            ((r as i32 * 91 + c as i32 * 13 + seed * 3) % 60001 - 30000) as i16
+        });
+        let (c_ref, s_ref) = qops::reference::matmul_i16_i16(&a, &b, shift).unwrap();
+        let (c_new, s_new) = qops::matmul_i16_i16(&a, &b, shift).unwrap();
+        prop_assert_eq!(&c_new, &c_ref);
+        prop_assert_eq!(s_new, s_ref);
+        let p = PackedMat::pack(&b);
+        let (c_pre, s_pre) = packed::matmul_i16_i16_packed(&a, &p, shift).unwrap();
+        prop_assert_eq!(c_pre, c_ref);
+        prop_assert_eq!(s_pre, s_ref);
+    }
+
+    #[test]
+    fn packed_f32_bit_identical_to_reference(
+        m in 1usize..12,
+        k in 1usize..40,
+        n in 1usize..20,
+        seed in 0u64..1000,
+    ) {
+        let a = Mat::from_fn(m, k, |r, c| {
+            let h = seed.wrapping_add((r * k + c) as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+            ((h >> 40) as f32 / (1u64 << 24) as f32 - 0.5) * 16.0
+        });
+        let b = Mat::from_fn(k, n, |r, c| {
+            let h = seed.wrapping_add(0x1234).wrapping_add((r * n + c) as u64)
+                .wrapping_mul(0x9E37_79B9_7F4A_7C15);
+            ((h >> 40) as f32 / (1u64 << 24) as f32 - 0.5) * 4.0
+        });
+        let c_ref = ops::reference::matrix_multiply(&a, &b).unwrap();
+        let c_new = ops::matrix_multiply(&a, &b).unwrap();
+        for (x, y) in c_ref.as_slice().iter().zip(c_new.as_slice()) {
+            prop_assert_eq!(x.to_bits(), y.to_bits());
+        }
+        let p = PackedMat::pack(&b);
+        let c_pre = packed::matrix_multiply_packed(&a, &p).unwrap();
+        for (x, y) in c_ref.as_slice().iter().zip(c_pre.as_slice()) {
+            prop_assert_eq!(x.to_bits(), y.to_bits());
+        }
+    }
+
+    #[test]
+    fn pack_transposed_equals_pack_of_transpose(
+        rows in 1usize..30,
+        cols in 1usize..30,
+        seed in 0i32..100,
+    ) {
+        let src = Mat::from_fn(rows, cols, |r, c| {
+            ((r as i32 * 7 + c as i32 * 3 + seed) % 251 - 125) as i16
+        });
+        prop_assert_eq!(
+            PackedMat::pack_transposed(&src),
+            PackedMat::pack(&src.transpose())
+        );
     }
 
     #[test]

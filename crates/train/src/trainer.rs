@@ -291,9 +291,12 @@ fn clip_global_norm(grads: &mut [f32], max_norm: f32) {
 ///
 /// Propagates forward-pass errors.
 pub fn evaluate(params: &KwtParams, data: &MfccDataset) -> Result<(f64, Vec<usize>)> {
+    // Pack the weights once and reuse them for every sample (the whole
+    // point of the forward_with fast path).
+    let packed = params.pack_weights();
     let mut preds = Vec::with_capacity(data.len());
     for x in &data.x {
-        preds.push(kwt_model::predict(params, x)?);
+        preds.push(kwt_model::predict_with(params, &packed, x)?);
     }
     let acc = if preds.is_empty() {
         0.0

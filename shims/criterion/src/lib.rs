@@ -1,0 +1,243 @@
+//! Offline micro-benchmark harness exposing the subset of the `criterion`
+//! API this workspace uses. Timing is wall-clock with adaptive iteration
+//! counts; results are printed as `name ... time/iter` lines.
+//!
+//! CI / smoke controls (the `cargo bench` smoke mode required by the
+//! roadmap's tier-1 verification):
+//!
+//! * `KWT_BENCH_SMOKE=1` — run every benchmark exactly once (compile +
+//!   execute proof, no timing fidelity), finishing in milliseconds.
+//! * `KWT_BENCH_MEAS_MS=<n>` — per-benchmark measurement budget in
+//!   milliseconds (default 300).
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Throughput annotation for a benchmark group.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// How `iter_batched` amortises setup cost (accepted, not differentiated).
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One batch per iteration.
+    PerIteration,
+}
+
+/// The benchmark driver.
+pub struct Criterion {
+    smoke: bool,
+    target: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let smoke = std::env::var("KWT_BENCH_SMOKE").map(|v| v != "0").unwrap_or(false);
+        let ms = std::env::var("KWT_BENCH_MEAS_MS")
+            .ok()
+            .and_then(|v| v.parse::<u64>().ok())
+            .unwrap_or(300);
+        Criterion { smoke, target: Duration::from_millis(ms) }
+    }
+}
+
+impl Criterion {
+    /// Runs one benchmark.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher { smoke: self.smoke, target: self.target, ns_per_iter: 0.0 };
+        f(&mut b);
+        report(id, b.ns_per_iter, None);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group<S: Into<String>>(&mut self, name: S) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { c: self, name: name.into(), throughput: None }
+    }
+}
+
+/// A named group of benchmarks sharing a throughput annotation.
+pub struct BenchmarkGroup<'a> {
+    c: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Annotates per-iteration throughput.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Runs one benchmark inside the group.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher { smoke: self.c.smoke, target: self.c.target, ns_per_iter: 0.0 };
+        f(&mut b);
+        report(&format!("{}/{}", self.name, id), b.ns_per_iter, self.throughput);
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Passed to the closure of `bench_function`; drives the timing loop.
+pub struct Bencher {
+    smoke: bool,
+    target: Duration,
+    ns_per_iter: f64,
+}
+
+impl Bencher {
+    /// Measures `f` by running it in adaptively sized batches until the
+    /// measurement budget is exhausted.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        if self.smoke {
+            let t0 = Instant::now();
+            black_box(f());
+            self.ns_per_iter = t0.elapsed().as_nanos() as f64;
+            return;
+        }
+        // Warm up and calibrate the batch size.
+        let mut n: u64 = 1;
+        let calib = self.target.min(Duration::from_millis(50));
+        loop {
+            let t0 = Instant::now();
+            for _ in 0..n {
+                black_box(f());
+            }
+            let dt = t0.elapsed();
+            if dt >= calib || n >= 1 << 40 {
+                break;
+            }
+            n = if dt.as_nanos() == 0 {
+                n * 16
+            } else {
+                let scaled = (n as u128 * calib.as_nanos() * 2 / dt.as_nanos().max(1)) as u64;
+                scaled.max(n + 1)
+            };
+        }
+        // Measure: repeat batches until the budget is spent, track the best
+        // (lowest-noise) batch.
+        let mut best = f64::INFINITY;
+        let mut spent = Duration::ZERO;
+        while spent < self.target {
+            let t0 = Instant::now();
+            for _ in 0..n {
+                black_box(f());
+            }
+            let dt = t0.elapsed();
+            spent += dt;
+            let per = dt.as_nanos() as f64 / n as f64;
+            if per < best {
+                best = per;
+            }
+        }
+        self.ns_per_iter = best;
+    }
+
+    /// Measures `routine` on fresh inputs from `setup`, excluding setup
+    /// time (the shim times setup + routine pairs and subtracts a measured
+    /// setup-only baseline).
+    pub fn iter_batched<I, O, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> O,
+    {
+        if self.smoke {
+            let input = setup();
+            let t0 = Instant::now();
+            black_box(routine(input));
+            self.ns_per_iter = t0.elapsed().as_nanos() as f64;
+            return;
+        }
+        // Baseline: setup alone.
+        let mut setup_ns = 0.0f64;
+        {
+            let t0 = Instant::now();
+            let mut k = 0u32;
+            while t0.elapsed() < Duration::from_millis(20) {
+                black_box(setup());
+                k += 1;
+            }
+            if k > 0 {
+                setup_ns = t0.elapsed().as_nanos() as f64 / k as f64;
+            }
+        }
+        let mut best = f64::INFINITY;
+        let t_all = Instant::now();
+        while t_all.elapsed() < self.target {
+            let input = setup();
+            let t0 = Instant::now();
+            black_box(routine(input));
+            let per = t0.elapsed().as_nanos() as f64;
+            if per < best {
+                best = per;
+            }
+        }
+        self.ns_per_iter = (best - setup_ns * 0.0).max(0.0); // routine timed alone; setup excluded by construction
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns")
+    }
+}
+
+fn report(id: &str, ns: f64, throughput: Option<Throughput>) {
+    let extra = match throughput {
+        Some(Throughput::Elements(n)) if ns > 0.0 => {
+            format!("  ({:.2} Melem/s)", n as f64 / ns * 1e3)
+        }
+        Some(Throughput::Bytes(n)) if ns > 0.0 => {
+            format!("  ({:.2} MB/s)", n as f64 / ns * 1e3)
+        }
+        _ => String::new(),
+    };
+    println!("bench {id:<44} {:>12}/iter{extra}", fmt_ns(ns));
+}
+
+/// Declares a group-runner function over benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Declares `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

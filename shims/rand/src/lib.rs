@@ -1,0 +1,147 @@
+//! Offline stand-in for the `rand` crate: uniform sampling and slice
+//! shuffling over any `rand_core::RngCore` source. Distribution values are
+//! *not* bit-compatible with upstream rand; everything in this workspace
+//! only relies on determinism for a fixed seed, which this shim provides.
+
+pub use rand_core::{RngCore, SeedableRng};
+
+/// Types samplable uniformly from their "standard" distribution
+/// (`[0, 1)` for floats).
+pub trait StandardSample: Sized {
+    /// Draws one value from the standard distribution.
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl StandardSample for f32 {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        // 24 mantissa bits -> uniform in [0, 1).
+        (rng.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+impl StandardSample for f64 {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl StandardSample for u32 {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u32()
+    }
+}
+
+impl StandardSample for u64 {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl StandardSample for bool {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u32() & 1 == 1
+    }
+}
+
+/// Ranges that can produce a uniform sample.
+pub trait SampleRange<T> {
+    /// Draws one value uniformly from the range.
+    fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+macro_rules! float_range {
+    ($t:ty) => {
+        impl SampleRange<$t> for std::ops::Range<$t> {
+            fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let u = <$t as StandardSample>::sample_standard(rng);
+                self.start + (self.end - self.start) * u
+            }
+        }
+        impl SampleRange<$t> for std::ops::RangeInclusive<$t> {
+            fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (a, b) = (*self.start(), *self.end());
+                let u = <$t as StandardSample>::sample_standard(rng);
+                a + (b - a) * u
+            }
+        }
+    };
+}
+
+float_range!(f32);
+float_range!(f64);
+
+macro_rules! int_range {
+    ($t:ty) => {
+        impl SampleRange<$t> for std::ops::Range<$t> {
+            fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "empty range");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let v = (rng.next_u64() as u128) % span;
+                (self.start as i128 + v as i128) as $t
+            }
+        }
+        impl SampleRange<$t> for std::ops::RangeInclusive<$t> {
+            fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (a, b) = (*self.start(), *self.end());
+                assert!(a <= b, "empty range");
+                let span = (b as i128 - a as i128) as u128 + 1;
+                let v = (rng.next_u64() as u128) % span;
+                (a as i128 + v as i128) as $t
+            }
+        }
+    };
+}
+
+int_range!(u8);
+int_range!(u16);
+int_range!(u32);
+int_range!(u64);
+int_range!(usize);
+int_range!(i8);
+int_range!(i16);
+int_range!(i32);
+int_range!(i64);
+int_range!(isize);
+
+/// The user-facing sampling interface, blanket-implemented for every
+/// `RngCore`.
+pub trait Rng: RngCore {
+    /// Draws a value from the type's standard distribution
+    /// (uniform `[0, 1)` for floats).
+    fn gen<T: StandardSample>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::sample_standard(self)
+    }
+
+    /// Draws a value uniformly from `range`.
+    fn gen_range<T, Rg: SampleRange<T>>(&mut self, range: Rg) -> T
+    where
+        Self: Sized,
+    {
+        range.sample(self)
+    }
+}
+
+impl<R: RngCore> Rng for R {}
+
+/// Sequence helpers (`shuffle`).
+pub mod seq {
+    use super::RngCore;
+
+    /// Slice shuffling, mirroring `rand::seq::SliceRandom`.
+    pub trait SliceRandom {
+        /// Shuffles the slice in place (Fisher–Yates).
+        fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R);
+    }
+
+    impl<T> SliceRandom for [T] {
+        fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R) {
+            for i in (1..self.len()).rev() {
+                let j = (rng.next_u64() % (i as u64 + 1)) as usize;
+                self.swap(i, j);
+            }
+        }
+    }
+}

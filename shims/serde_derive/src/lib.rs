@@ -1,0 +1,495 @@
+//! Derive macros for the offline serde shim.
+//!
+//! Hand-rolled token parsing (no `syn`/`quote` available offline) covering
+//! exactly the type shapes this workspace derives on: named-field structs
+//! (optionally generic), tuple structs, and enums whose variants are unit,
+//! named-field or tuple, optionally with explicit discriminants. `#[serde]`
+//! attributes are not supported and will simply be ignored.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Debug)]
+enum Kind {
+    NamedStruct(Vec<String>),
+    TupleStruct(usize),
+    Enum(Vec<Variant>),
+}
+
+#[derive(Debug)]
+struct Variant {
+    name: String,
+    fields: VariantFields,
+}
+
+#[derive(Debug)]
+enum VariantFields {
+    Unit,
+    Named(Vec<String>),
+    Tuple(usize),
+}
+
+#[derive(Debug)]
+struct Input {
+    name: String,
+    generics: Vec<String>,
+    kind: Kind,
+}
+
+/// Derives JSON `Serialize` for the shim's data model.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let parsed = parse_input(input);
+    gen_serialize(&parsed).parse().expect("generated Serialize impl parses")
+}
+
+/// Derives JSON `Deserialize` for the shim's data model.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let parsed = parse_input(input);
+    gen_deserialize(&parsed).parse().expect("generated Deserialize impl parses")
+}
+
+// ---------------------------------------------------------------- parsing
+
+fn parse_input(input: TokenStream) -> Input {
+    let toks: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+
+    skip_attrs_and_vis(&toks, &mut i);
+
+    let kw = ident_at(&toks, i).expect("struct or enum keyword");
+    i += 1;
+    let name = ident_at(&toks, i).expect("type name");
+    i += 1;
+
+    let mut generics = Vec::new();
+    if is_punct(&toks, i, '<') {
+        let mut depth = 0usize;
+        // Collect the parameter names at angle depth 1.
+        let mut expecting_param = false;
+        loop {
+            match &toks[i] {
+                TokenTree::Punct(p) if p.as_char() == '<' => {
+                    depth += 1;
+                    if depth == 1 {
+                        expecting_param = true;
+                    }
+                }
+                TokenTree::Punct(p) if p.as_char() == '>' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        i += 1;
+                        break;
+                    }
+                }
+                TokenTree::Punct(p) if p.as_char() == ',' && depth == 1 => {
+                    expecting_param = true;
+                }
+                TokenTree::Punct(p) if p.as_char() == ':' && depth == 1 => {
+                    expecting_param = false;
+                }
+                TokenTree::Punct(p) if p.as_char() == '\'' => {
+                    // Lifetime parameter: consume the following ident without
+                    // recording it as a type parameter.
+                    if expecting_param {
+                        expecting_param = false;
+                    }
+                    i += 1; // skip the quote; loop tail skips the ident
+                }
+                TokenTree::Ident(id) if depth == 1 && expecting_param => {
+                    let s = id.to_string();
+                    if s != "const" {
+                        generics.push(s);
+                        expecting_param = false;
+                    }
+                }
+                _ => {}
+            }
+            i += 1;
+            if i >= toks.len() {
+                break;
+            }
+        }
+    }
+
+    let kind = match kw.as_str() {
+        "struct" => {
+            // Skip a where clause if present (none in this workspace, but cheap).
+            while i < toks.len() && !matches!(&toks[i], TokenTree::Group(_)) && !is_punct(&toks, i, ';') {
+                i += 1;
+            }
+            match toks.get(i) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    Kind::NamedStruct(parse_named_fields(g.stream()))
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    Kind::TupleStruct(count_tuple_fields(g.stream()))
+                }
+                _ => panic!("unsupported struct body"),
+            }
+        }
+        "enum" => {
+            while i < toks.len() && !matches!(&toks[i], TokenTree::Group(_)) {
+                i += 1;
+            }
+            match toks.get(i) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    Kind::Enum(parse_variants(g.stream()))
+                }
+                _ => panic!("enum body expected"),
+            }
+        }
+        other => panic!("cannot derive for `{other}` items"),
+    };
+
+    Input { name, generics, kind }
+}
+
+fn skip_attrs_and_vis(toks: &[TokenTree], i: &mut usize) {
+    loop {
+        match toks.get(*i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                *i += 1;
+                if matches!(toks.get(*i), Some(TokenTree::Group(_))) {
+                    *i += 1;
+                }
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                *i += 1;
+                if matches!(toks.get(*i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+                {
+                    *i += 1;
+                }
+            }
+            _ => break,
+        }
+    }
+}
+
+fn ident_at(toks: &[TokenTree], i: usize) -> Option<String> {
+    match toks.get(i) {
+        Some(TokenTree::Ident(id)) => Some(id.to_string()),
+        _ => None,
+    }
+}
+
+fn is_punct(toks: &[TokenTree], i: usize, c: char) -> bool {
+    matches!(toks.get(i), Some(TokenTree::Punct(p)) if p.as_char() == c)
+}
+
+/// Parses `field: Type, ...` lists, returning the field names.
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    let toks: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        skip_attrs_and_vis(&toks, &mut i);
+        if i >= toks.len() {
+            break;
+        }
+        let name = ident_at(&toks, i).expect("field name");
+        i += 1;
+        assert!(is_punct(&toks, i, ':'), "expected `:` after field `{name}`");
+        i += 1;
+        // Skip the type: consume until a top-level (angle-depth 0) comma.
+        let mut depth = 0isize;
+        while i < toks.len() {
+            match &toks[i] {
+                TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                    i += 1;
+                    break;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+        fields.push(name);
+    }
+    fields
+}
+
+/// Counts fields of a tuple struct / tuple variant body.
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let toks: Vec<TokenTree> = stream.into_iter().collect();
+    if toks.is_empty() {
+        return 0;
+    }
+    let mut depth = 0isize;
+    let mut count = 1usize;
+    let mut saw_token_since_comma = false;
+    for t in &toks {
+        match t {
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                if saw_token_since_comma {
+                    count += 1;
+                }
+                saw_token_since_comma = false;
+                continue;
+            }
+            _ => {}
+        }
+        saw_token_since_comma = true;
+    }
+    if !saw_token_since_comma {
+        count -= 1; // trailing comma
+    }
+    count
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let toks: Vec<TokenTree> = stream.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        skip_attrs_and_vis(&toks, &mut i);
+        if i >= toks.len() {
+            break;
+        }
+        let name = ident_at(&toks, i).expect("variant name");
+        i += 1;
+        let fields = match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let f = VariantFields::Named(parse_named_fields(g.stream()));
+                i += 1;
+                f
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let f = VariantFields::Tuple(count_tuple_fields(g.stream()));
+                i += 1;
+                f
+            }
+            _ => VariantFields::Unit,
+        };
+        // Skip an explicit discriminant (`= expr`) and the trailing comma.
+        while i < toks.len() && !is_punct(&toks, i, ',') {
+            i += 1;
+        }
+        if is_punct(&toks, i, ',') {
+            i += 1;
+        }
+        variants.push(Variant { name, fields });
+    }
+    variants
+}
+
+// ---------------------------------------------------------------- codegen
+
+fn impl_header(input: &Input, trait_name: &str) -> String {
+    if input.generics.is_empty() {
+        format!("impl ::serde::{trait_name} for {}", input.name)
+    } else {
+        let params = input.generics.join(", ");
+        let bounds = input
+            .generics
+            .iter()
+            .map(|g| format!("{g}: ::serde::{trait_name}"))
+            .collect::<Vec<_>>()
+            .join(", ");
+        format!(
+            "impl<{params}> ::serde::{trait_name} for {}<{params}> where {bounds}",
+            input.name
+        )
+    }
+}
+
+fn gen_serialize(input: &Input) -> String {
+    let mut body = String::new();
+    match &input.kind {
+        Kind::NamedStruct(fields) => {
+            body.push_str("out.push('{');\n");
+            for (i, f) in fields.iter().enumerate() {
+                if i > 0 {
+                    body.push_str("out.push(',');\n");
+                }
+                body.push_str(&format!(
+                    "out.push_str(\"\\\"{f}\\\":\"); ::serde::Serialize::json_ser(&self.{f}, out);\n"
+                ));
+            }
+            body.push_str("out.push('}');\n");
+        }
+        Kind::TupleStruct(1) => {
+            body.push_str("::serde::Serialize::json_ser(&self.0, out);\n");
+        }
+        Kind::TupleStruct(n) => {
+            body.push_str("out.push('[');\n");
+            for i in 0..*n {
+                if i > 0 {
+                    body.push_str("out.push(',');\n");
+                }
+                body.push_str(&format!("::serde::Serialize::json_ser(&self.{i}, out);\n"));
+            }
+            body.push_str("out.push(']');\n");
+        }
+        Kind::Enum(variants) => {
+            body.push_str("match self {\n");
+            for v in variants {
+                let vn = &v.name;
+                let ty = &input.name;
+                match &v.fields {
+                    VariantFields::Unit => {
+                        body.push_str(&format!(
+                            "{ty}::{vn} => out.push_str(\"\\\"{vn}\\\"\"),\n"
+                        ));
+                    }
+                    VariantFields::Named(fields) => {
+                        let pat = fields.join(", ");
+                        body.push_str(&format!("{ty}::{vn} {{ {pat} }} => {{\n"));
+                        body.push_str(&format!("out.push_str(\"{{\\\"{vn}\\\":{{\");\n"));
+                        for (i, f) in fields.iter().enumerate() {
+                            if i > 0 {
+                                body.push_str("out.push(',');\n");
+                            }
+                            body.push_str(&format!(
+                                "out.push_str(\"\\\"{f}\\\":\"); ::serde::Serialize::json_ser({f}, out);\n"
+                            ));
+                        }
+                        body.push_str("out.push_str(\"}}\");\n},\n");
+                    }
+                    VariantFields::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("x{i}")).collect();
+                        let pat = binds.join(", ");
+                        body.push_str(&format!("{ty}::{vn}({pat}) => {{\n"));
+                        if *n == 1 {
+                            body.push_str(&format!("out.push_str(\"{{\\\"{vn}\\\":\");\n"));
+                            body.push_str("::serde::Serialize::json_ser(x0, out);\n");
+                            body.push_str("out.push('}');\n},\n");
+                        } else {
+                            body.push_str(&format!("out.push_str(\"{{\\\"{vn}\\\":[\");\n"));
+                            for (i, b) in binds.iter().enumerate() {
+                                if i > 0 {
+                                    body.push_str("out.push(',');\n");
+                                }
+                                body.push_str(&format!("::serde::Serialize::json_ser({b}, out);\n"));
+                            }
+                            body.push_str("out.push_str(\"]}\");\n},\n");
+                        }
+                    }
+                }
+            }
+            body.push_str("}\n");
+        }
+    }
+    format!(
+        "{header} {{\n fn json_ser(&self, out: &mut ::std::string::String) {{\n #![allow(clippy::all)]\n {body} }}\n}}\n",
+        header = impl_header(input, "Serialize"),
+    )
+}
+
+fn gen_named_field_parse(ty_path: &str, fields: &[String]) -> String {
+    // Parses `{ "f": v, ... }` into `ty_path { f, ... }`, any field order,
+    // unknown fields skipped. Assumes the leading `{` is NOT yet consumed.
+    let mut s = String::new();
+    s.push_str("{\np.expect('{')?;\n");
+    for f in fields {
+        s.push_str(&format!("let mut field_{f} = ::std::option::Option::None;\n"));
+    }
+    s.push_str("if !p.try_consume('}') {\nloop {\n");
+    s.push_str("let key = p.parse_string()?;\np.expect(':')?;\n");
+    s.push_str("match key.as_str() {\n");
+    for f in fields {
+        s.push_str(&format!(
+            "\"{f}\" => field_{f} = ::std::option::Option::Some(::serde::Deserialize::json_deser(p)?),\n"
+        ));
+    }
+    s.push_str("_ => p.skip_value()?,\n}\n");
+    s.push_str("if p.try_consume(',') { continue; }\np.expect('}')?;\nbreak;\n}\n}\n");
+    s.push_str(&format!("{ty_path} {{\n"));
+    for f in fields {
+        s.push_str(&format!(
+            "{f}: field_{f}.ok_or_else(|| ::serde::de::Error::missing(\"{f}\"))?,\n"
+        ));
+    }
+    s.push_str("}\n}\n");
+    s
+}
+
+fn gen_tuple_parse(ty_path: &str, n: usize) -> String {
+    let mut s = String::new();
+    if n == 1 {
+        s.push_str(&format!(
+            "{ty_path}(::serde::Deserialize::json_deser(p)?)\n"
+        ));
+    } else {
+        s.push_str("{\np.expect('[')?;\n");
+        let mut binds = Vec::new();
+        for i in 0..n {
+            if i > 0 {
+                s.push_str("p.expect(',')?;\n");
+            }
+            s.push_str(&format!(
+                "let x{i} = ::serde::Deserialize::json_deser(p)?;\n"
+            ));
+            binds.push(format!("x{i}"));
+        }
+        s.push_str("p.expect(']')?;\n");
+        s.push_str(&format!("{ty_path}({})\n}}\n", binds.join(", ")));
+    }
+    s
+}
+
+fn gen_deserialize(input: &Input) -> String {
+    let mut body = String::new();
+    let ty = &input.name;
+    match &input.kind {
+        Kind::NamedStruct(fields) => {
+            body.push_str("let value = ");
+            body.push_str(&gen_named_field_parse(ty, fields));
+            body.push_str(";\n::std::result::Result::Ok(value)\n");
+        }
+        Kind::TupleStruct(n) => {
+            body.push_str("let value = ");
+            body.push_str(&gen_tuple_parse(ty, *n));
+            body.push_str(";\n::std::result::Result::Ok(value)\n");
+        }
+        Kind::Enum(variants) => {
+            let unit_arms: String = variants
+                .iter()
+                .filter(|v| matches!(v.fields, VariantFields::Unit))
+                .map(|v| format!("\"{vn}\" => ::std::result::Result::Ok({ty}::{vn}),\n", vn = v.name))
+                .collect();
+            body.push_str(&format!(
+                "if p.peek() == ::std::option::Option::Some(b'\"') {{\n\
+                 let name = p.parse_string()?;\n\
+                 return match name.as_str() {{\n{unit_arms}\
+                 _ => ::std::result::Result::Err(::serde::de::Error::unknown_variant(&name)),\n}};\n}}\n"
+            ));
+            body.push_str("p.expect('{')?;\nlet name = p.parse_string()?;\np.expect(':')?;\n");
+            body.push_str("let value = match name.as_str() {\n");
+            for v in variants {
+                let vn = &v.name;
+                match &v.fields {
+                    VariantFields::Unit => {
+                        // Also accept `{"V": null}` for symmetry.
+                        body.push_str(&format!(
+                            "\"{vn}\" => {{ let _ = p.try_null(); {ty}::{vn} }},\n"
+                        ));
+                    }
+                    VariantFields::Named(fields) => {
+                        body.push_str(&format!(
+                            "\"{vn}\" => {}\n,",
+                            gen_named_field_parse(&format!("{ty}::{vn}"), fields)
+                        ));
+                    }
+                    VariantFields::Tuple(n) => {
+                        body.push_str(&format!(
+                            "\"{vn}\" => {}\n,",
+                            gen_tuple_parse(&format!("{ty}::{vn}"), *n)
+                        ));
+                    }
+                }
+            }
+            body.push_str(
+                "_ => return ::std::result::Result::Err(::serde::de::Error::unknown_variant(&name)),\n};\n",
+            );
+            body.push_str("p.expect('}')?;\n::std::result::Result::Ok(value)\n");
+        }
+    }
+    format!(
+        "{header} {{\n fn json_deser(p: &mut ::serde::de::Parser<'_>) -> ::std::result::Result<Self, ::serde::de::Error> {{\n #![allow(clippy::all)]\n {body} }}\n}}\n",
+        header = impl_header(input, "Deserialize"),
+    )
+}

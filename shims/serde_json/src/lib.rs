@@ -1,0 +1,42 @@
+//! JSON front end for the offline serde shim: `to_string` / `from_str`
+//! with the same externally-tagged encoding real serde_json uses for the
+//! type shapes this workspace serializes.
+
+use std::fmt;
+
+/// Serialization / deserialization error.
+#[derive(Debug)]
+pub struct Error(String);
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Result alias matching real serde_json.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Serializes `value` to compact JSON text.
+pub fn to_string<T: serde::Serialize + ?Sized>(value: &T) -> Result<String> {
+    let mut out = String::new();
+    value.json_ser(&mut out);
+    Ok(out)
+}
+
+/// Serializes `value` to JSON text (the shim emits compact output).
+pub fn to_string_pretty<T: serde::Serialize + ?Sized>(value: &T) -> Result<String> {
+    to_string(value)
+}
+
+/// Parses a value from JSON text.
+pub fn from_str<T: serde::Deserialize>(s: &str) -> Result<T> {
+    let mut p = serde::de::Parser::new(s);
+    let v = T::json_deser(&mut p).map_err(|e| Error(e.to_string()))?;
+    if !p.at_end() {
+        return Err(Error("trailing characters after JSON value".into()));
+    }
+    Ok(v)
+}
