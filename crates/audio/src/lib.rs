@@ -36,13 +36,15 @@ mod error;
 mod fft;
 mod mel;
 mod mfcc;
+mod streaming;
 mod window;
 
 pub use dct::dct_ii_matrix;
 pub use error::AudioError;
-pub use fft::{fft_in_place, ifft_in_place, power_spectrum};
+pub use fft::{fft_in_place, ifft_in_place, power_spectrum, power_spectrum_into, RealFftPlan};
 pub use mel::{hz_to_mel, mel_to_hz, MelFilterbank};
-pub use mfcc::{kwt1_frontend, kwt_tiny_frontend, MfccConfig, MfccExtractor};
+pub use mfcc::{kwt1_frontend, kwt_tiny_frontend, MfccConfig, MfccExtractor, MfccScratch};
+pub use streaming::StreamingMfcc;
 pub use window::WindowKind;
 
 /// Convenience alias for results returned by this crate.

@@ -25,6 +25,13 @@ pub struct MelFilterbank {
     n_bins: usize,
     /// `n_mels x n_bins` weights, row-major.
     weights: Vec<f64>,
+    /// Per-filter `[start, end)` of the nonzero weight span. Each
+    /// triangle touches only a handful of bins, so [`apply`](Self::apply)
+    /// sums ~`2 x n_bins` products across the whole bank instead of
+    /// `n_mels x n_bins`. Skipped terms are exact `+0.0` contributions to
+    /// a non-negative accumulator, so the result is bit-identical to the
+    /// dense sum.
+    ranges: Vec<(u32, u32)>,
 }
 
 impl MelFilterbank {
@@ -87,10 +94,19 @@ impl MelFilterbank {
                 weights[m * n_bins + k] = w;
             }
         }
+        let ranges = (0..n_mels)
+            .map(|m| {
+                let row = &weights[m * n_bins..(m + 1) * n_bins];
+                let start = row.iter().position(|&w| w != 0.0).unwrap_or(n_bins);
+                let end = row.iter().rposition(|&w| w != 0.0).map_or(start, |e| e + 1);
+                (start as u32, end as u32)
+            })
+            .collect();
         Ok(MelFilterbank {
             n_mels,
             n_bins,
             weights,
+            ranges,
         })
     }
 
@@ -121,21 +137,36 @@ impl MelFilterbank {
     ///
     /// Returns [`AudioError::InvalidConfig`] if `spectrum.len() != n_bins`.
     pub fn apply(&self, spectrum: &[f64]) -> Result<Vec<f64>> {
+        let mut out = Vec::new();
+        self.apply_into(spectrum, &mut out)?;
+        Ok(out)
+    }
+
+    /// [`MelFilterbank::apply`] into a caller-provided vector —
+    /// allocation-free once it has grown to `n_mels` elements, and
+    /// bit-identical to [`MelFilterbank::apply`].
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`MelFilterbank::apply`].
+    pub fn apply_into(&self, spectrum: &[f64], out: &mut Vec<f64>) -> Result<()> {
         if spectrum.len() != self.n_bins {
             return Err(AudioError::InvalidConfig {
                 field: "spectrum",
                 why: format!("expected {} bins, got {}", self.n_bins, spectrum.len()),
             });
         }
-        Ok((0..self.n_mels)
-            .map(|m| {
-                self.filter(m)
-                    .iter()
-                    .zip(spectrum)
-                    .map(|(w, s)| w * s)
-                    .sum()
-            })
-            .collect())
+        out.clear();
+        out.extend((0..self.n_mels).map(|m| {
+            let (start, end) = self.ranges[m];
+            let (start, end) = (start as usize, end as usize);
+            self.filter(m)[start..end]
+                .iter()
+                .zip(&spectrum[start..end])
+                .map(|(w, s)| w * s)
+                .sum::<f64>()
+        }));
+        Ok(())
     }
 }
 
@@ -203,6 +234,19 @@ mod tests {
             .map(|(i, _)| i)
             .collect();
         assert!(!active.is_empty() && active.len() <= 2, "active: {active:?}");
+    }
+
+    #[test]
+    fn sparse_apply_bit_identical_to_dense_sum() {
+        let fb = MelFilterbank::new(40, 512, 16_000.0, 20.0, 8_000.0).unwrap();
+        let spec: Vec<f64> = (0..257)
+            .map(|k| (((k * 31 + 7) % 97) as f64 / 97.0).powi(2))
+            .collect();
+        let got = fb.apply(&spec).unwrap();
+        for (m, &g) in got.iter().enumerate() {
+            let dense: f64 = fb.filter(m).iter().zip(&spec).map(|(w, s)| w * s).sum();
+            assert_eq!(g.to_bits(), dense.to_bits(), "filter {m}");
+        }
     }
 
     #[test]

@@ -1,12 +1,35 @@
 //! The complete MFCC extractor and the paper's two input geometries.
 
 use crate::dct::dct_ii_matrix;
-use crate::fft::power_spectrum;
+use crate::fft::{power_spectrum, RealFftPlan};
 use crate::mel::MelFilterbank;
 use crate::window::WindowKind;
 use crate::{AudioError, Result};
 use kwt_tensor::Mat;
 use serde::{Deserialize, Serialize};
+
+/// Reusable work buffers for the MFCC pipeline — one arena shared by every
+/// frame an extractor computes. [`MfccExtractor::extract_into`] and the
+/// streaming front end ([`crate::StreamingMfcc`]) thread one of these
+/// through each call, so steady-state extraction performs no heap
+/// allocation once the buffers have grown to the configured sizes.
+#[derive(Debug, Clone, Default)]
+pub struct MfccScratch {
+    windowed: Vec<f32>,
+    re: Vec<f64>,
+    im: Vec<f64>,
+    spec: Vec<f64>,
+    bands: Vec<f64>,
+    logs: Vec<f64>,
+    padded: Vec<f32>,
+}
+
+impl MfccScratch {
+    /// An empty scratch; buffers grow on first use and are then reused.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
 
 /// Configuration of the MFCC front end.
 ///
@@ -92,6 +115,7 @@ pub struct MfccExtractor {
     window: Vec<f32>,
     filterbank: MelFilterbank,
     dct: Vec<Vec<f64>>,
+    rfft: RealFftPlan,
 }
 
 impl MfccExtractor {
@@ -148,11 +172,13 @@ impl MfccExtractor {
         )?;
         let window = config.window.coefficients(config.win_length);
         let dct = dct_ii_matrix(config.n_mfcc, config.n_mels);
+        let rfft = RealFftPlan::new(config.n_fft)?;
         Ok(MfccExtractor {
             config,
             window,
             filterbank,
             dct,
+            rfft,
         })
     }
 
@@ -177,6 +203,105 @@ impl MfccExtractor {
     /// Returns [`AudioError::SignalTooShort`] if fewer samples than one
     /// window are supplied.
     pub fn extract(&self, samples: &[f32]) -> Result<Mat<f32>> {
+        let mut out = Mat::default();
+        self.extract_into(samples, &mut out, &mut MfccScratch::new())?;
+        Ok(out)
+    }
+
+    /// [`extract`](Self::extract) into a caller-provided output matrix and
+    /// scratch arena — the allocation-free steady-state path (bit-identical
+    /// to [`extract`](Self::extract), which delegates here).
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`extract`](Self::extract).
+    pub fn extract_into(
+        &self,
+        samples: &[f32],
+        out: &mut Mat<f32>,
+        scratch: &mut MfccScratch,
+    ) -> Result<()> {
+        let c = &self.config;
+        if samples.len() < c.win_length {
+            return Err(AudioError::SignalTooShort {
+                got: samples.len(),
+                need: c.win_length,
+            });
+        }
+        let n_frames = 1 + (samples.len() - c.win_length) / c.hop_length;
+        out.resize(n_frames, c.n_mfcc);
+        for t in 0..n_frames {
+            let start = t * c.hop_length;
+            self.compute_frame_into(
+                &samples[start..start + c.win_length],
+                out.row_mut(t),
+                scratch,
+            )?;
+        }
+        Ok(())
+    }
+
+    /// Computes the MFCC row of a single analysis window of exactly
+    /// [`MfccConfig::win_length`] samples — the shared kernel behind batch
+    /// extraction and [`crate::StreamingMfcc`], which is what makes
+    /// incremental extraction bit-identical to [`extract`](Self::extract).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AudioError::SignalTooShort`] unless `samples` holds
+    /// exactly one window and [`AudioError::InvalidConfig`] unless `out`
+    /// has [`MfccConfig::n_mfcc`] elements.
+    pub fn compute_frame_into(
+        &self,
+        samples: &[f32],
+        out: &mut [f32],
+        scratch: &mut MfccScratch,
+    ) -> Result<()> {
+        let c = &self.config;
+        if samples.len() != c.win_length {
+            return Err(AudioError::SignalTooShort {
+                got: samples.len(),
+                need: c.win_length,
+            });
+        }
+        if out.len() != c.n_mfcc {
+            return Err(AudioError::InvalidConfig {
+                field: "out",
+                why: format!("frame row holds {} values, need {}", out.len(), c.n_mfcc),
+            });
+        }
+        scratch.windowed.clear();
+        scratch
+            .windowed
+            .extend(samples.iter().zip(&self.window).map(|(&s, &w)| s * w));
+        self.rfft.power_spectrum_into(
+            &scratch.windowed,
+            &mut scratch.re,
+            &mut scratch.im,
+            &mut scratch.spec,
+        );
+        self.filterbank.apply_into(&scratch.spec, &mut scratch.bands)?;
+        scratch.logs.clear();
+        scratch
+            .logs
+            .extend(scratch.bands.iter().map(|&e| (e + c.log_floor).ln()));
+        for (k, drow) in self.dct.iter().enumerate() {
+            out[k] = drow.iter().zip(&scratch.logs).map(|(d, l)| d * l).sum::<f64>() as f32;
+        }
+        Ok(())
+    }
+
+    /// The seed repository's per-frame pipeline, kept verbatim as the
+    /// oracle for the plan-based fast path (mirroring `ops::reference` in
+    /// the tensor crate): a generic complex FFT and fresh buffers for
+    /// every frame. [`extract`](Self::extract) is equal to this up to f64
+    /// FFT rounding (`~1e-12` relative); benchmarks use it as the
+    /// one-shot baseline.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`extract`](Self::extract).
+    pub fn extract_reference(&self, samples: &[f32]) -> Result<Mat<f32>> {
         let c = &self.config;
         if samples.len() < c.win_length {
             return Err(AudioError::SignalTooShort {
@@ -203,6 +328,21 @@ impl MfccExtractor {
         Ok(out)
     }
 
+    /// [`extract_reference`](Self::extract_reference) over a zero-padded /
+    /// truncated clip — the one-shot seed path the engine benchmarks
+    /// measure against.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`extract_padded`](Self::extract_padded).
+    pub fn extract_padded_reference(&self, samples: &[f32]) -> Result<Mat<f32>> {
+        let n = self.config.clip_samples;
+        let mut buf = vec![0.0f32; n];
+        let take = samples.len().min(n);
+        buf[..take].copy_from_slice(&samples[..take]);
+        self.extract_reference(&buf)
+    }
+
     /// Like [`extract`](Self::extract) but first zero-pads or truncates the
     /// signal to [`MfccConfig::clip_samples`], guaranteeing exactly
     /// [`frames_per_clip`](Self::frames_per_clip) rows.
@@ -212,11 +352,34 @@ impl MfccExtractor {
     /// Propagates [`MfccExtractor::extract`] errors (cannot occur for a
     /// valid config since padding enforces the length).
     pub fn extract_padded(&self, samples: &[f32]) -> Result<Mat<f32>> {
+        let mut out = Mat::default();
+        self.extract_padded_into(samples, &mut out, &mut MfccScratch::new())?;
+        Ok(out)
+    }
+
+    /// [`extract_padded`](Self::extract_padded) into a caller-provided
+    /// output matrix and scratch arena (the padded clip buffer lives in the
+    /// scratch) — the allocation-free steady-state path used by the
+    /// inference engine's `classify`.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`extract_padded`](Self::extract_padded).
+    pub fn extract_padded_into(
+        &self,
+        samples: &[f32],
+        out: &mut Mat<f32>,
+        scratch: &mut MfccScratch,
+    ) -> Result<()> {
         let n = self.config.clip_samples;
-        let mut buf = vec![0.0f32; n];
+        let mut padded = std::mem::take(&mut scratch.padded);
+        padded.clear();
+        padded.resize(n, 0.0);
         let take = samples.len().min(n);
-        buf[..take].copy_from_slice(&samples[..take]);
-        self.extract(&buf)
+        padded[..take].copy_from_slice(&samples[..take]);
+        let result = self.extract_into(&padded, out, scratch);
+        scratch.padded = padded;
+        result
     }
 }
 
@@ -279,6 +442,30 @@ mod tests {
         assert_eq!(fe.config().n_mfcc, 16);
         let m = fe.extract_padded(&tone(440.0, 16_000)).unwrap();
         assert_eq!(m.shape(), (26, 16));
+    }
+
+    #[test]
+    fn fast_extract_tracks_reference_closely() {
+        // The plan-based rFFT path must agree with the seed's generic-FFT
+        // path to f64 rounding, for both paper geometries.
+        for fe in [kwt1_frontend().unwrap(), kwt_tiny_frontend().unwrap()] {
+            let clip: Vec<f32> = (0..16_000)
+                .map(|i| {
+                    let t = i as f64 / 16_000.0;
+                    ((2.0 * std::f64::consts::PI * 431.0 * t).sin() * 0.5
+                        + (2.0 * std::f64::consts::PI * 1740.0 * t).sin() * 0.25) as f32
+                })
+                .collect();
+            let fast = fe.extract_padded(&clip).unwrap();
+            let reference = fe.extract_padded_reference(&clip).unwrap();
+            assert_eq!(fast.shape(), reference.shape());
+            for (a, b) in fast.as_slice().iter().zip(reference.as_slice()) {
+                assert!(
+                    (a - b).abs() <= 1e-4 * b.abs().max(1.0),
+                    "fast {a} vs reference {b}"
+                );
+            }
+        }
     }
 
     #[test]

@@ -1,0 +1,255 @@
+//! Incremental MFCC extraction over a live sample stream.
+//!
+//! [`StreamingMfcc`] accepts audio in arbitrarily sized chunks and emits
+//! one MFCC frame as soon as each analysis window fills — **bit-identical**
+//! to what [`MfccExtractor::extract`] would produce over the concatenated
+//! signal, because both paths share
+//! [`MfccExtractor::compute_frame_into`]. Frame `t` covers samples
+//! `[t * hop, t * hop + win_length)` of the stream, exactly the batch
+//! framing.
+//!
+//! The internal buffer only ever holds the unconsumed tail of the stream
+//! (at most one window plus one pending chunk), so memory use is bounded
+//! regardless of stream length, and steady-state pushes perform no heap
+//! allocation once the buffers have grown.
+
+use crate::mfcc::{MfccConfig, MfccExtractor, MfccScratch};
+use crate::Result;
+
+/// Stateful incremental MFCC extractor (see the [module docs](self)).
+///
+/// # Example
+///
+/// ```
+/// use kwt_audio::{kwt_tiny_frontend, StreamingMfcc};
+///
+/// # fn main() -> Result<(), kwt_audio::AudioError> {
+/// let fe = kwt_tiny_frontend()?;
+/// let clip = vec![0.25f32; 16_000];
+/// let batch = fe.extract(&clip)?;
+///
+/// let mut stream = StreamingMfcc::from_extractor(fe);
+/// let mut rows = Vec::new();
+/// for chunk in clip.chunks(700) {
+///     stream.push(chunk, |_, frame| rows.push(frame.to_vec()))?;
+/// }
+/// assert_eq!(rows.len(), batch.rows());
+/// assert_eq!(rows[5], batch.row(5)); // bit-identical
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct StreamingMfcc {
+    extractor: MfccExtractor,
+    /// Unconsumed tail of the stream; `buf[0]` is stream sample `consumed`.
+    buf: Vec<f32>,
+    /// Global stream index of `buf[0]`.
+    consumed: u64,
+    /// Frames emitted so far (frame `f` starts at stream sample `f * hop`).
+    frames: u64,
+    frame_row: Vec<f32>,
+    scratch: MfccScratch,
+}
+
+impl StreamingMfcc {
+    /// Builds the extractor for `config` and wraps it for streaming.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`MfccExtractor::new`] validation errors.
+    pub fn new(config: MfccConfig) -> Result<Self> {
+        Ok(Self::from_extractor(MfccExtractor::new(config)?))
+    }
+
+    /// Wraps an already-validated extractor.
+    pub fn from_extractor(extractor: MfccExtractor) -> Self {
+        let n_mfcc = extractor.config().n_mfcc;
+        StreamingMfcc {
+            extractor,
+            buf: Vec::new(),
+            consumed: 0,
+            frames: 0,
+            frame_row: vec![0.0; n_mfcc],
+            scratch: MfccScratch::new(),
+        }
+    }
+
+    /// The wrapped extractor.
+    pub fn extractor(&self) -> &MfccExtractor {
+        &self.extractor
+    }
+
+    /// Frames emitted since construction (or the last [`reset`](Self::reset)).
+    pub fn frames_emitted(&self) -> u64 {
+        self.frames
+    }
+
+    /// Total samples pushed since construction (or the last reset).
+    pub fn samples_pushed(&self) -> u64 {
+        self.consumed + self.buf.len() as u64
+    }
+
+    /// Forgets all buffered samples and restarts the stream at sample 0.
+    pub fn reset(&mut self) {
+        self.buf.clear();
+        self.consumed = 0;
+        self.frames = 0;
+    }
+
+    /// Appends `samples` to the stream and invokes `on_frame(index, row)`
+    /// for every analysis window completed by them, in order. `row` holds
+    /// the frame's `n_mfcc` coefficients and is only valid during the
+    /// callback. Returns the number of frames emitted by this call.
+    ///
+    /// # Errors
+    ///
+    /// Propagates frame-computation errors (cannot occur for a validated
+    /// configuration).
+    pub fn push(
+        &mut self,
+        samples: &[f32],
+        mut on_frame: impl FnMut(u64, &[f32]),
+    ) -> Result<usize> {
+        let win = self.extractor.config().win_length as u64;
+        let hop = self.extractor.config().hop_length as u64;
+        self.buf.extend_from_slice(samples);
+        let mut emitted = 0;
+        loop {
+            let next_start = self.frames * hop;
+            debug_assert!(next_start >= self.consumed, "buffer dropped too eagerly");
+            let offset = (next_start - self.consumed) as usize;
+            let end = offset + win as usize;
+            if end > self.buf.len() {
+                break;
+            }
+            self.extractor.compute_frame_into(
+                &self.buf[offset..end],
+                &mut self.frame_row,
+                &mut self.scratch,
+            )?;
+            on_frame(self.frames, &self.frame_row);
+            self.frames += 1;
+            emitted += 1;
+        }
+        // Drop everything before the next frame's start (clamped to what
+        // has actually arrived): those samples can never be read again.
+        let available = self.consumed + self.buf.len() as u64;
+        let cut = ((self.frames * hop).min(available) - self.consumed) as usize;
+        if cut > 0 {
+            self.buf.copy_within(cut.., 0);
+            self.buf.truncate(self.buf.len() - cut);
+            self.consumed += cut as u64;
+        }
+        Ok(emitted)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mfcc::kwt_tiny_frontend;
+    use crate::WindowKind;
+
+    fn tone(freq: f64, n: usize) -> Vec<f32> {
+        (0..n)
+            .map(|i| {
+                let cycles = (i as f64 * freq / 16_000.0).fract();
+                (2.0 * std::f64::consts::PI * cycles).sin() as f32
+            })
+            .collect()
+    }
+
+    fn collect_stream(stream: &mut StreamingMfcc, clip: &[f32], chunks: &[usize]) -> Vec<Vec<f32>> {
+        let mut rows = Vec::new();
+        let mut off = 0;
+        for &n in chunks {
+            let end = (off + n).min(clip.len());
+            stream
+                .push(&clip[off..end], |_, row| rows.push(row.to_vec()))
+                .unwrap();
+            off = end;
+        }
+        if off < clip.len() {
+            stream
+                .push(&clip[off..], |_, row| rows.push(row.to_vec()))
+                .unwrap();
+        }
+        rows
+    }
+
+    #[test]
+    fn streaming_matches_batch_bit_exactly() {
+        let fe = kwt_tiny_frontend().unwrap();
+        let clip = tone(523.0, 16_000);
+        let batch = fe.extract(&clip).unwrap();
+        for chunks in [
+            vec![16_000],
+            vec![1; 0], // everything in the tail push
+            vec![100, 1_000, 7, 600, 8_000],
+            vec![1_601; 9],
+        ] {
+            let mut stream = StreamingMfcc::from_extractor(fe.clone());
+            let rows = collect_stream(&mut stream, &clip, &chunks);
+            assert_eq!(rows.len(), batch.rows(), "chunks {chunks:?}");
+            for (t, row) in rows.iter().enumerate() {
+                for (a, b) in row.iter().zip(batch.row(t)) {
+                    assert_eq!(a.to_bits(), b.to_bits(), "frame {t}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn buffer_stays_bounded() {
+        let fe = kwt_tiny_frontend().unwrap();
+        let win = fe.config().win_length;
+        let mut stream = StreamingMfcc::from_extractor(fe);
+        let chunk = tone(300.0, 160);
+        for _ in 0..2_000 {
+            stream.push(&chunk, |_, _| {}).unwrap();
+        }
+        assert!(
+            stream.buf.len() < win + chunk.len(),
+            "buffer grew to {}",
+            stream.buf.len()
+        );
+        assert_eq!(stream.samples_pushed(), 2_000 * 160);
+        assert!(stream.frames_emitted() > 500);
+    }
+
+    #[test]
+    fn hop_larger_than_window_drops_gap_samples() {
+        // hop > win: samples between windows are consumed and discarded.
+        let cfg = MfccConfig {
+            n_fft: 256,
+            win_length: 200,
+            hop_length: 300,
+            n_mels: 10,
+            n_mfcc: 8,
+            window: WindowKind::Hann,
+            clip_samples: 4_000,
+            ..MfccConfig::default()
+        };
+        let clip = tone(700.0, 4_000);
+        let fe = MfccExtractor::new(cfg.clone()).unwrap();
+        let batch = fe.extract(&clip).unwrap();
+        let mut stream = StreamingMfcc::new(cfg).unwrap();
+        let rows = collect_stream(&mut stream, &clip, &[37; 200]);
+        assert_eq!(rows.len(), batch.rows());
+        for (t, row) in rows.iter().enumerate() {
+            assert_eq!(row.as_slice(), batch.row(t), "frame {t}");
+        }
+    }
+
+    #[test]
+    fn reset_restarts_the_stream() {
+        let fe = kwt_tiny_frontend().unwrap();
+        let clip = tone(440.0, 8_000);
+        let mut stream = StreamingMfcc::from_extractor(fe);
+        let first = collect_stream(&mut stream, &clip, &[999; 9]);
+        stream.reset();
+        assert_eq!(stream.frames_emitted(), 0);
+        let second = collect_stream(&mut stream, &clip, &[4_000, 4_000]);
+        assert_eq!(first, second);
+    }
+}

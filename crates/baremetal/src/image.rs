@@ -666,15 +666,96 @@ impl InferenceImage {
 
     /// Runs one inference on the simulator.
     ///
-    /// Writes the MFCC input (quantising it for the integer flavours with
-    /// the same floor rule as the host models), runs to completion, and
-    /// returns float logits, the run statistics and the profiler report.
+    /// Convenience wrapper over a throwaway [`DeviceSession`] — loads a
+    /// fresh machine, runs once, and returns float logits, the run
+    /// statistics and the profiler report. Repeated callers should keep a
+    /// [`session`](Self::session) alive instead: it reuses one machine
+    /// (and its warm decode cache) across calls.
     ///
     /// # Errors
     ///
     /// Returns [`BuildError::Model`] for a wrong input shape or
     /// [`BuildError::Trap`] if the program faults.
     pub fn run(&self, mfcc: &Mat<f32>) -> Result<(Vec<f32>, RunResult, ProfileReport)> {
+        let mut session = self.session()?;
+        let mut logits = Vec::new();
+        let result = session.run_into(mfcc, &mut logits)?;
+        let report = session.profile_report();
+        Ok((logits, result, report))
+    }
+
+    /// Opens a persistent simulator session on this image: the program is
+    /// loaded into a [`Machine`] **once**, and every
+    /// [`DeviceSession::run`] after the first merely resets the
+    /// architectural registers ([`Machine::reset_cpu`]) — weights stay in
+    /// simulated RAM and the pre-decode execution cache stays warm, which
+    /// is what makes repeated device-side inference fast.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BuildError::Trap`] if the image does not fit the
+    /// platform RAM.
+    pub fn session(&self) -> Result<DeviceSession> {
+        let mut machine = Machine::load(&self.program, Platform::ibex())?;
+        for (id, name) in regions::region_names() {
+            machine.name_region(id, &name);
+        }
+        Ok(DeviceSession {
+            machine,
+            flavor: self.flavor,
+            config: self.config,
+            qconfig: self.qconfig,
+            input_addr: self.input_addr,
+            logits_addr: self.logits_addr,
+            runs: 0,
+        })
+    }
+}
+
+/// A persistent inference session on one [`InferenceImage`] (see
+/// [`InferenceImage::session`]).
+///
+/// Safe to reuse across inputs: the generated programs write every
+/// activation buffer before reading it and never store to the weight
+/// region, so a register reset is a complete re-arm — the
+/// `session_is_stateless_across_inputs` test proves logits are
+/// bit-identical to a freshly loaded machine, in any input order.
+#[derive(Debug, Clone)]
+pub struct DeviceSession {
+    machine: Machine,
+    flavor: Flavor,
+    config: KwtConfig,
+    qconfig: Option<QuantConfig>,
+    input_addr: u32,
+    logits_addr: u32,
+    runs: u64,
+}
+
+impl DeviceSession {
+    /// The image flavour this session runs.
+    pub fn flavor(&self) -> Flavor {
+        self.flavor
+    }
+
+    /// The model configuration this session runs.
+    pub fn config(&self) -> &KwtConfig {
+        &self.config
+    }
+
+    /// Inferences completed so far.
+    pub fn runs(&self) -> u64 {
+        self.runs
+    }
+
+    /// Runs one inference, writing float logits into `logits` (cleared
+    /// first). The returned [`RunResult`] counts only **this** run's
+    /// cycles and instructions, not the session totals.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BuildError::Model`] for a wrong input shape or
+    /// [`BuildError::Trap`] if the program faults.
+    pub fn run_into(&mut self, mfcc: &Mat<f32>, logits: &mut Vec<f32>) -> Result<RunResult> {
         let c = &self.config;
         if mfcc.shape() != (c.input_time, c.input_freq) {
             return Err(BuildError::Model(format!(
@@ -684,32 +765,62 @@ impl InferenceImage {
                 c.input_freq
             )));
         }
-        let mut machine = Machine::load(&self.program, Platform::ibex())?;
-        for (id, name) in regions::region_names() {
-            machine.name_region(id, &name);
-        }
+        // Unconditional: on a fresh load this equals the load state, and
+        // after a trapped run it re-arms instead of resuming the fault.
+        self.machine.reset_cpu();
         match self.flavor {
-            Flavor::Float => machine.write_f32s(self.input_addr, mfcc.as_slice()),
+            Flavor::Float => self.machine.write_f32s(self.input_addr, mfcc.as_slice()),
             Flavor::Quantized | Flavor::Accelerated => {
                 let ya = self.qconfig.expect("quant flavours carry qconfig").input_bits;
                 let (q, _) = qops::quantize_i16(mfcc, ya);
-                machine.write_i16s(self.input_addr, q.as_slice());
+                self.machine.write_i16s(self.input_addr, q.as_slice());
             }
         }
-        let result = machine.run(2_000_000_000)?;
-        let logits = match self.flavor {
-            Flavor::Float => machine.read_f32s(self.logits_addr, c.num_classes),
+        let cycles0 = self.machine.cpu.cycles;
+        let instret0 = self.machine.cpu.instret;
+        let result = self.machine.run(2_000_000_000)?;
+        self.runs += 1;
+        logits.clear();
+        match self.flavor {
+            Flavor::Float => {
+                logits.extend(self.machine.read_f32s(self.logits_addr, c.num_classes));
+            }
             Flavor::Quantized | Flavor::Accelerated => {
                 let ya = self.qconfig.expect("quant flavours carry qconfig").input_bits;
-                machine
-                    .read_i16s(self.logits_addr, c.num_classes)
-                    .into_iter()
-                    .map(|v| v as f32 / (1u32 << ya) as f32)
-                    .collect()
+                logits.extend(
+                    self.machine
+                        .read_i16s(self.logits_addr, c.num_classes)
+                        .into_iter()
+                        .map(|v| v as f32 / (1u32 << ya) as f32),
+                );
             }
-        };
-        let report = machine.profile_report();
-        Ok((logits, result, report))
+        }
+        Ok(RunResult {
+            cycles: result.cycles - cycles0,
+            instructions: result.instructions - instret0,
+            exit_code: result.exit_code,
+        })
+    }
+
+    /// [`run_into`](Self::run_into) returning fresh vectors.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`run_into`](Self::run_into).
+    pub fn run(&mut self, mfcc: &Mat<f32>) -> Result<(Vec<f32>, RunResult)> {
+        let mut logits = Vec::new();
+        let result = self.run_into(mfcc, &mut logits)?;
+        Ok((logits, result))
+    }
+
+    /// Profiler report accumulated over every run of this session.
+    pub fn profile_report(&self) -> ProfileReport {
+        self.machine.profile_report()
+    }
+
+    /// The underlying machine, for register/memory inspection.
+    pub fn machine(&self) -> &Machine {
+        &self.machine
     }
 }
 
@@ -851,6 +962,42 @@ mod tests {
         }
         // image fits the 64 kB platform with the 4 kB stack
         assert!(image.program_bytes() < 60 * 1024);
+    }
+
+    #[test]
+    fn session_is_stateless_across_inputs() {
+        // A persistent session re-armed with reset_cpu must match a fresh
+        // machine bit-for-bit on every flavour, in any input order —
+        // including re-running an input the session has already seen.
+        let params = trained_ish();
+        let qm = QuantizedKwt::quantize(&params, QuantConfig::paper_best());
+        let accel = qm.clone().with_nonlinearity(Nonlinearity::FixedLut);
+        let images = [
+            InferenceImage::build_float(&params).unwrap(),
+            InferenceImage::build_quant(&qm).unwrap(),
+            InferenceImage::build_quant(&accel).unwrap(),
+        ];
+        let inputs = [test_input(21), test_input(22), test_input(21)];
+        for image in &images {
+            let mut session = image.session().unwrap();
+            for (i, x) in inputs.iter().enumerate() {
+                let (logits, run) = session.run(x).unwrap();
+                let (want, want_run, _) = image.run(x).unwrap();
+                assert_eq!(logits.len(), want.len());
+                for (a, b) in logits.iter().zip(&want) {
+                    assert_eq!(
+                        a.to_bits(),
+                        b.to_bits(),
+                        "{:?} input {i}: session {a} vs fresh {b}",
+                        image.flavor
+                    );
+                }
+                // per-run cycle deltas match a cold machine's full run
+                assert_eq!(run.cycles, want_run.cycles, "{:?} input {i}", image.flavor);
+                assert_eq!(run.instructions, want_run.instructions);
+            }
+            assert_eq!(session.runs(), 3);
+        }
     }
 
     #[test]

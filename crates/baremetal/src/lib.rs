@@ -40,7 +40,7 @@ pub mod softfloat;
 
 pub use banks::Bank;
 pub use error::BuildError;
-pub use image::{Flavor, InferenceImage};
+pub use image::{DeviceSession, Flavor, InferenceImage};
 
 /// Convenience alias for results returned by this crate.
 pub type Result<T> = std::result::Result<T, BuildError>;

@@ -1,0 +1,45 @@
+//! Unified-engine classification: the one-shot seed path vs the engine's
+//! scratch-reuse steady state, per host backend (the criterion mirror of
+//! `paper bench-engine`; the simulator backend lives only in the JSON
+//! collector to keep `cargo bench` fast).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use kwt_audio::kwt_tiny_frontend;
+use kwt_bench::enginebench::{bench_clips, bench_params};
+use kwt_engine::{Engine, Prediction};
+use kwt_quant::{QuantConfig, QuantizedKwt};
+use std::hint::black_box;
+
+fn bench_engine(c: &mut Criterion) {
+    let params = bench_params();
+    let qm = QuantizedKwt::quantize(&params, QuantConfig::paper_best());
+    let fe = kwt_tiny_frontend().unwrap();
+    let clip = &bench_clips(1)[0];
+
+    let mut g = c.benchmark_group("engine_classify");
+    g.bench_function("float_one_shot", |b| {
+        b.iter(|| {
+            let mfcc = fe.extract_padded(black_box(clip)).unwrap();
+            kwt_model::forward(&params, &mfcc).unwrap()
+        })
+    });
+    let mut float_engine = Engine::host_float(params.clone(), fe.clone()).unwrap();
+    let mut pred = Prediction::default();
+    g.bench_function("float_engine_reuse", |b| {
+        b.iter(|| float_engine.classify_into(black_box(clip), &mut pred).unwrap())
+    });
+    g.bench_function("quant_one_shot", |b| {
+        b.iter(|| {
+            let mfcc = fe.extract_padded(black_box(clip)).unwrap();
+            qm.forward(&mfcc).unwrap()
+        })
+    });
+    let mut quant_engine = Engine::host_quant(qm.clone(), fe.clone()).unwrap();
+    g.bench_function("quant_engine_reuse", |b| {
+        b.iter(|| quant_engine.classify_into(black_box(clip), &mut pred).unwrap())
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_engine);
+criterion_main!(benches);

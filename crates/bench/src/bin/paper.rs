@@ -5,6 +5,7 @@
 //! paper table9         # one artefact
 //! paper table4 --full  # include the expensive KWT-1 training
 //! paper bench-tensor   # packed-GEMM / decode-cache speedups -> BENCH_tensor.json
+//! paper bench-engine   # engine clips/sec, one-shot vs scratch-reuse vs batched -> BENCH_engine.json
 //! ```
 
 use kwt_bench::experiments as exp;
@@ -25,7 +26,7 @@ fn main() {
     let all = [
         "table1", "table2", "table3", "table4", "table5", "table6", "table7", "table8",
         "table9", "fig3", "fig4", "fig5", "fig7", "ablation-timing", "ablation-nonlinearity",
-        "bench-tensor",
+        "bench-tensor", "bench-engine",
     ];
     let selected: Vec<&str> = if targets.is_empty() || targets.contains(&"all") {
         all.to_vec()
@@ -50,6 +51,7 @@ fn main() {
             "ablation-timing" => exp::ablation_timing(&ctx),
             "ablation-nonlinearity" => exp::ablation_nonlinearity(&ctx),
             "bench-tensor" => kwt_bench::microbench::run_and_write(std::path::Path::new(".")),
+            "bench-engine" => kwt_bench::enginebench::run_and_write(std::path::Path::new(".")),
             other => {
                 eprintln!("unknown target `{other}`; available: all {all:?}");
                 std::process::exit(2);

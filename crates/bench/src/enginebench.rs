@@ -1,0 +1,265 @@
+//! End-to-end engine throughput benchmarks with a machine-readable
+//! summary (`BENCH_engine.json`), driven by the `paper bench-engine`
+//! target.
+//!
+//! For each backend, measures clips/second of audio-in → prediction-out
+//! classification in three modes:
+//!
+//! * `one_shot` — the pre-engine seed path: a fresh allocating call chain
+//!   per clip (`extract_padded_reference` — the seed's generic-FFT MFCC,
+//!   kept as an oracle — + `kwt_model::forward` / `QuantizedKwt::forward`
+//!   / `InferenceImage::run`, the last rebuilding the simulator machine
+//!   every call);
+//! * `scratch_reuse` — `Engine::classify_into` with reused arenas (and,
+//!   for the RV32 backend, a persistent warm machine);
+//! * `batched` — `Engine::classify_batch_into` over the whole clip set.
+//!
+//! Honors `KWT_BENCH_SMOKE=1` and `KWT_BENCH_MEAS_MS` exactly like
+//! [`crate::microbench`].
+
+use kwt_audio::kwt_tiny_frontend;
+use kwt_baremetal::InferenceImage;
+use kwt_engine::{Engine, Prediction};
+use kwt_model::{KwtConfig, KwtParams};
+use crate::timing::{smoke, time_ns};
+use kwt_quant::{Nonlinearity, QuantConfig, QuantizedKwt};
+use serde::Serialize;
+use std::hint::black_box;
+
+/// One backend × mode throughput measurement.
+#[derive(Debug, Clone, Serialize)]
+pub struct EngineRow {
+    /// Backend name (`host_float`, `host_quant`, `rv32_sim`).
+    pub backend: String,
+    /// Mode (`one_shot`, `scratch_reuse`, `batched`).
+    pub mode: String,
+    /// Clips per measured batch.
+    pub clips: usize,
+    /// ns per clip.
+    pub ns_per_clip: f64,
+    /// Clips per second.
+    pub clips_per_s: f64,
+}
+
+/// Per-backend speedup summary.
+#[derive(Debug, Clone, Serialize)]
+pub struct EngineSpeedup {
+    /// Backend name.
+    pub backend: String,
+    /// `one_shot` ns / `scratch_reuse` ns.
+    pub scratch_reuse_vs_one_shot: f64,
+    /// `one_shot` ns / `batched` ns.
+    pub batched_vs_one_shot: f64,
+}
+
+/// The full `BENCH_engine.json` document.
+#[derive(Debug, Clone, Serialize)]
+pub struct EngineBenchSummary {
+    /// Producing command.
+    pub generated_by: String,
+    /// True when produced under `KWT_BENCH_SMOKE=1` (timings meaningless).
+    pub smoke: bool,
+    /// Raw measurements.
+    pub rows: Vec<EngineRow>,
+    /// Per-backend speedups of the engine paths over the seed path.
+    pub speedups: Vec<EngineSpeedup>,
+}
+
+/// Deterministic benchmark clips (1 s at 16 kHz): tone pairs + noise, the
+/// same family the engine equivalence tests use.
+pub fn bench_clips(n: usize) -> Vec<Vec<f32>> {
+    (0..n as u64)
+        .map(|seed| {
+            (0..16_000u64)
+                .map(|i| {
+                    let t = i as f64 / 16_000.0;
+                    let h = (i ^ seed.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+                        .wrapping_mul(0x2545_F491_4F6C_DD1D);
+                    let noise = ((h >> 40) as f64 / (1u64 << 24) as f64) - 0.5;
+                    (0.5 * (2.0 * std::f64::consts::PI * (220.0 + 40.0 * seed as f64) * t).sin()
+                        + 0.05 * noise) as f32
+                })
+                .collect()
+        })
+        .collect()
+}
+
+/// The benchmark model: KWT-Tiny weights shrunk into a realistic
+/// post-training range (throughput does not depend on training).
+pub fn bench_params() -> KwtParams {
+    let mut p = KwtParams::init(KwtConfig::kwt_tiny(), 77).expect("valid preset");
+    p.visit_mut(|s| {
+        for v in s {
+            *v *= 0.6;
+        }
+    });
+    p
+}
+
+struct BackendBench {
+    backend: &'static str,
+    clips: Vec<Vec<f32>>,
+    one_shot_ns: f64,
+    scratch_ns: f64,
+    batched_ns: f64,
+}
+
+fn measure(
+    backend: &'static str,
+    clips: Vec<Vec<f32>>,
+    mut one_shot: impl FnMut(&[f32]),
+    engine: &mut Engine,
+) -> BackendBench {
+    let per_clip = |total: f64| total / clips.len() as f64;
+    let one_shot_ns = per_clip(time_ns(|| {
+        for c in &clips {
+            one_shot(black_box(c));
+        }
+    }));
+    let mut pred = Prediction::default();
+    // warm the arenas before timing the steady state
+    for c in &clips {
+        engine.classify_into(c, &mut pred).expect("classify");
+    }
+    let scratch_ns = per_clip(time_ns(|| {
+        for c in &clips {
+            engine.classify_into(black_box(c), &mut pred).expect("classify");
+        }
+    }));
+    let mut out = Vec::new();
+    engine.classify_batch_into(&clips, &mut out).expect("batch");
+    let batched_ns = per_clip(time_ns(|| {
+        engine
+            .classify_batch_into(black_box(&clips), &mut out)
+            .expect("batch");
+    }));
+    BackendBench {
+        backend,
+        clips,
+        one_shot_ns,
+        scratch_ns,
+        batched_ns,
+    }
+}
+
+/// Runs every backend × mode measurement and returns the summary.
+pub fn collect() -> EngineBenchSummary {
+    let params = bench_params();
+    let qm = QuantizedKwt::quantize(&params, QuantConfig::paper_best());
+    let accel = qm.clone().with_nonlinearity(Nonlinearity::FixedLut);
+    let image = InferenceImage::build_quant(&accel).expect("image builds");
+    let fe = kwt_tiny_frontend().expect("preset is valid");
+
+    let mut benches = Vec::new();
+
+    // host_float: seed path = extract_padded + forward (packs per call).
+    {
+        let clips = bench_clips(8);
+        let mut engine = Engine::host_float(params.clone(), fe.clone()).expect("engine");
+        let p = params.clone();
+        let f = fe.clone();
+        benches.push(measure(
+            "host_float",
+            clips,
+            move |c| {
+                let mfcc = f.extract_padded_reference(c).expect("mfcc");
+                black_box(kwt_model::forward(&p, &mfcc).expect("forward"));
+            },
+            &mut engine,
+        ));
+    }
+
+    // host_quant: seed path = extract_padded + QuantizedKwt::forward
+    // (fresh activation buffers per call).
+    {
+        let clips = bench_clips(8);
+        let mut engine = Engine::host_quant(qm.clone(), fe.clone()).expect("engine");
+        let q = qm.clone();
+        let f = fe.clone();
+        benches.push(measure(
+            "host_quant",
+            clips,
+            move |c| {
+                let mfcc = f.extract_padded_reference(c).expect("mfcc");
+                black_box(q.forward(&mfcc).expect("forward"));
+            },
+            &mut engine,
+        ));
+    }
+
+    // rv32_sim: seed path = InferenceImage::run — a fresh Machine::load
+    // and a cold decode cache per clip.
+    {
+        let clips = bench_clips(if smoke() { 2 } else { 3 });
+        let mut engine = Engine::rv32_sim(&image, fe.clone()).expect("engine");
+        let f = fe.clone();
+        let img = image.clone();
+        benches.push(measure(
+            "rv32_sim",
+            clips,
+            move |c| {
+                let mfcc = f.extract_padded_reference(c).expect("mfcc");
+                black_box(img.run(&mfcc).expect("device run"));
+            },
+            &mut engine,
+        ));
+    }
+
+    let mut rows = Vec::new();
+    let mut speedups = Vec::new();
+    for b in &benches {
+        for (mode, ns) in [
+            ("one_shot", b.one_shot_ns),
+            ("scratch_reuse", b.scratch_ns),
+            ("batched", b.batched_ns),
+        ] {
+            rows.push(EngineRow {
+                backend: b.backend.to_string(),
+                mode: mode.to_string(),
+                clips: b.clips.len(),
+                ns_per_clip: ns,
+                clips_per_s: 1e9 / ns,
+            });
+        }
+        speedups.push(EngineSpeedup {
+            backend: b.backend.to_string(),
+            scratch_reuse_vs_one_shot: b.one_shot_ns / b.scratch_ns,
+            batched_vs_one_shot: b.one_shot_ns / b.batched_ns,
+        });
+    }
+    EngineBenchSummary {
+        generated_by: "paper bench-engine".to_string(),
+        smoke: smoke(),
+        rows,
+        speedups,
+    }
+}
+
+/// Runs [`collect`], writes `BENCH_engine.json` under `out_dir`, and
+/// returns a human-readable table.
+pub fn run_and_write(out_dir: &std::path::Path) -> String {
+    let summary = collect();
+    let json = serde_json::to_string_pretty(&summary).expect("summary serializes");
+    let path = out_dir.join("BENCH_engine.json");
+    std::fs::write(&path, &json)
+        .unwrap_or_else(|e| panic!("cannot write {}: {e}", path.display()));
+    let mut out = format!("# bench-engine (written to {})\n", path.display());
+    out.push_str("clips/sec, audio in -> prediction out:\n");
+    for r in &summary.rows {
+        out.push_str(&format!(
+            "  {:<12} {:<14} {:>12.0} ns/clip  {:>10.1} clips/s\n",
+            r.backend, r.mode, r.ns_per_clip, r.clips_per_s
+        ));
+    }
+    out.push_str("engine vs one-shot seed path:\n");
+    for s in &summary.speedups {
+        out.push_str(&format!(
+            "  {:<12} scratch-reuse {:.2}x   batched {:.2}x\n",
+            s.backend, s.scratch_reuse_vs_one_shot, s.batched_vs_one_shot
+        ));
+    }
+    if summary.smoke {
+        out.push_str("(smoke mode: single-iteration timings, not meaningful)\n");
+    }
+    out
+}

@@ -17,7 +17,9 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod enginebench;
 pub mod experiments;
 pub mod microbench;
+mod timing;
 
 pub use experiments::ExpContext;

@@ -13,12 +13,12 @@
 //! smoke mode) and `KWT_BENCH_MEAS_MS` (per-measurement budget,
 //! default 200 ms).
 
+use crate::timing::{smoke, time_ns};
 use kwt_rv32::{Machine, Platform};
 use kwt_rvasm::{Asm, Inst, Reg};
 use kwt_tensor::{ops, packed, qops, Mat, PackedMat};
 use serde::Serialize;
 use std::hint::black_box;
-use std::time::{Duration, Instant};
 
 /// One naive-vs-packed GEMM comparison.
 #[derive(Debug, Clone, Serialize)]
@@ -70,58 +70,6 @@ pub struct BenchSummary {
     pub matmul: Vec<MatmulRow>,
     /// Simulator comparisons.
     pub simulator: Vec<SimulatorRow>,
-}
-
-fn smoke() -> bool {
-    std::env::var("KWT_BENCH_SMOKE").map(|v| v != "0").unwrap_or(false)
-}
-
-fn budget() -> Duration {
-    let ms = std::env::var("KWT_BENCH_MEAS_MS")
-        .ok()
-        .and_then(|v| v.parse::<u64>().ok())
-        .unwrap_or(200);
-    Duration::from_millis(ms)
-}
-
-/// Best-of-batches ns/iter of `f` under the global budget; a single call
-/// in smoke mode.
-fn time_ns<O>(mut f: impl FnMut() -> O) -> f64 {
-    if smoke() {
-        let t0 = Instant::now();
-        black_box(f());
-        return t0.elapsed().as_nanos() as f64;
-    }
-    let target = budget();
-    let calib = target.min(Duration::from_millis(40));
-    let mut n: u64 = 1;
-    loop {
-        let t0 = Instant::now();
-        for _ in 0..n {
-            black_box(f());
-        }
-        let dt = t0.elapsed();
-        if dt >= calib || n >= 1 << 40 {
-            break;
-        }
-        n = if dt.as_nanos() == 0 {
-            n * 16
-        } else {
-            ((n as u128 * calib.as_nanos() * 2 / dt.as_nanos().max(1)) as u64).max(n + 1)
-        };
-    }
-    let mut best = f64::INFINITY;
-    let mut spent = Duration::ZERO;
-    while spent < target {
-        let t0 = Instant::now();
-        for _ in 0..n {
-            black_box(f());
-        }
-        let dt = t0.elapsed();
-        spent += dt;
-        best = best.min(dt.as_nanos() as f64 / n as f64);
-    }
-    best
 }
 
 /// Benchmark GEMM shapes: the KWT-Tiny MLP shape, the attention-scores

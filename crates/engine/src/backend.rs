@@ -1,0 +1,215 @@
+//! The [`Backend`] trait and its three implementations.
+//!
+//! A backend maps one MFCC spectrogram to class logits. Each owns every
+//! resource repeated inference needs — packed weights, activation scratch
+//! arenas, or a live simulator machine — so `infer_into` is allocation-free
+//! for the host backends and machine-reuse-warm for the simulated one.
+
+use crate::Result;
+use kwt_baremetal::{DeviceSession, InferenceImage};
+use kwt_model::{KwtConfig, KwtParams, PackedKwtWeights, Scratch};
+use kwt_quant::{QuantScratch, QuantizedKwt};
+use kwt_rv32::RunResult;
+use kwt_tensor::qops::QuantStats;
+use kwt_tensor::Mat;
+
+/// Which inference flavour a backend implements (the paper's Table IX
+/// rows, behind one API).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BackendKind {
+    /// Host-side float model (`kwt_model::forward_into`).
+    HostFloat,
+    /// Host-side INT8/INT16 quantised model
+    /// (`QuantizedKwt::forward_detailed_into`).
+    HostQuant,
+    /// Bare-metal image on the RV32IMC simulator, over a persistent
+    /// [`DeviceSession`].
+    Rv32Sim,
+}
+
+impl BackendKind {
+    /// Stable lowercase name (used by benchmark artefacts).
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            BackendKind::HostFloat => "host_float",
+            BackendKind::HostQuant => "host_quant",
+            BackendKind::Rv32Sim => "rv32_sim",
+        }
+    }
+}
+
+/// One inference flavour behind the uniform [`Engine`](crate::Engine) API.
+pub trait Backend: Send {
+    /// Which flavour this is.
+    fn kind(&self) -> BackendKind;
+
+    /// The model configuration (input geometry, class count).
+    fn config(&self) -> &KwtConfig;
+
+    /// Runs one inference over a `T x F` MFCC spectrogram, writing float
+    /// logits into `logits` (cleared first; capacity reused).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the subsystem's shape/kernel errors.
+    fn infer_into(&mut self, mfcc: &Mat<f32>, logits: &mut Vec<f32>) -> Result<()>;
+
+    /// Simulator statistics of the most recent inference — `Some` only for
+    /// [`BackendKind::Rv32Sim`].
+    fn last_device_run(&self) -> Option<RunResult> {
+        None
+    }
+
+    /// Quantisation statistics of the most recent inference — `Some` only
+    /// for [`BackendKind::HostQuant`].
+    fn last_quant_stats(&self) -> Option<QuantStats> {
+        None
+    }
+}
+
+/// Float host backend: pre-packed weights + reusable activation arena.
+#[derive(Debug, Clone)]
+pub struct HostFloatBackend {
+    params: KwtParams,
+    packed: PackedKwtWeights,
+    scratch: Scratch,
+}
+
+impl HostFloatBackend {
+    /// Packs the weights once and pre-allocates the scratch arena.
+    pub fn new(params: KwtParams) -> Self {
+        let packed = params.pack_weights();
+        let scratch = Scratch::new(&params.config);
+        HostFloatBackend {
+            params,
+            packed,
+            scratch,
+        }
+    }
+
+    /// The wrapped parameters.
+    pub fn params(&self) -> &KwtParams {
+        &self.params
+    }
+}
+
+impl Backend for HostFloatBackend {
+    fn kind(&self) -> BackendKind {
+        BackendKind::HostFloat
+    }
+
+    fn config(&self) -> &KwtConfig {
+        &self.params.config
+    }
+
+    fn infer_into(&mut self, mfcc: &Mat<f32>, logits: &mut Vec<f32>) -> Result<()> {
+        kwt_model::forward_into(&self.params, &self.packed, mfcc, &mut self.scratch, logits)?;
+        Ok(())
+    }
+}
+
+/// Quantised host backend: the model's own packed INT8 weights + reusable
+/// integer activation arena.
+#[derive(Debug, Clone)]
+pub struct HostQuantBackend {
+    qm: QuantizedKwt,
+    scratch: QuantScratch,
+    last_stats: Option<QuantStats>,
+}
+
+impl HostQuantBackend {
+    /// Wraps a quantised model and pre-allocates its scratch arena.
+    pub fn new(qm: QuantizedKwt) -> Self {
+        let scratch = QuantScratch::new(&qm.config);
+        HostQuantBackend {
+            qm,
+            scratch,
+            last_stats: None,
+        }
+    }
+
+    /// The wrapped quantised model.
+    pub fn model(&self) -> &QuantizedKwt {
+        &self.qm
+    }
+}
+
+impl Backend for HostQuantBackend {
+    fn kind(&self) -> BackendKind {
+        BackendKind::HostQuant
+    }
+
+    fn config(&self) -> &KwtConfig {
+        &self.qm.config
+    }
+
+    fn infer_into(&mut self, mfcc: &Mat<f32>, logits: &mut Vec<f32>) -> Result<()> {
+        let stats = self.qm.forward_detailed_into(mfcc, &mut self.scratch, logits)?;
+        self.last_stats = Some(stats);
+        Ok(())
+    }
+
+    fn last_quant_stats(&self) -> Option<QuantStats> {
+        self.last_stats
+    }
+}
+
+/// Simulated-device backend over a persistent [`DeviceSession`]: the
+/// machine is loaded once and re-armed between inferences, keeping the
+/// weights in simulated RAM and the pre-decode execution cache warm —
+/// unlike the one-shot [`InferenceImage::run`], which rebuilds the machine
+/// every call.
+#[derive(Debug, Clone)]
+pub struct Rv32SimBackend {
+    session: DeviceSession,
+    config: KwtConfig,
+    last_run: Option<RunResult>,
+}
+
+impl Rv32SimBackend {
+    /// Opens a persistent session on a built inference image.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`InferenceImage::session`] errors.
+    pub fn new(image: &InferenceImage) -> Result<Self> {
+        let session = image.session()?;
+        let config = *session.config();
+        Ok(Rv32SimBackend {
+            session,
+            config,
+            last_run: None,
+        })
+    }
+
+    /// Cumulative run count of the underlying session.
+    pub fn runs(&self) -> u64 {
+        self.session.runs()
+    }
+
+    /// The underlying session, for profiler access.
+    pub fn session(&self) -> &DeviceSession {
+        &self.session
+    }
+}
+
+impl Backend for Rv32SimBackend {
+    fn kind(&self) -> BackendKind {
+        BackendKind::Rv32Sim
+    }
+
+    fn config(&self) -> &KwtConfig {
+        &self.config
+    }
+
+    fn infer_into(&mut self, mfcc: &Mat<f32>, logits: &mut Vec<f32>) -> Result<()> {
+        let run = self.session.run_into(mfcc, logits)?;
+        self.last_run = Some(run);
+        Ok(())
+    }
+
+    fn last_device_run(&self) -> Option<RunResult> {
+        self.last_run
+    }
+}
+

@@ -1,0 +1,260 @@
+//! The [`Engine`]: MFCC front end + one [`Backend`] behind a uniform
+//! `classify` API, with a zero-allocation steady state.
+
+use crate::backend::{Backend, BackendKind, HostFloatBackend, HostQuantBackend, Rv32SimBackend};
+use crate::{EngineError, Result};
+use kwt_audio::{MfccExtractor, MfccScratch};
+use kwt_baremetal::InferenceImage;
+use kwt_model::{KwtConfig, KwtParams};
+use kwt_quant::QuantizedKwt;
+use kwt_rv32::RunResult;
+use kwt_tensor::Mat;
+
+/// One classification result.
+///
+/// Holds owned vectors so an instance can be reused across
+/// [`Engine::classify_into`] calls without reallocating — the engine
+/// clears and refills them in place.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Prediction {
+    /// Arg-max class index.
+    pub class: usize,
+    /// Softmax probability of [`class`](Self::class).
+    pub score: f32,
+    /// Raw class logits.
+    pub logits: Vec<f32>,
+    /// Softmax probabilities (same order as `logits`).
+    pub probs: Vec<f32>,
+}
+
+/// The unified inference engine: audio in, [`Prediction`] out, over any
+/// [`Backend`].
+///
+/// ```
+/// use kwt_engine::Engine;
+/// use kwt_model::{KwtConfig, KwtParams};
+///
+/// # fn main() -> Result<(), kwt_engine::EngineError> {
+/// let params = KwtParams::init(KwtConfig::kwt_tiny(), 7).unwrap();
+/// let mut engine = Engine::host_float(params, kwt_audio::kwt_tiny_frontend().unwrap())?;
+/// let clip = vec![0.1f32; 16_000]; // 1 s at 16 kHz
+/// let pred = engine.classify(&clip)?;
+/// assert!(pred.class < 2);
+/// # Ok(())
+/// # }
+/// ```
+///
+/// # Scratch lifecycle
+///
+/// Construction allocates everything once: the backend's packed weights
+/// and activation arena, the MFCC work buffers, and the logits vector.
+/// `classify_into` then reuses all of them, so the host steady state
+/// performs **no heap allocation** (asserted by the engine's
+/// allocation-counting test). `classify` is the convenience form that
+/// allocates one fresh [`Prediction`] per call.
+pub struct Engine {
+    frontend: MfccExtractor,
+    backend: Box<dyn Backend>,
+    mfcc: Mat<f32>,
+    scratch: MfccScratch,
+    logits: Vec<f32>,
+}
+
+impl Engine {
+    /// Wraps an arbitrary backend, validating that the front end's frame
+    /// geometry matches the model's `[T, F]` input.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::Config`] on a geometry mismatch.
+    pub fn new(frontend: MfccExtractor, backend: Box<dyn Backend>) -> Result<Self> {
+        let c = *backend.config();
+        if frontend.frames_per_clip() != c.input_time
+            || frontend.config().n_mfcc != c.input_freq
+        {
+            return Err(EngineError::Config {
+                why: format!(
+                    "front end produces {} frames x {} coefficients but the {} backend \
+                     expects {} x {}",
+                    frontend.frames_per_clip(),
+                    frontend.config().n_mfcc,
+                    backend.kind().as_str(),
+                    c.input_time,
+                    c.input_freq
+                ),
+            });
+        }
+        Ok(Engine {
+            mfcc: Mat::zeros(c.input_time, c.input_freq),
+            frontend,
+            backend,
+            scratch: MfccScratch::new(),
+            logits: Vec::with_capacity(c.num_classes),
+        })
+    }
+
+    /// Float host engine over freshly packed weights.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::Config`] on a geometry mismatch.
+    pub fn host_float(params: KwtParams, frontend: MfccExtractor) -> Result<Self> {
+        Engine::new(frontend, Box::new(HostFloatBackend::new(params)))
+    }
+
+    /// Quantised host engine.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::Config`] on a geometry mismatch.
+    pub fn host_quant(qm: QuantizedKwt, frontend: MfccExtractor) -> Result<Self> {
+        Engine::new(frontend, Box::new(HostQuantBackend::new(qm)))
+    }
+
+    /// Simulated-device engine over a persistent machine session.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::Config`] on a geometry mismatch, or a
+    /// propagated device error if the image does not fit the platform.
+    pub fn rv32_sim(image: &InferenceImage, frontend: MfccExtractor) -> Result<Self> {
+        Engine::new(frontend, Box::new(Rv32SimBackend::new(image)?))
+    }
+
+    /// Which backend flavour this engine runs.
+    pub fn kind(&self) -> BackendKind {
+        self.backend.kind()
+    }
+
+    /// The model configuration.
+    pub fn config(&self) -> &KwtConfig {
+        self.backend.config()
+    }
+
+    /// The MFCC front end.
+    pub fn frontend(&self) -> &MfccExtractor {
+        &self.frontend
+    }
+
+    /// Simulator statistics of the most recent inference
+    /// ([`BackendKind::Rv32Sim`] only).
+    pub fn last_device_run(&self) -> Option<RunResult> {
+        self.backend.last_device_run()
+    }
+
+    /// Quantisation statistics of the most recent inference
+    /// ([`BackendKind::HostQuant`] only).
+    pub fn last_quant_stats(&self) -> Option<kwt_tensor::qops::QuantStats> {
+        self.backend.last_quant_stats()
+    }
+
+    /// Classifies one audio clip (zero-padded / truncated to the front
+    /// end's nominal clip length).
+    ///
+    /// # Errors
+    ///
+    /// Propagates front-end and backend errors.
+    pub fn classify(&mut self, samples: &[f32]) -> Result<Prediction> {
+        let mut out = Prediction::default();
+        self.classify_into(samples, &mut out)?;
+        Ok(out)
+    }
+
+    /// [`classify`](Self::classify) into a reusable [`Prediction`] — the
+    /// allocation-free steady-state form.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`classify`](Self::classify).
+    pub fn classify_into(&mut self, samples: &[f32], out: &mut Prediction) -> Result<()> {
+        self.frontend
+            .extract_padded_into(samples, &mut self.mfcc, &mut self.scratch)?;
+        infer_prediction(self.backend.as_mut(), &self.mfcc, &mut self.logits, out)
+    }
+
+    /// Classifies an already-extracted `T x F` MFCC spectrogram.
+    ///
+    /// # Errors
+    ///
+    /// Propagates backend errors (including input-shape mismatches).
+    pub fn classify_mfcc(&mut self, mfcc: &Mat<f32>) -> Result<Prediction> {
+        let mut out = Prediction::default();
+        self.classify_mfcc_into(mfcc, &mut out)?;
+        Ok(out)
+    }
+
+    /// [`classify_mfcc`](Self::classify_mfcc) into a reusable
+    /// [`Prediction`].
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`classify_mfcc`](Self::classify_mfcc).
+    pub fn classify_mfcc_into(&mut self, mfcc: &Mat<f32>, out: &mut Prediction) -> Result<()> {
+        infer_prediction(self.backend.as_mut(), mfcc, &mut self.logits, out)
+    }
+
+    /// Classifies a batch of clips, one [`Prediction`] per clip, reusing
+    /// the engine's arenas across the whole batch.
+    ///
+    /// # Errors
+    ///
+    /// Fails on the first clip that fails; earlier results are discarded.
+    pub fn classify_batch(&mut self, clips: &[impl AsRef<[f32]>]) -> Result<Vec<Prediction>> {
+        let mut out = Vec::new();
+        self.classify_batch_into(clips, &mut out)?;
+        Ok(out)
+    }
+
+    /// [`classify_batch`](Self::classify_batch) into a reusable output
+    /// vector: existing [`Prediction`]s (and their buffers) are refilled
+    /// in place, so re-running batches of the same size allocates nothing
+    /// on the host backends.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`classify_batch`](Self::classify_batch).
+    pub fn classify_batch_into(
+        &mut self,
+        clips: &[impl AsRef<[f32]>],
+        out: &mut Vec<Prediction>,
+    ) -> Result<()> {
+        out.resize_with(clips.len(), Prediction::default);
+        for (clip, pred) in clips.iter().zip(out.iter_mut()) {
+            self.classify_into(clip.as_ref(), pred)?;
+        }
+        Ok(())
+    }
+}
+
+impl std::fmt::Debug for Engine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Engine")
+            .field("backend", &self.backend.kind())
+            .field("config", self.backend.config())
+            .finish_non_exhaustive()
+    }
+}
+
+/// Shared tail of every classify path: infer, softmax, arg-max — all into
+/// caller/engine-owned buffers.
+fn infer_prediction(
+    backend: &mut dyn Backend,
+    mfcc: &Mat<f32>,
+    logits: &mut Vec<f32>,
+    out: &mut Prediction,
+) -> Result<()> {
+    backend.infer_into(mfcc, logits)?;
+    kwt_model::softmax_probs_into(logits, &mut out.probs)?;
+    out.logits.clear();
+    out.logits.extend_from_slice(logits);
+    let (mut best, mut best_p) = (0usize, f32::NEG_INFINITY);
+    for (i, &p) in out.probs.iter().enumerate() {
+        if p > best_p {
+            best = i;
+            best_p = p;
+        }
+    }
+    out.class = best;
+    out.score = best_p;
+    Ok(())
+}

@@ -1,0 +1,93 @@
+use std::fmt;
+
+/// Error type of the unified inference engine: one variant per subsystem
+/// the engine drives, plus configuration mismatches caught at
+/// construction.
+#[derive(Debug)]
+pub enum EngineError {
+    /// MFCC front-end failure.
+    Audio(kwt_audio::AudioError),
+    /// Float model failure.
+    Model(kwt_model::ModelError),
+    /// Quantised model failure.
+    Quant(kwt_quant::QuantError),
+    /// Bare-metal image / simulator failure (RV32 backend).
+    Device(kwt_baremetal::BuildError),
+    /// The front end and the backend disagree about the input geometry,
+    /// or a streaming parameter is out of its valid domain.
+    Config {
+        /// What is inconsistent.
+        why: String,
+    },
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::Audio(e) => write!(f, "audio front end: {e}"),
+            EngineError::Model(e) => write!(f, "float model: {e}"),
+            EngineError::Quant(e) => write!(f, "quantised model: {e}"),
+            EngineError::Device(e) => write!(f, "rv32 device: {e}"),
+            EngineError::Config { why } => write!(f, "engine configuration: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            EngineError::Audio(e) => Some(e),
+            EngineError::Model(e) => Some(e),
+            EngineError::Quant(e) => Some(e),
+            EngineError::Device(e) => Some(e),
+            EngineError::Config { .. } => None,
+        }
+    }
+}
+
+impl From<kwt_audio::AudioError> for EngineError {
+    fn from(e: kwt_audio::AudioError) -> Self {
+        EngineError::Audio(e)
+    }
+}
+
+impl From<kwt_model::ModelError> for EngineError {
+    fn from(e: kwt_model::ModelError) -> Self {
+        EngineError::Model(e)
+    }
+}
+
+impl From<kwt_quant::QuantError> for EngineError {
+    fn from(e: kwt_quant::QuantError) -> Self {
+        EngineError::Quant(e)
+    }
+}
+
+impl From<kwt_baremetal::BuildError> for EngineError {
+    fn from(e: kwt_baremetal::BuildError) -> Self {
+        EngineError::Device(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = EngineError::Config {
+            why: "frames mismatch".into(),
+        };
+        assert!(e.to_string().contains("frames mismatch"));
+        let e: EngineError = kwt_audio::AudioError::SignalTooShort { got: 1, need: 2 }.into();
+        assert!(e.to_string().contains("audio front end"));
+        use std::error::Error;
+        assert!(e.source().is_some());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<EngineError>();
+    }
+}

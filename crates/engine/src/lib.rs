@@ -1,0 +1,59 @@
+//! # kwt-engine
+//!
+//! The unified inference engine: one servable runtime over every
+//! inference flavour this reproduction implements. Where the lower crates
+//! expose one-shot, allocation-heavy per-clip calls
+//! (`MfccExtractor::extract`, `kwt_model::forward`,
+//! `QuantizedKwt::forward`, `InferenceImage::run`), the engine owns all
+//! per-call state — packed weights, activation scratch arenas, MFCC work
+//! buffers, a persistent simulator machine — and reuses it across calls.
+//!
+//! # Backend matrix
+//!
+//! | [`BackendKind`] | Implementation                                   | Paper row (Table IX)    |
+//! |-----------------|--------------------------------------------------|-------------------------|
+//! | `HostFloat`     | `kwt_model::forward_into` + [`kwt_model::Scratch`] | KWT-Tiny (float)      |
+//! | `HostQuant`     | `QuantizedKwt::forward_detailed_into` + [`kwt_quant::QuantScratch`] | KWT-Tiny-Q |
+//! | `Rv32Sim`       | `kwt_baremetal::DeviceSession` (persistent machine, warm decode cache) | any flavour on the simulated Ibex |
+//!
+//! All three sit behind [`Engine::classify`] / [`Engine::classify_batch`]
+//! and produce logits bit-identical to their one-shot counterparts (the
+//! equivalence tests prove it).
+//!
+//! # Scratch lifecycle
+//!
+//! Arenas are allocated once at engine construction and resized in place
+//! thereafter; a fresh arena and a reused one are indistinguishable
+//! (buffers carry no state between calls). Consequently the host
+//! backends' `classify_into` steady state performs **zero heap
+//! allocation** — `tests/alloc_free.rs` wraps the global allocator in a
+//! counter and asserts it.
+//!
+//! # Streaming semantics
+//!
+//! [`StreamingKws`] spots keywords on a continuous stream: a bounded
+//! sample buffer feeds incremental, hop-aligned MFCC extraction
+//! (bit-identical to batch extraction — same per-frame kernel), frames
+//! slide through a `T x F` model window, and the window is classified
+//! every [`StreamingConfig::stride_frames`] frames with majority-vote
+//! smoothing over the last [`StreamingConfig::vote_window`] raw
+//! decisions. After exactly one nominal clip, the streamed window equals
+//! the batch spectrogram bit-for-bit, so streamed and one-shot
+//! classifications agree.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod backend;
+#[allow(clippy::module_inception)]
+mod engine;
+mod error;
+mod streaming;
+
+pub use backend::{Backend, BackendKind, HostFloatBackend, HostQuantBackend, Rv32SimBackend};
+pub use engine::{Engine, Prediction};
+pub use error::EngineError;
+pub use streaming::{StreamDecision, StreamingConfig, StreamingKws};
+
+/// Convenience alias for results returned by this crate.
+pub type Result<T> = std::result::Result<T, EngineError>;

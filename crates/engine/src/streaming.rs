@@ -1,0 +1,251 @@
+//! Continuous keyword spotting over a live audio stream.
+//!
+//! [`StreamingKws`] chains the incremental MFCC front end
+//! ([`kwt_audio::StreamingMfcc`], bit-identical to batch extraction) with
+//! an [`Engine`] over a sliding window of model-input frames:
+//!
+//! 1. every pushed chunk is folded into the sample ring buffer and turned
+//!    into hop-aligned MFCC frames as windows complete;
+//! 2. each new frame shifts the `T x F` model window up by one row;
+//! 3. once `T` frames have accumulated, the window is classified every
+//!    [`StreamingConfig::stride_frames`] frames;
+//! 4. raw per-window decisions are smoothed by majority vote over the last
+//!    [`StreamingConfig::vote_window`] classifications (ties break toward
+//!    the class voted most recently), suppressing single-window flickers.
+//!
+//! Because the window after exactly one nominal clip equals
+//! `extract(clip)` bit-for-bit, the first streamed decision matches
+//! [`Engine::classify`] on the same clip — the engine's property tests
+//! assert this.
+
+use crate::{Engine, EngineError, Prediction, Result};
+use kwt_audio::StreamingMfcc;
+use kwt_tensor::Mat;
+use std::collections::VecDeque;
+
+/// Sliding-window and smoothing parameters for [`StreamingKws`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StreamingConfig {
+    /// Classify every this-many new frames once the window is full
+    /// (1 = every hop).
+    pub stride_frames: usize,
+    /// Majority vote over this many most-recent raw classifications.
+    pub vote_window: usize,
+}
+
+impl Default for StreamingConfig {
+    fn default() -> Self {
+        StreamingConfig {
+            stride_frames: 1,
+            vote_window: 5,
+        }
+    }
+}
+
+/// One emitted classification of the sliding window.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StreamDecision {
+    /// Index of the newest frame in the classified window (frame numbers
+    /// start at 0; the first decision fires at frame `T - 1`).
+    pub frame_index: u64,
+    /// Raw arg-max class of this window.
+    pub class: usize,
+    /// Softmax probability of `class`.
+    pub score: f32,
+    /// Majority-vote-smoothed class over the recent decisions.
+    pub smoothed_class: usize,
+}
+
+/// Streaming keyword spotter (see the [module docs](self)).
+pub struct StreamingKws {
+    engine: Engine,
+    stream: StreamingMfcc,
+    window: Mat<f32>,
+    frames_seen: u64,
+    config: StreamingConfig,
+    votes: VecDeque<usize>,
+    counts: Vec<usize>,
+    pred: Prediction,
+}
+
+impl StreamingKws {
+    /// Wraps an engine for streaming; the incremental front end is cloned
+    /// from the engine's extractor, so frames match its batch output
+    /// bit-for-bit.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::Config`] for zero `stride_frames` or
+    /// `vote_window`.
+    pub fn new(engine: Engine, config: StreamingConfig) -> Result<Self> {
+        if config.stride_frames == 0 || config.vote_window == 0 {
+            return Err(EngineError::Config {
+                why: "stride_frames and vote_window must be positive".into(),
+            });
+        }
+        let c = *engine.config();
+        let stream = StreamingMfcc::from_extractor(engine.frontend().clone());
+        Ok(StreamingKws {
+            window: Mat::zeros(c.input_time, c.input_freq),
+            counts: vec![0; c.num_classes],
+            votes: VecDeque::with_capacity(config.vote_window),
+            stream,
+            engine,
+            frames_seen: 0,
+            config,
+            pred: Prediction::default(),
+        })
+    }
+
+    /// The wrapped engine.
+    pub fn engine(&self) -> &Engine {
+        &self.engine
+    }
+
+    /// Recovers the engine, dropping the stream state.
+    pub fn into_engine(self) -> Engine {
+        self.engine
+    }
+
+    /// MFCC frames folded into the window so far.
+    pub fn frames_seen(&self) -> u64 {
+        self.frames_seen
+    }
+
+    /// Forgets all stream state (samples, window, votes); the engine and
+    /// its arenas are kept.
+    pub fn reset(&mut self) {
+        self.stream.reset();
+        self.frames_seen = 0;
+        self.votes.clear();
+    }
+
+    /// Feeds a chunk of audio, returning every sliding-window decision it
+    /// completed (often none; possibly several for large chunks).
+    ///
+    /// # Errors
+    ///
+    /// Propagates front-end and backend errors. On error the returned
+    /// decisions are dropped, but the stream state (ring buffer, window,
+    /// votes) keeps whatever progress was made before the failure — the
+    /// chunk's samples must not be pushed again.
+    pub fn push(&mut self, samples: &[f32]) -> Result<Vec<StreamDecision>> {
+        let mut out = Vec::new();
+        self.push_with(samples, |d| out.push(d))?;
+        Ok(out)
+    }
+
+    /// [`push`](Self::push) delivering decisions through a callback — the
+    /// allocation-conscious form for long-running streams.
+    ///
+    /// # Errors
+    ///
+    /// Propagates front-end and backend errors. Decisions completed
+    /// before the failure have already been delivered to `on_decision`,
+    /// and stream state keeps the progress made — there is no rollback.
+    pub fn push_with(
+        &mut self,
+        samples: &[f32],
+        mut on_decision: impl FnMut(StreamDecision),
+    ) -> Result<()> {
+        let t_frames = self.window.rows() as u64;
+        let stride = self.config.stride_frames as u64;
+        let vote_window = self.config.vote_window;
+        let Self {
+            engine,
+            stream,
+            window,
+            frames_seen,
+            votes,
+            counts,
+            pred,
+            ..
+        } = self;
+        let mut deferred: Result<()> = Ok(());
+        stream.push(samples, |frame_index, row| {
+            if deferred.is_err() {
+                return;
+            }
+            // Shift the model window up one row and append the new frame.
+            let cols = window.cols();
+            window.as_mut_slice().copy_within(cols.., 0);
+            let last = window.rows() - 1;
+            window.row_mut(last).copy_from_slice(row);
+            *frames_seen += 1;
+            if *frames_seen < t_frames || (*frames_seen - t_frames) % stride != 0 {
+                return;
+            }
+            match engine.classify_mfcc_into(window, pred) {
+                Ok(()) => {
+                    if votes.len() == vote_window {
+                        votes.pop_front();
+                    }
+                    votes.push_back(pred.class);
+                    on_decision(StreamDecision {
+                        frame_index,
+                        class: pred.class,
+                        score: pred.score,
+                        smoothed_class: majority(votes, counts),
+                    });
+                }
+                Err(e) => deferred = Err(e),
+            }
+        })?;
+        deferred
+    }
+}
+
+impl std::fmt::Debug for StreamingKws {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("StreamingKws")
+            .field("engine", &self.engine)
+            .field("config", &self.config)
+            .field("frames_seen", &self.frames_seen)
+            .finish_non_exhaustive()
+    }
+}
+
+/// Majority class of `votes`; ties break toward the class whose latest
+/// vote is most recent. `counts` is a reusable per-class tally.
+fn majority(votes: &VecDeque<usize>, counts: &mut [usize]) -> usize {
+    counts.fill(0);
+    let mut best = 0usize;
+    let mut best_count = 0usize;
+    for &v in votes {
+        counts[v] += 1;
+        // `>=` lets a later class overtake on equal count: the most
+        // recently voted class wins ties.
+        if counts[v] >= best_count {
+            if counts[v] > best_count || v != best {
+                best = v;
+            }
+            best_count = counts[v];
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn votes(v: &[usize]) -> VecDeque<usize> {
+        v.iter().copied().collect()
+    }
+
+    #[test]
+    fn majority_prefers_most_common() {
+        let mut counts = vec![0; 4];
+        assert_eq!(majority(&votes(&[1, 2, 2, 1, 2]), &mut counts), 2);
+        assert_eq!(majority(&votes(&[0, 0, 3]), &mut counts), 0);
+        assert_eq!(majority(&votes(&[3]), &mut counts), 3);
+    }
+
+    #[test]
+    fn majority_tie_breaks_toward_recent() {
+        let mut counts = vec![0; 4];
+        // 1 and 2 both have two votes; 2 voted last.
+        assert_eq!(majority(&votes(&[1, 2, 1, 2]), &mut counts), 2);
+        assert_eq!(majority(&votes(&[2, 1, 2, 1]), &mut counts), 1);
+    }
+}

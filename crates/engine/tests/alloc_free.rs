@@ -1,0 +1,134 @@
+//! Proof of the zero-allocation steady state: wraps the global allocator
+//! in a counter and asserts that, after warm-up, repeated host-side
+//! `classify_into` calls perform **no heap allocation at all** — the
+//! tentpole property the scratch arenas exist for.
+
+use kwt_audio::kwt_tiny_frontend;
+use kwt_engine::{Engine, Prediction, StreamingConfig, StreamingKws};
+use kwt_model::{KwtConfig, KwtParams};
+use kwt_quant::{QuantConfig, QuantizedKwt};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.alloc_zeroed(layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+fn allocations(f: impl FnOnce()) -> u64 {
+    let before = ALLOCS.load(Ordering::Relaxed);
+    f();
+    ALLOCS.load(Ordering::Relaxed) - before
+}
+
+fn trained_ish() -> KwtParams {
+    let mut p = KwtParams::init(KwtConfig::kwt_tiny(), 77).unwrap();
+    p.visit_mut(|s| {
+        for v in s {
+            *v *= 0.6;
+        }
+    });
+    p
+}
+
+fn clip(seed: u64) -> Vec<f32> {
+    (0..16_000u64)
+        .map(|i| {
+            let t = i as f64 / 16_000.0;
+            ((2.0 * std::f64::consts::PI * (300.0 + seed as f64 * 50.0) * t).sin() * 0.5) as f32
+        })
+        .collect()
+}
+
+/// Warm the engine on every input it will see, then count allocations
+/// over many steady-state iterations.
+fn steady_state_allocs(engine: &mut Engine, clips: &[Vec<f32>]) -> u64 {
+    let mut pred = Prediction::default();
+    for audio in clips {
+        engine.classify_into(audio, &mut pred).unwrap();
+    }
+    allocations(|| {
+        for _ in 0..10 {
+            for audio in clips {
+                engine.classify_into(audio, &mut pred).unwrap();
+            }
+        }
+    })
+}
+
+#[test]
+fn host_float_steady_state_allocates_nothing() {
+    let clips: Vec<Vec<f32>> = (0..3).map(clip).collect();
+    let mut engine = Engine::host_float(trained_ish(), kwt_tiny_frontend().unwrap()).unwrap();
+    let n = steady_state_allocs(&mut engine, &clips);
+    assert_eq!(n, 0, "host_float hot loop allocated {n} times");
+}
+
+#[test]
+fn host_quant_steady_state_allocates_nothing() {
+    let qm = QuantizedKwt::quantize(&trained_ish(), QuantConfig::paper_best());
+    let clips: Vec<Vec<f32>> = (0..3).map(clip).collect();
+    let mut engine = Engine::host_quant(qm, kwt_tiny_frontend().unwrap()).unwrap();
+    let n = steady_state_allocs(&mut engine, &clips);
+    assert_eq!(n, 0, "host_quant hot loop allocated {n} times");
+}
+
+#[test]
+fn batched_steady_state_allocates_nothing() {
+    let clips: Vec<Vec<f32>> = (0..4).map(clip).collect();
+    let mut engine = Engine::host_float(trained_ish(), kwt_tiny_frontend().unwrap()).unwrap();
+    let mut out = Vec::new();
+    engine.classify_batch_into(&clips, &mut out).unwrap();
+    let n = allocations(|| {
+        for _ in 0..5 {
+            engine.classify_batch_into(&clips, &mut out).unwrap();
+        }
+    });
+    assert_eq!(n, 0, "batched hot loop allocated {n} times");
+}
+
+#[test]
+fn streaming_push_is_allocation_bounded() {
+    // The warm-up pushes absorb every one-time buffer growth (ring
+    // buffer, window, vote deque); after that the streaming steady state
+    // must allocate nothing at all.
+    let mut kws = StreamingKws::new(
+        Engine::host_float(trained_ish(), kwt_tiny_frontend().unwrap()).unwrap(),
+        StreamingConfig::default(),
+    )
+    .unwrap();
+    let chunk = clip(2);
+    // Warm up: several full clips through the window + one classify.
+    for _ in 0..3 {
+        kws.push_with(&chunk, |_| {}).unwrap();
+    }
+    let n = allocations(|| {
+        for _ in 0..5 {
+            kws.push_with(&chunk, |_| {}).unwrap();
+        }
+    });
+    assert_eq!(n, 0, "streaming steady state allocated {n} times");
+}

@@ -1,0 +1,163 @@
+//! Property tests for the streaming front end and the scratch arenas:
+//!
+//! * incremental MFCC == batch `extract`, bit-identically, across random
+//!   window/hop geometries and random chunk splits of the clip;
+//! * `forward` with a fresh scratch == `forward` with a heavily reused
+//!   scratch on random inputs;
+//! * the first streaming decision == one-shot `classify` of the same clip.
+
+use kwt_audio::{kwt_tiny_frontend, MfccConfig, MfccExtractor, StreamingMfcc, WindowKind};
+use kwt_engine::{Engine, StreamingConfig, StreamingKws};
+use kwt_model::{KwtConfig, KwtParams, Scratch};
+use kwt_tensor::Mat;
+use proptest::prelude::*;
+
+fn wave(seed: u64, n: usize) -> Vec<f32> {
+    (0..n as u64)
+        .map(|i| {
+            let h = (i ^ seed).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+            let noise = ((h >> 40) as f64 / (1u64 << 24) as f64) - 0.5;
+            let t = i as f64 / 16_000.0;
+            ((2.0 * std::f64::consts::PI * (250.0 + seed as f64 % 700.0) * t).sin() * 0.4
+                + noise * 0.2) as f32
+        })
+        .collect()
+}
+
+/// Splits `clip` at the given relative cut points and pushes the chunks.
+fn stream_rows(extractor: &MfccExtractor, clip: &[f32], cuts: &[usize]) -> Vec<Vec<f32>> {
+    let mut stream = StreamingMfcc::from_extractor(extractor.clone());
+    let mut rows = Vec::new();
+    let mut off = 0;
+    for &c in cuts {
+        let end = off + c % (clip.len() - off).max(1);
+        stream
+            .push(&clip[off..end], |_, row| rows.push(row.to_vec()))
+            .unwrap();
+        off = end;
+    }
+    stream
+        .push(&clip[off..], |_, row| rows.push(row.to_vec()))
+        .unwrap();
+    rows
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn streaming_mfcc_equals_batch_for_random_geometry_and_splits(
+        win_sel in 32usize..200,
+        hop_sel in 8usize..300,
+        clip_extra in 0usize..2_000,
+        seed in 0u64..1_000,
+        cuts in proptest::collection::vec(1usize..4_000, 0..6),
+    ) {
+        let config = MfccConfig {
+            n_fft: 256,
+            win_length: win_sel,
+            hop_length: hop_sel,
+            n_mels: 12,
+            n_mfcc: 8,
+            window: WindowKind::Hann,
+            clip_samples: win_sel + 100,
+            ..MfccConfig::default()
+        };
+        let extractor = MfccExtractor::new(config).unwrap();
+        let clip = wave(seed, win_sel + 100 + clip_extra);
+        let batch = extractor.extract(&clip).unwrap();
+        let rows = stream_rows(&extractor, &clip, &cuts);
+        prop_assert_eq!(rows.len(), batch.rows());
+        for (t, row) in rows.iter().enumerate() {
+            for (a, b) in row.iter().zip(batch.row(t)) {
+                prop_assert_eq!(a.to_bits(), b.to_bits(), "frame {}", t);
+            }
+        }
+    }
+
+    #[test]
+    fn fresh_and_reused_scratch_agree_on_random_inputs(
+        seeds in proptest::collection::vec(0u64..10_000, 1..6),
+    ) {
+        let params = KwtParams::init(KwtConfig::kwt_tiny(), 3).unwrap();
+        let packed = params.pack_weights();
+        let mut reused = Scratch::new(&params.config);
+        let mut out_reused = Vec::new();
+        for seed in seeds {
+            let x = Mat::from_fn(26, 16, |r, c| {
+                let h = (seed + (r * 16 + c) as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+                ((h >> 40) as f32 / (1u64 << 24) as f32) - 0.5
+            });
+            kwt_model::forward_into(&params, &packed, &x, &mut reused, &mut out_reused).unwrap();
+            let fresh = kwt_model::forward_with(&params, &packed, &x).unwrap();
+            prop_assert_eq!(&out_reused, &fresh);
+        }
+    }
+}
+
+#[test]
+fn first_streaming_decision_equals_batch_classify() {
+    let params = {
+        let mut p = KwtParams::init(KwtConfig::kwt_tiny(), 77).unwrap();
+        p.visit_mut(|s| {
+            for v in s {
+                *v *= 0.6;
+            }
+        });
+        p
+    };
+    let fe = kwt_tiny_frontend().unwrap();
+    let clip = wave(5, 16_000);
+    let mut engine = Engine::host_float(params.clone(), fe.clone()).unwrap();
+    let want = engine.classify(&clip).unwrap();
+
+    let engine2 = Engine::host_float(params, fe).unwrap();
+    let mut kws = StreamingKws::new(engine2, StreamingConfig::default()).unwrap();
+    let mut decisions = Vec::new();
+    for chunk in clip.chunks(1_234) {
+        decisions.extend(kws.push(chunk).unwrap());
+    }
+    // One nominal clip yields exactly T frames -> exactly one decision,
+    // whose window is bit-identical to the batch spectrogram.
+    assert_eq!(decisions.len(), 1);
+    let d = &decisions[0];
+    assert_eq!(d.frame_index, 25);
+    assert_eq!(d.class, want.class);
+    assert_eq!(d.score.to_bits(), want.score.to_bits());
+    assert_eq!(d.smoothed_class, want.class, "single vote: smoothed == raw");
+}
+
+#[test]
+fn streaming_smoothing_suppresses_flicker() {
+    // Alternate two very different signals chunk-by-chunk: raw decisions
+    // may flip, the smoothed majority must be at least as stable.
+    let params = KwtParams::init(KwtConfig::kwt_tiny(), 12).unwrap();
+    let fe = kwt_tiny_frontend().unwrap();
+    let engine = Engine::host_float(params, fe).unwrap();
+    let mut kws = StreamingKws::new(
+        engine,
+        StreamingConfig {
+            stride_frames: 2,
+            vote_window: 7,
+        },
+    )
+    .unwrap();
+    let a = wave(1, 48_000);
+    let mut decisions = Vec::new();
+    for chunk in a.chunks(800) {
+        decisions.extend(kws.push(chunk).unwrap());
+    }
+    assert!(decisions.len() > 10, "expected many decisions");
+    let raw_flips = decisions.windows(2).filter(|w| w[0].class != w[1].class).count();
+    let smooth_flips = decisions
+        .windows(2)
+        .filter(|w| w[0].smoothed_class != w[1].smoothed_class)
+        .count();
+    assert!(
+        smooth_flips <= raw_flips,
+        "smoothing increased flicker: {smooth_flips} > {raw_flips}"
+    );
+    // decision cadence respects the stride
+    assert_eq!(decisions[0].frame_index, 25);
+    assert_eq!(decisions[1].frame_index, 27);
+}

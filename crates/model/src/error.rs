@@ -17,6 +17,13 @@ pub enum ModelError {
         /// Received `(rows, cols)`.
         got: (usize, usize),
     },
+    /// A logit vector handed to `softmax_probs` was empty or contained a
+    /// non-finite value — softmaxing it would silently produce NaN
+    /// probabilities.
+    InvalidLogits {
+        /// What was wrong with the vector.
+        why: String,
+    },
     /// A tensor kernel reported a shape error (indicates corrupted
     /// parameters).
     Tensor(kwt_tensor::TensorError),
@@ -37,6 +44,9 @@ impl fmt::Display for ModelError {
                 "input spectrogram shape {}x{} does not match configured {}x{} (T x F)",
                 got.0, got.1, expected.0, expected.1
             ),
+            ModelError::InvalidLogits { why } => {
+                write!(f, "invalid logits for softmax: {why}")
+            }
             ModelError::Tensor(e) => write!(f, "tensor kernel error: {e}"),
             ModelError::Serde(e) => write!(f, "checkpoint serialisation error: {e}"),
             ModelError::Io(e) => write!(f, "checkpoint io error: {e}"),

@@ -1,16 +1,67 @@
 //! The float inference pass (paper Fig. 1).
 //!
-//! Two entry points share one implementation:
+//! Three entry points share one implementation ([`forward_into`]):
 //!
 //! * [`forward`] — convenience path: packs the weight matrices on the fly
 //!   (cheap relative to the matmuls) and runs the blocked kernels.
-//! * [`forward_with`] — amortised hot path: takes
+//! * [`forward_with`] — amortised path: takes
 //!   [`PackedKwtWeights`](crate::PackedKwtWeights) produced once by
 //!   [`KwtParams::pack_weights`] at model-load time, so repeated inference
 //!   never re-packs.
+//! * [`forward_into`] — the steady-state hot path: additionally threads a
+//!   reusable [`Scratch`] arena holding every intermediate activation and
+//!   writes the logits into a caller buffer, so repeated inference
+//!   performs **no heap allocation** (the engine crate asserts this with
+//!   an allocation-counting test).
+//!
+//! All three produce bit-identical logits: the wrappers only differ in
+//! who owns the packed weights and the activation arena.
 
-use crate::{KwtParams, ModelError, PackedKwtWeights, Result};
+use crate::{KwtConfig, KwtParams, ModelError, PackedKwtWeights, Result};
 use kwt_tensor::{ops, Mat};
+
+/// Reusable activation arena for [`forward_into`]: every intermediate of
+/// one inference pass, sized for one model configuration.
+///
+/// Buffers are resized in place by the `_into` kernels, so a scratch built
+/// for one config can even be reused across configs — it simply regrows on
+/// the first pass. A fresh scratch and a heavily reused one produce
+/// bit-identical logits (the buffers carry no state between calls; every
+/// element is overwritten before it is read).
+#[derive(Debug, Clone, Default)]
+pub struct Scratch {
+    tokens: Mat<f32>,
+    x: Mat<f32>,
+    qkv: Mat<f32>,
+    scores: Mat<f32>,
+    sa: Mat<f32>,
+    attn: Mat<f32>,
+    hidden: Mat<f32>,
+    mlp: Mat<f32>,
+    cls: Mat<f32>,
+    logits: Mat<f32>,
+}
+
+impl Scratch {
+    /// Pre-allocates every buffer for `config`, so even the first
+    /// [`forward_into`] call allocates nothing.
+    pub fn new(config: &KwtConfig) -> Self {
+        let (s, t) = (config.seqlen(), config.input_time);
+        let inner = config.heads * config.dim_head;
+        Scratch {
+            tokens: Mat::zeros(t, config.dim),
+            x: Mat::zeros(s, config.dim),
+            qkv: Mat::zeros(s, 3 * inner),
+            scores: Mat::zeros(s, s),
+            sa: Mat::zeros(s, inner),
+            attn: Mat::zeros(s, config.dim),
+            hidden: Mat::zeros(s, config.mlp_dim),
+            mlp: Mat::zeros(s, config.dim),
+            cls: Mat::zeros(1, config.dim),
+            logits: Mat::zeros(1, config.num_classes),
+        }
+    }
+}
 
 /// Runs one inference pass, returning the raw class logits.
 ///
@@ -47,6 +98,29 @@ pub fn forward_with(
     packed: &PackedKwtWeights,
     mfcc: &Mat<f32>,
 ) -> Result<Vec<f32>> {
+    let mut logits = Vec::new();
+    forward_into(params, packed, mfcc, &mut Scratch::default(), &mut logits)?;
+    Ok(logits)
+}
+
+/// The single implementation behind [`forward`] and [`forward_with`]: runs
+/// one inference pass over pre-packed weights, keeping every intermediate
+/// activation in the caller's [`Scratch`] arena and writing the logits
+/// into `logits_out` (cleared first; capacity is reused).
+///
+/// Steady-state calls perform no heap allocation: all buffers are resized
+/// in place within their existing capacity.
+///
+/// # Errors
+///
+/// Same contract as [`forward_with`].
+pub fn forward_into(
+    params: &KwtParams,
+    packed: &PackedKwtWeights,
+    mfcc: &Mat<f32>,
+    scratch: &mut Scratch,
+    logits_out: &mut Vec<f32>,
+) -> Result<()> {
     let c = &params.config;
     if mfcc.shape() != (c.input_time, c.input_freq) {
         return Err(ModelError::InputShape {
@@ -67,46 +141,83 @@ pub fn forward_with(
     }
 
     // 1. Patch projection: T x F -> T x dim.
-    let tokens = ops::linear_packed(mfcc, &packed.w_proj, &params.b_proj)?;
+    ops::linear_packed_into(mfcc, &packed.w_proj, &params.b_proj, &mut scratch.tokens)?;
 
     // 2. Class token + positional embeddings: S x dim, S = T + 1.
-    let cls_row = Mat::from_vec(1, c.dim, params.class_token.clone())
-        .expect("class token length enforced by construction");
-    let mut x = cls_row.vstack(&tokens)?;
-    ops::add_assign(&mut x, &params.pos_emb)?;
+    scratch.x.resize(c.seqlen(), c.dim);
+    scratch.x.row_mut(0).copy_from_slice(&params.class_token);
+    for t in 0..scratch.tokens.rows() {
+        let row = scratch.tokens.row(t);
+        scratch.x.row_mut(t + 1).copy_from_slice(row);
+    }
+    ops::add_assign(&mut scratch.x, &params.pos_emb)?;
 
     // 3. Transformer blocks (post-norm).
     for (layer, pl) in params.layers.iter().zip(&packed.layers) {
         // Self-attention branch.
-        let qkv = ops::linear_packed(&x, &pl.w_qkv, &layer.b_qkv)?;
-        let sa = ops::multi_head_attention(&qkv, c.heads, c.dim_head)?;
-        let attn_out = ops::linear_packed(&sa, &pl.w_out, &layer.b_out)?;
-        ops::add_assign(&mut x, &attn_out)?;
-        ops::layer_norm_rows(&mut x, &layer.ln1_gamma, &layer.ln1_beta, c.ln_eps)?;
+        ops::linear_packed_into(&scratch.x, &pl.w_qkv, &layer.b_qkv, &mut scratch.qkv)?;
+        ops::multi_head_attention_into(
+            &scratch.qkv,
+            c.heads,
+            c.dim_head,
+            &mut scratch.scores,
+            &mut scratch.sa,
+        )?;
+        ops::linear_packed_into(&scratch.sa, &pl.w_out, &layer.b_out, &mut scratch.attn)?;
+        ops::add_assign(&mut scratch.x, &scratch.attn)?;
+        ops::layer_norm_rows(&mut scratch.x, &layer.ln1_gamma, &layer.ln1_beta, c.ln_eps)?;
 
         // MLP branch (eq. 6): GELU(x W1 + b1) W2 + b2.
-        let mut hidden = ops::linear_packed(&x, &pl.w_mlp1, &layer.b_mlp1)?;
-        ops::gelu(hidden.as_mut_slice());
-        let mlp_out = ops::linear_packed(&hidden, &pl.w_mlp2, &layer.b_mlp2)?;
-        ops::add_assign(&mut x, &mlp_out)?;
-        ops::layer_norm_rows(&mut x, &layer.ln2_gamma, &layer.ln2_beta, c.ln_eps)?;
+        ops::linear_packed_into(&scratch.x, &pl.w_mlp1, &layer.b_mlp1, &mut scratch.hidden)?;
+        ops::gelu(scratch.hidden.as_mut_slice());
+        ops::linear_packed_into(&scratch.hidden, &pl.w_mlp2, &layer.b_mlp2, &mut scratch.mlp)?;
+        ops::add_assign(&mut scratch.x, &scratch.mlp)?;
+        ops::layer_norm_rows(&mut scratch.x, &layer.ln2_gamma, &layer.ln2_beta, c.ln_eps)?;
     }
 
     // 4. Classification head on the class token.
-    let cls = Mat::from_vec(1, c.dim, x.row(0).to_vec()).expect("row has dim elements");
-    let logits = ops::linear_packed(&cls, &packed.w_head, &params.b_head)?;
-    Ok(logits.into_vec())
+    scratch.cls.resize(1, c.dim);
+    scratch.cls.row_mut(0).copy_from_slice(scratch.x.row(0));
+    ops::linear_packed_into(&scratch.cls, &packed.w_head, &params.b_head, &mut scratch.logits)?;
+    logits_out.clear();
+    logits_out.extend_from_slice(scratch.logits.as_slice());
+    Ok(())
 }
 
 /// Softmax over logits — the class probability vector.
 ///
 /// # Errors
 ///
-/// Returns a kernel error only for an empty logit vector.
+/// Returns [`ModelError::InvalidLogits`] if `logits` is empty or contains
+/// a non-finite value (either would silently softmax to NaN
+/// probabilities).
 pub fn softmax_probs(logits: &[f32]) -> Result<Vec<f32>> {
-    let mut p = logits.to_vec();
-    ops::softmax_normalized(&mut p)?;
+    let mut p = Vec::new();
+    softmax_probs_into(logits, &mut p)?;
     Ok(p)
+}
+
+/// [`softmax_probs`] into a caller-provided vector (cleared first;
+/// capacity is reused, so steady-state calls allocate nothing).
+///
+/// # Errors
+///
+/// Same contract as [`softmax_probs`].
+pub fn softmax_probs_into(logits: &[f32], out: &mut Vec<f32>) -> Result<()> {
+    if logits.is_empty() {
+        return Err(ModelError::InvalidLogits {
+            why: "empty logit vector".into(),
+        });
+    }
+    if let Some(i) = logits.iter().position(|v| !v.is_finite()) {
+        return Err(ModelError::InvalidLogits {
+            why: format!("logit {i} is {} (not finite)", logits[i]),
+        });
+    }
+    out.clear();
+    out.extend_from_slice(logits);
+    ops::softmax_normalized(out)?;
+    Ok(())
 }
 
 /// Runs [`forward`] and returns the arg-max class index.
@@ -233,6 +344,99 @@ mod tests {
         let probs = softmax_probs(&[1.0, -2.0, 0.5]).unwrap();
         assert!((probs.iter().sum::<f32>() - 1.0).abs() < 1e-6);
         assert_eq!(probs.len(), 3);
+    }
+
+    #[test]
+    fn softmax_probs_rejects_empty_and_non_finite() {
+        assert!(matches!(
+            softmax_probs(&[]),
+            Err(ModelError::InvalidLogits { .. })
+        ));
+        for bad in [f32::NAN, f32::INFINITY, f32::NEG_INFINITY] {
+            let err = softmax_probs(&[0.5, bad, -1.0]).unwrap_err();
+            assert!(
+                matches!(err, ModelError::InvalidLogits { .. }),
+                "{bad} accepted"
+            );
+            assert!(err.to_string().contains("logit 1"), "{err}");
+        }
+        // the checked path never hands NaN probabilities back
+        let probs = softmax_probs(&[1e30, -1e30]).unwrap();
+        assert!(probs.iter().all(|p| p.is_finite()));
+    }
+
+    /// The pre-refactor `forward_with` body, reconstructed from the same
+    /// public kernels it used to call — the oracle proving the scratch
+    /// path is bit-identical to the old allocating path.
+    fn forward_old_path(params: &KwtParams, mfcc: &Mat<f32>) -> Vec<f32> {
+        let c = &params.config;
+        let packed = params.pack_weights();
+        let tokens = ops::linear_packed(mfcc, &packed.w_proj, &params.b_proj).unwrap();
+        let cls_row = Mat::from_vec(1, c.dim, params.class_token.clone()).unwrap();
+        let mut x = cls_row.vstack(&tokens).unwrap();
+        ops::add_assign(&mut x, &params.pos_emb).unwrap();
+        for (layer, pl) in params.layers.iter().zip(&packed.layers) {
+            let qkv = ops::linear_packed(&x, &pl.w_qkv, &layer.b_qkv).unwrap();
+            let (q, k, v) = ops::split_into_qkv(&qkv, c.heads, c.dim_head).unwrap();
+            let mut sa: Option<Mat<f32>> = None;
+            for h in 0..c.heads {
+                let head = ops::scaled_dot_product_attention(&q[h], &k[h], &v[h]).unwrap();
+                sa = Some(match sa {
+                    None => head,
+                    Some(acc) => acc.hstack(&head).unwrap(),
+                });
+            }
+            let attn_out =
+                ops::linear_packed(&sa.unwrap(), &pl.w_out, &layer.b_out).unwrap();
+            ops::add_assign(&mut x, &attn_out).unwrap();
+            ops::layer_norm_rows(&mut x, &layer.ln1_gamma, &layer.ln1_beta, c.ln_eps).unwrap();
+            let mut hidden = ops::linear_packed(&x, &pl.w_mlp1, &layer.b_mlp1).unwrap();
+            ops::gelu(hidden.as_mut_slice());
+            let mlp_out = ops::linear_packed(&hidden, &pl.w_mlp2, &layer.b_mlp2).unwrap();
+            ops::add_assign(&mut x, &mlp_out).unwrap();
+            ops::layer_norm_rows(&mut x, &layer.ln2_gamma, &layer.ln2_beta, c.ln_eps).unwrap();
+        }
+        let cls = Mat::from_vec(1, c.dim, x.row(0).to_vec()).unwrap();
+        ops::linear_packed(&cls, &packed.w_head, &params.b_head)
+            .unwrap()
+            .into_vec()
+    }
+
+    #[test]
+    fn scratch_forward_bit_identical_to_old_path() {
+        for (config, t, f) in [(KwtConfig::kwt_tiny(), 26, 16), (KwtConfig::kwt1(), 98, 40)] {
+            let p = KwtParams::init(config, 9).unwrap();
+            for s in 0..3 {
+                let x = Mat::from_fn(t, f, |r, c| {
+                    let h = (s * 7919 + r * f + c) as u64;
+                    ((h.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 40) as f32
+                        / (1u64 << 24) as f32)
+                        - 0.5
+                });
+                let new = forward(&p, &x).unwrap();
+                let old = forward_old_path(&p, &x);
+                assert_eq!(new.len(), old.len());
+                for (a, b) in new.iter().zip(&old) {
+                    assert_eq!(a.to_bits(), b.to_bits(), "seed {s}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn reused_scratch_matches_fresh_scratch() {
+        let p = tiny();
+        let packed = p.pack_weights();
+        let mut reused = Scratch::new(&p.config);
+        let mut logits_reused = Vec::new();
+        for s in 0..8 {
+            let x = tiny_input(s);
+            forward_into(&p, &packed, &x, &mut reused, &mut logits_reused).unwrap();
+            let mut fresh = Scratch::new(&p.config);
+            let mut logits_fresh = Vec::new();
+            forward_into(&p, &packed, &x, &mut fresh, &mut logits_fresh).unwrap();
+            assert_eq!(logits_reused, logits_fresh, "seed {s}");
+        }
     }
 
     #[test]

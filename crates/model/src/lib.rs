@@ -44,7 +44,10 @@ mod params;
 
 pub use config::KwtConfig;
 pub use error::ModelError;
-pub use forward::{forward, forward_with, predict, predict_with, softmax_probs};
+pub use forward::{
+    forward, forward_into, forward_with, predict, predict_with, softmax_probs,
+    softmax_probs_into, Scratch,
+};
 pub use params::{KwtParams, LayerParams, PackedKwtWeights, PackedLayerWeights};
 
 /// Convenience alias for results returned by this crate.

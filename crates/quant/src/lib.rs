@@ -51,7 +51,7 @@ pub mod sweep;
 pub use error::QuantError;
 pub use fixed::Q8_24;
 pub use luts::{fixed_gelu, fixed_softmax, GeluLut, LutSet, EXP_LUT_LEN, GELU_LUT_LEN, INV_LUT_LEN};
-pub use qmodel::{Nonlinearity, QuantizedKwt};
+pub use qmodel::{Nonlinearity, QuantScratch, QuantizedKwt};
 pub use qscheme::QuantConfig;
 
 /// Convenience alias for results returned by this crate.

@@ -6,9 +6,88 @@ use crate::luts::{fixed_gelu, fixed_softmax, LutSet};
 use crate::{QuantConfig, QuantError, Result};
 use kwt_model::{KwtConfig, KwtParams};
 use kwt_tensor::math::gelu_exact;
-use kwt_tensor::packed::{matmul_i16_i8_packed, matmul_i16_i16_packed};
+use kwt_tensor::packed::{matmul_i16_i8_packed_into, matmul_i16_i16_packed_into};
 use kwt_tensor::qops::{self, QuantStats};
 use kwt_tensor::{ops, Mat, PackedMat};
+
+/// Reusable activation arena for [`QuantizedKwt::forward_detailed_into`]
+/// — the integer-pipeline counterpart of `kwt_model::Scratch`.
+///
+/// Holds every intermediate of one quantised inference pass, including the
+/// per-head Q/K/V views and the per-call packed forms of `Kᵀ` and `V`.
+/// Buffers are resized in place, so steady-state inference performs no
+/// heap allocation in [`Nonlinearity::FloatExact`] mode (the `FixedLut`
+/// golden model still allocates inside `fixed_softmax`). A fresh and a
+/// reused scratch produce bit-identical logits and [`QuantStats`].
+#[derive(Debug, Clone, Default)]
+pub struct QuantScratch {
+    x_q: Mat<i16>,
+    tokens: Mat<i16>,
+    x: Mat<i16>,
+    qkv: Mat<i16>,
+    q: Vec<Mat<i16>>,
+    k: Vec<Mat<i16>>,
+    v: Vec<Mat<i16>>,
+    kt: PackedMat<i16>,
+    vp: PackedMat<i16>,
+    scores_q: Mat<i16>,
+    scores_f: Mat<f32>,
+    probs_q: Mat<i16>,
+    head_out: Mat<i16>,
+    sa: Mat<i16>,
+    attn: Mat<i16>,
+    xf: Mat<f32>,
+    hidden_q: Mat<i16>,
+    hidden_f: Mat<f32>,
+    mlp_out: Mat<i16>,
+    cls: Mat<i16>,
+    logits_q: Mat<i16>,
+    logits_f: Mat<f32>,
+}
+
+impl QuantScratch {
+    /// Pre-allocates every buffer for `config`, so even the first
+    /// [`QuantizedKwt::forward_detailed_into`] call allocates nothing.
+    pub fn new(config: &KwtConfig) -> Self {
+        let (s, t, dh) = (config.seqlen(), config.input_time, config.dim_head);
+        let inner = config.heads * dh;
+        let head_mats = || vec![Mat::zeros(s, dh); config.heads];
+        QuantScratch {
+            x_q: Mat::zeros(t, config.input_freq),
+            tokens: Mat::zeros(t, config.dim),
+            x: Mat::zeros(s, config.dim),
+            qkv: Mat::zeros(s, 3 * inner),
+            q: head_mats(),
+            k: head_mats(),
+            v: head_mats(),
+            kt: PackedMat::pack_transposed(&Mat::zeros(s, dh)),
+            vp: PackedMat::pack(&Mat::zeros(s, dh)),
+            scores_q: Mat::zeros(s, s),
+            scores_f: Mat::zeros(s, s),
+            probs_q: Mat::zeros(s, s),
+            head_out: Mat::zeros(s, dh),
+            sa: Mat::zeros(s, inner),
+            attn: Mat::zeros(s, config.dim),
+            xf: Mat::zeros(s, config.dim),
+            hidden_q: Mat::zeros(s, config.mlp_dim),
+            hidden_f: Mat::zeros(s, config.mlp_dim),
+            mlp_out: Mat::zeros(s, config.dim),
+            cls: Mat::zeros(1, config.dim),
+            logits_q: Mat::zeros(1, config.num_classes),
+            logits_f: Mat::zeros(1, config.num_classes),
+        }
+    }
+}
+
+/// Copies a `width`-column slice of `src` starting at column `start` into
+/// `dst` — the in-place equivalent of `Mat::columns` used to split the
+/// fused QKV activation per head.
+fn copy_columns_into(src: &Mat<i16>, start: usize, width: usize, dst: &mut Mat<i16>) {
+    dst.resize(src.rows(), width);
+    for r in 0..src.rows() {
+        dst.row_mut(r).copy_from_slice(&src.row(r)[start..start + width]);
+    }
+}
 
 /// How the non-matmul operations are computed.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -177,23 +256,40 @@ impl QuantizedKwt {
         n
     }
 
-    fn dequant_rows(&self, x: &Mat<i16>) -> Mat<f32> {
-        qops::dequantize_i16(x, self.qconfig.input_bits)
-    }
-
-    fn requant_rows(&self, x: &Mat<f32>, stats: &mut QuantStats) -> Mat<i16> {
-        let (q, s) = qops::quantize_i16(x, self.qconfig.input_bits);
-        stats.merge(s);
-        q
-    }
-
     /// Integer inference returning float logits and overflow statistics.
+    ///
+    /// Convenience wrapper over
+    /// [`forward_detailed_into`](Self::forward_detailed_into) with a fresh
+    /// [`QuantScratch`]; repeated callers should hold one scratch and use
+    /// the `_into` form directly.
     ///
     /// # Errors
     ///
     /// Returns [`QuantError::Model`] for a wrong input shape, or a
     /// propagated kernel error if the quantised tensors are inconsistent.
     pub fn forward_detailed(&self, mfcc: &Mat<f32>) -> Result<(Vec<f32>, QuantStats)> {
+        let mut logits = Vec::new();
+        let stats =
+            self.forward_detailed_into(mfcc, &mut QuantScratch::default(), &mut logits)?;
+        Ok((logits, stats))
+    }
+
+    /// The single implementation of quantised inference: one pass with
+    /// every intermediate kept in the caller's [`QuantScratch`] arena,
+    /// logits written into `logits_out` (cleared first; capacity reused).
+    ///
+    /// In [`Nonlinearity::FloatExact`] mode, steady-state calls perform no
+    /// heap allocation.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`forward_detailed`](Self::forward_detailed).
+    pub fn forward_detailed_into(
+        &self,
+        mfcc: &Mat<f32>,
+        s: &mut QuantScratch,
+        logits_out: &mut Vec<f32>,
+    ) -> Result<QuantStats> {
         let c = &self.config;
         if mfcc.shape() != (c.input_time, c.input_freq) {
             return Err(QuantError::Model(format!(
@@ -206,110 +302,154 @@ impl QuantizedKwt {
         let ya = self.qconfig.input_bits;
         let yw = self.qconfig.weight_bits;
         let mut stats = QuantStats::default();
+        let section = c.heads * c.dim_head;
+        s.q.resize(c.heads, Mat::default());
+        s.k.resize(c.heads, Mat::default());
+        s.v.resize(c.heads, Mat::default());
 
         // 1. Quantise the MFCC input (the paper quantises the raw input).
-        let (x_q, s) = qops::quantize_i16(mfcc, ya);
-        stats.merge(s);
+        stats.merge(qops::quantize_i16_into(mfcc, ya, &mut s.x_q));
 
         // 2. Patch projection (integer), then class token + pos embedding.
-        let (tokens, s) = matmul_i16_i8_packed(&x_q, &self.w_proj_p, Some(&self.b_proj), yw)?;
-        stats.merge(s);
-        let cls = Mat::from_vec(1, c.dim, self.class_token.clone())
-            .expect("class token length enforced at quantisation");
-        let mut x = cls.vstack(&tokens)?;
-        stats.merge(qops::add_assign_sat(&mut x, &self.pos_emb)?);
+        stats.merge(matmul_i16_i8_packed_into(
+            &s.x_q,
+            &self.w_proj_p,
+            Some(&self.b_proj),
+            yw,
+            &mut s.tokens,
+        )?);
+        s.x.resize(c.seqlen(), c.dim);
+        s.x.row_mut(0).copy_from_slice(&self.class_token);
+        for t in 0..s.tokens.rows() {
+            let row = s.tokens.row(t);
+            s.x.row_mut(t + 1).copy_from_slice(row);
+        }
+        stats.merge(qops::add_assign_sat(&mut s.x, &self.pos_emb)?);
 
         let inv_sqrt_dh = 1.0 / (c.dim_head as f32).sqrt();
 
         // 3. Transformer blocks.
         for layer in &self.layers {
             // Fused QKV (integer matmul over pre-packed weights).
-            let (qkv, s) = matmul_i16_i8_packed(&x, &layer.w_qkv_p, Some(&layer.b_qkv), yw)?;
-            stats.merge(s);
-            let (qs, ks, vs) = qops::split_into_qkv_i16(&qkv, c.heads, c.dim_head)?;
+            stats.merge(matmul_i16_i8_packed_into(
+                &s.x,
+                &layer.w_qkv_p,
+                Some(&layer.b_qkv),
+                yw,
+                &mut s.qkv,
+            )?);
+            for h in 0..c.heads {
+                copy_columns_into(&s.qkv, h * c.dim_head, c.dim_head, &mut s.q[h]);
+                copy_columns_into(&s.qkv, section + h * c.dim_head, c.dim_head, &mut s.k[h]);
+                copy_columns_into(
+                    &s.qkv,
+                    2 * section + h * c.dim_head,
+                    c.dim_head,
+                    &mut s.v[h],
+                );
+            }
 
-            // Per-head attention.
-            let mut sa: Option<Mat<i16>> = None;
+            // Per-head attention, written into the head's column block of
+            // `sa` (the in-place form of the old hstack concatenation).
+            s.sa.resize(c.seqlen(), section);
             for h in 0..c.heads {
                 // Scores: integer Q K^T back at the activation scale.
-                // `pack_transposed` builds the packed K^T straight from K's
-                // rows, replacing the old materialised transpose.
-                let kt = PackedMat::pack_transposed(&ks[h]);
-                let (scores_q, s) = matmul_i16_i16_packed(&qs[h], &kt, ya)?;
-                stats.merge(s);
+                // `pack_transposed_into` builds the packed K^T straight
+                // from K's rows without materialising the transpose.
+                s.kt.pack_transposed_into(&s.k[h]);
+                stats.merge(matmul_i16_i16_packed_into(&s.q[h], &s.kt, ya, &mut s.scores_q)?);
                 // Dequantise -> scale by 1/sqrt(dh) -> softmax -> requantise.
-                let mut scores_f = self.dequant_rows(&scores_q);
-                for v in scores_f.as_mut_slice() {
+                qops::dequantize_i16_into(&s.scores_q, ya, &mut s.scores_f);
+                for v in s.scores_f.as_mut_slice() {
                     *v *= inv_sqrt_dh;
                 }
-                for r in 0..scores_f.rows() {
+                for r in 0..s.scores_f.rows() {
                     match self.nonlinearity {
                         Nonlinearity::FloatExact => {
-                            ops::softmax_normalized(scores_f.row_mut(r))?;
+                            ops::softmax_normalized(s.scores_f.row_mut(r))?;
                         }
                         Nonlinearity::FixedLut => {
-                            let probs = fixed_softmax(scores_f.row(r), &self.luts);
-                            scores_f.row_mut(r).copy_from_slice(&probs);
+                            let probs = fixed_softmax(s.scores_f.row(r), &self.luts);
+                            s.scores_f.row_mut(r).copy_from_slice(&probs);
                         }
                     }
                 }
-                let probs_q = self.requant_rows(&scores_f, &mut stats);
-                let vp = PackedMat::pack(&vs[h]);
-                let (head_out, s) = matmul_i16_i16_packed(&probs_q, &vp, ya)?;
-                stats.merge(s);
-                sa = Some(match sa {
-                    None => head_out,
-                    Some(acc) => acc.hstack(&head_out)?,
-                });
+                stats.merge(qops::quantize_i16_into(&s.scores_f, ya, &mut s.probs_q));
+                s.vp.pack_into(&s.v[h]);
+                stats.merge(matmul_i16_i16_packed_into(&s.probs_q, &s.vp, ya, &mut s.head_out)?);
+                for r in 0..s.head_out.rows() {
+                    let col0 = h * c.dim_head;
+                    let src = s.head_out.row(r);
+                    s.sa.row_mut(r)[col0..col0 + c.dim_head].copy_from_slice(src);
+                }
             }
-            let sa = sa.expect("heads >= 1");
 
             // Output projection + residual.
-            let (attn, s) = matmul_i16_i8_packed(&sa, &layer.w_out_p, Some(&layer.b_out), yw)?;
-            stats.merge(s);
-            stats.merge(qops::add_assign_sat(&mut x, &attn)?);
+            stats.merge(matmul_i16_i8_packed_into(
+                &s.sa,
+                &layer.w_out_p,
+                Some(&layer.b_out),
+                yw,
+                &mut s.attn,
+            )?);
+            stats.merge(qops::add_assign_sat(&mut s.x, &s.attn)?);
 
             // LayerNorm 1 in float (paper: LN stays floating point).
-            let mut xf = self.dequant_rows(&x);
-            ops::layer_norm_rows(&mut xf, &layer.ln1_gamma, &layer.ln1_beta, c.ln_eps)?;
-            x = self.requant_rows(&xf, &mut stats);
+            qops::dequantize_i16_into(&s.x, ya, &mut s.xf);
+            ops::layer_norm_rows(&mut s.xf, &layer.ln1_gamma, &layer.ln1_beta, c.ln_eps)?;
+            stats.merge(qops::quantize_i16_into(&s.xf, ya, &mut s.x));
 
             // MLP: integer matmul -> GELU boundary -> integer matmul.
-            let (hidden_q, s) =
-                matmul_i16_i8_packed(&x, &layer.w_mlp1_p, Some(&layer.b_mlp1), yw)?;
-            stats.merge(s);
-            let mut hidden_f = self.dequant_rows(&hidden_q);
+            stats.merge(matmul_i16_i8_packed_into(
+                &s.x,
+                &layer.w_mlp1_p,
+                Some(&layer.b_mlp1),
+                yw,
+                &mut s.hidden_q,
+            )?);
+            qops::dequantize_i16_into(&s.hidden_q, ya, &mut s.hidden_f);
             match self.nonlinearity {
                 Nonlinearity::FloatExact => {
-                    for v in hidden_f.as_mut_slice() {
+                    for v in s.hidden_f.as_mut_slice() {
                         *v = gelu_exact(*v);
                     }
                 }
                 Nonlinearity::FixedLut => {
-                    for v in hidden_f.as_mut_slice() {
+                    for v in s.hidden_f.as_mut_slice() {
                         *v = fixed_gelu(*v, &self.luts);
                     }
                 }
             }
-            let hidden_q = self.requant_rows(&hidden_f, &mut stats);
-            let (mlp_out, s) =
-                matmul_i16_i8_packed(&hidden_q, &layer.w_mlp2_p, Some(&layer.b_mlp2), yw)?;
-            stats.merge(s);
-            stats.merge(qops::add_assign_sat(&mut x, &mlp_out)?);
+            stats.merge(qops::quantize_i16_into(&s.hidden_f, ya, &mut s.hidden_q));
+            stats.merge(matmul_i16_i8_packed_into(
+                &s.hidden_q,
+                &layer.w_mlp2_p,
+                Some(&layer.b_mlp2),
+                yw,
+                &mut s.mlp_out,
+            )?);
+            stats.merge(qops::add_assign_sat(&mut s.x, &s.mlp_out)?);
 
             // LayerNorm 2 in float.
-            let mut xf = self.dequant_rows(&x);
-            ops::layer_norm_rows(&mut xf, &layer.ln2_gamma, &layer.ln2_beta, c.ln_eps)?;
-            x = self.requant_rows(&xf, &mut stats);
+            qops::dequantize_i16_into(&s.x, ya, &mut s.xf);
+            ops::layer_norm_rows(&mut s.xf, &layer.ln2_gamma, &layer.ln2_beta, c.ln_eps)?;
+            stats.merge(qops::quantize_i16_into(&s.xf, ya, &mut s.x));
         }
 
         // 4. Head on the class token (integer), dequantised logits.
-        let cls_row = Mat::from_vec(1, c.dim, x.row(0).to_vec()).expect("dim row");
-        let (logits_q, s) =
-            matmul_i16_i8_packed(&cls_row, &self.w_head_p, Some(&self.b_head), yw)?;
-        stats.merge(s);
-        let logits = self.dequant_rows(&logits_q);
-        Ok((logits.into_vec(), stats))
+        s.cls.resize(1, c.dim);
+        s.cls.row_mut(0).copy_from_slice(s.x.row(0));
+        stats.merge(matmul_i16_i8_packed_into(
+            &s.cls,
+            &self.w_head_p,
+            Some(&self.b_head),
+            yw,
+            &mut s.logits_q,
+        )?);
+        qops::dequantize_i16_into(&s.logits_q, ya, &mut s.logits_f);
+        logits_out.clear();
+        logits_out.extend_from_slice(s.logits_f.as_slice());
+        Ok(stats)
     }
 
     /// Integer inference returning float logits.
@@ -425,6 +565,145 @@ mod tests {
                 .wrapping_mul(0x9E37_79B9_7F4A_7C15);
             ((h >> 40) as f32 / (1u64 << 24) as f32 - 0.5) * 8.0
         })
+    }
+
+    /// The pre-refactor `forward_detailed` body, kept verbatim as the
+    /// oracle proving the scratch-arena path is bit-identical — logits
+    /// *and* `QuantStats` — to the old allocating path.
+    fn forward_detailed_old_path(
+        qm: &QuantizedKwt,
+        mfcc: &Mat<f32>,
+    ) -> (Vec<f32>, QuantStats) {
+        use kwt_tensor::packed::{matmul_i16_i8_packed, matmul_i16_i16_packed};
+        let c = &qm.config;
+        let ya = qm.qconfig.input_bits;
+        let yw = qm.qconfig.weight_bits;
+        let mut stats = QuantStats::default();
+        let dequant = |x: &Mat<i16>| qops::dequantize_i16(x, ya);
+        let (x_q, s) = qops::quantize_i16(mfcc, ya);
+        stats.merge(s);
+        let (tokens, s) =
+            matmul_i16_i8_packed(&x_q, &qm.w_proj_p, Some(&qm.b_proj), yw).unwrap();
+        stats.merge(s);
+        let cls = Mat::from_vec(1, c.dim, qm.class_token.clone()).unwrap();
+        let mut x = cls.vstack(&tokens).unwrap();
+        stats.merge(qops::add_assign_sat(&mut x, &qm.pos_emb).unwrap());
+        let inv_sqrt_dh = 1.0 / (c.dim_head as f32).sqrt();
+        for layer in &qm.layers {
+            let (qkv, s) =
+                matmul_i16_i8_packed(&x, &layer.w_qkv_p, Some(&layer.b_qkv), yw).unwrap();
+            stats.merge(s);
+            let (qs, ks, vs) = qops::split_into_qkv_i16(&qkv, c.heads, c.dim_head).unwrap();
+            let mut sa: Option<Mat<i16>> = None;
+            for h in 0..c.heads {
+                let kt = PackedMat::pack_transposed(&ks[h]);
+                let (scores_q, s) = matmul_i16_i16_packed(&qs[h], &kt, ya).unwrap();
+                stats.merge(s);
+                let mut scores_f = dequant(&scores_q);
+                for v in scores_f.as_mut_slice() {
+                    *v *= inv_sqrt_dh;
+                }
+                for r in 0..scores_f.rows() {
+                    match qm.nonlinearity {
+                        Nonlinearity::FloatExact => {
+                            ops::softmax_normalized(scores_f.row_mut(r)).unwrap();
+                        }
+                        Nonlinearity::FixedLut => {
+                            let probs = fixed_softmax(scores_f.row(r), &qm.luts);
+                            scores_f.row_mut(r).copy_from_slice(&probs);
+                        }
+                    }
+                }
+                let (probs_q, s) = qops::quantize_i16(&scores_f, ya);
+                stats.merge(s);
+                let vp = PackedMat::pack(&vs[h]);
+                let (head_out, s) = matmul_i16_i16_packed(&probs_q, &vp, ya).unwrap();
+                stats.merge(s);
+                sa = Some(match sa {
+                    None => head_out,
+                    Some(acc) => acc.hstack(&head_out).unwrap(),
+                });
+            }
+            let sa = sa.unwrap();
+            let (attn, s) =
+                matmul_i16_i8_packed(&sa, &layer.w_out_p, Some(&layer.b_out), yw).unwrap();
+            stats.merge(s);
+            stats.merge(qops::add_assign_sat(&mut x, &attn).unwrap());
+            let mut xf = dequant(&x);
+            ops::layer_norm_rows(&mut xf, &layer.ln1_gamma, &layer.ln1_beta, c.ln_eps).unwrap();
+            let (xq, s) = qops::quantize_i16(&xf, ya);
+            stats.merge(s);
+            x = xq;
+            let (hidden_q, s) =
+                matmul_i16_i8_packed(&x, &layer.w_mlp1_p, Some(&layer.b_mlp1), yw).unwrap();
+            stats.merge(s);
+            let mut hidden_f = dequant(&hidden_q);
+            match qm.nonlinearity {
+                Nonlinearity::FloatExact => {
+                    for v in hidden_f.as_mut_slice() {
+                        *v = gelu_exact(*v);
+                    }
+                }
+                Nonlinearity::FixedLut => {
+                    for v in hidden_f.as_mut_slice() {
+                        *v = fixed_gelu(*v, &qm.luts);
+                    }
+                }
+            }
+            let (hidden_q, s) = qops::quantize_i16(&hidden_f, ya);
+            stats.merge(s);
+            let (mlp_out, s) =
+                matmul_i16_i8_packed(&hidden_q, &layer.w_mlp2_p, Some(&layer.b_mlp2), yw)
+                    .unwrap();
+            stats.merge(s);
+            stats.merge(qops::add_assign_sat(&mut x, &mlp_out).unwrap());
+            let mut xf = dequant(&x);
+            ops::layer_norm_rows(&mut xf, &layer.ln2_gamma, &layer.ln2_beta, c.ln_eps).unwrap();
+            let (xq, s) = qops::quantize_i16(&xf, ya);
+            stats.merge(s);
+            x = xq;
+        }
+        let cls_row = Mat::from_vec(1, c.dim, x.row(0).to_vec()).unwrap();
+        let (logits_q, s) =
+            matmul_i16_i8_packed(&cls_row, &qm.w_head_p, Some(&qm.b_head), yw).unwrap();
+        stats.merge(s);
+        (dequant(&logits_q).into_vec(), stats)
+    }
+
+    #[test]
+    fn scratch_forward_bit_identical_to_old_path() {
+        let params = trained_ish_params();
+        for nl in [Nonlinearity::FloatExact, Nonlinearity::FixedLut] {
+            let qm = QuantizedKwt::quantize(&params, QuantConfig::paper_best())
+                .with_nonlinearity(nl);
+            for seed in 0..6 {
+                let x = input(seed + 40);
+                let (new_logits, new_stats) = qm.forward_detailed(&x).unwrap();
+                let (old_logits, old_stats) = forward_detailed_old_path(&qm, &x);
+                assert_eq!(new_stats, old_stats, "{nl:?} seed {seed}");
+                assert_eq!(new_logits.len(), old_logits.len());
+                for (a, b) in new_logits.iter().zip(&old_logits) {
+                    assert_eq!(a.to_bits(), b.to_bits(), "{nl:?} seed {seed}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn reused_scratch_matches_fresh_scratch() {
+        let params = trained_ish_params();
+        let qm = QuantizedKwt::quantize(&params, QuantConfig::paper_best());
+        let mut reused = QuantScratch::new(&qm.config);
+        let mut logits_reused = Vec::new();
+        for seed in 0..8 {
+            let x = input(seed + 70);
+            let stats_reused = qm
+                .forward_detailed_into(&x, &mut reused, &mut logits_reused)
+                .unwrap();
+            let (logits_fresh, stats_fresh) = qm.forward_detailed(&x).unwrap();
+            assert_eq!(logits_reused, logits_fresh, "seed {seed}");
+            assert_eq!(stats_reused, stats_fresh, "seed {seed}");
+        }
     }
 
     #[test]

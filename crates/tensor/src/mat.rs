@@ -102,6 +102,18 @@ impl<T: Copy + Default> Mat<T> {
         self.data.len()
     }
 
+    /// Reshapes the matrix in place to `rows x cols`, reusing the backing
+    /// buffer — no allocation when the new element count fits the existing
+    /// capacity, which is what makes the `_into` kernels and the model
+    /// scratch arenas allocation-free in steady state. Newly exposed
+    /// elements are `T::default()`; surviving elements keep stale values,
+    /// so callers must overwrite every element (every `_into` kernel does).
+    pub fn resize(&mut self, rows: usize, cols: usize) {
+        self.rows = rows;
+        self.cols = cols;
+        self.data.resize(rows * cols, T::default());
+    }
+
     /// `true` if the matrix holds no elements.
     pub fn is_empty(&self) -> bool {
         self.data.is_empty()
@@ -412,6 +424,20 @@ mod tests {
             assert_eq!(row, m.row(i));
         }
         assert_eq!(m.iter_rows().count(), 3);
+    }
+
+    #[test]
+    fn resize_reuses_capacity() {
+        let mut m = Mat::from_fn(4, 8, |r, c| (r * 8 + c) as i32);
+        let cap = m.data.capacity();
+        m.resize(2, 3);
+        assert_eq!(m.shape(), (2, 3));
+        assert_eq!(m.len(), 6);
+        assert!(m.data.capacity() >= cap, "shrinking must not reallocate");
+        m.resize(4, 8);
+        assert_eq!(m.shape(), (4, 8));
+        // growing back within the original capacity keeps the buffer
+        assert_eq!(m.data.capacity(), cap);
     }
 
     #[test]

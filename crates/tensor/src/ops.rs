@@ -227,6 +227,24 @@ pub fn linear(x: &Mat<f32>, w: &Mat<f32>, b: &[f32]) -> Result<Mat<f32>> {
 /// Returns [`TensorError::ShapeMismatch`] if `x.cols()` does not match the
 /// packed inner dimension or `b.len() != w.cols()`.
 pub fn linear_packed(x: &Mat<f32>, w: &crate::PackedMat<f32>, b: &[f32]) -> Result<Mat<f32>> {
+    let mut y = Mat::default();
+    linear_packed_into(x, w, b, &mut y)?;
+    Ok(y)
+}
+
+/// [`linear_packed`] writing into a caller-provided output matrix (resized
+/// in place; allocation-free at steady state) — the kernel behind the
+/// model scratch arenas.
+///
+/// # Errors
+///
+/// Same contract as [`linear_packed`].
+pub fn linear_packed_into(
+    x: &Mat<f32>,
+    w: &crate::PackedMat<f32>,
+    b: &[f32],
+    out: &mut Mat<f32>,
+) -> Result<()> {
     if b.len() != w.cols() {
         return Err(TensorError::ShapeMismatch {
             op: "linear",
@@ -234,14 +252,14 @@ pub fn linear_packed(x: &Mat<f32>, w: &crate::PackedMat<f32>, b: &[f32]) -> Resu
             rhs: w.shape(),
         });
     }
-    let mut y = crate::packed::matrix_multiply_packed(x, w)?;
-    for r in 0..y.rows() {
-        let row = y.row_mut(r);
+    crate::packed::matrix_multiply_packed_into(x, w, out)?;
+    for r in 0..out.rows() {
+        let row = out.row_mut(r);
         for (j, bv) in b.iter().enumerate() {
             row[j] += bv;
         }
     }
-    Ok(y)
+    Ok(())
 }
 
 /// Splits the fused QKV projection output into per-head query, key and
@@ -335,16 +353,84 @@ pub fn scaled_dot_product_attention(
 /// Propagates errors from [`split_into_qkv`] and
 /// [`scaled_dot_product_attention`].
 pub fn multi_head_attention(x_qkv: &Mat<f32>, heads: usize, dim_head: usize) -> Result<Mat<f32>> {
-    let (q, k, v) = split_into_qkv(x_qkv, heads, dim_head)?;
-    let mut out: Option<Mat<f32>> = None;
-    for h in 0..heads {
-        let sa = scaled_dot_product_attention(&q[h], &k[h], &v[h])?;
-        out = Some(match out {
-            None => sa,
-            Some(acc) => acc.hstack(&sa)?,
+    let mut scores = Mat::default();
+    let mut out = Mat::default();
+    multi_head_attention_into(x_qkv, heads, dim_head, &mut scores, &mut out)?;
+    Ok(out)
+}
+
+/// [`multi_head_attention`] over caller-provided score and output buffers
+/// (both resized in place) — the allocation-free kernel behind the model
+/// scratch arena. Reads the per-head `Q`/`K`/`V` blocks directly out of
+/// the fused activation instead of materialising [`split_into_qkv`]'s
+/// copies; every output element accumulates its products in the same
+/// ascending order as the packed matmuls, so results are **bit-identical**
+/// to [`multi_head_attention`]'s original split + per-head
+/// [`scaled_dot_product_attention`] composition.
+///
+/// # Errors
+///
+/// Same contract as [`multi_head_attention`].
+pub fn multi_head_attention_into(
+    x_qkv: &Mat<f32>,
+    heads: usize,
+    dim_head: usize,
+    scores: &mut Mat<f32>,
+    out: &mut Mat<f32>,
+) -> Result<()> {
+    if heads == 0 || dim_head == 0 {
+        return Err(TensorError::InvalidParameter {
+            op: "split_into_qkv",
+            what: format!("heads ({heads}) and dim_head ({dim_head}) must be positive"),
         });
     }
-    Ok(out.expect("heads > 0 validated by split_into_qkv"))
+    if x_qkv.cols() != 3 * heads * dim_head {
+        return Err(TensorError::ShapeMismatch {
+            op: "split_into_qkv",
+            lhs: x_qkv.shape(),
+            rhs: (3 * heads, dim_head),
+        });
+    }
+    let s = x_qkv.rows();
+    let section = heads * dim_head;
+    let scale = 1.0 / (dim_head as f32).sqrt();
+    out.resize(s, section);
+    scores.resize(s, s);
+    for h in 0..heads {
+        let qoff = h * dim_head;
+        let koff = section + h * dim_head;
+        let voff = 2 * section + h * dim_head;
+        // scores = (Q Kᵀ) * 1/sqrt(dh), accumulating ascending over dh.
+        for i in 0..s {
+            for j in 0..s {
+                let qrow = &x_qkv.row(i)[qoff..qoff + dim_head];
+                let krow = &x_qkv.row(j)[koff..koff + dim_head];
+                let mut acc = 0.0f32;
+                for d in 0..dim_head {
+                    acc += qrow[d] * krow[d];
+                }
+                scores[(i, j)] = acc * scale;
+            }
+        }
+        for i in 0..s {
+            softmax_normalized(scores.row_mut(i))?;
+        }
+        // out block = scores · V, accumulating ascending over the S keys.
+        for i in 0..s {
+            out.row_mut(i)[qoff..qoff + dim_head].fill(0.0);
+        }
+        for i in 0..s {
+            for j in 0..s {
+                let sij = scores[(i, j)];
+                let vrow = &x_qkv.row(j)[voff..voff + dim_head];
+                let orow = &mut out.row_mut(i)[qoff..qoff + dim_head];
+                for d in 0..dim_head {
+                    orow[d] += sij * vrow[d];
+                }
+            }
+        }
+    }
+    Ok(())
 }
 
 /// Element-wise sum `a += b` (residual connection helper).

@@ -81,23 +81,44 @@ pub struct PackedMat<T> {
     data: Vec<T>,
 }
 
+impl<T: Copy + Default> Default for PackedMat<T> {
+    fn default() -> Self {
+        PackedMat {
+            k: 0,
+            n: 0,
+            data: Vec::new(),
+        }
+    }
+}
+
 impl<T: Copy + Default> PackedMat<T> {
     /// Packs a `K x N` row-major weight matrix.
     pub fn pack(w: &Mat<T>) -> Self {
+        let mut out = PackedMat::default();
+        out.pack_into(w);
+        out
+    }
+
+    /// Re-packs a `K x N` row-major weight matrix into `self`, reusing the
+    /// existing backing buffer — the allocation-free counterpart of
+    /// [`PackedMat::pack`] for per-call packing inside scratch arenas.
+    pub fn pack_into(&mut self, w: &Mat<T>) {
         let (k, n) = w.shape();
         let panels = n.div_ceil(NR.max(1));
-        let mut data = vec![T::default(); panels * k * NR];
+        self.k = k;
+        self.n = n;
+        self.data.clear();
+        self.data.resize(panels * k * NR, T::default());
         for p in 0..panels {
             let base = p * k * NR;
             let width = (n - p * NR).min(NR);
             for kk in 0..k {
                 let wrow = w.row(kk);
                 for j in 0..width {
-                    data[base + kk * NR + j] = wrow[p * NR + j];
+                    self.data[base + kk * NR + j] = wrow[p * NR + j];
                 }
             }
         }
-        PackedMat { k, n, data }
     }
 
     /// Packs the **transpose** of an `N x K` row-major matrix, i.e. builds
@@ -106,20 +127,30 @@ impl<T: Copy + Default> PackedMat<T> {
     /// products: `pack_transposed(&k_mat)` packs `k_matᵀ` without
     /// materialising the transpose.
     pub fn pack_transposed(src: &Mat<T>) -> Self {
+        let mut out = PackedMat::default();
+        out.pack_transposed_into(src);
+        out
+    }
+
+    /// [`PackedMat::pack_transposed`] into `self`, reusing the backing
+    /// buffer (no allocation once the buffer has grown to the panel size).
+    pub fn pack_transposed_into(&mut self, src: &Mat<T>) {
         let (n, k) = src.shape();
         let panels = n.div_ceil(NR.max(1));
-        let mut data = vec![T::default(); panels * k * NR];
+        self.k = k;
+        self.n = n;
+        self.data.clear();
+        self.data.resize(panels * k * NR, T::default());
         for p in 0..panels {
             let base = p * k * NR;
             let width = (n - p * NR).min(NR);
             for j in 0..width {
                 let srow = src.row(p * NR + j);
                 for (kk, &v) in srow.iter().enumerate() {
-                    data[base + kk * NR + j] = v;
+                    self.data[base + kk * NR + j] = v;
                 }
             }
         }
-        PackedMat { k, n, data }
     }
 
     /// Inner dimension `K` (rows of the logical weight matrix).
@@ -187,6 +218,25 @@ pub fn matmul_i16_i8_packed(
     bias: Option<&[i32]>,
     shift: u32,
 ) -> Result<(Mat<i16>, QuantStats)> {
+    let mut out = Mat::default();
+    let stats = matmul_i16_i8_packed_into(a, w, bias, shift, &mut out)?;
+    Ok((out, stats))
+}
+
+/// [`matmul_i16_i8_packed`] writing into a caller-provided output matrix,
+/// which is resized to `M x N` in place — allocation-free once the buffer
+/// has grown to the largest shape it has seen.
+///
+/// # Errors
+///
+/// Same contract as [`matmul_i16_i8_packed`].
+pub fn matmul_i16_i8_packed_into(
+    a: &Mat<i16>,
+    w: &PackedMat<i8>,
+    bias: Option<&[i32]>,
+    shift: u32,
+    out: &mut Mat<i16>,
+) -> Result<QuantStats> {
     check_inner("matmul_i16_i8", a.shape(), w.shape())?;
     if let Some(b) = bias {
         if b.len() != w.cols() {
@@ -199,7 +249,7 @@ pub fn matmul_i16_i8_packed(
     }
     let (m, k, n) = (a.rows(), a.cols(), w.cols());
     let mut stats = QuantStats::default();
-    let mut out = Mat::zeros(m, n);
+    out.resize(m, n);
     for i in 0..m {
         let arow = a.row(i);
         let orow = out.row_mut(i);
@@ -234,7 +284,7 @@ pub fn matmul_i16_i8_packed(
             }
         }
     }
-    Ok((out, stats))
+    Ok(stats)
 }
 
 /// Blocked quantised activation-activation product `Y = (A · B) >> shift`
@@ -250,10 +300,27 @@ pub fn matmul_i16_i16_packed(
     b: &PackedMat<i16>,
     shift: u32,
 ) -> Result<(Mat<i16>, QuantStats)> {
+    let mut out = Mat::default();
+    let stats = matmul_i16_i16_packed_into(a, b, shift, &mut out)?;
+    Ok((out, stats))
+}
+
+/// [`matmul_i16_i16_packed`] writing into a caller-provided output matrix
+/// (resized to `M x N` in place; allocation-free at steady state).
+///
+/// # Errors
+///
+/// Same contract as [`matmul_i16_i16_packed`].
+pub fn matmul_i16_i16_packed_into(
+    a: &Mat<i16>,
+    b: &PackedMat<i16>,
+    shift: u32,
+    out: &mut Mat<i16>,
+) -> Result<QuantStats> {
     check_inner("matmul_i16_i16", a.shape(), b.shape())?;
     let (m, k, n) = (a.rows(), a.cols(), b.cols());
     let mut stats = QuantStats::default();
-    let mut out = Mat::zeros(m, n);
+    out.resize(m, n);
     // A single i16·i16 product reaches 2^30, so per-block i32 accumulation
     // is not safe here: multiply in i32 (one product always fits) and widen
     // every product into i64 lanes. MR rows run together so the widening
@@ -307,7 +374,7 @@ pub fn matmul_i16_i16_packed(
         }
         i += 1;
     }
-    Ok((out, stats))
+    Ok(stats)
 }
 
 /// Blocked float product `C = A · B` over a pre-packed right operand.
@@ -320,9 +387,26 @@ pub fn matmul_i16_i16_packed(
 /// Returns [`TensorError::ShapeMismatch`] unless `a.cols()` matches the
 /// packed operand's inner dimension.
 pub fn matrix_multiply_packed(a: &Mat<f32>, b: &PackedMat<f32>) -> Result<Mat<f32>> {
+    let mut out = Mat::default();
+    matrix_multiply_packed_into(a, b, &mut out)?;
+    Ok(out)
+}
+
+/// [`matrix_multiply_packed`] writing into a caller-provided output matrix
+/// (resized to `M x N` in place; allocation-free at steady state). Outputs
+/// stay bit-identical to the reference kernel.
+///
+/// # Errors
+///
+/// Same contract as [`matrix_multiply_packed`].
+pub fn matrix_multiply_packed_into(
+    a: &Mat<f32>,
+    b: &PackedMat<f32>,
+    out: &mut Mat<f32>,
+) -> Result<()> {
     check_inner("matrix_multiply", a.shape(), b.shape())?;
     let (m, k, n) = (a.rows(), a.cols(), b.cols());
-    let mut out = Mat::zeros(m, n);
+    out.resize(m, n);
     // MR independent rows per pass hide the float-add latency; each output
     // element still accumulates in ascending-k order (bit-exactness).
     let mut i = 0;
@@ -364,7 +448,7 @@ pub fn matrix_multiply_packed(a: &Mat<f32>, b: &PackedMat<f32>) -> Result<Mat<f3
         }
         i += 1;
     }
-    Ok(out)
+    Ok(())
 }
 
 #[cfg(test)]
@@ -484,6 +568,43 @@ mod tests {
             for (x, y) in c_ref.as_slice().iter().zip(c_new.as_slice()) {
                 assert_eq!(x.to_bits(), y.to_bits());
             }
+        }
+    }
+
+    #[test]
+    fn into_variants_match_allocating_across_reused_buffers() {
+        // One set of output/pack buffers reused across several shapes must
+        // reproduce the allocating entry points exactly (stale contents
+        // from a previous, larger shape must never leak through).
+        let mut out16 = Mat::<i16>::default();
+        let mut outf = Mat::<f32>::default();
+        let mut packed8 = PackedMat::<i8>::default();
+        let mut packed16 = PackedMat::<i16>::default();
+        for (m, k, n) in [(9, 33, 17), (2, 3, 2), (27, 12, 24), (1, 1, 1)] {
+            let a = mat_i16(m, k, 5);
+            let w8 = mat_i8(k, n, 6);
+            let b16 = mat_i16(k, n, 7);
+            let af = Mat::from_fn(m, k, |r, c| ((r * k + c) as f32 * 0.31).sin());
+            let bf = Mat::from_fn(k, n, |r, c| ((r * n + c) as f32 * 0.17).cos());
+
+            packed8.pack_into(&w8);
+            assert_eq!(packed8, PackedMat::pack(&w8));
+            let (want, want_s) = matmul_i16_i8_packed(&a, &packed8, None, 4).unwrap();
+            let got_s = matmul_i16_i8_packed_into(&a, &packed8, None, 4, &mut out16).unwrap();
+            assert_eq!(out16, want);
+            assert_eq!(got_s, want_s);
+
+            packed16.pack_transposed_into(&b16.transpose());
+            assert_eq!(packed16, PackedMat::pack(&b16));
+            let (want, want_s) = matmul_i16_i16_packed(&a, &packed16, 3).unwrap();
+            let got_s = matmul_i16_i16_packed_into(&a, &packed16, 3, &mut out16).unwrap();
+            assert_eq!(out16, want);
+            assert_eq!(got_s, want_s);
+
+            let pf = PackedMat::pack(&bf);
+            let want = matrix_multiply_packed(&af, &pf).unwrap();
+            matrix_multiply_packed_into(&af, &pf, &mut outf).unwrap();
+            assert_eq!(outf, want);
         }
     }
 

@@ -81,10 +81,21 @@ pub fn quantize_i8(x: &Mat<f32>, y: u32) -> (Mat<i8>, QuantStats) {
 
 /// Quantises floats to `i16` at scale `2^y` (floor rule, saturated).
 pub fn quantize_i16(x: &Mat<f32>, y: u32) -> (Mat<i16>, QuantStats) {
+    let mut out = Mat::default();
+    let stats = quantize_i16_into(x, y, &mut out);
+    (out, stats)
+}
+
+/// [`quantize_i16`] writing into a caller-provided matrix (resized in
+/// place; allocation-free at steady state).
+pub fn quantize_i16_into(x: &Mat<f32>, y: u32, out: &mut Mat<i16>) -> QuantStats {
     let scale = (1i64 << y) as f32;
     let mut stats = QuantStats::default();
-    let out = x.map(|v| sat_i16((v * scale).floor() as i64, &mut stats));
-    (out, stats)
+    out.resize(x.rows(), x.cols());
+    for (o, &v) in out.as_mut_slice().iter_mut().zip(x.as_slice()) {
+        *o = sat_i16((v * scale).floor() as i64, &mut stats);
+    }
+    stats
 }
 
 /// Quantises a float slice to `i16` in place-free form (floor, saturated).
@@ -100,8 +111,19 @@ pub fn quantize_slice_i16(x: &[f32], y: u32) -> (Vec<i16>, QuantStats) {
 
 /// Dequantises an `i16` matrix back to floats: `x / 2^y`.
 pub fn dequantize_i16(x: &Mat<i16>, y: u32) -> Mat<f32> {
+    let mut out = Mat::default();
+    dequantize_i16_into(x, y, &mut out);
+    out
+}
+
+/// [`dequantize_i16`] writing into a caller-provided matrix (resized in
+/// place; allocation-free at steady state).
+pub fn dequantize_i16_into(x: &Mat<i16>, y: u32, out: &mut Mat<f32>) {
     let inv = 1.0 / (1i64 << y) as f32;
-    x.map(|v| v as f32 * inv)
+    out.resize(x.rows(), x.cols());
+    for (o, &v) in out.as_mut_slice().iter_mut().zip(x.as_slice()) {
+        *o = v as f32 * inv;
+    }
 }
 
 /// Dequantises an `i8` matrix back to floats: `x / 2^y`.

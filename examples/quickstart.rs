@@ -1,10 +1,12 @@
-//! Quickstart: synthesise a keyword, extract MFCCs, run KWT-Tiny.
+//! Quickstart: synthesise keywords, train KWT-Tiny, then serve it through
+//! the unified inference engine — one-shot, batched and streaming.
 //!
 //! ```text
 //! cargo run --release --example quickstart
 //! ```
 
 use kwt_tiny::dataset::{GscConfig, Split, SyntheticGsc};
+use kwt_tiny::engine::{Engine, StreamingConfig, StreamingKws};
 use kwt_tiny::model::{KwtConfig, KwtParams};
 use kwt_tiny::train::{evaluate, TrainConfig, Trainer};
 
@@ -30,14 +32,40 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     let report = trainer.fit(&train, &val)?;
     println!("best val accuracy: {:.1}%", report.best_val_accuracy * 100.0);
-
-    // 4. Evaluate and classify one clip.
     let (test_acc, _) = evaluate(trainer.params(), &test)?;
     println!("test accuracy: {:.1}%", test_acc * 100.0);
-    let (wave, label) = ds.utterance(Split::Test, 1);
-    let mfcc = frontend.extract_padded(&wave)?;
-    let pred = kwt_tiny::model::predict(trainer.params(), &mfcc)?;
+
+    // 4. Serve the trained model through the unified engine: audio in,
+    //    prediction out, with all arenas allocated once up front.
     let names = ds.class_names();
-    println!("clip with true class `{}` classified as `{}`", names[label], names[pred]);
+    let mut engine = Engine::host_float(trainer.params().clone(), frontend)?;
+    let (wave, label) = ds.utterance(Split::Test, 1);
+    let pred = engine.classify(&wave)?;
+    println!(
+        "clip with true class `{}` classified as `{}` (p = {:.2})",
+        names[label], names[pred.class], pred.score
+    );
+
+    // 5. Batched classification over a few clips at once.
+    let clips: Vec<Vec<f32>> = (0..4).map(|i| ds.utterance(Split::Test, i).0).collect();
+    let batch = engine.classify_batch(&clips)?;
+    let batch_classes: Vec<&str> = batch.iter().map(|p| names[p.class].as_str()).collect();
+    println!("batch of {} clips classified as {:?}", clips.len(), batch_classes);
+
+    // 6. Streaming keyword spotting: feed the microphone-style stream in
+    //    arbitrary chunks; decisions fire per hop with majority smoothing.
+    let mut kws = StreamingKws::new(engine, StreamingConfig::default())?;
+    let mut decisions = Vec::new();
+    for i in 0..3 {
+        let (wave, _) = ds.utterance(Split::Test, i);
+        for chunk in wave.chunks(1_000) {
+            decisions.extend(kws.push(chunk)?);
+        }
+    }
+    println!(
+        "streamed 3 s of audio -> {} sliding-window decisions, last smoothed class `{}`",
+        decisions.len(),
+        names[decisions.last().expect("stream long enough").smoothed_class]
+    );
     Ok(())
 }

@@ -1,17 +1,23 @@
 //! Builds the three bare-metal images (float / quantised / accelerated),
-//! runs them on the RV32IMC simulator and prints the Table IX metrics.
+//! serves each through the unified engine's RV32 backend — a persistent
+//! simulator machine behind the same `classify` API as the host backends —
+//! and prints the Table IX metrics.
 //!
 //! ```text
 //! cargo run --release --example riscv_inference
 //! ```
 
 use kwt_tiny::baremetal::InferenceImage;
+use kwt_tiny::engine::Engine;
 use kwt_tiny::quant::{Nonlinearity, QuantConfig, QuantizedKwt};
 use kwt_tiny::rv32::Platform;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let ctx = kwt_bench::ExpContext::default();
     let (params, test) = ctx.trained_tiny();
+    let frontend = kwt_tiny::audio::kwt_tiny_frontend()?;
+    // Engine::classify takes raw audio; reconstruct a clip-sized input by
+    // classifying the dataset's spectrograms directly.
     let x = test.x[0].clone();
 
     let float_img = InferenceImage::build_float(&params)?;
@@ -27,18 +33,36 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ("KWT-Tiny-Q", &quant_img),
         ("KWT-Tiny-Q (+HW)", &accel_img),
     ] {
-        let (logits, run, _) = img.run(&x)?;
+        // One engine per image: the simulator machine is loaded once and
+        // stays warm across every inference this engine serves.
+        let mut engine = Engine::rv32_sim(img, frontend.clone())?;
+        let pred = engine.classify_mfcc(&x)?;
+        let run = engine.last_device_run().expect("rv32 backend reports run stats");
         cycles.push(run.cycles);
         println!(
-            "{name:<22} {:>12} {:>12} {:>10.1} {:>10.1}   logits {:?}",
+            "{name:<22} {:>12} {:>12} {:>10.1} {:>10.1}   class {} (p = {:.2})",
             run.cycles,
             run.instructions,
             img.program_bytes() as f64 / 1e3,
             platform.cycles_to_seconds(run.cycles) * 1e3,
-            logits
+            pred.class,
+            pred.score,
         );
     }
     println!("\nspeedup float -> accelerated: {:.1}x (paper: ~4.7x, 26M -> 5.5M cycles)", cycles[0] as f64 / cycles[2] as f64);
     println!("bank usage (float image): {:?} of the paper's SEQLENxMLP_DIM / SEQLENxDIM_HEADx3 banks", float_img.bank_usage);
+
+    // The same engine type serves repeated traffic without reloading the
+    // machine: classify every test clip on the accelerated image.
+    let mut engine = Engine::rv32_sim(&accel_img, frontend)?;
+    let mut agree = 0;
+    let n = test.x.len().min(10);
+    for (mfcc, &label) in test.x.iter().zip(&test.y).take(n) {
+        let pred = engine.classify_mfcc(mfcc)?;
+        if pred.class == label {
+            agree += 1;
+        }
+    }
+    println!("\naccelerated device engine: {agree}/{n} test clips correct over one persistent machine");
     Ok(())
 }

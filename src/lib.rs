@@ -6,7 +6,10 @@
 //! can reach the whole pipeline through one dependency:
 //!
 //! * [`tensor`] — float + quantised kernels (the paper's Table VI library)
-//! * [`audio`] — MFCC front end
+//! * [`audio`] — MFCC front end (batch + streaming)
+//! * [`engine`] — unified inference engine: the float, quantised and
+//!   RV32-simulated pipelines behind one `classify` API with zero-alloc
+//!   scratch arenas, batching and streaming KWS
 //! * [`dataset`] — synthetic Google-Speech-Commands substitute
 //! * [`model`] — the KWT architecture (KWT-1 and KWT-Tiny presets)
 //! * [`train`] — from-scratch training (manual backprop, Adam)
@@ -19,6 +22,7 @@
 pub use kwt_audio as audio;
 pub use kwt_baremetal as baremetal;
 pub use kwt_dataset as dataset;
+pub use kwt_engine as engine;
 pub use kwt_hw as hw;
 pub use kwt_model as model;
 pub use kwt_quant as quant;

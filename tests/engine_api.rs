@@ -1,0 +1,75 @@
+//! Umbrella-level smoke of the unified engine: all three backends behind
+//! one API, agreeing with each other qualitatively and with their one-shot
+//! counterparts exactly.
+
+use kwt_tiny::baremetal::InferenceImage;
+use kwt_tiny::engine::{BackendKind, Engine, StreamingConfig, StreamingKws};
+use kwt_tiny::model::{KwtConfig, KwtParams};
+use kwt_tiny::quant::{Nonlinearity, QuantConfig, QuantizedKwt};
+
+fn trained_ish() -> KwtParams {
+    let mut p = KwtParams::init(KwtConfig::kwt_tiny(), 77).unwrap();
+    p.visit_mut(|s| {
+        for v in s {
+            *v *= 0.6;
+        }
+    });
+    p
+}
+
+fn clip(freq: f64) -> Vec<f32> {
+    (0..16_000)
+        .map(|i| (2.0 * std::f64::consts::PI * freq * i as f64 / 16_000.0).sin() as f32 * 0.5)
+        .collect()
+}
+
+#[test]
+fn one_engine_type_serves_all_three_backends() {
+    let params = trained_ish();
+    let qm = QuantizedKwt::quantize(&params, QuantConfig::paper_best());
+    let image = InferenceImage::build_quant(
+        &qm.clone().with_nonlinearity(Nonlinearity::FixedLut),
+    )
+    .unwrap();
+    let fe = kwt_tiny::audio::kwt_tiny_frontend().unwrap();
+    let mut engines = [
+        Engine::host_float(params, fe.clone()).unwrap(),
+        Engine::host_quant(qm, fe.clone()).unwrap(),
+        Engine::rv32_sim(&image, fe).unwrap(),
+    ];
+    let audio = clip(440.0);
+    let kinds: Vec<BackendKind> = engines.iter().map(|e| e.kind()).collect();
+    assert_eq!(
+        kinds,
+        [BackendKind::HostFloat, BackendKind::HostQuant, BackendKind::Rv32Sim]
+    );
+    let mut classes = Vec::new();
+    for engine in &mut engines {
+        let pred = engine.classify(&audio).unwrap();
+        assert_eq!(pred.logits.len(), 2);
+        assert!((pred.probs.iter().sum::<f32>() - 1.0).abs() < 1e-5);
+        classes.push(pred.class);
+    }
+    // quantisation preserves the decision on an easy input
+    assert_eq!(classes[0], classes[1]);
+    assert_eq!(classes[1], classes[2]);
+}
+
+#[test]
+fn streaming_kws_spots_over_a_continuous_stream() {
+    let fe = kwt_tiny::audio::kwt_tiny_frontend().unwrap();
+    let engine = Engine::host_float(trained_ish(), fe).unwrap();
+    let mut kws = StreamingKws::new(engine, StreamingConfig::default()).unwrap();
+    let audio = clip(600.0);
+    let mut n = 0;
+    for chunk in audio.iter().as_slice().chunks(640) {
+        n += kws.push(chunk).unwrap().len();
+    }
+    // one clip = T frames = exactly one full window
+    assert_eq!(n, 1);
+    // two more seconds keep the decisions flowing, one per hop
+    for chunk in audio.chunks(640) {
+        n += kws.push(chunk).unwrap().len();
+    }
+    assert!(n > 20, "only {n} decisions after 2 s");
+}
