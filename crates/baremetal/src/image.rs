@@ -15,7 +15,7 @@
 //! bump allocators prove at build time that no stage overflows them.
 
 use crate::banks::Bank;
-use crate::kernels::{attn_params, gelu_params, ln_params, Kernels};
+use crate::kernels::{attn_params, gelu_params, ln_params, KernelIsa, Kernels};
 use crate::mathlib::MathLib;
 use crate::regions;
 use crate::softfloat::SoftFloat;
@@ -42,6 +42,8 @@ pub enum Flavor {
 pub struct InferenceImage {
     /// The pipeline flavour.
     pub flavor: Flavor,
+    /// Which kernel ISA the image was generated for.
+    pub isa: KernelIsa,
     /// The linked program (text + data).
     pub program: Program,
     /// Model architecture.
@@ -333,6 +335,7 @@ impl InferenceImage {
         check_ram(&program)?;
         Ok(InferenceImage {
             flavor: Flavor::Float,
+            isa: KernelIsa::Rv32im,
             program,
             config: c,
             qconfig: None,
@@ -347,12 +350,25 @@ impl InferenceImage {
 
     /// Builds a quantised image (`Flavor::Quantized` or
     /// `Flavor::Accelerated` according to the model's
-    /// [`Nonlinearity`]).
+    /// [`Nonlinearity`]) over the scalar [`KernelIsa::Rv32im`] kernels.
     ///
     /// # Errors
     ///
     /// Same contract as [`InferenceImage::build_float`].
     pub fn build_quant(qm: &QuantizedKwt) -> Result<Self> {
+        Self::build_quant_with_isa(qm, KernelIsa::Rv32im)
+    }
+
+    /// Builds a quantised image over the chosen kernel ISA. Under
+    /// [`KernelIsa::Xkwtdot`] every INT8 weight matrix is emitted
+    /// **transposed** (word-aligned, `N×K` row-major) so the packed GEMM
+    /// walks contiguous memory; the generated logits are bit-identical
+    /// to the scalar image's (proven by differential tests).
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`InferenceImage::build_float`].
+    pub fn build_quant_with_isa(qm: &QuantizedKwt, isa: KernelIsa) -> Result<Self> {
         let c = qm.config;
         if c.heads != 1 {
             return Err(BuildError::Model(format!(
@@ -375,8 +391,20 @@ impl InferenceImage {
         let mut asm = Asm::new(TEXT_BASE, DATA_BASE);
 
         // ---- data: weights ----
+        // Under Xkwtdot every i8 weight matrix is emitted transposed
+        // (N×K row-major, word-aligned) so the packed GEMM loads walk
+        // contiguous memory.
+        let emit_w = |asm: &mut Asm, w: &kwt_tensor::Mat<i8>| -> u32 {
+            match isa {
+                KernelIsa::Rv32im => asm.data_bytes_i8(w.as_slice()),
+                KernelIsa::Xkwtdot => {
+                    asm.data_align(4);
+                    asm.data_bytes_i8(w.transpose().as_slice())
+                }
+            }
+        };
         let (wp, bp, pe, ct, wh, bh) = qm.tensors();
-        let w_proj = asm.data_bytes_i8(wp.as_slice());
+        let w_proj = emit_w(&mut asm, wp);
         let b_proj = asm.data_words_i32(bp);
         let pos = asm.data_halves_i16(pe.as_slice());
         let cls = asm.data_halves_i16(ct);
@@ -385,21 +413,21 @@ impl InferenceImage {
             let (w_qkv, b_qkv, w_out, b_out, g1, be1, w1, b1, w2, b2, g2, be2) =
                 qm.layer_tensors(idx);
             layers_data.push((
-                asm.data_bytes_i8(w_qkv.as_slice()),
+                emit_w(&mut asm, w_qkv),
                 asm.data_words_i32(b_qkv),
-                asm.data_bytes_i8(w_out.as_slice()),
+                emit_w(&mut asm, w_out),
                 asm.data_words_i32(b_out),
                 asm.data_words_f32(g1),
                 asm.data_words_f32(be1),
-                asm.data_bytes_i8(w1.as_slice()),
+                emit_w(&mut asm, w1),
                 asm.data_words_i32(b1),
-                asm.data_bytes_i8(w2.as_slice()),
+                emit_w(&mut asm, w2),
                 asm.data_words_i32(b2),
                 asm.data_words_f32(g2),
                 asm.data_words_f32(be2),
             ));
         }
-        let w_head = asm.data_bytes_i8(wh.as_slice());
+        let w_head = emit_w(&mut asm, wh);
         let b_head = asm.data_words_i32(bh);
 
         // parameter blocks
@@ -425,11 +453,19 @@ impl InferenceImage {
             req,
             0, // ROWF patched below via a second block — instead store scratch addr now
             nl,
+            0,
+            0,
         ]);
         // fix ROWF in place: rebuild with the known scratch address
         // (data_words_i32 already wrote zeros; overwrite through a second
         // reservation is not possible, so write the real block here)
         let _ = attn_p;
+        // padded score length and (Xkwtdot only) the V-transpose scratch
+        let kp = (s + 3) & !3;
+        let vt = match isa {
+            KernelIsa::Rv32im => 0u32,
+            KernelIsa::Xkwtdot => asm.data_reserve(dh * kp * 2, 4),
+        };
         let attn_params_addr = asm.data_words_i32(&[
             ya as i32,
             inv_sqrt_dh,
@@ -437,8 +473,10 @@ impl InferenceImage {
             req,
             scratch as i32,
             nl,
+            vt as i32,
+            kp as i32,
         ]);
-        debug_assert_eq!(attn_params::SIZE, 24);
+        debug_assert_eq!(attn_params::SIZE, 32);
         let ln_params_addr = asm.data_words_i32(&[deq, req, inv_dim, eps, scratch as i32]);
         debug_assert_eq!(ln_params::SIZE, 20);
         let gelu_params_addr = asm.data_words_i32(&[deq, req, scratch as i32, nl]);
@@ -453,9 +491,9 @@ impl InferenceImage {
         // ---- code ----
         let over = asm.new_label();
         asm.jump_to(over);
-        let sf = SoftFloat::emit(&mut asm);
+        let sf = SoftFloat::emit_with_isa(&mut asm, isa);
         let math = MathLib::emit(&mut asm, &sf);
-        let k = Kernels::emit(&mut asm, &sf, &math);
+        let k = Kernels::emit_with_isa(&mut asm, &sf, &math, isa);
         asm.bind(over)?;
         asm.here("entry");
 
@@ -515,7 +553,9 @@ impl InferenceImage {
             pop_region(&mut asm);
             bank1.reset();
             let sa = bank1.alloc(s * dh * 2, 4)?;
-            let row16 = bank1.alloc(s * 2, 4)?;
+            // padded to KP entries so the packed N==1 GEMM can walk it
+            // in word-sized lanes (the tail stays zero on both ISAs)
+            let row16 = bank1.alloc(kp * 2, 4)?;
             let attn_out = bank1.alloc(s * dim * 2, 4)?;
             set_args(&mut asm, &[
                 q as i32,
@@ -637,6 +677,7 @@ impl InferenceImage {
             } else {
                 Flavor::Quantized
             },
+            isa,
             program,
             config: c,
             qconfig: Some(qm.qconfig),
@@ -703,6 +744,7 @@ impl InferenceImage {
         Ok(DeviceSession {
             machine,
             flavor: self.flavor,
+            isa: self.isa,
             config: self.config,
             qconfig: self.qconfig,
             input_addr: self.input_addr,
@@ -724,6 +766,7 @@ impl InferenceImage {
 pub struct DeviceSession {
     machine: Machine,
     flavor: Flavor,
+    isa: KernelIsa,
     config: KwtConfig,
     qconfig: Option<QuantConfig>,
     input_addr: u32,
@@ -735,6 +778,11 @@ impl DeviceSession {
     /// The image flavour this session runs.
     pub fn flavor(&self) -> Flavor {
         self.flavor
+    }
+
+    /// The kernel ISA of the loaded image.
+    pub fn isa(&self) -> KernelIsa {
+        self.isa
     }
 
     /// The model configuration this session runs.
@@ -821,6 +869,12 @@ impl DeviceSession {
     /// The underlying machine, for register/memory inspection.
     pub fn machine(&self) -> &Machine {
         &self.machine
+    }
+
+    /// Arms or disarms the simulator's per-instruction-class retirement
+    /// counting (off by default; see [`Machine::class_histogram`]).
+    pub fn set_class_histogram_enabled(&mut self, enabled: bool) {
+        self.machine.set_class_histogram_enabled(enabled);
     }
 }
 
@@ -933,6 +987,70 @@ mod tests {
             rf.cycles,
             ra.cycles
         );
+    }
+
+    #[test]
+    fn xkwtdot_image_bit_identical_to_scalar_and_faster() {
+        // The Xkwtdot image must produce bit-identical logits to the
+        // scalar-ISA image on every flavour/seed, with a large cycle
+        // reduction — the paper's 13 M -> 5.5 M trajectory continued.
+        let params = trained_ish();
+        let qm = QuantizedKwt::quantize(&params, QuantConfig::paper_best());
+        let accel = qm.clone().with_nonlinearity(Nonlinearity::FixedLut);
+        for model in [&qm, &accel] {
+            let scalar = InferenceImage::build_quant(model).unwrap();
+            let packed =
+                InferenceImage::build_quant_with_isa(model, KernelIsa::Xkwtdot).unwrap();
+            assert_eq!(scalar.isa, KernelIsa::Rv32im);
+            assert_eq!(packed.isa, KernelIsa::Xkwtdot);
+            assert_eq!(scalar.flavor, packed.flavor);
+            for seed in [31u64, 32, 33] {
+                let x = test_input(seed);
+                let (sl, sr, _) = scalar.run(&x).unwrap();
+                let (pl, pr, _) = packed.run(&x).unwrap();
+                for (a, b) in sl.iter().zip(&pl) {
+                    assert_eq!(
+                        a.to_bits(),
+                        b.to_bits(),
+                        "{:?} seed {seed}: scalar {a} vs xkwtdot {b}",
+                        scalar.flavor
+                    );
+                }
+                assert!(
+                    pr.cycles * 3 < sr.cycles * 2,
+                    "{:?} seed {seed}: expected >=1.5x cycle cut, got {} vs {}",
+                    scalar.flavor,
+                    pr.cycles,
+                    sr.cycles
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn xkwtdot_histogram_attributes_packed_classes() {
+        use kwt_rv32::InstClass;
+        let params = trained_ish();
+        let qm = QuantizedKwt::quantize(&params, QuantConfig::paper_best())
+            .with_nonlinearity(Nonlinearity::FixedLut);
+        let image = InferenceImage::build_quant_with_isa(&qm, KernelIsa::Xkwtdot).unwrap();
+        let mut session = image.session().unwrap();
+        session.set_class_histogram_enabled(true);
+        session.run(&test_input(9)).unwrap();
+        let h = session.machine().class_histogram();
+        assert!(h.count(InstClass::PackedDot) > 10_000, "kdot2 in the hot loop");
+        assert!(h.count(InstClass::PackedLoad) > 10_000, "klw.b2h feeds the weights");
+        assert!(h.count(InstClass::PackedCvt) > 1_000, "kcvt quant boundaries");
+        assert!(h.count(InstClass::PackedAlu) > 100, "ksat epilogues");
+        assert_eq!(h.total_cycles(), session.machine().cpu.cycles);
+        // the scalar image must use none of them
+        let scalar = InferenceImage::build_quant(&qm).unwrap();
+        let mut s2 = scalar.session().unwrap();
+        s2.set_class_histogram_enabled(true);
+        s2.run(&test_input(9)).unwrap();
+        let hs = s2.machine().class_histogram();
+        assert_eq!(hs.count(InstClass::PackedDot), 0);
+        assert_eq!(hs.count(InstClass::PackedLoad), 0);
     }
 
     #[test]

@@ -41,6 +41,7 @@ pub mod softfloat;
 pub use banks::Bank;
 pub use error::BuildError;
 pub use image::{DeviceSession, Flavor, InferenceImage};
+pub use kernels::KernelIsa;
 
 /// Convenience alias for results returned by this crate.
 pub type Result<T> = std::result::Result<T, BuildError>;

@@ -106,6 +106,35 @@ impl SoftFloat {
             lt,
         }
     }
+
+    /// Emits the library for the chosen kernel ISA. Under
+    /// [`KernelIsa::Xkwtdot`](crate::kernels::KernelIsa::Xkwtdot) the
+    /// `add`/`sub`/`mul` entry points are two-instruction wrappers over
+    /// the `kfadd.t`/`kfsub.t`/`kfmul.t` custom-2 ops — the instructions
+    /// execute `kwt_rv32::softfp`, which the differential tests in this
+    /// module pin to the scalar assembly bit-for-bit — so every caller
+    /// (math library, float kernels) speeds up without any change in
+    /// results. `div`, the int converts and the compare keep their
+    /// scalar bodies.
+    pub fn emit_with_isa(asm: &mut Asm, isa: crate::kernels::KernelIsa) -> SoftFloat {
+        use kwt_rvasm::PackedOp;
+        let lib = Self::emit(asm);
+        match isa {
+            crate::kernels::KernelIsa::Rv32im => lib,
+            crate::kernels::KernelIsa::Xkwtdot => {
+                let add = asm.here("sf_add_kf");
+                asm.emit(Inst::Packed { op: PackedOp::KfaddT, rd: A0, rs1: A0, rs2: A1 });
+                asm.ret();
+                let sub = asm.here("sf_sub_kf");
+                asm.emit(Inst::Packed { op: PackedOp::KfsubT, rd: A0, rs1: A0, rs2: A1 });
+                asm.ret();
+                let mul = asm.here("sf_mul_kf");
+                asm.emit(Inst::Packed { op: PackedOp::KfmulT, rd: A0, rs1: A0, rs2: A1 });
+                asm.ret();
+                SoftFloat { add, sub, mul, ..lib }
+            }
+        }
+    }
 }
 
 fn emit_add(asm: &mut Asm) -> Label {
@@ -661,6 +690,59 @@ mod tests {
     fn f2i_floor_saturates() {
         assert_eq!(run_binop("f2i", 1e20f32.to_bits(), 0) as i32, i32::MAX);
         assert_eq!(run_binop("f2i", (-1e20f32).to_bits(), 0) as i32, i32::MIN);
+    }
+
+    mod softfp_model {
+        //! The Xkwtdot `kfadd.t`/`kfsub.t`/`kfmul.t` instructions
+        //! execute `kwt_rv32::softfp`; these properties pin the
+        //! generated assembly to that model **bit-for-bit**, which is
+        //! what makes packed float kernels interchangeable with
+        //! call-based scalar kernels.
+        use super::*;
+        use proptest::prelude::*;
+
+        /// Bit patterns that stress every branch: random, plus the
+        /// special-value corners.
+        fn float_bits() -> impl Strategy<Value = u32> {
+            prop_oneof![
+                any::<u32>(),
+                any::<u32>(),
+                any::<u32>(),
+                any::<u32>(),
+                prop_oneof![
+                    Just(0u32),        // +0
+                    Just(0x8000_0000), // -0
+                    Just(0x7F80_0000), // +inf
+                    Just(0xFF80_0000), // -inf
+                    Just(0x7FC0_0000), // NaN
+                    Just(0x0000_0001), // denormal
+                    Just(0x807F_FFFF), // -denormal
+                    Just(0x0080_0000), // smallest normal
+                    Just(0x7F7F_FFFF), // largest finite
+                ],
+                // same-exponent patterns hit cancellation paths often
+                (0u32..256).prop_map(|e| (e << 23) | 0x12_3456),
+            ]
+        }
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(256))]
+
+            #[test]
+            fn add_matches_softfp_model(a in float_bits(), b in float_bits()) {
+                prop_assert_eq!(run_binop("add", a, b), kwt_rv32::softfp::add(a, b));
+            }
+
+            #[test]
+            fn sub_matches_softfp_model(a in float_bits(), b in float_bits()) {
+                prop_assert_eq!(run_binop("sub", a, b), kwt_rv32::softfp::sub(a, b));
+            }
+
+            #[test]
+            fn mul_matches_softfp_model(a in float_bits(), b in float_bits()) {
+                prop_assert_eq!(run_binop("mul", a, b), kwt_rv32::softfp::mul(a, b));
+            }
+        }
     }
 
     #[test]

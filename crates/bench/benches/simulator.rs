@@ -41,10 +41,36 @@ fn bench_program(c: &mut Criterion, name: &str, program: &kwt_rvasm::Program) {
     g.finish();
 }
 
+/// Scalar vs Xkwtdot inference image: one full quantised+LUT inference
+/// per iteration on a persistent session (warm decode cache), so the
+/// measured ratio is the packed-MAC extension's end-to-end win.
+fn bench_isa_variants(c: &mut Criterion) {
+    use kwt_baremetal::{InferenceImage, KernelIsa};
+    use kwt_quant::{Nonlinearity, QuantConfig, QuantizedKwt};
+    use kwt_tensor::Mat;
+    let params = kwt_bench::enginebench::bench_params();
+    let qm = QuantizedKwt::quantize(&params, QuantConfig::paper_best())
+        .with_nonlinearity(Nonlinearity::FixedLut);
+    let mfcc = Mat::from_fn(26, 16, |r, col| {
+        let h = ((r * 16 + col) as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        ((h >> 40) as f32 / (1u64 << 24) as f32 - 0.5) * 10.0
+    });
+    let mut g = c.benchmark_group("rv32_inference_isa");
+    for (name, isa) in [("rv32im", KernelIsa::Rv32im), ("xkwtdot", KernelIsa::Xkwtdot)] {
+        let image = InferenceImage::build_quant_with_isa(&qm, isa).unwrap();
+        let mut session = image.session().unwrap();
+        let mut logits = Vec::new();
+        g.bench_function(name, |b| {
+            b.iter(|| session.run_into(&mfcc, &mut logits).unwrap())
+        });
+    }
+    g.finish();
+}
+
 fn bench_simulator(c: &mut Criterion) {
     bench_program(c, "arith", &loop_program(false, 2_000));
     bench_program(c, "memory", &loop_program(true, 2_000));
 }
 
-criterion_group!(benches, bench_simulator);
+criterion_group!(benches, bench_simulator, bench_isa_variants);
 criterion_main!(benches);

@@ -18,7 +18,7 @@
 //! [`crate::microbench`].
 
 use kwt_audio::kwt_tiny_frontend;
-use kwt_baremetal::InferenceImage;
+use kwt_baremetal::{InferenceImage, KernelIsa};
 use kwt_engine::{Engine, Prediction};
 use kwt_model::{KwtConfig, KwtParams};
 use crate::timing::{smoke, time_ns};
@@ -52,6 +52,37 @@ pub struct EngineSpeedup {
     pub batched_vs_one_shot: f64,
 }
 
+/// One instruction-class row of the rv32 cycle histogram (paper-style
+/// cycles-per-class attribution for the ISA comparison).
+#[derive(Debug, Clone, Serialize)]
+pub struct CycleClassRow {
+    /// Kernel ISA (`rv32im` or `xkwtdot`).
+    pub isa: String,
+    /// Instruction class name (see `kwt_rv32::InstClass`).
+    pub class: String,
+    /// Instructions retired in the class for one inference.
+    pub instructions: u64,
+    /// Cycles consumed by the class for one inference.
+    pub cycles: u64,
+}
+
+/// End-to-end simulated-device cycles for one image variant — the
+/// paper's "Inference Clock Cycles" metric (its KWT-Tiny trajectory:
+/// 26 M float → 13 M quantised → 5.5 M quantised + custom-1; this
+/// repro's smaller preset follows the same ordering, and the Xkwtdot
+/// row extends it).
+#[derive(Debug, Clone, Serialize)]
+pub struct DeviceCycles {
+    /// Image variant (`float`, `quant`, `accel`, `accel_xkwtdot`).
+    pub variant: String,
+    /// Kernel ISA of the image.
+    pub isa: String,
+    /// Cycles for one inference.
+    pub cycles: u64,
+    /// Instructions retired for one inference.
+    pub instructions: u64,
+}
+
 /// The full `BENCH_engine.json` document.
 #[derive(Debug, Clone, Serialize)]
 pub struct EngineBenchSummary {
@@ -63,6 +94,12 @@ pub struct EngineBenchSummary {
     pub rows: Vec<EngineRow>,
     /// Per-backend speedups of the engine paths over the seed path.
     pub speedups: Vec<EngineSpeedup>,
+    /// End-to-end device cycles per image variant (paper Table IX
+    /// analogue, extended with the Xkwtdot row).
+    pub device_cycles: Vec<DeviceCycles>,
+    /// Per-instruction-class cycle attribution of the accelerated image
+    /// under both ISAs — where the Xkwtdot win comes from.
+    pub rv32_cycle_classes: Vec<CycleClassRow>,
 }
 
 /// Deterministic benchmark clips (1 s at 16 kHz): tone pairs + noise, the
@@ -148,6 +185,8 @@ pub fn collect() -> EngineBenchSummary {
     let qm = QuantizedKwt::quantize(&params, QuantConfig::paper_best());
     let accel = qm.clone().with_nonlinearity(Nonlinearity::FixedLut);
     let image = InferenceImage::build_quant(&accel).expect("image builds");
+    let ximage = InferenceImage::build_quant_with_isa(&accel, KernelIsa::Xkwtdot)
+        .expect("xkwtdot image builds");
     let fe = kwt_tiny_frontend().expect("preset is valid");
 
     let mut benches = Vec::new();
@@ -205,6 +244,27 @@ pub fn collect() -> EngineBenchSummary {
         ));
     }
 
+    // rv32_sim_xkwtdot: the same accelerated model over the custom-2
+    // packed-MAC image (bit-identical logits, far fewer simulated
+    // instructions). Every mode measures the xkwtdot image, so each row
+    // is self-consistent; the ISA win itself is the ratio between this
+    // backend's rows and the rv32_sim rows above.
+    {
+        let clips = bench_clips(if smoke() { 2 } else { 3 });
+        let mut engine = Engine::rv32_sim(&ximage, fe.clone()).expect("engine");
+        let f = fe.clone();
+        let img = ximage.clone();
+        benches.push(measure(
+            "rv32_sim_xkwtdot",
+            clips,
+            move |c| {
+                let mfcc = f.extract_padded_reference(c).expect("mfcc");
+                black_box(img.run(&mfcc).expect("device run"));
+            },
+            &mut engine,
+        ));
+    }
+
     let mut rows = Vec::new();
     let mut speedups = Vec::new();
     for b in &benches {
@@ -227,11 +287,49 @@ pub fn collect() -> EngineBenchSummary {
             batched_vs_one_shot: b.one_shot_ns / b.batched_ns,
         });
     }
+    // device-side cycle metrics: one inference per image variant, plus
+    // the per-class attribution for the scalar-vs-Xkwtdot comparison.
+    let mfcc = fe
+        .extract_padded_reference(&bench_clips(1)[0])
+        .expect("mfcc");
+    let mut device_cycles = Vec::new();
+    let mut rv32_cycle_classes = Vec::new();
+    let float_image = InferenceImage::build_float(&params).expect("float image");
+    let quant_image = InferenceImage::build_quant(&qm).expect("quant image");
+    for (variant, img) in [
+        ("float", &float_image),
+        ("quant", &quant_image),
+        ("accel", &image),
+        ("accel_xkwtdot", &ximage),
+    ] {
+        let mut session = img.session().expect("session");
+        session.set_class_histogram_enabled(true);
+        let (_, run) = session.run(&mfcc).expect("device run");
+        device_cycles.push(DeviceCycles {
+            variant: variant.to_string(),
+            isa: img.isa.as_str().to_string(),
+            cycles: run.cycles,
+            instructions: run.instructions,
+        });
+        if variant.starts_with("accel") {
+            for (class, instructions, cycles) in session.machine().class_histogram().rows() {
+                rv32_cycle_classes.push(CycleClassRow {
+                    isa: img.isa.as_str().to_string(),
+                    class: class.name().to_string(),
+                    instructions,
+                    cycles,
+                });
+            }
+        }
+    }
+
     EngineBenchSummary {
         generated_by: "paper bench-engine".to_string(),
         smoke: smoke(),
         rows,
         speedups,
+        device_cycles,
+        rv32_cycle_classes,
     }
 }
 
@@ -254,8 +352,24 @@ pub fn run_and_write(out_dir: &std::path::Path) -> String {
     out.push_str("engine vs one-shot seed path:\n");
     for s in &summary.speedups {
         out.push_str(&format!(
-            "  {:<12} scratch-reuse {:.2}x   batched {:.2}x\n",
+            "  {:<17} scratch-reuse {:.2}x   batched {:.2}x\n",
             s.backend, s.scratch_reuse_vs_one_shot, s.batched_vs_one_shot
+        ));
+    }
+    out.push_str(
+        "device cycles per inference (paper trajectory: 26M float -> 13M quant -> 5.5M accel):\n",
+    );
+    for d in &summary.device_cycles {
+        out.push_str(&format!(
+            "  {:<15} isa {:<8} {:>12} cycles {:>12} instructions\n",
+            d.variant, d.isa, d.cycles, d.instructions
+        ));
+    }
+    out.push_str("accel image cycles by instruction class (scalar vs Xkwtdot):\n");
+    for c in &summary.rv32_cycle_classes {
+        out.push_str(&format!(
+            "  {:<8} {:<12} {:>12} instructions {:>12} cycles\n",
+            c.isa, c.class, c.instructions, c.cycles
         ));
     }
     if summary.smoke {

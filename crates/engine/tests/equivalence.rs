@@ -97,6 +97,33 @@ fn rv32_engine_matches_one_shot_image_run() {
 }
 
 #[test]
+fn rv32_engine_isa_toggle_is_bit_identical_and_faster() {
+    // The same accelerated model behind the engine on both kernel ISAs:
+    // identical logits clip-for-clip, with the Xkwtdot image spending a
+    // small fraction of the scalar image's simulated cycles.
+    use kwt_baremetal::KernelIsa;
+    let qm = quantized().with_nonlinearity(Nonlinearity::FixedLut);
+    let scalar_img = InferenceImage::build_quant(&qm).unwrap();
+    let packed_img = InferenceImage::build_quant_with_isa(&qm, KernelIsa::Xkwtdot).unwrap();
+    let fe = kwt_tiny_frontend().unwrap();
+    let mut scalar = Engine::rv32_sim(&scalar_img, fe.clone()).unwrap();
+    let mut packed = Engine::rv32_sim(&packed_img, fe).unwrap();
+    for seed in [4u64, 12] {
+        let audio = clip(seed);
+        let a = scalar.classify(&audio).unwrap();
+        let b = packed.classify(&audio).unwrap();
+        assert_bits_eq(&a.logits, &b.logits, "scalar vs xkwtdot engine");
+        assert_eq!(a.class, b.class);
+        let ca = scalar.last_device_run().unwrap().cycles;
+        let cb = packed.last_device_run().unwrap().cycles;
+        assert!(
+            cb * 3 < ca,
+            "xkwtdot should cut simulated cycles >3x: {cb} vs {ca}"
+        );
+    }
+}
+
+#[test]
 fn classify_batch_matches_per_clip_on_all_backends() {
     let params = trained_ish();
     let qm = quantized();

@@ -54,18 +54,59 @@ impl GeluLut {
         GeluLut { lo, hi, table }
     }
 
+    /// Builds the table directly from ROM words (threshold + truncation
+    /// experiments; the table may deliberately be shorter than
+    /// [`GELU_LUT_LEN`], in which case in-window lookups past its end
+    /// fail — see [`GeluLut::try_eval`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `lo < hi`.
+    pub fn from_words(lo: f32, hi: f32, words: &[i32]) -> Self {
+        assert!(lo < hi, "GELU thresholds must satisfy lo < hi");
+        GeluLut {
+            lo,
+            hi,
+            table: words.iter().map(|&w| Q8_24::from_bits(w)).collect(),
+        }
+    }
+
     /// The approximation: piecewise clip + table lookup.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the table was truncated below [`GELU_LUT_LEN`] entries
+    /// and the clamped index falls past its end — simulators should use
+    /// [`GeluLut::try_eval`] and trap instead.
     pub fn eval(&self, x: Q8_24) -> Q8_24 {
+        self.try_eval(x)
+            .unwrap_or_else(|idx| panic!("GELU LUT index {idx} out of range ({} entries)", self.table.len()))
+    }
+
+    /// The checked approximation: `Err(index)` when the clamped index
+    /// falls outside the actual table (only possible for tables built
+    /// shorter than [`GELU_LUT_LEN`] via [`GeluLut::from_words`]).
+    pub fn try_eval(&self, x: Q8_24) -> Result<Q8_24, usize> {
         let xf = x.to_f32();
         if xf > self.hi {
-            return x;
+            return Ok(x);
         }
         if xf < self.lo {
-            return Q8_24::ZERO;
+            return Ok(Q8_24::ZERO);
         }
         let step = (self.hi - self.lo) / GELU_LUT_LEN as f32;
         let idx = (((xf - self.lo) / step) as usize).min(GELU_LUT_LEN - 1);
-        self.table[idx]
+        self.table.get(idx).copied().ok_or(idx)
+    }
+
+    /// Number of entries actually resident in the table.
+    pub fn len(&self) -> usize {
+        self.table.len()
+    }
+
+    /// `true` when the table holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.table.is_empty()
     }
 
     /// Raw Q8.24 table words (for ROM embedding).
@@ -117,15 +158,39 @@ impl LutSet {
         }
     }
 
+    /// Builds a set directly from ROM words (for ROM round-trips and
+    /// truncation experiments). Tables shorter than the nominal lengths
+    /// are allowed; the checked `try_*` lookups report out-of-range
+    /// indices instead of panicking, and `kwt-rv32` converts those into
+    /// typed traps.
+    pub fn from_words(exp: &[i32], inv: &[i32], gelu: GeluLut) -> Self {
+        LutSet {
+            exp: exp.iter().map(|&w| Q8_24::from_bits(w)).collect(),
+            inv: inv.iter().map(|&w| Q8_24::from_bits(w)).collect(),
+            gelu,
+        }
+    }
+
     /// `ALU_EXP` (funct3 = 000): `e^{-z}` for `z ≥ 0` via LUT1.
     ///
     /// Negative inputs clamp to index 0 (`e^0 = 1`); inputs ≥ 10 clamp to
     /// the last entry (`e^{-9.97} ≈ 4.7e-5`) — exactly what a hardware
     /// index clamp does.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the table was truncated below [`EXP_LUT_LEN`] and the
+    /// clamped index overruns it (see [`LutSet::try_alu_exp`]).
     pub fn alu_exp(&self, z: Q8_24) -> Q8_24 {
+        self.try_alu_exp(z)
+            .unwrap_or_else(|idx| panic!("exp LUT index {idx} out of range ({} entries)", self.exp.len()))
+    }
+
+    /// Checked [`LutSet::alu_exp`]: `Err(index)` on a table overrun.
+    pub fn try_alu_exp(&self, z: Q8_24) -> Result<Q8_24, usize> {
         // z * 32 in Q8.24 == bits >> 19.
-        let idx = (z.to_bits() >> 19).clamp(0, EXP_LUT_LEN as i32 - 1);
-        self.exp[idx as usize]
+        let idx = (z.to_bits() >> 19).clamp(0, EXP_LUT_LEN as i32 - 1) as usize;
+        self.exp.get(idx).copied().ok_or(idx)
     }
 
     /// `ALU_INVERT` (funct3 = 001): `1/z` for `z ∈ (0, 10]` via LUT2.
@@ -133,19 +198,50 @@ impl LutSet {
     /// Inputs above 10 clamp to the last entry (`1/10`), undersized inputs
     /// clamp to the first (`32`) — the saturation artefacts the paper's
     /// ≈80 % accelerated accuracy inherits.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the table was truncated below [`INV_LUT_LEN`] and the
+    /// clamped index overruns it (see [`LutSet::try_alu_invert`]).
     pub fn alu_invert(&self, z: Q8_24) -> Q8_24 {
-        let idx = ((z.to_bits() >> 19) - 1).clamp(0, INV_LUT_LEN as i32 - 1);
-        self.inv[idx as usize]
+        self.try_alu_invert(z)
+            .unwrap_or_else(|idx| panic!("inv LUT index {idx} out of range ({} entries)", self.inv.len()))
+    }
+
+    /// Checked [`LutSet::alu_invert`]: `Err(index)` on a table overrun.
+    pub fn try_alu_invert(&self, z: Q8_24) -> Result<Q8_24, usize> {
+        let idx = ((z.to_bits() >> 19) - 1).clamp(0, INV_LUT_LEN as i32 - 1) as usize;
+        self.inv.get(idx).copied().ok_or(idx)
     }
 
     /// `ALU_GELU` (funct3 = 011): the piecewise-clipped LUT approximation.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a truncated-table overrun (see [`LutSet::try_alu_gelu`]).
     pub fn alu_gelu(&self, x: Q8_24) -> Q8_24 {
         self.gelu.eval(x)
     }
 
+    /// Checked [`LutSet::alu_gelu`]: `Err(index)` on a table overrun.
+    pub fn try_alu_gelu(&self, x: Q8_24) -> Result<Q8_24, usize> {
+        self.gelu.try_eval(x)
+    }
+
+    /// Entries resident in the exp table (== [`EXP_LUT_LEN`] unless
+    /// truncated via [`LutSet::from_words`]).
+    pub fn exp_len(&self) -> usize {
+        self.exp.len()
+    }
+
+    /// Entries resident in the reciprocal table.
+    pub fn inv_len(&self) -> usize {
+        self.inv.len()
+    }
+
     /// Total ROM footprint in bytes (paper: 2.69 kB).
     pub fn rom_bytes(&self) -> usize {
-        (self.exp.len() + self.inv.len() + GELU_LUT_LEN) * 4
+        (self.exp.len() + self.inv.len() + self.gelu.len()) * 4
     }
 
     /// Raw LUT1 words for ROM embedding.
@@ -345,5 +441,48 @@ mod tests {
     #[should_panic(expected = "empty")]
     fn fixed_softmax_empty_panics() {
         let _ = fixed_softmax(&[], &LutSet::new());
+    }
+
+    #[test]
+    fn truncated_tables_report_out_of_range_via_try() {
+        let full = LutSet::new();
+        let gelu = GeluLut::from_words(
+            PAPER_GELU_LO,
+            PAPER_GELU_HI,
+            &full.gelu.words()[..8],
+        );
+        let short = LutSet::from_words(
+            &full.exp_words()[..10],
+            &full.inv_words()[..10],
+            gelu,
+        );
+        // in-range lookups still work and match the full tables
+        assert_eq!(
+            short.try_alu_exp(Q8_24::from_f32(0.1)),
+            Ok(full.alu_exp(Q8_24::from_f32(0.1)))
+        );
+        // past the truncated end: a typed error, not a panic
+        assert_eq!(short.try_alu_exp(Q8_24::from_f32(5.0)), Err(160));
+        assert!(short.try_alu_invert(Q8_24::from_f32(9.0)).is_err());
+        assert!(short.try_alu_gelu(Q8_24::from_f32(1.0)).is_err());
+        // a full set never errors
+        for x in [-20.0f32, -1.0, 0.0, 0.5, 9.99, 50.0] {
+            let q = Q8_24::from_f32(x);
+            assert!(full.try_alu_exp(q).is_ok());
+            assert!(full.try_alu_invert(q).is_ok());
+            assert!(full.try_alu_gelu(q).is_ok());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn truncated_table_unchecked_lookup_panics() {
+        let full = LutSet::new();
+        let short = LutSet::from_words(
+            &full.exp_words()[..4],
+            &full.inv_words(),
+            full.gelu.clone(),
+        );
+        let _ = short.alu_exp(Q8_24::from_f32(9.0));
     }
 }

@@ -1,19 +1,35 @@
-//! Fetch/decode/execute core with cycle accounting.
+//! Fetch/decode/execute core with cycle accounting, organised as a set
+//! of **functional units**.
 //!
 //! Instruction dispatch runs through the pre-decode cache of
 //! [`crate::icache`]: each parcel is fetched and decoded at most once,
-//! subsequent steps at the same pc dispatch directly on the cached
-//! [`Inst`]. Architectural stores invalidate overlapping cache slots, so
+//! and the cached slot carries the decoded [`Inst`], its length, its
+//! [`InstClass`] and its base cycle cost. [`Cpu::step`] charges the
+//! cycles, records the class histogram, and routes the instruction to
+//! one of the core's units ([`FuncUnit`]):
+//!
+//! * **ALU** — integer arithmetic, logic, shifts, compares, `lui`/`auipc`
+//! * **mul/div** — the M extension
+//! * **load/store** — scalar memory accesses (with decode-cache
+//!   invalidation on stores)
+//! * **branch** — conditional branches and jumps (taken-branch upgrade)
+//! * **system** — `ecall`/`ebreak`/Zicsr
+//! * **LUT** — the paper's custom-1 Q8.24 ops backed by [`LutSet`] ROMs
+//! * **packed SIMD** — the Xkwtdot custom-2 extension (`kdot4.i8`,
+//!   `kdot2.i16`, `ksat.i16`, `kclip`, `klw.b2h`, `kcvt.h2f`,
+//!   `kcvt.f2h`)
+//!
+//! Architectural stores invalidate overlapping cache slots, so
 //! self-modifying code behaves exactly as on the uncached interpreter
 //! (covered by `tests/differential.rs`).
 
 use crate::icache::{DecodeCache, DecodeCacheStats};
 use crate::mem::Memory;
-use crate::profile::Profiler;
+use crate::profile::{ClassHistogram, InstClass, Profiler, NUM_INST_CLASSES};
 use crate::trap::Trap;
 use crate::TimingModel;
 use kwt_quant::{LutSet, Q8_24};
-use kwt_rvasm::{expand_compressed, CustomOp, Inst, Reg};
+use kwt_rvasm::{expand_compressed, CustomOp, Inst, PackedOp, Reg};
 use std::collections::BTreeMap;
 
 /// Result of executing one instruction.
@@ -23,6 +39,76 @@ pub enum StepOutcome {
     Continue,
     /// `ebreak` retired — the program is done.
     Halted,
+}
+
+/// The functional unit that executes an instruction — the dispatch axis
+/// of [`Cpu::step`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FuncUnit {
+    /// Integer ALU (arithmetic, logic, shifts, compares, `lui`/`auipc`).
+    Alu,
+    /// Multiplier / divider (the M extension).
+    MulDiv,
+    /// Scalar load/store unit.
+    LoadStore,
+    /// Branch/jump unit.
+    Branch,
+    /// System unit (`ecall`/`ebreak`/Zicsr).
+    System,
+    /// custom-1 LUT unit (Q8.24 ROM lookups and float converts).
+    Lut,
+    /// custom-2 packed-SIMD unit (Xkwtdot).
+    Simd,
+}
+
+impl InstClass {
+    /// The functional unit responsible for this cycle class.
+    pub fn unit(self) -> FuncUnit {
+        match self {
+            InstClass::Alu => FuncUnit::Alu,
+            InstClass::Mul | InstClass::Div => FuncUnit::MulDiv,
+            InstClass::Load | InstClass::Store => FuncUnit::LoadStore,
+            InstClass::Branch | InstClass::Jump => FuncUnit::Branch,
+            InstClass::System => FuncUnit::System,
+            InstClass::Lut => FuncUnit::Lut,
+            InstClass::PackedDot
+            | InstClass::PackedAlu
+            | InstClass::PackedLoad
+            | InstClass::PackedCvt
+            | InstClass::PackedFloat => FuncUnit::Simd,
+        }
+    }
+}
+
+/// Maps an instruction to its cycle class (and thereby its functional
+/// unit). Computed once per cached instruction.
+pub(crate) fn classify(inst: &Inst) -> InstClass {
+    use Inst::*;
+    match inst {
+        Lui { .. } | Auipc { .. } | Addi { .. } | Slti { .. } | Sltiu { .. } | Xori { .. }
+        | Ori { .. } | Andi { .. } | Slli { .. } | Srli { .. } | Srai { .. } | Add { .. }
+        | Sub { .. } | Sll { .. } | Slt { .. } | Sltu { .. } | Xor { .. } | Srl { .. }
+        | Sra { .. } | Or { .. } | And { .. } => InstClass::Alu,
+        Mul { .. } | Mulh { .. } | Mulhsu { .. } | Mulhu { .. } => InstClass::Mul,
+        Div { .. } | Divu { .. } | Rem { .. } | Remu { .. } => InstClass::Div,
+        Lb { .. } | Lh { .. } | Lw { .. } | Lbu { .. } | Lhu { .. } => InstClass::Load,
+        Sb { .. } | Sh { .. } | Sw { .. } => InstClass::Store,
+        Jal { .. } | Jalr { .. } => InstClass::Jump,
+        Beq { .. } | Bne { .. } | Blt { .. } | Bge { .. } | Bltu { .. } | Bgeu { .. } => {
+            InstClass::Branch
+        }
+        Ecall | Ebreak | Csrrw { .. } | Csrrs { .. } | Csrrc { .. } => InstClass::System,
+        Custom { .. } => InstClass::Lut,
+        Packed { op, .. } => match op {
+            PackedOp::Kdot4I8 | PackedOp::Kdot2I16 => InstClass::PackedDot,
+            PackedOp::KsatI16 | PackedOp::Kclip => InstClass::PackedAlu,
+            PackedOp::KcvtH2F | PackedOp::KcvtF2H => InstClass::PackedCvt,
+            PackedOp::KfaddT | PackedOp::KfsubT | PackedOp::KfmulT => {
+                InstClass::PackedFloat
+            }
+        },
+        KlwB2h { .. } => InstClass::PackedLoad,
+    }
 }
 
 /// The simulated RV32IMC hart.
@@ -44,6 +130,9 @@ pub struct Cpu {
     luts: LutSet,
     csrs: BTreeMap<u32, u32>,
     icache: DecodeCache,
+    hist_enabled: bool,
+    class_counts: [u64; NUM_INST_CLASSES],
+    extra_branch_cycles: u64,
 }
 
 impl Cpu {
@@ -61,6 +150,9 @@ impl Cpu {
             luts,
             csrs: BTreeMap::new(),
             icache,
+            hist_enabled: false,
+            class_counts: [0; NUM_INST_CLASSES],
+            extra_branch_cycles: 0,
         }
     }
 
@@ -96,26 +188,30 @@ impl Cpu {
         self.icache.stats()
     }
 
-    /// Base cycle cost of `inst` under timing model `t` (branches are
-    /// charged not-taken here; the taken upgrade happens at execution).
-    /// Computed once per cached instruction.
-    fn inst_cost(t: &TimingModel, inst: &Inst) -> u64 {
-        use Inst::*;
-        match inst {
-            Lui { .. } | Auipc { .. } | Addi { .. } | Slti { .. } | Sltiu { .. }
-            | Xori { .. } | Ori { .. } | Andi { .. } | Slli { .. } | Srli { .. }
-            | Srai { .. } | Add { .. } | Sub { .. } | Sll { .. } | Slt { .. }
-            | Sltu { .. } | Xor { .. } | Srl { .. } | Sra { .. } | Or { .. } | And { .. }
-            | Csrrw { .. } | Csrrs { .. } | Csrrc { .. } | Ecall | Ebreak => t.alu,
-            Mul { .. } | Mulh { .. } | Mulhsu { .. } | Mulhu { .. } => t.mul,
-            Div { .. } | Divu { .. } | Rem { .. } | Remu { .. } => t.div,
-            Lb { .. } | Lh { .. } | Lw { .. } | Lbu { .. } | Lhu { .. } => t.load,
-            Sb { .. } | Sh { .. } | Sw { .. } => t.store,
-            Jal { .. } | Jalr { .. } => t.jump,
-            Beq { .. } | Bne { .. } | Blt { .. } | Bge { .. } | Bltu { .. }
-            | Bgeu { .. } => t.branch_not_taken, // upgraded at execution if taken
-            Custom { .. } => t.custom,
-        }
+    /// The per-instruction-class cycle histogram accumulated while
+    /// [enabled](Cpu::set_class_histogram_enabled).
+    pub fn class_histogram(&self) -> ClassHistogram {
+        ClassHistogram::from_counts(&self.class_counts, self.extra_branch_cycles, &self.timing)
+    }
+
+    /// Turns per-class retirement counting on or off (default **off**:
+    /// like a hardware performance counter it is armed on demand — the
+    /// data-dependent counter update costs ~20 % host throughput, so the
+    /// plain execution path does not pay for it).
+    pub fn set_class_histogram_enabled(&mut self, enabled: bool) {
+        self.hist_enabled = enabled;
+    }
+
+    /// Whether per-class retirement counting is armed.
+    pub fn class_histogram_enabled(&self) -> bool {
+        self.hist_enabled
+    }
+
+    /// Clears the class histogram (the cycle/instret counters are
+    /// untouched, so per-phase deltas are best taken by snapshotting).
+    pub fn reset_class_histogram(&mut self) {
+        self.class_counts = [0; NUM_INST_CLASSES];
+        self.extra_branch_cycles = 0;
     }
 
     /// Reads a register.
@@ -168,7 +264,7 @@ impl Cpu {
     /// faulting instruction for post-mortem inspection.
     pub fn step(&mut self) -> Result<StepOutcome, Trap> {
         let pc = self.pc;
-        let (inst, len, cost) = match self.icache.lookup(pc) {
+        let (inst, len, class, cost) = match self.icache.lookup(pc) {
             Some(hit) => hit,
             None => {
                 let lo = self.mem.fetch16(pc)?;
@@ -188,106 +284,54 @@ impl Cpu {
                         2,
                     )
                 };
-                let cost = Self::inst_cost(&self.timing, &inst);
-                self.icache.fill(pc, inst, len, cost);
-                (inst, len, cost)
+                let class = classify(&inst);
+                let cost = self.timing.class_cost(class);
+                self.icache.fill(pc, inst, len, class, cost);
+                (inst, len, class, cost)
             }
         };
 
         let mut next_pc = pc.wrapping_add(len);
-        let t = self.timing;
-        use Inst::*;
         self.cycles += cost;
 
-        macro_rules! taken {
-            () => {{
-                self.cycles += t.branch_taken - t.branch_not_taken;
-            }};
+        match class.unit() {
+            FuncUnit::Alu => self.exec_alu(inst, pc),
+            FuncUnit::MulDiv => self.exec_muldiv(inst),
+            FuncUnit::LoadStore => self.exec_load_store(inst, pc)?,
+            FuncUnit::Branch => self.exec_branch_jump(inst, pc, len, &mut next_pc),
+            FuncUnit::System => match self.exec_system(inst, pc)? {
+                StepOutcome::Halted => {
+                    self.instret += 1;
+                    if self.hist_enabled {
+                        self.class_counts[class as usize] += 1;
+                    }
+                    return Ok(StepOutcome::Halted);
+                }
+                StepOutcome::Continue => {}
+            },
+            FuncUnit::Lut => self.exec_lut(inst, pc)?,
+            FuncUnit::Simd => self.exec_simd(inst, pc)?,
         }
 
+        self.pc = next_pc;
+        self.instret += 1;
+        // counted at retirement, so histogram counts track instret even
+        // across trapped runs (the faulting instruction's cycles stay
+        // charged to `cycles` but are not attributed to a class)
+        if self.hist_enabled {
+            self.class_counts[class as usize] += 1;
+        }
+        Ok(StepOutcome::Continue)
+    }
+
+    /// Integer ALU unit: arithmetic, logic, shifts, compares, `lui`,
+    /// `auipc`.
+    #[inline(always)]
+    fn exec_alu(&mut self, inst: Inst, pc: u32) {
+        use Inst::*;
         match inst {
             Lui { rd, imm } => self.set_reg(rd, imm as u32),
             Auipc { rd, imm } => self.set_reg(rd, pc.wrapping_add(imm as u32)),
-            Jal { rd, offset } => {
-                self.set_reg(rd, pc.wrapping_add(len));
-                next_pc = pc.wrapping_add(offset as u32);
-            }
-            Jalr { rd, rs1, imm } => {
-                let target = self.reg(rs1).wrapping_add(imm as u32) & !1;
-                self.set_reg(rd, pc.wrapping_add(len));
-                next_pc = target;
-            }
-            Beq { rs1, rs2, offset } => {
-                if self.reg(rs1) == self.reg(rs2) {
-                    taken!();
-                    next_pc = pc.wrapping_add(offset as u32);
-                }
-            }
-            Bne { rs1, rs2, offset } => {
-                if self.reg(rs1) != self.reg(rs2) {
-                    taken!();
-                    next_pc = pc.wrapping_add(offset as u32);
-                }
-            }
-            Blt { rs1, rs2, offset } => {
-                if (self.reg(rs1) as i32) < (self.reg(rs2) as i32) {
-                    taken!();
-                    next_pc = pc.wrapping_add(offset as u32);
-                }
-            }
-            Bge { rs1, rs2, offset } => {
-                if (self.reg(rs1) as i32) >= (self.reg(rs2) as i32) {
-                    taken!();
-                    next_pc = pc.wrapping_add(offset as u32);
-                }
-            }
-            Bltu { rs1, rs2, offset } => {
-                if self.reg(rs1) < self.reg(rs2) {
-                    taken!();
-                    next_pc = pc.wrapping_add(offset as u32);
-                }
-            }
-            Bgeu { rs1, rs2, offset } => {
-                if self.reg(rs1) >= self.reg(rs2) {
-                    taken!();
-                    next_pc = pc.wrapping_add(offset as u32);
-                }
-            }
-            Lb { rd, rs1, imm } => {
-                let v = self.mem.load8(self.reg(rs1).wrapping_add(imm as u32), pc)?;
-                self.set_reg(rd, v as i8 as i32 as u32);
-            }
-            Lh { rd, rs1, imm } => {
-                let v = self.mem.load16(self.reg(rs1).wrapping_add(imm as u32), pc)?;
-                self.set_reg(rd, v as i16 as i32 as u32);
-            }
-            Lw { rd, rs1, imm } => {
-                let v = self.mem.load32(self.reg(rs1).wrapping_add(imm as u32), pc)?;
-                self.set_reg(rd, v);
-            }
-            Lbu { rd, rs1, imm } => {
-                let v = self.mem.load8(self.reg(rs1).wrapping_add(imm as u32), pc)?;
-                self.set_reg(rd, v as u32);
-            }
-            Lhu { rd, rs1, imm } => {
-                let v = self.mem.load16(self.reg(rs1).wrapping_add(imm as u32), pc)?;
-                self.set_reg(rd, v as u32);
-            }
-            Sb { rs2, rs1, imm } => {
-                let addr = self.reg(rs1).wrapping_add(imm as u32);
-                self.mem.store8(addr, self.reg(rs2) as u8, pc)?;
-                self.icache.invalidate(addr, 1);
-            }
-            Sh { rs2, rs1, imm } => {
-                let addr = self.reg(rs1).wrapping_add(imm as u32);
-                self.mem.store16(addr, self.reg(rs2) as u16, pc)?;
-                self.icache.invalidate(addr, 2);
-            }
-            Sw { rs2, rs1, imm } => {
-                let addr = self.reg(rs1).wrapping_add(imm as u32);
-                self.mem.store32(addr, self.reg(rs2), pc)?;
-                self.icache.invalidate(addr, 4);
-            }
             Addi { rd, rs1, imm } => self.set_reg(rd, self.reg(rs1).wrapping_add(imm as u32)),
             Slti { rd, rs1, imm } => {
                 self.set_reg(rd, ((self.reg(rs1) as i32) < imm) as u32)
@@ -315,6 +359,15 @@ impl Cpu {
             }
             Or { rd, rs1, rs2 } => self.set_reg(rd, self.reg(rs1) | self.reg(rs2)),
             And { rd, rs1, rs2 } => self.set_reg(rd, self.reg(rs1) & self.reg(rs2)),
+            other => unreachable!("{other:?} routed to the ALU unit"),
+        }
+    }
+
+    /// Multiply/divide unit (the M extension).
+    #[inline(always)]
+    fn exec_muldiv(&mut self, inst: Inst) {
+        use Inst::*;
+        match inst {
             Mul { rd, rs1, rs2 } => self.set_reg(
                 rd,
                 (self.reg(rs1) as i32).wrapping_mul(self.reg(rs2) as i32) as u32,
@@ -365,11 +418,105 @@ impl Cpu {
                 let r = if b == 0 { self.reg(rs1) } else { self.reg(rs1) % b };
                 self.set_reg(rd, r);
             }
-            Ecall => return Err(Trap::EnvironmentCall { pc }),
-            Ebreak => {
-                self.instret += 1;
-                return Ok(StepOutcome::Halted);
+            other => unreachable!("{other:?} routed to the mul/div unit"),
+        }
+    }
+
+    /// Scalar load/store unit. Stores invalidate overlapping decode-cache
+    /// slots so self-modifying code stays architecturally exact.
+    #[inline(always)]
+    fn exec_load_store(&mut self, inst: Inst, pc: u32) -> Result<(), Trap> {
+        use Inst::*;
+        match inst {
+            Lb { rd, rs1, imm } => {
+                let v = self.mem.load8(self.reg(rs1).wrapping_add(imm as u32), pc)?;
+                self.set_reg(rd, v as i8 as i32 as u32);
             }
+            Lh { rd, rs1, imm } => {
+                let v = self.mem.load16(self.reg(rs1).wrapping_add(imm as u32), pc)?;
+                self.set_reg(rd, v as i16 as i32 as u32);
+            }
+            Lw { rd, rs1, imm } => {
+                let v = self.mem.load32(self.reg(rs1).wrapping_add(imm as u32), pc)?;
+                self.set_reg(rd, v);
+            }
+            Lbu { rd, rs1, imm } => {
+                let v = self.mem.load8(self.reg(rs1).wrapping_add(imm as u32), pc)?;
+                self.set_reg(rd, v as u32);
+            }
+            Lhu { rd, rs1, imm } => {
+                let v = self.mem.load16(self.reg(rs1).wrapping_add(imm as u32), pc)?;
+                self.set_reg(rd, v as u32);
+            }
+            Sb { rs2, rs1, imm } => {
+                let addr = self.reg(rs1).wrapping_add(imm as u32);
+                self.mem.store8(addr, self.reg(rs2) as u8, pc)?;
+                self.icache.invalidate(addr, 1);
+            }
+            Sh { rs2, rs1, imm } => {
+                let addr = self.reg(rs1).wrapping_add(imm as u32);
+                self.mem.store16(addr, self.reg(rs2) as u16, pc)?;
+                self.icache.invalidate(addr, 2);
+            }
+            Sw { rs2, rs1, imm } => {
+                let addr = self.reg(rs1).wrapping_add(imm as u32);
+                self.mem.store32(addr, self.reg(rs2), pc)?;
+                self.icache.invalidate(addr, 4);
+            }
+            other => unreachable!("{other:?} routed to the load/store unit"),
+        }
+        Ok(())
+    }
+
+    /// Branch/jump unit. Taken branches upgrade the charged cycles from
+    /// the cached not-taken cost.
+    #[inline(always)]
+    fn exec_branch_jump(&mut self, inst: Inst, pc: u32, len: u32, next_pc: &mut u32) {
+        use Inst::*;
+        let t = self.timing;
+        macro_rules! branch {
+            ($cond:expr, $offset:expr) => {
+                if $cond {
+                    let upgrade = t.branch_taken - t.branch_not_taken;
+                    self.cycles += upgrade;
+                    if self.hist_enabled {
+                        self.extra_branch_cycles += upgrade;
+                    }
+                    *next_pc = pc.wrapping_add($offset as u32);
+                }
+            };
+        }
+        match inst {
+            Jal { rd, offset } => {
+                self.set_reg(rd, pc.wrapping_add(len));
+                *next_pc = pc.wrapping_add(offset as u32);
+            }
+            Jalr { rd, rs1, imm } => {
+                let target = self.reg(rs1).wrapping_add(imm as u32) & !1;
+                self.set_reg(rd, pc.wrapping_add(len));
+                *next_pc = target;
+            }
+            Beq { rs1, rs2, offset } => branch!(self.reg(rs1) == self.reg(rs2), offset),
+            Bne { rs1, rs2, offset } => branch!(self.reg(rs1) != self.reg(rs2), offset),
+            Blt { rs1, rs2, offset } => {
+                branch!((self.reg(rs1) as i32) < (self.reg(rs2) as i32), offset)
+            }
+            Bge { rs1, rs2, offset } => {
+                branch!((self.reg(rs1) as i32) >= (self.reg(rs2) as i32), offset)
+            }
+            Bltu { rs1, rs2, offset } => branch!(self.reg(rs1) < self.reg(rs2), offset),
+            Bgeu { rs1, rs2, offset } => branch!(self.reg(rs1) >= self.reg(rs2), offset),
+            other => unreachable!("{other:?} routed to the branch unit"),
+        }
+    }
+
+    /// System unit: environment calls, breakpoints, Zicsr.
+    #[inline(always)]
+    fn exec_system(&mut self, inst: Inst, pc: u32) -> Result<StepOutcome, Trap> {
+        use Inst::*;
+        match inst {
+            Ecall => return Err(Trap::EnvironmentCall { pc }),
+            Ebreak => return Ok(StepOutcome::Halted),
             Csrrw { rd, rs1, csr } => {
                 let old = self.csr_read(csr);
                 self.csr_write(csr, self.reg(rs1));
@@ -389,27 +536,140 @@ impl Cpu {
                 }
                 self.set_reg(rd, old);
             }
-            Custom { op, rd, rs1, rs2: _ } => {
-                let x = self.reg(rs1);
-                let y = match op {
-                    CustomOp::Exp => self.luts.alu_exp(Q8_24::from_bits(x as i32)).to_bits() as u32,
-                    CustomOp::Invert => {
-                        self.luts.alu_invert(Q8_24::from_bits(x as i32)).to_bits() as u32
-                    }
-                    CustomOp::Gelu => {
-                        self.luts.alu_gelu(Q8_24::from_bits(x as i32)).to_bits() as u32
-                    }
-                    CustomOp::ToFixed => Q8_24::from_f32(f32::from_bits(x)).to_bits() as u32,
-                    CustomOp::ToFloat => Q8_24::from_bits(x as i32).to_f32().to_bits(),
-                };
-                self.set_reg(rd, y);
-            }
+            other => unreachable!("{other:?} routed to the system unit"),
         }
-
-        self.pc = next_pc;
-        self.instret += 1;
         Ok(StepOutcome::Continue)
     }
+
+    /// custom-1 LUT unit. Out-of-range indices on (truncated) tables
+    /// raise [`Trap::LutIndexOutOfRange`] instead of panicking the host.
+    #[inline(always)]
+    fn exec_lut(&mut self, inst: Inst, pc: u32) -> Result<(), Trap> {
+        let Inst::Custom { op, rd, rs1, rs2: _ } = inst else {
+            unreachable!("{inst:?} routed to the LUT unit")
+        };
+        let x = self.reg(rs1);
+        let lut = |r: Result<Q8_24, usize>, table_len: usize| {
+            r.map(|q| q.to_bits() as u32).map_err(|index| {
+                Trap::LutIndexOutOfRange {
+                    pc,
+                    index: index as u32,
+                    table_len: table_len as u32,
+                }
+            })
+        };
+        let y = match op {
+            CustomOp::Exp => lut(
+                self.luts.try_alu_exp(Q8_24::from_bits(x as i32)),
+                self.luts.exp_len(),
+            )?,
+            CustomOp::Invert => lut(
+                self.luts.try_alu_invert(Q8_24::from_bits(x as i32)),
+                self.luts.inv_len(),
+            )?,
+            CustomOp::Gelu => lut(
+                self.luts.try_alu_gelu(Q8_24::from_bits(x as i32)),
+                self.luts.gelu.len(),
+            )?,
+            CustomOp::ToFixed => Q8_24::from_f32(f32::from_bits(x)).to_bits() as u32,
+            CustomOp::ToFloat => Q8_24::from_bits(x as i32).to_f32().to_bits(),
+        };
+        self.set_reg(rd, y);
+        Ok(())
+    }
+
+    /// custom-2 packed-SIMD unit (Xkwtdot).
+    #[inline(always)]
+    fn exec_simd(&mut self, inst: Inst, pc: u32) -> Result<(), Trap> {
+        match inst {
+            Inst::Packed { op, rd, rs1, rs2 } => {
+                let a = self.reg(rs1);
+                let b = self.reg(rs2);
+                let v = match op {
+                    PackedOp::Kdot4I8 => {
+                        let mut acc = self.reg(rd);
+                        for lane in 0..4 {
+                            let x = (a >> (8 * lane)) as i8 as i32;
+                            let y = (b >> (8 * lane)) as i8 as i32;
+                            acc = acc.wrapping_add(x.wrapping_mul(y) as u32);
+                        }
+                        acc
+                    }
+                    PackedOp::Kdot2I16 => {
+                        let mut acc = self.reg(rd);
+                        for lane in 0..2 {
+                            let x = (a >> (16 * lane)) as i16 as i32;
+                            let y = (b >> (16 * lane)) as i16 as i32;
+                            acc = acc.wrapping_add(x.wrapping_mul(y) as u32);
+                        }
+                        acc
+                    }
+                    PackedOp::KsatI16 => {
+                        let shifted = (a as i32) >> (b & 31);
+                        shifted.clamp(-32768, 32767) as u32
+                    }
+                    PackedOp::Kclip => {
+                        let n = b & 31;
+                        let lo = -(1i64 << n);
+                        let hi = (1i64 << n) - 1;
+                        (a as i32 as i64).clamp(lo, hi) as i32 as u32
+                    }
+                    PackedOp::KcvtH2F => {
+                        // f32(i16) is exact; scaling by 2^-s is exact, so
+                        // this matches the scalar sf_i2f + sf_mul chain
+                        // bit-for-bit on every i16 input.
+                        let h = a as u16 as i16;
+                        let scale = f32::from_bits((127 - (b & 31)) << 23);
+                        (h as f32 * scale).to_bits()
+                    }
+                    PackedOp::KcvtF2H => kcvt_f2h(a, b & 31),
+                    PackedOp::KfaddT => crate::softfp::add(a, b),
+                    PackedOp::KfsubT => crate::softfp::sub(a, b),
+                    PackedOp::KfmulT => crate::softfp::mul(a, b),
+                };
+                self.set_reg(rd, v);
+            }
+            Inst::KlwB2h { rd, rs1, imm } => {
+                let addr = self.reg(rs1).wrapping_add(imm as u32);
+                let h = self.mem.load16(addr, pc)?;
+                let lo = (h as u8 as i8 as i32 as u32) & 0xFFFF;
+                let hi = ((h >> 8) as u8 as i8 as i32 as u32) << 16;
+                self.set_reg(rd, hi | lo);
+            }
+            other => unreachable!("{other:?} routed to the packed-SIMD unit"),
+        }
+        Ok(())
+    }
+}
+
+/// `kcvt.f2h`: `sat16(⌊f32(bits) · 2^shift⌋)`.
+///
+/// The floor/saturate follows the bare-metal soft-float `f2i_floor`
+/// exactly (zero for |x| < 1 positive, −1 for negative fractions,
+/// sign-directed saturation for huge values and NaN), then clamps to the
+/// i16 range — so the packed requant kernel is bit-identical to the
+/// scalar `sf_mul` + `sf_f2i_floor` + clamp sequence on every float the
+/// pipeline can produce.
+fn kcvt_f2h(bits: u32, shift: u32) -> u32 {
+    let scale = f32::from_bits((127 + shift) << 23);
+    let prod = f32::from_bits(bits) * scale;
+    let wide: i32 = if prod.is_nan() {
+        if prod.to_bits() >> 31 == 0 {
+            i32::MAX
+        } else {
+            i32::MIN
+        }
+    } else {
+        let fl = f64::from(prod).floor();
+        if fl >= i32::MAX as f64 + 1.0 {
+            i32::MAX
+        } else if fl < i32::MIN as f64 {
+            i32::MIN
+        } else {
+            fl as i32
+        }
+    };
+    wide.clamp(-32768, 32767) as u32
 }
 
 #[cfg(test)]
@@ -430,6 +690,7 @@ mod tests {
         mem.write_bytes(p.text_base, &text);
         mem.write_bytes(p.data_base, &p.data);
         let mut cpu = Cpu::new(mem, TimingModel::ibex(), LutSet::new());
+        cpu.set_class_histogram_enabled(true);
         cpu.pc = p.text_base;
         cpu.set_reg(Reg::Sp, platform.initial_sp());
         for _ in 0..100_000 {
@@ -629,6 +890,208 @@ mod tests {
     }
 
     #[test]
+    fn truncated_lut_raises_typed_trap_instead_of_panicking() {
+        // A LUT ROM truncated to 16 exp entries: index 16+ must trap.
+        let full = LutSet::new();
+        let short = LutSet::from_words(
+            &full.exp_words()[..16],
+            &full.inv_words(),
+            full.gelu.clone(),
+        );
+        let mut asm = Asm::new(0, 0x8000);
+        asm.here("entry");
+        // z = 2.0 in Q8.24 -> exp index 64, past the 16-entry table.
+        asm.li(Reg::T0, Q8_24::from_f32(2.0).to_bits());
+        asm.emit(Inst::Custom {
+            op: CustomOp::Exp,
+            rd: Reg::A0,
+            rs1: Reg::T0,
+            rs2: Reg::Zero,
+        });
+        asm.emit(Inst::Ebreak);
+        let p = asm.finish().unwrap();
+        let mut mem = Memory::new(0, 0x10000);
+        let text: Vec<u8> = p.text.iter().flat_map(|w| w.to_le_bytes()).collect();
+        mem.write_bytes(0, &text);
+        let mut cpu = Cpu::new(mem, TimingModel::ibex(), short);
+        let mut result = Ok(StepOutcome::Continue);
+        for _ in 0..10 {
+            result = cpu.step();
+            if result.is_err() || result == Ok(StepOutcome::Halted) {
+                break;
+            }
+        }
+        match result {
+            Err(Trap::LutIndexOutOfRange { index, table_len, .. }) => {
+                assert_eq!(index, 64);
+                assert_eq!(table_len, 16);
+            }
+            other => panic!("expected LutIndexOutOfRange, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn kdot4_i8_accumulates_all_lanes() {
+        // lanes a = [10, -3, 100, -128], b = [2, 5, -1, 1]
+        let a_word = u32::from_le_bytes([10i8 as u8, (-3i8) as u8, 100, (-128i8) as u8]);
+        let b_word = u32::from_le_bytes([2, 5, (-1i8) as u8, 1]);
+        let want = 7_i32 + 10 * 2 + (-3) * 5 + 100 * (-1) + (-128) * 1;
+        let cpu = run(|a| {
+            a.li(Reg::A0, 7); // pre-loaded accumulator
+            a.li(Reg::T0, a_word as i32);
+            a.li(Reg::T1, b_word as i32);
+            a.emit(Inst::Packed {
+                op: PackedOp::Kdot4I8,
+                rd: Reg::A0,
+                rs1: Reg::T0,
+                rs2: Reg::T1,
+            });
+        });
+        assert_eq!(cpu.reg(Reg::A0) as i32, want);
+    }
+
+    #[test]
+    fn kdot2_i16_matches_scalar_mac_chain() {
+        // lanes a = [-300, 1200], b = [7, -40]
+        let a_word = (((-300i16 as u16) as u32) | ((1200i16 as u16 as u32) << 16)) as i32;
+        let b_word = (((7i16 as u16) as u32) | ((-40i16 as u16 as u32) << 16)) as i32;
+        let want = 5 + (-300) * 7 + 1200 * (-40);
+        let cpu = run(|a| {
+            a.li(Reg::A0, 5);
+            a.li(Reg::T0, a_word);
+            a.li(Reg::T1, b_word);
+            a.emit(Inst::Packed {
+                op: PackedOp::Kdot2I16,
+                rd: Reg::A0,
+                rs1: Reg::T0,
+                rs2: Reg::T1,
+            });
+        });
+        assert_eq!(cpu.reg(Reg::A0) as i32, want);
+    }
+
+    #[test]
+    fn ksat_and_kclip_saturate() {
+        let cpu = run(|a| {
+            a.li(Reg::T0, 1 << 22);
+            a.li(Reg::T1, 4);
+            a.emit(Inst::Packed {
+                op: PackedOp::KsatI16,
+                rd: Reg::A0, // (1<<22) >> 4 = 1<<18 -> 32767
+                rs1: Reg::T0,
+                rs2: Reg::T1,
+            });
+            a.li(Reg::T2, -123456);
+            a.emit(Inst::Packed {
+                op: PackedOp::KsatI16,
+                rd: Reg::A1, // -123456 >> 4 = -7716, in range
+                rs1: Reg::T2,
+                rs2: Reg::T1,
+            });
+            a.emit(Inst::Packed {
+                op: PackedOp::KsatI16,
+                rd: Reg::A2, // shift 0: pure clamp -> -32768
+                rs1: Reg::T2,
+                rs2: Reg::Zero,
+            });
+            a.li(Reg::T3, 7);
+            a.li(Reg::T4, 300);
+            a.emit(Inst::Packed {
+                op: PackedOp::Kclip,
+                rd: Reg::A3, // clamp(300, -128, 127) = 127
+                rs1: Reg::T4,
+                rs2: Reg::T3,
+            });
+            a.li(Reg::T5, -300);
+            a.emit(Inst::Packed {
+                op: PackedOp::Kclip,
+                rd: Reg::A4, // clamp(-300, -128, 127) = -128
+                rs1: Reg::T5,
+                rs2: Reg::T3,
+            });
+        });
+        assert_eq!(cpu.reg(Reg::A0) as i32, 32767);
+        assert_eq!(cpu.reg(Reg::A1) as i32, -7716);
+        assert_eq!(cpu.reg(Reg::A2) as i32, -32768);
+        assert_eq!(cpu.reg(Reg::A3) as i32, 127);
+        assert_eq!(cpu.reg(Reg::A4) as i32, -128);
+    }
+
+    #[test]
+    fn kcvt_round_trips_quant_boundary() {
+        // h2f: -1234 / 2^8 exactly; f2h: floor(x * 2^8) saturated.
+        let cpu = run(|a| {
+            a.li(Reg::T0, -1234);
+            a.li(Reg::T1, 8);
+            a.emit(Inst::Packed {
+                op: PackedOp::KcvtH2F,
+                rd: Reg::A0,
+                rs1: Reg::T0,
+                rs2: Reg::T1,
+            });
+            a.emit(Inst::Packed {
+                op: PackedOp::KcvtF2H,
+                rd: Reg::A1,
+                rs1: Reg::A0,
+                rs2: Reg::T1,
+            });
+            // saturation: 1e6 * 2^8 >> i16 range
+            a.li(Reg::T2, 1_000_000.0f32.to_bits() as i32);
+            a.emit(Inst::Packed {
+                op: PackedOp::KcvtF2H,
+                rd: Reg::A2,
+                rs1: Reg::T2,
+                rs2: Reg::T1,
+            });
+        });
+        assert_eq!(
+            f32::from_bits(cpu.reg(Reg::A0)),
+            -1234.0 / 256.0,
+            "h2f exact"
+        );
+        assert_eq!(cpu.reg(Reg::A1) as i32, -1234, "round trip");
+        assert_eq!(cpu.reg(Reg::A2) as i32, 32767, "saturated");
+    }
+
+    #[test]
+    fn klw_b2h_widens_bytes_to_lanes() {
+        let cpu = run(|a| {
+            a.li(Reg::T0, 0x8000);
+            // store bytes [-5, 100] at 0x8000
+            a.li(Reg::T1, (-5i8) as u8 as i32);
+            a.emit(Inst::Sb { rs2: Reg::T1, rs1: Reg::T0, imm: 0 });
+            a.li(Reg::T1, 100);
+            a.emit(Inst::Sb { rs2: Reg::T1, rs1: Reg::T0, imm: 1 });
+            a.emit(Inst::KlwB2h { rd: Reg::A0, rs1: Reg::T0, imm: 0 });
+        });
+        let v = cpu.reg(Reg::A0);
+        assert_eq!((v & 0xFFFF) as u16 as i16, -5);
+        assert_eq!((v >> 16) as u16 as i16, 100);
+    }
+
+    #[test]
+    fn klw_b2h_traps_out_of_bounds() {
+        let mut asm = Asm::new(0, 0x8000);
+        asm.here("entry");
+        asm.li(Reg::T0, 0x0100_0000);
+        asm.emit(Inst::KlwB2h { rd: Reg::A0, rs1: Reg::T0, imm: 0 });
+        asm.emit(Inst::Ebreak);
+        let p = asm.finish().unwrap();
+        let mut mem = Memory::new(0, 0x10000);
+        let text: Vec<u8> = p.text.iter().flat_map(|w| w.to_le_bytes()).collect();
+        mem.write_bytes(0, &text);
+        let mut cpu = Cpu::new(mem, TimingModel::ibex(), LutSet::new());
+        let mut last = Ok(StepOutcome::Continue);
+        for _ in 0..10 {
+            last = cpu.step();
+            if last.is_err() || last == Ok(StepOutcome::Halted) {
+                break;
+            }
+        }
+        assert!(matches!(last, Err(Trap::AccessOutOfBounds { .. })));
+    }
+
+    #[test]
     fn cycle_accounting_follows_model() {
         // addi (1) + addi (1) + mul (3) + lw (2) + sw (2) + ebreak (1)
         let cpu = run(|a| {
@@ -643,6 +1106,59 @@ mod tests {
         // 3 addi + mul + sw + lw + ebreak = 3*1 + 3 + 2 + 2 + 1 = 11
         assert_eq!(cpu.cycles, 11);
         assert_eq!(cpu.instret, 7);
+    }
+
+    #[test]
+    fn packed_ops_follow_timing_model() {
+        let t = TimingModel::ibex();
+        let cpu = run(|a| {
+            a.emit(Inst::Packed {
+                op: PackedOp::Kdot2I16,
+                rd: Reg::A0,
+                rs1: Reg::Zero,
+                rs2: Reg::Zero,
+            });
+            a.emit(Inst::Packed {
+                op: PackedOp::KsatI16,
+                rd: Reg::A1,
+                rs1: Reg::Zero,
+                rs2: Reg::Zero,
+            });
+        });
+        // kdot + ksat + ebreak
+        assert_eq!(cpu.cycles, t.kdot + t.ksat + t.alu);
+        let h = cpu.class_histogram();
+        assert_eq!(h.count(InstClass::PackedDot), 1);
+        assert_eq!(h.cycles(InstClass::PackedDot), t.kdot);
+        assert_eq!(h.count(InstClass::PackedAlu), 1);
+    }
+
+    #[test]
+    fn class_histogram_totals_match_counters() {
+        let cpu = run(|a| {
+            a.li(Reg::T0, 9);
+            let top = a.new_label();
+            a.bind(top).unwrap();
+            a.emit(Inst::Mul { rd: Reg::A1, rs1: Reg::T0, rs2: Reg::T0 });
+            a.emit(Inst::Sw { rs2: Reg::A1, rs1: Reg::Sp, imm: -4 });
+            a.emit(Inst::Lw { rd: Reg::A2, rs1: Reg::Sp, imm: -4 });
+            a.emit(Inst::Addi { rd: Reg::T0, rs1: Reg::T0, imm: -1 });
+            a.branch_to(Inst::Bne { rs1: Reg::T0, rs2: Reg::Zero, offset: 0 }, top);
+        });
+        let h = cpu.class_histogram();
+        assert_eq!(h.total_cycles(), cpu.cycles, "histogram covers every cycle");
+        assert_eq!(h.total_count(), cpu.instret, "histogram covers every instruction");
+        assert_eq!(h.count(InstClass::Mul), 9);
+        assert_eq!(h.count(InstClass::Load), 9);
+        assert_eq!(h.count(InstClass::Store), 9);
+        // 8 taken + 1 not-taken branch
+        assert_eq!(h.count(InstClass::Branch), 9);
+        let t = TimingModel::ibex();
+        assert_eq!(
+            h.cycles(InstClass::Branch),
+            8 * t.branch_taken + t.branch_not_taken
+        );
+        assert!(h.to_table().contains("mul"));
     }
 
     #[test]

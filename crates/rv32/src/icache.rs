@@ -35,6 +35,7 @@
 //! [`crate::Cpu::flush_decode_cache`]) if the region could ever be
 //! executed. The `Machine` typed writers do this automatically.
 
+use crate::profile::InstClass;
 use kwt_rvasm::Inst;
 
 /// Running hit/miss/invalidation counters for the decode cache.
@@ -56,7 +57,10 @@ pub(crate) struct DecodeCache {
     /// Grown lazily (powers of two up to `max_slots`) toward the highest
     /// executed pc, so a `Cpu` over a large RAM whose code sits near the
     /// base only pays for the table it uses — `Machine::load` stays cheap.
-    entries: Vec<Option<(Inst, u8, u32)>>,
+    /// A slot holds `(inst, len, class, cost)` — everything `Cpu::step`
+    /// needs to charge cycles, update the class histogram and dispatch to
+    /// the right functional unit without re-deriving anything.
+    entries: Vec<Option<(Inst, u8, InstClass, u32)>>,
     max_slots: usize,
     stats: DecodeCacheStats,
 }
@@ -74,19 +78,20 @@ impl DecodeCache {
     }
 
     /// Looks up the decoded instruction starting at `pc`, returning the
-    /// instruction, its encoded length and its pre-computed base cycle
-    /// cost (the not-taken cost for branches; the taken upgrade is applied
-    /// by the executing arm exactly as on the slow path).
+    /// instruction, its encoded length, its cycle class and its
+    /// pre-computed base cycle cost (the not-taken cost for branches; the
+    /// taken upgrade is applied by the executing arm exactly as on the
+    /// slow path).
     #[inline]
-    pub(crate) fn lookup(&mut self, pc: u32) -> Option<(Inst, u32, u64)> {
+    pub(crate) fn lookup(&mut self, pc: u32) -> Option<(Inst, u32, InstClass, u64)> {
         if !self.enabled || pc & 1 != 0 {
             return None;
         }
         let idx = (pc.wrapping_sub(self.base) >> 1) as usize;
         match self.entries.get(idx) {
-            Some(&Some((inst, len, cost))) => {
+            Some(&Some((inst, len, class, cost))) => {
                 self.stats.hits += 1;
-                Some((inst, len as u32, cost as u64))
+                Some((inst, len as u32, class, cost as u64))
             }
             _ => {
                 self.stats.misses += 1;
@@ -95,14 +100,14 @@ impl DecodeCache {
         }
     }
 
-    /// Records the decoded instruction starting at `pc` with its base
-    /// cycle cost (valid for the lifetime of the cache — a `Cpu` never
-    /// changes timing model in place). Instructions whose cost exceeds
-    /// the `u32` slot (only possible with an absurd custom
+    /// Records the decoded instruction starting at `pc` with its cycle
+    /// class and base cost (valid for the lifetime of the cache — a `Cpu`
+    /// never changes timing model in place). Instructions whose cost
+    /// exceeds the `u32` slot (only possible with an absurd custom
     /// [`crate::TimingModel`]) are simply never cached, so cycle
     /// accounting stays exact either way.
     #[inline]
-    pub(crate) fn fill(&mut self, pc: u32, inst: Inst, len: u32, cost: u64) {
+    pub(crate) fn fill(&mut self, pc: u32, inst: Inst, len: u32, class: InstClass, cost: u64) {
         if !self.enabled || pc & 1 != 0 || cost > u32::MAX as u64 {
             return;
         }
@@ -112,7 +117,7 @@ impl DecodeCache {
             self.entries.resize(new_len, None);
         }
         if let Some(slot) = self.entries.get_mut(idx) {
-            *slot = Some((inst, len as u8, cost as u32));
+            *slot = Some((inst, len as u8, class, cost as u32));
         }
     }
 
@@ -179,8 +184,8 @@ mod tests {
     fn fill_then_lookup_hits() {
         let mut c = DecodeCache::new(0x1000, 0x100);
         assert_eq!(c.lookup(0x1000), None);
-        c.fill(0x1000, nop(), 4, 1);
-        assert_eq!(c.lookup(0x1000), Some((nop(), 4, 1)));
+        c.fill(0x1000, nop(), 4, InstClass::Alu, 1);
+        assert_eq!(c.lookup(0x1000), Some((nop(), 4, InstClass::Alu, 1)));
         assert_eq!(c.stats().hits, 1);
         assert_eq!(c.stats().misses, 1);
     }
@@ -188,7 +193,7 @@ mod tests {
     #[test]
     fn odd_and_out_of_range_pcs_miss() {
         let mut c = DecodeCache::new(0x1000, 0x100);
-        c.fill(0x1001, nop(), 2, 1); // ignored
+        c.fill(0x1001, nop(), 2, InstClass::Alu, 1); // ignored
         assert_eq!(c.lookup(0x1001), None);
         assert_eq!(c.lookup(0x0FFE), None); // below base
         assert_eq!(c.lookup(0x2000), None); // beyond
@@ -198,7 +203,7 @@ mod tests {
     fn invalidate_covers_prior_halfword() {
         let mut c = DecodeCache::new(0, 0x100);
         // 4-byte instruction at 0x10 covers bytes 0x10..0x14.
-        c.fill(0x10, nop(), 4, 1);
+        c.fill(0x10, nop(), 4, InstClass::Alu, 1);
         // A byte store at 0x12 lands inside it.
         c.invalidate(0x12, 1);
         assert_eq!(c.lookup(0x10), None);
@@ -208,10 +213,10 @@ mod tests {
     #[test]
     fn invalidate_is_range_clamped() {
         let mut c = DecodeCache::new(0x1000, 0x10);
-        c.fill(0x1000, nop(), 4, 1);
+        c.fill(0x1000, nop(), 4, InstClass::Alu, 1);
         c.invalidate(0x0000, 4); // far below: no panic, no effect
         c.invalidate(0xFFFF_FFF0, 4); // far above: no panic
-        assert_eq!(c.lookup(0x1000), Some((nop(), 4, 1)));
+        assert_eq!(c.lookup(0x1000), Some((nop(), 4, InstClass::Alu, 1)));
         c.invalidate(0x0FFE, 4); // straddles the base: clears slot 0
         assert_eq!(c.lookup(0x1000), None);
     }
@@ -219,7 +224,7 @@ mod tests {
     #[test]
     fn disabling_flushes() {
         let mut c = DecodeCache::new(0, 0x100);
-        c.fill(0, nop(), 4, 1);
+        c.fill(0, nop(), 4, InstClass::Alu, 1);
         c.set_enabled(false);
         assert!(!c.enabled());
         assert_eq!(c.lookup(0), None);

@@ -2,24 +2,55 @@
 //!
 //! An RV32IMC instruction-set simulator modelling the paper's platform: a
 //! lowRISC-Ibex-class core (Table II: 64 kB RAM, 50 MHz, **no FPU**) with
-//! a per-instruction-class cycle model and the paper's `custom-1`
-//! extension (Table VII) wired to the Q8.24 lookup tables of
-//! [`kwt_quant`].
+//! a per-instruction-class cycle model, the paper's `custom-1` extension
+//! (Table VII) wired to the Q8.24 lookup tables of [`kwt_quant`], and the
+//! **Xkwtdot** `custom-2` packed-MAC extension that vectorises the
+//! quantised GEMM inner loops.
 //!
 //! The simulator is the measurement instrument for the paper's headline
 //! result — inference clock cycles dropping from 26 M (float) through
 //! 13 M (quantised) to 5.5 M (quantised + custom instructions) — so its
-//! cycle accounting is explicit and configurable ([`TimingModel`]), and a
+//! cycle accounting is explicit and configurable ([`TimingModel`]), a
 //! region [`Profiler`] (driven by CSR writes from generated code)
-//! reproduces the per-operation breakdowns of Figs. 3–5.
+//! reproduces the per-operation breakdowns of Figs. 3–5, and a
+//! [`ClassHistogram`] attributes cycles to instruction classes so ISA
+//! experiments (scalar vs Xkwtdot images) can be compared paper-style.
 //!
-//! Host-side throughput comes from the pre-decode execution cache
-//! (`icache` module): every instruction parcel is decoded once and
-//! [`Cpu::step`] dispatches on the cached decoded form, with store-driven
-//! invalidation keeping self-modifying code correct. The cache changes
-//! wall-clock simulation speed only — cycle counts, traps and
-//! architectural state are identical with it on or off
-//! ([`Cpu::set_decode_cache_enabled`]).
+//! # Execution model
+//!
+//! [`Cpu::step`] fetches through the pre-decode execution cache
+//! (`icache` module) — every parcel is decoded at most once, and the
+//! cached slot carries the decoded instruction, its length, its
+//! [`InstClass`] and its base cycle cost — then dispatches to one of the
+//! core's **functional units** ([`FuncUnit`]): ALU, multiply/divide,
+//! load/store, branch/jump, system/CSR, the custom-1 LUT unit, and the
+//! custom-2 packed-SIMD unit. Store-driven invalidation keeps
+//! self-modifying code correct; the cache changes wall-clock simulation
+//! speed only — cycle counts, traps and architectural state are
+//! identical with it on or off ([`Cpu::set_decode_cache_enabled`]).
+//!
+//! # Custom-instruction encoding map
+//!
+//! | opcode | funct3 | form | mnemonic | unit | semantics |
+//! |--------|--------|------|----------|------|-----------|
+//! | `0101011` (custom-1) | `000` | R | `alu.exp`     | LUT   | Q8.24 `e^−x` via LUT1 |
+//! | `0101011` | `001` | R | `alu.invert`  | LUT   | Q8.24 `1/x` via LUT2 |
+//! | `0101011` | `011` | R | `alu.gelu`    | LUT   | Q8.24 `GELU(x)` via LUT3 |
+//! | `0101011` | `100` | R | `alu.tofixed` | LUT   | f32 → Q8.24 |
+//! | `0101011` | `101` | R | `alu.tofloat` | LUT   | Q8.24 → f32 |
+//! | `1011011` (custom-2) | `000` | R | `kdot4.i8`  | SIMD | `rd += Σ₀³ i8(rs1.b)·i8(rs2.b)` |
+//! | `1011011` | `001` | R | `kdot2.i16` | SIMD | `rd += Σ₀¹ i16(rs1.h)·i16(rs2.h)` |
+//! | `1011011` | `010` | R | `ksat.i16`  | SIMD | `rd = sat16(rs1 >>ₐ (rs2&31))` |
+//! | `1011011` | `011` | R | `kclip`     | SIMD | `rd = clamp(rs1, −2ⁿ, 2ⁿ−1)`, `n = rs2&31` |
+//! | `1011011` | `100` | I | `klw.b2h`   | SIMD | load halfword, widen both bytes to i16 lanes |
+//! | `1011011` | `101` | R | `kcvt.h2f`  | SIMD | `rd = f32(i16(rs1.h0)) · 2^−(rs2&31)` |
+//! | `1011011` | `110` | R | `kcvt.f2h`  | SIMD | `rd = sat16(⌊f32(rs1) · 2^(rs2&31)⌋)` |
+//! | `1011011` | `111` | R | `kfadd.t` / `kfsub.t` / `kfmul.t` | SIMD | funct7-selected truncating f32 ops, bit-identical to the bare-metal soft-float library ([`softfp`]) |
+//!
+//! All R-type custom ops require `funct7 = 0` (the funct3 = 111 float
+//! slot uses funct7 = 0/1/2 as its sub-op selector). LUT lookups whose index
+//! overruns a (deliberately truncated) table raise the typed
+//! [`Trap::LutIndexOutOfRange`] instead of panicking the host process.
 //!
 //! # Example
 //!
@@ -49,13 +80,14 @@ mod icache;
 mod machine;
 mod mem;
 mod profile;
+pub mod softfp;
 mod trap;
 
-pub use cpu::{Cpu, StepOutcome};
+pub use cpu::{Cpu, FuncUnit, StepOutcome};
 pub use icache::DecodeCacheStats;
 pub use machine::{Machine, RunResult, TraceEntry};
 pub use mem::Memory;
-pub use profile::{ProfileReport, Profiler};
+pub use profile::{ClassHistogram, InstClass, ProfileReport, Profiler, NUM_INST_CLASSES};
 pub use trap::Trap;
 
 use serde::{Deserialize, Serialize};
@@ -143,6 +175,22 @@ pub struct TimingModel {
     pub jump: u64,
     /// The five `custom-1` operations.
     pub custom: u64,
+    /// Xkwtdot packed dot-products (`kdot4.i8`, `kdot2.i16`): two-lane /
+    /// four-lane MAC array with a single accumulate writeback.
+    pub kdot: u64,
+    /// Xkwtdot packed saturate/clip (`ksat.i16`, `kclip`): plain ALU
+    /// datapath with a comparator tree.
+    pub ksat: u64,
+    /// Xkwtdot quantisation converts (`kcvt.h2f`, `kcvt.f2h`): shares
+    /// the custom-1 float-convert datapath.
+    pub kcvt: u64,
+    /// Xkwtdot packed widening load (`klw.b2h`): a halfword load plus a
+    /// free byte-lane sign-extender on the fill path.
+    pub kload: u64,
+    /// Xkwtdot truncating scalar-float ops (`kfadd.t`, `kfsub.t`,
+    /// `kfmul.t`): a small iterative FPU datapath, modelled like the
+    /// fast multiplier.
+    pub kfloat: u64,
 }
 
 impl TimingModel {
@@ -158,6 +206,11 @@ impl TimingModel {
             branch_not_taken: 1,
             jump: 3,
             custom: 2,
+            kdot: 2,
+            ksat: 1,
+            kcvt: 2,
+            kload: 2,
+            kfloat: 3,
         }
     }
 
@@ -174,6 +227,32 @@ impl TimingModel {
             branch_not_taken: 1,
             jump: 1,
             custom: 1,
+            kdot: 1,
+            ksat: 1,
+            kcvt: 1,
+            kload: 1,
+            kfloat: 1,
+        }
+    }
+
+    /// Base cycle cost of an instruction class (branches are charged
+    /// not-taken here; the taken upgrade happens at execution).
+    pub fn class_cost(&self, class: InstClass) -> u64 {
+        match class {
+            InstClass::Alu => self.alu,
+            InstClass::Mul => self.mul,
+            InstClass::Div => self.div,
+            InstClass::Load => self.load,
+            InstClass::Store => self.store,
+            InstClass::Branch => self.branch_not_taken,
+            InstClass::Jump => self.jump,
+            InstClass::System => self.alu,
+            InstClass::Lut => self.custom,
+            InstClass::PackedDot => self.kdot,
+            InstClass::PackedAlu => self.ksat,
+            InstClass::PackedLoad => self.kload,
+            InstClass::PackedCvt => self.kcvt,
+            InstClass::PackedFloat => self.kfloat,
         }
     }
 }

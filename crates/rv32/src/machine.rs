@@ -157,6 +157,20 @@ impl Machine {
             .report(self.cpu.cycles, &self.region_names)
     }
 
+    /// The per-instruction-class cycle histogram for the run so far —
+    /// the paper-style "where do the cycles go by instruction kind"
+    /// breakdown (see [`crate::ClassHistogram`]). Counting must be
+    /// [armed](Machine::set_class_histogram_enabled) first.
+    pub fn class_histogram(&self) -> crate::ClassHistogram {
+        self.cpu.class_histogram()
+    }
+
+    /// Arms or disarms per-class retirement counting (default off; see
+    /// [`Cpu::set_class_histogram_enabled`]).
+    pub fn set_class_histogram_enabled(&mut self, enabled: bool) {
+        self.cpu.set_class_histogram_enabled(enabled);
+    }
+
     /// Like [`Machine::run`], but keeps a ring buffer of the last
     /// `capacity` executed instructions (pc, raw word, disassembly) — the
     /// post-mortem a bare-metal target cannot give you. On a trap the

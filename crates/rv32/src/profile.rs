@@ -1,4 +1,5 @@
-//! Cycle-attribution profiler driven by CSR writes from generated code.
+//! Cycle-attribution profiler driven by CSR writes from generated code,
+//! plus the per-instruction-class cycle histogram kept by the core.
 //!
 //! Generated kernels bracket themselves with
 //! `csrrw x0, 0x7C0, <region-id>` (push) and `csrrw x0, 0x7C1, x0`
@@ -6,8 +7,180 @@
 //! open, the parent's clock is paused — so totals over all regions plus
 //! unattributed time equal the whole run, which is what the paper's
 //! pie-chart figures (Figs. 3–5) show.
+//!
+//! Orthogonally, [`ClassHistogram`] counts retired instructions and
+//! cycles per [`InstClass`] — the cycle-model class every instruction
+//! belongs to. It answers "where do the cycles go *by instruction
+//! kind*" (loads vs multiplies vs packed MACs), which is how the Xkwtdot
+//! speedup is attributed in `paper bench-engine`.
 
+use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
+
+/// Cycle-model instruction classes (one per [`crate::TimingModel`]
+/// cost knob; branches fold taken/not-taken into one class).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[repr(u8)]
+pub enum InstClass {
+    /// Simple ALU / CSR / system instructions.
+    Alu = 0,
+    /// `mul`, `mulh`, `mulhsu`, `mulhu`.
+    Mul,
+    /// `div`, `divu`, `rem`, `remu`.
+    Div,
+    /// Scalar loads.
+    Load,
+    /// Scalar stores.
+    Store,
+    /// Conditional branches (taken or not).
+    Branch,
+    /// `jal` / `jalr`.
+    Jump,
+    /// `ecall`/`ebreak`/Zicsr (charged at the ALU cost).
+    System,
+    /// custom-1 LUT ops (`alu.exp` … `alu.tofloat`).
+    Lut,
+    /// custom-2 packed dot-products (`kdot4.i8`, `kdot2.i16`).
+    PackedDot,
+    /// custom-2 packed saturate/clip (`ksat.i16`, `kclip`).
+    PackedAlu,
+    /// custom-2 packed widening load (`klw.b2h`).
+    PackedLoad,
+    /// custom-2 quantisation converts (`kcvt.h2f`, `kcvt.f2h`).
+    PackedCvt,
+    /// custom-2 truncating float ops (`kfadd.t`, `kfsub.t`, `kfmul.t`).
+    PackedFloat,
+}
+
+/// Number of [`InstClass`] variants.
+pub const NUM_INST_CLASSES: usize = 14;
+
+impl InstClass {
+    /// All classes in discriminant order.
+    pub const ALL: [InstClass; NUM_INST_CLASSES] = [
+        InstClass::Alu,
+        InstClass::Mul,
+        InstClass::Div,
+        InstClass::Load,
+        InstClass::Store,
+        InstClass::Branch,
+        InstClass::Jump,
+        InstClass::System,
+        InstClass::Lut,
+        InstClass::PackedDot,
+        InstClass::PackedAlu,
+        InstClass::PackedLoad,
+        InstClass::PackedCvt,
+        InstClass::PackedFloat,
+    ];
+
+    /// Stable lowercase name (used in benchmark artefacts).
+    pub fn name(self) -> &'static str {
+        match self {
+            InstClass::Alu => "alu",
+            InstClass::Mul => "mul",
+            InstClass::Div => "div",
+            InstClass::Load => "load",
+            InstClass::Store => "store",
+            InstClass::Branch => "branch",
+            InstClass::Jump => "jump",
+            InstClass::System => "system",
+            InstClass::Lut => "lut",
+            InstClass::PackedDot => "packed_dot",
+            InstClass::PackedAlu => "packed_alu",
+            InstClass::PackedLoad => "packed_load",
+            InstClass::PackedCvt => "packed_cvt",
+            InstClass::PackedFloat => "packed_float",
+        }
+    }
+}
+
+/// Retired-instruction and cycle counters per [`InstClass`].
+///
+/// The core keeps only the per-class instruction counts in its hot loop
+/// (one array increment per step); the cycle attribution is derived on
+/// demand from the counts, the [`crate::TimingModel`] and the
+/// taken-branch upgrade total — exact because every instruction of a
+/// class is charged the same base cost.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ClassHistogram {
+    counts: [u64; NUM_INST_CLASSES],
+    cycles: [u64; NUM_INST_CLASSES],
+}
+
+impl ClassHistogram {
+    /// Fresh, zeroed histogram.
+    pub fn new() -> Self {
+        ClassHistogram::default()
+    }
+
+    /// Builds the full histogram from raw per-class retirement counts,
+    /// the cycle model that charged them, and the accumulated
+    /// taken-branch upgrade cycles.
+    pub(crate) fn from_counts(
+        counts: &[u64; NUM_INST_CLASSES],
+        extra_branch_cycles: u64,
+        timing: &crate::TimingModel,
+    ) -> Self {
+        let mut h = ClassHistogram {
+            counts: *counts,
+            cycles: [0; NUM_INST_CLASSES],
+        };
+        for class in InstClass::ALL {
+            h.cycles[class as usize] =
+                counts[class as usize] * timing.class_cost(class);
+        }
+        h.cycles[InstClass::Branch as usize] += extra_branch_cycles;
+        h
+    }
+
+    /// Instructions retired in `class`.
+    pub fn count(&self, class: InstClass) -> u64 {
+        self.counts[class as usize]
+    }
+
+    /// Cycles consumed by `class`.
+    pub fn cycles(&self, class: InstClass) -> u64 {
+        self.cycles[class as usize]
+    }
+
+    /// Total retired instructions across all classes.
+    pub fn total_count(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Total cycles across all classes.
+    pub fn total_cycles(&self) -> u64 {
+        self.cycles.iter().sum()
+    }
+
+    /// `(class, count, cycles)` rows for every class with activity,
+    /// sorted by descending cycles.
+    pub fn rows(&self) -> Vec<(InstClass, u64, u64)> {
+        let mut rows: Vec<_> = InstClass::ALL
+            .iter()
+            .filter(|&&c| self.counts[c as usize] > 0)
+            .map(|&c| (c, self.counts[c as usize], self.cycles[c as usize]))
+            .collect();
+        rows.sort_by(|a, b| b.2.cmp(&a.2));
+        rows
+    }
+
+    /// Formats the histogram as an aligned text table (paper-style
+    /// cycles-per-class breakdown).
+    pub fn to_table(&self) -> String {
+        let total = self.total_cycles().max(1);
+        let mut out = String::from("class            instructions        cycles   share\n");
+        for (class, count, cycles) in self.rows() {
+            out.push_str(&format!(
+                "{:<14} {count:>14} {cycles:>13}   {:5.1}%\n",
+                class.name(),
+                100.0 * cycles as f64 / total as f64
+            ));
+        }
+        out
+    }
+}
 
 /// Accumulates per-region self-cycles.
 #[derive(Debug, Clone, Default)]

@@ -39,6 +39,19 @@ pub enum Trap {
         /// pc of the `ecall`.
         pc: u32,
     },
+    /// A custom-1 LUT instruction computed an index past the end of its
+    /// (truncated) ROM table. Impossible with full-size tables — the
+    /// index arithmetic clamps into the nominal range — but truncated
+    /// ROMs from threshold/size experiments make it reachable, and the
+    /// simulator must trap rather than panic the host process.
+    LutIndexOutOfRange {
+        /// pc of the LUT instruction.
+        pc: u32,
+        /// The clamped index that missed the table.
+        index: u32,
+        /// Entries actually resident in the table.
+        table_len: u32,
+    },
     /// The step budget given to [`crate::Machine::run`] was exhausted.
     OutOfFuel {
         /// Instructions retired before stopping.
@@ -61,6 +74,10 @@ impl fmt::Display for Trap {
                 "misaligned {size}-byte access at {addr:#010x} (pc {pc:#010x})"
             ),
             Trap::EnvironmentCall { pc } => write!(f, "ecall at pc {pc:#010x}"),
+            Trap::LutIndexOutOfRange { pc, index, table_len } => write!(
+                f,
+                "LUT index {index} out of range ({table_len} entries) at pc {pc:#010x}"
+            ),
             Trap::OutOfFuel { executed } => {
                 write!(f, "step budget exhausted after {executed} instructions")
             }

@@ -46,7 +46,116 @@ impl CustomOp {
     }
 }
 
-/// One RV32 instruction (RV32I + M + Zicsr + custom-1).
+/// The R-type operations of the **Xkwtdot** `custom-2` packed-MAC
+/// extension (opcode `0b1011011`), selected by `funct3`. The packed
+/// widening load `klw.b2h` shares the opcode but is I-type and has its
+/// own [`Inst`] variant ([`Inst::KlwB2h`], funct3 = `100`).
+///
+/// | funct3 | mnemonic    | semantics                                            |
+/// |--------|-------------|------------------------------------------------------|
+/// | `000`  | `kdot4.i8`  | `rd += Σ i8(rs1.b[i])·i8(rs2.b[i])`, i = 0..4        |
+/// | `001`  | `kdot2.i16` | `rd += Σ i16(rs1.h[i])·i16(rs2.h[i])`, i = 0..2      |
+/// | `010`  | `ksat.i16`  | `rd = clamp(rs1 >>ₐ (rs2 & 31), −2¹⁵, 2¹⁵−1)`        |
+/// | `011`  | `kclip`     | `rd = clamp(rs1, −2ⁿ, 2ⁿ−1)`, `n = rs2 & 31`         |
+/// | `101`  | `kcvt.h2f`  | `rd = f32(i16(rs1.h[0])) · 2^−(rs2 & 31)`            |
+/// | `110`  | `kcvt.f2h`  | `rd = sat16(⌊f32(rs1) · 2^(rs2 & 31)⌋)`              |
+/// | `111`  | (funct7-selected float slot, see below)                            |
+///
+/// The funct3 = `111` slot multiplexes the truncating scalar-float ops
+/// on funct7 — single-instruction versions of the bare-metal soft-float
+/// library (round-toward-zero, denormals flush to signed zero, NaNs
+/// behave like infinities), bit-identical to the generated `sf_add` /
+/// `sf_sub` / `sf_mul` routines:
+///
+/// | funct7    | mnemonic  | semantics                      |
+/// |-----------|-----------|--------------------------------|
+/// | `0000000` | `kfadd.t` | truncating f32 `rs1 + rs2`     |
+/// | `0000001` | `kfsub.t` | truncating f32 `rs1 - rs2`     |
+/// | `0000010` | `kfmul.t` | truncating f32 `rs1 · rs2`     |
+///
+/// All integer accumulation is wrapping two's-complement i32, so a
+/// `kdot` sequence is bit-identical to the equivalent scalar
+/// `mul`/`add` chain in any order. The dot products read `rd` as a
+/// third source operand (SMAQA-style destructive accumulate).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PackedOp {
+    /// `kdot4.i8` — 4-lane i8×i8 dot-product accumulate (funct3 = 000).
+    Kdot4I8,
+    /// `kdot2.i16` — 2-lane i16×i16 dot-product accumulate (funct3 = 001).
+    Kdot2I16,
+    /// `ksat.i16` — arithmetic shift right + saturate to i16 (funct3 = 010).
+    KsatI16,
+    /// `kclip` — clamp to a signed power-of-two range (funct3 = 011).
+    Kclip,
+    /// `kcvt.h2f` — i16 → f32 with power-of-two down-scale (funct3 = 101).
+    KcvtH2F,
+    /// `kcvt.f2h` — f32 → i16 floor with power-of-two up-scale (funct3 = 110).
+    KcvtF2H,
+    /// `kfadd.t` — truncating f32 add (funct3 = 111, funct7 = 0).
+    KfaddT,
+    /// `kfsub.t` — truncating f32 subtract (funct3 = 111, funct7 = 1).
+    KfsubT,
+    /// `kfmul.t` — truncating f32 multiply (funct3 = 111, funct7 = 2).
+    KfmulT,
+}
+
+impl PackedOp {
+    /// The op's funct3 field.
+    pub fn funct3(self) -> u32 {
+        match self {
+            PackedOp::Kdot4I8 => 0b000,
+            PackedOp::Kdot2I16 => 0b001,
+            PackedOp::KsatI16 => 0b010,
+            PackedOp::Kclip => 0b011,
+            PackedOp::KcvtH2F => 0b101,
+            PackedOp::KcvtF2H => 0b110,
+            PackedOp::KfaddT | PackedOp::KfsubT | PackedOp::KfmulT => 0b111,
+        }
+    }
+
+    /// The op's funct7 field (a sub-op selector in the funct3 = 111
+    /// float slot; 0 elsewhere).
+    pub fn funct7(self) -> u32 {
+        match self {
+            PackedOp::KfsubT => 1,
+            PackedOp::KfmulT => 2,
+            _ => 0,
+        }
+    }
+
+    /// Decodes a funct3/funct7 pair.
+    pub fn from_funct3_funct7(f3: u32, f7: u32) -> Option<PackedOp> {
+        match (f3, f7) {
+            (0b000, 0) => Some(PackedOp::Kdot4I8),
+            (0b001, 0) => Some(PackedOp::Kdot2I16),
+            (0b010, 0) => Some(PackedOp::KsatI16),
+            (0b011, 0) => Some(PackedOp::Kclip),
+            (0b101, 0) => Some(PackedOp::KcvtH2F),
+            (0b110, 0) => Some(PackedOp::KcvtF2H),
+            (0b111, 0) => Some(PackedOp::KfaddT),
+            (0b111, 1) => Some(PackedOp::KfsubT),
+            (0b111, 2) => Some(PackedOp::KfmulT),
+            _ => None,
+        }
+    }
+
+    /// Mnemonic used by the disassembler.
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            PackedOp::Kdot4I8 => "kdot4.i8",
+            PackedOp::Kdot2I16 => "kdot2.i16",
+            PackedOp::KsatI16 => "ksat.i16",
+            PackedOp::Kclip => "kclip",
+            PackedOp::KcvtH2F => "kcvt.h2f",
+            PackedOp::KcvtF2H => "kcvt.f2h",
+            PackedOp::KfaddT => "kfadd.t",
+            PackedOp::KfsubT => "kfsub.t",
+            PackedOp::KfmulT => "kfmul.t",
+        }
+    }
+}
+
+/// One RV32 instruction (RV32I + M + Zicsr + custom-1 + custom-2).
 ///
 /// Immediates are stored sign-extended in `i32`; branch/jump offsets are
 /// byte offsets relative to the instruction's own address.
@@ -115,6 +224,12 @@ pub enum Inst {
     Csrrc { rd: Reg, rs1: Reg, csr: u32 },
     // The paper's custom-1 instruction (opcode 0b0101011, funct7 = 0).
     Custom { op: CustomOp, rd: Reg, rs1: Reg, rs2: Reg },
+    // Xkwtdot custom-2 R-type ops (opcode 0b1011011, funct7 = 0).
+    Packed { op: PackedOp, rd: Reg, rs1: Reg, rs2: Reg },
+    // Xkwtdot packed widening load: loads the halfword at rs1+imm and
+    // sign-extends each of its two bytes into a packed i16 lane of rd
+    // (opcode 0b1011011, funct3 = 100, I-type).
+    KlwB2h { rd: Reg, rs1: Reg, imm: i32 },
 }
 
 const OP_LUI: u32 = 0b0110111;
@@ -129,6 +244,11 @@ const OP_OP: u32 = 0b0110011;
 const OP_SYSTEM: u32 = 0b1110011;
 /// The RISC-V "custom-1" opcode the paper reserves for its extension.
 pub const OP_CUSTOM1: u32 = 0b0101011;
+/// The RISC-V "custom-2" opcode carrying the Xkwtdot packed-MAC
+/// extension (R-type ops + the `klw.b2h` widening load).
+pub const OP_CUSTOM2: u32 = 0b1011011;
+/// funct3 of the `klw.b2h` packed widening load within `custom-2`.
+pub const F3_KLW_B2H: u32 = 0b100;
 
 fn enc_r(funct7: u32, rs2: Reg, rs1: Reg, funct3: u32, rd: Reg, opcode: u32) -> u32 {
     (funct7 << 25) | (rs2.num() << 20) | (rs1.num() << 15) | (funct3 << 12) | (rd.num() << 7) | opcode
@@ -232,6 +352,10 @@ impl Inst {
             Csrrs { rd, rs1, csr } => enc_i(csr as i32, rs1, 0b010, rd, OP_SYSTEM),
             Csrrc { rd, rs1, csr } => enc_i(csr as i32, rs1, 0b011, rd, OP_SYSTEM),
             Custom { op, rd, rs1, rs2 } => enc_r(0, rs2, rs1, op as u32, rd, OP_CUSTOM1),
+            Packed { op, rd, rs1, rs2 } => {
+                enc_r(op.funct7(), rs2, rs1, op.funct3(), rd, OP_CUSTOM2)
+            }
+            KlwB2h { rd, rs1, imm } => enc_i(imm, rs1, F3_KLW_B2H, rd, OP_CUSTOM2),
         }
     }
 
@@ -336,6 +460,13 @@ impl Inst {
                 rs1,
                 rs2,
             },
+            OP_CUSTOM2 if funct3 == F3_KLW_B2H => KlwB2h { rd, rs1, imm: imm_i },
+            OP_CUSTOM2 => Packed {
+                op: PackedOp::from_funct3_funct7(funct3, funct7)?,
+                rd,
+                rs1,
+                rs2,
+            },
             _ => return None,
         })
     }
@@ -398,6 +529,10 @@ impl fmt::Display for Inst {
             Custom { op, rd, rs1, rs2 } => {
                 write!(f, "{} {rd}, {rs1}, {rs2}", op.mnemonic())
             }
+            Packed { op, rd, rs1, rs2 } => {
+                write!(f, "{} {rd}, {rs1}, {rs2}", op.mnemonic())
+            }
+            KlwB2h { rd, rs1, imm } => write!(f, "klw.b2h {rd}, {imm}({rs1})"),
         }
     }
 }
@@ -502,6 +637,54 @@ mod tests {
     }
 
     #[test]
+    fn custom2_encoding_space() {
+        // R-type, opcode 1011011, funct7 = 0 for the packed ALU ops.
+        let w = Inst::Packed {
+            op: PackedOp::Kdot4I8,
+            rd: Reg::A0,
+            rs1: Reg::A1,
+            rs2: Reg::A2,
+        }
+        .encode();
+        assert_eq!(w & 0x7F, 0b1011011, "custom-2 opcode");
+        assert_eq!(w >> 25, 0, "funct7 must be 0");
+        assert_eq!(w >> 12 & 0x7, 0b000, "kdot4.i8 funct3 = 3'b000");
+        // klw.b2h is I-type: funct3 = 100, imm in [31:20].
+        let w = Inst::KlwB2h { rd: Reg::T0, rs1: Reg::T1, imm: -2 }.encode();
+        assert_eq!(w & 0x7F, 0b1011011);
+        assert_eq!(w >> 12 & 0x7, 0b100);
+        assert_eq!((w as i32) >> 20, -2);
+    }
+
+    #[test]
+    fn all_packed_ops_round_trip() {
+        for op in [
+            PackedOp::Kdot4I8,
+            PackedOp::Kdot2I16,
+            PackedOp::KsatI16,
+            PackedOp::Kclip,
+            PackedOp::KcvtH2F,
+            PackedOp::KcvtF2H,
+            PackedOp::KfaddT,
+            PackedOp::KfsubT,
+            PackedOp::KfmulT,
+        ] {
+            let inst = Inst::Packed { op, rd: Reg::T0, rs1: Reg::T1, rs2: Reg::T2 };
+            assert_eq!(Inst::decode(inst.encode()), Some(inst));
+        }
+        for imm in [-2048, -2, 0, 2, 2047] {
+            let inst = Inst::KlwB2h { rd: Reg::A0, rs1: Reg::Sp, imm };
+            assert_eq!(Inst::decode(inst.encode()), Some(inst));
+        }
+        // funct7 = 3 is reserved in the float slot
+        let bad = enc_r(3, Reg::Zero, Reg::Zero, 0b111, Reg::Zero, OP_CUSTOM2);
+        assert_eq!(Inst::decode(bad), None);
+        // non-float R-type packed ops require funct7 = 0
+        let bad = enc_r(1, Reg::Zero, Reg::Zero, 0b000, Reg::Zero, OP_CUSTOM2);
+        assert_eq!(Inst::decode(bad), None);
+    }
+
+    #[test]
     fn display_disassembly() {
         assert_eq!(
             Inst::Addi { rd: Reg::A0, rs1: Reg::Zero, imm: 42 }.to_string(),
@@ -515,6 +698,15 @@ mod tests {
         assert_eq!(
             Inst::Lw { rd: Reg::T0, rs1: Reg::Sp, imm: -4 }.to_string(),
             "lw t0, -4(sp)"
+        );
+        assert_eq!(
+            Inst::Packed { op: PackedOp::Kdot2I16, rd: Reg::A0, rs1: Reg::A1, rs2: Reg::A2 }
+                .to_string(),
+            "kdot2.i16 a0, a1, a2"
+        );
+        assert_eq!(
+            Inst::KlwB2h { rd: Reg::T0, rs1: Reg::A0, imm: 2 }.to_string(),
+            "klw.b2h t0, 2(a0)"
         );
     }
 

@@ -5,8 +5,36 @@
 //! (shared with the `kwt-rv32` simulator) and a disassembler.
 //!
 //! Coverage: RV32I, the M extension, `Zicsr`, `ecall`/`ebreak`, the
-//! paper's `custom-1` instruction (opcode `0b0101011`, Table VII), and an
-//! RV32C expander used by the simulator to execute compressed code.
+//! paper's `custom-1` instruction (opcode `0b0101011`, Table VII), the
+//! **Xkwtdot** `custom-2` packed-MAC extension (opcode `0b1011011`), and
+//! an RV32C expander used by the simulator to execute compressed code.
+//!
+//! # Custom-instruction encoding map
+//!
+//! Both extensions use the standard RISC-V custom opcode space. All ops
+//! are R-type with `funct7 = 0` unless noted; `klw.b2h` is I-type.
+//!
+//! | opcode (custom-1, `0101011`) | funct3 | mnemonic       | semantics |
+//! |------------------------------|--------|----------------|-----------|
+//! |                              | `000`  | `alu.exp`      | LUT `e^−x`, Q8.24 |
+//! |                              | `001`  | `alu.invert`   | LUT `1/x`, Q8.24 |
+//! |                              | `011`  | `alu.gelu`     | LUT `GELU(x)`, Q8.24 |
+//! |                              | `100`  | `alu.tofixed`  | f32 → Q8.24 |
+//! |                              | `101`  | `alu.tofloat`  | Q8.24 → f32 |
+//! | opcode (custom-2, `1011011`) | funct3 | mnemonic       | semantics |
+//! |                              | `000`  | `kdot4.i8`     | `rd += Σ₀³ i8·i8` (SMAQA-style) |
+//! |                              | `001`  | `kdot2.i16`    | `rd += Σ₀¹ i16·i16` |
+//! |                              | `010`  | `ksat.i16`     | `rd = sat16(rs1 >>ₐ rs2)` |
+//! |                              | `011`  | `kclip`        | `rd = clamp(rs1, −2ⁿ, 2ⁿ−1)` |
+//! |                              | `100`  | `klw.b2h`      | I-type: load 2 bytes, widen to 2×i16 |
+//! |                              | `101`  | `kcvt.h2f`     | `f32(i16) · 2^−s` (dequantise) |
+//! |                              | `110`  | `kcvt.f2h`     | `sat16(⌊f32 · 2^s⌋)` (requantise) |
+//! |                              | `111`  | `kfadd.t` / `kfsub.t` / `kfmul.t` | funct7-selected truncating f32 ops (soft-float-exact) |
+//!
+//! The packed operands of `kdot4.i8`/`kdot2.i16` are fetched with plain
+//! `lw` (4 i8 lanes or 2 i16 lanes per word); the only dedicated load the
+//! extension needs is the **widening** `klw.b2h`, which feeds i8 weights
+//! into the i16 dot-product lanes.
 //!
 //! # Example
 //!
@@ -36,7 +64,7 @@ mod reg;
 pub use asm::{Asm, Label, Program};
 pub use compressed::expand_compressed;
 pub use error::AsmError;
-pub use inst::{CustomOp, Inst};
+pub use inst::{CustomOp, Inst, PackedOp, F3_KLW_B2H, OP_CUSTOM1, OP_CUSTOM2};
 pub use reg::Reg;
 
 /// Convenience alias for results returned by this crate.

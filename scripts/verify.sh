@@ -1,0 +1,34 @@
+#!/usr/bin/env bash
+# Tier-1 verification plus a benchmark smoke pass (see ROADMAP.md).
+#
+#   scripts/verify.sh            # build + tests + bench smoke
+#   scripts/verify.sh --fast     # build + tests only
+#
+# Tier-1 (must stay green): release build and the full test suite.
+# The smoke pass then runs every criterion bench exactly once and a
+# single-iteration `paper bench-engine` in a scratch directory (so the
+# committed BENCH_*.json artefacts are not overwritten with smoke-mode
+# numbers).
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== tier-1: cargo build --release =="
+cargo build --release
+
+echo "== tier-1: cargo test -q =="
+cargo test -q
+
+if [[ "${1:-}" != "--fast" ]]; then
+    echo "== smoke: KWT_BENCH_SMOKE=1 cargo bench =="
+    KWT_BENCH_SMOKE=1 cargo bench -q
+
+    echo "== smoke: paper bench-engine (scratch dir) =="
+    scratch="$(mktemp -d)"
+    trap 'rm -rf "$scratch"' EXIT
+    paper_bin="$(pwd)/target/release/paper"
+    (cd "$scratch" && KWT_BENCH_SMOKE=1 "$paper_bin" bench-engine >/dev/null)
+    echo "bench-engine smoke OK"
+fi
+
+echo "verify: all green"
