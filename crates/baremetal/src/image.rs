@@ -15,13 +15,16 @@
 //! bump allocators prove at build time that no stage overflows them.
 
 use crate::banks::Bank;
-use crate::kernels::{attn_params, gelu_params, ln_params, KernelIsa, Kernels};
+use crate::kernels::{
+    a8_attn_params, a8_ln_params, attn_params, gelu_params, ln_params, A8Kernels, KernelIsa,
+    Kernels,
+};
 use crate::mathlib::MathLib;
 use crate::regions;
 use crate::softfloat::SoftFloat;
 use crate::{BuildError, Result};
 use kwt_model::{KwtConfig, KwtParams};
-use kwt_quant::{Nonlinearity, QuantConfig, QuantizedKwt};
+use kwt_quant::{A8Config, A8Kwt, Nonlinearity, QuantConfig, QuantizedKwt};
 use kwt_rv32::{Machine, Platform, ProfileReport, RunResult};
 use kwt_rvasm::{Asm, Inst, Program, Reg, CSR_PROFILE_POP, CSR_PROFILE_PUSH};
 use kwt_tensor::{qops, Mat};
@@ -35,6 +38,10 @@ pub enum Flavor {
     Quantized,
     /// Quantised pipeline + custom-instruction SoftMax/GELU.
     Accelerated,
+    /// Fully-INT8 (A8W8) pipeline over `kdot4.i8`, LUT non-linearities
+    /// and the fused attention row pipeline — always
+    /// [`KernelIsa::Xkwtdot`].
+    A8,
 }
 
 /// A built inference program plus everything needed to run it.
@@ -48,8 +55,10 @@ pub struct InferenceImage {
     pub program: Program,
     /// Model architecture.
     pub config: KwtConfig,
-    /// Quantisation scales (quantised flavours only).
+    /// Quantisation scales (i16 quantised flavours only).
     pub qconfig: Option<QuantConfig>,
+    /// A8 exponent configuration ([`Flavor::A8`] only).
+    pub a8config: Option<A8Config>,
     input_addr: u32,
     logits_addr: u32,
     /// `(high_water, capacity)` for bank 1 and bank 2.
@@ -339,6 +348,7 @@ impl InferenceImage {
             program,
             config: c,
             qconfig: None,
+            a8config: None,
             input_addr: input,
             logits_addr: logits,
             bank_usage: [
@@ -681,6 +691,322 @@ impl InferenceImage {
             program,
             config: c,
             qconfig: Some(qm.qconfig),
+            a8config: None,
+            input_addr: input,
+            logits_addr: logits,
+            bank_usage: [
+                (bank1.high_water(), bank1.size()),
+                (bank2.high_water(), bank2.size()),
+            ],
+        })
+    }
+
+    /// Builds the fully-INT8 A8W8 image ([`Flavor::A8`], always
+    /// [`KernelIsa::Xkwtdot`]): i8 activations end to end over
+    /// `kdot4.i8` GEMM inner loops, the fused scores→softmax→context
+    /// attention row pipeline, fused LayerNorm/GELU boundaries and LUT
+    /// non-linearities. Weights are emitted transposed (`N×K`,
+    /// word-aligned) like the i16 Xkwtdot image.
+    ///
+    /// Device logits are bit-identical to the host golden model
+    /// [`A8Kwt::forward_a8_into`] (proven by differential tests).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BuildError::Model`] for unsupported configurations
+    /// (`heads != 1`, `dim_head % 4 != 0`), [`BuildError::BankOverflow`]
+    /// or [`BuildError::RamBudget`] like the other builders.
+    pub fn build_a8(qm: &A8Kwt) -> Result<Self> {
+        let c = qm.config;
+        if c.heads != 1 {
+            return Err(BuildError::Model(format!(
+                "bare-metal images support heads = 1 (both paper configs), got {}",
+                c.heads
+            )));
+        }
+        if c.dim_head % 4 != 0 {
+            return Err(BuildError::Model(format!(
+                "the A8 fused attention kernel needs dim_head % 4 == 0, got {}",
+                c.dim_head
+            )));
+        }
+        let (s, dim, mlp, dh, f, t, classes) = (
+            c.seqlen(),
+            c.dim,
+            c.mlp_dim,
+            c.dim_head,
+            c.input_freq,
+            c.input_time,
+            c.num_classes,
+        );
+        let k = qm.consts;
+        let mut asm = Asm::new(TEXT_BASE, DATA_BASE);
+
+        // ---- data: weights (transposed, word-aligned) ----
+        let emit_w = |asm: &mut Asm, w: &kwt_tensor::Mat<i8>| -> u32 {
+            asm.data_align(4);
+            asm.data_bytes_i8(w.transpose().as_slice())
+        };
+        let (wp, bp, pe, ct, wh, bh) = qm.tensors();
+        let w_proj = emit_w(&mut asm, wp);
+        let b_proj = asm.data_words_i32(bp);
+        let pos = asm.data_bytes_i8(pe.as_slice());
+        let cls = asm.data_bytes_i8(ct);
+        let mut layers_data = Vec::new();
+        for idx in 0..c.depth {
+            let (w_qkv, b_qkv, w_out, b_out, g1, be1, w1, b1, w2, b2, g2, be2) =
+                qm.layer_tensors(idx);
+            layers_data.push((
+                emit_w(&mut asm, w_qkv),
+                asm.data_words_i32(b_qkv),
+                emit_w(&mut asm, w_out),
+                asm.data_words_i32(b_out),
+                asm.data_words_f32(g1),
+                asm.data_words_f32(be1),
+                emit_w(&mut asm, w1),
+                asm.data_words_i32(b1),
+                emit_w(&mut asm, w2),
+                asm.data_words_i32(b2),
+                asm.data_words_f32(g2),
+                asm.data_words_f32(be2),
+            ));
+        }
+        let w_head = emit_w(&mut asm, wh);
+        let b_head = asm.data_words_i32(bh);
+
+        // ---- data: buffers and parameter blocks ----
+        let input = asm.data_reserve(t * f, 4);
+        let x = asm.data_reserve(s * dim, 4);
+        let logits = asm.data_reserve(classes, 4);
+        // shared float/Q8.24 scratch row: the fused attention pipeline
+        // needs `s` words, the LayerNorm row cache `dim` words
+        let rowf = asm.data_reserve(s.max(dim) * 4, 4);
+        let kp = (s + 3) & !3;
+        let vt = asm.data_reserve(dh * kp, 4);
+        let attn_params_addr = asm.data_words_i32(&[
+            k.shift_scores as i32,
+            k.score_deq_bits as i32,
+            k.prob_req_bits as i32,
+            k.shift_ctx as i32,
+            rowf as i32,
+            vt as i32,
+        ]);
+        debug_assert_eq!(a8_attn_params::SIZE, 24);
+        // LayerNorm parameter blocks: layer 0's LN1 dequantises the
+        // coarse stream0 exponent, every other LN the stream exponent.
+        // Both reuse the attention row scratch as their float row cache
+        // (sized max(S, dim) above; the kernels never run concurrently).
+        let ln_p0 = asm.data_words_i32(&[
+            k.ln_deq0_bits as i32,
+            k.ln_req_bits as i32,
+            k.inv_n_bits as i32,
+            k.eps_bits as i32,
+            rowf as i32,
+        ]);
+        let ln_p = asm.data_words_i32(&[
+            k.ln_deq_bits as i32,
+            k.ln_req_bits as i32,
+            k.inv_n_bits as i32,
+            k.eps_bits as i32,
+            rowf as i32,
+        ]);
+        debug_assert_eq!(a8_ln_params::SIZE, 20);
+
+        // the paper's two banks (i8 element size)
+        let bank1_base = asm.data_reserve(s * mlp, 4);
+        let bank2_base = asm.data_reserve(s * dh * 3, 4);
+        let mut bank1 = Bank::new("bank1", bank1_base, s * mlp);
+        let mut bank2 = Bank::new("bank2", bank2_base, s * dh * 3);
+
+        // ---- code ----
+        let over = asm.new_label();
+        asm.jump_to(over);
+        let k8 = A8Kernels::emit(&mut asm, s, dh);
+        asm.bind(over)?;
+        asm.here("entry");
+
+        // projection into x rows 1..
+        push_region(&mut asm, regions::BLOCK_TOP | regions::OP_MATMUL);
+        set_args(&mut asm, &[
+            input as i32,
+            w_proj as i32,
+            b_proj as i32,
+            (x + dim as u32) as i32,
+            t as i32,
+            f as i32,
+            dim as i32,
+            k.shift_proj as i32,
+        ]);
+        asm.call(k8.matmul_a8);
+        pop_region(&mut asm);
+        push_region(&mut asm, regions::BLOCK_TOP | regions::OP_OTHER);
+        set_args(&mut asm, &[x as i32, cls as i32, dim as i32]);
+        asm.call(k8.copy_bytes);
+        set_args(&mut asm, &[x as i32, pos as i32, (s * dim) as i32]);
+        asm.call(k8.add_sat_i8);
+        pop_region(&mut asm);
+
+        for (idx, ld) in layers_data.iter().enumerate() {
+            let (w_qkv, b_qkv, w_out, b_out, g1, be1, w1, b1, w2, b2, g2, be2) = *ld;
+            let (shift_qkv, shift_out, ln1_params) = if idx == 0 {
+                (k.shift_qkv0, k.shift_out0, ln_p0)
+            } else {
+                (k.shift_qkv, k.shift_out, ln_p)
+            };
+            bank1.reset();
+            bank2.reset();
+            let qkv = bank1.alloc(s * 3 * dh, 4)?;
+            push_region(&mut asm, regions::BLOCK_ATTENTION | regions::OP_MATMUL);
+            set_args(&mut asm, &[
+                x as i32,
+                w_qkv as i32,
+                b_qkv as i32,
+                qkv as i32,
+                s as i32,
+                dim as i32,
+                (3 * dh) as i32,
+                shift_qkv as i32,
+            ]);
+            asm.call(k8.matmul_a8);
+            pop_region(&mut asm);
+            let q = bank2.alloc(s * dh, 4)?;
+            let kk = bank2.alloc(s * dh, 4)?;
+            let v = bank2.alloc(s * dh, 4)?;
+            push_region(&mut asm, regions::BLOCK_ATTENTION | regions::OP_OTHER);
+            for (dst, off) in [(q, 0u32), (kk, dh as u32), (v, 2 * dh as u32)] {
+                set_args(&mut asm, &[
+                    dst as i32,
+                    (qkv + off) as i32,
+                    s as i32,
+                    (3 * dh) as i32,
+                    dh as i32,
+                ]);
+                asm.call(k8.copy_strided);
+            }
+            pop_region(&mut asm);
+            bank1.reset();
+            let sa = bank1.alloc(s * dh, 4)?;
+            let row8 = bank1.alloc(kp, 4)?;
+            let attn_out = bank1.alloc(s * dim, 4)?;
+            set_args(&mut asm, &[
+                q as i32,
+                kk as i32,
+                v as i32,
+                sa as i32,
+                row8 as i32,
+                attn_params_addr as i32,
+            ]);
+            asm.call(k8.attention_a8);
+            push_region(&mut asm, regions::BLOCK_ATTENTION | regions::OP_MATMUL);
+            set_args(&mut asm, &[
+                sa as i32,
+                w_out as i32,
+                b_out as i32,
+                attn_out as i32,
+                s as i32,
+                dh as i32,
+                dim as i32,
+                shift_out as i32,
+            ]);
+            asm.call(k8.matmul_a8);
+            pop_region(&mut asm);
+            push_region(&mut asm, regions::BLOCK_TOP | regions::OP_OTHER);
+            set_args(&mut asm, &[x as i32, attn_out as i32, (s * dim) as i32]);
+            asm.call(k8.add_sat_i8);
+            pop_region(&mut asm);
+            push_region(&mut asm, regions::BLOCK_TOP | regions::OP_LAYERNORM);
+            set_args(&mut asm, &[
+                x as i32,
+                g1 as i32,
+                be1 as i32,
+                s as i32,
+                dim as i32,
+                ln1_params as i32,
+            ]);
+            asm.call(k8.ln_a8);
+            pop_region(&mut asm);
+            // MLP with the fused LUT-GELU boundary
+            bank1.reset();
+            bank2.reset();
+            let hidden = bank1.alloc(s * mlp, 4)?;
+            let mlp_out = bank2.alloc(s * dim, 4)?;
+            push_region(&mut asm, regions::BLOCK_MLP | regions::OP_MATMUL);
+            set_args(&mut asm, &[
+                x as i32,
+                w1 as i32,
+                b1 as i32,
+                hidden as i32,
+                s as i32,
+                dim as i32,
+                mlp as i32,
+                k.shift_mlp1 as i32,
+            ]);
+            asm.call(k8.matmul_a8);
+            pop_region(&mut asm);
+            push_region(&mut asm, regions::BLOCK_MLP | regions::OP_GELU);
+            set_args(&mut asm, &[
+                hidden as i32,
+                (s * mlp) as i32,
+                k.gelu_deq_bits as i32,
+                k.gelu_req_bits as i32,
+            ]);
+            asm.call(k8.gelu_a8);
+            pop_region(&mut asm);
+            push_region(&mut asm, regions::BLOCK_MLP | regions::OP_MATMUL);
+            set_args(&mut asm, &[
+                hidden as i32,
+                w2 as i32,
+                b2 as i32,
+                mlp_out as i32,
+                s as i32,
+                mlp as i32,
+                dim as i32,
+                k.shift_mlp2 as i32,
+            ]);
+            asm.call(k8.matmul_a8);
+            pop_region(&mut asm);
+            push_region(&mut asm, regions::BLOCK_TOP | regions::OP_OTHER);
+            set_args(&mut asm, &[x as i32, mlp_out as i32, (s * dim) as i32]);
+            asm.call(k8.add_sat_i8);
+            pop_region(&mut asm);
+            push_region(&mut asm, regions::BLOCK_TOP | regions::OP_LAYERNORM);
+            set_args(&mut asm, &[
+                x as i32,
+                g2 as i32,
+                be2 as i32,
+                s as i32,
+                dim as i32,
+                ln_p as i32,
+            ]);
+            asm.call(k8.ln_a8);
+            pop_region(&mut asm);
+        }
+
+        push_region(&mut asm, regions::BLOCK_TOP | regions::OP_MATMUL);
+        set_args(&mut asm, &[
+            x as i32,
+            w_head as i32,
+            b_head as i32,
+            logits as i32,
+            1,
+            dim as i32,
+            classes as i32,
+            k.shift_head as i32,
+        ]);
+        asm.call(k8.matmul_a8);
+        pop_region(&mut asm);
+        asm.li(Reg::A0, logits as i32);
+        asm.emit(Inst::Ebreak);
+
+        let program = asm.finish()?;
+        check_ram(&program)?;
+        Ok(InferenceImage {
+            flavor: Flavor::A8,
+            isa: KernelIsa::Xkwtdot,
+            program,
+            config: c,
+            qconfig: None,
+            a8config: Some(qm.a8),
             input_addr: input,
             logits_addr: logits,
             bank_usage: [
@@ -747,6 +1073,7 @@ impl InferenceImage {
             isa: self.isa,
             config: self.config,
             qconfig: self.qconfig,
+            a8config: self.a8config,
             input_addr: self.input_addr,
             logits_addr: self.logits_addr,
             runs: 0,
@@ -769,6 +1096,7 @@ pub struct DeviceSession {
     isa: KernelIsa,
     config: KwtConfig,
     qconfig: Option<QuantConfig>,
+    a8config: Option<A8Config>,
     input_addr: u32,
     logits_addr: u32,
     runs: u64,
@@ -823,6 +1151,12 @@ impl DeviceSession {
                 let (q, _) = qops::quantize_i16(mfcc, ya);
                 self.machine.write_i16s(self.input_addr, q.as_slice());
             }
+            Flavor::A8 => {
+                let yi = self.a8config.expect("A8 flavour carries a8config").input_bits;
+                let mut q = Mat::default();
+                qops::quantize_i8_scaled_into(mfcc, yi, &mut q);
+                self.machine.write_i8s(self.input_addr, q.as_slice());
+            }
         }
         let cycles0 = self.machine.cpu.cycles;
         let instret0 = self.machine.cpu.instret;
@@ -840,6 +1174,22 @@ impl DeviceSession {
                         .read_i16s(self.logits_addr, c.num_classes)
                         .into_iter()
                         .map(|v| v as f32 / (1u32 << ya) as f32),
+                );
+            }
+            Flavor::A8 => {
+                // the same derived constant the host golden model reads,
+                // so the two readback paths can never disagree
+                let scale = self
+                    .a8config
+                    .expect("A8 flavour carries a8config")
+                    .consts(c)
+                    .expect("validated at build time")
+                    .logit_scale;
+                logits.extend(
+                    self.machine
+                        .read_i8s(self.logits_addr, c.num_classes)
+                        .into_iter()
+                        .map(|v| v as f32 * scale),
                 );
             }
         }
@@ -1051,6 +1401,112 @@ mod tests {
         let hs = s2.machine().class_histogram();
         assert_eq!(hs.count(InstClass::PackedDot), 0);
         assert_eq!(hs.count(InstClass::PackedLoad), 0);
+    }
+
+    /// MFCC-shaped test inputs (large positive c0, decaying higher
+    /// coefficients) matching the range the A8 exponents target.
+    fn mfcc_like_input(seed: u64) -> Mat<f32> {
+        Mat::from_fn(26, 16, |r, c| {
+            let h = seed
+                .wrapping_add((r * 16 + c) as u64)
+                .wrapping_mul(0x9E37_79B9_7F4A_7C15);
+            let u = (h >> 40) as f32 / (1u64 << 24) as f32 - 0.5;
+            if c == 0 {
+                35.0 + 50.0 * u
+            } else {
+                u * 16.0 / (1.0 + c as f32 * 0.4)
+            }
+        })
+    }
+
+    #[test]
+    fn a8_image_bit_identical_to_host_golden_model() {
+        // The A8 differential story: the device image must reproduce the
+        // host golden model's logits bit-for-bit on every seed — the A8
+        // numerics legitimately differ from the i16 path, so the oracle
+        // is the host model, not another image.
+        use kwt_quant::{A8Config, A8Kwt};
+        let params = trained_ish();
+        for a8cfg in [
+            A8Config::paper_a8(),
+            A8Config {
+                stream_bits: 3,
+                prob_bits: 6,
+                logit_bits: 3,
+                ..A8Config::paper_a8()
+            },
+        ] {
+            let qm = A8Kwt::quantize(&params, a8cfg).unwrap();
+            let image = InferenceImage::build_a8(&qm).unwrap();
+            assert_eq!(image.flavor, Flavor::A8);
+            assert_eq!(image.isa, KernelIsa::Xkwtdot);
+            let mut session = image.session().unwrap();
+            for seed in 0..6u64 {
+                let x = mfcc_like_input(seed * 31 + 7);
+                let (dev, _) = session.run(&x).unwrap();
+                let (host, _) = qm.forward_a8(&x).unwrap();
+                assert_eq!(dev.len(), host.len());
+                for (d, h) in dev.iter().zip(&host) {
+                    assert_eq!(
+                        d.to_bits(),
+                        h.to_bits(),
+                        "{a8cfg:?} seed {seed}: device {d} vs host {h}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn a8_image_is_fastest_variant() {
+        // The whole point: kdot4 + the fused attention pipeline must
+        // beat the i16 Xkwtdot image by a wide margin, and land under
+        // the 0.30 M-cycle acceptance bar.
+        use kwt_quant::{A8Config, A8Kwt};
+        let params = trained_ish();
+        let qm = QuantizedKwt::quantize(&params, QuantConfig::paper_best())
+            .with_nonlinearity(Nonlinearity::FixedLut);
+        let ximage = InferenceImage::build_quant_with_isa(&qm, KernelIsa::Xkwtdot).unwrap();
+        let a8 = A8Kwt::quantize(&params, A8Config::paper_a8()).unwrap();
+        let a8image = InferenceImage::build_a8(&a8).unwrap();
+        let x = mfcc_like_input(42);
+        let (_, rx, _) = ximage.run(&x).unwrap();
+        let (_, ra, _) = a8image.run(&x).unwrap();
+        assert!(
+            ra.cycles * 5 < rx.cycles * 4,
+            "A8 should cut ≥20% off the i16 Xkwtdot image: {} vs {}",
+            ra.cycles,
+            rx.cycles
+        );
+        assert!(
+            ra.cycles < 300_000,
+            "A8 image over the 0.30 M cycle budget: {}",
+            ra.cycles
+        );
+    }
+
+    #[test]
+    fn a8_session_is_stateless_and_histogram_attributes_kdot4() {
+        use kwt_quant::{A8Config, A8Kwt};
+        use kwt_rv32::InstClass;
+        let params = trained_ish();
+        let a8 = A8Kwt::quantize(&params, A8Config::paper_a8()).unwrap();
+        let image = InferenceImage::build_a8(&a8).unwrap();
+        let mut session = image.session().unwrap();
+        session.set_class_histogram_enabled(true);
+        let inputs = [mfcc_like_input(1), mfcc_like_input(2), mfcc_like_input(1)];
+        for (i, x) in inputs.iter().enumerate() {
+            let (logits, run) = session.run(x).unwrap();
+            let (want, want_run, _) = image.run(x).unwrap();
+            for (a, b) in logits.iter().zip(&want) {
+                assert_eq!(a.to_bits(), b.to_bits(), "input {i}");
+            }
+            assert_eq!(run.cycles, want_run.cycles, "input {i}");
+        }
+        let h = session.machine().class_histogram();
+        assert!(h.count(InstClass::PackedDot) > 10_000, "kdot4 in the hot loops");
+        assert!(h.count(InstClass::PackedCvt) > 1_000, "kcvt quant boundaries");
+        assert!(h.count(InstClass::PackedAlu) > 1_000, "ksat/kclip epilogues");
     }
 
     #[test]

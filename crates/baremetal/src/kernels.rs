@@ -1738,6 +1738,694 @@ fn emit_attention_q_packed(
     entry
 }
 
+// =====================================================================
+// A8W8 kernels: fully-INT8 activations over `kdot4.i8`.
+// =====================================================================
+
+/// Byte offsets into the `ln_a8` parameter block.
+pub mod a8_ln_params {
+    /// f32 bits: stream dequantisation scale (`2^-y`).
+    pub const DEQ: i32 = 0;
+    /// f32 bits: stream requantisation scale (`2^y'`).
+    pub const REQ: i32 = 4;
+    /// f32 bits: `1/cols`.
+    pub const INV_N: i32 = 8;
+    /// f32 bits: layer-norm epsilon.
+    pub const EPS: i32 = 12;
+    /// u32: float scratch row address (≥ `cols` floats) caching the
+    /// dequantised row across the three passes.
+    pub const SCRATCH: i32 = 16;
+    /// Total block size in bytes.
+    pub const SIZE: usize = 20;
+}
+
+/// Byte offsets into the `attention_a8` parameter block.
+pub mod a8_attn_params {
+    /// u32: score epilogue shift (`2·attn_bits − score_bits`).
+    pub const SHIFT_SCORES: i32 = 0;
+    /// f32 bits: folded score dequantisation,
+    /// `2^-score_bits / sqrt(dim_head)`.
+    pub const SCORE_DEQ: i32 = 4;
+    /// f32 bits: probability requantisation scale (`2^prob_bits`).
+    pub const PROB_REQ: i32 = 8;
+    /// u32: context epilogue shift (`prob_bits`).
+    pub const SHIFT_CTX: i32 = 12;
+    /// u32: address of the Q8.24 softmax scratch row (`S` words).
+    pub const ROWF: i32 = 16;
+    /// u32: address of the padded V-transpose scratch (`dh × KP` i8).
+    pub const VT: i32 = 20;
+    /// Total block size in bytes.
+    pub const SIZE: usize = 24;
+}
+
+/// Entry labels of the A8W8 kernel set (always [`KernelIsa::Xkwtdot`]:
+/// the whole point of the i8-activation pipeline is the 4-lane dot).
+///
+/// Calling conventions (ILP32, all leaf except `ln_a8`/`attention_a8`):
+///
+/// * `matmul_a8(A:i8, Wt:i8 N×K, bias:i32|0, out:i8, M, K, N, shift)` —
+///   weights **transposed** like the i16 Xkwtdot GEMM; fast path needs
+///   `A % 4 == 0`, `Wt % 4 == 0`, `K % 4 == 0` (16 MACs per unrolled
+///   iteration, `ksat.i16` + `kclip 7` epilogue), anything else runs a
+///   bit-identical scalar loop over the same layout.
+/// * `add_sat_i8(dst, src, len)` — residual add, `kclip 7` clamp.
+/// * `dequant8(src:i8, dst:f32, len, scale_bits)` — `kcvt.h2f` +
+///   one truncating `kfmul.t` (supports scales below one).
+/// * `requant8(src:f32, dst:i8, len, scale_bits)` — `kfmul.t` +
+///   `kcvt.f2h` (floor) + `kclip 7`.
+/// * `ln_a8(x:i8, gamma, beta, rows, cols, params)` — fused LayerNorm:
+///   the row is dequantised once into the scratch row, `rsqrt` is
+///   inlined, the write-back requantises (leaf).
+/// * `gelu_a8(x:i8, len, deq_bits, req_bits)` — fused LUT GELU boundary.
+/// * `attention_a8(Q, K, V, out, row8, params)` — the fused
+///   scores→softmax→context row pipeline, **specialised at emit time**
+///   for the model's `seqlen`/`dim_head` (see [`a8_attn_params`];
+///   `row8` holds `KP = seqlen.next_multiple_of(4)` entries).
+#[derive(Debug, Clone, Copy)]
+#[allow(missing_docs)]
+pub struct A8Kernels {
+    pub matmul_a8: Label,
+    pub add_sat_i8: Label,
+    pub dequant8: Label,
+    pub requant8: Label,
+    pub ln_a8: Label,
+    pub gelu_a8: Label,
+    pub attention_a8: Label,
+    pub copy_bytes: Label,
+    pub copy_strided: Label,
+}
+
+impl A8Kernels {
+    /// Emits the A8 kernel set. `seqlen` and `dim_head` specialise the
+    /// fused attention kernel at emit time (its inner dot products are
+    /// fully unrolled); `dim_head % 4 == 0` is required. The set is
+    /// self-contained: it needs neither the soft-float library nor
+    /// `MathLib` (`ln_a8`'s `rsqrt` is inlined over the packed `kf`
+    /// ops), which keeps A8 images small.
+    pub fn emit(asm: &mut Asm, seqlen: usize, dim_head: usize) -> A8Kernels {
+        assert_eq!(dim_head % 4, 0, "attention_a8 needs dim_head % 4 == 0");
+        let kp = (seqlen + 3) & !3;
+        let copy_bytes = emit_copy_bytes(asm);
+        let copy_strided = emit_copy_strided(asm);
+        let matmul_a8 = emit_matmul_a8(asm);
+        let add_sat_i8 = emit_add_sat_i8_a8(asm);
+        let dequant8 = emit_dequant8(asm);
+        let requant8 = emit_requant8(asm);
+        let ln_a8 = emit_ln_a8(asm);
+        let gelu_a8 = emit_gelu_a8(asm);
+        let attention_a8 = emit_attention_a8(asm, seqlen, dim_head, kp);
+        A8Kernels {
+            matmul_a8,
+            add_sat_i8,
+            dequant8,
+            requant8,
+            ln_a8,
+            gelu_a8,
+            attention_a8,
+            copy_bytes,
+            copy_strided,
+        }
+    }
+}
+
+/// A8 GEMM over **transposed** weights, leaf:
+/// `a0=A(i8, M×K), a1=Wt(i8, N×K), a2=bias(i32)|0, a3=out(i8), a4=M,
+/// a5=K, a6=N, a7=shift`.
+///
+/// Fast path (`A % 4 == 0`, `Wt % 4 == 0`, `K % 4 == 0`, `K > 0`):
+/// sixteen MACs per unrolled iteration — four `lw` activation loads,
+/// four `lw` weight loads, four `kdot4.i8` accumulates — plus a 4-MAC
+/// tail loop and a `ksat.i16` + `kclip 7` epilogue narrowing straight
+/// to i8. Other shapes run the scalar loop over the same transposed
+/// layout (wrapping i32 accumulation is associative, so results are
+/// bit-identical either way).
+fn emit_matmul_a8(asm: &mut Asm) -> Label {
+    let entry = asm.here("k_matmul_a8");
+    let slow = asm.new_label();
+    let outer = asm.new_label();
+    let done = asm.new_label();
+    let jloop = asm.new_label();
+    let jdone = asm.new_label();
+    let zinit = asm.new_label();
+    let k0 = asm.new_label();
+    let kloop = asm.new_label();
+    let ktail = asm.new_label();
+    let tail4 = asm.new_label();
+    let kdone = asm.new_label();
+
+    // dispatch: fast path needs A % 4 == 0, Wt % 4 == 0, K % 4 == 0, K > 0
+    asm.emit(Inst::Or { rd: T0, rs1: A0, rs2: A1 });
+    asm.emit(Inst::Andi { rd: T0, rs1: T0, imm: 3 });
+    asm.emit(Inst::Andi { rd: T1, rs1: A5, imm: 3 });
+    asm.emit(Inst::Or { rd: T0, rs1: T0, rs2: T1 });
+    asm.branch_to(Inst::Bne { rs1: T0, rs2: Zero, offset: 0 }, slow);
+    asm.branch_to(Inst::Beq { rs1: A5, rs2: Zero, offset: 0 }, slow);
+
+    asm.bind(outer).expect("fresh");
+    asm.branch_to(Inst::Beq { rs1: A4, rs2: Zero, offset: 0 }, done);
+    asm.mv(T4, A1); // pw walks the whole Wt once per A row
+    asm.li(T0, 0); // j
+    asm.bind(jloop).expect("fresh");
+    asm.branch_to(Inst::Bgeu { rs1: T0, rs2: A6, offset: 0 }, jdone);
+    asm.branch_to(Inst::Beq { rs1: A2, rs2: Zero, offset: 0 }, zinit);
+    asm.emit(Inst::Slli { rd: T5, rs1: T0, shamt: 2 });
+    asm.emit(Inst::Add { rd: T5, rs1: A2, rs2: T5 });
+    asm.emit(Inst::Lw { rd: T2, rs1: T5, imm: 0 });
+    asm.jump_to(k0);
+    asm.bind(zinit).expect("fresh");
+    asm.li(T2, 0);
+    asm.bind(k0).expect("fresh");
+    // main loop: 16 MACs per iteration, then a 4-MAC tail loop
+    asm.emit(Inst::Addi { rd: T1, rs1: A5, imm: -16 });
+    asm.mv(T3, A0); // pa
+    asm.branch_to(Inst::Blt { rs1: T1, rs2: Zero, offset: 0 }, ktail);
+    asm.bind(kloop).expect("fresh");
+    for blk in 0..4 {
+        asm.emit(Inst::Lw { rd: T5, rs1: T3, imm: 4 * blk });
+        asm.emit(Inst::Lw { rd: T6, rs1: T4, imm: 4 * blk });
+        asm.emit(Inst::Packed { op: PackedOp::Kdot4I8, rd: T2, rs1: T5, rs2: T6 });
+    }
+    asm.emit(Inst::Addi { rd: T3, rs1: T3, imm: 16 });
+    asm.emit(Inst::Addi { rd: T4, rs1: T4, imm: 16 });
+    asm.emit(Inst::Addi { rd: T1, rs1: T1, imm: -16 });
+    asm.branch_to(Inst::Bge { rs1: T1, rs2: Zero, offset: 0 }, kloop);
+    asm.bind(ktail).expect("fresh");
+    // straight-line tail: the remainder is 0, 4, 8 or 12 — one optional
+    // 8-MAC block and one optional 4-MAC block, no loop back-edges
+    asm.emit(Inst::Addi { rd: T1, rs1: T1, imm: 16 });
+    asm.branch_to(Inst::Beq { rs1: T1, rs2: Zero, offset: 0 }, kdone);
+    asm.emit(Inst::Addi { rd: T5, rs1: T1, imm: -8 });
+    asm.branch_to(Inst::Blt { rs1: T5, rs2: Zero, offset: 0 }, tail4);
+    for blk in 0..2 {
+        asm.emit(Inst::Lw { rd: T5, rs1: T3, imm: 4 * blk });
+        asm.emit(Inst::Lw { rd: T6, rs1: T4, imm: 4 * blk });
+        asm.emit(Inst::Packed { op: PackedOp::Kdot4I8, rd: T2, rs1: T5, rs2: T6 });
+    }
+    asm.emit(Inst::Addi { rd: T3, rs1: T3, imm: 8 });
+    asm.emit(Inst::Addi { rd: T4, rs1: T4, imm: 8 });
+    asm.emit(Inst::Addi { rd: T1, rs1: T1, imm: -8 });
+    asm.branch_to(Inst::Beq { rs1: T1, rs2: Zero, offset: 0 }, kdone);
+    asm.bind(tail4).expect("fresh");
+    asm.emit(Inst::Lw { rd: T5, rs1: T3, imm: 0 });
+    asm.emit(Inst::Lw { rd: T6, rs1: T4, imm: 0 });
+    asm.emit(Inst::Packed { op: PackedOp::Kdot4I8, rd: T2, rs1: T5, rs2: T6 });
+    asm.emit(Inst::Addi { rd: T4, rs1: T4, imm: 4 });
+    asm.bind(kdone).expect("fresh");
+    // shift to the output scale, saturate to i16 then clip to i8, store
+    asm.emit(Inst::Packed { op: PackedOp::KsatI16, rd: T2, rs1: T2, rs2: A7 });
+    asm.li(T6, 7);
+    asm.emit(Inst::Packed { op: PackedOp::Kclip, rd: T2, rs1: T2, rs2: T6 });
+    asm.emit(Inst::Add { rd: T5, rs1: A3, rs2: T0 });
+    asm.emit(Inst::Sb { rs2: T2, rs1: T5, imm: 0 });
+    asm.emit(Inst::Addi { rd: T0, rs1: T0, imm: 1 });
+    asm.jump_to(jloop);
+    asm.bind(jdone).expect("fresh");
+    asm.emit(Inst::Add { rd: A0, rs1: A0, rs2: A5 });
+    asm.emit(Inst::Add { rd: A3, rs1: A3, rs2: A6 });
+    asm.emit(Inst::Addi { rd: A4, rs1: A4, imm: -1 });
+    asm.jump_to(outer);
+    asm.bind(done).expect("fresh");
+    asm.ret();
+
+    // scalar fallback over the same transposed layout (any K, any
+    // alignment), identical epilogue.
+    let souter = asm.new_label();
+    let sdone = asm.new_label();
+    let sjloop = asm.new_label();
+    let sjdone = asm.new_label();
+    let szinit = asm.new_label();
+    let sk0 = asm.new_label();
+    let skloop = asm.new_label();
+    let sepi = asm.new_label();
+    asm.bind(slow).expect("fresh");
+    asm.bind(souter).expect("fresh");
+    asm.branch_to(Inst::Beq { rs1: A4, rs2: Zero, offset: 0 }, sdone);
+    asm.mv(T4, A1);
+    asm.li(T0, 0);
+    asm.bind(sjloop).expect("fresh");
+    asm.branch_to(Inst::Bgeu { rs1: T0, rs2: A6, offset: 0 }, sjdone);
+    asm.branch_to(Inst::Beq { rs1: A2, rs2: Zero, offset: 0 }, szinit);
+    asm.emit(Inst::Slli { rd: T5, rs1: T0, shamt: 2 });
+    asm.emit(Inst::Add { rd: T5, rs1: A2, rs2: T5 });
+    asm.emit(Inst::Lw { rd: T2, rs1: T5, imm: 0 });
+    asm.jump_to(sk0);
+    asm.bind(szinit).expect("fresh");
+    asm.li(T2, 0);
+    asm.bind(sk0).expect("fresh");
+    asm.mv(T1, A5);
+    asm.mv(T3, A0);
+    asm.branch_to(Inst::Beq { rs1: T1, rs2: Zero, offset: 0 }, sepi);
+    asm.bind(skloop).expect("fresh");
+    asm.emit(Inst::Lb { rd: T5, rs1: T3, imm: 0 });
+    asm.emit(Inst::Lb { rd: T6, rs1: T4, imm: 0 });
+    asm.emit(Inst::Mul { rd: T5, rs1: T5, rs2: T6 });
+    asm.emit(Inst::Add { rd: T2, rs1: T2, rs2: T5 });
+    asm.emit(Inst::Addi { rd: T3, rs1: T3, imm: 1 });
+    asm.emit(Inst::Addi { rd: T4, rs1: T4, imm: 1 });
+    asm.emit(Inst::Addi { rd: T1, rs1: T1, imm: -1 });
+    asm.branch_to(Inst::Bne { rs1: T1, rs2: Zero, offset: 0 }, skloop);
+    asm.bind(sepi).expect("fresh");
+    asm.emit(Inst::Packed { op: PackedOp::KsatI16, rd: T2, rs1: T2, rs2: A7 });
+    asm.li(T6, 7);
+    asm.emit(Inst::Packed { op: PackedOp::Kclip, rd: T2, rs1: T2, rs2: T6 });
+    asm.emit(Inst::Add { rd: T5, rs1: A3, rs2: T0 });
+    asm.emit(Inst::Sb { rs2: T2, rs1: T5, imm: 0 });
+    asm.emit(Inst::Addi { rd: T0, rs1: T0, imm: 1 });
+    asm.jump_to(sjloop);
+    asm.bind(sjdone).expect("fresh");
+    asm.emit(Inst::Add { rd: A0, rs1: A0, rs2: A5 });
+    asm.emit(Inst::Add { rd: A3, rs1: A3, rs2: A6 });
+    asm.emit(Inst::Addi { rd: A4, rs1: A4, imm: -1 });
+    asm.jump_to(souter);
+    asm.bind(sdone).expect("fresh");
+    asm.ret();
+    entry
+}
+
+/// `add_sat_i8(a0=dst, a1=src, a2=len)` — saturating byte residual add,
+/// the branchy clamp collapsed into one `kclip 7`, leaf.
+fn emit_add_sat_i8_a8(asm: &mut Asm) -> Label {
+    let entry = asm.here("k_add_sat_i8");
+    let lp = asm.new_label();
+    let done = asm.new_label();
+    asm.branch_to(Inst::Beq { rs1: A2, rs2: Zero, offset: 0 }, done);
+    asm.li(T2, 7);
+    asm.bind(lp).expect("fresh");
+    asm.emit(Inst::Lb { rd: T0, rs1: A0, imm: 0 });
+    asm.emit(Inst::Lb { rd: T1, rs1: A1, imm: 0 });
+    asm.emit(Inst::Add { rd: T0, rs1: T0, rs2: T1 });
+    asm.emit(Inst::Packed { op: PackedOp::Kclip, rd: T0, rs1: T0, rs2: T2 });
+    asm.emit(Inst::Sb { rs2: T0, rs1: A0, imm: 0 });
+    asm.emit(Inst::Addi { rd: A0, rs1: A0, imm: 1 });
+    asm.emit(Inst::Addi { rd: A1, rs1: A1, imm: 1 });
+    asm.emit(Inst::Addi { rd: A2, rs1: A2, imm: -1 });
+    asm.branch_to(Inst::Bne { rs1: A2, rs2: Zero, offset: 0 }, lp);
+    asm.bind(done).expect("fresh");
+    asm.ret();
+    entry
+}
+
+/// `dequant8(a0=src i8, a1=dst f32, a2=len, a3=scale_bits)` — leaf:
+/// `kcvt.h2f` shift-0 (exact int→float) then one truncating `kfmul.t`
+/// by an arbitrary power-of-two scale (which may be below one — the A8
+/// stream exponents are signed).
+fn emit_dequant8(asm: &mut Asm) -> Label {
+    let entry = asm.here("k_dequant8");
+    let lp = asm.new_label();
+    let done = asm.new_label();
+    asm.branch_to(Inst::Beq { rs1: A2, rs2: Zero, offset: 0 }, done);
+    asm.bind(lp).expect("fresh");
+    asm.emit(Inst::Lb { rd: T2, rs1: A0, imm: 0 });
+    asm.emit(Inst::Packed { op: PackedOp::KcvtH2F, rd: T2, rs1: T2, rs2: Zero });
+    asm.emit(Inst::Packed { op: PackedOp::KfmulT, rd: T2, rs1: T2, rs2: A3 });
+    asm.emit(Inst::Sw { rs2: T2, rs1: A1, imm: 0 });
+    asm.emit(Inst::Addi { rd: A0, rs1: A0, imm: 1 });
+    asm.emit(Inst::Addi { rd: A1, rs1: A1, imm: 4 });
+    asm.emit(Inst::Addi { rd: A2, rs1: A2, imm: -1 });
+    asm.branch_to(Inst::Bne { rs1: A2, rs2: Zero, offset: 0 }, lp);
+    asm.bind(done).expect("fresh");
+    asm.ret();
+    entry
+}
+
+/// `requant8(a0=src f32, a1=dst i8, a2=len, a3=scale_bits)` — leaf:
+/// truncating `kfmul.t` by the scale, `kcvt.f2h` shift-0 (floor,
+/// saturate to i16), `kclip 7` to the i8 range.
+fn emit_requant8(asm: &mut Asm) -> Label {
+    let entry = asm.here("k_requant8");
+    let lp = asm.new_label();
+    let done = asm.new_label();
+    asm.branch_to(Inst::Beq { rs1: A2, rs2: Zero, offset: 0 }, done);
+    asm.li(T5, 7);
+    asm.bind(lp).expect("fresh");
+    asm.emit(Inst::Lw { rd: T2, rs1: A0, imm: 0 });
+    asm.emit(Inst::Packed { op: PackedOp::KfmulT, rd: T2, rs1: T2, rs2: A3 });
+    asm.emit(Inst::Packed { op: PackedOp::KcvtF2H, rd: T2, rs1: T2, rs2: Zero });
+    asm.emit(Inst::Packed { op: PackedOp::Kclip, rd: T2, rs1: T2, rs2: T5 });
+    asm.emit(Inst::Sb { rs2: T2, rs1: A1, imm: 0 });
+    asm.emit(Inst::Addi { rd: A0, rs1: A0, imm: 4 });
+    asm.emit(Inst::Addi { rd: A1, rs1: A1, imm: 1 });
+    asm.emit(Inst::Addi { rd: A2, rs1: A2, imm: -1 });
+    asm.branch_to(Inst::Bne { rs1: A2, rs2: Zero, offset: 0 }, lp);
+    asm.bind(done).expect("fresh");
+    asm.ret();
+    entry
+}
+
+/// `gelu_a8(a0=x i8, a1=len, a2=deq_bits, a3=req_bits)` — leaf: the
+/// whole GELU boundary fused into one loop per element — dequantise
+/// (`kcvt.h2f` + `kfmul.t`), the Q8.24 LUT pipeline (`ALU_TO_FIXED` →
+/// `ALU_GELU` → `ALU_TO_FLOAT`), requantise (`kfmul.t` + `kcvt.f2h` +
+/// `kclip 7`). No float scratch row, no calls.
+fn emit_gelu_a8(asm: &mut Asm) -> Label {
+    let entry = asm.here("k_gelu_a8");
+    let lp = asm.new_label();
+    let done = asm.new_label();
+    asm.branch_to(Inst::Beq { rs1: A1, rs2: Zero, offset: 0 }, done);
+    asm.li(T4, 7);
+    asm.bind(lp).expect("fresh");
+    asm.emit(Inst::Lb { rd: T0, rs1: A0, imm: 0 });
+    asm.emit(Inst::Packed { op: PackedOp::KcvtH2F, rd: T0, rs1: T0, rs2: Zero });
+    asm.emit(Inst::Packed { op: PackedOp::KfmulT, rd: T0, rs1: T0, rs2: A2 });
+    asm.emit(Inst::Custom { op: CustomOp::ToFixed, rd: T0, rs1: T0, rs2: Zero });
+    asm.emit(Inst::Custom { op: CustomOp::Gelu, rd: T0, rs1: T0, rs2: Zero });
+    asm.emit(Inst::Custom { op: CustomOp::ToFloat, rd: T0, rs1: T0, rs2: Zero });
+    asm.emit(Inst::Packed { op: PackedOp::KfmulT, rd: T0, rs1: T0, rs2: A3 });
+    asm.emit(Inst::Packed { op: PackedOp::KcvtF2H, rd: T0, rs1: T0, rs2: Zero });
+    asm.emit(Inst::Packed { op: PackedOp::Kclip, rd: T0, rs1: T0, rs2: T4 });
+    asm.emit(Inst::Sb { rs2: T0, rs1: A0, imm: 0 });
+    asm.emit(Inst::Addi { rd: A0, rs1: A0, imm: 1 });
+    asm.emit(Inst::Addi { rd: A1, rs1: A1, imm: -1 });
+    asm.branch_to(Inst::Bne { rs1: A1, rs2: Zero, offset: 0 }, lp);
+    asm.bind(done).expect("fresh");
+    asm.ret();
+    entry
+}
+
+/// `ln_a8(a0=x i8, a1=gamma, a2=beta, a3=rows, a4=cols, a5=params)` —
+/// fused quantised LayerNorm, **leaf**: pass 1 dequantises the row once
+/// (`kcvt.h2f` + `kfmul.t`) into the float scratch row while summing,
+/// passes 2–3 re-read the cached floats, the inverse standard deviation
+/// is the math library's `rsqrtf` sequence inlined over `kfmul.t` /
+/// `kfadd.t` (bit-identical — same magic seed and Newton steps, see
+/// [`kwt_tensor::softfp::rsqrt`]), and the write-back requantises
+/// straight to i8.
+fn emit_ln_a8(asm: &mut Asm) -> Label {
+    use PackedOp::{KcvtF2H, KcvtH2F, KfaddT, KfmulT, KfsubT, Kclip};
+    let entry = asm.here("k_ln_a8");
+    let saves = [S0, S1, S2, S3, S4, S5, S6, S7, S8, S9, S10, S11];
+    let frame = prologue(asm, &saves);
+    let row_loop = asm.new_label();
+    let done = asm.new_label();
+    let l1 = asm.new_label();
+    let l1d = asm.new_label();
+    let l2 = asm.new_label();
+    let l2d = asm.new_label();
+    let l3 = asm.new_label();
+    let l3d = asm.new_label();
+
+    asm.mv(S0, A0); // x row
+    asm.mv(S1, A1); // gamma
+    asm.mv(S2, A2); // beta
+    asm.mv(S3, A3); // rows counter
+    asm.mv(S4, A4); // cols
+    asm.mv(S5, A5); // params
+    asm.emit(Inst::Lw { rd: S6, rs1: S5, imm: a8_ln_params::DEQ });
+    // leaf: hoist every per-row constant into the argument registers
+    asm.emit(Inst::Lw { rd: A0, rs1: S5, imm: a8_ln_params::SCRATCH });
+    asm.emit(Inst::Lw { rd: A1, rs1: S5, imm: a8_ln_params::REQ });
+    asm.emit(Inst::Lw { rd: A2, rs1: S5, imm: a8_ln_params::INV_N });
+    asm.emit(Inst::Lw { rd: A3, rs1: S5, imm: a8_ln_params::EPS });
+    li_f32(asm, A4, 1.5);
+    li_f32(asm, A5, 0.5);
+    asm.emit(Inst::Lui { rd: A6, imm: 0x8000_0000u32 as i32 }); // sign bit
+    asm.li(A7, 0x5F37_59DFu32 as i32); // rsqrt magic seed
+    asm.li(T3, 7);
+    asm.bind(row_loop).expect("fresh");
+    asm.branch_to(Inst::Beq { rs1: S3, rs2: Zero, offset: 0 }, done);
+    // pass 1: cache conv(x) in the scratch row, sum → mean
+    asm.li(S8, 0);
+    asm.mv(S9, S0);
+    asm.mv(S11, A0); // scratch ptr
+    asm.mv(S10, S4);
+    asm.branch_to(Inst::Beq { rs1: S10, rs2: Zero, offset: 0 }, l1d);
+    asm.bind(l1).expect("fresh");
+    asm.emit(Inst::Lb { rd: T1, rs1: S9, imm: 0 });
+    asm.emit(Inst::Packed { op: KcvtH2F, rd: T1, rs1: T1, rs2: Zero });
+    asm.emit(Inst::Packed { op: KfmulT, rd: T1, rs1: T1, rs2: S6 });
+    asm.emit(Inst::Sw { rs2: T1, rs1: S11, imm: 0 });
+    asm.emit(Inst::Packed { op: KfaddT, rd: S8, rs1: T1, rs2: S8 });
+    asm.emit(Inst::Addi { rd: S9, rs1: S9, imm: 1 });
+    asm.emit(Inst::Addi { rd: S11, rs1: S11, imm: 4 });
+    asm.emit(Inst::Addi { rd: S10, rs1: S10, imm: -1 });
+    asm.branch_to(Inst::Bne { rs1: S10, rs2: Zero, offset: 0 }, l1);
+    asm.bind(l1d).expect("fresh");
+    asm.emit(Inst::Packed { op: KfmulT, rd: S7, rs1: S8, rs2: A2 }); // mean
+    // pass 2: var = (Σ (x̂ - mean)²) * inv_n
+    asm.li(S8, 0);
+    asm.mv(S11, A0);
+    asm.mv(S10, S4);
+    asm.branch_to(Inst::Beq { rs1: S10, rs2: Zero, offset: 0 }, l2d);
+    asm.bind(l2).expect("fresh");
+    asm.emit(Inst::Lw { rd: T1, rs1: S11, imm: 0 });
+    asm.emit(Inst::Packed { op: KfsubT, rd: T1, rs1: T1, rs2: S7 });
+    asm.emit(Inst::Packed { op: KfmulT, rd: T1, rs1: T1, rs2: T1 });
+    asm.emit(Inst::Packed { op: KfaddT, rd: S8, rs1: T1, rs2: S8 });
+    asm.emit(Inst::Addi { rd: S11, rs1: S11, imm: 4 });
+    asm.emit(Inst::Addi { rd: S10, rs1: S10, imm: -1 });
+    asm.branch_to(Inst::Bne { rs1: S10, rs2: Zero, offset: 0 }, l2);
+    asm.bind(l2d).expect("fresh");
+    asm.emit(Inst::Packed { op: KfmulT, rd: T0, rs1: S8, rs2: A2 }); // var
+    asm.emit(Inst::Packed { op: KfaddT, rd: T0, rs1: T0, rs2: A3 }); // + eps
+    // inline rsqrt (the math library sequence, call-free):
+    // xhalf = x*0.5; y = magic - (x>>1); 3 × y *= 1.5 - xhalf*y*y
+    asm.emit(Inst::Packed { op: KfmulT, rd: T1, rs1: T0, rs2: A5 }); // xhalf
+    asm.emit(Inst::Srli { rd: T2, rs1: T0, shamt: 1 });
+    asm.emit(Inst::Sub { rd: T0, rs1: A7, rs2: T2 }); // y
+    for _ in 0..3 {
+        asm.emit(Inst::Packed { op: KfmulT, rd: T2, rs1: T0, rs2: T0 }); // y²
+        asm.emit(Inst::Packed { op: KfmulT, rd: T2, rs1: T2, rs2: T1 }); // xhalf·y²
+        asm.emit(Inst::Xor { rd: T2, rs1: T2, rs2: A6 }); // negate
+        asm.emit(Inst::Packed { op: KfaddT, rd: T2, rs1: A4, rs2: T2 }); // 1.5 - …
+        asm.emit(Inst::Packed { op: KfmulT, rd: T0, rs1: T2, rs2: T0 }); // y
+    }
+    asm.mv(S11, T0); // inv_std
+    // pass 3: x = requant(((x̂ - mean) * inv_std) * gamma + beta)
+    asm.mv(S9, S0);
+    asm.mv(S10, S4);
+    asm.li(S8, 0); // byte offset into gamma/beta/scratch
+    asm.branch_to(Inst::Beq { rs1: S10, rs2: Zero, offset: 0 }, l3d);
+    asm.bind(l3).expect("fresh");
+    asm.emit(Inst::Add { rd: T0, rs1: A0, rs2: S8 });
+    asm.emit(Inst::Lw { rd: T1, rs1: T0, imm: 0 });
+    asm.emit(Inst::Packed { op: KfsubT, rd: T1, rs1: T1, rs2: S7 });
+    asm.emit(Inst::Packed { op: KfmulT, rd: T1, rs1: T1, rs2: S11 });
+    asm.emit(Inst::Add { rd: T0, rs1: S1, rs2: S8 });
+    asm.emit(Inst::Lw { rd: T2, rs1: T0, imm: 0 });
+    asm.emit(Inst::Packed { op: KfmulT, rd: T1, rs1: T1, rs2: T2 });
+    asm.emit(Inst::Add { rd: T0, rs1: S2, rs2: S8 });
+    asm.emit(Inst::Lw { rd: T2, rs1: T0, imm: 0 });
+    asm.emit(Inst::Packed { op: KfaddT, rd: T1, rs1: T1, rs2: T2 });
+    asm.emit(Inst::Packed { op: KfmulT, rd: T1, rs1: T1, rs2: A1 });
+    asm.emit(Inst::Packed { op: KcvtF2H, rd: T1, rs1: T1, rs2: Zero });
+    asm.emit(Inst::Packed { op: Kclip, rd: T1, rs1: T1, rs2: T3 });
+    asm.emit(Inst::Sb { rs2: T1, rs1: S9, imm: 0 });
+    asm.emit(Inst::Addi { rd: S9, rs1: S9, imm: 1 });
+    asm.emit(Inst::Addi { rd: S8, rs1: S8, imm: 4 });
+    asm.emit(Inst::Addi { rd: S10, rs1: S10, imm: -1 });
+    asm.branch_to(Inst::Bne { rs1: S10, rs2: Zero, offset: 0 }, l3);
+    asm.bind(l3d).expect("fresh");
+    asm.emit(Inst::Add { rd: S0, rs1: S0, rs2: S4 });
+    asm.emit(Inst::Addi { rd: S3, rs1: S3, imm: -1 });
+    asm.jump_to(row_loop);
+    asm.bind(done).expect("fresh");
+    epilogue(asm, &saves, frame);
+    entry
+}
+
+/// `attention_a8(a0=Q, a1=K, a2=V, a3=out, a4=row8, a5=params)` — the
+/// fused scores→softmax→context row pipeline, **specialised at emit
+/// time** for one `(seqlen, dim_head)` geometry (see
+/// [`a8_attn_params`]), leaf.
+///
+/// One call covers a whole head, and per query row *everything* is
+/// inlined — there are no per-row calls at all:
+///
+/// 1. **scores** — `S` fully-unrolled `kdot4.i8` dot products
+///    (`dh/4` packed MACs each, offset-addressed), `ksat.i16` +
+///    `kclip 7` epilogues narrowing into the i8 score row;
+/// 2. **softmax** — the Q8.24 LUT pipeline with the quantisation
+///    boundaries *fused into its own passes*: pass 1 converts each i8
+///    score straight through `kcvt.h2f` → `kfmul.t`(2^-y/√dh) →
+///    `ALU_TO_FIXED` into the Q8.24 scratch row while tracking the
+///    maximum; pass 2 is `ALU_EXP` + the integer sum; pass 3 multiplies
+///    by `ALU_INVERT`'s reciprocal and requantises each probability in
+///    place (`ALU_TO_FLOAT` → `kfmul.t` → `kcvt.f2h` → `kclip 7`) —
+///    the float probability row never exists in memory;
+/// 3. **context** — `dh` fully-unrolled `kdot4.i8` products of the
+///    padded `Vᵀ` rows against the i8 probability row.
+///
+/// The arithmetic is exactly the de-fused sequence (host model:
+/// `fixed_softmax` over the dequantised scores, then per-element
+/// requantisation), so logits stay bit-identical to the golden model.
+/// Requires 4-aligned Q/K/V/VT rows (`dh % 4 == 0`, the image builder
+/// guarantees alignment); `row8` holds `KP = S.next_multiple_of(4)`
+/// entries whose tail is zeroed once, so the padded context lanes
+/// contribute nothing.
+fn emit_attention_a8(asm: &mut Asm, s: usize, dh: usize, kp: usize) -> Label {
+    use crate::regions::{BLOCK_ATTENTION, OP_MATMUL, OP_OTHER, OP_SOFTMAX};
+    let entry = asm.here("k_attention_a8");
+    let saves = [S0, S1, S2, S3, S4, S5, S6, S7, S8, S9, S10, S11];
+    let frame = prologue(asm, &saves);
+    let row = asm.new_label();
+    let done = asm.new_label();
+
+    asm.mv(S0, A0); // Q
+    asm.mv(S1, A1); // K
+    asm.mv(S2, A2); // V
+    asm.mv(S3, A3); // out
+    asm.mv(S4, A4); // row8 (KP entries)
+    asm.mv(S5, A5); // params
+    // leaf: hoist the per-row constants
+    asm.emit(Inst::Lw { rd: S6, rs1: S5, imm: a8_attn_params::ROWF });
+    asm.emit(Inst::Lw { rd: S7, rs1: S5, imm: a8_attn_params::SCORE_DEQ });
+    asm.emit(Inst::Lw { rd: S8, rs1: S5, imm: a8_attn_params::PROB_REQ });
+    asm.emit(Inst::Lw { rd: A6, rs1: S5, imm: a8_attn_params::SHIFT_SCORES });
+    asm.emit(Inst::Lw { rd: A7, rs1: S5, imm: a8_attn_params::SHIFT_CTX });
+    asm.li(A4, 7); // kclip range operand
+
+    // ---- preamble: VT[j, l] = V[l, j] (i8), columns S..KP zeroed ----
+    let tj = asm.new_label();
+    let tk = asm.new_label();
+    push_region(asm, BLOCK_ATTENTION | OP_OTHER);
+    asm.emit(Inst::Lw { rd: A5, rs1: S5, imm: a8_attn_params::VT });
+    asm.li(T2, 0); // j
+    asm.bind(tj).expect("fresh");
+    asm.emit(Inst::Add { rd: T3, rs1: S2, rs2: T2 }); // src = V + j
+    asm.li(T4, kp as i32);
+    asm.emit(Inst::Mul { rd: T4, rs1: T2, rs2: T4 });
+    asm.emit(Inst::Add { rd: T4, rs1: A5, rs2: T4 }); // dst = VT + j*KP
+    asm.li(T5, s as i32); // l counter
+    asm.bind(tk).expect("fresh");
+    asm.emit(Inst::Lb { rd: T6, rs1: T3, imm: 0 });
+    asm.emit(Inst::Sb { rs2: T6, rs1: T4, imm: 0 });
+    asm.emit(Inst::Addi { rd: T3, rs1: T3, imm: dh as i32 }); // next V row
+    asm.emit(Inst::Addi { rd: T4, rs1: T4, imm: 1 });
+    asm.emit(Inst::Addi { rd: T5, rs1: T5, imm: -1 });
+    asm.branch_to(Inst::Bne { rs1: T5, rs2: Zero, offset: 0 }, tk);
+    for _ in s..kp {
+        asm.emit(Inst::Sb { rs2: Zero, rs1: T4, imm: 0 });
+        asm.emit(Inst::Addi { rd: T4, rs1: T4, imm: 1 });
+    }
+    asm.emit(Inst::Addi { rd: T2, rs1: T2, imm: 1 });
+    asm.li(T5, dh as i32);
+    asm.branch_to(Inst::Bltu { rs1: T2, rs2: T5, offset: 0 }, tj);
+    // zero the probability pad tail once
+    for pad in s..kp {
+        asm.emit(Inst::Sb { rs2: Zero, rs1: S4, imm: pad as i32 });
+    }
+    pop_region(asm);
+
+    asm.li(S11, s as i32); // row counter
+    asm.mv(S9, S0); // q row ptr
+    asm.mv(S10, S3); // out row ptr
+    asm.bind(row).expect("fresh");
+
+    // 1. scores: row8[j] = clip(sat((q_row · k_row_j) >> shift_s))
+    let sj = asm.new_label();
+    push_region(asm, BLOCK_ATTENTION | OP_MATMUL);
+    asm.mv(T0, S1); // k row ptr
+    asm.mv(T1, S4); // score out ptr
+    asm.li(T2, s as i32); // j counter
+    asm.bind(sj).expect("fresh");
+    asm.li(T3, 0); // acc
+    for blk in 0..dh / 4 {
+        asm.emit(Inst::Lw { rd: T4, rs1: S9, imm: 4 * blk as i32 });
+        asm.emit(Inst::Lw { rd: T5, rs1: T0, imm: 4 * blk as i32 });
+        asm.emit(Inst::Packed { op: PackedOp::Kdot4I8, rd: T3, rs1: T4, rs2: T5 });
+    }
+    asm.emit(Inst::Packed { op: PackedOp::KsatI16, rd: T3, rs1: T3, rs2: A6 });
+    asm.emit(Inst::Packed { op: PackedOp::Kclip, rd: T3, rs1: T3, rs2: A4 });
+    asm.emit(Inst::Sb { rs2: T3, rs1: T1, imm: 0 });
+    asm.emit(Inst::Addi { rd: T0, rs1: T0, imm: dh as i32 });
+    asm.emit(Inst::Addi { rd: T1, rs1: T1, imm: 1 });
+    asm.emit(Inst::Addi { rd: T2, rs1: T2, imm: -1 });
+    asm.branch_to(Inst::Bne { rs1: T2, rs2: Zero, offset: 0 }, sj);
+    pop_region(asm);
+
+    // 2. fused Q8.24 softmax: i8 scores in, i8 probabilities out
+    let p1 = asm.new_label();
+    let no_upd = asm.new_label();
+    let p2 = asm.new_label();
+    let p3 = asm.new_label();
+    push_region(asm, BLOCK_ATTENTION | OP_SOFTMAX);
+    // pass 1: fixed = TO_FIXED(conv(score) * deq), track the maximum
+    asm.mv(T0, S4); // score ptr
+    asm.mv(T1, S6); // Q8.24 row ptr
+    asm.li(T2, s as i32);
+    asm.emit(Inst::Lui { rd: T3, imm: 0x8000_0000u32 as i32 }); // max = i32::MIN
+    asm.bind(p1).expect("fresh");
+    asm.emit(Inst::Lb { rd: T4, rs1: T0, imm: 0 });
+    asm.emit(Inst::Packed { op: PackedOp::KcvtH2F, rd: T4, rs1: T4, rs2: Zero });
+    asm.emit(Inst::Packed { op: PackedOp::KfmulT, rd: T4, rs1: T4, rs2: S7 });
+    asm.emit(Inst::Custom { op: CustomOp::ToFixed, rd: T4, rs1: T4, rs2: Zero });
+    asm.emit(Inst::Sw { rs2: T4, rs1: T1, imm: 0 });
+    asm.branch_to(Inst::Bge { rs1: T3, rs2: T4, offset: 0 }, no_upd);
+    asm.mv(T3, T4);
+    asm.bind(no_upd).expect("fresh");
+    asm.emit(Inst::Addi { rd: T0, rs1: T0, imm: 1 });
+    asm.emit(Inst::Addi { rd: T1, rs1: T1, imm: 4 });
+    asm.emit(Inst::Addi { rd: T2, rs1: T2, imm: -1 });
+    asm.branch_to(Inst::Bne { rs1: T2, rs2: Zero, offset: 0 }, p1);
+    // pass 2: e = ALU_EXP(max - x), integer sum
+    asm.mv(T1, S6);
+    asm.li(T2, s as i32);
+    asm.li(T5, 0); // sum
+    asm.bind(p2).expect("fresh");
+    asm.emit(Inst::Lw { rd: T4, rs1: T1, imm: 0 });
+    asm.emit(Inst::Sub { rd: T4, rs1: T3, rs2: T4 });
+    asm.emit(Inst::Custom { op: CustomOp::Exp, rd: T4, rs1: T4, rs2: Zero });
+    asm.emit(Inst::Sw { rs2: T4, rs1: T1, imm: 0 });
+    asm.emit(Inst::Add { rd: T5, rs1: T5, rs2: T4 });
+    asm.emit(Inst::Addi { rd: T1, rs1: T1, imm: 4 });
+    asm.emit(Inst::Addi { rd: T2, rs1: T2, imm: -1 });
+    asm.branch_to(Inst::Bne { rs1: T2, rs2: Zero, offset: 0 }, p2);
+    asm.emit(Inst::Custom { op: CustomOp::Invert, rd: T5, rs1: T5, rs2: Zero });
+    // pass 3: p = (e * inv) Q8.24-product, requantised in place to i8
+    asm.mv(T0, S4);
+    asm.mv(T1, S6);
+    asm.li(T2, s as i32);
+    asm.bind(p3).expect("fresh");
+    asm.emit(Inst::Lw { rd: T4, rs1: T1, imm: 0 });
+    asm.emit(Inst::Mulhu { rd: T6, rs1: T4, rs2: T5 });
+    asm.emit(Inst::Mul { rd: T4, rs1: T4, rs2: T5 });
+    asm.emit(Inst::Slli { rd: T6, rs1: T6, shamt: 8 });
+    asm.emit(Inst::Srli { rd: T4, rs1: T4, shamt: 24 });
+    asm.emit(Inst::Or { rd: T4, rs1: T6, rs2: T4 });
+    asm.emit(Inst::Custom { op: CustomOp::ToFloat, rd: T4, rs1: T4, rs2: Zero });
+    asm.emit(Inst::Packed { op: PackedOp::KfmulT, rd: T4, rs1: T4, rs2: S8 });
+    asm.emit(Inst::Packed { op: PackedOp::KcvtF2H, rd: T4, rs1: T4, rs2: Zero });
+    asm.emit(Inst::Packed { op: PackedOp::Kclip, rd: T4, rs1: T4, rs2: A4 });
+    asm.emit(Inst::Sb { rs2: T4, rs1: T0, imm: 0 });
+    asm.emit(Inst::Addi { rd: T0, rs1: T0, imm: 1 });
+    asm.emit(Inst::Addi { rd: T1, rs1: T1, imm: 4 });
+    asm.emit(Inst::Addi { rd: T2, rs1: T2, imm: -1 });
+    asm.branch_to(Inst::Bne { rs1: T2, rs2: Zero, offset: 0 }, p3);
+    pop_region(asm);
+
+    // 3. context: out[j] = clip(sat((VT_row_j · probs) >> shift_ctx))
+    let cj = asm.new_label();
+    push_region(asm, BLOCK_ATTENTION | OP_MATMUL);
+    asm.emit(Inst::Lw { rd: T0, rs1: S5, imm: a8_attn_params::VT });
+    asm.mv(T1, S10); // out ptr
+    asm.li(T2, dh as i32); // j counter
+    asm.bind(cj).expect("fresh");
+    asm.li(T3, 0); // acc
+    for blk in 0..kp / 4 {
+        asm.emit(Inst::Lw { rd: T4, rs1: T0, imm: 4 * blk as i32 });
+        asm.emit(Inst::Lw { rd: T5, rs1: S4, imm: 4 * blk as i32 });
+        asm.emit(Inst::Packed { op: PackedOp::Kdot4I8, rd: T3, rs1: T4, rs2: T5 });
+    }
+    asm.emit(Inst::Packed { op: PackedOp::KsatI16, rd: T3, rs1: T3, rs2: A7 });
+    asm.emit(Inst::Packed { op: PackedOp::Kclip, rd: T3, rs1: T3, rs2: A4 });
+    asm.emit(Inst::Sb { rs2: T3, rs1: T1, imm: 0 });
+    asm.emit(Inst::Addi { rd: T0, rs1: T0, imm: kp as i32 });
+    asm.emit(Inst::Addi { rd: T1, rs1: T1, imm: 1 });
+    asm.emit(Inst::Addi { rd: T2, rs1: T2, imm: -1 });
+    asm.branch_to(Inst::Bne { rs1: T2, rs2: Zero, offset: 0 }, cj);
+    pop_region(asm);
+
+    // advance to the next query row
+    asm.emit(Inst::Addi { rd: S9, rs1: S9, imm: dh as i32 });
+    asm.emit(Inst::Addi { rd: S10, rs1: S10, imm: dh as i32 });
+    asm.emit(Inst::Addi { rd: S11, rs1: S11, imm: -1 });
+    asm.branch_to(Inst::Bne { rs1: S11, rs2: Zero, offset: 0 }, row);
+    asm.bind(done).expect("fresh");
+    epilogue(asm, &saves, frame);
+    entry
+}
+
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -2261,6 +2949,351 @@ mod tests {
         // attention regions were profiled
         let report = m.profile_report();
         assert!(report.attributed_cycles > 0);
+    }
+
+    /// [`run_with`] for the A8 kernel set (always Xkwtdot); the
+    /// attention kernel is specialised for `(s, dh)`.
+    fn run_with_a8_dims(
+        s: usize,
+        dh: usize,
+        inputs: &[(u32, Vec<u8>)],
+        setup: impl FnOnce(&mut Asm, &A8Kernels),
+    ) -> Machine {
+        let mut asm = Asm::new(0, 0x8000);
+        let over = asm.new_label();
+        asm.jump_to(over);
+        let kernels = A8Kernels::emit(&mut asm, s, dh);
+        asm.bind(over).expect("fresh");
+        asm.here("entry");
+        setup(&mut asm, &kernels);
+        asm.emit(Inst::Ebreak);
+        let p = asm.finish().expect("assembles");
+        let mut m = Machine::load(&p, Platform::ibex()).expect("fits");
+        for (addr, bytes) in inputs {
+            m.cpu.mem.write_bytes(*addr, bytes);
+            m.cpu.invalidate_decode_cache(*addr, bytes.len() as u32);
+        }
+        m.run(500_000_000).expect("halts");
+        m
+    }
+
+    /// [`run_with_a8_dims`] at the KWT-Tiny geometry (the non-attention
+    /// kernels do not depend on it).
+    fn run_with_a8(
+        inputs: &[(u32, Vec<u8>)],
+        setup: impl FnOnce(&mut Asm, &A8Kernels),
+    ) -> Machine {
+        run_with_a8_dims(27, 8, inputs, setup)
+    }
+
+    fn read_i8s(m: &Machine, addr: u32, len: usize) -> Vec<i8> {
+        m.cpu.mem.read_bytes(addr, len).iter().map(|&b| b as i8).collect()
+    }
+
+    #[test]
+    fn matmul_a8_matches_host_oracle() {
+        // K multiples of 4 take the kdot4 fast path (incl. the 16-MAC
+        // unroll at K >= 16); K = 5 and 7 exercise the scalar fallback.
+        for (m_rows, k_depth, n_cols) in
+            [(3usize, 8usize, 4usize), (2, 5, 3), (4, 12, 1), (3, 20, 5), (1, 7, 2)]
+        {
+            let a = Mat::from_fn(m_rows, k_depth, |r, c| {
+                ((r * k_depth + c) as i32 * 97 % 251 - 125) as i8
+            });
+            let w = Mat::from_fn(k_depth, n_cols, |r, c| {
+                ((r * n_cols + c) as i32 * 37 % 251 - 125) as i8
+            });
+            let bias: Vec<i32> = (0..n_cols).map(|j| j as i32 * 500 - 250).collect();
+            let shift = 6u32;
+            let m = run_with_a8(
+                &[
+                    (IN_A, i8s(a.as_slice())),
+                    (IN_B, i8s(w.transpose().as_slice())),
+                    (SCRATCH, i32s(&bias)),
+                ],
+                |asm, k| {
+                    asm.li(Reg::A0, IN_A as i32);
+                    asm.li(Reg::A1, IN_B as i32);
+                    asm.li(Reg::A2, SCRATCH as i32);
+                    asm.li(Reg::A3, OUT as i32);
+                    asm.li(Reg::A4, m_rows as i32);
+                    asm.li(Reg::A5, k_depth as i32);
+                    asm.li(Reg::A6, n_cols as i32);
+                    asm.li(Reg::A7, shift as i32);
+                    asm.call(k.matmul_a8);
+                },
+            );
+            let got = read_i8s(&m, OUT, m_rows * n_cols);
+            let (want, _) = qops::matmul_i8_i8(&a, &w, Some(&bias), shift).unwrap();
+            assert_eq!(got, want.as_slice(), "M={m_rows} K={k_depth} N={n_cols}");
+        }
+    }
+
+    #[test]
+    fn matmul_a8_saturates_like_oracle() {
+        // Shift 0 with maximal operands drives the accumulator far past
+        // the i8 range; the ksat+kclip epilogue must match the host clamp.
+        let a = Mat::from_fn(1, 8, |_, c| if c % 2 == 0 { 127i8 } else { -128 });
+        let w = Mat::from_fn(8, 2, |r, c| {
+            if c == 0 {
+                if r % 2 == 0 { 127i8 } else { -128 }
+            } else if r % 2 == 0 {
+                -128
+            } else {
+                127
+            }
+        });
+        let m = run_with_a8(
+            &[(IN_A, i8s(a.as_slice())), (IN_B, i8s(w.transpose().as_slice()))],
+            |asm, k| {
+                asm.li(Reg::A0, IN_A as i32);
+                asm.li(Reg::A1, IN_B as i32);
+                asm.li(Reg::A2, 0);
+                asm.li(Reg::A3, OUT as i32);
+                asm.li(Reg::A4, 1);
+                asm.li(Reg::A5, 8);
+                asm.li(Reg::A6, 2);
+                asm.li(Reg::A7, 0);
+                asm.call(k.matmul_a8);
+            },
+        );
+        let got = read_i8s(&m, OUT, 2);
+        let (want, _) = qops::matmul_i8_i8(&a, &w, None, 0).unwrap();
+        assert_eq!(got, want.as_slice());
+        assert_eq!(got, vec![127, -128]);
+    }
+
+    #[test]
+    fn a8_add_and_quant_boundaries_match_host_mirrors() {
+        use kwt_tensor::softfp;
+        // saturating i8 residual add via kclip
+        let a = vec![120i8, -120, 7, -1];
+        let b = vec![100i8, -100, -10, 1];
+        let m = run_with_a8(&[(IN_A, i8s(&a)), (IN_B, i8s(&b))], |asm, k| {
+            asm.li(Reg::A0, IN_A as i32);
+            asm.li(Reg::A1, IN_B as i32);
+            asm.li(Reg::A2, 4);
+            asm.call(k.add_sat_i8);
+        });
+        assert_eq!(read_i8s(&m, IN_A, 4), vec![127, -128, -3, 0]);
+        // dequant8 with a scale below one (signed exponents), then
+        // requant8 back — bit-exact vs the softfp host mirror
+        let xs: Vec<i8> = vec![-128, -5, 0, 7, 100, 127];
+        let deq = 0.25f32; // 2^-(-2)? no: value * 0.25 — stream exponent 2
+        let req = 4.0f32;
+        let m = run_with_a8(&[(IN_A, i8s(&xs))], |asm, k| {
+            asm.li(Reg::A0, IN_A as i32);
+            asm.li(Reg::A1, OUT as i32);
+            asm.li(Reg::A2, 6);
+            asm.li(Reg::A3, deq.to_bits() as i32);
+            asm.call(k.dequant8);
+            asm.li(Reg::A0, OUT as i32);
+            asm.li(Reg::A1, SCRATCH as i32);
+            asm.li(Reg::A2, 6);
+            asm.li(Reg::A3, req.to_bits() as i32);
+            asm.call(k.requant8);
+        });
+        let floats = m.read_f32s(OUT, 6);
+        for (f, &q) in floats.iter().zip(&xs) {
+            let want = f32::from_bits(softfp::mul((q as f32).to_bits(), deq.to_bits()));
+            assert_eq!(f.to_bits(), want.to_bits(), "dequant8({q})");
+        }
+        assert_eq!(read_i8s(&m, SCRATCH, 6), xs, "round trip");
+        // requant floor semantics on fresh floats
+        let fresh = vec![0.4f32, -0.4, 1.99, -1.99, 100.7, -3000.0];
+        let m = run_with_a8(&[(IN_A, f32s(&fresh))], |asm, k| {
+            asm.li(Reg::A0, IN_A as i32);
+            asm.li(Reg::A1, OUT as i32);
+            asm.li(Reg::A2, 6);
+            asm.li(Reg::A3, 8.0f32.to_bits() as i32);
+            asm.call(k.requant8);
+        });
+        let got = read_i8s(&m, OUT, 6);
+        for (g, &x) in got.iter().zip(&fresh) {
+            let scaled = f32::from_bits(softfp::mul(x.to_bits(), 8.0f32.to_bits()));
+            let want = (f64::from(scaled).floor() as i64).clamp(-128, 127) as i8;
+            assert_eq!(*g, want, "requant8({x})");
+        }
+    }
+
+    #[test]
+    fn gelu_a8_matches_lut_golden_model() {
+        use kwt_tensor::softfp;
+        let luts = LutSet::new();
+        let xs: Vec<i8> = vec![-128, -40, -8, -1, 0, 1, 9, 60, 127];
+        let deq = 0.125f32;
+        let req = 8.0f32;
+        let m = run_with_a8(&[(IN_A, i8s(&xs))], |asm, k| {
+            asm.li(Reg::A0, IN_A as i32);
+            asm.li(Reg::A1, xs.len() as i32);
+            asm.li(Reg::A2, deq.to_bits() as i32);
+            asm.li(Reg::A3, req.to_bits() as i32);
+            asm.call(k.gelu_a8);
+        });
+        let got = read_i8s(&m, IN_A, xs.len());
+        for (g, &x) in got.iter().zip(&xs) {
+            let f = f32::from_bits(softfp::mul((x as f32).to_bits(), deq.to_bits()));
+            let gelu = kwt_quant::fixed_gelu(f, &luts);
+            let scaled = f32::from_bits(softfp::mul(gelu.to_bits(), req.to_bits()));
+            let want = (f64::from(scaled).floor() as i64).clamp(-128, 127) as i8;
+            assert_eq!(*g, want, "gelu_a8({x})");
+        }
+    }
+
+    #[test]
+    fn ln_a8_matches_softfp_mirror() {
+        use kwt_tensor::softfp;
+        let rows = 3usize;
+        let cols = 5usize;
+        let x = Mat::from_fn(rows, cols, |r, c| ((r * cols + c) as i32 * 37 - 80) as i8);
+        let gamma: Vec<f32> = (0..cols).map(|i| 0.5 + i as f32 * 0.2).collect();
+        let beta: Vec<f32> = (0..cols).map(|i| -0.3 + i as f32 * 0.1).collect();
+        let deq = 0.0625f32;
+        let req = 16.0f32;
+        let inv_n = 1.0f32 / cols as f32;
+        let eps = 1e-5f32;
+        let params: Vec<i32> = vec![
+            deq.to_bits() as i32,
+            req.to_bits() as i32,
+            inv_n.to_bits() as i32,
+            eps.to_bits() as i32,
+            0xBC00, // float row cache
+        ];
+        let m = run_with_a8(
+            &[
+                (IN_A, i8s(x.as_slice())),
+                (IN_B, f32s(&gamma)),
+                (OUT, f32s(&beta)),
+                (SCRATCH, i32s(&params)),
+            ],
+            |asm, k| {
+                asm.li(Reg::A0, IN_A as i32);
+                asm.li(Reg::A1, IN_B as i32);
+                asm.li(Reg::A2, OUT as i32);
+                asm.li(Reg::A3, rows as i32);
+                asm.li(Reg::A4, cols as i32);
+                asm.li(Reg::A5, SCRATCH as i32);
+                asm.call(k.ln_a8);
+            },
+        );
+        let got = read_i8s(&m, IN_A, rows * cols);
+        // host mirror: the packed-LN float sequence over softfp ops
+        let conv = |v: i8| softfp::mul((v as f32).to_bits(), deq.to_bits());
+        let mut want = Vec::new();
+        for r in 0..rows {
+            let row = x.row(r);
+            let mut sum = 0u32;
+            for &v in row {
+                sum = softfp::add(conv(v), sum);
+            }
+            let mean = softfp::mul(sum, inv_n.to_bits());
+            let mut acc = 0u32;
+            for &v in row {
+                let d = softfp::sub(conv(v), mean);
+                acc = softfp::add(softfp::mul(d, d), acc);
+            }
+            let inv_std =
+                softfp::rsqrt(softfp::add(softfp::mul(acc, inv_n.to_bits()), eps.to_bits()));
+            for (i, &v) in row.iter().enumerate() {
+                let mut t = softfp::sub(conv(v), mean);
+                t = softfp::mul(t, inv_std);
+                t = softfp::mul(t, gamma[i].to_bits());
+                t = softfp::add(t, beta[i].to_bits());
+                let scaled = f32::from_bits(softfp::mul(t, req.to_bits()));
+                want.push((f64::from(scaled).floor() as i64).clamp(-128, 127) as i8);
+            }
+        }
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn attention_a8_matches_host_row_pipeline() {
+        use kwt_tensor::softfp;
+        let luts = LutSet::new();
+        let s = 5usize; // KP = 8: exercises the padded tail
+        let dh = 4usize;
+        let kp = (s + 3) & !3;
+        let q = Mat::from_fn(s, dh, |r, c| ((r * dh + c) as i32 * 23 % 160 - 80) as i8);
+        let kmat = Mat::from_fn(s, dh, |r, c| ((r * dh + c) as i32 * 41 % 160 - 80) as i8);
+        let v = Mat::from_fn(s, dh, |r, c| ((r * dh + c) as i32 * 31 % 200 - 100) as i8);
+        let shift_s = 3u32;
+        let score_deq = (0.125f32) * (1.0 / (dh as f32).sqrt());
+        let prob_req = 128.0f32;
+        let shift_ctx = 7u32;
+        const Q_AT: u32 = 0xA000;
+        const K_AT: u32 = 0xA100;
+        const V_AT: u32 = 0xA200;
+        const OUT_AT: u32 = 0xA300;
+        const ROW8: u32 = 0xA400;
+        const ROWF: u32 = 0xA500;
+        const VT: u32 = 0xA600;
+        const PARAMS: u32 = 0xA700;
+        let params: Vec<i32> = vec![
+            shift_s as i32,
+            score_deq.to_bits() as i32,
+            prob_req.to_bits() as i32,
+            shift_ctx as i32,
+            ROWF as i32,
+            VT as i32,
+        ];
+        let _ = kp;
+        let m = run_with_a8_dims(
+            s,
+            dh,
+            &[
+                (Q_AT, i8s(q.as_slice())),
+                (K_AT, i8s(kmat.as_slice())),
+                (V_AT, i8s(v.as_slice())),
+                (PARAMS, i32s(&params)),
+            ],
+            |asm, k| {
+                asm.li(Reg::A0, Q_AT as i32);
+                asm.li(Reg::A1, K_AT as i32);
+                asm.li(Reg::A2, V_AT as i32);
+                asm.li(Reg::A3, OUT_AT as i32);
+                asm.li(Reg::A4, ROW8 as i32);
+                asm.li(Reg::A5, PARAMS as i32);
+                asm.call(k.attention_a8);
+            },
+        );
+        let got = read_i8s(&m, OUT_AT, s * dh);
+        // host mirror of the fused row pipeline
+        let mut want = vec![0i8; s * dh];
+        for i in 0..s {
+            let mut row8 = vec![0i8; s];
+            for j in 0..s {
+                let mut acc: i32 = 0;
+                for l in 0..dh {
+                    acc = acc.wrapping_add(q[(i, l)] as i32 * kmat[(j, l)] as i32);
+                }
+                row8[j] = ((acc >> shift_s).clamp(-128, 127)) as i8;
+            }
+            let rowf: Vec<f32> = row8
+                .iter()
+                .map(|&sc| {
+                    f32::from_bits(softfp::mul((sc as f32).to_bits(), score_deq.to_bits()))
+                })
+                .collect();
+            let probs = kwt_quant::fixed_softmax(&rowf, &luts);
+            let p8: Vec<i8> = probs
+                .iter()
+                .map(|p| {
+                    let scaled =
+                        f32::from_bits(softfp::mul(p.to_bits(), prob_req.to_bits()));
+                    (f64::from(scaled).floor() as i64).clamp(-128, 127) as i8
+                })
+                .collect();
+            for j in 0..dh {
+                let mut acc: i32 = 0;
+                for (l, &p) in p8.iter().enumerate() {
+                    acc = acc.wrapping_add(v[(l, j)] as i32 * p as i32);
+                }
+                want[i * dh + j] = ((acc >> shift_ctx).clamp(-128, 127)) as i8;
+            }
+        }
+        assert_eq!(got, want);
+        // the fused kernel profiles its phases
+        assert!(m.profile_report().attributed_cycles > 0);
     }
 
     #[test]

@@ -41,7 +41,7 @@ pub mod softfloat;
 pub use banks::Bank;
 pub use error::BuildError;
 pub use image::{DeviceSession, Flavor, InferenceImage};
-pub use kernels::KernelIsa;
+pub use kernels::{A8Kernels, KernelIsa};
 
 /// Convenience alias for results returned by this crate.
 pub type Result<T> = std::result::Result<T, BuildError>;

@@ -343,6 +343,19 @@ mod tests {
     }
 
     #[test]
+    fn rsqrtf_matches_softfp_host_mirror() {
+        // `kwt_tensor::softfp::rsqrt` is the host golden model the A8
+        // LayerNorm mirror uses; pin the generated routine to it
+        // bit-for-bit across magnitudes (incl. non-round values).
+        for i in 0..64u32 {
+            let x = f32::from_bits(0x3800_0000 + i * 0x0123_4567 % 0x0A00_0000);
+            let (got, _) = run_unary("rsqrtf", x);
+            let want = f32::from_bits(kwt_tensor::softfp::rsqrt(x.to_bits()));
+            assert_eq!(got.to_bits(), want.to_bits(), "rsqrtf({x})");
+        }
+    }
+
+    #[test]
     fn gelu_accuracy() {
         for i in -40..=40 {
             let x = i as f32 * 0.1;

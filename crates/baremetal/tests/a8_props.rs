@@ -1,0 +1,146 @@
+//! Property tests: the A8 `kdot4.i8` device kernels vs the scalar i8
+//! host oracle ([`kwt_tensor::qops::matmul_i8_i8`]) across adversarial
+//! geometries — non-multiple-of-4 depths (scalar fallback), misaligned
+//! operand bases, and saturation boundaries.
+//!
+//! One machine is assembled once with a dispatcher that reads its call
+//! arguments from a parameter block in RAM; each proptest case rewrites
+//! the block and operand buffers and re-arms the CPU, so hundreds of
+//! cases run in milliseconds.
+
+use kwt_baremetal::kernels::A8Kernels;
+use kwt_rv32::{Machine, Platform};
+use kwt_rvasm::{Asm, Inst, Reg};
+use kwt_tensor::{qops, Mat};
+use proptest::prelude::*;
+
+const PARAMS: u32 = 0xA000; // 8 words: a, w, bias, out, m, k, n, shift
+const A_BUF: u32 = 0xA400;
+const W_BUF: u32 = 0xA800;
+const BIAS_BUF: u32 = 0xAC00;
+const OUT_BUF: u32 = 0xB000;
+
+/// Builds the dispatcher machine: loads `a0..a7` from the parameter
+/// block, calls `matmul_a8`, halts.
+fn build_machine() -> Machine {
+    let mut asm = Asm::new(0, 0x8000);
+    let over = asm.new_label();
+    asm.jump_to(over);
+    let k = A8Kernels::emit(&mut asm, 27, 8);
+    asm.bind(over).expect("fresh");
+    asm.here("entry");
+    const ARGS: [Reg; 8] = [
+        Reg::A0,
+        Reg::A1,
+        Reg::A2,
+        Reg::A3,
+        Reg::A4,
+        Reg::A5,
+        Reg::A6,
+        Reg::A7,
+    ];
+    for (i, reg) in ARGS.iter().enumerate() {
+        asm.li(Reg::T0, PARAMS as i32);
+        asm.emit(Inst::Lw { rd: *reg, rs1: Reg::T0, imm: (i * 4) as i32 });
+    }
+    asm.call(k.matmul_a8);
+    asm.emit(Inst::Ebreak);
+    let p = asm.finish().expect("assembles");
+    Machine::load(&p, Platform::ibex()).expect("fits")
+}
+
+fn write_i8s(m: &mut Machine, addr: u32, v: &[i8]) {
+    m.write_i8s(addr, v);
+}
+
+#[derive(Debug, Clone)]
+struct Case {
+    m: usize,
+    k: usize,
+    n: usize,
+    shift: u32,
+    a_off: u32,
+    w_off: u32,
+    with_bias: bool,
+    a: Vec<i8>,
+    w: Vec<i8>,
+    bias: Vec<i32>,
+}
+
+const MAX_M: usize = 5;
+const MAX_K: usize = 21;
+const MAX_N: usize = 6;
+
+fn case_strategy() -> impl Strategy<Value = Case> {
+    // The offline proptest shim has no `prop_flat_map`, so operand
+    // buffers are drawn at their maximum size and truncated to the
+    // drawn geometry; `with_bias` is folded into the shift draw.
+    (
+        (1usize..=MAX_M, 1usize..=MAX_K, 1usize..=MAX_N),
+        (0u32..18, 0u32..16),
+        (
+            proptest::collection::vec(any::<i8>(), MAX_M * MAX_K),
+            proptest::collection::vec(any::<i8>(), MAX_K * MAX_N),
+            proptest::collection::vec(-60_000i32..60_000, MAX_N),
+        ),
+    )
+        .prop_map(|((m, k, n), (shift2, offs), (a, w, bias))| Case {
+            m,
+            k,
+            n,
+            shift: shift2 / 2,
+            a_off: offs % 4,
+            w_off: offs / 4,
+            with_bias: shift2 % 2 == 0,
+            a: a[..m * k].to_vec(),
+            w: w[..k * n].to_vec(),
+            bias: bias[..n].to_vec(),
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 96, ..ProptestConfig::default() })]
+
+    /// Device `matmul_a8` == host oracle for every geometry: aligned
+    /// K % 4 == 0 shapes take the packed `kdot4.i8` path, everything
+    /// else (odd K, misaligned A/Wt bases) the scalar fallback — and
+    /// full-range i8 operands with small shifts drive the `ksat`/`kclip`
+    /// epilogue through its saturation boundaries.
+    #[test]
+    fn matmul_a8_matches_scalar_oracle(case in case_strategy()) {
+        // one machine per test-thread invocation is plenty fast, but
+        // reuse across the whole run via thread_local
+        thread_local! {
+            static MACHINE: std::cell::RefCell<Machine> =
+                std::cell::RefCell::new(build_machine());
+        }
+        let a_mat = Mat::from_vec(case.m, case.k, case.a.clone()).unwrap();
+        let w_mat = Mat::from_vec(case.k, case.n, case.w.clone()).unwrap();
+        let bias = case.with_bias.then_some(case.bias.as_slice());
+        let (want, _) = qops::matmul_i8_i8(&a_mat, &w_mat, bias, case.shift).unwrap();
+
+        let got = MACHINE.with(|mc| {
+            let m = &mut mc.borrow_mut();
+            m.reset_cpu();
+            let a_addr = A_BUF + case.a_off;
+            let w_addr = W_BUF + case.w_off;
+            write_i8s(m, a_addr, &case.a);
+            // transposed N×K weight layout, like the image builder emits
+            write_i8s(m, w_addr, w_mat.transpose().as_slice());
+            m.write_i32s(BIAS_BUF, &case.bias);
+            m.write_i32s(PARAMS, &[
+                a_addr as i32,
+                w_addr as i32,
+                if case.with_bias { BIAS_BUF as i32 } else { 0 },
+                OUT_BUF as i32,
+                case.m as i32,
+                case.k as i32,
+                case.n as i32,
+                case.shift as i32,
+            ]);
+            m.run(50_000_000).expect("halts");
+            m.read_i8s(OUT_BUF, case.m * case.n)
+        });
+        prop_assert_eq!(got, want.as_slice().to_vec());
+    }
+}

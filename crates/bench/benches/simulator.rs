@@ -64,6 +64,17 @@ fn bench_isa_variants(c: &mut Criterion) {
             b.iter(|| session.run_into(&mfcc, &mut logits).unwrap())
         });
     }
+    // the fully-INT8 kdot4 image with the fused attention row pipeline
+    {
+        use kwt_quant::{A8Config, A8Kwt};
+        let a8 = A8Kwt::quantize(&params, A8Config::paper_a8()).unwrap();
+        let image = InferenceImage::build_a8(&a8).unwrap();
+        let mut session = image.session().unwrap();
+        let mut logits = Vec::new();
+        g.bench_function("xkwtdot_a8", |b| {
+            b.iter(|| session.run_into(&mfcc, &mut logits).unwrap())
+        });
+    }
     g.finish();
 }
 

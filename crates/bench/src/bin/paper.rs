@@ -6,6 +6,7 @@
 //! paper table4 --full  # include the expensive KWT-1 training
 //! paper bench-tensor   # packed-GEMM / decode-cache speedups -> BENCH_tensor.json
 //! paper bench-engine   # engine clips/sec, one-shot vs scratch-reuse vs batched -> BENCH_engine.json
+//! paper check-a8       # A8-vs-i16 top-1 agreement gate + device/host bit-identity spot check
 //! ```
 
 use kwt_bench::experiments as exp;
@@ -26,7 +27,7 @@ fn main() {
     let all = [
         "table1", "table2", "table3", "table4", "table5", "table6", "table7", "table8",
         "table9", "fig3", "fig4", "fig5", "fig7", "ablation-timing", "ablation-nonlinearity",
-        "bench-tensor", "bench-engine",
+        "bench-tensor", "bench-engine", "check-a8",
     ];
     let selected: Vec<&str> = if targets.is_empty() || targets.contains(&"all") {
         all.to_vec()
@@ -52,6 +53,7 @@ fn main() {
             "ablation-nonlinearity" => exp::ablation_nonlinearity(&ctx),
             "bench-tensor" => kwt_bench::microbench::run_and_write(std::path::Path::new(".")),
             "bench-engine" => kwt_bench::enginebench::run_and_write(std::path::Path::new(".")),
+            "check-a8" => exp::check_a8(&ctx),
             other => {
                 eprintln!("unknown target `{other}`; available: all {all:?}");
                 std::process::exit(2);

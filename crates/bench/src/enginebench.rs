@@ -22,9 +22,20 @@ use kwt_baremetal::{InferenceImage, KernelIsa};
 use kwt_engine::{Engine, Prediction};
 use kwt_model::{KwtConfig, KwtParams};
 use crate::timing::{smoke, time_ns};
-use kwt_quant::{Nonlinearity, QuantConfig, QuantizedKwt};
+use kwt_quant::{A8Config, A8Kwt, Nonlinearity, QuantConfig, QuantizedKwt};
 use serde::Serialize;
 use std::hint::black_box;
+
+/// Clip count for the (slow) rv32 rows: 3 by default (2 in smoke mode),
+/// overridable with `KWT_BENCH_CLIPS` for less noisy numbers — the
+/// chosen count is recorded per row.
+fn rv32_clip_count() -> usize {
+    std::env::var("KWT_BENCH_CLIPS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or(if smoke() { 2 } else { 3 })
+}
 
 /// One backend × mode throughput measurement.
 #[derive(Debug, Clone, Serialize)]
@@ -56,6 +67,9 @@ pub struct EngineSpeedup {
 /// cycles-per-class attribution for the ISA comparison).
 #[derive(Debug, Clone, Serialize)]
 pub struct CycleClassRow {
+    /// Image variant the attribution belongs to (`accel`,
+    /// `accel_xkwtdot`, `accel_xkwtdot_a8`).
+    pub variant: String,
     /// Kernel ISA (`rv32im` or `xkwtdot`).
     pub isa: String,
     /// Instruction class name (see `kwt_rv32::InstClass`).
@@ -83,6 +97,24 @@ pub struct DeviceCycles {
     pub instructions: u64,
 }
 
+/// One row of the sharded-batch scaling table.
+#[derive(Debug, Clone, Serialize)]
+pub struct ParallelRow {
+    /// Backend name.
+    pub backend: String,
+    /// Worker thread count passed to `classify_batch_parallel`.
+    pub threads: usize,
+    /// Clips per measured batch.
+    pub clips: usize,
+    /// Clips per second, audio in → prediction out.
+    pub clips_per_s: f64,
+    /// Throughput relative to the 1-thread row.
+    pub speedup_vs_1_thread: f64,
+    /// Host CPUs visible to the process — scaling is bounded by this
+    /// (a 1-CPU container time-slices the workers and shows ~1×).
+    pub host_cpus: usize,
+}
+
 /// The full `BENCH_engine.json` document.
 #[derive(Debug, Clone, Serialize)]
 pub struct EngineBenchSummary {
@@ -94,11 +126,14 @@ pub struct EngineBenchSummary {
     pub rows: Vec<EngineRow>,
     /// Per-backend speedups of the engine paths over the seed path.
     pub speedups: Vec<EngineSpeedup>,
+    /// Sharded `classify_batch_parallel` throughput over the rv32 A8
+    /// engine at 1/2/4 host threads.
+    pub parallel_scaling: Vec<ParallelRow>,
     /// End-to-end device cycles per image variant (paper Table IX
-    /// analogue, extended with the Xkwtdot row).
+    /// analogue, extended with the Xkwtdot and A8 rows).
     pub device_cycles: Vec<DeviceCycles>,
-    /// Per-instruction-class cycle attribution of the accelerated image
-    /// under both ISAs — where the Xkwtdot win comes from.
+    /// Per-instruction-class cycle attribution of the accelerated images
+    /// (scalar vs Xkwtdot vs A8) — where each win comes from.
     pub rv32_cycle_classes: Vec<CycleClassRow>,
 }
 
@@ -187,6 +222,8 @@ pub fn collect() -> EngineBenchSummary {
     let image = InferenceImage::build_quant(&accel).expect("image builds");
     let ximage = InferenceImage::build_quant_with_isa(&accel, KernelIsa::Xkwtdot)
         .expect("xkwtdot image builds");
+    let a8 = A8Kwt::quantize(&params, A8Config::paper_a8()).expect("a8 exponents valid");
+    let a8image = InferenceImage::build_a8(&a8).expect("a8 image builds");
     let fe = kwt_tiny_frontend().expect("preset is valid");
 
     let mut benches = Vec::new();
@@ -229,7 +266,7 @@ pub fn collect() -> EngineBenchSummary {
     // rv32_sim: seed path = InferenceImage::run — a fresh Machine::load
     // and a cold decode cache per clip.
     {
-        let clips = bench_clips(if smoke() { 2 } else { 3 });
+        let clips = bench_clips(rv32_clip_count());
         let mut engine = Engine::rv32_sim(&image, fe.clone()).expect("engine");
         let f = fe.clone();
         let img = image.clone();
@@ -250,12 +287,31 @@ pub fn collect() -> EngineBenchSummary {
     // is self-consistent; the ISA win itself is the ratio between this
     // backend's rows and the rv32_sim rows above.
     {
-        let clips = bench_clips(if smoke() { 2 } else { 3 });
+        let clips = bench_clips(rv32_clip_count());
         let mut engine = Engine::rv32_sim(&ximage, fe.clone()).expect("engine");
         let f = fe.clone();
         let img = ximage.clone();
         benches.push(measure(
             "rv32_sim_xkwtdot",
+            clips,
+            move |c| {
+                let mfcc = f.extract_padded_reference(c).expect("mfcc");
+                black_box(img.run(&mfcc).expect("device run"));
+            },
+            &mut engine,
+        ));
+    }
+
+    // rv32_sim_a8: the fully-INT8 kdot4 image with the fused attention
+    // row pipeline (numerics differ from the i16 path; logits are
+    // bit-identical to the host A8 golden model instead).
+    {
+        let clips = bench_clips(rv32_clip_count());
+        let mut engine = Engine::rv32_sim(&a8image, fe.clone()).expect("engine");
+        let f = fe.clone();
+        let img = a8image.clone();
+        benches.push(measure(
+            "rv32_sim_a8",
             clips,
             move |c| {
                 let mfcc = f.extract_padded_reference(c).expect("mfcc");
@@ -287,8 +343,42 @@ pub fn collect() -> EngineBenchSummary {
             batched_vs_one_shot: b.one_shot_ns / b.batched_ns,
         });
     }
+    // sharded-batch scaling: the A8 rv32 engine across host threads
+    // (each worker owns an independent DeviceSession clone)
+    let mut parallel_scaling = Vec::new();
+    {
+        let host_cpus = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        let clips = bench_clips(rv32_clip_count() * 4);
+        let mut engine = Engine::rv32_sim(&a8image, fe.clone()).expect("engine");
+        let mut out = Vec::new();
+        let mut base = 0.0f64;
+        for threads in [1usize, 2, 4] {
+            engine
+                .classify_batch_parallel(&clips, threads, &mut out)
+                .expect("parallel batch");
+            let ns = time_ns(|| {
+                engine
+                    .classify_batch_parallel(black_box(&clips), threads, &mut out)
+                    .expect("parallel batch");
+            }) / clips.len() as f64;
+            if threads == 1 {
+                base = ns;
+            }
+            parallel_scaling.push(ParallelRow {
+                backend: "rv32_sim_a8".to_string(),
+                threads,
+                clips: clips.len(),
+                clips_per_s: 1e9 / ns,
+                speedup_vs_1_thread: base / ns,
+                host_cpus,
+            });
+        }
+    }
+
     // device-side cycle metrics: one inference per image variant, plus
-    // the per-class attribution for the scalar-vs-Xkwtdot comparison.
+    // the per-class attribution for the accelerated-image comparison.
     let mfcc = fe
         .extract_padded_reference(&bench_clips(1)[0])
         .expect("mfcc");
@@ -301,6 +391,7 @@ pub fn collect() -> EngineBenchSummary {
         ("quant", &quant_image),
         ("accel", &image),
         ("accel_xkwtdot", &ximage),
+        ("accel_xkwtdot_a8", &a8image),
     ] {
         let mut session = img.session().expect("session");
         session.set_class_histogram_enabled(true);
@@ -314,6 +405,7 @@ pub fn collect() -> EngineBenchSummary {
         if variant.starts_with("accel") {
             for (class, instructions, cycles) in session.machine().class_histogram().rows() {
                 rv32_cycle_classes.push(CycleClassRow {
+                    variant: variant.to_string(),
                     isa: img.isa.as_str().to_string(),
                     class: class.name().to_string(),
                     instructions,
@@ -328,6 +420,7 @@ pub fn collect() -> EngineBenchSummary {
         smoke: smoke(),
         rows,
         speedups,
+        parallel_scaling,
         device_cycles,
         rv32_cycle_classes,
     }
@@ -356,6 +449,13 @@ pub fn run_and_write(out_dir: &std::path::Path) -> String {
             s.backend, s.scratch_reuse_vs_one_shot, s.batched_vs_one_shot
         ));
     }
+    out.push_str("sharded classify_batch_parallel (rv32_sim_a8):\n");
+    for p in &summary.parallel_scaling {
+        out.push_str(&format!(
+            "  {} threads ({} clips, {} cpus) {:>10.1} clips/s  {:.2}x vs 1 thread\n",
+            p.threads, p.clips, p.host_cpus, p.clips_per_s, p.speedup_vs_1_thread
+        ));
+    }
     out.push_str(
         "device cycles per inference (paper trajectory: 26M float -> 13M quant -> 5.5M accel):\n",
     );
@@ -365,11 +465,11 @@ pub fn run_and_write(out_dir: &std::path::Path) -> String {
             d.variant, d.isa, d.cycles, d.instructions
         ));
     }
-    out.push_str("accel image cycles by instruction class (scalar vs Xkwtdot):\n");
+    out.push_str("accel image cycles by instruction class (scalar vs Xkwtdot vs A8):\n");
     for c in &summary.rv32_cycle_classes {
         out.push_str(&format!(
-            "  {:<8} {:<12} {:>12} instructions {:>12} cycles\n",
-            c.isa, c.class, c.instructions, c.cycles
+            "  {:<16} {:<8} {:<12} {:>12} instructions {:>12} cycles\n",
+            c.variant, c.isa, c.class, c.instructions, c.cycles
         ));
     }
     if summary.smoke {

@@ -303,6 +303,67 @@ fn built_images(ctx: &ExpContext) -> (KwtParams, MfccDataset, [InferenceImage; 3
     (tiny, test, [float_img, quant_img, accel_img])
 }
 
+/// A8-vs-i16 top-1 agreement gate (wired into `scripts/verify.sh`): the
+/// fully-INT8 pipeline must agree with the i16 quantised path on ≥ 99 %
+/// of the synthetic GSC test split. Also cross-checks that the A8
+/// *device* image reproduces the host golden model bit-for-bit on a few
+/// clips, so the CI smoke covers the whole A8 stack end to end.
+///
+/// # Panics
+///
+/// Panics (failing the verify run) if agreement drops below 99 % or a
+/// device logit diverges from the host model.
+pub fn check_a8(ctx: &ExpContext) -> String {
+    use kwt_quant::{A8Config, A8Kwt};
+    let params = crate::enginebench::bench_params();
+    let i16m = QuantizedKwt::quantize(&params, QuantConfig::paper_best());
+    let a8 = A8Kwt::quantize(&params, A8Config::paper_a8()).expect("a8 exponents valid");
+    let ds = SyntheticGsc::new(GscConfig::paper_binary());
+    let fe = kwt_audio::kwt_tiny_frontend().expect("preset is valid");
+    let n = if ctx.full {
+        ds.len(Split::Test)
+    } else {
+        200.min(ds.len(Split::Test))
+    };
+    let image = InferenceImage::build_a8(&a8).expect("a8 image builds");
+    let mut session = image.session().expect("session");
+    let mut scratch = kwt_audio::MfccScratch::new();
+    let mut mfcc = kwt_tensor::Mat::default();
+    let mut agree = 0usize;
+    for i in 0..n {
+        let (wave, _) = ds.utterance(Split::Test, i);
+        fe.extract_padded_into(&wave, &mut mfcc, &mut scratch)
+            .expect("mfcc");
+        let (host_logits, _) = a8.forward_a8(&mfcc).expect("a8 forward");
+        let host_arg = host_logits
+            .iter()
+            .enumerate()
+            .max_by(|x, y| x.1.partial_cmp(y.1).expect("finite"))
+            .map(|(j, _)| j)
+            .expect("classes");
+        if host_arg == i16m.predict(&mfcc).expect("i16 forward") {
+            agree += 1;
+        }
+        // device-vs-host bit identity spot check on a handful of clips
+        if i < 5 {
+            let (dev, _) = session.run(&mfcc).expect("device run");
+            for (d, h) in dev.iter().zip(&host_logits) {
+                assert_eq!(
+                    d.to_bits(),
+                    h.to_bits(),
+                    "clip {i}: A8 device logit {d} != host golden model {h}"
+                );
+            }
+        }
+    }
+    let pct = 100.0 * agree as f64 / n as f64;
+    assert!(
+        pct >= 99.0,
+        "A8 top-1 agreement with the i16 quant path fell to {pct:.2}% ({agree}/{n})"
+    );
+    format!("## A8 agreement gate\n\nA8-vs-i16 top-1 agreement: {agree}/{n} = {pct:.2}% (>= 99% required); device logits bit-identical to the host A8 golden model on the spot-checked clips\n")
+}
+
 /// Table IX — full model comparison (params, sizes, cycles, accuracy).
 pub fn table9(ctx: &ExpContext) -> String {
     let (tiny, test, images) = built_images(ctx);

@@ -218,9 +218,17 @@ impl SyntheticGsc {
         let n = self.len(split);
         let mut x = Vec::with_capacity(n);
         let mut y = Vec::with_capacity(n);
+        // One scratch arena for the whole split: the extractor's rFFT
+        // plan/filterbank tables and the padded-clip + FFT work buffers
+        // are reused across every clip instead of being re-derived and
+        // re-allocated per utterance (`extract_padded_into` is
+        // bit-identical to the allocating `extract_padded`).
+        let mut scratch = kwt_audio::MfccScratch::new();
         for i in 0..n {
             let (wave, label) = self.utterance(split, i);
-            x.push(frontend.extract_padded(&wave)?);
+            let mut mfcc = kwt_tensor::Mat::default();
+            frontend.extract_padded_into(&wave, &mut mfcc, &mut scratch)?;
+            x.push(mfcc);
             y.push(label);
         }
         Ok(MfccDataset {

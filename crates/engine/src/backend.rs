@@ -65,6 +65,15 @@ pub trait Backend: Send {
     fn last_quant_stats(&self) -> Option<QuantStats> {
         None
     }
+
+    /// Clones this backend into an independent instance (own scratch
+    /// arenas / own simulator machine), or `None` if the backend cannot
+    /// be replicated. Used by the engine's parallel batch path to give
+    /// each worker thread its own [`DeviceSession`]; every built-in
+    /// backend supports it.
+    fn clone_boxed(&self) -> Option<Box<dyn Backend>> {
+        None
+    }
 }
 
 /// Float host backend: pre-packed weights + reusable activation arena.
@@ -105,6 +114,10 @@ impl Backend for HostFloatBackend {
     fn infer_into(&mut self, mfcc: &Mat<f32>, logits: &mut Vec<f32>) -> Result<()> {
         kwt_model::forward_into(&self.params, &self.packed, mfcc, &mut self.scratch, logits)?;
         Ok(())
+    }
+
+    fn clone_boxed(&self) -> Option<Box<dyn Backend>> {
+        Some(Box::new(self.clone()))
     }
 }
 
@@ -152,6 +165,10 @@ impl Backend for HostQuantBackend {
     fn last_quant_stats(&self) -> Option<QuantStats> {
         self.last_stats
     }
+
+    fn clone_boxed(&self) -> Option<Box<dyn Backend>> {
+        Some(Box::new(self.clone()))
+    }
 }
 
 /// Simulated-device backend over a persistent [`DeviceSession`]: the
@@ -193,6 +210,12 @@ impl Rv32SimBackend {
         self.session.isa()
     }
 
+    /// The image flavour the session runs — the i16 quantised pipelines
+    /// or the fully-INT8 [`kwt_baremetal::Flavor::A8`] mode.
+    pub fn flavor(&self) -> kwt_baremetal::Flavor {
+        self.session.flavor()
+    }
+
     /// The underlying session, for profiler access.
     pub fn session(&self) -> &DeviceSession {
         &self.session
@@ -216,6 +239,10 @@ impl Backend for Rv32SimBackend {
 
     fn last_device_run(&self) -> Option<RunResult> {
         self.last_run
+    }
+
+    fn clone_boxed(&self) -> Option<Box<dyn Backend>> {
+        Some(Box::new(self.clone()))
     }
 }
 

@@ -181,3 +181,50 @@ fn short_and_long_clips_are_padded_like_the_seed_path() {
         assert_bits_eq(&pred.logits, &want, "padded clip");
     }
 }
+
+#[test]
+fn parallel_batch_identical_to_serial_on_rv32() {
+    // The sharded batch path must match the serial path bit-for-bit, in
+    // order, for any thread count — each worker owns its own
+    // DeviceSession clone and sessions are stateless across inputs.
+    let qm = quantized().with_nonlinearity(Nonlinearity::FixedLut);
+    let image = InferenceImage::build_quant_with_isa(&qm, kwt_baremetal::KernelIsa::Xkwtdot)
+        .unwrap();
+    let fe = kwt_tiny_frontend().unwrap();
+    let mut engine = Engine::rv32_sim(&image, fe).unwrap();
+    let clips: Vec<Vec<f32>> = (0..7).map(clip).collect();
+    let serial = engine.classify_batch(&clips).unwrap();
+    for threads in [1usize, 2, 4, 16] {
+        let mut par = Vec::new();
+        engine
+            .classify_batch_parallel(&clips, threads, &mut par)
+            .unwrap();
+        assert_eq!(par.len(), serial.len(), "threads {threads}");
+        for (i, (p, s)) in par.iter().zip(&serial).enumerate() {
+            assert_eq!(p.class, s.class, "threads {threads} clip {i}");
+            assert_bits_eq(&p.logits, &s.logits, "parallel rv32");
+        }
+    }
+}
+
+#[test]
+fn parallel_batch_identical_to_serial_on_a8_and_hosts() {
+    use kwt_quant::{A8Config, A8Kwt};
+    let fe = kwt_tiny_frontend().unwrap();
+    let a8 = A8Kwt::quantize(&trained_ish(), A8Config::paper_a8()).unwrap();
+    let a8_image = InferenceImage::build_a8(&a8).unwrap();
+    let mut engines = vec![
+        Engine::rv32_sim(&a8_image, fe.clone()).unwrap(),
+        Engine::host_float(trained_ish(), fe.clone()).unwrap(),
+        Engine::host_quant(quantized(), fe).unwrap(),
+    ];
+    let clips: Vec<Vec<f32>> = (0..5).map(clip).collect();
+    for engine in &mut engines {
+        let serial = engine.classify_batch(&clips).unwrap();
+        let mut par = Vec::new();
+        engine.classify_batch_parallel(&clips, 3, &mut par).unwrap();
+        for (p, s) in par.iter().zip(&serial) {
+            assert_bits_eq(&p.logits, &s.logits, "parallel batch");
+        }
+    }
+}

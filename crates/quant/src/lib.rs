@@ -40,6 +40,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod a8;
 mod error;
 mod fixed;
 pub mod gelu_opt;
@@ -48,6 +49,7 @@ mod qmodel;
 mod qscheme;
 pub mod sweep;
 
+pub use a8::{A8Config, A8Consts, A8Kwt, A8Scratch};
 pub use error::QuantError;
 pub use fixed::Q8_24;
 pub use luts::{fixed_gelu, fixed_softmax, GeluLut, LutSet, EXP_LUT_LEN, GELU_LUT_LEN, INV_LUT_LEN};

@@ -52,6 +52,19 @@
 //! overruns a (deliberately truncated) table raise the typed
 //! [`Trap::LutIndexOutOfRange`] instead of panicking the host process.
 //!
+//! ## A8 (fully-INT8) usage
+//!
+//! The A8W8 images drive `kdot4.i8` with two plain `lw`-fetched i8
+//! operand words (activations *and* transposed weights — `klw.b2h` is an
+//! i16-pipeline instruction) and narrow accumulators to i8 through
+//! `ksat.i16` + `kclip 7`. Their quantisation boundaries compose
+//! `kcvt.h2f`/`kcvt.f2h` at shift 0 with a truncating `kfmul.t` by an
+//! arbitrary power-of-two scale, so stream exponents may be negative;
+//! because `kfadd.t`/`kfsub.t`/`kfmul.t` execute [`softfp`] exactly and
+//! the LUT unit executes `kwt_quant`'s fixed-point golden models, a
+//! host-side A8 model (`kwt_quant::A8Kwt`) reproduces device logits
+//! bit-for-bit.
+//!
 //! # Example
 //!
 //! ```

@@ -288,6 +288,42 @@ impl Machine {
             .collect()
     }
 
+    /// Writes `i8` values starting at `addr` (the A8 image input path).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is outside RAM.
+    pub fn write_i8s(&mut self, addr: u32, values: &[i8]) {
+        let bytes: Vec<u8> = values.iter().map(|&v| v as u8).collect();
+        self.cpu.mem.write_bytes(addr, &bytes);
+        self.cpu.invalidate_decode_cache(addr, bytes.len() as u32);
+    }
+
+    /// Reads `len` `i8` values starting at `addr`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is outside RAM.
+    pub fn read_i8s(&self, addr: u32, len: usize) -> Vec<i8> {
+        self.cpu
+            .mem
+            .read_bytes(addr, len)
+            .iter()
+            .map(|&b| b as i8)
+            .collect()
+    }
+
+    /// Writes `i32` values starting at `addr`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is outside RAM.
+    pub fn write_i32s(&mut self, addr: u32, values: &[i32]) {
+        let bytes: Vec<u8> = values.iter().flat_map(|v| v.to_le_bytes()).collect();
+        self.cpu.mem.write_bytes(addr, &bytes);
+        self.cpu.invalidate_decode_cache(addr, bytes.len() as u32);
+    }
+
     /// Reads `len` `i32` values starting at `addr`.
     ///
     /// # Panics

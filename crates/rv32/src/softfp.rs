@@ -1,171 +1,11 @@
 //! Host golden models of the bare-metal truncating soft-float ops.
 //!
-//! The `kwt-baremetal` crate generates an FPU-less soft-float library in
-//! RV32 assembly (its `softfloat` module): round-toward-zero
-//! (truncation) instead of round-to-nearest-even, denormal inputs and
-//! underflowing results flush to signed zero, and NaNs behave like
-//! infinities. The Xkwtdot `kfadd.t`/`kfsub.t`/`kfmul.t` instructions
-//! execute **exactly** those semantics in one instruction, so a packed
-//! kernel interleaves bit-identically with a scalar kernel that calls
-//! the library routines.
-//!
-//! These functions are the single source of truth for that behaviour:
-//! the simulator executes them directly, and the bare-metal crate's
-//! differential tests assert the generated assembly matches them
-//! bit-for-bit on random operands.
+//! The implementation lives in [`kwt_tensor::softfp`] so that crates
+//! below the simulator in the dependency graph (notably `kwt-quant`'s A8
+//! golden model) can share it; this module re-exports it under the
+//! historical path. The simulator's `kfadd.t`/`kfsub.t`/`kfmul.t`
+//! packed ops execute these functions directly, and the bare-metal
+//! crate's differential tests pin the generated assembly to them
+//! bit-for-bit.
 
-/// Truncating soft-float add (the generated `sf_add`).
-pub fn add(a: u32, b: u32) -> u32 {
-    let ta = a << 1; // magnitude, sign stripped
-    let tb = b << 1;
-    let ea = (ta >> 24) as i32;
-    let eb = (tb >> 24) as i32;
-    // zero/denormal operands: the other operand passes through
-    if ea == 0 {
-        return if eb == 0 { 0 } else { b };
-    }
-    if eb == 0 {
-        return a;
-    }
-    // inf/NaN: x wins, else y
-    if ea == 255 {
-        return a;
-    }
-    if eb == 255 {
-        return b;
-    }
-    // ensure |x| >= |y|
-    let (x, y, mut ex, ey) = if ta < tb { (b, a, eb, ea) } else { (a, b, ea, eb) };
-    // mantissas with implicit bit, pre-shifted left 3 (guard bits)
-    let mx = ((x & 0x007F_FFFF) | 0x0080_0000) << 3;
-    let my = ((y & 0x007F_FFFF) | 0x0080_0000) << 3;
-    let d = (ex - ey) as u32;
-    if d >= 27 {
-        return x; // y negligible
-    }
-    let my = my >> d;
-    let mut m;
-    if (x ^ y) & 0x8000_0000 != 0 {
-        // opposite-sign subtraction (|x| >= |y| so result >= 0)
-        m = mx - my;
-        if m == 0 {
-            return 0; // exact cancellation -> +0
-        }
-        while m < (1 << 26) {
-            m <<= 1;
-            ex -= 1;
-        }
-    } else {
-        m = mx + my;
-        if m >= (1 << 27) {
-            m >>= 1;
-            ex += 1;
-        }
-    }
-    let sign = x & 0x8000_0000;
-    if ex <= 0 {
-        return sign; // underflow flushes to signed zero
-    }
-    if ex >= 255 {
-        return sign | 0x7F80_0000; // overflow to signed infinity
-    }
-    sign | ((ex as u32) << 23) | ((m >> 3) & 0x007F_FFFF)
-}
-
-/// Truncating soft-float subtract (the generated `sf_sub`: negate, add).
-pub fn sub(a: u32, b: u32) -> u32 {
-    add(a, b ^ 0x8000_0000)
-}
-
-/// Truncating soft-float multiply (the generated `sf_mul`).
-pub fn mul(a: u32, b: u32) -> u32 {
-    let sgn = (a ^ b) & 0x8000_0000;
-    let ea = (a << 1 >> 24) as i32;
-    let eb = (b << 1 >> 24) as i32;
-    // zero/denormal factors flush to signed zero (checked before inf,
-    // so 0 * inf is signed zero — NaN-free arithmetic)
-    if ea == 0 || eb == 0 {
-        return sgn;
-    }
-    if ea == 255 || eb == 255 {
-        return sgn | 0x7F80_0000;
-    }
-    let ma = ((a & 0x007F_FFFF) | 0x0080_0000) as u64;
-    let mb = ((b & 0x007F_FFFF) | 0x0080_0000) as u64;
-    let prod = ma * mb; // 48-bit product
-    let mut e = ea + eb - 127;
-    let m = if prod & (1 << 47) != 0 {
-        e += 1;
-        (prod >> 24) as u32
-    } else {
-        (prod >> 23) as u32
-    };
-    if e <= 0 {
-        return sgn;
-    }
-    if e >= 255 {
-        return sgn | 0x7F80_0000;
-    }
-    sgn | ((e as u32) << 23) | (m & 0x007F_FFFF)
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    fn f(x: f32) -> u32 {
-        x.to_bits()
-    }
-
-    #[test]
-    fn exact_cases_match_ieee() {
-        // Values whose sum/product is exactly representable truncate to
-        // the same bits IEEE would produce.
-        for (a, b) in [(1.5f32, 2.25f32), (-4.0, 0.5), (3.0, -3.0), (0.125, 8.0)] {
-            assert_eq!(add(f(a), f(b)), f(a + b), "{a} + {b}");
-            assert_eq!(sub(f(a), f(b)), f(a - b), "{a} - {b}");
-            assert_eq!(mul(f(a), f(b)), f(a * b), "{a} * {b}");
-        }
-    }
-
-    #[test]
-    fn truncation_rounds_toward_zero() {
-        // 1 + 2^-24 is inexact: truncation keeps 1.0 exactly.
-        let tiny = f32::from_bits(0x3380_0000); // 2^-24
-        assert_eq!(add(f(1.0), f(tiny)), f(1.0));
-        // IEEE nearest-even would round 1 + 1.5*2^-23 up; truncation
-        // keeps the low bit clear.
-        let v = add(f(1.0), f(1.5 * (2.0f32).powi(-23)));
-        assert_eq!(v, 0x3F80_0001);
-    }
-
-    #[test]
-    fn zeros_and_infinities() {
-        assert_eq!(add(f(0.0), f(0.0)), 0);
-        assert_eq!(add(f(-0.0), f(5.0)), f(5.0));
-        assert_eq!(add(f(5.0), f(-5.0)), 0, "exact cancellation is +0");
-        assert_eq!(mul(f(0.0), f(-3.0)), f(-0.0));
-        let inf = f(f32::INFINITY);
-        assert_eq!(add(inf, f(1.0)), inf);
-        assert_eq!(mul(f(-2.0), inf), f(f32::NEG_INFINITY));
-        // 0 * inf flushes to signed zero (zero checked first)
-        assert_eq!(mul(f(0.0), inf), 0);
-    }
-
-    #[test]
-    fn denormals_flush() {
-        let denorm = 1u32; // smallest positive denormal
-        assert_eq!(add(denorm, f(1.0)), f(1.0));
-        assert_eq!(mul(denorm, f(2.0)), 0);
-        // underflowing product flushes to signed zero
-        let small = f(1.0e-30);
-        assert_eq!(mul(small, f(-1.0e-30)), 0x8000_0000);
-    }
-
-    #[test]
-    fn overflow_saturates_to_infinity() {
-        let big = f(3.0e38);
-        assert_eq!(add(big, big), f(f32::INFINITY));
-        assert_eq!(mul(big, f(-1.0e5)), f(f32::NEG_INFINITY));
-    }
-}
+pub use kwt_tensor::softfp::{add, mul, rsqrt, sub};

@@ -36,6 +36,22 @@
 //! extension needs is the **widening** `klw.b2h`, which feeds i8 weights
 //! into the i16 dot-product lanes.
 //!
+//! # A8 (fully-INT8) kernel calling conventions
+//!
+//! The A8W8 inference pipeline uses the extension with **both** operands
+//! i8 (no `klw.b2h`): activations and transposed `N×K` weights are
+//! fetched four lanes per `lw` and accumulated with `kdot4.i8` — 16 MACs
+//! per unrolled GEMM iteration. Kernel epilogues narrow the i32
+//! accumulator straight to i8 with the `ksat.i16 rd, acc, shift` +
+//! `kclip rd, rd, 7` pair, and the quantisation boundaries are the
+//! two-instruction sequences `kcvt.h2f rd, rs1, 0` + `kfmul.t` (signed
+//! power-of-two dequantise — a sign-extended `lb` is a valid i16
+//! operand) and `kfmul.t` + `kcvt.f2h rd, rs1, 0` + `kclip rd, rd, 7`
+//! (floor-requantise to i8). Generated kernels follow the ILP32 ABI:
+//! `matmul_a8(A, Wt, bias|0, out, M, K, N, shift)` in `a0..a7`, with
+//! 4-aligned operand bases and `K % 4 == 0` on the packed fast path
+//! (anything else takes a bit-identical scalar fallback).
+//!
 //! # Example
 //!
 //! ```

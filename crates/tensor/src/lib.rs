@@ -60,6 +60,7 @@ pub mod math;
 pub mod ops;
 pub mod packed;
 pub mod qops;
+pub mod softfp;
 
 pub use error::TensorError;
 pub use mat::Mat;

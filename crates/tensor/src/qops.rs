@@ -306,6 +306,146 @@ pub fn add_assign_sat(a: &mut Mat<i16>, b: &Mat<i16>) -> Result<QuantStats> {
     Ok(stats)
 }
 
+// ---------------------------------------------------------------------
+// Fully-INT8 (A8W8) kernels: i8 activations at signed power-of-two
+// exponents. These scalar routines are the host oracle of the Xkwtdot
+// `kdot4.i8` device kernels, so they reproduce the device arithmetic
+// exactly: wrapping i32 accumulation, arithmetic right shift, clamp to
+// the i8 range (the device's `ksat.i16` + `kclip 7` epilogue).
+// ---------------------------------------------------------------------
+
+/// Quantises floats to `i8` at scale `2^y` where the exponent may be
+/// **negative** (scales below one absorb large-magnitude tensors such as
+/// raw MFCC inputs): `floor(x * 2^y)` saturated to the i8 range.
+pub fn quantize_i8_scaled_into(x: &Mat<f32>, y: i32, out: &mut Mat<i8>) -> QuantStats {
+    let scale = (y as f64).exp2() as f32;
+    let mut stats = QuantStats::default();
+    out.resize(x.rows(), x.cols());
+    for (o, &v) in out.as_mut_slice().iter_mut().zip(x.as_slice()) {
+        *o = sat_i8((v * scale).floor() as i64, &mut stats);
+    }
+    stats
+}
+
+/// [`quantize_i8_scaled_into`] over a slice, returning a fresh vector.
+pub fn quantize_slice_i8_scaled(x: &[f32], y: i32) -> (Vec<i8>, QuantStats) {
+    let scale = (y as f64).exp2() as f32;
+    let mut stats = QuantStats::default();
+    let out = x
+        .iter()
+        .map(|&v| sat_i8((v * scale).floor() as i64, &mut stats))
+        .collect();
+    (out, stats)
+}
+
+/// Dequantises an `i8` matrix at a signed exponent: `x * 2^-y`.
+///
+/// Exact for every i8 input (the product is a small integer times a
+/// power of two), so host and device agree bit-for-bit.
+pub fn dequantize_i8_scaled_into(x: &Mat<i8>, y: i32, out: &mut Mat<f32>) {
+    let inv = (-(y as f64)).exp2() as f32;
+    out.resize(x.rows(), x.cols());
+    for (o, &v) in out.as_mut_slice().iter_mut().zip(x.as_slice()) {
+        *o = v as f32 * inv;
+    }
+}
+
+/// Saturating element-wise residual add `a += b` on `i8` matrices — the
+/// host model of the device's `add` + `kclip 7` loop.
+///
+/// # Errors
+///
+/// Returns [`TensorError::ShapeMismatch`] if shapes differ.
+pub fn add_assign_sat_i8(a: &mut Mat<i8>, b: &Mat<i8>) -> Result<QuantStats> {
+    if a.shape() != b.shape() {
+        return Err(TensorError::ShapeMismatch {
+            op: "add_assign_sat_i8",
+            lhs: a.shape(),
+            rhs: b.shape(),
+        });
+    }
+    let mut stats = QuantStats::default();
+    for (x, y) in a.as_mut_slice().iter_mut().zip(b.as_slice()) {
+        *x = sat_i8(*x as i64 + *y as i64, &mut stats);
+    }
+    Ok(stats)
+}
+
+/// Fully-INT8 affine map `Y = (A * W + bias) >> shift`, saturated to `i8`.
+///
+/// * `a` — activations, `i8`, shape `M x K`
+/// * `w` — weights, `i8`, shape `K x N`
+/// * `bias` — optional `i32` at the combined input×weight scale
+/// * `shift` — arithmetic right shift returning the product to the output
+///   activation scale
+///
+/// Accumulation is **wrapping `i32`**, exactly the device's
+/// `kdot4.i8` register accumulator (at KWT scales the accumulator never
+/// wraps — `K·127² « 2³¹` — but the oracle must define the same
+/// arithmetic for adversarial shapes too). The epilogue clamps to the i8
+/// range like the device's `ksat.i16` + `kclip 7` pair.
+///
+/// # Errors
+///
+/// Returns [`TensorError::ShapeMismatch`] on inner-dimension or
+/// bias-length mismatch.
+pub fn matmul_i8_i8(
+    a: &Mat<i8>,
+    w: &Mat<i8>,
+    bias: Option<&[i32]>,
+    shift: u32,
+) -> Result<(Mat<i8>, QuantStats)> {
+    let mut out = Mat::default();
+    let stats = matmul_i8_i8_into(a, w, bias, shift, &mut out)?;
+    Ok((out, stats))
+}
+
+/// [`matmul_i8_i8`] writing into a caller-provided matrix (resized in
+/// place; allocation-free at steady state).
+///
+/// # Errors
+///
+/// Same contract as [`matmul_i8_i8`].
+pub fn matmul_i8_i8_into(
+    a: &Mat<i8>,
+    w: &Mat<i8>,
+    bias: Option<&[i32]>,
+    shift: u32,
+    out: &mut Mat<i8>,
+) -> Result<QuantStats> {
+    if a.cols() != w.rows() {
+        return Err(TensorError::ShapeMismatch {
+            op: "matmul_i8_i8",
+            lhs: a.shape(),
+            rhs: w.shape(),
+        });
+    }
+    if let Some(b) = bias {
+        if b.len() != w.cols() {
+            return Err(TensorError::ShapeMismatch {
+                op: "matmul_i8_i8 (bias)",
+                lhs: (1, b.len()),
+                rhs: w.shape(),
+            });
+        }
+    }
+    let (m, k, n) = (a.rows(), a.cols(), w.cols());
+    let mut stats = QuantStats::default();
+    out.resize(m, n);
+    for i in 0..m {
+        let arow = a.row(i);
+        for j in 0..n {
+            let mut acc: i32 = bias.map_or(0, |b| b[j]);
+            for kk in 0..k {
+                acc = acc.wrapping_add(arow[kk] as i32 * w[(kk, j)] as i32);
+            }
+            stats.max_abs_acc = stats.max_abs_acc.max((acc as i64).abs());
+            out[(i, j)] = sat_i8((acc >> shift) as i64, &mut stats);
+        }
+    }
+    Ok(stats)
+}
+
 /// Splits a fused quantised QKV activation into per-head `(q, k, v)`
 /// matrices, mirroring [`crate::ops::split_into_qkv`].
 ///

@@ -29,6 +29,14 @@ if [[ "${1:-}" != "--fast" ]]; then
     paper_bin="$(pwd)/target/release/paper"
     (cd "$scratch" && KWT_BENCH_SMOKE=1 "$paper_bin" bench-engine >/dev/null)
     echo "bench-engine smoke OK"
+
+    echo "== smoke: paper check-a8 (A8-vs-i16 agreement + device bit-identity) =="
+    (cd "$scratch" && "$paper_bin" check-a8 >/dev/null)
+    echo "check-a8 OK"
+
+    echo "== smoke: isa_ratio example =="
+    cargo run --release -q -p kwt-bench --example isa_ratio >/dev/null
+    echo "isa_ratio OK"
 fi
 
 echo "verify: all green"
