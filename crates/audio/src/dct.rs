@@ -35,8 +35,7 @@ pub fn dct_ii_matrix(n_out: usize, n_in: usize) -> Vec<Vec<f64>> {
         rows.push(
             (0..n_in)
                 .map(|j| {
-                    scale
-                        * (std::f64::consts::PI / n_in as f64 * (j as f64 + 0.5) * k as f64).cos()
+                    scale * (std::f64::consts::PI / n_in as f64 * (j as f64 + 0.5) * k as f64).cos()
                 })
                 .collect(),
         );

@@ -44,7 +44,10 @@ impl fmt::Display for AudioError {
                 write!(f, "invalid mfcc config field `{field}`: {why}")
             }
             AudioError::SignalTooShort { got, need } => {
-                write!(f, "signal too short: got {got} samples, need at least {need}")
+                write!(
+                    f,
+                    "signal too short: got {got} samples, need at least {need}"
+                )
             }
         }
     }

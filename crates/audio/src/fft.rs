@@ -164,6 +164,20 @@ pub fn power_spectrum_into(
 /// The `n` real samples are packed into `n/2` complex values, transformed
 /// by a half-size FFT over precomputed twiddle/bit-reversal tables, and
 /// untangled into the `n/2 + 1` one-sided spectrum bins.
+///
+/// Two precisions coexist:
+///
+/// * the original `f64` single-frame path
+///   ([`power_spectrum_into`](Self::power_spectrum_into)) — the
+///   high-precision transform behind the float oracle;
+/// * a **batched `f32` path**
+///   ([`power_spectra_block_into`](Self::power_spectra_block_into))
+///   processing flat contiguous frame blocks with size-specialised first
+///   butterfly stages (the `len = 2` and `len = 4` stages of the fixed
+///   512/256-point half-size transforms are multiplier-free) — the hot
+///   loop of the fixed-point MFCC front end. Frames transform
+///   independently, so block output is bit-identical to frame-at-a-time
+///   output.
 #[derive(Debug, Clone)]
 pub struct RealFftPlan {
     n: usize,
@@ -176,6 +190,11 @@ pub struct RealFftPlan {
     /// Untangling twiddles `e^{-2πik/n}`, `k = 0 ..= half`.
     un_re: Vec<f64>,
     un_im: Vec<f64>,
+    /// `f32` copies of the twiddle tables for the batched path.
+    tw_re32: Vec<f32>,
+    tw_im32: Vec<f32>,
+    un_re32: Vec<f32>,
+    un_im32: Vec<f32>,
 }
 
 impl RealFftPlan {
@@ -218,6 +237,10 @@ impl RealFftPlan {
             un_re.push(ang.cos());
             un_im.push(ang.sin());
         }
+        let tw_re32 = tw_re.iter().map(|&v| v as f32).collect();
+        let tw_im32 = tw_im.iter().map(|&v| v as f32).collect();
+        let un_re32 = un_re.iter().map(|&v| v as f32).collect();
+        let un_im32 = un_im.iter().map(|&v| v as f32).collect();
         Ok(RealFftPlan {
             n,
             half,
@@ -226,6 +249,10 @@ impl RealFftPlan {
             tw_im,
             un_re,
             un_im,
+            tw_re32,
+            tw_im32,
+            un_re32,
+            un_im32,
         })
     }
 
@@ -266,6 +293,272 @@ impl RealFftPlan {
             }
             tw_off += hl;
             len <<= 1;
+        }
+    }
+
+    /// In-place half-size complex `f32` FFT — the fixed-point front
+    /// end's transform. Identical butterfly arithmetic to the radix-2
+    /// `f64` path, but stages are **fused in pairs** so the data makes
+    /// half as many passes through memory: the multiplier-free `len = 2`
+    /// and `len = 4` stages run as one pass, then stages `(8, 16)`,
+    /// `(32, 64)`, ... run pairwise with all four butterfly operands held
+    /// in registers. Fusing only reorders *independent* butterflies, so
+    /// the result is bit-identical to running the stages separately.
+    fn fft_half_f32(&self, re: &mut [f32], im: &mut [f32]) {
+        let m = self.half;
+        for i in 0..m {
+            let j = self.bitrev[i] as usize;
+            if i < j {
+                re.swap(i, j);
+                im.swap(i, j);
+            }
+        }
+        // Pass 1: stages len = 2 and len = 4 fused (twiddles 1 and -i —
+        // multiplier-free; w = -i maps (vr, vi) to (vi, -vr)).
+        if m >= 4 {
+            for (rc, ic) in re.chunks_exact_mut(4).zip(im.chunks_exact_mut(4)) {
+                let (a0r, a0i) = (rc[0], ic[0]);
+                let (a1r, a1i) = (rc[1], ic[1]);
+                let (a2r, a2i) = (rc[2], ic[2]);
+                let (a3r, a3i) = (rc[3], ic[3]);
+                // stage 2
+                let (b0r, b0i) = (a0r + a1r, a0i + a1i);
+                let (b1r, b1i) = (a0r - a1r, a0i - a1i);
+                let (b2r, b2i) = (a2r + a3r, a2i + a3i);
+                let (b3r, b3i) = (a2r - a3r, a2i - a3i);
+                // stage 4: (b0, b2) with w = 1, (b1, b3) with w = -i
+                rc[0] = b0r + b2r;
+                ic[0] = b0i + b2i;
+                rc[2] = b0r - b2r;
+                ic[2] = b0i - b2i;
+                let (vr, vi) = (b3i, -b3r);
+                rc[1] = b1r + vr;
+                ic[1] = b1i + vi;
+                rc[3] = b1r - vr;
+                ic[3] = b1i - vi;
+            }
+        } else if m == 2 {
+            let (ur, ui) = (re[0], im[0]);
+            let (vr, vi) = (re[1], im[1]);
+            re[0] = ur + vr;
+            im[0] = ui + vi;
+            re[1] = ur - vr;
+            im[1] = ui - vi;
+        }
+        // Fused double stages (len, 2 * len) from len = 8 upward. The
+        // flat twiddle table stores stage `len` at offset `len / 2 - 1`.
+        let mut len = 8;
+        while 2 * len <= m {
+            let hl = len / 2;
+            let tw1r = &self.tw_re32[hl - 1..hl - 1 + hl];
+            let tw1i = &self.tw_im32[hl - 1..hl - 1 + hl];
+            let tw2r = &self.tw_re32[len - 1..len - 1 + len];
+            let tw2i = &self.tw_im32[len - 1..len - 1 + len];
+            for (rc, ic) in re
+                .chunks_exact_mut(2 * len)
+                .zip(im.chunks_exact_mut(2 * len))
+            {
+                // quarters: q0 = [0, hl), q1 = [hl, 2hl), q2, q3
+                let (rh0, rh1) = rc.split_at_mut(len);
+                let (ih0, ih1) = ic.split_at_mut(len);
+                let (r0, r1) = rh0.split_at_mut(hl);
+                let (i0, i1) = ih0.split_at_mut(hl);
+                let (r2, r3) = rh1.split_at_mut(hl);
+                let (i2, i3) = ih1.split_at_mut(hl);
+                for k in 0..hl {
+                    let (w1r, w1i) = (tw1r[k], tw1i[k]);
+                    // stage len on (q0, q1) and (q2, q3)
+                    let (vr, vi) = (r1[k] * w1r - i1[k] * w1i, r1[k] * w1i + i1[k] * w1r);
+                    let (b0r, b0i) = (r0[k] + vr, i0[k] + vi);
+                    let (b1r, b1i) = (r0[k] - vr, i0[k] - vi);
+                    let (vr, vi) = (r3[k] * w1r - i3[k] * w1i, r3[k] * w1i + i3[k] * w1r);
+                    let (b2r, b2i) = (r2[k] + vr, i2[k] + vi);
+                    let (b3r, b3i) = (r2[k] - vr, i2[k] - vi);
+                    // stage 2len: (b0, b2) with tw2[k], (b1, b3) with tw2[k + hl]
+                    let (w2r, w2i) = (tw2r[k], tw2i[k]);
+                    let (ur, ui) = (b2r * w2r - b2i * w2i, b2r * w2i + b2i * w2r);
+                    r0[k] = b0r + ur;
+                    i0[k] = b0i + ui;
+                    r2[k] = b0r - ur;
+                    i2[k] = b0i - ui;
+                    let (w2r, w2i) = (tw2r[hl + k], tw2i[hl + k]);
+                    let (ur, ui) = (b3r * w2r - b3i * w2i, b3r * w2i + b3i * w2r);
+                    r1[k] = b1r + ur;
+                    i1[k] = b1i + ui;
+                    r3[k] = b1r - ur;
+                    i3[k] = b1i - ui;
+                }
+            }
+            len *= 4;
+        }
+        // Lone final stage when the stage count past len = 4 is odd.
+        if len <= m {
+            let hl = len / 2;
+            let tr = &self.tw_re32[hl - 1..hl - 1 + hl];
+            let ti = &self.tw_im32[hl - 1..hl - 1 + hl];
+            for (rc, ic) in re.chunks_exact_mut(len).zip(im.chunks_exact_mut(len)) {
+                let (r0, r1) = rc.split_at_mut(hl);
+                let (i0, i1) = ic.split_at_mut(hl);
+                for k in 0..hl {
+                    let (ur, ui) = (r0[k], i0[k]);
+                    let (vr0, vi0) = (r1[k], i1[k]);
+                    let vr = vr0 * tr[k] - vi0 * ti[k];
+                    let vi = vr0 * ti[k] + vi0 * tr[k];
+                    r0[k] = ur + vr;
+                    i0[k] = ui + vi;
+                    r1[k] = ur - vr;
+                    i1[k] = ui - vi;
+                }
+            }
+        }
+    }
+
+    /// Batched `f32` one-sided power spectra over a flat contiguous frame
+    /// block — the fixed-point front end's hot loop.
+    ///
+    /// `frames` holds `n_frames` rows of exactly `n` samples each
+    /// (windowed and zero-padded by the caller); `out` receives
+    /// `n_frames` rows of `n/2 + 1` bins of `|X_k|^2`, flat. `re`/`im`
+    /// are reusable work buffers (grown to `n/2` once). Each frame's
+    /// transform is independent, so the output is bit-identical whether
+    /// the block holds one frame or a whole clip.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `frames.len() != n_frames * n`.
+    pub fn power_spectra_block_into(
+        &self,
+        frames: &[f32],
+        n_frames: usize,
+        re: &mut Vec<f32>,
+        im: &mut Vec<f32>,
+        out: &mut Vec<f32>,
+    ) {
+        assert_eq!(
+            frames.len(),
+            n_frames * self.n,
+            "frame block must be n_frames * n samples"
+        );
+        let n_bins = self.half + 1;
+        out.clear();
+        out.resize(n_frames * n_bins, 0.0);
+        re.clear();
+        re.resize(self.half, 0.0);
+        im.clear();
+        im.resize(self.half, 0.0);
+        for t in 0..n_frames {
+            let frame = &frames[t * self.n..(t + 1) * self.n];
+            for (j, pair) in frame.chunks_exact(2).enumerate() {
+                re[j] = pair[0];
+                im[j] = pair[1];
+            }
+            self.fft_half_f32(re, im);
+            self.untangle_power(re, im, &mut out[t * n_bins..(t + 1) * n_bins]);
+        }
+    }
+
+    /// Windowed batched power spectra straight from the raw signal — the
+    /// front end's fused window + pack + FFT + untangle pass. Frame `t`
+    /// covers `samples[t * hop .. t * hop + window.len())`, is multiplied
+    /// by `window` and zero-padded to the planned size on the fly (no
+    /// intermediate frame buffer), then transformed exactly like
+    /// [`power_spectra_block_into`](Self::power_spectra_block_into) —
+    /// the two paths are bit-identical.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window` is longer than the planned size or the last
+    /// frame overruns `samples`.
+    #[allow(clippy::too_many_arguments)] // the front end's one fused call
+    pub fn power_spectra_windowed_into(
+        &self,
+        samples: &[f32],
+        window: &[f32],
+        hop: usize,
+        n_frames: usize,
+        re: &mut Vec<f32>,
+        im: &mut Vec<f32>,
+        out: &mut Vec<f32>,
+    ) {
+        let win = window.len();
+        assert!(win <= self.n, "window longer than the planned FFT size");
+        assert!(
+            n_frames == 0 || (n_frames - 1) * hop + win <= samples.len(),
+            "frame range exceeds the signal"
+        );
+        let n_bins = self.half + 1;
+        out.clear();
+        out.resize(n_frames * n_bins, 0.0);
+        re.clear();
+        re.resize(self.half, 0.0);
+        im.clear();
+        im.resize(self.half, 0.0);
+        for t in 0..n_frames {
+            let src = &samples[t * hop..t * hop + win];
+            // window + pack x[2j] + i·x[2j+1], zero-padding past `win`
+            let full = win / 2;
+            for j in 0..full {
+                re[j] = src[2 * j] * window[2 * j];
+                im[j] = src[2 * j + 1] * window[2 * j + 1];
+            }
+            if win % 2 == 1 {
+                re[full] = src[win - 1] * window[win - 1];
+                im[full] = 0.0;
+            }
+            for j in win.div_ceil(2)..self.half {
+                re[j] = 0.0;
+                im[j] = 0.0;
+            }
+            self.fft_half_f32(re, im);
+            self.untangle_power(re, im, &mut out[t * n_bins..(t + 1) * n_bins]);
+        }
+    }
+
+    /// Untangles one transformed frame into its `n/2 + 1` power bins:
+    /// `X_k = (Z_k + conj(Z_{m-k}))/2 - (i/2) e^{-2πik/n} (Z_k - conj(Z_{m-k}))`.
+    /// Bins `k` and `m - k` share every intermediate (their even/odd
+    /// parts are conjugates and `w_{m-k} = -conj(w_k)`), so the loop
+    /// computes the pair together at just over half the cost of two
+    /// independent bins.
+    fn untangle_power(&self, re: &[f32], im: &[f32], orow: &mut [f32]) {
+        let m = self.half;
+        // bins 0 and m from Z_0 alone (E = (re, 0), O = (0, im))
+        let bin0 = |wr: f32, wi: f32| -> f32 {
+            let (er, oi) = (re[0], im[0]);
+            let (tr, ti) = (-oi * wi, oi * wr);
+            let xr = er + ti;
+            let xi = -tr;
+            xr * xr + xi * xi
+        };
+        orow[0] = bin0(self.un_re32[0], self.un_im32[0]);
+        orow[m] = bin0(self.un_re32[m], self.un_im32[m]);
+        for k in 1..m.div_ceil(2) {
+            let kc = m - k;
+            let (zr, zi) = (re[k], im[k]);
+            let (cr, ci) = (re[kc], im[kc]);
+            let (er, ei) = ((zr + cr) * 0.5, (zi - ci) * 0.5);
+            let (or_, oi) = ((zr - cr) * 0.5, (zi + ci) * 0.5);
+            let (wr, wi) = (self.un_re32[k], self.un_im32[k]);
+            let (tr, ti) = (or_ * wr - oi * wi, or_ * wi + oi * wr);
+            // X_k = E + (-i) w O
+            let xr = er + ti;
+            let xi = ei - tr;
+            orow[k] = xr * xr + xi * xi;
+            // X_{m-k} = conj(E) + (-i) conj(w O)
+            let xr = er - ti;
+            let xi = -(ei + tr);
+            orow[kc] = xr * xr + xi * xi;
+        }
+        if m >= 2 {
+            // middle bin k = m/2 pairs with itself
+            let k = m / 2;
+            let (zr, zi) = (re[k], im[k]);
+            let (er, oi) = (zr, zi); // E = (zr, 0), O = (0, zi)
+            let (wr, wi) = (self.un_re32[k], self.un_im32[k]);
+            let (tr, ti) = (-oi * wi, oi * wr);
+            let xr = er + ti;
+            let xi = -tr;
+            orow[k] = xr * xr + xi * xi;
         }
     }
 
@@ -337,7 +630,9 @@ mod tests {
     #[test]
     fn fft_matches_naive_dft() {
         let n = 64;
-        let mut re: Vec<f64> = (0..n).map(|i| ((i * 7 + 3) % 13) as f64 * 0.1 - 0.6).collect();
+        let mut re: Vec<f64> = (0..n)
+            .map(|i| ((i * 7 + 3) % 13) as f64 * 0.1 - 0.6)
+            .collect();
         let mut im: Vec<f64> = (0..n).map(|i| ((i * 5 + 1) % 11) as f64 * 0.05).collect();
         let (wr, wi) = naive_dft(&re, &im);
         fft_in_place(&mut re, &mut im).unwrap();
@@ -356,7 +651,9 @@ mod tests {
             .collect();
         let mut im = vec![0.0; n];
         fft_in_place(&mut re, &mut im).unwrap();
-        let mag: Vec<f64> = (0..n).map(|k| (re[k] * re[k] + im[k] * im[k]).sqrt()).collect();
+        let mag: Vec<f64> = (0..n)
+            .map(|k| (re[k] * re[k] + im[k] * im[k]).sqrt())
+            .collect();
         let peak = mag
             .iter()
             .enumerate()
@@ -385,7 +682,9 @@ mod tests {
     #[test]
     fn parseval_theorem_holds() {
         let n = 512;
-        let sig: Vec<f64> = (0..n).map(|i| ((i * 31 + 7) % 97) as f64 / 97.0 - 0.5).collect();
+        let sig: Vec<f64> = (0..n)
+            .map(|i| ((i * 31 + 7) % 97) as f64 / 97.0 - 0.5)
+            .collect();
         let mut re = sig.clone();
         let mut im = vec![0.0; n];
         fft_in_place(&mut re, &mut im).unwrap();
@@ -418,9 +717,20 @@ mod tests {
         for n in [2usize, 4, 8, 64, 256, 512, 1024] {
             let plan = RealFftPlan::new(n).unwrap();
             for (name, frame) in [
-                ("noise", (0..n).map(|i| (((i * 37 + 11) % 101) as f32 / 101.0) - 0.5).collect::<Vec<f32>>()),
-                ("short", (0..n.max(2) / 2).map(|i| (i as f32 * 0.3).sin()).collect()),
-                ("long", (0..2 * n).map(|i| (i as f32 * 0.17).cos()).collect()),
+                (
+                    "noise",
+                    (0..n)
+                        .map(|i| (((i * 37 + 11) % 101) as f32 / 101.0) - 0.5)
+                        .collect::<Vec<f32>>(),
+                ),
+                (
+                    "short",
+                    (0..n.max(2) / 2).map(|i| (i as f32 * 0.3).sin()).collect(),
+                ),
+                (
+                    "long",
+                    (0..2 * n).map(|i| (i as f32 * 0.17).cos()).collect(),
+                ),
                 ("impulse", {
                     let mut v = vec![0.0f32; n];
                     v[0] = 1.0;
@@ -438,6 +748,67 @@ mod tests {
                         "n={n} {name} bin {k}: plan {a} vs reference {b}"
                     );
                 }
+            }
+        }
+    }
+
+    #[test]
+    fn f32_block_spectra_track_f64_reference() {
+        for n in [2usize, 4, 8, 16, 64, 256, 512, 1024] {
+            let plan = RealFftPlan::new(n).unwrap();
+            let n_frames = 3;
+            let mut frames = vec![0.0f32; n_frames * n];
+            for t in 0..n_frames {
+                for i in 0..n {
+                    frames[t * n + i] = ((i * 37 + 11 + t * 101) % 103) as f32 / 103.0 - 0.5;
+                }
+            }
+            let (mut re, mut im, mut out) = (Vec::new(), Vec::new(), Vec::new());
+            plan.power_spectra_block_into(&frames, n_frames, &mut re, &mut im, &mut out);
+            assert_eq!(out.len(), n_frames * (n / 2 + 1));
+            for t in 0..n_frames {
+                let want = power_spectrum(&frames[t * n..(t + 1) * n], n).unwrap();
+                let scale = want.iter().cloned().fold(1e-20, f64::max);
+                for (k, (&a, b)) in out[t * (n / 2 + 1)..(t + 1) * (n / 2 + 1)]
+                    .iter()
+                    .zip(&want)
+                    .enumerate()
+                {
+                    assert!(
+                        (a as f64 - b).abs() <= 1e-4 * scale,
+                        "n={n} frame {t} bin {k}: f32 {a} vs f64 {b}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn f32_block_equals_frame_at_a_time() {
+        // The bit-identity contract the streaming front end relies on.
+        let n = 512;
+        let plan = RealFftPlan::new(n).unwrap();
+        let n_frames = 5;
+        let frames: Vec<f32> = (0..n_frames * n)
+            .map(|i| ((i * 29 + 3) % 97) as f32 / 97.0 - 0.5)
+            .collect();
+        let (mut re, mut im, mut block) = (Vec::new(), Vec::new(), Vec::new());
+        plan.power_spectra_block_into(&frames, n_frames, &mut re, &mut im, &mut block);
+        let mut one = Vec::new();
+        for t in 0..n_frames {
+            plan.power_spectra_block_into(
+                &frames[t * n..(t + 1) * n],
+                1,
+                &mut re,
+                &mut im,
+                &mut one,
+            );
+            for (k, (a, b)) in one
+                .iter()
+                .zip(&block[t * (n / 2 + 1)..(t + 1) * (n / 2 + 1)])
+                .enumerate()
+            {
+                assert_eq!(a.to_bits(), b.to_bits(), "frame {t} bin {k}");
             }
         }
     }

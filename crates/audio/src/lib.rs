@@ -14,6 +14,17 @@
 //!   (62.5 ms window / 37.5 ms hop), the paper's "reasonable balance
 //!   between memory constraints and accuracy constraints"
 //!
+//! Since PR 5 the default extraction path is **block-vectorised and
+//! fixed-point** — a batched `f32` real FFT with fused windowing, a
+//! banded Q15 mel bank, an integer (LUT) log-mel and a Q15 DCT, with
+//! the seed's double-precision pipeline kept verbatim as the oracle
+//! ([`MfccExtractor::extract_reference`]) and a direct-to-`i8` feature
+//! path for the A8 device image
+//! ([`MfccExtractor::extract_padded_a8_into`]). See the
+//! [`mfcc`](MfccExtractor) module docs for the stage-by-stage story;
+//! streaming extraction ([`StreamingMfcc`]) is bit-identical to batch
+//! for any chunk split.
+//!
 //! # Example
 //!
 //! ```

@@ -201,7 +201,10 @@ mod tests {
         for m in 0..40 {
             let f = fb.filter(m);
             assert!(f.iter().all(|&w| (0.0..=1.0 + 1e-12).contains(&w)));
-            assert!(f.iter().cloned().fold(0.0, f64::max) > 0.0, "filter {m} empty");
+            assert!(
+                f.iter().cloned().fold(0.0, f64::max) > 0.0,
+                "filter {m} empty"
+            );
         }
     }
 
@@ -233,7 +236,10 @@ mod tests {
             .filter(|(_, &e)| e > 0.0)
             .map(|(i, _)| i)
             .collect();
-        assert!(!active.is_empty() && active.len() <= 2, "active: {active:?}");
+        assert!(
+            !active.is_empty() && active.len() <= 2,
+            "active: {active:?}"
+        );
     }
 
     #[test]

@@ -62,7 +62,7 @@ mod tests {
         let w = WindowKind::Hann.coefficients(64);
         assert!(w[0].abs() < 1e-7);
         assert!((w[32] - 1.0).abs() < 1e-6); // periodic Hann peaks at n/2
-        // symmetric around the peak for the periodic form: w[k] == w[n-k]
+                                             // symmetric around the peak for the periodic form: w[k] == w[n-k]
         for k in 1..32 {
             assert!((w[k] - w[64 - k]).abs() < 1e-6);
         }

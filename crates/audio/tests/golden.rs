@@ -1,0 +1,103 @@
+//! Golden-vector tests for the MFCC front end.
+//!
+//! Three seeded, noise-bearing clips pin the pipeline two ways:
+//!
+//! * the **f64 oracle** (`extract_padded_reference`) must reproduce
+//!   frozen feature vectors captured at PR 5 — guarding the reference
+//!   itself against silent drift;
+//! * the **fixed-point path** (`extract_padded`) must track the oracle
+//!   within a max-abs-error bound (measured worst case at freeze time:
+//!   `2.4e-3`; gated at `0.01` to absorb platform rounding slack).
+
+use kwt_audio::kwt_tiny_frontend;
+
+/// Deterministic noisy tone clips — the same family the engine
+/// equivalence tests and benchmarks use.
+fn clip(seed: u64) -> Vec<f32> {
+    (0..16_000u64)
+        .map(|i| {
+            let t = i as f64 / 16_000.0;
+            let h =
+                (i ^ seed.wrapping_mul(0x9E37_79B9_7F4A_7C15)).wrapping_mul(0x2545_F491_4F6C_DD1D);
+            let noise = ((h >> 40) as f64 / (1u64 << 24) as f64) - 0.5;
+            (0.5 * (2.0 * std::f64::consts::PI * (220.0 + 40.0 * seed as f64) * t).sin()
+                + 0.05 * noise) as f32
+        })
+        .collect()
+}
+
+/// Frame 3 of the f64 reference path for the KWT-Tiny geometry, frozen
+/// at PR 5 (see `examples` history): `(seed, [16 coefficients])`.
+const GOLDEN_FRAME3: [(u64, [f32; 16]); 3] = [
+    (
+        1,
+        [
+            -1.4069326, -1.7952964, 3.7914045, 2.692485, 1.9986938, -1.0626798, -2.6019905,
+            -3.7900736, -6.0490737, -6.745946, -9.33786, -5.674756, -3.6256025, -2.7411797,
+            0.11178787, 1.7969197,
+        ],
+    ),
+    (
+        5,
+        [
+            -0.8006678, -1.5606927, 0.9960982, -1.5860007, -2.771465, -5.1851935, -6.621843,
+            -4.0732875, -4.614869, -1.1658273, 2.749404, 3.9626102, 3.87497, 3.4375463, 0.16099039,
+            0.19226782,
+        ],
+    ),
+    (
+        9,
+        [
+            -2.6552718,
+            -2.7079623,
+            -0.34134296,
+            -4.6114035,
+            -2.8139153,
+            -5.0189414,
+            -5.4843807,
+            1.2290556,
+            4.5630875,
+            5.9597707,
+            3.1476507,
+            -1.1861806,
+            -2.8969367,
+            -2.9917135,
+            -5.619845,
+            -1.2318281,
+        ],
+    ),
+];
+
+#[test]
+fn reference_path_reproduces_frozen_vectors() {
+    let fe = kwt_tiny_frontend().unwrap();
+    for (seed, want) in &GOLDEN_FRAME3 {
+        let m = fe.extract_padded_reference(&clip(*seed)).unwrap();
+        for (k, w) in want.iter().enumerate() {
+            let got = m[(3, k)];
+            assert!(
+                (got - w).abs() <= 1e-4 * w.abs().max(1.0),
+                "seed {seed} coeff {k}: reference {got} drifted from frozen {w}"
+            );
+        }
+    }
+}
+
+#[test]
+fn fixed_path_tracks_reference_within_golden_bound() {
+    let fe = kwt_tiny_frontend().unwrap();
+    for (seed, _) in &GOLDEN_FRAME3 {
+        let audio = clip(*seed);
+        let fixed = fe.extract_padded(&audio).unwrap();
+        let reference = fe.extract_padded_reference(&audio).unwrap();
+        assert_eq!(fixed.shape(), reference.shape());
+        let mut max_err = 0.0f32;
+        for (a, b) in fixed.as_slice().iter().zip(reference.as_slice()) {
+            max_err = max_err.max((a - b).abs());
+        }
+        assert!(
+            max_err <= 0.01,
+            "seed {seed}: fixed path deviates from the f64 oracle by {max_err}"
+        );
+    }
+}

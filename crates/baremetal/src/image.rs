@@ -70,11 +70,19 @@ const DATA_BASE: u32 = 0x8000;
 
 fn push_region(asm: &mut Asm, region: u32) {
     asm.li(Reg::T0, region as i32);
-    asm.emit(Inst::Csrrw { rd: Reg::Zero, rs1: Reg::T0, csr: CSR_PROFILE_PUSH });
+    asm.emit(Inst::Csrrw {
+        rd: Reg::Zero,
+        rs1: Reg::T0,
+        csr: CSR_PROFILE_PUSH,
+    });
 }
 
 fn pop_region(asm: &mut Asm) {
-    asm.emit(Inst::Csrrw { rd: Reg::Zero, rs1: Reg::Zero, csr: CSR_PROFILE_POP });
+    asm.emit(Inst::Csrrw {
+        rd: Reg::Zero,
+        rs1: Reg::Zero,
+        csr: CSR_PROFILE_POP,
+    });
 }
 
 /// Loads up to 8 integer arguments into `a0..a7`.
@@ -171,15 +179,18 @@ impl InferenceImage {
 
         // tokens = input @ Wp + bp, written into x rows 1..
         push_region(&mut asm, regions::BLOCK_TOP | regions::OP_MATMUL);
-        set_args(&mut asm, &[
-            input as i32,
-            w_proj as i32,
-            b_proj as i32,
-            (x + dim as u32 * 4) as i32,
-            t as i32,
-            f as i32,
-            dim as i32,
-        ]);
+        set_args(
+            &mut asm,
+            &[
+                input as i32,
+                w_proj as i32,
+                b_proj as i32,
+                (x + dim as u32 * 4) as i32,
+                t as i32,
+                f as i32,
+                dim as i32,
+            ],
+        );
         asm.call(k.matmul_f32);
         pop_region(&mut asm);
         // class token + positional embeddings
@@ -201,15 +212,18 @@ impl InferenceImage {
             // qkv projection: S x 3dh into bank1
             let qkv = bank1.alloc(s * 3 * dh * 4, 4)?;
             push_region(&mut asm, regions::BLOCK_ATTENTION | regions::OP_MATMUL);
-            set_args(&mut asm, &[
-                x as i32,
-                w_qkv as i32,
-                b_qkv as i32,
-                qkv as i32,
-                s as i32,
-                dim as i32,
-                (3 * dh) as i32,
-            ]);
+            set_args(
+                &mut asm,
+                &[
+                    x as i32,
+                    w_qkv as i32,
+                    b_qkv as i32,
+                    qkv as i32,
+                    s as i32,
+                    dim as i32,
+                    (3 * dh) as i32,
+                ],
+            );
             asm.call(k.matmul_f32);
             pop_region(&mut asm);
             // split into contiguous Q, K, V (bank2 = S x dh x 3 exactly)
@@ -218,13 +232,16 @@ impl InferenceImage {
             let v = bank2.alloc(s * dh * 4, 4)?;
             push_region(&mut asm, regions::BLOCK_ATTENTION | regions::OP_OTHER);
             for (dst, off) in [(q, 0u32), (kk, dh as u32 * 4), (v, 2 * dh as u32 * 4)] {
-                set_args(&mut asm, &[
-                    dst as i32,
-                    (qkv + off) as i32,
-                    s as i32,
-                    (3 * dh * 4) as i32,
-                    (dh * 4) as i32,
-                ]);
+                set_args(
+                    &mut asm,
+                    &[
+                        dst as i32,
+                        (qkv + off) as i32,
+                        s as i32,
+                        (3 * dh * 4) as i32,
+                        (dh * 4) as i32,
+                    ],
+                );
                 asm.call(k.copy_strided);
             }
             pop_region(&mut asm);
@@ -233,28 +250,34 @@ impl InferenceImage {
             let sa = bank1.alloc(s * dh * 4, 4)?;
             let row = bank1.alloc(s * 4, 4)?;
             let attn_out = bank1.alloc(s * dim * 4, 4)?;
-            set_args(&mut asm, &[
-                q as i32,
-                kk as i32,
-                v as i32,
-                sa as i32,
-                s as i32,
-                dh as i32,
-                row as i32,
-                inv_sqrt_dh,
-            ]);
+            set_args(
+                &mut asm,
+                &[
+                    q as i32,
+                    kk as i32,
+                    v as i32,
+                    sa as i32,
+                    s as i32,
+                    dh as i32,
+                    row as i32,
+                    inv_sqrt_dh,
+                ],
+            );
             asm.call(k.attention_f32);
             // output projection + residual + LN1
             push_region(&mut asm, regions::BLOCK_ATTENTION | regions::OP_MATMUL);
-            set_args(&mut asm, &[
-                sa as i32,
-                w_out as i32,
-                b_out as i32,
-                attn_out as i32,
-                s as i32,
-                dh as i32,
-                dim as i32,
-            ]);
+            set_args(
+                &mut asm,
+                &[
+                    sa as i32,
+                    w_out as i32,
+                    b_out as i32,
+                    attn_out as i32,
+                    s as i32,
+                    dh as i32,
+                    dim as i32,
+                ],
+            );
             asm.call(k.matmul_f32);
             pop_region(&mut asm);
             push_region(&mut asm, regions::BLOCK_TOP | regions::OP_OTHER);
@@ -262,15 +285,12 @@ impl InferenceImage {
             asm.call(k.add_f32);
             pop_region(&mut asm);
             push_region(&mut asm, regions::BLOCK_TOP | regions::OP_LAYERNORM);
-            set_args(&mut asm, &[
-                x as i32,
-                g1 as i32,
-                be1 as i32,
-                s as i32,
-                dim as i32,
-                inv_dim,
-                eps,
-            ]);
+            set_args(
+                &mut asm,
+                &[
+                    x as i32, g1 as i32, be1 as i32, s as i32, dim as i32, inv_dim, eps,
+                ],
+            );
             asm.call(k.layer_norm_f32);
             pop_region(&mut asm);
             // MLP
@@ -279,15 +299,18 @@ impl InferenceImage {
             let hidden = bank1.alloc(s * mlp * 4, 4)?;
             let mlp_out = bank2.alloc(s * dim * 4, 4)?;
             push_region(&mut asm, regions::BLOCK_MLP | regions::OP_MATMUL);
-            set_args(&mut asm, &[
-                x as i32,
-                w1 as i32,
-                b1 as i32,
-                hidden as i32,
-                s as i32,
-                dim as i32,
-                mlp as i32,
-            ]);
+            set_args(
+                &mut asm,
+                &[
+                    x as i32,
+                    w1 as i32,
+                    b1 as i32,
+                    hidden as i32,
+                    s as i32,
+                    dim as i32,
+                    mlp as i32,
+                ],
+            );
             asm.call(k.matmul_f32);
             pop_region(&mut asm);
             push_region(&mut asm, regions::BLOCK_MLP | regions::OP_GELU);
@@ -295,15 +318,18 @@ impl InferenceImage {
             asm.call(k.gelu_f32);
             pop_region(&mut asm);
             push_region(&mut asm, regions::BLOCK_MLP | regions::OP_MATMUL);
-            set_args(&mut asm, &[
-                hidden as i32,
-                w2 as i32,
-                b2 as i32,
-                mlp_out as i32,
-                s as i32,
-                mlp as i32,
-                dim as i32,
-            ]);
+            set_args(
+                &mut asm,
+                &[
+                    hidden as i32,
+                    w2 as i32,
+                    b2 as i32,
+                    mlp_out as i32,
+                    s as i32,
+                    mlp as i32,
+                    dim as i32,
+                ],
+            );
             asm.call(k.matmul_f32);
             pop_region(&mut asm);
             push_region(&mut asm, regions::BLOCK_TOP | regions::OP_OTHER);
@@ -311,30 +337,30 @@ impl InferenceImage {
             asm.call(k.add_f32);
             pop_region(&mut asm);
             push_region(&mut asm, regions::BLOCK_TOP | regions::OP_LAYERNORM);
-            set_args(&mut asm, &[
-                x as i32,
-                g2 as i32,
-                be2 as i32,
-                s as i32,
-                dim as i32,
-                inv_dim,
-                eps,
-            ]);
+            set_args(
+                &mut asm,
+                &[
+                    x as i32, g2 as i32, be2 as i32, s as i32, dim as i32, inv_dim, eps,
+                ],
+            );
             asm.call(k.layer_norm_f32);
             pop_region(&mut asm);
         }
 
         // classification head on the class-token row
         push_region(&mut asm, regions::BLOCK_TOP | regions::OP_MATMUL);
-        set_args(&mut asm, &[
-            x as i32,
-            w_head as i32,
-            b_head as i32,
-            logits as i32,
-            1,
-            dim as i32,
-            classes as i32,
-        ]);
+        set_args(
+            &mut asm,
+            &[
+                x as i32,
+                w_head as i32,
+                b_head as i32,
+                logits as i32,
+                1,
+                dim as i32,
+                classes as i32,
+            ],
+        );
         asm.call(k.matmul_f32);
         pop_region(&mut asm);
         asm.li(Reg::A0, logits as i32);
@@ -509,16 +535,19 @@ impl InferenceImage {
 
         // projection into x rows 1..
         push_region(&mut asm, regions::BLOCK_TOP | regions::OP_MATMUL);
-        set_args(&mut asm, &[
-            input as i32,
-            w_proj as i32,
-            b_proj as i32,
-            (x + dim as u32 * 2) as i32,
-            t as i32,
-            f as i32,
-            dim as i32,
-            yw as i32,
-        ]);
+        set_args(
+            &mut asm,
+            &[
+                input as i32,
+                w_proj as i32,
+                b_proj as i32,
+                (x + dim as u32 * 2) as i32,
+                t as i32,
+                f as i32,
+                dim as i32,
+                yw as i32,
+            ],
+        );
         asm.call(k.matmul_q);
         pop_region(&mut asm);
         push_region(&mut asm, regions::BLOCK_TOP | regions::OP_OTHER);
@@ -534,16 +563,19 @@ impl InferenceImage {
             bank2.reset();
             let qkv = bank1.alloc(s * 3 * dh * 2, 4)?;
             push_region(&mut asm, regions::BLOCK_ATTENTION | regions::OP_MATMUL);
-            set_args(&mut asm, &[
-                x as i32,
-                w_qkv as i32,
-                b_qkv as i32,
-                qkv as i32,
-                s as i32,
-                dim as i32,
-                (3 * dh) as i32,
-                yw as i32,
-            ]);
+            set_args(
+                &mut asm,
+                &[
+                    x as i32,
+                    w_qkv as i32,
+                    b_qkv as i32,
+                    qkv as i32,
+                    s as i32,
+                    dim as i32,
+                    (3 * dh) as i32,
+                    yw as i32,
+                ],
+            );
             asm.call(k.matmul_q);
             pop_region(&mut asm);
             let q = bank2.alloc(s * dh * 2, 4)?;
@@ -551,13 +583,16 @@ impl InferenceImage {
             let v = bank2.alloc(s * dh * 2, 4)?;
             push_region(&mut asm, regions::BLOCK_ATTENTION | regions::OP_OTHER);
             for (dst, off) in [(q, 0u32), (kk, dh as u32 * 2), (v, 2 * dh as u32 * 2)] {
-                set_args(&mut asm, &[
-                    dst as i32,
-                    (qkv + off) as i32,
-                    s as i32,
-                    (3 * dh * 2) as i32,
-                    (dh * 2) as i32,
-                ]);
+                set_args(
+                    &mut asm,
+                    &[
+                        dst as i32,
+                        (qkv + off) as i32,
+                        s as i32,
+                        (3 * dh * 2) as i32,
+                        (dh * 2) as i32,
+                    ],
+                );
                 asm.call(k.copy_strided);
             }
             pop_region(&mut asm);
@@ -567,28 +602,34 @@ impl InferenceImage {
             // in word-sized lanes (the tail stays zero on both ISAs)
             let row16 = bank1.alloc(kp * 2, 4)?;
             let attn_out = bank1.alloc(s * dim * 2, 4)?;
-            set_args(&mut asm, &[
-                q as i32,
-                kk as i32,
-                v as i32,
-                sa as i32,
-                s as i32,
-                dh as i32,
-                row16 as i32,
-                attn_params_addr as i32,
-            ]);
+            set_args(
+                &mut asm,
+                &[
+                    q as i32,
+                    kk as i32,
+                    v as i32,
+                    sa as i32,
+                    s as i32,
+                    dh as i32,
+                    row16 as i32,
+                    attn_params_addr as i32,
+                ],
+            );
             asm.call(k.attention_q);
             push_region(&mut asm, regions::BLOCK_ATTENTION | regions::OP_MATMUL);
-            set_args(&mut asm, &[
-                sa as i32,
-                w_out as i32,
-                b_out as i32,
-                attn_out as i32,
-                s as i32,
-                dh as i32,
-                dim as i32,
-                yw as i32,
-            ]);
+            set_args(
+                &mut asm,
+                &[
+                    sa as i32,
+                    w_out as i32,
+                    b_out as i32,
+                    attn_out as i32,
+                    s as i32,
+                    dh as i32,
+                    dim as i32,
+                    yw as i32,
+                ],
+            );
             asm.call(k.matmul_q);
             pop_region(&mut asm);
             push_region(&mut asm, regions::BLOCK_TOP | regions::OP_OTHER);
@@ -596,14 +637,17 @@ impl InferenceImage {
             asm.call(k.add_sat_i16);
             pop_region(&mut asm);
             push_region(&mut asm, regions::BLOCK_TOP | regions::OP_LAYERNORM);
-            set_args(&mut asm, &[
-                x as i32,
-                g1 as i32,
-                be1 as i32,
-                s as i32,
-                dim as i32,
-                ln_params_addr as i32,
-            ]);
+            set_args(
+                &mut asm,
+                &[
+                    x as i32,
+                    g1 as i32,
+                    be1 as i32,
+                    s as i32,
+                    dim as i32,
+                    ln_params_addr as i32,
+                ],
+            );
             asm.call(k.ln_q);
             pop_region(&mut asm);
             // MLP
@@ -612,38 +656,42 @@ impl InferenceImage {
             let hidden = bank1.alloc(s * mlp * 2, 4)?;
             let mlp_out = bank2.alloc(s * dim * 2, 4)?;
             push_region(&mut asm, regions::BLOCK_MLP | regions::OP_MATMUL);
-            set_args(&mut asm, &[
-                x as i32,
-                w1 as i32,
-                b1 as i32,
-                hidden as i32,
-                s as i32,
-                dim as i32,
-                mlp as i32,
-                yw as i32,
-            ]);
+            set_args(
+                &mut asm,
+                &[
+                    x as i32,
+                    w1 as i32,
+                    b1 as i32,
+                    hidden as i32,
+                    s as i32,
+                    dim as i32,
+                    mlp as i32,
+                    yw as i32,
+                ],
+            );
             asm.call(k.matmul_q);
             pop_region(&mut asm);
             push_region(&mut asm, regions::BLOCK_MLP | regions::OP_GELU);
-            set_args(&mut asm, &[
-                hidden as i32,
-                s as i32,
-                mlp as i32,
-                gelu_params_addr as i32,
-            ]);
+            set_args(
+                &mut asm,
+                &[hidden as i32, s as i32, mlp as i32, gelu_params_addr as i32],
+            );
             asm.call(k.gelu_q);
             pop_region(&mut asm);
             push_region(&mut asm, regions::BLOCK_MLP | regions::OP_MATMUL);
-            set_args(&mut asm, &[
-                hidden as i32,
-                w2 as i32,
-                b2 as i32,
-                mlp_out as i32,
-                s as i32,
-                mlp as i32,
-                dim as i32,
-                yw as i32,
-            ]);
+            set_args(
+                &mut asm,
+                &[
+                    hidden as i32,
+                    w2 as i32,
+                    b2 as i32,
+                    mlp_out as i32,
+                    s as i32,
+                    mlp as i32,
+                    dim as i32,
+                    yw as i32,
+                ],
+            );
             asm.call(k.matmul_q);
             pop_region(&mut asm);
             push_region(&mut asm, regions::BLOCK_TOP | regions::OP_OTHER);
@@ -651,29 +699,35 @@ impl InferenceImage {
             asm.call(k.add_sat_i16);
             pop_region(&mut asm);
             push_region(&mut asm, regions::BLOCK_TOP | regions::OP_LAYERNORM);
-            set_args(&mut asm, &[
-                x as i32,
-                g2 as i32,
-                be2 as i32,
-                s as i32,
-                dim as i32,
-                ln_params_addr as i32,
-            ]);
+            set_args(
+                &mut asm,
+                &[
+                    x as i32,
+                    g2 as i32,
+                    be2 as i32,
+                    s as i32,
+                    dim as i32,
+                    ln_params_addr as i32,
+                ],
+            );
             asm.call(k.ln_q);
             pop_region(&mut asm);
         }
 
         push_region(&mut asm, regions::BLOCK_TOP | regions::OP_MATMUL);
-        set_args(&mut asm, &[
-            x as i32,
-            w_head as i32,
-            b_head as i32,
-            logits as i32,
-            1,
-            dim as i32,
-            classes as i32,
-            yw as i32,
-        ]);
+        set_args(
+            &mut asm,
+            &[
+                x as i32,
+                w_head as i32,
+                b_head as i32,
+                logits as i32,
+                1,
+                dim as i32,
+                classes as i32,
+                yw as i32,
+            ],
+        );
         asm.call(k.matmul_q);
         pop_region(&mut asm);
         asm.li(Reg::A0, logits as i32);
@@ -724,7 +778,7 @@ impl InferenceImage {
                 c.heads
             )));
         }
-        if c.dim_head % 4 != 0 {
+        if !c.dim_head.is_multiple_of(4) {
             return Err(BuildError::Model(format!(
                 "the A8 fused attention kernel needs dim_head % 4 == 0, got {}",
                 c.dim_head
@@ -827,16 +881,19 @@ impl InferenceImage {
 
         // projection into x rows 1..
         push_region(&mut asm, regions::BLOCK_TOP | regions::OP_MATMUL);
-        set_args(&mut asm, &[
-            input as i32,
-            w_proj as i32,
-            b_proj as i32,
-            (x + dim as u32) as i32,
-            t as i32,
-            f as i32,
-            dim as i32,
-            k.shift_proj as i32,
-        ]);
+        set_args(
+            &mut asm,
+            &[
+                input as i32,
+                w_proj as i32,
+                b_proj as i32,
+                (x + dim as u32) as i32,
+                t as i32,
+                f as i32,
+                dim as i32,
+                k.shift_proj as i32,
+            ],
+        );
         asm.call(k8.matmul_a8);
         pop_region(&mut asm);
         push_region(&mut asm, regions::BLOCK_TOP | regions::OP_OTHER);
@@ -857,16 +914,19 @@ impl InferenceImage {
             bank2.reset();
             let qkv = bank1.alloc(s * 3 * dh, 4)?;
             push_region(&mut asm, regions::BLOCK_ATTENTION | regions::OP_MATMUL);
-            set_args(&mut asm, &[
-                x as i32,
-                w_qkv as i32,
-                b_qkv as i32,
-                qkv as i32,
-                s as i32,
-                dim as i32,
-                (3 * dh) as i32,
-                shift_qkv as i32,
-            ]);
+            set_args(
+                &mut asm,
+                &[
+                    x as i32,
+                    w_qkv as i32,
+                    b_qkv as i32,
+                    qkv as i32,
+                    s as i32,
+                    dim as i32,
+                    (3 * dh) as i32,
+                    shift_qkv as i32,
+                ],
+            );
             asm.call(k8.matmul_a8);
             pop_region(&mut asm);
             let q = bank2.alloc(s * dh, 4)?;
@@ -874,13 +934,16 @@ impl InferenceImage {
             let v = bank2.alloc(s * dh, 4)?;
             push_region(&mut asm, regions::BLOCK_ATTENTION | regions::OP_OTHER);
             for (dst, off) in [(q, 0u32), (kk, dh as u32), (v, 2 * dh as u32)] {
-                set_args(&mut asm, &[
-                    dst as i32,
-                    (qkv + off) as i32,
-                    s as i32,
-                    (3 * dh) as i32,
-                    dh as i32,
-                ]);
+                set_args(
+                    &mut asm,
+                    &[
+                        dst as i32,
+                        (qkv + off) as i32,
+                        s as i32,
+                        (3 * dh) as i32,
+                        dh as i32,
+                    ],
+                );
                 asm.call(k8.copy_strided);
             }
             pop_region(&mut asm);
@@ -888,26 +951,32 @@ impl InferenceImage {
             let sa = bank1.alloc(s * dh, 4)?;
             let row8 = bank1.alloc(kp, 4)?;
             let attn_out = bank1.alloc(s * dim, 4)?;
-            set_args(&mut asm, &[
-                q as i32,
-                kk as i32,
-                v as i32,
-                sa as i32,
-                row8 as i32,
-                attn_params_addr as i32,
-            ]);
+            set_args(
+                &mut asm,
+                &[
+                    q as i32,
+                    kk as i32,
+                    v as i32,
+                    sa as i32,
+                    row8 as i32,
+                    attn_params_addr as i32,
+                ],
+            );
             asm.call(k8.attention_a8);
             push_region(&mut asm, regions::BLOCK_ATTENTION | regions::OP_MATMUL);
-            set_args(&mut asm, &[
-                sa as i32,
-                w_out as i32,
-                b_out as i32,
-                attn_out as i32,
-                s as i32,
-                dh as i32,
-                dim as i32,
-                shift_out as i32,
-            ]);
+            set_args(
+                &mut asm,
+                &[
+                    sa as i32,
+                    w_out as i32,
+                    b_out as i32,
+                    attn_out as i32,
+                    s as i32,
+                    dh as i32,
+                    dim as i32,
+                    shift_out as i32,
+                ],
+            );
             asm.call(k8.matmul_a8);
             pop_region(&mut asm);
             push_region(&mut asm, regions::BLOCK_TOP | regions::OP_OTHER);
@@ -915,14 +984,17 @@ impl InferenceImage {
             asm.call(k8.add_sat_i8);
             pop_region(&mut asm);
             push_region(&mut asm, regions::BLOCK_TOP | regions::OP_LAYERNORM);
-            set_args(&mut asm, &[
-                x as i32,
-                g1 as i32,
-                be1 as i32,
-                s as i32,
-                dim as i32,
-                ln1_params as i32,
-            ]);
+            set_args(
+                &mut asm,
+                &[
+                    x as i32,
+                    g1 as i32,
+                    be1 as i32,
+                    s as i32,
+                    dim as i32,
+                    ln1_params as i32,
+                ],
+            );
             asm.call(k8.ln_a8);
             pop_region(&mut asm);
             // MLP with the fused LUT-GELU boundary
@@ -931,38 +1003,47 @@ impl InferenceImage {
             let hidden = bank1.alloc(s * mlp, 4)?;
             let mlp_out = bank2.alloc(s * dim, 4)?;
             push_region(&mut asm, regions::BLOCK_MLP | regions::OP_MATMUL);
-            set_args(&mut asm, &[
-                x as i32,
-                w1 as i32,
-                b1 as i32,
-                hidden as i32,
-                s as i32,
-                dim as i32,
-                mlp as i32,
-                k.shift_mlp1 as i32,
-            ]);
+            set_args(
+                &mut asm,
+                &[
+                    x as i32,
+                    w1 as i32,
+                    b1 as i32,
+                    hidden as i32,
+                    s as i32,
+                    dim as i32,
+                    mlp as i32,
+                    k.shift_mlp1 as i32,
+                ],
+            );
             asm.call(k8.matmul_a8);
             pop_region(&mut asm);
             push_region(&mut asm, regions::BLOCK_MLP | regions::OP_GELU);
-            set_args(&mut asm, &[
-                hidden as i32,
-                (s * mlp) as i32,
-                k.gelu_deq_bits as i32,
-                k.gelu_req_bits as i32,
-            ]);
+            set_args(
+                &mut asm,
+                &[
+                    hidden as i32,
+                    (s * mlp) as i32,
+                    k.gelu_deq_bits as i32,
+                    k.gelu_req_bits as i32,
+                ],
+            );
             asm.call(k8.gelu_a8);
             pop_region(&mut asm);
             push_region(&mut asm, regions::BLOCK_MLP | regions::OP_MATMUL);
-            set_args(&mut asm, &[
-                hidden as i32,
-                w2 as i32,
-                b2 as i32,
-                mlp_out as i32,
-                s as i32,
-                mlp as i32,
-                dim as i32,
-                k.shift_mlp2 as i32,
-            ]);
+            set_args(
+                &mut asm,
+                &[
+                    hidden as i32,
+                    w2 as i32,
+                    b2 as i32,
+                    mlp_out as i32,
+                    s as i32,
+                    mlp as i32,
+                    dim as i32,
+                    k.shift_mlp2 as i32,
+                ],
+            );
             asm.call(k8.matmul_a8);
             pop_region(&mut asm);
             push_region(&mut asm, regions::BLOCK_TOP | regions::OP_OTHER);
@@ -970,29 +1051,35 @@ impl InferenceImage {
             asm.call(k8.add_sat_i8);
             pop_region(&mut asm);
             push_region(&mut asm, regions::BLOCK_TOP | regions::OP_LAYERNORM);
-            set_args(&mut asm, &[
-                x as i32,
-                g2 as i32,
-                be2 as i32,
-                s as i32,
-                dim as i32,
-                ln_p as i32,
-            ]);
+            set_args(
+                &mut asm,
+                &[
+                    x as i32,
+                    g2 as i32,
+                    be2 as i32,
+                    s as i32,
+                    dim as i32,
+                    ln_p as i32,
+                ],
+            );
             asm.call(k8.ln_a8);
             pop_region(&mut asm);
         }
 
         push_region(&mut asm, regions::BLOCK_TOP | regions::OP_MATMUL);
-        set_args(&mut asm, &[
-            x as i32,
-            w_head as i32,
-            b_head as i32,
-            logits as i32,
-            1,
-            dim as i32,
-            classes as i32,
-            k.shift_head as i32,
-        ]);
+        set_args(
+            &mut asm,
+            &[
+                x as i32,
+                w_head as i32,
+                b_head as i32,
+                logits as i32,
+                1,
+                dim as i32,
+                classes as i32,
+                k.shift_head as i32,
+            ],
+        );
         asm.call(k8.matmul_a8);
         pop_region(&mut asm);
         asm.li(Reg::A0, logits as i32);
@@ -1123,6 +1210,79 @@ impl DeviceSession {
         self.runs
     }
 
+    /// The power-of-two input exponent of a pre-quantising front end —
+    /// `Some` only for [`Flavor::A8`] images, whose `i8` input tensor the
+    /// host can produce directly (see
+    /// [`run_prequantized_into`](Self::run_prequantized_into)).
+    pub fn input_exponent(&self) -> Option<i32> {
+        match self.flavor {
+            Flavor::A8 => Some(
+                self.a8config
+                    .expect("A8 flavour carries a8config")
+                    .input_exponent(),
+            ),
+            _ => None,
+        }
+    }
+
+    /// [`run_into`](Self::run_into) over an input already quantised to
+    /// the image's `i8` format at [`input_exponent`](Self::input_exponent)
+    /// — the upload path for front ends that emit device-ready features
+    /// (`MfccExtractor::extract_padded_a8_into`), skipping the session's
+    /// own host-side quantisation pass. Feeding features quantised with
+    /// the same floor-and-saturate rule is **bit-identical** to
+    /// [`run_into`](Self::run_into) on the float features.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BuildError::Model`] for a wrong input shape or a
+    /// non-A8 image, and [`BuildError::Trap`] if the program faults.
+    pub fn run_prequantized_into(
+        &mut self,
+        input: &Mat<i8>,
+        logits: &mut Vec<f32>,
+    ) -> Result<RunResult> {
+        let c = &self.config;
+        if self.flavor != Flavor::A8 {
+            return Err(BuildError::Model(format!(
+                "pre-quantised input requires an A8 image, this session runs {:?}",
+                self.flavor
+            )));
+        }
+        if input.shape() != (c.input_time, c.input_freq) {
+            return Err(BuildError::Model(format!(
+                "input shape {:?}, expected ({}, {})",
+                input.shape(),
+                c.input_time,
+                c.input_freq
+            )));
+        }
+        self.machine.reset_cpu();
+        self.machine.write_i8s(self.input_addr, input.as_slice());
+        let cycles0 = self.machine.cpu.cycles;
+        let instret0 = self.machine.cpu.instret;
+        let result = self.machine.run(2_000_000_000)?;
+        self.runs += 1;
+        logits.clear();
+        let scale = self
+            .a8config
+            .expect("A8 flavour carries a8config")
+            .consts(c)
+            .expect("validated at build time")
+            .logit_scale;
+        logits.extend(
+            self.machine
+                .read_i8s(self.logits_addr, c.num_classes)
+                .into_iter()
+                .map(|v| v as f32 * scale),
+        );
+        Ok(RunResult {
+            cycles: result.cycles - cycles0,
+            instructions: result.instructions - instret0,
+            exit_code: result.exit_code,
+        })
+    }
+
     /// Runs one inference, writing float logits into `logits` (cleared
     /// first). The returned [`RunResult`] counts only **this** run's
     /// cycles and instructions, not the session totals.
@@ -1147,12 +1307,18 @@ impl DeviceSession {
         match self.flavor {
             Flavor::Float => self.machine.write_f32s(self.input_addr, mfcc.as_slice()),
             Flavor::Quantized | Flavor::Accelerated => {
-                let ya = self.qconfig.expect("quant flavours carry qconfig").input_bits;
+                let ya = self
+                    .qconfig
+                    .expect("quant flavours carry qconfig")
+                    .input_bits;
                 let (q, _) = qops::quantize_i16(mfcc, ya);
                 self.machine.write_i16s(self.input_addr, q.as_slice());
             }
             Flavor::A8 => {
-                let yi = self.a8config.expect("A8 flavour carries a8config").input_bits;
+                let yi = self
+                    .a8config
+                    .expect("A8 flavour carries a8config")
+                    .input_bits;
                 let mut q = Mat::default();
                 qops::quantize_i8_scaled_into(mfcc, yi, &mut q);
                 self.machine.write_i8s(self.input_addr, q.as_slice());
@@ -1168,7 +1334,10 @@ impl DeviceSession {
                 logits.extend(self.machine.read_f32s(self.logits_addr, c.num_classes));
             }
             Flavor::Quantized | Flavor::Accelerated => {
-                let ya = self.qconfig.expect("quant flavours carry qconfig").input_bits;
+                let ya = self
+                    .qconfig
+                    .expect("quant flavours carry qconfig")
+                    .input_bits;
                 logits.extend(
                     self.machine
                         .read_i16s(self.logits_addr, c.num_classes)
@@ -1230,8 +1399,8 @@ impl DeviceSession {
 
 fn check_ram(program: &Program) -> Result<()> {
     let platform = Platform::ibex();
-    let needed = (program.data_base + program.data.len() as u32) as usize
-        + platform.stack_bytes as usize;
+    let needed =
+        (program.data_base + program.data.len() as u32) as usize + platform.stack_bytes as usize;
     let available = platform.ram_size as usize;
     if needed > available {
         return Err(BuildError::RamBudget { needed, available });
@@ -1299,10 +1468,7 @@ mod tests {
             }
             // logits at the activation scale: allow a few quant steps
             for (g, w) in logits.iter().zip(&host) {
-                assert!(
-                    (g - w).abs() < 0.25,
-                    "seed {seed}: device {g} vs host {w}"
-                );
+                assert!((g - w).abs() < 0.25, "seed {seed}: device {g} vs host {w}");
             }
         }
         assert!(agree >= 4, "argmax agreement {agree}/5");
@@ -1349,8 +1515,7 @@ mod tests {
         let accel = qm.clone().with_nonlinearity(Nonlinearity::FixedLut);
         for model in [&qm, &accel] {
             let scalar = InferenceImage::build_quant(model).unwrap();
-            let packed =
-                InferenceImage::build_quant_with_isa(model, KernelIsa::Xkwtdot).unwrap();
+            let packed = InferenceImage::build_quant_with_isa(model, KernelIsa::Xkwtdot).unwrap();
             assert_eq!(scalar.isa, KernelIsa::Rv32im);
             assert_eq!(packed.isa, KernelIsa::Xkwtdot);
             assert_eq!(scalar.flavor, packed.flavor);
@@ -1388,9 +1553,18 @@ mod tests {
         session.set_class_histogram_enabled(true);
         session.run(&test_input(9)).unwrap();
         let h = session.machine().class_histogram();
-        assert!(h.count(InstClass::PackedDot) > 10_000, "kdot2 in the hot loop");
-        assert!(h.count(InstClass::PackedLoad) > 10_000, "klw.b2h feeds the weights");
-        assert!(h.count(InstClass::PackedCvt) > 1_000, "kcvt quant boundaries");
+        assert!(
+            h.count(InstClass::PackedDot) > 10_000,
+            "kdot2 in the hot loop"
+        );
+        assert!(
+            h.count(InstClass::PackedLoad) > 10_000,
+            "klw.b2h feeds the weights"
+        );
+        assert!(
+            h.count(InstClass::PackedCvt) > 1_000,
+            "kcvt quant boundaries"
+        );
         assert!(h.count(InstClass::PackedAlu) > 100, "ksat epilogues");
         assert_eq!(h.total_cycles(), session.machine().cpu.cycles);
         // the scalar image must use none of them
@@ -1458,6 +1632,44 @@ mod tests {
     }
 
     #[test]
+    fn a8_prequantized_input_bit_identical_to_float_path() {
+        // The engine's zero-copy upload path: quantising the float
+        // features host-side (the front end's `extract_a8_into` rule)
+        // and writing them via `run_prequantized_into` must reproduce
+        // `run_into`'s logits and cycles exactly.
+        use kwt_quant::{A8Config, A8Kwt};
+        use kwt_tensor::qops;
+        let params = trained_ish();
+        let a8 = A8Kwt::quantize(&params, A8Config::paper_a8()).unwrap();
+        let image = InferenceImage::build_a8(&a8).unwrap();
+        let mut float_session = image.session().unwrap();
+        let mut q_session = image.session().unwrap();
+        let y = q_session
+            .input_exponent()
+            .expect("A8 exposes its input exponent");
+        assert_eq!(y, A8Config::paper_a8().input_bits);
+        let mut q = Mat::default();
+        let (mut lf, mut lq) = (Vec::new(), Vec::new());
+        for seed in 0..4u64 {
+            let x = mfcc_like_input(seed * 13 + 3);
+            let rf = float_session.run_into(&x, &mut lf).unwrap();
+            qops::quantize_i8_scaled_into(&x, y, &mut q);
+            let rq = q_session.run_prequantized_into(&q, &mut lq).unwrap();
+            assert_eq!(rf.cycles, rq.cycles, "seed {seed}");
+            for (a, b) in lf.iter().zip(&lq) {
+                assert_eq!(a.to_bits(), b.to_bits(), "seed {seed}");
+            }
+        }
+        // non-A8 sessions reject the pre-quantised path
+        let qm16 = QuantizedKwt::quantize(&params, QuantConfig::paper_best())
+            .with_nonlinearity(Nonlinearity::FixedLut);
+        let image16 = InferenceImage::build_quant(&qm16).unwrap();
+        let mut s16 = image16.session().unwrap();
+        assert_eq!(s16.input_exponent(), None);
+        assert!(s16.run_prequantized_into(&q, &mut lq).is_err());
+    }
+
+    #[test]
     fn a8_image_is_fastest_variant() {
         // The whole point: kdot4 + the fused attention pipeline must
         // beat the i16 Xkwtdot image by a wide margin, and land under
@@ -1504,9 +1716,18 @@ mod tests {
             assert_eq!(run.cycles, want_run.cycles, "input {i}");
         }
         let h = session.machine().class_histogram();
-        assert!(h.count(InstClass::PackedDot) > 10_000, "kdot4 in the hot loops");
-        assert!(h.count(InstClass::PackedCvt) > 1_000, "kcvt quant boundaries");
-        assert!(h.count(InstClass::PackedAlu) > 1_000, "ksat/kclip epilogues");
+        assert!(
+            h.count(InstClass::PackedDot) > 10_000,
+            "kdot4 in the hot loops"
+        );
+        assert!(
+            h.count(InstClass::PackedCvt) > 1_000,
+            "kcvt quant boundaries"
+        );
+        assert!(
+            h.count(InstClass::PackedAlu) > 1_000,
+            "ksat/kclip epilogues"
+        );
     }
 
     #[test]

@@ -30,11 +30,9 @@
 
 use crate::mathlib::{epilogue, li_f32, prologue, MathLib};
 use crate::softfloat::SoftFloat;
-use kwt_rvasm::{
-    Asm, CustomOp, Inst, Label, PackedOp, Reg, CSR_PROFILE_POP, CSR_PROFILE_PUSH,
-};
+use kwt_rvasm::{Asm, CustomOp, Inst, Label, PackedOp, Reg, CSR_PROFILE_POP, CSR_PROFILE_PUSH};
 
-use Reg::{A0, A1, A2, A3, A4, A5, A6, A7, Ra, T0, T1, T2, T3, T4, T5, T6, Zero};
+use Reg::{Ra, Zero, A0, A1, A2, A3, A4, A5, A6, A7, T0, T1, T2, T3, T4, T5, T6};
 use Reg::{S0, S1, S10, S11, S2, S3, S4, S5, S6, S7, S8, S9};
 
 /// Which instruction set the integer GEMM / quantisation kernels are
@@ -171,11 +169,19 @@ pub mod attn_params {
 
 fn push_region(asm: &mut Asm, region: u32) {
     asm.li(T0, region as i32);
-    asm.emit(Inst::Csrrw { rd: Zero, rs1: T0, csr: CSR_PROFILE_PUSH });
+    asm.emit(Inst::Csrrw {
+        rd: Zero,
+        rs1: T0,
+        csr: CSR_PROFILE_PUSH,
+    });
 }
 
 fn pop_region(asm: &mut Asm) {
-    asm.emit(Inst::Csrrw { rd: Zero, rs1: Zero, csr: CSR_PROFILE_POP });
+    asm.emit(Inst::Csrrw {
+        rd: Zero,
+        rs1: Zero,
+        csr: CSR_PROFILE_POP,
+    });
 }
 
 impl Kernels {
@@ -191,12 +197,7 @@ impl Kernels {
     /// residual add and the quantisation boundaries are emitted over the
     /// custom-2 packed instructions (and `matmul_q` expects transposed
     /// weights); everything else is shared.
-    pub fn emit_with_isa(
-        asm: &mut Asm,
-        sf: &SoftFloat,
-        math: &MathLib,
-        isa: KernelIsa,
-    ) -> Kernels {
+    pub fn emit_with_isa(asm: &mut Asm, sf: &SoftFloat, math: &MathLib, isa: KernelIsa) -> Kernels {
         let matmul_f32 = emit_matmul_f32(asm, sf);
         let (matmul_q, matmul_qq, add_sat_i16, dequant, requant) = match isa {
             KernelIsa::Rv32im => (
@@ -220,10 +221,7 @@ impl Kernels {
             }
         };
         let (scale_f32, layer_norm_f32) = match isa {
-            KernelIsa::Rv32im => (
-                emit_scale_f32(asm, sf),
-                emit_layer_norm_f32(asm, sf, math),
-            ),
+            KernelIsa::Rv32im => (emit_scale_f32(asm, sf), emit_layer_norm_f32(asm, sf, math)),
             KernelIsa::Xkwtdot => (
                 emit_scale_f32_packed(asm),
                 emit_layer_norm_f32_packed(asm, math),
@@ -235,8 +233,7 @@ impl Kernels {
         let softmax_accel = emit_softmax_accel(asm);
         let gelu_f32 = emit_gelu_f32(asm, math);
         let gelu_accel = emit_gelu_accel(asm);
-        let attention_f32 =
-            emit_attention_f32(asm, matmul_f32, scale_f32, softmax_f32);
+        let attention_f32 = emit_attention_f32(asm, matmul_f32, scale_f32, softmax_f32);
         let attention_q = match isa {
             KernelIsa::Rv32im => emit_attention_q(
                 asm,
@@ -293,20 +290,62 @@ fn emit_copy_strided(asm: &mut Asm) -> Label {
     let rowd = asm.new_label();
     let done = asm.new_label();
     asm.bind(rowl).expect("fresh");
-    asm.branch_to(Inst::Beq { rs1: A2, rs2: Zero, offset: 0 }, done);
+    asm.branch_to(
+        Inst::Beq {
+            rs1: A2,
+            rs2: Zero,
+            offset: 0,
+        },
+        done,
+    );
     asm.mv(T0, A4);
     asm.mv(T1, A1);
     asm.bind(bytel).expect("fresh");
-    asm.branch_to(Inst::Beq { rs1: T0, rs2: Zero, offset: 0 }, rowd);
-    asm.emit(Inst::Lbu { rd: T3, rs1: T1, imm: 0 });
-    asm.emit(Inst::Sb { rs2: T3, rs1: A0, imm: 0 });
-    asm.emit(Inst::Addi { rd: T1, rs1: T1, imm: 1 });
-    asm.emit(Inst::Addi { rd: A0, rs1: A0, imm: 1 });
-    asm.emit(Inst::Addi { rd: T0, rs1: T0, imm: -1 });
+    asm.branch_to(
+        Inst::Beq {
+            rs1: T0,
+            rs2: Zero,
+            offset: 0,
+        },
+        rowd,
+    );
+    asm.emit(Inst::Lbu {
+        rd: T3,
+        rs1: T1,
+        imm: 0,
+    });
+    asm.emit(Inst::Sb {
+        rs2: T3,
+        rs1: A0,
+        imm: 0,
+    });
+    asm.emit(Inst::Addi {
+        rd: T1,
+        rs1: T1,
+        imm: 1,
+    });
+    asm.emit(Inst::Addi {
+        rd: A0,
+        rs1: A0,
+        imm: 1,
+    });
+    asm.emit(Inst::Addi {
+        rd: T0,
+        rs1: T0,
+        imm: -1,
+    });
     asm.jump_to(bytel);
     asm.bind(rowd).expect("fresh");
-    asm.emit(Inst::Add { rd: A1, rs1: A1, rs2: A3 });
-    asm.emit(Inst::Addi { rd: A2, rs1: A2, imm: -1 });
+    asm.emit(Inst::Add {
+        rd: A1,
+        rs1: A1,
+        rs2: A3,
+    });
+    asm.emit(Inst::Addi {
+        rd: A2,
+        rs1: A2,
+        imm: -1,
+    });
     asm.jump_to(rowl);
     asm.bind(done).expect("fresh");
     asm.ret();
@@ -328,28 +367,75 @@ fn emit_ln_q(asm: &mut Asm, dequant: Label, requant: Label, ln_f32: Label) -> La
     asm.mv(S4, A4); // cols
     asm.mv(S5, A5); // params
     asm.bind(row).expect("fresh");
-    asm.branch_to(Inst::Beq { rs1: S3, rs2: Zero, offset: 0 }, done);
+    asm.branch_to(
+        Inst::Beq {
+            rs1: S3,
+            rs2: Zero,
+            offset: 0,
+        },
+        done,
+    );
     asm.mv(A0, S0);
-    asm.emit(Inst::Lw { rd: A1, rs1: S5, imm: ln_params::SCRATCH });
+    asm.emit(Inst::Lw {
+        rd: A1,
+        rs1: S5,
+        imm: ln_params::SCRATCH,
+    });
     asm.mv(A2, S4);
-    asm.emit(Inst::Lw { rd: A3, rs1: S5, imm: ln_params::DEQ });
+    asm.emit(Inst::Lw {
+        rd: A3,
+        rs1: S5,
+        imm: ln_params::DEQ,
+    });
     asm.call(dequant);
-    asm.emit(Inst::Lw { rd: A0, rs1: S5, imm: ln_params::SCRATCH });
+    asm.emit(Inst::Lw {
+        rd: A0,
+        rs1: S5,
+        imm: ln_params::SCRATCH,
+    });
     asm.mv(A1, S1);
     asm.mv(A2, S2);
     asm.li(A3, 1);
     asm.mv(A4, S4);
-    asm.emit(Inst::Lw { rd: A5, rs1: S5, imm: ln_params::INV_N });
-    asm.emit(Inst::Lw { rd: A6, rs1: S5, imm: ln_params::EPS });
+    asm.emit(Inst::Lw {
+        rd: A5,
+        rs1: S5,
+        imm: ln_params::INV_N,
+    });
+    asm.emit(Inst::Lw {
+        rd: A6,
+        rs1: S5,
+        imm: ln_params::EPS,
+    });
     asm.call(ln_f32);
-    asm.emit(Inst::Lw { rd: A0, rs1: S5, imm: ln_params::SCRATCH });
+    asm.emit(Inst::Lw {
+        rd: A0,
+        rs1: S5,
+        imm: ln_params::SCRATCH,
+    });
     asm.mv(A1, S0);
     asm.mv(A2, S4);
-    asm.emit(Inst::Lw { rd: A3, rs1: S5, imm: ln_params::REQ });
+    asm.emit(Inst::Lw {
+        rd: A3,
+        rs1: S5,
+        imm: ln_params::REQ,
+    });
     asm.call(requant);
-    asm.emit(Inst::Slli { rd: T0, rs1: S4, shamt: 1 });
-    asm.emit(Inst::Add { rd: S0, rs1: S0, rs2: T0 });
-    asm.emit(Inst::Addi { rd: S3, rs1: S3, imm: -1 });
+    asm.emit(Inst::Slli {
+        rd: T0,
+        rs1: S4,
+        shamt: 1,
+    });
+    asm.emit(Inst::Add {
+        rd: S0,
+        rs1: S0,
+        rs2: T0,
+    });
+    asm.emit(Inst::Addi {
+        rd: S3,
+        rs1: S3,
+        imm: -1,
+    });
     asm.jump_to(row);
     asm.bind(done).expect("fresh");
     epilogue(asm, &saves, frame);
@@ -377,29 +463,79 @@ fn emit_gelu_q(
     asm.mv(S2, A2);
     asm.mv(S3, A3);
     asm.bind(row).expect("fresh");
-    asm.branch_to(Inst::Beq { rs1: S1, rs2: Zero, offset: 0 }, done);
+    asm.branch_to(
+        Inst::Beq {
+            rs1: S1,
+            rs2: Zero,
+            offset: 0,
+        },
+        done,
+    );
     asm.mv(A0, S0);
-    asm.emit(Inst::Lw { rd: A1, rs1: S3, imm: gelu_params::SCRATCH });
+    asm.emit(Inst::Lw {
+        rd: A1,
+        rs1: S3,
+        imm: gelu_params::SCRATCH,
+    });
     asm.mv(A2, S2);
-    asm.emit(Inst::Lw { rd: A3, rs1: S3, imm: gelu_params::DEQ });
+    asm.emit(Inst::Lw {
+        rd: A3,
+        rs1: S3,
+        imm: gelu_params::DEQ,
+    });
     asm.call(dequant);
-    asm.emit(Inst::Lw { rd: A0, rs1: S3, imm: gelu_params::SCRATCH });
+    asm.emit(Inst::Lw {
+        rd: A0,
+        rs1: S3,
+        imm: gelu_params::SCRATCH,
+    });
     asm.mv(A1, S2);
-    asm.emit(Inst::Lw { rd: T1, rs1: S3, imm: gelu_params::NONLINEARITY });
-    asm.branch_to(Inst::Bne { rs1: T1, rs2: Zero, offset: 0 }, accel);
+    asm.emit(Inst::Lw {
+        rd: T1,
+        rs1: S3,
+        imm: gelu_params::NONLINEARITY,
+    });
+    asm.branch_to(
+        Inst::Bne {
+            rs1: T1,
+            rs2: Zero,
+            offset: 0,
+        },
+        accel,
+    );
     asm.call(gelu_f32);
     asm.jump_to(after);
     asm.bind(accel).expect("fresh");
     asm.call(gelu_accel);
     asm.bind(after).expect("fresh");
-    asm.emit(Inst::Lw { rd: A0, rs1: S3, imm: gelu_params::SCRATCH });
+    asm.emit(Inst::Lw {
+        rd: A0,
+        rs1: S3,
+        imm: gelu_params::SCRATCH,
+    });
     asm.mv(A1, S0);
     asm.mv(A2, S2);
-    asm.emit(Inst::Lw { rd: A3, rs1: S3, imm: gelu_params::REQ });
+    asm.emit(Inst::Lw {
+        rd: A3,
+        rs1: S3,
+        imm: gelu_params::REQ,
+    });
     asm.call(requant);
-    asm.emit(Inst::Slli { rd: T0, rs1: S2, shamt: 1 });
-    asm.emit(Inst::Add { rd: S0, rs1: S0, rs2: T0 });
-    asm.emit(Inst::Addi { rd: S1, rs1: S1, imm: -1 });
+    asm.emit(Inst::Slli {
+        rd: T0,
+        rs1: S2,
+        shamt: 1,
+    });
+    asm.emit(Inst::Add {
+        rd: S0,
+        rs1: S0,
+        rs2: T0,
+    });
+    asm.emit(Inst::Addi {
+        rd: S1,
+        rs1: S1,
+        imm: -1,
+    });
     asm.jump_to(row);
     asm.bind(done).expect("fresh");
     epilogue(asm, &saves, frame);
@@ -425,45 +561,137 @@ fn emit_matmul_f32(asm: &mut Asm, sf: &SoftFloat) -> Label {
     asm.mv(S3, A3); // out row pointer
     asm.mv(S4, A4); // M counter
     asm.mv(S5, A5); // K
-    asm.emit(Inst::Slli { rd: S6, rs1: A6, shamt: 2 }); // N*4
+    asm.emit(Inst::Slli {
+        rd: S6,
+        rs1: A6,
+        shamt: 2,
+    }); // N*4
 
     asm.bind(outer).expect("fresh");
-    asm.branch_to(Inst::Beq { rs1: S4, rs2: Zero, offset: 0 }, done);
+    asm.branch_to(
+        Inst::Beq {
+            rs1: S4,
+            rs2: Zero,
+            offset: 0,
+        },
+        done,
+    );
     asm.li(S7, 0); // j4
     asm.bind(jloop).expect("fresh");
-    asm.branch_to(Inst::Bgeu { rs1: S7, rs2: S6, offset: 0 }, jdone);
+    asm.branch_to(
+        Inst::Bgeu {
+            rs1: S7,
+            rs2: S6,
+            offset: 0,
+        },
+        jdone,
+    );
     // acc = bias ? bias[j] : 0.0
-    asm.branch_to(Inst::Beq { rs1: S2, rs2: Zero, offset: 0 }, zinit);
-    asm.emit(Inst::Add { rd: T0, rs1: S2, rs2: S7 });
-    asm.emit(Inst::Lw { rd: S9, rs1: T0, imm: 0 });
+    asm.branch_to(
+        Inst::Beq {
+            rs1: S2,
+            rs2: Zero,
+            offset: 0,
+        },
+        zinit,
+    );
+    asm.emit(Inst::Add {
+        rd: T0,
+        rs1: S2,
+        rs2: S7,
+    });
+    asm.emit(Inst::Lw {
+        rd: S9,
+        rs1: T0,
+        imm: 0,
+    });
     asm.jump_to(kinit);
     asm.bind(zinit).expect("fresh");
     asm.li(S9, 0);
     asm.bind(kinit).expect("fresh");
     asm.mv(S8, S5); // k counter
     asm.mv(S10, S0); // pa
-    asm.emit(Inst::Add { rd: S11, rs1: S1, rs2: S7 }); // pw = B + j4
+    asm.emit(Inst::Add {
+        rd: S11,
+        rs1: S1,
+        rs2: S7,
+    }); // pw = B + j4
     asm.bind(kloop).expect("fresh");
-    asm.emit(Inst::Lw { rd: A0, rs1: S10, imm: 0 });
-    asm.emit(Inst::Lw { rd: A1, rs1: S11, imm: 0 });
+    asm.emit(Inst::Lw {
+        rd: A0,
+        rs1: S10,
+        imm: 0,
+    });
+    asm.emit(Inst::Lw {
+        rd: A1,
+        rs1: S11,
+        imm: 0,
+    });
     asm.call(sf.mul);
     asm.mv(A1, S9);
     asm.call(sf.add);
     asm.mv(S9, A0);
-    asm.emit(Inst::Addi { rd: S10, rs1: S10, imm: 4 });
-    asm.emit(Inst::Add { rd: S11, rs1: S11, rs2: S6 });
-    asm.emit(Inst::Addi { rd: S8, rs1: S8, imm: -1 });
-    asm.branch_to(Inst::Bne { rs1: S8, rs2: Zero, offset: 0 }, kloop);
+    asm.emit(Inst::Addi {
+        rd: S10,
+        rs1: S10,
+        imm: 4,
+    });
+    asm.emit(Inst::Add {
+        rd: S11,
+        rs1: S11,
+        rs2: S6,
+    });
+    asm.emit(Inst::Addi {
+        rd: S8,
+        rs1: S8,
+        imm: -1,
+    });
+    asm.branch_to(
+        Inst::Bne {
+            rs1: S8,
+            rs2: Zero,
+            offset: 0,
+        },
+        kloop,
+    );
     // out[i, j] = acc
-    asm.emit(Inst::Add { rd: T0, rs1: S3, rs2: S7 });
-    asm.emit(Inst::Sw { rs2: S9, rs1: T0, imm: 0 });
-    asm.emit(Inst::Addi { rd: S7, rs1: S7, imm: 4 });
+    asm.emit(Inst::Add {
+        rd: T0,
+        rs1: S3,
+        rs2: S7,
+    });
+    asm.emit(Inst::Sw {
+        rs2: S9,
+        rs1: T0,
+        imm: 0,
+    });
+    asm.emit(Inst::Addi {
+        rd: S7,
+        rs1: S7,
+        imm: 4,
+    });
     asm.jump_to(jloop);
     asm.bind(jdone).expect("fresh");
-    asm.emit(Inst::Slli { rd: T0, rs1: S5, shamt: 2 });
-    asm.emit(Inst::Add { rd: S0, rs1: S0, rs2: T0 });
-    asm.emit(Inst::Add { rd: S3, rs1: S3, rs2: S6 });
-    asm.emit(Inst::Addi { rd: S4, rs1: S4, imm: -1 });
+    asm.emit(Inst::Slli {
+        rd: T0,
+        rs1: S5,
+        shamt: 2,
+    });
+    asm.emit(Inst::Add {
+        rd: S0,
+        rs1: S0,
+        rs2: T0,
+    });
+    asm.emit(Inst::Add {
+        rd: S3,
+        rs1: S3,
+        rs2: S6,
+    });
+    asm.emit(Inst::Addi {
+        rd: S4,
+        rs1: S4,
+        imm: -1,
+    });
     asm.jump_to(outer);
     asm.bind(done).expect("fresh");
     epilogue(asm, &saves, frame);
@@ -486,15 +714,48 @@ fn emit_matmul_int(asm: &mut Asm, name: &str, wide_b: bool) -> Label {
     let store_ok = asm.new_label();
 
     asm.bind(outer).expect("fresh");
-    asm.branch_to(Inst::Beq { rs1: A4, rs2: Zero, offset: 0 }, done);
+    asm.branch_to(
+        Inst::Beq {
+            rs1: A4,
+            rs2: Zero,
+            offset: 0,
+        },
+        done,
+    );
     asm.li(T0, 0); // j
     asm.bind(jloop).expect("fresh");
-    asm.branch_to(Inst::Bgeu { rs1: T0, rs2: A6, offset: 0 }, jdone);
+    asm.branch_to(
+        Inst::Bgeu {
+            rs1: T0,
+            rs2: A6,
+            offset: 0,
+        },
+        jdone,
+    );
     // acc = bias ? bias[j] : 0
-    asm.branch_to(Inst::Beq { rs1: A2, rs2: Zero, offset: 0 }, zinit);
-    asm.emit(Inst::Slli { rd: T5, rs1: T0, shamt: 2 });
-    asm.emit(Inst::Add { rd: T5, rs1: A2, rs2: T5 });
-    asm.emit(Inst::Lw { rd: T2, rs1: T5, imm: 0 });
+    asm.branch_to(
+        Inst::Beq {
+            rs1: A2,
+            rs2: Zero,
+            offset: 0,
+        },
+        zinit,
+    );
+    asm.emit(Inst::Slli {
+        rd: T5,
+        rs1: T0,
+        shamt: 2,
+    });
+    asm.emit(Inst::Add {
+        rd: T5,
+        rs1: A2,
+        rs2: T5,
+    });
+    asm.emit(Inst::Lw {
+        rd: T2,
+        rs1: T5,
+        imm: 0,
+    });
     asm.jump_to(k0);
     asm.bind(zinit).expect("fresh");
     asm.li(T2, 0);
@@ -502,50 +763,163 @@ fn emit_matmul_int(asm: &mut Asm, name: &str, wide_b: bool) -> Label {
     asm.mv(T1, A5); // k counter
     asm.mv(T3, A0); // pa
     if wide_b {
-        asm.emit(Inst::Slli { rd: T4, rs1: T0, shamt: 1 });
-        asm.emit(Inst::Add { rd: T4, rs1: A1, rs2: T4 }); // pw = B + 2j
+        asm.emit(Inst::Slli {
+            rd: T4,
+            rs1: T0,
+            shamt: 1,
+        });
+        asm.emit(Inst::Add {
+            rd: T4,
+            rs1: A1,
+            rs2: T4,
+        }); // pw = B + 2j
     } else {
-        asm.emit(Inst::Add { rd: T4, rs1: A1, rs2: T0 }); // pw = B + j
+        asm.emit(Inst::Add {
+            rd: T4,
+            rs1: A1,
+            rs2: T0,
+        }); // pw = B + j
     }
     asm.bind(kloop).expect("fresh");
-    asm.emit(Inst::Lh { rd: T5, rs1: T3, imm: 0 });
+    asm.emit(Inst::Lh {
+        rd: T5,
+        rs1: T3,
+        imm: 0,
+    });
     if wide_b {
-        asm.emit(Inst::Lh { rd: T6, rs1: T4, imm: 0 });
+        asm.emit(Inst::Lh {
+            rd: T6,
+            rs1: T4,
+            imm: 0,
+        });
     } else {
-        asm.emit(Inst::Lb { rd: T6, rs1: T4, imm: 0 });
+        asm.emit(Inst::Lb {
+            rd: T6,
+            rs1: T4,
+            imm: 0,
+        });
     }
-    asm.emit(Inst::Mul { rd: T5, rs1: T5, rs2: T6 });
-    asm.emit(Inst::Add { rd: T2, rs1: T2, rs2: T5 });
-    asm.emit(Inst::Addi { rd: T3, rs1: T3, imm: 2 });
+    asm.emit(Inst::Mul {
+        rd: T5,
+        rs1: T5,
+        rs2: T6,
+    });
+    asm.emit(Inst::Add {
+        rd: T2,
+        rs1: T2,
+        rs2: T5,
+    });
+    asm.emit(Inst::Addi {
+        rd: T3,
+        rs1: T3,
+        imm: 2,
+    });
     if wide_b {
-        asm.emit(Inst::Slli { rd: T5, rs1: A6, shamt: 1 });
-        asm.emit(Inst::Add { rd: T4, rs1: T4, rs2: T5 });
+        asm.emit(Inst::Slli {
+            rd: T5,
+            rs1: A6,
+            shamt: 1,
+        });
+        asm.emit(Inst::Add {
+            rd: T4,
+            rs1: T4,
+            rs2: T5,
+        });
     } else {
-        asm.emit(Inst::Add { rd: T4, rs1: T4, rs2: A6 });
+        asm.emit(Inst::Add {
+            rd: T4,
+            rs1: T4,
+            rs2: A6,
+        });
     }
-    asm.emit(Inst::Addi { rd: T1, rs1: T1, imm: -1 });
-    asm.branch_to(Inst::Bne { rs1: T1, rs2: Zero, offset: 0 }, kloop);
+    asm.emit(Inst::Addi {
+        rd: T1,
+        rs1: T1,
+        imm: -1,
+    });
+    asm.branch_to(
+        Inst::Bne {
+            rs1: T1,
+            rs2: Zero,
+            offset: 0,
+        },
+        kloop,
+    );
     // shift back to the activation scale, saturate to i16
-    asm.emit(Inst::Sra { rd: T2, rs1: T2, rs2: A7 });
+    asm.emit(Inst::Sra {
+        rd: T2,
+        rs1: T2,
+        rs2: A7,
+    });
     asm.li(T5, 32767);
-    asm.branch_to(Inst::Bge { rs1: T5, rs2: T2, offset: 0 }, chk_lo);
+    asm.branch_to(
+        Inst::Bge {
+            rs1: T5,
+            rs2: T2,
+            offset: 0,
+        },
+        chk_lo,
+    );
     asm.mv(T2, T5);
     asm.bind(chk_lo).expect("fresh");
     asm.li(T6, -32768);
-    asm.branch_to(Inst::Bge { rs1: T2, rs2: T6, offset: 0 }, store_ok);
+    asm.branch_to(
+        Inst::Bge {
+            rs1: T2,
+            rs2: T6,
+            offset: 0,
+        },
+        store_ok,
+    );
     asm.mv(T2, T6);
     asm.bind(store_ok).expect("fresh");
-    asm.emit(Inst::Slli { rd: T5, rs1: T0, shamt: 1 });
-    asm.emit(Inst::Add { rd: T5, rs1: A3, rs2: T5 });
-    asm.emit(Inst::Sh { rs2: T2, rs1: T5, imm: 0 });
-    asm.emit(Inst::Addi { rd: T0, rs1: T0, imm: 1 });
+    asm.emit(Inst::Slli {
+        rd: T5,
+        rs1: T0,
+        shamt: 1,
+    });
+    asm.emit(Inst::Add {
+        rd: T5,
+        rs1: A3,
+        rs2: T5,
+    });
+    asm.emit(Inst::Sh {
+        rs2: T2,
+        rs1: T5,
+        imm: 0,
+    });
+    asm.emit(Inst::Addi {
+        rd: T0,
+        rs1: T0,
+        imm: 1,
+    });
     asm.jump_to(jloop);
     asm.bind(jdone).expect("fresh");
-    asm.emit(Inst::Slli { rd: T5, rs1: A5, shamt: 1 });
-    asm.emit(Inst::Add { rd: A0, rs1: A0, rs2: T5 });
-    asm.emit(Inst::Slli { rd: T5, rs1: A6, shamt: 1 });
-    asm.emit(Inst::Add { rd: A3, rs1: A3, rs2: T5 });
-    asm.emit(Inst::Addi { rd: A4, rs1: A4, imm: -1 });
+    asm.emit(Inst::Slli {
+        rd: T5,
+        rs1: A5,
+        shamt: 1,
+    });
+    asm.emit(Inst::Add {
+        rd: A0,
+        rs1: A0,
+        rs2: T5,
+    });
+    asm.emit(Inst::Slli {
+        rd: T5,
+        rs1: A6,
+        shamt: 1,
+    });
+    asm.emit(Inst::Add {
+        rd: A3,
+        rs1: A3,
+        rs2: T5,
+    });
+    asm.emit(Inst::Addi {
+        rd: A4,
+        rs1: A4,
+        imm: -1,
+    });
     asm.jump_to(outer);
     asm.bind(done).expect("fresh");
     asm.ret();
@@ -574,25 +948,92 @@ fn emit_matmul_qt_packed(asm: &mut Asm) -> Label {
     let kloop = asm.new_label();
 
     // dispatch: fast path needs A % 4 == 0, Wt % 2 == 0, K % 4 == 0, K > 0
-    asm.emit(Inst::Andi { rd: T0, rs1: A0, imm: 3 });
-    asm.emit(Inst::Andi { rd: T1, rs1: A1, imm: 1 });
-    asm.emit(Inst::Or { rd: T0, rs1: T0, rs2: T1 });
-    asm.emit(Inst::Andi { rd: T1, rs1: A5, imm: 3 });
-    asm.emit(Inst::Or { rd: T0, rs1: T0, rs2: T1 });
-    asm.branch_to(Inst::Bne { rs1: T0, rs2: Zero, offset: 0 }, slow);
-    asm.branch_to(Inst::Beq { rs1: A5, rs2: Zero, offset: 0 }, slow);
+    asm.emit(Inst::Andi {
+        rd: T0,
+        rs1: A0,
+        imm: 3,
+    });
+    asm.emit(Inst::Andi {
+        rd: T1,
+        rs1: A1,
+        imm: 1,
+    });
+    asm.emit(Inst::Or {
+        rd: T0,
+        rs1: T0,
+        rs2: T1,
+    });
+    asm.emit(Inst::Andi {
+        rd: T1,
+        rs1: A5,
+        imm: 3,
+    });
+    asm.emit(Inst::Or {
+        rd: T0,
+        rs1: T0,
+        rs2: T1,
+    });
+    asm.branch_to(
+        Inst::Bne {
+            rs1: T0,
+            rs2: Zero,
+            offset: 0,
+        },
+        slow,
+    );
+    asm.branch_to(
+        Inst::Beq {
+            rs1: A5,
+            rs2: Zero,
+            offset: 0,
+        },
+        slow,
+    );
 
     asm.bind(outer).expect("fresh");
-    asm.branch_to(Inst::Beq { rs1: A4, rs2: Zero, offset: 0 }, done);
+    asm.branch_to(
+        Inst::Beq {
+            rs1: A4,
+            rs2: Zero,
+            offset: 0,
+        },
+        done,
+    );
     asm.mv(T4, A1); // pw walks the whole Wt once per A row
     asm.li(T0, 0); // j
     asm.bind(jloop).expect("fresh");
-    asm.branch_to(Inst::Bgeu { rs1: T0, rs2: A6, offset: 0 }, jdone);
+    asm.branch_to(
+        Inst::Bgeu {
+            rs1: T0,
+            rs2: A6,
+            offset: 0,
+        },
+        jdone,
+    );
     // acc = bias ? bias[j] : 0
-    asm.branch_to(Inst::Beq { rs1: A2, rs2: Zero, offset: 0 }, zinit);
-    asm.emit(Inst::Slli { rd: T5, rs1: T0, shamt: 2 });
-    asm.emit(Inst::Add { rd: T5, rs1: A2, rs2: T5 });
-    asm.emit(Inst::Lw { rd: T2, rs1: T5, imm: 0 });
+    asm.branch_to(
+        Inst::Beq {
+            rs1: A2,
+            rs2: Zero,
+            offset: 0,
+        },
+        zinit,
+    );
+    asm.emit(Inst::Slli {
+        rd: T5,
+        rs1: T0,
+        shamt: 2,
+    });
+    asm.emit(Inst::Add {
+        rd: T5,
+        rs1: A2,
+        rs2: T5,
+    });
+    asm.emit(Inst::Lw {
+        rd: T2,
+        rs1: T5,
+        imm: 0,
+    });
     asm.jump_to(k0);
     asm.bind(zinit).expect("fresh");
     asm.li(T2, 0);
@@ -602,42 +1043,154 @@ fn emit_matmul_qt_packed(asm: &mut Asm) -> Label {
     // 4-MAC tail for K % 8 == 4.
     let ktail = asm.new_label();
     let kdone = asm.new_label();
-    asm.emit(Inst::Addi { rd: T1, rs1: A5, imm: -8 });
+    asm.emit(Inst::Addi {
+        rd: T1,
+        rs1: A5,
+        imm: -8,
+    });
     asm.mv(T3, A0); // pa
-    asm.branch_to(Inst::Blt { rs1: T1, rs2: Zero, offset: 0 }, ktail);
+    asm.branch_to(
+        Inst::Blt {
+            rs1: T1,
+            rs2: Zero,
+            offset: 0,
+        },
+        ktail,
+    );
     asm.bind(kloop).expect("fresh");
     for blk in 0..4 {
-        asm.emit(Inst::KlwB2h { rd: T5, rs1: T4, imm: 2 * blk });
-        asm.emit(Inst::Lw { rd: T6, rs1: T3, imm: 4 * blk });
-        asm.emit(Inst::Packed { op: PackedOp::Kdot2I16, rd: T2, rs1: T6, rs2: T5 });
+        asm.emit(Inst::KlwB2h {
+            rd: T5,
+            rs1: T4,
+            imm: 2 * blk,
+        });
+        asm.emit(Inst::Lw {
+            rd: T6,
+            rs1: T3,
+            imm: 4 * blk,
+        });
+        asm.emit(Inst::Packed {
+            op: PackedOp::Kdot2I16,
+            rd: T2,
+            rs1: T6,
+            rs2: T5,
+        });
     }
-    asm.emit(Inst::Addi { rd: T4, rs1: T4, imm: 8 });
-    asm.emit(Inst::Addi { rd: T3, rs1: T3, imm: 16 });
-    asm.emit(Inst::Addi { rd: T1, rs1: T1, imm: -8 });
-    asm.branch_to(Inst::Bge { rs1: T1, rs2: Zero, offset: 0 }, kloop);
+    asm.emit(Inst::Addi {
+        rd: T4,
+        rs1: T4,
+        imm: 8,
+    });
+    asm.emit(Inst::Addi {
+        rd: T3,
+        rs1: T3,
+        imm: 16,
+    });
+    asm.emit(Inst::Addi {
+        rd: T1,
+        rs1: T1,
+        imm: -8,
+    });
+    asm.branch_to(
+        Inst::Bge {
+            rs1: T1,
+            rs2: Zero,
+            offset: 0,
+        },
+        kloop,
+    );
     asm.bind(ktail).expect("fresh");
-    asm.emit(Inst::Addi { rd: T1, rs1: T1, imm: 8 }); // remaining: 0 or 4
-    asm.branch_to(Inst::Beq { rs1: T1, rs2: Zero, offset: 0 }, kdone);
+    asm.emit(Inst::Addi {
+        rd: T1,
+        rs1: T1,
+        imm: 8,
+    }); // remaining: 0 or 4
+    asm.branch_to(
+        Inst::Beq {
+            rs1: T1,
+            rs2: Zero,
+            offset: 0,
+        },
+        kdone,
+    );
     for blk in 0..2 {
-        asm.emit(Inst::KlwB2h { rd: T5, rs1: T4, imm: 2 * blk });
-        asm.emit(Inst::Lw { rd: T6, rs1: T3, imm: 4 * blk });
-        asm.emit(Inst::Packed { op: PackedOp::Kdot2I16, rd: T2, rs1: T6, rs2: T5 });
+        asm.emit(Inst::KlwB2h {
+            rd: T5,
+            rs1: T4,
+            imm: 2 * blk,
+        });
+        asm.emit(Inst::Lw {
+            rd: T6,
+            rs1: T3,
+            imm: 4 * blk,
+        });
+        asm.emit(Inst::Packed {
+            op: PackedOp::Kdot2I16,
+            rd: T2,
+            rs1: T6,
+            rs2: T5,
+        });
     }
-    asm.emit(Inst::Addi { rd: T4, rs1: T4, imm: 4 });
+    asm.emit(Inst::Addi {
+        rd: T4,
+        rs1: T4,
+        imm: 4,
+    });
     asm.bind(kdone).expect("fresh");
     // shift back to the activation scale, saturate, store
-    asm.emit(Inst::Packed { op: PackedOp::KsatI16, rd: T2, rs1: T2, rs2: A7 });
-    asm.emit(Inst::Slli { rd: T5, rs1: T0, shamt: 1 });
-    asm.emit(Inst::Add { rd: T5, rs1: A3, rs2: T5 });
-    asm.emit(Inst::Sh { rs2: T2, rs1: T5, imm: 0 });
-    asm.emit(Inst::Addi { rd: T0, rs1: T0, imm: 1 });
+    asm.emit(Inst::Packed {
+        op: PackedOp::KsatI16,
+        rd: T2,
+        rs1: T2,
+        rs2: A7,
+    });
+    asm.emit(Inst::Slli {
+        rd: T5,
+        rs1: T0,
+        shamt: 1,
+    });
+    asm.emit(Inst::Add {
+        rd: T5,
+        rs1: A3,
+        rs2: T5,
+    });
+    asm.emit(Inst::Sh {
+        rs2: T2,
+        rs1: T5,
+        imm: 0,
+    });
+    asm.emit(Inst::Addi {
+        rd: T0,
+        rs1: T0,
+        imm: 1,
+    });
     asm.jump_to(jloop);
     asm.bind(jdone).expect("fresh");
-    asm.emit(Inst::Slli { rd: T5, rs1: A5, shamt: 1 });
-    asm.emit(Inst::Add { rd: A0, rs1: A0, rs2: T5 });
-    asm.emit(Inst::Slli { rd: T5, rs1: A6, shamt: 1 });
-    asm.emit(Inst::Add { rd: A3, rs1: A3, rs2: T5 });
-    asm.emit(Inst::Addi { rd: A4, rs1: A4, imm: -1 });
+    asm.emit(Inst::Slli {
+        rd: T5,
+        rs1: A5,
+        shamt: 1,
+    });
+    asm.emit(Inst::Add {
+        rd: A0,
+        rs1: A0,
+        rs2: T5,
+    });
+    asm.emit(Inst::Slli {
+        rd: T5,
+        rs1: A6,
+        shamt: 1,
+    });
+    asm.emit(Inst::Add {
+        rd: A3,
+        rs1: A3,
+        rs2: T5,
+    });
+    asm.emit(Inst::Addi {
+        rd: A4,
+        rs1: A4,
+        imm: -1,
+    });
     asm.jump_to(outer);
     asm.bind(done).expect("fresh");
     asm.ret();
@@ -654,44 +1207,160 @@ fn emit_matmul_qt_packed(asm: &mut Asm) -> Label {
     let sepi = asm.new_label();
     asm.bind(slow).expect("fresh");
     asm.bind(souter).expect("fresh");
-    asm.branch_to(Inst::Beq { rs1: A4, rs2: Zero, offset: 0 }, sdone);
+    asm.branch_to(
+        Inst::Beq {
+            rs1: A4,
+            rs2: Zero,
+            offset: 0,
+        },
+        sdone,
+    );
     asm.mv(T4, A1);
     asm.li(T0, 0);
     asm.bind(sjloop).expect("fresh");
-    asm.branch_to(Inst::Bgeu { rs1: T0, rs2: A6, offset: 0 }, sjdone);
-    asm.branch_to(Inst::Beq { rs1: A2, rs2: Zero, offset: 0 }, szinit);
-    asm.emit(Inst::Slli { rd: T5, rs1: T0, shamt: 2 });
-    asm.emit(Inst::Add { rd: T5, rs1: A2, rs2: T5 });
-    asm.emit(Inst::Lw { rd: T2, rs1: T5, imm: 0 });
+    asm.branch_to(
+        Inst::Bgeu {
+            rs1: T0,
+            rs2: A6,
+            offset: 0,
+        },
+        sjdone,
+    );
+    asm.branch_to(
+        Inst::Beq {
+            rs1: A2,
+            rs2: Zero,
+            offset: 0,
+        },
+        szinit,
+    );
+    asm.emit(Inst::Slli {
+        rd: T5,
+        rs1: T0,
+        shamt: 2,
+    });
+    asm.emit(Inst::Add {
+        rd: T5,
+        rs1: A2,
+        rs2: T5,
+    });
+    asm.emit(Inst::Lw {
+        rd: T2,
+        rs1: T5,
+        imm: 0,
+    });
     asm.jump_to(sk0);
     asm.bind(szinit).expect("fresh");
     asm.li(T2, 0);
     asm.bind(sk0).expect("fresh");
     asm.mv(T1, A5);
     asm.mv(T3, A0);
-    asm.branch_to(Inst::Beq { rs1: T1, rs2: Zero, offset: 0 }, sepi);
+    asm.branch_to(
+        Inst::Beq {
+            rs1: T1,
+            rs2: Zero,
+            offset: 0,
+        },
+        sepi,
+    );
     asm.bind(skloop).expect("fresh");
-    asm.emit(Inst::Lh { rd: T5, rs1: T3, imm: 0 });
-    asm.emit(Inst::Lb { rd: T6, rs1: T4, imm: 0 });
-    asm.emit(Inst::Mul { rd: T5, rs1: T5, rs2: T6 });
-    asm.emit(Inst::Add { rd: T2, rs1: T2, rs2: T5 });
-    asm.emit(Inst::Addi { rd: T3, rs1: T3, imm: 2 });
-    asm.emit(Inst::Addi { rd: T4, rs1: T4, imm: 1 });
-    asm.emit(Inst::Addi { rd: T1, rs1: T1, imm: -1 });
-    asm.branch_to(Inst::Bne { rs1: T1, rs2: Zero, offset: 0 }, skloop);
+    asm.emit(Inst::Lh {
+        rd: T5,
+        rs1: T3,
+        imm: 0,
+    });
+    asm.emit(Inst::Lb {
+        rd: T6,
+        rs1: T4,
+        imm: 0,
+    });
+    asm.emit(Inst::Mul {
+        rd: T5,
+        rs1: T5,
+        rs2: T6,
+    });
+    asm.emit(Inst::Add {
+        rd: T2,
+        rs1: T2,
+        rs2: T5,
+    });
+    asm.emit(Inst::Addi {
+        rd: T3,
+        rs1: T3,
+        imm: 2,
+    });
+    asm.emit(Inst::Addi {
+        rd: T4,
+        rs1: T4,
+        imm: 1,
+    });
+    asm.emit(Inst::Addi {
+        rd: T1,
+        rs1: T1,
+        imm: -1,
+    });
+    asm.branch_to(
+        Inst::Bne {
+            rs1: T1,
+            rs2: Zero,
+            offset: 0,
+        },
+        skloop,
+    );
     asm.bind(sepi).expect("fresh");
-    asm.emit(Inst::Packed { op: PackedOp::KsatI16, rd: T2, rs1: T2, rs2: A7 });
-    asm.emit(Inst::Slli { rd: T5, rs1: T0, shamt: 1 });
-    asm.emit(Inst::Add { rd: T5, rs1: A3, rs2: T5 });
-    asm.emit(Inst::Sh { rs2: T2, rs1: T5, imm: 0 });
-    asm.emit(Inst::Addi { rd: T0, rs1: T0, imm: 1 });
+    asm.emit(Inst::Packed {
+        op: PackedOp::KsatI16,
+        rd: T2,
+        rs1: T2,
+        rs2: A7,
+    });
+    asm.emit(Inst::Slli {
+        rd: T5,
+        rs1: T0,
+        shamt: 1,
+    });
+    asm.emit(Inst::Add {
+        rd: T5,
+        rs1: A3,
+        rs2: T5,
+    });
+    asm.emit(Inst::Sh {
+        rs2: T2,
+        rs1: T5,
+        imm: 0,
+    });
+    asm.emit(Inst::Addi {
+        rd: T0,
+        rs1: T0,
+        imm: 1,
+    });
     asm.jump_to(sjloop);
     asm.bind(sjdone).expect("fresh");
-    asm.emit(Inst::Slli { rd: T5, rs1: A5, shamt: 1 });
-    asm.emit(Inst::Add { rd: A0, rs1: A0, rs2: T5 });
-    asm.emit(Inst::Slli { rd: T5, rs1: A6, shamt: 1 });
-    asm.emit(Inst::Add { rd: A3, rs1: A3, rs2: T5 });
-    asm.emit(Inst::Addi { rd: A4, rs1: A4, imm: -1 });
+    asm.emit(Inst::Slli {
+        rd: T5,
+        rs1: A5,
+        shamt: 1,
+    });
+    asm.emit(Inst::Add {
+        rd: A0,
+        rs1: A0,
+        rs2: T5,
+    });
+    asm.emit(Inst::Slli {
+        rd: T5,
+        rs1: A6,
+        shamt: 1,
+    });
+    asm.emit(Inst::Add {
+        rd: A3,
+        rs1: A3,
+        rs2: T5,
+    });
+    asm.emit(Inst::Addi {
+        rd: A4,
+        rs1: A4,
+        imm: -1,
+    });
     asm.jump_to(souter);
     asm.bind(sdone).expect("fresh");
     asm.ret();
@@ -713,53 +1382,200 @@ fn emit_matmul_qq_packed(asm: &mut Asm, qq_scalar: Label) -> Label {
     let kloop = asm.new_label();
 
     asm.li(T0, 1);
-    asm.branch_to(Inst::Bne { rs1: A6, rs2: T0, offset: 0 }, slow);
-    asm.emit(Inst::Or { rd: T0, rs1: A0, rs2: A1 });
-    asm.emit(Inst::Andi { rd: T0, rs1: T0, imm: 3 });
-    asm.emit(Inst::Andi { rd: T1, rs1: A5, imm: 3 });
-    asm.emit(Inst::Or { rd: T0, rs1: T0, rs2: T1 });
-    asm.branch_to(Inst::Bne { rs1: T0, rs2: Zero, offset: 0 }, slow);
-    asm.branch_to(Inst::Beq { rs1: A5, rs2: Zero, offset: 0 }, slow);
+    asm.branch_to(
+        Inst::Bne {
+            rs1: A6,
+            rs2: T0,
+            offset: 0,
+        },
+        slow,
+    );
+    asm.emit(Inst::Or {
+        rd: T0,
+        rs1: A0,
+        rs2: A1,
+    });
+    asm.emit(Inst::Andi {
+        rd: T0,
+        rs1: T0,
+        imm: 3,
+    });
+    asm.emit(Inst::Andi {
+        rd: T1,
+        rs1: A5,
+        imm: 3,
+    });
+    asm.emit(Inst::Or {
+        rd: T0,
+        rs1: T0,
+        rs2: T1,
+    });
+    asm.branch_to(
+        Inst::Bne {
+            rs1: T0,
+            rs2: Zero,
+            offset: 0,
+        },
+        slow,
+    );
+    asm.branch_to(
+        Inst::Beq {
+            rs1: A5,
+            rs2: Zero,
+            offset: 0,
+        },
+        slow,
+    );
 
     asm.bind(outer).expect("fresh");
-    asm.branch_to(Inst::Beq { rs1: A4, rs2: Zero, offset: 0 }, done);
-    asm.branch_to(Inst::Beq { rs1: A2, rs2: Zero, offset: 0 }, zinit);
-    asm.emit(Inst::Lw { rd: T2, rs1: A2, imm: 0 });
+    asm.branch_to(
+        Inst::Beq {
+            rs1: A4,
+            rs2: Zero,
+            offset: 0,
+        },
+        done,
+    );
+    asm.branch_to(
+        Inst::Beq {
+            rs1: A2,
+            rs2: Zero,
+            offset: 0,
+        },
+        zinit,
+    );
+    asm.emit(Inst::Lw {
+        rd: T2,
+        rs1: A2,
+        imm: 0,
+    });
     asm.jump_to(k0);
     asm.bind(zinit).expect("fresh");
     asm.li(T2, 0);
     asm.bind(k0).expect("fresh");
     let ktail = asm.new_label();
     let kdone = asm.new_label();
-    asm.emit(Inst::Addi { rd: T1, rs1: A5, imm: -8 });
+    asm.emit(Inst::Addi {
+        rd: T1,
+        rs1: A5,
+        imm: -8,
+    });
     asm.mv(T3, A0); // pa
     asm.mv(T4, A1); // pb (contiguous: N == 1)
-    asm.branch_to(Inst::Blt { rs1: T1, rs2: Zero, offset: 0 }, ktail);
+    asm.branch_to(
+        Inst::Blt {
+            rs1: T1,
+            rs2: Zero,
+            offset: 0,
+        },
+        ktail,
+    );
     asm.bind(kloop).expect("fresh");
     for blk in 0..4 {
-        asm.emit(Inst::Lw { rd: T5, rs1: T3, imm: 4 * blk });
-        asm.emit(Inst::Lw { rd: T6, rs1: T4, imm: 4 * blk });
-        asm.emit(Inst::Packed { op: PackedOp::Kdot2I16, rd: T2, rs1: T5, rs2: T6 });
+        asm.emit(Inst::Lw {
+            rd: T5,
+            rs1: T3,
+            imm: 4 * blk,
+        });
+        asm.emit(Inst::Lw {
+            rd: T6,
+            rs1: T4,
+            imm: 4 * blk,
+        });
+        asm.emit(Inst::Packed {
+            op: PackedOp::Kdot2I16,
+            rd: T2,
+            rs1: T5,
+            rs2: T6,
+        });
     }
-    asm.emit(Inst::Addi { rd: T3, rs1: T3, imm: 16 });
-    asm.emit(Inst::Addi { rd: T4, rs1: T4, imm: 16 });
-    asm.emit(Inst::Addi { rd: T1, rs1: T1, imm: -8 });
-    asm.branch_to(Inst::Bge { rs1: T1, rs2: Zero, offset: 0 }, kloop);
+    asm.emit(Inst::Addi {
+        rd: T3,
+        rs1: T3,
+        imm: 16,
+    });
+    asm.emit(Inst::Addi {
+        rd: T4,
+        rs1: T4,
+        imm: 16,
+    });
+    asm.emit(Inst::Addi {
+        rd: T1,
+        rs1: T1,
+        imm: -8,
+    });
+    asm.branch_to(
+        Inst::Bge {
+            rs1: T1,
+            rs2: Zero,
+            offset: 0,
+        },
+        kloop,
+    );
     asm.bind(ktail).expect("fresh");
-    asm.emit(Inst::Addi { rd: T1, rs1: T1, imm: 8 }); // remaining: 0 or 4
-    asm.branch_to(Inst::Beq { rs1: T1, rs2: Zero, offset: 0 }, kdone);
+    asm.emit(Inst::Addi {
+        rd: T1,
+        rs1: T1,
+        imm: 8,
+    }); // remaining: 0 or 4
+    asm.branch_to(
+        Inst::Beq {
+            rs1: T1,
+            rs2: Zero,
+            offset: 0,
+        },
+        kdone,
+    );
     for blk in 0..2 {
-        asm.emit(Inst::Lw { rd: T5, rs1: T3, imm: 4 * blk });
-        asm.emit(Inst::Lw { rd: T6, rs1: T4, imm: 4 * blk });
-        asm.emit(Inst::Packed { op: PackedOp::Kdot2I16, rd: T2, rs1: T5, rs2: T6 });
+        asm.emit(Inst::Lw {
+            rd: T5,
+            rs1: T3,
+            imm: 4 * blk,
+        });
+        asm.emit(Inst::Lw {
+            rd: T6,
+            rs1: T4,
+            imm: 4 * blk,
+        });
+        asm.emit(Inst::Packed {
+            op: PackedOp::Kdot2I16,
+            rd: T2,
+            rs1: T5,
+            rs2: T6,
+        });
     }
     asm.bind(kdone).expect("fresh");
-    asm.emit(Inst::Packed { op: PackedOp::KsatI16, rd: T2, rs1: T2, rs2: A7 });
-    asm.emit(Inst::Sh { rs2: T2, rs1: A3, imm: 0 });
-    asm.emit(Inst::Addi { rd: A3, rs1: A3, imm: 2 });
-    asm.emit(Inst::Slli { rd: T5, rs1: A5, shamt: 1 });
-    asm.emit(Inst::Add { rd: A0, rs1: A0, rs2: T5 });
-    asm.emit(Inst::Addi { rd: A4, rs1: A4, imm: -1 });
+    asm.emit(Inst::Packed {
+        op: PackedOp::KsatI16,
+        rd: T2,
+        rs1: T2,
+        rs2: A7,
+    });
+    asm.emit(Inst::Sh {
+        rs2: T2,
+        rs1: A3,
+        imm: 0,
+    });
+    asm.emit(Inst::Addi {
+        rd: A3,
+        rs1: A3,
+        imm: 2,
+    });
+    asm.emit(Inst::Slli {
+        rd: T5,
+        rs1: A5,
+        shamt: 1,
+    });
+    asm.emit(Inst::Add {
+        rd: A0,
+        rs1: A0,
+        rs2: T5,
+    });
+    asm.emit(Inst::Addi {
+        rd: A4,
+        rs1: A4,
+        imm: -1,
+    });
     asm.jump_to(outer);
     asm.bind(done).expect("fresh");
     asm.ret();
@@ -775,17 +1591,64 @@ fn emit_add_sat_i16_packed(asm: &mut Asm) -> Label {
     let entry = asm.here("k_add_sat_i16_packed");
     let lp = asm.new_label();
     let done = asm.new_label();
-    asm.branch_to(Inst::Beq { rs1: A2, rs2: Zero, offset: 0 }, done);
+    asm.branch_to(
+        Inst::Beq {
+            rs1: A2,
+            rs2: Zero,
+            offset: 0,
+        },
+        done,
+    );
     asm.bind(lp).expect("fresh");
-    asm.emit(Inst::Lh { rd: T0, rs1: A0, imm: 0 });
-    asm.emit(Inst::Lh { rd: T1, rs1: A1, imm: 0 });
-    asm.emit(Inst::Add { rd: T0, rs1: T0, rs2: T1 });
-    asm.emit(Inst::Packed { op: PackedOp::KsatI16, rd: T0, rs1: T0, rs2: Zero });
-    asm.emit(Inst::Sh { rs2: T0, rs1: A0, imm: 0 });
-    asm.emit(Inst::Addi { rd: A0, rs1: A0, imm: 2 });
-    asm.emit(Inst::Addi { rd: A1, rs1: A1, imm: 2 });
-    asm.emit(Inst::Addi { rd: A2, rs1: A2, imm: -1 });
-    asm.branch_to(Inst::Bne { rs1: A2, rs2: Zero, offset: 0 }, lp);
+    asm.emit(Inst::Lh {
+        rd: T0,
+        rs1: A0,
+        imm: 0,
+    });
+    asm.emit(Inst::Lh {
+        rd: T1,
+        rs1: A1,
+        imm: 0,
+    });
+    asm.emit(Inst::Add {
+        rd: T0,
+        rs1: T0,
+        rs2: T1,
+    });
+    asm.emit(Inst::Packed {
+        op: PackedOp::KsatI16,
+        rd: T0,
+        rs1: T0,
+        rs2: Zero,
+    });
+    asm.emit(Inst::Sh {
+        rs2: T0,
+        rs1: A0,
+        imm: 0,
+    });
+    asm.emit(Inst::Addi {
+        rd: A0,
+        rs1: A0,
+        imm: 2,
+    });
+    asm.emit(Inst::Addi {
+        rd: A1,
+        rs1: A1,
+        imm: 2,
+    });
+    asm.emit(Inst::Addi {
+        rd: A2,
+        rs1: A2,
+        imm: -1,
+    });
+    asm.branch_to(
+        Inst::Bne {
+            rs1: A2,
+            rs2: Zero,
+            offset: 0,
+        },
+        lp,
+    );
     asm.bind(done).expect("fresh");
     asm.ret();
     entry
@@ -799,18 +1662,65 @@ fn emit_dequant_packed(asm: &mut Asm) -> Label {
     let entry = asm.here("k_dequant_packed");
     let lp = asm.new_label();
     let done = asm.new_label();
-    asm.emit(Inst::Srli { rd: T0, rs1: A3, shamt: 23 });
+    asm.emit(Inst::Srli {
+        rd: T0,
+        rs1: A3,
+        shamt: 23,
+    });
     asm.li(T1, 127);
-    asm.emit(Inst::Sub { rd: T0, rs1: T1, rs2: T0 }); // y
-    asm.branch_to(Inst::Beq { rs1: A2, rs2: Zero, offset: 0 }, done);
+    asm.emit(Inst::Sub {
+        rd: T0,
+        rs1: T1,
+        rs2: T0,
+    }); // y
+    asm.branch_to(
+        Inst::Beq {
+            rs1: A2,
+            rs2: Zero,
+            offset: 0,
+        },
+        done,
+    );
     asm.bind(lp).expect("fresh");
-    asm.emit(Inst::Lh { rd: T2, rs1: A0, imm: 0 });
-    asm.emit(Inst::Packed { op: PackedOp::KcvtH2F, rd: T2, rs1: T2, rs2: T0 });
-    asm.emit(Inst::Sw { rs2: T2, rs1: A1, imm: 0 });
-    asm.emit(Inst::Addi { rd: A0, rs1: A0, imm: 2 });
-    asm.emit(Inst::Addi { rd: A1, rs1: A1, imm: 4 });
-    asm.emit(Inst::Addi { rd: A2, rs1: A2, imm: -1 });
-    asm.branch_to(Inst::Bne { rs1: A2, rs2: Zero, offset: 0 }, lp);
+    asm.emit(Inst::Lh {
+        rd: T2,
+        rs1: A0,
+        imm: 0,
+    });
+    asm.emit(Inst::Packed {
+        op: PackedOp::KcvtH2F,
+        rd: T2,
+        rs1: T2,
+        rs2: T0,
+    });
+    asm.emit(Inst::Sw {
+        rs2: T2,
+        rs1: A1,
+        imm: 0,
+    });
+    asm.emit(Inst::Addi {
+        rd: A0,
+        rs1: A0,
+        imm: 2,
+    });
+    asm.emit(Inst::Addi {
+        rd: A1,
+        rs1: A1,
+        imm: 4,
+    });
+    asm.emit(Inst::Addi {
+        rd: A2,
+        rs1: A2,
+        imm: -1,
+    });
+    asm.branch_to(
+        Inst::Bne {
+            rs1: A2,
+            rs2: Zero,
+            offset: 0,
+        },
+        lp,
+    );
     asm.bind(done).expect("fresh");
     asm.ret();
     entry
@@ -823,17 +1733,64 @@ fn emit_requant_packed(asm: &mut Asm) -> Label {
     let entry = asm.here("k_requant_packed");
     let lp = asm.new_label();
     let done = asm.new_label();
-    asm.emit(Inst::Srli { rd: T0, rs1: A3, shamt: 23 });
-    asm.emit(Inst::Addi { rd: T0, rs1: T0, imm: -127 }); // y
-    asm.branch_to(Inst::Beq { rs1: A2, rs2: Zero, offset: 0 }, done);
+    asm.emit(Inst::Srli {
+        rd: T0,
+        rs1: A3,
+        shamt: 23,
+    });
+    asm.emit(Inst::Addi {
+        rd: T0,
+        rs1: T0,
+        imm: -127,
+    }); // y
+    asm.branch_to(
+        Inst::Beq {
+            rs1: A2,
+            rs2: Zero,
+            offset: 0,
+        },
+        done,
+    );
     asm.bind(lp).expect("fresh");
-    asm.emit(Inst::Lw { rd: T2, rs1: A0, imm: 0 });
-    asm.emit(Inst::Packed { op: PackedOp::KcvtF2H, rd: T2, rs1: T2, rs2: T0 });
-    asm.emit(Inst::Sh { rs2: T2, rs1: A1, imm: 0 });
-    asm.emit(Inst::Addi { rd: A0, rs1: A0, imm: 4 });
-    asm.emit(Inst::Addi { rd: A1, rs1: A1, imm: 2 });
-    asm.emit(Inst::Addi { rd: A2, rs1: A2, imm: -1 });
-    asm.branch_to(Inst::Bne { rs1: A2, rs2: Zero, offset: 0 }, lp);
+    asm.emit(Inst::Lw {
+        rd: T2,
+        rs1: A0,
+        imm: 0,
+    });
+    asm.emit(Inst::Packed {
+        op: PackedOp::KcvtF2H,
+        rd: T2,
+        rs1: T2,
+        rs2: T0,
+    });
+    asm.emit(Inst::Sh {
+        rs2: T2,
+        rs1: A1,
+        imm: 0,
+    });
+    asm.emit(Inst::Addi {
+        rd: A0,
+        rs1: A0,
+        imm: 4,
+    });
+    asm.emit(Inst::Addi {
+        rd: A1,
+        rs1: A1,
+        imm: 2,
+    });
+    asm.emit(Inst::Addi {
+        rd: A2,
+        rs1: A2,
+        imm: -1,
+    });
+    asm.branch_to(
+        Inst::Bne {
+            rs1: A2,
+            rs2: Zero,
+            offset: 0,
+        },
+        lp,
+    );
     asm.bind(done).expect("fresh");
     asm.ret();
     entry
@@ -850,14 +1807,45 @@ fn emit_add_f32(asm: &mut Asm, sf: &SoftFloat) -> Label {
     asm.mv(S1, A1);
     asm.mv(S2, A2);
     asm.bind(lp).expect("fresh");
-    asm.branch_to(Inst::Beq { rs1: S2, rs2: Zero, offset: 0 }, done);
-    asm.emit(Inst::Lw { rd: A0, rs1: S0, imm: 0 });
-    asm.emit(Inst::Lw { rd: A1, rs1: S1, imm: 0 });
+    asm.branch_to(
+        Inst::Beq {
+            rs1: S2,
+            rs2: Zero,
+            offset: 0,
+        },
+        done,
+    );
+    asm.emit(Inst::Lw {
+        rd: A0,
+        rs1: S0,
+        imm: 0,
+    });
+    asm.emit(Inst::Lw {
+        rd: A1,
+        rs1: S1,
+        imm: 0,
+    });
     asm.call(sf.add);
-    asm.emit(Inst::Sw { rs2: A0, rs1: S0, imm: 0 });
-    asm.emit(Inst::Addi { rd: S0, rs1: S0, imm: 4 });
-    asm.emit(Inst::Addi { rd: S1, rs1: S1, imm: 4 });
-    asm.emit(Inst::Addi { rd: S2, rs1: S2, imm: -1 });
+    asm.emit(Inst::Sw {
+        rs2: A0,
+        rs1: S0,
+        imm: 0,
+    });
+    asm.emit(Inst::Addi {
+        rd: S0,
+        rs1: S0,
+        imm: 4,
+    });
+    asm.emit(Inst::Addi {
+        rd: S1,
+        rs1: S1,
+        imm: 4,
+    });
+    asm.emit(Inst::Addi {
+        rd: S2,
+        rs1: S2,
+        imm: -1,
+    });
     asm.jump_to(lp);
     asm.bind(done).expect("fresh");
     epilogue(asm, &saves, frame);
@@ -872,22 +1860,71 @@ fn emit_add_sat_i16(asm: &mut Asm) -> Label {
     let chk_lo = asm.new_label();
     let store = asm.new_label();
     asm.bind(lp).expect("fresh");
-    asm.branch_to(Inst::Beq { rs1: A2, rs2: Zero, offset: 0 }, done);
-    asm.emit(Inst::Lh { rd: T0, rs1: A0, imm: 0 });
-    asm.emit(Inst::Lh { rd: T1, rs1: A1, imm: 0 });
-    asm.emit(Inst::Add { rd: T0, rs1: T0, rs2: T1 });
+    asm.branch_to(
+        Inst::Beq {
+            rs1: A2,
+            rs2: Zero,
+            offset: 0,
+        },
+        done,
+    );
+    asm.emit(Inst::Lh {
+        rd: T0,
+        rs1: A0,
+        imm: 0,
+    });
+    asm.emit(Inst::Lh {
+        rd: T1,
+        rs1: A1,
+        imm: 0,
+    });
+    asm.emit(Inst::Add {
+        rd: T0,
+        rs1: T0,
+        rs2: T1,
+    });
     asm.li(T2, 32767);
-    asm.branch_to(Inst::Bge { rs1: T2, rs2: T0, offset: 0 }, chk_lo);
+    asm.branch_to(
+        Inst::Bge {
+            rs1: T2,
+            rs2: T0,
+            offset: 0,
+        },
+        chk_lo,
+    );
     asm.mv(T0, T2);
     asm.bind(chk_lo).expect("fresh");
     asm.li(T2, -32768);
-    asm.branch_to(Inst::Bge { rs1: T0, rs2: T2, offset: 0 }, store);
+    asm.branch_to(
+        Inst::Bge {
+            rs1: T0,
+            rs2: T2,
+            offset: 0,
+        },
+        store,
+    );
     asm.mv(T0, T2);
     asm.bind(store).expect("fresh");
-    asm.emit(Inst::Sh { rs2: T0, rs1: A0, imm: 0 });
-    asm.emit(Inst::Addi { rd: A0, rs1: A0, imm: 2 });
-    asm.emit(Inst::Addi { rd: A1, rs1: A1, imm: 2 });
-    asm.emit(Inst::Addi { rd: A2, rs1: A2, imm: -1 });
+    asm.emit(Inst::Sh {
+        rs2: T0,
+        rs1: A0,
+        imm: 0,
+    });
+    asm.emit(Inst::Addi {
+        rd: A0,
+        rs1: A0,
+        imm: 2,
+    });
+    asm.emit(Inst::Addi {
+        rd: A1,
+        rs1: A1,
+        imm: 2,
+    });
+    asm.emit(Inst::Addi {
+        rd: A2,
+        rs1: A2,
+        imm: -1,
+    });
     asm.jump_to(lp);
     asm.bind(done).expect("fresh");
     asm.ret();
@@ -900,12 +1937,39 @@ fn emit_copy_bytes(asm: &mut Asm) -> Label {
     let lp = asm.new_label();
     let done = asm.new_label();
     asm.bind(lp).expect("fresh");
-    asm.branch_to(Inst::Beq { rs1: A2, rs2: Zero, offset: 0 }, done);
-    asm.emit(Inst::Lbu { rd: T0, rs1: A1, imm: 0 });
-    asm.emit(Inst::Sb { rs2: T0, rs1: A0, imm: 0 });
-    asm.emit(Inst::Addi { rd: A0, rs1: A0, imm: 1 });
-    asm.emit(Inst::Addi { rd: A1, rs1: A1, imm: 1 });
-    asm.emit(Inst::Addi { rd: A2, rs1: A2, imm: -1 });
+    asm.branch_to(
+        Inst::Beq {
+            rs1: A2,
+            rs2: Zero,
+            offset: 0,
+        },
+        done,
+    );
+    asm.emit(Inst::Lbu {
+        rd: T0,
+        rs1: A1,
+        imm: 0,
+    });
+    asm.emit(Inst::Sb {
+        rs2: T0,
+        rs1: A0,
+        imm: 0,
+    });
+    asm.emit(Inst::Addi {
+        rd: A0,
+        rs1: A0,
+        imm: 1,
+    });
+    asm.emit(Inst::Addi {
+        rd: A1,
+        rs1: A1,
+        imm: 1,
+    });
+    asm.emit(Inst::Addi {
+        rd: A2,
+        rs1: A2,
+        imm: -1,
+    });
     asm.jump_to(lp);
     asm.bind(done).expect("fresh");
     asm.ret();
@@ -923,13 +1987,36 @@ fn emit_scale_f32(asm: &mut Asm, sf: &SoftFloat) -> Label {
     asm.mv(S1, A1);
     asm.mv(S2, A2);
     asm.bind(lp).expect("fresh");
-    asm.branch_to(Inst::Beq { rs1: S1, rs2: Zero, offset: 0 }, done);
-    asm.emit(Inst::Lw { rd: A0, rs1: S0, imm: 0 });
+    asm.branch_to(
+        Inst::Beq {
+            rs1: S1,
+            rs2: Zero,
+            offset: 0,
+        },
+        done,
+    );
+    asm.emit(Inst::Lw {
+        rd: A0,
+        rs1: S0,
+        imm: 0,
+    });
     asm.mv(A1, S2);
     asm.call(sf.mul);
-    asm.emit(Inst::Sw { rs2: A0, rs1: S0, imm: 0 });
-    asm.emit(Inst::Addi { rd: S0, rs1: S0, imm: 4 });
-    asm.emit(Inst::Addi { rd: S1, rs1: S1, imm: -1 });
+    asm.emit(Inst::Sw {
+        rs2: A0,
+        rs1: S0,
+        imm: 0,
+    });
+    asm.emit(Inst::Addi {
+        rd: S0,
+        rs1: S0,
+        imm: 4,
+    });
+    asm.emit(Inst::Addi {
+        rd: S1,
+        rs1: S1,
+        imm: -1,
+    });
     asm.jump_to(lp);
     asm.bind(done).expect("fresh");
     epilogue(asm, &saves, frame);
@@ -952,20 +2039,62 @@ fn emit_softmax_f32(asm: &mut Asm, sf: &SoftFloat, math: &MathLib) -> Label {
 
     asm.mv(S0, A0); // ptr
     asm.mv(S1, A1); // len
-    // pass 1: max
-    asm.emit(Inst::Lw { rd: S3, rs1: S0, imm: 0 }); // max = ptr[0]
-    asm.emit(Inst::Addi { rd: S2, rs1: S0, imm: 4 });
-    asm.emit(Inst::Addi { rd: S5, rs1: S1, imm: -1 });
+                    // pass 1: max
+    asm.emit(Inst::Lw {
+        rd: S3,
+        rs1: S0,
+        imm: 0,
+    }); // max = ptr[0]
+    asm.emit(Inst::Addi {
+        rd: S2,
+        rs1: S0,
+        imm: 4,
+    });
+    asm.emit(Inst::Addi {
+        rd: S5,
+        rs1: S1,
+        imm: -1,
+    });
     asm.bind(l1).expect("fresh");
-    asm.branch_to(Inst::Beq { rs1: S5, rs2: Zero, offset: 0 }, l1_done);
+    asm.branch_to(
+        Inst::Beq {
+            rs1: S5,
+            rs2: Zero,
+            offset: 0,
+        },
+        l1_done,
+    );
     asm.mv(A0, S3);
-    asm.emit(Inst::Lw { rd: A1, rs1: S2, imm: 0 });
+    asm.emit(Inst::Lw {
+        rd: A1,
+        rs1: S2,
+        imm: 0,
+    });
     asm.call(sf.lt);
-    asm.branch_to(Inst::Beq { rs1: A0, rs2: Zero, offset: 0 }, no_upd);
-    asm.emit(Inst::Lw { rd: S3, rs1: S2, imm: 0 });
+    asm.branch_to(
+        Inst::Beq {
+            rs1: A0,
+            rs2: Zero,
+            offset: 0,
+        },
+        no_upd,
+    );
+    asm.emit(Inst::Lw {
+        rd: S3,
+        rs1: S2,
+        imm: 0,
+    });
     asm.bind(no_upd).expect("fresh");
-    asm.emit(Inst::Addi { rd: S2, rs1: S2, imm: 4 });
-    asm.emit(Inst::Addi { rd: S5, rs1: S5, imm: -1 });
+    asm.emit(Inst::Addi {
+        rd: S2,
+        rs1: S2,
+        imm: 4,
+    });
+    asm.emit(Inst::Addi {
+        rd: S5,
+        rs1: S5,
+        imm: -1,
+    });
     asm.jump_to(l1);
     asm.bind(l1_done).expect("fresh");
     // pass 2: exp(x - max), accumulate the sum
@@ -973,17 +2102,40 @@ fn emit_softmax_f32(asm: &mut Asm, sf: &SoftFloat, math: &MathLib) -> Label {
     asm.mv(S2, S0);
     asm.mv(S5, S1);
     asm.bind(l2).expect("fresh");
-    asm.branch_to(Inst::Beq { rs1: S5, rs2: Zero, offset: 0 }, l2_done);
-    asm.emit(Inst::Lw { rd: A0, rs1: S2, imm: 0 });
+    asm.branch_to(
+        Inst::Beq {
+            rs1: S5,
+            rs2: Zero,
+            offset: 0,
+        },
+        l2_done,
+    );
+    asm.emit(Inst::Lw {
+        rd: A0,
+        rs1: S2,
+        imm: 0,
+    });
     asm.mv(A1, S3);
     asm.call(sf.sub);
     asm.call(math.expf);
-    asm.emit(Inst::Sw { rs2: A0, rs1: S2, imm: 0 });
+    asm.emit(Inst::Sw {
+        rs2: A0,
+        rs1: S2,
+        imm: 0,
+    });
     asm.mv(A1, S4);
     asm.call(sf.add);
     asm.mv(S4, A0);
-    asm.emit(Inst::Addi { rd: S2, rs1: S2, imm: 4 });
-    asm.emit(Inst::Addi { rd: S5, rs1: S5, imm: -1 });
+    asm.emit(Inst::Addi {
+        rd: S2,
+        rs1: S2,
+        imm: 4,
+    });
+    asm.emit(Inst::Addi {
+        rd: S5,
+        rs1: S5,
+        imm: -1,
+    });
     asm.jump_to(l2);
     asm.bind(l2_done).expect("fresh");
     // inv = 1 / sum (the one expensive soft-float division)
@@ -995,13 +2147,36 @@ fn emit_softmax_f32(asm: &mut Asm, sf: &SoftFloat, math: &MathLib) -> Label {
     asm.mv(S2, S0);
     asm.mv(S5, S1);
     asm.bind(l3).expect("fresh");
-    asm.branch_to(Inst::Beq { rs1: S5, rs2: Zero, offset: 0 }, l3_done);
-    asm.emit(Inst::Lw { rd: A0, rs1: S2, imm: 0 });
+    asm.branch_to(
+        Inst::Beq {
+            rs1: S5,
+            rs2: Zero,
+            offset: 0,
+        },
+        l3_done,
+    );
+    asm.emit(Inst::Lw {
+        rd: A0,
+        rs1: S2,
+        imm: 0,
+    });
     asm.mv(A1, S4);
     asm.call(sf.mul);
-    asm.emit(Inst::Sw { rs2: A0, rs1: S2, imm: 0 });
-    asm.emit(Inst::Addi { rd: S2, rs1: S2, imm: 4 });
-    asm.emit(Inst::Addi { rd: S5, rs1: S5, imm: -1 });
+    asm.emit(Inst::Sw {
+        rs2: A0,
+        rs1: S2,
+        imm: 0,
+    });
+    asm.emit(Inst::Addi {
+        rd: S2,
+        rs1: S2,
+        imm: 4,
+    });
+    asm.emit(Inst::Addi {
+        rd: S5,
+        rs1: S5,
+        imm: -1,
+    });
     asm.jump_to(l3);
     asm.bind(l3_done).expect("fresh");
     epilogue(asm, &saves, frame);
@@ -1024,17 +2199,55 @@ fn emit_softmax_accel(asm: &mut Asm) -> Label {
     // pass 1: to fixed (in place), track max
     asm.mv(T0, A0);
     asm.mv(T1, A1);
-    asm.emit(Inst::Lui { rd: T2, imm: 0x8000_0000u32 as i32 }); // min i32
+    asm.emit(Inst::Lui {
+        rd: T2,
+        imm: 0x8000_0000u32 as i32,
+    }); // min i32
     asm.bind(p1).expect("fresh");
-    asm.branch_to(Inst::Beq { rs1: T1, rs2: Zero, offset: 0 }, p1_done);
-    asm.emit(Inst::Lw { rd: T3, rs1: T0, imm: 0 });
-    asm.emit(Inst::Custom { op: CustomOp::ToFixed, rd: T3, rs1: T3, rs2: Zero });
-    asm.emit(Inst::Sw { rs2: T3, rs1: T0, imm: 0 });
-    asm.branch_to(Inst::Bge { rs1: T2, rs2: T3, offset: 0 }, no_upd);
+    asm.branch_to(
+        Inst::Beq {
+            rs1: T1,
+            rs2: Zero,
+            offset: 0,
+        },
+        p1_done,
+    );
+    asm.emit(Inst::Lw {
+        rd: T3,
+        rs1: T0,
+        imm: 0,
+    });
+    asm.emit(Inst::Custom {
+        op: CustomOp::ToFixed,
+        rd: T3,
+        rs1: T3,
+        rs2: Zero,
+    });
+    asm.emit(Inst::Sw {
+        rs2: T3,
+        rs1: T0,
+        imm: 0,
+    });
+    asm.branch_to(
+        Inst::Bge {
+            rs1: T2,
+            rs2: T3,
+            offset: 0,
+        },
+        no_upd,
+    );
     asm.mv(T2, T3);
     asm.bind(no_upd).expect("fresh");
-    asm.emit(Inst::Addi { rd: T0, rs1: T0, imm: 4 });
-    asm.emit(Inst::Addi { rd: T1, rs1: T1, imm: -1 });
+    asm.emit(Inst::Addi {
+        rd: T0,
+        rs1: T0,
+        imm: 4,
+    });
+    asm.emit(Inst::Addi {
+        rd: T1,
+        rs1: T1,
+        imm: -1,
+    });
     asm.jump_to(p1);
     asm.bind(p1_done).expect("fresh");
     // pass 2: e = ALU_EXP(max - x), sum in plain integer adds
@@ -1042,33 +2255,122 @@ fn emit_softmax_accel(asm: &mut Asm) -> Label {
     asm.mv(T1, A1);
     asm.li(T4, 0);
     asm.bind(p2).expect("fresh");
-    asm.branch_to(Inst::Beq { rs1: T1, rs2: Zero, offset: 0 }, p2_done);
-    asm.emit(Inst::Lw { rd: T3, rs1: T0, imm: 0 });
-    asm.emit(Inst::Sub { rd: T3, rs1: T2, rs2: T3 }); // z = max - x >= 0
-    asm.emit(Inst::Custom { op: CustomOp::Exp, rd: T3, rs1: T3, rs2: Zero });
-    asm.emit(Inst::Sw { rs2: T3, rs1: T0, imm: 0 });
-    asm.emit(Inst::Add { rd: T4, rs1: T4, rs2: T3 });
-    asm.emit(Inst::Addi { rd: T0, rs1: T0, imm: 4 });
-    asm.emit(Inst::Addi { rd: T1, rs1: T1, imm: -1 });
+    asm.branch_to(
+        Inst::Beq {
+            rs1: T1,
+            rs2: Zero,
+            offset: 0,
+        },
+        p2_done,
+    );
+    asm.emit(Inst::Lw {
+        rd: T3,
+        rs1: T0,
+        imm: 0,
+    });
+    asm.emit(Inst::Sub {
+        rd: T3,
+        rs1: T2,
+        rs2: T3,
+    }); // z = max - x >= 0
+    asm.emit(Inst::Custom {
+        op: CustomOp::Exp,
+        rd: T3,
+        rs1: T3,
+        rs2: Zero,
+    });
+    asm.emit(Inst::Sw {
+        rs2: T3,
+        rs1: T0,
+        imm: 0,
+    });
+    asm.emit(Inst::Add {
+        rd: T4,
+        rs1: T4,
+        rs2: T3,
+    });
+    asm.emit(Inst::Addi {
+        rd: T0,
+        rs1: T0,
+        imm: 4,
+    });
+    asm.emit(Inst::Addi {
+        rd: T1,
+        rs1: T1,
+        imm: -1,
+    });
     asm.jump_to(p2);
     asm.bind(p2_done).expect("fresh");
     // invert the sum
-    asm.emit(Inst::Custom { op: CustomOp::Invert, rd: T4, rs1: T4, rs2: Zero });
+    asm.emit(Inst::Custom {
+        op: CustomOp::Invert,
+        rd: T4,
+        rs1: T4,
+        rs2: Zero,
+    });
     // pass 3: p = e * inv (Q8.24), back to float
     asm.mv(T0, A0);
     asm.mv(T1, A1);
     asm.bind(p3).expect("fresh");
-    asm.branch_to(Inst::Beq { rs1: T1, rs2: Zero, offset: 0 }, p3_done);
-    asm.emit(Inst::Lw { rd: T3, rs1: T0, imm: 0 });
-    asm.emit(Inst::Mulhu { rd: T5, rs1: T3, rs2: T4 });
-    asm.emit(Inst::Mul { rd: T6, rs1: T3, rs2: T4 });
-    asm.emit(Inst::Slli { rd: T5, rs1: T5, shamt: 8 });
-    asm.emit(Inst::Srli { rd: T6, rs1: T6, shamt: 24 });
-    asm.emit(Inst::Or { rd: T5, rs1: T5, rs2: T6 });
-    asm.emit(Inst::Custom { op: CustomOp::ToFloat, rd: T5, rs1: T5, rs2: Zero });
-    asm.emit(Inst::Sw { rs2: T5, rs1: T0, imm: 0 });
-    asm.emit(Inst::Addi { rd: T0, rs1: T0, imm: 4 });
-    asm.emit(Inst::Addi { rd: T1, rs1: T1, imm: -1 });
+    asm.branch_to(
+        Inst::Beq {
+            rs1: T1,
+            rs2: Zero,
+            offset: 0,
+        },
+        p3_done,
+    );
+    asm.emit(Inst::Lw {
+        rd: T3,
+        rs1: T0,
+        imm: 0,
+    });
+    asm.emit(Inst::Mulhu {
+        rd: T5,
+        rs1: T3,
+        rs2: T4,
+    });
+    asm.emit(Inst::Mul {
+        rd: T6,
+        rs1: T3,
+        rs2: T4,
+    });
+    asm.emit(Inst::Slli {
+        rd: T5,
+        rs1: T5,
+        shamt: 8,
+    });
+    asm.emit(Inst::Srli {
+        rd: T6,
+        rs1: T6,
+        shamt: 24,
+    });
+    asm.emit(Inst::Or {
+        rd: T5,
+        rs1: T5,
+        rs2: T6,
+    });
+    asm.emit(Inst::Custom {
+        op: CustomOp::ToFloat,
+        rd: T5,
+        rs1: T5,
+        rs2: Zero,
+    });
+    asm.emit(Inst::Sw {
+        rs2: T5,
+        rs1: T0,
+        imm: 0,
+    });
+    asm.emit(Inst::Addi {
+        rd: T0,
+        rs1: T0,
+        imm: 4,
+    });
+    asm.emit(Inst::Addi {
+        rd: T1,
+        rs1: T1,
+        imm: -1,
+    });
     asm.jump_to(p3);
     asm.bind(p3_done).expect("fresh");
     asm.ret();
@@ -1085,12 +2387,35 @@ fn emit_gelu_f32(asm: &mut Asm, math: &MathLib) -> Label {
     asm.mv(S0, A0);
     asm.mv(S1, A1);
     asm.bind(lp).expect("fresh");
-    asm.branch_to(Inst::Beq { rs1: S1, rs2: Zero, offset: 0 }, done);
-    asm.emit(Inst::Lw { rd: A0, rs1: S0, imm: 0 });
+    asm.branch_to(
+        Inst::Beq {
+            rs1: S1,
+            rs2: Zero,
+            offset: 0,
+        },
+        done,
+    );
+    asm.emit(Inst::Lw {
+        rd: A0,
+        rs1: S0,
+        imm: 0,
+    });
     asm.call(math.gelu);
-    asm.emit(Inst::Sw { rs2: A0, rs1: S0, imm: 0 });
-    asm.emit(Inst::Addi { rd: S0, rs1: S0, imm: 4 });
-    asm.emit(Inst::Addi { rd: S1, rs1: S1, imm: -1 });
+    asm.emit(Inst::Sw {
+        rs2: A0,
+        rs1: S0,
+        imm: 0,
+    });
+    asm.emit(Inst::Addi {
+        rd: S0,
+        rs1: S0,
+        imm: 4,
+    });
+    asm.emit(Inst::Addi {
+        rd: S1,
+        rs1: S1,
+        imm: -1,
+    });
     asm.jump_to(lp);
     asm.bind(done).expect("fresh");
     epilogue(asm, &saves, frame);
@@ -1103,14 +2428,52 @@ fn emit_gelu_accel(asm: &mut Asm) -> Label {
     let lp = asm.new_label();
     let done = asm.new_label();
     asm.bind(lp).expect("fresh");
-    asm.branch_to(Inst::Beq { rs1: A1, rs2: Zero, offset: 0 }, done);
-    asm.emit(Inst::Lw { rd: T0, rs1: A0, imm: 0 });
-    asm.emit(Inst::Custom { op: CustomOp::ToFixed, rd: T0, rs1: T0, rs2: Zero });
-    asm.emit(Inst::Custom { op: CustomOp::Gelu, rd: T0, rs1: T0, rs2: Zero });
-    asm.emit(Inst::Custom { op: CustomOp::ToFloat, rd: T0, rs1: T0, rs2: Zero });
-    asm.emit(Inst::Sw { rs2: T0, rs1: A0, imm: 0 });
-    asm.emit(Inst::Addi { rd: A0, rs1: A0, imm: 4 });
-    asm.emit(Inst::Addi { rd: A1, rs1: A1, imm: -1 });
+    asm.branch_to(
+        Inst::Beq {
+            rs1: A1,
+            rs2: Zero,
+            offset: 0,
+        },
+        done,
+    );
+    asm.emit(Inst::Lw {
+        rd: T0,
+        rs1: A0,
+        imm: 0,
+    });
+    asm.emit(Inst::Custom {
+        op: CustomOp::ToFixed,
+        rd: T0,
+        rs1: T0,
+        rs2: Zero,
+    });
+    asm.emit(Inst::Custom {
+        op: CustomOp::Gelu,
+        rd: T0,
+        rs1: T0,
+        rs2: Zero,
+    });
+    asm.emit(Inst::Custom {
+        op: CustomOp::ToFloat,
+        rd: T0,
+        rs1: T0,
+        rs2: Zero,
+    });
+    asm.emit(Inst::Sw {
+        rs2: T0,
+        rs1: A0,
+        imm: 0,
+    });
+    asm.emit(Inst::Addi {
+        rd: A0,
+        rs1: A0,
+        imm: 4,
+    });
+    asm.emit(Inst::Addi {
+        rd: A1,
+        rs1: A1,
+        imm: -1,
+    });
     asm.jump_to(lp);
     asm.bind(done).expect("fresh");
     asm.ret();
@@ -1124,14 +2487,49 @@ fn emit_scale_f32_packed(asm: &mut Asm) -> Label {
     let entry = asm.here("k_scale_f32_packed");
     let lp = asm.new_label();
     let done = asm.new_label();
-    asm.branch_to(Inst::Beq { rs1: A1, rs2: Zero, offset: 0 }, done);
+    asm.branch_to(
+        Inst::Beq {
+            rs1: A1,
+            rs2: Zero,
+            offset: 0,
+        },
+        done,
+    );
     asm.bind(lp).expect("fresh");
-    asm.emit(Inst::Lw { rd: T0, rs1: A0, imm: 0 });
-    asm.emit(Inst::Packed { op: PackedOp::KfmulT, rd: T0, rs1: T0, rs2: A2 });
-    asm.emit(Inst::Sw { rs2: T0, rs1: A0, imm: 0 });
-    asm.emit(Inst::Addi { rd: A0, rs1: A0, imm: 4 });
-    asm.emit(Inst::Addi { rd: A1, rs1: A1, imm: -1 });
-    asm.branch_to(Inst::Bne { rs1: A1, rs2: Zero, offset: 0 }, lp);
+    asm.emit(Inst::Lw {
+        rd: T0,
+        rs1: A0,
+        imm: 0,
+    });
+    asm.emit(Inst::Packed {
+        op: PackedOp::KfmulT,
+        rd: T0,
+        rs1: T0,
+        rs2: A2,
+    });
+    asm.emit(Inst::Sw {
+        rs2: T0,
+        rs1: A0,
+        imm: 0,
+    });
+    asm.emit(Inst::Addi {
+        rd: A0,
+        rs1: A0,
+        imm: 4,
+    });
+    asm.emit(Inst::Addi {
+        rd: A1,
+        rs1: A1,
+        imm: -1,
+    });
+    asm.branch_to(
+        Inst::Bne {
+            rs1: A1,
+            rs2: Zero,
+            offset: 0,
+        },
+        lp,
+    );
     asm.bind(done).expect("fresh");
     asm.ret();
     entry
@@ -1164,62 +2562,238 @@ fn emit_layer_norm_f32_packed(asm: &mut Asm, math: &MathLib) -> Label {
     asm.mv(S5, A5); // inv_n
     asm.mv(S6, A6); // eps
     asm.bind(row_loop).expect("fresh");
-    asm.branch_to(Inst::Beq { rs1: S3, rs2: Zero, offset: 0 }, done);
+    asm.branch_to(
+        Inst::Beq {
+            rs1: S3,
+            rs2: Zero,
+            offset: 0,
+        },
+        done,
+    );
     // mean = (Σ x) * inv_n
     asm.li(S8, 0);
     asm.mv(S9, S0);
     asm.mv(S10, S4);
-    asm.branch_to(Inst::Beq { rs1: S10, rs2: Zero, offset: 0 }, l1d);
+    asm.branch_to(
+        Inst::Beq {
+            rs1: S10,
+            rs2: Zero,
+            offset: 0,
+        },
+        l1d,
+    );
     asm.bind(l1).expect("fresh");
-    asm.emit(Inst::Lw { rd: T1, rs1: S9, imm: 0 });
-    asm.emit(Inst::Packed { op: KfaddT, rd: S8, rs1: T1, rs2: S8 });
-    asm.emit(Inst::Addi { rd: S9, rs1: S9, imm: 4 });
-    asm.emit(Inst::Addi { rd: S10, rs1: S10, imm: -1 });
-    asm.branch_to(Inst::Bne { rs1: S10, rs2: Zero, offset: 0 }, l1);
+    asm.emit(Inst::Lw {
+        rd: T1,
+        rs1: S9,
+        imm: 0,
+    });
+    asm.emit(Inst::Packed {
+        op: KfaddT,
+        rd: S8,
+        rs1: T1,
+        rs2: S8,
+    });
+    asm.emit(Inst::Addi {
+        rd: S9,
+        rs1: S9,
+        imm: 4,
+    });
+    asm.emit(Inst::Addi {
+        rd: S10,
+        rs1: S10,
+        imm: -1,
+    });
+    asm.branch_to(
+        Inst::Bne {
+            rs1: S10,
+            rs2: Zero,
+            offset: 0,
+        },
+        l1,
+    );
     asm.bind(l1d).expect("fresh");
-    asm.emit(Inst::Packed { op: KfmulT, rd: S7, rs1: S8, rs2: S5 }); // mean
-    // var = (Σ (x - mean)^2) * inv_n
+    asm.emit(Inst::Packed {
+        op: KfmulT,
+        rd: S7,
+        rs1: S8,
+        rs2: S5,
+    }); // mean
+        // var = (Σ (x - mean)^2) * inv_n
     asm.li(S8, 0);
     asm.mv(S9, S0);
     asm.mv(S10, S4);
-    asm.branch_to(Inst::Beq { rs1: S10, rs2: Zero, offset: 0 }, l2d);
+    asm.branch_to(
+        Inst::Beq {
+            rs1: S10,
+            rs2: Zero,
+            offset: 0,
+        },
+        l2d,
+    );
     asm.bind(l2).expect("fresh");
-    asm.emit(Inst::Lw { rd: T1, rs1: S9, imm: 0 });
-    asm.emit(Inst::Packed { op: KfsubT, rd: T1, rs1: T1, rs2: S7 });
-    asm.emit(Inst::Packed { op: KfmulT, rd: T1, rs1: T1, rs2: T1 });
-    asm.emit(Inst::Packed { op: KfaddT, rd: S8, rs1: T1, rs2: S8 });
-    asm.emit(Inst::Addi { rd: S9, rs1: S9, imm: 4 });
-    asm.emit(Inst::Addi { rd: S10, rs1: S10, imm: -1 });
-    asm.branch_to(Inst::Bne { rs1: S10, rs2: Zero, offset: 0 }, l2);
+    asm.emit(Inst::Lw {
+        rd: T1,
+        rs1: S9,
+        imm: 0,
+    });
+    asm.emit(Inst::Packed {
+        op: KfsubT,
+        rd: T1,
+        rs1: T1,
+        rs2: S7,
+    });
+    asm.emit(Inst::Packed {
+        op: KfmulT,
+        rd: T1,
+        rs1: T1,
+        rs2: T1,
+    });
+    asm.emit(Inst::Packed {
+        op: KfaddT,
+        rd: S8,
+        rs1: T1,
+        rs2: S8,
+    });
+    asm.emit(Inst::Addi {
+        rd: S9,
+        rs1: S9,
+        imm: 4,
+    });
+    asm.emit(Inst::Addi {
+        rd: S10,
+        rs1: S10,
+        imm: -1,
+    });
+    asm.branch_to(
+        Inst::Bne {
+            rs1: S10,
+            rs2: Zero,
+            offset: 0,
+        },
+        l2,
+    );
     asm.bind(l2d).expect("fresh");
-    asm.emit(Inst::Packed { op: KfmulT, rd: A0, rs1: S8, rs2: S5 }); // var
-    asm.emit(Inst::Packed { op: KfaddT, rd: A0, rs1: A0, rs2: S6 }); // + eps
+    asm.emit(Inst::Packed {
+        op: KfmulT,
+        rd: A0,
+        rs1: S8,
+        rs2: S5,
+    }); // var
+    asm.emit(Inst::Packed {
+        op: KfaddT,
+        rd: A0,
+        rs1: A0,
+        rs2: S6,
+    }); // + eps
     asm.call(math.rsqrtf);
     asm.mv(S11, A0); // inv_std
-    // x = ((x - mean) * inv_std) * gamma + beta
+                     // x = ((x - mean) * inv_std) * gamma + beta
     asm.mv(S9, S0);
     asm.mv(S10, S4);
     asm.li(S8, 0); // byte offset into gamma/beta
-    asm.branch_to(Inst::Beq { rs1: S10, rs2: Zero, offset: 0 }, l3d);
+    asm.branch_to(
+        Inst::Beq {
+            rs1: S10,
+            rs2: Zero,
+            offset: 0,
+        },
+        l3d,
+    );
     asm.bind(l3).expect("fresh");
-    asm.emit(Inst::Lw { rd: T1, rs1: S9, imm: 0 });
-    asm.emit(Inst::Packed { op: KfsubT, rd: T1, rs1: T1, rs2: S7 });
-    asm.emit(Inst::Packed { op: KfmulT, rd: T1, rs1: T1, rs2: S11 });
-    asm.emit(Inst::Add { rd: T0, rs1: S1, rs2: S8 });
-    asm.emit(Inst::Lw { rd: T2, rs1: T0, imm: 0 });
-    asm.emit(Inst::Packed { op: KfmulT, rd: T1, rs1: T1, rs2: T2 });
-    asm.emit(Inst::Add { rd: T0, rs1: S2, rs2: S8 });
-    asm.emit(Inst::Lw { rd: T2, rs1: T0, imm: 0 });
-    asm.emit(Inst::Packed { op: KfaddT, rd: T1, rs1: T1, rs2: T2 });
-    asm.emit(Inst::Sw { rs2: T1, rs1: S9, imm: 0 });
-    asm.emit(Inst::Addi { rd: S9, rs1: S9, imm: 4 });
-    asm.emit(Inst::Addi { rd: S8, rs1: S8, imm: 4 });
-    asm.emit(Inst::Addi { rd: S10, rs1: S10, imm: -1 });
-    asm.branch_to(Inst::Bne { rs1: S10, rs2: Zero, offset: 0 }, l3);
+    asm.emit(Inst::Lw {
+        rd: T1,
+        rs1: S9,
+        imm: 0,
+    });
+    asm.emit(Inst::Packed {
+        op: KfsubT,
+        rd: T1,
+        rs1: T1,
+        rs2: S7,
+    });
+    asm.emit(Inst::Packed {
+        op: KfmulT,
+        rd: T1,
+        rs1: T1,
+        rs2: S11,
+    });
+    asm.emit(Inst::Add {
+        rd: T0,
+        rs1: S1,
+        rs2: S8,
+    });
+    asm.emit(Inst::Lw {
+        rd: T2,
+        rs1: T0,
+        imm: 0,
+    });
+    asm.emit(Inst::Packed {
+        op: KfmulT,
+        rd: T1,
+        rs1: T1,
+        rs2: T2,
+    });
+    asm.emit(Inst::Add {
+        rd: T0,
+        rs1: S2,
+        rs2: S8,
+    });
+    asm.emit(Inst::Lw {
+        rd: T2,
+        rs1: T0,
+        imm: 0,
+    });
+    asm.emit(Inst::Packed {
+        op: KfaddT,
+        rd: T1,
+        rs1: T1,
+        rs2: T2,
+    });
+    asm.emit(Inst::Sw {
+        rs2: T1,
+        rs1: S9,
+        imm: 0,
+    });
+    asm.emit(Inst::Addi {
+        rd: S9,
+        rs1: S9,
+        imm: 4,
+    });
+    asm.emit(Inst::Addi {
+        rd: S8,
+        rs1: S8,
+        imm: 4,
+    });
+    asm.emit(Inst::Addi {
+        rd: S10,
+        rs1: S10,
+        imm: -1,
+    });
+    asm.branch_to(
+        Inst::Bne {
+            rs1: S10,
+            rs2: Zero,
+            offset: 0,
+        },
+        l3,
+    );
     asm.bind(l3d).expect("fresh");
-    asm.emit(Inst::Slli { rd: T0, rs1: S4, shamt: 2 });
-    asm.emit(Inst::Add { rd: S0, rs1: S0, rs2: T0 });
-    asm.emit(Inst::Addi { rd: S3, rs1: S3, imm: -1 });
+    asm.emit(Inst::Slli {
+        rd: T0,
+        rs1: S4,
+        shamt: 2,
+    });
+    asm.emit(Inst::Add {
+        rd: S0,
+        rs1: S0,
+        rs2: T0,
+    });
+    asm.emit(Inst::Addi {
+        rd: S3,
+        rs1: S3,
+        imm: -1,
+    });
     asm.jump_to(row_loop);
     asm.bind(done).expect("fresh");
     epilogue(asm, &saves, frame);
@@ -1250,32 +2824,69 @@ fn emit_layer_norm_f32(asm: &mut Asm, sf: &SoftFloat, math: &MathLib) -> Label {
     asm.mv(S5, A5); // inv_n
     asm.mv(S6, A6); // eps
     asm.bind(row_loop).expect("fresh");
-    asm.branch_to(Inst::Beq { rs1: S3, rs2: Zero, offset: 0 }, done);
+    asm.branch_to(
+        Inst::Beq {
+            rs1: S3,
+            rs2: Zero,
+            offset: 0,
+        },
+        done,
+    );
     // mean
     asm.li(S8, 0);
     asm.mv(S9, S0);
     asm.mv(S10, S4);
     asm.bind(l1).expect("fresh");
-    asm.branch_to(Inst::Beq { rs1: S10, rs2: Zero, offset: 0 }, l1d);
-    asm.emit(Inst::Lw { rd: A0, rs1: S9, imm: 0 });
+    asm.branch_to(
+        Inst::Beq {
+            rs1: S10,
+            rs2: Zero,
+            offset: 0,
+        },
+        l1d,
+    );
+    asm.emit(Inst::Lw {
+        rd: A0,
+        rs1: S9,
+        imm: 0,
+    });
     asm.mv(A1, S8);
     asm.call(sf.add);
     asm.mv(S8, A0);
-    asm.emit(Inst::Addi { rd: S9, rs1: S9, imm: 4 });
-    asm.emit(Inst::Addi { rd: S10, rs1: S10, imm: -1 });
+    asm.emit(Inst::Addi {
+        rd: S9,
+        rs1: S9,
+        imm: 4,
+    });
+    asm.emit(Inst::Addi {
+        rd: S10,
+        rs1: S10,
+        imm: -1,
+    });
     asm.jump_to(l1);
     asm.bind(l1d).expect("fresh");
     asm.mv(A0, S8);
     asm.mv(A1, S5);
     asm.call(sf.mul);
     asm.mv(S7, A0); // mean
-    // variance
+                    // variance
     asm.li(S8, 0);
     asm.mv(S9, S0);
     asm.mv(S10, S4);
     asm.bind(l2).expect("fresh");
-    asm.branch_to(Inst::Beq { rs1: S10, rs2: Zero, offset: 0 }, l2d);
-    asm.emit(Inst::Lw { rd: A0, rs1: S9, imm: 0 });
+    asm.branch_to(
+        Inst::Beq {
+            rs1: S10,
+            rs2: Zero,
+            offset: 0,
+        },
+        l2d,
+    );
+    asm.emit(Inst::Lw {
+        rd: A0,
+        rs1: S9,
+        imm: 0,
+    });
     asm.mv(A1, S7);
     asm.call(sf.sub);
     asm.mv(A1, A0);
@@ -1283,8 +2894,16 @@ fn emit_layer_norm_f32(asm: &mut Asm, sf: &SoftFloat, math: &MathLib) -> Label {
     asm.mv(A1, S8);
     asm.call(sf.add);
     asm.mv(S8, A0);
-    asm.emit(Inst::Addi { rd: S9, rs1: S9, imm: 4 });
-    asm.emit(Inst::Addi { rd: S10, rs1: S10, imm: -1 });
+    asm.emit(Inst::Addi {
+        rd: S9,
+        rs1: S9,
+        imm: 4,
+    });
+    asm.emit(Inst::Addi {
+        rd: S10,
+        rs1: S10,
+        imm: -1,
+    });
     asm.jump_to(l2);
     asm.bind(l2d).expect("fresh");
     asm.mv(A0, S8);
@@ -1294,32 +2913,87 @@ fn emit_layer_norm_f32(asm: &mut Asm, sf: &SoftFloat, math: &MathLib) -> Label {
     asm.call(sf.add); // var + eps
     asm.call(math.rsqrtf);
     asm.mv(S11, A0); // inv_std
-    // normalise the row
+                     // normalise the row
     asm.mv(S9, S0);
     asm.mv(S10, S4);
     asm.li(S8, 0); // byte offset into gamma/beta
     asm.bind(l3).expect("fresh");
-    asm.branch_to(Inst::Beq { rs1: S10, rs2: Zero, offset: 0 }, l3d);
-    asm.emit(Inst::Lw { rd: A0, rs1: S9, imm: 0 });
+    asm.branch_to(
+        Inst::Beq {
+            rs1: S10,
+            rs2: Zero,
+            offset: 0,
+        },
+        l3d,
+    );
+    asm.emit(Inst::Lw {
+        rd: A0,
+        rs1: S9,
+        imm: 0,
+    });
     asm.mv(A1, S7);
     asm.call(sf.sub);
     asm.mv(A1, S11);
     asm.call(sf.mul);
-    asm.emit(Inst::Add { rd: T0, rs1: S1, rs2: S8 });
-    asm.emit(Inst::Lw { rd: A1, rs1: T0, imm: 0 });
+    asm.emit(Inst::Add {
+        rd: T0,
+        rs1: S1,
+        rs2: S8,
+    });
+    asm.emit(Inst::Lw {
+        rd: A1,
+        rs1: T0,
+        imm: 0,
+    });
     asm.call(sf.mul);
-    asm.emit(Inst::Add { rd: T0, rs1: S2, rs2: S8 });
-    asm.emit(Inst::Lw { rd: A1, rs1: T0, imm: 0 });
+    asm.emit(Inst::Add {
+        rd: T0,
+        rs1: S2,
+        rs2: S8,
+    });
+    asm.emit(Inst::Lw {
+        rd: A1,
+        rs1: T0,
+        imm: 0,
+    });
     asm.call(sf.add);
-    asm.emit(Inst::Sw { rs2: A0, rs1: S9, imm: 0 });
-    asm.emit(Inst::Addi { rd: S9, rs1: S9, imm: 4 });
-    asm.emit(Inst::Addi { rd: S8, rs1: S8, imm: 4 });
-    asm.emit(Inst::Addi { rd: S10, rs1: S10, imm: -1 });
+    asm.emit(Inst::Sw {
+        rs2: A0,
+        rs1: S9,
+        imm: 0,
+    });
+    asm.emit(Inst::Addi {
+        rd: S9,
+        rs1: S9,
+        imm: 4,
+    });
+    asm.emit(Inst::Addi {
+        rd: S8,
+        rs1: S8,
+        imm: 4,
+    });
+    asm.emit(Inst::Addi {
+        rd: S10,
+        rs1: S10,
+        imm: -1,
+    });
     asm.jump_to(l3);
     asm.bind(l3d).expect("fresh");
-    asm.emit(Inst::Slli { rd: T0, rs1: S4, shamt: 2 });
-    asm.emit(Inst::Add { rd: S0, rs1: S0, rs2: T0 });
-    asm.emit(Inst::Addi { rd: S3, rs1: S3, imm: -1 });
+    asm.emit(Inst::Slli {
+        rd: T0,
+        rs1: S4,
+        shamt: 2,
+    });
+    asm.emit(Inst::Add {
+        rd: S0,
+        rs1: S0,
+        rs2: T0,
+    });
+    asm.emit(Inst::Addi {
+        rd: S3,
+        rs1: S3,
+        imm: -1,
+    });
     asm.jump_to(row_loop);
     asm.bind(done).expect("fresh");
     epilogue(asm, &saves, frame);
@@ -1338,15 +3012,42 @@ fn emit_dequant(asm: &mut Asm, sf: &SoftFloat) -> Label {
     asm.mv(S2, A2);
     asm.mv(S3, A3);
     asm.bind(lp).expect("fresh");
-    asm.branch_to(Inst::Beq { rs1: S2, rs2: Zero, offset: 0 }, done);
-    asm.emit(Inst::Lh { rd: A0, rs1: S0, imm: 0 });
+    asm.branch_to(
+        Inst::Beq {
+            rs1: S2,
+            rs2: Zero,
+            offset: 0,
+        },
+        done,
+    );
+    asm.emit(Inst::Lh {
+        rd: A0,
+        rs1: S0,
+        imm: 0,
+    });
     asm.call(sf.i2f);
     asm.mv(A1, S3);
     asm.call(sf.mul);
-    asm.emit(Inst::Sw { rs2: A0, rs1: S1, imm: 0 });
-    asm.emit(Inst::Addi { rd: S0, rs1: S0, imm: 2 });
-    asm.emit(Inst::Addi { rd: S1, rs1: S1, imm: 4 });
-    asm.emit(Inst::Addi { rd: S2, rs1: S2, imm: -1 });
+    asm.emit(Inst::Sw {
+        rs2: A0,
+        rs1: S1,
+        imm: 0,
+    });
+    asm.emit(Inst::Addi {
+        rd: S0,
+        rs1: S0,
+        imm: 2,
+    });
+    asm.emit(Inst::Addi {
+        rd: S1,
+        rs1: S1,
+        imm: 4,
+    });
+    asm.emit(Inst::Addi {
+        rd: S2,
+        rs1: S2,
+        imm: -1,
+    });
     asm.jump_to(lp);
     asm.bind(done).expect("fresh");
     epilogue(asm, &saves, frame);
@@ -1368,23 +3069,64 @@ fn emit_requant(asm: &mut Asm, sf: &SoftFloat) -> Label {
     asm.mv(S2, A2);
     asm.mv(S3, A3);
     asm.bind(lp).expect("fresh");
-    asm.branch_to(Inst::Beq { rs1: S2, rs2: Zero, offset: 0 }, done);
-    asm.emit(Inst::Lw { rd: A0, rs1: S0, imm: 0 });
+    asm.branch_to(
+        Inst::Beq {
+            rs1: S2,
+            rs2: Zero,
+            offset: 0,
+        },
+        done,
+    );
+    asm.emit(Inst::Lw {
+        rd: A0,
+        rs1: S0,
+        imm: 0,
+    });
     asm.mv(A1, S3);
     asm.call(sf.mul);
     asm.call(sf.f2i_floor);
     asm.li(T0, 32767);
-    asm.branch_to(Inst::Bge { rs1: T0, rs2: A0, offset: 0 }, chk_lo);
+    asm.branch_to(
+        Inst::Bge {
+            rs1: T0,
+            rs2: A0,
+            offset: 0,
+        },
+        chk_lo,
+    );
     asm.mv(A0, T0);
     asm.bind(chk_lo).expect("fresh");
     asm.li(T0, -32768);
-    asm.branch_to(Inst::Bge { rs1: A0, rs2: T0, offset: 0 }, store);
+    asm.branch_to(
+        Inst::Bge {
+            rs1: A0,
+            rs2: T0,
+            offset: 0,
+        },
+        store,
+    );
     asm.mv(A0, T0);
     asm.bind(store).expect("fresh");
-    asm.emit(Inst::Sh { rs2: A0, rs1: S1, imm: 0 });
-    asm.emit(Inst::Addi { rd: S0, rs1: S0, imm: 4 });
-    asm.emit(Inst::Addi { rd: S1, rs1: S1, imm: 2 });
-    asm.emit(Inst::Addi { rd: S2, rs1: S2, imm: -1 });
+    asm.emit(Inst::Sh {
+        rs2: A0,
+        rs1: S1,
+        imm: 0,
+    });
+    asm.emit(Inst::Addi {
+        rd: S0,
+        rs1: S0,
+        imm: 4,
+    });
+    asm.emit(Inst::Addi {
+        rd: S1,
+        rs1: S1,
+        imm: 2,
+    });
+    asm.emit(Inst::Addi {
+        rd: S2,
+        rs1: S2,
+        imm: -1,
+    });
     asm.jump_to(lp);
     asm.bind(done).expect("fresh");
     epilogue(asm, &saves, frame);
@@ -1393,12 +3135,7 @@ fn emit_requant(asm: &mut Asm, sf: &SoftFloat) -> Label {
 
 /// `attention_f32(a0=Q, a1=K, a2=V, a3=out, a4=S, a5=dh, a6=row_buf,
 /// a7=scale_bits)` — row-wise SDPA driver (eq. 1 via eq. 10).
-fn emit_attention_f32(
-    asm: &mut Asm,
-    matmul: Label,
-    scale: Label,
-    softmax: Label,
-) -> Label {
+fn emit_attention_f32(asm: &mut Asm, matmul: Label, scale: Label, softmax: Label) -> Label {
     use crate::regions::{BLOCK_ATTENTION, OP_MATMUL, OP_OTHER, OP_SOFTMAX};
     let entry = asm.here("k_attention_f32");
     let saves = [Ra, S0, S1, S2, S3, S4, S5, S6, S7, S8, S9, S10];
@@ -1418,7 +3155,14 @@ fn emit_attention_f32(
     asm.mv(S9, S0); // q row ptr
     asm.mv(S10, S3); // out row ptr
     asm.bind(row).expect("fresh");
-    asm.branch_to(Inst::Beq { rs1: S8, rs2: Zero, offset: 0 }, done);
+    asm.branch_to(
+        Inst::Beq {
+            rs1: S8,
+            rs2: Zero,
+            offset: 0,
+        },
+        done,
+    );
     // scores_row = K (S x dh) * q_row (dh x 1)
     push_region(asm, BLOCK_ATTENTION | OP_MATMUL);
     asm.mv(A0, S1);
@@ -1455,10 +3199,26 @@ fn emit_attention_f32(
     asm.call(matmul);
     pop_region(asm);
     // advance row pointers
-    asm.emit(Inst::Slli { rd: T0, rs1: S5, shamt: 2 });
-    asm.emit(Inst::Add { rd: S9, rs1: S9, rs2: T0 });
-    asm.emit(Inst::Add { rd: S10, rs1: S10, rs2: T0 });
-    asm.emit(Inst::Addi { rd: S8, rs1: S8, imm: -1 });
+    asm.emit(Inst::Slli {
+        rd: T0,
+        rs1: S5,
+        shamt: 2,
+    });
+    asm.emit(Inst::Add {
+        rd: S9,
+        rs1: S9,
+        rs2: T0,
+    });
+    asm.emit(Inst::Add {
+        rd: S10,
+        rs1: S10,
+        rs2: T0,
+    });
+    asm.emit(Inst::Addi {
+        rd: S8,
+        rs1: S8,
+        imm: -1,
+    });
     asm.jump_to(row);
     asm.bind(done).expect("fresh");
     epilogue(asm, &saves, frame);
@@ -1499,7 +3259,14 @@ fn emit_attention_q(
     asm.mv(S9, S0); // q row
     asm.mv(S10, S3); // out row
     asm.bind(row).expect("fresh");
-    asm.branch_to(Inst::Beq { rs1: S8, rs2: Zero, offset: 0 }, done);
+    asm.branch_to(
+        Inst::Beq {
+            rs1: S8,
+            rs2: Zero,
+            offset: 0,
+        },
+        done,
+    );
     // scores_row (i16) = K * q_row, shifted back to the activation scale
     push_region(asm, BLOCK_ATTENTION | OP_MATMUL);
     asm.mv(A0, S1);
@@ -1509,30 +3276,65 @@ fn emit_attention_q(
     asm.mv(A4, S4);
     asm.mv(A5, S5);
     asm.li(A6, 1);
-    asm.emit(Inst::Lw { rd: A7, rs1: S7, imm: attn_params::SHIFT });
+    asm.emit(Inst::Lw {
+        rd: A7,
+        rs1: S7,
+        imm: attn_params::SHIFT,
+    });
     asm.call(matmul_qq);
     pop_region(asm);
     // dequantise the row to float scratch
     push_region(asm, BLOCK_ATTENTION | OP_QUANT);
     asm.mv(A0, S6);
-    asm.emit(Inst::Lw { rd: A1, rs1: S7, imm: attn_params::ROWF });
+    asm.emit(Inst::Lw {
+        rd: A1,
+        rs1: S7,
+        imm: attn_params::ROWF,
+    });
     asm.mv(A2, S4);
-    asm.emit(Inst::Lw { rd: A3, rs1: S7, imm: attn_params::DEQ });
+    asm.emit(Inst::Lw {
+        rd: A3,
+        rs1: S7,
+        imm: attn_params::DEQ,
+    });
     asm.call(dequant);
     pop_region(asm);
     // scale by 1/sqrt(dh)
     push_region(asm, BLOCK_ATTENTION | OP_OTHER);
-    asm.emit(Inst::Lw { rd: A0, rs1: S7, imm: attn_params::ROWF });
+    asm.emit(Inst::Lw {
+        rd: A0,
+        rs1: S7,
+        imm: attn_params::ROWF,
+    });
     asm.mv(A1, S4);
-    asm.emit(Inst::Lw { rd: A2, rs1: S7, imm: attn_params::INV_SQRT_DH });
+    asm.emit(Inst::Lw {
+        rd: A2,
+        rs1: S7,
+        imm: attn_params::INV_SQRT_DH,
+    });
     asm.call(scale);
     pop_region(asm);
     // softmax (float or LUT)
     push_region(asm, BLOCK_ATTENTION | OP_SOFTMAX);
-    asm.emit(Inst::Lw { rd: A0, rs1: S7, imm: attn_params::ROWF });
+    asm.emit(Inst::Lw {
+        rd: A0,
+        rs1: S7,
+        imm: attn_params::ROWF,
+    });
     asm.mv(A1, S4);
-    asm.emit(Inst::Lw { rd: T1, rs1: S7, imm: attn_params::NONLINEARITY });
-    asm.branch_to(Inst::Bne { rs1: T1, rs2: Zero, offset: 0 }, use_accel);
+    asm.emit(Inst::Lw {
+        rd: T1,
+        rs1: S7,
+        imm: attn_params::NONLINEARITY,
+    });
+    asm.branch_to(
+        Inst::Bne {
+            rs1: T1,
+            rs2: Zero,
+            offset: 0,
+        },
+        use_accel,
+    );
     asm.call(softmax_f32);
     asm.jump_to(softmax_done);
     asm.bind(use_accel).expect("fresh");
@@ -1541,10 +3343,18 @@ fn emit_attention_q(
     pop_region(asm);
     // requantise probabilities
     push_region(asm, BLOCK_ATTENTION | OP_QUANT);
-    asm.emit(Inst::Lw { rd: A0, rs1: S7, imm: attn_params::ROWF });
+    asm.emit(Inst::Lw {
+        rd: A0,
+        rs1: S7,
+        imm: attn_params::ROWF,
+    });
     asm.mv(A1, S6);
     asm.mv(A2, S4);
-    asm.emit(Inst::Lw { rd: A3, rs1: S7, imm: attn_params::REQ });
+    asm.emit(Inst::Lw {
+        rd: A3,
+        rs1: S7,
+        imm: attn_params::REQ,
+    });
     asm.call(requant);
     pop_region(asm);
     // out_row = probs (1 x S) * V (S x dh), integer
@@ -1556,14 +3366,34 @@ fn emit_attention_q(
     asm.li(A4, 1);
     asm.mv(A5, S4);
     asm.mv(A6, S5);
-    asm.emit(Inst::Lw { rd: A7, rs1: S7, imm: attn_params::SHIFT });
+    asm.emit(Inst::Lw {
+        rd: A7,
+        rs1: S7,
+        imm: attn_params::SHIFT,
+    });
     asm.call(matmul_qq);
     pop_region(asm);
     // advance
-    asm.emit(Inst::Slli { rd: T0, rs1: S5, shamt: 1 });
-    asm.emit(Inst::Add { rd: S9, rs1: S9, rs2: T0 });
-    asm.emit(Inst::Add { rd: S10, rs1: S10, rs2: T0 });
-    asm.emit(Inst::Addi { rd: S8, rs1: S8, imm: -1 });
+    asm.emit(Inst::Slli {
+        rd: T0,
+        rs1: S5,
+        shamt: 1,
+    });
+    asm.emit(Inst::Add {
+        rd: S9,
+        rs1: S9,
+        rs2: T0,
+    });
+    asm.emit(Inst::Add {
+        rd: S10,
+        rs1: S10,
+        rs2: T0,
+    });
+    asm.emit(Inst::Addi {
+        rd: S8,
+        rs1: S8,
+        imm: -1,
+    });
     asm.jump_to(row);
     asm.bind(done).expect("fresh");
     epilogue(asm, &saves, frame);
@@ -1613,50 +3443,174 @@ fn emit_attention_q_packed(
     asm.mv(S5, A5); // dh
     asm.mv(S6, A6); // row16 (KP entries, tail zeroed below)
     asm.mv(S7, A7); // params
-    asm.emit(Inst::Lw { rd: S11, rs1: S7, imm: attn_params::VT });
+    asm.emit(Inst::Lw {
+        rd: S11,
+        rs1: S7,
+        imm: attn_params::VT,
+    });
 
     // ---- preamble: VT[j, k] = V[k, j], columns S..KP zero-padded ----
     push_region(asm, BLOCK_ATTENTION | OP_OTHER);
-    asm.emit(Inst::Lw { rd: T1, rs1: S7, imm: attn_params::KP });
-    asm.emit(Inst::Slli { rd: A0, rs1: S5, shamt: 1 }); // src column stride dh*2
+    asm.emit(Inst::Lw {
+        rd: T1,
+        rs1: S7,
+        imm: attn_params::KP,
+    });
+    asm.emit(Inst::Slli {
+        rd: A0,
+        rs1: S5,
+        shamt: 1,
+    }); // src column stride dh*2
     asm.li(T2, 0); // j
     asm.bind(tj).expect("fresh");
-    asm.branch_to(Inst::Bgeu { rs1: T2, rs2: S5, offset: 0 }, tjd);
-    asm.emit(Inst::Slli { rd: T3, rs1: T2, shamt: 1 });
-    asm.emit(Inst::Add { rd: T3, rs1: S2, rs2: T3 }); // src = V + 2j
-    asm.emit(Inst::Mul { rd: T4, rs1: T2, rs2: T1 });
-    asm.emit(Inst::Slli { rd: T4, rs1: T4, shamt: 1 });
-    asm.emit(Inst::Add { rd: T4, rs1: S11, rs2: T4 }); // dst = VT + j*KP*2
+    asm.branch_to(
+        Inst::Bgeu {
+            rs1: T2,
+            rs2: S5,
+            offset: 0,
+        },
+        tjd,
+    );
+    asm.emit(Inst::Slli {
+        rd: T3,
+        rs1: T2,
+        shamt: 1,
+    });
+    asm.emit(Inst::Add {
+        rd: T3,
+        rs1: S2,
+        rs2: T3,
+    }); // src = V + 2j
+    asm.emit(Inst::Mul {
+        rd: T4,
+        rs1: T2,
+        rs2: T1,
+    });
+    asm.emit(Inst::Slli {
+        rd: T4,
+        rs1: T4,
+        shamt: 1,
+    });
+    asm.emit(Inst::Add {
+        rd: T4,
+        rs1: S11,
+        rs2: T4,
+    }); // dst = VT + j*KP*2
     asm.mv(T5, S4); // k counter
     asm.bind(tk).expect("fresh");
-    asm.branch_to(Inst::Beq { rs1: T5, rs2: Zero, offset: 0 }, tkd);
-    asm.emit(Inst::Lh { rd: T6, rs1: T3, imm: 0 });
-    asm.emit(Inst::Sh { rs2: T6, rs1: T4, imm: 0 });
-    asm.emit(Inst::Add { rd: T3, rs1: T3, rs2: A0 });
-    asm.emit(Inst::Addi { rd: T4, rs1: T4, imm: 2 });
-    asm.emit(Inst::Addi { rd: T5, rs1: T5, imm: -1 });
+    asm.branch_to(
+        Inst::Beq {
+            rs1: T5,
+            rs2: Zero,
+            offset: 0,
+        },
+        tkd,
+    );
+    asm.emit(Inst::Lh {
+        rd: T6,
+        rs1: T3,
+        imm: 0,
+    });
+    asm.emit(Inst::Sh {
+        rs2: T6,
+        rs1: T4,
+        imm: 0,
+    });
+    asm.emit(Inst::Add {
+        rd: T3,
+        rs1: T3,
+        rs2: A0,
+    });
+    asm.emit(Inst::Addi {
+        rd: T4,
+        rs1: T4,
+        imm: 2,
+    });
+    asm.emit(Inst::Addi {
+        rd: T5,
+        rs1: T5,
+        imm: -1,
+    });
     asm.jump_to(tk);
     asm.bind(tkd).expect("fresh");
-    asm.emit(Inst::Sub { rd: T5, rs1: T1, rs2: S4 }); // pad count
+    asm.emit(Inst::Sub {
+        rd: T5,
+        rs1: T1,
+        rs2: S4,
+    }); // pad count
     asm.bind(tz).expect("fresh");
-    asm.branch_to(Inst::Beq { rs1: T5, rs2: Zero, offset: 0 }, tzd);
-    asm.emit(Inst::Sh { rs2: Zero, rs1: T4, imm: 0 });
-    asm.emit(Inst::Addi { rd: T4, rs1: T4, imm: 2 });
-    asm.emit(Inst::Addi { rd: T5, rs1: T5, imm: -1 });
+    asm.branch_to(
+        Inst::Beq {
+            rs1: T5,
+            rs2: Zero,
+            offset: 0,
+        },
+        tzd,
+    );
+    asm.emit(Inst::Sh {
+        rs2: Zero,
+        rs1: T4,
+        imm: 0,
+    });
+    asm.emit(Inst::Addi {
+        rd: T4,
+        rs1: T4,
+        imm: 2,
+    });
+    asm.emit(Inst::Addi {
+        rd: T5,
+        rs1: T5,
+        imm: -1,
+    });
     asm.jump_to(tz);
     asm.bind(tzd).expect("fresh");
-    asm.emit(Inst::Addi { rd: T2, rs1: T2, imm: 1 });
+    asm.emit(Inst::Addi {
+        rd: T2,
+        rs1: T2,
+        imm: 1,
+    });
     asm.jump_to(tj);
     asm.bind(tjd).expect("fresh");
     // zero the probability pad tail once (requant never writes it)
-    asm.emit(Inst::Sub { rd: T5, rs1: T1, rs2: S4 });
-    asm.emit(Inst::Slli { rd: T3, rs1: S4, shamt: 1 });
-    asm.emit(Inst::Add { rd: T3, rs1: S6, rs2: T3 });
+    asm.emit(Inst::Sub {
+        rd: T5,
+        rs1: T1,
+        rs2: S4,
+    });
+    asm.emit(Inst::Slli {
+        rd: T3,
+        rs1: S4,
+        shamt: 1,
+    });
+    asm.emit(Inst::Add {
+        rd: T3,
+        rs1: S6,
+        rs2: T3,
+    });
     asm.bind(pz).expect("fresh");
-    asm.branch_to(Inst::Beq { rs1: T5, rs2: Zero, offset: 0 }, pzd);
-    asm.emit(Inst::Sh { rs2: Zero, rs1: T3, imm: 0 });
-    asm.emit(Inst::Addi { rd: T3, rs1: T3, imm: 2 });
-    asm.emit(Inst::Addi { rd: T5, rs1: T5, imm: -1 });
+    asm.branch_to(
+        Inst::Beq {
+            rs1: T5,
+            rs2: Zero,
+            offset: 0,
+        },
+        pzd,
+    );
+    asm.emit(Inst::Sh {
+        rs2: Zero,
+        rs1: T3,
+        imm: 0,
+    });
+    asm.emit(Inst::Addi {
+        rd: T3,
+        rs1: T3,
+        imm: 2,
+    });
+    asm.emit(Inst::Addi {
+        rd: T5,
+        rs1: T5,
+        imm: -1,
+    });
     asm.jump_to(pz);
     asm.bind(pzd).expect("fresh");
     pop_region(asm);
@@ -1665,7 +3619,14 @@ fn emit_attention_q_packed(
     asm.mv(S9, S0); // q row
     asm.mv(S10, S3); // out row
     asm.bind(row).expect("fresh");
-    asm.branch_to(Inst::Beq { rs1: S8, rs2: Zero, offset: 0 }, done);
+    asm.branch_to(
+        Inst::Beq {
+            rs1: S8,
+            rs2: Zero,
+            offset: 0,
+        },
+        done,
+    );
     // scores_row (i16) = K * q_row (packed N == 1 fast path)
     push_region(asm, BLOCK_ATTENTION | OP_MATMUL);
     asm.mv(A0, S1);
@@ -1675,30 +3636,65 @@ fn emit_attention_q_packed(
     asm.mv(A4, S4);
     asm.mv(A5, S5);
     asm.li(A6, 1);
-    asm.emit(Inst::Lw { rd: A7, rs1: S7, imm: attn_params::SHIFT });
+    asm.emit(Inst::Lw {
+        rd: A7,
+        rs1: S7,
+        imm: attn_params::SHIFT,
+    });
     asm.call(matmul_qq);
     pop_region(asm);
     // dequantise the row to float scratch
     push_region(asm, BLOCK_ATTENTION | OP_QUANT);
     asm.mv(A0, S6);
-    asm.emit(Inst::Lw { rd: A1, rs1: S7, imm: attn_params::ROWF });
+    asm.emit(Inst::Lw {
+        rd: A1,
+        rs1: S7,
+        imm: attn_params::ROWF,
+    });
     asm.mv(A2, S4);
-    asm.emit(Inst::Lw { rd: A3, rs1: S7, imm: attn_params::DEQ });
+    asm.emit(Inst::Lw {
+        rd: A3,
+        rs1: S7,
+        imm: attn_params::DEQ,
+    });
     asm.call(dequant);
     pop_region(asm);
     // scale by 1/sqrt(dh)
     push_region(asm, BLOCK_ATTENTION | OP_OTHER);
-    asm.emit(Inst::Lw { rd: A0, rs1: S7, imm: attn_params::ROWF });
+    asm.emit(Inst::Lw {
+        rd: A0,
+        rs1: S7,
+        imm: attn_params::ROWF,
+    });
     asm.mv(A1, S4);
-    asm.emit(Inst::Lw { rd: A2, rs1: S7, imm: attn_params::INV_SQRT_DH });
+    asm.emit(Inst::Lw {
+        rd: A2,
+        rs1: S7,
+        imm: attn_params::INV_SQRT_DH,
+    });
     asm.call(scale);
     pop_region(asm);
     // softmax (float or LUT)
     push_region(asm, BLOCK_ATTENTION | OP_SOFTMAX);
-    asm.emit(Inst::Lw { rd: A0, rs1: S7, imm: attn_params::ROWF });
+    asm.emit(Inst::Lw {
+        rd: A0,
+        rs1: S7,
+        imm: attn_params::ROWF,
+    });
     asm.mv(A1, S4);
-    asm.emit(Inst::Lw { rd: T1, rs1: S7, imm: attn_params::NONLINEARITY });
-    asm.branch_to(Inst::Bne { rs1: T1, rs2: Zero, offset: 0 }, use_accel);
+    asm.emit(Inst::Lw {
+        rd: T1,
+        rs1: S7,
+        imm: attn_params::NONLINEARITY,
+    });
+    asm.branch_to(
+        Inst::Bne {
+            rs1: T1,
+            rs2: Zero,
+            offset: 0,
+        },
+        use_accel,
+    );
     asm.call(softmax_f32);
     asm.jump_to(softmax_done);
     asm.bind(use_accel).expect("fresh");
@@ -1707,10 +3703,18 @@ fn emit_attention_q_packed(
     pop_region(asm);
     // requantise probabilities
     push_region(asm, BLOCK_ATTENTION | OP_QUANT);
-    asm.emit(Inst::Lw { rd: A0, rs1: S7, imm: attn_params::ROWF });
+    asm.emit(Inst::Lw {
+        rd: A0,
+        rs1: S7,
+        imm: attn_params::ROWF,
+    });
     asm.mv(A1, S6);
     asm.mv(A2, S4);
-    asm.emit(Inst::Lw { rd: A3, rs1: S7, imm: attn_params::REQ });
+    asm.emit(Inst::Lw {
+        rd: A3,
+        rs1: S7,
+        imm: attn_params::REQ,
+    });
     asm.call(requant);
     pop_region(asm);
     // out_row = Vᵀ (dh × KP) * probs (KP × 1) — packed fast path; the
@@ -1722,16 +3726,40 @@ fn emit_attention_q_packed(
     asm.li(A2, 0);
     asm.mv(A3, S10);
     asm.mv(A4, S5);
-    asm.emit(Inst::Lw { rd: A5, rs1: S7, imm: attn_params::KP });
+    asm.emit(Inst::Lw {
+        rd: A5,
+        rs1: S7,
+        imm: attn_params::KP,
+    });
     asm.li(A6, 1);
-    asm.emit(Inst::Lw { rd: A7, rs1: S7, imm: attn_params::SHIFT });
+    asm.emit(Inst::Lw {
+        rd: A7,
+        rs1: S7,
+        imm: attn_params::SHIFT,
+    });
     asm.call(matmul_qq);
     pop_region(asm);
     // advance
-    asm.emit(Inst::Slli { rd: T0, rs1: S5, shamt: 1 });
-    asm.emit(Inst::Add { rd: S9, rs1: S9, rs2: T0 });
-    asm.emit(Inst::Add { rd: S10, rs1: S10, rs2: T0 });
-    asm.emit(Inst::Addi { rd: S8, rs1: S8, imm: -1 });
+    asm.emit(Inst::Slli {
+        rd: T0,
+        rs1: S5,
+        shamt: 1,
+    });
+    asm.emit(Inst::Add {
+        rd: S9,
+        rs1: S9,
+        rs2: T0,
+    });
+    asm.emit(Inst::Add {
+        rd: S10,
+        rs1: S10,
+        rs2: T0,
+    });
+    asm.emit(Inst::Addi {
+        rd: S8,
+        rs1: S8,
+        imm: -1,
+    });
     asm.jump_to(row);
     asm.bind(done).expect("fresh");
     epilogue(asm, &saves, frame);
@@ -1874,75 +3902,286 @@ fn emit_matmul_a8(asm: &mut Asm) -> Label {
     let kdone = asm.new_label();
 
     // dispatch: fast path needs A % 4 == 0, Wt % 4 == 0, K % 4 == 0, K > 0
-    asm.emit(Inst::Or { rd: T0, rs1: A0, rs2: A1 });
-    asm.emit(Inst::Andi { rd: T0, rs1: T0, imm: 3 });
-    asm.emit(Inst::Andi { rd: T1, rs1: A5, imm: 3 });
-    asm.emit(Inst::Or { rd: T0, rs1: T0, rs2: T1 });
-    asm.branch_to(Inst::Bne { rs1: T0, rs2: Zero, offset: 0 }, slow);
-    asm.branch_to(Inst::Beq { rs1: A5, rs2: Zero, offset: 0 }, slow);
+    asm.emit(Inst::Or {
+        rd: T0,
+        rs1: A0,
+        rs2: A1,
+    });
+    asm.emit(Inst::Andi {
+        rd: T0,
+        rs1: T0,
+        imm: 3,
+    });
+    asm.emit(Inst::Andi {
+        rd: T1,
+        rs1: A5,
+        imm: 3,
+    });
+    asm.emit(Inst::Or {
+        rd: T0,
+        rs1: T0,
+        rs2: T1,
+    });
+    asm.branch_to(
+        Inst::Bne {
+            rs1: T0,
+            rs2: Zero,
+            offset: 0,
+        },
+        slow,
+    );
+    asm.branch_to(
+        Inst::Beq {
+            rs1: A5,
+            rs2: Zero,
+            offset: 0,
+        },
+        slow,
+    );
 
     asm.bind(outer).expect("fresh");
-    asm.branch_to(Inst::Beq { rs1: A4, rs2: Zero, offset: 0 }, done);
+    asm.branch_to(
+        Inst::Beq {
+            rs1: A4,
+            rs2: Zero,
+            offset: 0,
+        },
+        done,
+    );
     asm.mv(T4, A1); // pw walks the whole Wt once per A row
     asm.li(T0, 0); // j
     asm.bind(jloop).expect("fresh");
-    asm.branch_to(Inst::Bgeu { rs1: T0, rs2: A6, offset: 0 }, jdone);
-    asm.branch_to(Inst::Beq { rs1: A2, rs2: Zero, offset: 0 }, zinit);
-    asm.emit(Inst::Slli { rd: T5, rs1: T0, shamt: 2 });
-    asm.emit(Inst::Add { rd: T5, rs1: A2, rs2: T5 });
-    asm.emit(Inst::Lw { rd: T2, rs1: T5, imm: 0 });
+    asm.branch_to(
+        Inst::Bgeu {
+            rs1: T0,
+            rs2: A6,
+            offset: 0,
+        },
+        jdone,
+    );
+    asm.branch_to(
+        Inst::Beq {
+            rs1: A2,
+            rs2: Zero,
+            offset: 0,
+        },
+        zinit,
+    );
+    asm.emit(Inst::Slli {
+        rd: T5,
+        rs1: T0,
+        shamt: 2,
+    });
+    asm.emit(Inst::Add {
+        rd: T5,
+        rs1: A2,
+        rs2: T5,
+    });
+    asm.emit(Inst::Lw {
+        rd: T2,
+        rs1: T5,
+        imm: 0,
+    });
     asm.jump_to(k0);
     asm.bind(zinit).expect("fresh");
     asm.li(T2, 0);
     asm.bind(k0).expect("fresh");
     // main loop: 16 MACs per iteration, then a 4-MAC tail loop
-    asm.emit(Inst::Addi { rd: T1, rs1: A5, imm: -16 });
+    asm.emit(Inst::Addi {
+        rd: T1,
+        rs1: A5,
+        imm: -16,
+    });
     asm.mv(T3, A0); // pa
-    asm.branch_to(Inst::Blt { rs1: T1, rs2: Zero, offset: 0 }, ktail);
+    asm.branch_to(
+        Inst::Blt {
+            rs1: T1,
+            rs2: Zero,
+            offset: 0,
+        },
+        ktail,
+    );
     asm.bind(kloop).expect("fresh");
     for blk in 0..4 {
-        asm.emit(Inst::Lw { rd: T5, rs1: T3, imm: 4 * blk });
-        asm.emit(Inst::Lw { rd: T6, rs1: T4, imm: 4 * blk });
-        asm.emit(Inst::Packed { op: PackedOp::Kdot4I8, rd: T2, rs1: T5, rs2: T6 });
+        asm.emit(Inst::Lw {
+            rd: T5,
+            rs1: T3,
+            imm: 4 * blk,
+        });
+        asm.emit(Inst::Lw {
+            rd: T6,
+            rs1: T4,
+            imm: 4 * blk,
+        });
+        asm.emit(Inst::Packed {
+            op: PackedOp::Kdot4I8,
+            rd: T2,
+            rs1: T5,
+            rs2: T6,
+        });
     }
-    asm.emit(Inst::Addi { rd: T3, rs1: T3, imm: 16 });
-    asm.emit(Inst::Addi { rd: T4, rs1: T4, imm: 16 });
-    asm.emit(Inst::Addi { rd: T1, rs1: T1, imm: -16 });
-    asm.branch_to(Inst::Bge { rs1: T1, rs2: Zero, offset: 0 }, kloop);
+    asm.emit(Inst::Addi {
+        rd: T3,
+        rs1: T3,
+        imm: 16,
+    });
+    asm.emit(Inst::Addi {
+        rd: T4,
+        rs1: T4,
+        imm: 16,
+    });
+    asm.emit(Inst::Addi {
+        rd: T1,
+        rs1: T1,
+        imm: -16,
+    });
+    asm.branch_to(
+        Inst::Bge {
+            rs1: T1,
+            rs2: Zero,
+            offset: 0,
+        },
+        kloop,
+    );
     asm.bind(ktail).expect("fresh");
     // straight-line tail: the remainder is 0, 4, 8 or 12 — one optional
     // 8-MAC block and one optional 4-MAC block, no loop back-edges
-    asm.emit(Inst::Addi { rd: T1, rs1: T1, imm: 16 });
-    asm.branch_to(Inst::Beq { rs1: T1, rs2: Zero, offset: 0 }, kdone);
-    asm.emit(Inst::Addi { rd: T5, rs1: T1, imm: -8 });
-    asm.branch_to(Inst::Blt { rs1: T5, rs2: Zero, offset: 0 }, tail4);
+    asm.emit(Inst::Addi {
+        rd: T1,
+        rs1: T1,
+        imm: 16,
+    });
+    asm.branch_to(
+        Inst::Beq {
+            rs1: T1,
+            rs2: Zero,
+            offset: 0,
+        },
+        kdone,
+    );
+    asm.emit(Inst::Addi {
+        rd: T5,
+        rs1: T1,
+        imm: -8,
+    });
+    asm.branch_to(
+        Inst::Blt {
+            rs1: T5,
+            rs2: Zero,
+            offset: 0,
+        },
+        tail4,
+    );
     for blk in 0..2 {
-        asm.emit(Inst::Lw { rd: T5, rs1: T3, imm: 4 * blk });
-        asm.emit(Inst::Lw { rd: T6, rs1: T4, imm: 4 * blk });
-        asm.emit(Inst::Packed { op: PackedOp::Kdot4I8, rd: T2, rs1: T5, rs2: T6 });
+        asm.emit(Inst::Lw {
+            rd: T5,
+            rs1: T3,
+            imm: 4 * blk,
+        });
+        asm.emit(Inst::Lw {
+            rd: T6,
+            rs1: T4,
+            imm: 4 * blk,
+        });
+        asm.emit(Inst::Packed {
+            op: PackedOp::Kdot4I8,
+            rd: T2,
+            rs1: T5,
+            rs2: T6,
+        });
     }
-    asm.emit(Inst::Addi { rd: T3, rs1: T3, imm: 8 });
-    asm.emit(Inst::Addi { rd: T4, rs1: T4, imm: 8 });
-    asm.emit(Inst::Addi { rd: T1, rs1: T1, imm: -8 });
-    asm.branch_to(Inst::Beq { rs1: T1, rs2: Zero, offset: 0 }, kdone);
+    asm.emit(Inst::Addi {
+        rd: T3,
+        rs1: T3,
+        imm: 8,
+    });
+    asm.emit(Inst::Addi {
+        rd: T4,
+        rs1: T4,
+        imm: 8,
+    });
+    asm.emit(Inst::Addi {
+        rd: T1,
+        rs1: T1,
+        imm: -8,
+    });
+    asm.branch_to(
+        Inst::Beq {
+            rs1: T1,
+            rs2: Zero,
+            offset: 0,
+        },
+        kdone,
+    );
     asm.bind(tail4).expect("fresh");
-    asm.emit(Inst::Lw { rd: T5, rs1: T3, imm: 0 });
-    asm.emit(Inst::Lw { rd: T6, rs1: T4, imm: 0 });
-    asm.emit(Inst::Packed { op: PackedOp::Kdot4I8, rd: T2, rs1: T5, rs2: T6 });
-    asm.emit(Inst::Addi { rd: T4, rs1: T4, imm: 4 });
+    asm.emit(Inst::Lw {
+        rd: T5,
+        rs1: T3,
+        imm: 0,
+    });
+    asm.emit(Inst::Lw {
+        rd: T6,
+        rs1: T4,
+        imm: 0,
+    });
+    asm.emit(Inst::Packed {
+        op: PackedOp::Kdot4I8,
+        rd: T2,
+        rs1: T5,
+        rs2: T6,
+    });
+    asm.emit(Inst::Addi {
+        rd: T4,
+        rs1: T4,
+        imm: 4,
+    });
     asm.bind(kdone).expect("fresh");
     // shift to the output scale, saturate to i16 then clip to i8, store
-    asm.emit(Inst::Packed { op: PackedOp::KsatI16, rd: T2, rs1: T2, rs2: A7 });
+    asm.emit(Inst::Packed {
+        op: PackedOp::KsatI16,
+        rd: T2,
+        rs1: T2,
+        rs2: A7,
+    });
     asm.li(T6, 7);
-    asm.emit(Inst::Packed { op: PackedOp::Kclip, rd: T2, rs1: T2, rs2: T6 });
-    asm.emit(Inst::Add { rd: T5, rs1: A3, rs2: T0 });
-    asm.emit(Inst::Sb { rs2: T2, rs1: T5, imm: 0 });
-    asm.emit(Inst::Addi { rd: T0, rs1: T0, imm: 1 });
+    asm.emit(Inst::Packed {
+        op: PackedOp::Kclip,
+        rd: T2,
+        rs1: T2,
+        rs2: T6,
+    });
+    asm.emit(Inst::Add {
+        rd: T5,
+        rs1: A3,
+        rs2: T0,
+    });
+    asm.emit(Inst::Sb {
+        rs2: T2,
+        rs1: T5,
+        imm: 0,
+    });
+    asm.emit(Inst::Addi {
+        rd: T0,
+        rs1: T0,
+        imm: 1,
+    });
     asm.jump_to(jloop);
     asm.bind(jdone).expect("fresh");
-    asm.emit(Inst::Add { rd: A0, rs1: A0, rs2: A5 });
-    asm.emit(Inst::Add { rd: A3, rs1: A3, rs2: A6 });
-    asm.emit(Inst::Addi { rd: A4, rs1: A4, imm: -1 });
+    asm.emit(Inst::Add {
+        rd: A0,
+        rs1: A0,
+        rs2: A5,
+    });
+    asm.emit(Inst::Add {
+        rd: A3,
+        rs1: A3,
+        rs2: A6,
+    });
+    asm.emit(Inst::Addi {
+        rd: A4,
+        rs1: A4,
+        imm: -1,
+    });
     asm.jump_to(outer);
     asm.bind(done).expect("fresh");
     asm.ret();
@@ -1959,43 +4198,152 @@ fn emit_matmul_a8(asm: &mut Asm) -> Label {
     let sepi = asm.new_label();
     asm.bind(slow).expect("fresh");
     asm.bind(souter).expect("fresh");
-    asm.branch_to(Inst::Beq { rs1: A4, rs2: Zero, offset: 0 }, sdone);
+    asm.branch_to(
+        Inst::Beq {
+            rs1: A4,
+            rs2: Zero,
+            offset: 0,
+        },
+        sdone,
+    );
     asm.mv(T4, A1);
     asm.li(T0, 0);
     asm.bind(sjloop).expect("fresh");
-    asm.branch_to(Inst::Bgeu { rs1: T0, rs2: A6, offset: 0 }, sjdone);
-    asm.branch_to(Inst::Beq { rs1: A2, rs2: Zero, offset: 0 }, szinit);
-    asm.emit(Inst::Slli { rd: T5, rs1: T0, shamt: 2 });
-    asm.emit(Inst::Add { rd: T5, rs1: A2, rs2: T5 });
-    asm.emit(Inst::Lw { rd: T2, rs1: T5, imm: 0 });
+    asm.branch_to(
+        Inst::Bgeu {
+            rs1: T0,
+            rs2: A6,
+            offset: 0,
+        },
+        sjdone,
+    );
+    asm.branch_to(
+        Inst::Beq {
+            rs1: A2,
+            rs2: Zero,
+            offset: 0,
+        },
+        szinit,
+    );
+    asm.emit(Inst::Slli {
+        rd: T5,
+        rs1: T0,
+        shamt: 2,
+    });
+    asm.emit(Inst::Add {
+        rd: T5,
+        rs1: A2,
+        rs2: T5,
+    });
+    asm.emit(Inst::Lw {
+        rd: T2,
+        rs1: T5,
+        imm: 0,
+    });
     asm.jump_to(sk0);
     asm.bind(szinit).expect("fresh");
     asm.li(T2, 0);
     asm.bind(sk0).expect("fresh");
     asm.mv(T1, A5);
     asm.mv(T3, A0);
-    asm.branch_to(Inst::Beq { rs1: T1, rs2: Zero, offset: 0 }, sepi);
+    asm.branch_to(
+        Inst::Beq {
+            rs1: T1,
+            rs2: Zero,
+            offset: 0,
+        },
+        sepi,
+    );
     asm.bind(skloop).expect("fresh");
-    asm.emit(Inst::Lb { rd: T5, rs1: T3, imm: 0 });
-    asm.emit(Inst::Lb { rd: T6, rs1: T4, imm: 0 });
-    asm.emit(Inst::Mul { rd: T5, rs1: T5, rs2: T6 });
-    asm.emit(Inst::Add { rd: T2, rs1: T2, rs2: T5 });
-    asm.emit(Inst::Addi { rd: T3, rs1: T3, imm: 1 });
-    asm.emit(Inst::Addi { rd: T4, rs1: T4, imm: 1 });
-    asm.emit(Inst::Addi { rd: T1, rs1: T1, imm: -1 });
-    asm.branch_to(Inst::Bne { rs1: T1, rs2: Zero, offset: 0 }, skloop);
+    asm.emit(Inst::Lb {
+        rd: T5,
+        rs1: T3,
+        imm: 0,
+    });
+    asm.emit(Inst::Lb {
+        rd: T6,
+        rs1: T4,
+        imm: 0,
+    });
+    asm.emit(Inst::Mul {
+        rd: T5,
+        rs1: T5,
+        rs2: T6,
+    });
+    asm.emit(Inst::Add {
+        rd: T2,
+        rs1: T2,
+        rs2: T5,
+    });
+    asm.emit(Inst::Addi {
+        rd: T3,
+        rs1: T3,
+        imm: 1,
+    });
+    asm.emit(Inst::Addi {
+        rd: T4,
+        rs1: T4,
+        imm: 1,
+    });
+    asm.emit(Inst::Addi {
+        rd: T1,
+        rs1: T1,
+        imm: -1,
+    });
+    asm.branch_to(
+        Inst::Bne {
+            rs1: T1,
+            rs2: Zero,
+            offset: 0,
+        },
+        skloop,
+    );
     asm.bind(sepi).expect("fresh");
-    asm.emit(Inst::Packed { op: PackedOp::KsatI16, rd: T2, rs1: T2, rs2: A7 });
+    asm.emit(Inst::Packed {
+        op: PackedOp::KsatI16,
+        rd: T2,
+        rs1: T2,
+        rs2: A7,
+    });
     asm.li(T6, 7);
-    asm.emit(Inst::Packed { op: PackedOp::Kclip, rd: T2, rs1: T2, rs2: T6 });
-    asm.emit(Inst::Add { rd: T5, rs1: A3, rs2: T0 });
-    asm.emit(Inst::Sb { rs2: T2, rs1: T5, imm: 0 });
-    asm.emit(Inst::Addi { rd: T0, rs1: T0, imm: 1 });
+    asm.emit(Inst::Packed {
+        op: PackedOp::Kclip,
+        rd: T2,
+        rs1: T2,
+        rs2: T6,
+    });
+    asm.emit(Inst::Add {
+        rd: T5,
+        rs1: A3,
+        rs2: T0,
+    });
+    asm.emit(Inst::Sb {
+        rs2: T2,
+        rs1: T5,
+        imm: 0,
+    });
+    asm.emit(Inst::Addi {
+        rd: T0,
+        rs1: T0,
+        imm: 1,
+    });
     asm.jump_to(sjloop);
     asm.bind(sjdone).expect("fresh");
-    asm.emit(Inst::Add { rd: A0, rs1: A0, rs2: A5 });
-    asm.emit(Inst::Add { rd: A3, rs1: A3, rs2: A6 });
-    asm.emit(Inst::Addi { rd: A4, rs1: A4, imm: -1 });
+    asm.emit(Inst::Add {
+        rd: A0,
+        rs1: A0,
+        rs2: A5,
+    });
+    asm.emit(Inst::Add {
+        rd: A3,
+        rs1: A3,
+        rs2: A6,
+    });
+    asm.emit(Inst::Addi {
+        rd: A4,
+        rs1: A4,
+        imm: -1,
+    });
     asm.jump_to(souter);
     asm.bind(sdone).expect("fresh");
     asm.ret();
@@ -2008,18 +4356,65 @@ fn emit_add_sat_i8_a8(asm: &mut Asm) -> Label {
     let entry = asm.here("k_add_sat_i8");
     let lp = asm.new_label();
     let done = asm.new_label();
-    asm.branch_to(Inst::Beq { rs1: A2, rs2: Zero, offset: 0 }, done);
+    asm.branch_to(
+        Inst::Beq {
+            rs1: A2,
+            rs2: Zero,
+            offset: 0,
+        },
+        done,
+    );
     asm.li(T2, 7);
     asm.bind(lp).expect("fresh");
-    asm.emit(Inst::Lb { rd: T0, rs1: A0, imm: 0 });
-    asm.emit(Inst::Lb { rd: T1, rs1: A1, imm: 0 });
-    asm.emit(Inst::Add { rd: T0, rs1: T0, rs2: T1 });
-    asm.emit(Inst::Packed { op: PackedOp::Kclip, rd: T0, rs1: T0, rs2: T2 });
-    asm.emit(Inst::Sb { rs2: T0, rs1: A0, imm: 0 });
-    asm.emit(Inst::Addi { rd: A0, rs1: A0, imm: 1 });
-    asm.emit(Inst::Addi { rd: A1, rs1: A1, imm: 1 });
-    asm.emit(Inst::Addi { rd: A2, rs1: A2, imm: -1 });
-    asm.branch_to(Inst::Bne { rs1: A2, rs2: Zero, offset: 0 }, lp);
+    asm.emit(Inst::Lb {
+        rd: T0,
+        rs1: A0,
+        imm: 0,
+    });
+    asm.emit(Inst::Lb {
+        rd: T1,
+        rs1: A1,
+        imm: 0,
+    });
+    asm.emit(Inst::Add {
+        rd: T0,
+        rs1: T0,
+        rs2: T1,
+    });
+    asm.emit(Inst::Packed {
+        op: PackedOp::Kclip,
+        rd: T0,
+        rs1: T0,
+        rs2: T2,
+    });
+    asm.emit(Inst::Sb {
+        rs2: T0,
+        rs1: A0,
+        imm: 0,
+    });
+    asm.emit(Inst::Addi {
+        rd: A0,
+        rs1: A0,
+        imm: 1,
+    });
+    asm.emit(Inst::Addi {
+        rd: A1,
+        rs1: A1,
+        imm: 1,
+    });
+    asm.emit(Inst::Addi {
+        rd: A2,
+        rs1: A2,
+        imm: -1,
+    });
+    asm.branch_to(
+        Inst::Bne {
+            rs1: A2,
+            rs2: Zero,
+            offset: 0,
+        },
+        lp,
+    );
     asm.bind(done).expect("fresh");
     asm.ret();
     entry
@@ -2033,16 +4428,60 @@ fn emit_dequant8(asm: &mut Asm) -> Label {
     let entry = asm.here("k_dequant8");
     let lp = asm.new_label();
     let done = asm.new_label();
-    asm.branch_to(Inst::Beq { rs1: A2, rs2: Zero, offset: 0 }, done);
+    asm.branch_to(
+        Inst::Beq {
+            rs1: A2,
+            rs2: Zero,
+            offset: 0,
+        },
+        done,
+    );
     asm.bind(lp).expect("fresh");
-    asm.emit(Inst::Lb { rd: T2, rs1: A0, imm: 0 });
-    asm.emit(Inst::Packed { op: PackedOp::KcvtH2F, rd: T2, rs1: T2, rs2: Zero });
-    asm.emit(Inst::Packed { op: PackedOp::KfmulT, rd: T2, rs1: T2, rs2: A3 });
-    asm.emit(Inst::Sw { rs2: T2, rs1: A1, imm: 0 });
-    asm.emit(Inst::Addi { rd: A0, rs1: A0, imm: 1 });
-    asm.emit(Inst::Addi { rd: A1, rs1: A1, imm: 4 });
-    asm.emit(Inst::Addi { rd: A2, rs1: A2, imm: -1 });
-    asm.branch_to(Inst::Bne { rs1: A2, rs2: Zero, offset: 0 }, lp);
+    asm.emit(Inst::Lb {
+        rd: T2,
+        rs1: A0,
+        imm: 0,
+    });
+    asm.emit(Inst::Packed {
+        op: PackedOp::KcvtH2F,
+        rd: T2,
+        rs1: T2,
+        rs2: Zero,
+    });
+    asm.emit(Inst::Packed {
+        op: PackedOp::KfmulT,
+        rd: T2,
+        rs1: T2,
+        rs2: A3,
+    });
+    asm.emit(Inst::Sw {
+        rs2: T2,
+        rs1: A1,
+        imm: 0,
+    });
+    asm.emit(Inst::Addi {
+        rd: A0,
+        rs1: A0,
+        imm: 1,
+    });
+    asm.emit(Inst::Addi {
+        rd: A1,
+        rs1: A1,
+        imm: 4,
+    });
+    asm.emit(Inst::Addi {
+        rd: A2,
+        rs1: A2,
+        imm: -1,
+    });
+    asm.branch_to(
+        Inst::Bne {
+            rs1: A2,
+            rs2: Zero,
+            offset: 0,
+        },
+        lp,
+    );
     asm.bind(done).expect("fresh");
     asm.ret();
     entry
@@ -2055,18 +4494,67 @@ fn emit_requant8(asm: &mut Asm) -> Label {
     let entry = asm.here("k_requant8");
     let lp = asm.new_label();
     let done = asm.new_label();
-    asm.branch_to(Inst::Beq { rs1: A2, rs2: Zero, offset: 0 }, done);
+    asm.branch_to(
+        Inst::Beq {
+            rs1: A2,
+            rs2: Zero,
+            offset: 0,
+        },
+        done,
+    );
     asm.li(T5, 7);
     asm.bind(lp).expect("fresh");
-    asm.emit(Inst::Lw { rd: T2, rs1: A0, imm: 0 });
-    asm.emit(Inst::Packed { op: PackedOp::KfmulT, rd: T2, rs1: T2, rs2: A3 });
-    asm.emit(Inst::Packed { op: PackedOp::KcvtF2H, rd: T2, rs1: T2, rs2: Zero });
-    asm.emit(Inst::Packed { op: PackedOp::Kclip, rd: T2, rs1: T2, rs2: T5 });
-    asm.emit(Inst::Sb { rs2: T2, rs1: A1, imm: 0 });
-    asm.emit(Inst::Addi { rd: A0, rs1: A0, imm: 4 });
-    asm.emit(Inst::Addi { rd: A1, rs1: A1, imm: 1 });
-    asm.emit(Inst::Addi { rd: A2, rs1: A2, imm: -1 });
-    asm.branch_to(Inst::Bne { rs1: A2, rs2: Zero, offset: 0 }, lp);
+    asm.emit(Inst::Lw {
+        rd: T2,
+        rs1: A0,
+        imm: 0,
+    });
+    asm.emit(Inst::Packed {
+        op: PackedOp::KfmulT,
+        rd: T2,
+        rs1: T2,
+        rs2: A3,
+    });
+    asm.emit(Inst::Packed {
+        op: PackedOp::KcvtF2H,
+        rd: T2,
+        rs1: T2,
+        rs2: Zero,
+    });
+    asm.emit(Inst::Packed {
+        op: PackedOp::Kclip,
+        rd: T2,
+        rs1: T2,
+        rs2: T5,
+    });
+    asm.emit(Inst::Sb {
+        rs2: T2,
+        rs1: A1,
+        imm: 0,
+    });
+    asm.emit(Inst::Addi {
+        rd: A0,
+        rs1: A0,
+        imm: 4,
+    });
+    asm.emit(Inst::Addi {
+        rd: A1,
+        rs1: A1,
+        imm: 1,
+    });
+    asm.emit(Inst::Addi {
+        rd: A2,
+        rs1: A2,
+        imm: -1,
+    });
+    asm.branch_to(
+        Inst::Bne {
+            rs1: A2,
+            rs2: Zero,
+            offset: 0,
+        },
+        lp,
+    );
     asm.bind(done).expect("fresh");
     asm.ret();
     entry
@@ -2081,22 +4569,92 @@ fn emit_gelu_a8(asm: &mut Asm) -> Label {
     let entry = asm.here("k_gelu_a8");
     let lp = asm.new_label();
     let done = asm.new_label();
-    asm.branch_to(Inst::Beq { rs1: A1, rs2: Zero, offset: 0 }, done);
+    asm.branch_to(
+        Inst::Beq {
+            rs1: A1,
+            rs2: Zero,
+            offset: 0,
+        },
+        done,
+    );
     asm.li(T4, 7);
     asm.bind(lp).expect("fresh");
-    asm.emit(Inst::Lb { rd: T0, rs1: A0, imm: 0 });
-    asm.emit(Inst::Packed { op: PackedOp::KcvtH2F, rd: T0, rs1: T0, rs2: Zero });
-    asm.emit(Inst::Packed { op: PackedOp::KfmulT, rd: T0, rs1: T0, rs2: A2 });
-    asm.emit(Inst::Custom { op: CustomOp::ToFixed, rd: T0, rs1: T0, rs2: Zero });
-    asm.emit(Inst::Custom { op: CustomOp::Gelu, rd: T0, rs1: T0, rs2: Zero });
-    asm.emit(Inst::Custom { op: CustomOp::ToFloat, rd: T0, rs1: T0, rs2: Zero });
-    asm.emit(Inst::Packed { op: PackedOp::KfmulT, rd: T0, rs1: T0, rs2: A3 });
-    asm.emit(Inst::Packed { op: PackedOp::KcvtF2H, rd: T0, rs1: T0, rs2: Zero });
-    asm.emit(Inst::Packed { op: PackedOp::Kclip, rd: T0, rs1: T0, rs2: T4 });
-    asm.emit(Inst::Sb { rs2: T0, rs1: A0, imm: 0 });
-    asm.emit(Inst::Addi { rd: A0, rs1: A0, imm: 1 });
-    asm.emit(Inst::Addi { rd: A1, rs1: A1, imm: -1 });
-    asm.branch_to(Inst::Bne { rs1: A1, rs2: Zero, offset: 0 }, lp);
+    asm.emit(Inst::Lb {
+        rd: T0,
+        rs1: A0,
+        imm: 0,
+    });
+    asm.emit(Inst::Packed {
+        op: PackedOp::KcvtH2F,
+        rd: T0,
+        rs1: T0,
+        rs2: Zero,
+    });
+    asm.emit(Inst::Packed {
+        op: PackedOp::KfmulT,
+        rd: T0,
+        rs1: T0,
+        rs2: A2,
+    });
+    asm.emit(Inst::Custom {
+        op: CustomOp::ToFixed,
+        rd: T0,
+        rs1: T0,
+        rs2: Zero,
+    });
+    asm.emit(Inst::Custom {
+        op: CustomOp::Gelu,
+        rd: T0,
+        rs1: T0,
+        rs2: Zero,
+    });
+    asm.emit(Inst::Custom {
+        op: CustomOp::ToFloat,
+        rd: T0,
+        rs1: T0,
+        rs2: Zero,
+    });
+    asm.emit(Inst::Packed {
+        op: PackedOp::KfmulT,
+        rd: T0,
+        rs1: T0,
+        rs2: A3,
+    });
+    asm.emit(Inst::Packed {
+        op: PackedOp::KcvtF2H,
+        rd: T0,
+        rs1: T0,
+        rs2: Zero,
+    });
+    asm.emit(Inst::Packed {
+        op: PackedOp::Kclip,
+        rd: T0,
+        rs1: T0,
+        rs2: T4,
+    });
+    asm.emit(Inst::Sb {
+        rs2: T0,
+        rs1: A0,
+        imm: 0,
+    });
+    asm.emit(Inst::Addi {
+        rd: A0,
+        rs1: A0,
+        imm: 1,
+    });
+    asm.emit(Inst::Addi {
+        rd: A1,
+        rs1: A1,
+        imm: -1,
+    });
+    asm.branch_to(
+        Inst::Bne {
+            rs1: A1,
+            rs2: Zero,
+            offset: 0,
+        },
+        lp,
+    );
     asm.bind(done).expect("fresh");
     asm.ret();
     entry
@@ -2111,7 +4669,7 @@ fn emit_gelu_a8(asm: &mut Asm) -> Label {
 /// [`kwt_tensor::softfp::rsqrt`]), and the write-back requantises
 /// straight to i8.
 fn emit_ln_a8(asm: &mut Asm) -> Label {
-    use PackedOp::{KcvtF2H, KcvtH2F, KfaddT, KfmulT, KfsubT, Kclip};
+    use PackedOp::{Kclip, KcvtF2H, KcvtH2F, KfaddT, KfmulT, KfsubT};
     let entry = asm.here("k_ln_a8");
     let saves = [S0, S1, S2, S3, S4, S5, S6, S7, S8, S9, S10, S11];
     let frame = prologue(asm, &saves);
@@ -2130,93 +4688,362 @@ fn emit_ln_a8(asm: &mut Asm) -> Label {
     asm.mv(S3, A3); // rows counter
     asm.mv(S4, A4); // cols
     asm.mv(S5, A5); // params
-    asm.emit(Inst::Lw { rd: S6, rs1: S5, imm: a8_ln_params::DEQ });
+    asm.emit(Inst::Lw {
+        rd: S6,
+        rs1: S5,
+        imm: a8_ln_params::DEQ,
+    });
     // leaf: hoist every per-row constant into the argument registers
-    asm.emit(Inst::Lw { rd: A0, rs1: S5, imm: a8_ln_params::SCRATCH });
-    asm.emit(Inst::Lw { rd: A1, rs1: S5, imm: a8_ln_params::REQ });
-    asm.emit(Inst::Lw { rd: A2, rs1: S5, imm: a8_ln_params::INV_N });
-    asm.emit(Inst::Lw { rd: A3, rs1: S5, imm: a8_ln_params::EPS });
+    asm.emit(Inst::Lw {
+        rd: A0,
+        rs1: S5,
+        imm: a8_ln_params::SCRATCH,
+    });
+    asm.emit(Inst::Lw {
+        rd: A1,
+        rs1: S5,
+        imm: a8_ln_params::REQ,
+    });
+    asm.emit(Inst::Lw {
+        rd: A2,
+        rs1: S5,
+        imm: a8_ln_params::INV_N,
+    });
+    asm.emit(Inst::Lw {
+        rd: A3,
+        rs1: S5,
+        imm: a8_ln_params::EPS,
+    });
     li_f32(asm, A4, 1.5);
     li_f32(asm, A5, 0.5);
-    asm.emit(Inst::Lui { rd: A6, imm: 0x8000_0000u32 as i32 }); // sign bit
+    asm.emit(Inst::Lui {
+        rd: A6,
+        imm: 0x8000_0000u32 as i32,
+    }); // sign bit
     asm.li(A7, 0x5F37_59DFu32 as i32); // rsqrt magic seed
     asm.li(T3, 7);
     asm.bind(row_loop).expect("fresh");
-    asm.branch_to(Inst::Beq { rs1: S3, rs2: Zero, offset: 0 }, done);
+    asm.branch_to(
+        Inst::Beq {
+            rs1: S3,
+            rs2: Zero,
+            offset: 0,
+        },
+        done,
+    );
     // pass 1: cache conv(x) in the scratch row, sum → mean
     asm.li(S8, 0);
     asm.mv(S9, S0);
     asm.mv(S11, A0); // scratch ptr
     asm.mv(S10, S4);
-    asm.branch_to(Inst::Beq { rs1: S10, rs2: Zero, offset: 0 }, l1d);
+    asm.branch_to(
+        Inst::Beq {
+            rs1: S10,
+            rs2: Zero,
+            offset: 0,
+        },
+        l1d,
+    );
     asm.bind(l1).expect("fresh");
-    asm.emit(Inst::Lb { rd: T1, rs1: S9, imm: 0 });
-    asm.emit(Inst::Packed { op: KcvtH2F, rd: T1, rs1: T1, rs2: Zero });
-    asm.emit(Inst::Packed { op: KfmulT, rd: T1, rs1: T1, rs2: S6 });
-    asm.emit(Inst::Sw { rs2: T1, rs1: S11, imm: 0 });
-    asm.emit(Inst::Packed { op: KfaddT, rd: S8, rs1: T1, rs2: S8 });
-    asm.emit(Inst::Addi { rd: S9, rs1: S9, imm: 1 });
-    asm.emit(Inst::Addi { rd: S11, rs1: S11, imm: 4 });
-    asm.emit(Inst::Addi { rd: S10, rs1: S10, imm: -1 });
-    asm.branch_to(Inst::Bne { rs1: S10, rs2: Zero, offset: 0 }, l1);
+    asm.emit(Inst::Lb {
+        rd: T1,
+        rs1: S9,
+        imm: 0,
+    });
+    asm.emit(Inst::Packed {
+        op: KcvtH2F,
+        rd: T1,
+        rs1: T1,
+        rs2: Zero,
+    });
+    asm.emit(Inst::Packed {
+        op: KfmulT,
+        rd: T1,
+        rs1: T1,
+        rs2: S6,
+    });
+    asm.emit(Inst::Sw {
+        rs2: T1,
+        rs1: S11,
+        imm: 0,
+    });
+    asm.emit(Inst::Packed {
+        op: KfaddT,
+        rd: S8,
+        rs1: T1,
+        rs2: S8,
+    });
+    asm.emit(Inst::Addi {
+        rd: S9,
+        rs1: S9,
+        imm: 1,
+    });
+    asm.emit(Inst::Addi {
+        rd: S11,
+        rs1: S11,
+        imm: 4,
+    });
+    asm.emit(Inst::Addi {
+        rd: S10,
+        rs1: S10,
+        imm: -1,
+    });
+    asm.branch_to(
+        Inst::Bne {
+            rs1: S10,
+            rs2: Zero,
+            offset: 0,
+        },
+        l1,
+    );
     asm.bind(l1d).expect("fresh");
-    asm.emit(Inst::Packed { op: KfmulT, rd: S7, rs1: S8, rs2: A2 }); // mean
-    // pass 2: var = (Σ (x̂ - mean)²) * inv_n
+    asm.emit(Inst::Packed {
+        op: KfmulT,
+        rd: S7,
+        rs1: S8,
+        rs2: A2,
+    }); // mean
+        // pass 2: var = (Σ (x̂ - mean)²) * inv_n
     asm.li(S8, 0);
     asm.mv(S11, A0);
     asm.mv(S10, S4);
-    asm.branch_to(Inst::Beq { rs1: S10, rs2: Zero, offset: 0 }, l2d);
+    asm.branch_to(
+        Inst::Beq {
+            rs1: S10,
+            rs2: Zero,
+            offset: 0,
+        },
+        l2d,
+    );
     asm.bind(l2).expect("fresh");
-    asm.emit(Inst::Lw { rd: T1, rs1: S11, imm: 0 });
-    asm.emit(Inst::Packed { op: KfsubT, rd: T1, rs1: T1, rs2: S7 });
-    asm.emit(Inst::Packed { op: KfmulT, rd: T1, rs1: T1, rs2: T1 });
-    asm.emit(Inst::Packed { op: KfaddT, rd: S8, rs1: T1, rs2: S8 });
-    asm.emit(Inst::Addi { rd: S11, rs1: S11, imm: 4 });
-    asm.emit(Inst::Addi { rd: S10, rs1: S10, imm: -1 });
-    asm.branch_to(Inst::Bne { rs1: S10, rs2: Zero, offset: 0 }, l2);
+    asm.emit(Inst::Lw {
+        rd: T1,
+        rs1: S11,
+        imm: 0,
+    });
+    asm.emit(Inst::Packed {
+        op: KfsubT,
+        rd: T1,
+        rs1: T1,
+        rs2: S7,
+    });
+    asm.emit(Inst::Packed {
+        op: KfmulT,
+        rd: T1,
+        rs1: T1,
+        rs2: T1,
+    });
+    asm.emit(Inst::Packed {
+        op: KfaddT,
+        rd: S8,
+        rs1: T1,
+        rs2: S8,
+    });
+    asm.emit(Inst::Addi {
+        rd: S11,
+        rs1: S11,
+        imm: 4,
+    });
+    asm.emit(Inst::Addi {
+        rd: S10,
+        rs1: S10,
+        imm: -1,
+    });
+    asm.branch_to(
+        Inst::Bne {
+            rs1: S10,
+            rs2: Zero,
+            offset: 0,
+        },
+        l2,
+    );
     asm.bind(l2d).expect("fresh");
-    asm.emit(Inst::Packed { op: KfmulT, rd: T0, rs1: S8, rs2: A2 }); // var
-    asm.emit(Inst::Packed { op: KfaddT, rd: T0, rs1: T0, rs2: A3 }); // + eps
-    // inline rsqrt (the math library sequence, call-free):
-    // xhalf = x*0.5; y = magic - (x>>1); 3 × y *= 1.5 - xhalf*y*y
-    asm.emit(Inst::Packed { op: KfmulT, rd: T1, rs1: T0, rs2: A5 }); // xhalf
-    asm.emit(Inst::Srli { rd: T2, rs1: T0, shamt: 1 });
-    asm.emit(Inst::Sub { rd: T0, rs1: A7, rs2: T2 }); // y
+    asm.emit(Inst::Packed {
+        op: KfmulT,
+        rd: T0,
+        rs1: S8,
+        rs2: A2,
+    }); // var
+    asm.emit(Inst::Packed {
+        op: KfaddT,
+        rd: T0,
+        rs1: T0,
+        rs2: A3,
+    }); // + eps
+        // inline rsqrt (the math library sequence, call-free):
+        // xhalf = x*0.5; y = magic - (x>>1); 3 × y *= 1.5 - xhalf*y*y
+    asm.emit(Inst::Packed {
+        op: KfmulT,
+        rd: T1,
+        rs1: T0,
+        rs2: A5,
+    }); // xhalf
+    asm.emit(Inst::Srli {
+        rd: T2,
+        rs1: T0,
+        shamt: 1,
+    });
+    asm.emit(Inst::Sub {
+        rd: T0,
+        rs1: A7,
+        rs2: T2,
+    }); // y
     for _ in 0..3 {
-        asm.emit(Inst::Packed { op: KfmulT, rd: T2, rs1: T0, rs2: T0 }); // y²
-        asm.emit(Inst::Packed { op: KfmulT, rd: T2, rs1: T2, rs2: T1 }); // xhalf·y²
-        asm.emit(Inst::Xor { rd: T2, rs1: T2, rs2: A6 }); // negate
-        asm.emit(Inst::Packed { op: KfaddT, rd: T2, rs1: A4, rs2: T2 }); // 1.5 - …
-        asm.emit(Inst::Packed { op: KfmulT, rd: T0, rs1: T2, rs2: T0 }); // y
+        asm.emit(Inst::Packed {
+            op: KfmulT,
+            rd: T2,
+            rs1: T0,
+            rs2: T0,
+        }); // y²
+        asm.emit(Inst::Packed {
+            op: KfmulT,
+            rd: T2,
+            rs1: T2,
+            rs2: T1,
+        }); // xhalf·y²
+        asm.emit(Inst::Xor {
+            rd: T2,
+            rs1: T2,
+            rs2: A6,
+        }); // negate
+        asm.emit(Inst::Packed {
+            op: KfaddT,
+            rd: T2,
+            rs1: A4,
+            rs2: T2,
+        }); // 1.5 - …
+        asm.emit(Inst::Packed {
+            op: KfmulT,
+            rd: T0,
+            rs1: T2,
+            rs2: T0,
+        }); // y
     }
     asm.mv(S11, T0); // inv_std
-    // pass 3: x = requant(((x̂ - mean) * inv_std) * gamma + beta)
+                     // pass 3: x = requant(((x̂ - mean) * inv_std) * gamma + beta)
     asm.mv(S9, S0);
     asm.mv(S10, S4);
     asm.li(S8, 0); // byte offset into gamma/beta/scratch
-    asm.branch_to(Inst::Beq { rs1: S10, rs2: Zero, offset: 0 }, l3d);
+    asm.branch_to(
+        Inst::Beq {
+            rs1: S10,
+            rs2: Zero,
+            offset: 0,
+        },
+        l3d,
+    );
     asm.bind(l3).expect("fresh");
-    asm.emit(Inst::Add { rd: T0, rs1: A0, rs2: S8 });
-    asm.emit(Inst::Lw { rd: T1, rs1: T0, imm: 0 });
-    asm.emit(Inst::Packed { op: KfsubT, rd: T1, rs1: T1, rs2: S7 });
-    asm.emit(Inst::Packed { op: KfmulT, rd: T1, rs1: T1, rs2: S11 });
-    asm.emit(Inst::Add { rd: T0, rs1: S1, rs2: S8 });
-    asm.emit(Inst::Lw { rd: T2, rs1: T0, imm: 0 });
-    asm.emit(Inst::Packed { op: KfmulT, rd: T1, rs1: T1, rs2: T2 });
-    asm.emit(Inst::Add { rd: T0, rs1: S2, rs2: S8 });
-    asm.emit(Inst::Lw { rd: T2, rs1: T0, imm: 0 });
-    asm.emit(Inst::Packed { op: KfaddT, rd: T1, rs1: T1, rs2: T2 });
-    asm.emit(Inst::Packed { op: KfmulT, rd: T1, rs1: T1, rs2: A1 });
-    asm.emit(Inst::Packed { op: KcvtF2H, rd: T1, rs1: T1, rs2: Zero });
-    asm.emit(Inst::Packed { op: Kclip, rd: T1, rs1: T1, rs2: T3 });
-    asm.emit(Inst::Sb { rs2: T1, rs1: S9, imm: 0 });
-    asm.emit(Inst::Addi { rd: S9, rs1: S9, imm: 1 });
-    asm.emit(Inst::Addi { rd: S8, rs1: S8, imm: 4 });
-    asm.emit(Inst::Addi { rd: S10, rs1: S10, imm: -1 });
-    asm.branch_to(Inst::Bne { rs1: S10, rs2: Zero, offset: 0 }, l3);
+    asm.emit(Inst::Add {
+        rd: T0,
+        rs1: A0,
+        rs2: S8,
+    });
+    asm.emit(Inst::Lw {
+        rd: T1,
+        rs1: T0,
+        imm: 0,
+    });
+    asm.emit(Inst::Packed {
+        op: KfsubT,
+        rd: T1,
+        rs1: T1,
+        rs2: S7,
+    });
+    asm.emit(Inst::Packed {
+        op: KfmulT,
+        rd: T1,
+        rs1: T1,
+        rs2: S11,
+    });
+    asm.emit(Inst::Add {
+        rd: T0,
+        rs1: S1,
+        rs2: S8,
+    });
+    asm.emit(Inst::Lw {
+        rd: T2,
+        rs1: T0,
+        imm: 0,
+    });
+    asm.emit(Inst::Packed {
+        op: KfmulT,
+        rd: T1,
+        rs1: T1,
+        rs2: T2,
+    });
+    asm.emit(Inst::Add {
+        rd: T0,
+        rs1: S2,
+        rs2: S8,
+    });
+    asm.emit(Inst::Lw {
+        rd: T2,
+        rs1: T0,
+        imm: 0,
+    });
+    asm.emit(Inst::Packed {
+        op: KfaddT,
+        rd: T1,
+        rs1: T1,
+        rs2: T2,
+    });
+    asm.emit(Inst::Packed {
+        op: KfmulT,
+        rd: T1,
+        rs1: T1,
+        rs2: A1,
+    });
+    asm.emit(Inst::Packed {
+        op: KcvtF2H,
+        rd: T1,
+        rs1: T1,
+        rs2: Zero,
+    });
+    asm.emit(Inst::Packed {
+        op: Kclip,
+        rd: T1,
+        rs1: T1,
+        rs2: T3,
+    });
+    asm.emit(Inst::Sb {
+        rs2: T1,
+        rs1: S9,
+        imm: 0,
+    });
+    asm.emit(Inst::Addi {
+        rd: S9,
+        rs1: S9,
+        imm: 1,
+    });
+    asm.emit(Inst::Addi {
+        rd: S8,
+        rs1: S8,
+        imm: 4,
+    });
+    asm.emit(Inst::Addi {
+        rd: S10,
+        rs1: S10,
+        imm: -1,
+    });
+    asm.branch_to(
+        Inst::Bne {
+            rs1: S10,
+            rs2: Zero,
+            offset: 0,
+        },
+        l3,
+    );
     asm.bind(l3d).expect("fresh");
-    asm.emit(Inst::Add { rd: S0, rs1: S0, rs2: S4 });
-    asm.emit(Inst::Addi { rd: S3, rs1: S3, imm: -1 });
+    asm.emit(Inst::Add {
+        rd: S0,
+        rs1: S0,
+        rs2: S4,
+    });
+    asm.emit(Inst::Addi {
+        rd: S3,
+        rs1: S3,
+        imm: -1,
+    });
     asm.jump_to(row_loop);
     asm.bind(done).expect("fresh");
     epilogue(asm, &saves, frame);
@@ -2266,43 +5093,129 @@ fn emit_attention_a8(asm: &mut Asm, s: usize, dh: usize, kp: usize) -> Label {
     asm.mv(S3, A3); // out
     asm.mv(S4, A4); // row8 (KP entries)
     asm.mv(S5, A5); // params
-    // leaf: hoist the per-row constants
-    asm.emit(Inst::Lw { rd: S6, rs1: S5, imm: a8_attn_params::ROWF });
-    asm.emit(Inst::Lw { rd: S7, rs1: S5, imm: a8_attn_params::SCORE_DEQ });
-    asm.emit(Inst::Lw { rd: S8, rs1: S5, imm: a8_attn_params::PROB_REQ });
-    asm.emit(Inst::Lw { rd: A6, rs1: S5, imm: a8_attn_params::SHIFT_SCORES });
-    asm.emit(Inst::Lw { rd: A7, rs1: S5, imm: a8_attn_params::SHIFT_CTX });
+                    // leaf: hoist the per-row constants
+    asm.emit(Inst::Lw {
+        rd: S6,
+        rs1: S5,
+        imm: a8_attn_params::ROWF,
+    });
+    asm.emit(Inst::Lw {
+        rd: S7,
+        rs1: S5,
+        imm: a8_attn_params::SCORE_DEQ,
+    });
+    asm.emit(Inst::Lw {
+        rd: S8,
+        rs1: S5,
+        imm: a8_attn_params::PROB_REQ,
+    });
+    asm.emit(Inst::Lw {
+        rd: A6,
+        rs1: S5,
+        imm: a8_attn_params::SHIFT_SCORES,
+    });
+    asm.emit(Inst::Lw {
+        rd: A7,
+        rs1: S5,
+        imm: a8_attn_params::SHIFT_CTX,
+    });
     asm.li(A4, 7); // kclip range operand
 
     // ---- preamble: VT[j, l] = V[l, j] (i8), columns S..KP zeroed ----
     let tj = asm.new_label();
     let tk = asm.new_label();
     push_region(asm, BLOCK_ATTENTION | OP_OTHER);
-    asm.emit(Inst::Lw { rd: A5, rs1: S5, imm: a8_attn_params::VT });
+    asm.emit(Inst::Lw {
+        rd: A5,
+        rs1: S5,
+        imm: a8_attn_params::VT,
+    });
     asm.li(T2, 0); // j
     asm.bind(tj).expect("fresh");
-    asm.emit(Inst::Add { rd: T3, rs1: S2, rs2: T2 }); // src = V + j
+    asm.emit(Inst::Add {
+        rd: T3,
+        rs1: S2,
+        rs2: T2,
+    }); // src = V + j
     asm.li(T4, kp as i32);
-    asm.emit(Inst::Mul { rd: T4, rs1: T2, rs2: T4 });
-    asm.emit(Inst::Add { rd: T4, rs1: A5, rs2: T4 }); // dst = VT + j*KP
+    asm.emit(Inst::Mul {
+        rd: T4,
+        rs1: T2,
+        rs2: T4,
+    });
+    asm.emit(Inst::Add {
+        rd: T4,
+        rs1: A5,
+        rs2: T4,
+    }); // dst = VT + j*KP
     asm.li(T5, s as i32); // l counter
     asm.bind(tk).expect("fresh");
-    asm.emit(Inst::Lb { rd: T6, rs1: T3, imm: 0 });
-    asm.emit(Inst::Sb { rs2: T6, rs1: T4, imm: 0 });
-    asm.emit(Inst::Addi { rd: T3, rs1: T3, imm: dh as i32 }); // next V row
-    asm.emit(Inst::Addi { rd: T4, rs1: T4, imm: 1 });
-    asm.emit(Inst::Addi { rd: T5, rs1: T5, imm: -1 });
-    asm.branch_to(Inst::Bne { rs1: T5, rs2: Zero, offset: 0 }, tk);
+    asm.emit(Inst::Lb {
+        rd: T6,
+        rs1: T3,
+        imm: 0,
+    });
+    asm.emit(Inst::Sb {
+        rs2: T6,
+        rs1: T4,
+        imm: 0,
+    });
+    asm.emit(Inst::Addi {
+        rd: T3,
+        rs1: T3,
+        imm: dh as i32,
+    }); // next V row
+    asm.emit(Inst::Addi {
+        rd: T4,
+        rs1: T4,
+        imm: 1,
+    });
+    asm.emit(Inst::Addi {
+        rd: T5,
+        rs1: T5,
+        imm: -1,
+    });
+    asm.branch_to(
+        Inst::Bne {
+            rs1: T5,
+            rs2: Zero,
+            offset: 0,
+        },
+        tk,
+    );
     for _ in s..kp {
-        asm.emit(Inst::Sb { rs2: Zero, rs1: T4, imm: 0 });
-        asm.emit(Inst::Addi { rd: T4, rs1: T4, imm: 1 });
+        asm.emit(Inst::Sb {
+            rs2: Zero,
+            rs1: T4,
+            imm: 0,
+        });
+        asm.emit(Inst::Addi {
+            rd: T4,
+            rs1: T4,
+            imm: 1,
+        });
     }
-    asm.emit(Inst::Addi { rd: T2, rs1: T2, imm: 1 });
+    asm.emit(Inst::Addi {
+        rd: T2,
+        rs1: T2,
+        imm: 1,
+    });
     asm.li(T5, dh as i32);
-    asm.branch_to(Inst::Bltu { rs1: T2, rs2: T5, offset: 0 }, tj);
+    asm.branch_to(
+        Inst::Bltu {
+            rs1: T2,
+            rs2: T5,
+            offset: 0,
+        },
+        tj,
+    );
     // zero the probability pad tail once
     for pad in s..kp {
-        asm.emit(Inst::Sb { rs2: Zero, rs1: S4, imm: pad as i32 });
+        asm.emit(Inst::Sb {
+            rs2: Zero,
+            rs1: S4,
+            imm: pad as i32,
+        });
     }
     pop_region(asm);
 
@@ -2320,17 +5233,63 @@ fn emit_attention_a8(asm: &mut Asm, s: usize, dh: usize, kp: usize) -> Label {
     asm.bind(sj).expect("fresh");
     asm.li(T3, 0); // acc
     for blk in 0..dh / 4 {
-        asm.emit(Inst::Lw { rd: T4, rs1: S9, imm: 4 * blk as i32 });
-        asm.emit(Inst::Lw { rd: T5, rs1: T0, imm: 4 * blk as i32 });
-        asm.emit(Inst::Packed { op: PackedOp::Kdot4I8, rd: T3, rs1: T4, rs2: T5 });
+        asm.emit(Inst::Lw {
+            rd: T4,
+            rs1: S9,
+            imm: 4 * blk as i32,
+        });
+        asm.emit(Inst::Lw {
+            rd: T5,
+            rs1: T0,
+            imm: 4 * blk as i32,
+        });
+        asm.emit(Inst::Packed {
+            op: PackedOp::Kdot4I8,
+            rd: T3,
+            rs1: T4,
+            rs2: T5,
+        });
     }
-    asm.emit(Inst::Packed { op: PackedOp::KsatI16, rd: T3, rs1: T3, rs2: A6 });
-    asm.emit(Inst::Packed { op: PackedOp::Kclip, rd: T3, rs1: T3, rs2: A4 });
-    asm.emit(Inst::Sb { rs2: T3, rs1: T1, imm: 0 });
-    asm.emit(Inst::Addi { rd: T0, rs1: T0, imm: dh as i32 });
-    asm.emit(Inst::Addi { rd: T1, rs1: T1, imm: 1 });
-    asm.emit(Inst::Addi { rd: T2, rs1: T2, imm: -1 });
-    asm.branch_to(Inst::Bne { rs1: T2, rs2: Zero, offset: 0 }, sj);
+    asm.emit(Inst::Packed {
+        op: PackedOp::KsatI16,
+        rd: T3,
+        rs1: T3,
+        rs2: A6,
+    });
+    asm.emit(Inst::Packed {
+        op: PackedOp::Kclip,
+        rd: T3,
+        rs1: T3,
+        rs2: A4,
+    });
+    asm.emit(Inst::Sb {
+        rs2: T3,
+        rs1: T1,
+        imm: 0,
+    });
+    asm.emit(Inst::Addi {
+        rd: T0,
+        rs1: T0,
+        imm: dh as i32,
+    });
+    asm.emit(Inst::Addi {
+        rd: T1,
+        rs1: T1,
+        imm: 1,
+    });
+    asm.emit(Inst::Addi {
+        rd: T2,
+        rs1: T2,
+        imm: -1,
+    });
+    asm.branch_to(
+        Inst::Bne {
+            rs1: T2,
+            rs2: Zero,
+            offset: 0,
+        },
+        sj,
+    );
     pop_region(asm);
 
     // 2. fused Q8.24 softmax: i8 scores in, i8 probabilities out
@@ -2343,88 +5302,316 @@ fn emit_attention_a8(asm: &mut Asm, s: usize, dh: usize, kp: usize) -> Label {
     asm.mv(T0, S4); // score ptr
     asm.mv(T1, S6); // Q8.24 row ptr
     asm.li(T2, s as i32);
-    asm.emit(Inst::Lui { rd: T3, imm: 0x8000_0000u32 as i32 }); // max = i32::MIN
+    asm.emit(Inst::Lui {
+        rd: T3,
+        imm: 0x8000_0000u32 as i32,
+    }); // max = i32::MIN
     asm.bind(p1).expect("fresh");
-    asm.emit(Inst::Lb { rd: T4, rs1: T0, imm: 0 });
-    asm.emit(Inst::Packed { op: PackedOp::KcvtH2F, rd: T4, rs1: T4, rs2: Zero });
-    asm.emit(Inst::Packed { op: PackedOp::KfmulT, rd: T4, rs1: T4, rs2: S7 });
-    asm.emit(Inst::Custom { op: CustomOp::ToFixed, rd: T4, rs1: T4, rs2: Zero });
-    asm.emit(Inst::Sw { rs2: T4, rs1: T1, imm: 0 });
-    asm.branch_to(Inst::Bge { rs1: T3, rs2: T4, offset: 0 }, no_upd);
+    asm.emit(Inst::Lb {
+        rd: T4,
+        rs1: T0,
+        imm: 0,
+    });
+    asm.emit(Inst::Packed {
+        op: PackedOp::KcvtH2F,
+        rd: T4,
+        rs1: T4,
+        rs2: Zero,
+    });
+    asm.emit(Inst::Packed {
+        op: PackedOp::KfmulT,
+        rd: T4,
+        rs1: T4,
+        rs2: S7,
+    });
+    asm.emit(Inst::Custom {
+        op: CustomOp::ToFixed,
+        rd: T4,
+        rs1: T4,
+        rs2: Zero,
+    });
+    asm.emit(Inst::Sw {
+        rs2: T4,
+        rs1: T1,
+        imm: 0,
+    });
+    asm.branch_to(
+        Inst::Bge {
+            rs1: T3,
+            rs2: T4,
+            offset: 0,
+        },
+        no_upd,
+    );
     asm.mv(T3, T4);
     asm.bind(no_upd).expect("fresh");
-    asm.emit(Inst::Addi { rd: T0, rs1: T0, imm: 1 });
-    asm.emit(Inst::Addi { rd: T1, rs1: T1, imm: 4 });
-    asm.emit(Inst::Addi { rd: T2, rs1: T2, imm: -1 });
-    asm.branch_to(Inst::Bne { rs1: T2, rs2: Zero, offset: 0 }, p1);
+    asm.emit(Inst::Addi {
+        rd: T0,
+        rs1: T0,
+        imm: 1,
+    });
+    asm.emit(Inst::Addi {
+        rd: T1,
+        rs1: T1,
+        imm: 4,
+    });
+    asm.emit(Inst::Addi {
+        rd: T2,
+        rs1: T2,
+        imm: -1,
+    });
+    asm.branch_to(
+        Inst::Bne {
+            rs1: T2,
+            rs2: Zero,
+            offset: 0,
+        },
+        p1,
+    );
     // pass 2: e = ALU_EXP(max - x), integer sum
     asm.mv(T1, S6);
     asm.li(T2, s as i32);
     asm.li(T5, 0); // sum
     asm.bind(p2).expect("fresh");
-    asm.emit(Inst::Lw { rd: T4, rs1: T1, imm: 0 });
-    asm.emit(Inst::Sub { rd: T4, rs1: T3, rs2: T4 });
-    asm.emit(Inst::Custom { op: CustomOp::Exp, rd: T4, rs1: T4, rs2: Zero });
-    asm.emit(Inst::Sw { rs2: T4, rs1: T1, imm: 0 });
-    asm.emit(Inst::Add { rd: T5, rs1: T5, rs2: T4 });
-    asm.emit(Inst::Addi { rd: T1, rs1: T1, imm: 4 });
-    asm.emit(Inst::Addi { rd: T2, rs1: T2, imm: -1 });
-    asm.branch_to(Inst::Bne { rs1: T2, rs2: Zero, offset: 0 }, p2);
-    asm.emit(Inst::Custom { op: CustomOp::Invert, rd: T5, rs1: T5, rs2: Zero });
+    asm.emit(Inst::Lw {
+        rd: T4,
+        rs1: T1,
+        imm: 0,
+    });
+    asm.emit(Inst::Sub {
+        rd: T4,
+        rs1: T3,
+        rs2: T4,
+    });
+    asm.emit(Inst::Custom {
+        op: CustomOp::Exp,
+        rd: T4,
+        rs1: T4,
+        rs2: Zero,
+    });
+    asm.emit(Inst::Sw {
+        rs2: T4,
+        rs1: T1,
+        imm: 0,
+    });
+    asm.emit(Inst::Add {
+        rd: T5,
+        rs1: T5,
+        rs2: T4,
+    });
+    asm.emit(Inst::Addi {
+        rd: T1,
+        rs1: T1,
+        imm: 4,
+    });
+    asm.emit(Inst::Addi {
+        rd: T2,
+        rs1: T2,
+        imm: -1,
+    });
+    asm.branch_to(
+        Inst::Bne {
+            rs1: T2,
+            rs2: Zero,
+            offset: 0,
+        },
+        p2,
+    );
+    asm.emit(Inst::Custom {
+        op: CustomOp::Invert,
+        rd: T5,
+        rs1: T5,
+        rs2: Zero,
+    });
     // pass 3: p = (e * inv) Q8.24-product, requantised in place to i8
     asm.mv(T0, S4);
     asm.mv(T1, S6);
     asm.li(T2, s as i32);
     asm.bind(p3).expect("fresh");
-    asm.emit(Inst::Lw { rd: T4, rs1: T1, imm: 0 });
-    asm.emit(Inst::Mulhu { rd: T6, rs1: T4, rs2: T5 });
-    asm.emit(Inst::Mul { rd: T4, rs1: T4, rs2: T5 });
-    asm.emit(Inst::Slli { rd: T6, rs1: T6, shamt: 8 });
-    asm.emit(Inst::Srli { rd: T4, rs1: T4, shamt: 24 });
-    asm.emit(Inst::Or { rd: T4, rs1: T6, rs2: T4 });
-    asm.emit(Inst::Custom { op: CustomOp::ToFloat, rd: T4, rs1: T4, rs2: Zero });
-    asm.emit(Inst::Packed { op: PackedOp::KfmulT, rd: T4, rs1: T4, rs2: S8 });
-    asm.emit(Inst::Packed { op: PackedOp::KcvtF2H, rd: T4, rs1: T4, rs2: Zero });
-    asm.emit(Inst::Packed { op: PackedOp::Kclip, rd: T4, rs1: T4, rs2: A4 });
-    asm.emit(Inst::Sb { rs2: T4, rs1: T0, imm: 0 });
-    asm.emit(Inst::Addi { rd: T0, rs1: T0, imm: 1 });
-    asm.emit(Inst::Addi { rd: T1, rs1: T1, imm: 4 });
-    asm.emit(Inst::Addi { rd: T2, rs1: T2, imm: -1 });
-    asm.branch_to(Inst::Bne { rs1: T2, rs2: Zero, offset: 0 }, p3);
+    asm.emit(Inst::Lw {
+        rd: T4,
+        rs1: T1,
+        imm: 0,
+    });
+    asm.emit(Inst::Mulhu {
+        rd: T6,
+        rs1: T4,
+        rs2: T5,
+    });
+    asm.emit(Inst::Mul {
+        rd: T4,
+        rs1: T4,
+        rs2: T5,
+    });
+    asm.emit(Inst::Slli {
+        rd: T6,
+        rs1: T6,
+        shamt: 8,
+    });
+    asm.emit(Inst::Srli {
+        rd: T4,
+        rs1: T4,
+        shamt: 24,
+    });
+    asm.emit(Inst::Or {
+        rd: T4,
+        rs1: T6,
+        rs2: T4,
+    });
+    asm.emit(Inst::Custom {
+        op: CustomOp::ToFloat,
+        rd: T4,
+        rs1: T4,
+        rs2: Zero,
+    });
+    asm.emit(Inst::Packed {
+        op: PackedOp::KfmulT,
+        rd: T4,
+        rs1: T4,
+        rs2: S8,
+    });
+    asm.emit(Inst::Packed {
+        op: PackedOp::KcvtF2H,
+        rd: T4,
+        rs1: T4,
+        rs2: Zero,
+    });
+    asm.emit(Inst::Packed {
+        op: PackedOp::Kclip,
+        rd: T4,
+        rs1: T4,
+        rs2: A4,
+    });
+    asm.emit(Inst::Sb {
+        rs2: T4,
+        rs1: T0,
+        imm: 0,
+    });
+    asm.emit(Inst::Addi {
+        rd: T0,
+        rs1: T0,
+        imm: 1,
+    });
+    asm.emit(Inst::Addi {
+        rd: T1,
+        rs1: T1,
+        imm: 4,
+    });
+    asm.emit(Inst::Addi {
+        rd: T2,
+        rs1: T2,
+        imm: -1,
+    });
+    asm.branch_to(
+        Inst::Bne {
+            rs1: T2,
+            rs2: Zero,
+            offset: 0,
+        },
+        p3,
+    );
     pop_region(asm);
 
     // 3. context: out[j] = clip(sat((VT_row_j · probs) >> shift_ctx))
     let cj = asm.new_label();
     push_region(asm, BLOCK_ATTENTION | OP_MATMUL);
-    asm.emit(Inst::Lw { rd: T0, rs1: S5, imm: a8_attn_params::VT });
+    asm.emit(Inst::Lw {
+        rd: T0,
+        rs1: S5,
+        imm: a8_attn_params::VT,
+    });
     asm.mv(T1, S10); // out ptr
     asm.li(T2, dh as i32); // j counter
     asm.bind(cj).expect("fresh");
     asm.li(T3, 0); // acc
     for blk in 0..kp / 4 {
-        asm.emit(Inst::Lw { rd: T4, rs1: T0, imm: 4 * blk as i32 });
-        asm.emit(Inst::Lw { rd: T5, rs1: S4, imm: 4 * blk as i32 });
-        asm.emit(Inst::Packed { op: PackedOp::Kdot4I8, rd: T3, rs1: T4, rs2: T5 });
+        asm.emit(Inst::Lw {
+            rd: T4,
+            rs1: T0,
+            imm: 4 * blk as i32,
+        });
+        asm.emit(Inst::Lw {
+            rd: T5,
+            rs1: S4,
+            imm: 4 * blk as i32,
+        });
+        asm.emit(Inst::Packed {
+            op: PackedOp::Kdot4I8,
+            rd: T3,
+            rs1: T4,
+            rs2: T5,
+        });
     }
-    asm.emit(Inst::Packed { op: PackedOp::KsatI16, rd: T3, rs1: T3, rs2: A7 });
-    asm.emit(Inst::Packed { op: PackedOp::Kclip, rd: T3, rs1: T3, rs2: A4 });
-    asm.emit(Inst::Sb { rs2: T3, rs1: T1, imm: 0 });
-    asm.emit(Inst::Addi { rd: T0, rs1: T0, imm: kp as i32 });
-    asm.emit(Inst::Addi { rd: T1, rs1: T1, imm: 1 });
-    asm.emit(Inst::Addi { rd: T2, rs1: T2, imm: -1 });
-    asm.branch_to(Inst::Bne { rs1: T2, rs2: Zero, offset: 0 }, cj);
+    asm.emit(Inst::Packed {
+        op: PackedOp::KsatI16,
+        rd: T3,
+        rs1: T3,
+        rs2: A7,
+    });
+    asm.emit(Inst::Packed {
+        op: PackedOp::Kclip,
+        rd: T3,
+        rs1: T3,
+        rs2: A4,
+    });
+    asm.emit(Inst::Sb {
+        rs2: T3,
+        rs1: T1,
+        imm: 0,
+    });
+    asm.emit(Inst::Addi {
+        rd: T0,
+        rs1: T0,
+        imm: kp as i32,
+    });
+    asm.emit(Inst::Addi {
+        rd: T1,
+        rs1: T1,
+        imm: 1,
+    });
+    asm.emit(Inst::Addi {
+        rd: T2,
+        rs1: T2,
+        imm: -1,
+    });
+    asm.branch_to(
+        Inst::Bne {
+            rs1: T2,
+            rs2: Zero,
+            offset: 0,
+        },
+        cj,
+    );
     pop_region(asm);
 
     // advance to the next query row
-    asm.emit(Inst::Addi { rd: S9, rs1: S9, imm: dh as i32 });
-    asm.emit(Inst::Addi { rd: S10, rs1: S10, imm: dh as i32 });
-    asm.emit(Inst::Addi { rd: S11, rs1: S11, imm: -1 });
-    asm.branch_to(Inst::Bne { rs1: S11, rs2: Zero, offset: 0 }, row);
+    asm.emit(Inst::Addi {
+        rd: S9,
+        rs1: S9,
+        imm: dh as i32,
+    });
+    asm.emit(Inst::Addi {
+        rd: S10,
+        rs1: S10,
+        imm: dh as i32,
+    });
+    asm.emit(Inst::Addi {
+        rd: S11,
+        rs1: S11,
+        imm: -1,
+    });
+    asm.branch_to(
+        Inst::Bne {
+            rs1: S11,
+            rs2: Zero,
+            offset: 0,
+        },
+        row,
+    );
     asm.bind(done).expect("fresh");
     epilogue(asm, &saves, frame);
     entry
 }
-
 
 #[cfg(test)]
 mod tests {
@@ -2468,10 +5655,7 @@ mod tests {
     }
 
     /// Builds a machine with inputs pre-written, then runs.
-    fn run_with(
-        inputs: &[(u32, Vec<u8>)],
-        setup: impl FnOnce(&mut Asm, &Kernels),
-    ) -> Machine {
+    fn run_with(inputs: &[(u32, Vec<u8>)], setup: impl FnOnce(&mut Asm, &Kernels)) -> Machine {
         run_with_isa(KernelIsa::Rv32im, inputs, setup)
     }
 
@@ -2521,7 +5705,7 @@ mod tests {
 
     #[test]
     fn matmul_q_matches_host_exactly() {
-        let a = Mat::from_fn(3, 5, |r, c| ((r * 5 + c) as i16 * 37) as i16 - 80);
+        let a = Mat::from_fn(3, 5, |r, c| ((r * 5 + c) as i16 * 37) - 80);
         let w = Mat::from_fn(5, 4, |r, c| ((r * 4 + c) as i8).wrapping_mul(7));
         let bias: Vec<i32> = vec![100, -200, 300, 0];
         let shift = 4u32;
@@ -2550,8 +5734,8 @@ mod tests {
 
     #[test]
     fn matmul_qq_matches_host_exactly() {
-        let a = Mat::from_fn(2, 6, |r, c| ((r * 6 + c) as i16 * 211) as i16 - 500);
-        let b = Mat::from_fn(6, 3, |r, c| ((r * 3 + c) as i16 * 97) as i16 - 300);
+        let a = Mat::from_fn(2, 6, |r, c| ((r * 6 + c) as i16 * 211) - 500);
+        let b = Mat::from_fn(6, 3, |r, c| ((r * 3 + c) as i16 * 97) - 300);
         let shift = 5u32;
         let m = run_with(
             &[(IN_A, i16s(a.as_slice())), (IN_B, i16s(b.as_slice()))],
@@ -2725,28 +5909,27 @@ mod tests {
         let m_rows = 8usize;
         let k_depth = 16usize;
         let n_cols = 8usize;
-        let a = Mat::from_fn(m_rows, k_depth, |r, c| ((r + c) as i16 * 321) as i16);
+        let a = Mat::from_fn(m_rows, k_depth, |r, c| (r + c) as i16 * 321);
         let w = Mat::from_fn(k_depth, n_cols, |r, c| ((r * 3 + c) as i8).wrapping_mul(5));
         let run = |isa: KernelIsa, wb: Vec<u8>| {
-            let m = run_with_isa(
-                isa,
-                &[(IN_A, i16s(a.as_slice())), (IN_B, wb)],
-                |asm, k| {
-                    asm.li(Reg::A0, IN_A as i32);
-                    asm.li(Reg::A1, IN_B as i32);
-                    asm.li(Reg::A2, 0);
-                    asm.li(Reg::A3, OUT as i32);
-                    asm.li(Reg::A4, m_rows as i32);
-                    asm.li(Reg::A5, k_depth as i32);
-                    asm.li(Reg::A6, n_cols as i32);
-                    asm.li(Reg::A7, 4);
-                    asm.call(k.matmul_q);
-                },
-            );
-            (m.read_i16s(OUT, m_rows * n_cols), m.cpu.cycles, m.cpu.instret)
+            let m = run_with_isa(isa, &[(IN_A, i16s(a.as_slice())), (IN_B, wb)], |asm, k| {
+                asm.li(Reg::A0, IN_A as i32);
+                asm.li(Reg::A1, IN_B as i32);
+                asm.li(Reg::A2, 0);
+                asm.li(Reg::A3, OUT as i32);
+                asm.li(Reg::A4, m_rows as i32);
+                asm.li(Reg::A5, k_depth as i32);
+                asm.li(Reg::A6, n_cols as i32);
+                asm.li(Reg::A7, 4);
+                asm.call(k.matmul_q);
+            });
+            (
+                m.read_i16s(OUT, m_rows * n_cols),
+                m.cpu.cycles,
+                m.cpu.instret,
+            )
         };
-        let (scalar_out, scalar_cycles, scalar_instret) =
-            run(KernelIsa::Rv32im, i8s(w.as_slice()));
+        let (scalar_out, scalar_cycles, scalar_instret) = run(KernelIsa::Rv32im, i8s(w.as_slice()));
         let (packed_out, packed_cycles, packed_instret) =
             run(KernelIsa::Xkwtdot, i8s(&transpose_i8(&w)));
         assert_eq!(scalar_out, packed_out, "bit-identical results");
@@ -2886,8 +6069,7 @@ mod tests {
             asm.call(k.requant);
         });
         let got = m.read_i16s(OUT, 5);
-        let (want, _) =
-            qops::quantize_i16(&Mat::from_vec(1, 5, floats).unwrap(), 5);
+        let (want, _) = qops::quantize_i16(&Mat::from_vec(1, 5, floats).unwrap(), 5);
         assert_eq!(got, want.as_slice());
     }
 
@@ -2979,24 +6161,30 @@ mod tests {
 
     /// [`run_with_a8_dims`] at the KWT-Tiny geometry (the non-attention
     /// kernels do not depend on it).
-    fn run_with_a8(
-        inputs: &[(u32, Vec<u8>)],
-        setup: impl FnOnce(&mut Asm, &A8Kernels),
-    ) -> Machine {
+    fn run_with_a8(inputs: &[(u32, Vec<u8>)], setup: impl FnOnce(&mut Asm, &A8Kernels)) -> Machine {
         run_with_a8_dims(27, 8, inputs, setup)
     }
 
     fn read_i8s(m: &Machine, addr: u32, len: usize) -> Vec<i8> {
-        m.cpu.mem.read_bytes(addr, len).iter().map(|&b| b as i8).collect()
+        m.cpu
+            .mem
+            .read_bytes(addr, len)
+            .iter()
+            .map(|&b| b as i8)
+            .collect()
     }
 
     #[test]
     fn matmul_a8_matches_host_oracle() {
         // K multiples of 4 take the kdot4 fast path (incl. the 16-MAC
         // unroll at K >= 16); K = 5 and 7 exercise the scalar fallback.
-        for (m_rows, k_depth, n_cols) in
-            [(3usize, 8usize, 4usize), (2, 5, 3), (4, 12, 1), (3, 20, 5), (1, 7, 2)]
-        {
+        for (m_rows, k_depth, n_cols) in [
+            (3usize, 8usize, 4usize),
+            (2, 5, 3),
+            (4, 12, 1),
+            (3, 20, 5),
+            (1, 7, 2),
+        ] {
             let a = Mat::from_fn(m_rows, k_depth, |r, c| {
                 ((r * k_depth + c) as i32 * 97 % 251 - 125) as i8
             });
@@ -3036,7 +6224,11 @@ mod tests {
         let a = Mat::from_fn(1, 8, |_, c| if c % 2 == 0 { 127i8 } else { -128 });
         let w = Mat::from_fn(8, 2, |r, c| {
             if c == 0 {
-                if r % 2 == 0 { 127i8 } else { -128 }
+                if r % 2 == 0 {
+                    127i8
+                } else {
+                    -128
+                }
             } else if r % 2 == 0 {
                 -128
             } else {
@@ -3044,7 +6236,10 @@ mod tests {
             }
         });
         let m = run_with_a8(
-            &[(IN_A, i8s(a.as_slice())), (IN_B, i8s(w.transpose().as_slice()))],
+            &[
+                (IN_A, i8s(a.as_slice())),
+                (IN_B, i8s(w.transpose().as_slice())),
+            ],
             |asm, k| {
                 asm.li(Reg::A0, IN_A as i32);
                 asm.li(Reg::A1, IN_B as i32);
@@ -3192,8 +6387,10 @@ mod tests {
                 let d = softfp::sub(conv(v), mean);
                 acc = softfp::add(softfp::mul(d, d), acc);
             }
-            let inv_std =
-                softfp::rsqrt(softfp::add(softfp::mul(acc, inv_n.to_bits()), eps.to_bits()));
+            let inv_std = softfp::rsqrt(softfp::add(
+                softfp::mul(acc, inv_n.to_bits()),
+                eps.to_bits(),
+            ));
             for (i, &v) in row.iter().enumerate() {
                 let mut t = softfp::sub(conv(v), mean);
                 t = softfp::mul(t, inv_std);
@@ -3270,16 +6467,13 @@ mod tests {
             }
             let rowf: Vec<f32> = row8
                 .iter()
-                .map(|&sc| {
-                    f32::from_bits(softfp::mul((sc as f32).to_bits(), score_deq.to_bits()))
-                })
+                .map(|&sc| f32::from_bits(softfp::mul((sc as f32).to_bits(), score_deq.to_bits())))
                 .collect();
             let probs = kwt_quant::fixed_softmax(&rowf, &luts);
             let p8: Vec<i8> = probs
                 .iter()
                 .map(|p| {
-                    let scaled =
-                        f32::from_bits(softfp::mul(p.to_bits(), prob_req.to_bits()));
+                    let scaled = f32::from_bits(softfp::mul(p.to_bits(), prob_req.to_bits()));
                     (f64::from(scaled).floor() as i64).clamp(-128, 127) as i8
                 })
                 .collect();

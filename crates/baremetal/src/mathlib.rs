@@ -11,7 +11,7 @@
 use crate::softfloat::SoftFloat;
 use kwt_rvasm::{Asm, Inst, Label, Reg};
 
-use Reg::{A0, A1, Ra, Sp, T0, T1, T2, Zero};
+use Reg::{Ra, Sp, Zero, A0, A1, T0, T1, T2};
 
 /// Entry labels of the math library.
 #[derive(Debug, Clone, Copy)]
@@ -28,10 +28,18 @@ pub struct MathLib {
 
 /// Emits `addi sp, -frame; sw ra/s-regs` and returns the frame size.
 pub(crate) fn prologue(asm: &mut Asm, saves: &[Reg]) -> i32 {
-    let frame = ((saves.len() * 4 + 15) / 16 * 16) as i32;
-    asm.emit(Inst::Addi { rd: Sp, rs1: Sp, imm: -frame });
+    let frame = ((saves.len() * 4).div_ceil(16) * 16) as i32;
+    asm.emit(Inst::Addi {
+        rd: Sp,
+        rs1: Sp,
+        imm: -frame,
+    });
     for (i, &r) in saves.iter().enumerate() {
-        asm.emit(Inst::Sw { rs2: r, rs1: Sp, imm: (i * 4) as i32 });
+        asm.emit(Inst::Sw {
+            rs2: r,
+            rs1: Sp,
+            imm: (i * 4) as i32,
+        });
     }
     frame
 }
@@ -39,9 +47,17 @@ pub(crate) fn prologue(asm: &mut Asm, saves: &[Reg]) -> i32 {
 /// Emits the matching restore + `ret`.
 pub(crate) fn epilogue(asm: &mut Asm, saves: &[Reg], frame: i32) {
     for (i, &r) in saves.iter().enumerate() {
-        asm.emit(Inst::Lw { rd: r, rs1: Sp, imm: (i * 4) as i32 });
+        asm.emit(Inst::Lw {
+            rd: r,
+            rs1: Sp,
+            imm: (i * 4) as i32,
+        });
     }
-    asm.emit(Inst::Addi { rd: Sp, rs1: Sp, imm: frame });
+    asm.emit(Inst::Addi {
+        rd: Sp,
+        rs1: Sp,
+        imm: frame,
+    });
     asm.ret();
 }
 
@@ -52,8 +68,15 @@ pub(crate) fn li_f32(asm: &mut Asm, rd: Reg, value: f32) {
 
 /// Negates the float in `r` in place (`xor` with the sign bit).
 pub(crate) fn negate_f32(asm: &mut Asm, r: Reg, scratch: Reg) {
-    asm.emit(Inst::Lui { rd: scratch, imm: 0x8000_0000u32 as i32 });
-    asm.emit(Inst::Xor { rd: r, rs1: r, rs2: scratch });
+    asm.emit(Inst::Lui {
+        rd: scratch,
+        imm: 0x8000_0000u32 as i32,
+    });
+    asm.emit(Inst::Xor {
+        rd: r,
+        rs1: r,
+        rs2: scratch,
+    });
 }
 
 impl MathLib {
@@ -85,12 +108,26 @@ fn emit_expf(asm: &mut Asm, sf: &SoftFloat) -> Label {
     // clamp low: x < -87 -> 0
     li_f32(asm, A1, -87.0);
     asm.call(sf.lt);
-    asm.branch_to(Inst::Bne { rs1: A0, rs2: Zero, offset: 0 }, ret_zero);
+    asm.branch_to(
+        Inst::Bne {
+            rs1: A0,
+            rs2: Zero,
+            offset: 0,
+        },
+        ret_zero,
+    );
     // clamp high: 88.7 < x -> +inf
     li_f32(asm, A0, 88.7);
     asm.mv(A1, S0);
     asm.call(sf.lt);
-    asm.branch_to(Inst::Bne { rs1: A0, rs2: Zero, offset: 0 }, ret_inf);
+    asm.branch_to(
+        Inst::Bne {
+            rs1: A0,
+            rs2: Zero,
+            offset: 0,
+        },
+        ret_inf,
+    );
     // k = floor(x * log2(e) + 0.5)
     asm.mv(A0, S0);
     li_f32(asm, A1, std::f32::consts::LOG2_E);
@@ -99,7 +136,7 @@ fn emit_expf(asm: &mut Asm, sf: &SoftFloat) -> Label {
     asm.call(sf.add);
     asm.call(sf.f2i_floor);
     asm.mv(S1, A0); // k
-    // r = (x - k*ln2_hi) - k*ln2_lo  (split constant for accuracy)
+                    // r = (x - k*ln2_hi) - k*ln2_lo  (split constant for accuracy)
     asm.call(sf.i2f); // a0 = k already
     asm.mv(S2, A0); // kf
     li_f32(asm, A1, 0.693_359_4); // ln2_hi
@@ -117,7 +154,7 @@ fn emit_expf(asm: &mut Asm, sf: &SoftFloat) -> Label {
     asm.mv(A0, S3);
     asm.call(sf.add);
     asm.mv(S2, A0); // r
-    // Horner: acc = 1/720; acc = acc*r + c
+                    // Horner: acc = 1/720; acc = acc*r + c
     li_f32(asm, S3, 1.0 / 720.0);
     for c in [1.0 / 120.0, 1.0 / 24.0, 1.0 / 6.0, 0.5, 1.0, 1.0] {
         asm.mv(A0, S3);
@@ -129,17 +166,66 @@ fn emit_expf(asm: &mut Asm, sf: &SoftFloat) -> Label {
     }
     // scale by 2^k via the exponent field
     asm.mv(A0, S3);
-    asm.branch_to(Inst::Beq { rs1: A0, rs2: Zero, offset: 0 }, done);
-    asm.emit(Inst::Slli { rd: T0, rs1: A0, shamt: 1 });
-    asm.emit(Inst::Srli { rd: T0, rs1: T0, shamt: 24 });
-    asm.emit(Inst::Add { rd: T0, rs1: T0, rs2: S1 });
-    asm.branch_to(Inst::Bge { rs1: Zero, rs2: T0, offset: 0 }, ret_zero);
+    asm.branch_to(
+        Inst::Beq {
+            rs1: A0,
+            rs2: Zero,
+            offset: 0,
+        },
+        done,
+    );
+    asm.emit(Inst::Slli {
+        rd: T0,
+        rs1: A0,
+        shamt: 1,
+    });
+    asm.emit(Inst::Srli {
+        rd: T0,
+        rs1: T0,
+        shamt: 24,
+    });
+    asm.emit(Inst::Add {
+        rd: T0,
+        rs1: T0,
+        rs2: S1,
+    });
+    asm.branch_to(
+        Inst::Bge {
+            rs1: Zero,
+            rs2: T0,
+            offset: 0,
+        },
+        ret_zero,
+    );
     asm.li(T1, 255);
-    asm.branch_to(Inst::Bge { rs1: T0, rs2: T1, offset: 0 }, ret_inf);
-    asm.emit(Inst::Slli { rd: T2, rs1: A0, shamt: 9 });
-    asm.emit(Inst::Srli { rd: T2, rs1: T2, shamt: 9 });
-    asm.emit(Inst::Slli { rd: T0, rs1: T0, shamt: 23 });
-    asm.emit(Inst::Or { rd: A0, rs1: T2, rs2: T0 });
+    asm.branch_to(
+        Inst::Bge {
+            rs1: T0,
+            rs2: T1,
+            offset: 0,
+        },
+        ret_inf,
+    );
+    asm.emit(Inst::Slli {
+        rd: T2,
+        rs1: A0,
+        shamt: 9,
+    });
+    asm.emit(Inst::Srli {
+        rd: T2,
+        rs1: T2,
+        shamt: 9,
+    });
+    asm.emit(Inst::Slli {
+        rd: T0,
+        rs1: T0,
+        shamt: 23,
+    });
+    asm.emit(Inst::Or {
+        rd: A0,
+        rs1: T2,
+        rs2: T0,
+    });
     asm.jump_to(done);
     asm.bind(ret_zero).expect("fresh label");
     asm.li(A0, 0);
@@ -160,15 +246,38 @@ fn emit_erff(asm: &mut Asm, sf: &SoftFloat, expf: Label) -> Label {
     let done = asm.new_label();
 
     // split sign, keep |x|
-    asm.emit(Inst::Srli { rd: S1, rs1: A0, shamt: 31 });
-    asm.emit(Inst::Slli { rd: S1, rs1: S1, shamt: 31 });
-    asm.emit(Inst::Slli { rd: S0, rs1: A0, shamt: 1 });
-    asm.emit(Inst::Srli { rd: S0, rs1: S0, shamt: 1 }); // |x|
-    // |x| > 3.9 -> erf = ±1
+    asm.emit(Inst::Srli {
+        rd: S1,
+        rs1: A0,
+        shamt: 31,
+    });
+    asm.emit(Inst::Slli {
+        rd: S1,
+        rs1: S1,
+        shamt: 31,
+    });
+    asm.emit(Inst::Slli {
+        rd: S0,
+        rs1: A0,
+        shamt: 1,
+    });
+    asm.emit(Inst::Srli {
+        rd: S0,
+        rs1: S0,
+        shamt: 1,
+    }); // |x|
+        // |x| > 3.9 -> erf = ±1
     li_f32(asm, A0, 3.9);
     asm.mv(A1, S0);
     asm.call(sf.lt);
-    asm.branch_to(Inst::Bne { rs1: A0, rs2: Zero, offset: 0 }, ret_one);
+    asm.branch_to(
+        Inst::Bne {
+            rs1: A0,
+            rs2: Zero,
+            offset: 0,
+        },
+        ret_one,
+    );
     // t = 1 / (1 + p|x|)
     asm.mv(A0, S0);
     li_f32(asm, A1, 0.327_591_1);
@@ -179,9 +288,9 @@ fn emit_erff(asm: &mut Asm, sf: &SoftFloat, expf: Label) -> Label {
     li_f32(asm, A0, 1.0);
     asm.call(sf.div);
     asm.mv(S2, A0); // t
-    // Horner on the A&S coefficients, then * t
-    li_f32(asm, S3, 1.061_405_429);
-    for c in [-1.453_152_027f32, 1.421_413_741, -0.284_496_736, 0.254_829_592] {
+                    // Horner on the A&S coefficients, then * t
+    li_f32(asm, S3, 1.061_405_4);
+    for c in [-1.453_152_1_f32, 1.421_413_8, -0.284_496_72, 0.254_829_6] {
         asm.mv(A0, S3);
         asm.mv(A1, S2);
         asm.call(sf.mul);
@@ -193,7 +302,7 @@ fn emit_erff(asm: &mut Asm, sf: &SoftFloat, expf: Label) -> Label {
     asm.mv(A1, S2);
     asm.call(sf.mul);
     asm.mv(S3, A0); // y = poly(t) * t
-    // e = expf(-x^2)
+                    // e = expf(-x^2)
     asm.mv(A0, S0);
     asm.mv(A1, S0);
     asm.call(sf.mul);
@@ -206,11 +315,19 @@ fn emit_erff(asm: &mut Asm, sf: &SoftFloat, expf: Label) -> Label {
     negate_f32(asm, A1, T0);
     li_f32(asm, A0, 1.0);
     asm.call(sf.add);
-    asm.emit(Inst::Or { rd: A0, rs1: A0, rs2: S1 });
+    asm.emit(Inst::Or {
+        rd: A0,
+        rs1: A0,
+        rs2: S1,
+    });
     asm.jump_to(done);
     asm.bind(ret_one).expect("fresh label");
     li_f32(asm, A0, 1.0);
-    asm.emit(Inst::Or { rd: A0, rs1: A0, rs2: S1 });
+    asm.emit(Inst::Or {
+        rd: A0,
+        rs1: A0,
+        rs2: S1,
+    });
     asm.bind(done).expect("fresh label");
     epilogue(asm, &saves, frame);
     entry
@@ -226,11 +343,19 @@ fn emit_rsqrtf(asm: &mut Asm, sf: &SoftFloat) -> Label {
     li_f32(asm, A1, 0.5);
     asm.call(sf.mul);
     asm.mv(S0, A0); // xhalf
-    // magic seed
-    asm.emit(Inst::Srli { rd: T0, rs1: S1, shamt: 1 });
+                    // magic seed
+    asm.emit(Inst::Srli {
+        rd: T0,
+        rs1: S1,
+        shamt: 1,
+    });
     asm.li(T1, 0x5F37_59DFu32 as i32);
-    asm.emit(Inst::Sub { rd: S1, rs1: T1, rs2: T0 }); // y
-    // three Newton iterations: y = y * (1.5 - xhalf*y*y)
+    asm.emit(Inst::Sub {
+        rd: S1,
+        rs1: T1,
+        rs2: T0,
+    }); // y
+        // three Newton iterations: y = y * (1.5 - xhalf*y*y)
     for _ in 0..3 {
         asm.mv(A0, S1);
         asm.mv(A1, S1);
@@ -323,10 +448,7 @@ mod tests {
             let x = i as f32 * 0.11;
             let (got, _) = run_unary("erff", x);
             let want = kwt_tensor::math::erf(x);
-            assert!(
-                (got - want).abs() < 5e-6,
-                "erff({x}) = {got}, want {want}"
-            );
+            assert!((got - want).abs() < 5e-6, "erff({x}) = {got}, want {want}");
         }
         assert_eq!(run_unary("erff", 5.0).0, 1.0);
         assert_eq!(run_unary("erff", -5.0).0, -1.0);
@@ -361,10 +483,7 @@ mod tests {
             let x = i as f32 * 0.1;
             let (got, _) = run_unary("gelu", x);
             let want = kwt_tensor::math::gelu_exact(x);
-            assert!(
-                (got - want).abs() < 2e-5,
-                "gelu({x}) = {got}, want {want}"
-            );
+            assert!((got - want).abs() < 2e-5, "gelu({x}) = {got}, want {want}");
         }
     }
 

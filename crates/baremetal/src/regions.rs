@@ -57,7 +57,7 @@ pub fn aggregate_by_op(regions: &[(String, u64, u64)]) -> Vec<(String, u64)> {
         *by_op.entry(op).or_insert(0) += cycles;
     }
     let mut v: Vec<(String, u64)> = by_op.into_iter().map(|(k, c)| (k.to_string(), c)).collect();
-    v.sort_by(|a, b| b.1.cmp(&a.1));
+    v.sort_by_key(|r| std::cmp::Reverse(r.1));
     v
 }
 
@@ -67,14 +67,9 @@ pub fn filter_block(regions: &[(String, u64, u64)], block: &str) -> Vec<(String,
     let mut v: Vec<(String, u64)> = regions
         .iter()
         .filter(|(name, _, _)| name.starts_with(block))
-        .map(|(name, cycles, _)| {
-            (
-                name.split('/').nth(1).unwrap_or(name).to_string(),
-                *cycles,
-            )
-        })
+        .map(|(name, cycles, _)| (name.split('/').nth(1).unwrap_or(name).to_string(), *cycles))
         .collect();
-    v.sort_by(|a, b| b.1.cmp(&a.1));
+    v.sort_by_key(|r| std::cmp::Reverse(r.1));
     v
 }
 

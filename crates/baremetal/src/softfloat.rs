@@ -16,7 +16,7 @@
 
 use kwt_rvasm::{Asm, Inst, Label, Reg};
 
-use Reg::{A0, A1, A2, T0, T1, T2, T3, T4, T5, T6, Zero};
+use Reg::{Zero, A0, A1, A2, T0, T1, T2, T3, T4, T5, T6};
 
 /// Entry labels of the emitted soft-float library.
 #[derive(Debug, Clone, Copy)]
@@ -41,22 +41,64 @@ pub struct SoftFloat {
 
 /// Shorthand branch emitters.
 fn beq(asm: &mut Asm, rs1: Reg, rs2: Reg, l: Label) {
-    asm.branch_to(Inst::Beq { rs1, rs2, offset: 0 }, l);
+    asm.branch_to(
+        Inst::Beq {
+            rs1,
+            rs2,
+            offset: 0,
+        },
+        l,
+    );
 }
 fn bne(asm: &mut Asm, rs1: Reg, rs2: Reg, l: Label) {
-    asm.branch_to(Inst::Bne { rs1, rs2, offset: 0 }, l);
+    asm.branch_to(
+        Inst::Bne {
+            rs1,
+            rs2,
+            offset: 0,
+        },
+        l,
+    );
 }
 fn blt(asm: &mut Asm, rs1: Reg, rs2: Reg, l: Label) {
-    asm.branch_to(Inst::Blt { rs1, rs2, offset: 0 }, l);
+    asm.branch_to(
+        Inst::Blt {
+            rs1,
+            rs2,
+            offset: 0,
+        },
+        l,
+    );
 }
 fn bge(asm: &mut Asm, rs1: Reg, rs2: Reg, l: Label) {
-    asm.branch_to(Inst::Bge { rs1, rs2, offset: 0 }, l);
+    asm.branch_to(
+        Inst::Bge {
+            rs1,
+            rs2,
+            offset: 0,
+        },
+        l,
+    );
 }
 fn bltu(asm: &mut Asm, rs1: Reg, rs2: Reg, l: Label) {
-    asm.branch_to(Inst::Bltu { rs1, rs2, offset: 0 }, l);
+    asm.branch_to(
+        Inst::Bltu {
+            rs1,
+            rs2,
+            offset: 0,
+        },
+        l,
+    );
 }
 fn bgeu(asm: &mut Asm, rs1: Reg, rs2: Reg, l: Label) {
-    asm.branch_to(Inst::Bgeu { rs1, rs2, offset: 0 }, l);
+    asm.branch_to(
+        Inst::Bgeu {
+            rs1,
+            rs2,
+            offset: 0,
+        },
+        l,
+    );
 }
 fn beqz(asm: &mut Asm, rs: Reg, l: Label) {
     beq(asm, rs, Zero, l);
@@ -76,14 +118,30 @@ fn blez(asm: &mut Asm, rs: Reg, l: Label) {
 
 /// `rd = rs & 0x007F_FFFF` (mantissa mask) via shift pair.
 fn mask_mantissa(asm: &mut Asm, rd: Reg, rs: Reg) {
-    asm.emit(Inst::Slli { rd, rs1: rs, shamt: 9 });
-    asm.emit(Inst::Srli { rd, rs1: rd, shamt: 9 });
+    asm.emit(Inst::Slli {
+        rd,
+        rs1: rs,
+        shamt: 9,
+    });
+    asm.emit(Inst::Srli {
+        rd,
+        rs1: rd,
+        shamt: 9,
+    });
 }
 
 /// `rd = sign bit of rs` (isolated in bit 31).
 fn sign_of(asm: &mut Asm, rd: Reg, rs: Reg) {
-    asm.emit(Inst::Srli { rd, rs1: rs, shamt: 31 });
-    asm.emit(Inst::Slli { rd, rs1: rd, shamt: 31 });
+    asm.emit(Inst::Srli {
+        rd,
+        rs1: rs,
+        shamt: 31,
+    });
+    asm.emit(Inst::Slli {
+        rd,
+        rs1: rd,
+        shamt: 31,
+    });
 }
 
 impl SoftFloat {
@@ -123,15 +181,35 @@ impl SoftFloat {
             crate::kernels::KernelIsa::Rv32im => lib,
             crate::kernels::KernelIsa::Xkwtdot => {
                 let add = asm.here("sf_add_kf");
-                asm.emit(Inst::Packed { op: PackedOp::KfaddT, rd: A0, rs1: A0, rs2: A1 });
+                asm.emit(Inst::Packed {
+                    op: PackedOp::KfaddT,
+                    rd: A0,
+                    rs1: A0,
+                    rs2: A1,
+                });
                 asm.ret();
                 let sub = asm.here("sf_sub_kf");
-                asm.emit(Inst::Packed { op: PackedOp::KfsubT, rd: A0, rs1: A0, rs2: A1 });
+                asm.emit(Inst::Packed {
+                    op: PackedOp::KfsubT,
+                    rd: A0,
+                    rs1: A0,
+                    rs2: A1,
+                });
                 asm.ret();
                 let mul = asm.here("sf_mul_kf");
-                asm.emit(Inst::Packed { op: PackedOp::KfmulT, rd: A0, rs1: A0, rs2: A1 });
+                asm.emit(Inst::Packed {
+                    op: PackedOp::KfmulT,
+                    rd: A0,
+                    rs1: A0,
+                    rs2: A1,
+                });
                 asm.ret();
-                SoftFloat { add, sub, mul, ..lib }
+                SoftFloat {
+                    add,
+                    sub,
+                    mul,
+                    ..lib
+                }
             }
         }
     }
@@ -153,10 +231,26 @@ fn emit_add(asm: &mut Asm) -> Label {
     let make_inf = asm.new_label();
 
     // magnitudes (sign stripped, shifted left 1) and exponent fields
-    asm.emit(Inst::Slli { rd: T0, rs1: A0, shamt: 1 });
-    asm.emit(Inst::Slli { rd: T1, rs1: A1, shamt: 1 });
-    asm.emit(Inst::Srli { rd: T2, rs1: T0, shamt: 24 });
-    asm.emit(Inst::Srli { rd: T3, rs1: T1, shamt: 24 });
+    asm.emit(Inst::Slli {
+        rd: T0,
+        rs1: A0,
+        shamt: 1,
+    });
+    asm.emit(Inst::Slli {
+        rd: T1,
+        rs1: A1,
+        shamt: 1,
+    });
+    asm.emit(Inst::Srli {
+        rd: T2,
+        rs1: T0,
+        shamt: 24,
+    });
+    asm.emit(Inst::Srli {
+        rd: T3,
+        rs1: T1,
+        shamt: 24,
+    });
     // x zero/denormal?
     bnez(asm, T2, x_ok);
     bnez(asm, T3, ret_y);
@@ -186,42 +280,103 @@ fn emit_add(asm: &mut Asm) -> Label {
     asm.bind(no_swap).expect("fresh label");
     // mantissas with implicit bit, pre-shifted left 3 (guard bits)
     mask_mantissa(asm, T4, A0);
-    asm.emit(Inst::Lui { rd: T6, imm: 0x0080_0000 });
-    asm.emit(Inst::Or { rd: T4, rs1: T4, rs2: T6 });
-    asm.emit(Inst::Slli { rd: T4, rs1: T4, shamt: 3 });
+    asm.emit(Inst::Lui {
+        rd: T6,
+        imm: 0x0080_0000,
+    });
+    asm.emit(Inst::Or {
+        rd: T4,
+        rs1: T4,
+        rs2: T6,
+    });
+    asm.emit(Inst::Slli {
+        rd: T4,
+        rs1: T4,
+        shamt: 3,
+    });
     mask_mantissa(asm, T5, A1);
-    asm.emit(Inst::Or { rd: T5, rs1: T5, rs2: T6 });
-    asm.emit(Inst::Slli { rd: T5, rs1: T5, shamt: 3 });
+    asm.emit(Inst::Or {
+        rd: T5,
+        rs1: T5,
+        rs2: T6,
+    });
+    asm.emit(Inst::Slli {
+        rd: T5,
+        rs1: T5,
+        shamt: 3,
+    });
     // exponent difference
-    asm.emit(Inst::Sub { rd: T0, rs1: T2, rs2: T3 });
+    asm.emit(Inst::Sub {
+        rd: T0,
+        rs1: T2,
+        rs2: T3,
+    });
     asm.li(T1, 27);
     bltu(asm, T0, T1, d_ok);
     asm.ret(); // y negligible; a0 already holds the larger operand
     asm.bind(d_ok).expect("fresh label");
-    asm.emit(Inst::Srl { rd: T5, rs1: T5, rs2: T0 });
+    asm.emit(Inst::Srl {
+        rd: T5,
+        rs1: T5,
+        rs2: T0,
+    });
     // signs differ?
-    asm.emit(Inst::Xor { rd: T1, rs1: A0, rs2: A1 });
+    asm.emit(Inst::Xor {
+        rd: T1,
+        rs1: A0,
+        rs2: A1,
+    });
     bltz(asm, T1, subpath);
     // same-sign addition
-    asm.emit(Inst::Add { rd: T4, rs1: T4, rs2: T5 });
-    asm.emit(Inst::Lui { rd: T1, imm: 0x0800_0000u32 as i32 }); // 1 << 27
+    asm.emit(Inst::Add {
+        rd: T4,
+        rs1: T4,
+        rs2: T5,
+    });
+    asm.emit(Inst::Lui {
+        rd: T1,
+        imm: 0x0800_0000u32 as i32,
+    }); // 1 << 27
     bltu(asm, T4, T1, norm);
-    asm.emit(Inst::Srli { rd: T4, rs1: T4, shamt: 1 });
-    asm.emit(Inst::Addi { rd: T2, rs1: T2, imm: 1 });
+    asm.emit(Inst::Srli {
+        rd: T4,
+        rs1: T4,
+        shamt: 1,
+    });
+    asm.emit(Inst::Addi {
+        rd: T2,
+        rs1: T2,
+        imm: 1,
+    });
     asm.jump_to(norm);
     // opposite-sign subtraction (|x| >= |y| so result >= 0)
     asm.bind(subpath).expect("fresh label");
-    asm.emit(Inst::Sub { rd: T4, rs1: T4, rs2: T5 });
+    asm.emit(Inst::Sub {
+        rd: T4,
+        rs1: T4,
+        rs2: T5,
+    });
     bnez(asm, T4, normloop_top);
     asm.li(A0, 0); // exact cancellation -> +0
     asm.ret();
     asm.bind(normloop_top).expect("fresh label");
-    asm.emit(Inst::Lui { rd: T1, imm: 0x0400_0000 }); // 1 << 26
+    asm.emit(Inst::Lui {
+        rd: T1,
+        imm: 0x0400_0000,
+    }); // 1 << 26
     let nl = asm.new_label();
     asm.bind(nl).expect("fresh label");
     bgeu(asm, T4, T1, norm);
-    asm.emit(Inst::Slli { rd: T4, rs1: T4, shamt: 1 });
-    asm.emit(Inst::Addi { rd: T2, rs1: T2, imm: -1 });
+    asm.emit(Inst::Slli {
+        rd: T4,
+        rs1: T4,
+        shamt: 1,
+    });
+    asm.emit(Inst::Addi {
+        rd: T2,
+        rs1: T2,
+        imm: -1,
+    });
     asm.jump_to(nl);
     // normalisation done: range-check exponent and pack
     asm.bind(norm).expect("fresh label");
@@ -230,20 +385,43 @@ fn emit_add(asm: &mut Asm) -> Label {
     blt(asm, T2, T1, pack);
     asm.jump_to(make_inf);
     asm.bind(pack).expect("fresh label");
-    asm.emit(Inst::Srli { rd: T4, rs1: T4, shamt: 3 });
+    asm.emit(Inst::Srli {
+        rd: T4,
+        rs1: T4,
+        shamt: 3,
+    });
     mask_mantissa(asm, T4, T4);
     sign_of(asm, T1, A0);
-    asm.emit(Inst::Slli { rd: T2, rs1: T2, shamt: 23 });
-    asm.emit(Inst::Or { rd: A0, rs1: T1, rs2: T2 });
-    asm.emit(Inst::Or { rd: A0, rs1: A0, rs2: T4 });
+    asm.emit(Inst::Slli {
+        rd: T2,
+        rs1: T2,
+        shamt: 23,
+    });
+    asm.emit(Inst::Or {
+        rd: A0,
+        rs1: T1,
+        rs2: T2,
+    });
+    asm.emit(Inst::Or {
+        rd: A0,
+        rs1: A0,
+        rs2: T4,
+    });
     asm.ret();
     asm.bind(zero_signed).expect("fresh label");
     sign_of(asm, A0, A0);
     asm.ret();
     asm.bind(make_inf).expect("fresh label");
     sign_of(asm, A0, A0);
-    asm.emit(Inst::Lui { rd: T1, imm: 0x7F80_0000 });
-    asm.emit(Inst::Or { rd: A0, rs1: A0, rs2: T1 });
+    asm.emit(Inst::Lui {
+        rd: T1,
+        imm: 0x7F80_0000,
+    });
+    asm.emit(Inst::Or {
+        rd: A0,
+        rs1: A0,
+        rs2: T1,
+    });
     asm.ret();
     asm.bind(plain_ret).expect("fresh label");
     asm.ret();
@@ -252,8 +430,15 @@ fn emit_add(asm: &mut Asm) -> Label {
 
 fn emit_sub(asm: &mut Asm, add: Label) -> Label {
     let entry = asm.here("sf_sub");
-    asm.emit(Inst::Lui { rd: T0, imm: 0x8000_0000u32 as i32 });
-    asm.emit(Inst::Xor { rd: A1, rs1: A1, rs2: T0 });
+    asm.emit(Inst::Lui {
+        rd: T0,
+        imm: 0x8000_0000u32 as i32,
+    });
+    asm.emit(Inst::Xor {
+        rd: A1,
+        rs1: A1,
+        rs2: T0,
+    });
     asm.jump_to(add);
     entry
 }
@@ -267,13 +452,33 @@ fn emit_mul(asm: &mut Asm) -> Label {
     let pack_ok = asm.new_label();
 
     // result sign
-    asm.emit(Inst::Xor { rd: A2, rs1: A0, rs2: A1 });
+    asm.emit(Inst::Xor {
+        rd: A2,
+        rs1: A0,
+        rs2: A1,
+    });
     sign_of(asm, A2, A2);
     // exponents
-    asm.emit(Inst::Slli { rd: T0, rs1: A0, shamt: 1 });
-    asm.emit(Inst::Srli { rd: T0, rs1: T0, shamt: 24 });
-    asm.emit(Inst::Slli { rd: T1, rs1: A1, shamt: 1 });
-    asm.emit(Inst::Srli { rd: T1, rs1: T1, shamt: 24 });
+    asm.emit(Inst::Slli {
+        rd: T0,
+        rs1: A0,
+        shamt: 1,
+    });
+    asm.emit(Inst::Srli {
+        rd: T0,
+        rs1: T0,
+        shamt: 24,
+    });
+    asm.emit(Inst::Slli {
+        rd: T1,
+        rs1: A1,
+        shamt: 1,
+    });
+    asm.emit(Inst::Srli {
+        rd: T1,
+        rs1: T1,
+        shamt: 24,
+    });
     beqz(asm, T0, zero);
     beqz(asm, T1, zero);
     asm.li(T6, 255);
@@ -281,42 +486,123 @@ fn emit_mul(asm: &mut Asm) -> Label {
     beq(asm, T1, T6, inf);
     // mantissas
     mask_mantissa(asm, T2, A0);
-    asm.emit(Inst::Lui { rd: T3, imm: 0x0080_0000 });
-    asm.emit(Inst::Or { rd: T2, rs1: T2, rs2: T3 });
+    asm.emit(Inst::Lui {
+        rd: T3,
+        imm: 0x0080_0000,
+    });
+    asm.emit(Inst::Or {
+        rd: T2,
+        rs1: T2,
+        rs2: T3,
+    });
     mask_mantissa(asm, T4, A1);
-    asm.emit(Inst::Or { rd: T4, rs1: T4, rs2: T3 });
+    asm.emit(Inst::Or {
+        rd: T4,
+        rs1: T4,
+        rs2: T3,
+    });
     // 48-bit product
-    asm.emit(Inst::Mul { rd: T5, rs1: T2, rs2: T4 });
-    asm.emit(Inst::Mulhu { rd: T6, rs1: T2, rs2: T4 });
+    asm.emit(Inst::Mul {
+        rd: T5,
+        rs1: T2,
+        rs2: T4,
+    });
+    asm.emit(Inst::Mulhu {
+        rd: T6,
+        rs1: T2,
+        rs2: T4,
+    });
     // exponent
-    asm.emit(Inst::Add { rd: T0, rs1: T0, rs2: T1 });
-    asm.emit(Inst::Addi { rd: T0, rs1: T0, imm: -127 });
+    asm.emit(Inst::Add {
+        rd: T0,
+        rs1: T0,
+        rs2: T1,
+    });
+    asm.emit(Inst::Addi {
+        rd: T0,
+        rs1: T0,
+        imm: -127,
+    });
     // normalise on bit 47
-    asm.emit(Inst::Lui { rd: T1, imm: 0x8000 }); // bit 15 of the high half
-    asm.emit(Inst::And { rd: T1, rs1: T6, rs2: T1 });
+    asm.emit(Inst::Lui {
+        rd: T1,
+        imm: 0x8000,
+    }); // bit 15 of the high half
+    asm.emit(Inst::And {
+        rd: T1,
+        rs1: T6,
+        rs2: T1,
+    });
     beqz(asm, T1, lo_norm);
-    asm.emit(Inst::Slli { rd: T6, rs1: T6, shamt: 8 });
-    asm.emit(Inst::Srli { rd: T5, rs1: T5, shamt: 24 });
-    asm.emit(Inst::Or { rd: T5, rs1: T5, rs2: T6 });
-    asm.emit(Inst::Addi { rd: T0, rs1: T0, imm: 1 });
+    asm.emit(Inst::Slli {
+        rd: T6,
+        rs1: T6,
+        shamt: 8,
+    });
+    asm.emit(Inst::Srli {
+        rd: T5,
+        rs1: T5,
+        shamt: 24,
+    });
+    asm.emit(Inst::Or {
+        rd: T5,
+        rs1: T5,
+        rs2: T6,
+    });
+    asm.emit(Inst::Addi {
+        rd: T0,
+        rs1: T0,
+        imm: 1,
+    });
     asm.jump_to(range);
     asm.bind(lo_norm).expect("fresh label");
-    asm.emit(Inst::Slli { rd: T6, rs1: T6, shamt: 9 });
-    asm.emit(Inst::Srli { rd: T5, rs1: T5, shamt: 23 });
-    asm.emit(Inst::Or { rd: T5, rs1: T5, rs2: T6 });
+    asm.emit(Inst::Slli {
+        rd: T6,
+        rs1: T6,
+        shamt: 9,
+    });
+    asm.emit(Inst::Srli {
+        rd: T5,
+        rs1: T5,
+        shamt: 23,
+    });
+    asm.emit(Inst::Or {
+        rd: T5,
+        rs1: T5,
+        rs2: T6,
+    });
     asm.bind(range).expect("fresh label");
     blez(asm, T0, zero);
     asm.li(T1, 255);
     blt(asm, T0, T1, pack_ok);
     asm.bind(inf).expect("fresh label");
-    asm.emit(Inst::Lui { rd: T1, imm: 0x7F80_0000 });
-    asm.emit(Inst::Or { rd: A0, rs1: A2, rs2: T1 });
+    asm.emit(Inst::Lui {
+        rd: T1,
+        imm: 0x7F80_0000,
+    });
+    asm.emit(Inst::Or {
+        rd: A0,
+        rs1: A2,
+        rs2: T1,
+    });
     asm.ret();
     asm.bind(pack_ok).expect("fresh label");
     mask_mantissa(asm, T5, T5);
-    asm.emit(Inst::Slli { rd: T0, rs1: T0, shamt: 23 });
-    asm.emit(Inst::Or { rd: A0, rs1: A2, rs2: T0 });
-    asm.emit(Inst::Or { rd: A0, rs1: A0, rs2: T5 });
+    asm.emit(Inst::Slli {
+        rd: T0,
+        rs1: T0,
+        shamt: 23,
+    });
+    asm.emit(Inst::Or {
+        rd: A0,
+        rs1: A2,
+        rs2: T0,
+    });
+    asm.emit(Inst::Or {
+        rd: A0,
+        rs1: A0,
+        rs2: T5,
+    });
     asm.ret();
     asm.bind(zero).expect("fresh label");
     asm.mv(A0, A2);
@@ -335,12 +621,32 @@ fn emit_div(asm: &mut Asm) -> Label {
     let norm = asm.new_label();
     let pack_ok = asm.new_label();
 
-    asm.emit(Inst::Xor { rd: A2, rs1: A0, rs2: A1 });
+    asm.emit(Inst::Xor {
+        rd: A2,
+        rs1: A0,
+        rs2: A1,
+    });
     sign_of(asm, A2, A2);
-    asm.emit(Inst::Slli { rd: T0, rs1: A0, shamt: 1 });
-    asm.emit(Inst::Srli { rd: T0, rs1: T0, shamt: 24 });
-    asm.emit(Inst::Slli { rd: T1, rs1: A1, shamt: 1 });
-    asm.emit(Inst::Srli { rd: T1, rs1: T1, shamt: 24 });
+    asm.emit(Inst::Slli {
+        rd: T0,
+        rs1: A0,
+        shamt: 1,
+    });
+    asm.emit(Inst::Srli {
+        rd: T0,
+        rs1: T0,
+        shamt: 24,
+    });
+    asm.emit(Inst::Slli {
+        rd: T1,
+        rs1: A1,
+        shamt: 1,
+    });
+    asm.emit(Inst::Srli {
+        rd: T1,
+        rs1: T1,
+        shamt: 24,
+    });
     asm.li(T6, 255);
     beqz(asm, T1, inf); // divide by zero
     beqz(asm, T0, zero); // zero dividend
@@ -350,45 +656,114 @@ fn emit_div(asm: &mut Asm) -> Label {
     asm.bind(x_nonzero).expect("fresh label");
     // mantissas
     mask_mantissa(asm, T2, A0);
-    asm.emit(Inst::Lui { rd: T3, imm: 0x0080_0000 });
-    asm.emit(Inst::Or { rd: T2, rs1: T2, rs2: T3 });
+    asm.emit(Inst::Lui {
+        rd: T3,
+        imm: 0x0080_0000,
+    });
+    asm.emit(Inst::Or {
+        rd: T2,
+        rs1: T2,
+        rs2: T3,
+    });
     mask_mantissa(asm, T4, A1);
-    asm.emit(Inst::Or { rd: T4, rs1: T4, rs2: T3 });
+    asm.emit(Inst::Or {
+        rd: T4,
+        rs1: T4,
+        rs2: T3,
+    });
     // exponent
-    asm.emit(Inst::Sub { rd: T0, rs1: T0, rs2: T1 });
-    asm.emit(Inst::Addi { rd: T0, rs1: T0, imm: 127 });
+    asm.emit(Inst::Sub {
+        rd: T0,
+        rs1: T0,
+        rs2: T1,
+    });
+    asm.emit(Inst::Addi {
+        rd: T0,
+        rs1: T0,
+        imm: 127,
+    });
     // 25-step restoring division: R = T2, D = T4, Q = T5
     asm.li(T5, 0);
     asm.li(T1, 25);
     asm.bind(loop_top).expect("fresh label");
-    asm.emit(Inst::Slli { rd: T5, rs1: T5, shamt: 1 });
+    asm.emit(Inst::Slli {
+        rd: T5,
+        rs1: T5,
+        shamt: 1,
+    });
     bltu(asm, T2, T4, skip);
-    asm.emit(Inst::Sub { rd: T2, rs1: T2, rs2: T4 });
-    asm.emit(Inst::Ori { rd: T5, rs1: T5, imm: 1 });
+    asm.emit(Inst::Sub {
+        rd: T2,
+        rs1: T2,
+        rs2: T4,
+    });
+    asm.emit(Inst::Ori {
+        rd: T5,
+        rs1: T5,
+        imm: 1,
+    });
     asm.bind(skip).expect("fresh label");
-    asm.emit(Inst::Slli { rd: T2, rs1: T2, shamt: 1 });
-    asm.emit(Inst::Addi { rd: T1, rs1: T1, imm: -1 });
+    asm.emit(Inst::Slli {
+        rd: T2,
+        rs1: T2,
+        shamt: 1,
+    });
+    asm.emit(Inst::Addi {
+        rd: T1,
+        rs1: T1,
+        imm: -1,
+    });
     bnez(asm, T1, loop_top);
     // normalise the 25-bit quotient
-    asm.emit(Inst::Lui { rd: T1, imm: 0x0100_0000 }); // 1 << 24
+    asm.emit(Inst::Lui {
+        rd: T1,
+        imm: 0x0100_0000,
+    }); // 1 << 24
     bltu(asm, T5, T1, small);
-    asm.emit(Inst::Srli { rd: T5, rs1: T5, shamt: 1 });
+    asm.emit(Inst::Srli {
+        rd: T5,
+        rs1: T5,
+        shamt: 1,
+    });
     asm.jump_to(norm);
     asm.bind(small).expect("fresh label");
-    asm.emit(Inst::Addi { rd: T0, rs1: T0, imm: -1 });
+    asm.emit(Inst::Addi {
+        rd: T0,
+        rs1: T0,
+        imm: -1,
+    });
     asm.bind(norm).expect("fresh label");
     blez(asm, T0, zero);
     asm.li(T1, 255);
     blt(asm, T0, T1, pack_ok);
     asm.bind(inf).expect("fresh label");
-    asm.emit(Inst::Lui { rd: T1, imm: 0x7F80_0000 });
-    asm.emit(Inst::Or { rd: A0, rs1: A2, rs2: T1 });
+    asm.emit(Inst::Lui {
+        rd: T1,
+        imm: 0x7F80_0000,
+    });
+    asm.emit(Inst::Or {
+        rd: A0,
+        rs1: A2,
+        rs2: T1,
+    });
     asm.ret();
     asm.bind(pack_ok).expect("fresh label");
     mask_mantissa(asm, T5, T5);
-    asm.emit(Inst::Slli { rd: T0, rs1: T0, shamt: 23 });
-    asm.emit(Inst::Or { rd: A0, rs1: A2, rs2: T0 });
-    asm.emit(Inst::Or { rd: A0, rs1: A0, rs2: T5 });
+    asm.emit(Inst::Slli {
+        rd: T0,
+        rs1: T0,
+        shamt: 23,
+    });
+    asm.emit(Inst::Or {
+        rd: A0,
+        rs1: A2,
+        rs2: T0,
+    });
+    asm.emit(Inst::Or {
+        rd: A0,
+        rs1: A0,
+        rs2: T5,
+    });
     asm.ret();
     asm.bind(zero).expect("fresh label");
     asm.mv(A0, A2);
@@ -403,29 +778,81 @@ fn emit_i2f(asm: &mut Asm) -> Label {
     asm.ret();
     asm.bind(done_ret).expect("fresh label");
     // sign and absolute value (INT_MIN maps to 0x8000_0000 unsigned, fine)
-    asm.emit(Inst::Srai { rd: T0, rs1: A0, shamt: 31 });
-    asm.emit(Inst::Xor { rd: A0, rs1: A0, rs2: T0 });
-    asm.emit(Inst::Sub { rd: A0, rs1: A0, rs2: T0 });
-    asm.emit(Inst::Srli { rd: T1, rs1: T0, shamt: 31 });
-    asm.emit(Inst::Slli { rd: T1, rs1: T1, shamt: 31 }); // sign bit
-    // count leading zeros (binary steps), n in T2
+    asm.emit(Inst::Srai {
+        rd: T0,
+        rs1: A0,
+        shamt: 31,
+    });
+    asm.emit(Inst::Xor {
+        rd: A0,
+        rs1: A0,
+        rs2: T0,
+    });
+    asm.emit(Inst::Sub {
+        rd: A0,
+        rs1: A0,
+        rs2: T0,
+    });
+    asm.emit(Inst::Srli {
+        rd: T1,
+        rs1: T0,
+        shamt: 31,
+    });
+    asm.emit(Inst::Slli {
+        rd: T1,
+        rs1: T1,
+        shamt: 31,
+    }); // sign bit
+        // count leading zeros (binary steps), n in T2
     asm.li(T2, 0);
     for (step, sh) in [(16u32, 16u32), (8, 24), (4, 28), (2, 30), (1, 31)] {
         let skip = asm.new_label();
-        asm.emit(Inst::Srli { rd: T3, rs1: A0, shamt: sh });
+        asm.emit(Inst::Srli {
+            rd: T3,
+            rs1: A0,
+            shamt: sh,
+        });
         bnez(asm, T3, skip);
-        asm.emit(Inst::Addi { rd: T2, rs1: T2, imm: step as i32 });
-        asm.emit(Inst::Slli { rd: A0, rs1: A0, shamt: step });
+        asm.emit(Inst::Addi {
+            rd: T2,
+            rs1: T2,
+            imm: step as i32,
+        });
+        asm.emit(Inst::Slli {
+            rd: A0,
+            rs1: A0,
+            shamt: step,
+        });
         asm.bind(skip).expect("fresh label");
     }
     // msb now at bit 31; exponent = 158 - n
     asm.li(T3, 158);
-    asm.emit(Inst::Sub { rd: T3, rs1: T3, rs2: T2 });
-    asm.emit(Inst::Srli { rd: A0, rs1: A0, shamt: 8 });
+    asm.emit(Inst::Sub {
+        rd: T3,
+        rs1: T3,
+        rs2: T2,
+    });
+    asm.emit(Inst::Srli {
+        rd: A0,
+        rs1: A0,
+        shamt: 8,
+    });
     mask_mantissa(asm, A0, A0);
-    asm.emit(Inst::Slli { rd: T3, rs1: T3, shamt: 23 });
-    asm.emit(Inst::Or { rd: A0, rs1: A0, rs2: T3 });
-    asm.emit(Inst::Or { rd: A0, rs1: A0, rs2: T1 });
+    asm.emit(Inst::Slli {
+        rd: T3,
+        rs1: T3,
+        shamt: 23,
+    });
+    asm.emit(Inst::Or {
+        rd: A0,
+        rs1: A0,
+        rs2: T3,
+    });
+    asm.emit(Inst::Or {
+        rd: A0,
+        rs1: A0,
+        rs2: T1,
+    });
     asm.ret();
     entry
 }
@@ -441,8 +868,16 @@ fn emit_f2i_floor(asm: &mut Asm) -> Label {
     let positive = asm.new_label();
     let no_adjust = asm.new_label();
 
-    asm.emit(Inst::Slli { rd: T0, rs1: A0, shamt: 1 });
-    asm.emit(Inst::Srli { rd: T1, rs1: T0, shamt: 24 }); // exponent
+    asm.emit(Inst::Slli {
+        rd: T0,
+        rs1: A0,
+        shamt: 1,
+    });
+    asm.emit(Inst::Srli {
+        rd: T1,
+        rs1: T0,
+        shamt: 24,
+    }); // exponent
     asm.li(T2, 127);
     bgeu(asm, T1, T2, big);
     // |x| < 1: floor is 0, or -1 for negative non-zero
@@ -454,39 +889,96 @@ fn emit_f2i_floor(asm: &mut Asm) -> Label {
     asm.li(A0, 0);
     asm.ret();
     asm.bind(big).expect("fresh label");
-    asm.emit(Inst::Sub { rd: T1, rs1: T1, rs2: T2 }); // e = exp - 127
+    asm.emit(Inst::Sub {
+        rd: T1,
+        rs1: T1,
+        rs2: T2,
+    }); // e = exp - 127
     asm.li(T2, 31);
     blt(asm, T1, T2, in_range);
     // saturate
     bgez(asm, A0, sat_max);
-    asm.emit(Inst::Lui { rd: A0, imm: 0x8000_0000u32 as i32 }); // i32::MIN
+    asm.emit(Inst::Lui {
+        rd: A0,
+        imm: 0x8000_0000u32 as i32,
+    }); // i32::MIN
     asm.ret();
     asm.bind(sat_max).expect("fresh label");
-    asm.emit(Inst::Lui { rd: A0, imm: 0x8000_0000u32 as i32 });
-    asm.emit(Inst::Addi { rd: A0, rs1: A0, imm: -1 }); // i32::MAX
+    asm.emit(Inst::Lui {
+        rd: A0,
+        imm: 0x8000_0000u32 as i32,
+    });
+    asm.emit(Inst::Addi {
+        rd: A0,
+        rs1: A0,
+        imm: -1,
+    }); // i32::MAX
     asm.ret();
     asm.bind(in_range).expect("fresh label");
     // mantissa with implicit bit
     mask_mantissa(asm, T2, A0);
-    asm.emit(Inst::Lui { rd: T3, imm: 0x0080_0000 });
-    asm.emit(Inst::Or { rd: T2, rs1: T2, rs2: T3 });
-    asm.emit(Inst::Addi { rd: T4, rs1: T1, imm: -23 }); // shift = e - 23
+    asm.emit(Inst::Lui {
+        rd: T3,
+        imm: 0x0080_0000,
+    });
+    asm.emit(Inst::Or {
+        rd: T2,
+        rs1: T2,
+        rs2: T3,
+    });
+    asm.emit(Inst::Addi {
+        rd: T4,
+        rs1: T1,
+        imm: -23,
+    }); // shift = e - 23
     bltz(asm, T4, right);
-    asm.emit(Inst::Sll { rd: T2, rs1: T2, rs2: T4 });
+    asm.emit(Inst::Sll {
+        rd: T2,
+        rs1: T2,
+        rs2: T4,
+    });
     asm.li(T5, 0); // no fractional bits
     asm.jump_to(apply_sign);
     asm.bind(right).expect("fresh label");
-    asm.emit(Inst::Sub { rd: T4, rs1: Zero, rs2: T4 }); // rs = 23 - e
+    asm.emit(Inst::Sub {
+        rd: T4,
+        rs1: Zero,
+        rs2: T4,
+    }); // rs = 23 - e
     asm.li(T5, 1);
-    asm.emit(Inst::Sll { rd: T5, rs1: T5, rs2: T4 });
-    asm.emit(Inst::Addi { rd: T5, rs1: T5, imm: -1 });
-    asm.emit(Inst::And { rd: T5, rs1: T2, rs2: T5 }); // fraction
-    asm.emit(Inst::Srl { rd: T2, rs1: T2, rs2: T4 });
+    asm.emit(Inst::Sll {
+        rd: T5,
+        rs1: T5,
+        rs2: T4,
+    });
+    asm.emit(Inst::Addi {
+        rd: T5,
+        rs1: T5,
+        imm: -1,
+    });
+    asm.emit(Inst::And {
+        rd: T5,
+        rs1: T2,
+        rs2: T5,
+    }); // fraction
+    asm.emit(Inst::Srl {
+        rd: T2,
+        rs1: T2,
+        rs2: T4,
+    });
     asm.bind(apply_sign).expect("fresh label");
     bgez(asm, A0, positive);
-    asm.emit(Inst::Sub { rd: A0, rs1: Zero, rs2: T2 });
+    asm.emit(Inst::Sub {
+        rd: A0,
+        rs1: Zero,
+        rs2: T2,
+    });
     beqz(asm, T5, no_adjust);
-    asm.emit(Inst::Addi { rd: A0, rs1: A0, imm: -1 }); // floor adjustment
+    asm.emit(Inst::Addi {
+        rd: A0,
+        rs1: A0,
+        imm: -1,
+    }); // floor adjustment
     asm.bind(no_adjust).expect("fresh label");
     asm.ret();
     asm.bind(positive).expect("fresh label");
@@ -499,14 +991,45 @@ fn emit_lt(asm: &mut Asm) -> Label {
     let entry = asm.here("sf_lt");
     // map IEEE bit patterns to a monotone unsigned order:
     //   m(x) = x >= 0 ? x | 0x8000_0000 : !x
-    asm.emit(Inst::Srai { rd: T0, rs1: A0, shamt: 31 });
-    asm.emit(Inst::Lui { rd: T2, imm: 0x8000_0000u32 as i32 });
-    asm.emit(Inst::Or { rd: T0, rs1: T0, rs2: T2 });
-    asm.emit(Inst::Xor { rd: T0, rs1: A0, rs2: T0 });
-    asm.emit(Inst::Srai { rd: T1, rs1: A1, shamt: 31 });
-    asm.emit(Inst::Or { rd: T1, rs1: T1, rs2: T2 });
-    asm.emit(Inst::Xor { rd: T1, rs1: A1, rs2: T1 });
-    asm.emit(Inst::Sltu { rd: A0, rs1: T0, rs2: T1 });
+    asm.emit(Inst::Srai {
+        rd: T0,
+        rs1: A0,
+        shamt: 31,
+    });
+    asm.emit(Inst::Lui {
+        rd: T2,
+        imm: 0x8000_0000u32 as i32,
+    });
+    asm.emit(Inst::Or {
+        rd: T0,
+        rs1: T0,
+        rs2: T2,
+    });
+    asm.emit(Inst::Xor {
+        rd: T0,
+        rs1: A0,
+        rs2: T0,
+    });
+    asm.emit(Inst::Srai {
+        rd: T1,
+        rs1: A1,
+        shamt: 31,
+    });
+    asm.emit(Inst::Or {
+        rd: T1,
+        rs1: T1,
+        rs2: T2,
+    });
+    asm.emit(Inst::Xor {
+        rd: T1,
+        rs1: A1,
+        rs2: T1,
+    });
+    asm.emit(Inst::Sltu {
+        rd: A0,
+        rs1: T0,
+        rs2: T1,
+    });
     asm.ret();
     entry
 }
@@ -571,9 +1094,29 @@ mod tests {
         (m(a) - m(b)).unsigned_abs()
     }
 
+    #[allow(clippy::approx_constant)] // arbitrary bit patterns, not math constants
     const CASES: &[f32] = &[
-        0.0, 1.0, -1.0, 0.5, -0.5, 2.0, 3.1415926, -2.7182817, 100.25, -417.75, 1e-3, -1e-3,
-        1e10, -1e10, 1.1754944e-38, 16777216.0, 0.33333334, -0.1, 7.0, -7.5, 123456.78,
+        0.0,
+        1.0,
+        -1.0,
+        0.5,
+        -0.5,
+        2.0,
+        3.1415926,
+        -2.7182817,
+        100.25,
+        -417.75,
+        1e-3,
+        -1e-3,
+        1e10,
+        -1e10,
+        1.1754944e-38,
+        16777216.0,
+        0.33333334,
+        -0.1,
+        7.0,
+        -7.5,
+        123456.78,
     ];
 
     #[test]
@@ -676,8 +1219,22 @@ mod tests {
     #[test]
     fn f2i_floor_matches_host_floor() {
         for &x in &[
-            0.0f32, 0.9, 1.0, 1.5, 2.999, -0.1, -0.9, -1.0, -1.5, -2.001, 100.75, -100.75,
-            32767.9, -32768.5, 8_388_608.0, 1e9,
+            0.0f32,
+            0.9,
+            1.0,
+            1.5,
+            2.999,
+            -0.1,
+            -0.9,
+            -1.0,
+            -1.5,
+            -2.001,
+            100.75,
+            -100.75,
+            32767.9,
+            -32768.5,
+            8_388_608.0,
+            1e9,
         ] {
             let got = run_binop("f2i", x.to_bits(), 0) as i32;
             let want = x.floor() as i64;

@@ -41,7 +41,11 @@ fn build_machine() -> Machine {
     ];
     for (i, reg) in ARGS.iter().enumerate() {
         asm.li(Reg::T0, PARAMS as i32);
-        asm.emit(Inst::Lw { rd: *reg, rs1: Reg::T0, imm: (i * 4) as i32 });
+        asm.emit(Inst::Lw {
+            rd: *reg,
+            rs1: Reg::T0,
+            imm: (i * 4) as i32,
+        });
     }
     asm.call(k.matmul_a8);
     asm.emit(Inst::Ebreak);
@@ -99,7 +103,7 @@ fn case_strategy() -> impl Strategy<Value = Case> {
 }
 
 proptest! {
-    #![proptest_config(ProptestConfig { cases: 96, ..ProptestConfig::default() })]
+    #![proptest_config(ProptestConfig::with_cases(96))]
 
     /// Device `matmul_a8` == host oracle for every geometry: aligned
     /// K % 4 == 0 shapes take the packed `kdot4.i8` path, everything

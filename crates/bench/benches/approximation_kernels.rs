@@ -27,7 +27,9 @@ fn bench_softmax(c: &mut Criterion) {
 fn bench_gelu(c: &mut Criterion) {
     let luts = LutSet::new();
     let mut g = c.benchmark_group("gelu_scalar");
-    g.bench_function("exact_erf", |bench| bench.iter(|| gelu_exact(black_box(0.73))));
+    g.bench_function("exact_erf", |bench| {
+        bench.iter(|| gelu_exact(black_box(0.73)))
+    });
     g.bench_function("q824_lut", |bench| {
         bench.iter(|| fixed_gelu(black_box(0.73), &luts))
     });

@@ -26,7 +26,11 @@ fn bench_engine(c: &mut Criterion) {
     let mut float_engine = Engine::host_float(params.clone(), fe.clone()).unwrap();
     let mut pred = Prediction::default();
     g.bench_function("float_engine_reuse", |b| {
-        b.iter(|| float_engine.classify_into(black_box(clip), &mut pred).unwrap())
+        b.iter(|| {
+            float_engine
+                .classify_into(black_box(clip), &mut pred)
+                .unwrap()
+        })
     });
     g.bench_function("quant_one_shot", |b| {
         b.iter(|| {
@@ -36,7 +40,11 @@ fn bench_engine(c: &mut Criterion) {
     });
     let mut quant_engine = Engine::host_quant(qm.clone(), fe.clone()).unwrap();
     g.bench_function("quant_engine_reuse", |b| {
-        b.iter(|| quant_engine.classify_into(black_box(clip), &mut pred).unwrap())
+        b.iter(|| {
+            quant_engine
+                .classify_into(black_box(clip), &mut pred)
+                .unwrap()
+        })
     });
     g.finish();
 }

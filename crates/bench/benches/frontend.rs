@@ -1,7 +1,11 @@
-//! MFCC front-end throughput for both paper input geometries.
+//! MFCC front-end throughput for both paper input geometries: the
+//! fixed-point block pipeline (`mfcc` group), its direct-to-`i8` A8
+//! emission, and the f64 oracle it replaced (`mfcc_reference` group).
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use kwt_audio::{kwt1_frontend, kwt_tiny_frontend};
+use kwt_audio::{kwt1_frontend, kwt_tiny_frontend, MfccScratch};
+use kwt_quant::A8Config;
+use kwt_tensor::Mat;
 use std::hint::black_box;
 
 fn bench_mfcc(c: &mut Criterion) {
@@ -10,12 +14,34 @@ fn bench_mfcc(c: &mut Criterion) {
         .collect();
     let fe1 = kwt1_frontend().unwrap();
     let fet = kwt_tiny_frontend().unwrap();
+    let a8_exp = A8Config::paper_a8().input_exponent();
+
     let mut g = c.benchmark_group("mfcc");
+    for (name, fe) in [("kwt1_40x98", &fe1), ("kwt_tiny_16x26", &fet)] {
+        let mut scratch = MfccScratch::new();
+        let mut out = Mat::default();
+        g.bench_function(&format!("{name}/fixed"), |b| {
+            b.iter(|| {
+                fe.extract_padded_into(black_box(&audio), &mut out, &mut scratch)
+                    .unwrap()
+            })
+        });
+        let mut out_q = Mat::default();
+        g.bench_function(&format!("{name}/fixed_a8"), |b| {
+            b.iter(|| {
+                fe.extract_padded_a8_into(black_box(&audio), a8_exp, &mut out_q, &mut scratch)
+                    .unwrap()
+            })
+        });
+    }
+    g.finish();
+
+    let mut g = c.benchmark_group("mfcc_reference");
     g.bench_function("kwt1_40x98", |b| {
-        b.iter(|| fe1.extract_padded(black_box(&audio)).unwrap())
+        b.iter(|| fe1.extract_padded_reference(black_box(&audio)).unwrap())
     });
     g.bench_function("kwt_tiny_16x26", |b| {
-        b.iter(|| fet.extract_padded(black_box(&audio)).unwrap())
+        b.iter(|| fet.extract_padded_reference(black_box(&audio)).unwrap())
     });
     g.finish();
 }

@@ -56,7 +56,10 @@ fn bench_isa_variants(c: &mut Criterion) {
         ((h >> 40) as f32 / (1u64 << 24) as f32 - 0.5) * 10.0
     });
     let mut g = c.benchmark_group("rv32_inference_isa");
-    for (name, isa) in [("rv32im", KernelIsa::Rv32im), ("xkwtdot", KernelIsa::Xkwtdot)] {
+    for (name, isa) in [
+        ("rv32im", KernelIsa::Rv32im),
+        ("xkwtdot", KernelIsa::Xkwtdot),
+    ] {
         let image = InferenceImage::build_quant_with_isa(&qm, isa).unwrap();
         let mut session = image.session().unwrap();
         let mut logits = Vec::new();

@@ -21,10 +21,14 @@ fn bench_matmul_comparison(c: &mut Criterion, m: usize, k: usize, n: usize) {
     let pbf = PackedMat::pack(&b);
     let mut g = c.benchmark_group(format!("matmul_{m}x{k}x{n}"));
     g.bench_function("i16xi8_naive", |bench| {
-        bench.iter(|| qops::reference::matmul_i16_i8(black_box(&aq), black_box(&bq8), None, 6).unwrap())
+        bench.iter(|| {
+            qops::reference::matmul_i16_i8(black_box(&aq), black_box(&bq8), None, 6).unwrap()
+        })
     });
     g.bench_function("i16xi8_packed", |bench| {
-        bench.iter(|| packed::matmul_i16_i8_packed(black_box(&aq), black_box(&pb8), None, 6).unwrap())
+        bench.iter(|| {
+            packed::matmul_i16_i8_packed(black_box(&aq), black_box(&pb8), None, 6).unwrap()
+        })
     });
     g.bench_function("i16xi8_packfly", |bench| {
         bench.iter(|| qops::matmul_i16_i8(black_box(&aq), black_box(&bq8), None, 6).unwrap())
@@ -68,8 +72,7 @@ fn bench_attention(c: &mut Criterion) {
     let v = Mat::from_fn(27, 8, |r, cc| (r as f32 - cc as f32) * 0.05);
     c.bench_function("sdpa_27x8", |bench| {
         bench.iter(|| {
-            ops::scaled_dot_product_attention(black_box(&q), black_box(&k), black_box(&v))
-                .unwrap()
+            ops::scaled_dot_product_attention(black_box(&q), black_box(&k), black_box(&v)).unwrap()
         })
     });
 }

@@ -33,7 +33,10 @@ fn main() {
         let mut sess = img.session().unwrap();
         sess.set_class_histogram_enabled(true);
         let (_, r) = sess.run(&x).unwrap();
-        println!("== accel {name}: {} cycles, {} instret", r.cycles, r.instructions);
+        println!(
+            "== accel {name}: {} cycles, {} instret",
+            r.cycles, r.instructions
+        );
         println!("{}", sess.machine().class_histogram().to_table());
         println!("{}", sess.profile_report().to_table());
         cycles.push(r.cycles);

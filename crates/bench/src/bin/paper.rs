@@ -7,6 +7,8 @@
 //! paper bench-tensor   # packed-GEMM / decode-cache speedups -> BENCH_tensor.json
 //! paper bench-engine   # engine clips/sec, one-shot vs scratch-reuse vs batched -> BENCH_engine.json
 //! paper check-a8       # A8-vs-i16 top-1 agreement gate + device/host bit-identity spot check
+//! paper check-cycles   # device-cycle regression gate vs the committed BENCH_engine.json (3%)
+//! paper check-frontend # fixed-point MFCC vs f64 oracle top-1 agreement gate (99.5%)
 //! ```
 
 use kwt_bench::experiments as exp;
@@ -25,9 +27,26 @@ fn main() {
         ..ExpContext::default()
     };
     let all = [
-        "table1", "table2", "table3", "table4", "table5", "table6", "table7", "table8",
-        "table9", "fig3", "fig4", "fig5", "fig7", "ablation-timing", "ablation-nonlinearity",
-        "bench-tensor", "bench-engine", "check-a8",
+        "table1",
+        "table2",
+        "table3",
+        "table4",
+        "table5",
+        "table6",
+        "table7",
+        "table8",
+        "table9",
+        "fig3",
+        "fig4",
+        "fig5",
+        "fig7",
+        "ablation-timing",
+        "ablation-nonlinearity",
+        "bench-tensor",
+        "bench-engine",
+        "check-a8",
+        "check-frontend",
+        "check-cycles",
     ];
     let selected: Vec<&str> = if targets.is_empty() || targets.contains(&"all") {
         all.to_vec()
@@ -54,6 +73,8 @@ fn main() {
             "bench-tensor" => kwt_bench::microbench::run_and_write(std::path::Path::new(".")),
             "bench-engine" => kwt_bench::enginebench::run_and_write(std::path::Path::new(".")),
             "check-a8" => exp::check_a8(&ctx),
+            "check-cycles" => exp::check_cycles(&ctx),
+            "check-frontend" => exp::check_frontend(&ctx),
             other => {
                 eprintln!("unknown target `{other}`; available: all {all:?}");
                 std::process::exit(2);

@@ -17,11 +17,11 @@
 //! Honors `KWT_BENCH_SMOKE=1` and `KWT_BENCH_MEAS_MS` exactly like
 //! [`crate::microbench`].
 
+use crate::timing::{smoke, time_ns};
 use kwt_audio::kwt_tiny_frontend;
 use kwt_baremetal::{InferenceImage, KernelIsa};
 use kwt_engine::{Engine, Prediction};
 use kwt_model::{KwtConfig, KwtParams};
-use crate::timing::{smoke, time_ns};
 use kwt_quant::{A8Config, A8Kwt, Nonlinearity, QuantConfig, QuantizedKwt};
 use serde::Serialize;
 use std::hint::black_box;
@@ -97,6 +97,27 @@ pub struct DeviceCycles {
     pub instructions: u64,
 }
 
+/// One MFCC front-end throughput measurement.
+#[derive(Debug, Clone, Serialize)]
+pub struct FrontendRow {
+    /// Input geometry (`kwt_tiny_16x26` or `kwt1_40x98`).
+    pub geometry: String,
+    /// Extraction path: `reference` (the seed's f64 generic-FFT oracle),
+    /// `fixed` (the block-vectorised fixed-point pipeline) or `fixed_a8`
+    /// (fixed path emitting `i8` at the A8 input exponent).
+    pub path: String,
+    /// Clips per measured batch.
+    pub clips: usize,
+    /// ns per clip of MFCC extraction.
+    pub ns_per_clip: f64,
+    /// ms per clip (the paper-facing unit; the PR 5 acceptance gate is
+    /// `fixed <= 0.1 ms` for the KWT-Tiny geometry).
+    pub ms_per_clip: f64,
+    /// Throughput multiple over the `reference` row of the same
+    /// geometry.
+    pub speedup_vs_reference: f64,
+}
+
 /// One row of the sharded-batch scaling table.
 #[derive(Debug, Clone, Serialize)]
 pub struct ParallelRow {
@@ -124,6 +145,9 @@ pub struct EngineBenchSummary {
     pub smoke: bool,
     /// Raw measurements.
     pub rows: Vec<EngineRow>,
+    /// MFCC front-end throughput per geometry and path (the PR 5
+    /// `fixed`-path budget for KWT-Tiny is 0.1 ms/clip).
+    pub frontend: Vec<FrontendRow>,
     /// Per-backend speedups of the engine paths over the seed path.
     pub speedups: Vec<EngineSpeedup>,
     /// Sharded `classify_batch_parallel` throughput over the rv32 A8
@@ -195,7 +219,9 @@ fn measure(
     }
     let scratch_ns = per_clip(time_ns(|| {
         for c in &clips {
-            engine.classify_into(black_box(c), &mut pred).expect("classify");
+            engine
+                .classify_into(black_box(c), &mut pred)
+                .expect("classify");
         }
     }));
     let mut out = Vec::new();
@@ -343,6 +369,65 @@ pub fn collect() -> EngineBenchSummary {
             batched_vs_one_shot: b.one_shot_ns / b.batched_ns,
         });
     }
+    // MFCC front-end throughput: the f64 oracle vs the fixed-point block
+    // pipeline (float and direct-i8 emission) on both paper geometries.
+    let mut frontend = Vec::new();
+    {
+        use kwt_audio::{kwt1_frontend, MfccScratch};
+        use kwt_tensor::Mat;
+        let a8_exp = A8Config::paper_a8().input_exponent();
+        let clips = bench_clips(8);
+        for (geometry, fe) in [
+            ("kwt_tiny_16x26", kwt_tiny_frontend().expect("preset")),
+            ("kwt1_40x98", kwt1_frontend().expect("preset")),
+        ] {
+            let mut scratch = MfccScratch::new();
+            let mut feat = Mat::default();
+            let mut feat_q = Mat::default();
+            // warm the arenas, then measure each path per clip
+            for c in &clips {
+                fe.extract_padded_into(c, &mut feat, &mut scratch)
+                    .expect("mfcc");
+                fe.extract_padded_a8_into(c, a8_exp, &mut feat_q, &mut scratch)
+                    .expect("mfcc");
+            }
+            let per_clip = |total: f64| total / clips.len() as f64;
+            let reference_ns = per_clip(time_ns(|| {
+                for c in &clips {
+                    black_box(fe.extract_padded_reference(black_box(c)).expect("mfcc"));
+                }
+            }));
+            let fixed_ns = per_clip(time_ns(|| {
+                for c in &clips {
+                    fe.extract_padded_into(black_box(c), &mut feat, &mut scratch)
+                        .expect("mfcc");
+                    black_box(&feat);
+                }
+            }));
+            let fixed_a8_ns = per_clip(time_ns(|| {
+                for c in &clips {
+                    fe.extract_padded_a8_into(black_box(c), a8_exp, &mut feat_q, &mut scratch)
+                        .expect("mfcc");
+                    black_box(&feat_q);
+                }
+            }));
+            for (path, ns) in [
+                ("reference", reference_ns),
+                ("fixed", fixed_ns),
+                ("fixed_a8", fixed_a8_ns),
+            ] {
+                frontend.push(FrontendRow {
+                    geometry: geometry.to_string(),
+                    path: path.to_string(),
+                    clips: clips.len(),
+                    ns_per_clip: ns,
+                    ms_per_clip: ns / 1e6,
+                    speedup_vs_reference: reference_ns / ns,
+                });
+            }
+        }
+    }
+
     // sharded-batch scaling: the A8 rv32 engine across host threads
     // (each worker owns an independent DeviceSession clone)
     let mut parallel_scaling = Vec::new();
@@ -419,6 +504,7 @@ pub fn collect() -> EngineBenchSummary {
         generated_by: "paper bench-engine".to_string(),
         smoke: smoke(),
         rows,
+        frontend,
         speedups,
         parallel_scaling,
         device_cycles,
@@ -432,14 +518,20 @@ pub fn run_and_write(out_dir: &std::path::Path) -> String {
     let summary = collect();
     let json = serde_json::to_string_pretty(&summary).expect("summary serializes");
     let path = out_dir.join("BENCH_engine.json");
-    std::fs::write(&path, &json)
-        .unwrap_or_else(|e| panic!("cannot write {}: {e}", path.display()));
+    std::fs::write(&path, &json).unwrap_or_else(|e| panic!("cannot write {}: {e}", path.display()));
     let mut out = format!("# bench-engine (written to {})\n", path.display());
     out.push_str("clips/sec, audio in -> prediction out:\n");
     for r in &summary.rows {
         out.push_str(&format!(
             "  {:<12} {:<14} {:>12.0} ns/clip  {:>10.1} clips/s\n",
             r.backend, r.mode, r.ns_per_clip, r.clips_per_s
+        ));
+    }
+    out.push_str("mfcc front end, ms/clip (PR 5 budget: fixed <= 0.1 ms on kwt_tiny):\n");
+    for r in &summary.frontend {
+        out.push_str(&format!(
+            "  {:<15} {:<10} {:>10.4} ms/clip  {:>6.2}x vs reference\n",
+            r.geometry, r.path, r.ms_per_clip, r.speedup_vs_reference
         ));
     }
     out.push_str("engine vs one-shot seed path:\n");

@@ -4,9 +4,7 @@ use kwt_baremetal::InferenceImage;
 use kwt_dataset::{GscConfig, MfccDataset, Split, SyntheticGsc};
 use kwt_hw::AreaModel;
 use kwt_model::{KwtConfig, KwtParams};
-use kwt_quant::{
-    gelu_opt, sweep, LutSet, Nonlinearity, QuantConfig, QuantizedKwt,
-};
+use kwt_quant::{gelu_opt, sweep, LutSet, Nonlinearity, QuantConfig, QuantizedKwt};
 use kwt_rv32::Platform;
 use kwt_tensor::math::gelu_exact;
 use kwt_train::{evaluate, TrainConfig, Trainer};
@@ -113,14 +111,20 @@ fn markdown_table(header: &[&str], rows: &[Vec<String>]) -> String {
 pub fn table1(_ctx: &ExpContext) -> String {
     let c = KwtConfig::kwt1();
     let rows = vec![
-        vec!["# Parameters".into(), format!("{} (paper: 607k)", c.param_count())],
+        vec![
+            "# Parameters".into(),
+            format!("{} (paper: 607k)", c.param_count()),
+        ],
         vec!["Output Classes".into(), c.num_classes.to_string()],
         vec![
             "Accuracy".into(),
             "96.9% on real GSC (paper); see table4 for the synthetic substitute".into(),
         ],
     ];
-    format!("## Table I — KWT-1 specifications\n\n{}", markdown_table(&["Attribute", "Specification"], &rows))
+    format!(
+        "## Table I — KWT-1 specifications\n\n{}",
+        markdown_table(&["Attribute", "Specification"], &rows)
+    )
 }
 
 /// Table II — platform specifications.
@@ -128,10 +132,19 @@ pub fn table2(_ctx: &ExpContext) -> String {
     let p = Platform::ibex();
     let rows = vec![
         vec!["RAM".into(), format!("{} kB", p.ram_size / 1024)],
-        vec!["Clock Speed".into(), format!("{} MHz", p.clock_hz / 1_000_000)],
-        vec!["FPU".into(), "Not Available (soft-float in generated code)".into()],
+        vec![
+            "Clock Speed".into(),
+            format!("{} MHz", p.clock_hz / 1_000_000),
+        ],
+        vec![
+            "FPU".into(),
+            "Not Available (soft-float in generated code)".into(),
+        ],
     ];
-    format!("## Table II — lowRISC Ibex platform\n\n{}", markdown_table(&["Attribute", "Specification"], &rows))
+    format!(
+        "## Table II — lowRISC Ibex platform\n\n{}",
+        markdown_table(&["Attribute", "Specification"], &rows)
+    )
 }
 
 /// Table III — KWT-Tiny vs KWT-1 hyper-parameters.
@@ -139,17 +152,44 @@ pub fn table3(_ctx: &ExpContext) -> String {
     let k1 = KwtConfig::kwt1();
     let kt = KwtConfig::kwt_tiny();
     let rows = vec![
-        vec!["INPUT_DIM".into(), format!("[{}, {}]", k1.input_freq, k1.input_time), format!("[{}, {}]", kt.input_freq, kt.input_time)],
-        vec!["PATCH_DIM".into(), format!("[{}, 1]", k1.input_freq), format!("[{}, 1]", kt.input_freq)],
+        vec![
+            "INPUT_DIM".into(),
+            format!("[{}, {}]", k1.input_freq, k1.input_time),
+            format!("[{}, {}]", kt.input_freq, kt.input_time),
+        ],
+        vec![
+            "PATCH_DIM".into(),
+            format!("[{}, 1]", k1.input_freq),
+            format!("[{}, 1]", kt.input_freq),
+        ],
         vec!["DIM".into(), k1.dim.to_string(), kt.dim.to_string()],
         vec!["DEPTH".into(), k1.depth.to_string(), kt.depth.to_string()],
         vec!["HEADS".into(), k1.heads.to_string(), kt.heads.to_string()],
-        vec!["MLP_DIM".into(), k1.mlp_dim.to_string(), kt.mlp_dim.to_string()],
-        vec!["DIM_HEAD".into(), k1.dim_head.to_string(), kt.dim_head.to_string()],
-        vec!["SEQLEN".into(), k1.seqlen().to_string(), kt.seqlen().to_string()],
-        vec!["OUTPUT CLASSES".into(), k1.num_classes.to_string(), kt.num_classes.to_string()],
+        vec![
+            "MLP_DIM".into(),
+            k1.mlp_dim.to_string(),
+            kt.mlp_dim.to_string(),
+        ],
+        vec![
+            "DIM_HEAD".into(),
+            k1.dim_head.to_string(),
+            kt.dim_head.to_string(),
+        ],
+        vec![
+            "SEQLEN".into(),
+            k1.seqlen().to_string(),
+            kt.seqlen().to_string(),
+        ],
+        vec![
+            "OUTPUT CLASSES".into(),
+            k1.num_classes.to_string(),
+            kt.num_classes.to_string(),
+        ],
     ];
-    format!("## Table III — KWT-Tiny vs KWT-1\n\n{}", markdown_table(&["Attribute", "KWT-1", "KWT-Tiny"], &rows))
+    format!(
+        "## Table III — KWT-Tiny vs KWT-1\n\n{}",
+        markdown_table(&["Attribute", "KWT-1", "KWT-Tiny"], &rows)
+    )
 }
 
 /// Table IV — parameters / memory / accuracy.
@@ -167,7 +207,12 @@ pub fn table4(ctx: &ExpContext) -> String {
     };
     let ratio = k1.param_count() as f64 / kt.param_count() as f64;
     let rows = vec![
-        vec!["# Parameters".into(), k1.param_count().to_string(), kt.param_count().to_string(), format!("{:.0}x smaller", ratio)],
+        vec![
+            "# Parameters".into(),
+            k1.param_count().to_string(),
+            kt.param_count().to_string(),
+            format!("{:.0}x smaller", ratio),
+        ],
         vec![
             "Memory use (float)".into(),
             format!("{:.2} MB", k1.memory_bytes_f32() as f64 / 1e6),
@@ -181,7 +226,10 @@ pub fn table4(ctx: &ExpContext) -> String {
             "2-class synthetic task".into(),
         ],
     ];
-    format!("## Table IV — KWT-Tiny vs KWT-1 accuracy/size\n\n{}", markdown_table(&["Attribute", "KWT-1", "KWT-Tiny", "Notes"], &rows))
+    format!(
+        "## Table IV — KWT-Tiny vs KWT-1 accuracy/size\n\n{}",
+        markdown_table(&["Attribute", "KWT-1", "KWT-Tiny", "Notes"], &rows)
+    )
 }
 
 /// Table V — quantisation scale-factor sweep.
@@ -195,8 +243,7 @@ pub fn table5(ctx: &ExpContext) -> String {
     let (tiny, test) = ctx.trained_tiny();
     let mut pairs = sweep::PAPER_TABLE5_PAIRS.to_vec();
     pairs.extend_from_slice(&[(64, 1024), (64, 4096), (64, 16384)]);
-    let rows = sweep::scale_sweep(&tiny, &test, &pairs, Nonlinearity::FloatExact)
-        .expect("sweep");
+    let rows = sweep::scale_sweep(&tiny, &test, &pairs, Nonlinearity::FloatExact).expect("sweep");
     let paper = [
         Some(60.3),
         Some(71.0),
@@ -232,16 +279,40 @@ pub fn table5(ctx: &ExpContext) -> String {
 /// Table VI — the tensor library (API parity listing).
 pub fn table6(_ctx: &ExpContext) -> String {
     let rows = vec![
-        vec!["computeMeanAndVariance()".into(), "kwt_tensor::ops::compute_mean_and_variance".into()],
-        vec!["layerNorm()".into(), "kwt_tensor::ops::layer_norm / baremetal k_layer_norm_f32".into()],
-        vec!["matrixMultiply()".into(), "kwt_tensor::ops::matrix_multiply / baremetal k_matmul_*".into()],
-        vec!["Softmax()".into(), "kwt_tensor::ops::softmax_normalized / k_softmax_f32 / k_softmax_accel".into()],
-        vec!["gelu()".into(), "kwt_tensor::math::gelu_exact / k_gelu_f32 / k_gelu_accel".into()],
+        vec![
+            "computeMeanAndVariance()".into(),
+            "kwt_tensor::ops::compute_mean_and_variance".into(),
+        ],
+        vec![
+            "layerNorm()".into(),
+            "kwt_tensor::ops::layer_norm / baremetal k_layer_norm_f32".into(),
+        ],
+        vec![
+            "matrixMultiply()".into(),
+            "kwt_tensor::ops::matrix_multiply / baremetal k_matmul_*".into(),
+        ],
+        vec![
+            "Softmax()".into(),
+            "kwt_tensor::ops::softmax_normalized / k_softmax_f32 / k_softmax_accel".into(),
+        ],
+        vec![
+            "gelu()".into(),
+            "kwt_tensor::math::gelu_exact / k_gelu_f32 / k_gelu_accel".into(),
+        ],
         vec!["linear()".into(), "kwt_tensor::ops::linear".into()],
-        vec!["splitIntoQKV()".into(), "kwt_tensor::ops::split_into_qkv / k_copy_strided".into()],
-        vec!["scaledDotProductAttention()".into(), "kwt_tensor::ops::scaled_dot_product_attention / k_attention_*".into()],
+        vec![
+            "splitIntoQKV()".into(),
+            "kwt_tensor::ops::split_into_qkv / k_copy_strided".into(),
+        ],
+        vec![
+            "scaledDotProductAttention()".into(),
+            "kwt_tensor::ops::scaled_dot_product_attention / k_attention_*".into(),
+        ],
     ];
-    format!("## Table VI — transformer tensor library\n\n{}", markdown_table(&["Paper method", "This repository"], &rows))
+    format!(
+        "## Table VI — transformer tensor library\n\n{}",
+        markdown_table(&["Paper method", "This repository"], &rows)
+    )
 }
 
 /// Table VII — custom instruction behaviours (decode check).
@@ -256,7 +327,13 @@ pub fn table7(_ctx: &ExpContext) -> String {
     ]
     .into_iter()
     .map(|(op, desc)| {
-        let word = Inst::Custom { op, rd: Reg::A0, rs1: Reg::A1, rs2: Reg::Zero }.encode();
+        let word = Inst::Custom {
+            op,
+            rd: Reg::A0,
+            rs1: Reg::A1,
+            rs2: Reg::Zero,
+        }
+        .encode();
         vec![
             format!("3'b{:03b}", op as u8),
             format!("ALU_{:?}", op).to_uppercase(),
@@ -265,7 +342,13 @@ pub fn table7(_ctx: &ExpContext) -> String {
         ]
     })
     .collect();
-    format!("## Table VII — custom-1 instruction behaviours\n\n{}", markdown_table(&["funct3", "Operator", "Behaviour", "Example encoding"], &rows))
+    format!(
+        "## Table VII — custom-1 instruction behaviours\n\n{}",
+        markdown_table(
+            &["funct3", "Operator", "Behaviour", "Example encoding"],
+            &rows
+        )
+    )
 }
 
 /// Table VIII — synthesis area model.
@@ -297,9 +380,8 @@ fn built_images(ctx: &ExpContext) -> (KwtParams, MfccDataset, [InferenceImage; 3
     let float_img = InferenceImage::build_float(&tiny).expect("float image");
     let qm = QuantizedKwt::quantize(&tiny, QuantConfig::paper_best());
     let quant_img = InferenceImage::build_quant(&qm).expect("quant image");
-    let accel_img =
-        InferenceImage::build_quant(&qm.with_nonlinearity(Nonlinearity::FixedLut))
-            .expect("accel image");
+    let accel_img = InferenceImage::build_quant(&qm.with_nonlinearity(Nonlinearity::FixedLut))
+        .expect("accel image");
     (tiny, test, [float_img, quant_img, accel_img])
 }
 
@@ -364,6 +446,157 @@ pub fn check_a8(ctx: &ExpContext) -> String {
     format!("## A8 agreement gate\n\nA8-vs-i16 top-1 agreement: {agree}/{n} = {pct:.2}% (>= 99% required); device logits bit-identical to the host A8 golden model on the spot-checked clips\n")
 }
 
+/// Minimal mirror of one committed `BENCH_engine.json` device-cycle row
+/// (the serde shim skips unknown fields, so this tracks only what the
+/// gate needs).
+#[derive(serde::Deserialize)]
+struct BaselineCycleRow {
+    variant: String,
+    cycles: u64,
+}
+
+/// Minimal mirror of the committed `BENCH_engine.json` document.
+#[derive(serde::Deserialize)]
+struct BaselineDoc {
+    device_cycles: Vec<BaselineCycleRow>,
+}
+
+/// Device-cycle regression gate (wired into `scripts/verify.sh` and CI):
+/// re-measures one inference per image flavour and compares against the
+/// committed `BENCH_engine.json` (path overridable via
+/// `KWT_CYCLES_BASELINE`). Simulated cycle counts are deterministic per
+/// build, so the gate fails hard at **> 3 % worse** — the margin only
+/// absorbs intentional, committed re-baselines, not noise.
+///
+/// Returns a skip message when no baseline file exists (fresh clones /
+/// scratch dirs); CI runs from the repository root where it does.
+///
+/// # Panics
+///
+/// Panics (failing the verify run) if any flavour regresses by more than
+/// 3 %, or if the baseline file exists but cannot be parsed.
+pub fn check_cycles(_ctx: &ExpContext) -> String {
+    let path =
+        std::env::var("KWT_CYCLES_BASELINE").unwrap_or_else(|_| "BENCH_engine.json".to_string());
+    let Ok(text) = std::fs::read_to_string(&path) else {
+        return format!(
+            "## Cycle regression gate\n\nskipped: no baseline at `{path}` \
+             (run `paper bench-engine` from the repository root to create one)\n"
+        );
+    };
+    let baseline: BaselineDoc = serde_json::from_str(&text)
+        .unwrap_or_else(|e| panic!("cannot parse cycle baseline {path}: {e}"));
+    let params = crate::enginebench::bench_params();
+    let qm = QuantizedKwt::quantize(&params, QuantConfig::paper_best());
+    let accel = qm.clone().with_nonlinearity(Nonlinearity::FixedLut);
+    let a8 = kwt_quant::A8Kwt::quantize(&params, kwt_quant::A8Config::paper_a8())
+        .expect("a8 exponents valid");
+    let fe = kwt_audio::kwt_tiny_frontend().expect("preset is valid");
+    let mfcc = fe
+        .extract_padded(&crate::enginebench::bench_clips(1)[0])
+        .expect("mfcc");
+    let image_for = |variant: &str| -> InferenceImage {
+        match variant {
+            "float" => InferenceImage::build_float(&params).expect("float image"),
+            "quant" => InferenceImage::build_quant(&qm).expect("quant image"),
+            "accel" => InferenceImage::build_quant(&accel).expect("accel image"),
+            "accel_xkwtdot" => {
+                InferenceImage::build_quant_with_isa(&accel, kwt_baremetal::KernelIsa::Xkwtdot)
+                    .expect("xkwtdot image")
+            }
+            "accel_xkwtdot_a8" => InferenceImage::build_a8(&a8).expect("a8 image"),
+            other => panic!("unknown image variant `{other}` in cycle baseline"),
+        }
+    };
+    let mut rows = Vec::new();
+    let mut worst: Option<(String, f64)> = None;
+    for b in &baseline.device_cycles {
+        let image = image_for(&b.variant);
+        let mut session = image.session().expect("session");
+        let (_, run) = session.run(&mfcc).expect("device run");
+        let delta = run.cycles as f64 / b.cycles as f64 - 1.0;
+        if worst.as_ref().is_none_or(|(_, w)| delta > *w) {
+            worst = Some((b.variant.clone(), delta));
+        }
+        rows.push(vec![
+            b.variant.clone(),
+            b.cycles.to_string(),
+            run.cycles.to_string(),
+            format!("{:+.2}%", delta * 100.0),
+        ]);
+    }
+    let table = markdown_table(&["Variant", "Baseline cycles", "Current", "Delta"], &rows);
+    let (worst_variant, worst_delta) = worst.expect("baseline holds at least one variant");
+    assert!(
+        worst_delta <= 0.03,
+        "device cycle regression: `{worst_variant}` is {:.2}% worse than the committed \
+         baseline (gate: 3%) — investigate, or re-run `paper bench-engine` and commit the \
+         new BENCH_engine.json if the regression is intentional",
+        worst_delta * 100.0
+    );
+    format!(
+        "## Cycle regression gate\n\n{table}\nworst delta {:+.2}% (`{worst_variant}`), \
+         gate <= +3%\n",
+        worst_delta * 100.0
+    )
+}
+
+/// Fixed-point front-end agreement gate (wired into `scripts/verify.sh`
+/// and CI): the fixed-point MFCC path must keep **>= 99.5 %** top-1
+/// agreement with the f64 oracle features through the float model on the
+/// synthetic GSC test split, and feature errors must stay small in
+/// absolute terms.
+///
+/// # Panics
+///
+/// Panics (failing the verify run) if agreement drops below 99.5 %.
+pub fn check_frontend(ctx: &ExpContext) -> String {
+    let params = crate::enginebench::bench_params();
+    let packed = params.pack_weights();
+    let ds = SyntheticGsc::new(GscConfig::paper_binary());
+    let fe = kwt_audio::kwt_tiny_frontend().expect("preset is valid");
+    let n = if ctx.full {
+        ds.len(Split::Test)
+    } else {
+        200.min(ds.len(Split::Test))
+    };
+    let mut scratch = kwt_audio::MfccScratch::new();
+    let mut fixed = kwt_tensor::Mat::default();
+    let mut agree = 0usize;
+    let mut max_feat_err = 0.0f32;
+    let argmax = |logits: &[f32]| -> usize {
+        logits
+            .iter()
+            .enumerate()
+            .max_by(|x, y| x.1.partial_cmp(y.1).expect("finite"))
+            .map(|(j, _)| j)
+            .expect("classes")
+    };
+    for i in 0..n {
+        let (wave, _) = ds.utterance(Split::Test, i);
+        fe.extract_padded_into(&wave, &mut fixed, &mut scratch)
+            .expect("mfcc");
+        let reference = fe.extract_padded_reference(&wave).expect("mfcc");
+        for (a, b) in fixed.as_slice().iter().zip(reference.as_slice()) {
+            max_feat_err = max_feat_err.max((a - b).abs());
+        }
+        let lf = kwt_model::forward_with(&params, &packed, &fixed).expect("forward");
+        let lr = kwt_model::forward_with(&params, &packed, &reference).expect("forward");
+        if argmax(&lf) == argmax(&lr) {
+            agree += 1;
+        }
+    }
+    let pct = 100.0 * agree as f64 / n as f64;
+    assert!(
+        pct >= 99.5,
+        "fixed-point front end top-1 agreement fell to {pct:.2}% ({agree}/{n}, gate 99.5%)"
+    );
+    format!(
+        "## Front-end agreement gate\n\nfixed-vs-float top-1 agreement: {agree}/{n} = \
+         {pct:.2}% (>= 99.5% required); max abs feature error {max_feat_err:.4}\n"
+    )
+}
+
 /// Table IX — full model comparison (params, sizes, cycles, accuracy).
 pub fn table9(ctx: &ExpContext) -> String {
     let (tiny, test, images) = built_images(ctx);
@@ -392,12 +625,21 @@ pub fn table9(ctx: &ExpContext) -> String {
     let c = KwtConfig::kwt_tiny();
     let rom = LutSet::new().rom_bytes();
     let rows = vec![
-        vec!["# Parameters".into(), c.param_count().to_string(), c.param_count().to_string(), c.param_count().to_string()],
+        vec![
+            "# Parameters".into(),
+            c.param_count().to_string(),
+            c.param_count().to_string(),
+            c.param_count().to_string(),
+        ],
         vec![
             "Model Size".into(),
             format!("{:.3} kB", c.memory_bytes_f32() as f64 / 1e3),
             format!("{:.3} kB", c.memory_bytes_i8() as f64 / 1e3),
-            format!("{:.3} kB (+{:.2} kB ROM)", c.memory_bytes_i8() as f64 / 1e3, rom as f64 / 1e3),
+            format!(
+                "{:.3} kB (+{:.2} kB ROM)",
+                c.memory_bytes_i8() as f64 / 1e3,
+                rom as f64 / 1e3
+            ),
         ],
         vec![
             "Program Size".into(),
@@ -448,7 +690,10 @@ fn profile_figure(ctx: &ExpContext, title: &str, block: Option<&str>) -> String 
             ]
         })
         .collect();
-    format!("## {title}\n\n{}", markdown_table(&["Operation", "Cycles", "Share"], &rows))
+    format!(
+        "## {title}\n\n{}",
+        markdown_table(&["Operation", "Cycles", "Share"], &rows)
+    )
 }
 
 /// Fig. 3 — profile of a full float inference by operation.
@@ -524,7 +769,10 @@ pub fn ablation_timing(ctx: &ExpContext) -> String {
     }
     format!(
         "## Ablation — Ibex timing vs idealised single-cycle core\n\n{}",
-        markdown_table(&["Flavour", "Ibex cycles", "Single-cycle", "Stall factor"], &rows)
+        markdown_table(
+            &["Flavour", "Ibex cycles", "Single-cycle", "Stall factor"],
+            &rows
+        )
     )
 }
 
@@ -573,7 +821,14 @@ mod tests {
     #[test]
     fn static_tables_render() {
         let ctx = quick_ctx();
-        for table in [table1(&ctx), table2(&ctx), table3(&ctx), table6(&ctx), table7(&ctx), table8(&ctx)] {
+        for table in [
+            table1(&ctx),
+            table2(&ctx),
+            table3(&ctx),
+            table6(&ctx),
+            table7(&ctx),
+            table8(&ctx),
+        ] {
             assert!(table.contains('|'), "table looks empty: {table}");
         }
     }

@@ -111,12 +111,18 @@ fn matmul_rows(m: usize, k: usize, n: usize) -> Vec<MatmulRow> {
     vec![
         row(
             "i16xi8",
-            time_ns(|| qops::reference::matmul_i16_i8(black_box(&aq), black_box(&bq8), None, 6).unwrap()),
-            time_ns(|| packed::matmul_i16_i8_packed(black_box(&aq), black_box(&pb8), None, 6).unwrap()),
+            time_ns(|| {
+                qops::reference::matmul_i16_i8(black_box(&aq), black_box(&bq8), None, 6).unwrap()
+            }),
+            time_ns(|| {
+                packed::matmul_i16_i8_packed(black_box(&aq), black_box(&pb8), None, 6).unwrap()
+            }),
         ),
         row(
             "i16xi16",
-            time_ns(|| qops::reference::matmul_i16_i16(black_box(&aq), black_box(&bq16), 6).unwrap()),
+            time_ns(|| {
+                qops::reference::matmul_i16_i16(black_box(&aq), black_box(&bq16), 6).unwrap()
+            }),
             time_ns(|| packed::matmul_i16_i16_packed(black_box(&aq), black_box(&pb16), 6).unwrap()),
         ),
         row(
@@ -139,17 +145,52 @@ pub fn loop_program(store_heavy: bool, iterations: i32) -> kwt_rvasm::Program {
     asm.bind(top).unwrap();
     for _ in 0..4 {
         if store_heavy {
-            asm.emit(Inst::Sw { rs2: Reg::T0, rs1: Reg::Sp, imm: -16 });
-            asm.emit(Inst::Lw { rd: Reg::A1, rs1: Reg::Sp, imm: -16 });
-            asm.emit(Inst::Add { rd: Reg::A0, rs1: Reg::A0, rs2: Reg::A1 });
+            asm.emit(Inst::Sw {
+                rs2: Reg::T0,
+                rs1: Reg::Sp,
+                imm: -16,
+            });
+            asm.emit(Inst::Lw {
+                rd: Reg::A1,
+                rs1: Reg::Sp,
+                imm: -16,
+            });
+            asm.emit(Inst::Add {
+                rd: Reg::A0,
+                rs1: Reg::A0,
+                rs2: Reg::A1,
+            });
         } else {
-            asm.emit(Inst::Addi { rd: Reg::A0, rs1: Reg::A0, imm: 3 });
-            asm.emit(Inst::Xor { rd: Reg::A1, rs1: Reg::A0, rs2: Reg::T0 });
-            asm.emit(Inst::Mul { rd: Reg::A2, rs1: Reg::A1, rs2: Reg::A0 });
+            asm.emit(Inst::Addi {
+                rd: Reg::A0,
+                rs1: Reg::A0,
+                imm: 3,
+            });
+            asm.emit(Inst::Xor {
+                rd: Reg::A1,
+                rs1: Reg::A0,
+                rs2: Reg::T0,
+            });
+            asm.emit(Inst::Mul {
+                rd: Reg::A2,
+                rs1: Reg::A1,
+                rs2: Reg::A0,
+            });
         }
     }
-    asm.emit(Inst::Addi { rd: Reg::T0, rs1: Reg::T0, imm: -1 });
-    asm.branch_to(Inst::Bne { rs1: Reg::T0, rs2: Reg::Zero, offset: 0 }, top);
+    asm.emit(Inst::Addi {
+        rd: Reg::T0,
+        rs1: Reg::T0,
+        imm: -1,
+    });
+    asm.branch_to(
+        Inst::Bne {
+            rs1: Reg::T0,
+            rs2: Reg::Zero,
+            offset: 0,
+        },
+        top,
+    );
     asm.emit(Inst::Ebreak);
     asm.finish().expect("loop program assembles")
 }
@@ -214,8 +255,7 @@ pub fn run_and_write(out_dir: &std::path::Path) -> String {
     let summary = collect();
     let json = serde_json::to_string_pretty(&summary).expect("summary serializes");
     let path = out_dir.join("BENCH_tensor.json");
-    std::fs::write(&path, &json)
-        .unwrap_or_else(|e| panic!("cannot write {}: {e}", path.display()));
+    std::fs::write(&path, &json).unwrap_or_else(|e| panic!("cannot write {}: {e}", path.display()));
     let mut out = format!("# bench-tensor (written to {})\n", path.display());
     out.push_str("matmul kernels (naive -> packed):\n");
     for r in &summary.matmul {

@@ -9,7 +9,9 @@ use std::time::{Duration, Instant};
 /// True under `KWT_BENCH_SMOKE=1` — run every measurement exactly once
 /// (compile + execute proof, no timing fidelity).
 pub(crate) fn smoke() -> bool {
-    std::env::var("KWT_BENCH_SMOKE").map(|v| v != "0").unwrap_or(false)
+    std::env::var("KWT_BENCH_SMOKE")
+        .map(|v| v != "0")
+        .unwrap_or(false)
 }
 
 /// Per-measurement budget (`KWT_BENCH_MEAS_MS`, default 200 ms).

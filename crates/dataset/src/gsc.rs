@@ -299,7 +299,10 @@ mod tests {
     fn binary_task_has_two_classes() {
         let ds = SyntheticGsc::new(tiny_config());
         assert_eq!(ds.num_classes(), 2);
-        assert_eq!(ds.class_names(), vec!["notdog".to_string(), "dog".to_string()]);
+        assert_eq!(
+            ds.class_names(),
+            vec!["notdog".to_string(), "dog".to_string()]
+        );
         assert_eq!(ds.len(Split::Train), 8);
         assert_eq!(ds.len(Split::Val), 4);
         assert!(!ds.is_empty(Split::Test));
@@ -398,8 +401,7 @@ mod tests {
             if label == 0 {
                 let m = fe.extract_padded(&wave).unwrap();
                 // coarse signature: mean of first MFCC column
-                let sig: f32 =
-                    (0..m.rows()).map(|t| m[(t, 1)]).sum::<f32>() / m.rows() as f32;
+                let sig: f32 = (0..m.rows()).map(|t| m[(t, 1)]).sum::<f32>() / m.rows() as f32;
                 sigs.push(sig);
             }
         }

@@ -176,8 +176,7 @@ impl KeywordVoice {
                 }
                 // Raised-cosine envelope over the segment.
                 let env = 0.5
-                    - 0.5
-                        * (2.0 * std::f32::consts::PI * i as f32 / seg_len.max(1) as f32).cos();
+                    - 0.5 * (2.0 * std::f32::consts::PI * i as f32 / seg_len.max(1) as f32).cos();
                 let mut sample = 0.0f32;
                 // Voiced part: harmonic stack shaped by the formants.
                 for (k, ph) in phase.iter_mut().enumerate() {
@@ -190,9 +189,8 @@ impl KeywordVoice {
                         *ph -= 1.0;
                     }
                     let weight = resonance(f);
-                    sample += weight
-                        * seg.voicing
-                        * (2.0 * std::f64::consts::PI * *ph).sin() as f32;
+                    sample +=
+                        weight * seg.voicing * (2.0 * std::f64::consts::PI * *ph).sin() as f32;
                 }
                 // Unvoiced part: filtered noise.
                 if seg.voicing < 1.0 {
@@ -205,8 +203,7 @@ impl KeywordVoice {
         }
 
         // Additive white noise at the drawn SNR.
-        let sig_power: f32 =
-            out.iter().map(|x| x * x).sum::<f32>() / n as f32 + f32::MIN_POSITIVE;
+        let sig_power: f32 = out.iter().map(|x| x * x).sum::<f32>() / n as f32 + f32::MIN_POSITIVE;
         let noise_power = sig_power / 10f32.powf(snr_db / 10.0);
         let noise_amp = noise_power.sqrt() * 3.0f32.sqrt(); // uniform [-a, a] has power a^2/3
         for v in &mut out {

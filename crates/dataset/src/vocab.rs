@@ -5,10 +5,9 @@
 /// KWT-1 classifies all 35; KWT-Tiny collapses them to
 /// `{"dog", "notdog"}` (paper §III).
 pub const GSC_KEYWORDS: [&str; 35] = [
-    "backward", "bed", "bird", "cat", "dog", "down", "eight", "five", "follow", "forward",
-    "four", "go", "happy", "house", "learn", "left", "marvin", "nine", "no", "off", "on",
-    "one", "right", "seven", "sheila", "six", "stop", "three", "tree", "two", "up", "visual",
-    "wow", "yes", "zero",
+    "backward", "bed", "bird", "cat", "dog", "down", "eight", "five", "follow", "forward", "four",
+    "go", "happy", "house", "learn", "left", "marvin", "nine", "no", "off", "on", "one", "right",
+    "seven", "sheila", "six", "stop", "three", "tree", "two", "up", "visual", "wow", "yes", "zero",
 ];
 
 /// Looks up the canonical index of a keyword.

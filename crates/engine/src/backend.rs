@@ -54,6 +54,36 @@ pub trait Backend: Send {
     /// Propagates the subsystem's shape/kernel errors.
     fn infer_into(&mut self, mfcc: &Mat<f32>, logits: &mut Vec<f32>) -> Result<()>;
 
+    /// The power-of-two input exponent of a backend that consumes
+    /// pre-quantised `i8` features directly — `Some` only for A8
+    /// [`BackendKind::Rv32Sim`] sessions. When set, the engine extracts
+    /// features straight to `i8` at this exponent
+    /// (`MfccExtractor::extract_padded_a8_into`) and feeds them through
+    /// [`infer_prequantized_into`](Self::infer_prequantized_into),
+    /// skipping the separate host quantisation pass — with logits
+    /// **bit-identical** to the float [`infer_into`](Self::infer_into)
+    /// path (both quantise the same float features by the same rule).
+    fn input_exponent(&self) -> Option<i32> {
+        None
+    }
+
+    /// Runs one inference over features already quantised to `i8` at
+    /// [`input_exponent`](Self::input_exponent).
+    ///
+    /// # Errors
+    ///
+    /// Returns a configuration error unless the backend advertises an
+    /// input exponent.
+    fn infer_prequantized_into(&mut self, input: &Mat<i8>, logits: &mut Vec<f32>) -> Result<()> {
+        let _ = (input, logits);
+        Err(crate::EngineError::Config {
+            why: format!(
+                "the {} backend does not accept pre-quantised input",
+                self.kind().as_str()
+            ),
+        })
+    }
+
     /// Simulator statistics of the most recent inference — `Some` only for
     /// [`BackendKind::Rv32Sim`].
     fn last_device_run(&self) -> Option<RunResult> {
@@ -157,7 +187,9 @@ impl Backend for HostQuantBackend {
     }
 
     fn infer_into(&mut self, mfcc: &Mat<f32>, logits: &mut Vec<f32>) -> Result<()> {
-        let stats = self.qm.forward_detailed_into(mfcc, &mut self.scratch, logits)?;
+        let stats = self
+            .qm
+            .forward_detailed_into(mfcc, &mut self.scratch, logits)?;
         self.last_stats = Some(stats);
         Ok(())
     }
@@ -237,6 +269,16 @@ impl Backend for Rv32SimBackend {
         Ok(())
     }
 
+    fn input_exponent(&self) -> Option<i32> {
+        self.session.input_exponent()
+    }
+
+    fn infer_prequantized_into(&mut self, input: &Mat<i8>, logits: &mut Vec<f32>) -> Result<()> {
+        let run = self.session.run_prequantized_into(input, logits)?;
+        self.last_run = Some(run);
+        Ok(())
+    }
+
     fn last_device_run(&self) -> Option<RunResult> {
         self.last_run
     }
@@ -245,4 +287,3 @@ impl Backend for Rv32SimBackend {
         Some(Box::new(self.clone()))
     }
 }
-

@@ -56,6 +56,9 @@ pub struct Engine {
     frontend: MfccExtractor,
     backend: Box<dyn Backend>,
     mfcc: Mat<f32>,
+    /// `i8` feature staging for backends that consume pre-quantised
+    /// input (A8 device sessions — see [`Backend::input_exponent`]).
+    mfcc_q: Mat<i8>,
     scratch: MfccScratch,
     logits: Vec<f32>,
 }
@@ -69,9 +72,7 @@ impl Engine {
     /// Returns [`EngineError::Config`] on a geometry mismatch.
     pub fn new(frontend: MfccExtractor, backend: Box<dyn Backend>) -> Result<Self> {
         let c = *backend.config();
-        if frontend.frames_per_clip() != c.input_time
-            || frontend.config().n_mfcc != c.input_freq
-        {
+        if frontend.frames_per_clip() != c.input_time || frontend.config().n_mfcc != c.input_freq {
             return Err(EngineError::Config {
                 why: format!(
                     "front end produces {} frames x {} coefficients but the {} backend \
@@ -86,6 +87,7 @@ impl Engine {
         }
         Ok(Engine {
             mfcc: Mat::zeros(c.input_time, c.input_freq),
+            mfcc_q: Mat::zeros(c.input_time, c.input_freq),
             frontend,
             backend,
             scratch: MfccScratch::new(),
@@ -163,10 +165,29 @@ impl Engine {
     /// [`classify`](Self::classify) into a reusable [`Prediction`] — the
     /// allocation-free steady-state form.
     ///
+    /// A backend that consumes pre-quantised `i8` features (an A8 device
+    /// session) receives them straight from the front end at its input
+    /// exponent — no separate host quantisation pass — with logits
+    /// bit-identical to the float feature path.
+    ///
     /// # Errors
     ///
     /// Same contract as [`classify`](Self::classify).
     pub fn classify_into(&mut self, samples: &[f32], out: &mut Prediction) -> Result<()> {
+        if let Some(y) = self.backend.input_exponent() {
+            self.frontend.extract_padded_a8_into(
+                samples,
+                y,
+                &mut self.mfcc_q,
+                &mut self.scratch,
+            )?;
+            return infer_prediction_prequantized(
+                self.backend.as_mut(),
+                &self.mfcc_q,
+                &mut self.logits,
+                out,
+            );
+        }
         self.frontend
             .extract_padded_into(samples, &mut self.mfcc, &mut self.scratch)?;
         infer_prediction(self.backend.as_mut(), &self.mfcc, &mut self.logits, out)
@@ -274,11 +295,22 @@ impl Engine {
                          preds: &mut [Prediction]|
          -> Result<()> {
             let mut mfcc = Mat::zeros(config.input_time, config.input_freq);
+            let mut mfcc_q = Mat::zeros(config.input_time, config.input_freq);
             let mut scratch = MfccScratch::new();
             let mut logits = Vec::with_capacity(config.num_classes);
             for (clip, pred) in clips.iter().zip(preds.iter_mut()) {
-                frontend.extract_padded_into(AsRef::as_ref(clip), &mut mfcc, &mut scratch)?;
-                infer_prediction(backend, &mfcc, &mut logits, pred)?;
+                if let Some(y) = backend.input_exponent() {
+                    frontend.extract_padded_a8_into(
+                        AsRef::as_ref(clip),
+                        y,
+                        &mut mfcc_q,
+                        &mut scratch,
+                    )?;
+                    infer_prediction_prequantized(backend, &mfcc_q, &mut logits, pred)?;
+                } else {
+                    frontend.extract_padded_into(AsRef::as_ref(clip), &mut mfcc, &mut scratch)?;
+                    infer_prediction(backend, &mfcc, &mut logits, pred)?;
+                }
             }
             Ok(())
         };
@@ -293,13 +325,11 @@ impl Engine {
             for backend in extra.iter_mut() {
                 let take = chunk.min(rem_clips.len());
                 let (clip_slice, clips_rest) = rem_clips.split_at(take);
-                let (out_slice, out_rest) =
-                    std::mem::take(&mut rem_out).split_at_mut(take);
+                let (out_slice, out_rest) = std::mem::take(&mut rem_out).split_at_mut(take);
                 rem_clips = clips_rest;
                 rem_out = out_rest;
-                handles.push(
-                    scope.spawn(move || run_chunk(backend.as_mut(), clip_slice, out_slice)),
-                );
+                handles
+                    .push(scope.spawn(move || run_chunk(backend.as_mut(), clip_slice, out_slice)));
             }
             // the calling thread works its own chunk while workers run
             let own_result = run_chunk(own_backend, head_clips, head_out);
@@ -336,6 +366,24 @@ fn infer_prediction(
     out: &mut Prediction,
 ) -> Result<()> {
     backend.infer_into(mfcc, logits)?;
+    finish_prediction(logits, out)
+}
+
+/// [`infer_prediction`] over pre-quantised `i8` features (A8 device
+/// backends).
+fn infer_prediction_prequantized(
+    backend: &mut dyn Backend,
+    mfcc_q: &Mat<i8>,
+    logits: &mut Vec<f32>,
+    out: &mut Prediction,
+) -> Result<()> {
+    backend.infer_prequantized_into(mfcc_q, logits)?;
+    finish_prediction(logits, out)
+}
+
+/// Softmax + arg-max of freshly produced logits into the reusable
+/// [`Prediction`].
+fn finish_prediction(logits: &[f32], out: &mut Prediction) -> Result<()> {
     kwt_model::softmax_probs_into(logits, &mut out.probs)?;
     out.logits.clear();
     out.logits.extend_from_slice(logits);

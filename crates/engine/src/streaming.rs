@@ -172,7 +172,7 @@ impl StreamingKws {
             let last = window.rows() - 1;
             window.row_mut(last).copy_from_slice(row);
             *frames_seen += 1;
-            if *frames_seen < t_frames || (*frames_seen - t_frames) % stride != 0 {
+            if *frames_seen < t_frames || !(*frames_seen - t_frames).is_multiple_of(stride) {
                 return;
             }
             match engine.classify_mfcc_into(window, pred) {

@@ -29,7 +29,8 @@ fn clip(seed: u64) -> Vec<f32> {
             let t = i as f64 / 16_000.0;
             let f1 = 200.0 + 37.0 * seed as f64;
             let f2 = 900.0 + 11.0 * seed as f64;
-            let h = (i ^ seed.wrapping_mul(0x9E37_79B9_7F4A_7C15)).wrapping_mul(0x2545_F491_4F6C_DD1D);
+            let h =
+                (i ^ seed.wrapping_mul(0x9E37_79B9_7F4A_7C15)).wrapping_mul(0x2545_F491_4F6C_DD1D);
             let noise = ((h >> 40) as f64 / (1u64 << 24) as f64) - 0.5;
             (0.5 * (2.0 * std::f64::consts::PI * f1 * t).sin()
                 + 0.3 * (2.0 * std::f64::consts::PI * f2 * t).sin()
@@ -73,7 +74,9 @@ fn host_quant_engine_matches_one_shot_seed_path() {
         let mfcc = fe.extract_padded(&audio).unwrap();
         let want = qm.forward(&mfcc).unwrap();
         assert_bits_eq(&pred.logits, &want, "host_quant");
-        let stats = engine.last_quant_stats().expect("quant backend reports stats");
+        let stats = engine
+            .last_quant_stats()
+            .expect("quant backend reports stats");
         assert!(stats.max_abs_acc > 0);
     }
 }
@@ -91,7 +94,9 @@ fn rv32_engine_matches_one_shot_image_run() {
         let mfcc = fe.extract_padded(&audio).unwrap();
         let (want, want_run, _) = image.run(&mfcc).unwrap();
         assert_bits_eq(&pred.logits, &want, "rv32_sim");
-        let run = engine.last_device_run().expect("device backend reports runs");
+        let run = engine
+            .last_device_run()
+            .expect("device backend reports runs");
         assert_eq!(run.cycles, want_run.cycles, "per-run cycle accounting");
     }
 }
@@ -124,12 +129,40 @@ fn rv32_engine_isa_toggle_is_bit_identical_and_faster() {
 }
 
 #[test]
+fn a8_engine_prequantized_upload_matches_float_feature_path() {
+    // An A8 backend advertises its input exponent, so the engine feeds
+    // the device front-end-quantised i8 features directly. Logits must
+    // be bit-identical to running the session on the float features
+    // (both quantise the same f32 values by the same floor rule), for
+    // the serial, batch and parallel paths.
+    use kwt_quant::{A8Config, A8Kwt};
+    let params = trained_ish();
+    let a8 = A8Kwt::quantize(&params, A8Config::paper_a8()).unwrap();
+    let image = InferenceImage::build_a8(&a8).unwrap();
+    let fe = kwt_tiny_frontend().unwrap();
+    let mut engine = Engine::rv32_sim(&image, fe.clone()).unwrap();
+    let mut session = image.session().unwrap();
+    let clips: Vec<Vec<f32>> = (0..4).map(clip).collect();
+    for (i, audio) in clips.iter().enumerate() {
+        let pred = engine.classify(audio).unwrap();
+        let mfcc = fe.extract_padded(audio).unwrap();
+        let (want, _) = session.run(&mfcc).unwrap();
+        assert_bits_eq(&pred.logits, &want, &format!("a8 engine clip {i}"));
+    }
+    let batch = engine.classify_batch(&clips).unwrap();
+    let mut par = Vec::new();
+    engine.classify_batch_parallel(&clips, 2, &mut par).unwrap();
+    for (i, (b, p)) in batch.iter().zip(&par).enumerate() {
+        assert_eq!(b, p, "parallel a8 clip {i}");
+    }
+}
+
+#[test]
 fn classify_batch_matches_per_clip_on_all_backends() {
     let params = trained_ish();
     let qm = quantized();
     let image =
-        InferenceImage::build_quant(&qm.clone().with_nonlinearity(Nonlinearity::FixedLut))
-            .unwrap();
+        InferenceImage::build_quant(&qm.clone().with_nonlinearity(Nonlinearity::FixedLut)).unwrap();
     let fe = kwt_tiny_frontend().unwrap();
     let clips: Vec<Vec<f32>> = (0..3).map(clip).collect();
     let engines: Vec<Engine> = vec![
@@ -188,8 +221,8 @@ fn parallel_batch_identical_to_serial_on_rv32() {
     // order, for any thread count — each worker owns its own
     // DeviceSession clone and sessions are stateless across inputs.
     let qm = quantized().with_nonlinearity(Nonlinearity::FixedLut);
-    let image = InferenceImage::build_quant_with_isa(&qm, kwt_baremetal::KernelIsa::Xkwtdot)
-        .unwrap();
+    let image =
+        InferenceImage::build_quant_with_isa(&qm, kwt_baremetal::KernelIsa::Xkwtdot).unwrap();
     let fe = kwt_tiny_frontend().unwrap();
     let mut engine = Engine::rv32_sim(&image, fe).unwrap();
     let clips: Vec<Vec<f32>> = (0..7).map(clip).collect();

@@ -148,7 +148,10 @@ fn streaming_smoothing_suppresses_flicker() {
         decisions.extend(kws.push(chunk).unwrap());
     }
     assert!(decisions.len() > 10, "expected many decisions");
-    let raw_flips = decisions.windows(2).filter(|w| w[0].class != w[1].class).count();
+    let raw_flips = decisions
+        .windows(2)
+        .filter(|w| w[0].class != w[1].class)
+        .count();
     let smooth_flips = decisions
         .windows(2)
         .filter(|w| w[0].smoothed_class != w[1].smoothed_class)

@@ -154,10 +154,26 @@ impl AreaModel {
     pub fn table8(&self) -> Vec<Table8Row> {
         let m = self.modified();
         vec![
-            Table8Row { attribute: "LUT", baseline: self.baseline.lut, modified: m.lut },
-            Table8Row { attribute: "DSP", baseline: self.baseline.dsp, modified: m.dsp },
-            Table8Row { attribute: "FF", baseline: self.baseline.ff, modified: m.ff },
-            Table8Row { attribute: "BRAM", baseline: self.baseline.bram, modified: m.bram },
+            Table8Row {
+                attribute: "LUT",
+                baseline: self.baseline.lut,
+                modified: m.lut,
+            },
+            Table8Row {
+                attribute: "DSP",
+                baseline: self.baseline.dsp,
+                modified: m.dsp,
+            },
+            Table8Row {
+                attribute: "FF",
+                baseline: self.baseline.ff,
+                modified: m.ff,
+            },
+            Table8Row {
+                attribute: "BRAM",
+                baseline: self.baseline.bram,
+                modified: m.bram,
+            },
         ]
     }
 
@@ -231,7 +247,12 @@ mod tests {
 
     #[test]
     fn resources_sum_and_display() {
-        let a = Resources { lut: 1, dsp: 2, ff: 3, bram: 4 };
+        let a = Resources {
+            lut: 1,
+            dsp: 2,
+            ff: 3,
+            bram: 4,
+        };
         let b = a.plus(a);
         assert_eq!(b.lut, 2);
         assert_eq!(b.bram, 8);

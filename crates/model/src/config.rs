@@ -106,7 +106,9 @@ impl KwtConfig {
         nz!(mlp_dim);
         nz!(dim_head);
         nz!(num_classes);
-        if !(self.ln_eps >= 0.0) {
+        // NaN must fail too, so compare via partial_cmp rather than `>=`.
+        if self.ln_eps.partial_cmp(&0.0) != Some(std::cmp::Ordering::Greater) && self.ln_eps != 0.0
+        {
             return Err(ModelError::InvalidConfig {
                 field: "ln_eps",
                 why: format!("must be non-negative, got {}", self.ln_eps),

@@ -178,7 +178,12 @@ pub fn forward_into(
     // 4. Classification head on the class token.
     scratch.cls.resize(1, c.dim);
     scratch.cls.row_mut(0).copy_from_slice(scratch.x.row(0));
-    ops::linear_packed_into(&scratch.cls, &packed.w_head, &params.b_head, &mut scratch.logits)?;
+    ops::linear_packed_into(
+        &scratch.cls,
+        &packed.w_head,
+        &params.b_head,
+        &mut scratch.logits,
+    )?;
     logits_out.clear();
     logits_out.extend_from_slice(scratch.logits.as_slice());
     Ok(())
@@ -386,8 +391,7 @@ mod tests {
                     Some(acc) => acc.hstack(&head).unwrap(),
                 });
             }
-            let attn_out =
-                ops::linear_packed(&sa.unwrap(), &pl.w_out, &layer.b_out).unwrap();
+            let attn_out = ops::linear_packed(&sa.unwrap(), &pl.w_out, &layer.b_out).unwrap();
             ops::add_assign(&mut x, &attn_out).unwrap();
             ops::layer_norm_rows(&mut x, &layer.ln1_gamma, &layer.ln1_beta, c.ln_eps).unwrap();
             let mut hidden = ops::linear_packed(&x, &pl.w_mlp1, &layer.b_mlp1).unwrap();
@@ -409,8 +413,7 @@ mod tests {
             for s in 0..3 {
                 let x = Mat::from_fn(t, f, |r, c| {
                     let h = (s * 7919 + r * f + c) as u64;
-                    ((h.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 40) as f32
-                        / (1u64 << 24) as f32)
+                    ((h.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 40) as f32 / (1u64 << 24) as f32)
                         - 0.5
                 });
                 let new = forward(&p, &x).unwrap();

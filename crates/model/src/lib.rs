@@ -45,8 +45,8 @@ mod params;
 pub use config::KwtConfig;
 pub use error::ModelError;
 pub use forward::{
-    forward, forward_into, forward_with, predict, predict_with, softmax_probs,
-    softmax_probs_into, Scratch,
+    forward, forward_into, forward_with, predict, predict_with, softmax_probs, softmax_probs_into,
+    Scratch,
 };
 pub use params::{KwtParams, LayerParams, PackedKwtWeights, PackedLayerWeights};
 

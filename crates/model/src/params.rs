@@ -125,7 +125,9 @@ impl KwtParams {
             pos_emb: Mat::from_fn(config.seqlen(), config.dim, |_, _| {
                 rng.gen_range(-0.02..=0.02)
             }),
-            class_token: (0..config.dim).map(|_| rng.gen_range(-0.02..=0.02)).collect(),
+            class_token: (0..config.dim)
+                .map(|_| rng.gen_range(-0.02..=0.02))
+                .collect(),
             layers,
             w_head: xavier(&mut rng, config.dim, config.num_classes),
             b_head: vec![0.0; config.num_classes],

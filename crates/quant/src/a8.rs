@@ -97,6 +97,16 @@ impl A8Config {
         }
     }
 
+    /// The raw-feature input exponent — the scale a pre-quantising MFCC
+    /// front end emits `i8` features at (`kwt_audio`'s
+    /// `MfccExtractor::extract_a8_into`), and the scale the device
+    /// session's own host-side quantisation uses. Keeping both readers
+    /// on this one accessor is what makes the front-end-quantised and
+    /// host-quantised upload paths bit-identical.
+    pub fn input_exponent(&self) -> i32 {
+        self.input_bits
+    }
+
     /// Derives every shift and float scale constant of the pipeline,
     /// validating that each integer epilogue shift lands in `[0, 31]`
     /// (the device `ksat.i16` shift operand).
@@ -119,15 +129,17 @@ impl A8Config {
         let bits = |y: i32| ((y as f64).exp2() as f32).to_bits();
         let inv_bits = |y: i32| ((-(y as f64)).exp2() as f32).to_bits();
         let inv_sqrt_dh = 1.0 / (config.dim_head as f32).sqrt();
-        let score_deq =
-            f32::from_bits(inv_bits(self.score_bits)) * inv_sqrt_dh;
+        let score_deq = f32::from_bits(inv_bits(self.score_bits)) * inv_sqrt_dh;
         Ok(A8Consts {
             shift_proj: shift("proj", self.input_bits + yw - self.stream0_bits)?,
             shift_qkv0: shift("qkv (layer 0)", self.stream0_bits + yw - self.attn_bits)?,
             shift_qkv: shift("qkv", self.stream_bits + yw - self.attn_bits)?,
             shift_scores: shift("scores", 2 * self.attn_bits - self.score_bits)?,
             shift_ctx: shift("context", self.prob_bits)?,
-            shift_out0: shift("out-proj (layer 0)", self.attn_bits + yw - self.stream0_bits)?,
+            shift_out0: shift(
+                "out-proj (layer 0)",
+                self.attn_bits + yw - self.stream0_bits,
+            )?,
             shift_out: shift("out-proj", self.attn_bits + yw - self.stream_bits)?,
             shift_mlp1: shift("mlp1", self.stream_bits + yw - self.hidden_bits)?,
             shift_mlp2: shift("mlp2", self.hidden_bits + yw - self.stream_bits)?,
@@ -250,11 +262,7 @@ pub struct A8Kwt {
 fn quant_bias_a8(b: &[f32], combined: i32) -> Vec<i32> {
     let scale = (combined as f64).exp2() as f32;
     b.iter()
-        .map(|&v| {
-            (v * scale)
-                .floor()
-                .clamp(i32::MIN as f32, i32::MAX as f32) as i32
-        })
+        .map(|&v| (v * scale).floor().clamp(i32::MIN as f32, i32::MAX as f32) as i32)
         .collect()
 }
 
@@ -298,7 +306,8 @@ fn dequant8(v: i8, scale_bits: u32) -> f32 {
 fn copy_columns_into(src: &Mat<i8>, start: usize, width: usize, dst: &mut Mat<i8>) {
     dst.resize(src.rows(), width);
     for r in 0..src.rows() {
-        dst.row_mut(r).copy_from_slice(&src.row(r)[start..start + width]);
+        dst.row_mut(r)
+            .copy_from_slice(&src.row(r)[start..start + width]);
     }
 }
 
@@ -317,7 +326,11 @@ impl A8Kwt {
             .iter()
             .enumerate()
             .map(|(idx, l)| {
-                let stream = if idx == 0 { a8.stream0_bits } else { a8.stream_bits };
+                let stream = if idx == 0 {
+                    a8.stream0_bits
+                } else {
+                    a8.stream_bits
+                };
                 A8Layer {
                     w_qkv: qops::quantize_i8(&l.w_qkv, yw).0,
                     b_qkv: quant_bias_a8(&l.b_qkv, stream + yw as i32),
@@ -475,7 +488,11 @@ impl A8Kwt {
         s.v.resize(c.heads, Mat::default());
 
         // 1. Quantise the MFCC input (host side on the device too).
-        stats.merge(qops::quantize_i8_scaled_into(mfcc, self.a8.input_bits, &mut s.x_q));
+        stats.merge(qops::quantize_i8_scaled_into(
+            mfcc,
+            self.a8.input_bits,
+            &mut s.x_q,
+        ));
 
         // 2. Patch projection, class token, positional embeddings — all
         // at the stream0 exponent.
@@ -512,7 +529,12 @@ impl A8Kwt {
             for h in 0..c.heads {
                 copy_columns_into(&s.qkv, h * c.dim_head, c.dim_head, &mut s.q[h]);
                 copy_columns_into(&s.qkv, section + h * c.dim_head, c.dim_head, &mut s.k[h]);
-                copy_columns_into(&s.qkv, 2 * section + h * c.dim_head, c.dim_head, &mut s.v[h]);
+                copy_columns_into(
+                    &s.qkv,
+                    2 * section + h * c.dim_head,
+                    c.dim_head,
+                    &mut s.v[h],
+                );
             }
 
             // Fused per-row attention pipeline: scores → LUT softmax →

@@ -17,7 +17,9 @@ use std::fmt;
 /// let b = Q8_24::from_f32(2.0);
 /// assert_eq!((a * b).to_f32(), 3.0);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 pub struct Q8_24(i32);
 
 impl Q8_24 {
@@ -152,7 +154,13 @@ mod tests {
 
     #[test]
     fn multiplication_matches_f64() {
-        let cases = [(1.5, 2.0), (0.125, 8.0), (-3.25, 1.5), (11.0, 11.0), (0.0001, 0.0001)];
+        let cases = [
+            (1.5, 2.0),
+            (0.125, 8.0),
+            (-3.25, 1.5),
+            (11.0, 11.0),
+            (0.0001, 0.0001),
+        ];
         for (a, b) in cases {
             let q = Q8_24::from_f32(a) * Q8_24::from_f32(b);
             assert!(

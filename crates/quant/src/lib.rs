@@ -52,7 +52,9 @@ pub mod sweep;
 pub use a8::{A8Config, A8Consts, A8Kwt, A8Scratch};
 pub use error::QuantError;
 pub use fixed::Q8_24;
-pub use luts::{fixed_gelu, fixed_softmax, GeluLut, LutSet, EXP_LUT_LEN, GELU_LUT_LEN, INV_LUT_LEN};
+pub use luts::{
+    fixed_gelu, fixed_softmax, GeluLut, LutSet, EXP_LUT_LEN, GELU_LUT_LEN, INV_LUT_LEN,
+};
 pub use qmodel::{Nonlinearity, QuantScratch, QuantizedKwt};
 pub use qscheme::QuantConfig;
 

@@ -79,8 +79,12 @@ impl GeluLut {
     /// and the clamped index falls past its end — simulators should use
     /// [`GeluLut::try_eval`] and trap instead.
     pub fn eval(&self, x: Q8_24) -> Q8_24 {
-        self.try_eval(x)
-            .unwrap_or_else(|idx| panic!("GELU LUT index {idx} out of range ({} entries)", self.table.len()))
+        self.try_eval(x).unwrap_or_else(|idx| {
+            panic!(
+                "GELU LUT index {idx} out of range ({} entries)",
+                self.table.len()
+            )
+        })
     }
 
     /// The checked approximation: `Err(index)` when the clamped index
@@ -182,8 +186,12 @@ impl LutSet {
     /// Panics when the table was truncated below [`EXP_LUT_LEN`] and the
     /// clamped index overruns it (see [`LutSet::try_alu_exp`]).
     pub fn alu_exp(&self, z: Q8_24) -> Q8_24 {
-        self.try_alu_exp(z)
-            .unwrap_or_else(|idx| panic!("exp LUT index {idx} out of range ({} entries)", self.exp.len()))
+        self.try_alu_exp(z).unwrap_or_else(|idx| {
+            panic!(
+                "exp LUT index {idx} out of range ({} entries)",
+                self.exp.len()
+            )
+        })
     }
 
     /// Checked [`LutSet::alu_exp`]: `Err(index)` on a table overrun.
@@ -204,8 +212,12 @@ impl LutSet {
     /// Panics when the table was truncated below [`INV_LUT_LEN`] and the
     /// clamped index overruns it (see [`LutSet::try_alu_invert`]).
     pub fn alu_invert(&self, z: Q8_24) -> Q8_24 {
-        self.try_alu_invert(z)
-            .unwrap_or_else(|idx| panic!("inv LUT index {idx} out of range ({} entries)", self.inv.len()))
+        self.try_alu_invert(z).unwrap_or_else(|idx| {
+            panic!(
+                "inv LUT index {idx} out of range ({} entries)",
+                self.inv.len()
+            )
+        })
     }
 
     /// Checked [`LutSet::alu_invert`]: `Err(index)` on a table overrun.
@@ -308,10 +320,7 @@ mod tests {
             let got = luts.alu_exp(Q8_24::from_f32(z)).to_f32();
             let want = (-z).exp();
             // Step size 1/32 -> relative error bounded by the derivative.
-            assert!(
-                (got - want).abs() < 0.04,
-                "exp(-{z}) = {want}, lut {got}"
-            );
+            assert!((got - want).abs() < 0.04, "exp(-{z}) = {want}, lut {got}");
         }
     }
 
@@ -446,16 +455,8 @@ mod tests {
     #[test]
     fn truncated_tables_report_out_of_range_via_try() {
         let full = LutSet::new();
-        let gelu = GeluLut::from_words(
-            PAPER_GELU_LO,
-            PAPER_GELU_HI,
-            &full.gelu.words()[..8],
-        );
-        let short = LutSet::from_words(
-            &full.exp_words()[..10],
-            &full.inv_words()[..10],
-            gelu,
-        );
+        let gelu = GeluLut::from_words(PAPER_GELU_LO, PAPER_GELU_HI, &full.gelu.words()[..8]);
+        let short = LutSet::from_words(&full.exp_words()[..10], &full.inv_words()[..10], gelu);
         // in-range lookups still work and match the full tables
         assert_eq!(
             short.try_alu_exp(Q8_24::from_f32(0.1)),
@@ -478,11 +479,8 @@ mod tests {
     #[should_panic(expected = "out of range")]
     fn truncated_table_unchecked_lookup_panics() {
         let full = LutSet::new();
-        let short = LutSet::from_words(
-            &full.exp_words()[..4],
-            &full.inv_words(),
-            full.gelu.clone(),
-        );
+        let short =
+            LutSet::from_words(&full.exp_words()[..4], &full.inv_words(), full.gelu.clone());
         let _ = short.alu_exp(Q8_24::from_f32(9.0));
     }
 }

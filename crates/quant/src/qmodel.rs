@@ -6,7 +6,7 @@ use crate::luts::{fixed_gelu, fixed_softmax, LutSet};
 use crate::{QuantConfig, QuantError, Result};
 use kwt_model::{KwtConfig, KwtParams};
 use kwt_tensor::math::gelu_exact;
-use kwt_tensor::packed::{matmul_i16_i8_packed_into, matmul_i16_i16_packed_into};
+use kwt_tensor::packed::{matmul_i16_i16_packed_into, matmul_i16_i8_packed_into};
 use kwt_tensor::qops::{self, QuantStats};
 use kwt_tensor::{ops, Mat, PackedMat};
 
@@ -85,7 +85,8 @@ impl QuantScratch {
 fn copy_columns_into(src: &Mat<i16>, start: usize, width: usize, dst: &mut Mat<i16>) {
     dst.resize(src.rows(), width);
     for r in 0..src.rows() {
-        dst.row_mut(r).copy_from_slice(&src.row(r)[start..start + width]);
+        dst.row_mut(r)
+            .copy_from_slice(&src.row(r)[start..start + width]);
     }
 }
 
@@ -269,8 +270,7 @@ impl QuantizedKwt {
     /// propagated kernel error if the quantised tensors are inconsistent.
     pub fn forward_detailed(&self, mfcc: &Mat<f32>) -> Result<(Vec<f32>, QuantStats)> {
         let mut logits = Vec::new();
-        let stats =
-            self.forward_detailed_into(mfcc, &mut QuantScratch::default(), &mut logits)?;
+        let stats = self.forward_detailed_into(mfcc, &mut QuantScratch::default(), &mut logits)?;
         Ok((logits, stats))
     }
 
@@ -357,7 +357,12 @@ impl QuantizedKwt {
                 // `pack_transposed_into` builds the packed K^T straight
                 // from K's rows without materialising the transpose.
                 s.kt.pack_transposed_into(&s.k[h]);
-                stats.merge(matmul_i16_i16_packed_into(&s.q[h], &s.kt, ya, &mut s.scores_q)?);
+                stats.merge(matmul_i16_i16_packed_into(
+                    &s.q[h],
+                    &s.kt,
+                    ya,
+                    &mut s.scores_q,
+                )?);
                 // Dequantise -> scale by 1/sqrt(dh) -> softmax -> requantise.
                 qops::dequantize_i16_into(&s.scores_q, ya, &mut s.scores_f);
                 for v in s.scores_f.as_mut_slice() {
@@ -376,7 +381,12 @@ impl QuantizedKwt {
                 }
                 stats.merge(qops::quantize_i16_into(&s.scores_f, ya, &mut s.probs_q));
                 s.vp.pack_into(&s.v[h]);
-                stats.merge(matmul_i16_i16_packed_into(&s.probs_q, &s.vp, ya, &mut s.head_out)?);
+                stats.merge(matmul_i16_i16_packed_into(
+                    &s.probs_q,
+                    &s.vp,
+                    ya,
+                    &mut s.head_out,
+                )?);
                 for r in 0..s.head_out.rows() {
                     let col0 = h * c.dim_head;
                     let src = s.head_out.row(r);
@@ -479,16 +489,7 @@ impl QuantizedKwt {
     /// Borrowed views of the quantised tensors, for the bare-metal image
     /// builder: `(w_proj, b_proj, pos_emb, class_token, w_head, b_head)`.
     #[allow(clippy::type_complexity)]
-    pub fn tensors(
-        &self,
-    ) -> (
-        &Mat<i8>,
-        &[i32],
-        &Mat<i16>,
-        &[i16],
-        &Mat<i8>,
-        &[i32],
-    ) {
+    pub fn tensors(&self) -> (&Mat<i8>, &[i32], &Mat<i16>, &[i16], &Mat<i8>, &[i32]) {
         (
             &self.w_proj,
             &self.b_proj,
@@ -570,11 +571,8 @@ mod tests {
     /// The pre-refactor `forward_detailed` body, kept verbatim as the
     /// oracle proving the scratch-arena path is bit-identical — logits
     /// *and* `QuantStats` — to the old allocating path.
-    fn forward_detailed_old_path(
-        qm: &QuantizedKwt,
-        mfcc: &Mat<f32>,
-    ) -> (Vec<f32>, QuantStats) {
-        use kwt_tensor::packed::{matmul_i16_i8_packed, matmul_i16_i16_packed};
+    fn forward_detailed_old_path(qm: &QuantizedKwt, mfcc: &Mat<f32>) -> (Vec<f32>, QuantStats) {
+        use kwt_tensor::packed::{matmul_i16_i16_packed, matmul_i16_i8_packed};
         let c = &qm.config;
         let ya = qm.qconfig.input_bits;
         let yw = qm.qconfig.weight_bits;
@@ -582,8 +580,7 @@ mod tests {
         let dequant = |x: &Mat<i16>| qops::dequantize_i16(x, ya);
         let (x_q, s) = qops::quantize_i16(mfcc, ya);
         stats.merge(s);
-        let (tokens, s) =
-            matmul_i16_i8_packed(&x_q, &qm.w_proj_p, Some(&qm.b_proj), yw).unwrap();
+        let (tokens, s) = matmul_i16_i8_packed(&x_q, &qm.w_proj_p, Some(&qm.b_proj), yw).unwrap();
         stats.merge(s);
         let cls = Mat::from_vec(1, c.dim, qm.class_token.clone()).unwrap();
         let mut x = cls.vstack(&tokens).unwrap();
@@ -653,8 +650,7 @@ mod tests {
             let (hidden_q, s) = qops::quantize_i16(&hidden_f, ya);
             stats.merge(s);
             let (mlp_out, s) =
-                matmul_i16_i8_packed(&hidden_q, &layer.w_mlp2_p, Some(&layer.b_mlp2), yw)
-                    .unwrap();
+                matmul_i16_i8_packed(&hidden_q, &layer.w_mlp2_p, Some(&layer.b_mlp2), yw).unwrap();
             stats.merge(s);
             stats.merge(qops::add_assign_sat(&mut x, &mlp_out).unwrap());
             let mut xf = dequant(&x);
@@ -674,8 +670,8 @@ mod tests {
     fn scratch_forward_bit_identical_to_old_path() {
         let params = trained_ish_params();
         for nl in [Nonlinearity::FloatExact, Nonlinearity::FixedLut] {
-            let qm = QuantizedKwt::quantize(&params, QuantConfig::paper_best())
-                .with_nonlinearity(nl);
+            let qm =
+                QuantizedKwt::quantize(&params, QuantConfig::paper_best()).with_nonlinearity(nl);
             for seed in 0..6 {
                 let x = input(seed + 40);
                 let (new_logits, new_stats) = qm.forward_detailed(&x).unwrap();

@@ -81,13 +81,12 @@ mod tests {
             let label = i % 2;
             x.push(Mat::from_fn(26, 16, |r, c| {
                 let h = (i * 1000 + r * 16 + c) as u64;
-                let noise =
-                    ((h.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 40) as f32 / (1u64 << 24) as f32
-                        - 0.5)
-                        * 2.0;
-                if label == 0 && c < 8 {
-                    4.0 + noise
-                } else if label == 1 && c >= 8 {
+                let noise = ((h.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 40) as f32
+                    / (1u64 << 24) as f32
+                    - 0.5)
+                    * 2.0;
+                let hot = (label == 0 && c < 8) || (label == 1 && c >= 8);
+                if hot {
                     4.0 + noise
                 } else {
                     noise

@@ -11,14 +11,45 @@ fn program() -> kwt_rvasm::Program {
     let top = asm.new_label();
     asm.bind(top).unwrap();
     for _ in 0..4 {
-        asm.emit(Inst::Addi { rd: Reg::A0, rs1: Reg::A0, imm: 3 });
-        asm.emit(Inst::Xor { rd: Reg::A1, rs1: Reg::A0, rs2: Reg::T0 });
-        asm.emit(Inst::Mul { rd: Reg::A2, rs1: Reg::A1, rs2: Reg::A0 });
-        asm.emit(Inst::Sw { rs2: Reg::A2, rs1: Reg::Sp, imm: -16 });
-        asm.emit(Inst::Lw { rd: Reg::A3, rs1: Reg::Sp, imm: -16 });
+        asm.emit(Inst::Addi {
+            rd: Reg::A0,
+            rs1: Reg::A0,
+            imm: 3,
+        });
+        asm.emit(Inst::Xor {
+            rd: Reg::A1,
+            rs1: Reg::A0,
+            rs2: Reg::T0,
+        });
+        asm.emit(Inst::Mul {
+            rd: Reg::A2,
+            rs1: Reg::A1,
+            rs2: Reg::A0,
+        });
+        asm.emit(Inst::Sw {
+            rs2: Reg::A2,
+            rs1: Reg::Sp,
+            imm: -16,
+        });
+        asm.emit(Inst::Lw {
+            rd: Reg::A3,
+            rs1: Reg::Sp,
+            imm: -16,
+        });
     }
-    asm.emit(Inst::Addi { rd: Reg::T0, rs1: Reg::T0, imm: -1 });
-    asm.branch_to(Inst::Bne { rs1: Reg::T0, rs2: Reg::Zero, offset: 0 }, top);
+    asm.emit(Inst::Addi {
+        rd: Reg::T0,
+        rs1: Reg::T0,
+        imm: -1,
+    });
+    asm.branch_to(
+        Inst::Bne {
+            rs1: Reg::T0,
+            rs2: Reg::Zero,
+            offset: 0,
+        },
+        top,
+    );
     asm.emit(Inst::Ebreak);
     asm.finish().unwrap()
 }
@@ -36,13 +67,18 @@ fn main() {
             let r = m.run(100_000_000).unwrap();
             let dt = t0.elapsed().as_secs_f64();
             instructions = r.instructions;
-            if dt < best { best = dt; }
+            if dt < best {
+                best = dt;
+            }
         }
         let mut m = Machine::load(&p, Platform::ibex()).unwrap();
         m.cpu.set_decode_cache_enabled(enabled);
         m.run(100_000_000).unwrap();
-        println!("cache={enabled}: {:.2} Msteps/s ({instructions} instr, stats {:?})",
-            instructions as f64 / best / 1e6, m.cpu.decode_cache_stats());
+        println!(
+            "cache={enabled}: {:.2} Msteps/s ({instructions} instr, stats {:?})",
+            instructions as f64 / best / 1e6,
+            m.cpu.decode_cache_stats()
+        );
         results.push(instructions as f64 / best);
     }
     println!("speedup: {:.2}x", results[1] / results[0]);

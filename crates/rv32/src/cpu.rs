@@ -85,10 +85,27 @@ impl InstClass {
 pub(crate) fn classify(inst: &Inst) -> InstClass {
     use Inst::*;
     match inst {
-        Lui { .. } | Auipc { .. } | Addi { .. } | Slti { .. } | Sltiu { .. } | Xori { .. }
-        | Ori { .. } | Andi { .. } | Slli { .. } | Srli { .. } | Srai { .. } | Add { .. }
-        | Sub { .. } | Sll { .. } | Slt { .. } | Sltu { .. } | Xor { .. } | Srl { .. }
-        | Sra { .. } | Or { .. } | And { .. } => InstClass::Alu,
+        Lui { .. }
+        | Auipc { .. }
+        | Addi { .. }
+        | Slti { .. }
+        | Sltiu { .. }
+        | Xori { .. }
+        | Ori { .. }
+        | Andi { .. }
+        | Slli { .. }
+        | Srli { .. }
+        | Srai { .. }
+        | Add { .. }
+        | Sub { .. }
+        | Sll { .. }
+        | Slt { .. }
+        | Sltu { .. }
+        | Xor { .. }
+        | Srl { .. }
+        | Sra { .. }
+        | Or { .. }
+        | And { .. } => InstClass::Alu,
         Mul { .. } | Mulh { .. } | Mulhsu { .. } | Mulhu { .. } => InstClass::Mul,
         Div { .. } | Divu { .. } | Rem { .. } | Remu { .. } => InstClass::Div,
         Lb { .. } | Lh { .. } | Lw { .. } | Lbu { .. } | Lhu { .. } => InstClass::Load,
@@ -103,9 +120,7 @@ pub(crate) fn classify(inst: &Inst) -> InstClass {
             PackedOp::Kdot4I8 | PackedOp::Kdot2I16 => InstClass::PackedDot,
             PackedOp::KsatI16 | PackedOp::Kclip => InstClass::PackedAlu,
             PackedOp::KcvtH2F | PackedOp::KcvtF2H => InstClass::PackedCvt,
-            PackedOp::KfaddT | PackedOp::KfsubT | PackedOp::KfmulT => {
-                InstClass::PackedFloat
-            }
+            PackedOp::KfaddT | PackedOp::KfsubT | PackedOp::KfmulT => InstClass::PackedFloat,
         },
         KlwB2h { .. } => InstClass::PackedLoad,
     }
@@ -238,9 +253,9 @@ impl Cpu {
 
     fn csr_read(&self, csr: u32) -> u32 {
         match csr {
-            0xB00 => self.cycles as u32,        // mcycle
+            0xB00 => self.cycles as u32,         // mcycle
             0xB80 => (self.cycles >> 32) as u32, // mcycleh
-            0xB02 => self.instret as u32,       // minstret
+            0xB02 => self.instret as u32,        // minstret
             0xB82 => (self.instret >> 32) as u32,
             _ => self.csrs.get(&csr).copied().unwrap_or(0),
         }
@@ -333,9 +348,7 @@ impl Cpu {
             Lui { rd, imm } => self.set_reg(rd, imm as u32),
             Auipc { rd, imm } => self.set_reg(rd, pc.wrapping_add(imm as u32)),
             Addi { rd, rs1, imm } => self.set_reg(rd, self.reg(rs1).wrapping_add(imm as u32)),
-            Slti { rd, rs1, imm } => {
-                self.set_reg(rd, ((self.reg(rs1) as i32) < imm) as u32)
-            }
+            Slti { rd, rs1, imm } => self.set_reg(rd, ((self.reg(rs1) as i32) < imm) as u32),
             Sltiu { rd, rs1, imm } => self.set_reg(rd, (self.reg(rs1) < imm as u32) as u32),
             Xori { rd, rs1, imm } => self.set_reg(rd, self.reg(rs1) ^ imm as u32),
             Ori { rd, rs1, imm } => self.set_reg(rd, self.reg(rs1) | imm as u32),
@@ -398,7 +411,7 @@ impl Cpu {
             }
             Divu { rd, rs1, rs2 } => {
                 let b = self.reg(rs2);
-                let q = if b == 0 { u32::MAX } else { self.reg(rs1) / b };
+                let q = self.reg(rs1).checked_div(b).unwrap_or(u32::MAX);
                 self.set_reg(rd, q);
             }
             Rem { rd, rs1, rs2 } => {
@@ -415,7 +428,11 @@ impl Cpu {
             }
             Remu { rd, rs1, rs2 } => {
                 let b = self.reg(rs2);
-                let r = if b == 0 { self.reg(rs1) } else { self.reg(rs1) % b };
+                let r = if b == 0 {
+                    self.reg(rs1)
+                } else {
+                    self.reg(rs1) % b
+                };
                 self.set_reg(rd, r);
             }
             other => unreachable!("{other:?} routed to the mul/div unit"),
@@ -433,11 +450,15 @@ impl Cpu {
                 self.set_reg(rd, v as i8 as i32 as u32);
             }
             Lh { rd, rs1, imm } => {
-                let v = self.mem.load16(self.reg(rs1).wrapping_add(imm as u32), pc)?;
+                let v = self
+                    .mem
+                    .load16(self.reg(rs1).wrapping_add(imm as u32), pc)?;
                 self.set_reg(rd, v as i16 as i32 as u32);
             }
             Lw { rd, rs1, imm } => {
-                let v = self.mem.load32(self.reg(rs1).wrapping_add(imm as u32), pc)?;
+                let v = self
+                    .mem
+                    .load32(self.reg(rs1).wrapping_add(imm as u32), pc)?;
                 self.set_reg(rd, v);
             }
             Lbu { rd, rs1, imm } => {
@@ -445,7 +466,9 @@ impl Cpu {
                 self.set_reg(rd, v as u32);
             }
             Lhu { rd, rs1, imm } => {
-                let v = self.mem.load16(self.reg(rs1).wrapping_add(imm as u32), pc)?;
+                let v = self
+                    .mem
+                    .load16(self.reg(rs1).wrapping_add(imm as u32), pc)?;
                 self.set_reg(rd, v as u32);
             }
             Sb { rs2, rs1, imm } => {
@@ -545,18 +568,23 @@ impl Cpu {
     /// raise [`Trap::LutIndexOutOfRange`] instead of panicking the host.
     #[inline(always)]
     fn exec_lut(&mut self, inst: Inst, pc: u32) -> Result<(), Trap> {
-        let Inst::Custom { op, rd, rs1, rs2: _ } = inst else {
+        let Inst::Custom {
+            op,
+            rd,
+            rs1,
+            rs2: _,
+        } = inst
+        else {
             unreachable!("{inst:?} routed to the LUT unit")
         };
         let x = self.reg(rs1);
         let lut = |r: Result<Q8_24, usize>, table_len: usize| {
-            r.map(|q| q.to_bits() as u32).map_err(|index| {
-                Trap::LutIndexOutOfRange {
+            r.map(|q| q.to_bits() as u32)
+                .map_err(|index| Trap::LutIndexOutOfRange {
                     pc,
                     index: index as u32,
                     table_len: table_len as u32,
-                }
-            })
+                })
         };
         let y = match op {
             CustomOp::Exp => lut(
@@ -707,9 +735,21 @@ mod tests {
         let cpu = run(|a| {
             a.li(Reg::T0, 100);
             a.li(Reg::T1, -30);
-            a.emit(Inst::Add { rd: Reg::A0, rs1: Reg::T0, rs2: Reg::T1 });
-            a.emit(Inst::Sub { rd: Reg::A1, rs1: Reg::T0, rs2: Reg::T1 });
-            a.emit(Inst::Xor { rd: Reg::A2, rs1: Reg::T0, rs2: Reg::T1 });
+            a.emit(Inst::Add {
+                rd: Reg::A0,
+                rs1: Reg::T0,
+                rs2: Reg::T1,
+            });
+            a.emit(Inst::Sub {
+                rd: Reg::A1,
+                rs1: Reg::T0,
+                rs2: Reg::T1,
+            });
+            a.emit(Inst::Xor {
+                rd: Reg::A2,
+                rs1: Reg::T0,
+                rs2: Reg::T1,
+            });
         });
         assert_eq!(cpu.reg(Reg::A0), 70);
         assert_eq!(cpu.reg(Reg::A1), 130);
@@ -720,8 +760,16 @@ mod tests {
     fn x0_is_hardwired() {
         let cpu = run(|a| {
             a.li(Reg::T0, 5);
-            a.emit(Inst::Add { rd: Reg::Zero, rs1: Reg::T0, rs2: Reg::T0 });
-            a.emit(Inst::Add { rd: Reg::A0, rs1: Reg::Zero, rs2: Reg::Zero });
+            a.emit(Inst::Add {
+                rd: Reg::Zero,
+                rs1: Reg::T0,
+                rs2: Reg::T0,
+            });
+            a.emit(Inst::Add {
+                rd: Reg::A0,
+                rs1: Reg::Zero,
+                rs2: Reg::Zero,
+            });
         });
         assert_eq!(cpu.reg(Reg::A0), 0);
     }
@@ -730,10 +778,26 @@ mod tests {
     fn shifts_and_compares() {
         let cpu = run(|a| {
             a.li(Reg::T0, -8);
-            a.emit(Inst::Srai { rd: Reg::A0, rs1: Reg::T0, shamt: 1 }); // -4
-            a.emit(Inst::Srli { rd: Reg::A1, rs1: Reg::T0, shamt: 28 }); // 0xF
-            a.emit(Inst::Slti { rd: Reg::A2, rs1: Reg::T0, imm: 0 }); // 1
-            a.emit(Inst::Sltiu { rd: Reg::A3, rs1: Reg::T0, imm: 0 }); // 0 (big unsigned)
+            a.emit(Inst::Srai {
+                rd: Reg::A0,
+                rs1: Reg::T0,
+                shamt: 1,
+            }); // -4
+            a.emit(Inst::Srli {
+                rd: Reg::A1,
+                rs1: Reg::T0,
+                shamt: 28,
+            }); // 0xF
+            a.emit(Inst::Slti {
+                rd: Reg::A2,
+                rs1: Reg::T0,
+                imm: 0,
+            }); // 1
+            a.emit(Inst::Sltiu {
+                rd: Reg::A3,
+                rs1: Reg::T0,
+                imm: 0,
+            }); // 0 (big unsigned)
         });
         assert_eq!(cpu.reg(Reg::A0) as i32, -4);
         assert_eq!(cpu.reg(Reg::A1), 0xF);
@@ -746,13 +810,37 @@ mod tests {
         let cpu = run(|a| {
             a.li(Reg::T0, 0x8000);
             a.li(Reg::T1, -1);
-            a.emit(Inst::Sb { rs2: Reg::T1, rs1: Reg::T0, imm: 0 });
-            a.emit(Inst::Lb { rd: Reg::A0, rs1: Reg::T0, imm: 0 });
-            a.emit(Inst::Lbu { rd: Reg::A1, rs1: Reg::T0, imm: 0 });
+            a.emit(Inst::Sb {
+                rs2: Reg::T1,
+                rs1: Reg::T0,
+                imm: 0,
+            });
+            a.emit(Inst::Lb {
+                rd: Reg::A0,
+                rs1: Reg::T0,
+                imm: 0,
+            });
+            a.emit(Inst::Lbu {
+                rd: Reg::A1,
+                rs1: Reg::T0,
+                imm: 0,
+            });
             a.li(Reg::T2, -2);
-            a.emit(Inst::Sh { rs2: Reg::T2, rs1: Reg::T0, imm: 2 });
-            a.emit(Inst::Lh { rd: Reg::A2, rs1: Reg::T0, imm: 2 });
-            a.emit(Inst::Lhu { rd: Reg::A3, rs1: Reg::T0, imm: 2 });
+            a.emit(Inst::Sh {
+                rs2: Reg::T2,
+                rs1: Reg::T0,
+                imm: 2,
+            });
+            a.emit(Inst::Lh {
+                rd: Reg::A2,
+                rs1: Reg::T0,
+                imm: 2,
+            });
+            a.emit(Inst::Lhu {
+                rd: Reg::A3,
+                rs1: Reg::T0,
+                imm: 2,
+            });
         });
         assert_eq!(cpu.reg(Reg::A0) as i32, -1);
         assert_eq!(cpu.reg(Reg::A1), 0xFF);
@@ -768,10 +856,22 @@ mod tests {
             a.li(Reg::A0, 0);
             let top = a.new_label();
             a.bind(top).unwrap();
-            a.emit(Inst::Add { rd: Reg::A0, rs1: Reg::A0, rs2: Reg::T0 });
-            a.emit(Inst::Addi { rd: Reg::T0, rs1: Reg::T0, imm: -1 });
+            a.emit(Inst::Add {
+                rd: Reg::A0,
+                rs1: Reg::A0,
+                rs2: Reg::T0,
+            });
+            a.emit(Inst::Addi {
+                rd: Reg::T0,
+                rs1: Reg::T0,
+                imm: -1,
+            });
             a.branch_to(
-                Inst::Bne { rs1: Reg::T0, rs2: Reg::Zero, offset: 0 },
+                Inst::Bne {
+                    rs1: Reg::T0,
+                    rs2: Reg::Zero,
+                    offset: 0,
+                },
                 top,
             );
         });
@@ -785,7 +885,11 @@ mod tests {
             let after = a.new_label();
             a.jal_to(Reg::Ra, f);
             a.bind(after).unwrap();
-            a.emit(Inst::Addi { rd: Reg::A1, rs1: Reg::A0, imm: 1 });
+            a.emit(Inst::Addi {
+                rd: Reg::A1,
+                rs1: Reg::A0,
+                imm: 1,
+            });
             let skip = a.new_label();
             a.jump_to(skip);
             a.bind(f).unwrap();
@@ -802,14 +906,38 @@ mod tests {
         let cpu = run(|a| {
             a.li(Reg::T0, 7);
             a.li(Reg::T1, 0);
-            a.emit(Inst::Div { rd: Reg::A0, rs1: Reg::T0, rs2: Reg::T1 }); // -1
-            a.emit(Inst::Rem { rd: Reg::A1, rs1: Reg::T0, rs2: Reg::T1 }); // 7
+            a.emit(Inst::Div {
+                rd: Reg::A0,
+                rs1: Reg::T0,
+                rs2: Reg::T1,
+            }); // -1
+            a.emit(Inst::Rem {
+                rd: Reg::A1,
+                rs1: Reg::T0,
+                rs2: Reg::T1,
+            }); // 7
             a.li(Reg::T2, i32::MIN);
             a.li(Reg::T3, -1);
-            a.emit(Inst::Div { rd: Reg::A2, rs1: Reg::T2, rs2: Reg::T3 }); // MIN
-            a.emit(Inst::Rem { rd: Reg::A3, rs1: Reg::T2, rs2: Reg::T3 }); // 0
-            a.emit(Inst::Divu { rd: Reg::A4, rs1: Reg::T0, rs2: Reg::T1 }); // MAX
-            a.emit(Inst::Remu { rd: Reg::A5, rs1: Reg::T0, rs2: Reg::T1 }); // 7
+            a.emit(Inst::Div {
+                rd: Reg::A2,
+                rs1: Reg::T2,
+                rs2: Reg::T3,
+            }); // MIN
+            a.emit(Inst::Rem {
+                rd: Reg::A3,
+                rs1: Reg::T2,
+                rs2: Reg::T3,
+            }); // 0
+            a.emit(Inst::Divu {
+                rd: Reg::A4,
+                rs1: Reg::T0,
+                rs2: Reg::T1,
+            }); // MAX
+            a.emit(Inst::Remu {
+                rd: Reg::A5,
+                rs1: Reg::T0,
+                rs2: Reg::T1,
+            }); // 7
         });
         assert_eq!(cpu.reg(Reg::A0) as i32, -1);
         assert_eq!(cpu.reg(Reg::A1), 7);
@@ -824,10 +952,26 @@ mod tests {
         let cpu = run(|a| {
             a.li(Reg::T0, -2);
             a.li(Reg::T1, 3);
-            a.emit(Inst::Mul { rd: Reg::A0, rs1: Reg::T0, rs2: Reg::T1 }); // -6
-            a.emit(Inst::Mulh { rd: Reg::A1, rs1: Reg::T0, rs2: Reg::T1 }); // -1 (sign)
-            a.emit(Inst::Mulhu { rd: Reg::A2, rs1: Reg::T0, rs2: Reg::T1 }); // (2^32-2)*3 >> 32 = 2
-            a.emit(Inst::Mulhsu { rd: Reg::A3, rs1: Reg::T0, rs2: Reg::T1 }); // -2*3 >> 32 = -1
+            a.emit(Inst::Mul {
+                rd: Reg::A0,
+                rs1: Reg::T0,
+                rs2: Reg::T1,
+            }); // -6
+            a.emit(Inst::Mulh {
+                rd: Reg::A1,
+                rs1: Reg::T0,
+                rs2: Reg::T1,
+            }); // -1 (sign)
+            a.emit(Inst::Mulhu {
+                rd: Reg::A2,
+                rs1: Reg::T0,
+                rs2: Reg::T1,
+            }); // (2^32-2)*3 >> 32 = 2
+            a.emit(Inst::Mulhsu {
+                rd: Reg::A3,
+                rs1: Reg::T0,
+                rs2: Reg::T1,
+            }); // -2*3 >> 32 = -1
         });
         assert_eq!(cpu.reg(Reg::A0) as i32, -6);
         assert_eq!(cpu.reg(Reg::A1) as i32, -1);
@@ -874,18 +1018,22 @@ mod tests {
             });
             let q = Q8_24::from_f32(x);
             assert_eq!(cpu.reg(Reg::A0) as i32, q.to_bits(), "tofixed {x}");
-            assert_eq!(cpu.reg(Reg::A1) as i32, luts.alu_exp(q).to_bits(), "exp {x}");
+            assert_eq!(
+                cpu.reg(Reg::A1) as i32,
+                luts.alu_exp(q).to_bits(),
+                "exp {x}"
+            );
             assert_eq!(
                 cpu.reg(Reg::A2) as i32,
                 luts.alu_invert(q).to_bits(),
                 "invert {x}"
             );
-            assert_eq!(cpu.reg(Reg::A3) as i32, luts.alu_gelu(q).to_bits(), "gelu {x}");
             assert_eq!(
-                f32::from_bits(cpu.reg(Reg::A4)),
-                q.to_f32(),
-                "tofloat {x}"
+                cpu.reg(Reg::A3) as i32,
+                luts.alu_gelu(q).to_bits(),
+                "gelu {x}"
             );
+            assert_eq!(f32::from_bits(cpu.reg(Reg::A4)), q.to_f32(), "tofloat {x}");
         }
     }
 
@@ -922,7 +1070,9 @@ mod tests {
             }
         }
         match result {
-            Err(Trap::LutIndexOutOfRange { index, table_len, .. }) => {
+            Err(Trap::LutIndexOutOfRange {
+                index, table_len, ..
+            }) => {
                 assert_eq!(index, 64);
                 assert_eq!(table_len, 16);
             }
@@ -935,7 +1085,7 @@ mod tests {
         // lanes a = [10, -3, 100, -128], b = [2, 5, -1, 1]
         let a_word = u32::from_le_bytes([10i8 as u8, (-3i8) as u8, 100, (-128i8) as u8]);
         let b_word = u32::from_le_bytes([2, 5, (-1i8) as u8, 1]);
-        let want = 7_i32 + 10 * 2 + (-3) * 5 + 100 * (-1) + (-128) * 1;
+        let want = 7_i32 + 10 * 2 + (-3) * 5 + -100 + (-128);
         let cpu = run(|a| {
             a.li(Reg::A0, 7); // pre-loaded accumulator
             a.li(Reg::T0, a_word as i32);
@@ -1059,10 +1209,22 @@ mod tests {
             a.li(Reg::T0, 0x8000);
             // store bytes [-5, 100] at 0x8000
             a.li(Reg::T1, (-5i8) as u8 as i32);
-            a.emit(Inst::Sb { rs2: Reg::T1, rs1: Reg::T0, imm: 0 });
+            a.emit(Inst::Sb {
+                rs2: Reg::T1,
+                rs1: Reg::T0,
+                imm: 0,
+            });
             a.li(Reg::T1, 100);
-            a.emit(Inst::Sb { rs2: Reg::T1, rs1: Reg::T0, imm: 1 });
-            a.emit(Inst::KlwB2h { rd: Reg::A0, rs1: Reg::T0, imm: 0 });
+            a.emit(Inst::Sb {
+                rs2: Reg::T1,
+                rs1: Reg::T0,
+                imm: 1,
+            });
+            a.emit(Inst::KlwB2h {
+                rd: Reg::A0,
+                rs1: Reg::T0,
+                imm: 0,
+            });
         });
         let v = cpu.reg(Reg::A0);
         assert_eq!((v & 0xFFFF) as u16 as i16, -5);
@@ -1074,7 +1236,11 @@ mod tests {
         let mut asm = Asm::new(0, 0x8000);
         asm.here("entry");
         asm.li(Reg::T0, 0x0100_0000);
-        asm.emit(Inst::KlwB2h { rd: Reg::A0, rs1: Reg::T0, imm: 0 });
+        asm.emit(Inst::KlwB2h {
+            rd: Reg::A0,
+            rs1: Reg::T0,
+            imm: 0,
+        });
         asm.emit(Inst::Ebreak);
         let p = asm.finish().unwrap();
         let mut mem = Memory::new(0, 0x10000);
@@ -1097,10 +1263,22 @@ mod tests {
         let cpu = run(|a| {
             a.li(Reg::T0, 3); // addi
             a.li(Reg::T1, 4); // addi
-            a.emit(Inst::Mul { rd: Reg::T2, rs1: Reg::T0, rs2: Reg::T1 });
+            a.emit(Inst::Mul {
+                rd: Reg::T2,
+                rs1: Reg::T0,
+                rs2: Reg::T1,
+            });
             a.li(Reg::T3, 0x8000); // addi
-            a.emit(Inst::Sw { rs2: Reg::T2, rs1: Reg::T3, imm: 0 });
-            a.emit(Inst::Lw { rd: Reg::A0, rs1: Reg::T3, imm: 0 });
+            a.emit(Inst::Sw {
+                rs2: Reg::T2,
+                rs1: Reg::T3,
+                imm: 0,
+            });
+            a.emit(Inst::Lw {
+                rd: Reg::A0,
+                rs1: Reg::T3,
+                imm: 0,
+            });
         });
         assert_eq!(cpu.reg(Reg::A0), 12);
         // 3 addi + mul + sw + lw + ebreak = 3*1 + 3 + 2 + 2 + 1 = 11
@@ -1139,15 +1317,42 @@ mod tests {
             a.li(Reg::T0, 9);
             let top = a.new_label();
             a.bind(top).unwrap();
-            a.emit(Inst::Mul { rd: Reg::A1, rs1: Reg::T0, rs2: Reg::T0 });
-            a.emit(Inst::Sw { rs2: Reg::A1, rs1: Reg::Sp, imm: -4 });
-            a.emit(Inst::Lw { rd: Reg::A2, rs1: Reg::Sp, imm: -4 });
-            a.emit(Inst::Addi { rd: Reg::T0, rs1: Reg::T0, imm: -1 });
-            a.branch_to(Inst::Bne { rs1: Reg::T0, rs2: Reg::Zero, offset: 0 }, top);
+            a.emit(Inst::Mul {
+                rd: Reg::A1,
+                rs1: Reg::T0,
+                rs2: Reg::T0,
+            });
+            a.emit(Inst::Sw {
+                rs2: Reg::A1,
+                rs1: Reg::Sp,
+                imm: -4,
+            });
+            a.emit(Inst::Lw {
+                rd: Reg::A2,
+                rs1: Reg::Sp,
+                imm: -4,
+            });
+            a.emit(Inst::Addi {
+                rd: Reg::T0,
+                rs1: Reg::T0,
+                imm: -1,
+            });
+            a.branch_to(
+                Inst::Bne {
+                    rs1: Reg::T0,
+                    rs2: Reg::Zero,
+                    offset: 0,
+                },
+                top,
+            );
         });
         let h = cpu.class_histogram();
         assert_eq!(h.total_cycles(), cpu.cycles, "histogram covers every cycle");
-        assert_eq!(h.total_count(), cpu.instret, "histogram covers every instruction");
+        assert_eq!(
+            h.total_count(),
+            cpu.instret,
+            "histogram covers every instruction"
+        );
         assert_eq!(h.count(InstClass::Mul), 9);
         assert_eq!(h.count(InstClass::Load), 9);
         assert_eq!(h.count(InstClass::Store), 9);
@@ -1167,7 +1372,11 @@ mod tests {
             a.li(Reg::T0, 1);
             let l = a.new_label();
             a.branch_to(
-                Inst::Beq { rs1: Reg::T0, rs2: Reg::Zero, offset: 0 },
+                Inst::Beq {
+                    rs1: Reg::T0,
+                    rs2: Reg::Zero,
+                    offset: 0,
+                },
                 l,
             );
             a.bind(l).unwrap();
@@ -1177,7 +1386,11 @@ mod tests {
             a.li(Reg::T0, 0);
             let l = a.new_label();
             a.branch_to(
-                Inst::Beq { rs1: Reg::T0, rs2: Reg::Zero, offset: 0 },
+                Inst::Beq {
+                    rs1: Reg::T0,
+                    rs2: Reg::Zero,
+                    offset: 0,
+                },
                 l,
             );
             a.bind(l).unwrap();
@@ -1189,10 +1402,18 @@ mod tests {
     #[test]
     fn mcycle_csr_is_readable() {
         let cpu = run(|a| {
-            a.emit(Inst::Csrrs { rd: Reg::A0, rs1: Reg::Zero, csr: 0xB00 });
+            a.emit(Inst::Csrrs {
+                rd: Reg::A0,
+                rs1: Reg::Zero,
+                csr: 0xB00,
+            });
             a.nop();
             a.nop();
-            a.emit(Inst::Csrrs { rd: Reg::A1, rs1: Reg::Zero, csr: 0xB00 });
+            a.emit(Inst::Csrrs {
+                rd: Reg::A1,
+                rs1: Reg::Zero,
+                csr: 0xB00,
+            });
         });
         let before = cpu.reg(Reg::A0);
         let after = cpu.reg(Reg::A1);
@@ -1203,10 +1424,18 @@ mod tests {
     fn profiler_csr_integration() {
         let mut cpu = run(|a| {
             a.li(Reg::T0, 1);
-            a.emit(Inst::Csrrw { rd: Reg::Zero, rs1: Reg::T0, csr: 0x7C0 });
+            a.emit(Inst::Csrrw {
+                rd: Reg::Zero,
+                rs1: Reg::T0,
+                csr: 0x7C0,
+            });
             a.nop();
             a.nop();
-            a.emit(Inst::Csrrw { rd: Reg::Zero, rs1: Reg::Zero, csr: 0x7C1 });
+            a.emit(Inst::Csrrw {
+                rd: Reg::Zero,
+                rs1: Reg::Zero,
+                csr: 0x7C1,
+            });
         });
         cpu.profiler.finish(cpu.cycles);
         let names = [(1u32, "work".to_string())].into_iter().collect();

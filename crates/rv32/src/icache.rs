@@ -177,7 +177,11 @@ mod tests {
     use kwt_rvasm::Reg;
 
     fn nop() -> Inst {
-        Inst::Addi { rd: Reg::Zero, rs1: Reg::Zero, imm: 0 }
+        Inst::Addi {
+            rd: Reg::Zero,
+            rs1: Reg::Zero,
+            imm: 0,
+        }
     }
 
     #[test]

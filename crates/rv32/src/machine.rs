@@ -244,7 +244,10 @@ impl Machine {
     ///
     /// Panics if the range is outside RAM.
     pub fn write_f32s(&mut self, addr: u32, values: &[f32]) {
-        let bytes: Vec<u8> = values.iter().flat_map(|v| v.to_bits().to_le_bytes()).collect();
+        let bytes: Vec<u8> = values
+            .iter()
+            .flat_map(|v| v.to_bits().to_le_bytes())
+            .collect();
         self.cpu.mem.write_bytes(addr, &bytes);
         self.cpu.invalidate_decode_cache(addr, bytes.len() as u32);
     }
@@ -430,7 +433,11 @@ mod tests {
         let p = program(|a| {
             a.li(Reg::T0, 5);
             a.li(Reg::T1, 3);
-            a.emit(Inst::Div { rd: Reg::A0, rs1: Reg::T0, rs2: Reg::T1 });
+            a.emit(Inst::Div {
+                rd: Reg::A0,
+                rs1: Reg::T0,
+                rs2: Reg::T1,
+            });
         });
         let mut ibex = Machine::load(&p, Platform::ibex()).unwrap();
         let mut ideal = Machine::load(&p, Platform::ibex())
@@ -445,7 +452,11 @@ mod tests {
     fn run_traced_captures_instruction_history() {
         let p = program(|a| {
             a.li(Reg::A0, 5);
-            a.emit(Inst::Addi { rd: Reg::A0, rs1: Reg::A0, imm: 2 });
+            a.emit(Inst::Addi {
+                rd: Reg::A0,
+                rs1: Reg::A0,
+                imm: 2,
+            });
         });
         let mut m = Machine::load(&p, Platform::ibex()).unwrap();
         let (result, trace) = m.run_traced(100, 8);
@@ -462,7 +473,11 @@ mod tests {
         let mut asm = Asm::new(0, 0x8000);
         asm.here("entry");
         asm.li(Reg::T0, 0x0100_0000);
-        asm.emit(Inst::Lw { rd: Reg::A0, rs1: Reg::T0, imm: 0 });
+        asm.emit(Inst::Lw {
+            rd: Reg::A0,
+            rs1: Reg::T0,
+            imm: 0,
+        });
         asm.emit(Inst::Ebreak);
         let p = asm.finish().unwrap();
         let mut m = Machine::load(&p, Platform::ibex()).unwrap();
@@ -479,8 +494,19 @@ mod tests {
         asm.li(Reg::T0, 50);
         let top = asm.new_label();
         asm.bind(top).unwrap();
-        asm.emit(Inst::Addi { rd: Reg::T0, rs1: Reg::T0, imm: -1 });
-        asm.branch_to(Inst::Bne { rs1: Reg::T0, rs2: Reg::Zero, offset: 0 }, top);
+        asm.emit(Inst::Addi {
+            rd: Reg::T0,
+            rs1: Reg::T0,
+            imm: -1,
+        });
+        asm.branch_to(
+            Inst::Bne {
+                rs1: Reg::T0,
+                rs2: Reg::Zero,
+                offset: 0,
+            },
+            top,
+        );
         asm.emit(Inst::Ebreak);
         let p = asm.finish().unwrap();
         let mut m = Machine::load(&p, Platform::ibex()).unwrap();
@@ -493,9 +519,17 @@ mod tests {
     fn profiler_region_names_flow_through() {
         let p = program(|a| {
             a.li(Reg::T0, 3);
-            a.emit(Inst::Csrrw { rd: Reg::Zero, rs1: Reg::T0, csr: 0x7C0 });
+            a.emit(Inst::Csrrw {
+                rd: Reg::Zero,
+                rs1: Reg::T0,
+                csr: 0x7C0,
+            });
             a.nop();
-            a.emit(Inst::Csrrw { rd: Reg::Zero, rs1: Reg::Zero, csr: 0x7C1 });
+            a.emit(Inst::Csrrw {
+                rd: Reg::Zero,
+                rs1: Reg::Zero,
+                csr: 0x7C1,
+            });
         });
         let mut m = Machine::load(&p, Platform::ibex()).unwrap();
         m.name_region(3, "gelu");

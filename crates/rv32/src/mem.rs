@@ -33,7 +33,7 @@ impl Memory {
         if addr < self.base || end > self.base + self.size() || end < addr {
             return Err(Trap::AccessOutOfBounds { addr, pc });
         }
-        if size > 1 && addr % size != 0 {
+        if size > 1 && !addr.is_multiple_of(size) {
             return Err(Trap::MisalignedAccess { addr, size, pc });
         }
         Ok((addr - self.base) as usize)
@@ -65,7 +65,7 @@ impl Memory {
     /// Fetches an instruction parcel (16-bit aligned — the C extension
     /// allows pc to be 2-byte aligned).
     pub fn fetch16(&self, pc: u32) -> Result<u16, Trap> {
-        if pc < self.base || pc + 2 > self.base + self.size() || pc % 2 != 0 {
+        if pc < self.base || pc + 2 > self.base + self.size() || !pc.is_multiple_of(2) {
             return Err(Trap::FetchOutOfBounds { pc });
         }
         let o = (pc - self.base) as usize;
@@ -135,7 +135,10 @@ mod tests {
         let mut m = Memory::new(0x1000, 0x100);
         assert!(matches!(
             m.load32(0x0FFF, 7),
-            Err(Trap::AccessOutOfBounds { addr: 0x0FFF, pc: 7 })
+            Err(Trap::AccessOutOfBounds {
+                addr: 0x0FFF,
+                pc: 7
+            })
         ));
         assert!(m.load32(0x10FD, 0).is_err()); // crosses the end
         assert!(m.store8(0x1100, 0, 0).is_err());

@@ -127,8 +127,7 @@ impl ClassHistogram {
             cycles: [0; NUM_INST_CLASSES],
         };
         for class in InstClass::ALL {
-            h.cycles[class as usize] =
-                counts[class as usize] * timing.class_cost(class);
+            h.cycles[class as usize] = counts[class as usize] * timing.class_cost(class);
         }
         h.cycles[InstClass::Branch as usize] += extra_branch_cycles;
         h
@@ -162,7 +161,7 @@ impl ClassHistogram {
             .filter(|&&c| self.counts[c as usize] > 0)
             .map(|&c| (c, self.counts[c as usize], self.cycles[c as usize]))
             .collect();
-        rows.sort_by(|a, b| b.2.cmp(&a.2));
+        rows.sort_by_key(|r| std::cmp::Reverse(r.2));
         rows
     }
 
@@ -244,7 +243,7 @@ impl Profiler {
                 (name, cycles, self.calls.get(&id).copied().unwrap_or(0))
             })
             .collect();
-        regions.sort_by(|a, b| b.1.cmp(&a.1));
+        regions.sort_by_key(|r| std::cmp::Reverse(r.1));
         let attributed: u64 = self.totals.values().sum();
         ProfileReport {
             regions,

@@ -65,16 +65,25 @@ impl fmt::Display for Trap {
             Trap::IllegalInstruction { pc, word } => {
                 write!(f, "illegal instruction {word:#010x} at pc {pc:#010x}")
             }
-            Trap::FetchOutOfBounds { pc } => write!(f, "instruction fetch out of bounds at {pc:#010x}"),
+            Trap::FetchOutOfBounds { pc } => {
+                write!(f, "instruction fetch out of bounds at {pc:#010x}")
+            }
             Trap::AccessOutOfBounds { addr, pc } => {
-                write!(f, "data access out of bounds at {addr:#010x} (pc {pc:#010x})")
+                write!(
+                    f,
+                    "data access out of bounds at {addr:#010x} (pc {pc:#010x})"
+                )
             }
             Trap::MisalignedAccess { addr, size, pc } => write!(
                 f,
                 "misaligned {size}-byte access at {addr:#010x} (pc {pc:#010x})"
             ),
             Trap::EnvironmentCall { pc } => write!(f, "ecall at pc {pc:#010x}"),
-            Trap::LutIndexOutOfRange { pc, index, table_len } => write!(
+            Trap::LutIndexOutOfRange {
+                pc,
+                index,
+                table_len,
+            } => write!(
                 f,
                 "LUT index {index} out of range ({table_len} entries) at pc {pc:#010x}"
             ),
@@ -95,7 +104,11 @@ mod tests {
     fn display_forms() {
         let t = Trap::IllegalInstruction { pc: 4, word: 0 };
         assert!(t.to_string().contains("0x00000004"));
-        let t = Trap::MisalignedAccess { addr: 3, size: 4, pc: 0 };
+        let t = Trap::MisalignedAccess {
+            addr: 3,
+            size: 4,
+            pc: 0,
+        };
         assert!(t.to_string().contains("4-byte"));
     }
 }

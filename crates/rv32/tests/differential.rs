@@ -23,7 +23,11 @@ fn self_modifying_program(patch: impl FnOnce(&mut Asm)) -> kwt_rvasm::Program {
     let mut asm = Asm::new(0, 0x8000);
     let site = asm.new_label();
     asm.bind(site).unwrap();
-    asm.emit(Inst::Addi { rd: Reg::A0, rs1: Reg::A0, imm: 1 });
+    asm.emit(Inst::Addi {
+        rd: Reg::A0,
+        rs1: Reg::A0,
+        imm: 1,
+    });
     asm.ret();
     asm.here("entry");
     asm.li(Reg::A0, 0);
@@ -51,11 +55,20 @@ fn run_both_ways(p: &kwt_rvasm::Program) -> kwt_rv32::RunResult {
 #[test]
 fn smc_full_word_store_invalidates_cached_instruction() {
     // Overwrite `addi a0, a0, 1` (at address 0) with `addi a0, a0, 5`.
-    let new_word = Inst::Addi { rd: Reg::A0, rs1: Reg::A0, imm: 5 }.encode();
+    let new_word = Inst::Addi {
+        rd: Reg::A0,
+        rs1: Reg::A0,
+        imm: 5,
+    }
+    .encode();
     let p = self_modifying_program(|asm| {
         asm.li(Reg::T0, 0); // site address
         asm.li(Reg::T1, new_word as i32);
-        asm.emit(Inst::Sw { rs2: Reg::T1, rs1: Reg::T0, imm: 0 });
+        asm.emit(Inst::Sw {
+            rs2: Reg::T1,
+            rs1: Reg::T0,
+            imm: 0,
+        });
     });
     let r = run_both_ways(&p);
     // First call adds 1, patched second call adds 5.
@@ -67,11 +80,20 @@ fn smc_halfword_store_into_instruction_tail_invalidates() {
     // The imm[11:0] field of `addi` lives in the instruction's upper
     // halfword: storing at site+2 must invalidate the entry cached for the
     // instruction *starting* at site (the addr-2 overlap case).
-    let new_word = Inst::Addi { rd: Reg::A0, rs1: Reg::A0, imm: 9 }.encode();
+    let new_word = Inst::Addi {
+        rd: Reg::A0,
+        rs1: Reg::A0,
+        imm: 9,
+    }
+    .encode();
     let p = self_modifying_program(|asm| {
         asm.li(Reg::T0, 2); // upper halfword of the site instruction
         asm.li(Reg::T1, (new_word >> 16) as i32);
-        asm.emit(Inst::Sh { rs2: Reg::T1, rs1: Reg::T0, imm: 0 });
+        asm.emit(Inst::Sh {
+            rs2: Reg::T1,
+            rs1: Reg::T0,
+            imm: 0,
+        });
     });
     let r = run_both_ways(&p);
     assert_eq!(r.exit_code, 10, "stale decode cache after sh into code");
@@ -80,14 +102,27 @@ fn smc_halfword_store_into_instruction_tail_invalidates() {
 #[test]
 fn smc_byte_store_invalidates() {
     // Flip only the top imm byte: imm 1 -> imm 0x101 (byte 3 = 0x10).
-    let new_word = Inst::Addi { rd: Reg::A0, rs1: Reg::A0, imm: 0x101 }.encode();
+    let new_word = Inst::Addi {
+        rd: Reg::A0,
+        rs1: Reg::A0,
+        imm: 0x101,
+    }
+    .encode();
     let p = self_modifying_program(|asm| {
         asm.li(Reg::T0, 3);
         asm.li(Reg::T1, (new_word >> 24) as i32);
-        asm.emit(Inst::Sb { rs2: Reg::T1, rs1: Reg::T0, imm: 0 });
+        asm.emit(Inst::Sb {
+            rs2: Reg::T1,
+            rs1: Reg::T0,
+            imm: 0,
+        });
     });
     let r = run_both_ways(&p);
-    assert_eq!(r.exit_code, 1 + 0x101, "stale decode cache after sb into code");
+    assert_eq!(
+        r.exit_code,
+        1 + 0x101,
+        "stale decode cache after sb into code"
+    );
 }
 
 #[test]
@@ -98,11 +133,20 @@ fn smc_store_next_to_code_leaves_cache_valid() {
     // boundary), one far away. Overwriting byte 8 is safe: the `li`
     // there has already retired and is never re-executed.
     for addr in [8i32, 0x4000] {
-        let nop = Inst::Addi { rd: Reg::Zero, rs1: Reg::Zero, imm: 0 }.encode();
+        let nop = Inst::Addi {
+            rd: Reg::Zero,
+            rs1: Reg::Zero,
+            imm: 0,
+        }
+        .encode();
         let p = self_modifying_program(|asm| {
             asm.li(Reg::T0, addr);
             asm.li(Reg::T1, nop as i32);
-            asm.emit(Inst::Sw { rs2: Reg::T1, rs1: Reg::T0, imm: 0 });
+            asm.emit(Inst::Sw {
+                rs2: Reg::T1,
+                rs1: Reg::T0,
+                imm: 0,
+            });
         });
         let r = run_both_ways(&p);
         assert_eq!(r.exit_code, 2, "store at {addr:#x} disturbed the site");
@@ -115,16 +159,29 @@ fn host_typed_writes_invalidate_code() {
     // the same loaded Machine: the second run must see the new code.
     let mut asm = Asm::new(0, 0x8000);
     asm.here("entry");
-    asm.emit(Inst::Addi { rd: Reg::A0, rs1: Reg::Zero, imm: 7 });
+    asm.emit(Inst::Addi {
+        rd: Reg::A0,
+        rs1: Reg::Zero,
+        imm: 7,
+    });
     asm.emit(Inst::Ebreak);
     let p = asm.finish().expect("assembles");
     let mut m = Machine::load(&p, Platform::ibex()).expect("fits");
     assert_eq!(m.run(100).expect("halts").exit_code, 7);
     // Overwrite with `addi a0, zero, 42` via write_i16s (host side).
-    let w = Inst::Addi { rd: Reg::A0, rs1: Reg::Zero, imm: 42 }.encode();
+    let w = Inst::Addi {
+        rd: Reg::A0,
+        rs1: Reg::Zero,
+        imm: 42,
+    }
+    .encode();
     m.write_i16s(0, &[(w & 0xFFFF) as i16, (w >> 16) as i16]);
     m.cpu.pc = 0;
-    assert_eq!(m.run(100).expect("halts").exit_code, 42, "stale cache after host write");
+    assert_eq!(
+        m.run(100).expect("halts").exit_code,
+        42,
+        "stale cache after host write"
+    );
 }
 
 #[test]
@@ -137,13 +194,44 @@ fn decode_cache_does_not_change_cycle_accounting() {
     asm.li(Reg::A0, 0);
     let top = asm.new_label();
     asm.bind(top).unwrap();
-    asm.emit(Inst::Mul { rd: Reg::A1, rs1: Reg::T0, rs2: Reg::T0 });
-    asm.emit(Inst::Div { rd: Reg::A2, rs1: Reg::A1, rs2: Reg::T0 });
-    asm.emit(Inst::Sw { rs2: Reg::A2, rs1: Reg::Sp, imm: -8 });
-    asm.emit(Inst::Lw { rd: Reg::A3, rs1: Reg::Sp, imm: -8 });
-    asm.emit(Inst::Add { rd: Reg::A0, rs1: Reg::A0, rs2: Reg::A3 });
-    asm.emit(Inst::Addi { rd: Reg::T0, rs1: Reg::T0, imm: -1 });
-    asm.branch_to(Inst::Bne { rs1: Reg::T0, rs2: Reg::Zero, offset: 0 }, top);
+    asm.emit(Inst::Mul {
+        rd: Reg::A1,
+        rs1: Reg::T0,
+        rs2: Reg::T0,
+    });
+    asm.emit(Inst::Div {
+        rd: Reg::A2,
+        rs1: Reg::A1,
+        rs2: Reg::T0,
+    });
+    asm.emit(Inst::Sw {
+        rs2: Reg::A2,
+        rs1: Reg::Sp,
+        imm: -8,
+    });
+    asm.emit(Inst::Lw {
+        rd: Reg::A3,
+        rs1: Reg::Sp,
+        imm: -8,
+    });
+    asm.emit(Inst::Add {
+        rd: Reg::A0,
+        rs1: Reg::A0,
+        rs2: Reg::A3,
+    });
+    asm.emit(Inst::Addi {
+        rd: Reg::T0,
+        rs1: Reg::T0,
+        imm: -1,
+    });
+    asm.branch_to(
+        Inst::Bne {
+            rs1: Reg::T0,
+            rs2: Reg::Zero,
+            offset: 0,
+        },
+        top,
+    );
     asm.emit(Inst::Ebreak);
     let p = asm.finish().expect("assembles");
     let r = run_both_ways(&p);
@@ -167,10 +255,19 @@ fn smc_store_over_packed_instruction_invalidates() {
     asm.here("entry");
     asm.li(Reg::A0, 1);
     asm.jal_to(Reg::Ra, site); // caches the kdot2 (a0 unchanged)
-    let new_word = Inst::Addi { rd: Reg::A0, rs1: Reg::A0, imm: 5 }.encode();
+    let new_word = Inst::Addi {
+        rd: Reg::A0,
+        rs1: Reg::A0,
+        imm: 5,
+    }
+    .encode();
     asm.li(Reg::T0, 0);
     asm.li(Reg::T1, new_word as i32);
-    asm.emit(Inst::Sw { rs2: Reg::T1, rs1: Reg::T0, imm: 0 });
+    asm.emit(Inst::Sw {
+        rs2: Reg::T1,
+        rs1: Reg::T0,
+        imm: 0,
+    });
     asm.jal_to(Reg::Ra, site); // must see the addi now
     asm.emit(Inst::Ebreak);
     let p = asm.finish().expect("assembles");
@@ -184,14 +281,27 @@ fn smc_store_into_packed_load_invalidates() {
     let mut asm = Asm::new(0, 0x8000);
     let site = asm.new_label();
     asm.bind(site).unwrap();
-    asm.emit(Inst::KlwB2h { rd: Reg::A0, rs1: Reg::Sp, imm: -2 });
+    asm.emit(Inst::KlwB2h {
+        rd: Reg::A0,
+        rs1: Reg::Sp,
+        imm: -2,
+    });
     asm.ret();
     asm.here("entry");
     asm.jal_to(Reg::Ra, site);
-    let new_word = Inst::Addi { rd: Reg::A0, rs1: Reg::Zero, imm: 77 }.encode();
+    let new_word = Inst::Addi {
+        rd: Reg::A0,
+        rs1: Reg::Zero,
+        imm: 77,
+    }
+    .encode();
     asm.li(Reg::T0, 0);
     asm.li(Reg::T1, new_word as i32);
-    asm.emit(Inst::Sw { rs2: Reg::T1, rs1: Reg::T0, imm: 0 });
+    asm.emit(Inst::Sw {
+        rs2: Reg::T1,
+        rs1: Reg::T0,
+        imm: 0,
+    });
     asm.jal_to(Reg::Ra, site);
     asm.emit(Inst::Ebreak);
     let p = asm.finish().expect("assembles");
@@ -211,16 +321,61 @@ fn packed_cycle_accounting_identical_with_cache_on_and_off() {
     asm.li(Reg::T4, 0x00050007u32 as i32);
     let top = asm.new_label();
     asm.bind(top).unwrap();
-    asm.emit(Inst::Packed { op: PackedOp::Kdot2I16, rd: Reg::A0, rs1: Reg::T3, rs2: Reg::T4 });
-    asm.emit(Inst::Packed { op: PackedOp::Kdot4I8, rd: Reg::A0, rs1: Reg::T3, rs2: Reg::T4 });
-    asm.emit(Inst::Packed { op: PackedOp::KsatI16, rd: Reg::A1, rs1: Reg::A0, rs2: Reg::Zero });
+    asm.emit(Inst::Packed {
+        op: PackedOp::Kdot2I16,
+        rd: Reg::A0,
+        rs1: Reg::T3,
+        rs2: Reg::T4,
+    });
+    asm.emit(Inst::Packed {
+        op: PackedOp::Kdot4I8,
+        rd: Reg::A0,
+        rs1: Reg::T3,
+        rs2: Reg::T4,
+    });
+    asm.emit(Inst::Packed {
+        op: PackedOp::KsatI16,
+        rd: Reg::A1,
+        rs1: Reg::A0,
+        rs2: Reg::Zero,
+    });
     asm.li(Reg::T5, 15);
-    asm.emit(Inst::Packed { op: PackedOp::Kclip, rd: Reg::A2, rs1: Reg::A0, rs2: Reg::T5 });
-    asm.emit(Inst::KlwB2h { rd: Reg::A3, rs1: Reg::Sp, imm: -4 });
-    asm.emit(Inst::Packed { op: PackedOp::KcvtH2F, rd: Reg::A4, rs1: Reg::A1, rs2: Reg::T5 });
-    asm.emit(Inst::Packed { op: PackedOp::KcvtF2H, rd: Reg::A5, rs1: Reg::A4, rs2: Reg::T5 });
-    asm.emit(Inst::Addi { rd: Reg::T0, rs1: Reg::T0, imm: -1 });
-    asm.branch_to(Inst::Bne { rs1: Reg::T0, rs2: Reg::Zero, offset: 0 }, top);
+    asm.emit(Inst::Packed {
+        op: PackedOp::Kclip,
+        rd: Reg::A2,
+        rs1: Reg::A0,
+        rs2: Reg::T5,
+    });
+    asm.emit(Inst::KlwB2h {
+        rd: Reg::A3,
+        rs1: Reg::Sp,
+        imm: -4,
+    });
+    asm.emit(Inst::Packed {
+        op: PackedOp::KcvtH2F,
+        rd: Reg::A4,
+        rs1: Reg::A1,
+        rs2: Reg::T5,
+    });
+    asm.emit(Inst::Packed {
+        op: PackedOp::KcvtF2H,
+        rd: Reg::A5,
+        rs1: Reg::A4,
+        rs2: Reg::T5,
+    });
+    asm.emit(Inst::Addi {
+        rd: Reg::T0,
+        rs1: Reg::T0,
+        imm: -1,
+    });
+    asm.branch_to(
+        Inst::Bne {
+            rs1: Reg::T0,
+            rs2: Reg::Zero,
+            offset: 0,
+        },
+        top,
+    );
     asm.emit(Inst::Ebreak);
     let p = asm.finish().expect("assembles");
     let r = run_both_ways(&p);
@@ -256,7 +411,12 @@ fn run_packed(op: PackedOp, acc: u32, a: u32, b: u32) -> u32 {
     asm.li(Reg::A0, acc as i32);
     asm.li(Reg::T0, a as i32);
     asm.li(Reg::T1, b as i32);
-    asm.emit(Inst::Packed { op, rd: Reg::A0, rs1: Reg::T0, rs2: Reg::T1 });
+    asm.emit(Inst::Packed {
+        op,
+        rd: Reg::A0,
+        rs1: Reg::T0,
+        rs2: Reg::T1,
+    });
     asm.emit(Inst::Ebreak);
     let p = asm.finish().expect("assembles");
     let mut m = Machine::load(&p, Platform::ibex()).expect("fits");
@@ -311,7 +471,7 @@ proptest! {
         let rem = if bi == 0 { ai } else if ai == i32::MIN && bi == -1 { 0 } else { ai.wrapping_rem(bi) };
         prop_assert_eq!(run_rr(rr!(Div), a, b), div as u32);
         prop_assert_eq!(run_rr(rr!(Rem), a, b), rem as u32);
-        let divu = if b == 0 { u32::MAX } else { a / b };
+        let divu = a.checked_div(b).unwrap_or(u32::MAX);
         let remu = if b == 0 { a } else { a % b };
         prop_assert_eq!(run_rr(rr!(Divu), a, b), divu);
         prop_assert_eq!(run_rr(rr!(Remu), a, b), remu);

@@ -198,7 +198,11 @@ impl Asm {
             label,
         });
         self.emit(Inst::Auipc { rd, imm: 0 });
-        self.emit(Inst::Addi { rd, rs1: rd, imm: 0 });
+        self.emit(Inst::Addi {
+            rd,
+            rs1: rd,
+            imm: 0,
+        });
     }
 
     /// Emits `li rd, value` (one or two instructions depending on range).
@@ -215,7 +219,11 @@ impl Asm {
             let hi = value.wrapping_sub(lo);
             self.emit(Inst::Lui { rd, imm: hi });
             if lo != 0 {
-                self.emit(Inst::Addi { rd, rs1: rd, imm: lo });
+                self.emit(Inst::Addi {
+                    rd,
+                    rs1: rd,
+                    imm: lo,
+                });
             }
         }
     }
@@ -250,7 +258,7 @@ impl Asm {
 
     /// Aligns the data cursor to a multiple of `align` bytes.
     pub fn data_align(&mut self, align: usize) {
-        while self.data.len() % align != 0 {
+        while !self.data.len().is_multiple_of(align) {
             self.data.push(0);
         }
     }
@@ -338,8 +346,7 @@ impl Asm {
                     if !(-4096..=4094).contains(&offset) {
                         return Err(AsmError::BranchOutOfRange { offset });
                     }
-                    let mut inst =
-                        Inst::decode(text[index]).expect("encoded by this assembler");
+                    let mut inst = Inst::decode(text[index]).expect("encoded by this assembler");
                     match &mut inst {
                         Inst::Beq { offset: o, .. }
                         | Inst::Bne { offset: o, .. }
@@ -358,8 +365,7 @@ impl Asm {
                     if !(-(1 << 20)..(1 << 20)).contains(&offset) {
                         return Err(AsmError::JumpOutOfRange { offset });
                     }
-                    let mut inst =
-                        Inst::decode(text[index]).expect("encoded by this assembler");
+                    let mut inst = Inst::decode(text[index]).expect("encoded by this assembler");
                     match &mut inst {
                         Inst::Jal { offset: o, .. } => *o = offset as i32,
                         other => panic!("jump fixup on non-jal {other:?}"),
@@ -450,10 +456,7 @@ mod tests {
         let mut asm = Asm::new(0, 0);
         let l = asm.new_label();
         asm.jump_to(l);
-        assert!(matches!(
-            asm.finish(),
-            Err(AsmError::UnboundLabel { .. })
-        ));
+        assert!(matches!(asm.finish(), Err(AsmError::UnboundLabel { .. })));
     }
 
     #[test]
@@ -466,7 +469,18 @@ mod tests {
 
     #[test]
     fn li_covers_full_range() {
-        for value in [0, 1, -1, 2047, -2048, 2048, -2049, 0x1234_5678, i32::MIN, i32::MAX] {
+        for value in [
+            0,
+            1,
+            -1,
+            2047,
+            -2048,
+            2048,
+            -2049,
+            0x1234_5678,
+            i32::MIN,
+            i32::MAX,
+        ] {
             let mut asm = Asm::new(0, 0);
             asm.li(Reg::A0, value);
             asm.emit(Inst::Ebreak);
@@ -475,7 +489,11 @@ mod tests {
             let mut a0: i32 = 0;
             for &w in &p.text {
                 match Inst::decode(w).unwrap() {
-                    Inst::Addi { rd: Reg::A0, rs1, imm } => {
+                    Inst::Addi {
+                        rd: Reg::A0,
+                        rs1,
+                        imm,
+                    } => {
                         let base = if rs1 == Reg::Zero { 0 } else { a0 };
                         a0 = base.wrapping_add(imm);
                     }
@@ -498,9 +516,12 @@ mod tests {
         asm.emit(Inst::Ebreak);
         let p = asm.finish().unwrap();
         // Emulate auipc+addi.
-        match (Inst::decode(p.text[0]).unwrap(), Inst::decode(p.text[1]).unwrap()) {
+        match (
+            Inst::decode(p.text[0]).unwrap(),
+            Inst::decode(p.text[1]).unwrap(),
+        ) {
             (Inst::Auipc { imm: hi, .. }, Inst::Addi { imm: lo, .. }) => {
-                let got = (0i64 + hi as i64 + lo as i64) as u32;
+                let got = ((hi as i64) + lo as i64) as u32;
                 assert_eq!(got, addr);
             }
             other => panic!("{other:?}"),

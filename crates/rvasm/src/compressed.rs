@@ -206,8 +206,7 @@ pub fn expand_compressed(word: u16) -> Option<Inst> {
             if rd == Reg::Zero {
                 return None;
             }
-            let imm =
-                (bit(word, 12) << 5) | (bits(word, 6, 4) << 2) | (bits(word, 3, 2) << 6);
+            let imm = (bit(word, 12) << 5) | (bits(word, 6, 4) << 2) | (bits(word, 3, 2) << 6);
             Some(Inst::Lw {
                 rd,
                 rs1: Reg::Sp,
@@ -253,6 +252,7 @@ pub fn expand_compressed(word: u16) -> Option<Inst> {
 }
 
 #[cfg(test)]
+#[allow(clippy::unusual_byte_groupings)] // literals group by instruction field
 mod tests {
     use super::*;
 
@@ -261,44 +261,76 @@ mod tests {
         // c.addi a0, 1 => 0x0505
         assert_eq!(
             expand_compressed(0x0505),
-            Some(Inst::Addi { rd: Reg::A0, rs1: Reg::A0, imm: 1 })
+            Some(Inst::Addi {
+                rd: Reg::A0,
+                rs1: Reg::A0,
+                imm: 1
+            })
         );
         // c.li a0, 3 => 0x450d
         assert_eq!(
             expand_compressed(0x450D),
-            Some(Inst::Addi { rd: Reg::A0, rs1: Reg::Zero, imm: 3 })
+            Some(Inst::Addi {
+                rd: Reg::A0,
+                rs1: Reg::Zero,
+                imm: 3
+            })
         );
         // c.mv a0, a1 => 0x852e
         assert_eq!(
             expand_compressed(0x852E),
-            Some(Inst::Add { rd: Reg::A0, rs1: Reg::Zero, rs2: Reg::A1 })
+            Some(Inst::Add {
+                rd: Reg::A0,
+                rs1: Reg::Zero,
+                rs2: Reg::A1
+            })
         );
         // c.jr ra (ret) => 0x8082
         assert_eq!(
             expand_compressed(0x8082),
-            Some(Inst::Jalr { rd: Reg::Zero, rs1: Reg::Ra, imm: 0 })
+            Some(Inst::Jalr {
+                rd: Reg::Zero,
+                rs1: Reg::Ra,
+                imm: 0
+            })
         );
         // c.add a0, a1 => 0x952e
         assert_eq!(
             expand_compressed(0x952E),
-            Some(Inst::Add { rd: Reg::A0, rs1: Reg::A0, rs2: Reg::A1 })
+            Some(Inst::Add {
+                rd: Reg::A0,
+                rs1: Reg::A0,
+                rs2: Reg::A1
+            })
         );
         // c.sub s0, s1 => 0x8c05
         assert_eq!(
             expand_compressed(0x8C05),
-            Some(Inst::Sub { rd: Reg::S0, rs1: Reg::S0, rs2: Reg::S1 })
+            Some(Inst::Sub {
+                rd: Reg::S0,
+                rs1: Reg::S0,
+                rs2: Reg::S1
+            })
         );
         // c.ebreak => 0x9002
         assert_eq!(expand_compressed(0x9002), Some(Inst::Ebreak));
         // c.lwsp a0, 0(sp) => 0x4502
         assert_eq!(
             expand_compressed(0x4502),
-            Some(Inst::Lw { rd: Reg::A0, rs1: Reg::Sp, imm: 0 })
+            Some(Inst::Lw {
+                rd: Reg::A0,
+                rs1: Reg::Sp,
+                imm: 0
+            })
         );
         // c.nop => 0x0001
         assert_eq!(
             expand_compressed(0x0001),
-            Some(Inst::Addi { rd: Reg::Zero, rs1: Reg::Zero, imm: 0 })
+            Some(Inst::Addi {
+                rd: Reg::Zero,
+                rs1: Reg::Zero,
+                imm: 0
+            })
         );
     }
 
@@ -309,8 +341,8 @@ mod tests {
 
     #[test]
     fn addi4spn_zero_imm_is_illegal() {
-        // funct3=000 op=00 with all imm bits zero
-        assert_eq!(expand_compressed(0x0001 & 0x0000), None);
+        // funct3=000 op=00, rd'=s1, all imm bits zero
+        assert_eq!(expand_compressed(0b000_00000000_001_00), None);
     }
 
     #[test]
@@ -319,13 +351,21 @@ mod tests {
         let w = 0b010_000_010_00_100_00u16;
         assert_eq!(
             expand_compressed(w),
-            Some(Inst::Lw { rd: Reg::A2, rs1: Reg::A0, imm: 0 })
+            Some(Inst::Lw {
+                rd: Reg::A2,
+                rs1: Reg::A0,
+                imm: 0
+            })
         );
         // c.sw a2, 4(a0): uimm[2]=1 -> bit6
         let w = 0b110_000_010_10_100_00u16;
         assert_eq!(
             expand_compressed(w),
-            Some(Inst::Sw { rs2: Reg::A2, rs1: Reg::A0, imm: 4 })
+            Some(Inst::Sw {
+                rs2: Reg::A2,
+                rs1: Reg::A0,
+                imm: 4
+            })
         );
     }
 
@@ -351,7 +391,10 @@ mod tests {
         let w: u16 = 0b101_00000000000_01;
         assert_eq!(
             expand_compressed(w),
-            Some(Inst::Jal { rd: Reg::Zero, offset: 0 })
+            Some(Inst::Jal {
+                rd: Reg::Zero,
+                offset: 0
+            })
         );
     }
 

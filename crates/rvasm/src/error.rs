@@ -58,7 +58,9 @@ mod tests {
 
     #[test]
     fn display_messages() {
-        assert!(AsmError::UnboundLabel { label: 3 }.to_string().contains("3"));
+        assert!(AsmError::UnboundLabel { label: 3 }
+            .to_string()
+            .contains("3"));
         assert!(AsmError::BranchOutOfRange { offset: 5000 }
             .to_string()
             .contains("4KiB"));

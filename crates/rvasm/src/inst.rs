@@ -163,73 +163,276 @@ impl PackedOp {
 #[allow(missing_docs)]
 pub enum Inst {
     // U-type
-    Lui { rd: Reg, imm: i32 },
-    Auipc { rd: Reg, imm: i32 },
+    Lui {
+        rd: Reg,
+        imm: i32,
+    },
+    Auipc {
+        rd: Reg,
+        imm: i32,
+    },
     // J-type
-    Jal { rd: Reg, offset: i32 },
+    Jal {
+        rd: Reg,
+        offset: i32,
+    },
     // I-type jumps/loads
-    Jalr { rd: Reg, rs1: Reg, imm: i32 },
-    Lb { rd: Reg, rs1: Reg, imm: i32 },
-    Lh { rd: Reg, rs1: Reg, imm: i32 },
-    Lw { rd: Reg, rs1: Reg, imm: i32 },
-    Lbu { rd: Reg, rs1: Reg, imm: i32 },
-    Lhu { rd: Reg, rs1: Reg, imm: i32 },
+    Jalr {
+        rd: Reg,
+        rs1: Reg,
+        imm: i32,
+    },
+    Lb {
+        rd: Reg,
+        rs1: Reg,
+        imm: i32,
+    },
+    Lh {
+        rd: Reg,
+        rs1: Reg,
+        imm: i32,
+    },
+    Lw {
+        rd: Reg,
+        rs1: Reg,
+        imm: i32,
+    },
+    Lbu {
+        rd: Reg,
+        rs1: Reg,
+        imm: i32,
+    },
+    Lhu {
+        rd: Reg,
+        rs1: Reg,
+        imm: i32,
+    },
     // B-type
-    Beq { rs1: Reg, rs2: Reg, offset: i32 },
-    Bne { rs1: Reg, rs2: Reg, offset: i32 },
-    Blt { rs1: Reg, rs2: Reg, offset: i32 },
-    Bge { rs1: Reg, rs2: Reg, offset: i32 },
-    Bltu { rs1: Reg, rs2: Reg, offset: i32 },
-    Bgeu { rs1: Reg, rs2: Reg, offset: i32 },
+    Beq {
+        rs1: Reg,
+        rs2: Reg,
+        offset: i32,
+    },
+    Bne {
+        rs1: Reg,
+        rs2: Reg,
+        offset: i32,
+    },
+    Blt {
+        rs1: Reg,
+        rs2: Reg,
+        offset: i32,
+    },
+    Bge {
+        rs1: Reg,
+        rs2: Reg,
+        offset: i32,
+    },
+    Bltu {
+        rs1: Reg,
+        rs2: Reg,
+        offset: i32,
+    },
+    Bgeu {
+        rs1: Reg,
+        rs2: Reg,
+        offset: i32,
+    },
     // S-type
-    Sb { rs2: Reg, rs1: Reg, imm: i32 },
-    Sh { rs2: Reg, rs1: Reg, imm: i32 },
-    Sw { rs2: Reg, rs1: Reg, imm: i32 },
+    Sb {
+        rs2: Reg,
+        rs1: Reg,
+        imm: i32,
+    },
+    Sh {
+        rs2: Reg,
+        rs1: Reg,
+        imm: i32,
+    },
+    Sw {
+        rs2: Reg,
+        rs1: Reg,
+        imm: i32,
+    },
     // I-type ALU
-    Addi { rd: Reg, rs1: Reg, imm: i32 },
-    Slti { rd: Reg, rs1: Reg, imm: i32 },
-    Sltiu { rd: Reg, rs1: Reg, imm: i32 },
-    Xori { rd: Reg, rs1: Reg, imm: i32 },
-    Ori { rd: Reg, rs1: Reg, imm: i32 },
-    Andi { rd: Reg, rs1: Reg, imm: i32 },
-    Slli { rd: Reg, rs1: Reg, shamt: u32 },
-    Srli { rd: Reg, rs1: Reg, shamt: u32 },
-    Srai { rd: Reg, rs1: Reg, shamt: u32 },
+    Addi {
+        rd: Reg,
+        rs1: Reg,
+        imm: i32,
+    },
+    Slti {
+        rd: Reg,
+        rs1: Reg,
+        imm: i32,
+    },
+    Sltiu {
+        rd: Reg,
+        rs1: Reg,
+        imm: i32,
+    },
+    Xori {
+        rd: Reg,
+        rs1: Reg,
+        imm: i32,
+    },
+    Ori {
+        rd: Reg,
+        rs1: Reg,
+        imm: i32,
+    },
+    Andi {
+        rd: Reg,
+        rs1: Reg,
+        imm: i32,
+    },
+    Slli {
+        rd: Reg,
+        rs1: Reg,
+        shamt: u32,
+    },
+    Srli {
+        rd: Reg,
+        rs1: Reg,
+        shamt: u32,
+    },
+    Srai {
+        rd: Reg,
+        rs1: Reg,
+        shamt: u32,
+    },
     // R-type ALU
-    Add { rd: Reg, rs1: Reg, rs2: Reg },
-    Sub { rd: Reg, rs1: Reg, rs2: Reg },
-    Sll { rd: Reg, rs1: Reg, rs2: Reg },
-    Slt { rd: Reg, rs1: Reg, rs2: Reg },
-    Sltu { rd: Reg, rs1: Reg, rs2: Reg },
-    Xor { rd: Reg, rs1: Reg, rs2: Reg },
-    Srl { rd: Reg, rs1: Reg, rs2: Reg },
-    Sra { rd: Reg, rs1: Reg, rs2: Reg },
-    Or { rd: Reg, rs1: Reg, rs2: Reg },
-    And { rd: Reg, rs1: Reg, rs2: Reg },
+    Add {
+        rd: Reg,
+        rs1: Reg,
+        rs2: Reg,
+    },
+    Sub {
+        rd: Reg,
+        rs1: Reg,
+        rs2: Reg,
+    },
+    Sll {
+        rd: Reg,
+        rs1: Reg,
+        rs2: Reg,
+    },
+    Slt {
+        rd: Reg,
+        rs1: Reg,
+        rs2: Reg,
+    },
+    Sltu {
+        rd: Reg,
+        rs1: Reg,
+        rs2: Reg,
+    },
+    Xor {
+        rd: Reg,
+        rs1: Reg,
+        rs2: Reg,
+    },
+    Srl {
+        rd: Reg,
+        rs1: Reg,
+        rs2: Reg,
+    },
+    Sra {
+        rd: Reg,
+        rs1: Reg,
+        rs2: Reg,
+    },
+    Or {
+        rd: Reg,
+        rs1: Reg,
+        rs2: Reg,
+    },
+    And {
+        rd: Reg,
+        rs1: Reg,
+        rs2: Reg,
+    },
     // M extension
-    Mul { rd: Reg, rs1: Reg, rs2: Reg },
-    Mulh { rd: Reg, rs1: Reg, rs2: Reg },
-    Mulhsu { rd: Reg, rs1: Reg, rs2: Reg },
-    Mulhu { rd: Reg, rs1: Reg, rs2: Reg },
-    Div { rd: Reg, rs1: Reg, rs2: Reg },
-    Divu { rd: Reg, rs1: Reg, rs2: Reg },
-    Rem { rd: Reg, rs1: Reg, rs2: Reg },
-    Remu { rd: Reg, rs1: Reg, rs2: Reg },
+    Mul {
+        rd: Reg,
+        rs1: Reg,
+        rs2: Reg,
+    },
+    Mulh {
+        rd: Reg,
+        rs1: Reg,
+        rs2: Reg,
+    },
+    Mulhsu {
+        rd: Reg,
+        rs1: Reg,
+        rs2: Reg,
+    },
+    Mulhu {
+        rd: Reg,
+        rs1: Reg,
+        rs2: Reg,
+    },
+    Div {
+        rd: Reg,
+        rs1: Reg,
+        rs2: Reg,
+    },
+    Divu {
+        rd: Reg,
+        rs1: Reg,
+        rs2: Reg,
+    },
+    Rem {
+        rd: Reg,
+        rs1: Reg,
+        rs2: Reg,
+    },
+    Remu {
+        rd: Reg,
+        rs1: Reg,
+        rs2: Reg,
+    },
     // System
     Ecall,
     Ebreak,
     // Zicsr (register forms)
-    Csrrw { rd: Reg, rs1: Reg, csr: u32 },
-    Csrrs { rd: Reg, rs1: Reg, csr: u32 },
-    Csrrc { rd: Reg, rs1: Reg, csr: u32 },
+    Csrrw {
+        rd: Reg,
+        rs1: Reg,
+        csr: u32,
+    },
+    Csrrs {
+        rd: Reg,
+        rs1: Reg,
+        csr: u32,
+    },
+    Csrrc {
+        rd: Reg,
+        rs1: Reg,
+        csr: u32,
+    },
     // The paper's custom-1 instruction (opcode 0b0101011, funct7 = 0).
-    Custom { op: CustomOp, rd: Reg, rs1: Reg, rs2: Reg },
+    Custom {
+        op: CustomOp,
+        rd: Reg,
+        rs1: Reg,
+        rs2: Reg,
+    },
     // Xkwtdot custom-2 R-type ops (opcode 0b1011011, funct7 = 0).
-    Packed { op: PackedOp, rd: Reg, rs1: Reg, rs2: Reg },
+    Packed {
+        op: PackedOp,
+        rd: Reg,
+        rs1: Reg,
+        rs2: Reg,
+    },
     // Xkwtdot packed widening load: loads the halfword at rs1+imm and
     // sign-extends each of its two bytes into a packed i16 lane of rd
     // (opcode 0b1011011, funct3 = 100, I-type).
-    KlwB2h { rd: Reg, rs1: Reg, imm: i32 },
+    KlwB2h {
+        rd: Reg,
+        rs1: Reg,
+        imm: i32,
+    },
 }
 
 const OP_LUI: u32 = 0b0110111;
@@ -251,7 +454,12 @@ pub const OP_CUSTOM2: u32 = 0b1011011;
 pub const F3_KLW_B2H: u32 = 0b100;
 
 fn enc_r(funct7: u32, rs2: Reg, rs1: Reg, funct3: u32, rd: Reg, opcode: u32) -> u32 {
-    (funct7 << 25) | (rs2.num() << 20) | (rs1.num() << 15) | (funct3 << 12) | (rd.num() << 7) | opcode
+    (funct7 << 25)
+        | (rs2.num() << 20)
+        | (rs1.num() << 15)
+        | (funct3 << 12)
+        | (rd.num() << 7)
+        | opcode
 }
 
 fn enc_i(imm: i32, rs1: Reg, funct3: u32, rd: Reg, opcode: u32) -> u32 {
@@ -386,40 +594,136 @@ impl Inst {
             OP_LUI => Lui { rd, imm: imm_u },
             OP_AUIPC => Auipc { rd, imm: imm_u },
             OP_JAL => Jal { rd, offset: imm_j },
-            OP_JALR if funct3 == 0 => Jalr { rd, rs1, imm: imm_i },
+            OP_JALR if funct3 == 0 => Jalr {
+                rd,
+                rs1,
+                imm: imm_i,
+            },
             OP_BRANCH => match funct3 {
-                0b000 => Beq { rs1, rs2, offset: imm_b },
-                0b001 => Bne { rs1, rs2, offset: imm_b },
-                0b100 => Blt { rs1, rs2, offset: imm_b },
-                0b101 => Bge { rs1, rs2, offset: imm_b },
-                0b110 => Bltu { rs1, rs2, offset: imm_b },
-                0b111 => Bgeu { rs1, rs2, offset: imm_b },
+                0b000 => Beq {
+                    rs1,
+                    rs2,
+                    offset: imm_b,
+                },
+                0b001 => Bne {
+                    rs1,
+                    rs2,
+                    offset: imm_b,
+                },
+                0b100 => Blt {
+                    rs1,
+                    rs2,
+                    offset: imm_b,
+                },
+                0b101 => Bge {
+                    rs1,
+                    rs2,
+                    offset: imm_b,
+                },
+                0b110 => Bltu {
+                    rs1,
+                    rs2,
+                    offset: imm_b,
+                },
+                0b111 => Bgeu {
+                    rs1,
+                    rs2,
+                    offset: imm_b,
+                },
                 _ => return None,
             },
             OP_LOAD => match funct3 {
-                0b000 => Lb { rd, rs1, imm: imm_i },
-                0b001 => Lh { rd, rs1, imm: imm_i },
-                0b010 => Lw { rd, rs1, imm: imm_i },
-                0b100 => Lbu { rd, rs1, imm: imm_i },
-                0b101 => Lhu { rd, rs1, imm: imm_i },
+                0b000 => Lb {
+                    rd,
+                    rs1,
+                    imm: imm_i,
+                },
+                0b001 => Lh {
+                    rd,
+                    rs1,
+                    imm: imm_i,
+                },
+                0b010 => Lw {
+                    rd,
+                    rs1,
+                    imm: imm_i,
+                },
+                0b100 => Lbu {
+                    rd,
+                    rs1,
+                    imm: imm_i,
+                },
+                0b101 => Lhu {
+                    rd,
+                    rs1,
+                    imm: imm_i,
+                },
                 _ => return None,
             },
             OP_STORE => match funct3 {
-                0b000 => Sb { rs2, rs1, imm: imm_s },
-                0b001 => Sh { rs2, rs1, imm: imm_s },
-                0b010 => Sw { rs2, rs1, imm: imm_s },
+                0b000 => Sb {
+                    rs2,
+                    rs1,
+                    imm: imm_s,
+                },
+                0b001 => Sh {
+                    rs2,
+                    rs1,
+                    imm: imm_s,
+                },
+                0b010 => Sw {
+                    rs2,
+                    rs1,
+                    imm: imm_s,
+                },
                 _ => return None,
             },
             OP_IMM => match funct3 {
-                0b000 => Addi { rd, rs1, imm: imm_i },
-                0b010 => Slti { rd, rs1, imm: imm_i },
-                0b011 => Sltiu { rd, rs1, imm: imm_i },
-                0b100 => Xori { rd, rs1, imm: imm_i },
-                0b110 => Ori { rd, rs1, imm: imm_i },
-                0b111 => Andi { rd, rs1, imm: imm_i },
-                0b001 if funct7 == 0 => Slli { rd, rs1, shamt: rs2.num() },
-                0b101 if funct7 == 0 => Srli { rd, rs1, shamt: rs2.num() },
-                0b101 if funct7 == 0b0100000 => Srai { rd, rs1, shamt: rs2.num() },
+                0b000 => Addi {
+                    rd,
+                    rs1,
+                    imm: imm_i,
+                },
+                0b010 => Slti {
+                    rd,
+                    rs1,
+                    imm: imm_i,
+                },
+                0b011 => Sltiu {
+                    rd,
+                    rs1,
+                    imm: imm_i,
+                },
+                0b100 => Xori {
+                    rd,
+                    rs1,
+                    imm: imm_i,
+                },
+                0b110 => Ori {
+                    rd,
+                    rs1,
+                    imm: imm_i,
+                },
+                0b111 => Andi {
+                    rd,
+                    rs1,
+                    imm: imm_i,
+                },
+                0b001 if funct7 == 0 => Slli {
+                    rd,
+                    rs1,
+                    shamt: rs2.num(),
+                },
+                0b101 if funct7 == 0 => Srli {
+                    rd,
+                    rs1,
+                    shamt: rs2.num(),
+                },
+                0b101 if funct7 == 0b0100000 => Srai {
+                    rd,
+                    rs1,
+                    shamt: rs2.num(),
+                },
                 _ => return None,
             },
             OP_OP => match (funct7, funct3) {
@@ -449,9 +753,21 @@ impl Inst {
                     1 => Ebreak,
                     _ => return None,
                 },
-                0b001 => Csrrw { rd, rs1, csr: word >> 20 },
-                0b010 => Csrrs { rd, rs1, csr: word >> 20 },
-                0b011 => Csrrc { rd, rs1, csr: word >> 20 },
+                0b001 => Csrrw {
+                    rd,
+                    rs1,
+                    csr: word >> 20,
+                },
+                0b010 => Csrrs {
+                    rd,
+                    rs1,
+                    csr: word >> 20,
+                },
+                0b011 => Csrrc {
+                    rd,
+                    rs1,
+                    csr: word >> 20,
+                },
                 _ => return None,
             },
             OP_CUSTOM1 if funct7 == 0 => Custom {
@@ -460,7 +776,11 @@ impl Inst {
                 rs1,
                 rs2,
             },
-            OP_CUSTOM2 if funct3 == F3_KLW_B2H => KlwB2h { rd, rs1, imm: imm_i },
+            OP_CUSTOM2 if funct3 == F3_KLW_B2H => KlwB2h {
+                rd,
+                rs1,
+                imm: imm_i,
+            },
             OP_CUSTOM2 => Packed {
                 op: PackedOp::from_funct3_funct7(funct3, funct7)?,
                 rd,
@@ -546,27 +866,51 @@ mod tests {
     fn known_encodings() {
         // addi x1, x2, -1 => imm=0xfff rs1=2 f3=0 rd=1 op=0010011
         assert_eq!(
-            Inst::Addi { rd: Reg::Ra, rs1: Reg::Sp, imm: -1 }.encode(),
+            Inst::Addi {
+                rd: Reg::Ra,
+                rs1: Reg::Sp,
+                imm: -1
+            }
+            .encode(),
             0xFFF1_0093
         );
         // add x3, x4, x5
         assert_eq!(
-            Inst::Add { rd: Reg::Gp, rs1: Reg::Tp, rs2: Reg::T0 }.encode(),
+            Inst::Add {
+                rd: Reg::Gp,
+                rs1: Reg::Tp,
+                rs2: Reg::T0
+            }
+            .encode(),
             0x0052_01B3
         );
         // lui a0, 0x12345
         assert_eq!(
-            Inst::Lui { rd: Reg::A0, imm: 0x1234_5000 }.encode(),
+            Inst::Lui {
+                rd: Reg::A0,
+                imm: 0x1234_5000
+            }
+            .encode(),
             0x1234_5537
         );
         // lw a1, 8(sp)
         assert_eq!(
-            Inst::Lw { rd: Reg::A1, rs1: Reg::Sp, imm: 8 }.encode(),
+            Inst::Lw {
+                rd: Reg::A1,
+                rs1: Reg::Sp,
+                imm: 8
+            }
+            .encode(),
             0x0081_2583
         );
         // sw a1, 12(sp)
         assert_eq!(
-            Inst::Sw { rs2: Reg::A1, rs1: Reg::Sp, imm: 12 }.encode(),
+            Inst::Sw {
+                rs2: Reg::A1,
+                rs1: Reg::Sp,
+                imm: 12
+            }
+            .encode(),
             0x00B1_2623
         );
         // ecall / ebreak
@@ -574,7 +918,12 @@ mod tests {
         assert_eq!(Inst::Ebreak.encode(), 0x0010_0073);
         // mul a0, a1, a2
         assert_eq!(
-            Inst::Mul { rd: Reg::A0, rs1: Reg::A1, rs2: Reg::A2 }.encode(),
+            Inst::Mul {
+                rd: Reg::A0,
+                rs1: Reg::A1,
+                rs2: Reg::A2
+            }
+            .encode(),
             0x02C5_8533
         );
     }
@@ -597,13 +946,22 @@ mod tests {
     #[test]
     fn branch_offset_encoding() {
         // beq x0, x0, -8 (backwards loop)
-        let w = Inst::Beq { rs1: Reg::Zero, rs2: Reg::Zero, offset: -8 }.encode();
+        let w = Inst::Beq {
+            rs1: Reg::Zero,
+            rs2: Reg::Zero,
+            offset: -8,
+        }
+        .encode();
         match Inst::decode(w).unwrap() {
             Inst::Beq { offset, .. } => assert_eq!(offset, -8),
             other => panic!("decoded {other:?}"),
         }
         // jal ra, +2048
-        let w = Inst::Jal { rd: Reg::Ra, offset: 2048 }.encode();
+        let w = Inst::Jal {
+            rd: Reg::Ra,
+            offset: 2048,
+        }
+        .encode();
         match Inst::decode(w).unwrap() {
             Inst::Jal { rd, offset } => {
                 assert_eq!(rd, Reg::Ra);
@@ -628,7 +986,12 @@ mod tests {
             CustomOp::ToFixed,
             CustomOp::ToFloat,
         ] {
-            let inst = Inst::Custom { op, rd: Reg::T0, rs1: Reg::T1, rs2: Reg::T2 };
+            let inst = Inst::Custom {
+                op,
+                rd: Reg::T0,
+                rs1: Reg::T1,
+                rs2: Reg::T2,
+            };
             assert_eq!(Inst::decode(inst.encode()), Some(inst));
         }
         // funct3 = 010 is not a defined custom op
@@ -650,7 +1013,12 @@ mod tests {
         assert_eq!(w >> 25, 0, "funct7 must be 0");
         assert_eq!(w >> 12 & 0x7, 0b000, "kdot4.i8 funct3 = 3'b000");
         // klw.b2h is I-type: funct3 = 100, imm in [31:20].
-        let w = Inst::KlwB2h { rd: Reg::T0, rs1: Reg::T1, imm: -2 }.encode();
+        let w = Inst::KlwB2h {
+            rd: Reg::T0,
+            rs1: Reg::T1,
+            imm: -2,
+        }
+        .encode();
         assert_eq!(w & 0x7F, 0b1011011);
         assert_eq!(w >> 12 & 0x7, 0b100);
         assert_eq!((w as i32) >> 20, -2);
@@ -669,11 +1037,20 @@ mod tests {
             PackedOp::KfsubT,
             PackedOp::KfmulT,
         ] {
-            let inst = Inst::Packed { op, rd: Reg::T0, rs1: Reg::T1, rs2: Reg::T2 };
+            let inst = Inst::Packed {
+                op,
+                rd: Reg::T0,
+                rs1: Reg::T1,
+                rs2: Reg::T2,
+            };
             assert_eq!(Inst::decode(inst.encode()), Some(inst));
         }
         for imm in [-2048, -2, 0, 2, 2047] {
-            let inst = Inst::KlwB2h { rd: Reg::A0, rs1: Reg::Sp, imm };
+            let inst = Inst::KlwB2h {
+                rd: Reg::A0,
+                rs1: Reg::Sp,
+                imm,
+            };
             assert_eq!(Inst::decode(inst.encode()), Some(inst));
         }
         // funct7 = 3 is reserved in the float slot
@@ -687,33 +1064,66 @@ mod tests {
     #[test]
     fn display_disassembly() {
         assert_eq!(
-            Inst::Addi { rd: Reg::A0, rs1: Reg::Zero, imm: 42 }.to_string(),
+            Inst::Addi {
+                rd: Reg::A0,
+                rs1: Reg::Zero,
+                imm: 42
+            }
+            .to_string(),
             "addi a0, zero, 42"
         );
         assert_eq!(
-            Inst::Custom { op: CustomOp::Exp, rd: Reg::A0, rs1: Reg::A1, rs2: Reg::Zero }
-                .to_string(),
+            Inst::Custom {
+                op: CustomOp::Exp,
+                rd: Reg::A0,
+                rs1: Reg::A1,
+                rs2: Reg::Zero
+            }
+            .to_string(),
             "alu.exp a0, a1, zero"
         );
         assert_eq!(
-            Inst::Lw { rd: Reg::T0, rs1: Reg::Sp, imm: -4 }.to_string(),
+            Inst::Lw {
+                rd: Reg::T0,
+                rs1: Reg::Sp,
+                imm: -4
+            }
+            .to_string(),
             "lw t0, -4(sp)"
         );
         assert_eq!(
-            Inst::Packed { op: PackedOp::Kdot2I16, rd: Reg::A0, rs1: Reg::A1, rs2: Reg::A2 }
-                .to_string(),
+            Inst::Packed {
+                op: PackedOp::Kdot2I16,
+                rd: Reg::A0,
+                rs1: Reg::A1,
+                rs2: Reg::A2
+            }
+            .to_string(),
             "kdot2.i16 a0, a1, a2"
         );
         assert_eq!(
-            Inst::KlwB2h { rd: Reg::T0, rs1: Reg::A0, imm: 2 }.to_string(),
+            Inst::KlwB2h {
+                rd: Reg::T0,
+                rs1: Reg::A0,
+                imm: 2
+            }
+            .to_string(),
             "klw.b2h t0, 2(a0)"
         );
     }
 
     #[test]
     fn shift_encodings_distinguish_srl_sra() {
-        let srli = Inst::Srli { rd: Reg::A0, rs1: Reg::A0, shamt: 5 };
-        let srai = Inst::Srai { rd: Reg::A0, rs1: Reg::A0, shamt: 5 };
+        let srli = Inst::Srli {
+            rd: Reg::A0,
+            rs1: Reg::A0,
+            shamt: 5,
+        };
+        let srai = Inst::Srai {
+            rd: Reg::A0,
+            rs1: Reg::A0,
+            shamt: 5,
+        };
         assert_ne!(srli.encode(), srai.encode());
         assert_eq!(Inst::decode(srli.encode()), Some(srli));
         assert_eq!(Inst::decode(srai.encode()), Some(srai));
@@ -721,9 +1131,17 @@ mod tests {
 
     #[test]
     fn csr_round_trip() {
-        let i = Inst::Csrrw { rd: Reg::Zero, rs1: Reg::A0, csr: 0x7C0 };
+        let i = Inst::Csrrw {
+            rd: Reg::Zero,
+            rs1: Reg::A0,
+            csr: 0x7C0,
+        };
         assert_eq!(Inst::decode(i.encode()), Some(i));
-        let i = Inst::Csrrs { rd: Reg::A0, rs1: Reg::Zero, csr: 0xB00 };
+        let i = Inst::Csrrs {
+            rd: Reg::A0,
+            rs1: Reg::Zero,
+            csr: 0xB00,
+        };
         assert_eq!(Inst::decode(i.encode()), Some(i));
     }
 }

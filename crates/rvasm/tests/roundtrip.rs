@@ -137,10 +137,18 @@ fn system_and_custom() -> impl Strategy<Value = Inst> {
         (r(), r(), 0u32..4096).prop_map(|(rd, rs1, csr)| Inst::Csrrw { rd, rs1, csr }),
         (r(), r(), 0u32..4096).prop_map(|(rd, rs1, csr)| Inst::Csrrs { rd, rs1, csr }),
         (r(), r(), 0u32..4096).prop_map(|(rd, rs1, csr)| Inst::Csrrc { rd, rs1, csr }),
-        (custom_op(), r(), r(), r())
-            .prop_map(|(op, rd, rs1, rs2)| Inst::Custom { op, rd, rs1, rs2 }),
-        (packed_op(), r(), r(), r())
-            .prop_map(|(op, rd, rs1, rs2)| Inst::Packed { op, rd, rs1, rs2 }),
+        (custom_op(), r(), r(), r()).prop_map(|(op, rd, rs1, rs2)| Inst::Custom {
+            op,
+            rd,
+            rs1,
+            rs2
+        }),
+        (packed_op(), r(), r(), r()).prop_map(|(op, rd, rs1, rs2)| Inst::Packed {
+            op,
+            rd,
+            rs1,
+            rs2
+        }),
         (r(), r(), imm12()).prop_map(|(rd, rs1, imm)| Inst::KlwB2h { rd, rs1, imm }),
     ]
 }

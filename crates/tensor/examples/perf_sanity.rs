@@ -4,17 +4,27 @@ use std::hint::black_box;
 use std::time::Instant;
 
 fn time<F: FnMut()>(label: &str, mut f: F) -> f64 {
-    for _ in 0..3 { f(); }
+    for _ in 0..3 {
+        f();
+    }
     let t0 = Instant::now();
     let mut n = 0u64;
-    while t0.elapsed().as_millis() < 250 { f(); n += 1; }
+    while t0.elapsed().as_millis() < 250 {
+        f();
+        n += 1;
+    }
     let ns = t0.elapsed().as_nanos() as f64 / n as f64;
     println!("{label:<40} {:.0} ns/iter", ns);
     ns
 }
 
 fn main() {
-    for (m, k, n) in [(27usize, 12usize, 24usize), (27, 12, 36), (64, 64, 64), (128, 128, 128)] {
+    for (m, k, n) in [
+        (27usize, 12usize, 24usize),
+        (27, 12, 36),
+        (64, 64, 64),
+        (128, 128, 128),
+    ] {
         let a = Mat::from_fn(m, k, |r, c| ((r * k + c) as f32 * 0.1).sin());
         let b = Mat::from_fn(k, n, |r, c| ((r * n + c) as f32 * 0.07).cos() * 0.5);
         let (aq, _) = qops::quantize_i16(&a, 5);
@@ -24,15 +34,35 @@ fn main() {
         let pb16 = PackedMat::pack(&bq16);
         let pbf = PackedMat::pack(&b);
         println!("-- {m}x{k}x{n}");
-        let t1 = time("i16i8 naive", || { black_box(qops::reference::matmul_i16_i8(black_box(&aq), black_box(&bq), None, 6).unwrap()); });
-        let t2 = time("i16i8 packed(pre)", || { black_box(packed::matmul_i16_i8_packed(black_box(&aq), black_box(&pb), None, 6).unwrap()); });
-        let t3 = time("i16i8 pack-on-fly", || { black_box(qops::matmul_i16_i8(black_box(&aq), black_box(&bq), None, 6).unwrap()); });
-        println!("   speedup pre={:.2}x onfly={:.2}x", t1/t2, t1/t3);
-        let t1 = time("i16i16 naive", || { black_box(qops::reference::matmul_i16_i16(black_box(&aq), black_box(&bq16), 6).unwrap()); });
-        let t2 = time("i16i16 packed(pre)", || { black_box(packed::matmul_i16_i16_packed(black_box(&aq), black_box(&pb16), 6).unwrap()); });
-        println!("   speedup pre={:.2}x", t1/t2);
-        let t1 = time("f32 naive", || { black_box(ops::reference::matrix_multiply(black_box(&a), black_box(&b)).unwrap()); });
-        let t2 = time("f32 packed(pre)", || { black_box(packed::matrix_multiply_packed(black_box(&a), black_box(&pbf)).unwrap()); });
-        println!("   speedup pre={:.2}x", t1/t2);
+        let t1 = time("i16i8 naive", || {
+            black_box(
+                qops::reference::matmul_i16_i8(black_box(&aq), black_box(&bq), None, 6).unwrap(),
+            );
+        });
+        let t2 = time("i16i8 packed(pre)", || {
+            black_box(
+                packed::matmul_i16_i8_packed(black_box(&aq), black_box(&pb), None, 6).unwrap(),
+            );
+        });
+        let t3 = time("i16i8 pack-on-fly", || {
+            black_box(qops::matmul_i16_i8(black_box(&aq), black_box(&bq), None, 6).unwrap());
+        });
+        println!("   speedup pre={:.2}x onfly={:.2}x", t1 / t2, t1 / t3);
+        let t1 = time("i16i16 naive", || {
+            black_box(
+                qops::reference::matmul_i16_i16(black_box(&aq), black_box(&bq16), 6).unwrap(),
+            );
+        });
+        let t2 = time("i16i16 packed(pre)", || {
+            black_box(packed::matmul_i16_i16_packed(black_box(&aq), black_box(&pb16), 6).unwrap());
+        });
+        println!("   speedup pre={:.2}x", t1 / t2);
+        let t1 = time("f32 naive", || {
+            black_box(ops::reference::matrix_multiply(black_box(&a), black_box(&b)).unwrap());
+        });
+        let t2 = time("f32 packed(pre)", || {
+            black_box(packed::matrix_multiply_packed(black_box(&a), black_box(&pbf)).unwrap());
+        });
+        println!("   speedup pre={:.2}x", t1 / t2);
     }
 }

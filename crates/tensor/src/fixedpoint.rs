@@ -1,0 +1,497 @@
+//! Fixed-point helpers for the block-vectorised MFCC front end: Q15
+//! weight quantisation, integer base-2 logarithms over a mantissa LUT,
+//! and panel-packed Q15 GEMM microkernels with exact `i64` accumulation.
+//!
+//! The audio crate's fixed-point pipeline multiplies block-scaled integer
+//! spectra by a pre-packed Q15 mel filter bank, takes logarithms of the
+//! resulting band energies entirely in the integer domain
+//! ([`log2_q24`] — count-leading-zeros plus a 257-entry interpolated
+//! mantissa table, no float transcendentals), and applies a pre-packed
+//! Q15 DCT-II matrix. Every kernel here accumulates in `i64` without
+//! saturation: the caller owns the (power-of-two) output scaling, so all
+//! arithmetic is exact and therefore **bit-identical for any row
+//! blocking** — the property that makes streaming (one frame at a time)
+//! and batch (whole-clip frame blocks) extraction agree bit-for-bit.
+
+use crate::packed::{PackedMat, NR};
+use crate::{Mat, Result, TensorError};
+
+/// Fractional bits of the Q15 weight format.
+pub const Q15_BITS: u32 = 15;
+
+/// `log2` output format: Q8.24 (24 fractional bits).
+pub const LOG2_FRAC_BITS: u32 = 24;
+
+/// `ln(2)` in Q24 — scale factor from [`log2_q24`] to natural logs.
+pub const LN2_Q24: i64 = 11_629_080; // round(ln(2) * 2^24)
+
+/// `2^exp` as an exact `f64`, built straight from the IEEE-754 bit
+/// pattern — no `exp2` libm call in the per-band hot loops. `exp` must
+/// lie in the normal range `[-1022, 1023]`.
+///
+/// # Panics
+///
+/// Panics (debug) outside the normal exponent range.
+pub fn pow2_f64(exp: i32) -> f64 {
+    debug_assert!((-1022..=1023).contains(&exp), "pow2_f64 exponent {exp}");
+    f64::from_bits(((exp + 1023) as u64) << 52)
+}
+
+/// Quantises a weight in `[-1, 1]` to Q15, saturating at the `i16` rim
+/// (`+1.0` maps to `32767`).
+pub fn quantize_q15(w: f64) -> i16 {
+    let v = (w * (1i64 << Q15_BITS) as f64).round();
+    v.clamp(i16::MIN as f64, i16::MAX as f64) as i16
+}
+
+/// Quantises a row-major weight matrix to Q15.
+pub fn quantize_mat_q15(w: &Mat<f64>) -> Mat<i16> {
+    Mat::from_fn(w.rows(), w.cols(), |r, c| quantize_q15(w[(r, c)]))
+}
+
+/// Number of mantissa intervals of the [`log2_q24`] table.
+const LOG2_LUT_SEGMENTS: usize = 256;
+
+/// `round(log2(1 + i/256) * 2^24)` for `i = 0 ..= 256`, generated once at
+/// first use (257 entries so segment `i` interpolates toward entry
+/// `i + 1`).
+fn log2_lut() -> &'static [i64; LOG2_LUT_SEGMENTS + 1] {
+    use std::sync::OnceLock;
+    static LUT: OnceLock<[i64; LOG2_LUT_SEGMENTS + 1]> = OnceLock::new();
+    LUT.get_or_init(|| {
+        let mut t = [0i64; LOG2_LUT_SEGMENTS + 1];
+        for (i, slot) in t.iter_mut().enumerate() {
+            let x = 1.0 + i as f64 / LOG2_LUT_SEGMENTS as f64;
+            *slot = (x.log2() * (1i64 << LOG2_FRAC_BITS) as f64).round() as i64;
+        }
+        t
+    })
+}
+
+/// Integer base-2 logarithm of a positive value, in Q8.24.
+///
+/// The value is normalised by its leading-bit position; the mantissa's
+/// top 8 bits index the [`log2_lut`] table and the next 16 bits linearly
+/// interpolate between adjacent entries, giving an absolute error below
+/// `3e-6` — no floating-point transcendental is evaluated. `v == 0`
+/// returns `i64::MIN / 2` (a sentinel far below any representable log;
+/// callers floor their inputs so zero never reaches the log in practice).
+pub fn log2_q24(v: u64) -> i64 {
+    if v == 0 {
+        return i64::MIN / 2;
+    }
+    let n = 63 - v.leading_zeros() as i64; // leading bit position
+                                           // 24-bit mantissa fraction of v / 2^n - 1, in [0, 2^24).
+    let frac: u64 = if n >= LOG2_FRAC_BITS as i64 {
+        (v >> (n - LOG2_FRAC_BITS as i64)) & ((1u64 << LOG2_FRAC_BITS) - 1)
+    } else {
+        (v << (LOG2_FRAC_BITS as i64 - n)) & ((1u64 << LOG2_FRAC_BITS) - 1)
+    };
+    let lut = log2_lut();
+    let idx = (frac >> 16) as usize; // top 8 bits: segment
+    let rem = (frac & 0xFFFF) as i64; // low 16 bits: position inside it
+    let lo = lut[idx];
+    let hi = lut[idx + 1];
+    let interp = lo + (((hi - lo) * rem + (1 << 15)) >> 16);
+    (n << LOG2_FRAC_BITS) + interp
+}
+
+/// Natural logarithm of `v * 2^-scale_pow2` in Q9 (`i64`), computed from
+/// [`log2_q24`] with a Q24 `ln(2)` multiply — exact integer arithmetic
+/// end to end.
+///
+/// `v == 0` saturates far negative (see [`log2_q24`]); callers clamp the
+/// result into their storage format.
+pub fn ln_q9_scaled(v: u64, scale_pow2: i64) -> i64 {
+    let log2 = log2_q24(v).saturating_sub(scale_pow2 << LOG2_FRAC_BITS);
+    // (Q24 * Q24) >> 39 = Q9, rounded half-up.
+    (log2.saturating_mul(LN2_Q24) + (1 << 38)) >> 39
+}
+
+/// A mel filter bank pre-packed for the fixed-point front end: Q15
+/// weights stored **banded** — each triangular filter keeps only its
+/// `[start, end)` nonzero bin span, flattened into one contiguous
+/// weight array.
+///
+/// Applying the bank to a spectrum row therefore costs `Σ span_m`
+/// multiply-adds (≈ `2 × n_bins` for triangular banks, every filter
+/// overlapping its neighbour) instead of the dense GEMM's
+/// `n_mels × n_bins` — a ~20× cut for the paper geometries — while
+/// producing **bit-identical** band energies: the skipped weights
+/// quantise to exact Q15 zeros, whose products contribute nothing to an
+/// integer accumulator.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MelBankQ15 {
+    n_bins: usize,
+    /// Per-filter `(start_bin, weight_offset)`; `starts.len() == n_mels + 1`
+    /// with a trailing sentinel, so filter `m` spans
+    /// `starts[m].0 .. starts[m].0 + (starts[m + 1].1 - starts[m].1)`.
+    starts: Vec<(u32, u32)>,
+    weights: Vec<i16>,
+}
+
+impl MelBankQ15 {
+    /// Packs a dense `n_mels x n_bins` filter bank (row-major `f64`
+    /// weights in `[0, 1]`), quantising to Q15 and recording each row's
+    /// nonzero span *after* quantisation (sub-Q15 tails are exact zeros
+    /// either way).
+    pub fn pack(n_mels: usize, n_bins: usize, weight_of: impl Fn(usize, usize) -> f64) -> Self {
+        let mut starts = Vec::with_capacity(n_mels + 1);
+        let mut weights = Vec::new();
+        for m in 0..n_mels {
+            let row: Vec<i16> = (0..n_bins).map(|k| quantize_q15(weight_of(m, k))).collect();
+            let start = row.iter().position(|&w| w != 0).unwrap_or(n_bins);
+            let end = row.iter().rposition(|&w| w != 0).map_or(start, |e| e + 1);
+            starts.push((start as u32, weights.len() as u32));
+            weights.extend_from_slice(&row[start..end]);
+        }
+        starts.push((n_bins as u32, weights.len() as u32));
+        MelBankQ15 {
+            n_bins,
+            starts,
+            weights,
+        }
+    }
+
+    /// Number of mel channels.
+    pub fn n_mels(&self) -> usize {
+        self.starts.len() - 1
+    }
+
+    /// Number of spectrum bins per row.
+    pub fn n_bins(&self) -> usize {
+        self.n_bins
+    }
+
+    /// Total packed (nonzero) weights — the per-row multiply count.
+    pub fn packed_weights(&self) -> usize {
+        self.weights.len()
+    }
+
+    /// Band energies of one spectrum row: `out[m] = Σ_k spec[k] · w_q[m][k]`
+    /// over the banded span, exact `i64` accumulation (the caller owns
+    /// the power-of-two scale). Bit-identical to the dense Q15 product.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `spec.len() == n_bins` and `out.len() == n_mels`.
+    pub fn accumulate_row(&self, spec: &[i32], out: &mut [i64]) {
+        assert_eq!(spec.len(), self.n_bins, "spectrum row length");
+        assert_eq!(out.len(), self.n_mels(), "band row length");
+        for (m, o) in out.iter_mut().enumerate() {
+            let (start, w0) = self.starts[m];
+            let w1 = self.starts[m + 1].1;
+            let ws = &self.weights[w0 as usize..w1 as usize];
+            let sp = &spec[start as usize..start as usize + ws.len()];
+            let mut acc = 0i64;
+            for (&s, &w) in sp.iter().zip(ws) {
+                acc += s as i64 * w as i64;
+            }
+            *o = acc;
+        }
+    }
+
+    /// [`accumulate_row`](Self::accumulate_row) over a frame block:
+    /// `out` is resized to `a.rows() x n_mels`. Rows are independent, so
+    /// block output is bit-identical to row-at-a-time output.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] unless `a.cols() == n_bins`.
+    pub fn apply_block_into(&self, a: &Mat<i32>, out: &mut Mat<i64>) -> Result<()> {
+        if a.cols() != self.n_bins {
+            return Err(TensorError::ShapeMismatch {
+                op: "mel_bank_q15",
+                lhs: a.shape(),
+                rhs: (self.n_bins, self.n_mels()),
+            });
+        }
+        out.resize(a.rows(), self.n_mels());
+        for i in 0..a.rows() {
+            self.accumulate_row(a.row(i), out.row_mut(i));
+        }
+        Ok(())
+    }
+}
+
+fn check_inner(op: &'static str, a_shape: (usize, usize), w: (usize, usize)) -> Result<()> {
+    if a_shape.1 != w.0 {
+        return Err(TensorError::ShapeMismatch {
+            op,
+            lhs: a_shape,
+            rhs: w,
+        });
+    }
+    Ok(())
+}
+
+/// Panel-packed GEMM `C = A · W` with `i32` activations, Q15 (`i16`)
+/// weights and exact `i64` accumulation — the mel filter bank product of
+/// the fixed-point MFCC front end (`A` holds block-scaled spectra, `W`
+/// the pre-packed filter bank).
+///
+/// Products are `i32 x i16 <= 2^45`; up to `2^18` of them fit the `i64`
+/// accumulator, far beyond any FFT bin count. No shifting or saturation
+/// happens here — the caller owns the output scale — so results are
+/// independent of panel/row traversal order (integer addition is
+/// associative) and bit-identical for any `M`, including `M == 1`.
+///
+/// # Errors
+///
+/// Returns [`TensorError::ShapeMismatch`] unless `a.cols()` matches the
+/// packed operand's inner dimension.
+pub fn matmul_i32_q15_i64_packed_into(
+    a: &Mat<i32>,
+    w: &PackedMat<i16>,
+    out: &mut Mat<i64>,
+) -> Result<()> {
+    check_inner("matmul_i32_q15_i64", a.shape(), w.shape())?;
+    let (m, _k, n) = (a.rows(), a.cols(), w.cols());
+    out.resize(m, n);
+    for i in 0..m {
+        let arow = a.row(i);
+        let orow = out.row_mut(i);
+        for p in 0..w.panels() {
+            let panel = w.panel(p);
+            let col0 = p * NR;
+            let width = (n - col0).min(NR);
+            let mut acc = [0i64; NR];
+            for (av, wrow) in arow.iter().zip(panel.chunks_exact(NR)) {
+                let av = *av as i64;
+                for j in 0..NR {
+                    acc[j] += av * wrow[j] as i64;
+                }
+            }
+            orow[col0..col0 + width].copy_from_slice(&acc[..width]);
+        }
+    }
+    Ok(())
+}
+
+/// Panel-packed GEMM `C = A · W` with `i16` activations, Q15 (`i16`)
+/// weights and exact `i64` accumulation — the DCT-II product of the
+/// fixed-point MFCC front end (`A` holds Q9 log-mel rows, `W` the
+/// pre-packed DCT matrix).
+///
+/// Same exactness/bit-identity contract as
+/// [`matmul_i32_q15_i64_packed_into`].
+///
+/// # Errors
+///
+/// Returns [`TensorError::ShapeMismatch`] unless `a.cols()` matches the
+/// packed operand's inner dimension.
+pub fn matmul_i16_q15_i64_packed_into(
+    a: &Mat<i16>,
+    w: &PackedMat<i16>,
+    out: &mut Mat<i64>,
+) -> Result<()> {
+    check_inner("matmul_i16_q15_i64", a.shape(), w.shape())?;
+    let (m, _k, n) = (a.rows(), a.cols(), w.cols());
+    out.resize(m, n);
+    for i in 0..m {
+        let arow = a.row(i);
+        let orow = out.row_mut(i);
+        for p in 0..w.panels() {
+            let panel = w.panel(p);
+            let col0 = p * NR;
+            let width = (n - col0).min(NR);
+            let mut acc = [0i64; NR];
+            for (av, wrow) in arow.iter().zip(panel.chunks_exact(NR)) {
+                let av = *av as i32;
+                for j in 0..NR {
+                    acc[j] += (av * wrow[j] as i32) as i64;
+                }
+            }
+            orow[col0..col0 + width].copy_from_slice(&acc[..width]);
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn q15_quantisation_rounds_and_saturates() {
+        assert_eq!(quantize_q15(0.0), 0);
+        assert_eq!(quantize_q15(0.5), 16_384);
+        assert_eq!(quantize_q15(1.0), i16::MAX); // 32768 saturates
+        assert_eq!(quantize_q15(-1.0), -32_768);
+        assert_eq!(quantize_q15(1.0 / 32_768.0), 1);
+        assert_eq!(quantize_q15(2.0), i16::MAX);
+        assert_eq!(quantize_q15(-2.0), i16::MIN);
+    }
+
+    #[test]
+    fn log2_q24_tracks_f64_log2() {
+        let scale = (1i64 << LOG2_FRAC_BITS) as f64;
+        for v in [
+            1u64,
+            2,
+            3,
+            7,
+            255,
+            256,
+            1000,
+            65_535,
+            1 << 24,
+            (1 << 24) + 12_345,
+            u32::MAX as u64,
+            1 << 52,
+            u64::MAX,
+        ] {
+            let got = log2_q24(v) as f64 / scale;
+            let want = (v as f64).log2();
+            assert!(
+                (got - want).abs() < 1e-5,
+                "log2({v}): got {got}, want {want}"
+            );
+        }
+    }
+
+    #[test]
+    fn log2_q24_is_monotone_over_small_values() {
+        let mut prev = log2_q24(1);
+        for v in 2..5_000u64 {
+            let cur = log2_q24(v);
+            assert!(cur >= prev, "log2 not monotone at {v}");
+            prev = cur;
+        }
+    }
+
+    #[test]
+    fn log2_q24_zero_is_a_deep_sentinel() {
+        assert!(log2_q24(0) < log2_q24(1) - (1 << 40));
+    }
+
+    #[test]
+    fn ln_q9_matches_f64_ln_across_scales() {
+        for (v, sp) in [
+            (1u64, 0i64),
+            (12_345, 10),
+            (1 << 40, 45),
+            (987_654_321, -8),
+            (3, 33),
+        ] {
+            let got = ln_q9_scaled(v, sp) as f64 / 512.0;
+            let want = (v as f64 * (-(sp as f64)).exp2()).ln();
+            assert!(
+                (got - want).abs() < 3e-3,
+                "ln({v} * 2^-{sp}): got {got}, want {want}"
+            );
+        }
+    }
+
+    fn mat_i32(rows: usize, cols: usize, seed: i64) -> Mat<i32> {
+        Mat::from_fn(rows, cols, |r, c| {
+            (((r as i64 * 2_654_435_761 + c as i64 * 40_503 + seed * 7_919) % 0x3FFF_FFFF)
+                - 0x1FFF_FFFF) as i32
+        })
+    }
+
+    fn mat_i16(rows: usize, cols: usize, seed: i64) -> Mat<i16> {
+        Mat::from_fn(rows, cols, |r, c| {
+            (((r as i64 * 131 + c as i64 * 37 + seed * 7) % 65_535) - 32_767) as i16
+        })
+    }
+
+    #[test]
+    fn i32_q15_matches_naive_i64() {
+        for (m, k, n) in [(1, 1, 1), (3, 257, 10), (7, 129, 40), (26, 513, 40)] {
+            let a = mat_i32(m, k, 1);
+            let w = mat_i16(k, n, 2);
+            let p = PackedMat::pack(&w);
+            let mut got = Mat::default();
+            matmul_i32_q15_i64_packed_into(&a, &p, &mut got).unwrap();
+            for i in 0..m {
+                for j in 0..n {
+                    let want: i64 = (0..k).map(|kk| a[(i, kk)] as i64 * w[(kk, j)] as i64).sum();
+                    assert_eq!(got[(i, j)], want, "({i},{j}) m={m} k={k} n={n}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn i16_q15_matches_naive_i64() {
+        for (m, k, n) in [(1, 1, 1), (2, 40, 16), (26, 40, 40), (5, 63, 9)] {
+            let a = mat_i16(m, k, 3);
+            let w = mat_i16(k, n, 4);
+            let p = PackedMat::pack(&w);
+            let mut got = Mat::default();
+            matmul_i16_q15_i64_packed_into(&a, &p, &mut got).unwrap();
+            for i in 0..m {
+                for j in 0..n {
+                    let want: i64 = (0..k).map(|kk| a[(i, kk)] as i64 * w[(kk, j)] as i64).sum();
+                    assert_eq!(got[(i, j)], want, "({i},{j}) m={m} k={k} n={n}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn single_row_blocks_match_full_blocks() {
+        // The property the streaming front end relies on: processing rows
+        // one at a time equals processing them as one block, bit-for-bit.
+        let a32 = mat_i32(9, 65, 5);
+        let a16 = mat_i16(9, 65, 6);
+        let w = mat_i16(65, 12, 7);
+        let p = PackedMat::pack(&w);
+        let (mut full32, mut full16) = (Mat::default(), Mat::default());
+        matmul_i32_q15_i64_packed_into(&a32, &p, &mut full32).unwrap();
+        matmul_i16_q15_i64_packed_into(&a16, &p, &mut full16).unwrap();
+        let mut one = Mat::default();
+        for i in 0..9 {
+            let row32 = Mat::from_fn(1, 65, |_, c| a32[(i, c)]);
+            matmul_i32_q15_i64_packed_into(&row32, &p, &mut one).unwrap();
+            assert_eq!(one.row(0), full32.row(i));
+            let row16 = Mat::from_fn(1, 65, |_, c| a16[(i, c)]);
+            matmul_i16_q15_i64_packed_into(&row16, &p, &mut one).unwrap();
+            assert_eq!(one.row(0), full16.row(i));
+        }
+    }
+
+    #[test]
+    fn banded_mel_bank_bit_identical_to_dense_gemm() {
+        // Triangular-ish rows with leading/trailing zeros; the banded
+        // bank must reproduce the dense Q15 product exactly, including
+        // an all-zero filter.
+        let (n_mels, n_bins) = (10usize, 65usize);
+        let weight = |m: usize, k: usize| -> f64 {
+            if m == 7 {
+                return 0.0; // degenerate empty filter
+            }
+            let center = 4.0 + m as f64 * 6.0;
+            let spread = 5.0;
+            (1.0 - ((k as f64 - center).abs() / spread)).max(0.0)
+        };
+        let bank = MelBankQ15::pack(n_mels, n_bins, weight);
+        assert!(bank.packed_weights() < n_mels * n_bins / 3);
+        let dense = PackedMat::pack(&Mat::from_fn(n_bins, n_mels, |k, m| {
+            quantize_q15(weight(m, k))
+        }));
+        let a = mat_i32(6, n_bins, 9);
+        let mut want = Mat::default();
+        matmul_i32_q15_i64_packed_into(&a, &dense, &mut want).unwrap();
+        let mut got = Mat::default();
+        bank.apply_block_into(&a, &mut got).unwrap();
+        assert_eq!(got, want);
+        // row-at-a-time equals block
+        let mut row_out = vec![0i64; n_mels];
+        for i in 0..a.rows() {
+            bank.accumulate_row(a.row(i), &mut row_out);
+            assert_eq!(&row_out[..], got.row(i));
+        }
+        // shape error
+        assert!(bank.apply_block_into(&Mat::zeros(2, 3), &mut got).is_err());
+    }
+
+    #[test]
+    fn shape_errors_propagate() {
+        let p = PackedMat::pack(&Mat::<i16>::zeros(4, 2));
+        let mut out = Mat::default();
+        assert!(matmul_i32_q15_i64_packed_into(&Mat::zeros(2, 3), &p, &mut out).is_err());
+        assert!(matmul_i16_q15_i64_packed_into(&Mat::zeros(2, 3), &p, &mut out).is_err());
+    }
+}

@@ -55,6 +55,7 @@
 #![warn(missing_docs)]
 
 mod error;
+pub mod fixedpoint;
 mod mat;
 pub mod math;
 pub mod ops;

@@ -140,7 +140,12 @@ impl<T: Copy + Default> Mat<T> {
     ///
     /// Panics if `r >= self.rows()`.
     pub fn row(&self, r: usize) -> &[T] {
-        assert!(r < self.rows, "row {} out of bounds ({} rows)", r, self.rows);
+        assert!(
+            r < self.rows,
+            "row {} out of bounds ({} rows)",
+            r,
+            self.rows
+        );
         &self.data[r * self.cols..(r + 1) * self.cols]
     }
 
@@ -150,7 +155,12 @@ impl<T: Copy + Default> Mat<T> {
     ///
     /// Panics if `r >= self.rows()`.
     pub fn row_mut(&mut self, r: usize) -> &mut [T] {
-        assert!(r < self.rows, "row {} out of bounds ({} rows)", r, self.rows);
+        assert!(
+            r < self.rows,
+            "row {} out of bounds ({} rows)",
+            r,
+            self.rows
+        );
         &mut self.data[r * self.cols..(r + 1) * self.cols]
     }
 
@@ -206,7 +216,9 @@ impl<T: Copy + Default> Mat<T> {
             start + width,
             self.cols
         );
-        Mat::from_fn(self.rows, width, |r, c| self.data[r * self.cols + start + c])
+        Mat::from_fn(self.rows, width, |r, c| {
+            self.data[r * self.cols + start + c]
+        })
     }
 
     /// Stacks `self` on top of `other` (row-wise concatenation).

@@ -142,8 +142,8 @@ mod tests {
         let h = 1e-3f64;
         for i in -30..=30 {
             let x = i as f64 * 0.13;
-            let num = (gelu_exact((x + h) as f32) as f64 - gelu_exact((x - h) as f32) as f64)
-                / (2.0 * h);
+            let num =
+                (gelu_exact((x + h) as f32) as f64 - gelu_exact((x - h) as f32) as f64) / (2.0 * h);
             let ana = gelu_exact_derivative(x as f32) as f64;
             assert!(
                 (num - ana).abs() < 1e-3,

@@ -316,11 +316,7 @@ pub fn split_into_qkv(
 ///
 /// Returns [`TensorError::ShapeMismatch`] if `q`, `k` and `v` do not share
 /// the shape `S x dim_head`.
-pub fn scaled_dot_product_attention(
-    q: &Mat<f32>,
-    k: &Mat<f32>,
-    v: &Mat<f32>,
-) -> Result<Mat<f32>> {
+pub fn scaled_dot_product_attention(q: &Mat<f32>, k: &Mat<f32>, v: &Mat<f32>) -> Result<Mat<f32>> {
     if q.shape() != k.shape() || k.shape() != v.shape() {
         return Err(TensorError::ShapeMismatch {
             op: "scaled_dot_product_attention",
@@ -612,10 +608,14 @@ mod tests {
     #[test]
     fn split_qkv_layout() {
         // S=2, heads=2, dim_head=1 -> cols = 6, layout [Q0 Q1 | K0 K1 | V0 V1]
-        let x = Mat::from_vec(2, 6, vec![
-            1.0, 2.0, 3.0, 4.0, 5.0, 6.0, //
-            7.0, 8.0, 9.0, 10.0, 11.0, 12.0,
-        ])
+        let x = Mat::from_vec(
+            2,
+            6,
+            vec![
+                1.0, 2.0, 3.0, 4.0, 5.0, 6.0, //
+                7.0, 8.0, 9.0, 10.0, 11.0, 12.0,
+            ],
+        )
         .unwrap();
         let (q, k, v) = split_into_qkv(&x, 2, 1).unwrap();
         assert_eq!(q[0].as_slice(), &[1.0, 7.0]);

@@ -184,11 +184,11 @@ impl<T: Copy + Default> PackedMat<T> {
     }
 
     /// Borrow of one packed panel (`K * NR` entries, k-major).
-    fn panel(&self, p: usize) -> &[T] {
+    pub(crate) fn panel(&self, p: usize) -> &[T] {
         &self.data[p * self.k * NR..(p + 1) * self.k * NR]
     }
 
-    fn panels(&self) -> usize {
+    pub(crate) fn panels(&self) -> usize {
         self.n.div_ceil(NR.max(1))
     }
 }
@@ -522,8 +522,7 @@ mod tests {
             let b = mat_i16(k, n, 4);
             let p = PackedMat::pack(&b);
             for shift in [0u32, 5] {
-                let (c_ref, s_ref) =
-                    crate::qops::reference::matmul_i16_i16(&a, &b, shift).unwrap();
+                let (c_ref, s_ref) = crate::qops::reference::matmul_i16_i16(&a, &b, shift).unwrap();
                 let (c_new, s_new) = matmul_i16_i16_packed(&a, &p, shift).unwrap();
                 assert_eq!(c_new, c_ref);
                 assert_eq!(s_new, s_ref);

@@ -492,7 +492,7 @@ mod tests {
     fn quantize_floor_rule() {
         let m = Mat::from_vec(1, 4, vec![0.49, -0.49, 0.51, -0.51]).unwrap();
         let (q, stats) = quantize_i8(&m, 3); // scale 8
-        // floor(0.49*8)=3, floor(-0.49*8)=floor(-3.92)=-4
+                                             // floor(0.49*8)=3, floor(-0.49*8)=floor(-3.92)=-4
         assert_eq!(q.as_slice(), &[3, -4, 4, -5]);
         assert_eq!(stats.saturations, 0);
     }
@@ -583,7 +583,15 @@ mod tests {
         let a = Mat::from_vec(2, 2, vec![100i16, -200, 300, 400]).unwrap();
         let b = Mat::from_vec(2, 2, vec![5i16, 6, 7, 8]).unwrap();
         let (c, stats) = matmul_i16_i16(&a, &b, 0).unwrap();
-        assert_eq!(c.as_slice(), &[100 * 5 - 200 * 7, 100 * 6 - 200 * 8, 300 * 5 + 400 * 7, 300 * 6 + 400 * 8]);
+        assert_eq!(
+            c.as_slice(),
+            &[
+                100 * 5 - 200 * 7,
+                100 * 6 - 200 * 8,
+                300 * 5 + 400 * 7,
+                300 * 6 + 400 * 8
+            ]
+        );
         assert_eq!(stats.saturations, 0);
     }
 

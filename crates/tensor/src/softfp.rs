@@ -35,7 +35,11 @@ pub fn add(a: u32, b: u32) -> u32 {
         return b;
     }
     // ensure |x| >= |y|
-    let (x, y, mut ex, ey) = if ta < tb { (b, a, eb, ea) } else { (a, b, ea, eb) };
+    let (x, y, mut ex, ey) = if ta < tb {
+        (b, a, eb, ea)
+    } else {
+        (a, b, ea, eb)
+    };
     // mantissas with implicit bit, pre-shifted left 3 (guard bits)
     let mx = ((x & 0x007F_FFFF) | 0x0080_0000) << 3;
     let my = ((y & 0x007F_FFFF) | 0x0080_0000) << 3;

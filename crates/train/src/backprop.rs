@@ -305,8 +305,13 @@ pub fn backward(
         let mut dx_mid = dr2.clone();
 
         // mlp_out = hidden_post W2 + b2.
-        let dhidden_post =
-            linear_backward(&lc.hidden_post, &layer.w_mlp2, dmlp_out, &mut gl.w_mlp2, &mut gl.b_mlp2)?;
+        let dhidden_post = linear_backward(
+            &lc.hidden_post,
+            &layer.w_mlp2,
+            dmlp_out,
+            &mut gl.w_mlp2,
+            &mut gl.b_mlp2,
+        )?;
 
         // GELU backward.
         let mut dhidden_pre = Mat::zeros(dhidden_post.rows(), dhidden_post.cols());
@@ -318,8 +323,13 @@ pub fn backward(
         }
 
         // hidden_pre = x_mid W1 + b1.
-        let dx_mid_mlp =
-            linear_backward(&lc.x_mid, &layer.w_mlp1, &dhidden_pre, &mut gl.w_mlp1, &mut gl.b_mlp1)?;
+        let dx_mid_mlp = linear_backward(
+            &lc.x_mid,
+            &layer.w_mlp1,
+            &dhidden_pre,
+            &mut gl.w_mlp1,
+            &mut gl.b_mlp1,
+        )?;
         ops::add_assign(&mut dx_mid, &dx_mid_mlp)?;
 
         // LN1 backward: dx_mid -> dr1.
@@ -336,7 +346,13 @@ pub fn backward(
         let mut dx_in = dr1.clone();
 
         // attn_out = sa W_out + b_out.
-        let dsa = linear_backward(&lc.sa, &layer.w_out, dattn_out, &mut gl.w_out, &mut gl.b_out)?;
+        let dsa = linear_backward(
+            &lc.sa,
+            &layer.w_out,
+            dattn_out,
+            &mut gl.w_out,
+            &mut gl.b_out,
+        )?;
 
         // Attention backward per head; assemble dqkv.
         let inner = c.heads * c.dim_head;
@@ -499,7 +515,7 @@ mod tests {
         let x = pseudo_input(&cfg, 5);
         let cache = forward_cached(&params, &x).unwrap();
         let mut grads = KwtParams::zeros(cfg).unwrap();
-        backward(&params, &cache, &vec![0.0; 3], &mut grads).unwrap();
+        backward(&params, &cache, &[0.0; 3], &mut grads).unwrap();
         assert!(grads.flatten().iter().all(|&g| g == 0.0));
     }
 

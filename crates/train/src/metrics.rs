@@ -30,7 +30,10 @@ pub fn confusion_matrix(
     assert_eq!(predictions.len(), labels.len(), "length mismatch");
     let mut m = vec![vec![0usize; num_classes]; num_classes];
     for (&p, &l) in predictions.iter().zip(labels) {
-        assert!(p < num_classes && l < num_classes, "class index out of range");
+        assert!(
+            p < num_classes && l < num_classes,
+            "class index out of range"
+        );
         m[l][p] += 1;
     }
     m

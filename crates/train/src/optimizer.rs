@@ -116,7 +116,11 @@ mod tests {
         let mut x = vec![0.0f32; 3];
         let mut opt = Adam::new(3, AdamConfig::default());
         for _ in 0..4000 {
-            let grads: Vec<f32> = x.iter().zip(&target).map(|(xi, t)| 2.0 * (xi - t)).collect();
+            let grads: Vec<f32> = x
+                .iter()
+                .zip(&target)
+                .map(|(xi, t)| 2.0 * (xi - t))
+                .collect();
             opt.step(&mut x, &grads, 0.01);
         }
         for (xi, t) in x.iter().zip(&target) {

@@ -220,7 +220,7 @@ impl Trainer {
             }
 
             let (val_acc, _) = evaluate(&self.params, val)?;
-            if self.best.as_ref().map_or(true, |(b, _)| val_acc > *b) {
+            if self.best.as_ref().is_none_or(|(b, _)| val_acc > *b) {
                 self.best = Some((val_acc, self.params.clone()));
             }
             let stats = EpochStats {
@@ -273,7 +273,11 @@ fn argmax(v: &[f32]) -> usize {
 }
 
 fn clip_global_norm(grads: &mut [f32], max_norm: f32) {
-    let norm = grads.iter().map(|g| (*g as f64) * (*g as f64)).sum::<f64>().sqrt() as f32;
+    let norm = grads
+        .iter()
+        .map(|g| (*g as f64) * (*g as f64))
+        .sum::<f64>()
+        .sqrt() as f32;
     if norm > max_norm && norm > 0.0 {
         let scale = max_norm / norm;
         for g in grads {
@@ -326,13 +330,8 @@ mod tests {
                 ((h >> 40) as f32 / (1u64 << 24) as f32 - 0.5) * 0.4
             };
             let m = Mat::from_fn(cfg.input_time, cfg.input_freq, |r, c| {
-                let signal = if label == 0 && c == 0 {
-                    2.0
-                } else if label == 1 && c == cfg.input_freq - 1 {
-                    2.0
-                } else {
-                    0.0
-                };
+                let hot = (label == 0 && c == 0) || (label == 1 && c == cfg.input_freq - 1);
+                let signal = if hot { 2.0 } else { 0.0 };
                 signal + jitter(r, c)
             });
             x.push(m);
@@ -392,8 +391,20 @@ mod tests {
         let cfg = small_config();
         let data = toy_dataset(&cfg, 8, 3);
         let params = KwtParams::init(cfg, 9).unwrap();
-        let t1 = Trainer::new(params.clone(), TrainConfig { threads: 1, ..TrainConfig::default() });
-        let t4 = Trainer::new(params, TrainConfig { threads: 4, ..TrainConfig::default() });
+        let t1 = Trainer::new(
+            params.clone(),
+            TrainConfig {
+                threads: 1,
+                ..TrainConfig::default()
+            },
+        );
+        let t4 = Trainer::new(
+            params,
+            TrainConfig {
+                threads: 4,
+                ..TrainConfig::default()
+            },
+        );
         let batch: Vec<usize> = (0..data.len()).collect();
         let (g1, l1, h1) = t1.batch_gradients(&data, &batch, 1).unwrap();
         let (g4, l4, h4) = t4.batch_gradients(&data, &batch, 4).unwrap();

@@ -17,14 +17,20 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("one float inference: {} cycles\n", run.cycles);
     println!("Fig. 3 — whole inference by operation:");
     for (op, cycles) in aggregate_by_op(&report.regions) {
-        println!("  {op:<12} {cycles:>10}  {:>5.1}%", 100.0 * cycles as f64 / run.cycles as f64);
+        println!(
+            "  {op:<12} {cycles:>10}  {:>5.1}%",
+            100.0 * cycles as f64 / run.cycles as f64
+        );
     }
     for (fig, block) in [("Fig. 4 — self-attention", "attn"), ("Fig. 5 — MLP", "mlp")] {
         let entries = filter_block(&report.regions, block);
         let total: u64 = entries.iter().map(|(_, c)| c).sum();
         println!("\n{fig} ({total} cycles):");
         for (op, cycles) in entries {
-            println!("  {op:<12} {cycles:>10}  {:>5.1}%", 100.0 * cycles as f64 / total.max(1) as f64);
+            println!(
+                "  {op:<12} {cycles:>10}  {:>5.1}%",
+                100.0 * cycles as f64 / total.max(1) as f64
+            );
         }
     }
     println!("\nfull region table:\n{}", report.to_table());

@@ -10,11 +10,30 @@ use kwt_tiny::quant::Nonlinearity;
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let ctx = kwt_bench_ctx();
     let (params, test) = ctx.trained_tiny();
-    println!("sweeping {} scale pairs over {} test clips...", PAPER_TABLE5_PAIRS.len(), test.len());
-    let rows = scale_sweep(&params, &test, &PAPER_TABLE5_PAIRS, Nonlinearity::FloatExact)?;
-    println!("{:>8} {:>8} {:>10} {:>12} {:>14}", "weights", "input", "accuracy", "saturations", "max |acc|");
+    println!(
+        "sweeping {} scale pairs over {} test clips...",
+        PAPER_TABLE5_PAIRS.len(),
+        test.len()
+    );
+    let rows = scale_sweep(
+        &params,
+        &test,
+        &PAPER_TABLE5_PAIRS,
+        Nonlinearity::FloatExact,
+    )?;
+    println!(
+        "{:>8} {:>8} {:>10} {:>12} {:>14}",
+        "weights", "input", "accuracy", "saturations", "max |acc|"
+    );
     for r in rows {
-        println!("{:>8} {:>8} {:>9.1}% {:>12} {:>14}", r.weight_factor, r.input_factor, r.accuracy * 100.0, r.saturations, r.max_abs_acc);
+        println!(
+            "{:>8} {:>8} {:>9.1}% {:>12} {:>14}",
+            r.weight_factor,
+            r.input_factor,
+            r.accuracy * 100.0,
+            r.saturations,
+            r.max_abs_acc
+        );
     }
     println!("\npaper Table V: 60.3% / 71% / 77.3% / 82.5% / 65.2%");
     Ok(())

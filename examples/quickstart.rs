@@ -23,15 +23,26 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // 2. The paper's KWT-Tiny: exactly 1646 parameters.
     let config = KwtConfig::kwt_tiny();
-    println!("KWT-Tiny: {} parameters ({} bytes as f32)", config.param_count(), config.memory_bytes_f32());
+    println!(
+        "KWT-Tiny: {} parameters ({} bytes as f32)",
+        config.param_count(),
+        config.memory_bytes_f32()
+    );
 
     // 3. Train briefly.
     let mut trainer = Trainer::new(
         KwtParams::init(config, 42)?,
-        TrainConfig { epochs: 10, verbose: true, ..TrainConfig::default() },
+        TrainConfig {
+            epochs: 10,
+            verbose: true,
+            ..TrainConfig::default()
+        },
     );
     let report = trainer.fit(&train, &val)?;
-    println!("best val accuracy: {:.1}%", report.best_val_accuracy * 100.0);
+    println!(
+        "best val accuracy: {:.1}%",
+        report.best_val_accuracy * 100.0
+    );
     let (test_acc, _) = evaluate(trainer.params(), &test)?;
     println!("test accuracy: {:.1}%", test_acc * 100.0);
 
@@ -50,7 +61,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let clips: Vec<Vec<f32>> = (0..4).map(|i| ds.utterance(Split::Test, i).0).collect();
     let batch = engine.classify_batch(&clips)?;
     let batch_classes: Vec<&str> = batch.iter().map(|p| names[p.class].as_str()).collect();
-    println!("batch of {} clips classified as {:?}", clips.len(), batch_classes);
+    println!(
+        "batch of {} clips classified as {:?}",
+        clips.len(),
+        batch_classes
+    );
 
     // 6. Streaming keyword spotting: feed the microphone-style stream in
     //    arbitrary chunks; decisions fire per hop with majority smoothing.

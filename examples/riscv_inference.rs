@@ -26,7 +26,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let accel_img = InferenceImage::build_quant(&qm.with_nonlinearity(Nonlinearity::FixedLut))?;
 
     let platform = Platform::ibex();
-    println!("{:<22} {:>12} {:>12} {:>10} {:>10}", "model", "cycles", "instrs", "prog (kB)", "ms @50MHz");
+    println!(
+        "{:<22} {:>12} {:>12} {:>10} {:>10}",
+        "model", "cycles", "instrs", "prog (kB)", "ms @50MHz"
+    );
     let mut cycles = Vec::new();
     for (name, img) in [
         ("KWT-Tiny (float)", &float_img),
@@ -37,7 +40,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         // stays warm across every inference this engine serves.
         let mut engine = Engine::rv32_sim(img, frontend.clone())?;
         let pred = engine.classify_mfcc(&x)?;
-        let run = engine.last_device_run().expect("rv32 backend reports run stats");
+        let run = engine
+            .last_device_run()
+            .expect("rv32 backend reports run stats");
         cycles.push(run.cycles);
         println!(
             "{name:<22} {:>12} {:>12} {:>10.1} {:>10.1}   class {} (p = {:.2})",
@@ -49,8 +54,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             pred.score,
         );
     }
-    println!("\nspeedup float -> accelerated: {:.1}x (paper: ~4.7x, 26M -> 5.5M cycles)", cycles[0] as f64 / cycles[2] as f64);
-    println!("bank usage (float image): {:?} of the paper's SEQLENxMLP_DIM / SEQLENxDIM_HEADx3 banks", float_img.bank_usage);
+    println!(
+        "\nspeedup float -> accelerated: {:.1}x (paper: ~4.7x, 26M -> 5.5M cycles)",
+        cycles[0] as f64 / cycles[2] as f64
+    );
+    println!(
+        "bank usage (float image): {:?} of the paper's SEQLENxMLP_DIM / SEQLENxDIM_HEADx3 banks",
+        float_img.bank_usage
+    );
 
     // The same engine type serves repeated traffic without reloading the
     // machine: classify every test clip on the accelerated image.
@@ -63,6 +74,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             agree += 1;
         }
     }
-    println!("\naccelerated device engine: {agree}/{n} test clips correct over one persistent machine");
+    println!(
+        "\naccelerated device engine: {agree}/{n} test clips correct over one persistent machine"
+    );
     Ok(())
 }

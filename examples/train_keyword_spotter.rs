@@ -15,18 +15,35 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let train = ds.materialize(Split::Train, &fe)?;
     let val = ds.materialize(Split::Val, &fe)?;
     let test = ds.materialize(Split::Test, &fe)?;
-    println!("data: {} train / {} val / {} test in {:.1}s", train.len(), val.len(), test.len(), t0.elapsed().as_secs_f32());
+    println!(
+        "data: {} train / {} val / {} test in {:.1}s",
+        train.len(),
+        val.len(),
+        test.len(),
+        t0.elapsed().as_secs_f32()
+    );
 
     let mut trainer = Trainer::new(
         KwtParams::init(KwtConfig::kwt_tiny(), 42)?,
-        TrainConfig { epochs: 30, verbose: true, ..TrainConfig::default() },
+        TrainConfig {
+            epochs: 30,
+            verbose: true,
+            ..TrainConfig::default()
+        },
     );
     let report = trainer.fit(&train, &val)?;
     let (acc, preds) = evaluate(trainer.params(), &test)?;
-    println!("\nbest val {:.1}% (epoch {}), test {:.1}% — paper: 87.2%", report.best_val_accuracy * 100.0, report.best_epoch, acc * 100.0);
+    println!(
+        "\nbest val {:.1}% (epoch {}), test {:.1}% — paper: 87.2%",
+        report.best_val_accuracy * 100.0,
+        report.best_epoch,
+        acc * 100.0
+    );
     let cm = confusion_matrix(&preds, &test.y, 2);
     println!("confusion matrix [true][pred]: {cm:?}");
-    trainer.params().save_json("results/kwt_tiny_trained.json")?;
+    trainer
+        .params()
+        .save_json("results/kwt_tiny_trained.json")?;
     println!("saved to results/kwt_tiny_trained.json (used by `paper` tables)");
     Ok(())
 }

@@ -1,42 +1,96 @@
 #!/usr/bin/env bash
-# Tier-1 verification plus a benchmark smoke pass (see ROADMAP.md).
+# Tier-1 verification plus the benchmark smoke pass and regression gates
+# (see ROADMAP.md and .github/workflows/ci.yml).
 #
-#   scripts/verify.sh            # build + tests + bench smoke
-#   scripts/verify.sh --fast     # build + tests only
+#   scripts/verify.sh            # build + tests + bench smoke + gates
+#   scripts/verify.sh --fast     # build + tests only (tier-1)
+#   scripts/verify.sh --ci       # sandboxed-runner mode: the scratch dir
+#                                # lives under target/ and no cleanup trap
+#                                # is installed (some CI sandboxes kill the
+#                                # trap handler or mount /tmp noexec)
 #
 # Tier-1 (must stay green): release build and the full test suite.
-# The smoke pass then runs every criterion bench exactly once and a
+# The smoke pass then runs every criterion bench exactly once, a
 # single-iteration `paper bench-engine` in a scratch directory (so the
 # committed BENCH_*.json artefacts are not overwritten with smoke-mode
-# numbers).
+# numbers), and the three regression gates:
+#
+#   * `paper check-a8`       — A8-vs-i16 top-1 agreement (>= 99 %) and
+#                              device/host bit-identity;
+#   * `paper check-frontend` — fixed-point MFCC vs f64 oracle top-1
+#                              agreement (>= 99.5 %) on the synth split;
+#   * `paper check-cycles`   — device cycles per image flavour vs the
+#                              committed BENCH_engine.json (<= +3 %).
+#
+# Every step reports its own name on failure, so CI logs point straight
+# at the broken stage.
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+fast=0
+ci=0
+for arg in "$@"; do
+    case "$arg" in
+        --fast) fast=1 ;;
+        --ci) ci=1 ;;
+        *)
+            echo "verify: unknown option '$arg' (expected --fast and/or --ci)" >&2
+            exit 2
+            ;;
+    esac
+done
+
+fail() {
+    echo "verify: FAILED at step '$1'" >&2
+    exit 1
+}
+
 echo "== tier-1: cargo build --release =="
-cargo build --release
+cargo build --release || fail "cargo build --release"
 
 echo "== tier-1: cargo test -q =="
-cargo test -q
+cargo test -q || fail "cargo test"
 
-if [[ "${1:-}" != "--fast" ]]; then
-    echo "== smoke: KWT_BENCH_SMOKE=1 cargo bench =="
-    KWT_BENCH_SMOKE=1 cargo bench -q
+if [[ "$fast" == 1 ]]; then
+    echo "verify: tier-1 green (--fast)"
+    exit 0
+fi
 
-    echo "== smoke: paper bench-engine (scratch dir) =="
+if [[ "$ci" == 1 ]]; then
+    scratch="target/verify-scratch"
+    rm -rf "$scratch"
+    mkdir -p "$scratch"
+    scratch="$(cd "$scratch" && pwd)"
+else
     scratch="$(mktemp -d)"
     trap 'rm -rf "$scratch"' EXIT
-    paper_bin="$(pwd)/target/release/paper"
-    (cd "$scratch" && KWT_BENCH_SMOKE=1 "$paper_bin" bench-engine >/dev/null)
-    echo "bench-engine smoke OK"
-
-    echo "== smoke: paper check-a8 (A8-vs-i16 agreement + device bit-identity) =="
-    (cd "$scratch" && "$paper_bin" check-a8 >/dev/null)
-    echo "check-a8 OK"
-
-    echo "== smoke: isa_ratio example =="
-    cargo run --release -q -p kwt-bench --example isa_ratio >/dev/null
-    echo "isa_ratio OK"
 fi
+paper_bin="$(pwd)/target/release/paper"
+
+echo "== smoke: KWT_BENCH_SMOKE=1 cargo bench =="
+KWT_BENCH_SMOKE=1 cargo bench -q || fail "bench smoke"
+
+echo "== smoke: paper bench-engine (scratch dir) =="
+(cd "$scratch" && KWT_BENCH_SMOKE=1 "$paper_bin" bench-engine >/dev/null) \
+    || fail "paper bench-engine"
+echo "bench-engine smoke OK"
+
+echo "== gate: paper check-a8 (A8-vs-i16 agreement + device bit-identity) =="
+(cd "$scratch" && "$paper_bin" check-a8 >/dev/null) || fail "paper check-a8"
+echo "check-a8 OK"
+
+echo "== gate: paper check-frontend (fixed-point MFCC agreement) =="
+(cd "$scratch" && "$paper_bin" check-frontend >/dev/null) || fail "paper check-frontend"
+echo "check-frontend OK"
+
+echo "== gate: paper check-cycles (device cycles vs committed baseline) =="
+"$paper_bin" check-cycles || fail "paper check-cycles"
+echo "check-cycles OK"
+
+echo "== smoke: isa_ratio example =="
+cargo run --release -q -p kwt-bench --example isa_ratio >/dev/null \
+    || fail "isa_ratio example"
+echo "isa_ratio OK"
 
 echo "verify: all green"

@@ -42,12 +42,17 @@ pub struct Criterion {
 
 impl Default for Criterion {
     fn default() -> Self {
-        let smoke = std::env::var("KWT_BENCH_SMOKE").map(|v| v != "0").unwrap_or(false);
+        let smoke = std::env::var("KWT_BENCH_SMOKE")
+            .map(|v| v != "0")
+            .unwrap_or(false);
         let ms = std::env::var("KWT_BENCH_MEAS_MS")
             .ok()
             .and_then(|v| v.parse::<u64>().ok())
             .unwrap_or(300);
-        Criterion { smoke, target: Duration::from_millis(ms) }
+        Criterion {
+            smoke,
+            target: Duration::from_millis(ms),
+        }
     }
 }
 
@@ -57,7 +62,11 @@ impl Criterion {
     where
         F: FnMut(&mut Bencher),
     {
-        let mut b = Bencher { smoke: self.smoke, target: self.target, ns_per_iter: 0.0 };
+        let mut b = Bencher {
+            smoke: self.smoke,
+            target: self.target,
+            ns_per_iter: 0.0,
+        };
         f(&mut b);
         report(id, b.ns_per_iter, None);
         self
@@ -65,7 +74,11 @@ impl Criterion {
 
     /// Opens a named group of related benchmarks.
     pub fn benchmark_group<S: Into<String>>(&mut self, name: S) -> BenchmarkGroup<'_> {
-        BenchmarkGroup { c: self, name: name.into(), throughput: None }
+        BenchmarkGroup {
+            c: self,
+            name: name.into(),
+            throughput: None,
+        }
     }
 }
 
@@ -88,9 +101,17 @@ impl BenchmarkGroup<'_> {
     where
         F: FnMut(&mut Bencher),
     {
-        let mut b = Bencher { smoke: self.c.smoke, target: self.c.target, ns_per_iter: 0.0 };
+        let mut b = Bencher {
+            smoke: self.c.smoke,
+            target: self.c.target,
+            ns_per_iter: 0.0,
+        };
         f(&mut b);
-        report(&format!("{}/{}", self.name, id), b.ns_per_iter, self.throughput);
+        report(
+            &format!("{}/{}", self.name, id),
+            b.ns_per_iter,
+            self.throughput,
+        );
         self
     }
 

@@ -78,7 +78,12 @@ impl SeedableRng for ChaCha8Rng {
             pair[0] = w as u32;
             pair[1] = (w >> 32) as u32;
         }
-        let mut rng = ChaCha8Rng { key, counter: 0, buf: [0; 16], idx: 16 };
+        let mut rng = ChaCha8Rng {
+            key,
+            counter: 0,
+            buf: [0; 16],
+            idx: 16,
+        };
         rng.refill();
         rng
     }

@@ -42,7 +42,10 @@ pub mod de {
     impl Error {
         /// Creates an error at a byte offset.
         pub fn new(msg: impl Into<String>, pos: usize) -> Self {
-            Error { msg: msg.into(), pos }
+            Error {
+                msg: msg.into(),
+                pos,
+            }
         }
 
         /// A "missing field" error (offset unknown).
@@ -73,7 +76,10 @@ pub mod de {
     impl<'a> Parser<'a> {
         /// Creates a parser over `input`.
         pub fn new(input: &'a str) -> Self {
-            Parser { bytes: input.as_bytes(), pos: 0 }
+            Parser {
+                bytes: input.as_bytes(),
+                pos: 0,
+            }
         }
 
         fn err(&self, msg: impl Into<String>) -> Error {
@@ -181,8 +187,8 @@ pub mod de {
                             .bytes
                             .get(start..start + len)
                             .ok_or_else(|| self.err("truncated UTF-8"))?;
-                        let s = std::str::from_utf8(chunk)
-                            .map_err(|_| self.err("invalid UTF-8"))?;
+                        let s =
+                            std::str::from_utf8(chunk).map_err(|_| self.err("invalid UTF-8"))?;
                         out.push_str(s);
                         self.pos = start + len;
                     }

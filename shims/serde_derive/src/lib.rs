@@ -39,14 +39,18 @@ struct Input {
 #[proc_macro_derive(Serialize)]
 pub fn derive_serialize(input: TokenStream) -> TokenStream {
     let parsed = parse_input(input);
-    gen_serialize(&parsed).parse().expect("generated Serialize impl parses")
+    gen_serialize(&parsed)
+        .parse()
+        .expect("generated Serialize impl parses")
 }
 
 /// Derives JSON `Deserialize` for the shim's data model.
 #[proc_macro_derive(Deserialize)]
 pub fn derive_deserialize(input: TokenStream) -> TokenStream {
     let parsed = parse_input(input);
-    gen_deserialize(&parsed).parse().expect("generated Deserialize impl parses")
+    gen_deserialize(&parsed)
+        .parse()
+        .expect("generated Deserialize impl parses")
 }
 
 // ---------------------------------------------------------------- parsing
@@ -115,7 +119,10 @@ fn parse_input(input: TokenStream) -> Input {
     let kind = match kw.as_str() {
         "struct" => {
             // Skip a where clause if present (none in this workspace, but cheap).
-            while i < toks.len() && !matches!(&toks[i], TokenTree::Group(_)) && !is_punct(&toks, i, ';') {
+            while i < toks.len()
+                && !matches!(&toks[i], TokenTree::Group(_))
+                && !is_punct(&toks, i, ';')
+            {
                 i += 1;
             }
             match toks.get(i) {
@@ -142,7 +149,11 @@ fn parse_input(input: TokenStream) -> Input {
         other => panic!("cannot derive for `{other}` items"),
     };
 
-    Input { name, generics, kind }
+    Input {
+        name,
+        generics,
+        kind,
+    }
 }
 
 fn skip_attrs_and_vis(toks: &[TokenTree], i: &mut usize) {
@@ -331,9 +342,7 @@ fn gen_serialize(input: &Input) -> String {
                 let ty = &input.name;
                 match &v.fields {
                     VariantFields::Unit => {
-                        body.push_str(&format!(
-                            "{ty}::{vn} => out.push_str(\"\\\"{vn}\\\"\"),\n"
-                        ));
+                        body.push_str(&format!("{ty}::{vn} => out.push_str(\"\\\"{vn}\\\"\"),\n"));
                     }
                     VariantFields::Named(fields) => {
                         let pat = fields.join(", ");
@@ -363,7 +372,9 @@ fn gen_serialize(input: &Input) -> String {
                                 if i > 0 {
                                     body.push_str("out.push(',');\n");
                                 }
-                                body.push_str(&format!("::serde::Serialize::json_ser({b}, out);\n"));
+                                body.push_str(&format!(
+                                    "::serde::Serialize::json_ser({b}, out);\n"
+                                ));
                             }
                             body.push_str("out.push_str(\"]}\");\n},\n");
                         }
@@ -385,7 +396,9 @@ fn gen_named_field_parse(ty_path: &str, fields: &[String]) -> String {
     let mut s = String::new();
     s.push_str("{\np.expect('{')?;\n");
     for f in fields {
-        s.push_str(&format!("let mut field_{f} = ::std::option::Option::None;\n"));
+        s.push_str(&format!(
+            "let mut field_{f} = ::std::option::Option::None;\n"
+        ));
     }
     s.push_str("if !p.try_consume('}') {\nloop {\n");
     s.push_str("let key = p.parse_string()?;\np.expect(':')?;\n");
@@ -449,7 +462,12 @@ fn gen_deserialize(input: &Input) -> String {
             let unit_arms: String = variants
                 .iter()
                 .filter(|v| matches!(v.fields, VariantFields::Unit))
-                .map(|v| format!("\"{vn}\" => ::std::result::Result::Ok({ty}::{vn}),\n", vn = v.name))
+                .map(|v| {
+                    format!(
+                        "\"{vn}\" => ::std::result::Result::Ok({ty}::{vn}),\n",
+                        vn = v.name
+                    )
+                })
                 .collect();
             body.push_str(&format!(
                 "if p.peek() == ::std::option::Option::Some(b'\"') {{\n\

@@ -31,10 +31,8 @@ fn all_three_flavours_agree_with_host_and_order_cycles() {
     let float_img = InferenceImage::build_float(&params).unwrap();
     let qm = QuantizedKwt::quantize(&params, QuantConfig::paper_best());
     let quant_img = InferenceImage::build_quant(&qm).unwrap();
-    let accel_img = InferenceImage::build_quant(
-        &qm.clone().with_nonlinearity(Nonlinearity::FixedLut),
-    )
-    .unwrap();
+    let accel_img =
+        InferenceImage::build_quant(&qm.clone().with_nonlinearity(Nonlinearity::FixedLut)).unwrap();
     assert_eq!(float_img.flavor, Flavor::Float);
     assert_eq!(quant_img.flavor, Flavor::Quantized);
     assert_eq!(accel_img.flavor, Flavor::Accelerated);

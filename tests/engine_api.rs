@@ -27,10 +27,8 @@ fn clip(freq: f64) -> Vec<f32> {
 fn one_engine_type_serves_all_three_backends() {
     let params = trained_ish();
     let qm = QuantizedKwt::quantize(&params, QuantConfig::paper_best());
-    let image = InferenceImage::build_quant(
-        &qm.clone().with_nonlinearity(Nonlinearity::FixedLut),
-    )
-    .unwrap();
+    let image =
+        InferenceImage::build_quant(&qm.clone().with_nonlinearity(Nonlinearity::FixedLut)).unwrap();
     let fe = kwt_tiny::audio::kwt_tiny_frontend().unwrap();
     let mut engines = [
         Engine::host_float(params, fe.clone()).unwrap(),
@@ -41,7 +39,11 @@ fn one_engine_type_serves_all_three_backends() {
     let kinds: Vec<BackendKind> = engines.iter().map(|e| e.kind()).collect();
     assert_eq!(
         kinds,
-        [BackendKind::HostFloat, BackendKind::HostQuant, BackendKind::Rv32Sim]
+        [
+            BackendKind::HostFloat,
+            BackendKind::HostQuant,
+            BackendKind::Rv32Sim
+        ]
     );
     let mut classes = Vec::new();
     for engine in &mut engines {
