@@ -1,7 +1,11 @@
 use std::fmt;
 
 /// Error type for the audio front end.
+///
+/// Marked `#[non_exhaustive]`: the ingest-validation taxonomy grows, so
+/// downstream matches must keep a wildcard arm.
 #[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
 pub enum AudioError {
     /// FFT length must be a power of two.
     FftLengthNotPowerOfTwo {
@@ -29,6 +33,16 @@ pub enum AudioError {
         /// Samples required.
         need: usize,
     },
+    /// An input sample is not a finite normal number (NaN, ±∞ or
+    /// subnormal) — garbage in would otherwise propagate silently
+    /// through the whole MFCC → model pipeline.
+    InvalidSample {
+        /// Index of the first offending sample within the pushed slice
+        /// or clip.
+        index: usize,
+        /// What is wrong with it (`"NaN"`, `"infinite"`, `"subnormal"`).
+        why: &'static str,
+    },
 }
 
 impl fmt::Display for AudioError {
@@ -48,6 +62,9 @@ impl fmt::Display for AudioError {
                     f,
                     "signal too short: got {got} samples, need at least {need}"
                 )
+            }
+            AudioError::InvalidSample { index, why } => {
+                write!(f, "audio sample {index} is {why}")
             }
         }
     }

@@ -320,6 +320,7 @@ impl MfccExtractor {
         scratch: &mut MfccScratch,
     ) -> Result<()> {
         let c = &self.config;
+        validate_samples(samples)?;
         if samples.len() < c.win_length {
             return Err(AudioError::SignalTooShort {
                 got: samples.len(),
@@ -583,8 +584,9 @@ impl MfccExtractor {
 
     /// [`extract_into`](Self::extract_into) quantised straight to `i8` at
     /// `2^input_exp` — the A8 device image's native input format. The
-    /// features are the exact `f32` values [`extract_into`]
-    /// (Self::extract_into) produces, quantised with the device's
+    /// features are the exact `f32` values
+    /// [`extract_into`](Self::extract_into) produces, quantised with
+    /// the device's
     /// floor-and-saturate rule ([`kwt_tensor::qops::quantize_i8_scaled_into`]),
     /// so feeding `out` to a pre-quantised device session is
     /// **bit-identical** to quantising the float features host-side.
@@ -609,8 +611,9 @@ impl MfccExtractor {
     }
 
     /// [`extract_padded_into`](Self::extract_padded_into) quantised
-    /// straight to `i8` at `2^input_exp` (see [`extract_a8_into`]
-    /// (Self::extract_a8_into)) — the engine's zero-copy path into an A8
+    /// straight to `i8` at `2^input_exp`
+    /// (see [`extract_a8_into`](Self::extract_a8_into)) — the engine's
+    /// zero-copy path into an A8
     /// [`DeviceSession`](../kwt_baremetal/struct.DeviceSession.html).
     ///
     /// # Errors
@@ -631,6 +634,28 @@ impl MfccExtractor {
         scratch.feats = feats;
         result
     }
+}
+
+/// Rejects the first NaN, infinite or subnormal sample with a typed
+/// [`AudioError::InvalidSample`] — the ingest guard shared by batch
+/// extraction ([`MfccExtractor::extract_into`]) and streaming pushes
+/// ([`crate::StreamingMfcc::push`]). Signed zeros pass; true subnormals
+/// are rejected rather than flushed so a corrupted capture path is loud
+/// instead of silently denormal-flushing into wrong features.
+pub(crate) fn validate_samples(samples: &[f32]) -> Result<()> {
+    for (index, &s) in samples.iter().enumerate() {
+        let why = if s.is_nan() {
+            "NaN"
+        } else if s.is_infinite() {
+            "infinite"
+        } else if s != 0.0 && s.abs() < f32::MIN_POSITIVE {
+            "subnormal"
+        } else {
+            continue;
+        };
+        return Err(AudioError::InvalidSample { index, why });
+    }
+    Ok(())
 }
 
 /// The KWT-1 front end: `[F, T] = [40, 98]` (25 ms window, 10 ms hop,
@@ -864,6 +889,39 @@ mod tests {
             let m = fe.extract_padded(&vec![0.1; clip]).unwrap();
             assert_eq!(m.rows(), fe.frames_per_clip());
         }
+    }
+
+    #[test]
+    fn invalid_samples_get_typed_errors() {
+        let fe = kwt_tiny_frontend().unwrap();
+        let mut clip = tone(440.0, 16_000);
+        clip[123] = f32::NAN;
+        assert_eq!(
+            fe.extract(&clip).unwrap_err(),
+            AudioError::InvalidSample {
+                index: 123,
+                why: "NaN"
+            }
+        );
+        clip[123] = f32::NEG_INFINITY;
+        assert_eq!(
+            fe.extract_padded(&clip).unwrap_err(),
+            AudioError::InvalidSample {
+                index: 123,
+                why: "infinite"
+            }
+        );
+        clip[123] = -f32::MIN_POSITIVE / 4.0;
+        assert!(matches!(
+            fe.extract(&clip).unwrap_err(),
+            AudioError::InvalidSample {
+                index: 123,
+                why: "subnormal"
+            }
+        ));
+        // signed zeros are ordinary silence
+        clip[123] = -0.0;
+        fe.extract(&clip).unwrap();
     }
 
     #[test]

@@ -103,13 +103,17 @@ impl StreamingMfcc {
     ///
     /// # Errors
     ///
-    /// Propagates frame-computation errors (cannot occur for a validated
-    /// configuration).
+    /// Returns [`AudioError::InvalidSample`](crate::AudioError) for NaN,
+    /// infinite or subnormal samples **before** buffering anything — a
+    /// rejected chunk leaves the stream exactly where it was, so the
+    /// caller can drop it and keep pushing. Frame-computation errors
+    /// cannot occur for a validated configuration.
     pub fn push(
         &mut self,
         samples: &[f32],
         mut on_frame: impl FnMut(u64, &[f32]),
     ) -> Result<usize> {
+        crate::mfcc::validate_samples(samples)?;
         let win = self.extractor.config().win_length as u64;
         let hop = self.extractor.config().hop_length as u64;
         self.buf.extend_from_slice(samples);
@@ -239,6 +243,32 @@ mod tests {
         for (t, row) in rows.iter().enumerate() {
             assert_eq!(row.as_slice(), batch.row(t), "frame {t}");
         }
+    }
+
+    #[test]
+    fn invalid_samples_rejected_without_buffering() {
+        use crate::AudioError;
+        let fe = kwt_tiny_frontend().unwrap();
+        let mut stream = StreamingMfcc::from_extractor(fe);
+        stream.push(&tone(440.0, 500), |_, _| {}).unwrap();
+        let before = stream.samples_pushed();
+        for (bad, why) in [
+            (f32::NAN, "NaN"),
+            (f32::INFINITY, "infinite"),
+            (f32::NEG_INFINITY, "infinite"),
+            (f32::MIN_POSITIVE / 2.0, "subnormal"),
+        ] {
+            let chunk = [0.25, bad, 0.5];
+            let err = stream.push(&chunk, |_, _| {}).unwrap_err();
+            assert_eq!(err, AudioError::InvalidSample { index: 1, why });
+            assert_eq!(
+                stream.samples_pushed(),
+                before,
+                "rejected chunk must not be buffered"
+            );
+        }
+        // signed zeros and ordinary samples still flow
+        stream.push(&[0.0, -0.0, 1.0e-30_f32], |_, _| {}).unwrap();
     }
 
     #[test]

@@ -1,7 +1,50 @@
 use std::fmt;
 
+/// A structured device-side fault: a [`Trap`](kwt_rv32::Trap) raised
+/// while an inference ran on a [`DeviceSession`](crate::DeviceSession),
+/// annotated with where and when the hart stopped and which image
+/// flavour was executing.
+///
+/// Promoted out of the bare [`BuildError::Trap`] so callers can triage
+/// (retry, [`recover`](crate::DeviceSession::recover), fail over)
+/// without string matching. Marked `#[non_exhaustive]`: fields grow
+/// with the fault taxonomy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub struct DeviceError {
+    /// The trap that stopped the hart.
+    pub trap: kwt_rv32::Trap,
+    /// pc at the faulting (or watchdog-killed) instruction.
+    pub pc: u32,
+    /// Simulated cycles consumed by the faulted run before it stopped.
+    pub cycles: u64,
+    /// Which image flavour was running.
+    pub image_flavor: crate::Flavor,
+}
+
+impl fmt::Display for DeviceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:?} image faulted after {} cycles at pc {:#010x}: {}",
+            self.image_flavor, self.cycles, self.pc, self.trap
+        )
+    }
+}
+
+impl std::error::Error for DeviceError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        Some(&self.trap)
+    }
+}
+
 /// Errors raised while building or running a bare-metal image.
+///
+/// Marked `#[non_exhaustive]`: the run-time fault taxonomy grows (the
+/// [`Device`](BuildError::Device) variant arrived after the build-time
+/// ones), so downstream matches must keep a wildcard arm.
 #[derive(Debug)]
+#[non_exhaustive]
 pub enum BuildError {
     /// The assembler rejected the generated program (a bug in the
     /// generator, not in user input).
@@ -22,8 +65,12 @@ pub enum BuildError {
         /// Bytes available.
         available: usize,
     },
-    /// The simulator trapped while running the image.
+    /// The simulator trapped while loading the image (build/load-time
+    /// faults; run-time faults surface as [`BuildError::Device`]).
     Trap(kwt_rv32::Trap),
+    /// A structured run-time device fault from a
+    /// [`DeviceSession`](crate::DeviceSession) inference.
+    Device(DeviceError),
     /// Host-side model error (shape mismatch etc.).
     Model(String),
 }
@@ -44,6 +91,7 @@ impl fmt::Display for BuildError {
                 write!(f, "image needs {needed} bytes but RAM holds {available}")
             }
             BuildError::Trap(t) => write!(f, "simulator trap: {t}"),
+            BuildError::Device(d) => write!(f, "device fault: {d}"),
             BuildError::Model(m) => write!(f, "model error: {m}"),
         }
     }
@@ -54,6 +102,7 @@ impl std::error::Error for BuildError {
         match self {
             BuildError::Asm(e) => Some(e),
             BuildError::Trap(t) => Some(t),
+            BuildError::Device(d) => Some(d),
             _ => None,
         }
     }
@@ -68,6 +117,12 @@ impl From<kwt_rvasm::AsmError> for BuildError {
 impl From<kwt_rv32::Trap> for BuildError {
     fn from(t: kwt_rv32::Trap) -> Self {
         BuildError::Trap(t)
+    }
+}
+
+impl From<DeviceError> for BuildError {
+    fn from(d: DeviceError) -> Self {
+        BuildError::Device(d)
     }
 }
 
@@ -88,5 +143,26 @@ mod tests {
             available: 65536,
         };
         assert!(e.to_string().contains("70000"));
+    }
+
+    #[test]
+    fn device_error_carries_context() {
+        let d = DeviceError {
+            trap: kwt_rv32::Trap::WatchdogExpired {
+                budget: 1000,
+                cycles: 1003,
+            },
+            pc: 0x44,
+            cycles: 1003,
+            image_flavor: crate::Flavor::A8,
+        };
+        let s = d.to_string();
+        assert!(s.contains("A8"), "{s}");
+        assert!(s.contains("0x00000044"), "{s}");
+        assert!(s.contains("watchdog"), "{s}");
+        let e: BuildError = d.into();
+        assert!(e.to_string().contains("device fault"));
+        use std::error::Error;
+        assert!(e.source().is_some());
     }
 }

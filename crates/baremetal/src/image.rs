@@ -63,6 +63,11 @@ pub struct InferenceImage {
     logits_addr: u32,
     /// `(high_water, capacity)` for bank 1 and bank 2.
     pub bank_usage: [(usize, usize); 2],
+    /// `(addr, len)` byte ranges the program writes at run time (input,
+    /// activations, logits, scratch). Everything else in the image —
+    /// text and weight banks — is static, and its build-time checksums
+    /// anchor [`DeviceSession::recover`].
+    mutable_ranges: Vec<(u32, u32)>,
 }
 
 const TEXT_BASE: u32 = 0x0;
@@ -167,6 +172,14 @@ impl InferenceImage {
         let bank2_base = asm.data_reserve(s * dh * 3 * 4, 4);
         let mut bank1 = Bank::new("bank1", bank1_base, s * mlp * 4);
         let mut bank2 = Bank::new("bank2", bank2_base, s * dh * 3 * 4);
+        // every run-time-written region; the rest of the image is static
+        let mutable_ranges = vec![
+            (input, (t * f * 4) as u32),
+            (x, (s * dim * 4) as u32),
+            (logits, (classes * 4) as u32),
+            (bank1_base, (s * mlp * 4) as u32),
+            (bank2_base, (s * dh * 3 * 4) as u32),
+        ];
 
         // ---- code ----
         let over = asm.new_label();
@@ -381,6 +394,7 @@ impl InferenceImage {
                 (bank1.high_water(), bank1.size()),
                 (bank2.high_water(), bank2.size()),
             ],
+            mutable_ranges,
         })
     }
 
@@ -523,6 +537,18 @@ impl InferenceImage {
         let bank2_base = asm.data_reserve(s * dh * 3 * 2, 4);
         let mut bank1 = Bank::new("bank1", bank1_base, s * mlp * 2);
         let mut bank2 = Bank::new("bank2", bank2_base, s * dh * 3 * 2);
+        // every run-time-written region; the rest of the image is static
+        let mut mutable_ranges = vec![
+            (input, (t * f * 2) as u32),
+            (x, (s * dim * 2) as u32),
+            (logits, (classes * 2) as u32),
+            (scratch, (scratch_len * 4) as u32),
+            (bank1_base, (s * mlp * 2) as u32),
+            (bank2_base, (s * dh * 3 * 2) as u32),
+        ];
+        if isa == KernelIsa::Xkwtdot {
+            mutable_ranges.push((vt, (dh * kp * 2) as u32));
+        }
 
         // ---- code ----
         let over = asm.new_label();
@@ -752,6 +778,7 @@ impl InferenceImage {
                 (bank1.high_water(), bank1.size()),
                 (bank2.high_water(), bank2.size()),
             ],
+            mutable_ranges,
         })
     }
 
@@ -871,6 +898,16 @@ impl InferenceImage {
         let bank2_base = asm.data_reserve(s * dh * 3, 4);
         let mut bank1 = Bank::new("bank1", bank1_base, s * mlp);
         let mut bank2 = Bank::new("bank2", bank2_base, s * dh * 3);
+        // every run-time-written region; the rest of the image is static
+        let mutable_ranges = vec![
+            (input, (t * f) as u32),
+            (x, (s * dim) as u32),
+            (logits, classes as u32),
+            (rowf, (s.max(dim) * 4) as u32),
+            (vt, (dh * kp) as u32),
+            (bank1_base, (s * mlp) as u32),
+            (bank2_base, (s * dh * 3) as u32),
+        ];
 
         // ---- code ----
         let over = asm.new_label();
@@ -1100,12 +1137,59 @@ impl InferenceImage {
                 (bank1.high_water(), bank1.size()),
                 (bank2.high_water(), bank2.size()),
             ],
+            mutable_ranges,
         })
     }
 
     /// Total image footprint in bytes (the paper's "Program Size").
     pub fn program_bytes(&self) -> usize {
         self.program.total_bytes()
+    }
+
+    /// Build-time FNV-1a-64 digest of every **static** byte of the image
+    /// — code and weight banks, excluding the run-time-mutable buffers
+    /// (input, activations, logits, scratch). [`DeviceSession::recover`]
+    /// re-validates the loaded machine against per-bank checksums of the
+    /// same byte set, so a session whose static state matches this digest
+    /// is bit-identical to a fresh [`session`](Self::session).
+    pub fn integrity_checksum(&self) -> u64 {
+        self.integrity_banks()
+            .iter()
+            .fold(FNV_OFFSET, |h, bank| fnv1a64_update(h, &bank.pristine))
+    }
+
+    /// The `(addr, len)` byte ranges covered by the integrity checksum:
+    /// code and weight banks, minus the run-time-mutable buffers. Fault
+    /// harnesses aim bit flips here to exercise the *detectable*
+    /// corruption class (a flip inside these ranges either traps or is
+    /// caught by [`DeviceSession::recover`]).
+    pub fn static_ranges(&self) -> Vec<(u32, u32)> {
+        let p = &self.program;
+        let text_span = (p.text_base, (p.text.len() * 4) as u32);
+        let data_span = (p.data_base, p.data.len() as u32);
+        [text_span, data_span]
+            .iter()
+            .flat_map(|&span| subtract_ranges(span, &self.mutable_ranges))
+            .collect()
+    }
+
+    /// The static image split into checksummed ≤1 kB banks.
+    fn integrity_banks(&self) -> Vec<IntegrityBank> {
+        let mut banks = Vec::new();
+        for (addr, len) in self.static_ranges() {
+            let mut off = 0;
+            while off < len {
+                let n = (len - off).min(INTEGRITY_BANK_BYTES);
+                let bytes = program_bytes_at(&self.program, addr + off, n);
+                banks.push(IntegrityBank {
+                    addr: addr + off,
+                    checksum: fnv1a64(&bytes),
+                    pristine: bytes.into(),
+                });
+                off += n;
+            }
+        }
+        banks
     }
 
     /// Address of the input buffer (for custom harnesses).
@@ -1164,6 +1248,7 @@ impl InferenceImage {
             input_addr: self.input_addr,
             logits_addr: self.logits_addr,
             runs: 0,
+            integrity: self.integrity_banks(),
         })
     }
 }
@@ -1187,6 +1272,7 @@ pub struct DeviceSession {
     input_addr: u32,
     logits_addr: u32,
     runs: u64,
+    integrity: Vec<IntegrityBank>,
 }
 
 impl DeviceSession {
@@ -1242,7 +1328,7 @@ impl DeviceSession {
         input: &Mat<i8>,
         logits: &mut Vec<f32>,
     ) -> Result<RunResult> {
-        let c = &self.config;
+        let c = self.config;
         if self.flavor != Flavor::A8 {
             return Err(BuildError::Model(format!(
                 "pre-quantised input requires an A8 image, this session runs {:?}",
@@ -1261,13 +1347,13 @@ impl DeviceSession {
         self.machine.write_i8s(self.input_addr, input.as_slice());
         let cycles0 = self.machine.cpu.cycles;
         let instret0 = self.machine.cpu.instret;
-        let result = self.machine.run(2_000_000_000)?;
+        let result = self.run_machine(cycles0)?;
         self.runs += 1;
         logits.clear();
         let scale = self
             .a8config
             .expect("A8 flavour carries a8config")
-            .consts(c)
+            .consts(&c)
             .expect("validated at build time")
             .logit_scale;
         logits.extend(
@@ -1292,7 +1378,7 @@ impl DeviceSession {
     /// Returns [`BuildError::Model`] for a wrong input shape or
     /// [`BuildError::Trap`] if the program faults.
     pub fn run_into(&mut self, mfcc: &Mat<f32>, logits: &mut Vec<f32>) -> Result<RunResult> {
-        let c = &self.config;
+        let c = self.config;
         if mfcc.shape() != (c.input_time, c.input_freq) {
             return Err(BuildError::Model(format!(
                 "input shape {:?}, expected ({}, {})",
@@ -1326,7 +1412,7 @@ impl DeviceSession {
         }
         let cycles0 = self.machine.cpu.cycles;
         let instret0 = self.machine.cpu.instret;
-        let result = self.machine.run(2_000_000_000)?;
+        let result = self.run_machine(cycles0)?;
         self.runs += 1;
         logits.clear();
         match self.flavor {
@@ -1351,7 +1437,7 @@ impl DeviceSession {
                 let scale = self
                     .a8config
                     .expect("A8 flavour carries a8config")
-                    .consts(c)
+                    .consts(&c)
                     .expect("validated at build time")
                     .logit_scale;
                 logits.extend(
@@ -1380,6 +1466,111 @@ impl DeviceSession {
         Ok((logits, result))
     }
 
+    /// Runs the loaded program and promotes any trap into a structured
+    /// [`DeviceError`](crate::DeviceError) with pc / cycle / flavour
+    /// context.
+    fn run_machine(&mut self, cycles0: u64) -> Result<RunResult> {
+        self.machine.run(2_000_000_000).map_err(|trap| {
+            crate::DeviceError {
+                trap,
+                pc: self.machine.cpu.pc,
+                cycles: self.machine.cpu.cycles - cycles0,
+                image_flavor: self.flavor,
+            }
+            .into()
+        })
+    }
+
+    /// Re-arms the session after a fault and re-validates image
+    /// integrity against the build-time bank checksums.
+    ///
+    /// Four steps, all idempotent:
+    ///
+    /// 1. architectural reset ([`Machine::reset_cpu`]);
+    /// 2. disarm any still-pending injected faults and drop the fault
+    ///    log;
+    /// 3. restore the LUT ROMs if they no longer match the default set;
+    /// 4. checksum every static bank (code + weights) against its
+    ///    build-time digest and rewrite **only** the dirty banks from
+    ///    the pristine copy, invalidating the decode cache for each.
+    ///
+    /// After `recover()` the session is bit-identical to a freshly
+    /// loaded [`InferenceImage::session`] (proven by the A-B-A
+    /// `recovered_session_is_bit_identical_to_fresh` test): mutable
+    /// buffers need no scrubbing because the generated programs write
+    /// every activation before reading it. The configured cycle budget
+    /// (if any) is deliberately left armed — it is session policy, not
+    /// fault state.
+    pub fn recover(&mut self) -> RecoveryReport {
+        let mut report = RecoveryReport {
+            faults_cleared: self.machine.pending_faults().len(),
+            ..RecoveryReport::default()
+        };
+        self.machine.reset_cpu();
+        self.machine.clear_fault_plan();
+        self.machine.clear_fault_log();
+        let full = kwt_quant::LutSet::new();
+        if self.machine.cpu.luts() != &full {
+            self.machine.cpu.set_luts(full);
+            report.luts_restored = true;
+        }
+        for bank in &self.integrity {
+            report.banks_checked += 1;
+            let live = self
+                .machine
+                .cpu
+                .mem
+                .read_bytes(bank.addr, bank.pristine.len());
+            if fnv1a64(live) != bank.checksum {
+                self.machine.cpu.mem.write_bytes(bank.addr, &bank.pristine);
+                self.machine
+                    .cpu
+                    .invalidate_decode_cache(bank.addr, bank.pristine.len() as u32);
+                report.banks_dirty += 1;
+                report.bytes_restored += bank.pristine.len();
+            }
+        }
+        report
+    }
+
+    /// Checksums every static bank without repairing anything: `true`
+    /// if the loaded image still matches its build-time digests.
+    pub fn verify_integrity(&self) -> bool {
+        self.integrity.iter().all(|bank| {
+            fnv1a64(
+                self.machine
+                    .cpu
+                    .mem
+                    .read_bytes(bank.addr, bank.pristine.len()),
+            ) == bank.checksum
+        })
+    }
+
+    /// Arms (or with `None` disarms) a per-run cycle watchdog: any
+    /// single inference consuming more than `budget` simulated cycles
+    /// stops with [`Trap::WatchdogExpired`](kwt_rv32::Trap), surfaced
+    /// as a [`DeviceError`](crate::DeviceError).
+    pub fn set_cycle_budget(&mut self, budget: Option<u64>) {
+        self.machine.set_cycle_watchdog(budget);
+    }
+
+    /// The armed per-run cycle budget, if any.
+    pub fn cycle_budget(&self) -> Option<u64> {
+        self.machine.cycle_watchdog()
+    }
+
+    /// Arms a deterministic [`FaultPlan`](kwt_rv32::FaultPlan) for the
+    /// next run(s) — the chaos-harness entry point.
+    pub fn inject_faults(&mut self, plan: kwt_rv32::FaultPlan) {
+        self.machine.set_fault_plan(plan);
+    }
+
+    /// Faults that actually fired, in injection order (cleared by
+    /// [`recover`](Self::recover)).
+    pub fn fault_log(&self) -> &[kwt_rv32::FaultRecord] {
+        self.machine.fault_log()
+    }
+
     /// Profiler report accumulated over every run of this session.
     pub fn profile_report(&self) -> ProfileReport {
         self.machine.profile_report()
@@ -1395,6 +1586,103 @@ impl DeviceSession {
     pub fn set_class_histogram_enabled(&mut self, enabled: bool) {
         self.machine.set_class_histogram_enabled(enabled);
     }
+}
+
+/// Outcome of a [`DeviceSession::recover`] pass: how much of the image
+/// had to be repaired to get back to the pristine build state.
+///
+/// `banks_dirty > 0` means the fault was **detected** — some static
+/// bank (code or weights) no longer matched its build-time checksum and
+/// was rewritten from the pristine copy.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[non_exhaustive]
+pub struct RecoveryReport {
+    /// Static banks scanned (all of them, every recover).
+    pub banks_checked: usize,
+    /// Banks whose checksum no longer matched the build and were
+    /// rewritten from the pristine copy.
+    pub banks_dirty: usize,
+    /// Total bytes rewritten.
+    pub bytes_restored: usize,
+    /// Whether the LUT ROMs had been corrupted and were restored.
+    pub luts_restored: bool,
+    /// Pending (unfired) injected faults that were disarmed.
+    pub faults_cleared: usize,
+}
+
+impl RecoveryReport {
+    /// Whether the scan found any divergence from the pristine image
+    /// (dirty banks or corrupted LUT ROMs).
+    pub fn detected_corruption(&self) -> bool {
+        self.banks_dirty > 0 || self.luts_restored
+    }
+}
+
+/// Integrity-bank granularity: small enough to localise a flip, large
+/// enough that a full scan of a ~50 kB image stays ~50 checksums.
+const INTEGRITY_BANK_BYTES: u32 = 1024;
+
+/// One build-time-checksummed slice of the static image (code or
+/// weights), with a pristine copy shared across session clones.
+#[derive(Debug, Clone)]
+struct IntegrityBank {
+    addr: u32,
+    checksum: u64,
+    pristine: std::sync::Arc<[u8]>,
+}
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+
+fn fnv1a64_update(mut h: u64, bytes: &[u8]) -> u64 {
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+fn fnv1a64(bytes: &[u8]) -> u64 {
+    fnv1a64_update(FNV_OFFSET, bytes)
+}
+
+/// `span` minus every overlapping hole, as sorted `(addr, len)` pieces.
+fn subtract_ranges(span: (u32, u32), holes: &[(u32, u32)]) -> Vec<(u32, u32)> {
+    let (base, len) = span;
+    let end = base + len;
+    let mut clipped: Vec<(u32, u32)> = holes
+        .iter()
+        .map(|&(a, l)| (a.max(base), (a + l).min(end)))
+        .filter(|&(a, b)| a < b)
+        .collect();
+    clipped.sort_unstable();
+    let mut out = Vec::new();
+    let mut cur = base;
+    for (a, b) in clipped {
+        if a > cur {
+            out.push((cur, a - cur));
+        }
+        cur = cur.max(b);
+    }
+    if cur < end {
+        out.push((cur, end - cur));
+    }
+    out
+}
+
+/// Bytes of the linked program at `[addr, addr + len)`, straight from
+/// the [`Program`] sections (text words are little-endian).
+fn program_bytes_at(program: &Program, addr: u32, len: u32) -> Vec<u8> {
+    let text_end = program.text_base + (program.text.len() * 4) as u32;
+    (addr..addr + len)
+        .map(|a| {
+            if a >= program.text_base && a < text_end {
+                let off = (a - program.text_base) as usize;
+                (program.text[off / 4] >> ((off % 4) * 8)) as u8
+            } else {
+                program.data[(a - program.data_base) as usize]
+            }
+        })
+        .collect()
 }
 
 fn check_ram(program: &Program) -> Result<()> {
@@ -1803,5 +2091,111 @@ mod tests {
             image.run(&Mat::zeros(16, 26)),
             Err(BuildError::Model(_))
         ));
+    }
+
+    fn a8_image() -> InferenceImage {
+        use kwt_quant::{A8Config, A8Kwt};
+        let params = trained_ish();
+        let qm = A8Kwt::quantize(&params, A8Config::paper_a8()).unwrap();
+        InferenceImage::build_a8(&qm).unwrap()
+    }
+
+    #[test]
+    fn integrity_checksum_is_reproducible_and_initially_clean() {
+        let a = a8_image();
+        let b = a8_image();
+        assert_eq!(a.integrity_checksum(), b.integrity_checksum());
+        let session = a.session().unwrap();
+        assert!(session.verify_integrity(), "fresh session must be pristine");
+    }
+
+    #[test]
+    fn recovered_session_is_bit_identical_to_fresh() {
+        // The A-B-A test: fresh logits (A), corrupt a weight bank and
+        // observe the damage (B), recover() and re-run — logits and
+        // cycles must again match the fresh machine exactly (A).
+        use kwt_rv32::FaultPlan;
+        let image = a8_image();
+        let x = mfcc_like_input(11);
+        let (want, want_run, _) = image.run(&x).unwrap();
+
+        let mut session = image.session().unwrap();
+        // Flip a bit in the static weight region (data base holds
+        // w_proj, well clear of the mutable buffers).
+        let victim = image.program.data_base + 8;
+        session.inject_faults(FaultPlan::new().flip_mem_bit(0, victim, 5));
+        let corrupted = session.run(&x);
+        if let Ok((logits, _)) = &corrupted {
+            // a silent flip must at least be *detectable* below; a loud
+            // one already surfaced as Err — both are acceptable here
+            assert_eq!(logits.len(), want.len());
+        }
+        assert!(!session.verify_integrity(), "flip must be detectable");
+        let report = session.recover();
+        assert!(report.detected_corruption());
+        assert_eq!(report.banks_dirty, 1, "one 1 kB bank holds the flip");
+        assert!(report.bytes_restored <= 1024);
+        assert!(session.verify_integrity());
+
+        let (logits, run) = session.run(&x).unwrap();
+        for (a, b) in logits.iter().zip(&want) {
+            assert_eq!(a.to_bits(), b.to_bits(), "post-recover {a} vs fresh {b}");
+        }
+        assert_eq!(run.cycles, want_run.cycles);
+        assert_eq!(run.instructions, want_run.instructions);
+        // recover() on a clean session is a no-op scan
+        let clean = session.recover();
+        assert!(!clean.detected_corruption());
+        assert_eq!(clean.banks_checked, report.banks_checked);
+    }
+
+    #[test]
+    fn watchdog_budget_surfaces_as_device_error() {
+        let image = a8_image();
+        let mut session = image.session().unwrap();
+        session.set_cycle_budget(Some(10_000));
+        let err = session.run(&mfcc_like_input(3)).unwrap_err();
+        match err {
+            BuildError::Device(d) => {
+                assert!(matches!(
+                    d.trap,
+                    kwt_rv32::Trap::WatchdogExpired { budget: 10_000, .. }
+                ));
+                assert_eq!(d.image_flavor, Flavor::A8);
+                assert!(d.cycles > 10_000);
+            }
+            other => panic!("expected a device error, got {other}"),
+        }
+        // the budget is session policy: recover() keeps it armed
+        session.recover();
+        assert_eq!(session.cycle_budget(), Some(10_000));
+        session.set_cycle_budget(None);
+        let (logits, _) = session.run(&mfcc_like_input(3)).unwrap();
+        let (want, _, _) = image.run(&mfcc_like_input(3)).unwrap();
+        assert_eq!(logits, want);
+    }
+
+    #[test]
+    fn truncated_luts_trap_and_recover() {
+        use kwt_rv32::{FaultPlan, Trap};
+        let image = a8_image();
+        let x = mfcc_like_input(7);
+        let (want, _, _) = image.run(&x).unwrap();
+        let mut session = image.session().unwrap();
+        session.inject_faults(FaultPlan::new().truncate_luts(0, 2));
+        let err = session.run(&x).unwrap_err();
+        match err {
+            BuildError::Device(d) => {
+                assert!(matches!(d.trap, Trap::LutIndexOutOfRange { .. }), "{d}");
+            }
+            other => panic!("expected a device error, got {other}"),
+        }
+        let report = session.recover();
+        assert!(report.luts_restored);
+        assert_eq!(report.banks_dirty, 0, "RAM was never touched");
+        let (logits, _) = session.run(&x).unwrap();
+        for (a, b) in logits.iter().zip(&want) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
     }
 }

@@ -39,8 +39,8 @@ pub mod regions;
 pub mod softfloat;
 
 pub use banks::Bank;
-pub use error::BuildError;
-pub use image::{DeviceSession, Flavor, InferenceImage};
+pub use error::{BuildError, DeviceError};
+pub use image::{DeviceSession, Flavor, InferenceImage, RecoveryReport};
 pub use kernels::{A8Kernels, KernelIsa};
 
 /// Convenience alias for results returned by this crate.

@@ -9,6 +9,8 @@
 //! paper check-a8       # A8-vs-i16 top-1 agreement gate + device/host bit-identity spot check
 //! paper check-cycles   # device-cycle regression gate vs the committed BENCH_engine.json (3%)
 //! paper check-frontend # fixed-point MFCC vs f64 oracle top-1 agreement gate (99.5%)
+//! paper fault-sweep    # chaos harness: fault taxonomy x image flavours -> FAULT_SWEEP.md
+//! paper fault-sweep --smoke  # fewer seeds per cell (the CI gate)
 //! ```
 
 use kwt_bench::experiments as exp;
@@ -17,6 +19,7 @@ use kwt_bench::ExpContext;
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let full = args.iter().any(|a| a == "--full");
+    let smoke = args.iter().any(|a| a == "--smoke");
     let targets: Vec<&str> = args
         .iter()
         .filter(|a| !a.starts_with("--"))
@@ -47,6 +50,7 @@ fn main() {
         "check-a8",
         "check-frontend",
         "check-cycles",
+        "fault-sweep",
     ];
     let selected: Vec<&str> = if targets.is_empty() || targets.contains(&"all") {
         all.to_vec()
@@ -75,6 +79,7 @@ fn main() {
             "check-a8" => exp::check_a8(&ctx),
             "check-cycles" => exp::check_cycles(&ctx),
             "check-frontend" => exp::check_frontend(&ctx),
+            "fault-sweep" => kwt_bench::faultsweep::run(&ctx, smoke),
             other => {
                 eprintln!("unknown target `{other}`; available: all {all:?}");
                 std::process::exit(2);

@@ -19,6 +19,7 @@
 
 pub mod enginebench;
 pub mod experiments;
+pub mod faultsweep;
 pub mod microbench;
 mod timing;
 

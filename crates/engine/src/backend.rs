@@ -104,6 +104,41 @@ pub trait Backend: Send {
     fn clone_boxed(&self) -> Option<Box<dyn Backend>> {
         None
     }
+
+    /// Re-arms the backend after a device fault, re-validating image
+    /// integrity against the build-time bank checksums and repairing
+    /// dirty banks ([`DeviceSession::recover`]). `None` for backends
+    /// with nothing to recover (the host models are stateless).
+    fn recover(&mut self) -> Option<kwt_baremetal::RecoveryReport> {
+        None
+    }
+
+    /// Arms (or with `None` disarms) a per-inference simulated-cycle
+    /// budget: a run exceeding it stops with a watchdog trap. No-op for
+    /// host backends, whose latency the simulator does not model.
+    fn set_cycle_budget(&mut self, budget: Option<u64>) {
+        let _ = budget;
+    }
+
+    /// Arms a deterministic fault plan for the next inference(s) —
+    /// returns `false` if this backend has no fault-injection surface
+    /// (host backends). The chaos-harness entry point.
+    fn inject_faults(&mut self, plan: kwt_rv32::FaultPlan) -> bool {
+        let _ = plan;
+        false
+    }
+
+    /// Resilience statistics — `Some` only for the
+    /// [`ResilientBackend`](crate::ResilientBackend) wrapper.
+    fn fault_stats(&self) -> Option<crate::FaultStats> {
+        None
+    }
+
+    /// Current health of the primary backend — `Some` only for the
+    /// [`ResilientBackend`](crate::ResilientBackend) wrapper.
+    fn health(&self) -> Option<crate::BackendHealth> {
+        None
+    }
 }
 
 /// Float host backend: pre-packed weights + reusable activation arena.
@@ -252,6 +287,12 @@ impl Rv32SimBackend {
     pub fn session(&self) -> &DeviceSession {
         &self.session
     }
+
+    /// The underlying session, mutably — fault injection and cycle
+    /// budgets for robustness tests and the chaos harness.
+    pub fn session_mut(&mut self) -> &mut DeviceSession {
+        &mut self.session
+    }
 }
 
 impl Backend for Rv32SimBackend {
@@ -285,5 +326,18 @@ impl Backend for Rv32SimBackend {
 
     fn clone_boxed(&self) -> Option<Box<dyn Backend>> {
         Some(Box::new(self.clone()))
+    }
+
+    fn recover(&mut self) -> Option<kwt_baremetal::RecoveryReport> {
+        Some(self.session.recover())
+    }
+
+    fn set_cycle_budget(&mut self, budget: Option<u64>) {
+        self.session.set_cycle_budget(budget);
+    }
+
+    fn inject_faults(&mut self, plan: kwt_rv32::FaultPlan) -> bool {
+        self.session.inject_faults(plan);
+        true
     }
 }

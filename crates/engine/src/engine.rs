@@ -123,6 +123,26 @@ impl Engine {
         Engine::new(frontend, Box::new(Rv32SimBackend::new(image)?))
     }
 
+    /// Engine over a [`ResilientBackend`](crate::ResilientBackend):
+    /// `primary` with bounded retry-with-recovery and an ordered
+    /// failover ladder (typically `Rv32Sim → HostQuant → HostFloat`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::Config`] on a geometry mismatch or if a
+    /// fallback's model configuration differs from the primary's.
+    pub fn resilient(
+        primary: Box<dyn Backend>,
+        fallbacks: Vec<Box<dyn Backend>>,
+        rcfg: crate::ResilientConfig,
+        frontend: MfccExtractor,
+    ) -> Result<Self> {
+        Engine::new(
+            frontend,
+            Box::new(crate::ResilientBackend::new(primary, fallbacks, rcfg)?),
+        )
+    }
+
     /// Which backend flavour this engine runs.
     pub fn kind(&self) -> BackendKind {
         self.backend.kind()
@@ -148,6 +168,40 @@ impl Engine {
     /// ([`BackendKind::HostQuant`] only).
     pub fn last_quant_stats(&self) -> Option<kwt_tensor::qops::QuantStats> {
         self.backend.last_quant_stats()
+    }
+
+    /// Resilience counters (traps seen, recoveries, failovers, budget
+    /// kills) — `Some` only when the engine wraps a
+    /// [`ResilientBackend`](crate::ResilientBackend)
+    /// ([`resilient`](Self::resilient)).
+    pub fn fault_stats(&self) -> Option<crate::FaultStats> {
+        self.backend.fault_stats()
+    }
+
+    /// Health of the primary backend — `Some` only for
+    /// [`resilient`](Self::resilient) engines.
+    pub fn backend_health(&self) -> Option<crate::BackendHealth> {
+        self.backend.health()
+    }
+
+    /// Re-arms the backend after a device fault, repairing any static
+    /// bank that no longer matches its build-time checksum. `None` for
+    /// host backends (nothing to recover).
+    pub fn recover(&mut self) -> Option<kwt_baremetal::RecoveryReport> {
+        self.backend.recover()
+    }
+
+    /// Arms (or disarms) a per-inference simulated-cycle budget on the
+    /// backend (no-op for host backends).
+    pub fn set_cycle_budget(&mut self, budget: Option<u64>) {
+        self.backend.set_cycle_budget(budget);
+    }
+
+    /// The wrapped backend, mutably — fault injection
+    /// ([`Backend::inject_faults`]) for robustness tests and the chaos
+    /// harness.
+    pub fn backend_mut(&mut self) -> &mut dyn Backend {
+        self.backend.as_mut()
     }
 
     /// Classifies one audio clip (zero-padded / truncated to the front

@@ -3,7 +3,11 @@ use std::fmt;
 /// Error type of the unified inference engine: one variant per subsystem
 /// the engine drives, plus configuration mismatches caught at
 /// construction.
+///
+/// Marked `#[non_exhaustive]`: the fault taxonomy grows with the
+/// robustness work, so downstream matches must keep a wildcard arm.
 #[derive(Debug)]
+#[non_exhaustive]
 pub enum EngineError {
     /// MFCC front-end failure.
     Audio(kwt_audio::AudioError),

@@ -40,6 +40,21 @@
 //! allocation** — `tests/alloc_free.rs` wraps the global allocator in a
 //! counter and asserts it.
 //!
+//! # Fault tolerance
+//!
+//! [`ResilientBackend`] wraps any backend in the degradation ladder:
+//! device faults (structured [`kwt_baremetal::DeviceError`]s, including
+//! cycle-watchdog kills) trigger bounded recovery-and-retry
+//! ([`Backend::recover`] re-validates the image against build-time bank
+//! checksums and repairs only dirty banks), then ordered failover —
+//! typically `Rv32Sim → HostQuant → HostFloat` — and finally quarantine.
+//! Failover answers are bit-identical to running the fallback directly,
+//! every decision is counted in [`FaultStats`]
+//! ([`Engine::fault_stats`]), and deterministic fault injection is
+//! available end to end through [`Backend::inject_faults`]. See the
+//! [`resilient`](ResilientBackend) module docs for the ladder's exact
+//! semantics.
+//!
 //! # Streaming semantics
 //!
 //! [`StreamingKws`] spots keywords on a continuous stream: a bounded
@@ -59,11 +74,13 @@ mod backend;
 #[allow(clippy::module_inception)]
 mod engine;
 mod error;
+mod resilient;
 mod streaming;
 
 pub use backend::{Backend, BackendKind, HostFloatBackend, HostQuantBackend, Rv32SimBackend};
 pub use engine::{Engine, Prediction};
 pub use error::EngineError;
+pub use resilient::{BackendHealth, FaultStats, ResilientBackend, ResilientConfig};
 pub use streaming::{StreamDecision, StreamingConfig, StreamingKws};
 
 /// Convenience alias for results returned by this crate.

@@ -148,6 +148,11 @@ impl StreamingKws {
         samples: &[f32],
         mut on_decision: impl FnMut(StreamDecision),
     ) -> Result<()> {
+        if samples.is_empty() {
+            return Err(EngineError::Config {
+                why: "empty audio chunk: push at least one sample".into(),
+            });
+        }
         let t_frames = self.window.rows() as u64;
         let stride = self.config.stride_frames as u64;
         let vote_window = self.config.vote_window;

@@ -1,0 +1,229 @@
+//! The degradation-ladder guarantees: faults on the simulated device
+//! surface as recoveries or failovers, never as wrong answers — and a
+//! failed-over request is bit-identical to running the fallback
+//! directly.
+
+use kwt_audio::kwt_tiny_frontend;
+use kwt_baremetal::InferenceImage;
+use kwt_engine::{
+    Backend, BackendHealth, BackendKind, Engine, EngineError, HostFloatBackend, HostQuantBackend,
+    ResilientBackend, ResilientConfig, Rv32SimBackend, StreamingConfig, StreamingKws,
+};
+use kwt_model::{KwtConfig, KwtParams};
+use kwt_quant::{A8Config, A8Kwt, QuantConfig, QuantizedKwt};
+use kwt_rv32::{FaultPlan, Trap};
+
+fn trained_ish() -> KwtParams {
+    let mut p = KwtParams::init(KwtConfig::kwt_tiny(), 77).unwrap();
+    p.visit_mut(|s| {
+        for v in s {
+            *v *= 0.6;
+        }
+    });
+    p
+}
+
+fn a8_image() -> InferenceImage {
+    let qm = A8Kwt::quantize(&trained_ish(), A8Config::paper_a8()).unwrap();
+    InferenceImage::build_a8(&qm).unwrap()
+}
+
+/// A deterministic 1 s clip: two tones plus pseudo-noise.
+fn clip(seed: u64) -> Vec<f32> {
+    (0..16_000u64)
+        .map(|i| {
+            let t = i as f64 / 16_000.0;
+            let f1 = 200.0 + 37.0 * seed as f64;
+            let f2 = 900.0 + 11.0 * seed as f64;
+            let h =
+                (i ^ seed.wrapping_mul(0x9E37_79B9_7F4A_7C15)).wrapping_mul(0x2545_F491_4F6C_DD1D);
+            let noise = ((h >> 40) as f64 / (1u64 << 24) as f64) - 0.5;
+            (0.5 * (2.0 * std::f64::consts::PI * f1 * t).sin()
+                + 0.3 * (2.0 * std::f64::consts::PI * f2 * t).sin()
+                + 0.05 * noise) as f32
+        })
+        .collect()
+}
+
+fn assert_bits_eq(a: &[f32], b: &[f32], what: &str) {
+    assert_eq!(a.len(), b.len(), "{what}: length");
+    for (i, (x, y)) in a.iter().zip(b).enumerate() {
+        assert_eq!(x.to_bits(), y.to_bits(), "{what}: logit {i}: {x} vs {y}");
+    }
+}
+
+#[test]
+fn transient_fault_is_recovered_and_answer_matches_clean_run() {
+    let image = a8_image();
+    let fe = kwt_tiny_frontend().unwrap();
+    let audio = clip(3);
+    let want = Engine::rv32_sim(&image, fe.clone())
+        .unwrap()
+        .classify(&audio)
+        .unwrap();
+
+    let primary = Box::new(Rv32SimBackend::new(&image).unwrap());
+    let fallbacks: Vec<Box<dyn Backend>> = vec![Box::new(HostFloatBackend::new(trained_ish()))];
+    let mut engine = Engine::resilient(primary, fallbacks, ResilientConfig::default(), fe).unwrap();
+
+    // one forced trap; it is consumed by the first attempt, so the
+    // post-recovery retry runs clean
+    engine
+        .backend_mut()
+        .inject_faults(FaultPlan::new().force_trap_at_step(
+            50_000,
+            Trap::IllegalInstruction {
+                pc: 0xdead,
+                word: 0,
+            },
+        ));
+    let pred = engine.classify(&audio).unwrap();
+    assert_bits_eq(&pred.logits, &want.logits, "recovered request");
+
+    let stats = engine.fault_stats().unwrap();
+    assert_eq!(stats.requests, 1);
+    assert_eq!(stats.traps_seen, 1);
+    assert_eq!(stats.recoveries, 1);
+    assert_eq!(stats.failovers, 0);
+    assert_eq!(engine.backend_health(), Some(BackendHealth::Degraded));
+
+    // the next clean request restores full health
+    let pred2 = engine.classify(&audio).unwrap();
+    assert_bits_eq(&pred2.logits, &want.logits, "clean follow-up");
+    assert_eq!(engine.backend_health(), Some(BackendHealth::Healthy));
+}
+
+#[test]
+fn failover_logits_identical_to_running_the_fallback_directly() {
+    let image = a8_image();
+    let qm = QuantizedKwt::quantize(&trained_ish(), QuantConfig::paper_best());
+    let fe = kwt_tiny_frontend().unwrap();
+    let audio = clip(5);
+    // direct fallback runs, for the identity checks
+    let want_quant = Engine::host_quant(qm.clone(), fe.clone())
+        .unwrap()
+        .classify(&audio)
+        .unwrap();
+    let want_float = Engine::host_float(trained_ish(), fe.clone())
+        .unwrap()
+        .classify(&audio)
+        .unwrap();
+
+    // a 1k-cycle budget kills every device run (an A8 inference takes
+    // ~285k), so every request walks the full ladder
+    let rcfg = ResilientConfig {
+        max_recoveries: 1,
+        cycle_budget: Some(1_000),
+        quarantine_after: 2,
+    };
+    let primary = Box::new(Rv32SimBackend::new(&image).unwrap());
+    let fallbacks: Vec<Box<dyn Backend>> = vec![
+        Box::new(HostQuantBackend::new(qm)),
+        Box::new(HostFloatBackend::new(trained_ish())),
+    ];
+    let mut backend = ResilientBackend::new(primary, fallbacks, rcfg).unwrap();
+    assert_eq!(backend.kind(), BackendKind::Rv32Sim);
+    let mut engine = Engine::new(fe, backend.clone_boxed().unwrap()).unwrap();
+
+    let pred = engine.classify(&audio).unwrap();
+    assert_bits_eq(&pred.logits, &want_quant.logits, "failover to host_quant");
+    let stats = engine.fault_stats().unwrap();
+    assert_eq!(stats.failovers, 1);
+    assert_eq!(stats.budget_kills, 2, "initial try + one retry");
+    assert_eq!(stats.traps_seen, 2);
+    assert_eq!(engine.backend_health(), Some(BackendHealth::Degraded));
+
+    // second failed request quarantines the primary...
+    engine.classify(&audio).unwrap();
+    assert_eq!(engine.backend_health(), Some(BackendHealth::Quarantined));
+    let traps_at_quarantine = engine.fault_stats().unwrap().traps_seen;
+
+    // ...after which the device is not tried at all
+    let pred3 = engine.classify(&audio).unwrap();
+    assert_bits_eq(&pred3.logits, &want_quant.logits, "quarantined request");
+    assert_eq!(
+        engine.fault_stats().unwrap().traps_seen,
+        traps_at_quarantine
+    );
+    assert_eq!(engine.fault_stats().unwrap().failovers, 3);
+
+    // the ladder keeps order: with host_quant removed, float serves
+    let primary = Box::new(Rv32SimBackend::new(&image).unwrap());
+    let fallbacks: Vec<Box<dyn Backend>> = vec![Box::new(HostFloatBackend::new(trained_ish()))];
+    backend = ResilientBackend::new(primary, fallbacks, rcfg).unwrap();
+    let mut engine = Engine::new(kwt_tiny_frontend().unwrap(), Box::new(backend)).unwrap();
+    let pred = engine.classify(&audio).unwrap();
+    assert_bits_eq(&pred.logits, &want_float.logits, "failover to host_float");
+}
+
+#[test]
+fn non_device_errors_are_not_retried_or_failed_over() {
+    let image = a8_image();
+    let primary = Box::new(Rv32SimBackend::new(&image).unwrap());
+    let fallbacks: Vec<Box<dyn Backend>> = vec![Box::new(HostFloatBackend::new(trained_ish()))];
+    let mut backend =
+        ResilientBackend::new(primary, fallbacks, ResilientConfig::default()).unwrap();
+    // wrong-shape MFCC is a caller bug: it must propagate as-is
+    let bad = kwt_tensor::Mat::<f32>::zeros(3, 3);
+    let mut logits = Vec::new();
+    let err = backend.infer_into(&bad, &mut logits).unwrap_err();
+    assert!(matches!(err, EngineError::Device(_)), "shape error: {err}");
+    let stats = backend.stats();
+    assert_eq!(stats.traps_seen, 0);
+    assert_eq!(stats.recoveries, 0);
+    assert_eq!(stats.failovers, 0);
+    assert_eq!(backend.backend_health(), BackendHealth::Healthy);
+}
+
+#[test]
+fn mismatched_fallback_config_rejected() {
+    let image = a8_image();
+    let primary = Box::new(Rv32SimBackend::new(&image).unwrap());
+    let mut other = KwtParams::init(
+        KwtConfig {
+            num_classes: 5,
+            ..KwtConfig::kwt_tiny()
+        },
+        9,
+    )
+    .unwrap();
+    other.visit_mut(|s| {
+        for v in s {
+            *v *= 0.5;
+        }
+    });
+    let fallbacks: Vec<Box<dyn Backend>> = vec![Box::new(HostFloatBackend::new(other))];
+    assert!(matches!(
+        ResilientBackend::new(primary, fallbacks, ResilientConfig::default()),
+        Err(EngineError::Config { .. })
+    ));
+}
+
+#[test]
+fn streaming_rejects_empty_chunks() {
+    let engine = Engine::host_float(trained_ish(), kwt_tiny_frontend().unwrap()).unwrap();
+    let mut kws = StreamingKws::new(engine, StreamingConfig::default()).unwrap();
+    let err = kws.push(&[]).unwrap_err();
+    assert!(matches!(err, EngineError::Config { .. }), "{err}");
+    // the stream is untouched and keeps working
+    kws.push(&clip(1)).unwrap();
+}
+
+#[test]
+fn streaming_propagates_typed_sample_errors() {
+    let engine = Engine::host_float(trained_ish(), kwt_tiny_frontend().unwrap()).unwrap();
+    let mut kws = StreamingKws::new(engine, StreamingConfig::default()).unwrap();
+    let err = kws.push(&[0.1, f32::NAN, 0.2]).unwrap_err();
+    assert!(
+        matches!(
+            err,
+            EngineError::Audio(kwt_audio::AudioError::InvalidSample {
+                index: 1,
+                why: "NaN"
+            })
+        ),
+        "{err}"
+    );
+    // rejected before buffering: the stream continues cleanly
+    kws.push(&clip(2)).unwrap();
+}

@@ -1,0 +1,274 @@
+//! Deterministic fault injection.
+//!
+//! A [`FaultPlan`] is a small, ordered set of [`FaultEvent`]s the
+//! [`Machine`](crate::Machine) applies while running: flip a bit in RAM
+//! or in a register when a given step is reached, force a chosen
+//! [`Trap`] when the pc hits an address, or corrupt the LUT ROMs so the
+//! custom-1 unit starts raising [`Trap::LutIndexOutOfRange`]. Every
+//! trigger is keyed to architectural state (step index within the
+//! current `run` call, or pc) — never to wall-clock time — so a failing
+//! run replays bit-identically from the same plan, and seeded plans
+//! ([`FaultPlan::seeded_mem_flip`] and friends) replay from a single
+//! `u64`.
+//!
+//! Fault hooks cost nothing when unused: a
+//! [`Machine::run`](crate::Machine::run) with no plan and no watchdog
+//! takes the same
+//! tight loop as before this module existed, and *simulated* cycle
+//! counts are unaffected either way (injection changes architectural
+//! state, not the timing model).
+
+use crate::Trap;
+
+/// What a single fault does when its trigger fires.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum FaultKind {
+    /// XOR bit `bit` (0–7) of the RAM byte at `addr`. Flips landing in
+    /// executed code are visible immediately (the decode cache is
+    /// invalidated for that line).
+    MemBitFlip {
+        /// Absolute byte address.
+        addr: u32,
+        /// Bit index within the byte, masked to 0–7.
+        bit: u8,
+    },
+    /// XOR bit `bit` (0–31) of integer register `reg` (1–31; `x0` stays
+    /// hardwired to zero).
+    RegBitFlip {
+        /// Register number, masked to 0–31.
+        reg: u8,
+        /// Bit index within the register, masked to 0–31.
+        bit: u8,
+    },
+    /// Stop execution with `trap` exactly as if the hart had raised it —
+    /// models an external abort / parity machine-check.
+    ForceTrap {
+        /// The trap to raise.
+        trap: Trap,
+    },
+    /// Truncate every LUT ROM to its first `keep` entries — the
+    /// stuck-at/partial-ROM model. Lookups past the truncation point
+    /// raise [`Trap::LutIndexOutOfRange`].
+    TruncateLuts {
+        /// Entries to keep per table.
+        keep: u32,
+    },
+}
+
+/// When a [`FaultKind`] fires.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultTrigger {
+    /// Before the `n`-th instruction (0-based) of the **current**
+    /// [`Machine::run`](crate::Machine::run) call.
+    AtStep(u64),
+    /// Before executing the instruction at this pc.
+    AtPc(u32),
+}
+
+/// One trigger + effect pair.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultEvent {
+    /// When the fault fires.
+    pub trigger: FaultTrigger,
+    /// What it does.
+    pub kind: FaultKind,
+}
+
+/// A fired fault, as recorded in the machine's fault log.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultRecord {
+    /// The fault that fired.
+    pub kind: FaultKind,
+    /// Step index (within the run call) at which it fired.
+    pub at_step: u64,
+    /// pc at the moment of injection.
+    pub pc: u32,
+    /// Machine cycle counter at the moment of injection.
+    pub cycles: u64,
+}
+
+/// An ordered set of faults for the next
+/// [`Machine::run`](crate::Machine::run) calls. Each event fires at
+/// most once; fired
+/// events are consumed and appear in the machine's fault log.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FaultPlan {
+    events: Vec<FaultEvent>,
+}
+
+impl FaultPlan {
+    /// An empty plan (injects nothing; useful for differential tests
+    /// that prove the hooks are free).
+    pub fn new() -> Self {
+        FaultPlan::default()
+    }
+
+    /// The pending events.
+    pub fn events(&self) -> &[FaultEvent] {
+        &self.events
+    }
+
+    /// Whether any event is still pending.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Adds an arbitrary event (builder style).
+    pub fn with_event(mut self, event: FaultEvent) -> Self {
+        self.events.push(event);
+        self
+    }
+
+    /// Flips one RAM bit at step `at_step` of the next run.
+    pub fn flip_mem_bit(self, at_step: u64, addr: u32, bit: u8) -> Self {
+        self.with_event(FaultEvent {
+            trigger: FaultTrigger::AtStep(at_step),
+            kind: FaultKind::MemBitFlip { addr, bit },
+        })
+    }
+
+    /// Flips one register bit at step `at_step` of the next run.
+    pub fn flip_reg_bit(self, at_step: u64, reg: u8, bit: u8) -> Self {
+        self.with_event(FaultEvent {
+            trigger: FaultTrigger::AtStep(at_step),
+            kind: FaultKind::RegBitFlip { reg, bit },
+        })
+    }
+
+    /// Forces `trap` when the pc reaches `at_pc`.
+    pub fn force_trap_at_pc(self, at_pc: u32, trap: Trap) -> Self {
+        self.with_event(FaultEvent {
+            trigger: FaultTrigger::AtPc(at_pc),
+            kind: FaultKind::ForceTrap { trap },
+        })
+    }
+
+    /// Forces `trap` at step `at_step` of the next run.
+    pub fn force_trap_at_step(self, at_step: u64, trap: Trap) -> Self {
+        self.with_event(FaultEvent {
+            trigger: FaultTrigger::AtStep(at_step),
+            kind: FaultKind::ForceTrap { trap },
+        })
+    }
+
+    /// Truncates the LUT ROMs to `keep` entries at step `at_step`.
+    pub fn truncate_luts(self, at_step: u64, keep: u32) -> Self {
+        self.with_event(FaultEvent {
+            trigger: FaultTrigger::AtStep(at_step),
+            kind: FaultKind::TruncateLuts { keep },
+        })
+    }
+
+    /// Removes and returns every event due at run-local step `step` /
+    /// pc `pc` (used by the machine's monitored run loop).
+    pub(crate) fn take_due(&mut self, step: u64, pc: u32) -> Vec<FaultEvent> {
+        let mut due = Vec::new();
+        self.events.retain(|e| {
+            let fires = match e.trigger {
+                FaultTrigger::AtStep(s) => s <= step,
+                FaultTrigger::AtPc(p) => p == pc,
+            };
+            if fires {
+                due.push(*e);
+            }
+            !fires
+        });
+        due
+    }
+
+    /// A single-bit RAM flip derived deterministically from `seed`: the
+    /// step is drawn from `[0, step_range)` and the flipped bit from the
+    /// byte range `[addr_lo, addr_hi)`. The same seed always yields the
+    /// same plan — the replay handle for a chaos harness.
+    pub fn seeded_mem_flip(seed: u64, step_range: u64, addr_lo: u32, addr_hi: u32) -> Self {
+        let mut s = SplitMix64::new(seed);
+        let at_step = s.next_in(step_range.max(1));
+        let span = (addr_hi - addr_lo).max(1) as u64;
+        let addr = addr_lo + s.next_in(span) as u32;
+        let bit = (s.next() & 7) as u8;
+        FaultPlan::new().flip_mem_bit(at_step, addr, bit)
+    }
+
+    /// A single-bit register flip derived deterministically from `seed`
+    /// (registers 1–31; `x0` is never chosen).
+    pub fn seeded_reg_flip(seed: u64, step_range: u64) -> Self {
+        let mut s = SplitMix64::new(seed);
+        let at_step = s.next_in(step_range.max(1));
+        let reg = 1 + (s.next_in(31)) as u8;
+        let bit = (s.next() & 31) as u8;
+        FaultPlan::new().flip_reg_bit(at_step, reg, bit)
+    }
+}
+
+/// The classic splitmix64 generator — tiny, seedable, and with full
+/// 64-bit avalanche, which is all deterministic fault placement needs.
+#[derive(Debug, Clone)]
+pub(crate) struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    pub(crate) fn new(seed: u64) -> Self {
+        SplitMix64 { state: seed }
+    }
+
+    pub(crate) fn next(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform-ish draw in `[0, n)` (`n > 0`).
+    pub(crate) fn next_in(&mut self, n: u64) -> u64 {
+        self.next() % n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seeded_plans_are_replayable() {
+        let a = FaultPlan::seeded_mem_flip(42, 1000, 0x8000, 0x9000);
+        let b = FaultPlan::seeded_mem_flip(42, 1000, 0x8000, 0x9000);
+        assert_eq!(a, b);
+        let c = FaultPlan::seeded_mem_flip(43, 1000, 0x8000, 0x9000);
+        assert_ne!(a, c, "different seeds should move the fault");
+        let FaultEvent {
+            trigger: FaultTrigger::AtStep(s),
+            kind: FaultKind::MemBitFlip { addr, bit },
+        } = a.events()[0]
+        else {
+            panic!("seeded mem flip has unexpected shape");
+        };
+        assert!(s < 1000);
+        assert!((0x8000..0x9000).contains(&addr));
+        assert!(bit < 8);
+    }
+
+    #[test]
+    fn seeded_reg_flip_never_targets_x0() {
+        for seed in 0..64 {
+            let p = FaultPlan::seeded_reg_flip(seed, 100);
+            let FaultKind::RegBitFlip { reg, .. } = p.events()[0].kind else {
+                panic!("unexpected kind");
+            };
+            assert!((1..32).contains(&reg));
+        }
+    }
+
+    #[test]
+    fn builder_accumulates_events() {
+        let p = FaultPlan::new()
+            .flip_mem_bit(5, 0x100, 3)
+            .force_trap_at_pc(0x40, Trap::EnvironmentCall { pc: 0x40 })
+            .truncate_luts(9, 4);
+        assert_eq!(p.events().len(), 3);
+        assert!(!p.is_empty());
+        assert!(FaultPlan::new().is_empty());
+    }
+}

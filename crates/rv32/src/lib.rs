@@ -65,6 +65,22 @@
 //! host-side A8 model (`kwt_quant::A8Kwt`) reproduces device logits
 //! bit-for-bit.
 //!
+//! # Fault model and watchdog
+//!
+//! The trap taxonomy ([`Trap`], `#[non_exhaustive]`) covers decode
+//! faults (`IllegalInstruction`), memory faults (`FetchOutOfBounds`,
+//! `AccessOutOfBounds`, `MisalignedAccess`), environment calls, LUT
+//! table overruns, the host-side step limit (`OutOfFuel`) and the
+//! deployment-style cycle watchdog (`WatchdogExpired`). A [`Machine`]
+//! can arm a per-`run`-call cycle budget
+//! ([`Machine::set_cycle_watchdog`]) so a wedged or runaway image stops
+//! with a typed trap instead of spinning, and a deterministic
+//! [`FaultPlan`] ([`fault`] module) injects bit flips, forced traps and
+//! LUT corruption at exact architectural points — seeded, replayable,
+//! and free on the fault-free path (the plain `run` loop is untouched
+//! when neither is armed, and simulated cycle counts are identical
+//! either way).
+//!
 //! # Example
 //!
 //! ```
@@ -89,6 +105,7 @@
 #![warn(missing_docs)]
 
 mod cpu;
+pub mod fault;
 mod icache;
 mod machine;
 mod mem;
@@ -97,6 +114,7 @@ pub mod softfp;
 mod trap;
 
 pub use cpu::{Cpu, FuncUnit, StepOutcome};
+pub use fault::{FaultEvent, FaultKind, FaultPlan, FaultRecord, FaultTrigger};
 pub use icache::DecodeCacheStats;
 pub use machine::{Machine, RunResult, TraceEntry};
 pub use mem::Memory;

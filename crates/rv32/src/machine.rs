@@ -1,6 +1,7 @@
 //! Program loading and run-to-completion harness.
 
 use crate::cpu::{Cpu, StepOutcome};
+use crate::fault::{FaultEvent, FaultKind, FaultPlan, FaultRecord};
 use crate::mem::Memory;
 use crate::profile::ProfileReport;
 use crate::trap::Trap;
@@ -45,6 +46,9 @@ pub struct Machine {
     platform: Platform,
     entry: u32,
     region_names: BTreeMap<u32, String>,
+    faults: Option<FaultPlan>,
+    watchdog: Option<u64>,
+    fault_log: Vec<FaultRecord>,
 }
 
 impl Machine {
@@ -86,6 +90,9 @@ impl Machine {
             platform,
             entry,
             region_names: BTreeMap::new(),
+            faults: None,
+            watchdog: None,
+            fault_log: Vec::new(),
         })
     }
 
@@ -126,11 +133,24 @@ impl Machine {
 
     /// Runs until `ebreak`, a trap, or `max_steps` retired instructions.
     ///
+    /// With a [`FaultPlan`] armed ([`set_fault_plan`](Self::set_fault_plan))
+    /// or a cycle watchdog set
+    /// ([`set_cycle_watchdog`](Self::set_cycle_watchdog)), each step is
+    /// additionally monitored;
+    /// without either, the plain tight loop runs — fault support costs
+    /// nothing on the fault-free path, and simulated cycle counts are
+    /// identical either way.
+    ///
     /// # Errors
     ///
     /// Returns the [`Trap`] that stopped execution, including
-    /// [`Trap::OutOfFuel`] when the step budget is exhausted.
+    /// [`Trap::OutOfFuel`] when the step budget is exhausted,
+    /// [`Trap::WatchdogExpired`] when the cycle watchdog fires, and any
+    /// trap forced or provoked by an armed fault plan.
     pub fn run(&mut self, max_steps: u64) -> Result<RunResult, Trap> {
+        if self.watchdog.is_some() || self.faults.as_ref().is_some_and(|p| !p.is_empty()) {
+            return self.run_monitored(max_steps);
+        }
         for _ in 0..max_steps {
             match self.cpu.step()? {
                 StepOutcome::Continue => {}
@@ -147,6 +167,139 @@ impl Machine {
         Err(Trap::OutOfFuel {
             executed: self.cpu.instret,
         })
+    }
+
+    /// The monitored twin of the [`run`](Self::run) loop: applies due
+    /// fault events before each step and enforces the cycle watchdog
+    /// after it. Architecturally identical to `run` when the plan is
+    /// empty and the budget unreachable.
+    fn run_monitored(&mut self, max_steps: u64) -> Result<RunResult, Trap> {
+        let cycles0 = self.cpu.cycles;
+        let budget = self.watchdog;
+        for step in 0..max_steps {
+            self.apply_due_faults(step)?;
+            match self.cpu.step()? {
+                StepOutcome::Continue => {}
+                StepOutcome::Halted => {
+                    self.cpu.profiler.finish(self.cpu.cycles);
+                    return Ok(RunResult {
+                        cycles: self.cpu.cycles,
+                        instructions: self.cpu.instret,
+                        exit_code: self.cpu.reg(Reg::A0),
+                    });
+                }
+            }
+            if let Some(b) = budget {
+                let used = self.cpu.cycles - cycles0;
+                if used > b {
+                    return Err(Trap::WatchdogExpired {
+                        budget: b,
+                        cycles: used,
+                    });
+                }
+            }
+        }
+        Err(Trap::OutOfFuel {
+            executed: self.cpu.instret,
+        })
+    }
+
+    /// Fires every pending fault event due before run-local step `step`
+    /// (or at the current pc), consuming it and appending a
+    /// [`FaultRecord`] to the [fault log](Self::fault_log).
+    fn apply_due_faults(&mut self, step: u64) -> Result<(), Trap> {
+        let Some(plan) = self.faults.as_mut() else {
+            return Ok(());
+        };
+        if plan.is_empty() {
+            return Ok(());
+        }
+        let pc = self.cpu.pc;
+        let due: Vec<FaultEvent> = plan.take_due(step, pc);
+        if due.is_empty() {
+            return Ok(());
+        }
+        for e in due {
+            self.fault_log.push(FaultRecord {
+                kind: e.kind,
+                at_step: step,
+                pc,
+                cycles: self.cpu.cycles,
+            });
+            match e.kind {
+                FaultKind::MemBitFlip { addr, bit } => {
+                    // direct poke past alignment checks — a particle
+                    // strike does not honour the bus protocol
+                    if let Ok(byte) = self.cpu.mem.load8(addr, pc) {
+                        self.cpu
+                            .mem
+                            .store8(addr, byte ^ (1 << (bit & 7)), pc)
+                            .expect("load8 succeeded, store8 must too");
+                        self.cpu.invalidate_decode_cache(addr, 1);
+                    }
+                }
+                FaultKind::RegBitFlip { reg, bit } => {
+                    let r = (reg & 31) as usize;
+                    if r != 0 {
+                        self.cpu.regs[r] ^= 1 << (bit & 31);
+                    }
+                }
+                FaultKind::ForceTrap { trap } => return Err(trap),
+                FaultKind::TruncateLuts { keep } => {
+                    let full = self.cpu.luts().clone();
+                    let k = (keep as usize).min(full.exp_words().len());
+                    let truncated = LutSet::from_words(
+                        &full.exp_words()[..k],
+                        &full.inv_words()[..k.min(full.inv_words().len())],
+                        full.gelu.clone(),
+                    );
+                    self.cpu.set_luts(truncated);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Arms a [`FaultPlan`] for subsequent [`run`](Self::run) calls,
+    /// replacing any previous plan. Events fire at most once; consumed
+    /// events accumulate in the [fault log](Self::fault_log).
+    pub fn set_fault_plan(&mut self, plan: FaultPlan) {
+        self.faults = Some(plan);
+    }
+
+    /// Drops any armed fault plan (pending events included). The fault
+    /// log is kept.
+    pub fn clear_fault_plan(&mut self) {
+        self.faults = None;
+    }
+
+    /// Events still pending in the armed fault plan.
+    pub fn pending_faults(&self) -> &[FaultEvent] {
+        self.faults.as_ref().map(|p| p.events()).unwrap_or(&[])
+    }
+
+    /// Arms (`Some`) or disarms (`None`) the per-[`run`](Self::run)-call
+    /// cycle watchdog: a run consuming more than `budget` simulated
+    /// cycles stops with [`Trap::WatchdogExpired`]. The budget is
+    /// measured from the start of each `run` call, so a persistent
+    /// session re-arms it implicitly on every inference.
+    pub fn set_cycle_watchdog(&mut self, budget: Option<u64>) {
+        self.watchdog = budget;
+    }
+
+    /// The armed cycle watchdog budget, if any.
+    pub fn cycle_watchdog(&self) -> Option<u64> {
+        self.watchdog
+    }
+
+    /// Every fault fired on this machine, in firing order.
+    pub fn fault_log(&self) -> &[FaultRecord] {
+        &self.fault_log
+    }
+
+    /// Clears the fault log.
+    pub fn clear_fault_log(&mut self) {
+        self.fault_log.clear();
     }
 
     /// The profiler report for the run so far, using registered region
@@ -513,6 +666,112 @@ mod tests {
         let (result, trace) = m.run_traced(1_000, 5);
         assert!(result.is_ok());
         assert_eq!(trace.len(), 5);
+    }
+
+    #[test]
+    fn watchdog_bounds_runaway_programs() {
+        // Infinite loop: without a watchdog it burns the whole step
+        // budget; with one it stops at the cycle budget.
+        let mut asm = Asm::new(0, 0x8000);
+        let top = asm.new_label();
+        asm.bind(top).unwrap();
+        asm.jump_to(top);
+        let p = asm.finish().unwrap();
+        let mut m = Machine::load(&p, Platform::ibex()).unwrap();
+        m.set_cycle_watchdog(Some(100));
+        match m.run(1_000_000) {
+            Err(Trap::WatchdogExpired { budget, cycles }) => {
+                assert_eq!(budget, 100);
+                assert!(cycles > 100, "fired only once past the budget: {cycles}");
+                assert!(cycles < 200, "fired promptly: {cycles}");
+            }
+            other => panic!("expected watchdog trap, got {other:?}"),
+        }
+        // disarmed again, the step budget is the only bound
+        m.set_cycle_watchdog(None);
+        m.reset_cpu();
+        assert!(matches!(m.run(50), Err(Trap::OutOfFuel { .. })));
+    }
+
+    #[test]
+    fn watchdog_with_slack_is_invisible() {
+        let p = program(|a| a.li(Reg::A0, 7));
+        let mut plain = Machine::load(&p, Platform::ibex()).unwrap();
+        let baseline = plain.run(100).unwrap();
+        let mut guarded = Machine::load(&p, Platform::ibex()).unwrap();
+        guarded.set_cycle_watchdog(Some(u64::MAX));
+        let r = guarded.run(100).unwrap();
+        assert_eq!(r, baseline, "monitored loop must match the plain loop");
+    }
+
+    #[test]
+    fn empty_fault_plan_is_bit_and_cycle_identical() {
+        let p = program(|a| {
+            a.li(Reg::T0, 5);
+            a.li(Reg::T1, 3);
+            a.emit(Inst::Mul {
+                rd: Reg::A0,
+                rs1: Reg::T0,
+                rs2: Reg::T1,
+            });
+        });
+        let mut plain = Machine::load(&p, Platform::ibex()).unwrap();
+        let baseline = plain.run(100).unwrap();
+        let mut hooked = Machine::load(&p, Platform::ibex()).unwrap();
+        hooked.set_fault_plan(crate::FaultPlan::new());
+        hooked.set_cycle_watchdog(Some(u64::MAX));
+        let r = hooked.run(100).unwrap();
+        assert_eq!(r, baseline);
+        assert!(hooked.fault_log().is_empty());
+    }
+
+    #[test]
+    fn forced_trap_fires_at_pc() {
+        let p = program(|a| {
+            a.li(Reg::A0, 1);
+            a.li(Reg::A1, 2);
+        });
+        let mut m = Machine::load(&p, Platform::ibex()).unwrap();
+        let trap = Trap::AccessOutOfBounds {
+            addr: 0xDEAD,
+            pc: 0,
+        };
+        m.set_fault_plan(crate::FaultPlan::new().force_trap_at_pc(m.cpu.pc, trap));
+        assert_eq!(m.run(100), Err(trap));
+        assert_eq!(m.fault_log().len(), 1);
+        // the event is consumed: a reset re-run completes cleanly
+        m.reset_cpu();
+        assert_eq!(m.run(100).unwrap().exit_code, 1);
+    }
+
+    #[test]
+    fn reg_bit_flip_changes_the_result() {
+        let p = program(|a| a.li(Reg::A0, 0));
+        let mut m = Machine::load(&p, Platform::ibex()).unwrap();
+        // flip bit 4 of a0 right after it is written (step 1)
+        m.set_fault_plan(crate::FaultPlan::new().flip_reg_bit(1, 10, 4));
+        let r = m.run(100).unwrap();
+        assert_eq!(r.exit_code, 16);
+        assert_eq!(m.fault_log().len(), 1);
+    }
+
+    #[test]
+    fn mem_bit_flip_in_text_invalidates_decode() {
+        // li a0, 1; ebreak — flip a bit of the li immediately, before
+        // the first step, so the decoded (cached) word changes.
+        let p = program(|a| a.li(Reg::A0, 1));
+        // warm the cache with a clean run first
+        let mut m = Machine::load(&p, Platform::ibex()).unwrap();
+        assert_eq!(m.run(100).unwrap().exit_code, 1);
+        m.reset_cpu();
+        // addi imm bit: flipping a bit inside the immediate field of the
+        // 32-bit li expansion changes the loaded constant
+        m.set_fault_plan(crate::FaultPlan::new().flip_mem_bit(0, 2, 6));
+        // decoding the corrupted word may legitimately trap; if it
+        // runs, the flip must be visible through the cache
+        if let Ok(res) = m.run(100) {
+            assert_ne!(res.exit_code, 1, "flip must be visible through the cache");
+        }
     }
 
     #[test]

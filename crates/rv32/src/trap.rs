@@ -4,7 +4,12 @@ use std::fmt;
 
 /// A fault that stops simulation (the bare-metal target has no trap
 /// handlers; any trap is a bug in the generated program or its inputs).
+///
+/// Marked `#[non_exhaustive]`: the fault taxonomy grows (watchdog
+/// expiry and injected faults arrived after the base ISA traps), so
+/// downstream matches must keep a wildcard arm.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
 pub enum Trap {
     /// The word at `pc` did not decode to a supported instruction.
     IllegalInstruction {
@@ -57,6 +62,16 @@ pub enum Trap {
         /// Instructions retired before stopping.
         executed: u64,
     },
+    /// The per-call cycle watchdog ([`crate::Machine::set_cycle_watchdog`])
+    /// fired: the run consumed more simulated cycles than its budget.
+    /// Unlike [`Trap::OutOfFuel`] (a host-side step limit) this models a
+    /// deployed watchdog timer bounding a wedged or runaway image.
+    WatchdogExpired {
+        /// The armed cycle budget.
+        budget: u64,
+        /// Cycles actually consumed when the watchdog fired.
+        cycles: u64,
+    },
 }
 
 impl fmt::Display for Trap {
@@ -89,6 +104,12 @@ impl fmt::Display for Trap {
             ),
             Trap::OutOfFuel { executed } => {
                 write!(f, "step budget exhausted after {executed} instructions")
+            }
+            Trap::WatchdogExpired { budget, cycles } => {
+                write!(
+                    f,
+                    "cycle watchdog expired: {cycles} cycles consumed against a budget of {budget}"
+                )
             }
         }
     }

@@ -13,14 +13,18 @@
 # The smoke pass then runs every criterion bench exactly once, a
 # single-iteration `paper bench-engine` in a scratch directory (so the
 # committed BENCH_*.json artefacts are not overwritten with smoke-mode
-# numbers), and the three regression gates:
+# numbers), and the four regression gates:
 #
 #   * `paper check-a8`       — A8-vs-i16 top-1 agreement (>= 99 %) and
 #                              device/host bit-identity;
 #   * `paper check-frontend` — fixed-point MFCC vs f64 oracle top-1
 #                              agreement (>= 99.5 %) on the synth split;
 #   * `paper check-cycles`   — device cycles per image flavour vs the
-#                              committed BENCH_engine.json (<= +3 %).
+#                              committed BENCH_engine.json (<= +3 %);
+#   * `paper fault-sweep`    — chaos harness: injected faults across the
+#                              taxonomy x every image flavour must yield
+#                              typed errors, exact recovery, or exact
+#                              failover — and zero host panics.
 #
 # Every step reports its own name on failure, so CI logs point straight
 # at the broken stage.
@@ -87,6 +91,11 @@ echo "check-frontend OK"
 echo "== gate: paper check-cycles (device cycles vs committed baseline) =="
 "$paper_bin" check-cycles || fail "paper check-cycles"
 echo "check-cycles OK"
+
+echo "== gate: paper fault-sweep --smoke (fault taxonomy x image flavours) =="
+(cd "$scratch" && "$paper_bin" fault-sweep --smoke >/dev/null) \
+    || fail "paper fault-sweep"
+echo "fault-sweep OK"
 
 echo "== smoke: isa_ratio example =="
 cargo run --release -q -p kwt-bench --example isa_ratio >/dev/null \
