@@ -22,6 +22,7 @@ use crate::kernels::{
 use crate::mathlib::MathLib;
 use crate::regions;
 use crate::softfloat::SoftFloat;
+use crate::specialise::{self, GemmGeom, TunedKernels};
 use crate::{BuildError, Result};
 use kwt_model::{KwtConfig, KwtParams};
 use kwt_quant::{A8Config, A8Kwt, Nonlinearity, QuantConfig, QuantizedKwt};
@@ -798,6 +799,31 @@ impl InferenceImage {
     /// (`heads != 1`, `dim_head % 4 != 0`), [`BuildError::BankOverflow`]
     /// or [`BuildError::RamBudget`] like the other builders.
     pub fn build_a8(qm: &A8Kwt) -> Result<Self> {
+        Self::build_a8_with(qm, Some(&TunedKernels::embedded()))
+    }
+
+    /// [`Self::build_a8`] without the kernel specialiser: every GEMM and
+    /// LayerNorm call site uses the generic kernels. The cycle-count
+    /// comparison baseline for the tuner gate and the benches.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Self::build_a8`].
+    pub fn build_a8_generic(qm: &A8Kwt) -> Result<Self> {
+        Self::build_a8_with(qm, None)
+    }
+
+    /// [`Self::build_a8`] with an explicit tuned-factor table (`None`
+    /// disables specialisation entirely). For every distinct GEMM
+    /// geometry and the LayerNorm width the builder emits a specialised
+    /// kernel with the table's factors (validated, defaults otherwise)
+    /// and points the call sites at it; the generic kernels stay in the
+    /// image as the runtime misalignment fallback.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Self::build_a8`].
+    pub fn build_a8_with(qm: &A8Kwt, tuned: Option<&TunedKernels>) -> Result<Self> {
         let c = qm.config;
         if c.heads != 1 {
             return Err(BuildError::Model(format!(
@@ -913,6 +939,48 @@ impl InferenceImage {
         let over = asm.new_label();
         asm.jump_to(over);
         let k8 = A8Kernels::emit(&mut asm, s, dh);
+        // specialised kernels for every distinct GEMM geometry and the
+        // LayerNorm width, with the generic kernels as their fallback
+        let gemm_sites = [
+            (t, f, dim),       // patch projection
+            (s, dim, 3 * dh),  // qkv projection
+            (s, dh, dim),      // attention out projection
+            (s, dim, mlp),     // mlp hidden
+            (s, mlp, dim),     // mlp out
+            (1, dim, classes), // classifier head
+        ];
+        let mut spec_gemm: Vec<(GemmGeom, kwt_rvasm::Label)> = Vec::new();
+        let mut spec_ln = None;
+        if let Some(table) = tuned {
+            for (m, kd, n) in gemm_sites {
+                let geom = GemmGeom {
+                    m,
+                    k: kd,
+                    n,
+                    has_bias: true,
+                };
+                if spec_gemm.iter().any(|(g, _)| *g == geom) {
+                    continue;
+                }
+                let factors = table.gemm_factors(&geom);
+                if factors.validate(&geom).is_err() {
+                    continue; // unemittable geometry: generic call site
+                }
+                let label = specialise::emit_gemm_a8_spec(&mut asm, &geom, &factors, k8.matmul_a8);
+                spec_gemm.push((geom, label));
+            }
+            let lf = table.ln_factors(dim);
+            if lf.validate(dim).is_ok() {
+                spec_ln = Some(specialise::emit_ln_a8_spec(&mut asm, dim, &lf));
+            }
+        }
+        let gemm_at = |m: usize, kd: usize, n: usize| {
+            spec_gemm
+                .iter()
+                .find(|(g, _)| g.m == m && g.k == kd && g.n == n)
+                .map_or(k8.matmul_a8, |(_, l)| *l)
+        };
+        let ln_at = spec_ln.unwrap_or(k8.ln_a8);
         asm.bind(over)?;
         asm.here("entry");
 
@@ -931,7 +999,7 @@ impl InferenceImage {
                 k.shift_proj as i32,
             ],
         );
-        asm.call(k8.matmul_a8);
+        asm.call(gemm_at(t, f, dim));
         pop_region(&mut asm);
         push_region(&mut asm, regions::BLOCK_TOP | regions::OP_OTHER);
         set_args(&mut asm, &[x as i32, cls as i32, dim as i32]);
@@ -964,7 +1032,7 @@ impl InferenceImage {
                     shift_qkv as i32,
                 ],
             );
-            asm.call(k8.matmul_a8);
+            asm.call(gemm_at(s, dim, 3 * dh));
             pop_region(&mut asm);
             let q = bank2.alloc(s * dh, 4)?;
             let kk = bank2.alloc(s * dh, 4)?;
@@ -1014,7 +1082,7 @@ impl InferenceImage {
                     shift_out as i32,
                 ],
             );
-            asm.call(k8.matmul_a8);
+            asm.call(gemm_at(s, dh, dim));
             pop_region(&mut asm);
             push_region(&mut asm, regions::BLOCK_TOP | regions::OP_OTHER);
             set_args(&mut asm, &[x as i32, attn_out as i32, (s * dim) as i32]);
@@ -1032,7 +1100,7 @@ impl InferenceImage {
                     ln1_params as i32,
                 ],
             );
-            asm.call(k8.ln_a8);
+            asm.call(ln_at);
             pop_region(&mut asm);
             // MLP with the fused LUT-GELU boundary
             bank1.reset();
@@ -1053,7 +1121,7 @@ impl InferenceImage {
                     k.shift_mlp1 as i32,
                 ],
             );
-            asm.call(k8.matmul_a8);
+            asm.call(gemm_at(s, dim, mlp));
             pop_region(&mut asm);
             push_region(&mut asm, regions::BLOCK_MLP | regions::OP_GELU);
             set_args(
@@ -1081,7 +1149,7 @@ impl InferenceImage {
                     k.shift_mlp2 as i32,
                 ],
             );
-            asm.call(k8.matmul_a8);
+            asm.call(gemm_at(s, mlp, dim));
             pop_region(&mut asm);
             push_region(&mut asm, regions::BLOCK_TOP | regions::OP_OTHER);
             set_args(&mut asm, &[x as i32, mlp_out as i32, (s * dim) as i32]);
@@ -1099,7 +1167,7 @@ impl InferenceImage {
                     ln_p as i32,
                 ],
             );
-            asm.call(k8.ln_a8);
+            asm.call(ln_at);
             pop_region(&mut asm);
         }
 
@@ -1117,7 +1185,7 @@ impl InferenceImage {
                 k.shift_head as i32,
             ],
         );
-        asm.call(k8.matmul_a8);
+        asm.call(gemm_at(1, dim, classes));
         pop_region(&mut asm);
         asm.li(Reg::A0, logits as i32);
         asm.emit(Inst::Ebreak);

@@ -30,7 +30,9 @@
 
 use crate::mathlib::{epilogue, li_f32, prologue, MathLib};
 use crate::softfloat::SoftFloat;
-use kwt_rvasm::{Asm, CustomOp, Inst, Label, PackedOp, Reg, CSR_PROFILE_POP, CSR_PROFILE_PUSH};
+use kwt_rvasm::{
+    emit, Asm, CustomOp, Inst, Label, PackedOp, Reg, CSR_PROFILE_POP, CSR_PROFILE_PUSH,
+};
 
 use Reg::{Ra, Zero, A0, A1, A2, A3, A4, A5, A6, A7, T0, T1, T2, T3, T4, T5, T6};
 use Reg::{S0, S1, S10, S11, S2, S3, S4, S5, S6, S7, S8, S9};
@@ -5232,36 +5234,8 @@ fn emit_attention_a8(asm: &mut Asm, s: usize, dh: usize, kp: usize) -> Label {
     asm.li(T2, s as i32); // j counter
     asm.bind(sj).expect("fresh");
     asm.li(T3, 0); // acc
-    for blk in 0..dh / 4 {
-        asm.emit(Inst::Lw {
-            rd: T4,
-            rs1: S9,
-            imm: 4 * blk as i32,
-        });
-        asm.emit(Inst::Lw {
-            rd: T5,
-            rs1: T0,
-            imm: 4 * blk as i32,
-        });
-        asm.emit(Inst::Packed {
-            op: PackedOp::Kdot4I8,
-            rd: T3,
-            rs1: T4,
-            rs2: T5,
-        });
-    }
-    asm.emit(Inst::Packed {
-        op: PackedOp::KsatI16,
-        rd: T3,
-        rs1: T3,
-        rs2: A6,
-    });
-    asm.emit(Inst::Packed {
-        op: PackedOp::Kclip,
-        rd: T3,
-        rs1: T3,
-        rs2: A4,
-    });
+    emit::dot4_i8_unrolled(asm, T3, S9, T0, T4, T5, dh / 4, 0, 0);
+    emit::sat_clip_i8(asm, T3, A6, A4);
     asm.emit(Inst::Sb {
         rs2: T3,
         rs1: T1,
@@ -5524,36 +5498,8 @@ fn emit_attention_a8(asm: &mut Asm, s: usize, dh: usize, kp: usize) -> Label {
     asm.li(T2, dh as i32); // j counter
     asm.bind(cj).expect("fresh");
     asm.li(T3, 0); // acc
-    for blk in 0..kp / 4 {
-        asm.emit(Inst::Lw {
-            rd: T4,
-            rs1: T0,
-            imm: 4 * blk as i32,
-        });
-        asm.emit(Inst::Lw {
-            rd: T5,
-            rs1: S4,
-            imm: 4 * blk as i32,
-        });
-        asm.emit(Inst::Packed {
-            op: PackedOp::Kdot4I8,
-            rd: T3,
-            rs1: T4,
-            rs2: T5,
-        });
-    }
-    asm.emit(Inst::Packed {
-        op: PackedOp::KsatI16,
-        rd: T3,
-        rs1: T3,
-        rs2: A7,
-    });
-    asm.emit(Inst::Packed {
-        op: PackedOp::Kclip,
-        rd: T3,
-        rs1: T3,
-        rs2: A4,
-    });
+    emit::dot4_i8_unrolled(asm, T3, T0, S4, T4, T5, kp / 4, 0, 0);
+    emit::sat_clip_i8(asm, T3, A7, A4);
     asm.emit(Inst::Sb {
         rs2: T3,
         rs1: T1,
@@ -6488,6 +6434,40 @@ mod tests {
         assert_eq!(got, want);
         // the fused kernel profiles its phases
         assert!(m.profile_report().attributed_cycles > 0);
+    }
+
+    fn fnv1a64_words(words: &[u32]) -> u64 {
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for w in words {
+            for b in w.to_le_bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+        }
+        h
+    }
+
+    #[test]
+    fn a8_kernel_stream_is_pinned() {
+        // FNV-1a-64 digests of the emitted A8 kernel text, recorded
+        // before the attention emitter moved onto the shared
+        // `kwt_rvasm::emit` helpers: the migration is a pure refactor
+        // and must keep the instruction stream bit-identical. If a
+        // *deliberate* kernel change lands, re-record the digests.
+        for (s, dh, want) in [
+            (27usize, 8usize, 0x267d_1029_534c_d685u64), // KWT-Tiny geometry
+            (5, 4, 0x41b2_c9c8_ced3_0016u64),            // padded-tail geometry
+        ] {
+            let mut asm = Asm::new(0, 0x8000);
+            let _ = A8Kernels::emit(&mut asm, s, dh);
+            let p = asm.finish().expect("assembles");
+            assert_eq!(
+                fnv1a64_words(&p.text),
+                want,
+                "A8 kernel stream changed at s={s} dh={dh} (digest {:#018x})",
+                fnv1a64_words(&p.text)
+            );
+        }
     }
 
     #[test]

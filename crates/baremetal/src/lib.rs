@@ -17,10 +17,19 @@
 //! * [`kernels`] — the Table VI tensor library as assembly routines, in
 //!   float, quantised-integer and custom-instruction-accelerated
 //!   flavours.
+//! * [`specialise`] — the emit-time kernel specialiser: a geometry-driven
+//!   generator for `kdot4.i8` GEMM and LayerNorm kernels (unrolled K,
+//!   register-cached activation rows, strides folded into immediates,
+//!   fused requant epilogues) plus the committed autotuning artefact
+//!   ([`specialise::TunedKernels`]) that records cycle-counter-selected
+//!   unroll/blocking factors per model geometry.
 //! * [`image`] — complete inference programs (float / quantised /
 //!   quantised+HW) with the paper's two static memory banks (§V),
 //!   profiling region markers (Figs. 3–5) and a host harness to run them
-//!   on the [`kwt_rv32`] simulator.
+//!   on the [`kwt_rv32`] simulator. The A8 image emits a tuned
+//!   specialised kernel for every GEMM/LayerNorm call site, keeping the
+//!   generic kernels as the misalignment fallback and differential
+//!   oracle.
 //!
 //! Rounding note: the soft-float ops round toward zero (truncate) and
 //! flush denormals, where host `f32` rounds to nearest-even. Differential
@@ -37,6 +46,7 @@ pub mod kernels;
 pub mod mathlib;
 pub mod regions;
 pub mod softfloat;
+pub mod specialise;
 
 pub use banks::Bank;
 pub use error::{BuildError, DeviceError};

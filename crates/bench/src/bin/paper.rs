@@ -8,6 +8,8 @@
 //! paper bench-engine   # engine clips/sec, one-shot vs scratch-reuse vs batched -> BENCH_engine.json
 //! paper check-a8       # A8-vs-i16 top-1 agreement gate + device/host bit-identity spot check
 //! paper check-cycles   # device-cycle regression gate vs the committed BENCH_engine.json (3%)
+//! paper tune-kernels   # A8 kernel-specialiser factor sweep -> results/TUNED_KERNELS.txt + TUNING.md
+//! paper check-tuning   # tuner determinism + tuned-not-slower-than-generic gate
 //! paper check-frontend # fixed-point MFCC vs f64 oracle top-1 agreement gate (99.5%)
 //! paper fault-sweep    # chaos harness: fault taxonomy x image flavours -> FAULT_SWEEP.md
 //! paper fault-sweep --smoke  # fewer seeds per cell (the CI gate)
@@ -50,6 +52,8 @@ fn main() {
         "check-a8",
         "check-frontend",
         "check-cycles",
+        "tune-kernels",
+        "check-tuning",
         "fault-sweep",
     ];
     let selected: Vec<&str> = if targets.is_empty() || targets.contains(&"all") {
@@ -79,6 +83,8 @@ fn main() {
             "check-a8" => exp::check_a8(&ctx),
             "check-cycles" => exp::check_cycles(&ctx),
             "check-frontend" => exp::check_frontend(&ctx),
+            "tune-kernels" => kwt_bench::tune::run_and_write(std::path::Path::new(".")),
+            "check-tuning" => kwt_bench::tune::check(),
             "fault-sweep" => kwt_bench::faultsweep::run(&ctx, smoke),
             other => {
                 eprintln!("unknown target `{other}`; available: all {all:?}");

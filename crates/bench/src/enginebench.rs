@@ -97,6 +97,23 @@ pub struct DeviceCycles {
     pub instructions: u64,
 }
 
+/// One profiled-region row of an accelerated image: per-kernel cycle
+/// attribution (GEMM vs LayerNorm vs attention vs boundaries), so a
+/// cycle regression localises to the kernel that caused it.
+#[derive(Debug, Clone, Serialize)]
+pub struct DeviceKernelRow {
+    /// Image variant (`accel`, `accel_xkwtdot`, `accel_xkwtdot_a8`).
+    pub variant: String,
+    /// Profiled region name (`attn/matmul`, `top/layernorm`, …).
+    pub region: String,
+    /// Self-cycles attributed to the region for one inference.
+    pub cycles: u64,
+    /// Region entry count for one inference.
+    pub calls: u64,
+    /// Share of the inference's total cycles.
+    pub percent_of_total: f64,
+}
+
 /// One MFCC front-end throughput measurement.
 #[derive(Debug, Clone, Serialize)]
 pub struct FrontendRow {
@@ -159,6 +176,9 @@ pub struct EngineBenchSummary {
     /// Per-instruction-class cycle attribution of the accelerated images
     /// (scalar vs Xkwtdot vs A8) — where each win comes from.
     pub rv32_cycle_classes: Vec<CycleClassRow>,
+    /// Per-kernel (profiled-region) cycle attribution of the accelerated
+    /// images — GEMM vs LayerNorm vs attention vs boundary ops.
+    pub device_kernel_cycles: Vec<DeviceKernelRow>,
 }
 
 /// Deterministic benchmark clips (1 s at 16 kHz): tone pairs + noise, the
@@ -469,6 +489,7 @@ pub fn collect() -> EngineBenchSummary {
         .expect("mfcc");
     let mut device_cycles = Vec::new();
     let mut rv32_cycle_classes = Vec::new();
+    let mut device_kernel_cycles = Vec::new();
     let float_image = InferenceImage::build_float(&params).expect("float image");
     let quant_image = InferenceImage::build_quant(&qm).expect("quant image");
     for (variant, img) in [
@@ -497,6 +518,16 @@ pub fn collect() -> EngineBenchSummary {
                     cycles,
                 });
             }
+            let report = session.machine().profile_report();
+            for (region, cycles, calls) in &report.regions {
+                device_kernel_cycles.push(DeviceKernelRow {
+                    variant: variant.to_string(),
+                    region: region.clone(),
+                    cycles: *cycles,
+                    calls: *calls,
+                    percent_of_total: 100.0 * *cycles as f64 / report.total_cycles.max(1) as f64,
+                });
+            }
         }
     }
 
@@ -509,6 +540,7 @@ pub fn collect() -> EngineBenchSummary {
         parallel_scaling,
         device_cycles,
         rv32_cycle_classes,
+        device_kernel_cycles,
     }
 }
 
@@ -562,6 +594,13 @@ pub fn run_and_write(out_dir: &std::path::Path) -> String {
         out.push_str(&format!(
             "  {:<16} {:<8} {:<12} {:>12} instructions {:>12} cycles\n",
             c.variant, c.isa, c.class, c.instructions, c.cycles
+        ));
+    }
+    out.push_str("accel image cycles by kernel region (GEMM vs LayerNorm vs attention):\n");
+    for k in &summary.device_kernel_cycles {
+        out.push_str(&format!(
+            "  {:<16} {:<16} {:>12} cycles {:>6} calls {:>6.1}%\n",
+            k.variant, k.region, k.cycles, k.calls, k.percent_of_total
         ));
     }
     if summary.smoke {

@@ -22,5 +22,6 @@ pub mod experiments;
 pub mod faultsweep;
 pub mod microbench;
 mod timing;
+pub mod tune;
 
 pub use experiments::ExpContext;

@@ -1,0 +1,189 @@
+//! Shared emission helpers for geometry-specialised kernels.
+//!
+//! The bare-metal kernel generators (the hand-written `attention_a8`
+//! emitter and the `kdot4.i8` GEMM / LayerNorm specialiser built on
+//! top of these helpers) all emit the same handful of instruction
+//! shapes: straight-line runs of packed
+//! dot-product MACs with offset addressing, scalar MAC tails for depths
+//! the packed loads cannot reach, and the fused `ksat.i16` + `kclip`
+//! requantising epilogue. This module is the single home of those
+//! shapes, so every generator produces byte-identical sequences for the
+//! same plan — which is what lets a differential test pin one emitter
+//! against another.
+//!
+//! All helpers take explicit base/temporary registers and **emit-time
+//! constant** offsets; none of them clobbers anything beyond the
+//! registers they are handed.
+
+use crate::asm::Asm;
+use crate::inst::{Inst, PackedOp};
+use crate::reg::Reg;
+
+/// Emits `blocks` straight-line packed i8 MAC groups:
+/// `lw tmp_a, a_off+4·blk(pa); lw tmp_w, w_off+4·blk(pw);
+/// kdot4.i8 acc, tmp_a, tmp_w` — 4 MACs per group, offset-addressed,
+/// no pointer arithmetic. `pa`/`pw` must be word-aligned.
+#[allow(clippy::too_many_arguments)]
+pub fn dot4_i8_unrolled(
+    asm: &mut Asm,
+    acc: Reg,
+    pa: Reg,
+    pw: Reg,
+    tmp_a: Reg,
+    tmp_w: Reg,
+    blocks: usize,
+    a_off: i32,
+    w_off: i32,
+) {
+    for blk in 0..blocks as i32 {
+        asm.emit(Inst::Lw {
+            rd: tmp_a,
+            rs1: pa,
+            imm: a_off + 4 * blk,
+        });
+        asm.emit(Inst::Lw {
+            rd: tmp_w,
+            rs1: pw,
+            imm: w_off + 4 * blk,
+        });
+        asm.emit(Inst::Packed {
+            op: PackedOp::Kdot4I8,
+            rd: acc,
+            rs1: tmp_a,
+            rs2: tmp_w,
+        });
+    }
+}
+
+/// Emits one packed MAC group per cached activation word:
+/// `lw tmp_w, w_off+4·i(pw); kdot4.i8 acc, a_regs[i], tmp_w`. The
+/// activation row lives in registers, so the group costs one load
+/// instead of two — the row-cached GEMM inner loop.
+pub fn dot4_i8_cached(asm: &mut Asm, acc: Reg, a_regs: &[Reg], pw: Reg, tmp_w: Reg, w_off: i32) {
+    for (i, &ra) in a_regs.iter().enumerate() {
+        asm.emit(Inst::Lw {
+            rd: tmp_w,
+            rs1: pw,
+            imm: w_off + 4 * i as i32,
+        });
+        asm.emit(Inst::Packed {
+            op: PackedOp::Kdot4I8,
+            rd: acc,
+            rs1: ra,
+            rs2: tmp_w,
+        });
+    }
+}
+
+/// Emits `count` straight-line scalar i8 MACs:
+/// `lb tmp_a, a_off+i(pa); lb tmp_w, w_off+i(pw); mul tmp_a, tmp_a,
+/// tmp_w; add acc, acc, tmp_a`. Byte loads, so no alignment
+/// requirement — the tail (and odd-depth) path of the specialised GEMM.
+#[allow(clippy::too_many_arguments)]
+pub fn mac_i8_scalar(
+    asm: &mut Asm,
+    acc: Reg,
+    pa: Reg,
+    pw: Reg,
+    tmp_a: Reg,
+    tmp_w: Reg,
+    count: usize,
+    a_off: i32,
+    w_off: i32,
+) {
+    for i in 0..count as i32 {
+        asm.emit(Inst::Lb {
+            rd: tmp_a,
+            rs1: pa,
+            imm: a_off + i,
+        });
+        asm.emit(Inst::Lb {
+            rd: tmp_w,
+            rs1: pw,
+            imm: w_off + i,
+        });
+        asm.emit(Inst::Mul {
+            rd: tmp_a,
+            rs1: tmp_a,
+            rs2: tmp_w,
+        });
+        asm.emit(Inst::Add {
+            rd: acc,
+            rs1: acc,
+            rs2: tmp_a,
+        });
+    }
+}
+
+/// Emits the fused requantising epilogue narrowing an i32 accumulator
+/// straight to i8: `ksat.i16 r, r, shift_reg; kclip r, r, clip_reg`
+/// (`clip_reg` holds 7 for the i8 range). Every A8 GEMM-shaped kernel
+/// ends each output in exactly this pair.
+pub fn sat_clip_i8(asm: &mut Asm, r: Reg, shift_reg: Reg, clip_reg: Reg) {
+    asm.emit(Inst::Packed {
+        op: PackedOp::KsatI16,
+        rd: r,
+        rs1: r,
+        rs2: shift_reg,
+    });
+    asm.emit(Inst::Packed {
+        op: PackedOp::Kclip,
+        rd: r,
+        rs1: r,
+        rs2: clip_reg,
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use Reg::{A0, A1, T0, T1, T2, T3};
+
+    fn words(f: impl FnOnce(&mut Asm)) -> Vec<u32> {
+        let mut asm = Asm::new(0, 0x8000);
+        f(&mut asm);
+        asm.finish().expect("assembles").text
+    }
+
+    #[test]
+    fn dot4_unrolled_matches_hand_sequence() {
+        let helper = words(|asm| dot4_i8_unrolled(asm, T2, A0, A1, T0, T1, 2, 0, 8));
+        let hand = words(|asm| {
+            for blk in 0..2 {
+                asm.emit(Inst::Lw {
+                    rd: T0,
+                    rs1: A0,
+                    imm: 4 * blk,
+                });
+                asm.emit(Inst::Lw {
+                    rd: T1,
+                    rs1: A1,
+                    imm: 8 + 4 * blk,
+                });
+                asm.emit(Inst::Packed {
+                    op: PackedOp::Kdot4I8,
+                    rd: T2,
+                    rs1: T0,
+                    rs2: T1,
+                });
+            }
+        });
+        assert_eq!(helper, hand);
+    }
+
+    #[test]
+    fn cached_dot_loads_only_weights() {
+        let text = words(|asm| dot4_i8_cached(asm, T2, &[T0, T3], A1, T1, 0));
+        // two groups of (lw, kdot4): 4 instructions, no activation loads
+        assert_eq!(text.len(), 4);
+    }
+
+    #[test]
+    fn scalar_mac_and_epilogue_shapes() {
+        let text = words(|asm| {
+            mac_i8_scalar(asm, T2, A0, A1, T0, T1, 3, 4, 4);
+            sat_clip_i8(asm, T2, A0, A1);
+        });
+        assert_eq!(text.len(), 3 * 4 + 2);
+    }
+}

@@ -52,6 +52,13 @@
 //! 4-aligned operand bases and `K % 4 == 0` on the packed fast path
 //! (anything else takes a bit-identical scalar fallback).
 //!
+//! The [`emit`] module packages these recurring shapes — straight-line
+//! `lw`/`lw`/`kdot4.i8` MAC groups, register-cached variants, scalar
+//! `lb` MAC tails and the `ksat.i16` + `kclip` epilogue — as reusable
+//! helpers, so the hand-written fused-attention emitter and the
+//! geometry-driven GEMM/LayerNorm specialiser in `kwt-baremetal`
+//! generate byte-identical sequences from one implementation.
+//!
 //! # Example
 //!
 //! ```
@@ -73,6 +80,7 @@
 
 mod asm;
 mod compressed;
+pub mod emit;
 mod error;
 mod inst;
 mod reg;

@@ -21,6 +21,11 @@
 #                              agreement (>= 99.5 %) on the synth split;
 #   * `paper check-cycles`   — device cycles per image flavour vs the
 #                              committed BENCH_engine.json (<= +3 %);
+#   * `paper check-tuning`   — kernel-specialiser autotuner gate: the
+#                              sweep must be deterministic, the committed
+#                              results/TUNED_KERNELS.txt must match a
+#                              fresh derivation, and no tuned kernel may
+#                              be slower than its generic counterpart;
 #   * `paper fault-sweep`    — chaos harness: injected faults across the
 #                              taxonomy x every image flavour must yield
 #                              typed errors, exact recovery, or exact
@@ -91,6 +96,10 @@ echo "check-frontend OK"
 echo "== gate: paper check-cycles (device cycles vs committed baseline) =="
 "$paper_bin" check-cycles || fail "paper check-cycles"
 echo "check-cycles OK"
+
+echo "== gate: paper check-tuning (kernel-specialiser artefact in sync) =="
+"$paper_bin" check-tuning || fail "paper check-tuning"
+echo "check-tuning OK"
 
 echo "== gate: paper fault-sweep --smoke (fault taxonomy x image flavours) =="
 (cd "$scratch" && "$paper_bin" fault-sweep --smoke >/dev/null) \
