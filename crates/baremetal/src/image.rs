@@ -1242,7 +1242,7 @@ impl InferenceImage {
     }
 
     /// The static image split into checksummed ≤1 kB banks.
-    fn integrity_banks(&self) -> Vec<IntegrityBank> {
+    pub(crate) fn integrity_banks(&self) -> Vec<IntegrityBank> {
         let mut banks = Vec::new();
         for (addr, len) in self.static_ranges() {
             let mut off = 0;
@@ -1458,64 +1458,27 @@ impl DeviceSession {
         // Unconditional: on a fresh load this equals the load state, and
         // after a trapped run it re-arms instead of resuming the fault.
         self.machine.reset_cpu();
-        match self.flavor {
-            Flavor::Float => self.machine.write_f32s(self.input_addr, mfcc.as_slice()),
-            Flavor::Quantized | Flavor::Accelerated => {
-                let ya = self
-                    .qconfig
-                    .expect("quant flavours carry qconfig")
-                    .input_bits;
-                let (q, _) = qops::quantize_i16(mfcc, ya);
-                self.machine.write_i16s(self.input_addr, q.as_slice());
-            }
-            Flavor::A8 => {
-                let yi = self
-                    .a8config
-                    .expect("A8 flavour carries a8config")
-                    .input_bits;
-                let mut q = Mat::default();
-                qops::quantize_i8_scaled_into(mfcc, yi, &mut q);
-                self.machine.write_i8s(self.input_addr, q.as_slice());
-            }
-        }
+        write_clip_input(
+            &mut self.machine,
+            self.flavor,
+            self.qconfig,
+            self.a8config,
+            self.input_addr,
+            mfcc,
+        );
         let cycles0 = self.machine.cpu.cycles;
         let instret0 = self.machine.cpu.instret;
         let result = self.run_machine(cycles0)?;
         self.runs += 1;
-        logits.clear();
-        match self.flavor {
-            Flavor::Float => {
-                logits.extend(self.machine.read_f32s(self.logits_addr, c.num_classes));
-            }
-            Flavor::Quantized | Flavor::Accelerated => {
-                let ya = self
-                    .qconfig
-                    .expect("quant flavours carry qconfig")
-                    .input_bits;
-                logits.extend(
-                    self.machine
-                        .read_i16s(self.logits_addr, c.num_classes)
-                        .into_iter()
-                        .map(|v| v as f32 / (1u32 << ya) as f32),
-                );
-            }
-            Flavor::A8 => {
-                // the same derived constant the host golden model reads,
-                // so the two readback paths can never disagree
-                let scale = self
-                    .a8config
-                    .expect("A8 flavour carries a8config")
-                    .consts(&c)
-                    .expect("validated at build time")
-                    .logit_scale;
-                logits.extend(
-                    self.machine
-                        .read_i8s(self.logits_addr, c.num_classes)
-                        .into_iter()
-                        .map(|v| v as f32 * scale),
-                );
-            }
-        }
+        read_clip_logits(
+            &self.machine,
+            self.flavor,
+            self.qconfig,
+            self.a8config,
+            &c,
+            self.logits_addr,
+            logits,
+        );
         Ok(RunResult {
             cycles: result.cycles - cycles0,
             instructions: result.instructions - instret0,
@@ -1570,35 +1533,7 @@ impl DeviceSession {
     /// (if any) is deliberately left armed — it is session policy, not
     /// fault state.
     pub fn recover(&mut self) -> RecoveryReport {
-        let mut report = RecoveryReport {
-            faults_cleared: self.machine.pending_faults().len(),
-            ..RecoveryReport::default()
-        };
-        self.machine.reset_cpu();
-        self.machine.clear_fault_plan();
-        self.machine.clear_fault_log();
-        let full = kwt_quant::LutSet::new();
-        if self.machine.cpu.luts() != &full {
-            self.machine.cpu.set_luts(full);
-            report.luts_restored = true;
-        }
-        for bank in &self.integrity {
-            report.banks_checked += 1;
-            let live = self
-                .machine
-                .cpu
-                .mem
-                .read_bytes(bank.addr, bank.pristine.len());
-            if fnv1a64(live) != bank.checksum {
-                self.machine.cpu.mem.write_bytes(bank.addr, &bank.pristine);
-                self.machine
-                    .cpu
-                    .invalidate_decode_cache(bank.addr, bank.pristine.len() as u32);
-                report.banks_dirty += 1;
-                report.bytes_restored += bank.pristine.len();
-            }
-        }
-        report
+        recover_machine(&mut self.machine, &self.integrity)
     }
 
     /// Checksums every static bank without repairing anything: `true`
@@ -1693,10 +1628,10 @@ const INTEGRITY_BANK_BYTES: u32 = 1024;
 /// One build-time-checksummed slice of the static image (code or
 /// weights), with a pristine copy shared across session clones.
 #[derive(Debug, Clone)]
-struct IntegrityBank {
-    addr: u32,
-    checksum: u64,
-    pristine: std::sync::Arc<[u8]>,
+pub(crate) struct IntegrityBank {
+    pub(crate) addr: u32,
+    pub(crate) checksum: u64,
+    pub(crate) pristine: std::sync::Arc<[u8]>,
 }
 
 const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
@@ -1709,8 +1644,114 @@ fn fnv1a64_update(mut h: u64, bytes: &[u8]) -> u64 {
     h
 }
 
-fn fnv1a64(bytes: &[u8]) -> u64 {
+pub(crate) fn fnv1a64(bytes: &[u8]) -> u64 {
     fnv1a64_update(FNV_OFFSET, bytes)
+}
+
+/// Quantises (flavour-appropriately) and writes one clip into a loaded
+/// machine's input mailbox — the single input path shared by
+/// [`DeviceSession`] and [`crate::ClusterSession`], so the two can never
+/// disagree on quantisation.
+pub(crate) fn write_clip_input(
+    machine: &mut Machine,
+    flavor: Flavor,
+    qconfig: Option<QuantConfig>,
+    a8config: Option<A8Config>,
+    input_addr: u32,
+    mfcc: &Mat<f32>,
+) {
+    match flavor {
+        Flavor::Float => machine.write_f32s(input_addr, mfcc.as_slice()),
+        Flavor::Quantized | Flavor::Accelerated => {
+            let ya = qconfig.expect("quant flavours carry qconfig").input_bits;
+            let (q, _) = qops::quantize_i16(mfcc, ya);
+            machine.write_i16s(input_addr, q.as_slice());
+        }
+        Flavor::A8 => {
+            let yi = a8config.expect("A8 flavour carries a8config").input_bits;
+            let mut q = Mat::default();
+            qops::quantize_i8_scaled_into(mfcc, yi, &mut q);
+            machine.write_i8s(input_addr, q.as_slice());
+        }
+    }
+}
+
+/// Reads float logits back out of a loaded machine (cleared first) —
+/// the readback twin of [`write_clip_input`].
+pub(crate) fn read_clip_logits(
+    machine: &Machine,
+    flavor: Flavor,
+    qconfig: Option<QuantConfig>,
+    a8config: Option<A8Config>,
+    config: &KwtConfig,
+    logits_addr: u32,
+    logits: &mut Vec<f32>,
+) {
+    logits.clear();
+    match flavor {
+        Flavor::Float => {
+            logits.extend(machine.read_f32s(logits_addr, config.num_classes));
+        }
+        Flavor::Quantized | Flavor::Accelerated => {
+            let ya = qconfig.expect("quant flavours carry qconfig").input_bits;
+            logits.extend(
+                machine
+                    .read_i16s(logits_addr, config.num_classes)
+                    .into_iter()
+                    .map(|v| v as f32 / (1u32 << ya) as f32),
+            );
+        }
+        Flavor::A8 => {
+            // the same derived constant the host golden model reads,
+            // so the two readback paths can never disagree
+            let scale = a8config
+                .expect("A8 flavour carries a8config")
+                .consts(config)
+                .expect("validated at build time")
+                .logit_scale;
+            logits.extend(
+                machine
+                    .read_i8s(logits_addr, config.num_classes)
+                    .into_iter()
+                    .map(|v| v as f32 * scale),
+            );
+        }
+    }
+}
+
+/// The shared recovery pass behind [`DeviceSession::recover`] and
+/// [`crate::ClusterSession::recover`]: architectural reset, fault-plan
+/// and log disarm, LUT restore, and checksum-driven repair of the
+/// static banks (only dirty banks are rewritten).
+pub(crate) fn recover_machine(
+    machine: &mut Machine,
+    integrity: &[IntegrityBank],
+) -> RecoveryReport {
+    let mut report = RecoveryReport {
+        faults_cleared: machine.pending_faults().len(),
+        ..RecoveryReport::default()
+    };
+    machine.reset_cpu();
+    machine.clear_fault_plan();
+    machine.clear_fault_log();
+    let full = kwt_quant::LutSet::new();
+    if machine.cpu.luts() != &full {
+        machine.cpu.set_luts(full);
+        report.luts_restored = true;
+    }
+    for bank in integrity {
+        report.banks_checked += 1;
+        let live = machine.cpu.mem.read_bytes(bank.addr, bank.pristine.len());
+        if fnv1a64(live) != bank.checksum {
+            machine.cpu.mem.write_bytes(bank.addr, &bank.pristine);
+            machine
+                .cpu
+                .invalidate_decode_cache(bank.addr, bank.pristine.len() as u32);
+            report.banks_dirty += 1;
+            report.bytes_restored += bank.pristine.len();
+        }
+    }
+    report
 }
 
 /// `span` minus every overlapping hole, as sorted `(addr, len)` pieces.

@@ -40,6 +40,7 @@
 #![warn(missing_docs)]
 
 mod banks;
+pub mod cluster;
 mod error;
 pub mod image;
 pub mod kernels;
@@ -49,6 +50,7 @@ pub mod softfloat;
 pub mod specialise;
 
 pub use banks::Bank;
+pub use cluster::{ClusterSession, ClusterWave};
 pub use error::{BuildError, DeviceError};
 pub use image::{DeviceSession, Flavor, InferenceImage, RecoveryReport};
 pub use kernels::{A8Kernels, KernelIsa};

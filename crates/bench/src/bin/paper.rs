@@ -8,6 +8,7 @@
 //! paper bench-engine   # engine clips/sec, one-shot vs scratch-reuse vs batched -> BENCH_engine.json
 //! paper check-a8       # A8-vs-i16 top-1 agreement gate + device/host bit-identity spot check
 //! paper check-cycles   # device-cycle regression gate vs the committed BENCH_engine.json (3%)
+//! paper check-cluster  # cluster gate: single-hart identity, serial-identical logits, >=3x @ 4 harts
 //! paper tune-kernels   # A8 kernel-specialiser factor sweep -> results/TUNED_KERNELS.txt + TUNING.md
 //! paper check-tuning   # tuner determinism + tuned-not-slower-than-generic gate
 //! paper check-frontend # fixed-point MFCC vs f64 oracle top-1 agreement gate (99.5%)
@@ -52,6 +53,7 @@ fn main() {
         "check-a8",
         "check-frontend",
         "check-cycles",
+        "check-cluster",
         "tune-kernels",
         "check-tuning",
         "fault-sweep",
@@ -82,6 +84,7 @@ fn main() {
             "bench-engine" => kwt_bench::enginebench::run_and_write(std::path::Path::new(".")),
             "check-a8" => exp::check_a8(&ctx),
             "check-cycles" => exp::check_cycles(&ctx),
+            "check-cluster" => exp::check_cluster(&ctx),
             "check-frontend" => exp::check_frontend(&ctx),
             "tune-kernels" => kwt_bench::tune::run_and_write(std::path::Path::new(".")),
             "check-tuning" => kwt_bench::tune::check(),

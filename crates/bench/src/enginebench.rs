@@ -135,6 +135,37 @@ pub struct FrontendRow {
     pub speedup_vs_reference: f64,
 }
 
+/// One row of the simulated-cluster scaling table: the tuned A8 image
+/// on an N-hart cluster with banked shared memory, measured in
+/// **simulated SoC cycles** (deterministic — wall-clock noise never
+/// touches these numbers, so they are gateable by `paper
+/// check-cluster`).
+#[derive(Debug, Clone, Serialize)]
+pub struct ClusterRow {
+    /// Hart count.
+    pub harts: usize,
+    /// Shared-memory bank count (word-interleaved, single-cycle).
+    pub banks: usize,
+    /// Clips pushed through the cluster (waves of `harts`).
+    pub clips: usize,
+    /// Total SoC cycles to finish all clips.
+    pub soc_cycles: u64,
+    /// Sequential single-core cycles for the same clips on a serial
+    /// `DeviceSession` — the speedup denominator.
+    pub serial_cycles: u64,
+    /// SoC cycles per clip.
+    pub cycles_per_clip: f64,
+    /// Clips per million SoC cycles — the cluster-throughput headline.
+    pub clips_per_mcycle: f64,
+    /// `serial_cycles / soc_cycles`: >1 means the cluster beats the
+    /// single core (the PR gate: >= 3x at 4 harts).
+    pub speedup_vs_serial: f64,
+    /// Mean per-hart utilisation (busy cycles / SoC timeline).
+    pub hart_utilisation: f64,
+    /// Stall cycles / occupied cycles — the bank-conflict tax.
+    pub stall_fraction: f64,
+}
+
 /// One row of the sharded-batch scaling table.
 #[derive(Debug, Clone, Serialize)]
 pub struct ParallelRow {
@@ -170,6 +201,10 @@ pub struct EngineBenchSummary {
     /// Sharded `classify_batch_parallel` throughput over the rv32 A8
     /// engine at 1/2/4 host threads.
     pub parallel_scaling: Vec<ParallelRow>,
+    /// Simulated-cluster throughput of the tuned A8 image at 1/2/4/8
+    /// harts against the banked shared memory (deterministic SoC
+    /// cycles; gated by `paper check-cluster`).
+    pub cluster_scaling: Vec<ClusterRow>,
     /// End-to-end device cycles per image variant (paper Table IX
     /// analogue, extended with the Xkwtdot and A8 rows).
     pub device_cycles: Vec<DeviceCycles>,
@@ -482,6 +517,10 @@ pub fn collect() -> EngineBenchSummary {
         }
     }
 
+    // simulated-cluster scaling: the tuned A8 image at 1/2/4/8 harts
+    // against the banked shared memory, in deterministic SoC cycles
+    let cluster_scaling = collect_cluster(&a8image, &fe);
+
     // device-side cycle metrics: one inference per image variant, plus
     // the per-class attribution for the accelerated-image comparison.
     let mfcc = fe
@@ -538,10 +577,70 @@ pub fn collect() -> EngineBenchSummary {
         frontend,
         speedups,
         parallel_scaling,
+        cluster_scaling,
         device_cycles,
         rv32_cycle_classes,
         device_kernel_cycles,
     }
+}
+
+/// Measures the simulated-cluster scaling table: the tuned A8 image
+/// pushed through 1/2/4/8-hart clusters in waves (one clip per hart
+/// mailbox), against a sequential single-core `DeviceSession` baseline
+/// over the same clips. Everything here is *simulated* cycles, so the
+/// table is bit-reproducible run to run.
+pub fn collect_cluster(a8image: &InferenceImage, fe: &kwt_audio::MfccExtractor) -> Vec<ClusterRow> {
+    use kwt_audio::MfccScratch;
+    use kwt_baremetal::cluster::wave_all_ok;
+    use kwt_tensor::Mat;
+    let clips = bench_clips(8);
+    let mut scratch = MfccScratch::new();
+    let mut mfccs = Vec::new();
+    for c in &clips {
+        let mut m = Mat::default();
+        fe.extract_padded_into(c, &mut m, &mut scratch)
+            .expect("mfcc");
+        mfccs.push(m);
+    }
+
+    // sequential single-core baseline: one serial session, back to back
+    let mut session = a8image.session().expect("serial session");
+    let mut logits = Vec::new();
+    let mut serial_cycles = 0u64;
+    for m in &mfccs {
+        serial_cycles += session.run_into(m, &mut logits).expect("serial run").cycles;
+    }
+
+    let mut rows = Vec::new();
+    for harts in [1usize, 2, 4, 8] {
+        let mut cs = a8image.cluster_session(harts).expect("cluster session");
+        let (mut soc, mut busy, mut stalled) = (0u64, 0u64, 0u64);
+        for wave_clips in mfccs.chunks(harts) {
+            for (h, m) in wave_clips.iter().enumerate() {
+                cs.load_clip(h, m).expect("load clip");
+            }
+            let wave = cs.run_loaded(wave_clips.len());
+            assert!(wave_all_ok(&wave), "cluster bench wave must not fault");
+            soc += wave.soc_cycles;
+            for s in &wave.stats {
+                busy += s.busy_cycles;
+                stalled += s.stall_cycles;
+            }
+        }
+        rows.push(ClusterRow {
+            harts,
+            banks: cs.bank_config().banks,
+            clips: mfccs.len(),
+            soc_cycles: soc,
+            serial_cycles,
+            cycles_per_clip: soc as f64 / mfccs.len() as f64,
+            clips_per_mcycle: mfccs.len() as f64 * 1e6 / soc as f64,
+            speedup_vs_serial: serial_cycles as f64 / soc as f64,
+            hart_utilisation: busy as f64 / (soc as f64 * harts as f64),
+            stall_fraction: stalled as f64 / (busy + stalled).max(1) as f64,
+        });
+    }
+    rows
 }
 
 /// Runs [`collect`], writes `BENCH_engine.json` under `out_dir`, and
@@ -578,6 +677,21 @@ pub fn run_and_write(out_dir: &std::path::Path) -> String {
         out.push_str(&format!(
             "  {} threads ({} clips, {} cpus) {:>10.1} clips/s  {:.2}x vs 1 thread\n",
             p.threads, p.clips, p.host_cpus, p.clips_per_s, p.speedup_vs_1_thread
+        ));
+    }
+    out.push_str("simulated cluster, tuned A8 image (clips/SoC-cycle; gate: >=3x at 4 harts):\n");
+    for c in &summary.cluster_scaling {
+        out.push_str(&format!(
+            "  {} harts x {} banks ({} clips) {:>12} soc cycles  {:>7.3} clips/Mcycle  \
+             {:.2}x vs serial  util {:.2}  stalls {:.3}\n",
+            c.harts,
+            c.banks,
+            c.clips,
+            c.soc_cycles,
+            c.clips_per_mcycle,
+            c.speedup_vs_serial,
+            c.hart_utilisation,
+            c.stall_fraction
         ));
     }
     out.push_str(

@@ -541,6 +541,199 @@ pub fn check_cycles(_ctx: &ExpContext) -> String {
     )
 }
 
+/// Minimal mirror of one committed `BENCH_engine.json` cluster-scaling
+/// row (serde skips the fields the gate does not compare).
+#[derive(serde::Deserialize)]
+struct BaselineClusterRow {
+    harts: usize,
+    soc_cycles: u64,
+}
+
+/// Minimal mirror of the committed `BENCH_engine.json` for the cluster
+/// gate. A baseline committed before the cluster existed has no
+/// `cluster_scaling` field and fails to parse into this mirror; the
+/// gate treats that as "no baseline" rather than an error.
+#[derive(serde::Deserialize)]
+struct BaselineClusterDoc {
+    cluster_scaling: Vec<BaselineClusterRow>,
+}
+
+/// Cluster gate (wired into `scripts/verify.sh` and CI), over the tuned
+/// A8 image:
+///
+/// 1. **Single-hart identity** — a 1-hart cluster must be bit- *and*
+///    cycle-identical to the serial `DeviceSession` (same `RunResult`,
+///    same logits, zero stalls).
+/// 2. **Functional identity under contention** — every hart of a 4-hart
+///    wave must produce logits bit-identical to the serial session.
+/// 3. **Throughput** — the 4-hart cluster must finish its clips in at
+///    most 1/3 of the sequential single-core cycles (>= 3x
+///    clips-per-SoC-cycle).
+/// 4. **Regression** — per-hart-count `soc_cycles` must stay within
+///    +3 % of the committed `BENCH_engine.json` (path overridable via
+///    `KWT_CYCLES_BASELINE`; skipped when no baseline exists).
+///
+/// Simulated cycles are deterministic, so all four checks are
+/// noise-free.
+///
+/// # Panics
+///
+/// Panics (failing the verify run) on any identity violation, a 4-hart
+/// speedup below 3x, or a baseline regression beyond 3 %.
+pub fn check_cluster(_ctx: &ExpContext) -> String {
+    use kwt_quant::{A8Config, A8Kwt};
+    let params = crate::enginebench::bench_params();
+    let a8 = A8Kwt::quantize(&params, A8Config::paper_a8()).expect("a8 exponents valid");
+    let image = InferenceImage::build_a8(&a8).expect("a8 image builds");
+    let fe = kwt_audio::kwt_tiny_frontend().expect("preset is valid");
+
+    let clips = crate::enginebench::bench_clips(4);
+    let mut scratch = kwt_audio::MfccScratch::new();
+    let mut mfccs = Vec::new();
+    for c in &clips {
+        let mut m = kwt_tensor::Mat::default();
+        fe.extract_padded_into(c, &mut m, &mut scratch)
+            .expect("mfcc");
+        mfccs.push(m);
+    }
+    let mut serial = image.session().expect("serial session");
+    let mut serial_logits = vec![Vec::new(); mfccs.len()];
+    let mut serial_runs = Vec::new();
+    for (i, m) in mfccs.iter().enumerate() {
+        serial_runs.push(
+            serial
+                .run_into(m, &mut serial_logits[i])
+                .expect("serial run"),
+        );
+    }
+
+    // 1. single-hart identity
+    let mut one = image.cluster_session(1).expect("1-hart session");
+    one.load_clip(0, &mfccs[0]).expect("load");
+    let wave = one.run_loaded(1);
+    let run = *wave.results[0].as_ref().expect("single-hart run completes");
+    assert_eq!(
+        run, serial_runs[0],
+        "single-hart cluster must be cycle-identical to the serial DeviceSession"
+    );
+    assert_eq!(wave.stats[0].stall_cycles, 0, "a lone hart can never stall");
+    let mut logits = Vec::new();
+    one.read_logits(0, &mut logits);
+    assert_eq!(
+        logits, serial_logits[0],
+        "single-hart cluster logits must be bit-identical to serial"
+    );
+
+    // 2. functional identity under 4-hart contention
+    let mut four = image.cluster_session(4).expect("4-hart session");
+    for (h, m) in mfccs.iter().enumerate() {
+        four.load_clip(h, m).expect("load");
+    }
+    let wave = four.run_loaded(4);
+    for (h, serial) in serial_logits.iter().enumerate().take(4) {
+        assert!(wave.results[h].is_ok(), "hart {h} must complete");
+        four.read_logits(h, &mut logits);
+        assert_eq!(
+            &logits, serial,
+            "hart {h} logits must be bit-identical to the serial session"
+        );
+    }
+
+    // 3. throughput: >= 3x clips-per-SoC-cycle at 4 harts
+    let rows = crate::enginebench::collect_cluster(&image, &fe);
+    let r4 = rows
+        .iter()
+        .find(|r| r.harts == 4)
+        .expect("collect_cluster measures 4 harts");
+    assert!(
+        r4.speedup_vs_serial >= 3.0,
+        "4-hart cluster speedup fell to {:.2}x (gate: >= 3x vs the sequential single core; \
+         stall fraction {:.3})",
+        r4.speedup_vs_serial,
+        r4.stall_fraction
+    );
+
+    // 4. committed-baseline regression
+    let path =
+        std::env::var("KWT_CYCLES_BASELINE").unwrap_or_else(|_| "BENCH_engine.json".to_string());
+    let mut baseline_note = format!(
+        "baseline comparison skipped: no committed cluster rows at `{path}` \
+         (run `paper bench-engine` from the repository root)"
+    );
+    let mut table_rows = Vec::new();
+    if let Ok(text) = std::fs::read_to_string(&path) {
+        // pre-cluster baselines have no cluster_scaling field; that is a
+        // skip, not an error
+        if let Ok(doc) = serde_json::from_str::<BaselineClusterDoc>(&text) {
+            let mut worst: Option<(usize, f64)> = None;
+            for b in &doc.cluster_scaling {
+                let Some(now) = rows.iter().find(|r| r.harts == b.harts) else {
+                    continue;
+                };
+                let delta = now.soc_cycles as f64 / b.soc_cycles as f64 - 1.0;
+                if worst.as_ref().is_none_or(|(_, w)| delta > *w) {
+                    worst = Some((b.harts, delta));
+                }
+                table_rows.push(vec![
+                    b.harts.to_string(),
+                    b.soc_cycles.to_string(),
+                    now.soc_cycles.to_string(),
+                    format!("{:+.2}%", delta * 100.0),
+                ]);
+            }
+            if let Some((worst_harts, worst_delta)) = worst {
+                assert!(
+                    worst_delta <= 0.03,
+                    "cluster throughput regression: {worst_harts}-hart soc_cycles is {:.2}% \
+                     worse than the committed baseline (gate: 3%) — investigate, or re-run \
+                     `paper bench-engine` and commit the new BENCH_engine.json if intentional",
+                    worst_delta * 100.0
+                );
+                baseline_note = format!(
+                    "worst baseline delta {:+.2}% ({worst_harts} harts), gate <= +3%",
+                    worst_delta * 100.0
+                );
+            }
+        }
+    }
+
+    let mut scaling_rows = Vec::new();
+    for r in &rows {
+        scaling_rows.push(vec![
+            r.harts.to_string(),
+            r.soc_cycles.to_string(),
+            format!("{:.3}", r.clips_per_mcycle),
+            format!("{:.2}x", r.speedup_vs_serial),
+            format!("{:.2}", r.hart_utilisation),
+            format!("{:.3}", r.stall_fraction),
+        ]);
+    }
+    let scaling = markdown_table(
+        &[
+            "Harts",
+            "SoC cycles",
+            "Clips/Mcycle",
+            "Speedup",
+            "Utilisation",
+            "Stalls",
+        ],
+        &scaling_rows,
+    );
+    let baseline_table = if table_rows.is_empty() {
+        String::new()
+    } else {
+        markdown_table(
+            &["Harts", "Baseline SoC cycles", "Current", "Delta"],
+            &table_rows,
+        )
+    };
+    format!(
+        "## Cluster gate\n\nsingle-hart cluster bit- and cycle-identical to the serial \
+         session; 4-hart wave logits bit-identical to serial on all harts\n\n{scaling}\n\
+         {baseline_table}{baseline_note}\n"
+    )
+}
+
 /// Fixed-point front-end agreement gate (wired into `scripts/verify.sh`
 /// and CI): the fixed-point MFCC path must keep **>= 99.5 %** top-1
 /// agreement with the f64 oracle features through the float model on the

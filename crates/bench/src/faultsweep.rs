@@ -258,6 +258,78 @@ fn engine_watchdog_cell(
     }
 }
 
+/// The cluster isolation contract, one faulted wave at a time: a fault
+/// injected into one hart of an N-hart cluster must stay on that hart —
+/// every other hart's logits bit-identical to the fault-free wave — and
+/// per-hart recovery must make the next wave fully clean again.
+///
+/// Returns `(outcome, victim_trapped)`; panics on any isolation or
+/// recovery violation (the caller wraps this in `catch_unwind`).
+fn cluster_fault_trial(
+    cluster: &mut kwt_baremetal::ClusterSession,
+    mfcc: &Mat<f32>,
+    clean: &[Vec<f32>],
+    victim: usize,
+    plan: FaultPlan,
+) -> (Outcome, bool) {
+    let harts = cluster.num_harts();
+    for h in 0..harts {
+        cluster.load_clip(h, mfcc).expect("load clip");
+    }
+    cluster.inject_faults(victim, plan);
+    let wave = cluster.run_loaded(harts);
+    let mut logits = Vec::new();
+    for h in (0..harts).filter(|&h| h != victim) {
+        assert!(
+            wave.results[h].is_ok(),
+            "fault on hart {victim} leaked a trap into hart {h}"
+        );
+        cluster.read_logits(h, &mut logits);
+        assert!(
+            bits_eq(&logits, &clean[h]),
+            "fault on hart {victim} changed hart {h}'s logits"
+        );
+    }
+    let trapped = wave.results[victim].is_err();
+    let victim_clean = if trapped {
+        false
+    } else {
+        cluster.read_logits(victim, &mut logits);
+        bits_eq(&logits, &clean[victim])
+    };
+    let report = cluster.recover(victim);
+    // the recovered wave must be fully clean on every hart
+    for h in 0..harts {
+        cluster.load_clip(h, mfcc).expect("load clip");
+    }
+    let after = cluster.run_loaded(harts);
+    for (h, clean_h) in clean.iter().enumerate().take(harts) {
+        assert!(
+            after.results[h].is_ok(),
+            "post-recovery wave faulted on hart {h}"
+        );
+        cluster.read_logits(h, &mut logits);
+        assert!(
+            bits_eq(&logits, clean_h),
+            "post-recovery hart {h} logits differ from the fault-free wave"
+        );
+    }
+    let outcome = if trapped {
+        Outcome::Trapped
+    } else if victim_clean {
+        if report.detected_corruption() {
+            Outcome::Masked
+        } else {
+            Outcome::Benign
+        }
+    } else if report.detected_corruption() {
+        Outcome::SilentDetected
+    } else {
+        Outcome::Transient
+    };
+    (outcome, trapped)
+}
+
 /// Runs the sweep and renders the coverage table. Panics (non-zero
 /// exit) on any contract violation; see the module docs for the
 /// invariants.
@@ -363,6 +435,70 @@ pub fn run(ctx: &ExpContext, smoke: bool) -> String {
         table.push((name, cells));
     }
 
+    // cluster flavour: the a8 image on a 4-hart cluster — faults on one
+    // hart must be invisible to the other three, and per-hart recovery
+    // must restore the whole wave
+    let harts = 4usize;
+    let a8_image = &images
+        .iter()
+        .find(|(n, _)| *n == "a8")
+        .expect("a8 image in the matrix")
+        .1;
+    let mut cluster_cell = Cell::default();
+    {
+        let mut cluster = a8_image.cluster_session(harts).expect("cluster session");
+        for h in 0..harts {
+            cluster.load_clip(h, &mfcc).expect("load clip");
+        }
+        let base = cluster.run_loaded(harts);
+        let mut clean = vec![Vec::new(); harts];
+        for (h, c) in clean.iter_mut().enumerate() {
+            assert!(base.results[h].is_ok(), "clean cluster wave must not fault");
+            cluster.read_logits(h, c);
+        }
+        let ranges = a8_image.static_ranges();
+        let steps = base.results[0].as_ref().expect("clean run").instructions;
+        let mut traps_seen = 0usize;
+        for seed in 0..seeds {
+            let victim = seed as usize % harts;
+            // cycle the fault kinds: forced decode trap at the victim's
+            // entry pc, a static-image bit flip, a transient reg flip
+            let plan = match seed % 3 {
+                0 => {
+                    cluster.load_clip(victim, &mfcc).expect("load clip");
+                    let pc = cluster.hart(victim).cpu.pc;
+                    FaultPlan::new()
+                        .force_trap_at_pc(pc, Trap::IllegalInstruction { pc: 0, word: 0 })
+                }
+                1 => {
+                    let (lo, len) = ranges[seed as usize % ranges.len()];
+                    FaultPlan::seeded_mem_flip(seed, steps, lo, lo + len)
+                }
+                _ => FaultPlan::seeded_reg_flip(seed, steps),
+            };
+            let run = catch_unwind(AssertUnwindSafe(|| {
+                cluster_fault_trial(&mut cluster, &mfcc, &clean, victim, plan)
+            }));
+            match run {
+                Err(_) => cluster_cell.outcomes.push(Outcome::Panicked),
+                Ok((outcome, trapped)) => {
+                    traps_seen += usize::from(trapped);
+                    cluster_cell.outcomes.push(outcome);
+                }
+            }
+        }
+        assert!(
+            traps_seen > 0,
+            "the cluster sweep must exercise at least one isolated trap"
+        );
+        trials += cluster_cell.outcomes.len();
+        panics += cluster_cell
+            .outcomes
+            .iter()
+            .filter(|o| **o == Outcome::Panicked)
+            .count();
+    }
+
     let mut out = String::new();
     let mode = if smoke { "smoke" } else { "full" };
     let _ = writeln!(
@@ -375,6 +511,13 @@ pub fn run(ctx: &ExpContext, smoke: bool) -> String {
         let row: Vec<String> = cells.iter().map(Cell::summary).collect();
         let _ = writeln!(out, "| {name} | {} |", row.join(" | "));
     }
+    let _ = writeln!(
+        out,
+        "\ncluster isolation (a8 on {harts} harts, fault kinds cycled per seed): {} — \
+         every fault stayed on its hart (other harts bit-identical to the fault-free \
+         wave) and per-hart recovery restored the full wave.",
+        cluster_cell.summary()
+    );
     let _ = writeln!(
         out,
         "\n{trials} faulted runs, {panics} panics; every cell recovered to \

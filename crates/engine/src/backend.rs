@@ -25,6 +25,11 @@ pub enum BackendKind {
     /// Bare-metal image on the RV32IMC simulator, over a persistent
     /// [`DeviceSession`].
     Rv32Sim,
+    /// Bare-metal image on an N-hart simulated cluster with banked
+    /// shared memory, over a persistent
+    /// [`ClusterSession`](kwt_baremetal::ClusterSession) — one clip per
+    /// hart per wave.
+    Rv32Cluster,
 }
 
 impl BackendKind {
@@ -34,6 +39,7 @@ impl BackendKind {
             BackendKind::HostFloat => "host_float",
             BackendKind::HostQuant => "host_quant",
             BackendKind::Rv32Sim => "rv32_sim",
+            BackendKind::Rv32Cluster => "rv32_cluster",
         }
     }
 }
@@ -84,8 +90,50 @@ pub trait Backend: Send {
         })
     }
 
+    /// How many clips this backend can infer concurrently in one wave —
+    /// `1` for every serial backend, the hart count for
+    /// [`BackendKind::Rv32Cluster`]. The engine shards batches into
+    /// waves of this width.
+    fn batch_width(&self) -> usize {
+        1
+    }
+
+    /// Runs up to [`batch_width`](Self::batch_width) inferences as one
+    /// wave: clip `i` of `mfccs` produces `logits[i]`. The default runs
+    /// the clips serially through [`infer_into`](Self::infer_into), so
+    /// a wave is always *functionally* just a batch — a concurrent
+    /// backend may only change the timing.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first clip failure.
+    fn infer_wave(&mut self, mfccs: &[Mat<f32>], logits: &mut [Vec<f32>]) -> Result<()> {
+        for (m, l) in mfccs.iter().zip(logits.iter_mut()) {
+            self.infer_into(m, l)?;
+        }
+        Ok(())
+    }
+
+    /// [`infer_wave`](Self::infer_wave) over features already quantised
+    /// to `i8` at [`input_exponent`](Self::input_exponent).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first clip failure; a configuration error unless
+    /// the backend advertises an input exponent.
+    fn infer_prequantized_wave(
+        &mut self,
+        inputs: &[Mat<i8>],
+        logits: &mut [Vec<f32>],
+    ) -> Result<()> {
+        for (m, l) in inputs.iter().zip(logits.iter_mut()) {
+            self.infer_prequantized_into(m, l)?;
+        }
+        Ok(())
+    }
+
     /// Simulator statistics of the most recent inference — `Some` only for
-    /// [`BackendKind::Rv32Sim`].
+    /// [`BackendKind::Rv32Sim`] and [`BackendKind::Rv32Cluster`].
     fn last_device_run(&self) -> Option<RunResult> {
         None
     }

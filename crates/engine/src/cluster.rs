@@ -1,0 +1,208 @@
+//! The [`Rv32ClusterBackend`]: batched and streaming inference sharded
+//! across the harts of a simulated RV32 cluster.
+//!
+//! One [`ClusterSession`] holds N harts against the banked shared
+//! memory; the backend advertises [`Backend::batch_width`]` == N`, so
+//! the engine shards every batch into waves of up to N clips — one clip
+//! per hart mailbox, one [`ClusterSession::run_loaded`] per wave. The
+//! hart mailboxes go through the same quantise/readback helpers as the
+//! serial [`DeviceSession`](kwt_baremetal::DeviceSession), so wave
+//! logits are **bit-identical** to the serial backend's, clip for clip;
+//! the cluster only changes the *timing* ([`ClusterWave::soc_cycles`],
+//! stall accounting).
+
+use crate::backend::{Backend, BackendKind};
+use crate::{EngineError, Result};
+use kwt_baremetal::{ClusterSession, ClusterWave, InferenceImage, RecoveryReport};
+use kwt_model::KwtConfig;
+use kwt_rv32::{BankConfig, RunResult};
+use kwt_tensor::Mat;
+
+/// Simulated-cluster backend over a persistent [`ClusterSession`]:
+/// N harts, each with a private clip mailbox, sharing the
+/// bank-interleaved memory behind the round-robin arbiter.
+///
+/// Single-clip inference ([`Backend::infer_into`]) runs on hart 0 alone
+/// — by the single-hart identity theorem (see `kwt_rv32::cluster`) that
+/// is bit- and cycle-identical to the serial
+/// [`Rv32SimBackend`](crate::Rv32SimBackend). Batches go through
+/// [`Backend::infer_wave`] at the full hart count.
+#[derive(Debug, Clone)]
+pub struct Rv32ClusterBackend {
+    session: ClusterSession,
+    config: KwtConfig,
+    last_run: Option<RunResult>,
+    last_wave: Option<ClusterWave>,
+}
+
+impl Rv32ClusterBackend {
+    /// Opens an `harts`-hart cluster session on a built inference image
+    /// with the default bank geometry (eight word-interleaved
+    /// single-cycle banks).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`InferenceImage::cluster_session`] errors.
+    pub fn new(image: &InferenceImage, harts: usize) -> Result<Self> {
+        Rv32ClusterBackend::with_banks(image, harts, BankConfig::default8())
+    }
+
+    /// [`new`](Self::new) with explicit bank geometry.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`InferenceImage::cluster_session_with`] errors.
+    pub fn with_banks(image: &InferenceImage, harts: usize, banks: BankConfig) -> Result<Self> {
+        let session = image.cluster_session_with(harts, banks)?;
+        let config = *session.config();
+        Ok(Rv32ClusterBackend {
+            session,
+            config,
+            last_run: None,
+            last_wave: None,
+        })
+    }
+
+    /// Number of harts (== [`Backend::batch_width`]).
+    pub fn harts(&self) -> usize {
+        self.session.num_harts()
+    }
+
+    /// Cumulative successful inferences across all harts.
+    pub fn runs(&self) -> u64 {
+        self.session.runs()
+    }
+
+    /// Timing accounting of the most recent wave: per-hart stats,
+    /// bank-conflict stalls and the SoC finish time.
+    pub fn last_wave(&self) -> Option<&ClusterWave> {
+        self.last_wave.as_ref()
+    }
+
+    /// The underlying cluster session.
+    pub fn session(&self) -> &ClusterSession {
+        &self.session
+    }
+
+    /// The underlying cluster session, mutably — per-hart fault
+    /// injection and histogram arming for robustness tests.
+    pub fn session_mut(&mut self) -> &mut ClusterSession {
+        &mut self.session
+    }
+
+    /// Runs one already-loaded wave and distributes the per-hart
+    /// outcomes: logits for every completed hart, the first device
+    /// fault as the propagated error.
+    fn finish_wave(&mut self, n: usize, logits: &mut [Vec<f32>]) -> Result<()> {
+        let wave = self.session.run_loaded(n);
+        let mut first_err = None;
+        for (h, r) in wave.results.iter().enumerate() {
+            match r {
+                Ok(rr) => {
+                    if h == 0 {
+                        self.last_run = Some(*rr);
+                    }
+                    self.session.read_logits(h, &mut logits[h]);
+                }
+                Err(e) => {
+                    if first_err.is_none() {
+                        first_err = Some(EngineError::Device((*e).into()));
+                    }
+                }
+            }
+        }
+        self.last_wave = Some(wave);
+        match first_err {
+            Some(e) => Err(e),
+            None => Ok(()),
+        }
+    }
+}
+
+impl Backend for Rv32ClusterBackend {
+    fn kind(&self) -> BackendKind {
+        BackendKind::Rv32Cluster
+    }
+
+    fn config(&self) -> &KwtConfig {
+        &self.config
+    }
+
+    fn infer_into(&mut self, mfcc: &Mat<f32>, logits: &mut Vec<f32>) -> Result<()> {
+        self.session.load_clip(0, mfcc)?;
+        let mut slot = [std::mem::take(logits)];
+        let r = self.finish_wave(1, &mut slot);
+        *logits = std::mem::take(&mut slot[0]);
+        r
+    }
+
+    fn input_exponent(&self) -> Option<i32> {
+        self.session.input_exponent()
+    }
+
+    fn infer_prequantized_into(&mut self, input: &Mat<i8>, logits: &mut Vec<f32>) -> Result<()> {
+        self.session.load_clip_prequantized(0, input)?;
+        let mut slot = [std::mem::take(logits)];
+        let r = self.finish_wave(1, &mut slot);
+        *logits = std::mem::take(&mut slot[0]);
+        r
+    }
+
+    fn batch_width(&self) -> usize {
+        self.session.num_harts()
+    }
+
+    fn infer_wave(&mut self, mfccs: &[Mat<f32>], logits: &mut [Vec<f32>]) -> Result<()> {
+        debug_assert!(mfccs.len() <= self.session.num_harts());
+        for (h, m) in mfccs.iter().enumerate() {
+            self.session.load_clip(h, m)?;
+        }
+        self.finish_wave(mfccs.len(), logits)
+    }
+
+    fn infer_prequantized_wave(
+        &mut self,
+        inputs: &[Mat<i8>],
+        logits: &mut [Vec<f32>],
+    ) -> Result<()> {
+        debug_assert!(inputs.len() <= self.session.num_harts());
+        for (h, m) in inputs.iter().enumerate() {
+            self.session.load_clip_prequantized(h, m)?;
+        }
+        self.finish_wave(inputs.len(), logits)
+    }
+
+    fn last_device_run(&self) -> Option<RunResult> {
+        self.last_run
+    }
+
+    fn clone_boxed(&self) -> Option<Box<dyn Backend>> {
+        Some(Box::new(self.clone()))
+    }
+
+    fn recover(&mut self) -> Option<RecoveryReport> {
+        // every hart gets the full reset-verify-repair pass; the report
+        // sums the damage found across the cluster
+        let mut total = RecoveryReport::default();
+        for h in 0..self.session.num_harts() {
+            let r = self.session.recover(h);
+            total.banks_checked += r.banks_checked;
+            total.banks_dirty += r.banks_dirty;
+            total.bytes_restored += r.bytes_restored;
+            total.luts_restored |= r.luts_restored;
+            total.faults_cleared += r.faults_cleared;
+        }
+        Some(total)
+    }
+
+    fn set_cycle_budget(&mut self, budget: Option<u64>) {
+        self.session.set_cycle_budget(budget);
+    }
+
+    fn inject_faults(&mut self, plan: kwt_rv32::FaultPlan) -> bool {
+        // the chaos harness targets one hart; per-hart plans are
+        // available through `session_mut().inject_faults(hart, plan)`
+        self.session.inject_faults(0, plan);
+        true
+    }
+}

@@ -2,6 +2,7 @@
 //! `classify` API, with a zero-allocation steady state.
 
 use crate::backend::{Backend, BackendKind, HostFloatBackend, HostQuantBackend, Rv32SimBackend};
+use crate::cluster::Rv32ClusterBackend;
 use crate::{EngineError, Result};
 use kwt_audio::{MfccExtractor, MfccScratch};
 use kwt_baremetal::InferenceImage;
@@ -121,6 +122,24 @@ impl Engine {
     /// propagated device error if the image does not fit the platform.
     pub fn rv32_sim(image: &InferenceImage, frontend: MfccExtractor) -> Result<Self> {
         Engine::new(frontend, Box::new(Rv32SimBackend::new(image)?))
+    }
+
+    /// Simulated-cluster engine: `harts` cores against the banked
+    /// shared memory, batches sharded one clip per hart per wave
+    /// ([`Backend::batch_width`]). Logits are bit-identical to
+    /// [`rv32_sim`](Self::rv32_sim) for every clip; only the simulated
+    /// timing (SoC cycles, bank-conflict stalls) differs.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::Config`] on a geometry mismatch, or a
+    /// propagated device error if the image does not fit the platform.
+    pub fn rv32_cluster(
+        image: &InferenceImage,
+        frontend: MfccExtractor,
+        harts: usize,
+    ) -> Result<Self> {
+        Engine::new(frontend, Box::new(Rv32ClusterBackend::new(image, harts)?))
     }
 
     /// Engine over a [`ResilientBackend`](crate::ResilientBackend):
@@ -285,6 +304,12 @@ impl Engine {
     /// in place, so re-running batches of the same size allocates nothing
     /// on the host backends.
     ///
+    /// A backend with [`Backend::batch_width`]` > 1` (the simulated
+    /// cluster) receives the batch as waves of up to `batch_width`
+    /// clips, one clip per hart — functionally identical to the serial
+    /// loop (the wave contract guarantees it), but the simulated cost
+    /// is the *SoC* timeline, not the sum of per-clip runs.
+    ///
     /// # Errors
     ///
     /// Same contract as [`classify_batch`](Self::classify_batch).
@@ -294,8 +319,62 @@ impl Engine {
         out: &mut Vec<Prediction>,
     ) -> Result<()> {
         out.resize_with(clips.len(), Prediction::default);
+        let width = self.backend.batch_width();
+        if width > 1 && clips.len() > 1 {
+            return self.classify_batch_waves(clips, width, out);
+        }
         for (clip, pred) in clips.iter().zip(out.iter_mut()) {
             self.classify_into(clip.as_ref(), pred)?;
+        }
+        Ok(())
+    }
+
+    /// The wave-sharded batch path: extract a wave's worth of features,
+    /// run them concurrently on the backend, finish the predictions.
+    fn classify_batch_waves(
+        &mut self,
+        clips: &[impl AsRef<[f32]>],
+        width: usize,
+        out: &mut [Prediction],
+    ) -> Result<()> {
+        let c = *self.backend.config();
+        let mut wave_logits: Vec<Vec<f32>> = vec![Vec::new(); width];
+        if let Some(y) = self.backend.input_exponent() {
+            let mut staged: Vec<Mat<i8>> = (0..width)
+                .map(|_| Mat::zeros(c.input_time, c.input_freq))
+                .collect();
+            for (chunk, preds) in clips.chunks(width).zip(out.chunks_mut(width)) {
+                let k = chunk.len();
+                for (slot, clip) in staged.iter_mut().zip(chunk.iter()) {
+                    self.frontend.extract_padded_a8_into(
+                        clip.as_ref(),
+                        y,
+                        slot,
+                        &mut self.scratch,
+                    )?;
+                }
+                self.backend
+                    .infer_prequantized_wave(&staged[..k], &mut wave_logits[..k])?;
+                for (logits, pred) in wave_logits.iter().zip(preds.iter_mut()) {
+                    finish_prediction(logits, pred)?;
+                }
+            }
+        } else {
+            let mut staged: Vec<Mat<f32>> = (0..width)
+                .map(|_| Mat::zeros(c.input_time, c.input_freq))
+                .collect();
+            for (chunk, preds) in clips.chunks(width).zip(out.chunks_mut(width)) {
+                let k = chunk.len();
+                for (slot, clip) in staged.iter_mut().zip(chunk.iter()) {
+                    self.frontend
+                        .extract_padded_into(clip.as_ref(), slot, &mut self.scratch)?;
+                }
+                self.backend
+                    .infer_wave(&staged[..k], &mut wave_logits[..k])?;
+                for (logits, pred) in wave_logits.iter().zip(preds.iter_mut()) {
+                    finish_prediction(logits, pred)?;
+                }
+            }
         }
         Ok(())
     }

@@ -15,8 +15,9 @@
 //! | `HostFloat`     | `kwt_model::forward_into` + [`kwt_model::Scratch`] | KWT-Tiny (float)      |
 //! | `HostQuant`     | `QuantizedKwt::forward_detailed_into` + [`kwt_quant::QuantScratch`] | KWT-Tiny-Q |
 //! | `Rv32Sim`       | `kwt_baremetal::DeviceSession` (persistent machine, warm decode cache) | any flavour on the simulated Ibex |
+//! | `Rv32Cluster`   | `kwt_baremetal::ClusterSession` (N harts, banked shared memory, batches sharded one clip per hart per wave) | any flavour, N cores |
 //!
-//! All three sit behind [`Engine::classify`] / [`Engine::classify_batch`]
+//! All of them sit behind [`Engine::classify`] / [`Engine::classify_batch`]
 //! and produce logits bit-identical to their one-shot counterparts (the
 //! equivalence tests prove it). The `Rv32Sim` backend runs whichever
 //! image flavour it is given — including the fully-INT8
@@ -71,6 +72,7 @@
 #![warn(missing_docs)]
 
 mod backend;
+mod cluster;
 #[allow(clippy::module_inception)]
 mod engine;
 mod error;
@@ -78,6 +80,7 @@ mod resilient;
 mod streaming;
 
 pub use backend::{Backend, BackendKind, HostFloatBackend, HostQuantBackend, Rv32SimBackend};
+pub use cluster::Rv32ClusterBackend;
 pub use engine::{Engine, Prediction};
 pub use error::EngineError;
 pub use resilient::{BackendHealth, FaultStats, ResilientBackend, ResilientConfig};

@@ -241,6 +241,54 @@ fn parallel_batch_identical_to_serial_on_rv32() {
 }
 
 #[test]
+fn cluster_engine_batch_identical_to_serial_rv32_engine() {
+    // The wave-sharded cluster path (4 harts, so 7 clips = a full wave
+    // plus a partial one) must be bit-identical to the serial rv32
+    // engine, and a single clip — hart 0 alone — must also be
+    // cycle-identical to the serial session (the single-hart identity).
+    use kwt_quant::{A8Config, A8Kwt};
+    let a8 = A8Kwt::quantize(&trained_ish(), A8Config::paper_a8()).unwrap();
+    let image = InferenceImage::build_a8(&a8).unwrap();
+    let fe = kwt_tiny_frontend().unwrap();
+    let mut serial = Engine::rv32_sim(&image, fe.clone()).unwrap();
+    let mut cluster = Engine::rv32_cluster(&image, fe, 4).unwrap();
+    assert_eq!(cluster.kind(), BackendKind::Rv32Cluster);
+    let clips: Vec<Vec<f32>> = (0..7).map(clip).collect();
+    let want = serial.classify_batch(&clips).unwrap();
+    let got = cluster.classify_batch(&clips).unwrap();
+    assert_eq!(got.len(), want.len());
+    for (i, (g, w)) in got.iter().zip(&want).enumerate() {
+        assert_eq!(g.class, w.class, "cluster clip {i}");
+        assert_bits_eq(&g.logits, &w.logits, &format!("cluster clip {i}"));
+    }
+    let a = serial.classify(&clips[0]).unwrap();
+    let b = cluster.classify(&clips[0]).unwrap();
+    assert_bits_eq(&a.logits, &b.logits, "cluster single clip");
+    assert_eq!(
+        serial.last_device_run().unwrap().cycles,
+        cluster.last_device_run().unwrap().cycles,
+        "a lone hart must be cycle-identical to the serial session"
+    );
+}
+
+#[test]
+fn cluster_engine_float_feature_path_matches_serial() {
+    // The non-A8 flavours exercise the float-feature wave path
+    // (infer_wave rather than infer_prequantized_wave).
+    let qm = quantized().with_nonlinearity(Nonlinearity::FixedLut);
+    let image = InferenceImage::build_quant(&qm).unwrap();
+    let fe = kwt_tiny_frontend().unwrap();
+    let mut serial = Engine::rv32_sim(&image, fe.clone()).unwrap();
+    let mut cluster = Engine::rv32_cluster(&image, fe, 2).unwrap();
+    let clips: Vec<Vec<f32>> = (0..5).map(clip).collect();
+    let want = serial.classify_batch(&clips).unwrap();
+    let got = cluster.classify_batch(&clips).unwrap();
+    for (i, (g, w)) in got.iter().zip(&want).enumerate() {
+        assert_eq!(g, w, "quant cluster clip {i}");
+    }
+}
+
+#[test]
 fn parallel_batch_identical_to_serial_on_a8_and_hosts() {
     use kwt_quant::{A8Config, A8Kwt};
     let fe = kwt_tiny_frontend().unwrap();

@@ -1,0 +1,502 @@
+//! N-hart cluster: shared bank-interleaved memory behind a round-robin
+//! arbiter, with a deterministic contention-cycle model.
+//!
+//! # Functional / timing split
+//!
+//! The cluster deliberately separates **what executes** from **when it
+//! executes**:
+//!
+//! * The *functional* layer is N ordinary [`Machine`]s. Each hart
+//!   retires exactly the instruction stream it would retire alone —
+//!   same architectural state, same per-hart cycle counter, same traps.
+//!   Code and weights are read-only and scratch/IO regions are per-hart
+//!   private, so replicating the image per hart is semantically
+//!   identical to mapping shared read-only banks: no hart can observe
+//!   another hart's writes in either formulation.
+//! * The *timing* layer is an event-driven scheduler that replays the
+//!   per-hart instruction streams onto a shared SoC timeline. Every
+//!   data access is routed to a memory bank (word-interleaved:
+//!   `bank = (addr >> 2) mod banks`); each bank has a busy-until
+//!   counter, and an access arriving while its bank is busy **stalls
+//!   the issuing hart** until the bank frees up. Ready-time ties are
+//!   broken by a rotating round-robin priority, so the schedule is
+//!   deterministic — two runs of the same workload produce identical
+//!   per-hart cycle and stall counts.
+//!
+//! Because the timing layer only ever *delays* a hart (it never reorders
+//! or rewrites its stream), a single-hart cluster is provably bit- and
+//! cycle-identical to a plain [`Machine::run`]: with
+//! `service_cycles = 1` (the default) a bank frees up after one cycle,
+//! and every instruction costs at least one cycle, so a lone hart can
+//! never catch its own bank busy — zero stalls, and the SoC timeline
+//! collapses onto the hart's own cycle counter. The
+//! `tests/cluster_props.rs` proptests assert this over random programs.
+//!
+//! The per-hart instruction streams are mutually independent (private
+//! scratch, read-only shared banks), so the functional replay needs no
+//! cross-hart ordering — contention changes *when* an access happens,
+//! never *what* it reads.
+
+use crate::cpu::StepOutcome;
+use crate::machine::{Machine, RunResult};
+use crate::profile::ClassHistogram;
+use crate::trap::Trap;
+use kwt_rvasm::Reg;
+
+/// Geometry and service time of the shared banked memory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BankConfig {
+    /// Number of interleaved banks (must be a power of two).
+    pub banks: usize,
+    /// Cycles a bank stays busy after accepting an access. The default
+    /// of 1 models single-cycle SRAM banks and guarantees a lone hart
+    /// never stalls against itself (every instruction costs ≥ 1 cycle).
+    pub service_cycles: u64,
+}
+
+impl BankConfig {
+    /// Eight word-interleaved single-cycle banks — the default SoC.
+    pub fn default8() -> Self {
+        BankConfig {
+            banks: 8,
+            service_cycles: 1,
+        }
+    }
+
+    /// The bank serving `addr` (word-interleaved).
+    pub fn bank_of(&self, addr: u32) -> usize {
+        ((addr >> 2) as usize) & (self.banks - 1)
+    }
+}
+
+impl Default for BankConfig {
+    fn default() -> Self {
+        BankConfig::default8()
+    }
+}
+
+/// Per-hart accounting for one cluster run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct HartStats {
+    /// Cycles the hart spent executing instructions (its own cycle
+    /// counter's delta over the run — identical to what the hart would
+    /// charge running alone).
+    pub busy_cycles: u64,
+    /// Cycles the hart lost waiting for a busy bank.
+    pub stall_cycles: u64,
+    /// Instructions retired.
+    pub instructions: u64,
+    /// Data accesses routed through the arbiter.
+    pub accesses: u64,
+    /// Accesses that found their bank busy (each contributes ≥ 1 cycle
+    /// to `stall_cycles`).
+    pub conflicts: u64,
+}
+
+impl HartStats {
+    /// Fraction of `soc_cycles` this hart spent executing (not stalled,
+    /// not idle-after-halt).
+    pub fn utilisation(&self, soc_cycles: u64) -> f64 {
+        self.busy_cycles as f64 / soc_cycles.max(1) as f64
+    }
+}
+
+/// Outcome of one [`Cluster::run_active`] call.
+#[derive(Debug, Clone)]
+pub struct ClusterRun {
+    /// Per active hart: the same [`RunResult`] / [`Trap`] a solo
+    /// [`Machine::run`] would produce (cycle counters included).
+    pub results: Vec<Result<RunResult, Trap>>,
+    /// Per active hart accounting on the shared timeline.
+    pub stats: Vec<HartStats>,
+    /// SoC cycles from run start until the last active hart finished —
+    /// the denominator for cluster throughput (clips per SoC-cycle).
+    pub soc_cycles: u64,
+}
+
+impl ClusterRun {
+    /// Total stall cycles across harts divided by total occupied
+    /// (busy + stalled) hart-cycles — the bank-conflict tax.
+    pub fn stall_fraction(&self) -> f64 {
+        let stalled: u64 = self.stats.iter().map(|s| s.stall_cycles).sum();
+        let occupied: u64 = self
+            .stats
+            .iter()
+            .map(|s| s.busy_cycles + s.stall_cycles)
+            .sum();
+        stalled as f64 / occupied.max(1) as f64
+    }
+
+    /// Mean per-hart utilisation over the SoC timeline.
+    pub fn mean_utilisation(&self) -> f64 {
+        if self.stats.is_empty() {
+            return 0.0;
+        }
+        self.stats
+            .iter()
+            .map(|s| s.utilisation(self.soc_cycles))
+            .sum::<f64>()
+            / self.stats.len() as f64
+    }
+}
+
+/// N harts sharing a banked memory behind a round-robin arbiter.
+///
+/// Construction arms each hart's data-access trace (the probe the
+/// arbiter uses to route accesses to banks); everything else about the
+/// harts — fault plans, watchdogs, histograms, typed memory IO — is
+/// reachable through [`Cluster::hart_mut`] and behaves exactly as on a
+/// solo [`Machine`].
+#[derive(Debug, Clone)]
+pub struct Cluster {
+    harts: Vec<Machine>,
+    cfg: BankConfig,
+}
+
+impl Cluster {
+    /// Builds a cluster over `harts` with the given bank geometry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `harts` is empty or `cfg.banks` is not a power of two.
+    pub fn new(harts: Vec<Machine>, cfg: BankConfig) -> Self {
+        assert!(!harts.is_empty(), "a cluster needs at least one hart");
+        assert!(
+            cfg.banks.is_power_of_two(),
+            "bank count must be a power of two, got {}",
+            cfg.banks
+        );
+        let mut cluster = Cluster { harts, cfg };
+        for hart in &mut cluster.harts {
+            hart.cpu.set_data_trace_enabled(true);
+        }
+        cluster
+    }
+
+    /// Replicates `template` into an `n`-hart cluster. The shared code
+    /// and weight banks are mapped once (read-only, so per-hart copies
+    /// are observationally identical); each hart's scratch, stack and IO
+    /// regions are its own.
+    pub fn replicate(template: &Machine, n: usize, cfg: BankConfig) -> Self {
+        assert!(n >= 1, "a cluster needs at least one hart");
+        let harts = std::iter::repeat_with(|| template.clone())
+            .take(n)
+            .collect();
+        Cluster::new(harts, cfg)
+    }
+
+    /// Number of harts.
+    pub fn num_harts(&self) -> usize {
+        self.harts.len()
+    }
+
+    /// The bank geometry.
+    pub fn bank_config(&self) -> BankConfig {
+        self.cfg
+    }
+
+    /// Immutable access to hart `h`.
+    pub fn hart(&self, h: usize) -> &Machine {
+        &self.harts[h]
+    }
+
+    /// Mutable access to hart `h` (input mailboxes, fault plans,
+    /// watchdogs, histogram arming).
+    pub fn hart_mut(&mut self, h: usize) -> &mut Machine {
+        &mut self.harts[h]
+    }
+
+    /// Arms or disarms per-class retirement counting on one hart only —
+    /// idle harts never pay the counting cost.
+    pub fn set_class_histogram_enabled(&mut self, hart: usize, enabled: bool) {
+        self.harts[hart].set_class_histogram_enabled(enabled);
+    }
+
+    /// Per-hart class histograms (zeroed for harts that never armed
+    /// counting).
+    pub fn class_histograms(&self) -> Vec<ClassHistogram> {
+        self.harts.iter().map(|h| h.class_histogram()).collect()
+    }
+
+    /// The SoC-wide class histogram: every hart's counts summed.
+    pub fn summed_class_histogram(&self) -> ClassHistogram {
+        let mut sum = ClassHistogram::new();
+        for h in &self.harts {
+            sum.merge(&h.class_histogram());
+        }
+        sum
+    }
+
+    /// Runs every hart to completion.
+    pub fn run_all(&mut self, max_steps: u64) -> ClusterRun {
+        self.run_active(self.harts.len(), max_steps)
+    }
+
+    /// Runs harts `0..n_active` to completion on the shared timeline
+    /// (idle harts are not scheduled and pay nothing). Each hart stops
+    /// at its own halt, trap, or `max_steps` retired-instruction budget
+    /// ([`Trap::OutOfFuel`]); one hart trapping never stops the others.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_active` is zero or exceeds the hart count.
+    pub fn run_active(&mut self, n_active: usize, max_steps: u64) -> ClusterRun {
+        assert!(
+            (1..=self.harts.len()).contains(&n_active),
+            "n_active {} out of range 1..={}",
+            n_active,
+            self.harts.len()
+        );
+        let n = n_active;
+        // Per-hart SoC time at which the next instruction may issue.
+        let mut hart_ready = vec![0u64; n];
+        // Per-bank SoC time at which the bank is free again.
+        let mut bank_ready = vec![0u64; self.cfg.banks];
+        let mut steps = vec![0u64; n];
+        let mut stats = vec![HartStats::default(); n];
+        let mut results: Vec<Option<Result<RunResult, Trap>>> = vec![None; n];
+        // Cycle counters at run start: watchdog base and busy-cycle base.
+        let cycles0: Vec<u64> = (0..n).map(|h| self.harts[h].cpu.cycles).collect();
+        let instret0: Vec<u64> = (0..n).map(|h| self.harts[h].cpu.instret).collect();
+        let mut live = n;
+        // Rotating round-robin priority for ready-time ties.
+        let mut rr_next = 0usize;
+
+        while live > 0 {
+            // Grant the hart with the earliest ready time; break ties in
+            // round-robin order starting from the hart after the last
+            // grantee.
+            let mut chosen = usize::MAX;
+            let mut best = u64::MAX;
+            for off in 0..n {
+                let h = (rr_next + off) % n;
+                if results[h].is_none() && hart_ready[h] < best {
+                    best = hart_ready[h];
+                    chosen = h;
+                }
+            }
+            let h = chosen;
+            rr_next = (h + 1) % n;
+
+            if steps[h] >= max_steps {
+                results[h] = Some(Err(Trap::OutOfFuel {
+                    executed: self.harts[h].cpu.instret,
+                }));
+                live -= 1;
+                continue;
+            }
+            let before = self.harts[h].cpu.cycles;
+            let outcome = self.harts[h].step_monitored(steps[h], cycles0[h]);
+            steps[h] += 1;
+            let cost = self.harts[h].cpu.cycles - before;
+
+            // Route the instruction's data access (if any) through the
+            // bank arbiter; the losing side of a conflict stalls.
+            match self.harts[h].cpu.take_data_access() {
+                Some(addr) => {
+                    let bank = self.cfg.bank_of(addr);
+                    let want = hart_ready[h];
+                    let grant = want.max(bank_ready[bank]);
+                    let stall = grant - want;
+                    bank_ready[bank] = grant + self.cfg.service_cycles;
+                    hart_ready[h] = grant + cost;
+                    stats[h].accesses += 1;
+                    if stall > 0 {
+                        stats[h].conflicts += 1;
+                        stats[h].stall_cycles += stall;
+                    }
+                }
+                None => hart_ready[h] += cost,
+            }
+
+            match outcome {
+                Ok(StepOutcome::Continue) => {}
+                Ok(StepOutcome::Halted) => {
+                    results[h] = Some(Ok(RunResult {
+                        cycles: self.harts[h].cpu.cycles,
+                        instructions: self.harts[h].cpu.instret,
+                        exit_code: self.harts[h].cpu.reg(Reg::A0),
+                    }));
+                    live -= 1;
+                }
+                Err(trap) => {
+                    results[h] = Some(Err(trap));
+                    live -= 1;
+                }
+            }
+        }
+
+        for h in 0..n {
+            stats[h].busy_cycles = self.harts[h].cpu.cycles - cycles0[h];
+            stats[h].instructions = self.harts[h].cpu.instret - instret0[h];
+        }
+        let soc_cycles = hart_ready.iter().copied().max().unwrap_or(0);
+        ClusterRun {
+            results: results
+                .into_iter()
+                .map(|r| r.expect("hart finished"))
+                .collect(),
+            stats,
+            soc_cycles,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Platform, Trap};
+    use kwt_rvasm::{Asm, Inst, Program, Reg};
+
+    fn program(build: impl FnOnce(&mut Asm)) -> Program {
+        let mut asm = Asm::new(0, 0x8000);
+        asm.here("entry");
+        build(&mut asm);
+        asm.emit(Inst::Ebreak);
+        asm.finish().unwrap()
+    }
+
+    /// A store/load loop hammering one word — every iteration hits the
+    /// same bank, so co-scheduled copies contend maximally.
+    fn hammer_program(iters: i32) -> Program {
+        program(|a| {
+            a.li(Reg::T0, iters);
+            a.li(Reg::T1, 0x9000);
+            let top = a.new_label();
+            a.bind(top).unwrap();
+            a.emit(Inst::Sw {
+                rs2: Reg::T0,
+                rs1: Reg::T1,
+                imm: 0,
+            });
+            a.emit(Inst::Lw {
+                rd: Reg::A0,
+                rs1: Reg::T1,
+                imm: 0,
+            });
+            a.emit(Inst::Addi {
+                rd: Reg::T0,
+                rs1: Reg::T0,
+                imm: -1,
+            });
+            a.branch_to(
+                Inst::Bne {
+                    rs1: Reg::T0,
+                    rs2: Reg::Zero,
+                    offset: 0,
+                },
+                top,
+            );
+        })
+    }
+
+    #[test]
+    fn single_hart_cluster_is_bit_and_cycle_identical() {
+        let p = hammer_program(25);
+        let mut solo = Machine::load(&p, Platform::ibex()).unwrap();
+        let baseline = solo.run(10_000).unwrap();
+        let template = Machine::load(&p, Platform::ibex()).unwrap();
+        let mut cluster = Cluster::replicate(&template, 1, BankConfig::default8());
+        let run = cluster.run_all(10_000);
+        assert_eq!(run.results[0], Ok(baseline));
+        assert_eq!(run.stats[0].stall_cycles, 0, "a lone hart never stalls");
+        assert_eq!(run.soc_cycles, baseline.cycles);
+        assert_eq!(
+            cluster.hart(0).cpu.regs,
+            solo.cpu.regs,
+            "architectural state must match"
+        );
+    }
+
+    #[test]
+    fn same_bank_hammering_accounts_conflicts() {
+        let template = Machine::load(&hammer_program(50), Platform::ibex()).unwrap();
+        let mut cluster = Cluster::replicate(&template, 4, BankConfig::default8());
+        let run = cluster.run_all(100_000);
+        for (h, r) in run.results.iter().enumerate() {
+            let r = r.as_ref().unwrap();
+            // the last iteration loads t0 = 1 into a0 before decrementing
+            assert_eq!(r.exit_code, 1, "hart {h}");
+        }
+        let conflicts: u64 = run.stats.iter().map(|s| s.conflicts).sum();
+        assert!(conflicts > 0, "same-word hammering must contend");
+        assert!(run.stall_fraction() > 0.0);
+        assert!(
+            run.soc_cycles > run.results[0].as_ref().unwrap().cycles,
+            "contention must push completion past a solo run"
+        );
+    }
+
+    #[test]
+    fn scheduling_is_deterministic() {
+        let template = Machine::load(&hammer_program(40), Platform::ibex()).unwrap();
+        let mut a = Cluster::replicate(&template, 4, BankConfig::default8());
+        let mut b = Cluster::replicate(&template, 4, BankConfig::default8());
+        let ra = a.run_all(100_000);
+        let rb = b.run_all(100_000);
+        assert_eq!(ra.results, rb.results);
+        assert_eq!(ra.stats, rb.stats);
+        assert_eq!(ra.soc_cycles, rb.soc_cycles);
+    }
+
+    #[test]
+    fn trap_on_one_hart_leaves_the_others_running() {
+        let good = hammer_program(30);
+        let template = Machine::load(&good, Platform::ibex()).unwrap();
+        let mut cluster = Cluster::replicate(&template, 3, BankConfig::default8());
+        // Hart 1 gets a forced trap at its entry pc.
+        let trap = Trap::AccessOutOfBounds { addr: 0xBAD, pc: 0 };
+        let pc = cluster.hart(1).cpu.pc;
+        cluster
+            .hart_mut(1)
+            .set_fault_plan(crate::FaultPlan::new().force_trap_at_pc(pc, trap));
+        let run = cluster.run_all(100_000);
+        assert_eq!(run.results[1], Err(trap));
+        assert!(run.results[0].is_ok(), "hart 0 must finish");
+        assert!(run.results[2].is_ok(), "hart 2 must finish");
+    }
+
+    #[test]
+    fn out_of_fuel_is_per_hart() {
+        let template = Machine::load(&hammer_program(1000), Platform::ibex()).unwrap();
+        let mut cluster = Cluster::replicate(&template, 2, BankConfig::default8());
+        let run = cluster.run_all(50);
+        for r in &run.results {
+            assert!(matches!(r, Err(Trap::OutOfFuel { .. })));
+        }
+    }
+
+    #[test]
+    fn run_active_schedules_only_the_prefix() {
+        let template = Machine::load(&hammer_program(10), Platform::ibex()).unwrap();
+        let mut cluster = Cluster::replicate(&template, 4, BankConfig::default8());
+        let run = cluster.run_active(2, 100_000);
+        assert_eq!(run.results.len(), 2);
+        assert_eq!(cluster.hart(3).cpu.instret, 0, "idle hart never stepped");
+    }
+
+    #[test]
+    fn histograms_are_per_hart_and_summable() {
+        let template = Machine::load(&hammer_program(10), Platform::ibex()).unwrap();
+        let mut cluster = Cluster::replicate(&template, 2, BankConfig::default8());
+        cluster.set_class_histogram_enabled(0, true);
+        let _ = cluster.run_all(100_000);
+        let per_hart = cluster.class_histograms();
+        assert!(per_hart[0].total_count() > 0, "armed hart counts");
+        assert_eq!(per_hart[1].total_count(), 0, "idle-armed hart stays free");
+        let summed = cluster.summed_class_histogram();
+        assert_eq!(summed.total_count(), per_hart[0].total_count());
+    }
+
+    #[test]
+    fn bank_mapping_is_word_interleaved() {
+        let cfg = BankConfig::default8();
+        assert_eq!(cfg.bank_of(0x0), 0);
+        assert_eq!(cfg.bank_of(0x4), 1);
+        assert_eq!(cfg.bank_of(0x1C), 7);
+        assert_eq!(cfg.bank_of(0x20), 0);
+        // byte accesses within a word hit the same bank
+        assert_eq!(cfg.bank_of(0x21), 0);
+        assert_eq!(cfg.bank_of(0x23), 0);
+    }
+}

@@ -148,6 +148,8 @@ pub struct Cpu {
     hist_enabled: bool,
     class_counts: [u64; NUM_INST_CLASSES],
     extra_branch_cycles: u64,
+    daccess_enabled: bool,
+    last_daccess: Option<u32>,
 }
 
 impl Cpu {
@@ -168,6 +170,8 @@ impl Cpu {
             hist_enabled: false,
             class_counts: [0; NUM_INST_CLASSES],
             extra_branch_cycles: 0,
+            daccess_enabled: false,
+            last_daccess: None,
         }
     }
 
@@ -227,6 +231,30 @@ impl Cpu {
     pub fn reset_class_histogram(&mut self) {
         self.class_counts = [0; NUM_INST_CLASSES];
         self.extra_branch_cycles = 0;
+    }
+
+    /// Turns the data-access trace on or off (default **off**). While
+    /// armed, every load/store records the effective address it touched,
+    /// readable (and cleared) through [`Cpu::take_data_access`]. Like
+    /// the class histogram this is an opt-in probe: the plain execution
+    /// path pays only one predictable branch for it. The cluster
+    /// arbiter ([`crate::cluster`]) arms it to route accesses to banks.
+    pub fn set_data_trace_enabled(&mut self, enabled: bool) {
+        self.daccess_enabled = enabled;
+        self.last_daccess = None;
+    }
+
+    /// Whether the data-access trace is armed.
+    pub fn data_trace_enabled(&self) -> bool {
+        self.daccess_enabled
+    }
+
+    /// The effective address of the most recent traced data access, if
+    /// the last stepped instruction performed one. Clears the record, so
+    /// each access is observed at most once. RV32 instructions make at
+    /// most one data access each, so a single slot is lossless.
+    pub fn take_data_access(&mut self) -> Option<u32> {
+        self.last_daccess.take()
     }
 
     /// Reads a register.
@@ -444,49 +472,59 @@ impl Cpu {
     #[inline(always)]
     fn exec_load_store(&mut self, inst: Inst, pc: u32) -> Result<(), Trap> {
         use Inst::*;
-        match inst {
+        let addr = match inst {
             Lb { rd, rs1, imm } => {
-                let v = self.mem.load8(self.reg(rs1).wrapping_add(imm as u32), pc)?;
+                let addr = self.reg(rs1).wrapping_add(imm as u32);
+                let v = self.mem.load8(addr, pc)?;
                 self.set_reg(rd, v as i8 as i32 as u32);
+                addr
             }
             Lh { rd, rs1, imm } => {
-                let v = self
-                    .mem
-                    .load16(self.reg(rs1).wrapping_add(imm as u32), pc)?;
+                let addr = self.reg(rs1).wrapping_add(imm as u32);
+                let v = self.mem.load16(addr, pc)?;
                 self.set_reg(rd, v as i16 as i32 as u32);
+                addr
             }
             Lw { rd, rs1, imm } => {
-                let v = self
-                    .mem
-                    .load32(self.reg(rs1).wrapping_add(imm as u32), pc)?;
+                let addr = self.reg(rs1).wrapping_add(imm as u32);
+                let v = self.mem.load32(addr, pc)?;
                 self.set_reg(rd, v);
+                addr
             }
             Lbu { rd, rs1, imm } => {
-                let v = self.mem.load8(self.reg(rs1).wrapping_add(imm as u32), pc)?;
+                let addr = self.reg(rs1).wrapping_add(imm as u32);
+                let v = self.mem.load8(addr, pc)?;
                 self.set_reg(rd, v as u32);
+                addr
             }
             Lhu { rd, rs1, imm } => {
-                let v = self
-                    .mem
-                    .load16(self.reg(rs1).wrapping_add(imm as u32), pc)?;
+                let addr = self.reg(rs1).wrapping_add(imm as u32);
+                let v = self.mem.load16(addr, pc)?;
                 self.set_reg(rd, v as u32);
+                addr
             }
             Sb { rs2, rs1, imm } => {
                 let addr = self.reg(rs1).wrapping_add(imm as u32);
                 self.mem.store8(addr, self.reg(rs2) as u8, pc)?;
                 self.icache.invalidate(addr, 1);
+                addr
             }
             Sh { rs2, rs1, imm } => {
                 let addr = self.reg(rs1).wrapping_add(imm as u32);
                 self.mem.store16(addr, self.reg(rs2) as u16, pc)?;
                 self.icache.invalidate(addr, 2);
+                addr
             }
             Sw { rs2, rs1, imm } => {
                 let addr = self.reg(rs1).wrapping_add(imm as u32);
                 self.mem.store32(addr, self.reg(rs2), pc)?;
                 self.icache.invalidate(addr, 4);
+                addr
             }
             other => unreachable!("{other:?} routed to the load/store unit"),
+        };
+        if self.daccess_enabled {
+            self.last_daccess = Some(addr);
         }
         Ok(())
     }
@@ -663,6 +701,9 @@ impl Cpu {
                 let lo = (h as u8 as i8 as i32 as u32) & 0xFFFF;
                 let hi = ((h >> 8) as u8 as i8 as i32 as u32) << 16;
                 self.set_reg(rd, hi | lo);
+                if self.daccess_enabled {
+                    self.last_daccess = Some(addr);
+                }
             }
             other => unreachable!("{other:?} routed to the packed-SIMD unit"),
         }

@@ -65,6 +65,29 @@
 //! host-side A8 model (`kwt_quant::A8Kwt`) reproduces device logits
 //! bit-for-bit.
 //!
+//! # Cluster simulation: the functional / timing split
+//!
+//! The [`cluster`] module scales the single hart to an N-hart SoC —
+//! shared bank-interleaved memory behind a round-robin arbiter — by
+//! keeping two concerns strictly apart:
+//!
+//! * **Functional model**: each hart is a plain [`Machine`] retiring
+//!   exactly the stream it would retire alone. Shared code/weight banks
+//!   are read-only and scratch/IO is per-hart private, so hart streams
+//!   are independent by construction.
+//! * **Timing model**: an event-driven scheduler replays those streams
+//!   on one SoC timeline, routing every data access (captured by the
+//!   opt-in [`Cpu::take_data_access`] probe) to a word-interleaved bank
+//!   with a busy-until counter; conflicting accesses stall the losing
+//!   hart, ties resolve round-robin, and the whole schedule is
+//!   deterministic.
+//!
+//! Timing never feeds back into function — contention changes *when* an
+//! access happens, never *what* it reads — which is what makes a
+//! single-hart cluster provably bit- and cycle-identical to
+//! [`Machine::run`] (asserted over random programs in
+//! `tests/cluster_props.rs`).
+//!
 //! # Fault model and watchdog
 //!
 //! The trap taxonomy ([`Trap`], `#[non_exhaustive]`) covers decode
@@ -104,6 +127,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod cluster;
 mod cpu;
 pub mod fault;
 mod icache;
@@ -113,6 +137,7 @@ mod profile;
 pub mod softfp;
 mod trap;
 
+pub use cluster::{BankConfig, Cluster, ClusterRun, HartStats};
 pub use cpu::{Cpu, FuncUnit, StepOutcome};
 pub use fault::{FaultEvent, FaultKind, FaultPlan, FaultRecord, FaultTrigger};
 pub use icache::DecodeCacheStats;

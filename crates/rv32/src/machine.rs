@@ -204,6 +204,49 @@ impl Machine {
         })
     }
 
+    /// One iteration of the monitored run loop, exposed so an external
+    /// scheduler (the [`crate::cluster`] arbiter) can interleave harts
+    /// instruction by instruction: applies due fault events, steps the
+    /// hart once, finishes the profiler on halt, and enforces the cycle
+    /// watchdog against `cycles0` (the cycle counter at run start).
+    ///
+    /// `run` with the monitors armed is exactly this in a loop, so a
+    /// cluster driving every hart through `step_monitored` retires the
+    /// same instruction stream at the same per-hart cycle counts as N
+    /// independent [`Machine::run`] calls.
+    ///
+    /// # Errors
+    ///
+    /// Returns the same [`Trap`]s as [`Machine::run`] (except
+    /// [`Trap::OutOfFuel`], which the caller's own step budget decides).
+    pub fn step_monitored(&mut self, step: u64, cycles0: u64) -> Result<StepOutcome, Trap> {
+        self.apply_due_faults(step)?;
+        match self.cpu.step()? {
+            StepOutcome::Halted => {
+                self.cpu.profiler.finish(self.cpu.cycles);
+                Ok(StepOutcome::Halted)
+            }
+            StepOutcome::Continue => {
+                if let Some(b) = self.watchdog {
+                    let used = self.cpu.cycles - cycles0;
+                    if used > b {
+                        return Err(Trap::WatchdogExpired {
+                            budget: b,
+                            cycles: used,
+                        });
+                    }
+                }
+                Ok(StepOutcome::Continue)
+            }
+        }
+    }
+
+    /// The loaded program's entry address (where [`Machine::reset_cpu`]
+    /// points the hart).
+    pub fn entry(&self) -> u32 {
+        self.entry
+    }
+
     /// Fires every pending fault event due before run-local step `step`
     /// (or at the current pc), consuming it and appending a
     /// [`FaultRecord`] to the [fault log](Self::fault_log).

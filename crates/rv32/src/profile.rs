@@ -133,6 +133,16 @@ impl ClassHistogram {
         h
     }
 
+    /// Adds `other`'s counts and cycles into `self` — the cluster-level
+    /// aggregation: summing every armed hart's histogram gives the
+    /// SoC-wide class breakdown without ever arming idle harts.
+    pub fn merge(&mut self, other: &ClassHistogram) {
+        for i in 0..NUM_INST_CLASSES {
+            self.counts[i] += other.counts[i];
+            self.cycles[i] += other.cycles[i];
+        }
+    }
+
     /// Instructions retired in `class`.
     pub fn count(&self, class: InstClass) -> u64 {
         self.counts[class as usize]

@@ -21,6 +21,12 @@
 #                              agreement (>= 99.5 %) on the synth split;
 #   * `paper check-cycles`   — device cycles per image flavour vs the
 #                              committed BENCH_engine.json (<= +3 %);
+#   * `paper check-cluster`  — multi-hart cluster gate: a 1-hart cluster
+#                              bit- and cycle-identical to the serial
+#                              session, 4-hart wave logits bit-identical
+#                              to serial, >= 3x clips-per-SoC-cycle at 4
+#                              harts, soc_cycles <= +3 % vs the committed
+#                              BENCH_engine.json;
 #   * `paper check-tuning`   — kernel-specialiser autotuner gate: the
 #                              sweep must be deterministic, the committed
 #                              results/TUNED_KERNELS.txt must match a
@@ -96,6 +102,10 @@ echo "check-frontend OK"
 echo "== gate: paper check-cycles (device cycles vs committed baseline) =="
 "$paper_bin" check-cycles || fail "paper check-cycles"
 echo "check-cycles OK"
+
+echo "== gate: paper check-cluster (multi-hart identity + throughput) =="
+"$paper_bin" check-cluster || fail "paper check-cluster"
+echo "check-cluster OK"
 
 echo "== gate: paper check-tuning (kernel-specialiser artefact in sync) =="
 "$paper_bin" check-tuning || fail "paper check-tuning"
