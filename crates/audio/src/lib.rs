@@ -47,6 +47,7 @@ mod error;
 mod fft;
 mod mel;
 mod mfcc;
+mod ring;
 mod streaming;
 mod window;
 
@@ -54,7 +55,10 @@ pub use dct::dct_ii_matrix;
 pub use error::AudioError;
 pub use fft::{fft_in_place, ifft_in_place, power_spectrum, power_spectrum_into, RealFftPlan};
 pub use mel::{hz_to_mel, mel_to_hz, MelFilterbank};
-pub use mfcc::{kwt1_frontend, kwt_tiny_frontend, MfccConfig, MfccExtractor, MfccScratch};
+pub use mfcc::{
+    kwt1_frontend, kwt_tiny_frontend, validate_samples, MfccConfig, MfccExtractor, MfccScratch,
+};
+pub use ring::{RingOverflow, SampleRing};
 pub use streaming::StreamingMfcc;
 pub use window::WindowKind;
 

@@ -641,8 +641,14 @@ impl MfccExtractor {
 /// extraction ([`MfccExtractor::extract_into`]) and streaming pushes
 /// ([`crate::StreamingMfcc::push`]). Signed zeros pass; true subnormals
 /// are rejected rather than flushed so a corrupted capture path is loud
-/// instead of silently denormal-flushing into wrong features.
-pub(crate) fn validate_samples(samples: &[f32]) -> Result<()> {
+/// instead of silently denormal-flushing into wrong features. Public so
+/// ingest layers above the front end (the serve crate) can apply the
+/// exact same gate before buffering a chunk.
+///
+/// # Errors
+///
+/// Returns [`AudioError::InvalidSample`] for the first offending sample.
+pub fn validate_samples(samples: &[f32]) -> Result<()> {
     for (index, &s) in samples.iter().enumerate() {
         let why = if s.is_nan() {
             "NaN"

@@ -6,6 +6,8 @@
 //! paper table4 --full  # include the expensive KWT-1 training
 //! paper bench-tensor   # packed-GEMM / decode-cache speedups -> BENCH_tensor.json
 //! paper bench-engine   # engine clips/sec, one-shot vs scratch-reuse vs batched -> BENCH_engine.json
+//! paper bench-serve    # session-multiplexed serving arms -> BENCH_serve.json (--smoke: small fleet)
+//! paper check-serve    # serve gate: fused waves >= 2x serial device, bit-identical decisions, 5% vs baseline
 //! paper check-a8       # A8-vs-i16 top-1 agreement gate + device/host bit-identity spot check
 //! paper check-cycles   # device-cycle regression gate vs the committed BENCH_engine.json (3%)
 //! paper check-cluster  # cluster gate: single-hart identity, serial-identical logits, >=3x @ 4 harts
@@ -50,6 +52,8 @@ fn main() {
         "ablation-nonlinearity",
         "bench-tensor",
         "bench-engine",
+        "bench-serve",
+        "check-serve",
         "check-a8",
         "check-frontend",
         "check-cycles",
@@ -82,6 +86,13 @@ fn main() {
             "ablation-nonlinearity" => exp::ablation_nonlinearity(&ctx),
             "bench-tensor" => kwt_bench::microbench::run_and_write(std::path::Path::new(".")),
             "bench-engine" => kwt_bench::enginebench::run_and_write(std::path::Path::new(".")),
+            "bench-serve" => {
+                if smoke {
+                    std::env::set_var("KWT_BENCH_SMOKE", "1");
+                }
+                kwt_bench::servebench::run_and_write(std::path::Path::new("."))
+            }
+            "check-serve" => kwt_bench::servebench::check(),
             "check-a8" => exp::check_a8(&ctx),
             "check-cycles" => exp::check_cycles(&ctx),
             "check-cluster" => exp::check_cluster(&ctx),

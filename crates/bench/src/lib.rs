@@ -21,6 +21,7 @@ pub mod enginebench;
 pub mod experiments;
 pub mod faultsweep;
 pub mod microbench;
+pub mod servebench;
 mod timing;
 pub mod tune;
 

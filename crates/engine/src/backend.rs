@@ -138,6 +138,17 @@ pub trait Backend: Send {
         None
     }
 
+    /// Simulated device cycles consumed by the most recent wave (or
+    /// single inference) — the SoC finish time for
+    /// [`BackendKind::Rv32Cluster`], the run's cycle count for
+    /// [`BackendKind::Rv32Sim`], `None` for host backends, whose latency
+    /// the simulator does not model. The serving layer sums this into
+    /// its deterministic detections-per-cycle and queueing-latency
+    /// accounting.
+    fn wave_device_cycles(&self) -> Option<u64> {
+        None
+    }
+
     /// Quantisation statistics of the most recent inference — `Some` only
     /// for [`BackendKind::HostQuant`].
     fn last_quant_stats(&self) -> Option<QuantStats> {
@@ -370,6 +381,10 @@ impl Backend for Rv32SimBackend {
 
     fn last_device_run(&self) -> Option<RunResult> {
         self.last_run
+    }
+
+    fn wave_device_cycles(&self) -> Option<u64> {
+        self.last_run.map(|r| r.cycles)
     }
 
     fn clone_boxed(&self) -> Option<Box<dyn Backend>> {

@@ -176,6 +176,10 @@ impl Backend for Rv32ClusterBackend {
         self.last_run
     }
 
+    fn wave_device_cycles(&self) -> Option<u64> {
+        self.last_wave.as_ref().map(|w| w.soc_cycles)
+    }
+
     fn clone_boxed(&self) -> Option<Box<dyn Backend>> {
         Some(Box::new(self.clone()))
     }

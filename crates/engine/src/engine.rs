@@ -62,6 +62,10 @@ pub struct Engine {
     mfcc_q: Mat<i8>,
     scratch: MfccScratch,
     logits: Vec<f32>,
+    /// Per-slot logits staging reused by every wave-sharded entry point
+    /// ([`classify_batch_into`](Self::classify_batch_into) on wide
+    /// backends, [`classify_window_wave_into`](Self::classify_window_wave_into)).
+    wave_logits: Vec<Vec<f32>>,
 }
 
 impl Engine {
@@ -93,6 +97,7 @@ impl Engine {
             backend,
             scratch: MfccScratch::new(),
             logits: Vec::with_capacity(c.num_classes),
+            wave_logits: Vec::new(),
         })
     }
 
@@ -181,6 +186,22 @@ impl Engine {
     /// ([`BackendKind::Rv32Sim`] only).
     pub fn last_device_run(&self) -> Option<RunResult> {
         self.backend.last_device_run()
+    }
+
+    /// Simulated device cycles of the most recent wave — the SoC finish
+    /// time for [`BackendKind::Rv32Cluster`], the run's cycles for
+    /// [`BackendKind::Rv32Sim`], `None` on host backends. The serving
+    /// layer sums this per wave for deterministic throughput and
+    /// queueing-latency accounting.
+    pub fn last_wave_device_cycles(&self) -> Option<u64> {
+        self.backend.wave_device_cycles()
+    }
+
+    /// Clips the backend can run concurrently in one wave (harts for the
+    /// simulated cluster, 1 everywhere else) — the natural chunk size for
+    /// [`classify_window_wave_into`](Self::classify_window_wave_into).
+    pub fn wave_width(&self) -> usize {
+        self.backend.batch_width().max(1)
     }
 
     /// Quantisation statistics of the most recent inference
@@ -287,6 +308,56 @@ impl Engine {
         infer_prediction(self.backend.as_mut(), mfcc, &mut self.logits, out)
     }
 
+    /// Classifies a wave of already-extracted `T x F` windows — the
+    /// multi-session serving entry point. The scheduler stages one
+    /// window per ready session; the engine shards them across the
+    /// backend in chunks of [`wave_width`](Self::wave_width), reusing an
+    /// engine-owned logits arena, so the steady state allocates nothing.
+    ///
+    /// Results are bit-identical to calling
+    /// [`classify_mfcc_into`](Self::classify_mfcc_into) per window, in
+    /// order — [`Backend::infer_wave`]'s contract guarantees it (its
+    /// default *is* that serial loop, and the cluster's wave path is
+    /// proven logit-identical to the serial device). Only the simulated
+    /// *timing* differs: after each call,
+    /// [`last_wave_device_cycles`](Self::last_wave_device_cycles)
+    /// reports the final chunk's SoC cost, so callers wanting per-wave
+    /// cycle accounting should pass at most `wave_width` windows per
+    /// call.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::Config`] when `out.len() !=
+    /// windows.len()`; propagates backend errors, after which the
+    /// contents of `out` are unspecified.
+    pub fn classify_window_wave_into(
+        &mut self,
+        windows: &[Mat<f32>],
+        out: &mut [Prediction],
+    ) -> Result<()> {
+        if out.len() != windows.len() {
+            return Err(EngineError::Config {
+                why: format!(
+                    "wave output length {} does not match window count {}",
+                    out.len(),
+                    windows.len()
+                ),
+            });
+        }
+        let width = self.backend.batch_width().max(1);
+        if self.wave_logits.len() < width {
+            self.wave_logits.resize_with(width, Vec::new);
+        }
+        for (chunk, preds) in windows.chunks(width).zip(out.chunks_mut(width)) {
+            let k = chunk.len();
+            self.backend.infer_wave(chunk, &mut self.wave_logits[..k])?;
+            for (logits, pred) in self.wave_logits[..k].iter().zip(preds.iter_mut()) {
+                finish_prediction(logits, pred)?;
+            }
+        }
+        Ok(())
+    }
+
     /// Classifies a batch of clips, one [`Prediction`] per clip, reusing
     /// the engine's arenas across the whole batch.
     ///
@@ -338,7 +409,9 @@ impl Engine {
         out: &mut [Prediction],
     ) -> Result<()> {
         let c = *self.backend.config();
-        let mut wave_logits: Vec<Vec<f32>> = vec![Vec::new(); width];
+        if self.wave_logits.len() < width {
+            self.wave_logits.resize_with(width, Vec::new);
+        }
         if let Some(y) = self.backend.input_exponent() {
             let mut staged: Vec<Mat<i8>> = (0..width)
                 .map(|_| Mat::zeros(c.input_time, c.input_freq))
@@ -354,8 +427,8 @@ impl Engine {
                     )?;
                 }
                 self.backend
-                    .infer_prequantized_wave(&staged[..k], &mut wave_logits[..k])?;
-                for (logits, pred) in wave_logits.iter().zip(preds.iter_mut()) {
+                    .infer_prequantized_wave(&staged[..k], &mut self.wave_logits[..k])?;
+                for (logits, pred) in self.wave_logits[..k].iter().zip(preds.iter_mut()) {
                     finish_prediction(logits, pred)?;
                 }
             }
@@ -370,8 +443,8 @@ impl Engine {
                         .extract_padded_into(clip.as_ref(), slot, &mut self.scratch)?;
                 }
                 self.backend
-                    .infer_wave(&staged[..k], &mut wave_logits[..k])?;
-                for (logits, pred) in wave_logits.iter().zip(preds.iter_mut()) {
+                    .infer_wave(&staged[..k], &mut self.wave_logits[..k])?;
+                for (logits, pred) in self.wave_logits[..k].iter().zip(preds.iter_mut()) {
                     finish_prediction(logits, pred)?;
                 }
             }

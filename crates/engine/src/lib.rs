@@ -84,7 +84,7 @@ pub use cluster::Rv32ClusterBackend;
 pub use engine::{Engine, Prediction};
 pub use error::EngineError;
 pub use resilient::{BackendHealth, FaultStats, ResilientBackend, ResilientConfig};
-pub use streaming::{StreamDecision, StreamingConfig, StreamingKws};
+pub use streaming::{majority_vote, StreamDecision, StreamingConfig, StreamingKws};
 
 /// Convenience alias for results returned by this crate.
 pub type Result<T> = std::result::Result<T, EngineError>;

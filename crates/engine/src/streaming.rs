@@ -190,7 +190,7 @@ impl StreamingKws {
                         frame_index,
                         class: pred.class,
                         score: pred.score,
-                        smoothed_class: majority(votes, counts),
+                        smoothed_class: majority_vote(votes, counts),
                     });
                 }
                 Err(e) => deferred = Err(e),
@@ -211,8 +211,13 @@ impl std::fmt::Debug for StreamingKws {
 }
 
 /// Majority class of `votes`; ties break toward the class whose latest
-/// vote is most recent. `counts` is a reusable per-class tally.
-fn majority(votes: &VecDeque<usize>, counts: &mut [usize]) -> usize {
+/// vote is most recent. `counts` is a reusable per-class tally, cleared
+/// here.
+///
+/// Public because the serving layer replicates [`StreamingKws`]'s
+/// smoothing per multiplexed session and must use the *same* tie-break
+/// to stay bit-identical.
+pub fn majority_vote(votes: &VecDeque<usize>, counts: &mut [usize]) -> usize {
     counts.fill(0);
     let mut best = 0usize;
     let mut best_count = 0usize;
@@ -241,16 +246,16 @@ mod tests {
     #[test]
     fn majority_prefers_most_common() {
         let mut counts = vec![0; 4];
-        assert_eq!(majority(&votes(&[1, 2, 2, 1, 2]), &mut counts), 2);
-        assert_eq!(majority(&votes(&[0, 0, 3]), &mut counts), 0);
-        assert_eq!(majority(&votes(&[3]), &mut counts), 3);
+        assert_eq!(majority_vote(&votes(&[1, 2, 2, 1, 2]), &mut counts), 2);
+        assert_eq!(majority_vote(&votes(&[0, 0, 3]), &mut counts), 0);
+        assert_eq!(majority_vote(&votes(&[3]), &mut counts), 3);
     }
 
     #[test]
     fn majority_tie_breaks_toward_recent() {
         let mut counts = vec![0; 4];
         // 1 and 2 both have two votes; 2 voted last.
-        assert_eq!(majority(&votes(&[1, 2, 1, 2]), &mut counts), 2);
-        assert_eq!(majority(&votes(&[2, 1, 2, 1]), &mut counts), 1);
+        assert_eq!(majority_vote(&votes(&[1, 2, 1, 2]), &mut counts), 2);
+        assert_eq!(majority_vote(&votes(&[2, 1, 2, 1]), &mut counts), 1);
     }
 }

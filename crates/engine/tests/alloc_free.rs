@@ -132,3 +132,54 @@ fn streaming_push_is_allocation_bounded() {
     });
     assert_eq!(n, 0, "streaming steady state allocated {n} times");
 }
+
+#[test]
+fn streaming_reset_reuse_allocates_nothing() {
+    // Session-slot reuse in the serving layer: a stream closes, the slot
+    // is reset, and a different caller's audio runs through the same
+    // stream object. After warm-up the whole reset-and-replay cycle must
+    // not touch the allocator — reset() keeps every arena.
+    let mut kws = StreamingKws::new(
+        Engine::host_float(trained_ish(), kwt_tiny_frontend().unwrap()).unwrap(),
+        StreamingConfig::default(),
+    )
+    .unwrap();
+    let first = clip(1);
+    let second = clip(5);
+    for audio in [&first, &second] {
+        kws.push_with(audio, |_| {}).unwrap();
+        kws.reset();
+    }
+    let n = allocations(|| {
+        for _ in 0..4 {
+            kws.reset();
+            kws.push_with(&first, |_| {}).unwrap();
+            kws.reset();
+            kws.push_with(&second, |_| {}).unwrap();
+        }
+    });
+    assert_eq!(n, 0, "reset-reuse cycle allocated {n} times");
+}
+
+#[test]
+fn window_wave_steady_state_allocates_nothing() {
+    // The serving layer's batch entry point: classifying a wave of
+    // staged windows into reused Predictions must be allocation-free
+    // after the first (warming) wave.
+    let mut engine = Engine::host_float(trained_ish(), kwt_tiny_frontend().unwrap()).unwrap();
+    let windows: Vec<_> = (0..4)
+        .map(|s| engine.frontend().extract_padded(&clip(s)).unwrap())
+        .collect();
+    let mut out = vec![Prediction::default(); windows.len()];
+    engine
+        .classify_window_wave_into(&windows, &mut out)
+        .unwrap();
+    let n = allocations(|| {
+        for _ in 0..10 {
+            engine
+                .classify_window_wave_into(&windows, &mut out)
+                .unwrap();
+        }
+    });
+    assert_eq!(n, 0, "window wave hot loop allocated {n} times");
+}

@@ -4,7 +4,7 @@
 
 use kwt_audio::kwt_tiny_frontend;
 use kwt_baremetal::InferenceImage;
-use kwt_engine::{BackendKind, Engine, EngineError};
+use kwt_engine::{BackendKind, Engine, EngineError, Prediction};
 use kwt_model::{KwtConfig, KwtParams};
 use kwt_quant::{Nonlinearity, QuantConfig, QuantizedKwt};
 
@@ -286,6 +286,52 @@ fn cluster_engine_float_feature_path_matches_serial() {
     for (i, (g, w)) in got.iter().zip(&want).enumerate() {
         assert_eq!(g, w, "quant cluster clip {i}");
     }
+}
+
+#[test]
+fn window_wave_entry_matches_per_window_classify() {
+    // The serving layer's wave entry point: already-extracted windows
+    // sharded across the backend must equal per-window classify_mfcc
+    // bit-for-bit — on a host engine (wave width 1, the default serial
+    // loop) and on the cluster (windows sharded one per hart, which also
+    // reports the wave's SoC finish time).
+    let fe = kwt_tiny_frontend().unwrap();
+    let windows: Vec<_> = (0..5)
+        .map(|s| fe.extract_padded(&clip(s)).unwrap())
+        .collect();
+    let mut host = Engine::host_float(trained_ish(), fe.clone()).unwrap();
+    assert_eq!(host.wave_width(), 1);
+    let mut out = vec![Prediction::default(); windows.len()];
+    host.classify_window_wave_into(&windows, &mut out).unwrap();
+    for (i, w) in windows.iter().enumerate() {
+        let single = host.classify_mfcc(w).unwrap();
+        assert_eq!(out[i], single, "host wave window {i}");
+    }
+    assert!(host.last_wave_device_cycles().is_none());
+
+    let qm = quantized().with_nonlinearity(Nonlinearity::FixedLut);
+    let image = InferenceImage::build_quant(&qm).unwrap();
+    let mut serial = Engine::rv32_sim(&image, fe.clone()).unwrap();
+    let mut cluster = Engine::rv32_cluster(&image, fe, 4).unwrap();
+    assert_eq!(cluster.wave_width(), 4);
+    cluster
+        .classify_window_wave_into(&windows, &mut out)
+        .unwrap();
+    assert!(cluster.last_wave_device_cycles().unwrap() > 0);
+    for (i, w) in windows.iter().enumerate() {
+        let single = serial.classify_mfcc(w).unwrap();
+        assert_bits_eq(
+            &out[i].logits,
+            &single.logits,
+            &format!("cluster wave window {i}"),
+        );
+    }
+
+    let mut short = vec![Prediction::default(); 2];
+    assert!(matches!(
+        host.classify_window_wave_into(&windows, &mut short),
+        Err(EngineError::Config { .. })
+    ));
 }
 
 #[test]

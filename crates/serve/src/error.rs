@@ -1,0 +1,121 @@
+use crate::SessionId;
+use std::fmt;
+
+/// Error type of the ingest server.
+///
+/// Backpressure is a first-class, *typed* outcome here — a full
+/// per-session ring rejects the chunk whole and reports exactly how many
+/// samples were refused, instead of growing a buffer or panicking. The
+/// enum is `#[non_exhaustive]` because the admission-control taxonomy
+/// grows with the serving work; downstream matches keep a wildcard arm.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum ServeError {
+    /// The session's bounded ring cannot take the chunk: `dropped`
+    /// samples were refused whole (none were buffered) with `free` slots
+    /// left. The session stays live — the caller may retry after a
+    /// [`drive`](crate::KwsServer::drive) has consumed buffered audio.
+    Backpressure {
+        /// Session whose ring is full.
+        session: SessionId,
+        /// Samples in the rejected chunk.
+        dropped: usize,
+        /// Ring slots that were still free.
+        free: usize,
+    },
+    /// Admission control: every slab slot is occupied.
+    SessionsFull {
+        /// Total slots in the slab.
+        capacity: usize,
+    },
+    /// The id's slot was closed (and possibly reopened for another
+    /// stream) — the generation tag no longer matches.
+    StaleSession {
+        /// The outdated id.
+        session: SessionId,
+    },
+    /// A serving parameter is out of its valid domain.
+    Config {
+        /// What is inconsistent.
+        why: String,
+    },
+    /// MFCC front-end failure (e.g. a chunk with non-finite samples,
+    /// rejected before buffering).
+    Audio(kwt_audio::AudioError),
+    /// Inference failure in the wrapped engine.
+    Engine(kwt_engine::EngineError),
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::Backpressure {
+                session,
+                dropped,
+                free,
+            } => write!(
+                f,
+                "backpressure on {session}: chunk of {dropped} samples rejected ({free} free)"
+            ),
+            ServeError::SessionsFull { capacity } => {
+                write!(
+                    f,
+                    "admission refused: all {capacity} session slots occupied"
+                )
+            }
+            ServeError::StaleSession { session } => {
+                write!(f, "stale session id {session}: slot closed or reused")
+            }
+            ServeError::Config { why } => write!(f, "serve configuration: {why}"),
+            ServeError::Audio(e) => write!(f, "audio front end: {e}"),
+            ServeError::Engine(e) => write!(f, "inference engine: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServeError::Audio(e) => Some(e),
+            ServeError::Engine(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<kwt_audio::AudioError> for ServeError {
+    fn from(e: kwt_audio::AudioError) -> Self {
+        ServeError::Audio(e)
+    }
+}
+
+impl From<kwt_engine::EngineError> for ServeError {
+    fn from(e: kwt_engine::EngineError) -> Self {
+        ServeError::Engine(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let id = SessionId::new(3, 7);
+        let e = ServeError::Backpressure {
+            session: id,
+            dropped: 160,
+            free: 12,
+        };
+        assert!(e.to_string().contains("160"));
+        let e: ServeError = kwt_audio::AudioError::SignalTooShort { got: 1, need: 2 }.into();
+        use std::error::Error;
+        assert!(e.source().is_some());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<ServeError>();
+    }
+}

@@ -1,0 +1,173 @@
+//! Built-in serving accounting: counters, occupancy, and pre-allocated
+//! log2 latency histograms with p50/p99/p999 readout.
+
+/// Fixed 64-bucket base-2 histogram: values land in bucket
+/// `⌈log2(v+1)⌉`, so no recording ever allocates and quantiles are read
+/// with at most a factor-√2 representative error — plenty for latency
+/// percentiles spanning nanoseconds to seconds (or cycles to
+/// mega-cycles).
+#[derive(Debug, Clone)]
+pub struct LatencyHistogram {
+    buckets: [u64; 64],
+    count: u64,
+    max: u64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        LatencyHistogram {
+            buckets: [0; 64],
+            count: 0,
+            max: 0,
+        }
+    }
+}
+
+impl LatencyHistogram {
+    /// Folds one sample in (no allocation, O(1)).
+    pub fn record(&mut self, value: u64) {
+        let bucket = (64 - value.leading_zeros() as usize).min(63);
+        self.buckets[bucket] += 1;
+        self.count += 1;
+        self.max = self.max.max(value);
+    }
+
+    /// Samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Largest recorded value (exact, not bucketed).
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// The `q`-quantile (`0.0 ..= 1.0`) as the geometric midpoint of the
+    /// bucket the rank falls into; 0 when nothing was recorded. The top
+    /// bucket answers with the exact maximum.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (b, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                if b == 0 {
+                    return 0;
+                }
+                let lo = 1u64 << (b - 1);
+                let mid = lo + (lo >> 1);
+                return mid.min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Median.
+    pub fn p50(&self) -> u64 {
+        self.quantile(0.50)
+    }
+
+    /// 99th percentile.
+    pub fn p99(&self) -> u64 {
+        self.quantile(0.99)
+    }
+
+    /// 99.9th percentile.
+    pub fn p999(&self) -> u64 {
+        self.quantile(0.999)
+    }
+}
+
+/// Counters accumulated by a [`KwsServer`](crate::KwsServer) over its
+/// lifetime. All plain data, updated in place — reading or recording
+/// never allocates.
+#[derive(Debug, Clone, Default)]
+pub struct ServeMetrics {
+    /// Sessions admitted.
+    pub sessions_opened: u64,
+    /// Sessions closed (slots released for reuse).
+    pub sessions_closed: u64,
+    /// Chunks accepted into rings.
+    pub chunks_accepted: u64,
+    /// Samples accepted into rings.
+    pub samples_accepted: u64,
+    /// Chunks rejected whole by ring backpressure.
+    pub chunks_rejected: u64,
+    /// Samples in those rejected chunks.
+    pub samples_dropped: u64,
+    /// MFCC frames emitted across all sessions.
+    pub frames_emitted: u64,
+    /// Sliding-window decisions delivered.
+    pub decisions: u64,
+    /// Backend waves dispatched.
+    pub waves: u64,
+    /// Total windows across those waves — `wave_slots / waves` is the
+    /// mean wave occupancy, the quantity cross-session batching exists
+    /// to raise.
+    pub wave_slots: u64,
+    /// Summed simulated device cycles of all waves (0 on host backends).
+    pub device_cycles: u64,
+    /// Wall-clock ns from entering [`drive`](crate::KwsServer::drive) to
+    /// each decision's delivery — in-server scheduling + inference
+    /// latency.
+    pub wall_latency_ns: LatencyHistogram,
+    /// Simulated device cycles accumulated within the drive call before
+    /// each decision was delivered — the deterministic queueing +
+    /// service latency on the simulated SoC.
+    pub sim_latency_cycles: LatencyHistogram,
+}
+
+impl ServeMetrics {
+    /// Mean windows per dispatched wave (0 when no wave ran).
+    pub fn wave_occupancy(&self) -> f64 {
+        if self.waves == 0 {
+            0.0
+        } else {
+            self.wave_slots as f64 / self.waves as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_quantiles_bracket_the_data() {
+        let mut h = LatencyHistogram::default();
+        for v in 1..=1000u64 {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 1000);
+        assert_eq!(h.max(), 1000);
+        let p50 = h.p50();
+        // rank 500 falls in bucket [256, 512): representative 384.
+        assert!((256..512).contains(&p50), "p50 = {p50}");
+        assert!(h.p99() >= p50);
+        assert!(h.p999() <= 1000);
+        assert!(h.quantile(1.0) <= 1000);
+    }
+
+    #[test]
+    fn histogram_handles_zero_and_empty() {
+        let h = LatencyHistogram::default();
+        assert_eq!(h.p50(), 0);
+        let mut h = LatencyHistogram::default();
+        h.record(0);
+        assert_eq!(h.p50(), 0);
+        assert_eq!(h.count(), 1);
+    }
+
+    #[test]
+    fn occupancy_is_mean_wave_fill() {
+        let m = ServeMetrics {
+            waves: 4,
+            wave_slots: 14,
+            ..ServeMetrics::default()
+        };
+        assert!((m.wave_occupancy() - 3.5).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,101 @@
+//! Session identity and per-session slab state.
+
+use kwt_audio::SampleRing;
+use kwt_tensor::Mat;
+use std::collections::VecDeque;
+use std::fmt;
+
+/// Generation-tagged handle to a slab slot.
+///
+/// The slab reuses slots: closing a session bumps the slot's generation,
+/// so a handle held past `close` can never read or write the *next*
+/// stream through the same slot — it fails with
+/// [`ServeError::StaleSession`](crate::ServeError::StaleSession) instead.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SessionId {
+    index: u32,
+    generation: u32,
+}
+
+impl SessionId {
+    pub(crate) fn new(index: u32, generation: u32) -> Self {
+        SessionId { index, generation }
+    }
+
+    /// Slot index in the slab (stable for the life of the session).
+    pub fn index(self) -> u32 {
+        self.index
+    }
+
+    /// Slot reuse counter the handle was minted with.
+    pub fn generation(self) -> u32 {
+        self.generation
+    }
+}
+
+impl fmt::Display for SessionId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "s{}g{}", self.index, self.generation)
+    }
+}
+
+/// One slab slot: everything a multiplexed stream needs, all allocated
+/// when the slab is built and reused across sessions
+/// ([`SampleRing::clear_for_reuse`] keeps the ring's buffer, the window
+/// matrix is overwritten by the first `T` frame shifts, the vote deque
+/// keeps its capacity).
+///
+/// The fields mirror [`kwt_engine::StreamingKws`] exactly — ring in place
+/// of its `StreamingMfcc` buffer, same sliding window, same vote state —
+/// which is what makes multiplexed decisions bit-identical to a
+/// standalone streamer (the serve property tests assert it).
+pub(crate) struct Slot {
+    /// Bumped on close; part of every minted [`SessionId`].
+    pub generation: u32,
+    /// Occupied (open) vs free.
+    pub active: bool,
+    /// Bounded ingest ring; absolute indices are stream sample numbers.
+    pub ring: SampleRing,
+    /// Sliding `T x F` model window.
+    pub window: Mat<f32>,
+    /// MFCC frames folded into the window so far; the next frame covers
+    /// stream samples `[frames_seen * hop, frames_seen * hop + win)`.
+    pub frames_seen: u64,
+    /// Most recent raw classes for majority smoothing.
+    pub votes: VecDeque<usize>,
+    /// Reusable per-class tally for [`kwt_engine::majority_vote`].
+    pub counts: Vec<usize>,
+}
+
+impl Slot {
+    pub fn new(
+        ring_samples: usize,
+        t_frames: usize,
+        n_mfcc: usize,
+        classes: usize,
+        vote_window: usize,
+    ) -> Self {
+        Slot {
+            generation: 0,
+            active: false,
+            ring: SampleRing::with_capacity(ring_samples),
+            window: Mat::zeros(t_frames, n_mfcc),
+            frames_seen: 0,
+            votes: VecDeque::with_capacity(vote_window),
+            counts: vec![0; classes],
+        }
+    }
+
+    /// Returns the slot to the free pool: generation bumped (stale
+    /// handles die), stream state forgotten, every allocation kept.
+    pub fn release(&mut self) {
+        self.generation = self.generation.wrapping_add(1);
+        self.active = false;
+        self.ring.clear_for_reuse();
+        self.frames_seen = 0;
+        self.votes.clear();
+        // `window` needs no clearing: nothing is classified before
+        // `T` frames have been appended, and `T` appends overwrite
+        // every row (same invariant as `StreamingKws::reset`).
+    }
+}

@@ -10,10 +10,10 @@
 #                                # trap handler or mount /tmp noexec)
 #
 # Tier-1 (must stay green): release build and the full test suite.
-# The smoke pass then runs every criterion bench exactly once, a
-# single-iteration `paper bench-engine` in a scratch directory (so the
-# committed BENCH_*.json artefacts are not overwritten with smoke-mode
-# numbers), and the four regression gates:
+# The smoke pass then runs every criterion bench exactly once,
+# single-iteration `paper bench-engine` and `paper bench-serve --smoke`
+# in a scratch directory (so the committed BENCH_*.json artefacts are
+# not overwritten with smoke-mode numbers), and the regression gates:
 #
 #   * `paper check-a8`       — A8-vs-i16 top-1 agreement (>= 99 %) and
 #                              device/host bit-identity;
@@ -27,6 +27,11 @@
 #                              to serial, >= 3x clips-per-SoC-cycle at 4
 #                              harts, soc_cycles <= +3 % vs the committed
 #                              BENCH_engine.json;
+#   * `paper check-serve`    — serving gate: fused-wave and serial-device
+#                              decision streams bit-identical, >= 2x
+#                              detections-per-SoC-cycle from cross-session
+#                              batching, throughput / sim-p99 within 5 %
+#                              of the committed BENCH_serve.json;
 #   * `paper check-tuning`   — kernel-specialiser autotuner gate: the
 #                              sweep must be deterministic, the committed
 #                              results/TUNED_KERNELS.txt must match a
@@ -91,6 +96,11 @@ echo "== smoke: paper bench-engine (scratch dir) =="
     || fail "paper bench-engine"
 echo "bench-engine smoke OK"
 
+echo "== smoke: paper bench-serve --smoke (scratch dir) =="
+(cd "$scratch" && "$paper_bin" bench-serve --smoke >/dev/null) \
+    || fail "paper bench-serve"
+echo "bench-serve smoke OK"
+
 echo "== gate: paper check-a8 (A8-vs-i16 agreement + device bit-identity) =="
 (cd "$scratch" && "$paper_bin" check-a8 >/dev/null) || fail "paper check-a8"
 echo "check-a8 OK"
@@ -106,6 +116,10 @@ echo "check-cycles OK"
 echo "== gate: paper check-cluster (multi-hart identity + throughput) =="
 "$paper_bin" check-cluster || fail "paper check-cluster"
 echo "check-cluster OK"
+
+echo "== gate: paper check-serve (serving identity + multiplexing win) =="
+"$paper_bin" check-serve || fail "paper check-serve"
+echo "check-serve OK"
 
 echo "== gate: paper check-tuning (kernel-specialiser artefact in sync) =="
 "$paper_bin" check-tuning || fail "paper check-tuning"
