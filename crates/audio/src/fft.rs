@@ -159,7 +159,7 @@ pub fn power_spectrum_into(
 }
 
 /// A precomputed plan for power spectra of real frames at one FFT size —
-/// the front end's hot-loop transform (see the [module docs](self)).
+/// the front end's hot-loop transform (see the module docs).
 ///
 /// The `n` real samples are packed into `n/2` complex values, transformed
 /// by a half-size FFT over precomputed twiddle/bit-reversal tables, and

@@ -160,7 +160,7 @@ impl MfccConfig {
 }
 
 /// Precomputed MFCC pipeline (window, filter bank, DCT) — see the
-/// [module docs](self) for the fixed-point block pipeline the default
+/// module docs for the fixed-point block pipeline the default
 /// paths run.
 ///
 /// # Example
@@ -308,7 +308,7 @@ impl MfccExtractor {
     /// [`extract`](Self::extract) into a caller-provided output matrix and
     /// scratch arena — the allocation-free steady-state path (bit-identical
     /// to [`extract`](Self::extract), which delegates here). Runs the
-    /// fixed-point block pipeline of the [module docs](self).
+    /// fixed-point block pipeline of the module docs.
     ///
     /// # Errors
     ///

@@ -26,7 +26,7 @@ pub struct RingOverflow {
     pub free: usize,
 }
 
-/// Fixed-capacity sample ring (see the [module docs](self)).
+/// Fixed-capacity sample ring (see the module docs).
 #[derive(Debug, Clone)]
 pub struct SampleRing {
     buf: Vec<f32>,

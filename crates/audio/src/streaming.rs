@@ -16,7 +16,7 @@
 use crate::mfcc::{MfccConfig, MfccExtractor, MfccScratch};
 use crate::Result;
 
-/// Stateful incremental MFCC extractor (see the [module docs](self)).
+/// Stateful incremental MFCC extractor (see the module docs).
 ///
 /// # Example
 ///

@@ -1,9 +1,9 @@
 //! Multi-hart device sessions: one inference image served by an N-hart
-//! [`Cluster`](kwt_rv32::Cluster), each hart with its own stream
+//! [`kwt_rv32::Cluster`], each hart with its own stream
 //! mailbox.
 //!
 //! [`InferenceImage::cluster_session`] maps the (read-only) code and
-//! weight banks once — the loaded [`Machine`](kwt_rv32::Machine) is the
+//! weight banks once — the loaded [`kwt_rv32::Machine`] is the
 //! single source of truth, replicated per hart, which is
 //! observationally identical to shared read-only banks because no
 //! generated program ever stores into text or weights — and gives every
@@ -24,7 +24,7 @@ use crate::image::{
 use crate::{BuildError, DeviceError, Result};
 use kwt_model::KwtConfig;
 use kwt_quant::{A8Config, QuantConfig};
-use kwt_rv32::{BankConfig, ClassHistogram, Cluster, HartStats, Machine, Platform, RunResult};
+use kwt_rv32::{BankConfig, ClassHistogram, Cluster, HartStats, Machine, RunResult};
 use kwt_tensor::Mat;
 
 /// Per-run step budget, matching the serial session's `run_machine`.
@@ -112,7 +112,7 @@ impl InferenceImage {
     /// Returns [`BuildError::Trap`] if the image does not fit the
     /// platform RAM.
     pub fn cluster_session_with(&self, harts: usize, banks: BankConfig) -> Result<ClusterSession> {
-        let mut template = Machine::load(&self.program, Platform::ibex())?;
+        let mut template = Machine::load(&self.program, self.platform())?;
         for (id, name) in crate::regions::region_names() {
             template.name_region(id, &name);
         }

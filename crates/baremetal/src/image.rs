@@ -69,6 +69,10 @@ pub struct InferenceImage {
     /// text and weight banks — is static, and its build-time checksums
     /// anchor [`DeviceSession::recover`].
     mutable_ranges: Vec<(u32, u32)>,
+    /// The simulated platform this image was linked against (RAM size /
+    /// stack budget). The paper's 64 kB Ibex by default; KWT-1-scale
+    /// images use [`Platform::ibex_with_ram`] (same timing model).
+    platform: Platform,
 }
 
 const TEXT_BASE: u32 = 0x0;
@@ -119,6 +123,19 @@ impl InferenceImage {
     /// not fit the paper's banks, or [`BuildError::RamBudget`] if the
     /// image exceeds the 64 kB platform.
     pub fn build_float(params: &KwtParams) -> Result<Self> {
+        Self::build_float_on(params, Platform::ibex())
+    }
+
+    /// [`Self::build_float`] linked against an explicit [`Platform`] —
+    /// [`Platform::ibex_with_ram`] admits KWT-1-scale images whose
+    /// weights exceed the paper's 64 kB part (the timing model is
+    /// unchanged, so simulated cycles stay comparable).
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`Self::build_float`], with the RAM budget
+    /// checked against `platform`.
+    pub fn build_float_on(params: &KwtParams, platform: Platform) -> Result<Self> {
         let c = params.config;
         if c.heads != 1 {
             return Err(BuildError::Model(format!(
@@ -381,7 +398,7 @@ impl InferenceImage {
         asm.emit(Inst::Ebreak);
 
         let program = asm.finish()?;
-        check_ram(&program)?;
+        check_ram(&program, &platform)?;
         Ok(InferenceImage {
             flavor: Flavor::Float,
             isa: KernelIsa::Rv32im,
@@ -396,6 +413,7 @@ impl InferenceImage {
                 (bank2.high_water(), bank2.size()),
             ],
             mutable_ranges,
+            platform,
         })
     }
 
@@ -420,6 +438,22 @@ impl InferenceImage {
     ///
     /// Same contract as [`InferenceImage::build_float`].
     pub fn build_quant_with_isa(qm: &QuantizedKwt, isa: KernelIsa) -> Result<Self> {
+        Self::build_quant_with_isa_on(qm, isa, Platform::ibex())
+    }
+
+    /// [`Self::build_quant_with_isa`] linked against an explicit
+    /// [`Platform`] (see [`Self::build_float_on`]) — the path that fits
+    /// a KWT-1-sized weight set on a roomier simulated part.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`InferenceImage::build_float`], with the RAM
+    /// budget checked against `platform`.
+    pub fn build_quant_with_isa_on(
+        qm: &QuantizedKwt,
+        isa: KernelIsa,
+        platform: Platform,
+    ) -> Result<Self> {
         let c = qm.config;
         if c.heads != 1 {
             return Err(BuildError::Model(format!(
@@ -761,7 +795,7 @@ impl InferenceImage {
         asm.emit(Inst::Ebreak);
 
         let program = asm.finish()?;
-        check_ram(&program)?;
+        check_ram(&program, &platform)?;
         Ok(InferenceImage {
             flavor: if accel {
                 Flavor::Accelerated
@@ -780,6 +814,7 @@ impl InferenceImage {
                 (bank2.high_water(), bank2.size()),
             ],
             mutable_ranges,
+            platform,
         })
     }
 
@@ -824,6 +859,21 @@ impl InferenceImage {
     ///
     /// Same conditions as [`Self::build_a8`].
     pub fn build_a8_with(qm: &A8Kwt, tuned: Option<&TunedKernels>) -> Result<Self> {
+        Self::build_a8_with_on(qm, tuned, Platform::ibex())
+    }
+
+    /// [`Self::build_a8_with`] linked against an explicit [`Platform`]
+    /// (see [`Self::build_float_on`]).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Self::build_a8`], with the RAM budget
+    /// checked against `platform`.
+    pub fn build_a8_with_on(
+        qm: &A8Kwt,
+        tuned: Option<&TunedKernels>,
+        platform: Platform,
+    ) -> Result<Self> {
         let c = qm.config;
         if c.heads != 1 {
             return Err(BuildError::Model(format!(
@@ -1191,7 +1241,7 @@ impl InferenceImage {
         asm.emit(Inst::Ebreak);
 
         let program = asm.finish()?;
-        check_ram(&program)?;
+        check_ram(&program, &platform)?;
         Ok(InferenceImage {
             flavor: Flavor::A8,
             isa: KernelIsa::Xkwtdot,
@@ -1206,12 +1256,20 @@ impl InferenceImage {
                 (bank2.high_water(), bank2.size()),
             ],
             mutable_ranges,
+            platform,
         })
     }
 
     /// Total image footprint in bytes (the paper's "Program Size").
     pub fn program_bytes(&self) -> usize {
         self.program.total_bytes()
+    }
+
+    /// The simulated platform this image was linked against — the 64 kB
+    /// Ibex for every paper flavour, a [`Platform::ibex_with_ram`]
+    /// variant for KWT-1-scale builds (`*_on` constructors).
+    pub fn platform(&self) -> Platform {
+        self.platform
     }
 
     /// Build-time FNV-1a-64 digest of every **static** byte of the image
@@ -1302,7 +1360,7 @@ impl InferenceImage {
     /// Returns [`BuildError::Trap`] if the image does not fit the
     /// platform RAM.
     pub fn session(&self) -> Result<DeviceSession> {
-        let mut machine = Machine::load(&self.program, Platform::ibex())?;
+        let mut machine = Machine::load(&self.program, self.platform)?;
         for (id, name) in regions::region_names() {
             machine.name_region(id, &name);
         }
@@ -1794,8 +1852,7 @@ fn program_bytes_at(program: &Program, addr: u32, len: u32) -> Vec<u8> {
         .collect()
 }
 
-fn check_ram(program: &Program) -> Result<()> {
-    let platform = Platform::ibex();
+fn check_ram(program: &Program, platform: &Platform) -> Result<()> {
     let needed =
         (program.data_base + program.data.len() as u32) as usize + platform.stack_bytes as usize;
     let available = platform.ram_size as usize;

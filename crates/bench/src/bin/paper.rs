@@ -16,6 +16,10 @@
 //! paper check-frontend # fixed-point MFCC vs f64 oracle top-1 agreement gate (99.5%)
 //! paper fault-sweep    # chaos harness: fault taxonomy x image flavours -> FAULT_SWEEP.md
 //! paper fault-sweep --smoke  # fewer seeds per cell (the CI gate)
+//! paper bench-cascade  # wake-word cascade duty sweep -> BENCH_cascade.json (--smoke: seeded weights)
+//! paper check-cascade  # cascade gate: device verdict identity + cheaper-than-always-on + baseline
+//! paper make-gsc-subset    # generate the committed GSC v2 subset under data/gsc_v2_subset
+//! paper check-calibration  # offline subset verification + A8 calibration >= 99% float agreement
 //! ```
 
 use kwt_bench::experiments as exp;
@@ -61,6 +65,9 @@ fn main() {
         "tune-kernels",
         "check-tuning",
         "fault-sweep",
+        "bench-cascade",
+        "check-cascade",
+        "check-calibration",
     ];
     let selected: Vec<&str> = if targets.is_empty() || targets.contains(&"all") {
         all.to_vec()
@@ -100,6 +107,15 @@ fn main() {
             "tune-kernels" => kwt_bench::tune::run_and_write(std::path::Path::new(".")),
             "check-tuning" => kwt_bench::tune::check(),
             "fault-sweep" => kwt_bench::faultsweep::run(&ctx, smoke),
+            "bench-cascade" => {
+                if smoke {
+                    std::env::set_var("KWT_BENCH_SMOKE", "1");
+                }
+                kwt_bench::cascadebench::run_and_write(std::path::Path::new("."))
+            }
+            "check-cascade" => kwt_bench::cascadebench::check(),
+            "make-gsc-subset" => kwt_bench::gscbench::make_subset(),
+            "check-calibration" => kwt_bench::gscbench::check_calibration(),
             other => {
                 eprintln!("unknown target `{other}`; available: all {all:?}");
                 std::process::exit(2);

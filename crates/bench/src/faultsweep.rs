@@ -7,12 +7,12 @@
 //! the robustness contract on every cell:
 //!
 //! - **zero host panics** — every injected fault surfaces as a typed
-//!   [`BuildError`](kwt_baremetal::BuildError) /
-//!   [`EngineError`](kwt_engine::EngineError) or a correct answer,
+//!   [`kwt_baremetal::BuildError`] /
+//!   [`kwt_engine::EngineError`] or a correct answer,
 //!   never as a panic (each cell runs under `catch_unwind` to prove it);
 //! - **no silent persistent corruption** — a static-image flip that
 //!   changes the logits without trapping must be flagged by
-//!   [`DeviceSession::recover`](kwt_baremetal::DeviceSession::recover);
+//!   [`kwt_baremetal::DeviceSession::recover`];
 //! - **recovery restores bit identity** — after every faulted run,
 //!   `recover()` + rerun reproduces the clean logits bit-for-bit;
 //! - **failover is exact** — watchdog-killed requests served through

@@ -17,9 +17,11 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod cascadebench;
 pub mod enginebench;
 pub mod experiments;
 pub mod faultsweep;
+pub mod gscbench;
 pub mod microbench;
 pub mod servebench;
 mod timing;

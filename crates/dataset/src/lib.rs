@@ -1,19 +1,34 @@
 //! # kwt-dataset
 //!
-//! A synthetic substitute for the Google Speech Commands (GSC) dataset the
-//! paper trains on.
+//! Datasets for the KWT experiments: a real Google Speech Commands v2
+//! loader and a synthetic GSC substitute, behind the same task/split API.
 //!
-//! Real GSC audio is not available in this environment, so each of the 35
-//! keywords is mapped to a deterministic *formant trajectory* — a small
-//! sequence of vowel-like segments with class-specific formant frequencies
-//! — rendered as a harmonic-rich waveform. Per-utterance "speaker" jitter
-//! (pitch, tempo, formant spread, amplitude, noise SNR) plays the role of
-//! speaker variation, and additive noise sets task difficulty.
+//! ## Real speech: the GSC v2 loader
 //!
-//! What matters for the paper's experiments is *relative* behaviour —
-//! bigger models beat smaller ones, coarser quantisation loses accuracy,
-//! oversized scale factors collapse from overflow — and those orderings
-//! only need a classification task of controllable difficulty that flows
+//! [`GscV2`] loads an on-disk Google Speech Commands v2 directory tree
+//! (`<keyword>/<speaker>_nohash_<n>.wav` plus `_background_noise_/`),
+//! assigning train/val/test splits with the dataset's official SHA-1
+//! hash of the speaker id ([`which_set`]) so splits match every other
+//! GSC consumer. A small checksummed subset is committed under
+//! `data/gsc_v2_subset/` and verified byte-exactly against its
+//! `MANIFEST.tsv` by [`GscV2::open_checked`], so CI runs fully offline;
+//! a full GSC v2 download drops into the same loader (see the README's
+//! dataset section). [`generate_subset`] regenerates such subsets
+//! deterministically, and the WAV codec ([`read_wav_16k_mono`] /
+//! [`write_wav_16k_mono`]) handles the 16 kHz mono PCM files. Seeded, bit-reproducible augmentation — background
+//! noise mixing, time shift, gain — lives in [`Augmenter`].
+//!
+//! ## Synthetic fallback
+//!
+//! [`SyntheticGsc`] maps each of the 35 keywords to a deterministic
+//! *formant trajectory* — a small sequence of vowel-like segments with
+//! class-specific formant frequencies — rendered as a harmonic-rich
+//! waveform. Per-utterance "speaker" jitter (pitch, tempo, formant
+//! spread, amplitude, noise SNR) plays the role of speaker variation,
+//! and additive noise sets task difficulty. It needs no data on disk,
+//! which keeps training-dependent tests hermetic, and its *relative*
+//! orderings (bigger models beat smaller ones, coarser quantisation
+//! loses accuracy, oversized scale factors collapse from overflow) flow
 //! through the identical MFCC → transformer pipeline.
 //!
 //! Two tasks are provided, mirroring the paper:
@@ -39,10 +54,22 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod augment;
 mod gsc;
+mod gscv2;
 mod synth;
 mod vocab;
+mod wav;
 
+pub use augment::{AugmentConfig, Augmenter};
 pub use gsc::{GscConfig, MfccDataset, Split, SyntheticGsc, Task};
+pub use gscv2::{
+    fnv1a64, generate_subset, which_set, GscV2, GscV2Error, SubsetSpec, CLIP_SAMPLES,
+    MANIFEST_NAME, NOISE_DIR,
+};
 pub use synth::{KeywordVoice, SynthParams};
 pub use vocab::{keyword_index, GSC_KEYWORDS};
+pub use wav::{
+    decode_wav, encode_wav_16k_mono, quantize_pcm16, read_wav_16k_mono, write_wav_16k_mono,
+    WavError, GSC_SAMPLE_RATE,
+};

@@ -1,0 +1,329 @@
+//! Two-stage wake-word cascade: an always-on tiny detector gating a
+//! large verifier.
+//!
+//! The paper's deployment story (§III) is a KWT-Tiny that is cheap enough
+//! to run continuously on the Ibex-class core. This module completes that
+//! story the way production wake-word systems do (and the KWS literature
+//! in PAPERS.md assumes): the tiny model runs on **every** window, and
+//! only when it fires does a much larger verifier — KWT-1 — confirm or
+//! reject the detection. At realistic keyword duty cycles (speech in
+//! ~1–5 % of windows) the verifier almost never runs, so the cascade's
+//! cycles/hour is within a small factor of the tiny model alone while
+//! keeping the verifier's false-accept behaviour.
+//!
+//! The two stages are full [`Engine`]s with **independent front ends**
+//! (KWT-Tiny consumes 26×16 MFCC windows, KWT-1 98×40), so each stage
+//! classifies the raw sample window through its own extractor — exactly
+//! what the two device images would do on hardware.
+//!
+//! Decision identity is the correctness anchor: with
+//! [`CascadeConfig::always_verify`] the verifier runs on every window,
+//! and the crate's tests assert its verdicts are identical to running the
+//! plain verifier engine alone — the cascade adds gating, never numerics.
+
+use crate::{Engine, EngineError, Prediction, Result};
+
+/// Gating policy of a [`CascadeEngine`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CascadeConfig {
+    /// Detector class that means "wake word present".
+    pub wake_class: usize,
+    /// Detector probability of [`wake_class`](Self::wake_class) at or
+    /// above which the verifier runs.
+    pub wake_threshold: f32,
+    /// Verifier class that confirms the detection.
+    pub verify_class: usize,
+    /// Run the verifier on every window regardless of the detector —
+    /// the decision-identity test mode, and the "plain big model"
+    /// reference point of the cascade bench.
+    pub always_verify: bool,
+}
+
+impl Default for CascadeConfig {
+    fn default() -> Self {
+        CascadeConfig {
+            wake_class: 1,
+            wake_threshold: 0.5,
+            verify_class: 1,
+            always_verify: false,
+        }
+    }
+}
+
+/// Outcome of one cascade window.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct CascadeDecision {
+    /// Stage-1 result (always present — the detector is always on).
+    pub detector: Prediction,
+    /// Whether the detector fired (or [`CascadeConfig::always_verify`]).
+    pub triggered: bool,
+    /// Stage-2 result; `Some` iff [`triggered`](Self::triggered).
+    pub verdict: Option<Prediction>,
+    /// Final decision: the verifier ran and voted
+    /// [`CascadeConfig::verify_class`].
+    pub accepted: bool,
+    /// Detector device cycles for this window (`None` on host backends).
+    pub detector_cycles: Option<u64>,
+    /// Verifier device cycles (`None` when not triggered or host-backed).
+    pub verifier_cycles: Option<u64>,
+}
+
+/// Two [`Engine`]s in series: detector always on, verifier gated.
+pub struct CascadeEngine {
+    detector: Engine,
+    verifier: Engine,
+    config: CascadeConfig,
+    verdict_scratch: Prediction,
+}
+
+impl CascadeEngine {
+    /// Builds a cascade, validating the gate classes against each
+    /// stage's output arity.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::Config`] when a gate class is out of range
+    /// or the threshold is not a finite probability.
+    pub fn new(detector: Engine, verifier: Engine, config: CascadeConfig) -> Result<Self> {
+        let dc = detector.config().num_classes;
+        let vc = verifier.config().num_classes;
+        if config.wake_class >= dc {
+            return Err(EngineError::Config {
+                why: format!(
+                    "wake_class {} out of range for {dc}-class detector",
+                    config.wake_class
+                ),
+            });
+        }
+        if config.verify_class >= vc {
+            return Err(EngineError::Config {
+                why: format!(
+                    "verify_class {} out of range for {vc}-class verifier",
+                    config.verify_class
+                ),
+            });
+        }
+        if !(config.wake_threshold.is_finite() && (0.0..=1.0).contains(&config.wake_threshold)) {
+            return Err(EngineError::Config {
+                why: format!(
+                    "wake_threshold {} is not a probability",
+                    config.wake_threshold
+                ),
+            });
+        }
+        Ok(CascadeEngine {
+            detector,
+            verifier,
+            config,
+            verdict_scratch: Prediction::default(),
+        })
+    }
+
+    /// The gating policy.
+    pub fn config(&self) -> CascadeConfig {
+        self.config
+    }
+
+    /// The always-on stage.
+    pub fn detector(&self) -> &Engine {
+        &self.detector
+    }
+
+    /// The gated stage.
+    pub fn verifier(&self) -> &Engine {
+        &self.verifier
+    }
+
+    /// Mutable access to both stages (cycle budgets, recovery).
+    pub fn stages_mut(&mut self) -> (&mut Engine, &mut Engine) {
+        (&mut self.detector, &mut self.verifier)
+    }
+
+    /// Classifies one raw sample window through the cascade.
+    ///
+    /// The detector always runs; the verifier runs iff the detector's
+    /// wake-class probability reaches the threshold (or
+    /// [`CascadeConfig::always_verify`]). Each stage extracts its own
+    /// MFCC view of `samples`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates stage failures.
+    pub fn classify(&mut self, samples: &[f32]) -> Result<CascadeDecision> {
+        let mut out = CascadeDecision::default();
+        self.classify_into(samples, &mut out)?;
+        Ok(out)
+    }
+
+    /// [`classify`](Self::classify) into a reused decision (steady state
+    /// allocates nothing beyond the stages' own arenas).
+    ///
+    /// # Errors
+    ///
+    /// Propagates stage failures.
+    pub fn classify_into(&mut self, samples: &[f32], out: &mut CascadeDecision) -> Result<()> {
+        self.detector.classify_into(samples, &mut out.detector)?;
+        out.detector_cycles = self.detector.last_device_run().map(|r| r.cycles);
+        let wake_p = out
+            .detector
+            .probs
+            .get(self.config.wake_class)
+            .copied()
+            .unwrap_or(0.0);
+        out.triggered = self.config.always_verify || wake_p >= self.config.wake_threshold;
+        if out.triggered {
+            self.verifier
+                .classify_into(samples, &mut self.verdict_scratch)?;
+            out.verifier_cycles = self.verifier.last_device_run().map(|r| r.cycles);
+            out.accepted = self.verdict_scratch.class == self.config.verify_class;
+            match &mut out.verdict {
+                Some(v) => v.clone_from(&self.verdict_scratch),
+                None => out.verdict = Some(self.verdict_scratch.clone()),
+            }
+        } else {
+            out.verdict = None;
+            out.verifier_cycles = None;
+            out.accepted = false;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kwt_audio::kwt_tiny_frontend;
+    use kwt_model::{KwtConfig, KwtParams};
+
+    fn tiny_engine(seed: u64) -> Engine {
+        let params = KwtParams::init(KwtConfig::kwt_tiny(), seed).unwrap();
+        Engine::host_float(params, kwt_tiny_frontend().unwrap()).unwrap()
+    }
+
+    fn clip(seed: u64) -> Vec<f32> {
+        (0..16_000)
+            .map(|i| (i as f32 * 0.011 + seed as f32).sin() * 0.3)
+            .collect()
+    }
+
+    #[test]
+    fn always_verify_matches_plain_verifier() {
+        // The cascade must add gating, never numerics: verdicts with the
+        // verifier always on are bit-identical to the verifier alone.
+        let mut cascade = CascadeEngine::new(
+            tiny_engine(1),
+            tiny_engine(2),
+            CascadeConfig {
+                always_verify: true,
+                ..CascadeConfig::default()
+            },
+        )
+        .unwrap();
+        let mut plain = tiny_engine(2);
+        for s in 0..6 {
+            let c = clip(s);
+            let d = cascade.classify(&c).unwrap();
+            let p = plain.classify(&c).unwrap();
+            assert!(d.triggered);
+            let v = d.verdict.expect("always_verify ran the verifier");
+            assert_eq!(v.class, p.class);
+            let vb: Vec<u32> = v.logits.iter().map(|x| x.to_bits()).collect();
+            let pb: Vec<u32> = p.logits.iter().map(|x| x.to_bits()).collect();
+            assert_eq!(vb, pb, "cascade verdict logits must be bit-identical");
+            assert_eq!(d.accepted, p.class == 1);
+        }
+    }
+
+    #[test]
+    fn threshold_one_with_uncertain_detector_never_triggers() {
+        let mut cascade = CascadeEngine::new(
+            tiny_engine(1),
+            tiny_engine(2),
+            CascadeConfig {
+                wake_threshold: 1.0,
+                ..CascadeConfig::default()
+            },
+        )
+        .unwrap();
+        // A freshly initialised detector never reaches probability 1.0.
+        let d = cascade.classify(&clip(3)).unwrap();
+        assert!(!d.triggered);
+        assert!(d.verdict.is_none());
+        assert!(!d.accepted);
+        assert!(d.verifier_cycles.is_none());
+    }
+
+    #[test]
+    fn threshold_zero_always_triggers() {
+        let mut cascade = CascadeEngine::new(
+            tiny_engine(1),
+            tiny_engine(2),
+            CascadeConfig {
+                wake_threshold: 0.0,
+                ..CascadeConfig::default()
+            },
+        )
+        .unwrap();
+        let d = cascade.classify(&clip(4)).unwrap();
+        assert!(d.triggered);
+        assert!(d.verdict.is_some());
+    }
+
+    #[test]
+    fn bad_configs_are_rejected() {
+        let bad_wake = CascadeEngine::new(
+            tiny_engine(1),
+            tiny_engine(2),
+            CascadeConfig {
+                wake_class: 9,
+                ..CascadeConfig::default()
+            },
+        );
+        assert!(bad_wake.is_err());
+        let bad_verify = CascadeEngine::new(
+            tiny_engine(1),
+            tiny_engine(2),
+            CascadeConfig {
+                verify_class: 7,
+                ..CascadeConfig::default()
+            },
+        );
+        assert!(bad_verify.is_err());
+        let bad_thresh = CascadeEngine::new(
+            tiny_engine(1),
+            tiny_engine(2),
+            CascadeConfig {
+                wake_threshold: f32::NAN,
+                ..CascadeConfig::default()
+            },
+        );
+        assert!(bad_thresh.is_err());
+    }
+
+    #[test]
+    fn decision_reuse_clears_stale_verdict() {
+        let mut always = CascadeEngine::new(
+            tiny_engine(1),
+            tiny_engine(2),
+            CascadeConfig {
+                always_verify: true,
+                ..CascadeConfig::default()
+            },
+        )
+        .unwrap();
+        let mut never = CascadeEngine::new(
+            tiny_engine(1),
+            tiny_engine(2),
+            CascadeConfig {
+                wake_threshold: 1.0,
+                ..CascadeConfig::default()
+            },
+        )
+        .unwrap();
+        let mut d = CascadeDecision::default();
+        always.classify_into(&clip(5), &mut d).unwrap();
+        assert!(d.verdict.is_some());
+        never.classify_into(&clip(5), &mut d).unwrap();
+        assert!(d.verdict.is_none(), "stale verdict must be cleared");
+    }
+}

@@ -67,11 +67,22 @@
 //! decisions. After exactly one nominal clip, the streamed window equals
 //! the batch spectrogram bit-for-bit, so streamed and one-shot
 //! classifications agree.
+//!
+//! # Wake-word cascade
+//!
+//! [`CascadeEngine`] chains two engines with independent front ends: an
+//! always-on KWT-Tiny detector classifies every window, and only when
+//! its wake-class probability crosses [`CascadeConfig::wake_threshold`]
+//! does
+//! the KWT-1 verifier run. With [`CascadeConfig::always_verify`] the
+//! cascade is provably decision-identical to the plain verifier — the
+//! gating changes economics (`paper bench-cascade`), never numerics.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod backend;
+mod cascade;
 mod cluster;
 #[allow(clippy::module_inception)]
 mod engine;
@@ -80,6 +91,7 @@ mod resilient;
 mod streaming;
 
 pub use backend::{Backend, BackendKind, HostFloatBackend, HostQuantBackend, Rv32SimBackend};
+pub use cascade::{CascadeConfig, CascadeDecision, CascadeEngine};
 pub use cluster::Rv32ClusterBackend;
 pub use engine::{Engine, Prediction};
 pub use error::EngineError;

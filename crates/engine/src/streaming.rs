@@ -56,7 +56,7 @@ pub struct StreamDecision {
     pub smoothed_class: usize,
 }
 
-/// Streaming keyword spotter (see the [module docs](self)).
+/// Streaming keyword spotter (see the module docs).
 pub struct StreamingKws {
     engine: Engine,
     stream: StreamingMfcc,

@@ -1,0 +1,273 @@
+//! Per-dataset A8 exponent calibration.
+//!
+//! [`A8Config::paper_a8`] was hand-tuned on the synthetic GSC set; a
+//! different corpus (the committed GSC v2 subset, or a full-set download)
+//! has a different MFCC dynamic range and residual statistics, so its
+//! best exponents differ. [`calibrate_a8`] re-derives them from data:
+//!
+//! 1. **Seed the input exponent from the corpus**: pick the finest
+//!    `input_bits` whose `i8` grid still covers the split's largest
+//!    absolute MFCC value (the only exponent with a closed-form answer).
+//! 2. **Coordinate descent over the remaining exponents**: sweep each
+//!    field ±2 around the current value in a fixed order, keeping the
+//!    value that maximises top-1 agreement with the float model; repeat
+//!    until a full pass changes nothing (at most [`MAX_PASSES`]).
+//!
+//! Candidates whose derived shifts leave the device's `[0, 31]` window
+//! ([`A8Config::consts`]) are skipped, so the search space is exactly the
+//! set of configs the image builder accepts. The whole procedure is
+//! deterministic — same params + same split ⇒ same config — which is what
+//! lets benches commit the calibrated exponents as a baseline.
+
+use crate::{A8Config, A8Kwt, Result};
+use kwt_dataset::MfccDataset;
+use kwt_model::KwtParams;
+
+/// Coordinate-descent pass limit (each pass sweeps every field once).
+pub const MAX_PASSES: usize = 4;
+
+/// One candidate evaluation during calibration.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct CalibrationTrial {
+    /// Which exponent field was being swept.
+    pub field: String,
+    /// Candidate value of that field.
+    pub value: i32,
+    /// Top-1 agreement with the float model on the calibration split.
+    pub agreement: f64,
+    /// Whether this candidate became the new incumbent.
+    pub accepted: bool,
+}
+
+/// Outcome of [`calibrate_a8`].
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct CalibrationResult {
+    /// The calibrated exponents.
+    pub config: A8Config,
+    /// Top-1 agreement of `config` with the float model.
+    pub agreement: f64,
+    /// Agreement of the starting config (the hand-tuned default) — the
+    /// number calibration has to beat or match.
+    pub start_agreement: f64,
+    /// Largest absolute MFCC value observed (drives the input exponent).
+    pub max_abs_input: f32,
+    /// Every candidate evaluated, in order.
+    pub trials: Vec<CalibrationTrial>,
+    /// Coordinate-descent passes executed.
+    pub passes: usize,
+}
+
+/// Top-1 agreement between the A8 pipeline at `cfg` and precomputed
+/// float-model predictions. Returns `None` for configs the device
+/// rejects (shift out of range) or that fail to quantise.
+fn agreement(
+    params: &KwtParams,
+    cfg: A8Config,
+    data: &MfccDataset,
+    float_preds: &[usize],
+) -> Option<f64> {
+    cfg.consts(&params.config).ok()?;
+    let a8 = A8Kwt::quantize(params, cfg).ok()?;
+    let mut hits = 0usize;
+    for (x, &fp) in data.x.iter().zip(float_preds) {
+        let pred = a8.predict_a8(x).ok()?;
+        if pred == fp {
+            hits += 1;
+        }
+    }
+    Some(hits as f64 / data.len().max(1) as f64)
+}
+
+/// Float-model top-1 predictions for every clip of `data`.
+///
+/// # Errors
+///
+/// Propagates float forward-pass failures (shape mismatches).
+pub fn float_predictions(params: &KwtParams, data: &MfccDataset) -> Result<Vec<usize>> {
+    let mut out = Vec::with_capacity(data.len());
+    for x in &data.x {
+        let p = kwt_model::predict(params, x)
+            .map_err(|e| crate::QuantError::Model(format!("float forward failed: {e}")))?;
+        out.push(p);
+    }
+    Ok(out)
+}
+
+/// Re-derives [`A8Config`] exponents for `params` on a calibration split.
+///
+/// See the module docs for the algorithm. `start` seeds the search
+/// (usually [`A8Config::paper_a8`]); the result's agreement is always
+/// ≥ the seeded-input-exponent variant of `start` on the calibration
+/// split, since every move must improve it.
+///
+/// # Errors
+///
+/// Propagates float forward-pass failures; fails if even the start
+/// config cannot be quantised.
+pub fn calibrate_a8(
+    params: &KwtParams,
+    data: &MfccDataset,
+    start: A8Config,
+) -> Result<CalibrationResult> {
+    let float_preds = float_predictions(params, data)?;
+
+    // 1. data-driven input exponent: finest grid covering max |mfcc|.
+    let max_abs_input = data
+        .x
+        .iter()
+        .flat_map(|m| m.as_slice().iter())
+        .fold(0.0f32, |a, &v| a.max(v.abs()));
+    let mut current = start;
+    if max_abs_input > 0.0 {
+        // Largest y with max_abs * 2^y <= 127, clamped to a sane window.
+        let y = (127.0 / max_abs_input).log2().floor() as i32;
+        current.input_bits = y.clamp(-8, 7);
+    }
+
+    let start_agreement = agreement(params, current, data, &float_preds)
+        .or_else(|| agreement(params, start, data, &float_preds))
+        .ok_or_else(|| {
+            crate::QuantError::Model("start A8 config cannot be quantised".to_string())
+        })?;
+    if agreement(params, current, data, &float_preds).is_none() {
+        // The data-driven input exponent broke a shift constraint; fall
+        // back to the caller's start config wholesale.
+        current = start;
+    }
+    let mut best = agreement(params, current, data, &float_preds).expect("validated above");
+
+    // 2. coordinate descent. Fixed field order: upstream exponents first
+    // so downstream sweeps see settled inputs.
+    type FieldAccess = (&'static str, fn(&mut A8Config) -> &mut i32);
+    const FIELDS: [FieldAccess; 8] = [
+        ("input_bits", |c| &mut c.input_bits),
+        ("stream0_bits", |c| &mut c.stream0_bits),
+        ("stream_bits", |c| &mut c.stream_bits),
+        ("attn_bits", |c| &mut c.attn_bits),
+        ("score_bits", |c| &mut c.score_bits),
+        ("hidden_bits", |c| &mut c.hidden_bits),
+        ("prob_bits", |c| &mut c.prob_bits),
+        ("logit_bits", |c| &mut c.logit_bits),
+    ];
+    let mut trials = Vec::new();
+    let mut passes = 0usize;
+    for _ in 0..MAX_PASSES {
+        passes += 1;
+        let mut improved = false;
+        for (name, get) in FIELDS {
+            let base = *get(&mut current.clone());
+            for delta in [-2i32, -1, 1, 2] {
+                let mut cand = current;
+                *get(&mut cand) = base + delta;
+                let Some(a) = agreement(params, cand, data, &float_preds) else {
+                    continue;
+                };
+                // Strict improvement only: ties keep the incumbent, so
+                // the default exponents win unless the data disagrees.
+                let accepted = a > best;
+                trials.push(CalibrationTrial {
+                    field: name.to_string(),
+                    value: base + delta,
+                    agreement: a,
+                    accepted,
+                });
+                if accepted {
+                    current = cand;
+                    best = a;
+                    improved = true;
+                }
+            }
+        }
+        if !improved {
+            break;
+        }
+    }
+
+    Ok(CalibrationResult {
+        config: current,
+        agreement: best,
+        start_agreement,
+        max_abs_input,
+        trials,
+        passes,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kwt_model::KwtConfig;
+    use kwt_tensor::Mat;
+
+    fn toy_data(n: usize, scale: f32) -> MfccDataset {
+        let mut x = Vec::new();
+        let mut y = Vec::new();
+        for i in 0..n {
+            let label = i % 2;
+            x.push(Mat::from_fn(26, 16, |r, c| {
+                let h = (i * 997 + r * 16 + c) as u64;
+                let noise = ((h.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 40) as f32
+                    / (1u64 << 24) as f32
+                    - 0.5)
+                    * 2.0;
+                let hot = (label == 0 && c < 8) || (label == 1 && c >= 8);
+                scale * if hot { 4.0 + noise } else { noise }
+            }));
+            y.push(label);
+        }
+        MfccDataset {
+            x,
+            y,
+            num_classes: 2,
+        }
+    }
+
+    #[test]
+    fn calibration_is_deterministic_and_agreement_is_high() {
+        let params = KwtParams::init(KwtConfig::kwt_tiny(), 11).unwrap();
+        let data = toy_data(24, 8.0);
+        let a = calibrate_a8(&params, &data, A8Config::paper_a8()).unwrap();
+        let b = calibrate_a8(&params, &data, A8Config::paper_a8()).unwrap();
+        assert_eq!(a.config, b.config);
+        assert_eq!(a.trials.len(), b.trials.len());
+        assert!(a.agreement >= a.start_agreement);
+        assert!(
+            a.agreement >= 0.9,
+            "calibrated agreement {} too low",
+            a.agreement
+        );
+        assert!(a.passes >= 1 && a.passes <= MAX_PASSES);
+    }
+
+    #[test]
+    fn input_exponent_tracks_dynamic_range() {
+        let params = KwtParams::init(KwtConfig::kwt_tiny(), 11).unwrap();
+        // Small-range data: finest covering exponent is positive.
+        let small = calibrate_a8(&params, &toy_data(8, 0.5), A8Config::paper_a8()).unwrap();
+        // Large-range data: exponent must drop to cover it.
+        let large = calibrate_a8(&params, &toy_data(8, 60.0), A8Config::paper_a8()).unwrap();
+        assert!(small.max_abs_input < large.max_abs_input);
+        assert!(
+            small.config.input_bits > large.config.input_bits,
+            "{} vs {}",
+            small.config.input_bits,
+            large.config.input_bits
+        );
+    }
+
+    #[test]
+    fn every_accepted_trial_improves() {
+        let params = KwtParams::init(KwtConfig::kwt_tiny(), 3).unwrap();
+        let data = toy_data(12, 8.0);
+        let r = calibrate_a8(&params, &data, A8Config::paper_a8()).unwrap();
+        let mut best = f64::MIN;
+        for t in &r.trials {
+            if t.accepted {
+                assert!(t.agreement > best || best == f64::MIN);
+            }
+            best = best.max(if t.accepted { t.agreement } else { best });
+        }
+        // The final config's consts must be device-valid.
+        r.config.consts(&params.config).unwrap();
+    }
+}

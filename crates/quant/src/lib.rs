@@ -41,6 +41,7 @@
 #![warn(missing_docs)]
 
 mod a8;
+pub mod calibrate;
 mod error;
 mod fixed;
 pub mod gelu_opt;
@@ -50,6 +51,7 @@ mod qscheme;
 pub mod sweep;
 
 pub use a8::{A8Config, A8Consts, A8Kwt, A8Scratch};
+pub use calibrate::{calibrate_a8, CalibrationResult, CalibrationTrial};
 pub use error::QuantError;
 pub use fixed::Q8_24;
 pub use luts::{

@@ -1,0 +1,470 @@
+//! Cascade serving: wake-word triggers from the multiplexed detector,
+//! verified by a gated second-stage engine.
+//!
+//! [`CascadeServer`] wraps the [`KwsServer`] (which keeps the tiny
+//! detector always on across every session, batching windows into
+//! backend waves) and adds the second cascade stage from
+//! [`kwt_engine::CascadeEngine`]'s playbook: when a session's smoothed
+//! detector decision lands on the wake class, the server re-reads that
+//! session's most recent second of **raw audio** from its retention ring
+//! and runs the big verifier on it. Sessions that never say the wake
+//! word never pay for the verifier — the whole point of the cascade.
+//!
+//! The verifier has its own front end (KWT-1 consumes 98×40 MFCC windows
+//! versus the detector's 26×16), which is why retention stores raw
+//! samples rather than detector features: each stage extracts its own
+//! view, exactly as two device images would on hardware.
+//!
+//! A per-session refractory window suppresses re-verification while one
+//! utterance streams past the detector (a keyword spans many overlapping
+//! windows; verifying each would erase the cascade's savings).
+
+use crate::server::{KwsServer, SessionDecision};
+use crate::session::SessionId;
+use crate::{Result, ServeError};
+use kwt_engine::{Engine, Prediction, StreamDecision};
+
+/// Gating and retention knobs for [`CascadeServer`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CascadeServeConfig {
+    /// Detector class that means "wake word present".
+    pub wake_class: usize,
+    /// Minimum detector probability (raw window score) to trigger.
+    pub wake_threshold: f32,
+    /// Verifier class that confirms a detection.
+    pub verify_class: usize,
+    /// Frames a session stays silent after a trigger before it may
+    /// trigger again (measured on the detector's frame clock).
+    pub refractory_frames: u64,
+}
+
+impl Default for CascadeServeConfig {
+    fn default() -> Self {
+        CascadeServeConfig {
+            wake_class: 1,
+            wake_threshold: 0.6,
+            verify_class: 1,
+            refractory_frames: 26,
+        }
+    }
+}
+
+/// One verified wake-word event.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CascadeEvent {
+    /// The session that triggered.
+    pub session: SessionId,
+    /// The detector decision that fired the gate.
+    pub decision: StreamDecision,
+    /// The verifier's verdict on the retained audio.
+    pub verdict: Prediction,
+    /// `verdict.class == verify_class`.
+    pub accepted: bool,
+    /// Verifier device cycles for this verification (`None` on host
+    /// backends).
+    pub verifier_cycles: Option<u64>,
+}
+
+/// Cascade counters, cumulative since construction.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CascadeStats {
+    /// Detector decisions observed across all sessions.
+    pub decisions: u64,
+    /// Decisions that passed the wake gate (before the refractory check).
+    pub triggers: u64,
+    /// Verifier invocations (triggers surviving the refractory window).
+    pub verifications: u64,
+    /// Verifications the verifier confirmed.
+    pub accepts: u64,
+    /// Total verifier device cycles spent (0 on host backends).
+    pub verifier_device_cycles: u64,
+}
+
+/// Per-session raw-audio retention + refractory bookkeeping.
+#[derive(Debug, Clone)]
+struct Tail {
+    /// Circular buffer of the most recent `len` samples.
+    ring: Vec<f32>,
+    /// Next write position.
+    pos: usize,
+    /// Total samples ever written (for left-zero-padding young sessions).
+    written: u64,
+    /// Generation this tail belongs to (slab slots are reused).
+    generation: u32,
+    /// Frame index of the last accepted trigger, if any.
+    last_fire: Option<u64>,
+}
+
+impl Tail {
+    fn reset(&mut self, generation: u32) {
+        self.ring.iter_mut().for_each(|v| *v = 0.0);
+        self.pos = 0;
+        self.written = 0;
+        self.generation = generation;
+        self.last_fire = None;
+    }
+
+    fn push(&mut self, samples: &[f32]) {
+        for &s in samples {
+            self.ring[self.pos] = s;
+            self.pos = (self.pos + 1) % self.ring.len();
+        }
+        self.written += samples.len() as u64;
+    }
+
+    /// Copies the retained audio, oldest first, into `out`
+    /// (right-aligned; the prefix stays zero while the ring is young).
+    fn snapshot(&self, out: &mut [f32]) {
+        debug_assert_eq!(out.len(), self.ring.len());
+        let n = self.ring.len();
+        let filled = (self.written as usize).min(n);
+        out[..n - filled].iter_mut().for_each(|v| *v = 0.0);
+        for i in 0..filled {
+            // Oldest retained sample sits at `pos` once the ring wrapped.
+            out[n - filled + i] = self.ring[(self.pos + n - filled + i) % n];
+        }
+    }
+}
+
+/// The two-stage serving loop (see the module docs).
+pub struct CascadeServer {
+    inner: KwsServer,
+    verifier: Engine,
+    config: CascadeServeConfig,
+    tails: Vec<Tail>,
+    /// Scratch: one verifier input window.
+    clip_buf: Vec<f32>,
+    /// Scratch: verifier output.
+    verdict: Prediction,
+    /// Scratch: triggers collected during a drive.
+    pending: Vec<(SessionId, StreamDecision)>,
+    stats: CascadeStats,
+}
+
+impl CascadeServer {
+    /// Wraps a detector server and a verifier engine.
+    ///
+    /// Retention is sized to one nominal verifier clip (one second for
+    /// the KWT-1 front end), derived from the verifier's frame geometry.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::Config`] when a gate class is out of range
+    /// for its stage or the threshold is not a probability.
+    pub fn new(detector: KwsServer, verifier: Engine, config: CascadeServeConfig) -> Result<Self> {
+        let dc = detector.engine().config().num_classes;
+        let vc = verifier.config().num_classes;
+        if config.wake_class >= dc {
+            return Err(ServeError::Config {
+                why: format!(
+                    "wake_class {} out of range for {dc}-class detector",
+                    config.wake_class
+                ),
+            });
+        }
+        if config.verify_class >= vc {
+            return Err(ServeError::Config {
+                why: format!(
+                    "verify_class {} out of range for {vc}-class verifier",
+                    config.verify_class
+                ),
+            });
+        }
+        if !(config.wake_threshold.is_finite() && (0.0..=1.0).contains(&config.wake_threshold)) {
+            return Err(ServeError::Config {
+                why: format!(
+                    "wake_threshold {} is not a probability",
+                    config.wake_threshold
+                ),
+            });
+        }
+        // One nominal clip of the verifier's front end: T frames of hop
+        // plus the window tail — for the KWT-1 geometry this is exactly
+        // one second of audio.
+        let fc = verifier.frontend().config();
+        let clip_samples =
+            fc.hop_length * (verifier.frontend().frames_per_clip() - 1) + fc.win_length;
+        let capacity = detector.capacity();
+        Ok(CascadeServer {
+            tails: (0..capacity)
+                .map(|_| Tail {
+                    ring: vec![0.0; clip_samples],
+                    pos: 0,
+                    written: 0,
+                    generation: 0,
+                    last_fire: None,
+                })
+                .collect(),
+            clip_buf: vec![0.0; clip_samples],
+            verdict: Prediction::default(),
+            pending: Vec::new(),
+            inner: detector,
+            verifier,
+            config,
+            stats: CascadeStats::default(),
+        })
+    }
+
+    /// The wrapped detector server.
+    pub fn detector(&self) -> &KwsServer {
+        &self.inner
+    }
+
+    /// The verifier engine.
+    pub fn verifier(&self) -> &Engine {
+        &self.verifier
+    }
+
+    /// Cascade counters.
+    pub fn stats(&self) -> CascadeStats {
+        self.stats
+    }
+
+    /// Samples of raw audio retained per session for verification.
+    pub fn retention_samples(&self) -> usize {
+        self.clip_buf.len()
+    }
+
+    /// Admits a new session (see [`KwsServer::open`]).
+    ///
+    /// # Errors
+    ///
+    /// Propagates slab-full errors.
+    pub fn open(&mut self) -> Result<SessionId> {
+        let id = self.inner.open()?;
+        self.tails[id.index() as usize].reset(id.generation());
+        Ok(id)
+    }
+
+    /// Closes a session (see [`KwsServer::close`]).
+    ///
+    /// # Errors
+    ///
+    /// Propagates stale-handle errors.
+    pub fn close(&mut self, id: SessionId) -> Result<()> {
+        self.inner.close(id)
+    }
+
+    /// Buffers a chunk for a session, retaining it for verification.
+    ///
+    /// # Errors
+    ///
+    /// Propagates validation/backpressure errors; on backpressure the
+    /// chunk is retained by neither stage.
+    pub fn push(&mut self, id: SessionId, samples: &[f32]) -> Result<()> {
+        self.inner.push(id, samples)?;
+        let tail = &mut self.tails[id.index() as usize];
+        debug_assert_eq!(tail.generation, id.generation());
+        tail.push(samples);
+        Ok(())
+    }
+
+    /// Drives the detector to its next quiescent point, verifying every
+    /// gated trigger; `on_event` receives one [`CascadeEvent`] per
+    /// verification. Returns the number of detector decisions delivered.
+    ///
+    /// # Errors
+    ///
+    /// Propagates detector and verifier failures.
+    pub fn drive(&mut self, mut on_event: impl FnMut(&CascadeEvent)) -> Result<usize> {
+        let config = self.config;
+        let pending = &mut self.pending;
+        let tails = &mut self.tails;
+        let mut decisions = 0u64;
+        let mut triggers = 0u64;
+        pending.clear();
+        let delivered = self.inner.drive(|sd: &SessionDecision| {
+            decisions += 1;
+            let d = &sd.decision;
+            let fired = d.class == config.wake_class
+                && d.smoothed_class == config.wake_class
+                && d.score >= config.wake_threshold;
+            if !fired {
+                return;
+            }
+            triggers += 1;
+            let tail = &mut tails[sd.session.index() as usize];
+            if let Some(last) = tail.last_fire {
+                if d.frame_index.saturating_sub(last) < config.refractory_frames {
+                    return;
+                }
+            }
+            tail.last_fire = Some(d.frame_index);
+            pending.push((sd.session, d.clone()));
+        })?;
+        self.stats.decisions += decisions;
+        self.stats.triggers += triggers;
+        for (session, decision) in self.pending.drain(..) {
+            self.tails[session.index() as usize].snapshot(&mut self.clip_buf);
+            self.verifier
+                .classify_into(&self.clip_buf, &mut self.verdict)?;
+            let verifier_cycles = self.verifier.last_device_run().map(|r| r.cycles);
+            self.stats.verifications += 1;
+            self.stats.verifier_device_cycles += verifier_cycles.unwrap_or(0);
+            let accepted = self.verdict.class == self.config.verify_class;
+            if accepted {
+                self.stats.accepts += 1;
+            }
+            let event = CascadeEvent {
+                session,
+                decision,
+                verdict: self.verdict.clone(),
+                accepted,
+                verifier_cycles,
+            };
+            on_event(&event);
+        }
+        Ok(delivered)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ServeConfig;
+    use kwt_audio::kwt_tiny_frontend;
+    use kwt_model::{KwtConfig, KwtParams};
+
+    fn engine(seed: u64) -> Engine {
+        let params = KwtParams::init(KwtConfig::kwt_tiny(), seed).unwrap();
+        Engine::host_float(params, kwt_tiny_frontend().unwrap()).unwrap()
+    }
+
+    fn server(threshold: f32) -> CascadeServer {
+        let det = KwsServer::new(engine(1), ServeConfig::default()).unwrap();
+        CascadeServer::new(
+            det,
+            engine(2),
+            CascadeServeConfig {
+                wake_threshold: threshold,
+                refractory_frames: 4,
+                ..CascadeServeConfig::default()
+            },
+        )
+        .unwrap()
+    }
+
+    fn chunk(seed: u64, n: usize) -> Vec<f32> {
+        (0..n)
+            .map(|i| ((i as f32 + seed as f32) * 0.017).sin() * 0.4)
+            .collect()
+    }
+
+    #[test]
+    fn zero_threshold_verifies_and_matches_plain_engine() {
+        // Gate wide open: every smoothed wake-class decision verifies.
+        let mut srv = server(0.0);
+        let id = srv.open().unwrap();
+        let mut events = Vec::new();
+        for i in 0..20 {
+            srv.push(id, &chunk(i, 1600)).unwrap();
+            srv.drive(|e| events.push(e.clone())).unwrap();
+        }
+        let st = srv.stats();
+        assert!(st.decisions > 0);
+        assert_eq!(st.verifications, events.len() as u64);
+        // The wake gate still requires class == wake_class; with a random
+        // detector some decisions fire and some do not, but each event's
+        // verdict must be internally consistent.
+        for e in &events {
+            assert_eq!(e.accepted, e.verdict.class == 1);
+            assert_eq!(e.decision.class, 1);
+        }
+        assert!(st.triggers >= st.verifications);
+    }
+
+    #[test]
+    fn impossible_threshold_never_verifies() {
+        let mut srv = server(1.0);
+        let id = srv.open().unwrap();
+        let mut events = 0usize;
+        for i in 0..12 {
+            srv.push(id, &chunk(i, 1600)).unwrap();
+            srv.drive(|_| events += 1).unwrap();
+        }
+        assert_eq!(events, 0);
+        assert_eq!(srv.stats().verifications, 0);
+        assert!(srv.stats().decisions > 0);
+    }
+
+    #[test]
+    fn refractory_suppresses_back_to_back_triggers() {
+        let mut srv = server(0.0);
+        let id = srv.open().unwrap();
+        let mut frames = Vec::new();
+        for i in 0..30 {
+            srv.push(id, &chunk(i, 1600)).unwrap();
+            srv.drive(|e| frames.push(e.decision.frame_index)).unwrap();
+        }
+        for w in frames.windows(2) {
+            assert!(w[1] - w[0] >= 4, "refractory violated: {frames:?}");
+        }
+    }
+
+    #[test]
+    fn retention_matches_verifier_clip() {
+        let srv = server(0.5);
+        // Tiny verifier front end: 62.5 ms windows, 37.5 ms hop, 26
+        // frames → exactly one second of audio.
+        assert_eq!(srv.retention_samples(), 600 * 25 + 1000);
+        assert!(srv.detector().capacity() > 0);
+    }
+
+    #[test]
+    fn snapshot_right_aligns_young_sessions() {
+        let mut t = Tail {
+            ring: vec![0.0; 8],
+            pos: 0,
+            written: 0,
+            generation: 0,
+            last_fire: None,
+        };
+        t.push(&[1.0, 2.0, 3.0]);
+        let mut out = vec![9.0; 8];
+        t.snapshot(&mut out);
+        assert_eq!(out, vec![0.0, 0.0, 0.0, 0.0, 0.0, 1.0, 2.0, 3.0]);
+        t.push(&[4.0, 5.0, 6.0, 7.0, 8.0, 9.0]);
+        t.snapshot(&mut out);
+        assert_eq!(out, vec![2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0]);
+    }
+
+    #[test]
+    fn bad_gate_configs_are_rejected() {
+        let det = KwsServer::new(engine(1), ServeConfig::default()).unwrap();
+        let bad = CascadeServer::new(
+            det,
+            engine(2),
+            CascadeServeConfig {
+                wake_class: 5,
+                ..CascadeServeConfig::default()
+            },
+        );
+        assert!(bad.is_err());
+        let det = KwsServer::new(engine(1), ServeConfig::default()).unwrap();
+        let bad = CascadeServer::new(
+            det,
+            engine(2),
+            CascadeServeConfig {
+                wake_threshold: 2.0,
+                ..CascadeServeConfig::default()
+            },
+        );
+        assert!(bad.is_err());
+    }
+
+    #[test]
+    fn sessions_are_isolated() {
+        let mut srv = server(0.0);
+        let a = srv.open().unwrap();
+        let b = srv.open().unwrap();
+        // Only session `a` receives audio; any event must name `a`.
+        let mut sessions = Vec::new();
+        for i in 0..10 {
+            srv.push(a, &chunk(i, 1600)).unwrap();
+            srv.drive(|e| sessions.push(e.session)).unwrap();
+        }
+        assert!(sessions.iter().all(|s| *s == a));
+        srv.close(b).unwrap();
+        srv.close(a).unwrap();
+    }
+}

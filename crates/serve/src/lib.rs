@@ -42,6 +42,11 @@
 //! * **Reactor** ([`Reactor`]): a dependency-free, deterministic
 //!   virtual-time readiness queue used by the benches to interleave
 //!   thousands of synthetic 16 kHz streams reproducibly.
+//! * **Wake-word cascade** ([`CascadeServer`]): wraps the multiplexed
+//!   server in the two-stage always-on story — the server's tiny
+//!   detector decisions gate a KWT-1 verifier pass over one-second
+//!   sample tails of the triggering sessions, with a per-session
+//!   refractory period ([`CascadeServeConfig`], [`CascadeStats`]).
 //!
 //! After warm-up the whole admit → buffer → schedule → classify →
 //! deliver path performs **zero heap allocation** (asserted by this
@@ -76,12 +81,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod cascade;
 mod error;
 mod metrics;
 mod reactor;
 mod server;
 mod session;
 
+pub use cascade::{CascadeEvent, CascadeServeConfig, CascadeServer, CascadeStats};
 pub use error::ServeError;
 pub use metrics::{LatencyHistogram, ServeMetrics};
 pub use reactor::{Reactor, Token};

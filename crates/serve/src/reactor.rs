@@ -24,8 +24,7 @@ use std::collections::BinaryHeap;
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct Token(pub u64);
 
-/// Deterministic virtual-time readiness queue (see the [module
-/// docs](self)).
+/// Deterministic virtual-time readiness queue (see the module docs).
 #[derive(Debug, Default)]
 pub struct Reactor {
     heap: BinaryHeap<Reverse<(u64, u64, Token)>>,

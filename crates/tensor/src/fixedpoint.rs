@@ -71,7 +71,7 @@ fn log2_lut() -> &'static [i64; LOG2_LUT_SEGMENTS + 1] {
 /// Integer base-2 logarithm of a positive value, in Q8.24.
 ///
 /// The value is normalised by its leading-bit position; the mantissa's
-/// top 8 bits index the [`log2_lut`] table and the next 16 bits linearly
+/// top 8 bits index the `log2_lut` table and the next 16 bits linearly
 /// interpolate between adjacent entries, giving an absolute error below
 /// `3e-6` — no floating-point transcendental is evaluated. `v == 0`
 /// returns `i64::MIN / 2` (a sentinel far below any representable log;

@@ -70,7 +70,7 @@ pub const MR: usize = 4;
 pub const KC: usize = 256;
 
 /// A weight matrix repacked for the blocked microkernels: transposed and
-/// panel-packed as described in the [module docs](self).
+/// panel-packed as described in the module docs.
 ///
 /// Logically this is still the `K x N` operand `W` of `Y = X · W`; `get`
 /// / `to_mat` recover the unpacked view for tests and serialisation.

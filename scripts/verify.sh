@@ -40,7 +40,21 @@
 #   * `paper fault-sweep`    — chaos harness: injected faults across the
 #                              taxonomy x every image flavour must yield
 #                              typed errors, exact recovery, or exact
-#                              failover — and zero host panics.
+#                              failover — and zero host panics;
+#   * `paper check-cascade`  — wake-word cascade gate: device cascade
+#                              verdicts bit-identical to the plain
+#                              verifier, cascade cheaper per hour than the
+#                              always-on KWT-1 at 5 % keyword duty, stage
+#                              cycles within 5 % of the committed
+#                              BENCH_cascade.json (skips the baseline
+#                              comparison when none is committed);
+#   * `paper check-calibration` — offline GSC v2 subset integrity
+#                              (manifest-checksummed) plus the per-dataset
+#                              A8 exponent calibration reaching >= 99 %
+#                              top-1 agreement with the float model.
+#
+# The docs build (`cargo doc --no-deps` with warnings denied) also runs
+# here so rustdoc regressions fail verification, matching CI's docs job.
 #
 # Every step reports its own name on failure, so CI logs point straight
 # at the broken stage.
@@ -129,6 +143,24 @@ echo "== gate: paper fault-sweep --smoke (fault taxonomy x image flavours) =="
 (cd "$scratch" && "$paper_bin" fault-sweep --smoke >/dev/null) \
     || fail "paper fault-sweep"
 echo "fault-sweep OK"
+
+echo "== smoke: paper bench-cascade --smoke (scratch dir) =="
+(cd "$scratch" && "$paper_bin" bench-cascade --smoke >/dev/null) \
+    || fail "paper bench-cascade"
+echo "bench-cascade smoke OK"
+
+echo "== gate: paper check-cascade (verdict identity + cycle economics) =="
+"$paper_bin" check-cascade || fail "paper check-cascade"
+echo "check-cascade OK"
+
+echo "== gate: paper check-calibration (subset integrity + A8 agreement) =="
+"$paper_bin" check-calibration || fail "paper check-calibration"
+echo "check-calibration OK"
+
+echo "== docs: cargo doc --no-deps (warnings denied) =="
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps -q >/dev/null 2>&1 \
+    || fail "cargo doc"
+echo "docs OK"
 
 echo "== smoke: isa_ratio example =="
 cargo run --release -q -p kwt-bench --example isa_ratio >/dev/null \

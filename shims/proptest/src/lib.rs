@@ -266,7 +266,7 @@ pub mod collection {
     use super::{Strategy, TestRng};
     use std::ops::Range;
 
-    /// Lengths acceptable to [`vec`]: a fixed `usize` or a `Range<usize>`.
+    /// Lengths acceptable to [`vec()`](fn@vec): a fixed `usize` or a `Range<usize>`.
     pub trait SizeRange {
         /// Draws a length.
         fn pick(&self, rng: &mut TestRng) -> usize;
@@ -285,7 +285,7 @@ pub mod collection {
         }
     }
 
-    /// The strategy returned by [`vec`].
+    /// The strategy returned by [`vec()`](fn@vec).
     pub struct VecStrategy<S, L> {
         element: S,
         len: L,
